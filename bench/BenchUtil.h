@@ -1,0 +1,57 @@
+//===- BenchUtil.h - Shared benchmark-harness helpers ----------*- C++ -*-===//
+///
+/// \file
+/// Formatting and run helpers shared by the paper-figure harnesses. Each
+/// bench binary prints one table/figure of the evaluation section in a
+/// stable plain-text format; EXPERIMENTS.md captures the outputs next to
+/// the paper's reported numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_BENCH_BENCHUTIL_H
+#define SIMTSR_BENCH_BENCHUTIL_H
+
+#include "kernels/Runner.h"
+
+#include <cstdio>
+#include <string>
+
+namespace simtsr {
+namespace bench {
+
+/// The seed every figure harness uses, so outputs are reproducible.
+constexpr uint64_t FigureSeed = 2020; // CGO'20.
+
+inline void printHeader(const std::string &Title) {
+  std::printf("==== %s ====\n", Title.c_str());
+}
+
+inline void printRule() {
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+inline double speedup(const WorkloadOutcome &Base,
+                      const WorkloadOutcome &Opt) {
+  return Opt.Cycles == 0 ? 0.0
+                         : static_cast<double>(Base.Cycles) /
+                               static_cast<double>(Opt.Cycles);
+}
+
+inline const char *statusName(RunResult::Status S) {
+  switch (S) {
+  case RunResult::Status::Finished:
+    return "ok";
+  case RunResult::Status::Deadlock:
+    return "DEADLOCK";
+  case RunResult::Status::Trap:
+    return "TRAP";
+  case RunResult::Status::IssueLimit:
+    return "LIMIT";
+  }
+  return "?";
+}
+
+} // namespace bench
+} // namespace simtsr
+
+#endif // SIMTSR_BENCH_BENCHUTIL_H

@@ -1,0 +1,46 @@
+//===- bench_ablation_scheduler.cpp - Scheduler-policy ablation ------------------===//
+///
+/// Ablation: how much of the speculative-reconvergence win depends on the
+/// hardware's convergence optimizer (our MaxConvergence policy models
+/// Volta's)? We rerun baseline and annotated configurations under three
+/// scheduling policies. The paper evaluates on Volta only; this table
+/// shows the technique's sensitivity to that substrate choice.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace simtsr;
+using namespace simtsr::bench;
+
+int main() {
+  printHeader("Ablation: scheduler policy vs speculative reconvergence");
+  std::printf("%-12s %-15s %10s %10s %9s\n", "benchmark", "scheduler",
+              "eff-base", "eff-SR", "speedup");
+  printRule();
+  struct Policy {
+    SchedulerPolicy P;
+    const char *Name;
+  };
+  const Policy Policies[] = {
+      {SchedulerPolicy::MaxConvergence, "max-convergence"},
+      {SchedulerPolicy::MinPC, "min-pc"},
+      {SchedulerPolicy::RoundRobin, "round-robin"},
+  };
+  for (Workload (*Factory)(double) : {makeRSBench, makePathTracer}) {
+    Workload W = Factory(1.0);
+    for (const Policy &Pol : Policies) {
+      WorkloadOutcome Base = runWorkload(W, PipelineOptions::baseline(),
+                                         FigureSeed, Pol.P);
+      WorkloadOutcome Opt =
+          runWorkload(W, annotatedOptionsFor(W), FigureSeed, Pol.P);
+      std::printf("%-12s %-15s %9.1f%% %9.1f%% %8.2fx %s%s\n",
+                  W.Name.c_str(), Pol.Name, 100.0 * Base.SimtEfficiency,
+                  100.0 * Opt.SimtEfficiency, speedup(Base, Opt),
+                  Base.ok() ? "" : statusName(Base.Status),
+                  Opt.ok() ? "" : statusName(Opt.Status));
+    }
+  }
+  printRule();
+  return 0;
+}

@@ -1,0 +1,39 @@
+//===- bench_fig8_speedup.cpp - Figure 8 ----------------------------------------===//
+///
+/// Figure 8: relative SIMT-efficiency improvement versus application
+/// speedup. The paper's reading: efficiency gains roughly upper-bound
+/// speedup, because the re-timed prolog/epilog regions now execute more
+/// divergently and more often.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace simtsr;
+using namespace simtsr::bench;
+
+int main() {
+  printHeader("Figure 8: SIMT-efficiency improvement vs speedup");
+  std::printf("%-17s %10s %10s %12s %10s\n", "benchmark", "eff-base",
+              "eff-opt", "eff-improve", "speedup");
+  printRule();
+  double WorstSpeedup = 10.0, BestSpeedup = 0.0;
+  for (const Workload &W : makeAllWorkloads()) {
+    WorkloadOutcome Base =
+        runWorkload(W, PipelineOptions::baseline(), FigureSeed);
+    WorkloadOutcome Opt =
+        runWorkload(W, annotatedOptionsFor(W), FigureSeed);
+    double EffGain = Opt.SimtEfficiency / Base.SimtEfficiency;
+    double Speed = speedup(Base, Opt);
+    WorstSpeedup = std::min(WorstSpeedup, Speed);
+    BestSpeedup = std::max(BestSpeedup, Speed);
+    std::printf("%-17s %9.1f%% %9.1f%% %11.2fx %9.2fx\n", W.Name.c_str(),
+                100.0 * Base.SimtEfficiency, 100.0 * Opt.SimtEfficiency,
+                EffGain, Speed);
+  }
+  printRule();
+  std::printf("Speedups range %.2fx .. %.2fx (paper: ~10%% to 3x across "
+              "its suite).\n",
+              WorstSpeedup, BestSpeedup);
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- bench_fig9_soft_barrier.cpp - Figure 9 ------------------------------------===//
+///
+/// Figure 9: SIMT efficiency and speedup across soft-barrier thresholds
+/// for PathTracer and XSBench. The paper's contrast: PathTracer refills
+/// idle threads cheaply and runs fastest at (near-)full reconvergence,
+/// while XSBench pays a full lookup per refill and peaks when the inner
+/// loop keeps running until only ~4 threads participate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace simtsr;
+using namespace simtsr::bench;
+
+static void sweep(const Workload &W) {
+  WorkloadOutcome Base =
+      runWorkload(W, PipelineOptions::baseline(), FigureSeed);
+  std::printf("\n%s (baseline: eff %.1f%%, %llu cycles)\n", W.Name.c_str(),
+              100.0 * Base.SimtEfficiency,
+              static_cast<unsigned long long>(Base.Cycles));
+  std::printf("%9s %10s %9s\n", "threshold", "simt-eff", "speedup");
+  printRule();
+  int BestThreshold = -1;
+  double BestSpeedup = 0.0;
+  for (int T : {0, 4, 8, 12, 16, 20, 24, 28, 32}) {
+    WorkloadOutcome O =
+        runWorkload(W, PipelineOptions::softBarrier(T), FigureSeed);
+    double S = speedup(Base, O);
+    if (S > BestSpeedup) {
+      BestSpeedup = S;
+      BestThreshold = T;
+    }
+    std::printf("%9d %9.1f%% %8.2fx %s\n", T, 100.0 * O.SimtEfficiency, S,
+                O.ok() ? "" : statusName(O.Status));
+  }
+  printRule();
+  std::printf("peak speedup %.2fx at threshold %d\n", BestSpeedup,
+              BestThreshold);
+}
+
+int main() {
+  printHeader("Figure 9: soft-barrier threshold sweep "
+              "(PathTracer vs XSBench)");
+  sweep(makePathTracer());
+  sweep(makeXSBench());
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- bench_passes.cpp - Compiler-pass throughput (google-benchmark) -----------===//
+///
+/// Compile-time cost of the pass stack: analyses and synchronization
+/// insertion per workload module. These are the costs an NVCC-style
+/// backend would pay per kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BarrierAnalysis.h"
+#include "analysis/Divergence.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "kernels/Runner.h"
+#include "transform/AutoDetect.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace simtsr;
+
+static void BM_DominatorTree(benchmark::State &State) {
+  Workload W = makeRSBench();
+  Function &F = *W.M->functionByName(W.KernelName);
+  for (auto _ : State) {
+    DominatorTree DT(F);
+    benchmark::DoNotOptimize(DT.idom(F.entry()));
+  }
+}
+BENCHMARK(BM_DominatorTree);
+
+static void BM_LoopInfo(benchmark::State &State) {
+  Workload W = makeRSBench();
+  Function &F = *W.M->functionByName(W.KernelName);
+  for (auto _ : State) {
+    DominatorTree DT(F);
+    LoopInfo LI(F, DT);
+    benchmark::DoNotOptimize(LI.loops().size());
+  }
+}
+BENCHMARK(BM_LoopInfo);
+
+static void BM_DivergenceAnalysis(benchmark::State &State) {
+  Workload W = makeRSBench();
+  Function &F = *W.M->functionByName(W.KernelName);
+  for (auto _ : State) {
+    PostDominatorTree PDT(F);
+    DivergenceAnalysis DA(F, PDT);
+    benchmark::DoNotOptimize(DA.hasDivergenceSources());
+  }
+}
+BENCHMARK(BM_DivergenceAnalysis);
+
+static void BM_BarrierDataflow(benchmark::State &State) {
+  Workload W = makeRSBench();
+  PipelineOptions Opts = PipelineOptions::speculative();
+  Workload Synced = cloneWorkload(W);
+  runSyncPipeline(*Synced.M, Opts);
+  Function &F = *Synced.M->functionByName(W.KernelName);
+  for (auto _ : State) {
+    JoinedBarrierAnalysis Joined(F);
+    BarrierLivenessAnalysis Live(F);
+    benchmark::DoNotOptimize(Joined.out(F.entry()) + Live.liveIn(F.entry()));
+  }
+}
+BENCHMARK(BM_BarrierDataflow);
+
+static void BM_FullPipelineBaseline(benchmark::State &State) {
+  Workload W = makeRSBench();
+  for (auto _ : State) {
+    Workload Fresh = cloneWorkload(W);
+    auto R = runSyncPipeline(*Fresh.M, PipelineOptions::baseline());
+    benchmark::DoNotOptimize(R.Pdom.BarriersInserted);
+  }
+}
+BENCHMARK(BM_FullPipelineBaseline);
+
+static void BM_FullPipelineSpeculative(benchmark::State &State) {
+  Workload W = makeRSBench();
+  for (auto _ : State) {
+    Workload Fresh = cloneWorkload(W);
+    auto R = runSyncPipeline(*Fresh.M, PipelineOptions::speculative());
+    benchmark::DoNotOptimize(R.SR.Applied.size());
+  }
+}
+BENCHMARK(BM_FullPipelineSpeculative);
+
+static void BM_AutoDetect(benchmark::State &State) {
+  Workload W = makeRSBench();
+  for (auto _ : State) {
+    Workload Fresh = cloneWorkload(W);
+    stripPredictDirectives(*Fresh.M);
+    AutoDetectOptions Opts;
+    Opts.Apply = false;
+    auto R = detectReconvergence(*Fresh.M, Opts);
+    benchmark::DoNotOptimize(R.Candidates.size());
+  }
+}
+BENCHMARK(BM_AutoDetect);
+
+BENCHMARK_MAIN();

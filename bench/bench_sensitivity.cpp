@@ -1,0 +1,120 @@
+//===- bench_sensitivity.cpp - What makes speculative reconvergence win ----------===//
+///
+/// Section 5.2's analysis, quantified: "SIMT efficiency is improved most
+/// when threads have a relatively high degree of compute inside their
+/// loops compared with the cost of newly-serialized code" and gains grow
+/// with trip-count variability. This harness sweeps a Loop Merge kernel
+/// over (a) the inner-trip range at fixed body weight and (b) the body
+/// weight at fixed trips, reporting the speedup surface — including the
+/// unprofitable corner the paper warns about.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ir/IRBuilder.h"
+#include "kernels/KernelBuild.h"
+
+using namespace simtsr;
+using namespace simtsr::bench;
+using namespace simtsr::kernelbuild;
+
+namespace {
+
+/// Parameterized Loop Merge kernel: outer task loop, inner loop with
+/// trips uniform in [1, MaxTrip), BodyMuls multiplies per iteration.
+std::unique_ptr<Module> sweepKernel(int64_t MaxTrip, int BodyMuls) {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(256);
+  Function *F = M->createFunction("sweep", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Outer = F->createBlock("outer");
+  BasicBlock *InnerHeader = F->createBlock("inner_header");
+  BasicBlock *InnerBody = F->createBlock("inner_body");
+  BasicBlock *Epilog = F->createBlock("epilog");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned I = B.mov(Operand::imm(0));
+  unsigned Acc = B.mov(Operand::imm(1));
+  B.predict(InnerBody);
+  B.jmp(Outer);
+
+  B.setInsertBlock(Outer);
+  unsigned N = B.randRange(Operand::imm(1), Operand::imm(MaxTrip));
+  unsigned J = B.mov(Operand::imm(0));
+  B.jmp(InnerHeader);
+
+  B.setInsertBlock(InnerHeader);
+  unsigned More = B.cmpLT(Operand::reg(J), Operand::reg(N));
+  B.br(Operand::reg(More), InnerBody, Epilog);
+
+  B.setInsertBlock(InnerBody);
+  unsigned X = B.add(Operand::reg(Acc), Operand::reg(J));
+  for (int K = 0; K < BodyMuls; ++K)
+    X = B.mul(Operand::reg(X), Operand::imm(2654435761 + K));
+  InnerBody->append(Instruction(Opcode::Mov, Acc, {Operand::reg(X)}));
+  unsigned JN = B.add(Operand::reg(J), Operand::imm(1));
+  InnerBody->append(Instruction(Opcode::Mov, J, {Operand::reg(JN)}));
+  B.jmp(InnerHeader);
+
+  B.setInsertBlock(Epilog);
+  unsigned Y = B.xorOp(Operand::reg(Acc), Operand::reg(N));
+  Epilog->append(Instruction(Opcode::Mov, Acc, {Operand::reg(Y)}));
+  unsigned IN = B.add(Operand::reg(I), Operand::imm(1));
+  Epilog->append(Instruction(Opcode::Mov, I, {Operand::reg(IN)}));
+  unsigned Done = B.cmpGE(Operand::reg(I), Operand::imm(12));
+  B.br(Operand::reg(Done), Exit, Outer);
+
+  B.setInsertBlock(Exit);
+  B.store(Operand::reg(T), Operand::reg(Acc));
+  B.ret();
+  F->recomputePreds();
+  return M;
+}
+
+double speedupFor(int64_t MaxTrip, int BodyMuls) {
+  auto Run = [&](const PipelineOptions &Opts) -> uint64_t {
+    auto M = sweepKernel(MaxTrip, BodyMuls);
+    runSyncPipeline(*M, Opts);
+    LaunchConfig Config;
+    Config.Seed = FigureSeed;
+    Config.Latency = LatencyModel::computeBound();
+    WarpSimulator Sim(*M, M->functionByName("sweep"), Config);
+    RunResult R = Sim.run();
+    return R.ok() ? R.Stats.Cycles : 0;
+  };
+  uint64_t Base = Run(PipelineOptions::baseline());
+  uint64_t Opt = Run(PipelineOptions::speculative());
+  return Opt == 0 ? 0.0
+                  : static_cast<double>(Base) / static_cast<double>(Opt);
+}
+
+} // namespace
+
+int main() {
+  printHeader("Sensitivity: speedup vs trip variability and body weight "
+              "(Section 5.2)");
+  std::printf("rows: inner-trip range [1, N); columns: body multiplies\n\n");
+  const int Weights[] = {2, 8, 24, 48};
+  std::printf("%10s", "max-trip");
+  for (int W : Weights)
+    std::printf(" %8dmul", W);
+  std::printf("\n");
+  printRule();
+  for (int64_t MaxTrip : {4, 8, 16, 32, 64}) {
+    std::printf("%10lld", static_cast<long long>(MaxTrip));
+    for (int W : Weights)
+      std::printf(" %10.2fx", speedupFor(MaxTrip, W));
+    std::printf("\n");
+  }
+  printRule();
+  std::printf("Speedup grows along both axes: more trip variance means\n"
+              "more serialization for the baseline to waste, and heavier\n"
+              "bodies amortize the gather/refill overhead — the top-left\n"
+              "corner (uniform-ish trips, tiny bodies) is where the paper\n"
+              "warns speculative reconvergence does not pay.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench_sim.cpp - Simulator throughput (google-benchmark) -------------------===//
+///
+/// Raw warp-simulator throughput: issue slots per second across workload
+/// shapes and scheduler policies. Bounds how large an experiment the
+/// harnesses can afford.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Runner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace simtsr;
+
+namespace {
+
+void runOnce(benchmark::State &State, const Workload &W,
+             SchedulerPolicy Policy) {
+  Workload Synced = cloneWorkload(W);
+  runSyncPipeline(*Synced.M, PipelineOptions::baseline());
+  uint64_t TotalIssues = 0;
+  for (auto _ : State) {
+    Function *F = Synced.M->functionByName(Synced.KernelName);
+    LaunchConfig Config;
+    Config.Seed = 7;
+    Config.Policy = Policy;
+    Config.Latency = Synced.Latency;
+    WarpSimulator Sim(*Synced.M, F, Config);
+    if (Synced.InitMemory)
+      Synced.InitMemory(Sim);
+    RunResult R = Sim.run();
+    TotalIssues += R.Stats.IssueSlots;
+    benchmark::DoNotOptimize(R.Stats.Cycles);
+  }
+  State.counters["issues/s"] = benchmark::Counter(
+      static_cast<double>(TotalIssues), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+static void BM_SimRSBench(benchmark::State &State) {
+  runOnce(State, makeRSBench(0.5), SchedulerPolicy::MaxConvergence);
+}
+BENCHMARK(BM_SimRSBench);
+
+static void BM_SimPathTracer(benchmark::State &State) {
+  runOnce(State, makePathTracer(0.5), SchedulerPolicy::MaxConvergence);
+}
+BENCHMARK(BM_SimPathTracer);
+
+static void BM_SimXSBench(benchmark::State &State) {
+  runOnce(State, makeXSBench(0.5), SchedulerPolicy::MaxConvergence);
+}
+BENCHMARK(BM_SimXSBench);
+
+static void BM_SimRoundRobin(benchmark::State &State) {
+  runOnce(State, makeRSBench(0.5), SchedulerPolicy::RoundRobin);
+}
+BENCHMARK(BM_SimRoundRobin);
+
+static void BM_SimMinPC(benchmark::State &State) {
+  runOnce(State, makeRSBench(0.5), SchedulerPolicy::MinPC);
+}
+BENCHMARK(BM_SimMinPC);
+
+BENCHMARK_MAIN();

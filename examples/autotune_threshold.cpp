@@ -1,0 +1,54 @@
+//===- autotune_threshold.cpp - Soft-barrier threshold auto-tuning ----------------===//
+///
+/// The paper leaves "automatically discovering the ideal threshold
+/// parameter" to future work (Section 5.3); this example implements the
+/// obvious offline tuner: sweep the threshold on a scaled-down run, pick
+/// the fastest, then validate at full scale. Demonstrates the per-
+/// workload contrast of Figure 9.
+///
+/// Run: build/examples/autotune_threshold
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Runner.h"
+
+#include <cstdio>
+
+using namespace simtsr;
+
+namespace {
+
+int tuneThreshold(Workload (*Factory)(double)) {
+  // Tune on a half-scale pilot run.
+  Workload Pilot = Factory(0.5);
+  return autotuneSoftThreshold(Pilot);
+}
+
+void report(const char *Name, Workload (*Factory)(double)) {
+  int Best = tuneThreshold(Factory);
+  Workload Full = Factory(1.0);
+  WorkloadOutcome Base = runWorkload(Full, PipelineOptions::baseline(), 7);
+  WorkloadOutcome Tuned =
+      runWorkload(Full, PipelineOptions::softBarrier(Best), 7);
+  WorkloadOutcome Classic =
+      runWorkload(Full, PipelineOptions::speculative(), 7);
+  std::printf("%-12s tuned threshold %-2d: %.2fx  "
+              "(full barrier: %.2fx)\n",
+              Name, Best,
+              static_cast<double>(Base.Cycles) / Tuned.Cycles,
+              static_cast<double>(Base.Cycles) / Classic.Cycles);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Offline soft-barrier threshold tuning (pilot at half "
+              "scale, validation at full scale):\n\n");
+  report("pathtracer", makePathTracer);
+  report("xsbench", makeXSBench);
+  report("rsbench", makeRSBench);
+  report("gpu-mcml", makeGpuMCML);
+  std::printf("\nXSBench tunes to a small threshold, PathTracer to a "
+              "large one — Figure 9's contrast, found automatically.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+//===- coarsening.cpp - Thread coarsening, inlining and Loop Merge ----------------===//
+///
+/// Section 3's preparation recipe for RSBench, end to end. CUDA code
+/// launches one variable-length task per thread; the paper thread-
+/// coarsens ("we assign a large number of tasks per thread to enable load
+/// balancing over time") and then applies Loop Merge to the resulting
+/// nested loop (Figure 3). Task lengths here are heavy-tailed like
+/// RSBench's nuclide counts: mostly 4..20, occasionally ~200-320.
+///
+/// The chain also demonstrates a Section 6 interaction: the reconvergence
+/// label must live in the *same function* as the outer loop, so the task
+/// body is inlined into the coarsened wrapper before Loop Merge fires.
+///
+/// Run: build/examples/coarsening
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "kernels/KernelBuild.h"
+#include "sim/Warp.h"
+#include "transform/Coarsen.h"
+#include "transform/Inline.h"
+#include "transform/Pipeline.h"
+#include "transform/SimplifyCfg.h"
+
+#include <cstdio>
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+namespace {
+
+/// A lookup task with an RSBench-style heavy-tailed length: hash the task
+/// id; one task in eight is long (200..319), the rest short (4..19).
+std::unique_ptr<Module> buildTaskKernel(bool AnnotateBody) {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(1 << 12);
+  Function *F = M->createFunction("lookup", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Done = F->createBlock("done");
+
+  B.setInsertBlock(Entry);
+  unsigned H = B.mul(Operand::reg(0), Operand::imm(2654435761));
+  unsigned H2 = B.shr(Operand::reg(H), Operand::imm(16));
+  unsigned Bucket = B.rem(Operand::reg(H2), Operand::imm(8));
+  unsigned IsLong = B.cmpEQ(Operand::reg(Bucket), Operand::imm(0));
+  unsigned Short0 = B.rem(Operand::reg(H2), Operand::imm(16));
+  unsigned Short = B.add(Operand::reg(Short0), Operand::imm(4));
+  unsigned Long0 = B.rem(Operand::reg(H2), Operand::imm(120));
+  unsigned Long = B.add(Operand::reg(Long0), Operand::imm(200));
+  unsigned Len = B.select(Operand::reg(IsLong), Operand::reg(Long),
+                          Operand::reg(Short));
+  unsigned J = B.mov(Operand::imm(0));
+  unsigned Acc = B.mov(Operand::imm(1));
+  if (AnnotateBody)
+    B.predict(Body); // Figure 3's L1: gather at the accumulate loop.
+  B.jmp(Header);
+
+  B.setInsertBlock(Header);
+  unsigned C = B.cmpLT(Operand::reg(J), Operand::reg(Len));
+  B.br(Operand::reg(C), Body, Done);
+
+  B.setInsertBlock(Body);
+  unsigned X = B.add(Operand::reg(Acc), Operand::reg(J));
+  X = emitAluChain(B, X, 12, 1103515245);
+  Body->append(Instruction(Opcode::Mov, Acc, {Operand::reg(X)}));
+  unsigned JN = B.add(Operand::reg(J), Operand::imm(1));
+  Body->append(Instruction(Opcode::Mov, J, {Operand::reg(JN)}));
+  B.jmp(Header);
+
+  B.setInsertBlock(Done);
+  B.store(Operand::reg(0), Operand::reg(Acc));
+  B.ret(Operand::imm(0));
+  F->recomputePreds();
+  return M;
+}
+
+void show(const char *Tag, Module &M, Function *Kernel, uint64_t *Base) {
+  LaunchConfig Config;
+  Config.Seed = 3;
+  Config.Latency = LatencyModel::computeBound();
+  WarpSimulator Sim(M, Kernel, Config);
+  RunResult R = Sim.run();
+  double Speedup =
+      *Base == 0 ? 1.0
+                 : static_cast<double>(*Base) /
+                       static_cast<double>(R.Stats.Cycles);
+  if (*Base == 0)
+    *Base = R.Stats.Cycles;
+  std::printf("%-44s eff %5.1f%%  %8llu cycles  %.2fx\n", Tag,
+              100.0 * R.Stats.simtEfficiency(),
+              static_cast<unsigned long long>(R.Stats.Cycles), Speedup);
+}
+
+} // namespace
+
+int main() {
+  const int64_t Tasks = 256;
+  std::printf("%lld heavy-tailed lookup tasks on a 32-thread warp "
+              "(RSBench-style lengths 4..320):\n\n",
+              static_cast<long long>(Tasks));
+  uint64_t Base = 0;
+
+  // 1. Coarsened baseline: 8 tasks per thread, PDOM synchronization.
+  {
+    auto M = buildTaskKernel(false);
+    Function *Wrap = coarsenKernel(*M, M->functionByName("lookup"), Tasks);
+    runSyncPipeline(*M, PipelineOptions::baseline());
+    show("1. coarsened, PDOM baseline", *M, Wrap, &Base);
+  }
+
+  // 2. Annotated but NOT inlined: the predict sits in @lookup while the
+  //    task loop lives in the wrapper — per-invocation gathers achieve
+  //    little (the Section 6 "common PC" subtlety in reverse).
+  {
+    auto M = buildTaskKernel(true);
+    Function *Wrap = coarsenKernel(*M, M->functionByName("lookup"), Tasks);
+    runSyncPipeline(*M, PipelineOptions::speculative());
+    show("2. Loop Merge without inlining (weak)", *M, Wrap, &Base);
+  }
+
+  // 3. Inline the task into the wrapper first: the annotation now sits
+  //    inside the nested loop and Loop Merge fires — Figure 3's repacking.
+  {
+    auto M = buildTaskKernel(true);
+    Function *Wrap = coarsenKernel(*M, M->functionByName("lookup"), Tasks);
+    inlineAllCalls(*M, M->functionByName("lookup"));
+    simplifyCfg(*M);
+    runSyncPipeline(*M, PipelineOptions::speculative());
+    show("3. inlined + Loop Merge", *M, Wrap, &Base);
+  }
+
+  std::printf("\nCoarsening creates the nested loop; inlining puts the\n"
+              "reconvergence label next to it; Loop Merge packs the\n"
+              "heavy-tailed inner loop back into full-warp issues.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- montecarlo.cpp - RSBench walkthrough with thread coarsening --------------===//
+///
+/// The paper's flagship scenario (Section 3, Figure 3): the RSBench
+/// neutron-transport lookup kernel after thread coarsening. Walks through
+/// the full flow — inspect the divergence profile, apply Loop Merge via
+/// the predict annotation, and compare the per-block execution profiles
+/// that explain *why* it wins (convergent inner loop, divergent but cheap
+/// prolog/epilog).
+///
+/// Run: build/examples/montecarlo
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Runner.h"
+
+#include <cstdio>
+
+using namespace simtsr;
+
+namespace {
+
+void printProfile(const char *Tag, const Workload &W,
+                  const PipelineOptions &Opts) {
+  Workload Fresh = cloneWorkload(W);
+  runSyncPipeline(*Fresh.M, Opts);
+  LaunchConfig Config;
+  Config.Seed = 1;
+  Config.Latency = Fresh.Latency;
+  Config.ProfileBlocks = true;
+  WarpSimulator Sim(*Fresh.M, Fresh.M->functionByName(Fresh.KernelName),
+                    Config);
+  if (Fresh.InitMemory)
+    Fresh.InitMemory(Sim);
+  RunResult R = Sim.run();
+  std::printf("\n%s: SIMT efficiency %.1f%%, %llu cycles\n", Tag,
+              100.0 * R.Stats.simtEfficiency(),
+              static_cast<unsigned long long>(R.Stats.Cycles));
+  std::printf("  %-14s %10s %12s %10s\n", "block", "issues",
+              "avg active", "cycles");
+  for (const auto &[Key, P] : R.Stats.Blocks) {
+    if (Key.first != Fresh.KernelName)
+      continue;
+    std::printf("  %-14s %10llu %12.1f %10llu\n", Key.second.c_str(),
+                static_cast<unsigned long long>(P.Issues),
+                P.Issues ? static_cast<double>(P.ActiveThreads) /
+                               static_cast<double>(P.Issues)
+                         : 0.0,
+                static_cast<unsigned long long>(P.Cycles));
+  }
+}
+
+} // namespace
+
+int main() {
+  Workload W = makeRSBench();
+  std::printf("RSBench: %s\n", W.Description.c_str());
+  std::printf("Nuclides per material range from 4 to 321, so each outer\n"
+              "task runs the inner loop a divergent number of times.\n");
+
+  printProfile("PDOM baseline", W, PipelineOptions::baseline());
+  printProfile("Loop Merge (speculative reconvergence)", W,
+               PipelineOptions::speculative());
+
+  std::printf("\nNote how the inner_body average active-thread count rises\n"
+              "toward the full warp while prolog/epilog become divergent —\n"
+              "Figure 3(b)'s repacking, with its serialization overheads.\n");
+  return 0;
+}

@@ -1,0 +1,336 @@
+//===- sirc.cpp - Command-line compiler driver for .sir files --------------------===//
+///
+/// A small `opt`-style driver over the textual IR: parse a .sir file, run
+/// the selected synchronization pipeline, print the transformed IR and/or
+/// simulate the kernel and report metrics. `examples/listing1.sir` is a
+/// ready-made input.
+///
+/// Usage:
+///   sirc <file.sir> [--kernel NAME] [--pipeline baseline|sr|soft:N|none]
+///        [--deconflict static|dynamic] [--print-ir] [--seed N]
+///        [--policy maxconv|minpc|rr] [--memory-bound] [--auto]
+///        [--profile-guided] [--realloc] [--simplify] [--timeline]
+///        [--warp-size N] [--inline FUNC] [--unroll HEADER:N]
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "ir/VoltaListing.h"
+#include "sim/Timeline.h"
+#include "sim/Warp.h"
+#include "analysis/LoopInfo.h"
+#include "transform/AutoDetect.h"
+#include "transform/Inline.h"
+#include "transform/LoopUnroll.h"
+#include "transform/Pipeline.h"
+#include "transform/SimplifyCfg.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace simtsr;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.sir> [--kernel NAME] "
+               "[--pipeline baseline|sr|soft:N|none]\n"
+               "            [--deconflict static|dynamic] [--print-ir] "
+               "[--seed N] [--policy maxconv|minpc|rr] [--memory-bound]\n"
+               "            [--auto] [--profile-guided] [--realloc] "
+               "[--simplify] [--timeline] [--warp-size N]\n"
+               "            [--inline FUNC] [--unroll HEADER:N]\n",
+               Argv0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage(Argv[0]);
+    return 1;
+  }
+  std::string Path;
+  std::string KernelName;
+  std::string PipelineName = "sr";
+  std::string Deconflict = "dynamic";
+  bool PrintIR = false;
+  bool PrintVolta = false;
+  bool MemoryBound = false;
+  bool AutoDetect = false;
+  bool ProfileGuided = false;
+  std::string InlineTarget;
+  std::string UnrollSpec;
+  bool Realloc = false;
+  bool Simplify = false;
+  bool ShowTimeline = false;
+  unsigned WarpSize = 32;
+  uint64_t Seed = 1;
+  SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(1);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--kernel") {
+      KernelName = needValue("--kernel");
+    } else if (Arg == "--pipeline") {
+      PipelineName = needValue("--pipeline");
+    } else if (Arg == "--deconflict") {
+      Deconflict = needValue("--deconflict");
+    } else if (Arg == "--print-ir") {
+      PrintIR = true;
+    } else if (Arg == "--print-volta") {
+      PrintVolta = true;
+    } else if (Arg == "--memory-bound") {
+      MemoryBound = true;
+    } else if (Arg == "--auto") {
+      AutoDetect = true;
+    } else if (Arg == "--profile-guided") {
+      ProfileGuided = true;
+    } else if (Arg == "--inline") {
+      InlineTarget = needValue("--inline");
+    } else if (Arg == "--unroll") {
+      UnrollSpec = needValue("--unroll");
+    } else if (Arg == "--realloc") {
+      Realloc = true;
+    } else if (Arg == "--simplify") {
+      Simplify = true;
+    } else if (Arg == "--timeline") {
+      ShowTimeline = true;
+    } else if (Arg == "--warp-size") {
+      WarpSize = static_cast<unsigned>(
+          std::strtoul(needValue("--warp-size"), nullptr, 10));
+    } else if (Arg == "--seed") {
+      Seed = std::strtoull(needValue("--seed"), nullptr, 10);
+    } else if (Arg == "--policy") {
+      std::string P = needValue("--policy");
+      if (P == "maxconv")
+        Policy = SchedulerPolicy::MaxConvergence;
+      else if (P == "minpc")
+        Policy = SchedulerPolicy::MinPC;
+      else if (P == "rr")
+        Policy = SchedulerPolicy::RoundRobin;
+      else {
+        std::fprintf(stderr, "error: unknown policy '%s'\n", P.c_str());
+        return 1;
+      }
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      usage(Argv[0]);
+      return 1;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty()) {
+    usage(Argv[0]);
+    return 1;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  ParseResult Parsed = parseModule(Buffer.str());
+  if (!Parsed.ok()) {
+    for (const auto &E : Parsed.Errors)
+      std::fprintf(stderr, "%s: %s\n", Path.c_str(), E.c_str());
+    return 1;
+  }
+  Module &M = *Parsed.M;
+  auto Diags = verifyModule(M);
+  if (!Diags.empty()) {
+    for (const auto &D : Diags)
+      std::fprintf(stderr, "verifier: %s\n", D.c_str());
+    return 1;
+  }
+
+  if (!InlineTarget.empty()) {
+    Function *Callee = M.functionByName(InlineTarget);
+    if (!Callee) {
+      std::fprintf(stderr, "error: no function '@%s' to inline\n",
+                   InlineTarget.c_str());
+      return 1;
+    }
+    unsigned N = inlineAllCalls(M, Callee);
+    std::fprintf(stderr, "inline: %u call site(s) of @%s inlined\n", N,
+                 InlineTarget.c_str());
+  }
+
+  if (!UnrollSpec.empty()) {
+    size_t Colon = UnrollSpec.find(':');
+    if (Colon == std::string::npos) {
+      std::fprintf(stderr, "error: --unroll expects HEADER:N\n");
+      return 1;
+    }
+    std::string HeaderName = UnrollSpec.substr(0, Colon);
+    unsigned Factor = static_cast<unsigned>(
+        std::strtoul(UnrollSpec.c_str() + Colon + 1, nullptr, 10));
+    bool Done = false;
+    for (size_t FI = 0; FI < M.size() && !Done; ++FI) {
+      Function &F = *M.function(FI);
+      BasicBlock *Header = F.blockByName(HeaderName);
+      if (!Header)
+        continue;
+      DominatorTree DT(F);
+      LoopInfo LI(F, DT);
+      Loop *L = LI.loopWithHeader(Header);
+      if (!L) {
+        std::fprintf(stderr, "error: '%s' is not a loop header\n",
+                     HeaderName.c_str());
+        return 1;
+      }
+      if (!unrollLoop(F, *L, Factor)) {
+        std::fprintf(stderr, "error: loop at '%s' is not unrollable\n",
+                     HeaderName.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "unroll: '%s' unrolled by %u\n",
+                   HeaderName.c_str(), Factor);
+      Done = true;
+    }
+    if (!Done) {
+      std::fprintf(stderr, "error: no block named '%s'\n",
+                   HeaderName.c_str());
+      return 1;
+    }
+  }
+
+  if (Simplify) {
+    SimplifyReport SR = simplifyCfg(M);
+    std::fprintf(stderr, "simplify: removed %u unreachable, forwarded %u, "
+                         "merged %u\n",
+                 SR.UnreachableRemoved, SR.TrampolinesForwarded,
+                 SR.ChainsMerged);
+  }
+
+  if (AutoDetect) {
+    AutoDetectOptions AOpts;
+    SimStats Profile;
+    if (ProfileGuided) {
+      // Pilot run: baseline pipeline on a clone, block profiling on.
+      ParseResult Clone = parseModule(printModule(M));
+      if (Clone.ok()) {
+        runSyncPipeline(*Clone.M, PipelineOptions::baseline());
+        Function *PilotKernel =
+            KernelName.empty()
+                ? (Clone.M->size()
+                       ? Clone.M->function(Clone.M->size() - 1)
+                       : nullptr)
+                : Clone.M->functionByName(KernelName);
+        if (PilotKernel && PilotKernel->numParams() == 0) {
+          LaunchConfig PilotConfig;
+          PilotConfig.Seed = Seed;
+          PilotConfig.ProfileBlocks = true;
+          PilotConfig.Latency = MemoryBound ? LatencyModel::memoryBound()
+                                            : LatencyModel::computeBound();
+          WarpSimulator Pilot(*Clone.M, PilotKernel, PilotConfig);
+          Profile = Pilot.run().Stats;
+          AOpts.Profile = &Profile;
+          std::fprintf(stderr, "auto: profile-guided (pilot run: %llu "
+                               "cycles)\n",
+                       static_cast<unsigned long long>(Profile.Cycles));
+        }
+      }
+    }
+    AutoDetectReport AR = detectReconvergence(M, AOpts);
+    for (const AutoCandidate &C : AR.Candidates)
+      std::fprintf(stderr, "auto: %s label '%s' score %.1f — %s\n",
+                   C.PatternKind == AutoCandidate::Kind::LoopMerge
+                       ? "loop-merge"
+                       : "iteration-delay",
+                   C.Label->name().c_str(), C.Score, C.Reason.c_str());
+    std::fprintf(stderr, "auto: %u predict directive(s) inserted\n",
+                 AR.Inserted);
+  }
+
+  PipelineOptions Opts;
+  if (PipelineName == "baseline") {
+    Opts = PipelineOptions::baseline();
+  } else if (PipelineName == "sr") {
+    Opts = PipelineOptions::speculative();
+  } else if (PipelineName.rfind("soft:", 0) == 0) {
+    Opts = PipelineOptions::softBarrier(
+        std::atoi(PipelineName.c_str() + 5));
+  } else if (PipelineName == "none") {
+    Opts.PdomSync = false;
+    Opts.StripPredicts = true;
+  } else {
+    std::fprintf(stderr, "error: unknown pipeline '%s'\n",
+                 PipelineName.c_str());
+    return 1;
+  }
+  Opts.Deconflict = Deconflict == "static" ? DeconflictStrategy::Static
+                                           : DeconflictStrategy::Dynamic;
+  Opts.ReallocBarriers = Realloc;
+
+  PipelineReport Report = runSyncPipeline(M, Opts);
+  for (const auto &D : Report.VerifierDiagnostics)
+    std::fprintf(stderr, "warning: %s\n", D.c_str());
+
+  if (PrintIR)
+    std::printf("%s", printModule(M).c_str());
+  if (PrintVolta)
+    for (size_t FI = 0; FI < M.size(); ++FI)
+      std::printf("%s", printVoltaListing(*M.function(FI)).c_str());
+
+  Function *Kernel = KernelName.empty()
+                         ? (M.size() ? M.function(M.size() - 1) : nullptr)
+                         : M.functionByName(KernelName);
+  if (!Kernel) {
+    std::fprintf(stderr, "error: kernel not found\n");
+    return 1;
+  }
+  if (Kernel->numParams() != 0) {
+    std::fprintf(stderr,
+                 "error: kernel '@%s' takes parameters; only parameterless "
+                 "kernels can be launched by sirc\n",
+                 Kernel->name().c_str());
+    return 1;
+  }
+
+  LaunchConfig Config;
+  Config.Seed = Seed;
+  Config.Policy = Policy;
+  Config.WarpSize = WarpSize;
+  Config.Latency =
+      MemoryBound ? LatencyModel::memoryBound() : LatencyModel::computeBound();
+  WarpSimulator Sim(M, Kernel, Config);
+  Timeline Trace(WarpSize);
+  if (ShowTimeline)
+    Trace.attach(Sim);
+  RunResult R = Sim.run();
+  if (ShowTimeline)
+    std::printf("%s%s", Trace.render().c_str(), Trace.legend().c_str());
+  const char *Status = R.ok() ? "finished"
+                       : R.St == RunResult::Status::Deadlock
+                           ? "DEADLOCK"
+                           : R.St == RunResult::Status::Trap ? "TRAP"
+                                                             : "issue limit";
+  std::printf("@%s: %s — SIMT efficiency %.1f%%, %llu cycles, "
+              "%llu issue slots, checksum %016llx\n",
+              Kernel->name().c_str(), Status,
+              100.0 * R.Stats.simtEfficiency(),
+              static_cast<unsigned long long>(R.Stats.Cycles),
+              static_cast<unsigned long long>(R.Stats.IssueSlots),
+              static_cast<unsigned long long>(Sim.memoryChecksum()));
+  if (R.St == RunResult::Status::Trap)
+    std::printf("trap: %s\n", R.TrapMessage.c_str());
+  return R.ok() ? 0 : 2;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduces every result in EXPERIMENTS.md from a clean tree:
+# build, run the full test suite, then every paper-figure harness.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $b ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Done: test_output.txt and bench_output.txt written."

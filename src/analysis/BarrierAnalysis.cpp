@@ -1,0 +1,187 @@
+//===- BarrierAnalysis.cpp - Joined-barrier and liveness analyses -----------===//
+
+#include "analysis/BarrierAnalysis.h"
+
+using namespace simtsr;
+
+static uint32_t barrierBit(const Instruction &I) {
+  return 1u << I.barrierId();
+}
+
+uint32_t simtsr::barriereffect::genJoined(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::JoinBarrier:
+  case Opcode::RejoinBarrier:
+    return barrierBit(I);
+  default:
+    return 0;
+  }
+}
+
+uint32_t simtsr::barriereffect::killJoined(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::WaitBarrier:
+  case Opcode::CancelBarrier:
+    return barrierBit(I);
+  default:
+    return 0;
+  }
+}
+
+uint32_t simtsr::barriereffect::genLive(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::WaitBarrier:
+  case Opcode::SoftWait:
+    return barrierBit(I);
+  default:
+    return 0;
+  }
+}
+
+uint32_t simtsr::barriereffect::killLive(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::JoinBarrier:
+  case Opcode::RejoinBarrier:
+  case Opcode::CancelBarrier:
+    return barrierBit(I);
+  default:
+    return 0;
+  }
+}
+
+// -- JoinedBarrierAnalysis ---------------------------------------------------
+
+std::vector<BlockTransfer> JoinedBarrierAnalysis::summarize(Function &F) {
+  F.renumberBlocks();
+  std::vector<BlockTransfer> Transfers(F.size());
+  for (BasicBlock *BB : F) {
+    BlockTransfer &T = Transfers[BB->number()];
+    for (const Instruction &I : BB->instructions())
+      composeTransfer(T, barriereffect::genJoined(I),
+                      barriereffect::killJoined(I));
+  }
+  return Transfers;
+}
+
+JoinedBarrierAnalysis::JoinedBarrierAnalysis(Function &F)
+    : Solver(F, DataflowDirection::Forward, summarize(F)) {}
+
+uint32_t JoinedBarrierAnalysis::before(const BasicBlock *BB,
+                                       size_t Index) const {
+  uint32_t State = in(BB);
+  for (size_t I = 0; I < Index; ++I) {
+    const Instruction &Inst = BB->inst(I);
+    State = (State & ~barriereffect::killJoined(Inst)) |
+            barriereffect::genJoined(Inst);
+  }
+  return State;
+}
+
+uint32_t JoinedBarrierAnalysis::after(const BasicBlock *BB,
+                                      size_t Index) const {
+  return before(BB, Index + 1);
+}
+
+// -- BarrierLivenessAnalysis --------------------------------------------------
+
+std::vector<BlockTransfer> BarrierLivenessAnalysis::summarize(Function &F) {
+  F.renumberBlocks();
+  std::vector<BlockTransfer> Transfers(F.size());
+  for (BasicBlock *BB : F) {
+    BlockTransfer &T = Transfers[BB->number()];
+    // Backward problem: compose in reverse execution order.
+    for (size_t I = BB->size(); I > 0; --I) {
+      const Instruction &Inst = BB->inst(I - 1);
+      composeTransfer(T, barriereffect::genLive(Inst),
+                      barriereffect::killLive(Inst));
+    }
+  }
+  return Transfers;
+}
+
+BarrierLivenessAnalysis::BarrierLivenessAnalysis(Function &F)
+    : Solver(F, DataflowDirection::Backward, summarize(F)) {}
+
+uint32_t BarrierLivenessAnalysis::liveAfter(const BasicBlock *BB,
+                                            size_t Index) const {
+  uint32_t State = liveOut(BB);
+  for (size_t I = BB->size(); I > Index + 1; --I) {
+    const Instruction &Inst = BB->inst(I - 1);
+    State = (State & ~barriereffect::killLive(Inst)) |
+            barriereffect::genLive(Inst);
+  }
+  return State;
+}
+
+uint32_t BarrierLivenessAnalysis::liveBefore(const BasicBlock *BB,
+                                             size_t Index) const {
+  assert(Index < BB->size() && "instruction index out of range");
+  uint32_t State = liveAfter(BB, Index);
+  const Instruction &Inst = BB->inst(Index);
+  return (State & ~barriereffect::killLive(Inst)) |
+         barriereffect::genLive(Inst);
+}
+
+// -- BarrierConflictAnalysis ---------------------------------------------------
+
+BarrierConflictAnalysis::BarrierConflictAnalysis(Function &F) {
+  JoinedBarrierAnalysis Joined(F);
+  // Enumerate instruction-boundary program points: one point after each
+  // instruction of each block, plus one at each block entry.
+  size_t NumPoints = 0;
+  for (BasicBlock *BB : F)
+    NumPoints += BB->size() + 1;
+
+  RangePoints.assign(NumBarrierRegisters,
+                     std::vector<bool>(NumPoints, false));
+  size_t Point = 0;
+  for (BasicBlock *BB : F) {
+    uint32_t State = Joined.in(BB);
+    for (size_t I = 0; I <= BB->size(); ++I) {
+      if (I > 0) {
+        const Instruction &Inst = BB->inst(I - 1);
+        State = (State & ~barriereffect::killJoined(Inst)) |
+                barriereffect::genJoined(Inst);
+      }
+      for (unsigned B = 0; B < NumBarrierRegisters; ++B)
+        if (State & (1u << B))
+          RangePoints[B][Point] = true;
+      ++Point;
+    }
+  }
+}
+
+bool BarrierConflictAnalysis::conflict(unsigned BarrierA,
+                                       unsigned BarrierB) const {
+  assert(BarrierA < NumBarrierRegisters && BarrierB < NumBarrierRegisters &&
+         "barrier id out of range");
+  if (BarrierA == BarrierB)
+    return false;
+  const auto &A = RangePoints[BarrierA];
+  const auto &B = RangePoints[BarrierB];
+  bool Overlap = false, AOnly = false, BOnly = false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    Overlap |= A[I] && B[I];
+    AOnly |= A[I] && !B[I];
+    BOnly |= !A[I] && B[I];
+  }
+  return Overlap && AOnly && BOnly;
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+BarrierConflictAnalysis::conflictingPairs() const {
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  for (unsigned A = 0; A < NumBarrierRegisters; ++A)
+    for (unsigned B = A + 1; B < NumBarrierRegisters; ++B)
+      if (conflict(A, B))
+        Pairs.push_back({A, B});
+  return Pairs;
+}
+
+size_t BarrierConflictAnalysis::rangeSize(unsigned Barrier) const {
+  assert(Barrier < NumBarrierRegisters && "barrier id out of range");
+  size_t Count = 0;
+  for (bool Set : RangePoints[Barrier])
+    Count += Set;
+  return Count;
+}

@@ -1,0 +1,96 @@
+//===- BarrierAnalysis.h - Joined-barrier and liveness analyses -*- C++ -*-===//
+///
+/// \file
+/// The two dataflow analyses of Section 4.2.1, at block granularity with
+/// instruction-level replay:
+///
+///  * Joined-barrier analysis (Equation 1, forward): a barrier is joined at
+///    a point P if some path from function entry to P contains a
+///    JoinBarrier/RejoinBarrier not followed by a WaitBarrier (or
+///    CancelBarrier).
+///  * Barrier liveness (Equation 2, backward): a barrier is live at P if a
+///    WaitBarrier/SoftWait is reachable from P with no intervening
+///    Join/Rejoin (def) or Cancel.
+///
+/// Also provides the non-inclusive live-range-overlap conflict test of
+/// Section 4.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_ANALYSIS_BARRIERANALYSIS_H
+#define SIMTSR_ANALYSIS_BARRIERANALYSIS_H
+
+#include "analysis/Dataflow.h"
+
+#include <optional>
+
+namespace simtsr {
+
+/// Instruction-level gen/kill masks shared by both analyses.
+namespace barriereffect {
+uint32_t genJoined(const Instruction &I);
+uint32_t killJoined(const Instruction &I);
+uint32_t genLive(const Instruction &I);
+uint32_t killLive(const Instruction &I);
+} // namespace barriereffect
+
+/// Equation 1: which barriers may be joined-but-uncleared at each point.
+class JoinedBarrierAnalysis {
+public:
+  explicit JoinedBarrierAnalysis(Function &F);
+
+  uint32_t in(const BasicBlock *BB) const { return Solver.in(BB); }
+  uint32_t out(const BasicBlock *BB) const { return Solver.out(BB); }
+
+  /// Joined set immediately before executing instruction \p Index of \p BB.
+  uint32_t before(const BasicBlock *BB, size_t Index) const;
+  /// Joined set immediately after executing instruction \p Index of \p BB.
+  uint32_t after(const BasicBlock *BB, size_t Index) const;
+
+private:
+  static std::vector<BlockTransfer> summarize(Function &F);
+  BitDataflow Solver;
+};
+
+/// Equation 2: which barriers have a reachable wait (are live).
+class BarrierLivenessAnalysis {
+public:
+  explicit BarrierLivenessAnalysis(Function &F);
+
+  uint32_t liveIn(const BasicBlock *BB) const { return Solver.in(BB); }
+  uint32_t liveOut(const BasicBlock *BB) const { return Solver.out(BB); }
+
+  /// Live set immediately before executing instruction \p Index of \p BB.
+  uint32_t liveBefore(const BasicBlock *BB, size_t Index) const;
+  /// Live set immediately after executing instruction \p Index of \p BB.
+  uint32_t liveAfter(const BasicBlock *BB, size_t Index) const;
+
+private:
+  static std::vector<BlockTransfer> summarize(Function &F);
+  BitDataflow Solver;
+};
+
+/// Section 4.3 conflict detection. Two barriers conflict when their joined
+/// ranges (join until cleared by wait or cancel) overlap non-inclusively —
+/// neither range is a subset of the other.
+class BarrierConflictAnalysis {
+public:
+  explicit BarrierConflictAnalysis(Function &F);
+
+  bool conflict(unsigned BarrierA, unsigned BarrierB) const;
+
+  /// All conflicting pairs (A < B).
+  std::vector<std::pair<unsigned, unsigned>> conflictingPairs() const;
+
+  /// Number of program points where \p Barrier is joined; 0 means unused.
+  size_t rangeSize(unsigned Barrier) const;
+
+private:
+  // RangePoints[b] marks the global instruction-boundary points where
+  // barrier b is joined-but-uncleared.
+  std::vector<std::vector<bool>> RangePoints;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_ANALYSIS_BARRIERANALYSIS_H

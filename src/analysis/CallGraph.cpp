@@ -1,0 +1,109 @@
+//===- CallGraph.cpp - Module call graph -------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace simtsr;
+
+const std::vector<Function *> CallGraph::EmptyFuncs;
+const std::vector<CallSite> CallGraph::EmptySites;
+
+CallGraph::CallGraph(Module &M) : M(M) {
+  for (const auto &F : M) {
+    for (BasicBlock *BB : *F) {
+      for (size_t I = 0; I < BB->size(); ++I) {
+        const Instruction &Inst = BB->inst(I);
+        if (Inst.opcode() != Opcode::Call)
+          continue;
+        Function *Callee = Inst.operand(0).getFunc();
+        auto &Outgoing = Callees[F.get()];
+        if (std::find(Outgoing.begin(), Outgoing.end(), Callee) ==
+            Outgoing.end())
+          Outgoing.push_back(Callee);
+        auto &Incoming = Callers[Callee];
+        if (std::find(Incoming.begin(), Incoming.end(), F.get()) ==
+            Incoming.end())
+          Incoming.push_back(F.get());
+        Sites[Callee].push_back({F.get(), BB, I, Callee});
+      }
+    }
+  }
+}
+
+const std::vector<Function *> &CallGraph::callees(Function *F) const {
+  auto It = Callees.find(F);
+  return It == Callees.end() ? EmptyFuncs : It->second;
+}
+
+const std::vector<Function *> &CallGraph::callers(Function *F) const {
+  auto It = Callers.find(F);
+  return It == Callers.end() ? EmptyFuncs : It->second;
+}
+
+const std::vector<CallSite> &CallGraph::callSitesOf(Function *Callee) const {
+  auto It = Sites.find(Callee);
+  return It == Sites.end() ? EmptySites : It->second;
+}
+
+std::vector<Function *> CallGraph::bottomUpOrder() const {
+  std::vector<Function *> Order;
+  std::set<Function *> Done;
+  // Iterate until no progress: emit functions whose callees are all done.
+  // Functions stuck in cycles are appended in module order at the end.
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (const auto &F : M) {
+      if (Done.count(F.get()))
+        continue;
+      bool Ready = true;
+      for (Function *Callee : callees(F.get()))
+        if (Callee != F.get() && !Done.count(Callee))
+          Ready = false;
+      if (Ready) {
+        Order.push_back(F.get());
+        Done.insert(F.get());
+        Progress = true;
+      }
+    }
+  }
+  for (const auto &F : M)
+    if (!Done.count(F.get()))
+      Order.push_back(F.get());
+  return Order;
+}
+
+bool CallGraph::isRecursive() const {
+  // DFS cycle detection with the classic white/grey/black colouring.
+  enum class Colour { White, Grey, Black };
+  std::map<Function *, Colour> Colours;
+  for (const auto &F : M)
+    Colours[F.get()] = Colour::White;
+
+  // Recursive lambda via explicit stack of (function, next-callee-index).
+  for (const auto &Root : M) {
+    if (Colours[Root.get()] != Colour::White)
+      continue;
+    std::vector<std::pair<Function *, size_t>> Stack = {{Root.get(), 0}};
+    Colours[Root.get()] = Colour::Grey;
+    while (!Stack.empty()) {
+      auto &[F, Next] = Stack.back();
+      const auto &Out = callees(F);
+      if (Next < Out.size()) {
+        Function *Callee = Out[Next++];
+        if (Colours[Callee] == Colour::Grey)
+          return true;
+        if (Colours[Callee] == Colour::White) {
+          Colours[Callee] = Colour::Grey;
+          Stack.push_back({Callee, 0});
+        }
+        continue;
+      }
+      Colours[F] = Colour::Black;
+      Stack.pop_back();
+    }
+  }
+  return false;
+}

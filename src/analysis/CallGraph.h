@@ -1,0 +1,55 @@
+//===- CallGraph.h - Module call graph -------------------------*- C++ -*-===//
+///
+/// \file
+/// Call graph over the module's functions; supports the bottom-up barrier
+/// propagation of the interprocedural pass (Section 4.4) and divergence
+/// summaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_ANALYSIS_CALLGRAPH_H
+#define SIMTSR_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <vector>
+
+namespace simtsr {
+
+/// One call instruction's location.
+struct CallSite {
+  Function *Caller;
+  BasicBlock *Block;
+  size_t Index; ///< Instruction index within the block.
+  Function *Callee;
+};
+
+class CallGraph {
+public:
+  explicit CallGraph(Module &M);
+
+  const std::vector<Function *> &callees(Function *F) const;
+  const std::vector<Function *> &callers(Function *F) const;
+  const std::vector<CallSite> &callSitesOf(Function *Callee) const;
+
+  /// Functions in bottom-up order: every callee precedes its callers.
+  /// Only meaningful for acyclic call graphs; cycles keep module order
+  /// within the cycle.
+  std::vector<Function *> bottomUpOrder() const;
+
+  /// True if any function can (transitively) call itself.
+  bool isRecursive() const;
+
+private:
+  Module &M;
+  std::map<Function *, std::vector<Function *>> Callees;
+  std::map<Function *, std::vector<Function *>> Callers;
+  std::map<Function *, std::vector<CallSite>> Sites;
+  static const std::vector<Function *> EmptyFuncs;
+  static const std::vector<CallSite> EmptySites;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_ANALYSIS_CALLGRAPH_H

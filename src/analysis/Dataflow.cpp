@@ -1,0 +1,50 @@
+//===- Dataflow.cpp - Generic bitmask dataflow solver -----------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace simtsr;
+
+BitDataflow::BitDataflow(Function &F, DataflowDirection Dir,
+                         std::vector<BlockTransfer> Transfers) {
+  assert(Transfers.size() == F.size() && "one transfer per block required");
+  F.recomputePreds();
+  In.assign(F.size(), 0);
+  Out.assign(F.size(), 0);
+
+  std::vector<BasicBlock *> Order = reversePostOrder(F);
+  if (Dir == DataflowDirection::Backward)
+    std::reverse(Order.begin(), Order.end());
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : Order) {
+      unsigned N = BB->number();
+      const BlockTransfer &T = Transfers[N];
+      if (Dir == DataflowDirection::Forward) {
+        uint32_t NewIn = 0;
+        for (BasicBlock *Pred : BB->predecessors())
+          NewIn |= Out[Pred->number()];
+        uint32_t NewOut = (NewIn & ~T.Kill) | T.Gen;
+        if (NewIn != In[N] || NewOut != Out[N]) {
+          In[N] = NewIn;
+          Out[N] = NewOut;
+          Changed = true;
+        }
+      } else {
+        uint32_t NewOut = 0;
+        for (BasicBlock *Succ : BB->successors())
+          NewOut |= In[Succ->number()];
+        uint32_t NewIn = (NewOut & ~T.Kill) | T.Gen;
+        if (NewIn != In[N] || NewOut != Out[N]) {
+          In[N] = NewIn;
+          Out[N] = NewOut;
+          Changed = true;
+        }
+      }
+    }
+  }
+}

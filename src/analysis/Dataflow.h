@@ -1,0 +1,55 @@
+//===- Dataflow.h - Generic bitmask dataflow solver ------------*- C++ -*-===//
+///
+/// \file
+/// Iterative worklist solver for union-meet dataflow problems over a small
+/// bitmask domain (barrier registers fit in 16 bits). Both barrier analyses
+/// of Section 4.2.1 instantiate this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_ANALYSIS_DATAFLOW_H
+#define SIMTSR_ANALYSIS_DATAFLOW_H
+
+#include "ir/CFGUtils.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace simtsr {
+
+enum class DataflowDirection { Forward, Backward };
+
+/// Per-block transfer function OUT = (IN & ~Kill) | Gen (forward), or
+/// IN = (OUT & ~Kill) | Gen (backward).
+struct BlockTransfer {
+  uint32_t Gen = 0;
+  uint32_t Kill = 0;
+};
+
+/// Union-meet bitmask dataflow. Solutions are stable (RPO iteration until
+/// fixpoint) and conservative for unreachable blocks (boundary value).
+class BitDataflow {
+public:
+  /// \p Transfers is indexed by block number and must cover every block.
+  BitDataflow(Function &F, DataflowDirection Dir,
+              std::vector<BlockTransfer> Transfers);
+
+  uint32_t in(const BasicBlock *BB) const { return In[BB->number()]; }
+  uint32_t out(const BasicBlock *BB) const { return Out[BB->number()]; }
+
+private:
+  std::vector<uint32_t> In;
+  std::vector<uint32_t> Out;
+};
+
+/// Composes an instruction-level (gen, kill) pair into a running block
+/// transfer, in execution order: later gens override earlier kills.
+inline void composeTransfer(BlockTransfer &T, uint32_t Gen, uint32_t Kill) {
+  T.Gen = (T.Gen & ~Kill) | Gen;
+  T.Kill = (T.Kill & ~Gen) | Kill;
+}
+
+} // namespace simtsr
+
+#endif // SIMTSR_ANALYSIS_DATAFLOW_H

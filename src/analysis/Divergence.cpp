@@ -1,0 +1,187 @@
+//===- Divergence.cpp - Thread-divergence analysis ----------------------------===//
+
+#include "analysis/Divergence.h"
+
+#include "analysis/CallGraph.h"
+#include "ir/CFGUtils.h"
+#include "ir/Module.h"
+
+#include <cassert>
+
+using namespace simtsr;
+
+bool DivergenceAnalysis::operandDivergent(const Operand &O) const {
+  return O.isReg() && isDivergentReg(O.getReg());
+}
+
+bool DivergenceAnalysis::instructionProducesDivergence(
+    const Instruction &I) const {
+  switch (I.opcode()) {
+  case Opcode::Tid:
+  case Opcode::LaneId:
+  case Opcode::Rand:
+  case Opcode::RandRange:
+  case Opcode::AtomicAdd:
+  case Opcode::ArrivedCount:
+    return true;
+  case Opcode::Load:
+    // A load from a uniform address yields the same value for every thread
+    // issuing together; only divergent addressing diverges.
+    return operandDivergent(I.operand(0));
+  case Opcode::Call: {
+    const Function *Callee = I.operand(0).getFunc();
+    if (Opts.CalleeReturnsDivergent) {
+      auto It = Opts.CalleeReturnsDivergent->find(Callee);
+      if (It != Opts.CalleeReturnsDivergent->end()) {
+        if (It->second)
+          return true;
+        // Uniform callee: result diverges only through divergent arguments.
+        for (unsigned Idx = 1; Idx < I.numOperands(); ++Idx)
+          if (operandDivergent(I.operand(Idx)))
+            return true;
+        return false;
+      }
+    }
+    return true; // Unknown callee: be conservative.
+  }
+  default:
+    // Data dependence: divergent operand -> divergent result.
+    for (const Operand &O : I.operands())
+      if (operandDivergent(O))
+        return true;
+    return false;
+  }
+}
+
+void DivergenceAnalysis::taintControlDependent(
+    Function &F, const PostDominatorTree &PDT, const BasicBlock *Branch,
+    std::vector<bool> &BlockTainted) {
+  // The influence region of a divergent branch: blocks reachable from its
+  // successors without passing through the branch's immediate
+  // post-dominator. Definitions there may or may not execute per-thread, so
+  // their targets become divergent.
+  const BasicBlock *Stop =
+      PDT.nearestCommonDominator(Branch->successors()[0],
+                                 Branch->successors()[1]);
+  std::vector<BasicBlock *> Worklist;
+  for (BasicBlock *Succ : Branch->successors())
+    if (Succ != Stop && !BlockTainted[Succ->number()]) {
+      BlockTainted[Succ->number()] = true;
+      Worklist.push_back(Succ);
+    }
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    for (BasicBlock *Succ : BB->successors()) {
+      if (Succ == Stop || BlockTainted[Succ->number()])
+        continue;
+      BlockTainted[Succ->number()] = true;
+      Worklist.push_back(Succ);
+    }
+  }
+  (void)F;
+}
+
+DivergenceAnalysis::DivergenceAnalysis(Function &F,
+                                       const PostDominatorTree &PDT,
+                                       Options Opts)
+    : Opts(Opts) {
+  F.recomputePreds();
+  DivergentRegs.assign(F.numRegs(), false);
+  DivergentBranchBlocks.assign(F.size(), false);
+  if (Opts.ParamsDivergent)
+    for (unsigned P = 0; P < F.numParams(); ++P)
+      DivergentRegs[P] = true;
+
+  for (BasicBlock *BB : F)
+    for (const Instruction &I : BB->instructions())
+      switch (I.opcode()) {
+      case Opcode::Tid:
+      case Opcode::LaneId:
+      case Opcode::Rand:
+      case Opcode::RandRange:
+      case Opcode::AtomicAdd:
+        HasSources = true;
+        break;
+      default:
+        break;
+      }
+
+  // Fixpoint: data-dependence propagation plus control-dependence taint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // Data dependences, in RPO for fast convergence.
+    for (BasicBlock *BB : reversePostOrder(F))
+      for (const Instruction &I : BB->instructions()) {
+        if (!I.hasDst() || DivergentRegs[I.dst()])
+          continue;
+        if (instructionProducesDivergence(I)) {
+          DivergentRegs[I.dst()] = true;
+          Changed = true;
+        }
+      }
+
+    // Control dependences: any definition inside the influence region of a
+    // divergent branch becomes divergent.
+    std::vector<bool> Tainted(F.size(), false);
+    for (BasicBlock *BB : F) {
+      if (!BB->hasTerminator() || BB->terminator().opcode() != Opcode::Br)
+        continue;
+      if (!operandDivergent(BB->terminator().operand(0)))
+        continue;
+      DivergentBranchBlocks[BB->number()] = true;
+      taintControlDependent(F, PDT, BB, Tainted);
+    }
+    for (BasicBlock *BB : F) {
+      if (!Tainted[BB->number()])
+        continue;
+      for (const Instruction &I : BB->instructions()) {
+        if (!I.hasDst() || DivergentRegs[I.dst()])
+          continue;
+        DivergentRegs[I.dst()] = true;
+        Changed = true;
+      }
+    }
+  }
+
+  for (BasicBlock *BB : F) {
+    if (!BB->hasTerminator())
+      continue;
+    const Instruction &Term = BB->terminator();
+    if (Term.opcode() == Opcode::Ret && Term.numOperands() == 1 &&
+        operandDivergent(Term.operand(0)))
+      ReturnsDivergent = true;
+  }
+}
+
+bool DivergenceAnalysis::isDivergentBranch(const BasicBlock *BB) const {
+  unsigned N = BB->number();
+  return N < DivergentBranchBlocks.size() && DivergentBranchBlocks[N];
+}
+
+// -- ModuleDivergenceInfo -----------------------------------------------------
+
+ModuleDivergenceInfo::ModuleDivergenceInfo(Module &M) {
+  CallGraph CG(M);
+  // Bottom-up: callees summarized before callers so call results can be
+  // classified precisely.
+  for (Function *F : CG.bottomUpOrder()) {
+    PostDominatorTree PDT(*F);
+    DivergenceAnalysis::Options Opts;
+    Opts.CalleeReturnsDivergent = &ReturnSummaries;
+    auto DA = std::make_unique<DivergenceAnalysis>(*F, PDT, Opts);
+    ReturnSummaries[F] = DA->returnsDivergent();
+    PerFunction[F] = std::move(DA);
+  }
+}
+
+ModuleDivergenceInfo::~ModuleDivergenceInfo() = default;
+
+const DivergenceAnalysis &
+ModuleDivergenceInfo::forFunction(const Function *F) const {
+  auto It = PerFunction.find(F);
+  assert(It != PerFunction.end() && "function not analyzed");
+  return *It->second;
+}

@@ -1,0 +1,93 @@
+//===- Divergence.h - Thread-divergence analysis ---------------*- C++ -*-===//
+///
+/// \file
+/// Conservative divergence analysis: marks registers whose values may
+/// differ between threads that execute an instruction together, and the
+/// branches conditioned on them. Used by the baseline PDOM synchronization
+/// pass (only divergent branches need reconvergence barriers) and by the
+/// automatic-detection heuristics of Section 4.5.
+///
+/// Sources of divergence: tid/laneid, the per-thread random stream,
+/// atomics' return values, arrived-count queries, loads from divergent
+/// addresses, calls whose callee is divergent, and — via control
+/// dependence — any definition inside the influence region of a divergent
+/// branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_ANALYSIS_DIVERGENCE_H
+#define SIMTSR_ANALYSIS_DIVERGENCE_H
+
+#include "analysis/Dominators.h"
+
+#include <map>
+#include <vector>
+
+namespace simtsr {
+
+class Module;
+
+/// Per-function divergence facts. Parameters are treated as divergent by
+/// default (safe when call sites are unknown); the module-level driver
+/// refines this with call-graph summaries.
+class DivergenceAnalysis {
+public:
+  struct Options {
+    /// Treat every function parameter as potentially divergent.
+    bool ParamsDivergent = true;
+    /// Callee summaries: true = the callee's return value is divergent
+    /// regardless of arguments. Callees not in the map fall back to
+    /// "divergent" conservatism.
+    const std::map<const Function *, bool> *CalleeReturnsDivergent = nullptr;
+  };
+
+  DivergenceAnalysis(Function &F, const PostDominatorTree &PDT,
+                     Options Opts);
+  DivergenceAnalysis(Function &F, const PostDominatorTree &PDT)
+      : DivergenceAnalysis(F, PDT, Options{}) {}
+
+  bool isDivergentReg(unsigned Reg) const {
+    return Reg < DivergentRegs.size() && DivergentRegs[Reg];
+  }
+
+  /// True when \p BB ends in a conditional branch on a divergent value.
+  bool isDivergentBranch(const BasicBlock *BB) const;
+
+  /// True when some `ret` returns a divergent value.
+  bool returnsDivergent() const { return ReturnsDivergent; }
+
+  /// True when the function contains any intrinsic divergence source
+  /// (tid/rand/atomic/...), ignoring parameters.
+  bool hasDivergenceSources() const { return HasSources; }
+
+private:
+  bool operandDivergent(const Operand &O) const;
+  bool instructionProducesDivergence(const Instruction &I) const;
+  void taintControlDependent(Function &F, const PostDominatorTree &PDT,
+                             const BasicBlock *Branch,
+                             std::vector<bool> &BlockTainted);
+
+  Options Opts;
+  std::vector<bool> DivergentRegs;
+  std::vector<bool> DivergentBranchBlocks; ///< Indexed by block number.
+  bool ReturnsDivergent = false;
+  bool HasSources = false;
+};
+
+/// Computes per-function "returns divergent" summaries bottom-up over the
+/// call graph, then exposes refined per-function analyses.
+class ModuleDivergenceInfo {
+public:
+  explicit ModuleDivergenceInfo(Module &M);
+  ~ModuleDivergenceInfo();
+
+  const DivergenceAnalysis &forFunction(const Function *F) const;
+
+private:
+  std::map<const Function *, bool> ReturnSummaries;
+  std::map<const Function *, std::unique_ptr<DivergenceAnalysis>> PerFunction;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_ANALYSIS_DIVERGENCE_H

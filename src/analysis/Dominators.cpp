@@ -1,0 +1,160 @@
+//===- Dominators.cpp - (Post-)dominator trees ------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+using namespace simtsr;
+
+DominatorTreeBase::DominatorTreeBase(Function &F, bool Post)
+    : F(F), Post(Post) {
+  F.recomputePreds();
+  const unsigned N = static_cast<unsigned>(F.size());
+  VirtualRoot = N;
+  Idom.assign(N + 1, Undef);
+  Depth.assign(N + 1, 0);
+  OrderIndex.assign(N + 1, Undef);
+  OrderIndex[VirtualRoot] = 0;
+
+  auto analysisSuccs = [&](BasicBlock *BB) {
+    return Post ? BB->predecessors() : BB->successors();
+  };
+  auto analysisPreds = [&](BasicBlock *BB) {
+    return Post ? BB->successors() : BB->predecessors();
+  };
+
+  // Roots of the analysis graph.
+  std::vector<BasicBlock *> Roots;
+  if (Post) {
+    for (BasicBlock *BB : F)
+      if (BB->hasTerminator() && BB->terminator().opcode() == Opcode::Ret)
+        Roots.push_back(BB);
+  } else if (!F.empty()) {
+    Roots.push_back(F.entry());
+  }
+
+  // Postorder DFS over the analysis graph from all roots.
+  std::vector<BasicBlock *> PostOrder;
+  std::vector<bool> Visited(N, false);
+  struct Frame {
+    BasicBlock *BB;
+    std::vector<BasicBlock *> Succs;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  for (BasicBlock *Root : Roots) {
+    if (Visited[Root->number()])
+      continue;
+    Visited[Root->number()] = true;
+    Stack.push_back({Root, analysisSuccs(Root)});
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      if (Top.Next < Top.Succs.size()) {
+        BasicBlock *S = Top.Succs[Top.Next++];
+        if (!Visited[S->number()]) {
+          Visited[S->number()] = true;
+          Stack.push_back({S, analysisSuccs(S)});
+        }
+        continue;
+      }
+      PostOrder.push_back(Top.BB);
+      Stack.pop_back();
+    }
+  }
+
+  std::vector<BasicBlock *> RPO(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    OrderIndex[RPO[I]->number()] = I + 1; // Virtual root owns position 0.
+
+  // Cooper-Harvey-Kennedy fixpoint. Roots hang off the virtual root; in the
+  // forward direction the single entry also uses it as its (hidden) idom.
+  std::vector<bool> IsRoot(N, false);
+  for (BasicBlock *Root : Roots) {
+    IsRoot[Root->number()] = true;
+    Idom[Root->number()] = VirtualRoot;
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      unsigned NewIdom = IsRoot[BB->number()] ? VirtualRoot : Undef;
+      for (BasicBlock *Pred : analysisPreds(BB)) {
+        unsigned P = Pred->number();
+        if (OrderIndex[P] == Undef || Idom[P] == Undef)
+          continue; // Unreachable or not yet processed.
+        NewIdom = NewIdom == Undef ? P : intersect(NewIdom, P);
+      }
+      if (NewIdom != Undef && Idom[BB->number()] != NewIdom) {
+        Idom[BB->number()] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Depths: process in RPO so idoms are already assigned a depth.
+  Depth[VirtualRoot] = 0;
+  for (BasicBlock *BB : RPO) {
+    unsigned I = BB->number();
+    assert(Idom[I] != Undef && "reachable block without idom");
+    Depth[I] = Depth[Idom[I]] + 1;
+  }
+}
+
+unsigned DominatorTreeBase::intersect(unsigned A, unsigned B) const {
+  while (A != B) {
+    while (OrderIndex[A] > OrderIndex[B])
+      A = Idom[A];
+    while (OrderIndex[B] > OrderIndex[A])
+      B = Idom[B];
+  }
+  return A;
+}
+
+BasicBlock *DominatorTreeBase::idom(const BasicBlock *BB) const {
+  unsigned I = BB->number();
+  if (Idom[I] == Undef || Idom[I] == VirtualRoot)
+    return nullptr;
+  return F.block(Idom[I]);
+}
+
+bool DominatorTreeBase::isReachable(const BasicBlock *BB) const {
+  return OrderIndex[BB->number()] != Undef;
+}
+
+bool DominatorTreeBase::dominates(const BasicBlock *A,
+                                  const BasicBlock *B) const {
+  if (A == B)
+    return true;
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  unsigned AN = A->number(), BN = B->number();
+  while (Depth[BN] > Depth[AN])
+    BN = Idom[BN];
+  return AN == BN;
+}
+
+BasicBlock *
+DominatorTreeBase::nearestCommonDominator(const BasicBlock *A,
+                                          const BasicBlock *B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return nullptr;
+  unsigned AN = A->number(), BN = B->number();
+  while (AN != BN) {
+    if (Depth[AN] < Depth[BN])
+      BN = Idom[BN];
+    else
+      AN = Idom[AN];
+  }
+  return AN == VirtualRoot ? nullptr : F.block(AN);
+}
+
+std::vector<BasicBlock *>
+DominatorTreeBase::children(const BasicBlock *BB) const {
+  std::vector<BasicBlock *> Kids;
+  for (BasicBlock *Other : F)
+    if (Other != BB && Idom[Other->number()] == BB->number())
+      Kids.push_back(Other);
+  return Kids;
+}

@@ -1,0 +1,78 @@
+//===- Dominators.h - (Post-)dominator trees -------------------*- C++ -*-===//
+///
+/// \file
+/// Dominator and post-dominator trees via the Cooper-Harvey-Kennedy
+/// iterative algorithm over reverse post order. The post-dominator tree
+/// uses a virtual exit that post-dominates every `ret` block; a null idom
+/// therefore means "the (virtual) root" for reachable blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_ANALYSIS_DOMINATORS_H
+#define SIMTSR_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace simtsr {
+
+/// Shared implementation for dominance in either CFG direction.
+class DominatorTreeBase {
+public:
+  /// \p Post selects post-dominance (analysis on the reversed CFG).
+  DominatorTreeBase(Function &F, bool Post);
+
+  /// Immediate dominator of \p BB, or nullptr when \p BB is the root, is
+  /// unreachable, or (post-dominance) is immediately dominated by the
+  /// virtual exit.
+  BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// Reflexive dominance. Unreachable blocks dominate nothing and are
+  /// dominated by nothing (except themselves).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  bool strictlyDominates(const BasicBlock *A, const BasicBlock *B) const {
+    return A != B && dominates(A, B);
+  }
+
+  /// Nearest common dominator, or nullptr when it is the virtual root
+  /// (post-dominance with diverging exits) or an input is unreachable.
+  BasicBlock *nearestCommonDominator(const BasicBlock *A,
+                                     const BasicBlock *B) const;
+
+  /// True when \p BB participates in the tree (reachable from the root(s)).
+  bool isReachable(const BasicBlock *BB) const;
+
+  /// Children of \p BB in the dominator tree.
+  std::vector<BasicBlock *> children(const BasicBlock *BB) const;
+
+private:
+  unsigned intersect(unsigned A, unsigned B) const;
+
+  Function &F;
+  bool Post;
+  // Indexed by block number; VirtualRoot == F.size() is the forward entry's
+  // self-index or the post-dominance virtual exit.
+  unsigned VirtualRoot;
+  static constexpr unsigned Undef = ~0u;
+  std::vector<unsigned> Idom;  ///< Block number -> idom number (or Undef).
+  std::vector<unsigned> Depth; ///< Tree depth; root = 0.
+  std::vector<unsigned> OrderIndex; ///< Block number -> RPO position.
+};
+
+/// Forward dominance: the entry block is the root.
+class DominatorTree : public DominatorTreeBase {
+public:
+  explicit DominatorTree(Function &F) : DominatorTreeBase(F, false) {}
+};
+
+/// Post-dominance with a virtual exit over all `ret` blocks.
+class PostDominatorTree : public DominatorTreeBase {
+public:
+  explicit PostDominatorTree(Function &F) : DominatorTreeBase(F, true) {}
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,141 @@
+//===- LoopInfo.cpp - Natural loop detection ---------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "ir/CFGUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace simtsr;
+
+bool Loop::contains(const BasicBlock *BB) const {
+  unsigned N = BB->number();
+  return N < BlockSet.size() && BlockSet[N];
+}
+
+bool Loop::contains(const Loop *L) const {
+  for (const Loop *P = L; P; P = P->parent())
+    if (P == this)
+      return true;
+  return false;
+}
+
+unsigned Loop::depth() const {
+  unsigned D = 0;
+  for (const Loop *P = this; P; P = P->parent())
+    ++D;
+  return D;
+}
+
+std::vector<std::pair<BasicBlock *, BasicBlock *>> Loop::exitEdges() const {
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> Edges;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      if (!contains(Succ))
+        Edges.push_back({BB, Succ});
+  return Edges;
+}
+
+BasicBlock *Loop::preheader() const {
+  BasicBlock *Candidate = nullptr;
+  for (BasicBlock *Pred : Header->predecessors()) {
+    if (contains(Pred))
+      continue;
+    if (Candidate && Candidate != Pred)
+      return nullptr;
+    Candidate = Pred;
+  }
+  return Candidate;
+}
+
+LoopInfo::LoopInfo(Function &F, const DominatorTree &DT) {
+  F.recomputePreds();
+  InnermostByBlock.assign(F.size(), nullptr);
+
+  // Find back edges and group them by header so that a header with several
+  // latches produces a single loop. Keyed by block number to keep loop
+  // discovery order deterministic.
+  std::map<unsigned, std::vector<BasicBlock *>> LatchesByHeader;
+  for (BasicBlock *BB : reversePostOrder(F))
+    for (BasicBlock *Succ : BB->successors())
+      if (DT.dominates(Succ, BB))
+        LatchesByHeader[Succ->number()].push_back(BB);
+
+  // Build loop bodies: walk predecessors backwards from each latch until
+  // the header. Nesting is assigned afterwards via containment, so the
+  // discovery order does not affect correctness.
+  for (auto &[HeaderNumber, Latches] : LatchesByHeader) {
+    BasicBlock *Header = F.block(HeaderNumber);
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Latches = Latches;
+    L->BlockSet.assign(F.size(), false);
+    L->BlockSet[Header->number()] = true;
+    L->Blocks.push_back(Header);
+    std::vector<BasicBlock *> Worklist;
+    for (BasicBlock *Latch : Latches)
+      if (!L->BlockSet[Latch->number()]) {
+        L->BlockSet[Latch->number()] = true;
+        L->Blocks.push_back(Latch);
+        Worklist.push_back(Latch);
+      }
+    while (!Worklist.empty()) {
+      BasicBlock *BB = Worklist.back();
+      Worklist.pop_back();
+      for (BasicBlock *Pred : BB->predecessors()) {
+        if (!DT.isReachable(Pred) || L->BlockSet[Pred->number()])
+          continue;
+        L->BlockSet[Pred->number()] = true;
+        L->Blocks.push_back(Pred);
+        Worklist.push_back(Pred);
+      }
+    }
+    Storage.push_back(std::move(L));
+  }
+
+  // Establish nesting: the parent of L is the smallest loop strictly
+  // containing L's header (other than L itself).
+  for (auto &L : Storage)
+    AllLoops.push_back(L.get());
+  std::sort(AllLoops.begin(), AllLoops.end(),
+            [](const Loop *A, const Loop *B) {
+              if (A->blocks().size() != B->blocks().size())
+                return A->blocks().size() > B->blocks().size();
+              return A->header()->number() < B->header()->number();
+            });
+  for (Loop *L : AllLoops) {
+    Loop *Best = nullptr;
+    for (Loop *Candidate : AllLoops) {
+      if (Candidate == L || !Candidate->contains(L->header()))
+        continue;
+      if (!Best || Candidate->blocks().size() < Best->blocks().size())
+        Best = Candidate;
+    }
+    L->Parent = Best;
+    if (Best)
+      Best->SubLoops.push_back(L);
+    else
+      TopLevel.push_back(L);
+  }
+
+  // Innermost loop per block: the smallest loop containing it.
+  for (Loop *L : AllLoops)
+    for (BasicBlock *BB : L->blocks()) {
+      Loop *&Slot = InnermostByBlock[BB->number()];
+      if (!Slot || L->blocks().size() < Slot->blocks().size())
+        Slot = L;
+    }
+}
+
+Loop *LoopInfo::loopFor(const BasicBlock *BB) const {
+  unsigned N = BB->number();
+  return N < InnermostByBlock.size() ? InnermostByBlock[N] : nullptr;
+}
+
+Loop *LoopInfo::loopWithHeader(const BasicBlock *BB) const {
+  for (Loop *L : AllLoops)
+    if (L->header() == BB)
+      return L;
+  return nullptr;
+}

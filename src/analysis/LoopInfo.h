@@ -1,0 +1,78 @@
+//===- LoopInfo.h - Natural loop detection ---------------------*- C++ -*-===//
+///
+/// \file
+/// Natural loops from back edges (Header dominates Latch). Loops know their
+/// blocks, nesting, exiting edges and (unique) preheader when one exists.
+/// The Loop Merge / Iteration Delay detectors in the transform layer are
+/// built on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_ANALYSIS_LOOPINFO_H
+#define SIMTSR_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <memory>
+#include <vector>
+
+namespace simtsr {
+
+class Loop {
+public:
+  BasicBlock *header() const { return Header; }
+  Loop *parent() const { return Parent; }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+  const std::vector<BasicBlock *> &blocks() const { return Blocks; }
+  /// Blocks that branch back to the header from inside the loop.
+  const std::vector<BasicBlock *> &latches() const { return Latches; }
+
+  bool contains(const BasicBlock *BB) const;
+  bool contains(const Loop *L) const;
+
+  /// Nesting depth; outermost loops have depth 1.
+  unsigned depth() const;
+
+  /// Edges (From inside, To outside) leaving the loop.
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> exitEdges() const;
+
+  /// The unique predecessor of the header outside the loop, or nullptr if
+  /// the header has several outside predecessors.
+  BasicBlock *preheader() const;
+
+private:
+  friend class LoopInfo;
+
+  BasicBlock *Header = nullptr;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+  std::vector<BasicBlock *> Blocks;  ///< Header first; unordered otherwise.
+  std::vector<BasicBlock *> Latches;
+  std::vector<bool> BlockSet;        ///< Indexed by block number.
+};
+
+class LoopInfo {
+public:
+  /// \p DT must be a current dominator tree for \p F.
+  LoopInfo(Function &F, const DominatorTree &DT);
+
+  const std::vector<Loop *> &topLevelLoops() const { return TopLevel; }
+  /// All loops, outermost first within each nest.
+  const std::vector<Loop *> &loops() const { return AllLoops; }
+
+  /// Innermost loop containing \p BB, or nullptr.
+  Loop *loopFor(const BasicBlock *BB) const;
+
+  /// Loop whose header is \p BB, or nullptr.
+  Loop *loopWithHeader(const BasicBlock *BB) const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Storage;
+  std::vector<Loop *> AllLoops;
+  std::vector<Loop *> TopLevel;
+  std::vector<Loop *> InnermostByBlock; ///< Indexed by block number.
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,42 @@
+//===- Region.cpp - Prediction-region discovery -------------------------------===//
+
+#include "analysis/Region.h"
+
+#include "ir/CFGUtils.h"
+
+using namespace simtsr;
+
+std::vector<PredictionRegion> simtsr::findPredictionRegions(Function &F) {
+  F.recomputePreds();
+  std::vector<PredictionRegion> Regions;
+  for (BasicBlock *BB : F) {
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction &Inst = BB->inst(I);
+      if (Inst.opcode() != Opcode::Predict)
+        continue;
+      PredictionRegion R;
+      R.Start = BB;
+      R.PredictIndex = I;
+      R.Label = Inst.operand(0).getBlock();
+
+      std::vector<bool> FromStart = blocksReachableFrom(F, R.Start);
+      std::vector<bool> ToLabel = blocksReaching(F, R.Label);
+      R.InRegion.assign(F.size(), false);
+      for (size_t N = 0; N < F.size(); ++N)
+        R.InRegion[N] = FromStart[N] && ToLabel[N];
+      // The start block anchors the region even when the label is only
+      // conditionally reachable from it.
+      R.InRegion[R.Start->number()] = true;
+
+      for (BasicBlock *From : F) {
+        if (!R.InRegion[From->number()])
+          continue;
+        for (BasicBlock *To : From->successors())
+          if (!R.InRegion[To->number()])
+            R.ExitEdges.push_back({From, To});
+      }
+      Regions.push_back(std::move(R));
+    }
+  }
+  return Regions;
+}

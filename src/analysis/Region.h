@@ -1,0 +1,41 @@
+//===- Region.h - Prediction-region discovery ------------------*- C++ -*-===//
+///
+/// \file
+/// Locates `predict` directives (Section 4.1) and materializes their
+/// prediction regions: the region starts at the block containing the
+/// directive and "ends where all threads are no longer able to reach the
+/// label". A block is in the region iff it is reachable from the start and
+/// can still reach the label.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_ANALYSIS_REGION_H
+#define SIMTSR_ANALYSIS_REGION_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace simtsr {
+
+struct PredictionRegion {
+  BasicBlock *Start;   ///< Block containing the predict directive.
+  size_t PredictIndex; ///< Instruction index of the directive.
+  BasicBlock *Label;   ///< User-chosen reconvergence point.
+  std::vector<bool> InRegion; ///< Indexed by block number.
+  /// Edges (From in region, To outside) through which threads leave.
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> ExitEdges;
+
+  bool contains(const BasicBlock *BB) const {
+    unsigned N = BB->number();
+    return N < InRegion.size() && InRegion[N];
+  }
+};
+
+/// Discovers every prediction region in \p F (one per predict directive,
+/// in layout order). Renumbers blocks.
+std::vector<PredictionRegion> findPredictionRegions(Function &F);
+
+} // namespace simtsr
+
+#endif // SIMTSR_ANALYSIS_REGION_H

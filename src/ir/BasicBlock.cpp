@@ -1,0 +1,55 @@
+//===- BasicBlock.cpp - SIMT IR basic block -------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include <cstddef>
+
+using namespace simtsr;
+
+void BasicBlock::append(Instruction I) {
+  assert(!hasTerminator() && "appending past a terminator");
+  Insts.push_back(std::move(I));
+}
+
+void BasicBlock::insert(size_t Index, Instruction I) {
+  assert(Index <= Insts.size() && "insert position out of range");
+  Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Index), std::move(I));
+}
+
+void BasicBlock::insertBeforeTerminator(Instruction I) {
+  assert(hasTerminator() && "block has no terminator");
+  insert(Insts.size() - 1, std::move(I));
+}
+
+bool BasicBlock::hasTerminator() const {
+  return !Insts.empty() && Insts.back().isTerminator();
+}
+
+const Instruction &BasicBlock::terminator() const {
+  assert(hasTerminator() && "block has no terminator");
+  return Insts.back();
+}
+
+Instruction &BasicBlock::terminator() {
+  assert(hasTerminator() && "block has no terminator");
+  return Insts.back();
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Succs;
+  if (!hasTerminator())
+    return Succs;
+  const Instruction &Term = terminator();
+  for (const Operand &O : Term.operands())
+    if (O.isBlock())
+      Succs.push_back(O.getBlock());
+  return Succs;
+}
+
+size_t BasicBlock::firstRealIndex() const {
+  size_t I = 0;
+  while (I < Insts.size() && (Insts[I].opcode() == Opcode::Predict ||
+                              isBarrierOp(Insts[I].opcode())))
+    ++I;
+  return I;
+}

@@ -1,0 +1,88 @@
+//===- BasicBlock.h - SIMT IR basic block ----------------------*- C++ -*-===//
+///
+/// \file
+/// A basic block: a named, ordered sequence of instructions ending in a
+/// terminator. Successors derive from the terminator; predecessor lists are
+/// maintained by Function::recomputePreds() and must be refreshed after any
+/// CFG mutation (analyses call it on construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_BASICBLOCK_H
+#define SIMTSR_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class Function;
+
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, std::string Name)
+      : Parent(Parent), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  Function *parent() const { return Parent; }
+
+  /// Position of this block within its function's block list; refreshed by
+  /// Function::renumberBlocks(). Analyses index dense arrays with it.
+  unsigned number() const { return Number; }
+  void setNumber(unsigned N) { Number = N; }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+  Instruction &inst(size_t I) {
+    assert(I < Insts.size() && "instruction index out of range");
+    return Insts[I];
+  }
+  const Instruction &inst(size_t I) const {
+    assert(I < Insts.size() && "instruction index out of range");
+    return Insts[I];
+  }
+  std::vector<Instruction> &instructions() { return Insts; }
+  const std::vector<Instruction> &instructions() const { return Insts; }
+
+  /// Appends \p I; asserts that no instruction follows a terminator.
+  void append(Instruction I);
+
+  /// Inserts \p I at position \p Index (0 = block entry).
+  void insert(size_t Index, Instruction I);
+
+  /// Inserts \p I immediately before the terminator; the block must already
+  /// be terminated.
+  void insertBeforeTerminator(Instruction I);
+
+  /// \returns true if the last instruction is a terminator.
+  bool hasTerminator() const;
+
+  /// \returns the terminator; the block must be terminated.
+  const Instruction &terminator() const;
+  Instruction &terminator();
+
+  /// \returns successor blocks in terminator operand order (empty for Ret).
+  std::vector<BasicBlock *> successors() const;
+
+  /// Predecessors, valid after Function::recomputePreds().
+  const std::vector<BasicBlock *> &predecessors() const { return Preds; }
+
+  /// Index of the first instruction that is not a Predict annotation or a
+  /// barrier op; insertion point for "top of block" code.
+  size_t firstRealIndex() const;
+
+private:
+  friend class Function;
+
+  Function *Parent;
+  std::string Name;
+  unsigned Number = 0;
+  std::vector<Instruction> Insts;
+  std::vector<BasicBlock *> Preds;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_BASICBLOCK_H

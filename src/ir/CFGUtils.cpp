@@ -1,0 +1,128 @@
+//===- CFGUtils.cpp - CFG manipulation and traversal helpers --------------===//
+
+#include "ir/CFGUtils.h"
+
+#include <cassert>
+
+using namespace simtsr;
+
+std::string simtsr::uniqueBlockName(Function &F, const std::string &Prefix) {
+  if (!F.blockByName(Prefix))
+    return Prefix;
+  for (unsigned I = 0;; ++I) {
+    std::string Candidate = Prefix + "." + std::to_string(I);
+    if (!F.blockByName(Candidate))
+      return Candidate;
+  }
+}
+
+BasicBlock *simtsr::splitEdge(Function &F, BasicBlock *From, BasicBlock *To) {
+  assert(From->hasTerminator() && "source block lacks a terminator");
+  BasicBlock *Mid = F.createBlockAfter(
+      From, uniqueBlockName(F, From->name() + ".split"));
+  Mid->append(Instruction(Opcode::Jmp, NoRegister, {Operand::block(To)}));
+  bool Retargeted = false;
+  Instruction &Term = From->terminator();
+  for (unsigned I = 0; I < Term.numOperands(); ++I) {
+    Operand &O = Term.operand(I);
+    if (O.isBlock() && O.getBlock() == To) {
+      O.setBlock(Mid);
+      Retargeted = true;
+    }
+  }
+  assert(Retargeted && "no edge From->To to split");
+  (void)Retargeted;
+  return Mid;
+}
+
+BasicBlock *simtsr::splitBlockAfter(Function &F, BasicBlock *BB,
+                                    size_t Index) {
+  assert(Index < BB->size() && "split index out of range");
+  assert(!BB->inst(Index).isTerminator() &&
+         "cannot split after the terminator");
+  BasicBlock *Tail =
+      F.createBlockAfter(BB, uniqueBlockName(F, BB->name() + ".cont"));
+  auto &Insts = BB->instructions();
+  auto First = Insts.begin() + static_cast<ptrdiff_t>(Index) + 1;
+  Tail->instructions().assign(std::make_move_iterator(First),
+                              std::make_move_iterator(Insts.end()));
+  Insts.erase(First, Insts.end());
+  Insts.push_back(Instruction(Opcode::Jmp, NoRegister,
+                              {Operand::block(Tail)}));
+  return Tail;
+}
+
+std::vector<BasicBlock *> simtsr::reversePostOrder(Function &F) {
+  F.renumberBlocks();
+  std::vector<bool> Visited(F.size(), false);
+  std::vector<BasicBlock *> PostOrder;
+  PostOrder.reserve(F.size());
+
+  // Iterative DFS with an explicit stack of (block, next-successor-index).
+  struct Frame {
+    BasicBlock *BB;
+    std::vector<BasicBlock *> Succs;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  if (!F.empty()) {
+    Visited[F.entry()->number()] = true;
+    Stack.push_back({F.entry(), F.entry()->successors()});
+  }
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.Next < Top.Succs.size()) {
+      BasicBlock *Succ = Top.Succs[Top.Next++];
+      if (!Visited[Succ->number()]) {
+        Visited[Succ->number()] = true;
+        Stack.push_back({Succ, Succ->successors()});
+      }
+      continue;
+    }
+    PostOrder.push_back(Top.BB);
+    Stack.pop_back();
+  }
+
+  std::vector<BasicBlock *> RPO(PostOrder.rbegin(), PostOrder.rend());
+  for (BasicBlock *BB : F)
+    if (!Visited[BB->number()])
+      RPO.push_back(BB);
+  return RPO;
+}
+
+std::vector<bool> simtsr::blocksReaching(Function &F, BasicBlock *Target) {
+  F.recomputePreds();
+  std::vector<bool> Reaches(F.size(), false);
+  std::vector<BasicBlock *> Worklist = {Target};
+  Reaches[Target->number()] = true;
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    for (BasicBlock *Pred : BB->predecessors()) {
+      if (Reaches[Pred->number()])
+        continue;
+      Reaches[Pred->number()] = true;
+      Worklist.push_back(Pred);
+    }
+  }
+  return Reaches;
+}
+
+std::vector<bool> simtsr::blocksReachableFrom(Function &F,
+                                              BasicBlock *Source) {
+  F.renumberBlocks();
+  std::vector<bool> Reached(F.size(), false);
+  std::vector<BasicBlock *> Worklist = {Source};
+  Reached[Source->number()] = true;
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    for (BasicBlock *Succ : BB->successors()) {
+      if (Reached[Succ->number()])
+        continue;
+      Reached[Succ->number()] = true;
+      Worklist.push_back(Succ);
+    }
+  }
+  return Reached;
+}

@@ -1,0 +1,47 @@
+//===- CFGUtils.h - CFG manipulation and traversal helpers -----*- C++ -*-===//
+///
+/// \file
+/// Edge splitting, reverse-post-order computation and reachability — shared
+/// by the analyses and the synchronization-insertion passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_CFGUTILS_H
+#define SIMTSR_IR_CFGUTILS_H
+
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+/// \returns a block name starting with \p Prefix that is unused in \p F.
+std::string uniqueBlockName(Function &F, const std::string &Prefix);
+
+/// Splits the CFG edge From -> To by inserting a fresh block containing only
+/// a jump to \p To, and retargets every matching terminator operand of
+/// \p From. \returns the new block. Caller must recomputePreds() afterwards.
+BasicBlock *splitEdge(Function &F, BasicBlock *From, BasicBlock *To);
+
+/// Splits \p BB after instruction \p Index: instructions [Index+1, end)
+/// move to a fresh block and \p BB is terminated with a jump to it.
+/// \returns the new block. Caller must recomputePreds() afterwards.
+BasicBlock *splitBlockAfter(Function &F, BasicBlock *BB, size_t Index);
+
+/// \returns blocks of \p F in reverse post order from the entry block.
+/// Unreachable blocks are appended after the RPO in layout order so that
+/// dense analyses still cover them.
+std::vector<BasicBlock *> reversePostOrder(Function &F);
+
+/// \returns the set (as a dense bool vector indexed by block number) of
+/// blocks from which \p Target is reachable, including \p Target itself.
+/// Assumes block numbers are current (Function::renumberBlocks()).
+std::vector<bool> blocksReaching(Function &F, BasicBlock *Target);
+
+/// \returns the set of blocks reachable from \p Source, inclusive.
+std::vector<bool> blocksReachableFrom(Function &F, BasicBlock *Source);
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_CFGUTILS_H

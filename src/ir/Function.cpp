@@ -1,0 +1,55 @@
+//===- Function.cpp - SIMT IR function ------------------------------------===//
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace simtsr;
+
+BasicBlock *Function::createBlock(std::string Name) {
+  Blocks.push_back(std::make_unique<BasicBlock>(this, std::move(Name)));
+  Blocks.back()->setNumber(static_cast<unsigned>(Blocks.size()) - 1);
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::createBlockAfter(BasicBlock *After, std::string Name) {
+  auto It = std::find_if(Blocks.begin(), Blocks.end(),
+                         [&](const auto &B) { return B.get() == After; });
+  assert(It != Blocks.end() && "anchor block not in this function");
+  auto NewIt = Blocks.insert(
+      ++It, std::make_unique<BasicBlock>(this, std::move(Name)));
+  BasicBlock *NewBB = NewIt->get();
+  renumberBlocks();
+  return NewBB;
+}
+
+void Function::removeBlock(BasicBlock *BB) {
+  assert(!Blocks.empty() && Blocks.front().get() != BB &&
+         "cannot remove the entry block");
+  auto It = std::find_if(Blocks.begin(), Blocks.end(),
+                         [&](const auto &B) { return B.get() == BB; });
+  assert(It != Blocks.end() && "block not in this function");
+  Blocks.erase(It);
+  renumberBlocks();
+}
+
+BasicBlock *Function::blockByName(const std::string &Name) const {
+  for (const auto &B : Blocks)
+    if (B->name() == Name)
+      return B.get();
+  return nullptr;
+}
+
+void Function::renumberBlocks() {
+  for (unsigned I = 0; I < Blocks.size(); ++I)
+    Blocks[I]->setNumber(I);
+}
+
+void Function::recomputePreds() {
+  renumberBlocks();
+  for (auto &B : Blocks)
+    B->Preds.clear();
+  for (auto &B : Blocks)
+    for (BasicBlock *Succ : B->successors())
+      Succ->Preds.push_back(B.get());
+}

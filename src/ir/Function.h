@@ -1,0 +1,125 @@
+//===- Function.h - SIMT IR function ---------------------------*- C++ -*-===//
+///
+/// \file
+/// A function owns its basic blocks (stable pointers; block operands refer
+/// to them) and a virtual-register namespace. Parameters occupy registers
+/// 0..numParams()-1. The entry block is the first block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_FUNCTION_H
+#define SIMTSR_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class Module;
+
+class Function {
+public:
+  Function(Module *Parent, std::string Name, unsigned NumParams)
+      : Parent(Parent), Name(std::move(Name)), NumParams(NumParams),
+        NextReg(NumParams) {}
+
+  const std::string &name() const { return Name; }
+  Module *parent() const { return Parent; }
+  unsigned numParams() const { return NumParams; }
+
+  /// Allocates a fresh virtual register.
+  unsigned createReg() { return NextReg++; }
+  unsigned numRegs() const { return NextReg; }
+  /// Bumps the register counter to cover \p R; used by the parser.
+  void reserveRegsThrough(unsigned R) {
+    if (R != NoRegister && R >= NextReg)
+      NextReg = R + 1;
+  }
+
+  /// Creates a block appended to the block list. \p Name must be unique
+  /// within the function (the verifier checks).
+  BasicBlock *createBlock(std::string Name);
+
+  /// Creates a block inserted immediately after \p After in the block list.
+  /// Layout order has no semantic meaning but keeps printed IR readable.
+  BasicBlock *createBlockAfter(BasicBlock *After, std::string Name);
+
+  /// Removes \p BB (must not be the entry block). The caller must have
+  /// removed every operand reference to it first; renumbers blocks.
+  void removeBlock(BasicBlock *BB);
+
+  bool empty() const { return Blocks.empty(); }
+  size_t size() const { return Blocks.size(); }
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+  BasicBlock *block(size_t I) const {
+    assert(I < Blocks.size() && "block index out of range");
+    return Blocks[I].get();
+  }
+  /// \returns the block named \p Name, or nullptr.
+  BasicBlock *blockByName(const std::string &Name) const;
+
+  /// Iteration over blocks in layout order.
+  auto begin() { return BlockPtrIterator(Blocks.begin()); }
+  auto end() { return BlockPtrIterator(Blocks.end()); }
+  auto begin() const { return ConstBlockPtrIterator(Blocks.begin()); }
+  auto end() const { return ConstBlockPtrIterator(Blocks.end()); }
+
+  /// Recomputes every block's predecessor list and block numbers. Call after
+  /// mutating terminators or adding blocks; analyses call it on entry.
+  void recomputePreds();
+
+  /// Reassigns dense block numbers in layout order.
+  void renumberBlocks();
+
+  /// When set, the interprocedural pass treats this function's entry as a
+  /// reconvergence point: all callers gather before executing the body
+  /// (Section 4.4's function-name user interface).
+  bool reconvergeAtEntry() const { return ReconvergeAtEntryFlag; }
+  void setReconvergeAtEntry(bool V) { ReconvergeAtEntryFlag = V; }
+
+private:
+  // Thin iterator adapters exposing BasicBlock* from unique_ptr storage.
+  struct BlockPtrIterator {
+    std::vector<std::unique_ptr<BasicBlock>>::iterator It;
+    explicit BlockPtrIterator(
+        std::vector<std::unique_ptr<BasicBlock>>::iterator It)
+        : It(It) {}
+    BasicBlock *operator*() const { return It->get(); }
+    BlockPtrIterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const BlockPtrIterator &O) const { return It != O.It; }
+  };
+  struct ConstBlockPtrIterator {
+    std::vector<std::unique_ptr<BasicBlock>>::const_iterator It;
+    explicit ConstBlockPtrIterator(
+        std::vector<std::unique_ptr<BasicBlock>>::const_iterator It)
+        : It(It) {}
+    const BasicBlock *operator*() const { return It->get(); }
+    ConstBlockPtrIterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const ConstBlockPtrIterator &O) const {
+      return It != O.It;
+    }
+  };
+
+  Module *Parent;
+  std::string Name;
+  unsigned NumParams;
+  unsigned NextReg;
+  bool ReconvergeAtEntryFlag = false;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_FUNCTION_H

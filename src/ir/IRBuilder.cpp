@@ -1,0 +1,87 @@
+//===- IRBuilder.cpp - Convenience IR construction -------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace simtsr;
+
+void IRBuilder::emit(Opcode Op, unsigned Dst, std::vector<Operand> Ops) {
+  assert(BB && "no insertion block set");
+  BB->append(Instruction(Op, Dst, std::move(Ops)));
+}
+
+unsigned IRBuilder::binary(Opcode Op, Operand A, Operand B) {
+  unsigned Dst = F->createReg();
+  emit(Op, Dst, {A, B});
+  return Dst;
+}
+
+unsigned IRBuilder::unary(Opcode Op, Operand A) {
+  unsigned Dst = F->createReg();
+  emit(Op, Dst, {A});
+  return Dst;
+}
+
+unsigned IRBuilder::select(Operand Cond, Operand A, Operand B) {
+  unsigned Dst = F->createReg();
+  emit(Opcode::Select, Dst, {Cond, A, B});
+  return Dst;
+}
+
+unsigned IRBuilder::nullary(Opcode Op) {
+  unsigned Dst = F->createReg();
+  emit(Op, Dst, {});
+  return Dst;
+}
+
+void IRBuilder::store(Operand Addr, Operand Val) {
+  emit(Opcode::Store, NoRegister, {Addr, Val});
+}
+
+unsigned IRBuilder::call(Function *Callee, std::vector<Operand> Args) {
+  assert(Callee->numParams() == Args.size() && "call arity mismatch");
+  unsigned Dst = F->createReg();
+  std::vector<Operand> Ops;
+  Ops.push_back(Operand::func(Callee));
+  for (const Operand &A : Args)
+    Ops.push_back(A);
+  emit(Opcode::Call, Dst, std::move(Ops));
+  return Dst;
+}
+
+void IRBuilder::br(Operand Cond, BasicBlock *Then, BasicBlock *Else) {
+  emit(Opcode::Br, NoRegister,
+       {Cond, Operand::block(Then), Operand::block(Else)});
+}
+
+void IRBuilder::jmp(BasicBlock *Target) {
+  emit(Opcode::Jmp, NoRegister, {Operand::block(Target)});
+}
+
+void IRBuilder::ret() { emit(Opcode::Ret, NoRegister, {}); }
+
+void IRBuilder::ret(Operand Val) { emit(Opcode::Ret, NoRegister, {Val}); }
+
+void IRBuilder::barrierOp(Opcode Op, unsigned B) {
+  assert(B < NumBarrierRegisters && "barrier register out of range");
+  emit(Op, NoRegister, {Operand::barrier(B)});
+}
+
+void IRBuilder::softWait(unsigned B, Operand Threshold) {
+  assert(B < NumBarrierRegisters && "barrier register out of range");
+  emit(Opcode::SoftWait, NoRegister, {Operand::barrier(B), Threshold});
+}
+
+unsigned IRBuilder::arrivedCount(unsigned B) {
+  assert(B < NumBarrierRegisters && "barrier register out of range");
+  unsigned Dst = F->createReg();
+  emit(Opcode::ArrivedCount, Dst, {Operand::barrier(B)});
+  return Dst;
+}
+
+void IRBuilder::warpSync() { emit(Opcode::WarpSync, NoRegister, {}); }
+
+void IRBuilder::predict(BasicBlock *Label) {
+  emit(Opcode::Predict, NoRegister, {Operand::block(Label)});
+}
+
+void IRBuilder::nop() { emit(Opcode::Nop, NoRegister, {}); }

@@ -1,0 +1,106 @@
+//===- IRBuilder.h - Convenience IR construction ---------------*- C++ -*-===//
+///
+/// \file
+/// Builder producing instructions at the end of a current block. Kernels and
+/// tests construct IR through this interface; transforms mostly splice
+/// instructions directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_IRBUILDER_H
+#define SIMTSR_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace simtsr {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Function *F) : F(F), BB(nullptr) {}
+  IRBuilder(Function *F, BasicBlock *BB) : F(F), BB(BB) {}
+
+  Function *function() const { return F; }
+  BasicBlock *insertBlock() const { return BB; }
+  void setInsertBlock(BasicBlock *B) { BB = B; }
+
+  /// Creates a new block and makes it the insertion point.
+  BasicBlock *startBlock(std::string Name) {
+    BB = F->createBlock(std::move(Name));
+    return BB;
+  }
+
+  // -- Value producers (return the destination register) -------------------
+
+  unsigned binary(Opcode Op, Operand A, Operand B);
+  unsigned add(Operand A, Operand B) { return binary(Opcode::Add, A, B); }
+  unsigned sub(Operand A, Operand B) { return binary(Opcode::Sub, A, B); }
+  unsigned mul(Operand A, Operand B) { return binary(Opcode::Mul, A, B); }
+  unsigned div(Operand A, Operand B) { return binary(Opcode::Div, A, B); }
+  unsigned rem(Operand A, Operand B) { return binary(Opcode::Rem, A, B); }
+  unsigned andOp(Operand A, Operand B) { return binary(Opcode::And, A, B); }
+  unsigned orOp(Operand A, Operand B) { return binary(Opcode::Or, A, B); }
+  unsigned xorOp(Operand A, Operand B) { return binary(Opcode::Xor, A, B); }
+  unsigned shl(Operand A, Operand B) { return binary(Opcode::Shl, A, B); }
+  unsigned shr(Operand A, Operand B) { return binary(Opcode::Shr, A, B); }
+  unsigned minOp(Operand A, Operand B) { return binary(Opcode::Min, A, B); }
+  unsigned maxOp(Operand A, Operand B) { return binary(Opcode::Max, A, B); }
+  unsigned cmpEQ(Operand A, Operand B) { return binary(Opcode::CmpEQ, A, B); }
+  unsigned cmpNE(Operand A, Operand B) { return binary(Opcode::CmpNE, A, B); }
+  unsigned cmpLT(Operand A, Operand B) { return binary(Opcode::CmpLT, A, B); }
+  unsigned cmpLE(Operand A, Operand B) { return binary(Opcode::CmpLE, A, B); }
+  unsigned cmpGT(Operand A, Operand B) { return binary(Opcode::CmpGT, A, B); }
+  unsigned cmpGE(Operand A, Operand B) { return binary(Opcode::CmpGE, A, B); }
+
+  unsigned unary(Opcode Op, Operand A);
+  unsigned notOp(Operand A) { return unary(Opcode::Not, A); }
+  unsigned neg(Operand A) { return unary(Opcode::Neg, A); }
+  unsigned mov(Operand A) { return unary(Opcode::Mov, A); }
+
+  unsigned select(Operand Cond, Operand A, Operand B);
+  unsigned nullary(Opcode Op);
+  unsigned tid() { return nullary(Opcode::Tid); }
+  unsigned laneId() { return nullary(Opcode::LaneId); }
+  unsigned warpSize() { return nullary(Opcode::WarpSize); }
+  unsigned rand() { return nullary(Opcode::Rand); }
+  unsigned randRange(Operand Lo, Operand Hi) {
+    return binary(Opcode::RandRange, Lo, Hi);
+  }
+
+  unsigned load(Operand Addr) { return unary(Opcode::Load, Addr); }
+  void store(Operand Addr, Operand Val);
+  unsigned atomicAdd(Operand Addr, Operand Val) {
+    return binary(Opcode::AtomicAdd, Addr, Val);
+  }
+
+  unsigned call(Function *Callee, std::vector<Operand> Args = {});
+
+  // -- Terminators ----------------------------------------------------------
+
+  void br(Operand Cond, BasicBlock *Then, BasicBlock *Else);
+  void jmp(BasicBlock *Target);
+  void ret();
+  void ret(Operand Val);
+
+  // -- Barriers and annotations --------------------------------------------
+
+  void joinBarrier(unsigned B) { barrierOp(Opcode::JoinBarrier, B); }
+  void waitBarrier(unsigned B) { barrierOp(Opcode::WaitBarrier, B); }
+  void cancelBarrier(unsigned B) { barrierOp(Opcode::CancelBarrier, B); }
+  void rejoinBarrier(unsigned B) { barrierOp(Opcode::RejoinBarrier, B); }
+  void softWait(unsigned B, Operand Threshold);
+  unsigned arrivedCount(unsigned B);
+  void warpSync();
+  void predict(BasicBlock *Label);
+  void nop();
+
+private:
+  void barrierOp(Opcode Op, unsigned B);
+  void emit(Opcode Op, unsigned Dst, std::vector<Operand> Ops);
+
+  Function *F;
+  BasicBlock *BB;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_IRBUILDER_H

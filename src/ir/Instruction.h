@@ -1,0 +1,69 @@
+//===- Instruction.h - SIMT IR instruction ---------------------*- C++ -*-===//
+///
+/// \file
+/// A flat instruction: opcode, optional destination register, and a small
+/// operand list. Instructions are stored by value inside basic blocks, so
+/// passes address them positionally rather than by pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_INSTRUCTION_H
+#define SIMTSR_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+#include "ir/Operand.h"
+
+#include <vector>
+
+namespace simtsr {
+
+/// Sentinel for "no destination register".
+constexpr unsigned NoRegister = ~0u;
+
+class Instruction {
+public:
+  Instruction(Opcode Op, unsigned Dst, std::vector<Operand> Operands)
+      : Op(Op), Dst(Dst), Operands(std::move(Operands)) {}
+
+  Opcode opcode() const { return Op; }
+  bool hasDst() const { return Dst != NoRegister; }
+  unsigned dst() const {
+    assert(hasDst() && "instruction has no destination");
+    return Dst;
+  }
+  void setDst(unsigned R) { Dst = R; }
+
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  const Operand &operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  Operand &operand(unsigned I) {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  const std::vector<Operand> &operands() const { return Operands; }
+
+  bool isTerminator() const { return getOpcodeInfo(Op).IsTerminator; }
+
+  /// \returns the barrier id for barrier-manipulating opcodes.
+  unsigned barrierId() const {
+    assert(isBarrierOp(Op) && "not a barrier instruction");
+    return Operands[0].getBarrier();
+  }
+
+  friend bool operator==(const Instruction &A, const Instruction &B) {
+    return A.Op == B.Op && A.Dst == B.Dst && A.Operands == B.Operands;
+  }
+
+private:
+  Opcode Op;
+  unsigned Dst;
+  std::vector<Operand> Operands;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_INSTRUCTION_H

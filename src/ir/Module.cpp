@@ -1,0 +1,18 @@
+//===- Module.cpp - SIMT IR module ----------------------------------------===//
+
+#include "ir/Module.h"
+
+using namespace simtsr;
+
+Function *Module::createFunction(std::string Name, unsigned NumParams) {
+  Functions.push_back(
+      std::make_unique<Function>(this, std::move(Name), NumParams));
+  return Functions.back().get();
+}
+
+Function *Module::functionByName(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->name() == Name)
+      return F.get();
+  return nullptr;
+}

@@ -1,0 +1,48 @@
+//===- Module.h - SIMT IR module -------------------------------*- C++ -*-===//
+///
+/// \file
+/// A module owns a set of functions plus launch-level configuration (global
+/// memory size). The kernel — the function the simulator launches — is
+/// chosen by name at launch time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_MODULE_H
+#define SIMTSR_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class Module {
+public:
+  /// Creates a function; \p Name must be unique (the verifier checks).
+  Function *createFunction(std::string Name, unsigned NumParams);
+
+  size_t size() const { return Functions.size(); }
+  Function *function(size_t I) const {
+    assert(I < Functions.size() && "function index out of range");
+    return Functions[I].get();
+  }
+  /// \returns the function named \p Name, or nullptr.
+  Function *functionByName(const std::string &Name) const;
+
+  auto begin() const { return Functions.begin(); }
+  auto end() const { return Functions.end(); }
+
+  /// Number of 64-bit words of global memory the launch provides.
+  uint64_t globalMemoryWords() const { return GlobalMemoryWords; }
+  void setGlobalMemoryWords(uint64_t W) { GlobalMemoryWords = W; }
+
+private:
+  std::vector<std::unique_ptr<Function>> Functions;
+  uint64_t GlobalMemoryWords = 1 << 16;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_MODULE_H

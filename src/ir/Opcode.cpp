@@ -1,0 +1,83 @@
+//===- Opcode.cpp - SIMT IR opcode definitions ----------------------------===//
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+using namespace simtsr;
+
+static const OpcodeInfo InfoTable[NumOpcodes] = {
+    // Name, HasDst, NumOperands, IsTerminator
+    {"add", true, 2, false},
+    {"sub", true, 2, false},
+    {"mul", true, 2, false},
+    {"div", true, 2, false},
+    {"rem", true, 2, false},
+    {"and", true, 2, false},
+    {"or", true, 2, false},
+    {"xor", true, 2, false},
+    {"shl", true, 2, false},
+    {"shr", true, 2, false},
+    {"min", true, 2, false},
+    {"max", true, 2, false},
+    {"not", true, 1, false},
+    {"neg", true, 1, false},
+    {"mov", true, 1, false},
+    {"cmpeq", true, 2, false},
+    {"cmpne", true, 2, false},
+    {"cmplt", true, 2, false},
+    {"cmple", true, 2, false},
+    {"cmpgt", true, 2, false},
+    {"cmpge", true, 2, false},
+    {"select", true, 3, false},
+    {"tid", true, 0, false},
+    {"laneid", true, 0, false},
+    {"warpsize", true, 0, false},
+    {"rand", true, 0, false},
+    {"randrange", true, 2, false},
+    {"load", true, 1, false},
+    {"store", false, 2, false},
+    {"atomicadd", true, 2, false},
+    {"br", false, 3, true},
+    {"jmp", false, 1, true},
+    {"ret", false, -1, true},
+    {"call", true, -1, false},
+    {"joinbar", false, 1, false},
+    {"waitbar", false, 1, false},
+    {"cancelbar", false, 1, false},
+    {"rejoinbar", false, 1, false},
+    {"softwait", false, 2, false},
+    {"arrived", true, 1, false},
+    {"warpsync", false, 0, false},
+    {"predict", false, 1, false},
+    {"nop", false, 0, false},
+};
+
+const OpcodeInfo &simtsr::getOpcodeInfo(Opcode Op) {
+  assert(static_cast<unsigned>(Op) < NumOpcodes && "opcode out of range");
+  return InfoTable[static_cast<unsigned>(Op)];
+}
+
+const char *simtsr::getOpcodeName(Opcode Op) { return getOpcodeInfo(Op).Name; }
+
+bool simtsr::isBarrierOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::JoinBarrier:
+  case Opcode::WaitBarrier:
+  case Opcode::CancelBarrier:
+  case Opcode::RejoinBarrier:
+  case Opcode::SoftWait:
+  case Opcode::ArrivedCount:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool simtsr::isBinaryOp(Opcode Op) {
+  return (Op >= Opcode::Add && Op <= Opcode::Max) || isCompareOp(Op);
+}
+
+bool simtsr::isCompareOp(Opcode Op) {
+  return Op >= Opcode::CmpEQ && Op <= Opcode::CmpGE;
+}

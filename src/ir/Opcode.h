@@ -1,0 +1,107 @@
+//===- Opcode.h - SIMT IR opcode definitions -------------------*- C++ -*-===//
+///
+/// \file
+/// Opcodes of the simtsr IR: a small register machine rich enough to express
+/// the divergent Monte Carlo kernels from the paper plus the convergence-
+/// barrier primitives of Section 4 (Table 1) and the soft barrier of
+/// Section 4.6. All values are 64-bit signed integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_OPCODE_H
+#define SIMTSR_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace simtsr {
+
+enum class Opcode : uint8_t {
+  // Binary arithmetic / logic: dst = a <op> b.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Min,
+  Max,
+  // Unary: dst = <op> a.
+  Not,
+  Neg,
+  Mov,
+  // Comparisons (signed): dst = a <cmp> b ? 1 : 0.
+  CmpEQ,
+  CmpNE,
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+  // dst = cond ? a : b.
+  Select,
+  // SIMT specials (no operands, produce a value).
+  Tid,     ///< Global thread id within the launch.
+  LaneId,  ///< Lane within the warp (tid % warpSize).
+  WarpSize,
+  // Per-thread deterministic random stream.
+  Rand,      ///< dst = next raw 64-bit random value (non-negative).
+  RandRange, ///< dst = random in [a, b); a and b must satisfy a < b.
+  // Memory (global, shared across the warp).
+  Load,      ///< dst = mem[addr].
+  Store,     ///< mem[addr] = val.
+  AtomicAdd, ///< dst = old mem[addr]; mem[addr] += val. Single-warp atomic.
+  // Control flow (terminators except Call).
+  Br,   ///< br cond, thenBlock, elseBlock.
+  Jmp,  ///< jmp target.
+  Ret,  ///< ret [val].
+  Call, ///< [dst =] call @f(args...).
+  // Convergence-barrier primitives (Table 1). The operand names a barrier.
+  JoinBarrier,   ///< Enter the barrier; expect to wait at a later point.
+  WaitBarrier,   ///< Block until all participants arrive; clears membership.
+  CancelBarrier, ///< Withdraw from the barrier without waiting.
+  RejoinBarrier, ///< Re-enter a barrier previously cleared by a wait.
+  SoftWait,      ///< softwait barrier, threshold: release once
+                 ///< |waiting| >= min(threshold, |participants|).
+  ArrivedCount,  ///< dst = number of threads currently waiting on barrier.
+  WarpSync,      ///< Full-warp execution barrier (all live threads).
+  // Annotations.
+  Predict, ///< predict label: marks a prediction-region start (Section 4.1).
+  Nop,
+};
+
+/// Static properties of an opcode.
+struct OpcodeInfo {
+  const char *Name;    ///< Mnemonic used by the printer/parser.
+  bool HasDst;         ///< Defines a destination register.
+  int8_t NumOperands;  ///< Fixed operand count, or -1 for variadic (Call/Ret).
+  bool IsTerminator;   ///< Must appear last in a basic block.
+};
+
+/// \returns the static properties of \p Op.
+const OpcodeInfo &getOpcodeInfo(Opcode Op);
+
+/// \returns the mnemonic for \p Op (e.g. "add").
+const char *getOpcodeName(Opcode Op);
+
+/// \returns true for the barrier-manipulating opcodes whose first operand
+/// names a barrier (Join/Wait/Cancel/Rejoin/SoftWait/ArrivedCount).
+bool isBarrierOp(Opcode Op);
+
+/// \returns true for binary arithmetic/logic/compare opcodes.
+bool isBinaryOp(Opcode Op);
+
+/// \returns true for comparison opcodes.
+bool isCompareOp(Opcode Op);
+
+/// Total number of opcodes; useful for tables indexed by opcode.
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Nop) + 1;
+
+/// Number of architectural barrier registers (Volta exposes 16).
+constexpr unsigned NumBarrierRegisters = 16;
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_OPCODE_H

@@ -1,0 +1,129 @@
+//===- Operand.h - Instruction operands ------------------------*- C++ -*-===//
+///
+/// \file
+/// An instruction operand is one of: a virtual register, a 64-bit immediate,
+/// a basic-block reference (branch target or Predict label), a function
+/// reference (call target), or a barrier register id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_OPERAND_H
+#define SIMTSR_IR_OPERAND_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace simtsr {
+
+class BasicBlock;
+class Function;
+
+class Operand {
+public:
+  enum class Kind : uint8_t { Reg, Imm, Block, Func, Barrier };
+
+  static Operand reg(unsigned R) {
+    Operand O(Kind::Reg);
+    O.Storage.Reg = R;
+    return O;
+  }
+  static Operand imm(int64_t V) {
+    Operand O(Kind::Imm);
+    O.Storage.Imm = V;
+    return O;
+  }
+  static Operand block(BasicBlock *B) {
+    assert(B && "null block operand");
+    Operand O(Kind::Block);
+    O.Storage.Block = B;
+    return O;
+  }
+  static Operand func(Function *F) {
+    assert(F && "null function operand");
+    Operand O(Kind::Func);
+    O.Storage.Fn = F;
+    return O;
+  }
+  static Operand barrier(unsigned B) {
+    Operand O(Kind::Barrier);
+    O.Storage.Barrier = B;
+    return O;
+  }
+
+  Kind kind() const { return K; }
+  bool isReg() const { return K == Kind::Reg; }
+  bool isImm() const { return K == Kind::Imm; }
+  bool isBlock() const { return K == Kind::Block; }
+  bool isFunc() const { return K == Kind::Func; }
+  bool isBarrier() const { return K == Kind::Barrier; }
+
+  unsigned getReg() const {
+    assert(isReg() && "not a register operand");
+    return Storage.Reg;
+  }
+  int64_t getImm() const {
+    assert(isImm() && "not an immediate operand");
+    return Storage.Imm;
+  }
+  BasicBlock *getBlock() const {
+    assert(isBlock() && "not a block operand");
+    return Storage.Block;
+  }
+  Function *getFunc() const {
+    assert(isFunc() && "not a function operand");
+    return Storage.Fn;
+  }
+  unsigned getBarrier() const {
+    assert(isBarrier() && "not a barrier operand");
+    return Storage.Barrier;
+  }
+
+  /// Retargets a block operand; used by edge splitting.
+  void setBlock(BasicBlock *B) {
+    assert(isBlock() && B && "retarget requires a block operand");
+    Storage.Block = B;
+  }
+
+  /// Renames a barrier operand; used by the barrier allocator.
+  void setBarrier(unsigned B) {
+    assert(isBarrier() && "not a barrier operand");
+    Storage.Barrier = B;
+  }
+
+  friend bool operator==(const Operand &A, const Operand &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case Kind::Reg:
+      return A.Storage.Reg == B.Storage.Reg;
+    case Kind::Imm:
+      return A.Storage.Imm == B.Storage.Imm;
+    case Kind::Block:
+      return A.Storage.Block == B.Storage.Block;
+    case Kind::Func:
+      return A.Storage.Fn == B.Storage.Fn;
+    case Kind::Barrier:
+      return A.Storage.Barrier == B.Storage.Barrier;
+    }
+    return false;
+  }
+  friend bool operator!=(const Operand &A, const Operand &B) {
+    return !(A == B);
+  }
+
+private:
+  explicit Operand(Kind K) : K(K) {}
+
+  Kind K;
+  union {
+    unsigned Reg;
+    int64_t Imm;
+    BasicBlock *Block;
+    Function *Fn;
+    unsigned Barrier;
+  } Storage;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_OPERAND_H

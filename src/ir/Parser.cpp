@@ -1,0 +1,478 @@
+//===- Parser.cpp - Textual IR parsing --------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Opcode.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+using namespace simtsr;
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    Ident,   // func, opcode mnemonics, block labels, reconverge_entry
+    Int,     // 123 or -123
+    Reg,     // %5
+    Barrier, // b3 — only produced on demand by the parser, lexed as Ident
+    At,      // @
+    Comma,
+    Colon,
+    Equals,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Newline,
+    End,
+  };
+  Kind K;
+  std::string Text;
+  int64_t Value = 0;
+  unsigned Line = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) {}
+
+  std::vector<Token> run(std::vector<std::string> &Errors) {
+    std::vector<Token> Tokens;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (C == '\n') {
+        Tokens.push_back({Token::Kind::Newline, "\n", 0, Line});
+        ++Line;
+        ++Pos;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+        continue;
+      }
+      if (C == '%') {
+        ++Pos;
+        auto Num = lexNumber();
+        if (!Num) {
+          Errors.push_back(lineMsg("expected register number after '%'"));
+          return Tokens;
+        }
+        Tokens.push_back({Token::Kind::Reg, "%", *Num, Line});
+        continue;
+      }
+      if (C == '-' || std::isdigit(static_cast<unsigned char>(C))) {
+        bool Negative = C == '-';
+        if (Negative)
+          ++Pos;
+        auto Num = lexNumber();
+        if (!Num) {
+          Errors.push_back(lineMsg("expected digits"));
+          return Tokens;
+        }
+        Tokens.push_back(
+            {Token::Kind::Int, "", Negative ? -*Num : *Num, Line});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '.') {
+        size_t Start = Pos;
+        while (Pos < Text.size() &&
+               (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+                Text[Pos] == '_' || Text[Pos] == '.'))
+          ++Pos;
+        Tokens.push_back({Token::Kind::Ident,
+                          Text.substr(Start, Pos - Start), 0, Line});
+        continue;
+      }
+      Token::Kind K;
+      switch (C) {
+      case '@':
+        K = Token::Kind::At;
+        break;
+      case ',':
+        K = Token::Kind::Comma;
+        break;
+      case ':':
+        K = Token::Kind::Colon;
+        break;
+      case '=':
+        K = Token::Kind::Equals;
+        break;
+      case '{':
+        K = Token::Kind::LBrace;
+        break;
+      case '}':
+        K = Token::Kind::RBrace;
+        break;
+      case '(':
+        K = Token::Kind::LParen;
+        break;
+      case ')':
+        K = Token::Kind::RParen;
+        break;
+      default:
+        Errors.push_back(lineMsg(std::string("unexpected character '") + C +
+                                 "'"));
+        return Tokens;
+      }
+      Tokens.push_back({K, std::string(1, C), 0, Line});
+      ++Pos;
+    }
+    Tokens.push_back({Token::Kind::End, "", 0, Line});
+    return Tokens;
+  }
+
+private:
+  std::optional<int64_t> lexNumber() {
+    if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return std::nullopt;
+    int64_t V = 0;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      V = V * 10 + (Text[Pos] - '0');
+      ++Pos;
+    }
+    return V;
+  }
+
+  std::string lineMsg(const std::string &Msg) const {
+    return "line " + std::to_string(Line + 1) + ": " + Msg;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 0;
+};
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::vector<std::string> &Errors)
+      : Tokens(std::move(Tokens)), Errors(Errors) {
+    for (unsigned I = 0; I < NumOpcodes; ++I)
+      OpcodeByName[getOpcodeName(static_cast<Opcode>(I))] =
+          static_cast<Opcode>(I);
+  }
+
+  std::unique_ptr<Module> run() {
+    auto M = std::make_unique<Module>();
+    skipNewlines();
+    if (peek().K == Token::Kind::Ident && peek().Text == "memory") {
+      next();
+      if (!expect(Token::Kind::Int, "memory size"))
+        return nullptr;
+      M->setGlobalMemoryWords(static_cast<uint64_t>(Prev.Value));
+      if (!expectNewline())
+        return nullptr;
+    }
+    // First pass: register function signatures for forward references.
+    preScanFunctions(*M);
+    if (!Errors.empty())
+      return nullptr;
+    skipNewlines();
+    while (peek().K != Token::Kind::End) {
+      if (!parseFunction(*M))
+        return nullptr;
+      skipNewlines();
+    }
+    return M;
+  }
+
+private:
+  const Token &peek() const { return Tokens[Cursor]; }
+  const Token &next() {
+    Prev = Tokens[Cursor];
+    if (Tokens[Cursor].K != Token::Kind::End)
+      ++Cursor;
+    return Prev;
+  }
+  void skipNewlines() {
+    while (peek().K == Token::Kind::Newline)
+      next();
+  }
+  void error(const std::string &Msg) {
+    Errors.push_back("line " + std::to_string(peek().Line + 1) + ": " + Msg);
+  }
+  bool expect(Token::Kind K, const std::string &What) {
+    if (peek().K != K) {
+      error("expected " + What);
+      return false;
+    }
+    next();
+    return true;
+  }
+  bool expectIdent(const std::string &Word) {
+    if (peek().K != Token::Kind::Ident || peek().Text != Word) {
+      error("expected '" + Word + "'");
+      return false;
+    }
+    next();
+    return true;
+  }
+  bool expectNewline() {
+    if (peek().K == Token::Kind::End)
+      return true;
+    return expect(Token::Kind::Newline, "end of line");
+  }
+
+  /// Scans the token stream for `func @name ( N )` headers and creates the
+  /// (empty) functions so that calls may reference them in any order.
+  void preScanFunctions(Module &M) {
+    for (size_t I = 0; I + 5 < Tokens.size(); ++I) {
+      if (Tokens[I].K != Token::Kind::Ident || Tokens[I].Text != "func")
+        continue;
+      if (Tokens[I + 1].K != Token::Kind::At ||
+          Tokens[I + 2].K != Token::Kind::Ident ||
+          Tokens[I + 3].K != Token::Kind::LParen ||
+          Tokens[I + 4].K != Token::Kind::Int ||
+          Tokens[I + 5].K != Token::Kind::RParen) {
+        Errors.push_back("line " + std::to_string(Tokens[I].Line + 1) +
+                         ": malformed function header");
+        return;
+      }
+      if (M.functionByName(Tokens[I + 2].Text)) {
+        Errors.push_back("line " + std::to_string(Tokens[I].Line + 1) +
+                         ": duplicate function '@" + Tokens[I + 2].Text +
+                         "'");
+        return;
+      }
+      M.createFunction(Tokens[I + 2].Text,
+                       static_cast<unsigned>(Tokens[I + 4].Value));
+    }
+  }
+
+  bool parseFunction(Module &M) {
+    if (!expectIdent("func") || !expect(Token::Kind::At, "'@'") ||
+        !expect(Token::Kind::Ident, "function name"))
+      return false;
+    Function *F = M.functionByName(Prev.Text);
+    assert(F && "pre-scan must have created the function");
+    if (!expect(Token::Kind::LParen, "'('") ||
+        !expect(Token::Kind::Int, "parameter count") ||
+        !expect(Token::Kind::RParen, "')'"))
+      return false;
+    if (peek().K == Token::Kind::Ident &&
+        peek().Text == "reconverge_entry") {
+      next();
+      F->setReconvergeAtEntry(true);
+    }
+    if (!expect(Token::Kind::LBrace, "'{'"))
+      return false;
+
+    // Pre-create blocks: any `IDENT :` at the start of a line is a label.
+    preScanBlocks(*F);
+    if (!Errors.empty())
+      return false;
+
+    skipNewlines();
+    BasicBlock *Current = nullptr;
+    while (peek().K != Token::Kind::RBrace) {
+      if (peek().K == Token::Kind::End) {
+        error("unexpected end of input inside function");
+        return false;
+      }
+      // Label line?
+      if (peek().K == Token::Kind::Ident &&
+          Cursor + 1 < Tokens.size() &&
+          Tokens[Cursor + 1].K == Token::Kind::Colon) {
+        Current = F->blockByName(peek().Text);
+        assert(Current && "pre-scan must have created the block");
+        next();
+        next();
+        if (!expectNewline())
+          return false;
+        skipNewlines();
+        continue;
+      }
+      if (!Current) {
+        error("instruction before first block label");
+        return false;
+      }
+      if (!parseInstruction(M, *F, *Current))
+        return false;
+      skipNewlines();
+    }
+    next(); // consume '}'
+    F->recomputePreds();
+    return true;
+  }
+
+  /// Creates this function's blocks, in order, from label lines between the
+  /// current '{' and its matching '}'.
+  void preScanBlocks(Function &F) {
+    bool AtLineStart = true;
+    for (size_t I = Cursor; I < Tokens.size(); ++I) {
+      if (Tokens[I].K == Token::Kind::RBrace)
+        return;
+      if (Tokens[I].K == Token::Kind::Newline) {
+        AtLineStart = true;
+        continue;
+      }
+      if (AtLineStart && Tokens[I].K == Token::Kind::Ident &&
+          I + 1 < Tokens.size() && Tokens[I + 1].K == Token::Kind::Colon) {
+        if (F.blockByName(Tokens[I].Text)) {
+          Errors.push_back("line " + std::to_string(Tokens[I].Line + 1) +
+                           ": duplicate block label '" + Tokens[I].Text +
+                           "'");
+          return;
+        }
+        F.createBlock(Tokens[I].Text);
+      }
+      AtLineStart = false;
+    }
+    Errors.push_back("missing '}' at end of function");
+  }
+
+  std::optional<Operand> parseValueOperand(Function &F) {
+    if (peek().K == Token::Kind::Reg) {
+      unsigned R = static_cast<unsigned>(next().Value);
+      F.reserveRegsThrough(R);
+      return Operand::reg(R);
+    }
+    if (peek().K == Token::Kind::Int)
+      return Operand::imm(next().Value);
+    error("expected register or immediate");
+    return std::nullopt;
+  }
+
+  std::optional<Operand> parseBlockOperand(Function &F) {
+    if (peek().K != Token::Kind::Ident) {
+      error("expected block label");
+      return std::nullopt;
+    }
+    BasicBlock *BB = F.blockByName(next().Text);
+    if (!BB) {
+      error("unknown block '" + Prev.Text + "'");
+      return std::nullopt;
+    }
+    return Operand::block(BB);
+  }
+
+  std::optional<Operand> parseBarrierOperand() {
+    if (peek().K != Token::Kind::Ident || peek().Text.size() < 2 ||
+        peek().Text[0] != 'b' ||
+        !std::isdigit(static_cast<unsigned char>(peek().Text[1]))) {
+      error("expected barrier register (e.g. b0)");
+      return std::nullopt;
+    }
+    unsigned B = 0;
+    for (size_t I = 1; I < peek().Text.size(); ++I) {
+      if (!std::isdigit(static_cast<unsigned char>(peek().Text[I]))) {
+        error("malformed barrier register");
+        return std::nullopt;
+      }
+      B = B * 10 + static_cast<unsigned>(peek().Text[I] - '0');
+    }
+    next();
+    return Operand::barrier(B);
+  }
+
+  bool parseInstruction(Module &M, Function &F, BasicBlock &BB) {
+    unsigned Dst = NoRegister;
+    if (peek().K == Token::Kind::Reg) {
+      Dst = static_cast<unsigned>(next().Value);
+      F.reserveRegsThrough(Dst);
+      if (!expect(Token::Kind::Equals, "'='"))
+        return false;
+    }
+    if (peek().K != Token::Kind::Ident) {
+      error("expected opcode mnemonic");
+      return false;
+    }
+    auto It = OpcodeByName.find(peek().Text);
+    if (It == OpcodeByName.end()) {
+      error("unknown opcode '" + peek().Text + "'");
+      return false;
+    }
+    next();
+    Opcode Op = It->second;
+    const OpcodeInfo &Info = getOpcodeInfo(Op);
+    if (Info.HasDst != (Dst != NoRegister)) {
+      error(Info.HasDst ? "opcode requires a destination"
+                        : "opcode takes no destination");
+      return false;
+    }
+
+    std::vector<Operand> Ops;
+    bool First = true;
+    while (peek().K != Token::Kind::Newline &&
+           peek().K != Token::Kind::End) {
+      if (!First && !expect(Token::Kind::Comma, "','"))
+        return false;
+      First = false;
+      auto O = parseOperand(M, F, Op, static_cast<unsigned>(Ops.size()));
+      if (!O)
+        return false;
+      Ops.push_back(*O);
+    }
+    BB.instructions().push_back(Instruction(Op, Dst, std::move(Ops)));
+    return expectNewline();
+  }
+
+  std::optional<Operand> parseOperand(Module &M, Function &F, Opcode Op,
+                                      unsigned Index) {
+    switch (Op) {
+    case Opcode::Br:
+      if (Index >= 1)
+        return parseBlockOperand(F);
+      return parseValueOperand(F);
+    case Opcode::Jmp:
+    case Opcode::Predict:
+      return parseBlockOperand(F);
+    case Opcode::JoinBarrier:
+    case Opcode::WaitBarrier:
+    case Opcode::CancelBarrier:
+    case Opcode::RejoinBarrier:
+    case Opcode::ArrivedCount:
+      return parseBarrierOperand();
+    case Opcode::SoftWait:
+      if (Index == 0)
+        return parseBarrierOperand();
+      return parseValueOperand(F);
+    case Opcode::Call: {
+      if (Index > 0)
+        return parseValueOperand(F);
+      if (!expect(Token::Kind::At, "'@'") ||
+          !expect(Token::Kind::Ident, "function name"))
+        return std::nullopt;
+      Function *Callee = M.functionByName(Prev.Text);
+      if (!Callee) {
+        error("unknown function '@" + Prev.Text + "'");
+        return std::nullopt;
+      }
+      return Operand::func(Callee);
+    }
+    default:
+      return parseValueOperand(F);
+    }
+  }
+
+  std::vector<Token> Tokens;
+  std::vector<std::string> &Errors;
+  size_t Cursor = 0;
+  Token Prev{Token::Kind::End, "", 0, 0};
+  std::map<std::string, Opcode> OpcodeByName;
+};
+
+} // namespace
+
+ParseResult simtsr::parseModule(const std::string &Text) {
+  ParseResult Result;
+  Lexer Lex(Text);
+  std::vector<Token> Tokens = Lex.run(Result.Errors);
+  if (!Result.Errors.empty())
+    return Result;
+  Parser P(std::move(Tokens), Result.Errors);
+  auto M = P.run();
+  if (!Result.Errors.empty())
+    return Result;
+  Result.M = std::move(M);
+  return Result;
+}

@@ -1,0 +1,34 @@
+//===- Parser.h - Textual IR parsing ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the `.sir` textual format produced by the printer. Parsing is
+/// line-oriented; `;` starts a comment. Errors are reported with line
+/// numbers rather than thrown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_PARSER_H
+#define SIMTSR_IR_PARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+struct ParseResult {
+  std::unique_ptr<Module> M; ///< Null when Errors is non-empty.
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Parses \p Text into a module. On any error the module is dropped and all
+/// collected diagnostics are returned.
+ParseResult parseModule(const std::string &Text);
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_PARSER_H

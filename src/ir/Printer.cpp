@@ -1,0 +1,62 @@
+//===- Printer.cpp - Textual IR output -------------------------------------===//
+
+#include "ir/Printer.h"
+
+using namespace simtsr;
+
+static void printOperand(std::string &Out, const Operand &O) {
+  switch (O.kind()) {
+  case Operand::Kind::Reg:
+    Out += "%" + std::to_string(O.getReg());
+    return;
+  case Operand::Kind::Imm:
+    Out += std::to_string(O.getImm());
+    return;
+  case Operand::Kind::Block:
+    Out += O.getBlock()->name();
+    return;
+  case Operand::Kind::Func:
+    Out += "@" + O.getFunc()->name();
+    return;
+  case Operand::Kind::Barrier:
+    Out += "b" + std::to_string(O.getBarrier());
+    return;
+  }
+}
+
+std::string simtsr::printInstruction(const Instruction &I) {
+  std::string Out;
+  if (I.hasDst())
+    Out += "%" + std::to_string(I.dst()) + " = ";
+  Out += getOpcodeName(I.opcode());
+  for (unsigned Idx = 0; Idx < I.numOperands(); ++Idx) {
+    Out += Idx == 0 ? " " : ", ";
+    printOperand(Out, I.operand(Idx));
+  }
+  return Out;
+}
+
+std::string simtsr::printFunction(const Function &F) {
+  std::string Out = "func @" + F.name() + "(" +
+                    std::to_string(F.numParams()) + ")";
+  if (F.reconvergeAtEntry())
+    Out += " reconverge_entry";
+  Out += " {\n";
+  for (const BasicBlock *BB : F) {
+    Out += BB->name() + ":\n";
+    for (const Instruction &I : BB->instructions())
+      Out += "  " + printInstruction(I) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string simtsr::printModule(const Module &M) {
+  std::string Out =
+      "memory " + std::to_string(M.globalMemoryWords()) + "\n";
+  for (const auto &F : M) {
+    Out += "\n";
+    Out += printFunction(*F);
+  }
+  return Out;
+}

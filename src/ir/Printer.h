@@ -1,0 +1,30 @@
+//===- Printer.h - Textual IR output ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Prints modules, functions and instructions in the `.sir` textual format
+/// accepted by the parser. print(parse(X)) is the identity on well-formed
+/// input modulo whitespace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_PRINTER_H
+#define SIMTSR_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace simtsr {
+
+/// Renders one instruction (no trailing newline).
+std::string printInstruction(const Instruction &I);
+
+/// Renders a whole function including the header and block labels.
+std::string printFunction(const Function &F);
+
+/// Renders the module: memory directive followed by every function.
+std::string printModule(const Module &M);
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_PRINTER_H

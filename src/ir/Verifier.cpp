@@ -1,0 +1,187 @@
+//===- Verifier.cpp - IR well-formedness checks ----------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Printer.h"
+
+#include <set>
+
+using namespace simtsr;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  explicit FunctionVerifier(const Function &F) : F(F) {}
+
+  std::vector<std::string> run() {
+    if (F.empty()) {
+      error("function has no blocks");
+      return Diags;
+    }
+    checkBlockNames();
+    for (const BasicBlock *BB : F)
+      checkBlock(*BB);
+    return Diags;
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Diags.push_back("@" + F.name() + ": " + Msg);
+  }
+  void error(const BasicBlock &BB, const Instruction &I,
+             const std::string &Msg) {
+    Diags.push_back("@" + F.name() + ":" + BB.name() + ": '" +
+                    printInstruction(I) + "': " + Msg);
+  }
+
+  void checkBlockNames() {
+    std::set<std::string> Names;
+    for (const BasicBlock *BB : F)
+      if (!Names.insert(BB->name()).second)
+        error("duplicate block name '" + BB->name() + "'");
+  }
+
+  bool blockInFunction(const BasicBlock *Target) const {
+    for (const BasicBlock *BB : F)
+      if (BB == Target)
+        return true;
+    return false;
+  }
+
+  void checkBlock(const BasicBlock &BB) {
+    if (BB.empty()) {
+      error("block '" + BB.name() + "' is empty");
+      return;
+    }
+    if (!BB.hasTerminator())
+      error("block '" + BB.name() + "' does not end in a terminator");
+    for (size_t I = 0; I < BB.size(); ++I) {
+      const Instruction &Inst = BB.inst(I);
+      if (Inst.isTerminator() && I + 1 != BB.size())
+        error(BB, Inst, "terminator not at end of block");
+      checkInstruction(BB, Inst);
+    }
+  }
+
+  bool isValueOperand(const Operand &O) const { return O.isReg() || O.isImm(); }
+
+  void checkValueOperand(const BasicBlock &BB, const Instruction &I,
+                         const Operand &O) {
+    if (!isValueOperand(O)) {
+      error(BB, I, "expected register or immediate operand");
+      return;
+    }
+    if (O.isReg() && O.getReg() >= F.numRegs())
+      error(BB, I, "register out of range");
+  }
+
+  void checkBlockOperand(const BasicBlock &BB, const Instruction &I,
+                         const Operand &O) {
+    if (!O.isBlock()) {
+      error(BB, I, "expected block operand");
+      return;
+    }
+    if (!blockInFunction(O.getBlock()))
+      error(BB, I, "block operand not in this function");
+  }
+
+  void checkBarrierOperand(const BasicBlock &BB, const Instruction &I,
+                           const Operand &O) {
+    if (!O.isBarrier()) {
+      error(BB, I, "expected barrier operand");
+      return;
+    }
+    if (O.getBarrier() >= NumBarrierRegisters)
+      error(BB, I, "barrier register out of range");
+  }
+
+  void checkInstruction(const BasicBlock &BB, const Instruction &I) {
+    const OpcodeInfo &Info = getOpcodeInfo(I.opcode());
+    if (Info.HasDst != I.hasDst()) {
+      error(BB, I, Info.HasDst ? "missing destination register"
+                               : "unexpected destination register");
+      return;
+    }
+    if (I.hasDst() && I.dst() >= F.numRegs())
+      error(BB, I, "destination register out of range");
+    if (Info.NumOperands >= 0 &&
+        I.numOperands() != static_cast<unsigned>(Info.NumOperands)) {
+      error(BB, I, "wrong operand count");
+      return;
+    }
+
+    switch (I.opcode()) {
+    case Opcode::Br:
+      checkValueOperand(BB, I, I.operand(0));
+      checkBlockOperand(BB, I, I.operand(1));
+      checkBlockOperand(BB, I, I.operand(2));
+      break;
+    case Opcode::Jmp:
+    case Opcode::Predict:
+      checkBlockOperand(BB, I, I.operand(0));
+      break;
+    case Opcode::Ret:
+      if (I.numOperands() > 1) {
+        error(BB, I, "ret takes at most one operand");
+        break;
+      }
+      if (I.numOperands() == 1)
+        checkValueOperand(BB, I, I.operand(0));
+      break;
+    case Opcode::Call: {
+      if (I.numOperands() < 1 || !I.operand(0).isFunc()) {
+        error(BB, I, "call requires a function operand");
+        break;
+      }
+      const Function *Callee = I.operand(0).getFunc();
+      if (I.numOperands() - 1 != Callee->numParams())
+        error(BB, I, "call arity mismatch");
+      for (unsigned Idx = 1; Idx < I.numOperands(); ++Idx)
+        checkValueOperand(BB, I, I.operand(Idx));
+      if (F.parent() && Callee->parent() != F.parent())
+        error(BB, I, "call target in a different module");
+      break;
+    }
+    case Opcode::JoinBarrier:
+    case Opcode::WaitBarrier:
+    case Opcode::CancelBarrier:
+    case Opcode::RejoinBarrier:
+    case Opcode::ArrivedCount:
+      checkBarrierOperand(BB, I, I.operand(0));
+      break;
+    case Opcode::SoftWait:
+      checkBarrierOperand(BB, I, I.operand(0));
+      checkValueOperand(BB, I, I.operand(1));
+      break;
+    default:
+      for (unsigned Idx = 0; Idx < I.numOperands(); ++Idx)
+        checkValueOperand(BB, I, I.operand(Idx));
+      break;
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> Diags;
+};
+
+} // namespace
+
+std::vector<std::string> simtsr::verifyFunction(const Function &F) {
+  return FunctionVerifier(F).run();
+}
+
+std::vector<std::string> simtsr::verifyModule(const Module &M) {
+  std::vector<std::string> Diags;
+  std::set<std::string> Names;
+  for (const auto &F : M)
+    if (!Names.insert(F->name()).second)
+      Diags.push_back("duplicate function name '@" + F->name() + "'");
+  for (const auto &F : M) {
+    auto FDiags = verifyFunction(*F);
+    Diags.insert(Diags.end(), FDiags.begin(), FDiags.end());
+  }
+  return Diags;
+}
+
+bool simtsr::isWellFormed(const Module &M) { return verifyModule(M).empty(); }

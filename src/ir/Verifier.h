@@ -1,0 +1,33 @@
+//===- Verifier.h - IR well-formedness checks ------------------*- C++ -*-===//
+///
+/// \file
+/// Structural verification of modules: block termination, operand kinds and
+/// counts, register/barrier ranges, and cross-references (branch targets and
+/// call targets). Returns diagnostics instead of aborting so tests can
+/// assert on malformed IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_VERIFIER_H
+#define SIMTSR_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+/// \returns diagnostics for every violation found in \p F; empty means the
+/// function is well formed.
+std::vector<std::string> verifyFunction(const Function &F);
+
+/// Verifies every function plus module-level invariants (unique names).
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Convenience wrapper: true when verifyModule reports nothing.
+bool isWellFormed(const Module &M);
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_VERIFIER_H

@@ -1,0 +1,47 @@
+//===- VoltaListing.cpp - Table 1 lowering view --------------------------------===//
+
+#include "ir/VoltaListing.h"
+
+#include "ir/Printer.h"
+
+using namespace simtsr;
+
+std::string simtsr::printVoltaListing(const Function &F) {
+  std::string Out = "// Volta lowering of @" + F.name() +
+                    " (Table 1: BSSY/BSYNC/BREAK)\n";
+  for (const BasicBlock *BB : F) {
+    Out += BB->name() + ":\n";
+    for (const Instruction &I : BB->instructions()) {
+      std::string Line;
+      switch (I.opcode()) {
+      case Opcode::JoinBarrier:
+        Line = "BSSY    B" + std::to_string(I.barrierId()) +
+               "            // JoinBarrier";
+        break;
+      case Opcode::RejoinBarrier:
+        Line = "BSSY    B" + std::to_string(I.barrierId()) +
+               "            // RejoinBarrier";
+        break;
+      case Opcode::WaitBarrier:
+        Line = "BSYNC   B" + std::to_string(I.barrierId()) +
+               "            // WaitBarrier";
+        break;
+      case Opcode::CancelBarrier:
+        Line = "BREAK   B" + std::to_string(I.barrierId()) +
+               "            // CancelBarrier";
+        break;
+      case Opcode::SoftWait:
+        Line = "BSYNC.SOFT B" + std::to_string(I.barrierId()) + ", " +
+               printInstruction(I).substr(
+                   printInstruction(I).rfind(", ") + 2) +
+               "   // soft barrier (Figure 6)";
+        break;
+      default:
+        Line = printInstruction(I);
+        break;
+      }
+      Out += "  " + Line + "\n";
+    }
+  }
+  return Out;
+}

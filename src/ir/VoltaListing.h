@@ -1,0 +1,28 @@
+//===- VoltaListing.h - Table 1 lowering view ------------------*- C++ -*-===//
+///
+/// \file
+/// Renders a function the way the paper's Table 1 lowers it: the
+/// convergence-barrier primitives appear as their Volta ISA equivalents
+/// (`JoinBarrier`/`RejoinBarrier` -> BSSY, `WaitBarrier` -> BSYNC,
+/// `CancelBarrier` -> BREAK), each carrying its barrier register as `Bn`.
+/// The soft wait has no single-instruction Volta equivalent (Figure 6
+/// builds it from the same three); it prints as `BSYNC.SOFT Bn, t` with a
+/// comment. Purely a presentation layer — the listing is not parseable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_IR_VOLTALISTING_H
+#define SIMTSR_IR_VOLTALISTING_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace simtsr {
+
+/// Renders \p F as an annotated Volta-flavoured listing.
+std::string printVoltaListing(const Function &F);
+
+} // namespace simtsr
+
+#endif // SIMTSR_IR_VOLTALISTING_H

@@ -1,0 +1,182 @@
+//===- Corpus.cpp - Synthetic application corpus (Section 5.4) ------------------===//
+
+#include "kernels/Corpus.h"
+
+#include "kernels/KernelBuild.h"
+#include "support/Rng.h"
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+namespace {
+
+/// Kernel archetypes, drawn with the skew the paper observed: divergent
+/// workloads are a small fraction of GPU applications.
+enum class Archetype {
+  StraightLine,      // Dense ALU, no control flow.
+  UniformLoop,       // Loop with a warp-uniform trip count.
+  UniformBranchLoop, // Loop + data-uniform conditional.
+  DivergentIf,       // Loop + divergent conditional (light arm).
+  DivergentIfHeavy,  // Loop + divergent conditional (heavy arm).
+  DivergentNest,     // Outer loop + divergent-trip inner loop.
+};
+
+Archetype pickArchetype(Rng &R) {
+  // ~84% uniform kernels, ~16% divergent of varying profitability — the
+  // paper's corpus skew (75 of 520 below ~80% efficiency).
+  uint64_t Roll = R.nextBelow(100);
+  if (Roll < 42)
+    return Archetype::StraightLine;
+  if (Roll < 66)
+    return Archetype::UniformLoop;
+  if (Roll < 84)
+    return Archetype::UniformBranchLoop;
+  if (Roll < 93)
+    return Archetype::DivergentIf;
+  if (Roll < 96)
+    return Archetype::DivergentIfHeavy;
+  return Archetype::DivergentNest;
+}
+
+} // namespace
+
+CorpusKernel simtsr::makeCorpusKernel(uint64_t Id) {
+  CorpusKernel K;
+  K.Id = Id;
+  Rng R(0xC0FFEE ^ (Id * 0x9e3779b97f4a7c15ull));
+  Archetype Kind = pickArchetype(R);
+
+  K.M = std::make_unique<Module>();
+  K.M->setGlobalMemoryWords(1 << 12);
+  Function *F = K.M->createFunction(K.KernelName, 0);
+  IRBuilder B(F);
+
+  const int64_t Trips = R.nextInRange(6, 24);
+  const int BodyOps = static_cast<int>(R.nextInRange(4, 24));
+
+  switch (Kind) {
+  case Archetype::StraightLine: {
+    BasicBlock *Entry = B.startBlock("entry");
+    (void)Entry;
+    unsigned Tid = B.tid();
+    unsigned X = B.add(Operand::reg(Tid), Operand::imm(3));
+    X = emitAluChain(B, X, BodyOps * 4, 1234567 + static_cast<int64_t>(Id));
+    B.store(Operand::reg(Tid), Operand::reg(X));
+    B.ret();
+    break;
+  }
+  case Archetype::UniformLoop:
+  case Archetype::UniformBranchLoop: {
+    BasicBlock *Entry = B.startBlock("entry");
+    BasicBlock *Header = F->createBlock("header");
+    BasicBlock *Arm = F->createBlock("arm");
+    BasicBlock *Latch = F->createBlock("latch");
+    BasicBlock *Exit = F->createBlock("exit");
+    B.setInsertBlock(Entry);
+    unsigned Tid = B.tid();
+    unsigned I = B.mov(Operand::imm(0));
+    unsigned Acc = B.mov(Operand::imm(1));
+    B.jmp(Header);
+    B.setInsertBlock(Header);
+    if (Kind == Archetype::UniformBranchLoop) {
+      // Condition depends only on the uniform induction variable.
+      unsigned Bit = B.andOp(Operand::reg(I), Operand::imm(1));
+      B.br(Operand::reg(Bit), Arm, Latch);
+    } else {
+      B.jmp(Arm);
+    }
+    B.setInsertBlock(Arm);
+    unsigned X = B.add(Operand::reg(Acc), Operand::reg(I));
+    X = emitAluChain(B, X, BodyOps, 2246822519);
+    emitMove(Arm, Acc, X);
+    B.jmp(Latch);
+    B.setInsertBlock(Latch);
+    unsigned INext = B.add(Operand::reg(I), Operand::imm(1));
+    emitMove(Latch, I, INext);
+    unsigned Done = B.cmpGE(Operand::reg(I), Operand::imm(Trips));
+    B.br(Operand::reg(Done), Exit, Header);
+    B.setInsertBlock(Exit);
+    B.store(Operand::reg(Tid), Operand::reg(Acc));
+    B.ret();
+    break;
+  }
+  case Archetype::DivergentIf:
+  case Archetype::DivergentIfHeavy: {
+    BasicBlock *Entry = B.startBlock("entry");
+    BasicBlock *Header = F->createBlock("header");
+    BasicBlock *Hot = F->createBlock("hot");
+    BasicBlock *Latch = F->createBlock("latch");
+    BasicBlock *Exit = F->createBlock("exit");
+    const int64_t HotPct = R.nextInRange(10, 50);
+    const int HotOps = Kind == Archetype::DivergentIfHeavy
+                           ? static_cast<int>(R.nextInRange(16, 96))
+                           : static_cast<int>(R.nextInRange(2, 12));
+    B.setInsertBlock(Entry);
+    unsigned Tid = B.tid();
+    unsigned I = B.mov(Operand::imm(0));
+    unsigned Acc = B.mov(Operand::imm(1));
+    B.jmp(Header);
+    B.setInsertBlock(Header);
+    unsigned Roll = B.randRange(Operand::imm(0), Operand::imm(100));
+    unsigned Hit = B.cmpLT(Operand::reg(Roll), Operand::imm(HotPct));
+    B.br(Operand::reg(Hit), Hot, Latch);
+    B.setInsertBlock(Hot);
+    unsigned X = B.add(Operand::reg(Acc), Operand::reg(Roll));
+    X = emitAluChain(B, X, HotOps, 2654435761);
+    emitMove(Hot, Acc, X);
+    B.jmp(Latch);
+    B.setInsertBlock(Latch);
+    unsigned INext = B.add(Operand::reg(I), Operand::imm(1));
+    emitMove(Latch, I, INext);
+    unsigned Done = B.cmpGE(Operand::reg(I), Operand::imm(Trips));
+    B.br(Operand::reg(Done), Exit, Header);
+    B.setInsertBlock(Exit);
+    B.store(Operand::reg(Tid), Operand::reg(Acc));
+    B.ret();
+    K.HasDivergenceSources = true;
+    break;
+  }
+  case Archetype::DivergentNest: {
+    BasicBlock *Entry = B.startBlock("entry");
+    BasicBlock *Outer = F->createBlock("outer");
+    BasicBlock *InnerHeader = F->createBlock("inner_header");
+    BasicBlock *InnerBody = F->createBlock("inner_body");
+    BasicBlock *Epilog = F->createBlock("epilog");
+    BasicBlock *Exit = F->createBlock("exit");
+    const int64_t MaxInner = R.nextInRange(2, 48);
+    const int InnerOps = static_cast<int>(R.nextInRange(4, 48));
+    B.setInsertBlock(Entry);
+    unsigned Tid = B.tid();
+    unsigned I = B.mov(Operand::imm(0));
+    unsigned Acc = B.mov(Operand::imm(1));
+    B.jmp(Outer);
+    B.setInsertBlock(Outer);
+    unsigned N = B.randRange(Operand::imm(0), Operand::imm(MaxInner));
+    unsigned J = B.mov(Operand::imm(0));
+    B.jmp(InnerHeader);
+    B.setInsertBlock(InnerHeader);
+    unsigned More = B.cmpLT(Operand::reg(J), Operand::reg(N));
+    B.br(Operand::reg(More), InnerBody, Epilog);
+    B.setInsertBlock(InnerBody);
+    unsigned X = B.add(Operand::reg(Acc), Operand::reg(J));
+    X = emitAluChain(B, X, InnerOps, 40503);
+    emitMove(InnerBody, Acc, X);
+    unsigned JNext = B.add(Operand::reg(J), Operand::imm(1));
+    emitMove(InnerBody, J, JNext);
+    B.jmp(InnerHeader);
+    B.setInsertBlock(Epilog);
+    unsigned INext = B.add(Operand::reg(I), Operand::imm(1));
+    emitMove(Epilog, I, INext);
+    unsigned Done = B.cmpGE(Operand::reg(I), Operand::imm(Trips));
+    B.br(Operand::reg(Done), Exit, Outer);
+    B.setInsertBlock(Exit);
+    B.store(Operand::reg(Tid), Operand::reg(Acc));
+    B.ret();
+    K.HasDivergenceSources = true;
+    break;
+  }
+  }
+
+  F->recomputePreds();
+  return K;
+}

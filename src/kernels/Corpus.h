@@ -1,0 +1,41 @@
+//===- Corpus.h - Synthetic application corpus (Section 5.4) ----*- C++ -*-===//
+///
+/// \file
+/// Section 5.4 scans a database of 520 CUDA applications: 75 had SIMT
+/// efficiency below ~80%, automatic detection found non-trivial
+/// opportunity in 16, and 5 improved significantly. We reproduce the
+/// shape of that funnel with a seeded generator of structured random
+/// kernels: most are uniform (divergence-free), a minority carry divergent
+/// conditionals or divergent-trip inner loops of varying weight, and only
+/// kernels whose common code dominates the refill path profit from
+/// speculative reconvergence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_KERNELS_CORPUS_H
+#define SIMTSR_KERNELS_CORPUS_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace simtsr {
+
+struct CorpusKernel {
+  uint64_t Id = 0;
+  std::unique_ptr<Module> M;
+  std::string KernelName = "app";
+  /// Generator ground truth, for sanity checks only — the study itself
+  /// must rediscover divergence from measurements.
+  bool HasDivergenceSources = false;
+};
+
+/// Deterministically generates application \p Id of the corpus.
+CorpusKernel makeCorpusKernel(uint64_t Id);
+
+/// The paper's corpus size.
+constexpr unsigned CorpusSize = 520;
+
+} // namespace simtsr
+
+#endif // SIMTSR_KERNELS_CORPUS_H

@@ -1,0 +1,101 @@
+//===- GpuMCML.cpp - Photon transport in turbid media ---------------------------===//
+///
+/// \file
+/// GPU-MCML [Alerstam et al.]: photon transport through layered turbid
+/// media. A photon random-walks, losing weight each scattering step until
+/// the weight drops below a threshold; a roulette then kills or boosts
+/// it. Step counts are geometrically distributed per photon, giving the
+/// divergent inner loop the paper exploits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuild.h"
+#include "kernels/Workload.h"
+#include "sim/Warp.h"
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+Workload simtsr::makeGpuMCML(double Scale) {
+  Workload W;
+  W.Name = "gpu-mcml";
+  W.Description = "Photon transport in turbid media with weight roulette "
+                  "(geometric step counts)";
+  W.Pattern = DivergencePattern::LoopMerge;
+  W.KernelName = "gpumcml";
+  W.Latency = LatencyModel::computeBound();
+  W.Scale = Scale;
+
+  const int64_t Photons = scaled(8, Scale);
+  const int64_t InitialWeight = 1 << 20;
+  const int64_t WeightFloor = 1 << 12;
+  const int64_t StepOps = 26;   // Scatter direction sampling weight.
+  const int64_t SurviveOdds = 6; // Roulette: 1-in-6 survival boost.
+
+  W.M = std::make_unique<Module>();
+  W.M->setGlobalMemoryWords(1 << 12);
+  Function *F = W.M->createFunction("gpumcml", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *LaunchPhoton = F->createBlock("launch_photon");
+  BasicBlock *StepHeader = F->createBlock("step_header");
+  BasicBlock *Step = F->createBlock("step");
+  BasicBlock *Roulette = F->createBlock("roulette");
+  BasicBlock *Boost = F->createBlock("boost");
+  BasicBlock *Record = F->createBlock("record");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned Tid = B.tid();
+  unsigned Photon = B.mov(Operand::imm(0));
+  unsigned Fluence = B.mov(Operand::imm(1));
+  B.predict(Step);
+  B.jmp(LaunchPhoton);
+
+  B.setInsertBlock(LaunchPhoton);
+  unsigned WInit = B.mov(Operand::imm(InitialWeight));
+  unsigned Weight = B.mov(Operand::reg(WInit));
+  B.jmp(StepHeader);
+
+  B.setInsertBlock(StepHeader);
+  unsigned Alive = B.cmpGT(Operand::reg(Weight), Operand::imm(WeightFloor));
+  B.br(Operand::reg(Alive), Step, Roulette);
+
+  // One scattering step: sample a direction, deposit, decay the weight.
+  B.setInsertBlock(Step);
+  unsigned X = B.add(Operand::reg(Fluence), Operand::reg(Weight));
+  X = emitAluChain(B, X, static_cast<int>(StepOps), 1229782938);
+  emitMove(Step, Fluence, X);
+  unsigned DecayPct = B.randRange(Operand::imm(55), Operand::imm(95));
+  unsigned Scaled = B.mul(Operand::reg(Weight), Operand::reg(DecayPct));
+  unsigned WNext = B.div(Operand::reg(Scaled), Operand::imm(100));
+  emitMove(Step, Weight, WNext);
+  B.jmp(StepHeader);
+
+  // Roulette: occasionally boost the photon back to life.
+  B.setInsertBlock(Roulette);
+  unsigned Roll = B.randRange(Operand::imm(0), Operand::imm(SurviveOdds));
+  unsigned Survives = B.cmpEQ(Operand::reg(Roll), Operand::imm(0));
+  B.br(Operand::reg(Survives), Boost, Record);
+
+  B.setInsertBlock(Boost);
+  unsigned Boosted = B.mul(Operand::reg(Weight), Operand::imm(SurviveOdds));
+  emitMove(Boost, Weight, Boosted);
+  B.jmp(StepHeader);
+
+  B.setInsertBlock(Record);
+  unsigned Y = B.xorOp(Operand::reg(Fluence), Operand::reg(Weight));
+  emitMove(Record, Fluence, Y);
+  unsigned PNext = B.add(Operand::reg(Photon), Operand::imm(1));
+  emitMove(Record, Photon, PNext);
+  unsigned Done = B.cmpGE(Operand::reg(Photon), Operand::imm(Photons));
+  B.br(Operand::reg(Done), Exit, LaunchPhoton);
+
+  B.setInsertBlock(Exit);
+  unsigned Slot = B.add(Operand::reg(Tid), Operand::imm(ResultBase));
+  B.store(Operand::reg(Slot), Operand::reg(Fluence));
+  B.ret();
+
+  F->recomputePreds();
+  return W;
+}

@@ -1,0 +1,64 @@
+//===- KernelBuild.h - Shared kernel-construction helpers ------*- C++ -*-===//
+///
+/// \file
+/// Small IR-emission helpers shared by the workload builders: ALU chains
+/// standing in for physics/shading math, table lookups, and the common
+/// memory-layout conventions (per-thread result slots at the bottom of
+/// memory, lookup tables above them, one atomic counter word).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_KERNELS_KERNELBUILD_H
+#define SIMTSR_KERNELS_KERNELBUILD_H
+
+#include "ir/IRBuilder.h"
+
+namespace simtsr {
+namespace kernelbuild {
+
+/// Memory layout shared by all workloads.
+constexpr int64_t ResultBase = 0;    ///< mem[ResultBase + tid]: checksum.
+constexpr int64_t CounterWord = 96;  ///< One atomic counter.
+constexpr int64_t TableBase = 128;   ///< Lookup tables live here and up.
+
+/// Emits \p Count dependent multiply-xor rounds over register \p Value;
+/// \returns the final register. Stands in for the dense arithmetic of
+/// cross-section / shading / hashing inner loops.
+inline unsigned emitAluChain(IRBuilder &B, unsigned Value, int Count,
+                             int64_t SeedConst) {
+  unsigned X = Value;
+  for (int K = 0; K < Count; ++K) {
+    X = B.mul(Operand::reg(X), Operand::imm(SeedConst + 2 * K + 1));
+    X = B.xorOp(Operand::reg(X), Operand::imm(0x9e3779b9 + K));
+  }
+  return X;
+}
+
+/// Emits a table load at TableBase + (\p Index masked into
+/// [0, TableWords)); \p TableWords must be a power of two so the mask
+/// stays non-negative even for wrapped-around indices. \returns the
+/// loaded register.
+inline unsigned emitTableLoad(IRBuilder &B, unsigned Index,
+                              int64_t TableWords) {
+  assert((TableWords & (TableWords - 1)) == 0 &&
+         "table size must be a power of two");
+  unsigned Slot = B.andOp(Operand::reg(Index), Operand::imm(TableWords - 1));
+  unsigned Addr = B.add(Operand::reg(Slot), Operand::imm(TableBase));
+  return B.load(Operand::reg(Addr));
+}
+
+/// Reassigns \p Dst := \p Src (non-SSA move into an existing register).
+inline void emitMove(BasicBlock *BB, unsigned Dst, unsigned Src) {
+  BB->append(Instruction(Opcode::Mov, Dst, {Operand::reg(Src)}));
+}
+
+/// Scales \p Value by \p Scale, never below \p Min.
+inline int64_t scaled(int64_t Value, double Scale, int64_t Min = 1) {
+  auto V = static_cast<int64_t>(static_cast<double>(Value) * Scale);
+  return V < Min ? Min : V;
+}
+
+} // namespace kernelbuild
+} // namespace simtsr
+
+#endif // SIMTSR_KERNELS_KERNELBUILD_H

@@ -1,0 +1,82 @@
+//===- MCB.cpp - LLNL Monte Carlo Benchmark ------------------------------------===//
+///
+/// \file
+/// MCB [LLNL codesign]: simplified heuristic transport equation. Particles
+/// stream cheaply most steps; occasionally a collision triggers expensive
+/// physics (scatter sampling). The collision branch fires in a different
+/// iteration for each thread — the canonical Iteration Delay pattern
+/// (Figure 2(a)).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuild.h"
+#include "kernels/Workload.h"
+#include "sim/Warp.h"
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+Workload simtsr::makeMCB(double Scale) {
+  Workload W;
+  W.Name = "mcb";
+  W.Description = "LLNL Monte Carlo transport benchmark (iteration delay)";
+  W.Pattern = DivergencePattern::IterationDelay;
+  W.KernelName = "mcb";
+  W.Latency = LatencyModel::computeBound();
+  W.Scale = Scale;
+
+  const int64_t Steps = scaled(48, Scale);
+  const int64_t CollisionPct = 12;      // Rare, expensive event.
+  const int64_t CollisionOps = 45;      // Scatter physics weight.
+  const int64_t StreamOps = 3;          // Cheap streaming step.
+
+  W.M = std::make_unique<Module>();
+  W.M->setGlobalMemoryWords(1 << 12);
+  Function *F = W.M->createFunction("mcb", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Header = F->createBlock("step");
+  BasicBlock *Collision = F->createBlock("collision");
+  BasicBlock *Epilog = F->createBlock("epilog");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned Tid = B.tid();
+  unsigned I = B.mov(Operand::imm(0));
+  unsigned Pos = B.mov(Operand::imm(7));
+  B.predict(Collision);
+  B.jmp(Header);
+
+  // Streaming step: cheap position update, then the divergent test.
+  B.setInsertBlock(Header);
+  unsigned Delta = B.randRange(Operand::imm(1), Operand::imm(64));
+  unsigned P1 = B.add(Operand::reg(Pos), Operand::reg(Delta));
+  P1 = emitAluChain(B, P1, static_cast<int>(StreamOps), 1664525);
+  emitMove(Header, Pos, P1);
+  unsigned Roll = B.randRange(Operand::imm(0), Operand::imm(100));
+  unsigned Hit = B.cmpLT(Operand::reg(Roll), Operand::imm(CollisionPct));
+  B.br(Operand::reg(Hit), Collision, Epilog);
+
+  // Collision: expensive scatter physics.
+  B.setInsertBlock(Collision);
+  unsigned Angle = B.randRange(Operand::imm(0), Operand::imm(360));
+  unsigned X = B.add(Operand::reg(Pos), Operand::reg(Angle));
+  X = emitAluChain(B, X, static_cast<int>(CollisionOps), 22695477);
+  emitMove(Collision, Pos, X);
+  B.atomicAdd(Operand::imm(CounterWord), Operand::imm(1));
+  B.jmp(Epilog);
+
+  B.setInsertBlock(Epilog);
+  unsigned INext = B.add(Operand::reg(I), Operand::imm(1));
+  emitMove(Epilog, I, INext);
+  unsigned Done = B.cmpGE(Operand::reg(I), Operand::imm(Steps));
+  B.br(Operand::reg(Done), Exit, Header);
+
+  B.setInsertBlock(Exit);
+  unsigned Slot = B.add(Operand::reg(Tid), Operand::imm(ResultBase));
+  B.store(Operand::reg(Slot), Operand::reg(Pos));
+  B.ret();
+
+  F->recomputePreds();
+  return W;
+}

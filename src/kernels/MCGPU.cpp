@@ -1,0 +1,102 @@
+//===- MCGPU.cpp - X-ray photon transport (CT imaging) -------------------------===//
+///
+/// \file
+/// MC-GPU [Badal & Badano]: Monte Carlo x-ray transport through the human
+/// anatomy. Each photon undergoes a random sequence of interactions:
+/// Compton scatter (expensive sampling), Rayleigh scatter (moderate) or
+/// photoelectric absorption (terminates the photon). The interaction type
+/// diverges every step; the Compton arm is the reconvergence target.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuild.h"
+#include "kernels/Workload.h"
+#include "sim/Warp.h"
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+Workload simtsr::makeMCGPU(double Scale) {
+  Workload W;
+  W.Name = "mc-gpu";
+  W.Description = "Monte Carlo x-ray transport for CT imaging "
+                  "(divergent interaction types)";
+  W.Pattern = DivergencePattern::IterationDelay;
+  W.KernelName = "mcgpu";
+  W.Latency = LatencyModel::computeBound();
+  W.Scale = Scale;
+
+  const int64_t Photons = scaled(10, Scale);
+  const int64_t ComptonPct = 35;  // P(Compton) per interaction.
+  const int64_t RayleighPct = 65; // P(Compton or Rayleigh).
+  const int64_t ComptonOps = 40;  // Klein-Nishina sampling weight.
+  const int64_t RayleighOps = 8;
+
+  W.M = std::make_unique<Module>();
+  W.M->setGlobalMemoryWords(1 << 12);
+  Function *F = W.M->createFunction("mcgpu", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Source = F->createBlock("source");
+  BasicBlock *Interact = F->createBlock("interact");
+  BasicBlock *Compton = F->createBlock("compton");
+  BasicBlock *CheckRayleigh = F->createBlock("check_rayleigh");
+  BasicBlock *Rayleigh = F->createBlock("rayleigh");
+  BasicBlock *Absorbed = F->createBlock("absorbed");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned Tid = B.tid();
+  unsigned Photon = B.mov(Operand::imm(0));
+  unsigned Dose = B.mov(Operand::imm(1));
+  B.predict(Compton);
+  B.jmp(Source);
+
+  // Source: emit a fresh photon.
+  B.setInsertBlock(Source);
+  unsigned EnergyInit = B.randRange(Operand::imm(20), Operand::imm(140));
+  unsigned Energy = B.mov(Operand::reg(EnergyInit));
+  B.jmp(Interact);
+
+  // Interaction site: sample the interaction type.
+  B.setInsertBlock(Interact);
+  unsigned Roll = B.randRange(Operand::imm(0), Operand::imm(100));
+  unsigned IsCompton = B.cmpLT(Operand::reg(Roll), Operand::imm(ComptonPct));
+  B.br(Operand::reg(IsCompton), Compton, CheckRayleigh);
+
+  B.setInsertBlock(Compton);
+  unsigned X = B.add(Operand::reg(Dose), Operand::reg(Energy));
+  X = emitAluChain(B, X, static_cast<int>(ComptonOps), 134775813);
+  emitMove(Compton, Dose, X);
+  unsigned ELoss = B.shr(Operand::reg(Energy), Operand::imm(1));
+  emitMove(Compton, Energy, ELoss);
+  B.jmp(Interact);
+
+  B.setInsertBlock(CheckRayleigh);
+  unsigned IsRayleigh =
+      B.cmpLT(Operand::reg(Roll), Operand::imm(RayleighPct));
+  B.br(Operand::reg(IsRayleigh), Rayleigh, Absorbed);
+
+  B.setInsertBlock(Rayleigh);
+  unsigned Y = B.add(Operand::reg(Dose), Operand::imm(13));
+  Y = emitAluChain(B, Y, static_cast<int>(RayleighOps), 214013);
+  emitMove(Rayleigh, Dose, Y);
+  B.jmp(Interact);
+
+  // Absorption ends the photon; move to the next one.
+  B.setInsertBlock(Absorbed);
+  unsigned Z = B.xorOp(Operand::reg(Dose), Operand::reg(Energy));
+  emitMove(Absorbed, Dose, Z);
+  unsigned PNext = B.add(Operand::reg(Photon), Operand::imm(1));
+  emitMove(Absorbed, Photon, PNext);
+  unsigned Done = B.cmpGE(Operand::reg(Photon), Operand::imm(Photons));
+  B.br(Operand::reg(Done), Exit, Source);
+
+  B.setInsertBlock(Exit);
+  unsigned Slot = B.add(Operand::reg(Tid), Operand::imm(ResultBase));
+  B.store(Operand::reg(Slot), Operand::reg(Dose));
+  B.ret();
+
+  F->recomputePreds();
+  return W;
+}

@@ -1,0 +1,97 @@
+//===- MeiyaMD5.cpp - MD5 hash reversal ----------------------------------------===//
+///
+/// \file
+/// MeiyaMD5 [Wu et al.]: GPU MD5 hash reversal. Each thread hashes a
+/// stream of candidate passwords; the number of MD5 block rounds depends
+/// on the candidate length, so the compute-heavy inner loop is load
+/// imbalanced — the paper calls it the ideal Loop Merge candidate
+/// (Section 5.4, found by automatic detection).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuild.h"
+#include "kernels/Workload.h"
+#include "sim/Warp.h"
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+Workload simtsr::makeMeiyaMD5(double Scale) {
+  Workload W;
+  W.Name = "meiyamd5";
+  W.Description = "MD5 hash reversal with length-dependent round counts "
+                  "(load-imbalanced compute)";
+  W.Pattern = DivergencePattern::LoopMerge;
+  W.KernelName = "meiyamd5";
+  W.Latency = LatencyModel::computeBound();
+  W.Scale = Scale;
+
+  const int64_t Candidates = scaled(8, Scale);
+  const int64_t MinLen = 2, MaxLen = 17; // Candidate password lengths.
+  const int64_t RoundsPerChar = 4;       // MD5 rounds scale with length.
+  const int64_t RoundOps = 16;           // F/G/H/I mixing weight per round.
+
+  W.M = std::make_unique<Module>();
+  W.M->setGlobalMemoryWords(1 << 12);
+  Function *F = W.M->createFunction("meiyamd5", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *NextCandidate = F->createBlock("next_candidate");
+  BasicBlock *RoundHeader = F->createBlock("round_header");
+  BasicBlock *Round = F->createBlock("round");
+  BasicBlock *Compare = F->createBlock("compare");
+  BasicBlock *Found = F->createBlock("found");
+  BasicBlock *Advance = F->createBlock("advance");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned Tid = B.tid();
+  unsigned Cand = B.mov(Operand::imm(0));
+  unsigned Digest = B.mov(Operand::imm(0x67452301));
+  B.predict(Round);
+  B.jmp(NextCandidate);
+
+  B.setInsertBlock(NextCandidate);
+  unsigned Len = B.randRange(Operand::imm(MinLen), Operand::imm(MaxLen));
+  unsigned Rounds = B.mul(Operand::reg(Len), Operand::imm(RoundsPerChar));
+  unsigned Word = B.rand();
+  unsigned R = B.mov(Operand::imm(0));
+  B.jmp(RoundHeader);
+
+  B.setInsertBlock(RoundHeader);
+  unsigned More = B.cmpLT(Operand::reg(R), Operand::reg(Rounds));
+  B.br(Operand::reg(More), Round, Compare);
+
+  // One MD5-style mixing round.
+  B.setInsertBlock(Round);
+  unsigned X = B.add(Operand::reg(Digest), Operand::reg(Word));
+  X = emitAluChain(B, X, static_cast<int>(RoundOps), 0xd76aa478);
+  emitMove(Round, Digest, X);
+  unsigned RNext = B.add(Operand::reg(R), Operand::imm(1));
+  emitMove(Round, R, RNext);
+  B.jmp(RoundHeader);
+
+  // Compare against the target digest (a match is astronomically rare).
+  B.setInsertBlock(Compare);
+  unsigned Low = B.andOp(Operand::reg(Digest), Operand::imm(0xffffff));
+  unsigned Match = B.cmpEQ(Operand::reg(Low), Operand::imm(0x123456));
+  B.br(Operand::reg(Match), Found, Advance);
+
+  B.setInsertBlock(Found);
+  B.atomicAdd(Operand::imm(CounterWord), Operand::imm(1));
+  B.jmp(Advance);
+
+  B.setInsertBlock(Advance);
+  unsigned CNext = B.add(Operand::reg(Cand), Operand::imm(1));
+  emitMove(Advance, Cand, CNext);
+  unsigned Done = B.cmpGE(Operand::reg(Cand), Operand::imm(Candidates));
+  B.br(Operand::reg(Done), Exit, NextCandidate);
+
+  B.setInsertBlock(Exit);
+  unsigned Slot = B.add(Operand::reg(Tid), Operand::imm(ResultBase));
+  B.store(Operand::reg(Slot), Operand::reg(Digest));
+  B.ret();
+
+  F->recomputePreds();
+  return W;
+}

@@ -1,0 +1,97 @@
+//===- Mummer.cpp - Suffix-tree sequence alignment ------------------------------===//
+///
+/// \file
+/// MUMmerGPU [Schatz et al.]: each thread aligns query reads against a
+/// reference suffix tree. The match-extension loop walks the tree for a
+/// query-dependent number of steps (read lengths and match depths vary),
+/// with a table load per step — a memory-leaning Loop Merge pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuild.h"
+#include "kernels/Workload.h"
+#include "sim/Warp.h"
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+Workload simtsr::makeMummer(double Scale) {
+  Workload W;
+  W.Name = "mummer";
+  W.Description = "Parallel sequence alignment for genome sequencing "
+                  "(divergent match lengths)";
+  W.Pattern = DivergencePattern::LoopMerge;
+  W.KernelName = "mummer";
+  W.Latency = LatencyModel::memoryBound();
+  W.Scale = Scale;
+
+  const int64_t Queries = scaled(8, Scale);
+  const int64_t MaxMatchLen = 48;
+  const int64_t TableWords = 2048;
+  const int64_t StepOps = 4;
+
+  W.M = std::make_unique<Module>();
+  W.M->setGlobalMemoryWords(1 << 13);
+  Function *F = W.M->createFunction("mummer", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *NextQuery = F->createBlock("next_query");
+  BasicBlock *MatchHeader = F->createBlock("match_header");
+  BasicBlock *MatchStep = F->createBlock("match_step");
+  BasicBlock *Report = F->createBlock("report");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned Tid = B.tid();
+  unsigned Query = B.mov(Operand::imm(0));
+  unsigned Score = B.mov(Operand::imm(1));
+  B.predict(MatchStep);
+  B.jmp(NextQuery);
+
+  // Fetch the next read; its match length diverges per thread.
+  B.setInsertBlock(NextQuery);
+  unsigned Len = B.randRange(Operand::imm(1), Operand::imm(MaxMatchLen));
+  unsigned Node = B.randRange(Operand::imm(0), Operand::imm(TableWords));
+  unsigned Step = B.mov(Operand::imm(0));
+  B.jmp(MatchHeader);
+
+  B.setInsertBlock(MatchHeader);
+  unsigned More = B.cmpLT(Operand::reg(Step), Operand::reg(Len));
+  B.br(Operand::reg(More), MatchStep, Report);
+
+  // One suffix-tree edge traversal: a child-pointer load plus scoring.
+  B.setInsertBlock(MatchStep);
+  unsigned Child = emitTableLoad(B, Node, TableWords);
+  unsigned NNext = B.add(Operand::reg(Node), Operand::reg(Child));
+  emitMove(MatchStep, Node, NNext);
+  unsigned X = B.add(Operand::reg(Score), Operand::reg(Child));
+  X = emitAluChain(B, X, static_cast<int>(StepOps), 48271);
+  emitMove(MatchStep, Score, X);
+  unsigned SNext = B.add(Operand::reg(Step), Operand::imm(1));
+  emitMove(MatchStep, Step, SNext);
+  B.jmp(MatchHeader);
+
+  // Report the maximal match and advance to the next query.
+  B.setInsertBlock(Report);
+  unsigned Y = B.xorOp(Operand::reg(Score), Operand::reg(Len));
+  emitMove(Report, Score, Y);
+  unsigned QNext = B.add(Operand::reg(Query), Operand::imm(1));
+  emitMove(Report, Query, QNext);
+  unsigned Done = B.cmpGE(Operand::reg(Query), Operand::imm(Queries));
+  B.br(Operand::reg(Done), Exit, NextQuery);
+
+  B.setInsertBlock(Exit);
+  unsigned Slot = B.add(Operand::reg(Tid), Operand::imm(ResultBase));
+  B.store(Operand::reg(Slot), Operand::reg(Score));
+  B.ret();
+
+  F->recomputePreds();
+
+  W.InitMemory = [TableWords](WarpSimulator &Sim) {
+    uint64_t Seed = 0x2545f4914f6cdd1dull;
+    for (int64_t I = 0; I < TableWords; ++I)
+      Sim.setMemory(static_cast<uint64_t>(TableBase + I),
+                    static_cast<int64_t>(splitMix64(Seed) % 97));
+  };
+  return W;
+}

@@ -1,0 +1,133 @@
+//===- OptixTrace.cpp - Ray-tracing engine trace --------------------------------===//
+///
+/// \file
+/// OptiX-style ray tracing [Parker et al.]: BVH traversal with a ray-
+/// dependent depth followed by a shade call that both the reflection and
+/// the miss paths invoke. Combines loop-trip divergence (the traversal
+/// loop) with the common-function-call pattern of Figure 2(c): the shade
+/// helper is marked reconverge_entry so the interprocedural pass gathers
+/// all threads at its body.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuild.h"
+#include "kernels/Workload.h"
+#include "sim/Warp.h"
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+Workload simtsr::makeOptixTrace(double Scale) {
+  Workload W;
+  W.Name = "optix";
+  W.Description = "Ray-tracing engine trace: divergent BVH traversal plus "
+                  "a common shade call";
+  W.Pattern = DivergencePattern::CommonCall;
+  W.KernelName = "optixtrace";
+  W.Latency = LatencyModel::computeBound();
+  W.Scale = Scale;
+
+  const int64_t Rays = scaled(8, Scale);
+  const int64_t MaxDepth = 28;  // BVH depth varies per ray.
+  const int64_t NodeOps = 6;    // Per-node intersection weight.
+  const int64_t ShadeOps = 36;  // Shading weight (the common code).
+  const int64_t TableWords = 1024;
+
+  W.M = std::make_unique<Module>();
+  W.M->setGlobalMemoryWords(1 << 12);
+
+  // The common shade helper: every ray shades, from whichever path.
+  Function *Shade = W.M->createFunction("shade", 1);
+  Shade->setReconvergeAtEntry(true);
+  {
+    IRBuilder B(Shade);
+    B.startBlock("entry");
+    unsigned X = B.add(Operand::reg(0), Operand::imm(0x101));
+    X = emitAluChain(B, X, static_cast<int>(ShadeOps), 16807);
+    B.ret(Operand::reg(X));
+  }
+
+  Function *F = W.M->createFunction("optixtrace", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Generate = F->createBlock("generate");
+  BasicBlock *TraverseHeader = F->createBlock("traverse_header");
+  BasicBlock *TraverseNode = F->createBlock("traverse_node");
+  BasicBlock *Classify = F->createBlock("classify");
+  BasicBlock *HitPath = F->createBlock("hit");
+  BasicBlock *MissPath = F->createBlock("miss");
+  BasicBlock *WriteBack = F->createBlock("writeback");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned Tid = B.tid();
+  unsigned Ray = B.mov(Operand::imm(0));
+  unsigned Image = B.mov(Operand::imm(1));
+  // Note: no predict on the traversal loop — its body is too cheap
+  // relative to ray regeneration, and gathering there regresses (we keep
+  // the rejected placement as an ablation in bench_ablation_deconflict).
+  // The profitable annotation is the reconverge_entry on @shade.
+  B.jmp(Generate);
+
+  B.setInsertBlock(Generate);
+  unsigned Depth = B.randRange(Operand::imm(1), Operand::imm(MaxDepth));
+  unsigned Node = B.randRange(Operand::imm(0), Operand::imm(TableWords));
+  unsigned Level = B.mov(Operand::imm(0));
+  B.jmp(TraverseHeader);
+
+  B.setInsertBlock(TraverseHeader);
+  unsigned More = B.cmpLT(Operand::reg(Level), Operand::reg(Depth));
+  B.br(Operand::reg(More), TraverseNode, Classify);
+
+  // One BVH node visit: child fetch plus slab-test arithmetic.
+  B.setInsertBlock(TraverseNode);
+  unsigned Child = emitTableLoad(B, Node, TableWords);
+  unsigned NNext = B.add(Operand::reg(Node), Operand::reg(Child));
+  emitMove(TraverseNode, Node, NNext);
+  unsigned T = B.add(Operand::reg(Image), Operand::reg(Child));
+  T = emitAluChain(B, T, static_cast<int>(NodeOps), 62089911);
+  emitMove(TraverseNode, Image, T);
+  unsigned LNext = B.add(Operand::reg(Level), Operand::imm(1));
+  emitMove(TraverseNode, Level, LNext);
+  B.jmp(TraverseHeader);
+
+  // Hit or miss: both paths shade (environment vs surface), divergently.
+  B.setInsertBlock(Classify);
+  unsigned Roll = B.randRange(Operand::imm(0), Operand::imm(100));
+  unsigned Hit = B.cmpLT(Operand::reg(Roll), Operand::imm(70));
+  B.br(Operand::reg(Hit), HitPath, MissPath);
+
+  B.setInsertBlock(HitPath);
+  unsigned SurfColor = B.call(Shade, {Operand::reg(Node)});
+  unsigned H = B.add(Operand::reg(Image), Operand::reg(SurfColor));
+  emitMove(HitPath, Image, H);
+  B.jmp(WriteBack);
+
+  B.setInsertBlock(MissPath);
+  unsigned EnvColor = B.call(Shade, {Operand::reg(Roll)});
+  unsigned Dimmed = B.shr(Operand::reg(EnvColor), Operand::imm(2));
+  unsigned Mi = B.xorOp(Operand::reg(Image), Operand::reg(Dimmed));
+  emitMove(MissPath, Image, Mi);
+  B.jmp(WriteBack);
+
+  B.setInsertBlock(WriteBack);
+  unsigned RNext = B.add(Operand::reg(Ray), Operand::imm(1));
+  emitMove(WriteBack, Ray, RNext);
+  unsigned Done = B.cmpGE(Operand::reg(Ray), Operand::imm(Rays));
+  B.br(Operand::reg(Done), Exit, Generate);
+
+  B.setInsertBlock(Exit);
+  unsigned Slot = B.add(Operand::reg(Tid), Operand::imm(ResultBase));
+  B.store(Operand::reg(Slot), Operand::reg(Image));
+  B.ret();
+
+  F->recomputePreds();
+
+  W.InitMemory = [TableWords](WarpSimulator &Sim) {
+    uint64_t Seed = 0x853c49e6748fea9bull;
+    for (int64_t I = 0; I < TableWords; ++I)
+      Sim.setMemory(static_cast<uint64_t>(TableBase + I),
+                    static_cast<int64_t>(splitMix64(Seed) % 61));
+  };
+  return W;
+}

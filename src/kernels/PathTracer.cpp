@@ -1,0 +1,89 @@
+//===- PathTracer.cpp - Cornell-box path tracing microbenchmark ---------------===//
+///
+/// \file
+/// PathTracer: CUDA microbenchmark rendering spheres in a Cornell box.
+/// Each sample bounces until Russian roulette terminates the path (or a
+/// bounce cap is hit), so the bounce loop has a divergent, geometrically
+/// distributed trip count. Regenerating a ray is cheap relative to
+/// shading, which is why Figure 9 shows PathTracer executing fastest at
+/// full reconvergence (threshold 32).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuild.h"
+#include "kernels/Workload.h"
+#include "sim/Warp.h"
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+Workload simtsr::makePathTracer(double Scale) {
+  Workload W;
+  W.Name = "pathtracer";
+  W.Description = "Cornell-box path tracer with Russian roulette "
+                  "termination (loop trip divergence)";
+  W.Pattern = DivergencePattern::LoopMerge;
+  W.KernelName = "pathtracer";
+  W.Latency = LatencyModel::computeBound();
+  W.Scale = Scale;
+
+  const int64_t Samples = scaled(10, Scale);
+  const int64_t SurvivePct = 72; // Per-bounce survival probability.
+  const int64_t MaxBounces = 24;
+  const int64_t ShadeOps = 22;   // Per-bounce shading weight.
+  const int64_t CameraOps = 3;   // Ray regeneration weight (cheap).
+
+  W.M = std::make_unique<Module>();
+  W.M->setGlobalMemoryWords(1 << 12);
+  Function *F = W.M->createFunction("pathtracer", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Camera = F->createBlock("camera");
+  BasicBlock *Bounce = F->createBlock("bounce");
+  BasicBlock *Accumulate = F->createBlock("accumulate");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned Tid = B.tid();
+  unsigned Sample = B.mov(Operand::imm(0));
+  unsigned Color = B.mov(Operand::imm(1));
+  B.predict(Bounce);
+  B.jmp(Camera);
+
+  // Camera: regenerate a primary ray (cheap prolog).
+  B.setInsertBlock(Camera);
+  unsigned Ray = B.randRange(Operand::imm(0), Operand::imm(1 << 20));
+  Ray = emitAluChain(B, Ray, static_cast<int>(CameraOps), 69069);
+  unsigned Depth = B.mov(Operand::imm(0));
+  B.jmp(Bounce);
+
+  // Bounce: shade the hit, then Russian roulette.
+  B.setInsertBlock(Bounce);
+  unsigned X = B.add(Operand::reg(Color), Operand::reg(Ray));
+  X = emitAluChain(B, X, static_cast<int>(ShadeOps), 1103515245);
+  emitMove(Bounce, Color, X);
+  unsigned DNext = B.add(Operand::reg(Depth), Operand::imm(1));
+  emitMove(Bounce, Depth, DNext);
+  unsigned Roll = B.randRange(Operand::imm(0), Operand::imm(100));
+  unsigned Survive = B.cmpLT(Operand::reg(Roll), Operand::imm(SurvivePct));
+  unsigned Below = B.cmpLT(Operand::reg(Depth), Operand::imm(MaxBounces));
+  unsigned Alive = B.andOp(Operand::reg(Survive), Operand::reg(Below));
+  B.br(Operand::reg(Alive), Bounce, Accumulate);
+
+  // Accumulate the sample and move on.
+  B.setInsertBlock(Accumulate);
+  unsigned Y = B.xorOp(Operand::reg(Color), Operand::reg(Depth));
+  emitMove(Accumulate, Color, Y);
+  unsigned SNext = B.add(Operand::reg(Sample), Operand::imm(1));
+  emitMove(Accumulate, Sample, SNext);
+  unsigned Done = B.cmpGE(Operand::reg(Sample), Operand::imm(Samples));
+  B.br(Operand::reg(Done), Exit, Camera);
+
+  B.setInsertBlock(Exit);
+  unsigned Slot = B.add(Operand::reg(Tid), Operand::imm(ResultBase));
+  B.store(Operand::reg(Slot), Operand::reg(Color));
+  B.ret();
+
+  F->recomputePreds();
+  return W;
+}

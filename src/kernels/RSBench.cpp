@@ -1,0 +1,104 @@
+//===- RSBench.cpp - Monte Carlo neutron transport (multipole) -----------------===//
+///
+/// \file
+/// RSBench [Tramm et al.]: the packed-data multipole macroscopic
+/// cross-section lookup kernel of Monte Carlo neutron transport. After the
+/// paper's thread coarsening, each thread walks many materials (outer task
+/// loop); for each material it accumulates cross sections over the
+/// material's nuclides (inner loop). Nuclide counts per material range
+/// from 4 to 321, so the inner trip count is heavily divergent — the
+/// paper's flagship Loop Merge candidate (Figure 3). Compute bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuild.h"
+#include "kernels/Workload.h"
+#include "sim/Warp.h"
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+Workload simtsr::makeRSBench(double Scale) {
+  Workload W;
+  W.Name = "rsbench";
+  W.Description = "Monte Carlo neutron transport, multipole cross-section "
+                  "lookup (compute bound)";
+  W.Pattern = DivergencePattern::LoopMerge;
+  W.KernelName = "rsbench";
+  W.Latency = LatencyModel::computeBound();
+  W.Scale = Scale;
+
+  // The RSBench material table: number of nuclides per material, 4..321
+  // (the values RSBench's default H-M Large problem uses).
+  static const int64_t NuclidesPerMaterial[12] = {321, 5, 4,  4, 27, 21,
+                                                  21,  9, 12, 9, 10, 16};
+  const int64_t NumMaterials = 12;
+  const int64_t Tasks = scaled(8, Scale);     // materials per thread
+  const int64_t BodyOps = scaled(14, Scale);  // multipole evaluation weight
+
+  W.M = std::make_unique<Module>();
+  W.M->setGlobalMemoryWords(1 << 14);
+  Function *F = W.M->createFunction("rsbench", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Prolog = F->createBlock("prolog");
+  BasicBlock *InnerHeader = F->createBlock("inner_header");
+  BasicBlock *InnerBody = F->createBlock("inner_body");
+  BasicBlock *Epilog = F->createBlock("epilog");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned Tid = B.tid();
+  unsigned Task = B.mov(Operand::imm(0));
+  unsigned Acc = B.mov(Operand::imm(1));
+  // The user's reconvergence hint: gather at the nuclide loop body.
+  B.predict(InnerBody);
+  B.jmp(Prolog);
+
+  // Prolog: pick a random material, read its nuclide count.
+  B.setInsertBlock(Prolog);
+  unsigned Mat = B.randRange(Operand::imm(0), Operand::imm(NumMaterials));
+  unsigned NAddr = B.add(Operand::reg(Mat), Operand::imm(TableBase));
+  unsigned Nuclides = B.load(Operand::reg(NAddr));
+  unsigned J = B.mov(Operand::imm(0));
+  B.jmp(InnerHeader);
+
+  B.setInsertBlock(InnerHeader);
+  unsigned More = B.cmpLT(Operand::reg(J), Operand::reg(Nuclides));
+  B.br(Operand::reg(More), InnerBody, Epilog);
+
+  // Inner body: accumulate this nuclide's cross-section contribution.
+  B.setInsertBlock(InnerBody);
+  unsigned X = B.add(Operand::reg(Acc), Operand::reg(J));
+  X = emitAluChain(B, X, static_cast<int>(BodyOps), 1103515245);
+  emitMove(InnerBody, Acc, X);
+  unsigned JNext = B.add(Operand::reg(J), Operand::imm(1));
+  emitMove(InnerBody, J, JNext);
+  B.jmp(InnerHeader);
+
+  // Epilog: post-processing of the macroscopic cross section.
+  B.setInsertBlock(Epilog);
+  unsigned Y = B.xorOp(Operand::reg(Acc), Operand::reg(Nuclides));
+  Y = B.add(Operand::reg(Y), Operand::reg(Mat));
+  emitMove(Epilog, Acc, Y);
+  unsigned TNext = B.add(Operand::reg(Task), Operand::imm(1));
+  emitMove(Epilog, Task, TNext);
+  unsigned Done = B.cmpGE(Operand::reg(Task), Operand::imm(Tasks));
+  B.br(Operand::reg(Done), Exit, Prolog);
+
+  B.setInsertBlock(Exit);
+  unsigned Slot = B.add(Operand::reg(Tid), Operand::imm(ResultBase));
+  B.store(Operand::reg(Slot), Operand::reg(Acc));
+  B.atomicAdd(Operand::imm(CounterWord), Operand::imm(1));
+  B.ret();
+
+  F->recomputePreds();
+
+  W.InitMemory = [NumMaterials, Scale](WarpSimulator &Sim) {
+    for (int64_t I = 0; I < NumMaterials; ++I) {
+      int64_t N = scaled(NuclidesPerMaterial[I], Scale);
+      Sim.setMemory(static_cast<uint64_t>(TableBase + I), N);
+    }
+  };
+  return W;
+}

@@ -1,0 +1,87 @@
+//===- Runner.cpp - Workload execution helper -----------------------------------===//
+
+#include "kernels/Runner.h"
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <cassert>
+
+using namespace simtsr;
+
+Workload simtsr::cloneWorkload(const Workload &W) {
+  Workload Copy;
+  Copy.Name = W.Name;
+  Copy.Description = W.Description;
+  Copy.Pattern = W.Pattern;
+  Copy.KernelName = W.KernelName;
+  Copy.Latency = W.Latency;
+  Copy.Args = W.Args;
+  Copy.InitMemory = W.InitMemory;
+  Copy.Scale = W.Scale;
+  Copy.RecommendedSoftThreshold = W.RecommendedSoftThreshold;
+  ParseResult R = parseModule(printModule(*W.M));
+  assert(R.ok() && "workload module failed to round-trip");
+  Copy.M = std::move(R.M);
+  return Copy;
+}
+
+WorkloadOutcome simtsr::runWorkload(const Workload &W,
+                                    const PipelineOptions &Opts,
+                                    uint64_t Seed, SchedulerPolicy Policy) {
+  Workload Fresh = cloneWorkload(W);
+  WorkloadOutcome Outcome;
+  Outcome.Pipeline = runSyncPipeline(*Fresh.M, Opts);
+  assert(isWellFormed(*Fresh.M) && "pipeline produced malformed IR");
+
+  Function *Kernel = Fresh.M->functionByName(Fresh.KernelName);
+  assert(Kernel && "workload kernel not found");
+  LaunchConfig Config;
+  Config.Seed = Seed;
+  Config.Policy = Policy;
+  Config.Latency = Fresh.Latency;
+  Config.KernelArgs = Fresh.Args;
+  WarpSimulator Sim(*Fresh.M, Kernel, Config);
+  if (Fresh.InitMemory)
+    Fresh.InitMemory(Sim);
+  RunResult R = Sim.run();
+  Outcome.Status = R.St;
+  Outcome.TrapMessage = R.TrapMessage;
+  Outcome.SimtEfficiency = R.Stats.simtEfficiency();
+  Outcome.Cycles = R.Stats.Cycles;
+  Outcome.IssueSlots = R.Stats.IssueSlots;
+  Outcome.Checksum = Sim.memoryChecksum();
+  return Outcome;
+}
+
+GridResult simtsr::runWorkloadGrid(const Workload &W,
+                                   const PipelineOptions &Opts,
+                                   unsigned Warps, uint64_t Seed) {
+  Workload Fresh = cloneWorkload(W);
+  runSyncPipeline(*Fresh.M, Opts);
+  assert(isWellFormed(*Fresh.M) && "pipeline produced malformed IR");
+  Function *Kernel = Fresh.M->functionByName(Fresh.KernelName);
+  assert(Kernel && "workload kernel not found");
+  LaunchConfig Config;
+  Config.Seed = Seed;
+  Config.Latency = Fresh.Latency;
+  Config.KernelArgs = Fresh.Args;
+  return runGrid(*Fresh.M, Kernel, Config, Warps, Fresh.InitMemory);
+}
+
+int simtsr::autotuneSoftThreshold(const Workload &Pilot, uint64_t Seed,
+                                  int Step) {
+  assert(Step > 0 && "sweep step must be positive");
+  int Best = 0;
+  uint64_t BestCycles = ~0ull;
+  for (int Threshold = 0; Threshold <= 32; Threshold += Step) {
+    WorkloadOutcome O =
+        runWorkload(Pilot, PipelineOptions::softBarrier(Threshold), Seed);
+    if (O.ok() && O.Cycles < BestCycles) {
+      BestCycles = O.Cycles;
+      Best = Threshold;
+    }
+  }
+  return Best;
+}

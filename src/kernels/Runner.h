@@ -1,0 +1,67 @@
+//===- Runner.h - Workload execution helper --------------------*- C++ -*-===//
+///
+/// \file
+/// Glue between the workload suite, the pass pipeline and the simulator:
+/// clones a workload (modules are mutated by the passes), runs the
+/// configured pipeline, launches the warp and returns the metrics the
+/// evaluation section reports. Used by benches, examples and the
+/// integration tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_KERNELS_RUNNER_H
+#define SIMTSR_KERNELS_RUNNER_H
+
+#include "kernels/Workload.h"
+#include "sim/Grid.h"
+#include "sim/Warp.h"
+#include "transform/Pipeline.h"
+
+namespace simtsr {
+
+/// Deep-copies \p W by round-tripping the module through the textual
+/// format (also exercising the printer/parser on every run).
+Workload cloneWorkload(const Workload &W);
+
+struct WorkloadOutcome {
+  RunResult::Status Status = RunResult::Status::Finished;
+  std::string TrapMessage;
+  double SimtEfficiency = 0.0;
+  uint64_t Cycles = 0;
+  uint64_t IssueSlots = 0;
+  uint64_t Checksum = 0;
+  PipelineReport Pipeline;
+
+  bool ok() const { return Status == RunResult::Status::Finished; }
+};
+
+/// Runs \p W under \p Opts. \p W itself is left untouched.
+WorkloadOutcome runWorkload(const Workload &W, const PipelineOptions &Opts,
+                            uint64_t Seed = 1,
+                            SchedulerPolicy Policy =
+                                SchedulerPolicy::MaxConvergence);
+
+/// Runs \p W as a multi-warp grid (fresh memory image per warp) under
+/// \p Opts. \p W itself is left untouched.
+GridResult runWorkloadGrid(const Workload &W, const PipelineOptions &Opts,
+                           unsigned Warps, uint64_t Seed = 1);
+
+/// Offline soft-barrier threshold tuning — the paper leaves "automatically
+/// discovering the ideal threshold parameter" to future work (Section
+/// 5.3); this is the obvious realization: sweep thresholds on a pilot run
+/// and return the fastest. \p Step controls sweep granularity.
+int autotuneSoftThreshold(const Workload &Pilot, uint64_t Seed = 123,
+                          int Step = 4);
+
+/// The pipeline configuration the paper's programmer-annotated runs used
+/// for \p W: speculative reconvergence with the workload's tuned soft
+/// threshold (classic full barrier when none is recommended).
+inline PipelineOptions annotatedOptionsFor(const Workload &W) {
+  return W.RecommendedSoftThreshold >= 0
+             ? PipelineOptions::softBarrier(W.RecommendedSoftThreshold)
+             : PipelineOptions::speculative();
+}
+
+} // namespace simtsr
+
+#endif // SIMTSR_KERNELS_RUNNER_H

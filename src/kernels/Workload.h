@@ -1,0 +1,77 @@
+//===- Workload.h - Table 2 benchmark suite --------------------*- C++ -*-===//
+///
+/// \file
+/// The paper's evaluation workloads (Table 2), rebuilt in simtsr IR with the
+/// control-flow and divergence structure of the originals: trip-count
+/// distributions, prolog/epilog weights, memory- vs compute-boundedness and
+/// the user annotations (predict directives / reconverge_entry) the paper's
+/// programmers inserted. Used by the benchmark harnesses, the examples and
+/// the integration tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_KERNELS_WORKLOAD_H
+#define SIMTSR_KERNELS_WORKLOAD_H
+
+#include "ir/Module.h"
+#include "sim/LatencyModel.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class WarpSimulator;
+
+/// Which Section 3 divergence pattern a workload exhibits.
+enum class DivergencePattern {
+  LoopMerge,      ///< Divergent-trip inner loop in an outer task loop.
+  IterationDelay, ///< Divergent condition inside a loop.
+  CommonCall,     ///< Common function call across divergent paths.
+};
+
+const char *getDivergencePatternName(DivergencePattern P);
+
+struct Workload {
+  std::string Name;        ///< Table 2 benchmark name (e.g. "rsbench").
+  std::string Description; ///< One-line Table 2 description.
+  DivergencePattern Pattern;
+  std::unique_ptr<Module> M; ///< Annotated module (predict directives in).
+  std::string KernelName;    ///< Function the simulator launches.
+  LatencyModel Latency;      ///< Compute- or memory-bound cost model.
+  std::vector<int64_t> Args; ///< Kernel arguments.
+  /// Pre-launch memory initialization (lookup tables etc.); may be null.
+  std::function<void(WarpSimulator &)> InitMemory;
+  /// Scale factor in (0, 1] shrinking the workload for quick runs.
+  double Scale = 1.0;
+  /// Soft-barrier threshold the "programmer" tuned for this application
+  /// (Section 5.3); negative means the classic full-warp barrier.
+  /// XSBench's expensive refill makes a small threshold optimal.
+  int RecommendedSoftThreshold = -1;
+};
+
+/// Factory signatures take a scale in (0, 1]; 1.0 is the default size used
+/// by the paper-figure benchmarks.
+Workload makeRSBench(double Scale = 1.0);
+Workload makeXSBench(double Scale = 1.0);
+Workload makeMCB(double Scale = 1.0);
+Workload makePathTracer(double Scale = 1.0);
+Workload makeMCGPU(double Scale = 1.0);
+Workload makeMummer(double Scale = 1.0);
+Workload makeMeiyaMD5(double Scale = 1.0);
+Workload makeOptixTrace(double Scale = 1.0);
+Workload makeGpuMCML(double Scale = 1.0);
+/// Figure 2(c) validation microbenchmark (common function call).
+Workload makeMicroCommonCall(double Scale = 1.0);
+
+/// The full annotated suite in Table 2 order (plus the micro benchmark).
+std::vector<Workload> makeAllWorkloads(double Scale = 1.0);
+
+/// Workloads the paper reports in Figure 7/8 (programmer-annotated).
+std::vector<Workload> makeAnnotatedWorkloads(double Scale = 1.0);
+
+} // namespace simtsr
+
+#endif // SIMTSR_KERNELS_WORKLOAD_H

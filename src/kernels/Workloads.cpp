@@ -1,0 +1,47 @@
+//===- Workloads.cpp - Table 2 suite assembly -----------------------------------===//
+
+#include "kernels/Workload.h"
+
+using namespace simtsr;
+
+const char *simtsr::getDivergencePatternName(DivergencePattern P) {
+  switch (P) {
+  case DivergencePattern::LoopMerge:
+    return "loop-merge";
+  case DivergencePattern::IterationDelay:
+    return "iteration-delay";
+  case DivergencePattern::CommonCall:
+    return "common-call";
+  }
+  return "unknown";
+}
+
+std::vector<Workload> simtsr::makeAllWorkloads(double Scale) {
+  std::vector<Workload> All;
+  All.push_back(makeRSBench(Scale));
+  All.push_back(makeXSBench(Scale));
+  All.push_back(makeMCB(Scale));
+  All.push_back(makePathTracer(Scale));
+  All.push_back(makeMCGPU(Scale));
+  All.push_back(makeMummer(Scale));
+  All.push_back(makeMeiyaMD5(Scale));
+  All.push_back(makeOptixTrace(Scale));
+  All.push_back(makeGpuMCML(Scale));
+  All.push_back(makeMicroCommonCall(Scale));
+  return All;
+}
+
+std::vector<Workload> simtsr::makeAnnotatedWorkloads(double Scale) {
+  // Figure 7/8 report the programmer-annotated set; MeiyaMD5 and OptiX
+  // are the automatic-detection showcases (Figure 10), and the micro
+  // benchmark validates Figure 2(c) separately.
+  std::vector<Workload> Set;
+  Set.push_back(makeRSBench(Scale));
+  Set.push_back(makeXSBench(Scale));
+  Set.push_back(makeMCB(Scale));
+  Set.push_back(makePathTracer(Scale));
+  Set.push_back(makeMCGPU(Scale));
+  Set.push_back(makeMummer(Scale));
+  Set.push_back(makeGpuMCML(Scale));
+  return Set;
+}

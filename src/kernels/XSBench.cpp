@@ -1,0 +1,124 @@
+//===- XSBench.cpp - Monte Carlo neutron transport (pointwise) ----------------===//
+///
+/// \file
+/// XSBench [Tramm et al.]: simulates the same macroscopic cross-section
+/// lookup problem as RSBench but with the pointwise data layout, making it
+/// memory bound. The nested divergent loop has both an expensive inner
+/// loop (per-nuclide grid loads) and an expensive epilog (the energy-grid
+/// binary search, a chain of dependent loads) — which is why Figure 9
+/// shows XSBench peaking at a *small* soft-barrier threshold: refilling an
+/// idle thread costs a full lookup, so it pays to keep running until only
+/// a few lanes remain.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuild.h"
+#include "kernels/Workload.h"
+#include "sim/Warp.h"
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+Workload simtsr::makeXSBench(double Scale) {
+  Workload W;
+  W.Name = "xsbench";
+  W.Description = "Monte Carlo neutron transport, pointwise cross-section "
+                  "lookup (memory bound)";
+  W.Pattern = DivergencePattern::LoopMerge;
+  W.KernelName = "xsbench";
+  W.Latency = LatencyModel::memoryBound();
+  W.Scale = Scale;
+  // Figure 9: XSBench peaks when threads run until only ~4 lanes remain.
+  W.RecommendedSoftThreshold = 4;
+
+  const int64_t NumMaterials = 12;
+  const int64_t Tasks = scaled(6, Scale);
+  const int64_t TableWords = 4096;
+  // Binary-search depth of the unionized energy grid (dependent loads).
+  const int64_t SearchDepth = 5;
+
+  W.M = std::make_unique<Module>();
+  W.M->setGlobalMemoryWords(1 << 14);
+  Function *F = W.M->createFunction("xsbench", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Prolog = F->createBlock("prolog");
+  BasicBlock *InnerHeader = F->createBlock("inner_header");
+  BasicBlock *InnerBody = F->createBlock("inner_body");
+  BasicBlock *Epilog = F->createBlock("epilog");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned Tid = B.tid();
+  unsigned Task = B.mov(Operand::imm(0));
+  unsigned Acc = B.mov(Operand::imm(1));
+  B.predict(InnerBody);
+  B.jmp(Prolog);
+
+  // Prolog: sample a particle (material + energy).
+  B.setInsertBlock(Prolog);
+  unsigned Mat = B.randRange(Operand::imm(0), Operand::imm(NumMaterials));
+  unsigned NAddr = B.add(Operand::reg(Mat), Operand::imm(TableBase));
+  unsigned Nuclides = B.load(Operand::reg(NAddr));
+  unsigned Energy = B.randRange(Operand::imm(0), Operand::imm(TableWords));
+  unsigned J = B.mov(Operand::imm(0));
+  B.jmp(InnerHeader);
+
+  B.setInsertBlock(InnerHeader);
+  unsigned More = B.cmpLT(Operand::reg(J), Operand::reg(Nuclides));
+  B.br(Operand::reg(More), InnerBody, Epilog);
+
+  // Inner body: two gridpoint loads per nuclide plus interpolation.
+  B.setInsertBlock(InnerBody);
+  unsigned Key = B.add(Operand::reg(Energy), Operand::reg(J));
+  unsigned V1 = emitTableLoad(B, Key, TableWords);
+  unsigned Key2 = B.add(Operand::reg(Key), Operand::reg(V1));
+  unsigned V2 = emitTableLoad(B, Key2, TableWords);
+  unsigned Sum = B.add(Operand::reg(V1), Operand::reg(V2));
+  unsigned X = B.xorOp(Operand::reg(Acc), Operand::reg(Sum));
+  X = emitAluChain(B, X, 2, 2654435761);
+  emitMove(InnerBody, Acc, X);
+  unsigned JNext = B.add(Operand::reg(J), Operand::imm(1));
+  emitMove(InnerBody, J, JNext);
+  B.jmp(InnerHeader);
+
+  // Epilog: binary search on the unionized grid — a chain of *dependent*
+  // loads; this is the expensive per-task refill cost.
+  B.setInsertBlock(Epilog);
+  unsigned Cursor = B.xorOp(Operand::reg(Acc), Operand::reg(Energy));
+  for (int64_t S = 0; S < SearchDepth; ++S) {
+    unsigned Probe = emitTableLoad(B, Cursor, TableWords);
+    unsigned Next = B.add(Operand::reg(Cursor), Operand::reg(Probe));
+    Cursor = B.xorOp(Operand::reg(Next), Operand::imm(0x5bd1e995 + S));
+  }
+  unsigned Y = B.add(Operand::reg(Acc), Operand::reg(Cursor));
+  emitMove(Epilog, Acc, Y);
+  unsigned TNext = B.add(Operand::reg(Task), Operand::imm(1));
+  emitMove(Epilog, Task, TNext);
+  unsigned Done = B.cmpGE(Operand::reg(Task), Operand::imm(Tasks));
+  B.br(Operand::reg(Done), Exit, Prolog);
+
+  B.setInsertBlock(Exit);
+  unsigned Slot = B.add(Operand::reg(Tid), Operand::imm(ResultBase));
+  B.store(Operand::reg(Slot), Operand::reg(Acc));
+  B.atomicAdd(Operand::imm(CounterWord), Operand::imm(1));
+  B.ret();
+
+  F->recomputePreds();
+
+  W.InitMemory = [NumMaterials, TableWords, Scale](WarpSimulator &Sim) {
+    // Nuclide counts: pointwise XSBench sweeps fewer nuclides per lookup
+    // than RSBench but still divergently (1..60 scaled).
+    static const int64_t Counts[12] = {34, 3, 2, 6, 12, 60,
+                                       21, 9, 2, 45, 10, 16};
+    for (int64_t I = 0; I < NumMaterials; ++I)
+      Sim.setMemory(static_cast<uint64_t>(TableBase + I),
+                    scaled(Counts[I], Scale));
+    // Energy grid contents: deterministic pseudo-random positive words.
+    uint64_t Seed = 0x9e3779b97f4a7c15ull;
+    for (int64_t I = NumMaterials; I < TableWords; ++I)
+      Sim.setMemory(static_cast<uint64_t>(TableBase + I),
+                    static_cast<int64_t>(splitMix64(Seed) >> 40));
+  };
+  return W;
+}

@@ -1,0 +1,117 @@
+//===- BarrierUnit.cpp - Convergence-barrier state ----------------------------===//
+
+#include "sim/BarrierUnit.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace simtsr;
+
+BarrierUnit::BarrierUnit() : Barriers(NumBarrierRegisters) {}
+
+LaneMask BarrierUnit::join(unsigned BarrierId, LaneMask Lanes) {
+  assert(BarrierId < Barriers.size() && "barrier id out of range");
+  Barrier &B = Barriers[BarrierId];
+  B.Participants = Lanes;
+  return tryRelease(B);
+}
+
+LaneMask BarrierUnit::tryRelease(Barrier &B) {
+  if (B.Waiters == 0)
+    return 0;
+  bool Release;
+  if (B.Soft) {
+    const uint64_t Waiting = std::popcount(B.Waiters);
+    const uint64_t Members = std::popcount(B.Participants);
+    Release = Waiting >= std::min<uint64_t>(B.MinThreshold, Members);
+  } else {
+    Release = (B.Participants & ~B.Waiters) == 0;
+  }
+  if (!Release)
+    return 0;
+  LaneMask Released = B.Waiters;
+  if (!B.Soft)
+    B.Participants &= ~Released; // Classic waits clear membership.
+  B.Waiters = 0;
+  B.Soft = false;
+  B.MinThreshold = ~0ull;
+  return Released;
+}
+
+LaneMask BarrierUnit::cancel(unsigned BarrierId, LaneMask Lanes) {
+  assert(BarrierId < Barriers.size() && "barrier id out of range");
+  Barrier &B = Barriers[BarrierId];
+  B.Participants &= ~Lanes;
+  return tryRelease(B);
+}
+
+LaneMask BarrierUnit::arriveWait(unsigned BarrierId, LaneMask Lanes) {
+  assert(BarrierId < Barriers.size() && "barrier id out of range");
+  Barrier &B = Barriers[BarrierId];
+  assert((B.Waiters == 0 || !B.Soft) &&
+         "mixing classic and soft waits on one barrier");
+  B.Waiters |= Lanes;
+  B.Soft = false;
+  return tryRelease(B);
+}
+
+LaneMask BarrierUnit::arriveSoftWait(unsigned BarrierId, LaneMask Lanes,
+                                     uint64_t Threshold) {
+  assert(BarrierId < Barriers.size() && "barrier id out of range");
+  Barrier &B = Barriers[BarrierId];
+  assert((B.Waiters == 0 || B.Soft) &&
+         "mixing classic and soft waits on one barrier");
+  B.Waiters |= Lanes;
+  B.Soft = true;
+  B.MinThreshold = std::min(B.MinThreshold, Threshold);
+  return tryRelease(B);
+}
+
+LaneMask BarrierUnit::threadExit(LaneMask Lanes) {
+  LaneMask Released = 0;
+  for (Barrier &B : Barriers) {
+    B.Participants &= ~Lanes;
+    B.Waiters &= ~Lanes;
+    Released |= tryRelease(B);
+  }
+  return Released;
+}
+
+LaneMask BarrierUnit::yield() {
+  Barrier *Best = nullptr;
+  for (Barrier &B : Barriers)
+    if (B.Waiters != 0 &&
+        (!Best ||
+         std::popcount(B.Waiters) > std::popcount(Best->Waiters)))
+      Best = &B;
+  if (!Best)
+    return 0;
+  LaneMask Released = Best->Waiters;
+  if (!Best->Soft)
+    Best->Participants &= ~Released;
+  Best->Waiters = 0;
+  Best->Soft = false;
+  Best->MinThreshold = ~0ull;
+  return Released;
+}
+
+LaneMask BarrierUnit::participants(unsigned BarrierId) const {
+  assert(BarrierId < Barriers.size() && "barrier id out of range");
+  return Barriers[BarrierId].Participants;
+}
+
+LaneMask BarrierUnit::waiters(unsigned BarrierId) const {
+  assert(BarrierId < Barriers.size() && "barrier id out of range");
+  return Barriers[BarrierId].Waiters;
+}
+
+unsigned BarrierUnit::arrivedCount(unsigned BarrierId) const {
+  return static_cast<unsigned>(std::popcount(waiters(BarrierId)));
+}
+
+bool BarrierUnit::anyWaiters() const {
+  for (const Barrier &B : Barriers)
+    if (B.Waiters != 0)
+      return true;
+  return false;
+}

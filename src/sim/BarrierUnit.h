@@ -1,0 +1,90 @@
+//===- BarrierUnit.h - Convergence-barrier state ---------------*- C++ -*-===//
+///
+/// \file
+/// Warp-level convergence-barrier registers in the style of Volta's
+/// BSSY/BSYNC/BREAK. Each barrier tracks a participant mask (threads that
+/// joined and have not yet been released or cancelled) and a waiter mask
+/// (threads currently blocked at a wait).
+///
+/// Release rules:
+///  * WaitBarrier: release when every participant is waiting
+///    (Participants subset-of Waiters). Released threads leave the
+///    participant set — a thread must RejoinBarrier to wait again.
+///  * SoftWait(threshold): release when
+///    |Waiters| >= min(threshold, |Participants|). Released threads REMAIN
+///    participants; membership is managed by the region's entry join and
+///    exit cancels (see DESIGN.md, soft-barrier deviation note).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SIM_BARRIERUNIT_H
+#define SIMTSR_SIM_BARRIERUNIT_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace simtsr {
+
+/// Lane masks cover warps of up to 64 threads.
+using LaneMask = uint64_t;
+
+class BarrierUnit {
+public:
+  BarrierUnit();
+
+  /// BSSY: *writes* the participant set of \p Barrier with \p Lanes, like
+  /// Volta's BSSY writes the barrier register with the arriving convergent
+  /// group. Overwriting can shrink the set and thereby satisfy a pending
+  /// release. \returns lanes released as a consequence.
+  LaneMask join(unsigned Barrier, LaneMask Lanes);
+
+  /// BREAK: removes \p Lanes from the participant set. \returns the lanes
+  /// released as a consequence (waiters whose release condition now holds).
+  LaneMask cancel(unsigned Barrier, LaneMask Lanes);
+
+  /// BSYNC arrival: marks \p Lanes waiting (classic semantics). \returns
+  /// lanes released now (possibly including \p Lanes), or 0 if they block.
+  LaneMask arriveWait(unsigned Barrier, LaneMask Lanes);
+
+  /// Soft arrival: marks \p Lanes waiting with \p Threshold. \returns lanes
+  /// released now, or 0. The smallest threshold among current waiters wins.
+  LaneMask arriveSoftWait(unsigned Barrier, LaneMask Lanes,
+                          uint64_t Threshold);
+
+  /// Removes exited \p Lanes from every mask (hardware clears barrier
+  /// membership on thread exit). \returns lanes released as a consequence,
+  /// via OR over all barriers.
+  LaneMask threadExit(LaneMask Lanes);
+
+  /// Forward-progress yield: force-release the waiters of the barrier with
+  /// the most waiters. \returns the released lanes (0 if nothing waits).
+  LaneMask yield();
+
+  LaneMask participants(unsigned Barrier) const;
+  LaneMask waiters(unsigned Barrier) const;
+  /// Number of threads currently waiting on \p Barrier (ArrivedCount).
+  unsigned arrivedCount(unsigned Barrier) const;
+
+  /// True if any thread is blocked on any barrier.
+  bool anyWaiters() const;
+
+private:
+  struct Barrier {
+    LaneMask Participants = 0;
+    LaneMask Waiters = 0;
+    bool Soft = false;          ///< Current waiters use soft semantics.
+    uint64_t MinThreshold = ~0ull;
+  };
+
+  /// Applies the release rule for \p B; clears released state and
+  /// \returns the released lanes (0 when the condition does not hold).
+  LaneMask tryRelease(Barrier &B);
+
+  std::vector<Barrier> Barriers;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_SIM_BARRIERUNIT_H

@@ -1,0 +1,41 @@
+//===- Grid.cpp - Multi-warp launches ----------------------------------------===//
+
+#include "sim/Grid.h"
+
+using namespace simtsr;
+
+GridResult simtsr::runGrid(
+    const Module &M, const Function *Kernel, LaunchConfig Config,
+    unsigned Warps,
+    const std::function<void(WarpSimulator &)> &InitMemory) {
+  GridResult Result;
+  uint64_t ActiveLatency = 0;
+  for (unsigned W = 0; W < Warps; ++W) {
+    LaunchConfig WarpConfig = Config;
+    WarpConfig.Seed = Config.Seed * 1000003ull + W;
+    WarpSimulator Sim(M, Kernel, WarpConfig);
+    if (InitMemory)
+      InitMemory(Sim);
+    RunResult R = Sim.run();
+    ++Result.WarpsRun;
+    if (!R.ok()) {
+      Result.Ok = false;
+      Result.FailStatus = R.St;
+      Result.FailMessage = R.TrapMessage;
+      return Result;
+    }
+    Result.TotalCycles += R.Stats.Cycles;
+    Result.MaxCycles = std::max(Result.MaxCycles, R.Stats.Cycles);
+    Result.TotalIssueSlots += R.Stats.IssueSlots;
+    ActiveLatency += R.Stats.ActiveLatency;
+    Result.PerWarpEfficiency.add(R.Stats.simtEfficiency());
+    // Order-independent checksum combination.
+    Result.CombinedChecksum ^=
+        Sim.memoryChecksum() * 0x9e3779b97f4a7c15ull + W;
+  }
+  if (Result.TotalCycles > 0)
+    Result.SimtEfficiency =
+        static_cast<double>(ActiveLatency) /
+        (static_cast<double>(Result.TotalCycles) * Config.WarpSize);
+  return Result;
+}

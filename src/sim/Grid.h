@@ -1,0 +1,50 @@
+//===- Grid.h - Multi-warp launches ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Whole-launch measurements: runs several independent warps of the same
+/// kernel (distinct per-warp RNG streams, as on a real grid where each
+/// warp draws different work) and aggregates their statistics. Warps run
+/// in isolation — each against its own global-memory image — matching the
+/// Table 2 workloads, whose warps never communicate. The paper's
+/// whole-kernel nvprof numbers correspond to this aggregate rather than
+/// to a single warp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SIM_GRID_H
+#define SIMTSR_SIM_GRID_H
+
+#include "sim/Warp.h"
+#include "support/Stats.h"
+
+#include <functional>
+
+namespace simtsr {
+
+struct GridResult {
+  /// All warps finished cleanly.
+  bool Ok = true;
+  /// First failing warp's status/message when !Ok.
+  RunResult::Status FailStatus = RunResult::Status::Finished;
+  std::string FailMessage;
+  unsigned WarpsRun = 0;
+
+  uint64_t TotalCycles = 0;      ///< Sum over warps (serialized view).
+  uint64_t MaxCycles = 0;        ///< Slowest warp (parallel view).
+  uint64_t TotalIssueSlots = 0;
+  double SimtEfficiency = 0.0;   ///< Cycle-weighted across warps.
+  RunningStat PerWarpEfficiency; ///< Distribution across warps.
+  uint64_t CombinedChecksum = 0; ///< Order-independent mix of warp sums.
+};
+
+/// Runs \p Warps instances of \p Kernel; warp w uses seed
+/// `config.Seed * 1000003 + w`. \p InitMemory (may be null) is applied to
+/// every warp's fresh memory image.
+GridResult
+runGrid(const Module &M, const Function *Kernel, LaunchConfig Config,
+        unsigned Warps,
+        const std::function<void(WarpSimulator &)> &InitMemory = nullptr);
+
+} // namespace simtsr
+
+#endif // SIMTSR_SIM_GRID_H

@@ -1,0 +1,47 @@
+//===- LatencyModel.cpp - Per-opcode issue costs ------------------------------===//
+
+#include "sim/LatencyModel.h"
+
+using namespace simtsr;
+
+LatencyModel LatencyModel::unit() {
+  LatencyModel M;
+  M.Cost.fill(1);
+  return M;
+}
+
+LatencyModel LatencyModel::computeBound() {
+  LatencyModel M;
+  M.Cost.fill(1);
+  M.setCost(Opcode::Mul, 3);
+  M.setCost(Opcode::Div, 16);
+  M.setCost(Opcode::Rem, 16);
+  M.setCost(Opcode::Select, 2);
+  M.setCost(Opcode::Rand, 6);
+  M.setCost(Opcode::RandRange, 8);
+  M.setCost(Opcode::Load, 30);
+  M.setCost(Opcode::Store, 15);
+  M.setCost(Opcode::AtomicAdd, 40);
+  M.setCost(Opcode::Call, 4);
+  M.setCost(Opcode::Ret, 2);
+  M.setCost(Opcode::Br, 2);
+  M.setCost(Opcode::Jmp, 1);
+  M.setCost(Opcode::JoinBarrier, 2);
+  M.setCost(Opcode::WaitBarrier, 2);
+  M.setCost(Opcode::CancelBarrier, 2);
+  M.setCost(Opcode::RejoinBarrier, 2);
+  M.setCost(Opcode::SoftWait, 2);
+  M.setCost(Opcode::ArrivedCount, 2);
+  M.setCost(Opcode::WarpSync, 2);
+  M.setCost(Opcode::Predict, 0);
+  M.setCost(Opcode::Nop, 1);
+  return M;
+}
+
+LatencyModel LatencyModel::memoryBound() {
+  LatencyModel M = computeBound();
+  M.setCost(Opcode::Load, 200);
+  M.setCost(Opcode::Store, 60);
+  M.setCost(Opcode::AtomicAdd, 150);
+  return M;
+}

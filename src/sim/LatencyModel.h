@@ -1,0 +1,47 @@
+//===- LatencyModel.h - Per-opcode issue costs -----------------*- C++ -*-===//
+///
+/// \file
+/// Issue-slot costs per opcode. The simulator's cycle count is the sum of
+/// the latencies of every issued instruction group; SIMT efficiency weights
+/// active threads by the same latencies, so "expensive" regions dominate
+/// the metric exactly as long-latency instructions dominate real kernels.
+///
+/// Three presets bracket the paper's workloads: computeBound (RSBench-like,
+/// arithmetic dominates), memoryBound (XSBench-like, loads dominate), and
+/// unit (every opcode costs 1 — used by tests that count issue slots).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SIM_LATENCYMODEL_H
+#define SIMTSR_SIM_LATENCYMODEL_H
+
+#include "ir/Opcode.h"
+
+#include <array>
+#include <cstdint>
+
+namespace simtsr {
+
+struct LatencyModel {
+  std::array<uint32_t, NumOpcodes> Cost;
+
+  uint32_t cost(Opcode Op) const {
+    return Cost[static_cast<unsigned>(Op)];
+  }
+  void setCost(Opcode Op, uint32_t C) {
+    Cost[static_cast<unsigned>(Op)] = C;
+  }
+
+  /// Every opcode costs one cycle; convenient for issue-slot counting.
+  static LatencyModel unit();
+
+  /// ALU-dominated kernel: cheap arithmetic, moderate memory.
+  static LatencyModel computeBound();
+
+  /// Memory-dominated kernel: loads are an order of magnitude above ALU.
+  static LatencyModel memoryBound();
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_SIM_LATENCYMODEL_H

@@ -1,0 +1,91 @@
+//===- SimStats.h - Execution metrics --------------------------*- C++ -*-===//
+///
+/// \file
+/// Metrics the evaluation section reports: SIMT efficiency (latency-
+/// weighted average fraction of active threads per issued instruction,
+/// matching nvprof's definition over full warps), total cycles, issue
+/// slots, and per-block profiles used by the cost heuristics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SIM_SIMSTATS_H
+#define SIMTSR_SIM_SIMSTATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace simtsr {
+
+struct BlockProfile {
+  uint64_t Issues = 0;       ///< Instruction groups issued from this block.
+  uint64_t ActiveThreads = 0; ///< Sum of group sizes.
+  uint64_t Cycles = 0;       ///< Latency-weighted issue time.
+};
+
+/// Runtime behaviour of one conditional branch (keyed by its block).
+struct BranchProfile {
+  uint64_t Executions = 0; ///< Issue groups that executed the branch.
+  uint64_t Divergent = 0;  ///< Groups whose lanes took both targets.
+
+  double divergenceRate() const {
+    return Executions == 0
+               ? 0.0
+               : static_cast<double>(Divergent) /
+                     static_cast<double>(Executions);
+  }
+};
+
+struct SimStats {
+  uint64_t IssueSlots = 0;     ///< Total instruction groups issued.
+  uint64_t Cycles = 0;         ///< Sum of issued latencies.
+  uint64_t ActiveLatency = 0;  ///< Sum of (group size * latency).
+  uint64_t ActiveThreads = 0;  ///< Sum of group sizes (unweighted).
+  uint64_t BarrierWaits = 0;   ///< Wait/SoftWait executions.
+  uint64_t BarrierYields = 0;  ///< Forward-progress yields (deadlock mode).
+  /// Memory-coalescing accounting (Section 4.5 weighs "memory access
+  /// patterns"): each memory issue is broken into 32-word segments; a
+  /// fully coalesced full-warp access needs one transaction.
+  uint64_t MemIssues = 0;          ///< Load/store/atomic issue groups.
+  uint64_t MemTransactions = 0;    ///< Distinct 32-word segments touched.
+  uint64_t MemMinTransactions = 0; ///< ceil(active / wordsPerSegment).
+  unsigned WarpSize = 32;
+
+  /// Per (function name, block name) execution profile.
+  std::map<std::pair<std::string, std::string>, BlockProfile> Blocks;
+  /// Per (function name, block name) conditional-branch behaviour; the
+  /// profile-guided detector uses it to skip branches that never diverge
+  /// at run time (static divergence analysis cannot tell).
+  std::map<std::pair<std::string, std::string>, BranchProfile> Branches;
+
+  /// Latency-weighted SIMT efficiency in [0, 1].
+  double simtEfficiency() const {
+    const double Denominator =
+        static_cast<double>(Cycles) * static_cast<double>(WarpSize);
+    return Denominator == 0.0
+               ? 1.0
+               : static_cast<double>(ActiveLatency) / Denominator;
+  }
+
+  /// Fraction of the minimum transaction count actually achieved, in
+  /// (0, 1]; 1.0 means perfectly coalesced (or no memory traffic).
+  double coalescingEfficiency() const {
+    return MemTransactions == 0
+               ? 1.0
+               : static_cast<double>(MemMinTransactions) /
+                     static_cast<double>(MemTransactions);
+  }
+
+  /// Unweighted SIMT efficiency (per issue slot) in [0, 1].
+  double issueEfficiency() const {
+    const double Denominator =
+        static_cast<double>(IssueSlots) * static_cast<double>(WarpSize);
+    return Denominator == 0.0
+               ? 1.0
+               : static_cast<double>(ActiveThreads) / Denominator;
+  }
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_SIM_SIMSTATS_H

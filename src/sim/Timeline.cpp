@@ -1,0 +1,78 @@
+//===- Timeline.cpp - ASCII execution timelines ----------------------------------===//
+
+#include "sim/Timeline.h"
+
+#include <algorithm>
+
+using namespace simtsr;
+
+void Timeline::attach(WarpSimulator &Sim) {
+  Sim.setTracer([this](const Function &F, const BasicBlock &BB, size_t,
+                       LaneMask Lanes) {
+    Issues.push_back({F.name() + "." + BB.name(), Lanes});
+  });
+}
+
+char Timeline::letterFor(const std::string &Where) const {
+  auto It = std::find(Order.begin(), Order.end(), Where);
+  size_t Index;
+  if (It == Order.end()) {
+    Order.push_back(Where);
+    Index = Order.size() - 1;
+  } else {
+    Index = static_cast<size_t>(It - Order.begin());
+  }
+  static const char Alphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+  return Alphabet[Index % (sizeof(Alphabet) - 1)];
+}
+
+std::string Timeline::render(bool MergeSameBlockRuns, size_t MaxRows) const {
+  std::string Out = "one column per lane (0.." +
+                    std::to_string(WarpSize - 1) +
+                    "), time flows downward; '.' = lane idle\n";
+
+  size_t Rows = 0;
+  size_t I = 0;
+  size_t Skipped = 0;
+  while (I < Issues.size()) {
+    const std::string &Where = Issues[I].Where;
+    LaneMask Lanes = Issues[I].Lanes;
+    size_t RunLength = 1;
+    if (MergeSameBlockRuns) {
+      while (I + RunLength < Issues.size() &&
+             Issues[I + RunLength].Where == Where &&
+             Issues[I + RunLength].Lanes == Lanes)
+        ++RunLength;
+    }
+    I += RunLength;
+    if (Rows >= MaxRows) {
+      ++Skipped;
+      continue;
+    }
+    ++Rows;
+    char Letter = letterFor(Where);
+    std::string Row;
+    for (unsigned L = 0; L < WarpSize; ++L)
+      Row += (Lanes >> L) & 1 ? Letter : '.';
+    Out += Row;
+    if (RunLength > 1)
+      Out += " x" + std::to_string(RunLength);
+    Out += "\n";
+  }
+  if (Skipped)
+    Out += "(+" + std::to_string(Skipped) + " more rows)\n";
+  return Out;
+}
+
+std::string Timeline::legend() const {
+  std::string Out;
+  static const char Alphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+  for (size_t I = 0; I < Order.size(); ++I) {
+    Out += "  ";
+    Out += Alphabet[I % (sizeof(Alphabet) - 1)];
+    Out += " = " + Order[I] + "\n";
+  }
+  return Out;
+}

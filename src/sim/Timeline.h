@@ -1,0 +1,55 @@
+//===- Timeline.h - ASCII execution timelines ------------------*- C++ -*-===//
+///
+/// \file
+/// Renders warp executions as Figure 1 / Figure 3(b)-style diagrams: time
+/// flows downward, one column per thread, and each row shows which lanes
+/// issued together and from which block. Built on the simulator's trace
+/// hook; used by the figure1 example and handy when debugging barrier
+/// placements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SIM_TIMELINE_H
+#define SIMTSR_SIM_TIMELINE_H
+
+#include "sim/Warp.h"
+
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class Timeline {
+public:
+  /// \p WarpSize columns; block names are shortened to one letter chosen
+  /// on first appearance (legend available afterwards).
+  explicit Timeline(unsigned WarpSize) : WarpSize(WarpSize) {}
+
+  /// Installs the recording hook on \p Sim. Record every issue; rows are
+  /// merged later during rendering.
+  void attach(WarpSimulator &Sim);
+
+  /// Renders the recorded execution: one row per issue group (optionally
+  /// merging consecutive issues from the same block into one row), lanes
+  /// shown as the block's legend letter or '.' when idle.
+  std::string render(bool MergeSameBlockRuns = true, size_t MaxRows = 80) const;
+
+  /// Legend: letter -> "function.block".
+  std::string legend() const;
+
+private:
+  struct Issue {
+    std::string Where; ///< function.block
+    LaneMask Lanes;
+  };
+
+  char letterFor(const std::string &Where) const;
+
+  unsigned WarpSize;
+  std::vector<Issue> Issues;
+  mutable std::vector<std::string> Order; ///< Where-keys by first use.
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_SIM_TIMELINE_H

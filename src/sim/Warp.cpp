@@ -1,0 +1,588 @@
+//===- Warp.cpp - SIMT warp interpreter ---------------------------------------===//
+
+#include "sim/Warp.h"
+
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace simtsr;
+
+WarpSimulator::WarpSimulator(const Module &M, const Function *Kernel,
+                             LaunchConfig Config)
+    : M(M), Kernel(Kernel), Config(std::move(Config)) {
+  assert(Kernel && Kernel->parent() == &M && "kernel not in module");
+  assert(this->Config.WarpSize >= 1 && this->Config.WarpSize <= 64 &&
+         "warp size must be in [1, 64]");
+  assert(this->Config.KernelArgs.size() == Kernel->numParams() &&
+         "kernel argument count mismatch");
+  GlobalMemory.assign(M.globalMemoryWords(), 0);
+  Stats.WarpSize = this->Config.WarpSize;
+
+  Threads.resize(this->Config.WarpSize);
+  for (unsigned Lane = 0; Lane < this->Config.WarpSize; ++Lane) {
+    Thread &T = Threads[Lane];
+    uint64_t SeedState = this->Config.Seed;
+    // Derive an independent stream per lane.
+    uint64_t LaneSeed = splitMix64(SeedState) ^ (0x9e37ull * (Lane + 1));
+    T.Rand.seed(LaneSeed);
+    Frame F;
+    F.F = Kernel;
+    F.Block = Kernel->entry()->number();
+    F.Index = 0;
+    F.RetDst = NoRegister;
+    F.Regs.assign(Kernel->numRegs(), 0);
+    for (size_t A = 0; A < this->Config.KernelArgs.size(); ++A)
+      F.Regs[A] = this->Config.KernelArgs[A];
+    T.Stack.push_back(std::move(F));
+  }
+}
+
+void WarpSimulator::setMemory(uint64_t Addr, int64_t Value) {
+  assert(Addr < GlobalMemory.size() && "setMemory out of bounds");
+  GlobalMemory[Addr] = Value;
+}
+
+uint64_t WarpSimulator::memoryChecksum() const {
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  for (int64_t Word : GlobalMemory) {
+    Hash ^= static_cast<uint64_t>(Word);
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+WarpSimulator::Pc WarpSimulator::pcOf(const Thread &T) const {
+  const Frame &F = T.Stack.back();
+  return {F.F, F.Block, F.Index};
+}
+
+int64_t WarpSimulator::eval(const Thread &T, const Operand &O) const {
+  if (O.isImm())
+    return O.getImm();
+  assert(O.isReg() && "evaluating a non-value operand");
+  const Frame &F = T.Stack.back();
+  assert(O.getReg() < F.Regs.size() && "register out of range");
+  return F.Regs[O.getReg()];
+}
+
+void WarpSimulator::writeReg(Thread &T, unsigned Reg, int64_t V) {
+  Frame &F = T.Stack.back();
+  assert(Reg < F.Regs.size() && "register out of range");
+  F.Regs[Reg] = V;
+}
+
+void WarpSimulator::trap(std::string Message) {
+  Trapped = true;
+  Result.St = RunResult::Status::Trap;
+  Result.TrapMessage = std::move(Message);
+}
+
+void WarpSimulator::jumpTo(Thread &T, const BasicBlock *Target) {
+  Frame &F = T.Stack.back();
+  F.Block = Target->number();
+  F.Index = 0;
+}
+
+void WarpSimulator::releaseLanes(LaneMask Lanes) {
+  while (Lanes) {
+    unsigned Lane = static_cast<unsigned>(std::countr_zero(Lanes));
+    Lanes &= Lanes - 1;
+    Thread &T = Threads[Lane];
+    if (T.Status == ThreadStatus::Waiting) {
+      T.Status = ThreadStatus::Ready;
+      T.WaitingOn = WaitingOnNothing;
+    }
+  }
+}
+
+void WarpSimulator::checkWarpSyncRelease() {
+  LaneMask Live = 0, Arrived = 0;
+  for (unsigned Lane = 0; Lane < Config.WarpSize; ++Lane) {
+    const Thread &T = Threads[Lane];
+    if (T.Status == ThreadStatus::Exited)
+      continue;
+    Live |= 1ull << Lane;
+    if (T.WaitingOn == WaitingOnWarpSync)
+      Arrived |= 1ull << Lane;
+  }
+  if (Live != 0 && Live == Arrived)
+    releaseLanes(Arrived);
+}
+
+void WarpSimulator::exitThread(unsigned Lane) {
+  Threads[Lane].Status = ThreadStatus::Exited;
+  Threads[Lane].Stack.clear();
+  releaseLanes(Barriers.threadExit(1ull << Lane));
+  checkWarpSyncRelease();
+}
+
+bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
+  auto forEachLane = [&](auto &&Fn) {
+    LaneMask Remaining = Lanes;
+    while (Remaining) {
+      unsigned Lane = static_cast<unsigned>(std::countr_zero(Remaining));
+      Remaining &= Remaining - 1;
+      Fn(Lane, Threads[Lane]);
+    }
+  };
+
+  const Opcode Op = I.opcode();
+
+  // Barrier operations act on the whole group at once.
+  if (Op == Opcode::JoinBarrier || Op == Opcode::RejoinBarrier) {
+    forEachLane([&](unsigned, Thread &T) { advance(T); });
+    releaseLanes(Barriers.join(I.barrierId(), Lanes));
+    return true;
+  }
+  if (Op == Opcode::CancelBarrier) {
+    forEachLane([&](unsigned, Thread &T) { advance(T); });
+    releaseLanes(Barriers.cancel(I.barrierId(), Lanes));
+    return true;
+  }
+  if (Op == Opcode::WaitBarrier || Op == Opcode::SoftWait ||
+      Op == Opcode::WarpSync) {
+    ++Stats.BarrierWaits;
+    // Advance PCs first so released threads resume after the wait.
+    const int Reason = Op == Opcode::WarpSync
+                           ? WaitingOnWarpSync
+                           : static_cast<int>(I.barrierId());
+    forEachLane([&](unsigned, Thread &T) {
+      advance(T);
+      T.Status = ThreadStatus::Waiting;
+      T.WaitingOn = Reason;
+    });
+    if (Op == Opcode::WaitBarrier) {
+      releaseLanes(Barriers.arriveWait(I.barrierId(), Lanes));
+    } else if (Op == Opcode::SoftWait) {
+      // The threshold must be warp-uniform; the first lane's value decides.
+      unsigned FirstLane = static_cast<unsigned>(std::countr_zero(Lanes));
+      int64_t Threshold = eval(Threads[FirstLane], I.operand(1));
+      if (Threshold < 0) {
+        trap("softwait threshold is negative");
+        return false;
+      }
+      releaseLanes(Barriers.arriveSoftWait(I.barrierId(), Lanes,
+                                           static_cast<uint64_t>(Threshold)));
+    } else {
+      checkWarpSyncRelease();
+    }
+    return true;
+  }
+
+  switch (Op) {
+  case Opcode::Predict:
+  case Opcode::Nop:
+    forEachLane([&](unsigned, Thread &T) { advance(T); });
+    return true;
+
+  case Opcode::Jmp: {
+    const BasicBlock *Target = I.operand(0).getBlock();
+    forEachLane([&](unsigned, Thread &T) { jumpTo(T, Target); });
+    return true;
+  }
+
+  case Opcode::Br: {
+    const BasicBlock *Then = I.operand(1).getBlock();
+    const BasicBlock *Else = I.operand(2).getBlock();
+    forEachLane([&](unsigned, Thread &T) {
+      jumpTo(T, eval(T, I.operand(0)) != 0 ? Then : Else);
+    });
+    return true;
+  }
+
+  case Opcode::Ret: {
+    bool Failed = false;
+    forEachLane([&](unsigned Lane, Thread &T) {
+      if (Failed)
+        return;
+      int64_t Value = 0;
+      if (I.numOperands() == 1)
+        Value = eval(T, I.operand(0));
+      if (T.Stack.size() == 1) {
+        exitThread(Lane);
+        return;
+      }
+      unsigned RetDst = T.Stack.back().RetDst;
+      T.Stack.pop_back();
+      if (RetDst != NoRegister)
+        writeReg(T, RetDst, Value);
+    });
+    return !Failed;
+  }
+
+  case Opcode::Call: {
+    const Function *Callee = I.operand(0).getFunc();
+    forEachLane([&](unsigned, Thread &T) {
+      Frame New;
+      New.F = Callee;
+      New.Block = Callee->entry()->number();
+      New.Index = 0;
+      New.RetDst = I.hasDst() ? I.dst() : NoRegister;
+      New.Regs.assign(Callee->numRegs(), 0);
+      for (unsigned A = 1; A < I.numOperands(); ++A)
+        New.Regs[A - 1] = eval(T, I.operand(A));
+      advance(T); // Resume after the call upon return.
+      T.Stack.push_back(std::move(New));
+    });
+    return true;
+  }
+
+  case Opcode::Load: {
+    bool Failed = false;
+    forEachLane([&](unsigned, Thread &T) {
+      if (Failed)
+        return;
+      int64_t Addr = eval(T, I.operand(0));
+      if (Addr < 0 ||
+          static_cast<uint64_t>(Addr) >= GlobalMemory.size()) {
+        trap("load out of bounds at address " + std::to_string(Addr));
+        Failed = true;
+        return;
+      }
+      writeReg(T, I.dst(), GlobalMemory[static_cast<uint64_t>(Addr)]);
+      advance(T);
+    });
+    return !Failed;
+  }
+
+  case Opcode::Store: {
+    bool Failed = false;
+    // Lanes apply in ascending order; overlapping stores: last lane wins.
+    forEachLane([&](unsigned, Thread &T) {
+      if (Failed)
+        return;
+      int64_t Addr = eval(T, I.operand(0));
+      if (Addr < 0 ||
+          static_cast<uint64_t>(Addr) >= GlobalMemory.size()) {
+        trap("store out of bounds at address " + std::to_string(Addr));
+        Failed = true;
+        return;
+      }
+      GlobalMemory[static_cast<uint64_t>(Addr)] = eval(T, I.operand(1));
+      advance(T);
+    });
+    return !Failed;
+  }
+
+  case Opcode::AtomicAdd: {
+    bool Failed = false;
+    forEachLane([&](unsigned, Thread &T) {
+      if (Failed)
+        return;
+      int64_t Addr = eval(T, I.operand(0));
+      if (Addr < 0 ||
+          static_cast<uint64_t>(Addr) >= GlobalMemory.size()) {
+        trap("atomicadd out of bounds at address " + std::to_string(Addr));
+        Failed = true;
+        return;
+      }
+      int64_t &Cell = GlobalMemory[static_cast<uint64_t>(Addr)];
+      writeReg(T, I.dst(), Cell);
+      Cell += eval(T, I.operand(1));
+      advance(T);
+    });
+    return !Failed;
+  }
+
+  case Opcode::ArrivedCount: {
+    unsigned Count = Barriers.arrivedCount(I.barrierId());
+    forEachLane([&](unsigned, Thread &T) {
+      writeReg(T, I.dst(), static_cast<int64_t>(Count));
+      advance(T);
+    });
+    return true;
+  }
+
+  default: {
+    // Pure per-thread value computation.
+    bool Failed = false;
+    forEachLane([&](unsigned Lane, Thread &T) {
+      if (Failed)
+        return;
+      int64_t V = 0;
+      switch (Op) {
+      case Opcode::Add:
+        V = eval(T, I.operand(0)) + eval(T, I.operand(1));
+        break;
+      case Opcode::Sub:
+        V = eval(T, I.operand(0)) - eval(T, I.operand(1));
+        break;
+      case Opcode::Mul:
+        V = eval(T, I.operand(0)) * eval(T, I.operand(1));
+        break;
+      case Opcode::Div: {
+        int64_t D = eval(T, I.operand(1));
+        if (D == 0) {
+          trap("division by zero in " + printInstruction(I));
+          Failed = true;
+          return;
+        }
+        V = eval(T, I.operand(0)) / D;
+        break;
+      }
+      case Opcode::Rem: {
+        int64_t D = eval(T, I.operand(1));
+        if (D == 0) {
+          trap("remainder by zero in " + printInstruction(I));
+          Failed = true;
+          return;
+        }
+        V = eval(T, I.operand(0)) % D;
+        break;
+      }
+      case Opcode::And:
+        V = eval(T, I.operand(0)) & eval(T, I.operand(1));
+        break;
+      case Opcode::Or:
+        V = eval(T, I.operand(0)) | eval(T, I.operand(1));
+        break;
+      case Opcode::Xor:
+        V = eval(T, I.operand(0)) ^ eval(T, I.operand(1));
+        break;
+      case Opcode::Shl:
+        V = static_cast<int64_t>(
+            static_cast<uint64_t>(eval(T, I.operand(0)))
+            << (static_cast<uint64_t>(eval(T, I.operand(1))) & 63));
+        break;
+      case Opcode::Shr:
+        V = static_cast<int64_t>(
+            static_cast<uint64_t>(eval(T, I.operand(0))) >>
+            (static_cast<uint64_t>(eval(T, I.operand(1))) & 63));
+        break;
+      case Opcode::Min:
+        V = std::min(eval(T, I.operand(0)), eval(T, I.operand(1)));
+        break;
+      case Opcode::Max:
+        V = std::max(eval(T, I.operand(0)), eval(T, I.operand(1)));
+        break;
+      case Opcode::Not:
+        V = ~eval(T, I.operand(0));
+        break;
+      case Opcode::Neg:
+        V = -eval(T, I.operand(0));
+        break;
+      case Opcode::Mov:
+        V = eval(T, I.operand(0));
+        break;
+      case Opcode::CmpEQ:
+        V = eval(T, I.operand(0)) == eval(T, I.operand(1));
+        break;
+      case Opcode::CmpNE:
+        V = eval(T, I.operand(0)) != eval(T, I.operand(1));
+        break;
+      case Opcode::CmpLT:
+        V = eval(T, I.operand(0)) < eval(T, I.operand(1));
+        break;
+      case Opcode::CmpLE:
+        V = eval(T, I.operand(0)) <= eval(T, I.operand(1));
+        break;
+      case Opcode::CmpGT:
+        V = eval(T, I.operand(0)) > eval(T, I.operand(1));
+        break;
+      case Opcode::CmpGE:
+        V = eval(T, I.operand(0)) >= eval(T, I.operand(1));
+        break;
+      case Opcode::Select:
+        V = eval(T, I.operand(0)) != 0 ? eval(T, I.operand(1))
+                                       : eval(T, I.operand(2));
+        break;
+      case Opcode::Tid:
+        V = static_cast<int64_t>(Lane);
+        break;
+      case Opcode::LaneId:
+        V = static_cast<int64_t>(Lane);
+        break;
+      case Opcode::WarpSize:
+        V = static_cast<int64_t>(Config.WarpSize);
+        break;
+      case Opcode::Rand:
+        V = static_cast<int64_t>(T.Rand.next() >> 1);
+        break;
+      case Opcode::RandRange: {
+        int64_t Lo = eval(T, I.operand(0));
+        int64_t Hi = eval(T, I.operand(1));
+        if (Lo >= Hi) {
+          trap("randrange with empty range [" + std::to_string(Lo) + ", " +
+               std::to_string(Hi) + ")");
+          Failed = true;
+          return;
+        }
+        V = T.Rand.nextInRange(Lo, Hi);
+        break;
+      }
+      default:
+        trap(std::string("unimplemented opcode ") + getOpcodeName(Op));
+        Failed = true;
+        return;
+      }
+      writeReg(T, I.dst(), V);
+      advance(T);
+    });
+    return !Failed;
+  }
+  }
+}
+
+RunResult WarpSimulator::run() {
+  Result = RunResult();
+  Result.Stats.WarpSize = Config.WarpSize;
+
+  while (true) {
+    if (Trapped)
+      break;
+    if (Stats.IssueSlots >= Config.MaxIssueSlots) {
+      Result.St = RunResult::Status::IssueLimit;
+      break;
+    }
+
+    // Gather ready threads grouped by PC. A flat vector kept in Pc order
+    // behaves exactly like the std::map it replaces (selection ties break
+    // on the smallest Pc) at a fraction of the cost.
+    std::vector<std::pair<Pc, LaneMask>> Groups;
+    Groups.reserve(Config.WarpSize);
+    bool AnyLive = false;
+    for (unsigned Lane = 0; Lane < Config.WarpSize; ++Lane) {
+      const Thread &T = Threads[Lane];
+      if (T.Status == ThreadStatus::Exited)
+        continue;
+      AnyLive = true;
+      if (T.Status != ThreadStatus::Ready)
+        continue;
+      Pc Where = pcOf(T);
+      bool Found = false;
+      for (auto &[GroupPc, Lanes] : Groups) {
+        if (GroupPc == Where) {
+          Lanes |= 1ull << Lane;
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        Groups.push_back({Where, 1ull << Lane});
+    }
+    std::sort(Groups.begin(), Groups.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    if (!AnyLive) {
+      Result.St = RunResult::Status::Finished;
+      break;
+    }
+    if (Groups.empty()) {
+      // Every live thread is blocked on a barrier.
+      if (!Config.YieldOnDeadlock) {
+        Result.St = RunResult::Status::Deadlock;
+        break;
+      }
+      ++Stats.BarrierYields;
+      LaneMask Released = Barriers.yield();
+      if (Released == 0) {
+        Result.St = RunResult::Status::Deadlock;
+        break;
+      }
+      releaseLanes(Released);
+      continue;
+    }
+
+    // Scheduling policy.
+    const Pc *ChosenPc = nullptr;
+    LaneMask ChosenLanes = 0;
+    switch (Config.Policy) {
+    case SchedulerPolicy::MaxConvergence: {
+      for (const auto &[Pc, Lanes] : Groups) {
+        if (!ChosenPc ||
+            std::popcount(Lanes) > std::popcount(ChosenLanes)) {
+          ChosenPc = &Pc;
+          ChosenLanes = Lanes;
+        }
+      }
+      break;
+    }
+    case SchedulerPolicy::MinPC: {
+      ChosenPc = &Groups.front().first;
+      ChosenLanes = Groups.front().second;
+      break;
+    }
+    case SchedulerPolicy::RoundRobin: {
+      // Pick the group containing the next preferred lane.
+      for (unsigned Offset = 0; Offset < Config.WarpSize; ++Offset) {
+        unsigned Lane = (RoundRobinNext + Offset) % Config.WarpSize;
+        for (const auto &[Pc, Lanes] : Groups) {
+          if (Lanes & (1ull << Lane)) {
+            ChosenPc = &Pc;
+            ChosenLanes = Lanes;
+            break;
+          }
+        }
+        if (ChosenPc)
+          break;
+      }
+      RoundRobinNext = (RoundRobinNext + 1) % Config.WarpSize;
+      break;
+    }
+    }
+    assert(ChosenPc && "scheduler found no group");
+
+    const Function *F = ChosenPc->F;
+    const BasicBlock *BB = F->block(ChosenPc->Block);
+    assert(ChosenPc->Index < BB->size() && "PC past end of block");
+    const Instruction &I = BB->inst(ChosenPc->Index);
+
+    if (Tracer)
+      Tracer(*F, *BB, ChosenPc->Index, ChosenLanes);
+
+    const uint32_t Latency = Config.Latency.cost(I.opcode());
+    const unsigned Active = static_cast<unsigned>(std::popcount(ChosenLanes));
+    ++Stats.IssueSlots;
+    Stats.Cycles += Latency;
+    Stats.ActiveThreads += Active;
+    Stats.ActiveLatency += static_cast<uint64_t>(Active) * Latency;
+
+    // Coalescing accounting: distinct 32-word segments per memory issue.
+    if (I.opcode() == Opcode::Load || I.opcode() == Opcode::Store ||
+        I.opcode() == Opcode::AtomicAdd) {
+      constexpr unsigned WordsPerSegment = 32;
+      std::set<int64_t> Segments;
+      LaneMask Remaining = ChosenLanes;
+      while (Remaining) {
+        unsigned Lane = static_cast<unsigned>(std::countr_zero(Remaining));
+        Remaining &= Remaining - 1;
+        Segments.insert(eval(Threads[Lane], I.operand(0)) /
+                        WordsPerSegment);
+      }
+      ++Stats.MemIssues;
+      Stats.MemTransactions += Segments.size();
+      Stats.MemMinTransactions +=
+          (Active + WordsPerSegment - 1) / WordsPerSegment;
+    }
+    if (Config.ProfileBlocks) {
+      BlockProfile &P = Stats.Blocks[{F->name(), BB->name()}];
+      ++P.Issues;
+      P.ActiveThreads += Active;
+      P.Cycles += Latency;
+      if (I.opcode() == Opcode::Br) {
+        BranchProfile &BP = Stats.Branches[{F->name(), BB->name()}];
+        ++BP.Executions;
+        bool Taken = false, NotTaken = false;
+        LaneMask Remaining = ChosenLanes;
+        while (Remaining) {
+          unsigned Lane =
+              static_cast<unsigned>(std::countr_zero(Remaining));
+          Remaining &= Remaining - 1;
+          (eval(Threads[Lane], I.operand(0)) != 0 ? Taken : NotTaken) =
+              true;
+        }
+        BP.Divergent += Taken && NotTaken;
+      }
+    }
+
+    if (!execute(I, ChosenLanes))
+      break;
+  }
+
+  Result.Stats = Stats;
+  return Result;
+}

@@ -1,0 +1,154 @@
+//===- Warp.h - SIMT warp interpreter --------------------------*- C++ -*-===//
+///
+/// \file
+/// Functional + timing-light simulator of one warp executing a kernel under
+/// Volta-style independent thread scheduling. Each thread has its own PC
+/// and call stack; every step the scheduler picks a group of ready threads
+/// sharing a PC and issues one instruction for all of them. Convergence is
+/// shaped entirely by the barrier instructions in the program plus the
+/// scheduling policy, which is exactly the degree of freedom the paper's
+/// compiler transformations exploit.
+///
+/// The default MaxConvergence policy models Volta's convergence optimizer:
+/// it always issues the largest same-PC group. Threads in different call
+/// frames of the same function converge (grouping keys on function/block/
+/// instruction, not the stack), which is what makes the common-function-
+/// call pattern of Figure 2(c) work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SIM_WARP_H
+#define SIMTSR_SIM_WARP_H
+
+#include "ir/Module.h"
+#include "sim/BarrierUnit.h"
+#include "sim/LatencyModel.h"
+#include "sim/SimStats.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+enum class SchedulerPolicy {
+  MaxConvergence, ///< Largest same-PC group first (Volta-like). Default.
+  MinPC,          ///< Earliest program point first (stack-machine-like).
+  RoundRobin,     ///< Rotate the preferred lane each issue.
+};
+
+struct LaunchConfig {
+  unsigned WarpSize = 32;
+  uint64_t Seed = 1;
+  SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
+  /// Release a blocked warp instead of reporting deadlock (models the
+  /// hardware forward-progress guarantee). Off in tests so barrier-
+  /// placement bugs surface as errors.
+  bool YieldOnDeadlock = false;
+  uint64_t MaxIssueSlots = 200ull * 1000 * 1000;
+  LatencyModel Latency = LatencyModel::computeBound();
+  /// Broadcast to every thread's parameter registers.
+  std::vector<int64_t> KernelArgs;
+  /// Collect the per-block profile (small map overhead per issue).
+  bool ProfileBlocks = false;
+};
+
+struct RunResult {
+  enum class Status { Finished, Deadlock, Trap, IssueLimit };
+  Status St = Status::Finished;
+  std::string TrapMessage;
+  SimStats Stats;
+
+  bool ok() const { return St == Status::Finished; }
+};
+
+class WarpSimulator {
+public:
+  /// \p Kernel must belong to \p M and take config.KernelArgs.size()
+  /// parameters.
+  WarpSimulator(const Module &M, const Function *Kernel, LaunchConfig Config);
+
+  /// Pre-launch global-memory initialization.
+  void setMemory(uint64_t Addr, int64_t Value);
+  const std::vector<int64_t> &memory() const { return GlobalMemory; }
+
+  /// FNV-1a hash over global memory — the semantic-transparency checksum.
+  uint64_t memoryChecksum() const;
+
+  /// Optional per-issue trace hook: (function, block, instIndex, lanes).
+  using TraceFn = std::function<void(const Function &, const BasicBlock &,
+                                     size_t, LaneMask)>;
+  void setTracer(TraceFn Fn) { Tracer = std::move(Fn); }
+
+  /// Runs to completion (all threads exited) or failure.
+  RunResult run();
+
+private:
+  struct Frame {
+    const Function *F;
+    unsigned Block;   ///< Block number within F.
+    size_t Index;     ///< Next instruction to execute.
+    unsigned RetDst;  ///< Caller register receiving the return value.
+    std::vector<int64_t> Regs;
+  };
+
+  enum class ThreadStatus { Ready, Waiting, Exited };
+
+  /// WaitingOn values: a barrier id, or WaitingOnWarpSync.
+  static constexpr int WaitingOnNothing = -1;
+  static constexpr int WaitingOnWarpSync = -2;
+
+  struct Thread {
+    std::vector<Frame> Stack;
+    ThreadStatus Status = ThreadStatus::Ready;
+    int WaitingOn = WaitingOnNothing;
+    Rng Rand;
+  };
+
+  struct Pc {
+    const Function *F;
+    unsigned Block;
+    size_t Index;
+    bool operator==(const Pc &O) const {
+      return F == O.F && Block == O.Block && Index == O.Index;
+    }
+    bool operator<(const Pc &O) const {
+      if (F != O.F)
+        return F->name() < O.F->name();
+      if (Block != O.Block)
+        return Block < O.Block;
+      return Index < O.Index;
+    }
+  };
+
+  Pc pcOf(const Thread &T) const;
+  int64_t eval(const Thread &T, const Operand &O) const;
+  void writeReg(Thread &T, unsigned Reg, int64_t V);
+  void releaseLanes(LaneMask Lanes);
+  /// Releases warpsync waiters once every live thread has arrived.
+  void checkWarpSyncRelease();
+  /// Executes one instruction for all lanes in \p Lanes (same PC).
+  /// \returns false when a trap occurred (Result holds the message).
+  bool execute(const Instruction &I, LaneMask Lanes);
+  void trap(std::string Message);
+  void advance(Thread &T) { ++T.Stack.back().Index; }
+  void jumpTo(Thread &T, const BasicBlock *Target);
+  void exitThread(unsigned Lane);
+
+  const Module &M;
+  const Function *Kernel;
+  LaunchConfig Config;
+  std::vector<Thread> Threads;
+  BarrierUnit Barriers;
+  std::vector<int64_t> GlobalMemory;
+  SimStats Stats;
+  RunResult Result;
+  bool Trapped = false;
+  unsigned RoundRobinNext = 0;
+  TraceFn Tracer;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_SIM_WARP_H

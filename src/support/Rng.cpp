@@ -1,0 +1,67 @@
+//===- Rng.cpp - Deterministic pseudo-random number generation -----------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace simtsr;
+
+uint64_t simtsr::splitMix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Rng::Rng(uint64_t Seed) { seed(Seed); }
+
+void Rng::seed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (auto &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  if (Bound == 0)
+    return 0;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t V = next();
+    if (V >= Threshold)
+      return V % Bound;
+  }
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo < Hi && "empty range");
+  return Lo + static_cast<int64_t>(nextBelow(static_cast<uint64_t>(Hi - Lo)));
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}

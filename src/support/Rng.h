@@ -1,0 +1,51 @@
+//===- Rng.h - Deterministic pseudo-random number generation ---*- C++ -*-===//
+///
+/// \file
+/// Deterministic, seedable PRNGs used by the simulator (per-thread random
+/// streams for the `rand` opcode) and by the test suite (random CFG and
+/// workload generation). SplitMix64 seeds a xoshiro256** state so that two
+/// streams with nearby seeds are statistically independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SUPPORT_RNG_H
+#define SIMTSR_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace simtsr {
+
+/// Stateless 64-bit mix function; good avalanche behaviour. Used to derive
+/// independent seeds from (seed, threadId) pairs.
+uint64_t splitMix64(uint64_t &State);
+
+/// xoshiro256** generator. Small, fast, deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Reseeds the generator; equivalent to constructing a fresh Rng.
+  void seed(uint64_t Seed);
+
+  /// \returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// \returns a uniformly distributed value in [0, Bound). Bound 0 yields 0.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// \returns a uniformly distributed value in [Lo, Hi). Requires Lo < Hi.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// \returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+  /// \returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_SUPPORT_RNG_H

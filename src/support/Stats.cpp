@@ -1,0 +1,66 @@
+//===- Stats.cpp - Running statistics helpers -----------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace simtsr;
+
+void RunningStat::add(double X) { addWeighted(X, 1.0); }
+
+void RunningStat::addWeighted(double X, double Weight) {
+  assert(Weight >= 0.0 && "negative weight");
+  if (Weight == 0.0)
+    return;
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  WeightSum += Weight;
+  const double Delta = X - Mean;
+  Mean += Delta * (Weight / WeightSum);
+  M2 += Weight * Delta * (X - Mean);
+}
+
+double RunningStat::mean() const { return N == 0 ? 0.0 : Mean; }
+double RunningStat::min() const { return N == 0 ? 0.0 : Min; }
+double RunningStat::max() const { return N == 0 ? 0.0 : Max; }
+
+double RunningStat::variance() const {
+  return WeightSum <= 0.0 ? 0.0 : M2 / WeightSum;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double Lo, double Hi, size_t NumBuckets)
+    : Lo(Lo), Hi(Hi), Counts(NumBuckets, 0) {
+  assert(Lo < Hi && "empty histogram range");
+  assert(NumBuckets > 0 && "histogram needs at least one bucket");
+}
+
+void Histogram::add(double X) {
+  const double Frac = (X - Lo) / (Hi - Lo);
+  auto Index = static_cast<ptrdiff_t>(Frac * static_cast<double>(Counts.size()));
+  Index = std::clamp<ptrdiff_t>(Index, 0,
+                                static_cast<ptrdiff_t>(Counts.size()) - 1);
+  ++Counts[static_cast<size_t>(Index)];
+  ++Total;
+}
+
+std::string Histogram::render() const {
+  static const char *Glyphs[] = {" ", ".", ":", "-", "=", "+", "*", "#", "%"};
+  uint64_t Peak = 0;
+  for (uint64_t C : Counts)
+    Peak = std::max(Peak, C);
+  std::string Out;
+  for (uint64_t C : Counts) {
+    size_t Level = Peak == 0 ? 0 : (C * 8 + Peak - 1) / Peak;
+    Out += Glyphs[std::min<size_t>(Level, 8)];
+  }
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- Stats.h - Running statistics helpers --------------------*- C++ -*-===//
+///
+/// \file
+/// Accumulators for experiment reporting: running mean/min/max/stddev and a
+/// simple fixed-bucket histogram. Used by the simulator's SIMT-efficiency
+/// accounting and by the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SUPPORT_STATS_H
+#define SIMTSR_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+/// Welford-style running statistics over a stream of doubles.
+class RunningStat {
+public:
+  void add(double X);
+  void addWeighted(double X, double Weight);
+
+  size_t count() const { return N; }
+  double totalWeight() const { return WeightSum; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double variance() const;
+  double stddev() const;
+
+private:
+  size_t N = 0;
+  double WeightSum = 0.0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Histogram with uniformly sized buckets over [Lo, Hi); out-of-range
+/// samples are clamped into the first/last bucket.
+class Histogram {
+public:
+  Histogram(double Lo, double Hi, size_t NumBuckets);
+
+  void add(double X);
+  size_t bucketCount() const { return Counts.size(); }
+  uint64_t bucket(size_t I) const { return Counts[I]; }
+  uint64_t total() const { return Total; }
+
+  /// Renders a one-line ASCII sparkline, useful in bench output.
+  std::string render() const;
+
+private:
+  double Lo;
+  double Hi;
+  std::vector<uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_SUPPORT_STATS_H

@@ -1,0 +1,300 @@
+//===- AutoDetect.cpp - Section 4.5 automatic detection -------------------------===//
+
+#include "transform/AutoDetect.h"
+
+#include "analysis/Divergence.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace simtsr;
+
+namespace {
+
+/// Weight of one block: measured cycles when a profile row exists,
+/// otherwise static latencies scaled by assumed trip counts for loop
+/// nesting below \p BaseDepth.
+double blockWeight(const BasicBlock *BB, const Function &F,
+                   const LoopInfo &LI, unsigned BaseDepth,
+                   const AutoDetectOptions &Opts, bool IsRefill) {
+  if (Opts.Profile) {
+    auto It = Opts.Profile->Blocks.find({F.name(), BB->name()});
+    if (It != Opts.Profile->Blocks.end())
+      return static_cast<double>(It->second.Cycles);
+    return 0.0; // Never executed in the profile.
+  }
+  double Weight = 0.0;
+  for (const Instruction &I : BB->instructions()) {
+    double Cost = Opts.Latency.cost(I.opcode());
+    if (IsRefill && I.opcode() == Opcode::Load)
+      Cost *= Opts.DivergentLoadPenalty;
+    Weight += Cost;
+  }
+  Loop *L = LI.loopFor(BB);
+  unsigned Depth = L ? L->depth() : 0;
+  for (unsigned D = BaseDepth; D < Depth; ++D)
+    Weight *= Opts.AssumedTripCount;
+  return Weight;
+}
+
+/// True when any block of \p Blocks contains synchronization that vetoes
+/// re-timing the region (Section 4.5's "synchronization requirements").
+bool regionHasSyncVeto(const std::vector<BasicBlock *> &Blocks) {
+  for (const BasicBlock *BB : Blocks)
+    for (const Instruction &I : BB->instructions())
+      if (I.opcode() == Opcode::WarpSync || isBarrierOp(I.opcode()) ||
+          I.opcode() == Opcode::Predict)
+        return true;
+  return false;
+}
+
+/// Influence region of \p Arm: blocks reachable from it inside \p L
+/// without passing \p Stop.
+std::vector<BasicBlock *> armBlocks(BasicBlock *Arm, const Loop *L,
+                                    const BasicBlock *Stop) {
+  std::vector<BasicBlock *> Result;
+  std::set<const BasicBlock *> Seen;
+  std::vector<BasicBlock *> Worklist = {Arm};
+  Seen.insert(Arm);
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    Result.push_back(BB);
+    for (BasicBlock *Succ : BB->successors()) {
+      if (Succ == Stop || Seen.count(Succ) || !L->contains(Succ))
+        continue;
+      Seen.insert(Succ);
+      Worklist.push_back(Succ);
+    }
+  }
+  return Result;
+}
+
+class Detector {
+public:
+  Detector(Function &F, const AutoDetectOptions &Opts,
+           AutoDetectReport &Report)
+      : F(F), Opts(Opts), Report(Report), DT(F), PDT(F), LI(F, DT),
+        DA(F, PDT) {}
+
+  /// With a profile available, a branch that executed but never split its
+  /// lanes is not worth re-timing (static divergence analysis cannot see
+  /// this). \returns true when the candidate should be dropped.
+  bool branchNeverDivergedInProfile(const BasicBlock *Branch) const {
+    if (!Opts.Profile)
+      return false;
+    auto It = Opts.Profile->Branches.find({F.name(), Branch->name()});
+    if (It == Opts.Profile->Branches.end())
+      return false; // Never executed: the weight test handles it.
+    return It->second.Executions > 0 && It->second.Divergent == 0;
+  }
+
+  void run() {
+    for (Loop *Outer : LI.loops())
+      for (Loop *Inner : Outer->subLoops())
+        considerLoopMerge(Outer, Inner);
+    for (Loop *L : LI.loops())
+      considerIterationDelays(L);
+  }
+
+private:
+  void finishCandidate(AutoCandidate C,
+                       const std::vector<BasicBlock *> &BodyBlocks,
+                       const std::vector<BasicBlock *> &RefillBlocks,
+                       unsigned BaseDepth) {
+    if (regionHasSyncVeto(BodyBlocks) || regionHasSyncVeto(RefillBlocks)) {
+      C.Profitable = false;
+      C.Reason = "vetoed: region contains synchronization";
+      Report.Candidates.push_back(std::move(C));
+      return;
+    }
+    for (const BasicBlock *BB : BodyBlocks) {
+      C.BodyWeight +=
+          blockWeight(BB, F, LI, BaseDepth, Opts, /*IsRefill=*/false);
+      C.RegionBlocks.push_back(BB);
+    }
+    for (const BasicBlock *BB : RefillBlocks) {
+      C.RefillWeight +=
+          blockWeight(BB, F, LI, BaseDepth, Opts, /*IsRefill=*/true);
+      C.RegionBlocks.push_back(BB);
+    }
+    C.Score = C.BodyWeight / std::max(C.RefillWeight, 1.0);
+    C.Profitable = C.Score >= Opts.MinGainRatio;
+    C.Reason = C.Profitable ? "accepted: common code dominates refill"
+                            : "rejected: refill cost too high";
+    Report.Candidates.push_back(std::move(C));
+  }
+
+  void considerLoopMerge(Loop *Outer, Loop *Inner) {
+    // Divergent-trip inner loop: some exit branch of Inner is divergent.
+    BasicBlock *ExitBranch = nullptr;
+    for (const auto &[From, To] : Inner->exitEdges()) {
+      (void)To;
+      if (From->hasTerminator() &&
+          From->terminator().opcode() == Opcode::Br &&
+          DA.isDivergentBranch(From)) {
+        ExitBranch = From;
+        break;
+      }
+    }
+    if (!ExitBranch)
+      return;
+    if (branchNeverDivergedInProfile(ExitBranch)) {
+      AutoCandidate C;
+      C.PatternKind = AutoCandidate::Kind::LoopMerge;
+      C.F = &F;
+      C.RegionStart = Outer->preheader();
+      C.Label = Inner->header();
+      C.Profitable = false;
+      C.Reason = "rejected: exit branch never diverged in profile";
+      Report.Candidates.push_back(std::move(C));
+      return;
+    }
+    // The reconvergence point: the heaviest single-predecessor block of
+    // the inner loop — where gathering buys the most convergent work. A
+    // single-block (do-while) loop gathers at its header; as a fallback
+    // use the in-loop continuation of the divergent exit branch.
+    BasicBlock *Label = nullptr;
+    if (Inner->blocks().size() == 1) {
+      Label = Inner->header();
+    } else {
+      double BestWeight = -1.0;
+      for (BasicBlock *BB : Inner->blocks()) {
+        if (BB == Inner->header() || BB->predecessors().size() != 1)
+          continue;
+        double Weight = blockWeight(BB, F, LI, Inner->depth(), Opts,
+                                    /*IsRefill=*/false);
+        if (Weight > BestWeight) {
+          BestWeight = Weight;
+          Label = BB;
+        }
+      }
+      if (!Label)
+        for (BasicBlock *Succ : ExitBranch->successors())
+          if (Inner->contains(Succ) && Succ != Inner->header())
+            Label = Succ;
+    }
+    if (!Label)
+      return;
+    BasicBlock *Preheader = Outer->preheader();
+    AutoCandidate C;
+    C.PatternKind = AutoCandidate::Kind::LoopMerge;
+    C.F = &F;
+    C.RegionStart = Preheader;
+    C.Label = Label;
+    if (!Preheader) {
+      C.Profitable = false;
+      C.Reason = "rejected: outer loop has no preheader";
+      Report.Candidates.push_back(std::move(C));
+      return;
+    }
+    std::vector<BasicBlock *> Body;
+    std::vector<BasicBlock *> Refill;
+    for (BasicBlock *BB : Outer->blocks()) {
+      if (Inner->contains(BB))
+        Body.push_back(BB);
+      else
+        Refill.push_back(BB);
+    }
+    finishCandidate(std::move(C), Body, Refill, Outer->depth());
+  }
+
+  void considerIterationDelays(Loop *L) {
+    for (BasicBlock *BB : L->blocks()) {
+      if (!BB->hasTerminator() || BB->terminator().opcode() != Opcode::Br)
+        continue;
+      if (!DA.isDivergentBranch(BB))
+        continue;
+      if (branchNeverDivergedInProfile(BB))
+        continue;
+      auto Succs = BB->successors();
+      // Skip loop-exit branches (handled as Loop Merge by the parent).
+      if (!L->contains(Succs[0]) || !L->contains(Succs[1]))
+        continue;
+      BasicBlock *Pdom = PDT.nearestCommonDominator(Succs[0], Succs[1]);
+      BasicBlock *Preheader = L->preheader();
+      // Weigh both arms; propose the heavier one when it dominates the
+      // rest of the loop body.
+      for (BasicBlock *Arm : Succs) {
+        if (Arm == Pdom || Arm == L->header())
+          continue;
+        // Candidate label must be reached only through the branch, else
+        // gathering there re-times unrelated paths.
+        if (Arm->predecessors().size() != 1)
+          continue;
+        AutoCandidate C;
+        C.PatternKind = AutoCandidate::Kind::IterationDelay;
+        C.F = &F;
+        C.RegionStart = Preheader;
+        C.Label = Arm;
+        if (!Preheader) {
+          C.Profitable = false;
+          C.Reason = "rejected: loop has no preheader";
+          Report.Candidates.push_back(std::move(C));
+          continue;
+        }
+        std::vector<BasicBlock *> Body = armBlocks(Arm, L, Pdom);
+        std::set<const BasicBlock *> InBody(Body.begin(), Body.end());
+        std::vector<BasicBlock *> Refill;
+        for (BasicBlock *Other : L->blocks())
+          if (!InBody.count(Other))
+            Refill.push_back(Other);
+        finishCandidate(std::move(C), Body, Refill, L->depth());
+      }
+    }
+  }
+
+  Function &F;
+  const AutoDetectOptions &Opts;
+  AutoDetectReport &Report;
+  DominatorTree DT;
+  PostDominatorTree PDT;
+  LoopInfo LI;
+  DivergenceAnalysis DA;
+};
+
+} // namespace
+
+AutoDetectReport simtsr::detectReconvergence(Module &M,
+                                             const AutoDetectOptions &Opts) {
+  AutoDetectReport Report;
+  for (size_t I = 0; I < M.size(); ++I) {
+    Function &F = *M.function(I);
+    F.recomputePreds();
+    Detector D(F, Opts, Report);
+    D.run();
+  }
+
+  // Rank and apply: best score first; a candidate is dropped when its
+  // label or start collides with an already accepted one (overlapping
+  // predictions are future work per Section 6).
+  std::stable_sort(Report.Candidates.begin(), Report.Candidates.end(),
+                   [](const AutoCandidate &A, const AutoCandidate &B) {
+                     return A.Score > B.Score;
+                   });
+  if (!Opts.Apply)
+    return Report;
+  std::set<const BasicBlock *> Claimed;
+  for (AutoCandidate &C : Report.Candidates) {
+    if (!C.Profitable)
+      continue;
+    bool Overlaps = Claimed.count(C.RegionStart) || Claimed.count(C.Label);
+    for (const BasicBlock *BB : C.RegionBlocks)
+      Overlaps |= Claimed.count(BB) != 0;
+    if (Overlaps) {
+      C.Profitable = false;
+      C.Reason = "rejected: overlaps a higher-scoring prediction";
+      continue;
+    }
+    Claimed.insert(C.RegionStart);
+    Claimed.insert(C.Label);
+    Claimed.insert(C.RegionBlocks.begin(), C.RegionBlocks.end());
+    C.RegionStart->insertBeforeTerminator(Instruction(
+        Opcode::Predict, NoRegister, {Operand::block(C.Label)}));
+    ++Report.Inserted;
+  }
+  return Report;
+}

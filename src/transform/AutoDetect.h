@@ -1,0 +1,79 @@
+//===- AutoDetect.h - Section 4.5 automatic detection ----------*- C++ -*-===//
+///
+/// \file
+/// Compiler heuristics that find speculative-reconvergence opportunities
+/// without user hints: Loop Merge (an inner loop with a divergent trip
+/// count nested in an outer loop) and Iteration Delay (a divergent branch
+/// with an expensive arm inside a loop). Profitability weighs the common
+/// code against the prolog/epilog that would become divergent, using
+/// static latency estimates or, when available, a per-block execution
+/// profile from a prior simulator run (the paper's "profile information
+/// may help improve the accuracy of our profitability tests").
+///
+/// Vetoes (Section 4.5): regions containing warp-synchronous operations
+/// or pre-existing user synchronization are rejected, and loads in the
+/// refill path are charged a divergent-access penalty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_AUTODETECT_H
+#define SIMTSR_TRANSFORM_AUTODETECT_H
+
+#include "sim/LatencyModel.h"
+#include "sim/SimStats.h"
+
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class BasicBlock;
+class Function;
+class Module;
+
+struct AutoDetectOptions {
+  /// Accept a candidate when bodyWeight / refillWeight >= this ratio.
+  double MinGainRatio = 3.0;
+  /// Static trip-count guess for loops with unknown bounds.
+  double AssumedTripCount = 8.0;
+  /// Extra weight multiplier charged to loads on the refill path (their
+  /// previously convergent accesses become divergent).
+  double DivergentLoadPenalty = 2.0;
+  /// Latency model for static instruction weights.
+  LatencyModel Latency = LatencyModel::computeBound();
+  /// Optional per-block profile from a previous run; when set, block
+  /// weights come from measured cycles instead of static estimates.
+  const SimStats *Profile = nullptr;
+  /// Insert predict directives for profitable candidates.
+  bool Apply = true;
+};
+
+struct AutoCandidate {
+  enum class Kind { LoopMerge, IterationDelay };
+  Kind PatternKind;
+  Function *F;
+  BasicBlock *RegionStart; ///< Where the predict directive goes.
+  BasicBlock *Label;       ///< Proposed reconvergence point.
+  double BodyWeight = 0;   ///< Weight of the common code.
+  double RefillWeight = 0; ///< Weight of the newly divergent refill path.
+  double Score = 0;        ///< BodyWeight / max(RefillWeight, 1).
+  bool Profitable = false;
+  std::string Reason; ///< Human-readable accept/reject note.
+  /// Blocks the prediction region would cover; used to reject overlapping
+  /// predictions (left to future work in Section 6).
+  std::vector<const BasicBlock *> RegionBlocks;
+};
+
+struct AutoDetectReport {
+  std::vector<AutoCandidate> Candidates;
+  unsigned Inserted = 0; ///< Predict directives placed.
+};
+
+/// Scans \p M for opportunities; inserts predict directives for the
+/// profitable ones when Opts.Apply is set. Run before the synchronization
+/// pipeline (the SR pass then consumes the directives).
+AutoDetectReport detectReconvergence(Module &M, const AutoDetectOptions &Opts);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_AUTODETECT_H

@@ -1,0 +1,157 @@
+//===- BarrierRealloc.cpp - Barrier-register re-allocation -----------------------===//
+
+#include "transform/BarrierRealloc.h"
+
+#include "analysis/BarrierAnalysis.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace simtsr;
+
+namespace {
+
+/// Marks, for every instruction-boundary point of \p F, which barriers are
+/// joined; additionally marks the op site of every barrier instruction so
+/// that barriers are considered live where they are manipulated.
+std::vector<std::vector<bool>> barrierRanges(Function &F) {
+  JoinedBarrierAnalysis Joined(F);
+  size_t NumPoints = 0;
+  for (BasicBlock *BB : F)
+    NumPoints += BB->size() + 1;
+  std::vector<std::vector<bool>> Ranges(
+      NumBarrierRegisters, std::vector<bool>(NumPoints, false));
+  size_t Point = 0;
+  for (BasicBlock *BB : F) {
+    uint32_t State = Joined.in(BB);
+    for (size_t I = 0; I <= BB->size(); ++I) {
+      if (I > 0) {
+        const Instruction &Inst = BB->inst(I - 1);
+        State = (State & ~barriereffect::killJoined(Inst)) |
+                barriereffect::genJoined(Inst);
+        if (isBarrierOp(Inst.opcode()))
+          Ranges[Inst.barrierId()][Point] = true; // The op site itself.
+      }
+      for (unsigned B = 0; B < NumBarrierRegisters; ++B)
+        if (State & (1u << B))
+          Ranges[B][Point] = true;
+      ++Point;
+    }
+  }
+  return Ranges;
+}
+
+bool rangesOverlap(const std::vector<bool> &A, const std::vector<bool> &B) {
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I] && B[I])
+      return true;
+  return false;
+}
+
+std::set<unsigned> usedBarriers(const Function &F) {
+  std::set<unsigned> Used;
+  for (const BasicBlock *BB : F)
+    for (const Instruction &I : BB->instructions())
+      if (isBarrierOp(I.opcode()))
+        Used.insert(I.barrierId());
+  return Used;
+}
+
+/// Recolours \p F's barriers, skipping \p Pinned ids (kept verbatim) and
+/// never assigning a pinned id as a colour. \returns old->new, or an
+/// identity mapping when the colouring would exceed the register file.
+std::map<unsigned, unsigned> colorFunction(Function &F, unsigned FirstColor,
+                                           const std::set<unsigned> &Pinned) {
+  std::map<unsigned, unsigned> Renaming;
+  std::set<unsigned> Used = usedBarriers(F);
+  if (Used.empty())
+    return Renaming;
+  auto Ranges = barrierRanges(F);
+
+  for (unsigned Old : Used) {
+    if (Pinned.count(Old)) {
+      Renaming[Old] = Old;
+      continue;
+    }
+    for (unsigned Color = FirstColor;; ++Color) {
+      if (Color >= NumBarrierRegisters)
+        return {}; // Out of registers: keep the original allocation.
+      if (Pinned.count(Color))
+        continue;
+      bool Clash = false;
+      for (const auto &[OtherOld, OtherNew] : Renaming)
+        if (OtherNew == Color &&
+            rangesOverlap(Ranges[Old], Ranges[OtherOld]))
+          Clash = true;
+      if (!Clash) {
+        Renaming[Old] = Color;
+        break;
+      }
+    }
+  }
+
+  // Apply.
+  for (BasicBlock *BB : F)
+    for (Instruction &I : BB->instructions())
+      if (isBarrierOp(I.opcode()))
+        I.operand(0).setBarrier(Renaming.at(I.barrierId()));
+  return Renaming;
+}
+
+} // namespace
+
+std::map<unsigned, unsigned> simtsr::reallocateBarriers(Function &F,
+                                                        unsigned FirstColor) {
+  return colorFunction(F, FirstColor, {});
+}
+
+ReallocReport simtsr::reallocateBarriers(Module &M) {
+  ReallocReport Report;
+
+  // Ids used by several functions are interprocedural (caller-side join,
+  // callee-side wait): pin them so the linkage survives.
+  std::map<unsigned, unsigned> FunctionsUsing;
+  for (size_t FI = 0; FI < M.size(); ++FI)
+    for (unsigned Id : usedBarriers(*M.function(FI)))
+      ++FunctionsUsing[Id];
+  std::set<unsigned> Pinned;
+  std::set<unsigned> AllBefore;
+  for (const auto &[Id, Count] : FunctionsUsing) {
+    AllBefore.insert(Id);
+    if (Count > 1)
+      Pinned.insert(Id);
+  }
+  Report.BarriersBefore = static_cast<unsigned>(AllBefore.size());
+
+  // Functions get stacked colour ranges so that two functions co-resident
+  // in one warp never share a (non-pinned) register.
+  unsigned NextColor = 0;
+  std::set<unsigned> AllAfter(Pinned.begin(), Pinned.end());
+  for (size_t FI = 0; FI < M.size(); ++FI) {
+    Function &F = *M.function(FI);
+    auto Renaming = colorFunction(F, NextColor, Pinned);
+    if (Renaming.empty() && !usedBarriers(F).empty()) {
+      // Colouring failed; the function keeps its original ids.
+      for (unsigned Id : usedBarriers(F))
+        AllAfter.insert(Id);
+      continue;
+    }
+    unsigned MaxColor = 0;
+    bool Any = false;
+    for (const auto &[Old, New] : Renaming) {
+      (void)Old;
+      if (Pinned.count(New))
+        continue;
+      AllAfter.insert(New);
+      MaxColor = std::max(MaxColor, New);
+      Any = true;
+    }
+    if (Any)
+      NextColor = MaxColor + 1;
+    if (!Renaming.empty())
+      Report.Renaming[F.name()] = std::move(Renaming);
+  }
+  Report.BarriersAfter = static_cast<unsigned>(AllAfter.size());
+  return Report;
+}

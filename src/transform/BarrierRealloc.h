@@ -1,0 +1,53 @@
+//===- BarrierRealloc.h - Barrier-register re-allocation -------*- C++ -*-===//
+///
+/// \file
+/// The Volta ISA exposes 16 barrier registers per warp, and the paper's
+/// static deconfliction explicitly counts "barrier registers used" as a
+/// cost. Our pipeline hands out module-globally unique ids, which is
+/// correct but wasteful: within one function, two barriers whose joined
+/// ranges never overlap can share a register. This pass recolours each
+/// function's barriers greedily over the joined-range interference graph,
+/// shrinking register pressure.
+///
+/// Cross-function sharing is *not* performed: under independent thread
+/// scheduling, threads of one warp can occupy two functions at once, so
+/// barriers of different functions are conservatively co-live (barrier
+/// registers are warp-global state).
+///
+/// Run after deconfliction and verification as a final lowering step; the
+/// BarrierRegistry's id->origin map is invalidated by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_BARRIERREALLOC_H
+#define SIMTSR_TRANSFORM_BARRIERREALLOC_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class Function;
+class Module;
+
+struct ReallocReport {
+  unsigned BarriersBefore = 0; ///< Distinct ids used before recolouring.
+  unsigned BarriersAfter = 0;  ///< Distinct ids used after.
+  /// Per function: old id -> new id.
+  std::map<std::string, std::map<unsigned, unsigned>> Renaming;
+};
+
+/// Recolours barrier ids within \p F starting from id \p FirstColor.
+/// \returns the renaming (old -> new). Barriers with overlapping joined
+/// ranges keep distinct ids.
+std::map<unsigned, unsigned> reallocateBarriers(Function &F,
+                                                unsigned FirstColor = 0);
+
+/// Recolours every function; functions receive disjoint id ranges
+/// stacked from 0 upward (cross-function barriers stay distinct).
+ReallocReport reallocateBarriers(Module &M);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_BARRIERREALLOC_H

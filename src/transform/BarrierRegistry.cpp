@@ -1,0 +1,55 @@
+//===- BarrierRegistry.cpp - Module-wide barrier allocation -------------------===//
+
+#include "transform/BarrierRegistry.h"
+
+#include <cassert>
+
+using namespace simtsr;
+
+const char *simtsr::getBarrierOriginName(BarrierOrigin O) {
+  switch (O) {
+  case BarrierOrigin::PdomSync:
+    return "pdom";
+  case BarrierOrigin::Speculative:
+    return "speculative";
+  case BarrierOrigin::RegionExit:
+    return "region-exit";
+  case BarrierOrigin::Interproc:
+    return "interprocedural";
+  }
+  return "unknown";
+}
+
+std::optional<unsigned> BarrierRegistry::allocateLow(BarrierOrigin Origin,
+                                                     std::string Note) {
+  for (unsigned Id = 0; Id < NumBarrierRegisters; ++Id) {
+    if (Allocated.count(Id))
+      continue;
+    Allocated[Id] = {Origin, std::move(Note)};
+    return Id;
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> BarrierRegistry::allocateHigh(BarrierOrigin Origin,
+                                                      std::string Note) {
+  for (unsigned Id = NumBarrierRegisters; Id-- > 0;) {
+    if (Allocated.count(Id))
+      continue;
+    Allocated[Id] = {Origin, std::move(Note)};
+    return Id;
+  }
+  return std::nullopt;
+}
+
+std::optional<BarrierOrigin> BarrierRegistry::origin(unsigned Id) const {
+  auto It = Allocated.find(Id);
+  if (It == Allocated.end())
+    return std::nullopt;
+  return It->second.Origin;
+}
+
+void BarrierRegistry::release(unsigned Id) {
+  assert(Allocated.count(Id) && "releasing unallocated barrier");
+  Allocated.erase(Id);
+}

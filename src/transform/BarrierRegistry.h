@@ -1,0 +1,68 @@
+//===- BarrierRegistry.h - Module-wide barrier allocation ------*- C++ -*-===//
+///
+/// \file
+/// Allocates the 16 architectural barrier registers across all passes and
+/// functions of a module, and remembers why each one exists. Speculative-
+/// reconvergence barriers are handed out from the low end and baseline
+/// PDOM barriers from the high end so the deconfliction pass can identify
+/// "the PDOM barrier" of a conflicting pair by origin rather than by id.
+///
+/// Allocation is module-global (each id used by exactly one pass site)
+/// because interprocedural reconvergence makes barrier lifetimes span
+/// function boundaries: a caller-side join may be live while the callee
+/// runs, so reusing ids across functions is not generally safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_BARRIERREGISTRY_H
+#define SIMTSR_TRANSFORM_BARRIERREGISTRY_H
+
+#include "ir/Opcode.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace simtsr {
+
+enum class BarrierOrigin {
+  PdomSync,    ///< Baseline post-dominator reconvergence.
+  Speculative, ///< User/auto speculative-reconvergence gather barrier.
+  RegionExit,  ///< Orthogonal region-exit barrier (Figure 4(d) b1).
+  Interproc,   ///< Function-entry reconvergence (Section 4.4).
+};
+
+const char *getBarrierOriginName(BarrierOrigin O);
+
+class BarrierRegistry {
+public:
+  /// Allocates from the low end (Speculative/RegionExit/Interproc).
+  /// \returns nullopt when the register file is exhausted.
+  std::optional<unsigned> allocateLow(BarrierOrigin Origin,
+                                      std::string Note = "");
+
+  /// Allocates from the high end (PdomSync).
+  std::optional<unsigned> allocateHigh(BarrierOrigin Origin,
+                                       std::string Note = "");
+
+  /// Origin of \p Id; nullopt when the id was never allocated.
+  std::optional<BarrierOrigin> origin(unsigned Id) const;
+
+  /// Frees \p Id (static deconfliction deletes PDOM barriers).
+  void release(unsigned Id);
+
+  unsigned numAllocated() const {
+    return static_cast<unsigned>(Allocated.size());
+  }
+
+private:
+  struct Entry {
+    BarrierOrigin Origin;
+    std::string Note;
+  };
+  std::map<unsigned, Entry> Allocated;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_BARRIERREGISTRY_H

@@ -1,0 +1,36 @@
+//===- BarrierVerifier.h - Synchronization discipline checks ---*- C++ -*-===//
+///
+/// \file
+/// Static checks that the inserted synchronization is well behaved:
+/// no barrier may still be joined at a function exit (modulo
+/// interprocedural barriers, whose waits live in callees), and after
+/// deconfliction no speculative/PDOM conflicts may remain. Used as a test
+/// oracle for every pass pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_BARRIERVERIFIER_H
+#define SIMTSR_TRANSFORM_BARRIERVERIFIER_H
+
+#include "transform/BarrierRegistry.h"
+
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class Function;
+
+/// \returns diagnostics; empty means the discipline holds. Barriers with
+/// Interproc origin are exempt from the exit-cleanliness check.
+std::vector<std::string> verifyBarrierDiscipline(Function &F,
+                                                 const BarrierRegistry &Reg);
+
+/// \returns diagnostics for conflicts that survive between a speculative
+/// barrier and a PDOM barrier (should be empty after deconfliction).
+std::vector<std::string> verifyDeconflicted(Function &F,
+                                            const BarrierRegistry &Reg);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_BARRIERVERIFIER_H

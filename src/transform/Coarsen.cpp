@@ -1,0 +1,44 @@
+//===- Coarsen.cpp - Thread coarsening --------------------------------------------===//
+
+#include "transform/Coarsen.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+using namespace simtsr;
+
+Function *simtsr::coarsenKernel(Module &M, Function *TaskKernel,
+                                int64_t NumTasks) {
+  if (TaskKernel->numParams() != 1)
+    return nullptr;
+
+  Function *Wrapper =
+      M.createFunction(TaskKernel->name() + ".coarsened", 0);
+  IRBuilder B(Wrapper);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Header = Wrapper->createBlock("task_header");
+  BasicBlock *Body = Wrapper->createBlock("task_body");
+  BasicBlock *Exit = Wrapper->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned Tid = B.tid();
+  unsigned Stride = B.warpSize();
+  unsigned Task = B.mov(Operand::reg(Tid));
+  B.jmp(Header);
+
+  B.setInsertBlock(Header);
+  unsigned More = B.cmpLT(Operand::reg(Task), Operand::imm(NumTasks));
+  B.br(Operand::reg(More), Body, Exit);
+
+  B.setInsertBlock(Body);
+  B.call(TaskKernel, {Operand::reg(Task)});
+  unsigned Next = B.add(Operand::reg(Task), Operand::reg(Stride));
+  Body->append(Instruction(Opcode::Mov, Task, {Operand::reg(Next)}));
+  B.jmp(Header);
+
+  B.setInsertBlock(Exit);
+  B.ret();
+
+  Wrapper->recomputePreds();
+  return Wrapper;
+}

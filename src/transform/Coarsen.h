@@ -1,0 +1,40 @@
+//===- Coarsen.h - Thread coarsening ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Thread coarsening (Section 3): "combining work from multiple threads
+/// into a single thread by converting a loop into nested loops". CUDA
+/// programs often launch one variable-length task per thread; assigning
+/// many tasks per thread both load-balances over time and creates the
+/// nested-loop shape that Loop Merge needs (it is how the paper prepares
+/// RSBench, Figure 3).
+///
+/// The transform wraps a single-task kernel `@f(taskId)` in a new
+/// zero-parameter kernel that strides tasks across the warp:
+///
+///   for (task = tid; task < numTasks; task += warpSize) f(task);
+///
+/// Marking \p TaskKernel reconverge_entry afterwards gathers threads at
+/// each task body — or the task kernel's own predict annotations become
+/// reachable to the intraprocedural SR pass after inlining.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_COARSEN_H
+#define SIMTSR_TRANSFORM_COARSEN_H
+
+#include <cstdint>
+
+namespace simtsr {
+
+class Function;
+class Module;
+
+/// Creates `<name>.coarsened` in \p M looping \p TaskKernel over
+/// \p NumTasks tasks with a warp-stride schedule. \p TaskKernel must take
+/// exactly one parameter (the task id). \returns the new kernel, or null
+/// when the arity is wrong.
+Function *coarsenKernel(Module &M, Function *TaskKernel, int64_t NumTasks);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_COARSEN_H

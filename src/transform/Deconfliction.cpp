@@ -1,0 +1,136 @@
+//===- Deconfliction.cpp - Section 4.3 barrier deconfliction ------------------===//
+
+#include "transform/Deconfliction.h"
+
+#include "analysis/BarrierAnalysis.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace simtsr;
+
+namespace {
+
+/// True for origins that designate "our" speculative synchronization, which
+/// takes priority over standard PDOM synchronization (Section 4.1: user
+/// hints win over conflicting compiler-inserted reconvergence).
+bool isSpeculativeOrigin(BarrierOrigin O) {
+  return O == BarrierOrigin::Speculative || O == BarrierOrigin::Interproc;
+}
+
+/// A speculative wait site together with the PDOM barriers a thread may
+/// still be joined to when it arrives there — the Figure 5(a) hazard.
+struct HazardSite {
+  BasicBlock *Block;
+  size_t Index;
+  uint32_t HeldPdoms;
+};
+
+void deleteBarrierOps(Function &F, unsigned Barrier) {
+  for (BasicBlock *BB : F) {
+    auto &Insts = BB->instructions();
+    for (size_t I = Insts.size(); I-- > 0;) {
+      const Instruction &Inst = Insts[I];
+      if (!isBarrierOp(Inst.opcode()) ||
+          Inst.opcode() == Opcode::ArrivedCount)
+        continue;
+      if (Inst.barrierId() == Barrier)
+        Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(I));
+    }
+  }
+}
+
+} // namespace
+
+DeconflictReport simtsr::deconflictBarriers(Function &F,
+                                            BarrierRegistry &Registry,
+                                            DeconflictStrategy Strategy) {
+  DeconflictReport Report;
+  JoinedBarrierAnalysis Joined(F);
+
+  // Which barriers have PDOM origin?
+  uint32_t PdomMask = 0;
+  for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+    auto Origin = Registry.origin(B);
+    if (Origin && *Origin == BarrierOrigin::PdomSync)
+      PdomMask |= 1u << B;
+  }
+
+  // Collect hazard sites: a thread must never block at a speculative wait
+  // while still a member of a PDOM barrier — the PDOM waiters could wait
+  // on it (and it on them) with unpredictable results.
+  std::vector<HazardSite> Sites;
+  std::set<std::pair<unsigned, unsigned>> Pairs; // (spec, pdom)
+  for (BasicBlock *BB : F) {
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction &Inst = BB->inst(I);
+      const bool IsWait = Inst.opcode() == Opcode::WaitBarrier ||
+                          Inst.opcode() == Opcode::SoftWait;
+      if (!IsWait)
+        continue;
+      auto Origin = Registry.origin(Inst.barrierId());
+      if (!Origin || !isSpeculativeOrigin(*Origin))
+        continue;
+      uint32_t Held = Joined.before(BB, I) & PdomMask;
+      Held &= ~(1u << Inst.barrierId());
+      if (Held == 0)
+        continue;
+      Sites.push_back({BB, I, Held});
+      for (unsigned B = 0; B < NumBarrierRegisters; ++B)
+        if (Held & (1u << B))
+          Pairs.insert({Inst.barrierId(), B});
+    }
+  }
+  Report.ConflictsFound = static_cast<unsigned>(Pairs.size());
+
+  if (Strategy == DeconflictStrategy::Static) {
+    // Delete each conflicting PDOM barrier outright (Figure 5(b)).
+    std::set<unsigned> Doomed;
+    for (const auto &[Spec, Pdom] : Pairs) {
+      (void)Spec;
+      Doomed.insert(Pdom);
+    }
+    for (unsigned B : Doomed) {
+      deleteBarrierOps(F, B);
+      Registry.release(B);
+      ++Report.BarriersDeleted;
+    }
+    F.recomputePreds();
+    return Report;
+  }
+
+  // Dynamic (Figure 5(c)): cancel each held PDOM barrier right before the
+  // speculative wait. Process blocks back-to-front so indices stay valid.
+  std::stable_sort(Sites.begin(), Sites.end(),
+                   [](const HazardSite &A, const HazardSite &B) {
+                     if (A.Block != B.Block)
+                       return A.Block->number() < B.Block->number();
+                     return A.Index > B.Index;
+                   });
+  for (const HazardSite &S : Sites) {
+    for (unsigned B = NumBarrierRegisters; B-- > 0;) {
+      if (!(S.HeldPdoms & (1u << B)))
+        continue;
+      // Idempotence: skip if the cancel already sits in the run of cancels
+      // directly above the wait.
+      bool Already = false;
+      for (size_t K = S.Index; K-- > 0;) {
+        const Instruction &Prev = S.Block->inst(K);
+        if (Prev.opcode() != Opcode::CancelBarrier)
+          break;
+        if (Prev.barrierId() == B) {
+          Already = true;
+          break;
+        }
+      }
+      if (Already)
+        continue;
+      S.Block->insert(S.Index, Instruction(Opcode::CancelBarrier, NoRegister,
+                                           {Operand::barrier(B)}));
+      ++Report.CancelsInserted;
+    }
+  }
+  F.recomputePreds();
+  return Report;
+}

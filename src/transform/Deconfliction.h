@@ -1,0 +1,47 @@
+//===- Deconfliction.h - Section 4.3 barrier deconfliction -----*- C++ -*-===//
+///
+/// \file
+/// Barriers conflict when their joined ranges overlap non-inclusively
+/// (Figure 5(a)); threads could then block at two different places with
+/// unpredictable results. Two strategies from the paper:
+///
+///  * Static: delete every operation of the conflicting PDOM barrier
+///    (Figure 5(b)). Cheapest, but loses the original reconvergence point
+///    even when the speculative one is rarely reached.
+///  * Dynamic: keep everything; threads about to wait on the speculative
+///    barrier first cancel out of the conflicting barrier (Figure 5(c)),
+///    so the conflict dissolves only on executions that actually reach the
+///    speculative point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_DECONFLICTION_H
+#define SIMTSR_TRANSFORM_DECONFLICTION_H
+
+#include "transform/BarrierRegistry.h"
+
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class Function;
+
+enum class DeconflictStrategy { Static, Dynamic };
+
+struct DeconflictReport {
+  unsigned ConflictsFound = 0;
+  unsigned BarriersDeleted = 0;  ///< Static strategy.
+  unsigned CancelsInserted = 0;  ///< Dynamic strategy.
+  std::vector<std::string> Diagnostics;
+};
+
+/// Resolves conflicts between speculative barriers and others in \p F.
+/// Conflicts between two non-speculative barriers are reported but left
+/// alone (properly nested PDOM barriers never conflict).
+DeconflictReport deconflictBarriers(Function &F, BarrierRegistry &Registry,
+                                    DeconflictStrategy Strategy);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_DECONFLICTION_H

@@ -1,0 +1,190 @@
+//===- IfConvert.cpp - Predication by if-conversion -----------------------------===//
+
+#include "transform/IfConvert.h"
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <map>
+
+using namespace simtsr;
+
+namespace {
+
+/// Safe to execute unconditionally: pure, non-trapping, stream-free.
+bool isSpeculatable(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Not:
+  case Opcode::Neg:
+  case Opcode::Mov:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+  case Opcode::Select:
+  case Opcode::Tid:
+  case Opcode::LaneId:
+  case Opcode::WarpSize:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True when \p Arm is a convertible arm: jumps to \p Join, is entered
+/// only from \p Entry, and holds speculatable instructions only.
+bool isConvertibleArm(const BasicBlock *Arm, const BasicBlock *Entry,
+                      const BasicBlock *Join) {
+  if (Arm->predecessors().size() != 1 || Arm->predecessors()[0] != Entry)
+    return false;
+  if (!Arm->hasTerminator() || Arm->terminator().opcode() != Opcode::Jmp ||
+      Arm->terminator().operand(0).getBlock() != Join)
+    return false;
+  for (size_t I = 0; I + 1 < Arm->size(); ++I)
+    if (!isSpeculatable(Arm->inst(I)))
+      return false;
+  return true;
+}
+
+/// Hoists \p Arm's instructions into \p Entry before the terminator,
+/// renaming every defined register to a fresh temporary. \returns the
+/// original-register -> final-temporary map.
+std::map<unsigned, unsigned> hoistArm(Function &F, BasicBlock *Entry,
+                                      const BasicBlock *Arm) {
+  std::map<unsigned, unsigned> Renamed;
+  for (size_t I = 0; I + 1 < Arm->size(); ++I) {
+    const Instruction &Inst = Arm->inst(I);
+    std::vector<Operand> Ops;
+    Ops.reserve(Inst.numOperands());
+    for (const Operand &O : Inst.operands()) {
+      if (O.isReg()) {
+        auto It = Renamed.find(O.getReg());
+        Ops.push_back(It == Renamed.end() ? O : Operand::reg(It->second));
+      } else {
+        Ops.push_back(O);
+      }
+    }
+    unsigned Temp = F.createReg();
+    Entry->insertBeforeTerminator(
+        Instruction(Inst.opcode(), Temp, std::move(Ops)));
+    Renamed[Inst.dst()] = Temp;
+  }
+  return Renamed;
+}
+
+/// Attempts to convert the conditional ending \p Entry. \returns 0 on no
+/// match, 1 for a triangle, 2 for a diamond.
+int convertAt(Function &F, BasicBlock *Entry) {
+  if (!Entry->hasTerminator() || Entry->terminator().opcode() != Opcode::Br)
+    return 0;
+  Operand Cond = Entry->terminator().operand(0);
+  BasicBlock *Then = Entry->terminator().operand(1).getBlock();
+  BasicBlock *Else = Entry->terminator().operand(2).getBlock();
+  if (Then == Else || Then == Entry || Else == Entry)
+    return 0;
+
+  // The join an arm funnels into, or null when the arm has no plain jump.
+  auto isJoinOf = [](const BasicBlock *Arm) -> BasicBlock * {
+    if (!Arm->hasTerminator() || Arm->terminator().opcode() != Opcode::Jmp)
+      return nullptr;
+    return Arm->terminator().operand(0).getBlock();
+  };
+
+  // Diamond: both arms convertible into a common join.
+  const bool ThenOk = isConvertibleArm(Then, Entry, isJoinOf(Then));
+  if (ThenOk && isConvertibleArm(Else, Entry, isJoinOf(Else)) &&
+      isJoinOf(Then) == isJoinOf(Else)) {
+    BasicBlock *Join = isJoinOf(Then);
+    auto ThenMap = hoistArm(F, Entry, Then);
+    auto ElseMap = hoistArm(F, Entry, Else);
+    // Merge per-register: select(c, thenVal-or-old, elseVal-or-old).
+    std::map<unsigned, std::pair<unsigned, unsigned>> Merged;
+    for (const auto &[Reg, Temp] : ThenMap)
+      Merged[Reg] = {Temp, Reg};
+    for (const auto &[Reg, Temp] : ElseMap) {
+      auto It = Merged.find(Reg);
+      if (It == Merged.end())
+        Merged[Reg] = {Reg, Temp};
+      else
+        It->second.second = Temp;
+    }
+    for (const auto &[Reg, Vals] : Merged)
+      Entry->insertBeforeTerminator(
+          Instruction(Opcode::Select, Reg,
+                      {Cond, Operand::reg(Vals.first),
+                       Operand::reg(Vals.second)}));
+    Entry->instructions().back() =
+        Instruction(Opcode::Jmp, NoRegister, {Operand::block(Join)});
+    return 2;
+  }
+
+  // Triangle with the then arm.
+  if (isConvertibleArm(Then, Entry, Else)) {
+    auto Map = hoistArm(F, Entry, Then);
+    for (const auto &[Reg, Temp] : Map)
+      Entry->insertBeforeTerminator(Instruction(
+          Opcode::Select, Reg,
+          {Cond, Operand::reg(Temp), Operand::reg(Reg)}));
+    Entry->instructions().back() =
+        Instruction(Opcode::Jmp, NoRegister, {Operand::block(Else)});
+    return 1;
+  }
+  // Triangle with the else arm (br c, join, else with else -> join).
+  if (isConvertibleArm(Else, Entry, Then)) {
+    auto Map = hoistArm(F, Entry, Else);
+    for (const auto &[Reg, Temp] : Map)
+      Entry->insertBeforeTerminator(Instruction(
+          Opcode::Select, Reg,
+          {Cond, Operand::reg(Reg), Operand::reg(Temp)}));
+    Entry->instructions().back() =
+        Instruction(Opcode::Jmp, NoRegister, {Operand::block(Then)});
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+IfConvertReport simtsr::ifConvert(Function &F) {
+  IfConvertReport Report;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    F.recomputePreds();
+    for (BasicBlock *BB : F) {
+      int Kind = convertAt(F, BB);
+      if (Kind == 0)
+        continue;
+      if (Kind == 1)
+        ++Report.TrianglesConverted;
+      else
+        ++Report.DiamondsConverted;
+      Changed = true;
+      break; // CFG changed; restart the scan.
+    }
+  }
+  F.recomputePreds();
+  return Report;
+}
+
+IfConvertReport simtsr::ifConvert(Module &M) {
+  IfConvertReport Report;
+  for (size_t I = 0; I < M.size(); ++I) {
+    IfConvertReport One = ifConvert(*M.function(I));
+    Report.TrianglesConverted += One.TrianglesConverted;
+    Report.DiamondsConverted += One.DiamondsConverted;
+  }
+  return Report;
+}

@@ -1,0 +1,47 @@
+//===- IfConvert.h - Predication by if-conversion --------------*- C++ -*-===//
+///
+/// \file
+/// Section 2 contrasts SIMT divergence handling with SIMD predication:
+/// "when data-dependent conditional code is encountered on SIMD
+/// architectures, predication may be used to disable execution of certain
+/// data paths". This pass implements that alternative for our IR:
+/// side-effect-free divergent diamonds/triangles are flattened into
+/// straight-line select code, trading extra executed instructions for
+/// perfect convergence — the classic rival of reconvergence-based
+/// approaches for *small* conditional arms (the predication-vs-SR
+/// ablation quantifies the crossover).
+///
+/// An arm is convertible when it is a single block with the branch as its
+/// only predecessor, ends in a jump to the join block, and contains only
+/// speculatable value instructions: ALU/compare/select/mov. Excluded:
+/// div/rem (may trap), rand (advances the per-thread stream), memory,
+/// calls, barriers, control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_IFCONVERT_H
+#define SIMTSR_TRANSFORM_IFCONVERT_H
+
+namespace simtsr {
+
+class Function;
+class Module;
+
+struct IfConvertReport {
+  unsigned TrianglesConverted = 0; ///< if-then shapes.
+  unsigned DiamondsConverted = 0;  ///< if-then-else shapes.
+
+  unsigned total() const { return TrianglesConverted + DiamondsConverted; }
+};
+
+/// Flattens eligible conditionals in \p F to a fixpoint (converting an
+/// inner diamond can expose an outer one). Leaves the emptied arm blocks
+/// unreachable; run simplifyCfg afterwards to drop them.
+IfConvertReport ifConvert(Function &F);
+
+/// Flattens every function of \p M.
+IfConvertReport ifConvert(Module &M);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_IFCONVERT_H

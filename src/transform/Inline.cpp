@@ -1,0 +1,115 @@
+//===- Inline.cpp - Function inlining ----------------------------------------===//
+
+#include "transform/Inline.h"
+
+#include "ir/CFGUtils.h"
+#include "ir/Module.h"
+
+#include <map>
+
+using namespace simtsr;
+
+bool simtsr::inlineCallSite(Function &Caller, BasicBlock *BB,
+                            unsigned Index) {
+  assert(Index < BB->size() && BB->inst(Index).opcode() == Opcode::Call &&
+         "not a call site");
+  Function *Callee = BB->inst(Index).operand(0).getFunc();
+  if (Callee == &Caller)
+    return false; // Direct recursion cannot be inlined away.
+  for (BasicBlock *CB : *Callee)
+    for (const Instruction &I : CB->instructions())
+      if (I.opcode() == Opcode::Call && I.operand(0).getFunc() == Callee)
+        return false; // Self-recursive callee.
+
+  // Split so the code after the call becomes the continuation block.
+  BasicBlock *Tail = splitBlockAfter(Caller, BB, Index);
+
+  // Map callee registers into a fresh window of the caller's space.
+  const unsigned Base = Caller.numRegs();
+  for (unsigned R = 0; R < Callee->numRegs(); ++R)
+    Caller.createReg();
+
+  // Clone the callee's blocks.
+  std::map<const BasicBlock *, BasicBlock *> BlockMap;
+  for (BasicBlock *CB : *Callee)
+    BlockMap[CB] = Caller.createBlock(uniqueBlockName(
+        Caller, "inline." + Callee->name() + "." + CB->name()));
+
+  const Instruction Call = BB->inst(Index); // Copy before erasing.
+  const unsigned DstReg = Call.hasDst() ? Call.dst() : NoRegister;
+
+  auto remapOperand = [&](const Operand &O) {
+    if (O.isReg())
+      return Operand::reg(O.getReg() + Base);
+    if (O.isBlock()) {
+      auto It = BlockMap.find(O.getBlock());
+      assert(It != BlockMap.end() && "callee block operand not mapped");
+      return Operand::block(It->second);
+    }
+    return O;
+  };
+
+  for (BasicBlock *CB : *Callee) {
+    BasicBlock *Copy = BlockMap[CB];
+    for (const Instruction &I : CB->instructions()) {
+      if (I.opcode() == Opcode::Ret) {
+        // ret [val] -> [mov dst, val;] jmp tail.
+        if (I.numOperands() == 1 && DstReg != NoRegister)
+          Copy->append(
+              Instruction(Opcode::Mov, DstReg, {remapOperand(I.operand(0))}));
+        Copy->append(
+            Instruction(Opcode::Jmp, NoRegister, {Operand::block(Tail)}));
+        continue;
+      }
+      std::vector<Operand> Ops;
+      Ops.reserve(I.numOperands());
+      for (const Operand &O : I.operands())
+        Ops.push_back(remapOperand(O));
+      Copy->append(Instruction(I.opcode(),
+                               I.hasDst() ? I.dst() + Base : NoRegister,
+                               std::move(Ops)));
+    }
+  }
+
+  // Replace the call with argument moves, then branch into the clone.
+  auto &Insts = BB->instructions();
+  Insts.erase(Insts.begin() + Index);
+  for (unsigned A = 1; A < Call.numOperands(); ++A) {
+    BB->insert(Index + (A - 1),
+               Instruction(Opcode::Mov, Base + (A - 1), {Call.operand(A)}));
+  }
+  assert(BB->terminator().opcode() == Opcode::Jmp &&
+         "split block must end in a jump");
+  BB->terminator().operand(0).setBlock(BlockMap[Callee->entry()]);
+
+  Caller.recomputePreds();
+  return true;
+}
+
+unsigned simtsr::inlineAllCalls(Module &M, Function *Callee) {
+  unsigned Inlined = 0;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (size_t FI = 0; FI < M.size() && !Progress; ++FI) {
+      Function *F = M.function(FI);
+      if (F == Callee)
+        continue;
+      for (size_t BI = 0; BI < F->size() && !Progress; ++BI) {
+        BasicBlock *BB = F->block(BI);
+        for (unsigned I = 0; I < BB->size(); ++I) {
+          const Instruction &Inst = BB->inst(I);
+          if (Inst.opcode() != Opcode::Call ||
+              Inst.operand(0).getFunc() != Callee)
+            continue;
+          if (!inlineCallSite(*F, BB, I))
+            return Inlined;
+          ++Inlined;
+          Progress = true;
+          break;
+        }
+      }
+    }
+  }
+  return Inlined;
+}

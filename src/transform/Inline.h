@@ -1,0 +1,35 @@
+//===- Inline.h - Function inlining ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Call-site inlining. Section 6 of the paper notes the interaction with
+/// speculative reconvergence: inlining a function that is called from
+/// several divergent paths removes the common PC at which threads could
+/// have reconverged, destroying the Figure 2(c) opportunity — while
+/// outlining (the inverse refactoring) creates it. The extension tests
+/// and the Section 6 bench demonstrate both directions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_INLINE_H
+#define SIMTSR_TRANSFORM_INLINE_H
+
+namespace simtsr {
+
+class BasicBlock;
+class Function;
+class Module;
+
+/// Inlines the call at instruction \p Index of \p BB (which must be a
+/// Call). \returns false when the callee is recursive or is the caller
+/// itself. On success the call is replaced by the callee's blocks (with
+/// registers remapped into the caller's space) and \p BB is split after
+/// the former call site.
+bool inlineCallSite(Function &Caller, BasicBlock *BB, unsigned Index);
+
+/// Inlines every call to \p Callee across the module. \returns the number
+/// of call sites inlined.
+unsigned inlineAllCalls(Module &M, Function *Callee);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_INLINE_H

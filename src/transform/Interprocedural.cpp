@@ -1,0 +1,204 @@
+//===- Interprocedural.cpp - Section 4.4 function-entry gather ----------------===//
+
+#include "transform/Interprocedural.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/Dominators.h"
+#include "ir/CFGUtils.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace simtsr;
+
+namespace {
+
+/// Splits every call to \p Callee in \p G so the call is the last real
+/// instruction of its block. \returns the blocks ending in such a call.
+std::vector<BasicBlock *> isolateCallSites(Function &G, Function *Callee) {
+  std::vector<BasicBlock *> CallBlocks;
+  for (size_t BlockIndex = 0; BlockIndex < G.size(); ++BlockIndex) {
+    BasicBlock *BB = G.block(BlockIndex);
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction &Inst = BB->inst(I);
+      if (Inst.opcode() != Opcode::Call ||
+          Inst.operand(0).getFunc() != Callee)
+        continue;
+      // Leave the block alone only when the call is directly followed by an
+      // unconditional jump (the continuation is then the jump target) or by
+      // a ret (no continuation). Everything else splits.
+      const bool FollowedByJmp =
+          I + 2 == BB->size() && BB->inst(I + 1).opcode() == Opcode::Jmp;
+      const bool FollowedByRet =
+          I + 2 == BB->size() && BB->inst(I + 1).opcode() == Opcode::Ret;
+      if (!FollowedByJmp && !FollowedByRet)
+        splitBlockAfter(G, BB, I);
+      CallBlocks.push_back(BB);
+      break; // The rest of this block moved to the continuation.
+    }
+  }
+  G.recomputePreds();
+  return CallBlocks;
+}
+
+/// Marks the blocks from which some block in \p Targets is reachable
+/// (inclusive). Assumes current preds/numbering.
+std::vector<bool> blocksReachingAny(Function &G,
+                                    const std::vector<BasicBlock *> &Targets) {
+  std::vector<bool> Reaches(G.size(), false);
+  std::vector<BasicBlock *> Worklist;
+  for (BasicBlock *T : Targets) {
+    if (!Reaches[T->number()]) {
+      Reaches[T->number()] = true;
+      Worklist.push_back(T);
+    }
+  }
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    for (BasicBlock *Pred : BB->predecessors()) {
+      if (Reaches[Pred->number()])
+        continue;
+      Reaches[Pred->number()] = true;
+      Worklist.push_back(Pred);
+    }
+  }
+  return Reaches;
+}
+
+void annotateCaller(Function &G, Function *Callee, unsigned Barrier,
+                    InterprocReport &Report) {
+  std::vector<BasicBlock *> CallBlocks = isolateCallSites(G, Callee);
+  if (CallBlocks.empty())
+    return;
+
+  // Join at the nearest common dominator of all call sites.
+  DominatorTree DT(G);
+  BasicBlock *Dom = CallBlocks.front();
+  for (BasicBlock *CB : CallBlocks)
+    Dom = DT.nearestCommonDominator(Dom, CB);
+  if (!Dom) {
+    Report.Diagnostics.push_back("@" + G.name() +
+                                 ": call sites of @" + Callee->name() +
+                                 " have no common dominator; skipped");
+    return;
+  }
+  const bool DomIsCallBlock =
+      std::find(CallBlocks.begin(), CallBlocks.end(), Dom) !=
+      CallBlocks.end();
+  if (DomIsCallBlock) {
+    // Join immediately before the call itself.
+    size_t CallIndex = Dom->size() - 2; // call is last real instruction
+    Dom->insert(CallIndex, Instruction(Opcode::JoinBarrier, NoRegister,
+                                       {Operand::barrier(Barrier)}));
+  } else {
+    Dom->insertBeforeTerminator(Instruction(Opcode::JoinBarrier, NoRegister,
+                                            {Operand::barrier(Barrier)}));
+  }
+
+  // Region: blocks reachable from the join that can still reach a call.
+  G.recomputePreds();
+  std::vector<bool> FromDom = blocksReachableFrom(G, Dom);
+  std::vector<bool> ReachCall = blocksReachingAny(G, CallBlocks);
+  std::vector<bool> InRegion(G.size(), false);
+  for (size_t N = 0; N < G.size(); ++N)
+    InRegion[N] = FromDom[N] && ReachCall[N];
+  InRegion[Dom->number()] = true;
+
+  // Rejoin in continuations that can still reach another call. A call block
+  // ending in ret has no continuation (thread exit clears membership).
+  for (BasicBlock *CB : CallBlocks) {
+    auto Succs = CB->successors();
+    if (Succs.size() != 1)
+      continue;
+    BasicBlock *Cont = Succs[0];
+    if (ReachCall[Cont->number()]) {
+      Cont->insert(0, Instruction(Opcode::RejoinBarrier, NoRegister,
+                                  {Operand::barrier(Barrier)}));
+      ++Report.RejoinsInserted;
+    }
+  }
+
+  // Cancels on region exits. A thread leaving through a call block's
+  // continuation has just been released by the callee-entry wait (its
+  // membership is cleared), so those edges only need a cancel when a
+  // rejoin was inserted upstream — cancelling a non-member is a no-op, so
+  // we cancel uniformly for simplicity.
+  struct Exit {
+    BasicBlock *From;
+    BasicBlock *To;
+  };
+  std::vector<Exit> Exits;
+  for (BasicBlock *From : G) {
+    if (!InRegion[From->number()])
+      continue;
+    for (BasicBlock *To : From->successors())
+      if (!InRegion[To->number()])
+        Exits.push_back({From, To});
+  }
+  for (const Exit &E : Exits) {
+    const auto &Preds = E.To->predecessors();
+    const bool AllPredsInRegion =
+        std::all_of(Preds.begin(), Preds.end(), [&](BasicBlock *P) {
+          return InRegion[P->number()];
+        });
+    if (AllPredsInRegion && E.To->predecessors().size() >= 1 &&
+        (E.To->empty() || E.To->inst(0).opcode() != Opcode::CancelBarrier ||
+         E.To->inst(0).barrierId() != Barrier)) {
+      E.To->insert(0, Instruction(Opcode::CancelBarrier, NoRegister,
+                                  {Operand::barrier(Barrier)}));
+      ++Report.CancelsInserted;
+      continue;
+    }
+    if (!AllPredsInRegion) {
+      BasicBlock *Mid = splitEdge(G, E.From, E.To);
+      Mid->insert(0, Instruction(Opcode::CancelBarrier, NoRegister,
+                                 {Operand::barrier(Barrier)}));
+      ++Report.CancelsInserted;
+      G.recomputePreds();
+    }
+  }
+  G.recomputePreds();
+  ++Report.CallersAnnotated;
+}
+
+} // namespace
+
+InterprocReport
+simtsr::applyInterproceduralReconvergence(Module &M,
+                                          BarrierRegistry &Registry) {
+  InterprocReport Report;
+  CallGraph CG(M);
+
+  for (size_t FI = 0; FI < M.size(); ++FI) {
+    Function *Callee = M.function(FI);
+    if (!Callee->reconvergeAtEntry())
+      continue;
+    if (CG.isRecursive()) {
+      Report.Diagnostics.push_back(
+          "@" + Callee->name() +
+          ": recursive call graph; interprocedural reconvergence skipped");
+      continue;
+    }
+    if (CG.callers(Callee).empty()) {
+      Report.Diagnostics.push_back("@" + Callee->name() +
+                                   ": no call sites; nothing to converge");
+      continue;
+    }
+    auto Barrier = Registry.allocateLow(BarrierOrigin::Interproc,
+                                        "entry:" + Callee->name());
+    if (!Barrier) {
+      Report.Diagnostics.push_back("@" + Callee->name() +
+                                   ": out of barrier registers; skipped");
+      continue;
+    }
+    // Callee side: the entry wait.
+    Callee->entry()->insert(0, Instruction(Opcode::WaitBarrier, NoRegister,
+                                           {Operand::barrier(*Barrier)}));
+    ++Report.FunctionsConverged;
+    // Caller side: joins/rejoins/cancels per caller.
+    for (Function *Caller : CG.callers(Callee))
+      annotateCaller(*Caller, Callee, *Barrier, Report);
+  }
+  return Report;
+}

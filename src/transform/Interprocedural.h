@@ -1,0 +1,44 @@
+//===- Interprocedural.h - Section 4.4 function-entry gather ---*- C++ -*-===//
+///
+/// \file
+/// Interprocedural speculative reconvergence: for a function marked
+/// `reconverge_entry`, all threads heading towards a call of it gather at
+/// the function entry before executing the body, even when the calls sit
+/// on different arms of a divergent branch (Figure 2(c)).
+///
+/// Barrier information propagates from the callee up to the call sites:
+/// the callee's entry carries the wait; each caller joins at the nearest
+/// common dominator of its call sites, rejoins after a call when another
+/// call is still reachable, and cancels on paths that leave the set of
+/// blocks from which a call is reachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_INTERPROCEDURAL_H
+#define SIMTSR_TRANSFORM_INTERPROCEDURAL_H
+
+#include "transform/BarrierRegistry.h"
+
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class Module;
+
+struct InterprocReport {
+  unsigned FunctionsConverged = 0; ///< Callees that got an entry wait.
+  unsigned CallersAnnotated = 0;   ///< Caller functions with joins inserted.
+  unsigned RejoinsInserted = 0;
+  unsigned CancelsInserted = 0;
+  std::vector<std::string> Diagnostics;
+};
+
+/// Applies function-entry reconvergence to every `reconverge_entry`
+/// function of \p M. Recursive call graphs are skipped with a diagnostic.
+InterprocReport applyInterproceduralReconvergence(Module &M,
+                                                  BarrierRegistry &Registry);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_INTERPROCEDURAL_H

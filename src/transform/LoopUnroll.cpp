@@ -1,0 +1,81 @@
+//===- LoopUnroll.cpp - Partial loop unrolling ------------------------------------===//
+
+#include "transform/LoopUnroll.h"
+
+#include "analysis/LoopInfo.h"
+#include "ir/CFGUtils.h"
+#include "ir/Function.h"
+
+#include <map>
+#include <vector>
+
+using namespace simtsr;
+
+bool simtsr::unrollLoop(Function &F, const Loop &L, unsigned Factor) {
+  if (Factor < 2)
+    return false;
+  if (L.latches().size() != 1)
+    return false; // Multiple back edges: iteration order is ambiguous.
+  for (const BasicBlock *BB : L.blocks())
+    for (const Instruction &I : BB->instructions())
+      if (isBarrierOp(I.opcode()))
+        return false; // Unroll before the synchronization pipeline.
+
+  BasicBlock *Header = L.header();
+  BasicBlock *Latch = L.latches().front();
+  const std::vector<BasicBlock *> Originals = L.blocks();
+
+  // Clone the loop body Factor-1 times. Register numbers are reused
+  // verbatim: in the register-machine IR, re-executing the same
+  // instructions *is* another iteration, so no renaming is needed.
+  std::vector<std::map<const BasicBlock *, BasicBlock *>> Clones(Factor - 1);
+  for (unsigned K = 0; K + 1 < Factor; ++K) {
+    for (BasicBlock *BB : Originals) {
+      BasicBlock *Copy = F.createBlock(uniqueBlockName(
+          F, BB->name() + ".u" + std::to_string(K + 1)));
+      for (const Instruction &I : BB->instructions()) {
+        // The reconvergence hint stays in the original body only, so a
+        // later SR pass gathers once per Factor iterations (Section 6).
+        if (I.opcode() == Opcode::Predict)
+          continue;
+        Copy->append(I);
+      }
+      Clones[K][BB] = Copy;
+    }
+  }
+
+  // Remap block operands inside the clones: in-loop targets point at the
+  // same copy; the back edge chains to the next copy (the last copy
+  // returns to the original header); exits are untouched.
+  for (unsigned K = 0; K + 1 < Factor; ++K) {
+    for (BasicBlock *BB : Originals) {
+      BasicBlock *Copy = Clones[K][BB];
+      for (Instruction &I : Copy->instructions()) {
+        for (unsigned OpIdx = 0; OpIdx < I.numOperands(); ++OpIdx) {
+          Operand &O = I.operand(OpIdx);
+          if (!O.isBlock())
+            continue;
+          BasicBlock *T = O.getBlock();
+          if (T == Header) {
+            // Back edge: chain to the next copy's header, or close the
+            // circle at the original header after the last copy.
+            O.setBlock(K + 1 < Factor - 1 ? Clones[K + 1][Header] : Header);
+          } else if (L.contains(T)) {
+            O.setBlock(Clones[K][T]);
+          }
+        }
+      }
+    }
+  }
+
+  // The original latch now feeds the first copy instead of the header.
+  for (unsigned OpIdx = 0; OpIdx < Latch->terminator().numOperands();
+       ++OpIdx) {
+    Operand &O = Latch->terminator().operand(OpIdx);
+    if (O.isBlock() && O.getBlock() == Header)
+      O.setBlock(Clones[0][Header]);
+  }
+
+  F.recomputePreds();
+  return true;
+}

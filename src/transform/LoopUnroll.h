@@ -1,0 +1,34 @@
+//===- LoopUnroll.h - Partial loop unrolling -------------------*- C++ -*-===//
+///
+/// \file
+/// Partial unrolling by body replication: the loop's blocks are cloned
+/// Factor-1 times and chained, so one pass around the rewritten loop runs
+/// up to Factor original iterations (every clone keeps its own exit
+/// check, so trip counts need not be known or divisible).
+///
+/// Section 6 of the paper discusses the interaction with Loop Merge: with
+/// the reconvergence label kept in the *first* body copy only,
+/// synchronization executes once per Factor iterations, cutting the
+/// barrier overhead of speculative reconvergence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_LOOPUNROLL_H
+#define SIMTSR_TRANSFORM_LOOPUNROLL_H
+
+namespace simtsr {
+
+class Function;
+class Loop;
+
+/// Partially unrolls \p L by \p Factor (>= 2). Returns false (leaving the
+/// function untouched) when the loop is not unrollable: it must have a
+/// single latch and must not contain barrier instructions. Predict
+/// directives inside the loop stay in the original blocks only, so a
+/// subsequent SR pass gathers once per Factor iterations.
+/// The loop-info object is invalidated on success.
+bool unrollLoop(Function &F, const Loop &L, unsigned Factor);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_LOOPUNROLL_H

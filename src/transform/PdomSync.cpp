@@ -1,0 +1,58 @@
+//===- PdomSync.cpp - Baseline post-dominator reconvergence -------------------===//
+
+#include "transform/PdomSync.h"
+
+#include "analysis/Dominators.h"
+
+using namespace simtsr;
+
+PdomSyncReport simtsr::insertPdomSync(Function &F,
+                                      const DivergenceAnalysis &DA,
+                                      BarrierRegistry &Registry) {
+  PdomSyncReport Report;
+  F.recomputePreds();
+  PostDominatorTree PDT(F);
+
+  // Collect targets first: inserting instructions does not change the CFG,
+  // so block pointers and the post-dominator tree stay valid.
+  struct Site {
+    BasicBlock *Branch;
+    BasicBlock *Pdom;
+  };
+  std::vector<Site> Sites;
+  for (BasicBlock *BB : F) {
+    if (!BB->hasTerminator() || BB->terminator().opcode() != Opcode::Br)
+      continue;
+    if (!DA.isDivergentBranch(BB))
+      continue;
+    ++Report.DivergentBranches;
+    auto Succs = BB->successors();
+    BasicBlock *Pdom = PDT.nearestCommonDominator(Succs[0], Succs[1]);
+    if (!Pdom) {
+      ++Report.Skipped;
+      Report.Diagnostics.push_back(
+          "@" + F.name() + ":" + BB->name() +
+          ": divergent branch has no common post-dominator; skipped");
+      continue;
+    }
+    Sites.push_back({BB, Pdom});
+  }
+
+  for (const Site &S : Sites) {
+    auto Id = Registry.allocateHigh(BarrierOrigin::PdomSync,
+                                    F.name() + ":" + S.Branch->name());
+    if (!Id) {
+      ++Report.Skipped;
+      Report.Diagnostics.push_back(
+          "@" + F.name() + ":" + S.Branch->name() +
+          ": out of barrier registers; skipped");
+      continue;
+    }
+    S.Branch->insertBeforeTerminator(Instruction(
+        Opcode::JoinBarrier, NoRegister, {Operand::barrier(*Id)}));
+    S.Pdom->insert(0, Instruction(Opcode::WaitBarrier, NoRegister,
+                                  {Operand::barrier(*Id)}));
+    ++Report.BarriersInserted;
+  }
+  return Report;
+}

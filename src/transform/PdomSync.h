@@ -1,0 +1,39 @@
+//===- PdomSync.h - Baseline post-dominator reconvergence ------*- C++ -*-===//
+///
+/// \file
+/// The baseline every GPU compiler implements and the paper's point of
+/// comparison: for each divergent conditional branch, join a convergence
+/// barrier before the branch and wait on it at the branch's immediate
+/// post-dominator, so diverged threads reconverge at the earliest point
+/// where all of them are guaranteed to arrive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_PDOMSYNC_H
+#define SIMTSR_TRANSFORM_PDOMSYNC_H
+
+#include "analysis/Divergence.h"
+#include "transform/BarrierRegistry.h"
+
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+struct PdomSyncReport {
+  unsigned DivergentBranches = 0;
+  unsigned BarriersInserted = 0;
+  /// Branches skipped because they have no common post-dominator or the
+  /// register file ran out.
+  unsigned Skipped = 0;
+  std::vector<std::string> Diagnostics;
+};
+
+/// Inserts PDOM join/wait pairs for every divergent branch of \p F.
+/// Barriers come from \p Registry's high end.
+PdomSyncReport insertPdomSync(Function &F, const DivergenceAnalysis &DA,
+                              BarrierRegistry &Registry);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_PDOMSYNC_H

@@ -1,0 +1,115 @@
+//===- Pipeline.cpp - Synchronization pass pipeline ---------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include "analysis/Divergence.h"
+#include "ir/Module.h"
+#include "transform/BarrierVerifier.h"
+
+using namespace simtsr;
+
+unsigned simtsr::stripPredictDirectives(Module &M) {
+  unsigned Removed = 0;
+  for (const auto &F : M) {
+    for (BasicBlock *BB : *F) {
+      auto &Insts = BB->instructions();
+      for (size_t I = Insts.size(); I-- > 0;) {
+        if (Insts[I].opcode() == Opcode::Predict) {
+          Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(I));
+          ++Removed;
+        }
+      }
+    }
+  }
+  return Removed;
+}
+
+unsigned simtsr::stripReconvergeEntryFlags(Module &M) {
+  unsigned Cleared = 0;
+  for (const auto &F : M) {
+    if (F->reconvergeAtEntry()) {
+      F->setReconvergeAtEntry(false);
+      ++Cleared;
+    }
+  }
+  return Cleared;
+}
+
+namespace {
+
+void mergeReports(SRReport &Into, SRReport From) {
+  Into.Applied.insert(Into.Applied.end(), From.Applied.begin(),
+                      From.Applied.end());
+  Into.RegionsSkipped += From.RegionsSkipped;
+  Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
+                          From.Diagnostics.end());
+}
+
+void mergeReports(PdomSyncReport &Into, PdomSyncReport From) {
+  Into.DivergentBranches += From.DivergentBranches;
+  Into.BarriersInserted += From.BarriersInserted;
+  Into.Skipped += From.Skipped;
+  Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
+                          From.Diagnostics.end());
+}
+
+void mergeReports(DeconflictReport &Into, DeconflictReport From) {
+  Into.ConflictsFound += From.ConflictsFound;
+  Into.BarriersDeleted += From.BarriersDeleted;
+  Into.CancelsInserted += From.CancelsInserted;
+  Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
+                          From.Diagnostics.end());
+}
+
+} // namespace
+
+PipelineReport simtsr::runSyncPipeline(Module &M,
+                                       const PipelineOptions &Opts) {
+  PipelineReport Report;
+
+  if (!Opts.ApplySR && Opts.StripPredicts)
+    stripPredictDirectives(M);
+
+  if (Opts.PdomSync) {
+    ModuleDivergenceInfo Divergence(M);
+    for (size_t I = 0; I < M.size(); ++I) {
+      Function &F = *M.function(I);
+      mergeReports(Report.Pdom,
+                   insertPdomSync(F, Divergence.forFunction(&F),
+                                  Report.Registry));
+    }
+  }
+
+  if (Opts.ApplySR)
+    for (size_t I = 0; I < M.size(); ++I)
+      mergeReports(Report.SR,
+                   applySpeculativeReconvergence(*M.function(I),
+                                                 Report.Registry, Opts.SR));
+
+  if (Opts.Interprocedural) {
+    InterprocReport IR =
+        applyInterproceduralReconvergence(M, Report.Registry);
+    Report.Interproc = std::move(IR);
+  }
+
+  for (size_t I = 0; I < M.size(); ++I)
+    mergeReports(Report.Deconflict,
+                 deconflictBarriers(*M.function(I), Report.Registry,
+                                    Opts.Deconflict));
+
+  for (size_t I = 0; I < M.size(); ++I) {
+    Function &F = *M.function(I);
+    auto D1 = verifyBarrierDiscipline(F, Report.Registry);
+    auto D2 = verifyDeconflicted(F, Report.Registry);
+    Report.VerifierDiagnostics.insert(Report.VerifierDiagnostics.end(),
+                                      D1.begin(), D1.end());
+    Report.VerifierDiagnostics.insert(Report.VerifierDiagnostics.end(),
+                                      D2.begin(), D2.end());
+  }
+
+  // Final lowering: recolour barrier registers after all checks ran (the
+  // registry's id->origin map is stale from here on).
+  if (Opts.ReallocBarriers)
+    Report.Realloc = reallocateBarriers(M);
+  return Report;
+}

@@ -1,0 +1,87 @@
+//===- Pipeline.h - Synchronization pass pipeline --------------*- C++ -*-===//
+///
+/// \file
+/// Drives the paper's pass stack over a module in the required order:
+/// (optional) automatic detection -> baseline PDOM synchronization ->
+/// speculative reconvergence -> interprocedural reconvergence ->
+/// deconfliction -> discipline verification. Benchmarks and examples
+/// configure everything through PipelineOptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_PIPELINE_H
+#define SIMTSR_TRANSFORM_PIPELINE_H
+
+#include "transform/BarrierRealloc.h"
+#include "transform/Deconfliction.h"
+#include "transform/Interprocedural.h"
+#include "transform/PdomSync.h"
+#include "transform/SpeculativeReconvergence.h"
+
+namespace simtsr {
+
+class Module;
+
+struct PipelineOptions {
+  /// Insert baseline PDOM barriers at divergent branches.
+  bool PdomSync = true;
+  /// Consume predict directives and apply speculative reconvergence.
+  bool ApplySR = false;
+  SROptions SR;
+  /// Strip predict directives without applying them (pure-baseline runs on
+  /// annotated kernels). Ignored when ApplySR is set.
+  bool StripPredicts = false;
+  /// Handle reconverge_entry functions.
+  bool Interprocedural = false;
+  DeconflictStrategy Deconflict = DeconflictStrategy::Dynamic;
+  /// Recolour barrier registers as a final step (reduces pressure on the
+  /// 16-register file; invalidates the registry's id->origin map, so it
+  /// runs after deconfliction and verification).
+  bool ReallocBarriers = false;
+
+  static PipelineOptions baseline() {
+    PipelineOptions O;
+    O.StripPredicts = true;
+    return O;
+  }
+  static PipelineOptions speculative(DeconflictStrategy Strategy =
+                                         DeconflictStrategy::Dynamic) {
+    PipelineOptions O;
+    O.ApplySR = true;
+    O.Interprocedural = true;
+    O.Deconflict = Strategy;
+    return O;
+  }
+  static PipelineOptions softBarrier(int Threshold) {
+    PipelineOptions O = speculative();
+    O.SR.SoftThreshold = Threshold;
+    return O;
+  }
+};
+
+struct PipelineReport {
+  BarrierRegistry Registry;
+  PdomSyncReport Pdom;
+  SRReport SR;
+  InterprocReport Interproc;
+  DeconflictReport Deconflict;
+  ReallocReport Realloc;
+  /// Barrier-discipline and residual-conflict diagnostics (test oracle).
+  std::vector<std::string> VerifierDiagnostics;
+
+  bool clean() const { return VerifierDiagnostics.empty(); }
+};
+
+/// Runs the configured passes over every function of \p M.
+PipelineReport runSyncPipeline(Module &M, const PipelineOptions &Opts);
+
+/// Removes every predict directive from \p M.
+unsigned stripPredictDirectives(Module &M);
+
+/// Clears every function's reconverge_entry flag. Together with
+/// stripPredictDirectives this produces a fully unannotated module.
+unsigned stripReconvergeEntryFlags(Module &M);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_PIPELINE_H

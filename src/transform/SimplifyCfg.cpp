@@ -1,0 +1,141 @@
+//===- SimplifyCfg.cpp - CFG cleanup ---------------------------------------------===//
+
+#include "transform/SimplifyCfg.h"
+
+#include "ir/CFGUtils.h"
+#include "ir/Module.h"
+
+#include <set>
+
+using namespace simtsr;
+
+namespace {
+
+/// Blocks referenced by any block operand anywhere in \p F (branch targets
+/// and predict labels).
+std::set<const BasicBlock *> referencedBlocks(const Function &F) {
+  std::set<const BasicBlock *> Refs;
+  for (const BasicBlock *BB : F)
+    for (const Instruction &I : BB->instructions())
+      for (const Operand &O : I.operands())
+        if (O.isBlock())
+          Refs.insert(O.getBlock());
+  return Refs;
+}
+
+/// True when \p BB consists of nothing but `jmp target`.
+bool isTrampoline(const BasicBlock *BB) {
+  return BB->size() == 1 && BB->inst(0).opcode() == Opcode::Jmp;
+}
+
+/// Follows a chain of trampolines from \p BB; \returns the final target,
+/// or nullptr when the chain cycles.
+BasicBlock *resolveTrampoline(BasicBlock *BB) {
+  std::set<const BasicBlock *> Seen;
+  BasicBlock *Current = BB;
+  while (isTrampoline(Current)) {
+    if (!Seen.insert(Current).second)
+      return nullptr; // Cycle of jumps (an intentional infinite loop).
+    Current = Current->terminator().operand(0).getBlock();
+  }
+  return Current;
+}
+
+bool removeUnreachable(Function &F, SimplifyReport &Report) {
+  F.recomputePreds();
+  std::vector<bool> Reachable = blocksReachableFrom(F, F.entry());
+  std::set<const BasicBlock *> Refs = referencedBlocks(F);
+  std::vector<BasicBlock *> Doomed;
+  for (BasicBlock *BB : F)
+    if (!Reachable[BB->number()] && !Refs.count(BB))
+      Doomed.push_back(BB);
+  for (BasicBlock *BB : Doomed) {
+    F.removeBlock(BB);
+    ++Report.UnreachableRemoved;
+  }
+  return !Doomed.empty();
+}
+
+bool forwardTrampolines(Function &F, SimplifyReport &Report) {
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    for (Instruction &I : BB->instructions()) {
+      for (unsigned OpIdx = 0; OpIdx < I.numOperands(); ++OpIdx) {
+        Operand &O = I.operand(OpIdx);
+        if (!O.isBlock())
+          continue;
+        BasicBlock *T = O.getBlock();
+        if (!isTrampoline(T) || T == BB)
+          continue;
+        BasicBlock *Final = resolveTrampoline(T);
+        if (!Final || Final == T)
+          continue;
+        O.setBlock(Final);
+        ++Report.TrampolinesForwarded;
+        Changed = true;
+      }
+    }
+  }
+  if (Changed)
+    F.recomputePreds();
+  return Changed;
+}
+
+bool mergeChains(Function &F, SimplifyReport &Report) {
+  F.recomputePreds();
+  std::set<const BasicBlock *> Refs;
+  // Only non-terminator references (predict labels) pin a block: the
+  // merge removes the one terminator edge itself.
+  for (const BasicBlock *BB : F)
+    for (const Instruction &I : BB->instructions())
+      if (!I.isTerminator())
+        for (const Operand &O : I.operands())
+          if (O.isBlock())
+            Refs.insert(O.getBlock());
+
+  for (BasicBlock *BB : F) {
+    if (!BB->hasTerminator() || BB->terminator().opcode() != Opcode::Jmp)
+      continue;
+    BasicBlock *Succ = BB->terminator().operand(0).getBlock();
+    if (Succ == BB || Succ == F.entry() || Refs.count(Succ))
+      continue;
+    if (Succ->predecessors().size() != 1)
+      continue;
+    // Splice Succ into BB.
+    auto &Insts = BB->instructions();
+    Insts.pop_back(); // the jmp
+    for (Instruction &I : Succ->instructions())
+      Insts.push_back(std::move(I));
+    Succ->instructions().clear();
+    F.removeBlock(Succ);
+    ++Report.ChainsMerged;
+    return true; // Restart: iteration state is invalidated.
+  }
+  return false;
+}
+
+} // namespace
+
+SimplifyReport simtsr::simplifyCfg(Function &F) {
+  SimplifyReport Report;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Changed |= forwardTrampolines(F, Report);
+    Changed |= removeUnreachable(F, Report);
+    Changed |= mergeChains(F, Report);
+  }
+  F.recomputePreds();
+  return Report;
+}
+
+SimplifyReport simtsr::simplifyCfg(Module &M) {
+  SimplifyReport Report;
+  for (size_t I = 0; I < M.size(); ++I) {
+    SimplifyReport One = simplifyCfg(*M.function(I));
+    Report.UnreachableRemoved += One.UnreachableRemoved;
+    Report.TrampolinesForwarded += One.TrampolinesForwarded;
+    Report.ChainsMerged += One.ChainsMerged;
+  }
+  return Report;
+}

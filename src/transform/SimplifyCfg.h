@@ -1,0 +1,43 @@
+//===- SimplifyCfg.h - CFG cleanup -----------------------------*- C++ -*-===//
+///
+/// \file
+/// Structural CFG cleanup: removes unreachable blocks, forwards branches
+/// through empty jump-only trampolines, and merges straight-line block
+/// chains. Inlining and edge splitting leave plenty of both behind; the
+/// simulator also benefits (fewer jump issue slots).
+///
+/// Safe with respect to synchronization: barrier instructions move with
+/// their blocks, and a trampoline is only forwarded when it carries no
+/// instructions besides its jump.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_SIMPLIFYCFG_H
+#define SIMTSR_TRANSFORM_SIMPLIFYCFG_H
+
+namespace simtsr {
+
+class Function;
+class Module;
+
+struct SimplifyReport {
+  unsigned UnreachableRemoved = 0;
+  unsigned TrampolinesForwarded = 0;
+  unsigned ChainsMerged = 0;
+
+  unsigned total() const {
+    return UnreachableRemoved + TrampolinesForwarded + ChainsMerged;
+  }
+};
+
+/// Simplifies \p F to a fixpoint. The entry block is never removed.
+/// Predict labels are treated as branch targets (a block referenced by a
+/// predict directive is not merged away).
+SimplifyReport simplifyCfg(Function &F);
+
+/// Simplifies every function of \p M.
+SimplifyReport simplifyCfg(Module &M);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_SIMPLIFYCFG_H

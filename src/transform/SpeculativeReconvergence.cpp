@@ -1,0 +1,228 @@
+//===- SpeculativeReconvergence.cpp - Section 4.2 synchronization -------------===//
+
+#include "transform/SpeculativeReconvergence.h"
+
+#include "analysis/BarrierAnalysis.h"
+#include "analysis/Dominators.h"
+#include "ir/CFGUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace simtsr;
+
+namespace {
+
+/// Removes the predict directive of \p R from its block.
+void consumePredict(const PredictionRegion &R) {
+  auto &Insts = R.Start->instructions();
+  Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(R.PredictIndex));
+}
+
+/// Applies synchronization for one region. \returns nullopt when the region
+/// must be skipped (diagnostics appended to \p Report).
+std::optional<AppliedRegion> applyOne(Function &F, const PredictionRegion &R,
+                                      BarrierRegistry &Registry,
+                                      const SROptions &Opts,
+                                      SRReport &Report) {
+  DominatorTree DT(F);
+  if (!DT.dominates(R.Start, R.Label)) {
+    Report.Diagnostics.push_back(
+        "@" + F.name() + ": predict in '" + R.Start->name() +
+        "' does not dominate label '" + R.Label->name() + "'; skipped");
+    return std::nullopt;
+  }
+  if (R.Start == R.Label) {
+    Report.Diagnostics.push_back("@" + F.name() + ": predict label '" +
+                                 R.Label->name() +
+                                 "' is the region start; skipped");
+    return std::nullopt;
+  }
+
+  // Overlapping concurrent predictions are future work (Section 6): a
+  // thread blocking at this region's gather while still joined to another
+  // speculative barrier can cross-deadlock. Skip when any speculative or
+  // region-exit barrier may be joined at the new reconvergence point.
+  {
+    JoinedBarrierAnalysis Joined(F);
+    uint32_t Held = Joined.before(R.Label, 0);
+    for (unsigned Id = 0; Id < NumBarrierRegisters; ++Id) {
+      if (!(Held & (1u << Id)))
+        continue;
+      auto Origin = Registry.origin(Id);
+      if (Origin && (*Origin == BarrierOrigin::Speculative ||
+                     *Origin == BarrierOrigin::RegionExit)) {
+        Report.Diagnostics.push_back(
+            "@" + F.name() + ": prediction region for '" +
+            R.Label->name() +
+            "' overlaps an already applied prediction; skipped");
+        return std::nullopt;
+      }
+    }
+  }
+
+  auto Gather = Registry.allocateLow(BarrierOrigin::Speculative,
+                                     F.name() + ":" + R.Label->name());
+  if (!Gather) {
+    Report.Diagnostics.push_back("@" + F.name() +
+                                 ": out of barrier registers; skipped");
+    return std::nullopt;
+  }
+
+  AppliedRegion Applied;
+  Applied.Start = R.Start;
+  Applied.Label = R.Label;
+  Applied.GatherBarrier = *Gather;
+
+  const bool Soft = Opts.SoftThreshold >= 0;
+
+  // 1. Replace the predict with the gather join (Figure 4(a)).
+  size_t StartInsertIndex = R.PredictIndex;
+  consumePredict(R);
+  R.Start->insert(StartInsertIndex,
+                  Instruction(Opcode::JoinBarrier, NoRegister,
+                              {Operand::barrier(*Gather)}));
+
+  // 2. The wait at the predicted reconvergence point.
+  if (Soft) {
+    R.Label->insert(0, Instruction(Opcode::SoftWait, NoRegister,
+                                   {Operand::barrier(*Gather),
+                                    Operand::imm(Opts.SoftThreshold)}));
+  } else {
+    R.Label->insert(0, Instruction(Opcode::WaitBarrier, NoRegister,
+                                   {Operand::barrier(*Gather)}));
+  }
+
+  // 3. Rejoin where the barrier was cleared but may be waited on again
+  //    (classic waits only — soft waits do not clear membership).
+  if (!Soft) {
+    BarrierLivenessAnalysis Liveness(F);
+    if (Liveness.liveAfter(R.Label, 0) & (1u << *Gather)) {
+      R.Label->insert(1, Instruction(Opcode::RejoinBarrier, NoRegister,
+                                     {Operand::barrier(*Gather)}));
+      Applied.RejoinInserted = true;
+    }
+  }
+
+  // 4. Cancels on region exits where the barrier may still be joined.
+  JoinedBarrierAnalysis Joined(F);
+  const uint32_t GatherBit = 1u << *Gather;
+  // Group exit edges by target; a target whose every predecessor is an
+  // exiting, joined region block takes a single cancel at its entry
+  // (Figure 4(d) places the cancel in BB5); otherwise edges are split.
+  std::map<unsigned, std::pair<BasicBlock *, std::vector<BasicBlock *>>>
+      EdgesByTargetNumber;
+  for (const auto &[From, To] : R.ExitEdges)
+    if (Joined.out(From) & GatherBit) {
+      auto &Slot = EdgesByTargetNumber[To->number()];
+      Slot.first = To;
+      Slot.second.push_back(From);
+    }
+  // Materialize with stable pointers: edge splitting renumbers blocks.
+  std::vector<std::pair<BasicBlock *, std::vector<BasicBlock *>>>
+      EdgesByTarget;
+  for (auto &[Number, Slot] : EdgesByTargetNumber) {
+    (void)Number;
+    EdgesByTarget.push_back(std::move(Slot));
+  }
+
+  for (auto &[To, Froms] : EdgesByTarget) {
+    const auto &Preds = To->predecessors();
+    const bool AllPredsExitHere =
+        std::all_of(Preds.begin(), Preds.end(), [&](BasicBlock *P) {
+          return std::find(Froms.begin(), Froms.end(), P) != Froms.end();
+        });
+    if (AllPredsExitHere) {
+      To->insert(0, Instruction(Opcode::CancelBarrier, NoRegister,
+                                {Operand::barrier(*Gather)}));
+      ++Applied.CancelsInserted;
+      continue;
+    }
+    for (BasicBlock *From : Froms) {
+      BasicBlock *Mid = splitEdge(F, From, To);
+      Mid->insert(0, Instruction(Opcode::CancelBarrier, NoRegister,
+                                 {Operand::barrier(*Gather)}));
+      ++Applied.CancelsInserted;
+    }
+  }
+  F.recomputePreds();
+
+  // 5. Orthogonal region-exit barrier: join at the region dominator, wait
+  //    at the common post-dominator of the exits (Figure 4(d) b1).
+  if (Opts.RegionExitBarrier && !R.ExitEdges.empty()) {
+    PostDominatorTree PDT(F);
+    BasicBlock *PostExit = nullptr;
+    bool First = true;
+    for (const auto &[From, To] : R.ExitEdges) {
+      (void)From;
+      // Edge splitting may have retargeted the edge; the original target
+      // block still post-dominates the split trampoline.
+      if (First) {
+        PostExit = To;
+        First = false;
+        continue;
+      }
+      if (PostExit)
+        PostExit = PDT.nearestCommonDominator(PostExit, To);
+    }
+    if (PostExit) {
+      auto Exit = Registry.allocateLow(BarrierOrigin::RegionExit,
+                                       F.name() + ":" + R.Label->name() +
+                                           ".exit");
+      if (Exit) {
+        R.Start->insert(StartInsertIndex + 1,
+                        Instruction(Opcode::JoinBarrier, NoRegister,
+                                    {Operand::barrier(*Exit)}));
+        // Place the wait after any leading cancels (Figure 4(d): BB5 runs
+        // CancelBarrier(b0) before WaitBarrier(b1)).
+        size_t Index = 0;
+        while (Index < PostExit->size() &&
+               PostExit->inst(Index).opcode() == Opcode::CancelBarrier)
+          ++Index;
+        PostExit->insert(Index, Instruction(Opcode::WaitBarrier, NoRegister,
+                                            {Operand::barrier(*Exit)}));
+        Applied.ExitBarrier = *Exit;
+      } else {
+        Report.Diagnostics.push_back(
+            "@" + F.name() +
+            ": out of barrier registers for region-exit barrier");
+      }
+    }
+  }
+
+  return Applied;
+}
+
+} // namespace
+
+SRReport simtsr::applySpeculativeReconvergence(Function &F,
+                                               BarrierRegistry &Registry,
+                                               const SROptions &Opts) {
+  SRReport Report;
+  // Regions are re-discovered after each application because edge splitting
+  // invalidates block numbering.
+  while (true) {
+    auto Regions = findPredictionRegions(F);
+    if (Regions.empty())
+      break;
+    const PredictionRegion &R = Regions.front();
+    auto Applied = applyOne(F, R, Registry, Opts, Report);
+    if (Applied) {
+      Report.Applied.push_back(*Applied);
+    } else {
+      ++Report.RegionsSkipped;
+      // Failure paths do not consume the directive; drop it so the loop
+      // terminates.
+      auto &Insts = R.Start->instructions();
+      auto It = std::find_if(Insts.begin(), Insts.end(),
+                             [&](const Instruction &I) {
+                               return I.opcode() == Opcode::Predict &&
+                                      I.operand(0).getBlock() == R.Label;
+                             });
+      if (It != Insts.end())
+        Insts.erase(It);
+    }
+  }
+  F.recomputePreds();
+  return Report;
+}

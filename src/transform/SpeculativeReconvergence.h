@@ -1,0 +1,63 @@
+//===- SpeculativeReconvergence.h - Section 4.2 synchronization -*- C++ -*-===//
+///
+/// \file
+/// Consumes `predict` directives and inserts the synchronization of
+/// Figure 4(d): a gather barrier joined at the region start and waited on
+/// at the predicted reconvergence point, rejoin/cancel placement driven by
+/// the joined-barrier and liveness analyses, and an orthogonal region-exit
+/// barrier so threads reconverge after the region.
+///
+/// With a soft threshold (Section 4.6) the gather wait becomes a SoftWait:
+/// threads proceed once at least min(threshold, remaining-region-threads)
+/// have arrived; membership then persists across releases and is cleared
+/// only by the region-exit cancels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_SPECULATIVERECONVERGENCE_H
+#define SIMTSR_TRANSFORM_SPECULATIVERECONVERGENCE_H
+
+#include "analysis/Region.h"
+#include "transform/BarrierRegistry.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+struct SROptions {
+  /// Negative: classic full-warp wait. Otherwise the SoftWait threshold.
+  int SoftThreshold = -1;
+  /// Insert the orthogonal region-exit barrier (Figure 4(d) b1).
+  bool RegionExitBarrier = true;
+};
+
+struct AppliedRegion {
+  BasicBlock *Start;
+  BasicBlock *Label;
+  unsigned GatherBarrier;
+  std::optional<unsigned> ExitBarrier;
+  unsigned CancelsInserted = 0;
+  bool RejoinInserted = false;
+};
+
+struct SRReport {
+  std::vector<AppliedRegion> Applied;
+  unsigned RegionsSkipped = 0;
+  std::vector<std::string> Diagnostics;
+};
+
+/// Applies speculative reconvergence to every prediction region of \p F.
+/// Predict directives are consumed (removed) when applied.
+SRReport applySpeculativeReconvergence(Function &F, BarrierRegistry &Registry,
+                                       const SROptions &Opts);
+
+inline SRReport applySpeculativeReconvergence(Function &F,
+                                              BarrierRegistry &Registry) {
+  return applySpeculativeReconvergence(F, Registry, SROptions{});
+}
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_SPECULATIVERECONVERGENCE_H

@@ -1,0 +1,115 @@
+//===- TestIR.h - Shared IR fixtures for tests -----------------*- C++ -*-===//
+///
+/// \file
+/// Common CFG shapes used across the analysis and transform tests,
+/// including the Listing 1 / Figure 4 loop from the paper, plus a random
+/// CFG generator for property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TESTS_TESTIR_H
+#define SIMTSR_TESTS_TESTIR_H
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "support/Rng.h"
+
+#include <memory>
+
+namespace simtsr {
+namespace testir {
+
+/// Listing 1 from the paper, shaped like Figure 4's CFG:
+///
+///   bb0: predict bb3; jmp bb1            (region start)
+///   bb1: prolog; jmp bb2
+///   bb2: c = divergent; br c, bb3, bb4
+///   bb3: expensive; jmp bb4              (user reconvergence point L1)
+///   bb4: epilog; br again, bb1, bb5
+///   bb5: ret
+struct Listing1 {
+  std::unique_ptr<Module> M;
+  Function *F;
+  BasicBlock *BB0, *BB1, *BB2, *BB3, *BB4, *BB5;
+
+  /// \p WithBarriers adds the user-level Join/Wait pair the SR pass starts
+  /// from (Figure 4(a)): join b0 in bb0, wait b0 at bb3 entry.
+  explicit Listing1(bool WithBarriers = false) {
+    M = std::make_unique<Module>();
+    F = M->createFunction("listing1", 0);
+    IRBuilder B(F);
+    BB0 = B.startBlock("bb0");
+    BB1 = F->createBlock("bb1");
+    BB2 = F->createBlock("bb2");
+    BB3 = F->createBlock("bb3");
+    BB4 = F->createBlock("bb4");
+    BB5 = F->createBlock("bb5");
+
+    B.setInsertBlock(BB0);
+    B.predict(BB3);
+    if (WithBarriers)
+      B.joinBarrier(0);
+    B.jmp(BB1);
+
+    B.setInsertBlock(BB1);
+    unsigned P = B.add(Operand::imm(1), Operand::imm(2)); // prolog
+    (void)P;
+    B.jmp(BB2);
+
+    B.setInsertBlock(BB2);
+    unsigned R = B.randRange(Operand::imm(0), Operand::imm(100));
+    unsigned C = B.cmpLT(Operand::reg(R), Operand::imm(30));
+    B.br(Operand::reg(C), BB3, BB4);
+
+    B.setInsertBlock(BB3);
+    if (WithBarriers)
+      B.waitBarrier(0);
+    unsigned E = B.mul(Operand::imm(3), Operand::imm(4)); // expensive
+    (void)E;
+    B.jmp(BB4);
+
+    B.setInsertBlock(BB4);
+    unsigned Again = B.randRange(Operand::imm(0), Operand::imm(2));
+    B.br(Operand::reg(Again), BB1, BB5);
+
+    B.setInsertBlock(BB5);
+    B.ret();
+
+    F->recomputePreds();
+  }
+};
+
+/// Generates a random, always-terminated CFG for property tests: block 0 is
+/// the entry; each block ends in ret / jmp / br with random targets. Some
+/// blocks may be unreachable. Every block also carries one arithmetic
+/// instruction so it is non-empty.
+inline std::unique_ptr<Module> randomCfg(uint64_t Seed, unsigned NumBlocks) {
+  Rng R(Seed);
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("random", 1);
+  std::vector<BasicBlock *> Blocks;
+  for (unsigned I = 0; I < NumBlocks; ++I)
+    Blocks.push_back(F->createBlock("b" + std::to_string(I)));
+  IRBuilder B(F);
+  for (unsigned I = 0; I < NumBlocks; ++I) {
+    B.setInsertBlock(Blocks[I]);
+    unsigned V = B.add(Operand::reg(0), Operand::imm(static_cast<int64_t>(I)));
+    uint64_t Kind = R.nextBelow(10);
+    if (Kind < 2 || I + 1 == NumBlocks) {
+      B.ret();
+    } else if (Kind < 5) {
+      B.jmp(Blocks[R.nextBelow(NumBlocks)]);
+    } else {
+      BasicBlock *T = Blocks[R.nextBelow(NumBlocks)];
+      BasicBlock *E = Blocks[R.nextBelow(NumBlocks)];
+      B.br(Operand::reg(V), T, E);
+    }
+  }
+  F->recomputePreds();
+  return M;
+}
+
+} // namespace testir
+} // namespace simtsr
+
+#endif // SIMTSR_TESTS_TESTIR_H

@@ -1,0 +1,200 @@
+//===- TestKernels.h - Executable kernels for transform tests --*- C++ -*-===//
+///
+/// \file
+/// Runnable variants of the paper's motivating shapes, used to check that
+/// every pass pipeline preserves semantics and changes convergence the way
+/// the paper describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TESTS_TESTKERNELS_H
+#define SIMTSR_TESTS_TESTKERNELS_H
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace simtsr {
+namespace testkernels {
+
+/// Executable Listing 1: a bounded outer loop with a divergent condition
+/// guarding an expensive arm (Iteration Delay shape). Each thread
+/// accumulates a checksum into mem[tid]; the hot arm also counts
+/// executions in mem[64] (atomic).
+///
+///   for (i = 0; i < Trips; i++) {
+///     prolog: v = randrange(0, 100)
+///     if (v < HotPct) { hot: heavy ALU chain; atomicadd }
+///     epilog: checksum update
+///   }
+inline std::unique_ptr<Module> iterationDelayKernel(int64_t Trips = 32,
+                                                    int64_t HotPct = 15,
+                                                    bool Annotate = true,
+                                                    int HotMuls = 80) {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(256);
+  Function *F = M->createFunction("itdelay", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Hot = F->createBlock("hot");
+  BasicBlock *Epilog = F->createBlock("epilog");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned I = B.mov(Operand::imm(0));
+  unsigned Acc = B.mov(Operand::imm(1));
+  if (Annotate)
+    B.predict(Hot);
+  B.jmp(Header);
+
+  B.setInsertBlock(Header);
+  unsigned V = B.randRange(Operand::imm(0), Operand::imm(100));
+  unsigned C = B.cmpLT(Operand::reg(V), Operand::imm(HotPct));
+  B.br(Operand::reg(C), Hot, Epilog);
+
+  B.setInsertBlock(Hot);
+  // Expensive: a chain of multiplies (RSBench-like bodies run hundreds of
+  // ALU ops per visit; HotMuls scales that weight).
+  unsigned X = B.add(Operand::reg(Acc), Operand::reg(V));
+  for (int K = 0; K < HotMuls; ++K)
+    X = B.mul(Operand::reg(X), Operand::imm(1103515245 + K));
+  Hot->append(Instruction(Opcode::Mov, Acc, {Operand::reg(X)}));
+  B.atomicAdd(Operand::imm(64), Operand::imm(1));
+  B.jmp(Epilog);
+
+  B.setInsertBlock(Epilog);
+  unsigned Y = B.xorOp(Operand::reg(Acc), Operand::reg(V));
+  Epilog->append(Instruction(Opcode::Mov, Acc, {Operand::reg(Y)}));
+  unsigned INext = B.add(Operand::reg(I), Operand::imm(1));
+  Epilog->append(Instruction(Opcode::Mov, I, {Operand::reg(INext)}));
+  unsigned Done = B.cmpGE(Operand::reg(I), Operand::imm(Trips));
+  B.br(Operand::reg(Done), Exit, Header);
+
+  B.setInsertBlock(Exit);
+  B.store(Operand::reg(T), Operand::reg(Acc));
+  B.ret();
+
+  F->recomputePreds();
+  return M;
+}
+
+/// Executable Figure 2(b): outer task loop; inner loop with a divergent
+/// trip count (randrange [MinTrip, MaxTrip)); expensive inner body; cheap
+/// prolog/epilog (Loop Merge shape, RSBench-like).
+inline std::unique_ptr<Module> loopMergeKernel(int64_t OuterTrips = 16,
+                                               int64_t MinTrip = 1,
+                                               int64_t MaxTrip = 32,
+                                               bool Annotate = true,
+                                               int BodyMuls = 20) {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(256);
+  Function *F = M->createFunction("loopmerge", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *OuterHeader = F->createBlock("outer_header");
+  BasicBlock *InnerHeader = F->createBlock("inner_header");
+  BasicBlock *InnerBody = F->createBlock("inner_body");
+  BasicBlock *Epilog = F->createBlock("epilog");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned I = B.mov(Operand::imm(0));
+  unsigned Acc = B.mov(Operand::imm(1));
+  if (Annotate)
+    B.predict(InnerBody);
+  B.jmp(OuterHeader);
+
+  B.setInsertBlock(OuterHeader);
+  // Prolog: pick this task's inner trip count.
+  unsigned N = B.randRange(Operand::imm(MinTrip), Operand::imm(MaxTrip));
+  unsigned J = B.mov(Operand::imm(0));
+  B.jmp(InnerHeader);
+
+  B.setInsertBlock(InnerHeader);
+  unsigned More = B.cmpLT(Operand::reg(J), Operand::reg(N));
+  B.br(Operand::reg(More), InnerBody, Epilog);
+
+  B.setInsertBlock(InnerBody);
+  unsigned X = B.add(Operand::reg(Acc), Operand::reg(J));
+  for (int K = 0; K < BodyMuls; ++K)
+    X = B.mul(Operand::reg(X), Operand::imm(2654435761 + K));
+  InnerBody->append(Instruction(Opcode::Mov, Acc, {Operand::reg(X)}));
+  unsigned JNext = B.add(Operand::reg(J), Operand::imm(1));
+  InnerBody->append(Instruction(Opcode::Mov, J, {Operand::reg(JNext)}));
+  B.jmp(InnerHeader);
+
+  B.setInsertBlock(Epilog);
+  unsigned Y = B.xorOp(Operand::reg(Acc), Operand::reg(N));
+  Epilog->append(Instruction(Opcode::Mov, Acc, {Operand::reg(Y)}));
+  unsigned INext = B.add(Operand::reg(I), Operand::imm(1));
+  Epilog->append(Instruction(Opcode::Mov, I, {Operand::reg(INext)}));
+  unsigned Done = B.cmpGE(Operand::reg(I), Operand::imm(OuterTrips));
+  B.br(Operand::reg(Done), Exit, OuterHeader);
+
+  B.setInsertBlock(Exit);
+  B.store(Operand::reg(T), Operand::reg(Acc));
+  B.ret();
+
+  F->recomputePreds();
+  return M;
+}
+
+/// Executable Figure 2(c): a divergent branch whose two arms both call an
+/// expensive helper. With `reconverge_entry` on the helper, the
+/// interprocedural pass gathers all threads at its entry.
+inline std::unique_ptr<Module> commonCallKernel(bool Annotate = true) {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(256);
+
+  Function *Foo = M->createFunction("foo", 1);
+  Foo->setReconvergeAtEntry(Annotate);
+  {
+    IRBuilder B(Foo);
+    B.startBlock("entry");
+    unsigned X = B.add(Operand::reg(0), Operand::imm(17));
+    for (int K = 0; K < 8; ++K)
+      X = B.mul(Operand::reg(X), Operand::imm(31 + K));
+    B.ret(Operand::reg(X));
+  }
+
+  Function *F = M->createFunction("commoncall", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned V = B.randRange(Operand::imm(0), Operand::imm(100));
+  unsigned C = B.cmpLT(Operand::reg(V), Operand::imm(50));
+  B.br(Operand::reg(C), Then, Else);
+
+  B.setInsertBlock(Then);
+  unsigned A1 = B.mul(Operand::reg(T), Operand::imm(3));
+  unsigned R1 = B.call(Foo, {Operand::reg(A1)});
+  B.store(Operand::reg(T), Operand::reg(R1));
+  B.jmp(Join);
+
+  B.setInsertBlock(Else);
+  unsigned A2 = B.add(Operand::reg(T), Operand::imm(100));
+  unsigned B2 = B.sub(Operand::reg(A2), Operand::imm(1));
+  unsigned R2 = B.call(Foo, {Operand::reg(B2)});
+  B.store(Operand::reg(T), Operand::reg(R2));
+  B.jmp(Join);
+
+  B.setInsertBlock(Join);
+  B.ret();
+
+  F->recomputePreds();
+  return M;
+}
+
+} // namespace testkernels
+} // namespace simtsr
+
+#endif // SIMTSR_TESTS_TESTKERNELS_H

@@ -1,0 +1,199 @@
+//===- BarrierAnalysisTest.cpp - Tests for Section 4.2.1 dataflow -------------===//
+
+#include "analysis/BarrierAnalysis.h"
+
+#include "TestIR.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testir;
+
+namespace {
+constexpr uint32_t B0 = 1u << 0;
+constexpr uint32_t B1 = 1u << 1;
+} // namespace
+
+// Figure 4(b): joined sets for the Listing 1 loop with join at bb0 and wait
+// at bb3.
+TEST(JoinedBarrierTest, MatchesFigure4b) {
+  Listing1 L(/*WithBarriers=*/true);
+  JoinedBarrierAnalysis JA(*L.F);
+  EXPECT_EQ(JA.out(L.BB0), B0);
+  EXPECT_EQ(JA.out(L.BB1), B0);
+  EXPECT_EQ(JA.out(L.BB2), B0);
+  EXPECT_EQ(JA.out(L.BB3), 0u); // Cleared by the wait.
+  // bb4 merges cleared (bb3) and joined (bb2) paths: may-joined = {b0}.
+  EXPECT_EQ(JA.out(L.BB4), B0);
+  EXPECT_EQ(JA.out(L.BB5), B0);
+}
+
+// Figure 4(c): liveness with gen at the wait (bb3) and kill at the join
+// (bb0).
+TEST(BarrierLivenessTest, MatchesFigure4c) {
+  Listing1 L(/*WithBarriers=*/true);
+  BarrierLivenessAnalysis LA(*L.F);
+  EXPECT_EQ(LA.liveOut(L.BB0), B0);
+  EXPECT_EQ(LA.liveOut(L.BB1), B0);
+  EXPECT_EQ(LA.liveOut(L.BB2), B0);
+  // The loop can re-reach the wait, so the barrier stays live out of bb3
+  // and bb4 (Figure 4(c) shows LiveOut = {b0} for both).
+  EXPECT_EQ(LA.liveOut(L.BB3), B0);
+  EXPECT_EQ(LA.liveOut(L.BB4), B0);
+  EXPECT_EQ(LA.liveOut(L.BB5), 0u);
+  // The join in bb0 kills liveness above it.
+  EXPECT_EQ(LA.liveIn(L.BB0), 0u);
+}
+
+TEST(JoinedBarrierTest, InstructionLevelReplay) {
+  Listing1 L(/*WithBarriers=*/true);
+  JoinedBarrierAnalysis JA(*L.F);
+  // bb0: predict | join b0 | jmp — joined flips after the join.
+  EXPECT_EQ(JA.before(L.BB0, 1), 0u);
+  EXPECT_EQ(JA.after(L.BB0, 1), B0);
+  // bb3: wait b0 | expensive | jmp — joined clears at the wait.
+  EXPECT_EQ(JA.before(L.BB3, 0), B0);
+  EXPECT_EQ(JA.after(L.BB3, 0), 0u);
+}
+
+TEST(BarrierLivenessTest, InstructionLevelReplay) {
+  Listing1 L(/*WithBarriers=*/true);
+  BarrierLivenessAnalysis LA(*L.F);
+  // Live before the wait in bb3, dead right before the join in bb0 (the
+  // join kills liveness above it).
+  EXPECT_EQ(LA.liveBefore(L.BB3, 0) & B0, B0);
+  EXPECT_EQ(LA.liveBefore(L.BB0, 1) & B0, 0u);
+  // After the join the barrier is live (a wait is reachable).
+  EXPECT_EQ(LA.liveAfter(L.BB0, 1) & B0, B0);
+}
+
+TEST(JoinedBarrierTest, CancelClearsJoinedState) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  B.setInsertBlock(Entry);
+  B.joinBarrier(2);
+  B.cancelBarrier(2);
+  B.jmp(Next);
+  B.setInsertBlock(Next);
+  B.ret();
+  F->recomputePreds();
+  JoinedBarrierAnalysis JA(*F);
+  EXPECT_EQ(JA.out(Entry), 0u);
+  EXPECT_EQ(JA.in(Next), 0u);
+}
+
+TEST(JoinedBarrierTest, RejoinRestoresJoinedState) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  B.joinBarrier(0);
+  B.waitBarrier(0);
+  B.rejoinBarrier(0);
+  B.ret();
+  F->recomputePreds();
+  JoinedBarrierAnalysis JA(*F);
+  EXPECT_EQ(JA.after(Entry, 0), B0);
+  EXPECT_EQ(JA.after(Entry, 1), 0u);
+  EXPECT_EQ(JA.after(Entry, 2), B0);
+}
+
+TEST(BarrierLivenessTest, SoftWaitIsAUse) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  B.setInsertBlock(Entry);
+  B.joinBarrier(1);
+  B.jmp(Next);
+  B.setInsertBlock(Next);
+  B.softWait(1, Operand::imm(8));
+  B.ret();
+  F->recomputePreds();
+  BarrierLivenessAnalysis LA(*F);
+  EXPECT_EQ(LA.liveOut(Entry), B1);
+  EXPECT_EQ(LA.liveIn(Next), B1);
+}
+
+// Figure 5(a): the user barrier b0 (join bb0, wait bb3, rejoin bb3, cancel
+// on exit) conflicts with the PDOM barrier b1 (join bb2, wait bb4): their
+// joined ranges overlap non-inclusively.
+TEST(ConflictTest, MatchesFigure5a) {
+  Listing1 L(/*WithBarriers=*/true);
+  // Add the rejoin the SR pass would place, and the PDOM barrier b1.
+  // bb3: wait b0 (already) + rejoin b0 after it.
+  L.BB3->insert(1, Instruction(Opcode::RejoinBarrier, NoRegister,
+                               {Operand::barrier(0)}));
+  // bb2: join b1 before the divergent branch.
+  L.BB2->insertBeforeTerminator(
+      Instruction(Opcode::JoinBarrier, NoRegister, {Operand::barrier(1)}));
+  // bb4: wait b1 at the post-dominator.
+  L.BB4->insert(0, Instruction(Opcode::WaitBarrier, NoRegister,
+                               {Operand::barrier(1)}));
+  BarrierConflictAnalysis CA(*L.F);
+  EXPECT_TRUE(CA.conflict(0, 1));
+  auto Pairs = CA.conflictingPairs();
+  ASSERT_EQ(Pairs.size(), 1u);
+  EXPECT_EQ(Pairs[0], std::make_pair(0u, 1u));
+}
+
+TEST(ConflictTest, NestedRangesDoNotConflict) {
+  // b1's range nested strictly inside b0's range: inclusive overlap.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.joinBarrier(0);
+  B.joinBarrier(1);
+  B.waitBarrier(1);
+  B.waitBarrier(0);
+  B.ret();
+  F->recomputePreds();
+  BarrierConflictAnalysis CA(*F);
+  EXPECT_FALSE(CA.conflict(0, 1));
+  EXPECT_TRUE(CA.conflictingPairs().empty());
+}
+
+TEST(ConflictTest, DisjointRangesDoNotConflict) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.joinBarrier(0);
+  B.waitBarrier(0);
+  B.joinBarrier(1);
+  B.waitBarrier(1);
+  B.ret();
+  F->recomputePreds();
+  BarrierConflictAnalysis CA(*F);
+  EXPECT_FALSE(CA.conflict(0, 1));
+}
+
+TEST(ConflictTest, StraddledRangesConflict) {
+  // join b0; join b1; wait b0; wait b1 — classic non-inclusive overlap.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.joinBarrier(0);
+  B.joinBarrier(1);
+  B.waitBarrier(0);
+  B.waitBarrier(1);
+  B.ret();
+  F->recomputePreds();
+  BarrierConflictAnalysis CA(*F);
+  EXPECT_TRUE(CA.conflict(0, 1));
+  EXPECT_EQ(CA.conflict(1, 0), CA.conflict(0, 1));
+}
+
+TEST(ConflictTest, UnusedBarrierHasEmptyRange) {
+  Listing1 L(/*WithBarriers=*/true);
+  BarrierConflictAnalysis CA(*L.F);
+  EXPECT_GT(CA.rangeSize(0), 0u);
+  EXPECT_EQ(CA.rangeSize(5), 0u);
+  EXPECT_FALSE(CA.conflict(0, 5));
+}

@@ -1,0 +1,108 @@
+//===- CallGraphTest.cpp - Tests for the call graph ---------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace simtsr;
+
+namespace {
+
+Function *makeLeaf(Module &M, const std::string &Name) {
+  Function *F = M.createFunction(Name, 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.ret(Operand::imm(1));
+  return F;
+}
+
+Function *makeCaller(Module &M, const std::string &Name,
+                     std::vector<Function *> Callees) {
+  Function *F = M.createFunction(Name, 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  for (Function *Callee : Callees)
+    B.call(Callee);
+  B.ret();
+  return F;
+}
+
+} // namespace
+
+TEST(CallGraphTest, EdgesAndCallSites) {
+  Module M;
+  Function *Leaf = makeLeaf(M, "leaf");
+  Function *Mid = makeCaller(M, "mid", {Leaf, Leaf});
+  Function *Top = makeCaller(M, "top", {Mid, Leaf});
+  CallGraph CG(M);
+
+  EXPECT_EQ(CG.callees(Leaf).size(), 0u);
+  ASSERT_EQ(CG.callees(Mid).size(), 1u);
+  EXPECT_EQ(CG.callees(Mid)[0], Leaf);
+  EXPECT_EQ(CG.callees(Top).size(), 2u);
+
+  ASSERT_EQ(CG.callers(Leaf).size(), 2u);
+  EXPECT_EQ(CG.callers(Top).size(), 0u);
+
+  // leaf is called three times in total (twice from mid, once from top).
+  EXPECT_EQ(CG.callSitesOf(Leaf).size(), 3u);
+  EXPECT_EQ(CG.callSitesOf(Top).size(), 0u);
+}
+
+TEST(CallGraphTest, BottomUpOrderPutsCalleesFirst) {
+  Module M;
+  Function *Leaf = makeLeaf(M, "leaf");
+  Function *Mid = makeCaller(M, "mid", {Leaf});
+  Function *Top = makeCaller(M, "top", {Mid});
+  CallGraph CG(M);
+  auto Order = CG.bottomUpOrder();
+  ASSERT_EQ(Order.size(), 3u);
+  auto Pos = [&](Function *F) {
+    return std::find(Order.begin(), Order.end(), F) - Order.begin();
+  };
+  EXPECT_LT(Pos(Leaf), Pos(Mid));
+  EXPECT_LT(Pos(Mid), Pos(Top));
+}
+
+TEST(CallGraphTest, DetectsDirectRecursion) {
+  Module M;
+  Function *F = M.createFunction("self", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.call(F);
+  B.ret();
+  CallGraph CG(M);
+  EXPECT_TRUE(CG.isRecursive());
+}
+
+TEST(CallGraphTest, DetectsMutualRecursion) {
+  Module M;
+  Function *A = M.createFunction("a", 0);
+  Function *BFn = M.createFunction("b", 0);
+  {
+    IRBuilder B(A);
+    B.startBlock("entry");
+    B.call(BFn);
+    B.ret();
+  }
+  {
+    IRBuilder B(BFn);
+    B.startBlock("entry");
+    B.call(A);
+    B.ret();
+  }
+  CallGraph CG(M);
+  EXPECT_TRUE(CG.isRecursive());
+}
+
+TEST(CallGraphTest, AcyclicGraphIsNotRecursive) {
+  Module M;
+  Function *Leaf = makeLeaf(M, "leaf");
+  makeCaller(M, "top", {Leaf, Leaf});
+  CallGraph CG(M);
+  EXPECT_FALSE(CG.isRecursive());
+}

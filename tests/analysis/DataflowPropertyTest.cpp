@@ -1,0 +1,139 @@
+//===- DataflowPropertyTest.cpp - Fixpoint properties on random CFGs ------------===//
+///
+/// Property tests for the Section 4.2.1 dataflow analyses: on random CFGs
+/// sprinkled with random barrier operations, the computed solutions must
+/// satisfy their defining equations (they are fixpoints), and the
+/// instruction-level replay must be consistent with the block-level
+/// solution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BarrierAnalysis.h"
+
+#include "TestIR.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testir;
+
+namespace {
+
+/// Sprinkles random barrier ops (over 3 barrier ids) into the blocks of a
+/// random CFG.
+std::unique_ptr<Module> randomBarrierCfg(uint64_t Seed) {
+  auto M = randomCfg(Seed, 9);
+  Rng R(Seed ^ 0xbeef);
+  Function &F = *M->functionByName("random");
+  for (BasicBlock *BB : F) {
+    unsigned Ops = static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned K = 0; K < Ops; ++K) {
+      unsigned Barrier = static_cast<unsigned>(R.nextBelow(3));
+      Opcode Op;
+      switch (R.nextBelow(4)) {
+      case 0:
+        Op = Opcode::JoinBarrier;
+        break;
+      case 1:
+        Op = Opcode::WaitBarrier;
+        break;
+      case 2:
+        Op = Opcode::CancelBarrier;
+        break;
+      default:
+        Op = Opcode::RejoinBarrier;
+        break;
+      }
+      BB->insert(0, Instruction(Op, NoRegister, {Operand::barrier(Barrier)}));
+    }
+  }
+  F.recomputePreds();
+  return M;
+}
+
+/// Applies the joined-barrier transfer of one block to \p In.
+uint32_t joinedTransfer(const BasicBlock *BB, uint32_t In) {
+  uint32_t State = In;
+  for (const Instruction &I : BB->instructions())
+    State = (State & ~barriereffect::killJoined(I)) |
+            barriereffect::genJoined(I);
+  return State;
+}
+
+uint32_t livenessTransfer(const BasicBlock *BB, uint32_t Out) {
+  uint32_t State = Out;
+  for (size_t I = BB->size(); I-- > 0;) {
+    const Instruction &Inst = BB->inst(I);
+    State = (State & ~barriereffect::killLive(Inst)) |
+            barriereffect::genLive(Inst);
+  }
+  return State;
+}
+
+} // namespace
+
+TEST(DataflowPropertyTest, JoinedSolutionIsAFixpoint) {
+  for (uint64_t Seed = 0; Seed < 30; ++Seed) {
+    auto M = randomBarrierCfg(Seed);
+    Function &F = *M->functionByName("random");
+    JoinedBarrierAnalysis JA(F);
+    for (BasicBlock *BB : F) {
+      // OUT = transfer(IN).
+      EXPECT_EQ(JA.out(BB), joinedTransfer(BB, JA.in(BB)))
+          << "seed " << Seed << " block " << BB->name();
+      // IN = union of predecessor OUTs.
+      uint32_t Union = 0;
+      for (BasicBlock *Pred : BB->predecessors())
+        Union |= JA.out(Pred);
+      EXPECT_EQ(JA.in(BB), Union)
+          << "seed " << Seed << " block " << BB->name();
+    }
+  }
+}
+
+TEST(DataflowPropertyTest, LivenessSolutionIsAFixpoint) {
+  for (uint64_t Seed = 100; Seed < 130; ++Seed) {
+    auto M = randomBarrierCfg(Seed);
+    Function &F = *M->functionByName("random");
+    BarrierLivenessAnalysis LA(F);
+    for (BasicBlock *BB : F) {
+      EXPECT_EQ(LA.liveIn(BB), livenessTransfer(BB, LA.liveOut(BB)))
+          << "seed " << Seed << " block " << BB->name();
+      uint32_t Union = 0;
+      for (BasicBlock *Succ : BB->successors())
+        Union |= LA.liveIn(Succ);
+      EXPECT_EQ(LA.liveOut(BB), Union)
+          << "seed " << Seed << " block " << BB->name();
+    }
+  }
+}
+
+TEST(DataflowPropertyTest, ReplayEndpointsMatchBlockSolution) {
+  for (uint64_t Seed = 200; Seed < 220; ++Seed) {
+    auto M = randomBarrierCfg(Seed);
+    Function &F = *M->functionByName("random");
+    JoinedBarrierAnalysis JA(F);
+    BarrierLivenessAnalysis LA(F);
+    for (BasicBlock *BB : F) {
+      if (BB->empty())
+        continue;
+      EXPECT_EQ(JA.before(BB, 0), JA.in(BB));
+      EXPECT_EQ(JA.after(BB, BB->size() - 1), JA.out(BB));
+      EXPECT_EQ(LA.liveAfter(BB, BB->size() - 1), LA.liveOut(BB));
+      EXPECT_EQ(LA.liveBefore(BB, 0), LA.liveIn(BB));
+    }
+  }
+}
+
+TEST(DataflowPropertyTest, ConflictRelationIsSymmetricAndIrreflexive) {
+  for (uint64_t Seed = 300; Seed < 315; ++Seed) {
+    auto M = randomBarrierCfg(Seed);
+    Function &F = *M->functionByName("random");
+    BarrierConflictAnalysis CA(F);
+    for (unsigned A = 0; A < 4; ++A) {
+      EXPECT_FALSE(CA.conflict(A, A));
+      for (unsigned B = 0; B < 4; ++B)
+        EXPECT_EQ(CA.conflict(A, B), CA.conflict(B, A));
+    }
+  }
+}

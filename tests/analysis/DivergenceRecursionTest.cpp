@@ -1,0 +1,110 @@
+//===- DivergenceRecursionTest.cpp - Summaries on cyclic call graphs ------------===//
+
+#include "analysis/Divergence.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+TEST(DivergenceRecursionTest, RecursiveCalleeFallsBackToConservative) {
+  // self() returns a constant but calls itself; the bottom-up summary
+  // cannot resolve the cycle, so call results stay (safely) divergent.
+  Module M;
+  Function *Self = M.createFunction("self", 1);
+  {
+    IRBuilder B(Self);
+    BasicBlock *Entry = B.startBlock("entry");
+    BasicBlock *Base = Self->createBlock("base");
+    BasicBlock *Rec = Self->createBlock("rec");
+    B.setInsertBlock(Entry);
+    unsigned C = B.cmpLE(Operand::reg(0), Operand::imm(0));
+    B.br(Operand::reg(C), Base, Rec);
+    B.setInsertBlock(Base);
+    B.ret(Operand::imm(7));
+    B.setInsertBlock(Rec);
+    unsigned N = B.sub(Operand::reg(0), Operand::imm(1));
+    unsigned V = B.call(Self, {Operand::reg(N)});
+    B.ret(Operand::reg(V));
+  }
+  Function *Caller = M.createFunction("caller", 0);
+  unsigned FromRecursive;
+  {
+    IRBuilder B(Caller);
+    B.startBlock("entry");
+    FromRecursive = B.call(Self, {Operand::imm(3)});
+    B.ret();
+  }
+  ModuleDivergenceInfo Info(M);
+  // Conservative: the cyclic summary marks the call divergent. What must
+  // never happen is a crash or an unsound "uniform" claim being relied on
+  // for synchronization; PdomSync only uses divergence to *add* barriers.
+  const DivergenceAnalysis &DA = Info.forFunction(Caller);
+  EXPECT_TRUE(DA.isDivergentReg(FromRecursive));
+}
+
+TEST(DivergenceRecursionTest, MutualRecursionHandled) {
+  Module M;
+  Function *A = M.createFunction("a", 1);
+  Function *BFn = M.createFunction("b", 1);
+  {
+    IRBuilder B(A);
+    BasicBlock *Entry = B.startBlock("entry");
+    BasicBlock *Base = A->createBlock("base");
+    BasicBlock *Rec = A->createBlock("rec");
+    B.setInsertBlock(Entry);
+    unsigned C = B.cmpLE(Operand::reg(0), Operand::imm(0));
+    B.br(Operand::reg(C), Base, Rec);
+    B.setInsertBlock(Base);
+    B.ret(Operand::imm(1));
+    B.setInsertBlock(Rec);
+    unsigned N = B.sub(Operand::reg(0), Operand::imm(1));
+    unsigned V = B.call(BFn, {Operand::reg(N)});
+    B.ret(Operand::reg(V));
+  }
+  {
+    IRBuilder B(BFn);
+    B.startBlock("entry");
+    unsigned V = B.call(A, {Operand::reg(0)});
+    B.ret(Operand::reg(V));
+  }
+  // Must terminate and produce per-function analyses for both; inside the
+  // cycle the call results are conservatively divergent (at least one of
+  // the two functions is summarized before its callee).
+  ModuleDivergenceInfo Info(M);
+  EXPECT_TRUE(Info.forFunction(A).returnsDivergent() ||
+              Info.forFunction(BFn).returnsDivergent());
+}
+
+TEST(DivergenceRecursionTest, UniformChainStaysUniformThroughCalls) {
+  // three -> two -> one, all returning constants: the caller's results
+  // stay uniform through the whole chain.
+  Module M;
+  Function *One = M.createFunction("one", 0);
+  {
+    IRBuilder B(One);
+    B.startBlock("entry");
+    B.ret(Operand::imm(1));
+  }
+  Function *Two = M.createFunction("two", 0);
+  {
+    IRBuilder B(Two);
+    B.startBlock("entry");
+    unsigned V = B.call(One);
+    unsigned W = B.add(Operand::reg(V), Operand::imm(1));
+    B.ret(Operand::reg(W));
+  }
+  Function *Three = M.createFunction("three", 0);
+  unsigned Result;
+  {
+    IRBuilder B(Three);
+    B.startBlock("entry");
+    Result = B.call(Two);
+    B.ret();
+  }
+  ModuleDivergenceInfo Info(M);
+  EXPECT_FALSE(Info.forFunction(Three).isDivergentReg(Result));
+  EXPECT_FALSE(Info.forFunction(Two).returnsDivergent());
+}

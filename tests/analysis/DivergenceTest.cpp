@@ -1,0 +1,200 @@
+//===- DivergenceTest.cpp - Tests for divergence analysis ---------------------===//
+
+#include "analysis/Divergence.h"
+
+#include "TestIR.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testir;
+
+namespace {
+
+DivergenceAnalysis::Options uniformParams() {
+  DivergenceAnalysis::Options Opts;
+  Opts.ParamsDivergent = false;
+  return Opts;
+}
+
+} // namespace
+
+TEST(DivergenceTest, TidIsDivergent) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  unsigned T = B.tid();
+  unsigned U = B.mov(Operand::imm(7));
+  B.ret();
+  PostDominatorTree PDT(*F);
+  DivergenceAnalysis DA(*F, PDT);
+  EXPECT_TRUE(DA.isDivergentReg(T));
+  EXPECT_FALSE(DA.isDivergentReg(U));
+  EXPECT_TRUE(DA.hasDivergenceSources());
+}
+
+TEST(DivergenceTest, DataDependencePropagates) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  unsigned T = B.tid();
+  unsigned A = B.add(Operand::reg(T), Operand::imm(1));
+  unsigned C = B.cmpLT(Operand::reg(A), Operand::imm(5));
+  unsigned U = B.mul(Operand::imm(2), Operand::imm(3));
+  B.ret();
+  PostDominatorTree PDT(*F);
+  DivergenceAnalysis DA(*F, PDT);
+  EXPECT_TRUE(DA.isDivergentReg(A));
+  EXPECT_TRUE(DA.isDivergentReg(C));
+  EXPECT_FALSE(DA.isDivergentReg(U));
+}
+
+TEST(DivergenceTest, BranchOnRandIsDivergent) {
+  Listing1 L;
+  PostDominatorTree PDT(*L.F);
+  DivergenceAnalysis DA(*L.F, PDT);
+  EXPECT_TRUE(DA.isDivergentBranch(L.BB2)); // rand-based condition
+  EXPECT_TRUE(DA.isDivergentBranch(L.BB4)); // rand-based loop-again
+  EXPECT_FALSE(DA.isDivergentBranch(L.BB0));
+}
+
+TEST(DivergenceTest, UniformBranchIsNotDivergent) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertBlock(Entry);
+  unsigned C = B.cmpLT(Operand::reg(0), Operand::imm(5));
+  B.br(Operand::reg(C), Then, Join);
+  B.setInsertBlock(Then);
+  B.jmp(Join);
+  B.setInsertBlock(Join);
+  B.ret();
+  F->recomputePreds();
+  PostDominatorTree PDT(*F);
+  DivergenceAnalysis DA(*F, PDT, uniformParams());
+  EXPECT_FALSE(DA.isDivergentBranch(Entry));
+}
+
+TEST(DivergenceTest, ControlDependenceTaintsDefinitions) {
+  // A register assigned only on the taken arm of a divergent branch is
+  // divergent even though its operands are uniform.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned C = B.cmpLT(Operand::reg(T), Operand::imm(16));
+  B.br(Operand::reg(C), Then, Join);
+  B.setInsertBlock(Then);
+  unsigned Conditional = B.mov(Operand::imm(1));
+  B.jmp(Join);
+  B.setInsertBlock(Join);
+  unsigned AtPdom = B.mov(Operand::imm(2));
+  B.ret();
+  F->recomputePreds();
+  PostDominatorTree PDT(*F);
+  DivergenceAnalysis DA(*F, PDT);
+  EXPECT_TRUE(DA.isDivergentReg(Conditional));
+  // Defined at the reconvergence point: uniform again.
+  EXPECT_FALSE(DA.isDivergentReg(AtPdom));
+}
+
+TEST(DivergenceTest, LoadFromUniformAddressIsUniform) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  unsigned T = B.tid();
+  unsigned UniformLoad = B.load(Operand::imm(8));
+  unsigned DivergentLoad = B.load(Operand::reg(T));
+  B.ret();
+  PostDominatorTree PDT(*F);
+  DivergenceAnalysis DA(*F, PDT);
+  EXPECT_FALSE(DA.isDivergentReg(UniformLoad));
+  EXPECT_TRUE(DA.isDivergentReg(DivergentLoad));
+}
+
+TEST(DivergenceTest, ParamsDivergentByDefault) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  unsigned A = B.add(Operand::reg(0), Operand::imm(1));
+  B.ret();
+  PostDominatorTree PDT(*F);
+  DivergenceAnalysis DefaultDA(*F, PDT);
+  EXPECT_TRUE(DefaultDA.isDivergentReg(A));
+  DivergenceAnalysis UniformDA(*F, PDT, uniformParams());
+  EXPECT_FALSE(UniformDA.isDivergentReg(A));
+}
+
+TEST(ModuleDivergenceTest, CalleeSummariesRefineCallResults) {
+  Module M;
+  // uniformFn: returns a constant — uniform.
+  Function *UniformFn = M.createFunction("uniform_fn", 0);
+  {
+    IRBuilder B(UniformFn);
+    B.startBlock("entry");
+    B.ret(Operand::imm(42));
+  }
+  // divergentFn: returns tid — divergent.
+  Function *DivergentFn = M.createFunction("divergent_fn", 0);
+  {
+    IRBuilder B(DivergentFn);
+    B.startBlock("entry");
+    unsigned T = B.tid();
+    B.ret(Operand::reg(T));
+  }
+  Function *Caller = M.createFunction("caller", 0);
+  unsigned UniformResult, DivergentResult;
+  {
+    IRBuilder B(Caller);
+    B.startBlock("entry");
+    UniformResult = B.call(UniformFn);
+    DivergentResult = B.call(DivergentFn);
+    B.ret();
+  }
+  ModuleDivergenceInfo Info(M);
+  const DivergenceAnalysis &DA = Info.forFunction(Caller);
+  EXPECT_FALSE(DA.isDivergentReg(UniformResult));
+  EXPECT_TRUE(DA.isDivergentReg(DivergentResult));
+  EXPECT_TRUE(Info.forFunction(DivergentFn).returnsDivergent());
+  EXPECT_FALSE(Info.forFunction(UniformFn).returnsDivergent());
+}
+
+TEST(ModuleDivergenceTest, DivergentArgumentTaintsUniformCallee) {
+  Module M;
+  Function *Id = M.createFunction("id", 1);
+  {
+    IRBuilder B(Id);
+    B.startBlock("entry");
+    B.ret(Operand::reg(0));
+  }
+  Function *Caller = M.createFunction("caller", 0);
+  unsigned FromUniform, FromDivergent;
+  {
+    IRBuilder B(Caller);
+    B.startBlock("entry");
+    unsigned T = B.tid();
+    FromUniform = B.call(Id, {Operand::imm(1)});
+    FromDivergent = B.call(Id, {Operand::reg(T)});
+    B.ret();
+  }
+  ModuleDivergenceInfo Info(M);
+  const DivergenceAnalysis &DA = Info.forFunction(Caller);
+  // `id` itself reports divergent return (params conservative), so even the
+  // uniform-arg call would be divergent — unless the summary is param-
+  // aware. Our summary treats params as divergent, so both are divergent;
+  // the critical property is that the divergent-arg call is never missed.
+  EXPECT_TRUE(DA.isDivergentReg(FromDivergent));
+  (void)FromUniform;
+}

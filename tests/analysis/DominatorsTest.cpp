@@ -1,0 +1,199 @@
+//===- DominatorsTest.cpp - Tests for (post-)dominator trees -----------------===//
+
+#include "analysis/Dominators.h"
+
+#include "TestIR.h"
+#include "ir/CFGUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testir;
+
+TEST(DominatorsTest, Listing1ForwardDominance) {
+  Listing1 L;
+  DominatorTree DT(*L.F);
+  EXPECT_EQ(DT.idom(L.BB0), nullptr);
+  EXPECT_EQ(DT.idom(L.BB1), L.BB0);
+  EXPECT_EQ(DT.idom(L.BB2), L.BB1);
+  EXPECT_EQ(DT.idom(L.BB3), L.BB2);
+  EXPECT_EQ(DT.idom(L.BB4), L.BB2);
+  EXPECT_EQ(DT.idom(L.BB5), L.BB4);
+  EXPECT_TRUE(DT.dominates(L.BB0, L.BB5));
+  EXPECT_TRUE(DT.dominates(L.BB2, L.BB3));
+  EXPECT_FALSE(DT.dominates(L.BB3, L.BB4));
+  EXPECT_TRUE(DT.dominates(L.BB3, L.BB3));
+}
+
+TEST(DominatorsTest, Listing1PostDominance) {
+  Listing1 L;
+  PostDominatorTree PDT(*L.F);
+  // bb5 is the sole exit: it post-dominates everything.
+  for (BasicBlock *BB : {L.BB0, L.BB1, L.BB2, L.BB3, L.BB4})
+    EXPECT_TRUE(PDT.dominates(L.BB5, BB)) << BB->name();
+  // bb4 post-dominates the divergent branch and both arms.
+  EXPECT_TRUE(PDT.dominates(L.BB4, L.BB2));
+  EXPECT_TRUE(PDT.dominates(L.BB4, L.BB3));
+  EXPECT_FALSE(PDT.dominates(L.BB3, L.BB2));
+  // The IPDOM of the branch's successors is bb4 — the original
+  // reconvergence point of the paper.
+  EXPECT_EQ(PDT.nearestCommonDominator(L.BB3, L.BB4), L.BB4);
+}
+
+TEST(DominatorsTest, NearestCommonDominatorDiamond) {
+  Listing1 L;
+  DominatorTree DT(*L.F);
+  EXPECT_EQ(DT.nearestCommonDominator(L.BB3, L.BB4), L.BB2);
+  EXPECT_EQ(DT.nearestCommonDominator(L.BB3, L.BB3), L.BB3);
+  EXPECT_EQ(DT.nearestCommonDominator(L.BB0, L.BB5), L.BB0);
+}
+
+TEST(DominatorsTest, UnreachableBlockHandled) {
+  Listing1 L;
+  BasicBlock *Dead = L.F->createBlock("dead");
+  IRBuilder B(L.F, Dead);
+  B.ret();
+  L.F->recomputePreds();
+  DominatorTree DT(*L.F);
+  EXPECT_FALSE(DT.isReachable(Dead));
+  EXPECT_EQ(DT.idom(Dead), nullptr);
+  EXPECT_FALSE(DT.dominates(L.BB0, Dead));
+  EXPECT_FALSE(DT.dominates(Dead, L.BB0));
+  EXPECT_TRUE(DT.dominates(Dead, Dead));
+}
+
+TEST(DominatorsTest, MultiExitPostDominance) {
+  // entry -> {left(ret), right(ret)}: neither exit post-dominates entry;
+  // their nearest common post-dominator is the virtual exit (null).
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Left = F->createBlock("left");
+  BasicBlock *Right = F->createBlock("right");
+  B.setInsertBlock(Entry);
+  B.br(Operand::reg(0), Left, Right);
+  B.setInsertBlock(Left);
+  B.ret();
+  B.setInsertBlock(Right);
+  B.ret();
+  PostDominatorTree PDT(*F);
+  EXPECT_FALSE(PDT.dominates(Left, Entry));
+  EXPECT_FALSE(PDT.dominates(Right, Entry));
+  EXPECT_EQ(PDT.nearestCommonDominator(Left, Right), nullptr);
+  EXPECT_EQ(PDT.idom(Left), nullptr);
+}
+
+namespace {
+
+/// Reference dominance check: A dominates B iff B is unreachable from entry
+/// once A is removed from the graph (A != B, both reachable).
+bool refDominates(Function &F, BasicBlock *A, BasicBlock *B) {
+  if (A == B)
+    return true;
+  std::vector<bool> Visited(F.size(), false);
+  std::vector<BasicBlock *> Worklist;
+  if (F.entry() != A) {
+    Visited[F.entry()->number()] = true;
+    Worklist.push_back(F.entry());
+  }
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    if (BB == B)
+      return false;
+    for (BasicBlock *Succ : BB->successors()) {
+      if (Succ == A || Visited[Succ->number()])
+        continue;
+      Visited[Succ->number()] = true;
+      Worklist.push_back(Succ);
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+TEST(DominatorsPropertyTest, MatchesRemovalDefinitionOnRandomCfgs) {
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    auto M = randomCfg(Seed, 10);
+    Function &F = *M->functionByName("random");
+    DominatorTree DT(F);
+    auto Reachable = blocksReachableFrom(F, F.entry());
+    for (BasicBlock *A : F) {
+      if (!Reachable[A->number()])
+        continue;
+      for (BasicBlock *B : F) {
+        if (!Reachable[B->number()])
+          continue;
+        EXPECT_EQ(DT.dominates(A, B), refDominates(F, A, B))
+            << "seed " << Seed << " " << A->name() << " vs " << B->name();
+      }
+    }
+  }
+}
+
+TEST(DominatorsPropertyTest, IdomIsStrictDominatorAndTransitive) {
+  for (uint64_t Seed = 100; Seed < 130; ++Seed) {
+    auto M = randomCfg(Seed, 12);
+    Function &F = *M->functionByName("random");
+    DominatorTree DT(F);
+    for (BasicBlock *BB : F) {
+      if (!DT.isReachable(BB))
+        continue;
+      if (BasicBlock *Idom = DT.idom(BB)) {
+        EXPECT_TRUE(DT.strictlyDominates(Idom, BB));
+        // Transitivity via the idom chain.
+        if (BasicBlock *Grand = DT.idom(Idom)) {
+          EXPECT_TRUE(DT.dominates(Grand, BB));
+        }
+      }
+    }
+  }
+}
+
+TEST(DominatorsPropertyTest, PostDominanceIsDualOnReversedCfg) {
+  // For every pair of reachable blocks, post-dominance must agree with the
+  // removal definition applied to paths B -> exit.
+  for (uint64_t Seed = 200; Seed < 220; ++Seed) {
+    auto M = randomCfg(Seed, 8);
+    Function &F = *M->functionByName("random");
+    PostDominatorTree PDT(F);
+    // Reference: A post-dominates B iff removing A cuts every B->ret path.
+    auto refPostDom = [&](BasicBlock *A, BasicBlock *B) {
+      if (A == B)
+        return true;
+      std::vector<bool> Visited(F.size(), false);
+      std::vector<BasicBlock *> Worklist;
+      if (B != A) {
+        Visited[B->number()] = true;
+        Worklist.push_back(B);
+      }
+      while (!Worklist.empty()) {
+        BasicBlock *BB = Worklist.back();
+        Worklist.pop_back();
+        if (BB->hasTerminator() &&
+            BB->terminator().opcode() == Opcode::Ret)
+          return false;
+        for (BasicBlock *Succ : BB->successors()) {
+          if (Succ == A || Visited[Succ->number()])
+            continue;
+          Visited[Succ->number()] = true;
+          Worklist.push_back(Succ);
+        }
+      }
+      return true;
+    };
+    for (BasicBlock *A : F) {
+      if (!PDT.isReachable(A))
+        continue;
+      for (BasicBlock *B : F) {
+        if (!PDT.isReachable(B))
+          continue;
+        EXPECT_EQ(PDT.dominates(A, B), refPostDom(A, B))
+            << "seed " << Seed << " " << A->name() << " pdom "
+            << B->name();
+      }
+    }
+  }
+}

@@ -1,0 +1,162 @@
+//===- EdgeCaseTest.cpp - Analysis edge cases -----------------------------------===//
+///
+/// Corner cases that production CFGs throw at the analyses: infinite
+/// loops (no path to any ret), irreducible control flow (loops with two
+/// entries, which are not natural loops), self-loops, and divergence
+/// propagation through selects and loop-carried state.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Divergence.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+
+#include "TestIR.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testir;
+
+TEST(EdgeCaseTest, PostDominanceWithInfiniteLoop) {
+  // entry -> spin <-> spin (no ret reachable from spin).
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Spin = F->createBlock("spin");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.br(Operand::reg(0), Spin, Exit);
+  B.setInsertBlock(Spin);
+  B.jmp(Spin);
+  B.setInsertBlock(Exit);
+  B.ret();
+  F->recomputePreds();
+  PostDominatorTree PDT(*F);
+  // Spin cannot reach an exit: unreachable in the reverse graph.
+  EXPECT_FALSE(PDT.isReachable(Spin));
+  EXPECT_TRUE(PDT.isReachable(Entry));
+  EXPECT_TRUE(PDT.dominates(Exit, Entry));
+  EXPECT_FALSE(PDT.dominates(Exit, Spin));
+  EXPECT_EQ(PDT.nearestCommonDominator(Spin, Exit), nullptr);
+}
+
+TEST(EdgeCaseTest, IrreducibleLoopIsNotANaturalLoop) {
+  // Two-entry cycle: entry branches into both a and b; a <-> b.
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *C = F->createBlock("b");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.br(Operand::reg(0), A, C);
+  B.setInsertBlock(A);
+  unsigned R1 = B.randRange(Operand::imm(0), Operand::imm(2));
+  B.br(Operand::reg(R1), C, Exit);
+  B.setInsertBlock(C);
+  unsigned R2 = B.randRange(Operand::imm(0), Operand::imm(2));
+  B.br(Operand::reg(R2), A, Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  F->recomputePreds();
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  // Neither a nor b dominates the other, so no back edge exists: the
+  // cycle is invisible to natural-loop detection (and the pass pipeline
+  // treats the blocks as straight-line code — correct, just unoptimized).
+  EXPECT_TRUE(LI.loops().empty());
+}
+
+TEST(EdgeCaseTest, SelfLoopIsItsOwnLatch) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Spin = F->createBlock("spin");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.jmp(Spin);
+  B.setInsertBlock(Spin);
+  unsigned R = B.randRange(Operand::imm(0), Operand::imm(4));
+  B.br(Operand::reg(R), Spin, Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  F->recomputePreds();
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  Loop *L = LI.loops()[0];
+  EXPECT_EQ(L->header(), Spin);
+  ASSERT_EQ(L->latches().size(), 1u);
+  EXPECT_EQ(L->latches()[0], Spin);
+  EXPECT_EQ(L->blocks().size(), 1u);
+  EXPECT_EQ(L->preheader(), Entry);
+}
+
+TEST(EdgeCaseTest, DivergencePropagatesThroughSelect) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  unsigned T = B.tid();
+  unsigned DivergentSel =
+      B.select(Operand::reg(T), Operand::imm(1), Operand::imm(2));
+  unsigned UniformSel =
+      B.select(Operand::imm(1), Operand::imm(3), Operand::imm(4));
+  B.ret();
+  PostDominatorTree PDT(*F);
+  DivergenceAnalysis DA(*F, PDT);
+  EXPECT_TRUE(DA.isDivergentReg(DivergentSel));
+  EXPECT_FALSE(DA.isDivergentReg(UniformSel));
+}
+
+TEST(EdgeCaseTest, LoopCarriedDivergenceViaDivergentTrip) {
+  // A counter incremented uniformly inside a loop whose *trip count* is
+  // divergent becomes divergent after the loop.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned I = B.mov(Operand::imm(0));
+  B.jmp(Header);
+  B.setInsertBlock(Header);
+  unsigned C = B.cmpLT(Operand::reg(I), Operand::reg(T)); // divergent trip
+  B.br(Operand::reg(C), Body, Exit);
+  B.setInsertBlock(Body);
+  unsigned INext = B.add(Operand::reg(I), Operand::imm(1));
+  Body->append(Instruction(Opcode::Mov, I, {Operand::reg(INext)}));
+  B.jmp(Header);
+  B.setInsertBlock(Exit);
+  unsigned AfterLoop = B.mov(Operand::reg(I));
+  B.ret();
+  F->recomputePreds();
+  PostDominatorTree PDT(*F);
+  DivergenceAnalysis DA(*F, PDT);
+  EXPECT_TRUE(DA.isDivergentBranch(Header));
+  EXPECT_TRUE(DA.isDivergentReg(INext));
+  EXPECT_TRUE(DA.isDivergentReg(AfterLoop));
+}
+
+TEST(EdgeCaseTest, DominatorsOnSingleBlockFunction) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  B.ret();
+  F->recomputePreds();
+  DominatorTree DT(*F);
+  PostDominatorTree PDT(*F);
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+  EXPECT_EQ(PDT.idom(Entry), nullptr);
+  EXPECT_TRUE(DT.dominates(Entry, Entry));
+  EXPECT_TRUE(PDT.dominates(Entry, Entry));
+  EXPECT_EQ(DT.nearestCommonDominator(Entry, Entry), Entry);
+}

@@ -1,0 +1,173 @@
+//===- LoopInfoTest.cpp - Tests for natural-loop detection --------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "TestIR.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace simtsr;
+using namespace simtsr::testir;
+
+TEST(LoopInfoTest, Listing1HasOneLoop) {
+  Listing1 L;
+  DominatorTree DT(*L.F);
+  LoopInfo LI(*L.F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  Loop *Loop1 = LI.loops()[0];
+  EXPECT_EQ(Loop1->header(), L.BB1);
+  EXPECT_EQ(Loop1->depth(), 1u);
+  EXPECT_TRUE(Loop1->contains(L.BB2));
+  EXPECT_TRUE(Loop1->contains(L.BB3));
+  EXPECT_TRUE(Loop1->contains(L.BB4));
+  EXPECT_FALSE(Loop1->contains(L.BB0));
+  EXPECT_FALSE(Loop1->contains(L.BB5));
+  EXPECT_EQ(Loop1->preheader(), L.BB0);
+  ASSERT_EQ(Loop1->latches().size(), 1u);
+  EXPECT_EQ(Loop1->latches()[0], L.BB4);
+  auto Exits = Loop1->exitEdges();
+  ASSERT_EQ(Exits.size(), 1u);
+  EXPECT_EQ(Exits[0].first, L.BB4);
+  EXPECT_EQ(Exits[0].second, L.BB5);
+}
+
+namespace {
+
+/// entry -> outerHeader -> innerHeader <-> innerBody; inner exits to
+/// outerLatch which loops back to outerHeader or exits.
+struct NestedLoops {
+  Module M;
+  Function *F;
+  BasicBlock *Entry, *OuterHeader, *InnerHeader, *InnerBody, *OuterLatch,
+      *Exit;
+
+  NestedLoops() {
+    F = M.createFunction("nested", 1);
+    IRBuilder B(F);
+    Entry = B.startBlock("entry");
+    OuterHeader = F->createBlock("outer_header");
+    InnerHeader = F->createBlock("inner_header");
+    InnerBody = F->createBlock("inner_body");
+    OuterLatch = F->createBlock("outer_latch");
+    Exit = F->createBlock("exit");
+
+    B.setInsertBlock(Entry);
+    B.jmp(OuterHeader);
+    B.setInsertBlock(OuterHeader);
+    B.jmp(InnerHeader);
+    B.setInsertBlock(InnerHeader);
+    unsigned C = B.randRange(Operand::imm(0), Operand::imm(2));
+    B.br(Operand::reg(C), InnerBody, OuterLatch);
+    B.setInsertBlock(InnerBody);
+    B.jmp(InnerHeader);
+    B.setInsertBlock(OuterLatch);
+    unsigned C2 = B.randRange(Operand::imm(0), Operand::imm(2));
+    B.br(Operand::reg(C2), OuterHeader, Exit);
+    B.setInsertBlock(Exit);
+    B.ret();
+    F->recomputePreds();
+  }
+};
+
+} // namespace
+
+TEST(LoopInfoTest, NestedLoopsHaveCorrectNesting) {
+  NestedLoops N;
+  DominatorTree DT(*N.F);
+  LoopInfo LI(*N.F, DT);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  Loop *Outer = LI.loopWithHeader(N.OuterHeader);
+  Loop *Inner = LI.loopWithHeader(N.InnerHeader);
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->parent(), Outer);
+  EXPECT_EQ(Outer->parent(), nullptr);
+  EXPECT_EQ(Inner->depth(), 2u);
+  EXPECT_TRUE(Outer->contains(Inner));
+  EXPECT_FALSE(Inner->contains(Outer));
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  EXPECT_EQ(LI.topLevelLoops()[0], Outer);
+  // Innermost loop per block.
+  EXPECT_EQ(LI.loopFor(N.InnerBody), Inner);
+  EXPECT_EQ(LI.loopFor(N.OuterLatch), Outer);
+  EXPECT_EQ(LI.loopFor(N.Entry), nullptr);
+}
+
+TEST(LoopInfoTest, MultipleLatchesMergeIntoOneLoop) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *BBlk = F->createBlock("b");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.jmp(Header);
+  B.setInsertBlock(Header);
+  unsigned C = B.randRange(Operand::imm(0), Operand::imm(3));
+  B.br(Operand::reg(C), A, BBlk);
+  B.setInsertBlock(A);
+  unsigned C2 = B.randRange(Operand::imm(0), Operand::imm(2));
+  B.br(Operand::reg(C2), Header, Exit);
+  B.setInsertBlock(BBlk);
+  B.jmp(Header);
+  B.setInsertBlock(Exit);
+  B.ret();
+  F->recomputePreds();
+
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  Loop *L = LI.loops()[0];
+  EXPECT_EQ(L->latches().size(), 2u);
+  EXPECT_TRUE(L->contains(A));
+  EXPECT_TRUE(L->contains(BBlk));
+}
+
+TEST(LoopInfoTest, NoPreheaderWhenHeaderHasTwoOutsidePreds) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Side = F->createBlock("side");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.br(Operand::reg(0), Header, Side);
+  B.setInsertBlock(Side);
+  B.jmp(Header);
+  B.setInsertBlock(Header);
+  unsigned C = B.randRange(Operand::imm(0), Operand::imm(2));
+  B.br(Operand::reg(C), Header, Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  F->recomputePreds();
+
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_EQ(LI.loops()[0]->preheader(), nullptr);
+  // Header is its own latch here.
+  ASSERT_EQ(LI.loops()[0]->latches().size(), 1u);
+  EXPECT_EQ(LI.loops()[0]->latches()[0], Header);
+}
+
+TEST(LoopInfoTest, AcyclicFunctionHasNoLoops) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  B.setInsertBlock(Entry);
+  B.jmp(Next);
+  B.setInsertBlock(Next);
+  B.ret();
+  F->recomputePreds();
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  EXPECT_TRUE(LI.loops().empty());
+  EXPECT_TRUE(LI.topLevelLoops().empty());
+}

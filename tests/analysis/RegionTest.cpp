@@ -1,0 +1,128 @@
+//===- RegionTest.cpp - Tests for prediction-region discovery -----------------===//
+
+#include "analysis/Region.h"
+
+#include "TestIR.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testir;
+
+TEST(RegionTest, Listing1Region) {
+  Listing1 L;
+  auto Regions = findPredictionRegions(*L.F);
+  ASSERT_EQ(Regions.size(), 1u);
+  const PredictionRegion &R = Regions[0];
+  EXPECT_EQ(R.Start, L.BB0);
+  EXPECT_EQ(R.Label, L.BB3);
+  EXPECT_EQ(R.PredictIndex, 0u);
+  // Every block that can still reach bb3 is in the region; bb5 cannot.
+  for (BasicBlock *BB : {L.BB0, L.BB1, L.BB2, L.BB3, L.BB4})
+    EXPECT_TRUE(R.contains(BB)) << BB->name();
+  EXPECT_FALSE(R.contains(L.BB5));
+  // The single exit edge is bb4 -> bb5.
+  ASSERT_EQ(R.ExitEdges.size(), 1u);
+  EXPECT_EQ(R.ExitEdges[0].first, L.BB4);
+  EXPECT_EQ(R.ExitEdges[0].second, L.BB5);
+}
+
+TEST(RegionTest, NoPredictNoRegions) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.ret();
+  EXPECT_TRUE(findPredictionRegions(*F).empty());
+}
+
+TEST(RegionTest, RegionExcludesBlocksBeforeStart) {
+  // pre -> start(predict label) -> label -> post. `pre` reaches the label
+  // but lies before the region start, so it is excluded.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Pre = B.startBlock("pre");
+  BasicBlock *Start = F->createBlock("start");
+  BasicBlock *Label = F->createBlock("label");
+  BasicBlock *Post = F->createBlock("post");
+  B.setInsertBlock(Pre);
+  B.jmp(Start);
+  B.setInsertBlock(Start);
+  B.predict(Label);
+  B.jmp(Label);
+  B.setInsertBlock(Label);
+  B.jmp(Post);
+  B.setInsertBlock(Post);
+  B.ret();
+  F->recomputePreds();
+
+  auto Regions = findPredictionRegions(*F);
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_FALSE(Regions[0].contains(Pre));
+  EXPECT_TRUE(Regions[0].contains(Start));
+  EXPECT_TRUE(Regions[0].contains(Label));
+  EXPECT_FALSE(Regions[0].contains(Post));
+}
+
+TEST(RegionTest, MultipleRegionsDiscoveredInLayoutOrder) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *L1 = F->createBlock("l1");
+  BasicBlock *Mid = F->createBlock("mid");
+  BasicBlock *L2 = F->createBlock("l2");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.predict(L1);
+  B.jmp(L1);
+  B.setInsertBlock(L1);
+  B.jmp(Mid);
+  B.setInsertBlock(Mid);
+  B.predict(L2);
+  B.jmp(L2);
+  B.setInsertBlock(L2);
+  B.jmp(Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  F->recomputePreds();
+
+  auto Regions = findPredictionRegions(*F);
+  ASSERT_EQ(Regions.size(), 2u);
+  EXPECT_EQ(Regions[0].Label, L1);
+  EXPECT_EQ(Regions[1].Label, L2);
+  // Each region stops where its label becomes unreachable.
+  EXPECT_FALSE(Regions[0].contains(L2));
+  EXPECT_FALSE(Regions[1].contains(Entry));
+}
+
+TEST(RegionTest, MultipleExitEdges) {
+  // Loop region with a conditional break: two exit edges.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Hot = F->createBlock("hot");
+  BasicBlock *Break = F->createBlock("brk");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.predict(Hot);
+  B.jmp(Header);
+  B.setInsertBlock(Header);
+  unsigned C = B.randRange(Operand::imm(0), Operand::imm(3));
+  B.br(Operand::reg(C), Hot, Break);
+  B.setInsertBlock(Hot);
+  unsigned C2 = B.randRange(Operand::imm(0), Operand::imm(2));
+  B.br(Operand::reg(C2), Header, Exit);
+  B.setInsertBlock(Break);
+  B.jmp(Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  F->recomputePreds();
+
+  auto Regions = findPredictionRegions(*F);
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_EQ(Regions[0].ExitEdges.size(), 2u);
+}

@@ -1,0 +1,174 @@
+//===- CFGUtilsTest.cpp - Tests for CFG helpers ------------------------------===//
+
+#include "ir/CFGUtils.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace simtsr;
+
+namespace {
+
+/// Builds a diamond: entry -> {then, else} -> join(ret).
+struct Diamond {
+  Module M;
+  Function *F;
+  BasicBlock *Entry;
+  BasicBlock *Then;
+  BasicBlock *Else;
+  BasicBlock *Join;
+
+  Diamond() {
+    F = M.createFunction("f", 1);
+    IRBuilder B(F);
+    Entry = B.startBlock("entry");
+    Then = F->createBlock("then");
+    Else = F->createBlock("else");
+    Join = F->createBlock("join");
+    B.setInsertBlock(Entry);
+    B.br(Operand::reg(0), Then, Else);
+    B.setInsertBlock(Then);
+    B.jmp(Join);
+    B.setInsertBlock(Else);
+    B.jmp(Join);
+    B.setInsertBlock(Join);
+    B.ret();
+    F->recomputePreds();
+  }
+};
+
+size_t indexOf(const std::vector<BasicBlock *> &Order, BasicBlock *BB) {
+  auto It = std::find(Order.begin(), Order.end(), BB);
+  EXPECT_NE(It, Order.end());
+  return static_cast<size_t>(It - Order.begin());
+}
+
+} // namespace
+
+TEST(CFGUtilsTest, RPOStartsAtEntryAndRespectsDominance) {
+  Diamond D;
+  auto RPO = reversePostOrder(*D.F);
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), D.Entry);
+  EXPECT_LT(indexOf(RPO, D.Entry), indexOf(RPO, D.Then));
+  EXPECT_LT(indexOf(RPO, D.Entry), indexOf(RPO, D.Else));
+  EXPECT_LT(indexOf(RPO, D.Then), indexOf(RPO, D.Join));
+  EXPECT_LT(indexOf(RPO, D.Else), indexOf(RPO, D.Join));
+}
+
+TEST(CFGUtilsTest, RPOAppendsUnreachableBlocks) {
+  Diamond D;
+  BasicBlock *Dead = D.F->createBlock("dead");
+  IRBuilder B(D.F, Dead);
+  B.ret();
+  auto RPO = reversePostOrder(*D.F);
+  ASSERT_EQ(RPO.size(), 5u);
+  EXPECT_EQ(RPO.back(), Dead);
+}
+
+TEST(CFGUtilsTest, RPOHandlesLoops) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.jmp(Header);
+  B.setInsertBlock(Header);
+  B.br(Operand::reg(0), Body, Exit);
+  B.setInsertBlock(Body);
+  B.jmp(Header);
+  B.setInsertBlock(Exit);
+  B.ret();
+  auto RPO = reversePostOrder(*F);
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), Entry);
+  EXPECT_LT(indexOf(RPO, Header), indexOf(RPO, Body));
+}
+
+TEST(CFGUtilsTest, SplitEdgeInsertsTrampoline) {
+  Diamond D;
+  BasicBlock *Mid = splitEdge(*D.F, D.Then, D.Join);
+  D.F->recomputePreds();
+  ASSERT_EQ(Mid->size(), 1u);
+  EXPECT_EQ(Mid->inst(0).opcode(), Opcode::Jmp);
+  auto ThenSuccs = D.Then->successors();
+  ASSERT_EQ(ThenSuccs.size(), 1u);
+  EXPECT_EQ(ThenSuccs[0], Mid);
+  EXPECT_EQ(Mid->successors()[0], D.Join);
+  // Join now has preds {else, mid}.
+  EXPECT_EQ(D.Join->predecessors().size(), 2u);
+}
+
+TEST(CFGUtilsTest, SplitEdgeRetargetsBothArmsOfSameTargetBranch) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  B.setInsertBlock(Entry);
+  B.br(Operand::reg(0), Next, Next);
+  B.setInsertBlock(Next);
+  B.ret();
+  BasicBlock *Mid = splitEdge(*F, Entry, Next);
+  auto Succs = Entry->successors();
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0], Mid);
+  EXPECT_EQ(Succs[1], Mid);
+}
+
+TEST(CFGUtilsTest, UniqueBlockNameAvoidsCollisions) {
+  Diamond D;
+  EXPECT_EQ(uniqueBlockName(*D.F, "fresh"), "fresh");
+  EXPECT_EQ(uniqueBlockName(*D.F, "then"), "then.0");
+  D.F->createBlock("then.0");
+  EXPECT_EQ(uniqueBlockName(*D.F, "then"), "then.1");
+}
+
+TEST(CFGUtilsTest, BlocksReachingTarget) {
+  Diamond D;
+  auto Reaches = blocksReaching(*D.F, D.Then);
+  EXPECT_TRUE(Reaches[D.Entry->number()]);
+  EXPECT_TRUE(Reaches[D.Then->number()]);
+  EXPECT_FALSE(Reaches[D.Else->number()]);
+  EXPECT_FALSE(Reaches[D.Join->number()]);
+}
+
+TEST(CFGUtilsTest, BlocksReachingInLoopIncludesBody) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.jmp(Header);
+  B.setInsertBlock(Header);
+  B.br(Operand::reg(0), Body, Exit);
+  B.setInsertBlock(Body);
+  B.jmp(Header);
+  B.setInsertBlock(Exit);
+  B.ret();
+  // Body reaches itself via the back edge through header.
+  auto Reaches = blocksReaching(*F, Body);
+  EXPECT_TRUE(Reaches[Entry->number()]);
+  EXPECT_TRUE(Reaches[Header->number()]);
+  EXPECT_TRUE(Reaches[Body->number()]);
+  EXPECT_FALSE(Reaches[Exit->number()]);
+}
+
+TEST(CFGUtilsTest, BlocksReachableFromSource) {
+  Diamond D;
+  auto Reached = blocksReachableFrom(*D.F, D.Then);
+  EXPECT_FALSE(Reached[D.Entry->number()]);
+  EXPECT_TRUE(Reached[D.Then->number()]);
+  EXPECT_FALSE(Reached[D.Else->number()]);
+  EXPECT_TRUE(Reached[D.Join->number()]);
+}

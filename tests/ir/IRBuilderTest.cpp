@@ -1,0 +1,146 @@
+//===- IRBuilderTest.cpp - Tests for IR construction ------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+TEST(IRBuilderTest, ParamsOccupyLowRegisters) {
+  Module M;
+  Function *F = M.createFunction("f", 3);
+  EXPECT_EQ(F->numRegs(), 3u);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  unsigned R = B.add(Operand::reg(0), Operand::reg(1));
+  EXPECT_EQ(R, 3u);
+  EXPECT_EQ(F->numRegs(), 4u);
+}
+
+TEST(IRBuilderTest, BinaryEmitsExpectedInstruction) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *BB = B.startBlock("entry");
+  unsigned R = B.mul(Operand::imm(6), Operand::imm(7));
+  B.ret(Operand::reg(R));
+  ASSERT_EQ(BB->size(), 2u);
+  const Instruction &I = BB->inst(0);
+  EXPECT_EQ(I.opcode(), Opcode::Mul);
+  EXPECT_EQ(I.dst(), R);
+  EXPECT_EQ(I.operand(0).getImm(), 6);
+  EXPECT_EQ(I.operand(1).getImm(), 7);
+}
+
+TEST(IRBuilderTest, BranchProducesTwoSuccessors) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  B.setInsertBlock(Entry);
+  B.br(Operand::reg(0), Then, Else);
+  auto Succs = Entry->successors();
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0], Then);
+  EXPECT_EQ(Succs[1], Else);
+}
+
+TEST(IRBuilderTest, RetHasNoSuccessors) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *BB = B.startBlock("entry");
+  B.ret();
+  EXPECT_TRUE(BB->successors().empty());
+  EXPECT_TRUE(BB->hasTerminator());
+}
+
+TEST(IRBuilderTest, RecomputePredsPopulatesPredecessors) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertBlock(Entry);
+  B.br(Operand::reg(0), Then, Join);
+  B.setInsertBlock(Then);
+  B.jmp(Join);
+  B.setInsertBlock(Join);
+  B.ret();
+  F->recomputePreds();
+  EXPECT_EQ(Entry->predecessors().size(), 0u);
+  EXPECT_EQ(Then->predecessors().size(), 1u);
+  EXPECT_EQ(Join->predecessors().size(), 2u);
+}
+
+TEST(IRBuilderTest, CallStoresCalleeAndArgs) {
+  Module M;
+  Function *Callee = M.createFunction("g", 2);
+  {
+    IRBuilder B(Callee);
+    B.startBlock("entry");
+    B.ret(Operand::reg(0));
+  }
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *BB = B.startBlock("entry");
+  unsigned R = B.call(Callee, {Operand::imm(1), Operand::imm(2)});
+  B.ret(Operand::reg(R));
+  const Instruction &I = BB->inst(0);
+  EXPECT_EQ(I.opcode(), Opcode::Call);
+  EXPECT_EQ(I.operand(0).getFunc(), Callee);
+  EXPECT_EQ(I.numOperands(), 3u);
+}
+
+TEST(IRBuilderTest, FirstRealIndexSkipsAnnotationsAndBarriers) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *BB = B.startBlock("entry");
+  BasicBlock *Label = F->createBlock("label");
+  B.predict(Label);
+  B.joinBarrier(0);
+  B.waitBarrier(0);
+  unsigned R = B.add(Operand::imm(1), Operand::imm(2));
+  B.ret(Operand::reg(R));
+  B.setInsertBlock(Label);
+  B.ret();
+  EXPECT_EQ(BB->firstRealIndex(), 3u);
+}
+
+TEST(IRBuilderTest, InsertBeforeTerminatorKeepsTerminatorLast) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *BB = B.startBlock("entry");
+  B.ret();
+  BB->insertBeforeTerminator(Instruction(Opcode::Nop, NoRegister, {}));
+  ASSERT_EQ(BB->size(), 2u);
+  EXPECT_EQ(BB->inst(0).opcode(), Opcode::Nop);
+  EXPECT_TRUE(BB->hasTerminator());
+}
+
+TEST(IRBuilderTest, CreateBlockAfterMaintainsLayoutOrder) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *C = F->createBlock("c");
+  BasicBlock *NewB = F->createBlockAfter(A, "b");
+  EXPECT_EQ(F->block(0), A);
+  EXPECT_EQ(F->block(1), NewB);
+  EXPECT_EQ(F->block(2), C);
+  EXPECT_EQ(NewB->number(), 1u);
+  EXPECT_EQ(C->number(), 2u);
+}
+
+TEST(IRBuilderTest, ModuleFunctionLookup) {
+  Module M;
+  Function *F = M.createFunction("kernel", 0);
+  EXPECT_EQ(M.functionByName("kernel"), F);
+  EXPECT_EQ(M.functionByName("nope"), nullptr);
+}

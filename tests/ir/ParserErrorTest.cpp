@@ -1,0 +1,82 @@
+//===- ParserErrorTest.cpp - Parser and verifier error paths -------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+std::string firstErrorOf(const std::string &Text) {
+  ParseResult R = parseModule(Text);
+  EXPECT_FALSE(R.ok());
+  return R.Errors.empty() ? "" : R.Errors[0];
+}
+
+} // namespace
+
+TEST(ParserErrorTest, MissingClosingBrace) {
+  EXPECT_NE(firstErrorOf("func @f(0) {\nentry:\n  ret\n").find("missing '}'"),
+            std::string::npos);
+}
+
+TEST(ParserErrorTest, InstructionBeforeFirstLabel) {
+  EXPECT_NE(firstErrorOf("func @f(0) {\n  nop\nentry:\n  ret\n}\n")
+                .find("before first block label"),
+            std::string::npos);
+}
+
+TEST(ParserErrorTest, MalformedFunctionHeader) {
+  EXPECT_NE(firstErrorOf("func f(0) {\nentry:\n  ret\n}\n")
+                .find("malformed function header"),
+            std::string::npos);
+}
+
+TEST(ParserErrorTest, BadMemoryDirective) {
+  EXPECT_NE(firstErrorOf("memory lots\n").find("memory size"),
+            std::string::npos);
+}
+
+TEST(ParserErrorTest, RegisterWithoutNumber) {
+  EXPECT_NE(firstErrorOf("func @f(0) {\nentry:\n  %x = tid\n  ret\n}\n")
+                .find("register number"),
+            std::string::npos);
+}
+
+TEST(ParserErrorTest, BarrierOperandExpected) {
+  EXPECT_NE(firstErrorOf("func @f(0) {\nentry:\n  joinbar %0\n  ret\n}\n")
+                .find("barrier register"),
+            std::string::npos);
+}
+
+TEST(ParserErrorTest, BarrierIdOutOfRangeCaughtByVerifier) {
+  // b99 parses (syntax allows any index); the verifier rejects it.
+  ParseResult R =
+      parseModule("func @f(0) {\nentry:\n  joinbar b99\n  ret\n}\n");
+  ASSERT_TRUE(R.ok());
+  auto Diags = verifyModule(*R.M);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].find("barrier register out of range"),
+            std::string::npos);
+}
+
+TEST(ParserErrorTest, UnknownCallTarget) {
+  EXPECT_NE(
+      firstErrorOf("func @f(0) {\nentry:\n  %0 = call @ghost\n  ret\n}\n")
+          .find("unknown function"),
+      std::string::npos);
+}
+
+TEST(ParserErrorTest, DanglingOperandComma) {
+  ParseResult R =
+      parseModule("func @f(0) {\nentry:\n  %0 = add 1,\n  ret\n}\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserErrorTest, EmptyInputIsAnEmptyModule) {
+  ParseResult R = parseModule("");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.M->size(), 0u);
+}

@@ -1,0 +1,311 @@
+//===- PrinterParserTest.cpp - Round-trip tests for the textual format ------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/VoltaListing.h"
+
+#include "TestIR.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+/// Parses, expecting success.
+std::unique_ptr<Module> parseOk(const std::string &Text) {
+  ParseResult R = parseModule(Text);
+  for (const auto &E : R.Errors)
+    ADD_FAILURE() << E;
+  EXPECT_TRUE(R.ok());
+  return std::move(R.M);
+}
+
+/// A representative module exercising every operand kind.
+std::unique_ptr<Module> buildRichModule() {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(4096);
+
+  Function *Helper = M->createFunction("helper", 1);
+  Helper->setReconvergeAtEntry(true);
+  {
+    IRBuilder B(Helper);
+    B.startBlock("entry");
+    unsigned R = B.mul(Operand::reg(0), Operand::imm(3));
+    B.ret(Operand::reg(R));
+  }
+
+  Function *F = M->createFunction("kernel", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Hot = F->createBlock("hot");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  B.predict(Hot);
+  B.joinBarrier(0);
+  B.jmp(Loop);
+
+  B.setInsertBlock(Loop);
+  unsigned R = B.randRange(Operand::imm(0), Operand::imm(100));
+  unsigned C = B.cmpLT(Operand::reg(R), Operand::imm(50));
+  B.br(Operand::reg(C), Hot, Exit);
+
+  B.setInsertBlock(Hot);
+  B.waitBarrier(0);
+  B.rejoinBarrier(0);
+  unsigned V = B.call(Helper, {Operand::reg(T)});
+  unsigned A = B.arrivedCount(1);
+  B.softWait(2, Operand::imm(8));
+  B.atomicAdd(Operand::imm(0), Operand::reg(V));
+  B.store(Operand::imm(1), Operand::reg(A));
+  B.jmp(Loop);
+
+  B.setInsertBlock(Exit);
+  B.cancelBarrier(0);
+  B.warpSync();
+  B.ret();
+
+  F->recomputePreds();
+  return M;
+}
+
+} // namespace
+
+TEST(PrinterTest, InstructionFormats) {
+  Module M;
+  Function *F = M.createFunction("f", 2);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  unsigned R = B.add(Operand::reg(0), Operand::imm(-7));
+  EXPECT_EQ(printInstruction(F->entry()->inst(0)),
+            "%2 = add %0, -7");
+  B.store(Operand::reg(R), Operand::reg(1));
+  EXPECT_EQ(printInstruction(F->entry()->inst(1)), "store %2, %1");
+  B.joinBarrier(3);
+  EXPECT_EQ(printInstruction(F->entry()->inst(2)), "joinbar b3");
+  B.predict(Next);
+  EXPECT_EQ(printInstruction(F->entry()->inst(3)), "predict next");
+  B.jmp(Next);
+  EXPECT_EQ(printInstruction(F->entry()->inst(4)), "jmp next");
+}
+
+TEST(PrinterTest, FunctionHeaderIncludesAttributes) {
+  Module M;
+  Function *F = M.createFunction("f", 2);
+  F->setReconvergeAtEntry(true);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.ret();
+  std::string S = printFunction(*F);
+  EXPECT_NE(S.find("func @f(2) reconverge_entry {"), std::string::npos);
+}
+
+TEST(ParserTest, MinimalModule) {
+  auto M = parseOk("memory 128\n"
+                   "func @main(0) {\n"
+                   "entry:\n"
+                   "  ret\n"
+                   "}\n");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->globalMemoryWords(), 128u);
+  Function *F = M->functionByName("main");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->entry()->terminator().opcode(), Opcode::Ret);
+}
+
+TEST(ParserTest, ForwardFunctionReference) {
+  auto M = parseOk("func @a(0) {\n"
+                   "entry:\n"
+                   "  %0 = call @b\n"
+                   "  ret %0\n"
+                   "}\n"
+                   "func @b(0) {\n"
+                   "entry:\n"
+                   "  ret 1\n"
+                   "}\n");
+  ASSERT_TRUE(M);
+  const Instruction &Call = M->functionByName("a")->entry()->inst(0);
+  EXPECT_EQ(Call.operand(0).getFunc(), M->functionByName("b"));
+}
+
+TEST(ParserTest, ForwardBlockReference) {
+  auto M = parseOk("func @f(1) {\n"
+                   "entry:\n"
+                   "  br %0, later, later\n"
+                   "later:\n"
+                   "  ret\n"
+                   "}\n");
+  ASSERT_TRUE(M);
+  Function *F = M->functionByName("f");
+  EXPECT_EQ(F->entry()->successors()[0]->name(), "later");
+}
+
+TEST(ParserTest, CommentsAndBlankLinesIgnored) {
+  auto M = parseOk("; leading comment\n"
+                   "memory 64\n"
+                   "\n"
+                   "func @f(0) { ; trailing comment\n"
+                   "entry:\n"
+                   "\n"
+                   "  nop ; mid comment\n"
+                   "  ret\n"
+                   "}\n");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->functionByName("f")->entry()->size(), 2u);
+}
+
+TEST(ParserTest, ReportsUnknownOpcode) {
+  ParseResult R = parseModule("func @f(0) {\nentry:\n  frobnicate\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("unknown opcode"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsUnknownBlock) {
+  ParseResult R = parseModule("func @f(0) {\nentry:\n  jmp nowhere\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("unknown block"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsDuplicateFunction) {
+  ParseResult R = parseModule("func @f(0) {\nentry:\n  ret\n}\n"
+                              "func @f(0) {\nentry:\n  ret\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("duplicate function"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsDuplicateBlock) {
+  ParseResult R =
+      parseModule("func @f(0) {\nentry:\n  nop\nentry:\n  ret\n}\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("duplicate block"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsDestinationMismatch) {
+  ParseResult R = parseModule("func @f(0) {\nentry:\n  %0 = nop\n  ret\n}\n");
+  ASSERT_FALSE(R.ok());
+}
+
+TEST(RoundTripTest, RichModuleSurvivesPrintParsePrint) {
+  auto M = buildRichModule();
+  ASSERT_TRUE(verifyModule(*M).empty());
+  std::string First = printModule(*M);
+  ParseResult R = parseModule(First);
+  ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "" : R.Errors[0]);
+  ASSERT_TRUE(verifyModule(*R.M).empty());
+  EXPECT_EQ(printModule(*R.M), First);
+}
+
+TEST(RoundTripTest, ParsedModuleIsStructurallyFaithful) {
+  auto M = buildRichModule();
+  ParseResult R = parseModule(printModule(*M));
+  ASSERT_TRUE(R.ok());
+  Function *K = R.M->functionByName("kernel");
+  ASSERT_NE(K, nullptr);
+  EXPECT_EQ(K->size(), 4u);
+  EXPECT_TRUE(R.M->functionByName("helper")->reconvergeAtEntry());
+  // The predict annotation survives and points at the right label.
+  const Instruction &Pred = K->entry()->inst(1);
+  EXPECT_EQ(Pred.opcode(), Opcode::Predict);
+  EXPECT_EQ(Pred.operand(0).getBlock()->name(), "hot");
+}
+
+TEST(RoundTripPropertyTest, RandomCfgModulesRoundTrip) {
+  // Print -> parse -> print must be the identity on arbitrary CFGs.
+  for (uint64_t Seed = 0; Seed < 25; ++Seed) {
+    auto M = simtsr::testir::randomCfg(Seed, 10);
+    std::string First = printModule(*M);
+    ParseResult R = parseModule(First);
+    ASSERT_TRUE(R.ok()) << "seed " << Seed
+                        << (R.Errors.empty() ? "" : ": " + R.Errors[0]);
+    EXPECT_EQ(printModule(*R.M), First) << "seed " << Seed;
+  }
+}
+
+TEST(RoundTripPropertyTest, EveryOpcodeRoundTrips) {
+  // One representative instruction per opcode, printed and reparsed.
+  Module M;
+  Function *Callee = M.createFunction("g", 1);
+  {
+    IRBuilder B(Callee);
+    B.startBlock("entry");
+    B.ret(Operand::reg(0));
+  }
+  Function *F = M.createFunction("all", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  BasicBlock *Other = F->createBlock("other");
+
+  B.setInsertBlock(Entry);
+  unsigned R = B.tid();
+  for (Opcode Op :
+       {Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Div, Opcode::Rem,
+        Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Shl, Opcode::Shr,
+        Opcode::Min, Opcode::Max, Opcode::CmpEQ, Opcode::CmpNE,
+        Opcode::CmpLT, Opcode::CmpLE, Opcode::CmpGT, Opcode::CmpGE})
+    R = B.binary(Op, Operand::reg(R), Operand::imm(3));
+  R = B.notOp(Operand::reg(R));
+  R = B.neg(Operand::reg(R));
+  R = B.mov(Operand::reg(R));
+  R = B.select(Operand::reg(R), Operand::imm(1), Operand::imm(2));
+  B.laneId();
+  B.warpSize();
+  B.rand();
+  B.randRange(Operand::imm(0), Operand::imm(9));
+  unsigned L = B.load(Operand::imm(0));
+  B.store(Operand::imm(1), Operand::reg(L));
+  B.atomicAdd(Operand::imm(2), Operand::imm(1));
+  B.call(Callee, {Operand::reg(R)});
+  B.joinBarrier(0);
+  B.waitBarrier(0);
+  B.rejoinBarrier(0);
+  B.cancelBarrier(0);
+  B.softWait(1, Operand::imm(5));
+  B.arrivedCount(1);
+  B.warpSync();
+  B.predict(Other);
+  B.nop();
+  B.br(Operand::reg(R), Next, Other);
+  B.setInsertBlock(Next);
+  B.jmp(Other);
+  B.setInsertBlock(Other);
+  B.ret(Operand::imm(0));
+  F->recomputePreds();
+
+  ASSERT_TRUE(verifyModule(M).empty());
+  std::string First = printModule(M);
+  ParseResult Parsed = parseModule(First);
+  ASSERT_TRUE(Parsed.ok()) << (Parsed.Errors.empty() ? "" : Parsed.Errors[0]);
+  EXPECT_EQ(printModule(*Parsed.M), First);
+}
+
+TEST(VoltaListingTest, MapsPrimitivesPerTable1) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.joinBarrier(0);
+  B.waitBarrier(0);
+  B.rejoinBarrier(0);
+  B.cancelBarrier(0);
+  B.softWait(1, Operand::imm(4));
+  B.ret();
+  std::string Listing = printVoltaListing(*F);
+  EXPECT_NE(Listing.find("BSSY    B0            // JoinBarrier"),
+            std::string::npos);
+  EXPECT_NE(Listing.find("BSYNC   B0            // WaitBarrier"),
+            std::string::npos);
+  EXPECT_NE(Listing.find("BSSY    B0            // RejoinBarrier"),
+            std::string::npos);
+  EXPECT_NE(Listing.find("BREAK   B0            // CancelBarrier"),
+            std::string::npos);
+  EXPECT_NE(Listing.find("BSYNC.SOFT B1, 4"), std::string::npos);
+  // Non-barrier instructions pass through as-is.
+  EXPECT_NE(Listing.find("ret"), std::string::npos);
+}

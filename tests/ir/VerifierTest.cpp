@@ -1,0 +1,162 @@
+//===- VerifierTest.cpp - Tests for IR verification --------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+/// Expects exactly one diagnostic containing \p Needle.
+void expectDiag(const std::vector<std::string> &Diags,
+                const std::string &Needle) {
+  ASSERT_FALSE(Diags.empty()) << "expected a diagnostic about: " << Needle;
+  bool Found = false;
+  for (const auto &D : Diags)
+    Found |= D.find(Needle) != std::string::npos;
+  EXPECT_TRUE(Found) << "missing '" << Needle << "', got: " << Diags[0];
+}
+
+} // namespace
+
+TEST(VerifierTest, WellFormedModulePasses) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  unsigned C = B.cmpLT(Operand::reg(0), Operand::imm(10));
+  B.br(Operand::reg(C), Exit, Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  EXPECT_TRUE(isWellFormed(M));
+}
+
+TEST(VerifierTest, EmptyFunctionRejected) {
+  Module M;
+  M.createFunction("f", 0);
+  expectDiag(verifyModule(M), "no blocks");
+}
+
+TEST(VerifierTest, EmptyBlockRejected) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  F->createBlock("entry");
+  expectDiag(verifyFunction(*F), "empty");
+}
+
+TEST(VerifierTest, MissingTerminatorRejected) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  BasicBlock *BB = F->createBlock("entry");
+  BB->instructions().push_back(Instruction(Opcode::Nop, NoRegister, {}));
+  expectDiag(verifyFunction(*F), "terminator");
+}
+
+TEST(VerifierTest, TerminatorMidBlockRejected) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  BasicBlock *BB = F->createBlock("entry");
+  BB->instructions().push_back(Instruction(Opcode::Ret, NoRegister, {}));
+  BB->instructions().push_back(Instruction(Opcode::Ret, NoRegister, {}));
+  expectDiag(verifyFunction(*F), "terminator not at end");
+}
+
+TEST(VerifierTest, RegisterOutOfRangeRejected) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  BasicBlock *BB = F->createBlock("entry");
+  BB->instructions().push_back(
+      Instruction(Opcode::Ret, NoRegister, {Operand::reg(99)}));
+  expectDiag(verifyFunction(*F), "register out of range");
+}
+
+TEST(VerifierTest, WrongOperandCountRejected) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  BasicBlock *BB = F->createBlock("entry");
+  unsigned Dst = F->createReg();
+  BB->instructions().push_back(
+      Instruction(Opcode::Add, Dst, {Operand::imm(1)}));
+  BB->instructions().push_back(Instruction(Opcode::Ret, NoRegister, {}));
+  expectDiag(verifyFunction(*F), "wrong operand count");
+}
+
+TEST(VerifierTest, MissingDstRejected) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  BasicBlock *BB = F->createBlock("entry");
+  BB->instructions().push_back(
+      Instruction(Opcode::Add, NoRegister, {Operand::imm(1), Operand::imm(2)}));
+  BB->instructions().push_back(Instruction(Opcode::Ret, NoRegister, {}));
+  expectDiag(verifyFunction(*F), "missing destination");
+}
+
+TEST(VerifierTest, BarrierOutOfRangeRejected) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  BasicBlock *BB = F->createBlock("entry");
+  BB->instructions().push_back(Instruction(
+      Opcode::JoinBarrier, NoRegister, {Operand::barrier(16)}));
+  BB->instructions().push_back(Instruction(Opcode::Ret, NoRegister, {}));
+  expectDiag(verifyFunction(*F), "barrier register out of range");
+}
+
+TEST(VerifierTest, BranchToForeignBlockRejected) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  Function *G = M.createFunction("g", 0);
+  BasicBlock *Foreign = G->createBlock("entry");
+  Foreign->instructions().push_back(Instruction(Opcode::Ret, NoRegister, {}));
+  BasicBlock *BB = F->createBlock("entry");
+  BB->instructions().push_back(
+      Instruction(Opcode::Jmp, NoRegister, {Operand::block(Foreign)}));
+  expectDiag(verifyFunction(*F), "not in this function");
+}
+
+TEST(VerifierTest, CallArityMismatchRejected) {
+  Module M;
+  Function *G = M.createFunction("g", 2);
+  BasicBlock *GB = G->createBlock("entry");
+  GB->instructions().push_back(Instruction(Opcode::Ret, NoRegister, {}));
+  Function *F = M.createFunction("f", 0);
+  BasicBlock *BB = F->createBlock("entry");
+  unsigned Dst = F->createReg();
+  BB->instructions().push_back(
+      Instruction(Opcode::Call, Dst, {Operand::func(G), Operand::imm(1)}));
+  BB->instructions().push_back(Instruction(Opcode::Ret, NoRegister, {}));
+  expectDiag(verifyFunction(*F), "arity mismatch");
+}
+
+TEST(VerifierTest, DuplicateBlockNamesRejected) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  for (int I = 0; I < 2; ++I) {
+    BasicBlock *BB = F->createBlock("dup");
+    BB->instructions().push_back(Instruction(Opcode::Ret, NoRegister, {}));
+  }
+  expectDiag(verifyFunction(*F), "duplicate block name");
+}
+
+TEST(VerifierTest, DuplicateFunctionNamesRejected) {
+  Module M;
+  for (int I = 0; I < 2; ++I) {
+    Function *F = M.createFunction("f", 0);
+    BasicBlock *BB = F->createBlock("entry");
+    BB->instructions().push_back(Instruction(Opcode::Ret, NoRegister, {}));
+  }
+  expectDiag(verifyModule(M), "duplicate function name");
+}
+
+TEST(VerifierTest, RetWithTooManyOperandsRejected) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  BasicBlock *BB = F->createBlock("entry");
+  BB->instructions().push_back(Instruction(
+      Opcode::Ret, NoRegister, {Operand::imm(1), Operand::imm(2)}));
+  expectDiag(verifyFunction(*F), "at most one operand");
+}

@@ -1,0 +1,92 @@
+//===- CorpusTest.cpp - Tests for the synthetic corpus -------------------------===//
+
+#include "kernels/Corpus.h"
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "sim/Warp.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+TEST(CorpusTest, AllKernelsWellFormed) {
+  for (uint64_t Id = 0; Id < CorpusSize; ++Id) {
+    CorpusKernel K = makeCorpusKernel(Id);
+    auto Diags = verifyModule(*K.M);
+    EXPECT_TRUE(Diags.empty())
+        << "app " << Id << ": " << (Diags.empty() ? "" : Diags[0]);
+  }
+}
+
+TEST(CorpusTest, GenerationIsDeterministic) {
+  for (uint64_t Id : {0ull, 17ull, 333ull, 519ull}) {
+    CorpusKernel A = makeCorpusKernel(Id);
+    CorpusKernel B = makeCorpusKernel(Id);
+    EXPECT_EQ(printModule(*A.M), printModule(*B.M)) << "app " << Id;
+  }
+}
+
+TEST(CorpusTest, KernelsRoundTripThroughText) {
+  for (uint64_t Id = 0; Id < CorpusSize; Id += 13) {
+    CorpusKernel K = makeCorpusKernel(Id);
+    std::string Text = printModule(*K.M);
+    ParseResult R = parseModule(Text);
+    ASSERT_TRUE(R.ok()) << "app " << Id;
+    EXPECT_EQ(printModule(*R.M), Text) << "app " << Id;
+  }
+}
+
+TEST(CorpusTest, SampledKernelsPreserveSemanticsUnderPipelines) {
+  for (uint64_t Id = 3; Id < CorpusSize; Id += 11) {
+    auto runConfig = [&](const PipelineOptions &Opts) {
+      CorpusKernel K = makeCorpusKernel(Id);
+      runSyncPipeline(*K.M, Opts);
+      Function *F = K.M->functionByName(K.KernelName);
+      LaunchConfig C;
+      C.Seed = 11;
+      C.Latency = LatencyModel::unit();
+      WarpSimulator Sim(*K.M, F, C);
+      RunResult R = Sim.run();
+      EXPECT_TRUE(R.ok()) << "app " << Id << ": " << R.TrapMessage;
+      return Sim.memoryChecksum();
+    };
+    PipelineOptions NoSync;
+    NoSync.PdomSync = false;
+    uint64_t Expected = runConfig(NoSync);
+    EXPECT_EQ(runConfig(PipelineOptions::baseline()), Expected)
+        << "app " << Id;
+    EXPECT_EQ(runConfig(PipelineOptions::speculative()), Expected)
+        << "app " << Id;
+  }
+}
+
+TEST(CorpusTest, MixContainsBothUniformAndDivergentApps) {
+  unsigned Divergent = 0;
+  for (uint64_t Id = 0; Id < CorpusSize; ++Id)
+    Divergent += makeCorpusKernel(Id).HasDivergenceSources;
+  // The paper's skew: divergent workloads are a small but real fraction.
+  EXPECT_GT(Divergent, CorpusSize / 20);
+  EXPECT_LT(Divergent, CorpusSize / 3);
+}
+
+TEST(CorpusTest, UniformAppsRunNearFullEfficiency) {
+  unsigned Checked = 0;
+  for (uint64_t Id = 0; Id < 60; ++Id) {
+    CorpusKernel K = makeCorpusKernel(Id);
+    if (K.HasDivergenceSources)
+      continue;
+    runSyncPipeline(*K.M, PipelineOptions::baseline());
+    Function *F = K.M->functionByName(K.KernelName);
+    LaunchConfig C;
+    C.Latency = LatencyModel::unit();
+    WarpSimulator Sim(*K.M, F, C);
+    RunResult R = Sim.run();
+    ASSERT_TRUE(R.ok());
+    EXPECT_GT(R.Stats.simtEfficiency(), 0.95) << "app " << Id;
+    ++Checked;
+  }
+  EXPECT_GT(Checked, 10u);
+}

@@ -1,0 +1,257 @@
+//===- WorkloadTest.cpp - Table 2 suite integration tests ----------------------===//
+///
+/// Every workload must round-trip through the textual IR, verify, run to
+/// completion (strict deadlock detection) under every pipeline, and keep
+/// its architectural results bit-identical across all of them. The
+/// annotated configuration must reproduce the paper's headline: higher
+/// SIMT efficiency and lower cycle counts than the PDOM baseline for the
+/// workloads Figure 8 shows winning.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Runner.h"
+
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+struct SuiteCase {
+  const char *Name;
+  Workload (*Factory)(double);
+};
+
+const SuiteCase Suite[] = {
+    {"rsbench", makeRSBench},     {"xsbench", makeXSBench},
+    {"mcb", makeMCB},             {"pathtracer", makePathTracer},
+    {"mcgpu", makeMCGPU},         {"mummer", makeMummer},
+    {"meiyamd5", makeMeiyaMD5},   {"optix", makeOptixTrace},
+    {"gpumcml", makeGpuMCML},     {"microcc", makeMicroCommonCall},
+};
+
+class WorkloadSuiteTest : public ::testing::TestWithParam<SuiteCase> {};
+
+} // namespace
+
+TEST_P(WorkloadSuiteTest, ModuleIsWellFormed) {
+  Workload W = GetParam().Factory(0.5);
+  EXPECT_TRUE(isWellFormed(*W.M));
+  EXPECT_NE(W.M->functionByName(W.KernelName), nullptr);
+}
+
+TEST_P(WorkloadSuiteTest, CloneRoundTripsThroughText) {
+  Workload W = GetParam().Factory(0.5);
+  Workload Copy = cloneWorkload(W);
+  EXPECT_TRUE(isWellFormed(*Copy.M));
+  // Clone and original behave identically.
+  auto A = runWorkload(W, PipelineOptions::baseline(), 3);
+  auto B = runWorkload(Copy, PipelineOptions::baseline(), 3);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+}
+
+TEST_P(WorkloadSuiteTest, AllPipelinesPreserveSemantics) {
+  Workload W = GetParam().Factory(0.5);
+  for (uint64_t Seed : {1ull, 77ull}) {
+    PipelineOptions NoSync;
+    NoSync.PdomSync = false;
+    NoSync.StripPredicts = true;
+    auto Reference = runWorkload(W, NoSync, Seed);
+    ASSERT_TRUE(Reference.ok()) << Reference.TrapMessage;
+
+    std::vector<std::pair<std::string, PipelineOptions>> Configs = {
+        {"baseline", PipelineOptions::baseline()},
+        {"sr-dynamic", PipelineOptions::speculative()},
+        {"sr-static",
+         PipelineOptions::speculative(DeconflictStrategy::Static)},
+        {"annotated", annotatedOptionsFor(W)},
+        {"soft-4", PipelineOptions::softBarrier(4)},
+        {"soft-16", PipelineOptions::softBarrier(16)},
+    };
+    for (const auto &[Label, Opts] : Configs) {
+      auto O = runWorkload(W, Opts, Seed);
+      ASSERT_TRUE(O.ok()) << Label << ": status "
+                          << static_cast<int>(O.Status) << " "
+                          << O.TrapMessage;
+      EXPECT_TRUE(O.Pipeline.clean())
+          << Label << ": " << O.Pipeline.VerifierDiagnostics[0];
+      EXPECT_EQ(O.Checksum, Reference.Checksum)
+          << Label << " changed results (seed " << Seed << ")";
+    }
+  }
+}
+
+TEST_P(WorkloadSuiteTest, SchedulerPoliciesPreserveSemantics) {
+  Workload W = GetParam().Factory(0.3);
+  auto Reference =
+      runWorkload(W, PipelineOptions::baseline(), 5,
+                  SchedulerPolicy::MaxConvergence);
+  for (SchedulerPolicy P :
+       {SchedulerPolicy::MinPC, SchedulerPolicy::RoundRobin}) {
+    auto O = runWorkload(W, PipelineOptions::baseline(), 5, P);
+    ASSERT_TRUE(O.ok());
+    EXPECT_EQ(O.Checksum, Reference.Checksum);
+  }
+}
+
+TEST_P(WorkloadSuiteTest, DeterministicAcrossRepeatedRuns) {
+  Workload W = GetParam().Factory(0.3);
+  auto A = runWorkload(W, annotatedOptionsFor(W), 11);
+  auto B = runWorkload(W, annotatedOptionsFor(W), 11);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.SimtEfficiency, B.SimtEfficiency);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, WorkloadSuiteTest, ::testing::ValuesIn(Suite),
+                         [](const ::testing::TestParamInfo<SuiteCase> &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+// The paper's headline (Figures 7/8): annotated speculative reconvergence
+// raises SIMT efficiency on every annotated workload and speeds up the
+// divergent Monte Carlo applications.
+TEST(PaperHeadlineTest, AnnotatedRunsImproveSimtEfficiency) {
+  for (const Workload &W : makeAnnotatedWorkloads()) {
+    auto Base = runWorkload(W, PipelineOptions::baseline(), 9);
+    auto Opt = runWorkload(W, annotatedOptionsFor(W), 9);
+    ASSERT_TRUE(Base.ok() && Opt.ok()) << W.Name;
+    EXPECT_GT(Opt.SimtEfficiency, Base.SimtEfficiency) << W.Name;
+  }
+}
+
+TEST(PaperHeadlineTest, AnnotatedRunsSpeedUpKeyWorkloads) {
+  // The strong winners in Figure 8.
+  for (Workload (*Factory)(double) :
+       {makeRSBench, makePathTracer, makeMCGPU, makeMummer, makeGpuMCML,
+        makeMicroCommonCall}) {
+    Workload W = Factory(1.0);
+    auto Base = runWorkload(W, PipelineOptions::baseline(), 9);
+    auto Opt = runWorkload(W, annotatedOptionsFor(W), 9);
+    EXPECT_LT(Opt.Cycles, Base.Cycles) << W.Name;
+  }
+}
+
+TEST(PaperHeadlineTest, XSBenchPrefersSmallSoftThreshold) {
+  // Figure 9, right panel: the expensive refill makes waiting for the full
+  // warp counterproductive; a small threshold wins.
+  Workload W = makeXSBench();
+  auto Full = runWorkload(W, PipelineOptions::softBarrier(32), 9);
+  auto Small = runWorkload(W, PipelineOptions::softBarrier(4), 9);
+  EXPECT_LT(Small.Cycles, Full.Cycles);
+  auto Base = runWorkload(W, PipelineOptions::baseline(), 9);
+  EXPECT_LT(Small.Cycles, Base.Cycles);
+}
+
+TEST(PaperHeadlineTest, PathTracerPrefersFullConvergence) {
+  // Figure 9, left panel: cheap ray regeneration makes (near-)full
+  // reconvergence the best operating point.
+  Workload W = makePathTracer();
+  auto Full = runWorkload(W, PipelineOptions::softBarrier(32), 9);
+  auto Tiny = runWorkload(W, PipelineOptions::softBarrier(1), 9);
+  auto Base = runWorkload(W, PipelineOptions::baseline(), 9);
+  EXPECT_LT(Full.Cycles, Base.Cycles);
+  EXPECT_GE(Full.SimtEfficiency, Tiny.SimtEfficiency - 0.03);
+}
+
+TEST(PaperHeadlineTest, GridRunsAgreeWithSingleWarpDirection) {
+  // The multi-warp aggregate points the same way as the single-warp
+  // measurement on the flagship workload, and semantics hold per warp.
+  Workload W = makeRSBench(0.5);
+  GridResult Base = runWorkloadGrid(W, PipelineOptions::baseline(), 4, 7);
+  GridResult Opt = runWorkloadGrid(W, annotatedOptionsFor(W), 4, 7);
+  ASSERT_TRUE(Base.Ok && Opt.Ok);
+  EXPECT_EQ(Base.CombinedChecksum, Opt.CombinedChecksum);
+  EXPECT_GT(Opt.SimtEfficiency, Base.SimtEfficiency);
+  EXPECT_LT(Opt.TotalCycles, Base.TotalCycles);
+  EXPECT_EQ(Base.WarpsRun, 4u);
+}
+
+TEST(PaperHeadlineTest, AnnotatedOptionsSelectRecommendedThreshold) {
+  Workload XS = makeXSBench();
+  PipelineOptions Opts = annotatedOptionsFor(XS);
+  EXPECT_EQ(Opts.SR.SoftThreshold, 4);
+  Workload RS = makeRSBench();
+  PipelineOptions RSOpts = annotatedOptionsFor(RS);
+  EXPECT_LT(RSOpts.SR.SoftThreshold, 0); // classic full barrier
+}
+
+TEST(PaperHeadlineTest, AutotunerFindsTheFigure9Contrast) {
+  // The tuner lands near XSBench's small-threshold peak and on a large
+  // threshold for PathTracer — Figure 9, discovered automatically.
+  int XS = autotuneSoftThreshold(makeXSBench(0.5));
+  EXPECT_LE(XS, 12);
+  int PT = autotuneSoftThreshold(makePathTracer(0.5));
+  EXPECT_GE(PT, 4);
+  // And the tuned configuration beats the baseline at full scale.
+  Workload Full = makeXSBench();
+  auto Base = runWorkload(Full, PipelineOptions::baseline(), 9);
+  auto Tuned = runWorkload(Full, PipelineOptions::softBarrier(XS), 9);
+  EXPECT_LT(Tuned.Cycles, Base.Cycles);
+}
+
+TEST(WorkloadStructureTest, AnnotationsMatchDocumentedPatterns) {
+  // Each workload carries exactly the annotation its pattern requires:
+  // loop-merge / iteration-delay use a predict directive; common-call
+  // uses reconverge_entry; none mixes both.
+  for (const Workload &W : makeAllWorkloads()) {
+    unsigned Predicts = 0, EntryFlags = 0;
+    for (size_t FI = 0; FI < W.M->size(); ++FI) {
+      const Function &F = *W.M->function(FI);
+      EntryFlags += F.reconvergeAtEntry();
+      for (const BasicBlock *BB : F)
+        for (const Instruction &I : BB->instructions())
+          Predicts += I.opcode() == Opcode::Predict;
+    }
+    switch (W.Pattern) {
+    case DivergencePattern::LoopMerge:
+    case DivergencePattern::IterationDelay:
+      EXPECT_EQ(Predicts, 1u) << W.Name;
+      EXPECT_EQ(EntryFlags, 0u) << W.Name;
+      break;
+    case DivergencePattern::CommonCall:
+      EXPECT_EQ(Predicts, 0u) << W.Name;
+      EXPECT_EQ(EntryFlags, 1u) << W.Name;
+      break;
+    }
+  }
+}
+
+TEST(WorkloadStructureTest, RSBenchTableCarriesThePaperSpread) {
+  // "num nuclides per material ranges from 4 to 321" (Figure 3).
+  Workload W = makeRSBench(1.0);
+  Workload Fresh = cloneWorkload(W);
+  runSyncPipeline(*Fresh.M, PipelineOptions::baseline());
+  LaunchConfig C;
+  C.Latency = Fresh.Latency;
+  WarpSimulator Sim(*Fresh.M, Fresh.M->functionByName(Fresh.KernelName), C);
+  ASSERT_TRUE(Fresh.InitMemory != nullptr);
+  Fresh.InitMemory(Sim);
+  int64_t Lo = 1 << 30, Hi = 0;
+  for (int64_t I = 0; I < 12; ++I) {
+    int64_t N = Sim.memory()[static_cast<size_t>(128 + I)];
+    Lo = std::min(Lo, N);
+    Hi = std::max(Hi, N);
+  }
+  EXPECT_EQ(Lo, 4);
+  EXPECT_EQ(Hi, 321);
+}
+
+TEST(WorkloadStructureTest, ScaleShrinksWork) {
+  Workload Big = makeRSBench(1.0);
+  Workload Small = makeRSBench(0.25);
+  auto BigRun = runWorkload(Big, PipelineOptions::baseline(), 3);
+  auto SmallRun = runWorkload(Small, PipelineOptions::baseline(), 3);
+  ASSERT_TRUE(BigRun.ok() && SmallRun.ok());
+  EXPECT_LT(SmallRun.Cycles, BigRun.Cycles / 2);
+}
+
+TEST(WorkloadStructureTest, LatencyModelsMatchBoundedness) {
+  // Memory-bound workloads must actually use the memory-bound model.
+  EXPECT_EQ(makeXSBench().Latency.cost(Opcode::Load), 200u);
+  EXPECT_EQ(makeMummer().Latency.cost(Opcode::Load), 200u);
+  EXPECT_EQ(makeRSBench().Latency.cost(Opcode::Load), 30u);
+}

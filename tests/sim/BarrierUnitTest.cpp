@@ -1,0 +1,137 @@
+//===- BarrierUnitTest.cpp - Tests for convergence-barrier state --------------===//
+
+#include "sim/BarrierUnit.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+TEST(BarrierUnitTest, WaitReleasesWhenAllParticipantsArrive) {
+  BarrierUnit U;
+  U.join(0, 0b111);
+  EXPECT_EQ(U.arriveWait(0, 0b001), 0u); // 2 participants missing
+  EXPECT_EQ(U.arriveWait(0, 0b010), 0u);
+  EXPECT_EQ(U.arriveWait(0, 0b100), 0b111u); // all present: release
+  // Classic release clears membership.
+  EXPECT_EQ(U.participants(0), 0u);
+  EXPECT_EQ(U.waiters(0), 0u);
+}
+
+TEST(BarrierUnitTest, WaitOnEmptyBarrierReleasesImmediately) {
+  BarrierUnit U;
+  EXPECT_EQ(U.arriveWait(3, 0b1), 0b1u);
+}
+
+TEST(BarrierUnitTest, NonParticipantWaiterReleasedWithGroup) {
+  BarrierUnit U;
+  U.join(0, 0b011);
+  EXPECT_EQ(U.arriveWait(0, 0b100), 0u); // not a member, still blocks
+  EXPECT_EQ(U.arriveWait(0, 0b011), 0b111u);
+}
+
+TEST(BarrierUnitTest, CancelUnblocksRemainingWaiters) {
+  BarrierUnit U;
+  U.join(0, 0b11);
+  EXPECT_EQ(U.arriveWait(0, 0b01), 0u);
+  // Lane 1 leaves the region instead of waiting.
+  EXPECT_EQ(U.cancel(0, 0b10), 0b01u);
+  EXPECT_EQ(U.participants(0), 0u);
+}
+
+TEST(BarrierUnitTest, CancelWithoutWaitersReleasesNothing) {
+  BarrierUnit U;
+  U.join(0, 0b11);
+  EXPECT_EQ(U.cancel(0, 0b01), 0u);
+  EXPECT_EQ(U.participants(0), 0b10u);
+}
+
+TEST(BarrierUnitTest, RejoinAfterReleaseRequiresNewJoin) {
+  BarrierUnit U;
+  U.join(0, 0b11);
+  EXPECT_EQ(U.arriveWait(0, 0b11), 0b11u);
+  // After release the barrier is empty; a lone wait passes through.
+  EXPECT_EQ(U.arriveWait(0, 0b01), 0b01u);
+  // Joining again restores collective behaviour.
+  U.join(0, 0b11);
+  EXPECT_EQ(U.arriveWait(0, 0b01), 0u);
+  EXPECT_EQ(U.arriveWait(0, 0b10), 0b11u);
+}
+
+TEST(BarrierUnitTest, SoftWaitReleasesAtThreshold) {
+  BarrierUnit U;
+  U.join(1, 0b1111); // four region members
+  EXPECT_EQ(U.arriveSoftWait(1, 0b0001, 3), 0u);
+  EXPECT_EQ(U.arriveSoftWait(1, 0b0010, 3), 0u);
+  EXPECT_EQ(U.arriveSoftWait(1, 0b0100, 3), 0b0111u); // third arrival
+  // Soft release keeps membership.
+  EXPECT_EQ(U.participants(1), 0b1111u);
+}
+
+TEST(BarrierUnitTest, SoftWaitDegradesToFullBarrierWhenFewParticipants) {
+  BarrierUnit U;
+  U.join(1, 0b11); // only two members left in the region
+  EXPECT_EQ(U.arriveSoftWait(1, 0b01, 8), 0u);
+  // min(threshold=8, members=2) = 2: the second arrival releases.
+  EXPECT_EQ(U.arriveSoftWait(1, 0b10, 8), 0b11u);
+}
+
+TEST(BarrierUnitTest, SoftWaitThresholdZeroNeverBlocks) {
+  BarrierUnit U;
+  U.join(1, 0b1111);
+  EXPECT_EQ(U.arriveSoftWait(1, 0b0001, 0), 0b0001u);
+}
+
+TEST(BarrierUnitTest, SoftWaitUnblocksWhenParticipantsCancel) {
+  BarrierUnit U;
+  U.join(1, 0b1111);
+  EXPECT_EQ(U.arriveSoftWait(1, 0b0001, 4), 0u);
+  EXPECT_EQ(U.arriveSoftWait(1, 0b0010, 4), 0u);
+  // The other two lanes leave the region: min(4, 2) = 2 waiters suffice.
+  EXPECT_EQ(U.cancel(1, 0b1100), 0b0011u);
+}
+
+TEST(BarrierUnitTest, ThreadExitClearsMembershipEverywhere) {
+  BarrierUnit U;
+  U.join(0, 0b11);
+  U.join(1, 0b10);
+  EXPECT_EQ(U.arriveWait(0, 0b01), 0u);
+  // Lane 1 exits: barrier 0's remaining waiter is released.
+  EXPECT_EQ(U.threadExit(0b10), 0b01u);
+  EXPECT_EQ(U.participants(1), 0u);
+}
+
+TEST(BarrierUnitTest, ArrivedCountTracksWaiters) {
+  BarrierUnit U;
+  U.join(0, 0b111);
+  EXPECT_EQ(U.arrivedCount(0), 0u);
+  U.arriveWait(0, 0b001);
+  EXPECT_EQ(U.arrivedCount(0), 1u);
+  U.arriveWait(0, 0b010);
+  EXPECT_EQ(U.arrivedCount(0), 2u);
+}
+
+TEST(BarrierUnitTest, YieldReleasesLargestWaitingGroup) {
+  BarrierUnit U;
+  U.join(0, 0b1111);
+  U.join(1, 0b110000);
+  U.arriveWait(0, 0b0011);    // two waiters, two missing
+  U.arriveWait(1, 0b010000);  // one waiter, one missing
+  LaneMask Released = U.yield();
+  EXPECT_EQ(Released, 0b0011u);
+  EXPECT_TRUE(U.anyWaiters()); // barrier 1 still blocked
+}
+
+TEST(BarrierUnitTest, YieldWithNoWaitersReturnsZero) {
+  BarrierUnit U;
+  EXPECT_EQ(U.yield(), 0u);
+  EXPECT_FALSE(U.anyWaiters());
+}
+
+TEST(BarrierUnitTest, IndependentBarriersDoNotInteract) {
+  BarrierUnit U;
+  U.join(2, 0b01);
+  U.join(7, 0b10);
+  EXPECT_EQ(U.arriveWait(2, 0b01), 0b01u);
+  EXPECT_EQ(U.participants(7), 0b10u);
+  EXPECT_EQ(U.waiters(7), 0u);
+}

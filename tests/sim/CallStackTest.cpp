@@ -1,0 +1,179 @@
+//===- CallStackTest.cpp - Call stacks, recursion, trap paths -------------------===//
+
+#include "ir/IRBuilder.h"
+#include "sim/Warp.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+LaunchConfig unitConfig() {
+  LaunchConfig C;
+  C.Latency = LatencyModel::unit();
+  return C;
+}
+
+} // namespace
+
+TEST(CallStackTest, NestedCallsThreeDeep) {
+  Module M;
+  Function *Inner = M.createFunction("inner", 1);
+  {
+    IRBuilder B(Inner);
+    B.startBlock("entry");
+    unsigned V = B.add(Operand::reg(0), Operand::imm(1));
+    B.ret(Operand::reg(V));
+  }
+  Function *Mid = M.createFunction("mid", 1);
+  {
+    IRBuilder B(Mid);
+    B.startBlock("entry");
+    unsigned V = B.call(Inner, {Operand::reg(0)});
+    unsigned W = B.mul(Operand::reg(V), Operand::imm(2));
+    B.ret(Operand::reg(W));
+  }
+  Function *K = M.createFunction("k", 0);
+  IRBuilder B(K);
+  B.startBlock("entry");
+  unsigned T = B.tid();
+  unsigned R = B.call(Mid, {Operand::reg(T)});
+  B.store(Operand::reg(T), Operand::reg(R));
+  B.ret();
+
+  WarpSimulator Sim(M, K, unitConfig());
+  ASSERT_TRUE(Sim.run().ok());
+  EXPECT_EQ(Sim.memory()[0], 2);   // (0+1)*2
+  EXPECT_EQ(Sim.memory()[10], 22); // (10+1)*2
+}
+
+TEST(CallStackTest, RuntimeRecursionComputesFactorial) {
+  // fact(n) = n <= 1 ? 1 : n * fact(n-1); compile-time recursion is legal,
+  // the simulator maintains per-thread call stacks.
+  Module M;
+  Function *Fact = M.createFunction("fact", 1);
+  {
+    IRBuilder B(Fact);
+    BasicBlock *Entry = B.startBlock("entry");
+    BasicBlock *Base = Fact->createBlock("base");
+    BasicBlock *Rec = Fact->createBlock("rec");
+    B.setInsertBlock(Entry);
+    unsigned C = B.cmpLE(Operand::reg(0), Operand::imm(1));
+    B.br(Operand::reg(C), Base, Rec);
+    B.setInsertBlock(Base);
+    B.ret(Operand::imm(1));
+    B.setInsertBlock(Rec);
+    unsigned NMinus1 = B.sub(Operand::reg(0), Operand::imm(1));
+    unsigned Sub = B.call(Fact, {Operand::reg(NMinus1)});
+    unsigned V = B.mul(Operand::reg(0), Operand::reg(Sub));
+    B.ret(Operand::reg(V));
+  }
+  Function *K = M.createFunction("k", 0);
+  IRBuilder B(K);
+  B.startBlock("entry");
+  unsigned T = B.tid();
+  unsigned Small = B.rem(Operand::reg(T), Operand::imm(8));
+  unsigned R = B.call(Fact, {Operand::reg(Small)});
+  B.store(Operand::reg(T), Operand::reg(R));
+  B.ret();
+
+  WarpSimulator Sim(M, K, unitConfig());
+  ASSERT_TRUE(Sim.run().ok());
+  EXPECT_EQ(Sim.memory()[0], 1);    // fact(0)
+  EXPECT_EQ(Sim.memory()[5], 120);  // fact(5)
+  EXPECT_EQ(Sim.memory()[7], 5040); // fact(7)
+  EXPECT_EQ(Sim.memory()[13], 120); // fact(13 % 8 = 5)
+}
+
+TEST(CallStackTest, RecursionDivergesAndReconverges) {
+  // Different recursion depths per lane: deep lanes keep running after
+  // shallow lanes return — and results stay exact.
+  Module M;
+  Function *Sum = M.createFunction("sumto", 1);
+  {
+    IRBuilder B(Sum);
+    BasicBlock *Entry = B.startBlock("entry");
+    BasicBlock *Base = Sum->createBlock("base");
+    BasicBlock *Rec = Sum->createBlock("rec");
+    B.setInsertBlock(Entry);
+    unsigned C = B.cmpLE(Operand::reg(0), Operand::imm(0));
+    B.br(Operand::reg(C), Base, Rec);
+    B.setInsertBlock(Base);
+    B.ret(Operand::imm(0));
+    B.setInsertBlock(Rec);
+    unsigned NMinus1 = B.sub(Operand::reg(0), Operand::imm(1));
+    unsigned Sub = B.call(Sum, {Operand::reg(NMinus1)});
+    unsigned V = B.add(Operand::reg(0), Operand::reg(Sub));
+    B.ret(Operand::reg(V));
+  }
+  Function *K = M.createFunction("k", 0);
+  IRBuilder B(K);
+  B.startBlock("entry");
+  unsigned T = B.tid();
+  unsigned R = B.call(Sum, {Operand::reg(T)});
+  B.store(Operand::reg(T), Operand::reg(R));
+  B.ret();
+
+  WarpSimulator Sim(M, K, unitConfig());
+  ASSERT_TRUE(Sim.run().ok());
+  for (int64_t Lane = 0; Lane < 32; ++Lane)
+    EXPECT_EQ(Sim.memory()[static_cast<size_t>(Lane)],
+              Lane * (Lane + 1) / 2);
+}
+
+TEST(CallStackTest, RandRangeEmptyRangeTraps) {
+  Module M;
+  Function *K = M.createFunction("k", 0);
+  IRBuilder B(K);
+  B.startBlock("entry");
+  unsigned R = B.randRange(Operand::imm(5), Operand::imm(5));
+  (void)R;
+  B.ret();
+  WarpSimulator Sim(M, K, unitConfig());
+  RunResult Result = Sim.run();
+  EXPECT_EQ(Result.St, RunResult::Status::Trap);
+  EXPECT_NE(Result.TrapMessage.find("empty range"), std::string::npos);
+}
+
+TEST(CallStackTest, NegativeSoftWaitThresholdTraps) {
+  Module M;
+  Function *K = M.createFunction("k", 0);
+  IRBuilder B(K);
+  B.startBlock("entry");
+  B.joinBarrier(0);
+  B.softWait(0, Operand::imm(-3));
+  B.ret();
+  WarpSimulator Sim(M, K, unitConfig());
+  RunResult Result = Sim.run();
+  EXPECT_EQ(Result.St, RunResult::Status::Trap);
+  EXPECT_NE(Result.TrapMessage.find("negative"), std::string::npos);
+}
+
+TEST(CallStackTest, NegativeLoadAddressTraps) {
+  Module M;
+  Function *K = M.createFunction("k", 0);
+  IRBuilder B(K);
+  B.startBlock("entry");
+  unsigned V = B.load(Operand::imm(-1));
+  (void)V;
+  B.ret();
+  WarpSimulator Sim(M, K, unitConfig());
+  RunResult Result = Sim.run();
+  EXPECT_EQ(Result.St, RunResult::Status::Trap);
+}
+
+TEST(CallStackTest, RemainderByZeroTraps) {
+  Module M;
+  Function *K = M.createFunction("k", 0);
+  IRBuilder B(K);
+  B.startBlock("entry");
+  unsigned T = B.tid();
+  unsigned V = B.rem(Operand::imm(5), Operand::reg(T));
+  (void)V;
+  B.ret();
+  WarpSimulator Sim(M, K, unitConfig());
+  RunResult Result = Sim.run();
+  EXPECT_EQ(Result.St, RunResult::Status::Trap);
+  EXPECT_NE(Result.TrapMessage.find("remainder by zero"), std::string::npos);
+}

@@ -1,0 +1,82 @@
+//===- TimelineTest.cpp - Tests for the ASCII timeline renderer -----------------===//
+
+#include "sim/Timeline.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+std::unique_ptr<Module> tinyDivergentKernel() {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(16);
+  Function *F = M->createFunction("k", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned C = B.cmpLT(Operand::reg(T), Operand::imm(2));
+  B.br(Operand::reg(C), Then, Join);
+  B.setInsertBlock(Then);
+  B.nop();
+  B.jmp(Join);
+  B.setInsertBlock(Join);
+  B.ret();
+  F->recomputePreds();
+  return M;
+}
+
+} // namespace
+
+TEST(TimelineTest, RendersRowsWithLegend) {
+  auto M = tinyDivergentKernel();
+  LaunchConfig Config;
+  Config.WarpSize = 4;
+  Config.Latency = LatencyModel::unit();
+  WarpSimulator Sim(*M, M->functionByName("k"), Config);
+  Timeline T(4);
+  T.attach(Sim);
+  ASSERT_TRUE(Sim.run().ok());
+  std::string Rendered = T.render(/*MergeSameBlockRuns=*/false);
+  // The entry block runs all four lanes: a full 'AAAA' row exists.
+  EXPECT_NE(Rendered.find("AAAA"), std::string::npos);
+  // The then block runs lanes 0-1 only: 'BB..'.
+  EXPECT_NE(Rendered.find("BB.."), std::string::npos);
+  std::string Legend = T.legend();
+  EXPECT_NE(Legend.find("A = k.entry"), std::string::npos);
+  EXPECT_NE(Legend.find("B = k.then"), std::string::npos);
+}
+
+TEST(TimelineTest, MergingCompressesRuns) {
+  auto M = tinyDivergentKernel();
+  LaunchConfig Config;
+  Config.WarpSize = 4;
+  Config.Latency = LatencyModel::unit();
+  WarpSimulator Sim(*M, M->functionByName("k"), Config);
+  Timeline T(4);
+  T.attach(Sim);
+  ASSERT_TRUE(Sim.run().ok());
+  std::string Merged = T.render(/*MergeSameBlockRuns=*/true);
+  std::string Raw = T.render(/*MergeSameBlockRuns=*/false);
+  EXPECT_LE(Merged.size(), Raw.size());
+  // entry has 3 instructions for the full warp: merged row shows x3.
+  EXPECT_NE(Merged.find("AAAA x3"), std::string::npos);
+}
+
+TEST(TimelineTest, MaxRowsTruncates) {
+  auto M = tinyDivergentKernel();
+  LaunchConfig Config;
+  Config.WarpSize = 4;
+  Config.Latency = LatencyModel::unit();
+  WarpSimulator Sim(*M, M->functionByName("k"), Config);
+  Timeline T(4);
+  T.attach(Sim);
+  ASSERT_TRUE(Sim.run().ok());
+  std::string Rendered = T.render(/*MergeSameBlockRuns=*/false, /*MaxRows=*/1);
+  EXPECT_NE(Rendered.find("more rows"), std::string::npos);
+}

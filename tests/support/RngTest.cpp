@@ -1,0 +1,92 @@
+//===- RngTest.cpp - Tests for deterministic RNG ---------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace simtsr;
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  uint64_t A = 42, B = 42;
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(splitMix64(A), splitMix64(B));
+}
+
+TEST(SplitMix64Test, DistinctSeedsDiverge) {
+  uint64_t A = 1, B = 2;
+  EXPECT_NE(splitMix64(A), splitMix64(B));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng A(1), B(2);
+  int Matches = 0;
+  for (int I = 0; I < 1000; ++I)
+    Matches += A.next() == B.next();
+  EXPECT_LT(Matches, 5);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng A(7);
+  uint64_t First = A.next();
+  A.next();
+  A.seed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng R(99);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 321ull, 1000000ull})
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+}
+
+TEST(RngTest, NextBelowZeroIsZero) {
+  Rng R(5);
+  EXPECT_EQ(R.nextBelow(0), 0u);
+}
+
+TEST(RngTest, NextInRangeCoversRange) {
+  Rng R(17);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(4, 10);
+    EXPECT_GE(V, 4);
+    EXPECT_LT(V, 10);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 6u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng R(11);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolRoughlyCalibrated) {
+  Rng R(13);
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.nextBool(0.25);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.25, 0.02);
+}

@@ -1,0 +1,77 @@
+//===- StatsTest.cpp - Tests for statistics helpers -------------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat S;
+  S.add(5.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.min(), 5.0);
+  EXPECT_DOUBLE_EQ(S.max(), 5.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMeanAndVariance) {
+  RunningStat S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(S.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(RunningStatTest, WeightedMeanMatchesExpansion) {
+  RunningStat Weighted, Expanded;
+  Weighted.addWeighted(1.0, 3.0);
+  Weighted.addWeighted(5.0, 1.0);
+  for (int I = 0; I < 3; ++I)
+    Expanded.add(1.0);
+  Expanded.add(5.0);
+  EXPECT_NEAR(Weighted.mean(), Expanded.mean(), 1e-12);
+  EXPECT_NEAR(Weighted.variance(), Expanded.variance(), 1e-12);
+}
+
+TEST(RunningStatTest, ZeroWeightIgnored) {
+  RunningStat S;
+  S.add(2.0);
+  S.addWeighted(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+  EXPECT_EQ(S.count(), 1u);
+}
+
+TEST(HistogramTest, BucketsCountCorrectly) {
+  Histogram H(0.0, 10.0, 10);
+  for (double X : {0.5, 1.5, 1.6, 9.5})
+    H.add(X);
+  EXPECT_EQ(H.bucket(0), 1u);
+  EXPECT_EQ(H.bucket(1), 2u);
+  EXPECT_EQ(H.bucket(9), 1u);
+  EXPECT_EQ(H.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram H(0.0, 1.0, 4);
+  H.add(-5.0);
+  H.add(42.0);
+  EXPECT_EQ(H.bucket(0), 1u);
+  EXPECT_EQ(H.bucket(3), 1u);
+}
+
+TEST(HistogramTest, RenderHasOneGlyphPerBucket) {
+  Histogram H(0.0, 1.0, 8);
+  H.add(0.1);
+  EXPECT_EQ(H.render().size(), 8u);
+}

@@ -1,0 +1,190 @@
+//===- AutoDetectTest.cpp - Tests for Section 4.5 -------------------------------===//
+
+#include "transform/AutoDetect.h"
+
+#include "TestKernels.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "sim/Warp.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testkernels;
+
+namespace {
+
+/// Profiles a baseline run of \p M (on a clone, leaving \p M untouched).
+/// Block names survive the baseline pipeline, so the profile rows line up
+/// with the original module.
+SimStats profileBaselineRun(const Module &M, const std::string &Kernel) {
+  ParseResult Clone = parseModule(printModule(M));
+  EXPECT_TRUE(Clone.ok());
+  runSyncPipeline(*Clone.M, PipelineOptions::baseline());
+  Function *F = Clone.M->functionByName(Kernel);
+  LaunchConfig C;
+  C.Seed = 9;
+  C.Latency = LatencyModel::computeBound();
+  C.ProfileBlocks = true;
+  WarpSimulator Sim(*Clone.M, F, C);
+  RunResult R = Sim.run();
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return R.Stats;
+}
+
+const AutoCandidate *findCandidate(const AutoDetectReport &R,
+                                   AutoCandidate::Kind K) {
+  for (const AutoCandidate &C : R.Candidates)
+    if (C.PatternKind == K)
+      return &C;
+  return nullptr;
+}
+
+unsigned countPredicts(const Module &M) {
+  unsigned N = 0;
+  for (const auto &F : M)
+    for (BasicBlock *BB : *F)
+      for (const Instruction &I : BB->instructions())
+        N += I.opcode() == Opcode::Predict;
+  return N;
+}
+
+} // namespace
+
+TEST(AutoDetectTest, FindsLoopMergeInNestedDivergentLoop) {
+  auto M = loopMergeKernel(16, 1, 32, /*Annotate=*/false);
+  AutoDetectOptions Opts;
+  AutoDetectReport R = detectReconvergence(*M, Opts);
+  const AutoCandidate *C =
+      findCandidate(R, AutoCandidate::Kind::LoopMerge);
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(C->Profitable) << C->Reason;
+  EXPECT_EQ(C->Label->name(), "inner_body");
+  EXPECT_EQ(C->RegionStart->name(), "entry"); // the outer preheader
+  EXPECT_GT(C->Score, Opts.MinGainRatio);
+  EXPECT_EQ(R.Inserted, 1u);
+  EXPECT_EQ(countPredicts(*M), 1u);
+}
+
+TEST(AutoDetectTest, FindsIterationDelayForExpensiveArm) {
+  auto M = iterationDelayKernel(32, 15, /*Annotate=*/false, 80);
+  AutoDetectOptions Opts;
+  AutoDetectReport R = detectReconvergence(*M, Opts);
+  const AutoCandidate *C =
+      findCandidate(R, AutoCandidate::Kind::IterationDelay);
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(C->Profitable) << C->Reason;
+  EXPECT_EQ(C->Label->name(), "hot");
+  EXPECT_EQ(R.Inserted, 1u);
+}
+
+TEST(AutoDetectTest, RejectsCheapArm) {
+  // A hot arm barely heavier than the refill path fails the gain ratio.
+  auto M = iterationDelayKernel(16, 40, /*Annotate=*/false, /*HotMuls=*/1);
+  AutoDetectOptions Opts;
+  AutoDetectReport R = detectReconvergence(*M, Opts);
+  for (const AutoCandidate &C : R.Candidates)
+    EXPECT_FALSE(C.Profitable) << C.Reason;
+  EXPECT_EQ(R.Inserted, 0u);
+  EXPECT_EQ(countPredicts(*M), 0u);
+}
+
+TEST(AutoDetectTest, VetoesRegionWithWarpSync) {
+  auto M = loopMergeKernel(16, 1, 32, /*Annotate=*/false);
+  // Inject a warp-synchronous op into the epilog.
+  Function *F = M->functionByName("loopmerge");
+  F->blockByName("epilog")->insert(
+      0, Instruction(Opcode::WarpSync, NoRegister, {}));
+  AutoDetectOptions Opts;
+  AutoDetectReport R = detectReconvergence(*M, Opts);
+  for (const AutoCandidate &C : R.Candidates) {
+    EXPECT_FALSE(C.Profitable);
+    EXPECT_NE(C.Reason.find("synchronization"), std::string::npos);
+  }
+  EXPECT_EQ(R.Inserted, 0u);
+}
+
+TEST(AutoDetectTest, ApplyFalseOnlyReports) {
+  auto M = loopMergeKernel(16, 1, 32, /*Annotate=*/false);
+  AutoDetectOptions Opts;
+  Opts.Apply = false;
+  AutoDetectReport R = detectReconvergence(*M, Opts);
+  EXPECT_FALSE(R.Candidates.empty());
+  EXPECT_EQ(R.Inserted, 0u);
+  EXPECT_EQ(countPredicts(*M), 0u);
+}
+
+TEST(AutoDetectTest, ProfileGuidedWeightsUseMeasuredCycles) {
+  // Build a profile by running the baseline with block profiling, then
+  // verify the detector consumes the measured weights.
+  auto M = loopMergeKernel(16, 1, 32, /*Annotate=*/false);
+  SimStats Profiled = profileBaselineRun(*M, "loopmerge");
+
+  AutoDetectOptions Opts;
+  Opts.Profile = &Profiled;
+  AutoDetectReport R = detectReconvergence(*M, Opts);
+  const AutoCandidate *C =
+      findCandidate(R, AutoCandidate::Kind::LoopMerge);
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(C->Profitable) << C->Reason;
+  // Profile weights are measured totals, much larger than static sums.
+  EXPECT_GT(C->BodyWeight, 1000.0);
+}
+
+TEST(AutoDetectTest, AutoMatchesManualAnnotation) {
+  // Section 5.4: "automatic Speculative Reconvergence performs the same as
+  // programmer-annotated variants".
+  auto Manual = loopMergeKernel();
+  runSyncPipeline(*Manual, PipelineOptions::speculative());
+
+  auto Auto = loopMergeKernel(16, 1, 32, /*Annotate=*/false);
+  AutoDetectOptions Opts;
+  detectReconvergence(*Auto, Opts);
+  runSyncPipeline(*Auto, PipelineOptions::speculative());
+
+  auto Run = [](Module &M) {
+    Function *F = M.functionByName("loopmerge");
+    LaunchConfig C;
+    C.Seed = 9;
+    C.Latency = LatencyModel::computeBound();
+    WarpSimulator Sim(M, F, C);
+    RunResult R = Sim.run();
+    EXPECT_TRUE(R.ok()) << R.TrapMessage;
+    return R.Stats;
+  };
+  SimStats ManualStats = Run(*Manual);
+  SimStats AutoStats = Run(*Auto);
+  EXPECT_EQ(AutoStats.Cycles, ManualStats.Cycles);
+  EXPECT_EQ(AutoStats.IssueSlots, ManualStats.IssueSlots);
+}
+
+TEST(AutoDetectTest, ProfileVetoesBranchThatNeverDiverges) {
+  // The hot condition is statically divergent (rand-based) but never
+  // actually fires both ways at run time: roll in [0,100) always < 1000.
+  auto M = iterationDelayKernel(16, /*HotPct=*/1000, /*Annotate=*/false,
+                                /*HotMuls=*/80);
+  SimStats Profile = profileBaselineRun(*M, "itdelay");
+  AutoDetectOptions Opts;
+  Opts.Profile = &Profile;
+  AutoDetectReport R = detectReconvergence(*M, Opts);
+  for (const AutoCandidate &C : R.Candidates)
+    EXPECT_FALSE(C.Profitable) << C.Reason;
+  EXPECT_EQ(R.Inserted, 0u);
+
+  // Static heuristics (no profile) would have accepted it.
+  auto M2 = iterationDelayKernel(16, 1000, false, 80);
+  AutoDetectOptions StaticOpts;
+  AutoDetectReport R2 = detectReconvergence(*M2, StaticOpts);
+  EXPECT_GE(R2.Inserted, 1u);
+}
+
+TEST(AutoDetectTest, BranchProfileRecordsDivergence) {
+  auto M = iterationDelayKernel(16, 40, /*Annotate=*/false, 10);
+  SimStats Profile = profileBaselineRun(*M, "itdelay");
+  auto It = Profile.Branches.find({"itdelay", "header"});
+  ASSERT_NE(It, Profile.Branches.end());
+  EXPECT_GT(It->second.Executions, 0u);
+  EXPECT_GT(It->second.Divergent, 0u);
+  EXPECT_GT(It->second.divergenceRate(), 0.1);
+}

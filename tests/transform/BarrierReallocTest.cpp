@@ -1,0 +1,160 @@
+//===- BarrierReallocTest.cpp - Tests for barrier-register recolouring ----------===//
+
+#include "transform/BarrierRealloc.h"
+
+#include "TestKernels.h"
+#include "analysis/BarrierAnalysis.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "sim/Warp.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace simtsr;
+using namespace simtsr::testkernels;
+
+namespace {
+
+std::set<unsigned> usedIds(const Function &F) {
+  std::set<unsigned> Ids;
+  for (const BasicBlock *BB : F)
+    for (const Instruction &I : BB->instructions())
+      if (isBarrierOp(I.opcode()))
+        Ids.insert(I.barrierId());
+  return Ids;
+}
+
+/// Two sequential divergent diamonds: their PDOM barriers have disjoint
+/// joined ranges and should share one register after recolouring.
+std::unique_ptr<Module> sequentialDiamonds(unsigned Count) {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(256);
+  Function *F = M->createFunction("k", 0);
+  IRBuilder B(F);
+  BasicBlock *Current = B.startBlock("entry");
+  B.setInsertBlock(Current);
+  unsigned T = B.tid();
+  for (unsigned I = 0; I < Count; ++I) {
+    BasicBlock *Then = F->createBlock("then" + std::to_string(I));
+    BasicBlock *Join = F->createBlock("join" + std::to_string(I));
+    unsigned R = B.randRange(Operand::imm(0), Operand::imm(100));
+    unsigned C = B.cmpLT(Operand::reg(R), Operand::imm(50));
+    B.br(Operand::reg(C), Then, Join);
+    B.setInsertBlock(Then);
+    unsigned V = B.mul(Operand::reg(T), Operand::imm(3 + I));
+    B.store(Operand::reg(T), Operand::reg(V));
+    B.jmp(Join);
+    B.setInsertBlock(Join);
+    Current = Join;
+  }
+  B.ret();
+  F->recomputePreds();
+  return M;
+}
+
+} // namespace
+
+TEST(BarrierReallocTest, SequentialDiamondsShareOneRegister) {
+  auto M = sequentialDiamonds(6);
+  PipelineReport Report = runSyncPipeline(*M, PipelineOptions::baseline());
+  EXPECT_EQ(Report.Pdom.BarriersInserted, 6u);
+  Function &F = *M->functionByName("k");
+  EXPECT_EQ(usedIds(F).size(), 6u);
+
+  ReallocReport RR = reallocateBarriers(*M);
+  EXPECT_EQ(RR.BarriersBefore, 6u);
+  EXPECT_EQ(RR.BarriersAfter, 1u);
+  EXPECT_EQ(usedIds(F), (std::set<unsigned>{0u}));
+  EXPECT_TRUE(isWellFormed(*M));
+}
+
+TEST(BarrierReallocTest, OverlappingRangesKeepDistinctIds) {
+  // Nested joined ranges (join a; join b; wait b; wait a) overlap and must
+  // not merge.
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("k", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.joinBarrier(4);
+  B.joinBarrier(9);
+  B.waitBarrier(9);
+  B.waitBarrier(4);
+  B.ret();
+  F->recomputePreds();
+  reallocateBarriers(*M);
+  EXPECT_EQ(usedIds(*F).size(), 2u);
+  // And the recoloured program still has no same-id overlap.
+  BarrierConflictAnalysis CA(*F);
+  for (unsigned A : usedIds(*F)) {
+    for (unsigned C : usedIds(*F)) {
+      if (A != C) {
+        EXPECT_GT(CA.rangeSize(A) + CA.rangeSize(C), 0u);
+      }
+    }
+  }
+}
+
+TEST(BarrierReallocTest, SemanticsPreservedOnWorkload) {
+  auto Reference = loopMergeKernel();
+  runSyncPipeline(*Reference, PipelineOptions::speculative());
+  auto Realloc = loopMergeKernel();
+  runSyncPipeline(*Realloc, PipelineOptions::speculative());
+  ReallocReport RR = reallocateBarriers(*Realloc);
+  EXPECT_LE(RR.BarriersAfter, RR.BarriersBefore);
+  EXPECT_TRUE(isWellFormed(*Realloc));
+
+  auto Run = [](Module &M) {
+    Function *F = M.functionByName("loopmerge");
+    LaunchConfig C;
+    C.Seed = 5;
+    C.Latency = LatencyModel::unit();
+    WarpSimulator Sim(M, F, C);
+    RunResult R = Sim.run();
+    EXPECT_TRUE(R.ok()) << R.TrapMessage;
+    return std::make_pair(Sim.memoryChecksum(), R.Stats.Cycles);
+  };
+  auto [RefSum, RefCycles] = Run(*Reference);
+  auto [NewSum, NewCycles] = Run(*Realloc);
+  EXPECT_EQ(RefSum, NewSum);
+  EXPECT_EQ(RefCycles, NewCycles); // Pure renaming: identical schedule.
+}
+
+TEST(BarrierReallocTest, InterproceduralIdsArePinned) {
+  auto M = commonCallKernel(/*Annotate=*/true);
+  runSyncPipeline(*M, PipelineOptions::speculative());
+  // Find the id shared between caller and callee.
+  std::set<unsigned> FooIds = usedIds(*M->functionByName("foo"));
+  ASSERT_EQ(FooIds.size(), 1u);
+  unsigned Shared = *FooIds.begin();
+  reallocateBarriers(*M);
+  // The interprocedural id must be unchanged on both sides.
+  EXPECT_TRUE(usedIds(*M->functionByName("foo")).count(Shared));
+  bool CallerStillUses = usedIds(*M->functionByName("commoncall"))
+                             .count(Shared) != 0;
+  EXPECT_TRUE(CallerStillUses);
+  EXPECT_TRUE(isWellFormed(*M));
+}
+
+TEST(BarrierReallocTest, PerFunctionOverloadHonoursFirstColor) {
+  auto M = sequentialDiamonds(2);
+  runSyncPipeline(*M, PipelineOptions::baseline());
+  Function &F = *M->functionByName("k");
+  auto Renaming = reallocateBarriers(F, /*FirstColor=*/5);
+  ASSERT_FALSE(Renaming.empty());
+  for (const auto &[Old, New] : Renaming) {
+    (void)Old;
+    EXPECT_GE(New, 5u);
+  }
+  EXPECT_EQ(usedIds(F), (std::set<unsigned>{5u}));
+}
+
+TEST(BarrierReallocTest, NoBarriersIsANoop) {
+  auto M = sequentialDiamonds(1);
+  // No pipeline run: no barriers present.
+  ReallocReport RR = reallocateBarriers(*M);
+  EXPECT_EQ(RR.BarriersBefore, 0u);
+  EXPECT_EQ(RR.BarriersAfter, 0u);
+}

@@ -1,0 +1,65 @@
+//===- BarrierRegistryTest.cpp - Tests for barrier-register allocation ----------===//
+
+#include "transform/BarrierRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+TEST(BarrierRegistryTest, LowAllocationsCountUp) {
+  BarrierRegistry R;
+  EXPECT_EQ(R.allocateLow(BarrierOrigin::Speculative), 0u);
+  EXPECT_EQ(R.allocateLow(BarrierOrigin::RegionExit), 1u);
+  EXPECT_EQ(R.allocateLow(BarrierOrigin::Interproc), 2u);
+}
+
+TEST(BarrierRegistryTest, HighAllocationsCountDown) {
+  BarrierRegistry R;
+  EXPECT_EQ(R.allocateHigh(BarrierOrigin::PdomSync), 15u);
+  EXPECT_EQ(R.allocateHigh(BarrierOrigin::PdomSync), 14u);
+}
+
+TEST(BarrierRegistryTest, OriginsAreRecorded) {
+  BarrierRegistry R;
+  unsigned Low = *R.allocateLow(BarrierOrigin::Speculative);
+  unsigned High = *R.allocateHigh(BarrierOrigin::PdomSync);
+  EXPECT_EQ(*R.origin(Low), BarrierOrigin::Speculative);
+  EXPECT_EQ(*R.origin(High), BarrierOrigin::PdomSync);
+  EXPECT_FALSE(R.origin(7).has_value());
+}
+
+TEST(BarrierRegistryTest, ExhaustionReturnsNullopt) {
+  BarrierRegistry R;
+  for (unsigned I = 0; I < NumBarrierRegisters; ++I)
+    ASSERT_TRUE(R.allocateLow(BarrierOrigin::Speculative).has_value());
+  EXPECT_FALSE(R.allocateLow(BarrierOrigin::Speculative).has_value());
+  EXPECT_FALSE(R.allocateHigh(BarrierOrigin::PdomSync).has_value());
+  EXPECT_EQ(R.numAllocated(), NumBarrierRegisters);
+}
+
+TEST(BarrierRegistryTest, ReleaseMakesIdReusable) {
+  BarrierRegistry R;
+  unsigned Id = *R.allocateHigh(BarrierOrigin::PdomSync);
+  R.release(Id);
+  EXPECT_FALSE(R.origin(Id).has_value());
+  EXPECT_EQ(*R.allocateHigh(BarrierOrigin::PdomSync), Id);
+}
+
+TEST(BarrierRegistryTest, LowAndHighMeetInTheMiddle) {
+  BarrierRegistry R;
+  for (unsigned I = 0; I < 8; ++I) {
+    ASSERT_TRUE(R.allocateLow(BarrierOrigin::Speculative).has_value());
+    ASSERT_TRUE(R.allocateHigh(BarrierOrigin::PdomSync).has_value());
+  }
+  EXPECT_FALSE(R.allocateLow(BarrierOrigin::Speculative).has_value());
+}
+
+TEST(BarrierRegistryTest, OriginNamesAreStable) {
+  EXPECT_STREQ(getBarrierOriginName(BarrierOrigin::PdomSync), "pdom");
+  EXPECT_STREQ(getBarrierOriginName(BarrierOrigin::Speculative),
+               "speculative");
+  EXPECT_STREQ(getBarrierOriginName(BarrierOrigin::RegionExit),
+               "region-exit");
+  EXPECT_STREQ(getBarrierOriginName(BarrierOrigin::Interproc),
+               "interprocedural");
+}

@@ -1,0 +1,131 @@
+//===- CoarsenTest.cpp - Tests for thread coarsening -----------------------------===//
+
+#include "transform/Coarsen.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "kernels/KernelBuild.h"
+#include "sim/Warp.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::kernelbuild;
+
+namespace {
+
+/// A single-task kernel: task `t` runs a variable-length loop (length
+/// derived deterministically from t) and adds its result into mem[t].
+std::unique_ptr<Module> singleTaskKernel() {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(512);
+  Function *F = M->createFunction("task", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Done = F->createBlock("done");
+  B.setInsertBlock(Entry);
+  unsigned Len = B.rem(Operand::reg(0), Operand::imm(13));
+  unsigned J = B.mov(Operand::imm(0));
+  unsigned Acc = B.mov(Operand::imm(1));
+  B.jmp(Header);
+  B.setInsertBlock(Header);
+  unsigned C = B.cmpLT(Operand::reg(J), Operand::reg(Len));
+  B.br(Operand::reg(C), Body, Done);
+  B.setInsertBlock(Body);
+  unsigned X = B.add(Operand::reg(Acc), Operand::reg(J));
+  X = emitAluChain(B, X, 6, 31337);
+  Body->append(Instruction(Opcode::Mov, Acc, {Operand::reg(X)}));
+  unsigned JN = B.add(Operand::reg(J), Operand::imm(1));
+  Body->append(Instruction(Opcode::Mov, J, {Operand::reg(JN)}));
+  B.jmp(Header);
+  B.setInsertBlock(Done);
+  B.store(Operand::reg(0), Operand::reg(Acc));
+  B.ret(Operand::imm(0));
+  F->recomputePreds();
+  return M;
+}
+
+} // namespace
+
+TEST(CoarsenTest, WrapperCoversAllTasks) {
+  auto M = singleTaskKernel();
+  Function *Task = M->functionByName("task");
+  Function *Wrapper = coarsenKernel(*M, Task, 128);
+  ASSERT_NE(Wrapper, nullptr);
+  EXPECT_EQ(Wrapper->name(), "task.coarsened");
+  EXPECT_TRUE(isWellFormed(*M));
+
+  LaunchConfig C;
+  C.Latency = LatencyModel::unit();
+  WarpSimulator Sim(*M, Wrapper, C);
+  ASSERT_TRUE(Sim.run().ok());
+  // Every one of the 128 tasks ran exactly once: mem[t] nonzero for all t.
+  for (int64_t T = 0; T < 128; ++T)
+    EXPECT_NE(Sim.memory()[static_cast<size_t>(T)], 0) << "task " << T;
+  EXPECT_EQ(Sim.memory()[128], 0);
+}
+
+TEST(CoarsenTest, MatchesPerThreadExecutionForFirstWarp) {
+  // With exactly warpSize tasks, coarsening degenerates to one task per
+  // thread and must compute the identical results.
+  auto Single = singleTaskKernel();
+  Function *TaskA = Single->functionByName("task");
+  Function *WrapA = coarsenKernel(*Single, TaskA, 32);
+  LaunchConfig C;
+  C.Latency = LatencyModel::unit();
+  WarpSimulator SimA(*Single, WrapA, C);
+  ASSERT_TRUE(SimA.run().ok());
+
+  // Reference: call task(tid) directly from a launcher.
+  auto Ref = singleTaskKernel();
+  Function *TaskB = Ref->functionByName("task");
+  Function *Launcher = Ref->createFunction("launch", 0);
+  {
+    IRBuilder B(Launcher);
+    B.startBlock("entry");
+    unsigned T = B.tid();
+    B.call(TaskB, {Operand::reg(T)});
+    B.ret();
+  }
+  WarpSimulator SimB(*Ref, Launcher, C);
+  ASSERT_TRUE(SimB.run().ok());
+  EXPECT_EQ(SimA.memoryChecksum(), SimB.memoryChecksum());
+}
+
+TEST(CoarsenTest, RejectsWrongArity) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("noargs", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.ret();
+  EXPECT_EQ(coarsenKernel(*M, F, 10), nullptr);
+}
+
+TEST(CoarsenTest, EnablesEntryGatherOnTaskKernel) {
+  // The paper's recipe: coarsen, then gather threads as they start tasks.
+  auto Baseline = singleTaskKernel();
+  Function *TaskA = Baseline->functionByName("task");
+  Function *WrapA = coarsenKernel(*Baseline, TaskA, 256);
+  runSyncPipeline(*Baseline, PipelineOptions::baseline());
+
+  auto Gathered = singleTaskKernel();
+  Function *TaskB = Gathered->functionByName("task");
+  TaskB->setReconvergeAtEntry(true);
+  Function *WrapB = coarsenKernel(*Gathered, TaskB, 256);
+  PipelineReport Report =
+      runSyncPipeline(*Gathered, PipelineOptions::speculative());
+  EXPECT_EQ(Report.Interproc.FunctionsConverged, 1u);
+
+  LaunchConfig C;
+  C.Latency = LatencyModel::computeBound();
+  WarpSimulator SimA(*Baseline, WrapA, C);
+  WarpSimulator SimB(*Gathered, WrapB, C);
+  RunResult RA = SimA.run();
+  RunResult RB = SimB.run();
+  ASSERT_TRUE(RA.ok());
+  ASSERT_TRUE(RB.ok()) << RB.TrapMessage;
+  EXPECT_EQ(SimA.memoryChecksum(), SimB.memoryChecksum());
+}

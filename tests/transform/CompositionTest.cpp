@@ -1,0 +1,126 @@
+//===- CompositionTest.cpp - Transform stacking property tests -------------------===//
+///
+/// Stacks of standalone transforms (unroll, inline, simplify, realloc) in
+/// varying orders, followed by the synchronization pipeline, must always
+/// preserve kernel semantics and terminate deadlock-free. This is the
+/// broad-spectrum interaction safety net for Section 6.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestKernels.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Verifier.h"
+#include "sim/Warp.h"
+#include "transform/BarrierRealloc.h"
+#include "transform/Inline.h"
+#include "transform/LoopUnroll.h"
+#include "transform/Pipeline.h"
+#include "transform/SimplifyCfg.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testkernels;
+
+namespace {
+
+void applyUnroll(Module &M, const char *FuncName, const char *HeaderName,
+                 unsigned Factor) {
+  Function *F = M.functionByName(FuncName);
+  ASSERT_NE(F, nullptr);
+  BasicBlock *Header = F->blockByName(HeaderName);
+  if (!Header)
+    return; // Merged away by a prior simplify; fine.
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  if (Loop *L = LI.loopWithHeader(Header))
+    unrollLoop(*F, *L, Factor);
+}
+
+uint64_t runChecksum(Module &M, const char *Kernel) {
+  Function *F = M.functionByName(Kernel);
+  LaunchConfig C;
+  C.Seed = 21;
+  C.Latency = LatencyModel::unit();
+  WarpSimulator Sim(M, F, C);
+  RunResult R = Sim.run();
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return Sim.memoryChecksum();
+}
+
+} // namespace
+
+TEST(CompositionTest, UnrollThenSimplifyThenSRLoopMerge) {
+  auto Reference = loopMergeKernel(8, 1, 16);
+  {
+    PipelineOptions NoSync;
+    NoSync.PdomSync = false;
+    NoSync.StripPredicts = true;
+    runSyncPipeline(*Reference, NoSync);
+  }
+  uint64_t Expected = runChecksum(*Reference, "loopmerge");
+
+  auto M = loopMergeKernel(8, 1, 16);
+  applyUnroll(*M, "loopmerge", "inner_header", 3);
+  simplifyCfg(*M);
+  PipelineOptions Opts = PipelineOptions::speculative();
+  Opts.ReallocBarriers = true;
+  PipelineReport Report = runSyncPipeline(*M, Opts);
+  EXPECT_TRUE(Report.clean());
+  ASSERT_TRUE(isWellFormed(*M));
+  EXPECT_EQ(runChecksum(*M, "loopmerge"), Expected);
+}
+
+TEST(CompositionTest, InlineThenSimplifyThenPipelines) {
+  auto Reference = commonCallKernel(false);
+  uint64_t Expected = runChecksum(*Reference, "commoncall");
+  for (auto Strategy :
+       {DeconflictStrategy::Static, DeconflictStrategy::Dynamic}) {
+    auto M = commonCallKernel(true);
+    inlineAllCalls(*M, M->functionByName("foo"));
+    simplifyCfg(*M);
+    PipelineOptions Opts = PipelineOptions::speculative(Strategy);
+    Opts.ReallocBarriers = true;
+    PipelineReport Report = runSyncPipeline(*M, Opts);
+    EXPECT_TRUE(Report.clean());
+    EXPECT_EQ(runChecksum(*M, "commoncall"), Expected);
+  }
+}
+
+TEST(CompositionTest, SimplifyBeforeAndAfterSRIsSafe) {
+  auto Reference = iterationDelayKernel(16, 25, true, 40);
+  {
+    PipelineOptions NoSync;
+    NoSync.PdomSync = false;
+    NoSync.StripPredicts = true;
+    runSyncPipeline(*Reference, NoSync);
+  }
+  uint64_t Expected = runChecksum(*Reference, "itdelay");
+
+  auto M = iterationDelayKernel(16, 25, true, 40);
+  simplifyCfg(*M);
+  runSyncPipeline(*M, PipelineOptions::speculative());
+  // Post-pipeline simplification must not disturb the synchronization.
+  SimplifyReport SR = simplifyCfg(*M);
+  (void)SR;
+  ASSERT_TRUE(isWellFormed(*M));
+  EXPECT_EQ(runChecksum(*M, "itdelay"), Expected);
+}
+
+TEST(CompositionTest, RepeatedPipelineApplicationIsRejectedSafely) {
+  // Running the SR pipeline twice must not double-insert synchronization:
+  // the second run has no predict directives left to consume.
+  auto M = loopMergeKernel(8, 1, 16);
+  PipelineReport First = runSyncPipeline(*M, PipelineOptions::speculative());
+  EXPECT_EQ(First.SR.Applied.size(), 1u);
+  PipelineReport Second =
+      runSyncPipeline(*M, PipelineOptions::speculative());
+  EXPECT_TRUE(Second.SR.Applied.empty());
+  ASSERT_TRUE(isWellFormed(*M));
+  // Still runs (the duplicated PDOM barriers from the second run are
+  // redundant but harmless).
+  LaunchConfig C;
+  C.Latency = LatencyModel::unit();
+  WarpSimulator Sim(*M, M->functionByName("loopmerge"), C);
+  EXPECT_TRUE(Sim.run().ok());
+}

@@ -1,0 +1,127 @@
+//===- DeconflictionTest.cpp - Tests for Section 4.3 ---------------------------===//
+
+#include "transform/Deconfliction.h"
+
+#include "TestIR.h"
+#include "analysis/BarrierAnalysis.h"
+#include "analysis/Divergence.h"
+#include "ir/Verifier.h"
+#include "transform/BarrierVerifier.h"
+#include "transform/PdomSync.h"
+#include "transform/SpeculativeReconvergence.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace simtsr;
+using namespace simtsr::testir;
+
+namespace {
+
+/// Builds Listing 1 with both PDOM and SR synchronization applied — the
+/// Figure 5(a) conflict configuration.
+struct ConflictedListing1 {
+  Listing1 L;
+  BarrierRegistry Registry;
+  unsigned GatherBarrier = 0;
+  unsigned PdomBarrier = 0;
+
+  ConflictedListing1() {
+    PostDominatorTree PDT(*L.F);
+    DivergenceAnalysis DA(*L.F, PDT);
+    insertPdomSync(*L.F, DA, Registry);
+    SRReport R = applySpeculativeReconvergence(*L.F, Registry);
+    EXPECT_EQ(R.Applied.size(), 1u);
+    GatherBarrier = R.Applied[0].GatherBarrier;
+    // The PDOM barrier of bb2's branch is the first high allocation.
+    PdomBarrier = 15;
+  }
+};
+
+unsigned countOps(const Function &F, Opcode Op, unsigned Barrier) {
+  unsigned N = 0;
+  for (const BasicBlock *BB : F)
+    for (const Instruction &I : BB->instructions())
+      if (I.opcode() == Op && isBarrierOp(Op) && I.barrierId() == Barrier)
+        ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(DeconflictionTest, ConflictDetectedInFigure5aConfiguration) {
+  ConflictedListing1 C;
+  BarrierConflictAnalysis Conflicts(*C.L.F);
+  EXPECT_TRUE(Conflicts.conflict(C.GatherBarrier, C.PdomBarrier));
+  EXPECT_FALSE(
+      verifyDeconflicted(*C.L.F, C.Registry).empty());
+}
+
+TEST(DeconflictionTest, StaticStrategyDeletesPdomBarriers) {
+  ConflictedListing1 C;
+  DeconflictReport R = deconflictBarriers(*C.L.F, C.Registry,
+                                          DeconflictStrategy::Static);
+  EXPECT_GE(R.ConflictsFound, 1u);
+  // Both loop-carried PDOM barriers (the condition branch's b15 and the
+  // loop-again branch's b14) are held at the speculative wait and deleted.
+  EXPECT_EQ(R.BarriersDeleted, 2u);
+  EXPECT_EQ(R.CancelsInserted, 0u);
+  // Every op of the PDOM barriers is gone; the SR barrier survives.
+  for (unsigned B : {14u, 15u}) {
+    EXPECT_EQ(countOps(*C.L.F, Opcode::JoinBarrier, B), 0u);
+    EXPECT_EQ(countOps(*C.L.F, Opcode::WaitBarrier, B), 0u);
+    EXPECT_FALSE(C.Registry.origin(B).has_value());
+  }
+  EXPECT_EQ(countOps(*C.L.F, Opcode::WaitBarrier, C.GatherBarrier), 1u);
+  EXPECT_TRUE(verifyDeconflicted(*C.L.F, C.Registry).empty());
+  EXPECT_TRUE(isWellFormed(*C.L.M));
+}
+
+TEST(DeconflictionTest, DynamicStrategyCancelsBeforeSpeculativeWait) {
+  ConflictedListing1 C;
+  DeconflictReport R = deconflictBarriers(*C.L.F, C.Registry,
+                                          DeconflictStrategy::Dynamic);
+  EXPECT_GE(R.ConflictsFound, 1u);
+  EXPECT_EQ(R.BarriersDeleted, 0u);
+  EXPECT_GE(R.CancelsInserted, 2u);
+  // Figure 5(c): bb3 cancels every held PDOM barrier before the SR wait.
+  const BasicBlock *BB3 = C.L.BB3;
+  ASSERT_GE(BB3->size(), 3u);
+  std::set<unsigned> Cancelled;
+  size_t I = 0;
+  while (BB3->inst(I).opcode() == Opcode::CancelBarrier)
+    Cancelled.insert(BB3->inst(I++).barrierId());
+  EXPECT_EQ(Cancelled, (std::set<unsigned>{14u, 15u}));
+  EXPECT_EQ(BB3->inst(I).opcode(), Opcode::WaitBarrier);
+  EXPECT_EQ(BB3->inst(I).barrierId(), C.GatherBarrier);
+  // PDOM ops remain in place.
+  EXPECT_EQ(countOps(*C.L.F, Opcode::WaitBarrier, C.PdomBarrier), 1u);
+  EXPECT_TRUE(verifyDeconflicted(*C.L.F, C.Registry).empty());
+  EXPECT_TRUE(isWellFormed(*C.L.M));
+}
+
+TEST(DeconflictionTest, DynamicIsIdempotent) {
+  ConflictedListing1 C;
+  deconflictBarriers(*C.L.F, C.Registry, DeconflictStrategy::Dynamic);
+  DeconflictReport Second = deconflictBarriers(*C.L.F, C.Registry,
+                                               DeconflictStrategy::Dynamic);
+  EXPECT_EQ(Second.CancelsInserted, 0u);
+}
+
+TEST(DeconflictionTest, NestedBarriersReportNoConflict) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.joinBarrier(0);
+  B.joinBarrier(15);
+  B.waitBarrier(15);
+  B.waitBarrier(0);
+  B.ret();
+  F->recomputePreds();
+  BarrierRegistry Registry;
+  DeconflictReport R =
+      deconflictBarriers(*F, Registry, DeconflictStrategy::Dynamic);
+  EXPECT_EQ(R.ConflictsFound, 0u);
+}

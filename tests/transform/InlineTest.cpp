@@ -1,0 +1,150 @@
+//===- InlineTest.cpp - Tests for function inlining -----------------------------===//
+
+#include "transform/Inline.h"
+
+#include "TestKernels.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "sim/Warp.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testkernels;
+
+namespace {
+
+uint64_t runChecksum(Module &M, const std::string &Kernel, uint64_t Seed) {
+  Function *F = M.functionByName(Kernel);
+  LaunchConfig C;
+  C.Seed = Seed;
+  C.Latency = LatencyModel::unit();
+  WarpSimulator Sim(M, F, C);
+  RunResult R = Sim.run();
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return Sim.memoryChecksum();
+}
+
+unsigned countCalls(const Function &F) {
+  unsigned N = 0;
+  for (const BasicBlock *BB : F)
+    for (const Instruction &I : BB->instructions())
+      N += I.opcode() == Opcode::Call;
+  return N;
+}
+
+} // namespace
+
+TEST(InlineTest, PreservesSemanticsOnCommonCallKernel) {
+  auto Reference = commonCallKernel(/*Annotate=*/false);
+  uint64_t Expected = runChecksum(*Reference, "commoncall", 5);
+
+  auto Inlined = commonCallKernel(/*Annotate=*/false);
+  Function *Foo = Inlined->functionByName("foo");
+  EXPECT_EQ(inlineAllCalls(*Inlined, Foo), 2u);
+  ASSERT_TRUE(isWellFormed(*Inlined));
+  EXPECT_EQ(countCalls(*Inlined->functionByName("commoncall")), 0u);
+  EXPECT_EQ(runChecksum(*Inlined, "commoncall", 5), Expected);
+}
+
+TEST(InlineTest, ReturnValueFlowsToCallDestination) {
+  Module M;
+  Function *Sq = M.createFunction("square", 1);
+  {
+    IRBuilder B(Sq);
+    B.startBlock("entry");
+    unsigned V = B.mul(Operand::reg(0), Operand::reg(0));
+    B.ret(Operand::reg(V));
+  }
+  Function *K = M.createFunction("k", 0);
+  {
+    IRBuilder B(K);
+    B.startBlock("entry");
+    unsigned T = B.tid();
+    unsigned R = B.call(Sq, {Operand::reg(T)});
+    B.store(Operand::reg(T), Operand::reg(R));
+    B.ret();
+  }
+  EXPECT_EQ(inlineAllCalls(M, Sq), 1u);
+  ASSERT_TRUE(isWellFormed(M));
+  LaunchConfig C;
+  C.Latency = LatencyModel::unit();
+  WarpSimulator Sim(M, K, C);
+  ASSERT_TRUE(Sim.run().ok());
+  EXPECT_EQ(Sim.memory()[7], 49);
+  EXPECT_EQ(Sim.memory()[31], 961);
+}
+
+TEST(InlineTest, MultipleReturnsBecomeJumps) {
+  Module M;
+  Function *AbsFn = M.createFunction("absval", 1);
+  {
+    IRBuilder B(AbsFn);
+    BasicBlock *Entry = B.startBlock("entry");
+    BasicBlock *Neg = AbsFn->createBlock("neg");
+    B.setInsertBlock(Entry);
+    unsigned C = B.cmpLT(Operand::reg(0), Operand::imm(0));
+    B.br(Operand::reg(C), Neg, Entry /*placeholder*/);
+    // Fix the else arm to a dedicated ret block.
+    BasicBlock *Pos = AbsFn->createBlock("pos");
+    Entry->terminator().operand(2).setBlock(Pos);
+    B.setInsertBlock(Pos);
+    B.ret(Operand::reg(0));
+    B.setInsertBlock(Neg);
+    unsigned N = B.neg(Operand::reg(0));
+    B.ret(Operand::reg(N));
+  }
+  Function *K = M.createFunction("k", 0);
+  {
+    IRBuilder B(K);
+    B.startBlock("entry");
+    unsigned T = B.tid();
+    unsigned Shifted = B.sub(Operand::reg(T), Operand::imm(16));
+    unsigned R = B.call(AbsFn, {Operand::reg(Shifted)});
+    B.store(Operand::reg(T), Operand::reg(R));
+    B.ret();
+  }
+  EXPECT_EQ(inlineAllCalls(M, AbsFn), 1u);
+  ASSERT_TRUE(isWellFormed(M));
+  LaunchConfig C;
+  C.Latency = LatencyModel::unit();
+  WarpSimulator Sim(M, K, C);
+  ASSERT_TRUE(Sim.run().ok());
+  EXPECT_EQ(Sim.memory()[0], 16);
+  EXPECT_EQ(Sim.memory()[16], 0);
+  EXPECT_EQ(Sim.memory()[31], 15);
+}
+
+TEST(InlineTest, RefusesRecursiveCallee) {
+  Module M;
+  Function *F = M.createFunction("self", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.call(F);
+  B.ret();
+  Function *K = M.createFunction("k", 0);
+  {
+    IRBuilder KB(K);
+    KB.startBlock("entry");
+    KB.call(F);
+    KB.ret();
+  }
+  EXPECT_EQ(inlineAllCalls(M, F), 0u);
+}
+
+// Section 6: inlining removes the common PC, so the interprocedural
+// gather no longer applies — the Figure 2(c) opportunity is destroyed.
+TEST(InlineTest, InliningDestroysCommonCallOpportunity) {
+  auto M = commonCallKernel(/*Annotate=*/true);
+  Function *Foo = M->functionByName("foo");
+  EXPECT_EQ(inlineAllCalls(*M, Foo), 2u);
+  PipelineReport Report =
+      runSyncPipeline(*M, PipelineOptions::speculative());
+  // The reconverge_entry function has no remaining call sites.
+  bool NoSites = false;
+  for (const auto &D : Report.Interproc.Diagnostics)
+    NoSites |= D.find("no call sites") != std::string::npos;
+  EXPECT_TRUE(NoSites);
+  EXPECT_EQ(Report.Interproc.FunctionsConverged, 0u);
+}

@@ -1,0 +1,122 @@
+//===- InterprocTest.cpp - Tests for Section 4.4 ------------------------------===//
+
+#include "transform/Interprocedural.h"
+
+#include "TestKernels.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testkernels;
+
+namespace {
+
+unsigned countOps(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (const BasicBlock *BB : F)
+    for (const Instruction &I : BB->instructions())
+      N += I.opcode() == Op;
+  return N;
+}
+
+} // namespace
+
+TEST(InterprocTest, EntryWaitAndCallerJoins) {
+  auto M = commonCallKernel();
+  BarrierRegistry Registry;
+  InterprocReport R = applyInterproceduralReconvergence(*M, Registry);
+  EXPECT_EQ(R.FunctionsConverged, 1u);
+  EXPECT_EQ(R.CallersAnnotated, 1u);
+  EXPECT_TRUE(isWellFormed(*M));
+
+  Function *Foo = M->functionByName("foo");
+  Function *K = M->functionByName("commoncall");
+  // Callee: wait at entry.
+  EXPECT_EQ(Foo->entry()->inst(0).opcode(), Opcode::WaitBarrier);
+  // Caller: exactly one join at the common dominator (the entry block,
+  // which holds the divergent branch).
+  EXPECT_EQ(countOps(*K, Opcode::JoinBarrier), 1u);
+  const Instruction &Join = K->entry()->inst(K->entry()->size() - 2);
+  EXPECT_EQ(Join.opcode(), Opcode::JoinBarrier);
+  EXPECT_EQ(Join.barrierId(), Foo->entry()->inst(0).barrierId());
+}
+
+TEST(InterprocTest, NoRejoinWhenEachPathCallsOnce) {
+  auto M = commonCallKernel();
+  BarrierRegistry Registry;
+  InterprocReport R = applyInterproceduralReconvergence(*M, Registry);
+  // Each arm calls foo exactly once and cannot reach another call.
+  EXPECT_EQ(R.RejoinsInserted, 0u);
+}
+
+TEST(InterprocTest, RejoinInsertedForCallInLoop) {
+  auto M = std::make_unique<Module>();
+  Function *Foo = M->createFunction("foo", 0);
+  Foo->setReconvergeAtEntry(true);
+  {
+    IRBuilder B(Foo);
+    B.startBlock("entry");
+    B.ret(Operand::imm(3));
+  }
+  Function *K = M->createFunction("k", 0);
+  IRBuilder B(K);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Loop = K->createBlock("loop");
+  BasicBlock *Exit = K->createBlock("exit");
+  B.setInsertBlock(Entry);
+  B.jmp(Loop);
+  B.setInsertBlock(Loop);
+  B.call(Foo);
+  unsigned C = B.randRange(Operand::imm(0), Operand::imm(2));
+  B.br(Operand::reg(C), Loop, Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  K->recomputePreds();
+
+  BarrierRegistry Registry;
+  InterprocReport R = applyInterproceduralReconvergence(*M, Registry);
+  EXPECT_EQ(R.FunctionsConverged, 1u);
+  EXPECT_GE(R.RejoinsInserted, 1u);
+  EXPECT_GE(R.CancelsInserted, 1u);
+  EXPECT_TRUE(isWellFormed(*M));
+}
+
+TEST(InterprocTest, RecursionSkippedWithDiagnostic) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("self", 0);
+  F->setReconvergeAtEntry(true);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.call(F);
+  B.ret();
+  BarrierRegistry Registry;
+  InterprocReport R = applyInterproceduralReconvergence(*M, Registry);
+  EXPECT_EQ(R.FunctionsConverged, 0u);
+  ASSERT_FALSE(R.Diagnostics.empty());
+  EXPECT_NE(R.Diagnostics[0].find("recursive"), std::string::npos);
+}
+
+TEST(InterprocTest, UncalledFunctionReported) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("lonely", 0);
+  F->setReconvergeAtEntry(true);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.ret();
+  BarrierRegistry Registry;
+  InterprocReport R = applyInterproceduralReconvergence(*M, Registry);
+  EXPECT_EQ(R.FunctionsConverged, 0u);
+  ASSERT_FALSE(R.Diagnostics.empty());
+  EXPECT_NE(R.Diagnostics[0].find("no call sites"), std::string::npos);
+}
+
+TEST(InterprocTest, UnannotatedModuleUntouched) {
+  auto M = commonCallKernel(/*Annotate=*/false);
+  BarrierRegistry Registry;
+  InterprocReport R = applyInterproceduralReconvergence(*M, Registry);
+  EXPECT_EQ(R.FunctionsConverged, 0u);
+  Function *Foo = M->functionByName("foo");
+  EXPECT_EQ(countOps(*Foo, Opcode::WaitBarrier), 0u);
+}

@@ -1,0 +1,123 @@
+//===- PdomSyncTest.cpp - Tests for baseline PDOM synchronization -------------===//
+
+#include "transform/PdomSync.h"
+
+#include "TestIR.h"
+#include "analysis/Divergence.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testir;
+
+namespace {
+
+unsigned countOps(const Function &F, Opcode Op, int Barrier = -1) {
+  unsigned N = 0;
+  for (const BasicBlock *BB : F)
+    for (const Instruction &I : BB->instructions())
+      if (I.opcode() == Op &&
+          (Barrier < 0 ||
+           I.barrierId() == static_cast<unsigned>(Barrier)))
+        ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(PdomSyncTest, InsertsJoinWaitAtDivergentBranchAndPdom) {
+  Listing1 L;
+  PostDominatorTree PDT(*L.F);
+  DivergenceAnalysis DA(*L.F, PDT);
+  BarrierRegistry Registry;
+  PdomSyncReport R = insertPdomSync(*L.F, DA, Registry);
+
+  // Both the condition branch (bb2) and the loop-again branch (bb4) are
+  // divergent.
+  EXPECT_EQ(R.DivergentBranches, 2u);
+  EXPECT_EQ(R.BarriersInserted, 2u);
+  EXPECT_EQ(R.Skipped, 0u);
+  EXPECT_TRUE(isWellFormed(*L.M));
+
+  // bb2's barrier: join before the branch, wait at bb4 (the IPDOM).
+  const Instruction &JoinAtBranch = L.BB2->inst(L.BB2->size() - 2);
+  EXPECT_EQ(JoinAtBranch.opcode(), Opcode::JoinBarrier);
+  unsigned B2 = JoinAtBranch.barrierId();
+  EXPECT_EQ(countOps(*L.F, Opcode::WaitBarrier, static_cast<int>(B2)), 1u);
+  bool WaitInBB4 = false;
+  for (const Instruction &I : L.BB4->instructions())
+    WaitInBB4 |= I.opcode() == Opcode::WaitBarrier && I.barrierId() == B2;
+  EXPECT_TRUE(WaitInBB4);
+
+  // Barriers come from the high end of the register file.
+  EXPECT_GE(B2, 14u);
+}
+
+TEST(PdomSyncTest, UniformBranchesLeftAlone) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertBlock(Entry);
+  unsigned C = B.cmpLT(Operand::imm(1), Operand::imm(2)); // uniform
+  B.br(Operand::reg(C), Then, Join);
+  B.setInsertBlock(Then);
+  B.jmp(Join);
+  B.setInsertBlock(Join);
+  B.ret();
+  F->recomputePreds();
+
+  PostDominatorTree PDT(*F);
+  DivergenceAnalysis::Options Opts;
+  Opts.ParamsDivergent = false;
+  DivergenceAnalysis DA(*F, PDT, Opts);
+  BarrierRegistry Registry;
+  PdomSyncReport R = insertPdomSync(*F, DA, Registry);
+  EXPECT_EQ(R.DivergentBranches, 0u);
+  EXPECT_EQ(countOps(*F, Opcode::JoinBarrier), 0u);
+}
+
+TEST(PdomSyncTest, BranchWithoutCommonPdomSkipped) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Left = F->createBlock("left");
+  BasicBlock *Right = F->createBlock("right");
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned C = B.cmpLT(Operand::reg(T), Operand::imm(16));
+  B.br(Operand::reg(C), Left, Right);
+  B.setInsertBlock(Left);
+  B.ret();
+  B.setInsertBlock(Right);
+  B.ret();
+  F->recomputePreds();
+
+  PostDominatorTree PDT(*F);
+  DivergenceAnalysis DA(*F, PDT);
+  BarrierRegistry Registry;
+  PdomSyncReport R = insertPdomSync(*F, DA, Registry);
+  EXPECT_EQ(R.DivergentBranches, 1u);
+  EXPECT_EQ(R.BarriersInserted, 0u);
+  EXPECT_EQ(R.Skipped, 1u);
+  ASSERT_EQ(R.Diagnostics.size(), 1u);
+  EXPECT_NE(R.Diagnostics[0].find("no common post-dominator"),
+            std::string::npos);
+}
+
+TEST(PdomSyncTest, RegisterExhaustionReported) {
+  Listing1 L;
+  PostDominatorTree PDT(*L.F);
+  DivergenceAnalysis DA(*L.F, PDT);
+  BarrierRegistry Registry;
+  // Exhaust the register file first.
+  for (unsigned I = 0; I < NumBarrierRegisters; ++I)
+    ASSERT_TRUE(Registry.allocateLow(BarrierOrigin::Speculative).has_value());
+  PdomSyncReport R = insertPdomSync(*L.F, DA, Registry);
+  EXPECT_EQ(R.BarriersInserted, 0u);
+  EXPECT_EQ(R.Skipped, 2u);
+}

@@ -1,0 +1,251 @@
+//===- SRPassTest.cpp - Tests for the speculative-reconvergence pass ----------===//
+
+#include "transform/SpeculativeReconvergence.h"
+
+#include "TestIR.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testir;
+
+namespace {
+
+std::vector<Opcode> opcodesOf(const BasicBlock *BB) {
+  std::vector<Opcode> Ops;
+  for (const Instruction &I : BB->instructions())
+    Ops.push_back(I.opcode());
+  return Ops;
+}
+
+} // namespace
+
+// The golden Figure 4(d) shape on the Listing 1 CFG.
+TEST(SRPassTest, MatchesFigure4dShape) {
+  Listing1 L;
+  BarrierRegistry Registry;
+  SRReport R = applySpeculativeReconvergence(*L.F, Registry);
+
+  ASSERT_EQ(R.Applied.size(), 1u);
+  const AppliedRegion &A = R.Applied[0];
+  EXPECT_EQ(A.Start, L.BB0);
+  EXPECT_EQ(A.Label, L.BB3);
+  EXPECT_TRUE(A.RejoinInserted);
+  EXPECT_EQ(A.CancelsInserted, 1u);
+  ASSERT_TRUE(A.ExitBarrier.has_value());
+  EXPECT_TRUE(isWellFormed(*L.M)) << printModule(*L.M);
+
+  const unsigned B0 = A.GatherBarrier;
+  const unsigned B1 = *A.ExitBarrier;
+
+  // bb0: join b0 (replacing the predict), join b1, jmp.
+  auto Ops0 = opcodesOf(L.BB0);
+  ASSERT_EQ(Ops0.size(), 3u);
+  EXPECT_EQ(Ops0[0], Opcode::JoinBarrier);
+  EXPECT_EQ(L.BB0->inst(0).barrierId(), B0);
+  EXPECT_EQ(Ops0[1], Opcode::JoinBarrier);
+  EXPECT_EQ(L.BB0->inst(1).barrierId(), B1);
+
+  // bb3 (the label): wait b0, rejoin b0, then the original body.
+  auto Ops3 = opcodesOf(L.BB3);
+  ASSERT_GE(Ops3.size(), 3u);
+  EXPECT_EQ(Ops3[0], Opcode::WaitBarrier);
+  EXPECT_EQ(L.BB3->inst(0).barrierId(), B0);
+  EXPECT_EQ(Ops3[1], Opcode::RejoinBarrier);
+  EXPECT_EQ(L.BB3->inst(1).barrierId(), B0);
+
+  // bb5 (the region post-exit): cancel b0 before wait b1 (Figure 4(d)).
+  auto Ops5 = opcodesOf(L.BB5);
+  ASSERT_GE(Ops5.size(), 3u);
+  EXPECT_EQ(Ops5[0], Opcode::CancelBarrier);
+  EXPECT_EQ(L.BB5->inst(0).barrierId(), B0);
+  EXPECT_EQ(Ops5[1], Opcode::WaitBarrier);
+  EXPECT_EQ(L.BB5->inst(1).barrierId(), B1);
+
+  // The predict directive was consumed.
+  for (BasicBlock *BB : *L.F)
+    for (const Instruction &I : BB->instructions())
+      EXPECT_NE(I.opcode(), Opcode::Predict);
+}
+
+TEST(SRPassTest, SoftThresholdEmitsSoftWaitWithoutRejoin) {
+  Listing1 L;
+  BarrierRegistry Registry;
+  SROptions Opts;
+  Opts.SoftThreshold = 8;
+  SRReport R = applySpeculativeReconvergence(*L.F, Registry, Opts);
+  ASSERT_EQ(R.Applied.size(), 1u);
+  EXPECT_FALSE(R.Applied[0].RejoinInserted);
+
+  const Instruction &Wait = L.BB3->inst(0);
+  EXPECT_EQ(Wait.opcode(), Opcode::SoftWait);
+  EXPECT_EQ(Wait.barrierId(), R.Applied[0].GatherBarrier);
+  EXPECT_EQ(Wait.operand(1).getImm(), 8);
+  // Membership persists across soft releases, so exits still cancel.
+  EXPECT_EQ(R.Applied[0].CancelsInserted, 1u);
+  EXPECT_TRUE(isWellFormed(*L.M));
+}
+
+TEST(SRPassTest, NoRejoinInAcyclicRegion) {
+  // Straight-line region: the wait can never be re-reached.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Skip = F->createBlock("skip");
+  BasicBlock *Hot = F->createBlock("hot");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned C = B.cmpLT(Operand::reg(T), Operand::imm(16));
+  B.predict(Hot);
+  B.br(Operand::reg(C), Hot, Skip);
+  B.setInsertBlock(Skip);
+  B.jmp(Exit);
+  B.setInsertBlock(Hot);
+  unsigned X = B.mul(Operand::reg(T), Operand::imm(7));
+  (void)X;
+  B.jmp(Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  F->recomputePreds();
+
+  BarrierRegistry Registry;
+  SRReport R = applySpeculativeReconvergence(*F, Registry);
+  ASSERT_EQ(R.Applied.size(), 1u);
+  EXPECT_FALSE(R.Applied[0].RejoinInserted);
+  // Threads through `skip` exit the region holding the barrier: one cancel.
+  EXPECT_GE(R.Applied[0].CancelsInserted, 1u);
+  EXPECT_TRUE(isWellFormed(M));
+}
+
+TEST(SRPassTest, SkipsWhenStartDoesNotDominateLabel) {
+  // The label is reachable around the predict block.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Annot = F->createBlock("annot");
+  BasicBlock *Label = F->createBlock("label");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned C = B.cmpLT(Operand::reg(T), Operand::imm(16));
+  B.br(Operand::reg(C), Annot, Label);
+  B.setInsertBlock(Annot);
+  B.predict(Label);
+  B.jmp(Label);
+  B.setInsertBlock(Label);
+  B.jmp(Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  F->recomputePreds();
+
+  BarrierRegistry Registry;
+  SRReport R = applySpeculativeReconvergence(*F, Registry);
+  EXPECT_TRUE(R.Applied.empty());
+  EXPECT_EQ(R.RegionsSkipped, 1u);
+  ASSERT_FALSE(R.Diagnostics.empty());
+  EXPECT_NE(R.Diagnostics[0].find("does not dominate"), std::string::npos);
+  // The directive must be consumed even on the failure path.
+  for (BasicBlock *BB : *F)
+    for (const Instruction &I : BB->instructions())
+      EXPECT_NE(I.opcode(), Opcode::Predict);
+}
+
+TEST(SRPassTest, MultipleRegionsGetDistinctBarriers) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Hot1 = F->createBlock("hot1");
+  BasicBlock *Mid = F->createBlock("mid");
+  BasicBlock *Hot2 = F->createBlock("hot2");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned C = B.cmpLT(Operand::reg(T), Operand::imm(16));
+  B.predict(Hot1);
+  B.br(Operand::reg(C), Hot1, Mid);
+  B.setInsertBlock(Hot1);
+  B.jmp(Mid);
+  B.setInsertBlock(Mid);
+  unsigned C2 = B.cmpGE(Operand::reg(T), Operand::imm(8));
+  B.predict(Hot2);
+  B.br(Operand::reg(C2), Hot2, Exit);
+  B.setInsertBlock(Hot2);
+  B.jmp(Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  F->recomputePreds();
+
+  BarrierRegistry Registry;
+  SRReport R = applySpeculativeReconvergence(*F, Registry);
+  ASSERT_EQ(R.Applied.size(), 2u);
+  EXPECT_NE(R.Applied[0].GatherBarrier, R.Applied[1].GatherBarrier);
+  EXPECT_TRUE(isWellFormed(M));
+}
+
+TEST(SRPassTest, ExitEdgeWithMixedPredecessorsIsSplit) {
+  // The exit target has a predecessor outside the region, so the cancel
+  // must go on a split edge, not at the target entry.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Region = F->createBlock("region");
+  BasicBlock *Hot = F->createBlock("hot");
+  BasicBlock *Out = F->createBlock("out"); // reached from region AND entry
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned C0 = B.cmpLT(Operand::reg(T), Operand::imm(24));
+  B.br(Operand::reg(C0), Region, Out);
+  B.setInsertBlock(Region);
+  B.predict(Hot);
+  unsigned C = B.cmpLT(Operand::reg(T), Operand::imm(8));
+  B.br(Operand::reg(C), Hot, Out);
+  B.setInsertBlock(Hot);
+  B.jmp(Out);
+  B.setInsertBlock(Out);
+  B.ret();
+  F->recomputePreds();
+
+  BarrierRegistry Registry;
+  SRReport R = applySpeculativeReconvergence(*F, Registry);
+  ASSERT_EQ(R.Applied.size(), 1u);
+  // Both region exits (region->out, hot->out) carry the joined barrier:
+  // hot's wait cleared it but... hot has no rejoin (acyclic), so only the
+  // region->out edge cancels.
+  EXPECT_GE(R.Applied[0].CancelsInserted, 1u);
+  // A split block must exist (out has the outside predecessor `entry`).
+  bool FoundSplit = false;
+  for (BasicBlock *BB : *F)
+    FoundSplit |= BB->name().find(".split") != std::string::npos;
+  EXPECT_TRUE(FoundSplit);
+  EXPECT_TRUE(isWellFormed(M));
+}
+
+TEST(SRPassTest, RegionExitBarrierCanBeDisabled) {
+  Listing1 L;
+  BarrierRegistry Registry;
+  SROptions Opts;
+  Opts.RegionExitBarrier = false;
+  SRReport R = applySpeculativeReconvergence(*L.F, Registry, Opts);
+  ASSERT_EQ(R.Applied.size(), 1u);
+  EXPECT_FALSE(R.Applied[0].ExitBarrier.has_value());
+  // bb5 then only carries the cancel, no exit wait.
+  EXPECT_EQ(L.BB5->inst(0).opcode(), Opcode::CancelBarrier);
+  EXPECT_NE(L.BB5->inst(1).opcode(), Opcode::WaitBarrier);
+}
+
+TEST(SRPassTest, BarrierRegistersComeFromTheLowEnd) {
+  Listing1 L;
+  BarrierRegistry Registry;
+  SRReport R = applySpeculativeReconvergence(*L.F, Registry);
+  ASSERT_EQ(R.Applied.size(), 1u);
+  EXPECT_EQ(R.Applied[0].GatherBarrier, 0u);
+  ASSERT_TRUE(R.Applied[0].ExitBarrier.has_value());
+  EXPECT_EQ(*R.Applied[0].ExitBarrier, 1u);
+}

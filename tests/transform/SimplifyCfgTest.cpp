@@ -1,0 +1,159 @@
+//===- SimplifyCfgTest.cpp - Tests for CFG cleanup --------------------------------===//
+
+#include "transform/SimplifyCfg.h"
+
+#include "TestKernels.h"
+#include "ir/CFGUtils.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "sim/Warp.h"
+#include "transform/Inline.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::testkernels;
+
+TEST(SimplifyCfgTest, RemovesUnreachableBlocks) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.ret();
+  BasicBlock *Dead = F->createBlock("dead");
+  B.setInsertBlock(Dead);
+  B.nop();
+  B.ret();
+  SimplifyReport R = simplifyCfg(*F);
+  EXPECT_EQ(R.UnreachableRemoved, 1u);
+  EXPECT_EQ(F->size(), 1u);
+  EXPECT_TRUE(isWellFormed(M));
+}
+
+TEST(SimplifyCfgTest, KeepsUnreachablePredictLabels) {
+  // A predict label must not be deleted even if currently unreachable.
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Label = F->createBlock("label");
+  B.setInsertBlock(Label);
+  B.ret();
+  B.setInsertBlock(Entry);
+  B.predict(Label);
+  B.ret();
+  simplifyCfg(*F);
+  EXPECT_NE(F->blockByName("label"), nullptr);
+}
+
+TEST(SimplifyCfgTest, ForwardsTrampolines) {
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Tramp = F->createBlock("tramp");
+  BasicBlock *Real = F->createBlock("real");
+  B.setInsertBlock(Entry);
+  B.br(Operand::reg(0), Tramp, Real);
+  B.setInsertBlock(Tramp);
+  B.jmp(Real);
+  B.setInsertBlock(Real);
+  B.ret();
+  F->recomputePreds();
+  SimplifyReport R = simplifyCfg(*F);
+  EXPECT_GE(R.TrampolinesForwarded, 1u);
+  EXPECT_EQ(F->blockByName("tramp"), nullptr); // removed as unreachable
+  auto Succs = F->entry()->successors();
+  EXPECT_EQ(Succs[0], F->blockByName("real"));
+  EXPECT_EQ(Succs[1], F->blockByName("real"));
+}
+
+TEST(SimplifyCfgTest, SurvivesTrampolineCycles) {
+  // a -> b -> a as an intentional infinite loop must not hang the pass.
+  Module M;
+  Function *F = M.createFunction("f", 1);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *C = F->createBlock("c");
+  B.setInsertBlock(Entry);
+  B.br(Operand::reg(0), A, C);
+  B.setInsertBlock(A);
+  BasicBlock *B2 = F->createBlock("b");
+  B.jmp(B2);
+  B.setInsertBlock(B2);
+  B.jmp(A);
+  B.setInsertBlock(C);
+  B.ret();
+  F->recomputePreds();
+  simplifyCfg(*F);
+  EXPECT_TRUE(isWellFormed(M));
+  EXPECT_NE(F->blockByName("a"), nullptr);
+}
+
+TEST(SimplifyCfgTest, MergesStraightLineChains) {
+  Module M;
+  Function *F = M.createFunction("f", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Mid = F->createBlock("mid");
+  BasicBlock *End = F->createBlock("end");
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  B.jmp(Mid);
+  B.setInsertBlock(Mid);
+  unsigned V = B.mul(Operand::reg(T), Operand::imm(2));
+  B.jmp(End);
+  B.setInsertBlock(End);
+  B.store(Operand::reg(T), Operand::reg(V));
+  B.ret();
+  F->recomputePreds();
+  SimplifyReport R = simplifyCfg(*F);
+  EXPECT_EQ(R.ChainsMerged, 2u);
+  EXPECT_EQ(F->size(), 1u);
+  EXPECT_TRUE(isWellFormed(M));
+}
+
+TEST(SimplifyCfgTest, PreservesSemanticsAfterInlining) {
+  auto Reference = commonCallKernel(/*Annotate=*/false);
+  auto Simplified = commonCallKernel(/*Annotate=*/false);
+  inlineAllCalls(*Simplified, Simplified->functionByName("foo"));
+  SimplifyReport R = simplifyCfg(*Simplified);
+  EXPECT_GT(R.total(), 0u);
+  EXPECT_TRUE(isWellFormed(*Simplified));
+
+  auto Run = [](Module &M) {
+    LaunchConfig C;
+    C.Seed = 4;
+    C.Latency = LatencyModel::unit();
+    WarpSimulator Sim(M, M.functionByName("commoncall"), C);
+    EXPECT_TRUE(Sim.run().ok());
+    return Sim.memoryChecksum();
+  };
+  EXPECT_EQ(Run(*Reference), Run(*Simplified));
+}
+
+TEST(SimplifyCfgTest, IdempotentOnWorkloads) {
+  auto M = loopMergeKernel();
+  simplifyCfg(*M);
+  SimplifyReport Second = simplifyCfg(*M);
+  EXPECT_EQ(Second.total(), 0u);
+}
+
+TEST(SimplifyCfgTest, WorkloadSemanticsUnchanged) {
+  auto Reference = iterationDelayKernel();
+  auto Cleaned = iterationDelayKernel();
+  simplifyCfg(*Cleaned);
+  for (auto &M : {std::ref(*Reference), std::ref(*Cleaned)})
+    runSyncPipeline(M.get(), PipelineOptions::speculative());
+  auto Run = [](Module &M) {
+    LaunchConfig C;
+    C.Seed = 8;
+    C.Latency = LatencyModel::unit();
+    WarpSimulator Sim(M, M.functionByName("itdelay"), C);
+    EXPECT_TRUE(Sim.run().ok());
+    return Sim.memoryChecksum();
+  };
+  EXPECT_EQ(Run(*Reference), Run(*Cleaned));
+}
