@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deconflict.dir/bench_ablation_deconflict.cpp.o"
+  "CMakeFiles/bench_ablation_deconflict.dir/bench_ablation_deconflict.cpp.o.d"
+  "bench_ablation_deconflict"
+  "bench_ablation_deconflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deconflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

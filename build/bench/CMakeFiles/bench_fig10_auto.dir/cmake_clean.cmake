@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_auto.dir/bench_fig10_auto.cpp.o"
+  "CMakeFiles/bench_fig10_auto.dir/bench_fig10_auto.cpp.o.d"
+  "bench_fig10_auto"
+  "bench_fig10_auto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_auto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

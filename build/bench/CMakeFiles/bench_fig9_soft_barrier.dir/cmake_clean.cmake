@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_soft_barrier.dir/bench_fig9_soft_barrier.cpp.o"
+  "CMakeFiles/bench_fig9_soft_barrier.dir/bench_fig9_soft_barrier.cpp.o.d"
+  "bench_fig9_soft_barrier"
+  "bench_fig9_soft_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_soft_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grid_stability.dir/bench_grid_stability.cpp.o"
+  "CMakeFiles/bench_grid_stability.dir/bench_grid_stability.cpp.o.d"
+  "bench_grid_stability"
+  "bench_grid_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grid_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_corpus.dir/bench_sec54_corpus.cpp.o"
+  "CMakeFiles/bench_sec54_corpus.dir/bench_sec54_corpus.cpp.o.d"
+  "bench_sec54_corpus"
+  "bench_sec54_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

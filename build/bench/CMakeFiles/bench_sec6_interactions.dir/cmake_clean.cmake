@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_interactions.dir/bench_sec6_interactions.cpp.o"
+  "CMakeFiles/bench_sec6_interactions.dir/bench_sec6_interactions.cpp.o.d"
+  "bench_sec6_interactions"
+  "bench_sec6_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/autotune_threshold.cpp" "examples/CMakeFiles/autotune_threshold.dir/autotune_threshold.cpp.o" "gcc" "examples/CMakeFiles/autotune_threshold.dir/autotune_threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/simtsr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/simtsr_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/simtsr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simtsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/simtsr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simtsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

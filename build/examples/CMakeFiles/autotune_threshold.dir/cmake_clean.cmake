@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_threshold.dir/autotune_threshold.cpp.o"
+  "CMakeFiles/autotune_threshold.dir/autotune_threshold.cpp.o.d"
+  "autotune_threshold"
+  "autotune_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarsening.dir/coarsening.cpp.o"
+  "CMakeFiles/coarsening.dir/coarsening.cpp.o.d"
+  "coarsening"
+  "coarsening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

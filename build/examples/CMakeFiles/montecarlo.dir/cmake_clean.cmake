@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montecarlo.dir/montecarlo.cpp.o"
+  "CMakeFiles/montecarlo.dir/montecarlo.cpp.o.d"
+  "montecarlo"
+  "montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

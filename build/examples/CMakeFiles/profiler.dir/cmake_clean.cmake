@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler.dir/profiler.cpp.o"
+  "CMakeFiles/profiler.dir/profiler.cpp.o.d"
+  "profiler"
+  "profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirc.dir/sirc.cpp.o"
+  "CMakeFiles/sirc.dir/sirc.cpp.o.d"
+  "sirc"
+  "sirc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

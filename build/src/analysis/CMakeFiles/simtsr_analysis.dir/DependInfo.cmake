@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/BarrierAnalysis.cpp" "src/analysis/CMakeFiles/simtsr_analysis.dir/BarrierAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/simtsr_analysis.dir/BarrierAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/CallGraph.cpp" "src/analysis/CMakeFiles/simtsr_analysis.dir/CallGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/simtsr_analysis.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/Dataflow.cpp" "src/analysis/CMakeFiles/simtsr_analysis.dir/Dataflow.cpp.o" "gcc" "src/analysis/CMakeFiles/simtsr_analysis.dir/Dataflow.cpp.o.d"
+  "/root/repo/src/analysis/Divergence.cpp" "src/analysis/CMakeFiles/simtsr_analysis.dir/Divergence.cpp.o" "gcc" "src/analysis/CMakeFiles/simtsr_analysis.dir/Divergence.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/simtsr_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/simtsr_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/analysis/CMakeFiles/simtsr_analysis.dir/LoopInfo.cpp.o" "gcc" "src/analysis/CMakeFiles/simtsr_analysis.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/analysis/Region.cpp" "src/analysis/CMakeFiles/simtsr_analysis.dir/Region.cpp.o" "gcc" "src/analysis/CMakeFiles/simtsr_analysis.dir/Region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/simtsr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simtsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtsr_analysis.dir/BarrierAnalysis.cpp.o"
+  "CMakeFiles/simtsr_analysis.dir/BarrierAnalysis.cpp.o.d"
+  "CMakeFiles/simtsr_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/simtsr_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/simtsr_analysis.dir/Dataflow.cpp.o"
+  "CMakeFiles/simtsr_analysis.dir/Dataflow.cpp.o.d"
+  "CMakeFiles/simtsr_analysis.dir/Divergence.cpp.o"
+  "CMakeFiles/simtsr_analysis.dir/Divergence.cpp.o.d"
+  "CMakeFiles/simtsr_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/simtsr_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/simtsr_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/simtsr_analysis.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/simtsr_analysis.dir/Region.cpp.o"
+  "CMakeFiles/simtsr_analysis.dir/Region.cpp.o.d"
+  "libsimtsr_analysis.a"
+  "libsimtsr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtsr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtsr_ir.dir/BasicBlock.cpp.o"
+  "CMakeFiles/simtsr_ir.dir/BasicBlock.cpp.o.d"
+  "CMakeFiles/simtsr_ir.dir/CFGUtils.cpp.o"
+  "CMakeFiles/simtsr_ir.dir/CFGUtils.cpp.o.d"
+  "CMakeFiles/simtsr_ir.dir/Function.cpp.o"
+  "CMakeFiles/simtsr_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/simtsr_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/simtsr_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/simtsr_ir.dir/Module.cpp.o"
+  "CMakeFiles/simtsr_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/simtsr_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/simtsr_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/simtsr_ir.dir/Parser.cpp.o"
+  "CMakeFiles/simtsr_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/simtsr_ir.dir/Printer.cpp.o"
+  "CMakeFiles/simtsr_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/simtsr_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/simtsr_ir.dir/Verifier.cpp.o.d"
+  "CMakeFiles/simtsr_ir.dir/VoltaListing.cpp.o"
+  "CMakeFiles/simtsr_ir.dir/VoltaListing.cpp.o.d"
+  "libsimtsr_ir.a"
+  "libsimtsr_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtsr_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

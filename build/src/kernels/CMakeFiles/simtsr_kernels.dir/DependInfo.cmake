@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/Corpus.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/Corpus.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/Corpus.cpp.o.d"
+  "/root/repo/src/kernels/GpuMCML.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/GpuMCML.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/GpuMCML.cpp.o.d"
+  "/root/repo/src/kernels/MCB.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/MCB.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/MCB.cpp.o.d"
+  "/root/repo/src/kernels/MCGPU.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/MCGPU.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/MCGPU.cpp.o.d"
+  "/root/repo/src/kernels/MeiyaMD5.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/MeiyaMD5.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/MeiyaMD5.cpp.o.d"
+  "/root/repo/src/kernels/Micro.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/Micro.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/Micro.cpp.o.d"
+  "/root/repo/src/kernels/Mummer.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/Mummer.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/Mummer.cpp.o.d"
+  "/root/repo/src/kernels/OptixTrace.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/OptixTrace.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/OptixTrace.cpp.o.d"
+  "/root/repo/src/kernels/PathTracer.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/PathTracer.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/PathTracer.cpp.o.d"
+  "/root/repo/src/kernels/RSBench.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/RSBench.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/RSBench.cpp.o.d"
+  "/root/repo/src/kernels/Runner.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/Runner.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/Runner.cpp.o.d"
+  "/root/repo/src/kernels/Workloads.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/Workloads.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/Workloads.cpp.o.d"
+  "/root/repo/src/kernels/XSBench.cpp" "src/kernels/CMakeFiles/simtsr_kernels.dir/XSBench.cpp.o" "gcc" "src/kernels/CMakeFiles/simtsr_kernels.dir/XSBench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/simtsr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simtsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/simtsr_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/simtsr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simtsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

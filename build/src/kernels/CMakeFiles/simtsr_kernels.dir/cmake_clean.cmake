@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtsr_kernels.dir/Corpus.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/Corpus.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/GpuMCML.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/GpuMCML.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/MCB.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/MCB.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/MCGPU.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/MCGPU.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/MeiyaMD5.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/MeiyaMD5.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/Micro.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/Micro.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/Mummer.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/Mummer.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/OptixTrace.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/OptixTrace.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/PathTracer.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/PathTracer.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/RSBench.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/RSBench.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/Runner.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/Runner.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/Workloads.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/Workloads.cpp.o.d"
+  "CMakeFiles/simtsr_kernels.dir/XSBench.cpp.o"
+  "CMakeFiles/simtsr_kernels.dir/XSBench.cpp.o.d"
+  "libsimtsr_kernels.a"
+  "libsimtsr_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtsr_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/BarrierUnit.cpp" "src/sim/CMakeFiles/simtsr_sim.dir/BarrierUnit.cpp.o" "gcc" "src/sim/CMakeFiles/simtsr_sim.dir/BarrierUnit.cpp.o.d"
+  "/root/repo/src/sim/Grid.cpp" "src/sim/CMakeFiles/simtsr_sim.dir/Grid.cpp.o" "gcc" "src/sim/CMakeFiles/simtsr_sim.dir/Grid.cpp.o.d"
+  "/root/repo/src/sim/LatencyModel.cpp" "src/sim/CMakeFiles/simtsr_sim.dir/LatencyModel.cpp.o" "gcc" "src/sim/CMakeFiles/simtsr_sim.dir/LatencyModel.cpp.o.d"
+  "/root/repo/src/sim/Timeline.cpp" "src/sim/CMakeFiles/simtsr_sim.dir/Timeline.cpp.o" "gcc" "src/sim/CMakeFiles/simtsr_sim.dir/Timeline.cpp.o.d"
+  "/root/repo/src/sim/Warp.cpp" "src/sim/CMakeFiles/simtsr_sim.dir/Warp.cpp.o" "gcc" "src/sim/CMakeFiles/simtsr_sim.dir/Warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/simtsr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simtsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

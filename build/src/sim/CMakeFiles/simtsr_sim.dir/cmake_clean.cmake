@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtsr_sim.dir/BarrierUnit.cpp.o"
+  "CMakeFiles/simtsr_sim.dir/BarrierUnit.cpp.o.d"
+  "CMakeFiles/simtsr_sim.dir/Grid.cpp.o"
+  "CMakeFiles/simtsr_sim.dir/Grid.cpp.o.d"
+  "CMakeFiles/simtsr_sim.dir/LatencyModel.cpp.o"
+  "CMakeFiles/simtsr_sim.dir/LatencyModel.cpp.o.d"
+  "CMakeFiles/simtsr_sim.dir/Timeline.cpp.o"
+  "CMakeFiles/simtsr_sim.dir/Timeline.cpp.o.d"
+  "CMakeFiles/simtsr_sim.dir/Warp.cpp.o"
+  "CMakeFiles/simtsr_sim.dir/Warp.cpp.o.d"
+  "libsimtsr_sim.a"
+  "libsimtsr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtsr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtsr_support.dir/Rng.cpp.o"
+  "CMakeFiles/simtsr_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/simtsr_support.dir/Stats.cpp.o"
+  "CMakeFiles/simtsr_support.dir/Stats.cpp.o.d"
+  "libsimtsr_support.a"
+  "libsimtsr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtsr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

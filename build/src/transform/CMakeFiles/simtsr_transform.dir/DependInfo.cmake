@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/AutoDetect.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/AutoDetect.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/AutoDetect.cpp.o.d"
+  "/root/repo/src/transform/BarrierRealloc.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/BarrierRealloc.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/BarrierRealloc.cpp.o.d"
+  "/root/repo/src/transform/BarrierRegistry.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/BarrierRegistry.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/BarrierRegistry.cpp.o.d"
+  "/root/repo/src/transform/BarrierVerifier.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/BarrierVerifier.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/BarrierVerifier.cpp.o.d"
+  "/root/repo/src/transform/Coarsen.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/Coarsen.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/Coarsen.cpp.o.d"
+  "/root/repo/src/transform/Deconfliction.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/Deconfliction.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/Deconfliction.cpp.o.d"
+  "/root/repo/src/transform/IfConvert.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/IfConvert.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/IfConvert.cpp.o.d"
+  "/root/repo/src/transform/Inline.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/Inline.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/Inline.cpp.o.d"
+  "/root/repo/src/transform/Interprocedural.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/Interprocedural.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/Interprocedural.cpp.o.d"
+  "/root/repo/src/transform/LoopUnroll.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/LoopUnroll.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/LoopUnroll.cpp.o.d"
+  "/root/repo/src/transform/PdomSync.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/PdomSync.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/PdomSync.cpp.o.d"
+  "/root/repo/src/transform/Pipeline.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/Pipeline.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/transform/SimplifyCfg.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/SimplifyCfg.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/SimplifyCfg.cpp.o.d"
+  "/root/repo/src/transform/SpeculativeReconvergence.cpp" "src/transform/CMakeFiles/simtsr_transform.dir/SpeculativeReconvergence.cpp.o" "gcc" "src/transform/CMakeFiles/simtsr_transform.dir/SpeculativeReconvergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/simtsr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/simtsr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simtsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

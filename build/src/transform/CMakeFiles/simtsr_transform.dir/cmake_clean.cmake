@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtsr_transform.dir/AutoDetect.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/AutoDetect.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/BarrierRealloc.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/BarrierRealloc.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/BarrierRegistry.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/BarrierRegistry.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/BarrierVerifier.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/BarrierVerifier.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/Coarsen.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/Coarsen.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/Deconfliction.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/Deconfliction.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/IfConvert.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/IfConvert.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/Inline.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/Inline.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/Interprocedural.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/Interprocedural.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/LoopUnroll.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/LoopUnroll.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/PdomSync.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/PdomSync.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/Pipeline.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/SimplifyCfg.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/SimplifyCfg.cpp.o.d"
+  "CMakeFiles/simtsr_transform.dir/SpeculativeReconvergence.cpp.o"
+  "CMakeFiles/simtsr_transform.dir/SpeculativeReconvergence.cpp.o.d"
+  "libsimtsr_transform.a"
+  "libsimtsr_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtsr_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimtsr_transform.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/BarrierAnalysisTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/BarrierAnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/BarrierAnalysisTest.cpp.o.d"
+  "/root/repo/tests/analysis/CallGraphTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/CallGraphTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/CallGraphTest.cpp.o.d"
+  "/root/repo/tests/analysis/DataflowPropertyTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/DataflowPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/DataflowPropertyTest.cpp.o.d"
+  "/root/repo/tests/analysis/DivergenceRecursionTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/DivergenceRecursionTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/DivergenceRecursionTest.cpp.o.d"
+  "/root/repo/tests/analysis/DivergenceTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/DivergenceTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/DivergenceTest.cpp.o.d"
+  "/root/repo/tests/analysis/DominatorsTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/DominatorsTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/DominatorsTest.cpp.o.d"
+  "/root/repo/tests/analysis/EdgeCaseTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/EdgeCaseTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/EdgeCaseTest.cpp.o.d"
+  "/root/repo/tests/analysis/LoopInfoTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/LoopInfoTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/LoopInfoTest.cpp.o.d"
+  "/root/repo/tests/analysis/RegionTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/RegionTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/RegionTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/simtsr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simtsr_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/simtsr_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/BarrierAnalysisTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/BarrierAnalysisTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/CallGraphTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/CallGraphTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/DataflowPropertyTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/DataflowPropertyTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/DivergenceRecursionTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/DivergenceRecursionTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/DivergenceTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/DivergenceTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/DominatorsTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/DominatorsTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/EdgeCaseTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/EdgeCaseTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/LoopInfoTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/LoopInfoTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/RegionTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/RegionTest.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/CFGUtilsTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/CFGUtilsTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/CFGUtilsTest.cpp.o.d"
+  "/root/repo/tests/ir/IRBuilderTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/IRBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/IRBuilderTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserErrorTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/ParserErrorTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/ParserErrorTest.cpp.o.d"
+  "/root/repo/tests/ir/PrinterParserTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/PrinterParserTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/PrinterParserTest.cpp.o.d"
+  "/root/repo/tests/ir/VerifierTest.cpp" "tests/CMakeFiles/ir_tests.dir/ir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/ir/VerifierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/simtsr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simtsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tests.dir/ir/CFGUtilsTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/CFGUtilsTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/IRBuilderTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/IRBuilderTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/ParserErrorTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/ParserErrorTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/PrinterParserTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/PrinterParserTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/VerifierTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/VerifierTest.cpp.o.d"
+  "ir_tests"
+  "ir_tests.pdb"
+  "ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/BarrierUnitTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/BarrierUnitTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/BarrierUnitTest.cpp.o.d"
+  "/root/repo/tests/sim/CallStackTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/CallStackTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/CallStackTest.cpp.o.d"
+  "/root/repo/tests/sim/GridTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/GridTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/GridTest.cpp.o.d"
+  "/root/repo/tests/sim/OpcodeSemanticsTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/OpcodeSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/OpcodeSemanticsTest.cpp.o.d"
+  "/root/repo/tests/sim/TimelineTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/TimelineTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/TimelineTest.cpp.o.d"
+  "/root/repo/tests/sim/WarpSizeTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/WarpSizeTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/WarpSizeTest.cpp.o.d"
+  "/root/repo/tests/sim/WarpTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/WarpTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/WarpTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/simtsr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simtsr_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simtsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/simtsr_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/simtsr_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

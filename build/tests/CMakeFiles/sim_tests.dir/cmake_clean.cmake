@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/BarrierUnitTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/BarrierUnitTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/CallStackTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/CallStackTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/GridTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/GridTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/OpcodeSemanticsTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/OpcodeSemanticsTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/TimelineTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/TimelineTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/WarpSizeTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/WarpSizeTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/WarpTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/WarpTest.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transform/AutoDetectTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/AutoDetectTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/AutoDetectTest.cpp.o.d"
+  "/root/repo/tests/transform/BarrierReallocTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/BarrierReallocTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/BarrierReallocTest.cpp.o.d"
+  "/root/repo/tests/transform/BarrierRegistryTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/BarrierRegistryTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/BarrierRegistryTest.cpp.o.d"
+  "/root/repo/tests/transform/CoarsenTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/CoarsenTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/CoarsenTest.cpp.o.d"
+  "/root/repo/tests/transform/CompositionTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/CompositionTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/CompositionTest.cpp.o.d"
+  "/root/repo/tests/transform/DeconflictionTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/DeconflictionTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/DeconflictionTest.cpp.o.d"
+  "/root/repo/tests/transform/IfConvertTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/IfConvertTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/IfConvertTest.cpp.o.d"
+  "/root/repo/tests/transform/InlineTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/InlineTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/InlineTest.cpp.o.d"
+  "/root/repo/tests/transform/InterprocTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/InterprocTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/InterprocTest.cpp.o.d"
+  "/root/repo/tests/transform/LoopUnrollTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/LoopUnrollTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/LoopUnrollTest.cpp.o.d"
+  "/root/repo/tests/transform/PdomSyncTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/PdomSyncTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/PdomSyncTest.cpp.o.d"
+  "/root/repo/tests/transform/PipelineTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/PipelineTest.cpp.o.d"
+  "/root/repo/tests/transform/SRPassTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/SRPassTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/SRPassTest.cpp.o.d"
+  "/root/repo/tests/transform/SimplifyCfgTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/SimplifyCfgTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/SimplifyCfgTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/simtsr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simtsr_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/simtsr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/simtsr_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simtsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/simtsr_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_tests.dir/transform/AutoDetectTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/AutoDetectTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/BarrierReallocTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/BarrierReallocTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/BarrierRegistryTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/BarrierRegistryTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/CoarsenTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/CoarsenTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/CompositionTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/CompositionTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/DeconflictionTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/DeconflictionTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/IfConvertTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/IfConvertTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/InlineTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/InlineTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/InterprocTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/InterprocTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/LoopUnrollTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/LoopUnrollTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/PdomSyncTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/PdomSyncTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/PipelineTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/PipelineTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/SRPassTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/SRPassTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/SimplifyCfgTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/SimplifyCfgTest.cpp.o.d"
+  "transform_tests"
+  "transform_tests.pdb"
+  "transform_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
