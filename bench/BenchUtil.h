@@ -47,6 +47,10 @@ inline const char *statusName(RunResult::Status S) {
     return "TRAP";
   case RunResult::Status::IssueLimit:
     return "LIMIT";
+  case RunResult::Status::Timeout:
+    return "TIMEOUT";
+  case RunResult::Status::Malformed:
+    return "MALFORMED";
   }
   return "?";
 }

@@ -318,11 +318,7 @@ int main(int Argc, char **Argv) {
   RunResult R = Sim.run();
   if (ShowTimeline)
     std::printf("%s%s", Trace.render().c_str(), Trace.legend().c_str());
-  const char *Status = R.ok() ? "finished"
-                       : R.St == RunResult::Status::Deadlock
-                           ? "DEADLOCK"
-                           : R.St == RunResult::Status::Trap ? "TRAP"
-                                                             : "issue limit";
+  const char *Status = getRunStatusName(R.St);
   std::printf("@%s: %s — SIMT efficiency %.1f%%, %llu cycles, "
               "%llu issue slots, checksum %016llx\n",
               Kernel->name().c_str(), Status,
@@ -330,7 +326,7 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(R.Stats.Cycles),
               static_cast<unsigned long long>(R.Stats.IssueSlots),
               static_cast<unsigned long long>(Sim.memoryChecksum()));
-  if (R.St == RunResult::Status::Trap)
-    std::printf("trap: %s\n", R.TrapMessage.c_str());
+  if (!R.ok() && !R.TrapMessage.empty())
+    std::printf("%s: %s\n", Status, R.TrapMessage.c_str());
   return R.ok() ? 0 : 2;
 }

@@ -138,7 +138,7 @@ bool DominatorTreeBase::dominates(const BasicBlock *A,
 BasicBlock *
 DominatorTreeBase::nearestCommonDominator(const BasicBlock *A,
                                           const BasicBlock *B) const {
-  if (!isReachable(A) || !isReachable(B))
+  if (!A || !B || !isReachable(A) || !isReachable(B))
     return nullptr;
   unsigned AN = A->number(), BN = B->number();
   while (AN != BN) {

@@ -1,0 +1,336 @@
+//===- KernelGen.cpp - Random divergent kernel generation ---------------------===//
+
+#include "fuzz/KernelGen.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+using namespace simtsr;
+
+namespace {
+
+/// Global-memory layout shared with the oracle: a handful of atomic
+/// accumulator cells plus one disjoint 16-word slice per thread.
+constexpr uint64_t MemoryWords = 4096;
+constexpr int64_t AccumBase = 8;
+constexpr int64_t NumAccums = 8;
+constexpr int64_t SliceBase = 64;
+constexpr int64_t SliceWords = 16;
+
+/// Per-function generation context.
+struct GenCtx {
+  const GenOptions &Opts;
+  Rng &R;
+  IRBuilder B;
+  /// Registers holding thread-locally deterministic values; operand pool.
+  std::vector<unsigned> Pool;
+  /// Register holding this thread's slice base address.
+  unsigned SliceReg = 0;
+  /// Helpers callable from this function (empty inside helpers: the
+  /// generated call graph is acyclic by construction).
+  std::vector<Function *> Helpers;
+  /// Call counts, parallel to Helpers (the kernel epilogue tops up
+  /// never-called helpers so every helper is exercised).
+  std::vector<unsigned> *HelperCalls = nullptr;
+  unsigned NextBlock = 0;
+
+  GenCtx(const GenOptions &Opts, Rng &R, Function *F)
+      : Opts(Opts), R(R), B(F) {}
+
+  std::string blockName() { return "b" + std::to_string(NextBlock++); }
+
+  Operand pick() {
+    return Operand::reg(Pool[R.nextBelow(Pool.size())]);
+  }
+  /// A pooled register or a small immediate.
+  Operand pickOrImm() {
+    if (R.nextBool(0.3))
+      return Operand::imm(R.nextInRange(-64, 64));
+    return pick();
+  }
+  void push(unsigned Reg) {
+    Pool.push_back(Reg);
+    // Bound the pool so late code still reads early values sometimes.
+    if (Pool.size() > 24)
+      Pool.erase(Pool.begin() + static_cast<ptrdiff_t>(
+                                    R.nextBelow(Pool.size())));
+  }
+};
+
+/// Emits one arithmetic/logic/compare/select instruction reading the pool.
+/// Division and remainder get a guaranteed-nonzero denominator so no
+/// generated kernel can trap (invariant 1 of the header comment).
+void genArith(GenCtx &C) {
+  static const Opcode Safe[] = {
+      Opcode::Add,   Opcode::Sub,   Opcode::Mul,   Opcode::And,
+      Opcode::Or,    Opcode::Xor,   Opcode::Shl,   Opcode::Shr,
+      Opcode::Min,   Opcode::Max,   Opcode::CmpEQ, Opcode::CmpNE,
+      Opcode::CmpLT, Opcode::CmpLE, Opcode::CmpGT, Opcode::CmpGE,
+  };
+  switch (C.R.nextBelow(8)) {
+  case 0: { // div/rem with denominator in [1, 8]
+    unsigned Masked = C.B.andOp(C.pick(), Operand::imm(7));
+    unsigned Denom = C.B.add(Operand::reg(Masked), Operand::imm(1));
+    unsigned Dst = C.R.nextBool(0.5)
+                       ? C.B.div(C.pick(), Operand::reg(Denom))
+                       : C.B.rem(C.pick(), Operand::reg(Denom));
+    C.push(Dst);
+    return;
+  }
+  case 1:
+    C.push(C.B.unary(C.R.nextBool(0.5) ? Opcode::Not : Opcode::Neg,
+                     C.pick()));
+    return;
+  case 2:
+    C.push(C.B.select(C.pick(), C.pickOrImm(), C.pickOrImm()));
+    return;
+  case 3:
+    if (C.R.nextBool(0.5)) {
+      C.push(C.B.rand());
+    } else {
+      int64_t Width = 1 + static_cast<int64_t>(C.R.nextBelow(128));
+      C.push(C.B.randRange(Operand::imm(0), Operand::imm(Width)));
+    }
+    return;
+  default:
+    C.push(C.B.binary(Safe[C.R.nextBelow(std::size(Safe))], C.pick(),
+                      C.pickOrImm()));
+    return;
+  }
+}
+
+/// Emits a load or store confined to this thread's own slice, or an
+/// atomicadd on a shared accumulator whose old-value result is discarded
+/// (invariant 2: no cross-thread data flow, no schedule-observing reads).
+void genMemory(GenCtx &C) {
+  switch (C.R.nextBelow(3)) {
+  case 0: {
+    unsigned Addr = C.B.add(Operand::reg(C.SliceReg),
+                            Operand::imm(static_cast<int64_t>(
+                                C.R.nextBelow(SliceWords))));
+    C.push(C.B.load(Operand::reg(Addr)));
+    return;
+  }
+  case 1: {
+    unsigned Addr = C.B.add(Operand::reg(C.SliceReg),
+                            Operand::imm(static_cast<int64_t>(
+                                C.R.nextBelow(SliceWords))));
+    C.B.store(Operand::reg(Addr), C.pick());
+    return;
+  }
+  default: {
+    int64_t Cell = AccumBase + static_cast<int64_t>(C.R.nextBelow(NumAccums));
+    // The returned old value is schedule-dependent; drop it on the floor.
+    (void)C.B.atomicAdd(Operand::imm(Cell), C.pick());
+    return;
+  }
+  }
+}
+
+void genStatements(GenCtx &C, unsigned Depth);
+
+/// If/else on a (usually divergent) pooled condition, reconverging at a
+/// fresh merge block; optionally annotated with a predict directive at the
+/// branch block, which dominates the merge label by construction.
+void genIfElse(GenCtx &C, unsigned Depth) {
+  unsigned Cond = C.B.cmpLT(C.pick(), C.pickOrImm());
+  Function *F = C.B.function();
+  BasicBlock *Then = F->createBlock(C.blockName());
+  BasicBlock *Else = F->createBlock(C.blockName());
+  BasicBlock *Merge = F->createBlock(C.blockName());
+  if (C.R.nextBool(C.Opts.PredictProbability))
+    C.B.predict(Merge);
+  C.B.br(Operand::reg(Cond), Then, Else);
+
+  size_t PoolMark = C.Pool.size();
+  C.B.setInsertBlock(Then);
+  genStatements(C, Depth + 1);
+  C.B.jmp(Merge);
+  C.Pool.resize(PoolMark);
+
+  C.B.setInsertBlock(Else);
+  genStatements(C, Depth + 1);
+  C.B.jmp(Merge);
+  C.Pool.resize(PoolMark);
+
+  C.B.setInsertBlock(Merge);
+}
+
+/// Counted loop with a per-thread trip count in [1, MaxTripCount]
+/// (invariant 3: the counter only grows and the break path only leaves
+/// early, so termination is structural). Divergent trip counts are the
+/// common case: the limit derives from pooled thread-local data. With
+/// some probability the body gets a divergent early break that bypasses
+/// the loop-exit block — the canonical region-escaping path that forces
+/// the SR pass to place cancels on exit edges (Figure 4(d)).
+void genLoop(GenCtx &C, unsigned Depth) {
+  unsigned Limit;
+  if (C.R.nextBool(0.5)) {
+    unsigned Masked =
+        C.B.andOp(C.pick(), Operand::imm(static_cast<int64_t>(
+                                C.Opts.MaxTripCount - 1)));
+    Limit = C.B.add(Operand::reg(Masked), Operand::imm(1));
+  } else {
+    Limit = C.B.mov(Operand::imm(
+        1 + static_cast<int64_t>(C.R.nextBelow(C.Opts.MaxTripCount))));
+  }
+  unsigned Counter = C.B.mov(Operand::imm(0));
+
+  Function *F = C.B.function();
+  BasicBlock *Header = F->createBlock(C.blockName());
+  BasicBlock *Body = F->createBlock(C.blockName());
+  BasicBlock *Exit = F->createBlock(C.blockName());
+  const bool HasBreak = C.R.nextBool(0.4);
+  BasicBlock *Break = HasBreak ? F->createBlock(C.blockName()) : nullptr;
+  BasicBlock *After = HasBreak ? F->createBlock(C.blockName()) : Exit;
+  if (C.R.nextBool(C.Opts.PredictProbability))
+    C.B.predict(Exit);
+  C.B.jmp(Header);
+
+  C.B.setInsertBlock(Header);
+  unsigned Cond = C.B.cmpLT(Operand::reg(Counter), Operand::reg(Limit));
+  C.B.br(Operand::reg(Cond), Body, Exit);
+
+  size_t PoolMark = C.Pool.size();
+  C.B.setInsertBlock(Body);
+  genStatements(C, Depth + 1);
+  if (HasBreak) {
+    // Divergent early exit that skips the loop-exit block entirely, so
+    // threads taking it leave any prediction region for `Exit` sideways.
+    BasicBlock *Cont = F->createBlock(C.blockName());
+    unsigned BreakCond = C.B.cmpEQ(C.pick(), C.pickOrImm());
+    C.B.br(Operand::reg(BreakCond), Break, Cont);
+    C.B.setInsertBlock(Cont);
+  }
+  // In-place increment of the trip counter (the builder would allocate a
+  // fresh destination, which must not happen here).
+  C.B.insertBlock()->append(Instruction(
+      Opcode::Add, Counter, {Operand::reg(Counter), Operand::imm(1)}));
+  C.B.jmp(Header);
+  C.Pool.resize(PoolMark);
+
+  if (HasBreak) {
+    C.B.setInsertBlock(Break);
+    C.B.jmp(After);
+    C.B.setInsertBlock(Exit);
+    C.B.jmp(After);
+  }
+  C.B.setInsertBlock(After);
+}
+
+void genCall(GenCtx &C) {
+  size_t Index = C.R.nextBelow(C.Helpers.size());
+  Function *Callee = C.Helpers[Index];
+  std::vector<Operand> Args;
+  for (unsigned P = 0; P < Callee->numParams(); ++P)
+    Args.push_back(C.pickOrImm());
+  C.push(C.B.call(Callee, std::move(Args)));
+  if (C.HelperCalls)
+    (*C.HelperCalls)[Index] += 1;
+}
+
+void genStatements(GenCtx &C, unsigned Depth) {
+  unsigned Items = 1 + static_cast<unsigned>(
+                           C.R.nextBelow(C.Opts.MaxItemsPerLevel));
+  for (unsigned I = 0; I < Items; ++I) {
+    unsigned Kind = static_cast<unsigned>(C.R.nextBelow(10));
+    if (Kind < 4) {
+      genArith(C);
+    } else if (Kind < 6) {
+      genMemory(C);
+    } else if (Kind == 6 && !C.Helpers.empty()) {
+      genCall(C);
+    } else if (Depth < C.Opts.MaxDepth) {
+      if (C.R.nextBool(0.5))
+        genIfElse(C, Depth);
+      else
+        genLoop(C, Depth);
+    } else {
+      genArith(C);
+    }
+  }
+}
+
+/// Emits the shared prologue: tid/laneid seeds and the slice base address
+/// `SliceBase + tid * SliceWords` (in bounds for any tid < MaxWarpSize).
+void genPrologue(GenCtx &C) {
+  unsigned Tid = C.B.tid();
+  unsigned Lane = C.B.laneId();
+  unsigned Scaled = C.B.mul(Operand::reg(Tid), Operand::imm(SliceWords));
+  C.SliceReg = C.B.add(Operand::reg(Scaled), Operand::imm(SliceBase));
+  C.push(Tid);
+  C.push(Lane);
+  C.push(C.B.rand());
+}
+
+void genHelper(const GenOptions &Opts, Rng &R, Function *F) {
+  GenCtx C(Opts, R, F);
+  C.B.startBlock("entry");
+  genPrologue(C);
+  for (unsigned P = 0; P < F->numParams(); ++P)
+    C.push(P);
+  // Helpers are one construct-level shallower than the kernel.
+  genStatements(C, C.Opts.MaxDepth > 0 ? 1 : 0);
+  C.B.ret(C.pick());
+}
+
+} // namespace
+
+std::unique_ptr<Module> simtsr::generateKernelModule(const GenOptions &Opts) {
+  // Decorrelate nearby seeds before feeding xoshiro.
+  uint64_t Mix = Opts.Seed;
+  (void)splitMix64(Mix);
+  Rng R(splitMix64(Mix));
+
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(MemoryWords);
+
+  std::vector<Function *> Helpers;
+  unsigned NumHelpers =
+      static_cast<unsigned>(R.nextBelow(Opts.MaxHelpers + 1));
+  for (unsigned H = 0; H < NumHelpers; ++H) {
+    Function *F =
+        M->createFunction("helper" + std::to_string(H),
+                          1 + static_cast<unsigned>(R.nextBelow(2)));
+    F->setReconvergeAtEntry(R.nextBool(Opts.ReconvergeEntryProbability));
+    genHelper(Opts, R, F);
+    Helpers.push_back(F);
+  }
+
+  Function *Kernel = M->createFunction("kernel", 0);
+  GenCtx C(Opts, R, Kernel);
+  C.Helpers = Helpers;
+  std::vector<unsigned> Calls(Helpers.size(), 0);
+  C.HelperCalls = &Calls;
+  C.B.startBlock("entry");
+  genPrologue(C);
+  genStatements(C, 0);
+
+  // Epilogue: make sure every helper is exercised at least once, fold a
+  // couple of live values into the thread's slice, and bump a shared
+  // accumulator so the checksum depends on most of the computation.
+  for (size_t H = 0; H < Helpers.size(); ++H)
+    if (Calls[H] == 0) {
+      C.Helpers = {Helpers[H]};
+      C.HelperCalls = nullptr;
+      genCall(C);
+    }
+  unsigned Addr0 = C.B.add(Operand::reg(C.SliceReg), Operand::imm(0));
+  C.B.store(Operand::reg(Addr0), C.pick());
+  unsigned Addr1 = C.B.add(Operand::reg(C.SliceReg), Operand::imm(1));
+  C.B.store(Operand::reg(Addr1), C.pick());
+  (void)C.B.atomicAdd(Operand::imm(AccumBase), C.pick());
+  C.B.ret();
+
+  for (size_t I = 0; I < M->size(); ++I)
+    M->function(I)->recomputePreds();
+  return M;
+}
+
+std::string simtsr::generateKernelText(const GenOptions &Opts) {
+  return printModule(*generateKernelModule(Opts));
+}

@@ -1,0 +1,69 @@
+//===- KernelGen.h - Random divergent kernel generation --------*- C++ -*-===//
+///
+/// \file
+/// Seeded generator of well-formed, divergence-heavy `.sir` modules for the
+/// differential torture harness. Every generated module satisfies three
+/// invariants that make it a sound differential-testing input:
+///
+///  1. **Trap-free**: addresses are always in bounds, denominators are
+///     never zero, and `randrange` bounds are always non-empty, so no run
+///     aborts at a schedule-dependent point.
+///  2. **Race-free**: each thread stores only into its own 16-word global
+///     memory slice; shared accumulator cells are touched exclusively with
+///     `atomicadd` whose (schedule-dependent) old-value result is written
+///     to a scratch register no other instruction reads.
+///  3. **Terminating**: every loop is bounded by an explicit trip counter
+///     with a compile-time-bounded limit, and the generated call graph is
+///     acyclic (helpers never call).
+///
+/// Together these guarantee every thread executes the same instruction
+/// trace under any scheduler policy and any barrier placement, so the final
+/// global-memory checksum is a schedule- and pipeline-independent function
+/// of the seed — exactly what the oracle in Oracle.h asserts.
+///
+/// The generator deliberately emits no `warpsync` and never reads
+/// `arrived` counts: both observe the schedule and would make legitimate
+/// runs diverge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_FUZZ_KERNELGEN_H
+#define SIMTSR_FUZZ_KERNELGEN_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace simtsr {
+
+class Module;
+
+struct GenOptions {
+  uint64_t Seed = 0;
+  /// Maximum nesting depth of if/loop constructs.
+  unsigned MaxDepth = 3;
+  /// Maximum sequential constructs per nesting level.
+  unsigned MaxItemsPerLevel = 4;
+  /// Maximum static loop trip count (data-dependent counts stay below it).
+  unsigned MaxTripCount = 8;
+  /// Maximum number of helper functions (callees of the kernel).
+  unsigned MaxHelpers = 2;
+  /// Probability that an if/loop construct gets a `predict` directive.
+  double PredictProbability = 0.6;
+  /// Probability that a helper is marked reconverge_entry.
+  double ReconvergeEntryProbability = 0.5;
+  /// Warp size the memory layout is sized for (threads own disjoint
+  /// slices; the module works for any warp size up to this value).
+  unsigned MaxWarpSize = 32;
+};
+
+/// Generates a module whose kernel is the parameterless function "kernel".
+/// The result always passes verifyModule().
+std::unique_ptr<Module> generateKernelModule(const GenOptions &Opts);
+
+/// Prints generateKernelModule(Opts) to `.sir` text.
+std::string generateKernelText(const GenOptions &Opts);
+
+} // namespace simtsr
+
+#endif // SIMTSR_FUZZ_KERNELGEN_H

@@ -1,0 +1,257 @@
+//===- Oracle.cpp - Differential pipeline/scheduler oracle --------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "transform/Pipeline.h"
+
+using namespace simtsr;
+
+const char *simtsr::getFailureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::None:
+    return "none";
+  case FailureKind::ParseError:
+    return "parse-error";
+  case FailureKind::InvalidModule:
+    return "invalid-module";
+  case FailureKind::Discipline:
+    return "discipline";
+  case FailureKind::PostPassInvalid:
+    return "post-pass-invalid";
+  case FailureKind::ChecksumMismatch:
+    return "checksum-mismatch";
+  case FailureKind::Deadlock:
+    return "deadlock";
+  case FailureKind::Trap:
+    return "trap";
+  case FailureKind::IssueLimit:
+    return "issue-limit";
+  case FailureKind::Timeout:
+    return "timeout";
+  case FailureKind::Malformed:
+    return "malformed";
+  }
+  return "unknown";
+}
+
+const char *simtsr::getPolicyName(SchedulerPolicy P) {
+  switch (P) {
+  case SchedulerPolicy::MaxConvergence:
+    return "maxconv";
+  case SchedulerPolicy::MinPC:
+    return "minpc";
+  case SchedulerPolicy::RoundRobin:
+    return "roundrobin";
+  }
+  return "unknown";
+}
+
+unsigned simtsr::injectFault(Module &M, FaultInjection F) {
+  unsigned Changed = 0;
+  for (size_t FI = 0; FI < M.size(); ++FI) {
+    for (BasicBlock *BB : *M.function(FI)) {
+      switch (F) {
+      case FaultInjection::None:
+        break;
+      case FaultInjection::SwapBranchTargets:
+        if (BB->hasTerminator() &&
+            BB->terminator().opcode() == Opcode::Br) {
+          Instruction &Br = BB->terminator();
+          std::swap(Br.operand(1), Br.operand(2));
+          ++Changed;
+        }
+        break;
+      case FaultInjection::DropCancels: {
+        auto &Insts = BB->instructions();
+        for (size_t I = Insts.size(); I-- > 0;)
+          if (Insts[I].opcode() == Opcode::CancelBarrier) {
+            Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(I));
+            ++Changed;
+          }
+        break;
+      }
+      }
+    }
+    M.function(FI)->recomputePreds();
+  }
+  return Changed;
+}
+
+namespace {
+
+struct ConfigSpec {
+  std::string Name;
+  PipelineOptions Opts;
+};
+
+std::vector<ConfigSpec> makeConfigs(const OracleOptions &Opts) {
+  PipelineOptions Noop;
+  Noop.PdomSync = false;
+  Noop.StripPredicts = true;
+
+  PipelineOptions Sr;
+  Sr.ApplySR = true;
+
+  PipelineOptions SrIpRealloc = PipelineOptions::speculative();
+  SrIpRealloc.ReallocBarriers = true;
+
+  return {
+      {"noop", Noop},
+      {"pdom", PipelineOptions::baseline()},
+      {"sr", Sr},
+      {"sr+ip", PipelineOptions::speculative()},
+      {"soft", PipelineOptions::softBarrier(Opts.SoftThreshold)},
+      {"sr+ip+realloc", SrIpRealloc},
+  };
+}
+
+std::string joinFirst(const std::vector<std::string> &Diags, size_t Max) {
+  std::string Out;
+  for (size_t I = 0; I < Diags.size() && I < Max; ++I) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += Diags[I];
+  }
+  if (Diags.size() > Max)
+    Out += "; +" + std::to_string(Diags.size() - Max) + " more";
+  return Out;
+}
+
+FailureKind kindForStatus(RunResult::Status St) {
+  switch (St) {
+  case RunResult::Status::Finished:
+    return FailureKind::None;
+  case RunResult::Status::Deadlock:
+    return FailureKind::Deadlock;
+  case RunResult::Status::Trap:
+    return FailureKind::Trap;
+  case RunResult::Status::IssueLimit:
+    return FailureKind::IssueLimit;
+  case RunResult::Status::Timeout:
+    return FailureKind::Timeout;
+  case RunResult::Status::Malformed:
+    return FailureKind::Malformed;
+  }
+  return FailureKind::Trap;
+}
+
+} // namespace
+
+const std::vector<std::string> &simtsr::oracleConfigNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> N;
+    for (const ConfigSpec &C : makeConfigs(OracleOptions{}))
+      N.push_back(C.Name);
+    return N;
+  }();
+  return Names;
+}
+
+OracleResult simtsr::runDifferentialOracle(const std::string &SirText,
+                                           const OracleOptions &Opts) {
+  OracleResult Result;
+
+  // Reject inputs that are broken before any pass touches them, so every
+  // later failure is attributable to the pipeline or the simulator.
+  {
+    ParseResult Parsed = parseModule(SirText);
+    if (!Parsed.ok()) {
+      Result.Kind = FailureKind::ParseError;
+      Result.Detail = joinFirst(Parsed.Errors, 3);
+      return Result;
+    }
+    auto Diags = verifyModule(*Parsed.M);
+    if (!Diags.empty()) {
+      Result.Kind = FailureKind::InvalidModule;
+      Result.Detail = joinFirst(Diags, 3);
+      return Result;
+    }
+    if (!Parsed.M->functionByName("kernel")) {
+      Result.Kind = FailureKind::InvalidModule;
+      Result.Detail = "no function named 'kernel'";
+      return Result;
+    }
+  }
+
+  const SchedulerPolicy Policies[] = {SchedulerPolicy::MaxConvergence,
+                                      SchedulerPolicy::MinPC,
+                                      SchedulerPolicy::RoundRobin};
+  bool HaveReference = false;
+  uint64_t ReferenceChecksum = 0;
+  std::string ReferenceLabel;
+
+  for (const ConfigSpec &Spec : makeConfigs(Opts)) {
+    // Fresh parse per config: pipelines mutate the module.
+    ParseResult Parsed = parseModule(SirText);
+    if (!Parsed.ok()) {
+      Result.Kind = FailureKind::ParseError;
+      Result.Detail = joinFirst(Parsed.Errors, 3);
+      return Result;
+    }
+    Module &M = *Parsed.M;
+
+    PipelineReport Report = runSyncPipeline(M, Spec.Opts);
+    if (!Report.clean()) {
+      Result.Kind = FailureKind::Discipline;
+      Result.Detail = "config " + Spec.Name + ": " +
+                      joinFirst(Report.VerifierDiagnostics, 3);
+      return Result;
+    }
+    auto PostDiags = verifyModule(M);
+    if (!PostDiags.empty()) {
+      Result.Kind = FailureKind::PostPassInvalid;
+      Result.Detail =
+          "config " + Spec.Name + ": " + joinFirst(PostDiags, 3);
+      return Result;
+    }
+
+    // A broken late pass: miscompile one config after all checks passed.
+    if (Opts.Inject != FaultInjection::None && Spec.Name == "sr")
+      injectFault(M, Opts.Inject);
+
+    for (SchedulerPolicy Policy : Policies) {
+      LaunchConfig Config;
+      Config.WarpSize = Opts.WarpSize;
+      Config.Seed = Opts.SimSeed;
+      Config.Policy = Policy;
+      Config.MaxIssueSlots = Opts.MaxIssueSlots;
+      Config.MaxWallMillis = Opts.MaxWallMillis;
+
+      WarpSimulator Sim(M, M.functionByName("kernel"), Config);
+      RunResult Run = Sim.run();
+      const std::string Label =
+          Spec.Name + "/" + getPolicyName(Policy);
+
+      OracleRun Record;
+      Record.Config = Spec.Name;
+      Record.Policy = Policy;
+      Record.St = Run.St;
+      Record.Checksum = Sim.memoryChecksum();
+      Result.Runs.push_back(Record);
+
+      if (!Run.ok()) {
+        Result.Kind = kindForStatus(Run.St);
+        Result.Detail = "config " + Label + ": " +
+                        getRunStatusName(Run.St) +
+                        (Run.TrapMessage.empty() ? ""
+                                                 : ": " + Run.TrapMessage);
+        return Result;
+      }
+      if (!HaveReference) {
+        HaveReference = true;
+        ReferenceChecksum = Record.Checksum;
+        ReferenceLabel = Label;
+      } else if (Record.Checksum != ReferenceChecksum) {
+        Result.Kind = FailureKind::ChecksumMismatch;
+        Result.Detail = "config " + Label + ": checksum " +
+                        std::to_string(Record.Checksum) + " != " +
+                        std::to_string(ReferenceChecksum) + " from " +
+                        ReferenceLabel;
+        return Result;
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,108 @@
+//===- Oracle.h - Differential pipeline/scheduler oracle -------*- C++ -*-===//
+///
+/// \file
+/// The torture harness's correctness oracle. A `.sir` module that obeys the
+/// KernelGen invariants (trap-free, race-free, terminating) must produce
+/// the identical global-memory checksum and a Finished status under every
+/// synchronization pipeline and every scheduler policy: barrier placement
+/// may only reshape the schedule, never the result. The oracle runs the
+/// full cross product — {no-op, PDOM-only, SR, SR+interprocedural,
+/// soft-barrier, SR+interprocedural+realloc} x {MaxConvergence, MinPC,
+/// RoundRobin} — and reports the first divergence.
+///
+/// Fault injection deliberately miscompiles one configuration after the
+/// pipeline and its discipline checks ran (modelling a broken late pass),
+/// so harness tests can prove the oracle actually catches bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_FUZZ_ORACLE_H
+#define SIMTSR_FUZZ_ORACLE_H
+
+#include "sim/Warp.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+enum class FaultInjection {
+  None,
+  /// Swap every conditional branch's then/else targets in the "sr" config
+  /// after verification — a silent miscompile surfacing as a checksum
+  /// mismatch (loops stay terminating: trip counters only grow).
+  SwapBranchTargets,
+  /// Delete every CancelBarrier in the "sr" config after verification —
+  /// threads leave prediction regions still joined, the classic Figure 5(a)
+  /// cross-barrier deadlock.
+  DropCancels,
+};
+
+enum class FailureKind {
+  None,
+  ParseError,     ///< Input text did not parse.
+  InvalidModule,  ///< Input parsed but failed verifyModule().
+  Discipline,     ///< Pipeline verifier reported barrier-discipline issues.
+  PostPassInvalid,///< Module failed verifyModule() after a pipeline.
+  ChecksumMismatch,///< Configs disagree on the final memory checksum.
+  Deadlock,       ///< A config deadlocked.
+  Trap,           ///< A config trapped at run time.
+  IssueLimit,     ///< A config hit the issue-slot livelock guard.
+  Timeout,        ///< A config hit the wall-clock watchdog.
+  Malformed,      ///< The simulator rejected a launch pre-run.
+};
+
+/// \returns a stable lowercase name ("checksum-mismatch", "deadlock", ...).
+const char *getFailureKindName(FailureKind K);
+
+/// \returns a stable name for \p P ("maxconv", "minpc", "roundrobin").
+const char *getPolicyName(SchedulerPolicy P);
+
+struct OracleOptions {
+  unsigned WarpSize = 32;
+  /// Simulator seed feeding the per-thread `rand` streams. Identical across
+  /// configs by construction — it is part of the input, not the schedule.
+  uint64_t SimSeed = 1;
+  uint64_t MaxIssueSlots = 50ull * 1000 * 1000;
+  /// Per-run wall-clock watchdog in milliseconds (0 disables).
+  uint64_t MaxWallMillis = 10'000;
+  /// Threshold for the soft-barrier config.
+  int SoftThreshold = 8;
+  FaultInjection Inject = FaultInjection::None;
+};
+
+/// One completed simulation within the cross product.
+struct OracleRun {
+  std::string Config;
+  SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
+  RunResult::Status St = RunResult::Status::Finished;
+  uint64_t Checksum = 0;
+};
+
+struct OracleResult {
+  FailureKind Kind = FailureKind::None;
+  /// Human-readable description of the first failure: which config and
+  /// policy, and the simulator's or verifier's own diagnostic.
+  std::string Detail;
+  std::vector<OracleRun> Runs;
+
+  bool ok() const { return Kind == FailureKind::None; }
+};
+
+/// Names of the pipeline configurations the oracle exercises, in run order.
+/// The first entry is the reference (no synchronization at all).
+const std::vector<std::string> &oracleConfigNames();
+
+/// Runs the full differential cross product over \p SirText. Stops at the
+/// first failure; Runs holds every simulation completed up to that point.
+OracleResult runDifferentialOracle(const std::string &SirText,
+                                   const OracleOptions &Opts);
+
+/// Applies \p F to \p M in place. \returns the number of sites changed
+/// (exposed for tests; the oracle calls it internally on the "sr" config).
+unsigned injectFault(Module &M, FaultInjection F);
+
+} // namespace simtsr
+
+#endif // SIMTSR_FUZZ_ORACLE_H

@@ -1,0 +1,210 @@
+//===- Shrinker.cpp - Failing-module minimization -----------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace simtsr;
+
+namespace {
+
+class Shrinker {
+public:
+  Shrinker(std::string Text, FailureKind Target, const ShrinkOptions &Opts)
+      : Current(std::move(Text)), Target(Target), Opts(Opts),
+        Oracle(Opts.Oracle) {
+    Oracle.MaxIssueSlots =
+        std::min(Oracle.MaxIssueSlots, Opts.CandidateMaxIssueSlots);
+    if (Oracle.MaxWallMillis == 0)
+      Oracle.MaxWallMillis = Opts.CandidateMaxWallMillis;
+    else
+      Oracle.MaxWallMillis =
+          std::min(Oracle.MaxWallMillis, Opts.CandidateMaxWallMillis);
+  }
+
+  ShrinkResult run() {
+    ShrinkResult Result;
+    // The failure must reproduce — under the capped candidate budget —
+    // before any reduction is attempted.
+    if (runDifferentialOracle(Current, Oracle).Kind != Target) {
+      Result.Text = Current;
+      Result.Kind = Target;
+      return Result;
+    }
+    bool Progress = true;
+    while (Progress && budgetLeft()) {
+      Progress = false;
+      for (size_t Chunk : {16u, 8u, 4u, 2u, 1u})
+        Progress |= chunkPass(Chunk);
+      Progress |= branchPass();
+      Progress |= unreachablePass();
+    }
+    Result.Text = Current;
+    Result.Kind = Target;
+    Result.AttemptsUsed = Attempts;
+    Result.StepsAccepted = Accepted;
+    return Result;
+  }
+
+private:
+  bool budgetLeft() const { return Attempts < Opts.MaxAttempts; }
+
+  /// Re-runs the oracle on \p Candidate; adopts it when the target failure
+  /// still reproduces and the text shrank.
+  bool accept(const std::string &Candidate) {
+    ++Attempts;
+    if (Candidate.size() >= Current.size())
+      return false;
+    if (runDifferentialOracle(Candidate, Oracle).Kind != Target)
+      return false;
+    Current = Candidate;
+    ++Accepted;
+    return true;
+  }
+
+  /// Removes non-terminator instruction runs of \p ChunkSize, block by
+  /// block, undoing every rejected removal in place.
+  bool chunkPass(size_t ChunkSize) {
+    ParseResult P = parseModule(Current);
+    if (!P.ok())
+      return false;
+    Module &M = *P.M;
+    bool Any = false;
+    for (size_t FI = 0; FI < M.size(); ++FI) {
+      for (BasicBlock *BB : *M.function(FI)) {
+        auto &Insts = BB->instructions();
+        const size_t Removable =
+            BB->hasTerminator() ? Insts.size() - 1 : Insts.size();
+        // Back to front so earlier start offsets stay valid after a
+        // removal is kept.
+        for (size_t Start = (Removable / ChunkSize) * ChunkSize + ChunkSize;
+             Start >= ChunkSize && budgetLeft(); Start -= ChunkSize) {
+          size_t Lo = Start - ChunkSize;
+          if (Lo >= Removable)
+            continue;
+          size_t Hi = std::min(Start, Removable);
+          std::vector<Instruction> Saved(
+              Insts.begin() + static_cast<ptrdiff_t>(Lo),
+              Insts.begin() + static_cast<ptrdiff_t>(Hi));
+          Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Lo),
+                      Insts.begin() + static_cast<ptrdiff_t>(Hi));
+          if (accept(printModule(M))) {
+            Any = true;
+          } else {
+            Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Lo),
+                         Saved.begin(), Saved.end());
+          }
+        }
+      }
+    }
+    return Any;
+  }
+
+  /// Degrades conditional branches to unconditional jumps (then the else
+  /// target, then the then target), shedding whole CFG subtrees.
+  bool branchPass() {
+    ParseResult P = parseModule(Current);
+    if (!P.ok())
+      return false;
+    Module &M = *P.M;
+    bool Any = false;
+    for (size_t FI = 0; FI < M.size(); ++FI) {
+      Function &F = *M.function(FI);
+      for (BasicBlock *BB : F) {
+        if (!budgetLeft())
+          return Any;
+        if (!BB->hasTerminator() ||
+            BB->terminator().opcode() != Opcode::Br)
+          continue;
+        Instruction Saved = BB->terminator();
+        for (unsigned TargetOp : {2u, 1u}) {
+          BB->instructions().back() =
+              Instruction(Opcode::Jmp, NoRegister,
+                          {Saved.operand(TargetOp)});
+          F.recomputePreds();
+          if (accept(printModule(M))) {
+            Any = true;
+            break;
+          }
+          BB->instructions().back() = Saved;
+          F.recomputePreds();
+        }
+      }
+    }
+    return Any;
+  }
+
+  /// Drops the text of blocks no longer reachable from their function's
+  /// entry. Works on the printed form (labels sit at column zero), so a
+  /// block still referenced by a stale predict simply fails to re-parse
+  /// and the candidate is rejected by the oracle front end.
+  bool unreachablePass() {
+    ParseResult P = parseModule(Current);
+    if (!P.ok() || !budgetLeft())
+      return false;
+    Module &M = *P.M;
+    std::vector<std::string> DeadLabels;
+    for (size_t FI = 0; FI < M.size(); ++FI) {
+      Function &F = *M.function(FI);
+      F.recomputePreds();
+      std::vector<bool> Reached(F.size(), false);
+      std::vector<BasicBlock *> Worklist = {F.entry()};
+      Reached[F.entry()->number()] = true;
+      while (!Worklist.empty()) {
+        BasicBlock *BB = Worklist.back();
+        Worklist.pop_back();
+        for (BasicBlock *S : BB->successors())
+          if (!Reached[S->number()]) {
+            Reached[S->number()] = true;
+            Worklist.push_back(S);
+          }
+      }
+      for (BasicBlock *BB : F)
+        if (!Reached[BB->number()])
+          DeadLabels.push_back(BB->name());
+    }
+    if (DeadLabels.empty())
+      return false;
+
+    std::istringstream In(Current);
+    std::string Line, Candidate;
+    bool Skipping = false;
+    while (std::getline(In, Line)) {
+      const bool IsLabel =
+          !Line.empty() && Line.back() == ':' && Line[0] != ' ';
+      if (IsLabel) {
+        std::string Name = Line.substr(0, Line.size() - 1);
+        Skipping = std::find(DeadLabels.begin(), DeadLabels.end(), Name) !=
+                   DeadLabels.end();
+      } else if (!Line.empty() && Line[0] != ' ') {
+        Skipping = false; // func header or closing brace
+      }
+      if (!Skipping) {
+        Candidate += Line;
+        Candidate += '\n';
+      }
+    }
+    return accept(Candidate);
+  }
+
+  std::string Current;
+  FailureKind Target;
+  const ShrinkOptions &Opts;
+  /// Effective oracle options: Opts.Oracle with the candidate caps applied.
+  OracleOptions Oracle;
+  unsigned Attempts = 0;
+  unsigned Accepted = 0;
+};
+
+} // namespace
+
+ShrinkResult simtsr::shrinkFailingModule(const std::string &Text,
+                                         FailureKind Kind,
+                                         const ShrinkOptions &Opts) {
+  return Shrinker(Text, Kind, Opts).run();
+}

@@ -1,0 +1,56 @@
+//===- Shrinker.h - Failing-module minimization ----------------*- C++ -*-===//
+///
+/// \file
+/// Greedy delta-debugging over `.sir` text: given a module on which the
+/// differential oracle reports a failure, repeatedly apply structural
+/// reductions (instruction-chunk removal, branch-to-jump conversion,
+/// unreachable-block deletion) and keep a candidate only when the oracle
+/// still reports the *same* FailureKind on it. The result is a smaller,
+/// directly replayable repro; every intermediate candidate is validated by
+/// the oracle's own parse/verify front end, so the shrinker cannot wander
+/// into ill-formed territory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_FUZZ_SHRINKER_H
+#define SIMTSR_FUZZ_SHRINKER_H
+
+#include "fuzz/Oracle.h"
+
+#include <string>
+
+namespace simtsr {
+
+struct ShrinkOptions {
+  /// Oracle configuration; must match the one that produced the failure or
+  /// the target kind will not reproduce and nothing shrinks.
+  OracleOptions Oracle;
+  /// Upper bound on oracle invocations (each attempt re-runs the oracle).
+  unsigned MaxAttempts = 800;
+  /// Per-candidate simulation budget caps, applied as upper bounds on the
+  /// Oracle limits above. Shrinking replays the oracle hundreds of times
+  /// and mutations routinely produce livelocks (e.g. removing a loop's
+  /// counter increment), so runaway candidates must be cut off quickly.
+  uint64_t CandidateMaxIssueSlots = 500'000;
+  uint64_t CandidateMaxWallMillis = 500;
+};
+
+struct ShrinkResult {
+  /// The smallest text found that still fails with the original kind.
+  /// Equals the input when nothing could be removed.
+  std::string Text;
+  FailureKind Kind = FailureKind::None;
+  unsigned AttemptsUsed = 0;
+  /// Number of accepted (shrinking) steps.
+  unsigned StepsAccepted = 0;
+};
+
+/// Minimizes \p Text, which must fail the oracle with \p Kind under
+/// \p Opts.Oracle. \returns the input unchanged (StepsAccepted == 0) when
+/// the failure does not reproduce.
+ShrinkResult shrinkFailingModule(const std::string &Text, FailureKind Kind,
+                                 const ShrinkOptions &Opts);
+
+} // namespace simtsr
+
+#endif // SIMTSR_FUZZ_SHRINKER_H

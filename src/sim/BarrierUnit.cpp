@@ -3,14 +3,35 @@
 #include "sim/BarrierUnit.h"
 
 #include <bit>
-#include <cassert>
+#include <cstdio>
 
 using namespace simtsr;
 
 BarrierUnit::BarrierUnit() : Barriers(NumBarrierRegisters) {}
 
+void BarrierUnit::fail(std::string Message) {
+  if (LastError.empty())
+    LastError = std::move(Message);
+}
+
+std::string BarrierUnit::takeError() {
+  std::string E = std::move(LastError);
+  LastError.clear();
+  return E;
+}
+
+bool BarrierUnit::checkId(unsigned BarrierId, const char *Op) {
+  if (BarrierId < Barriers.size())
+    return true;
+  fail(std::string(Op) + ": barrier id " + std::to_string(BarrierId) +
+       " out of range (register file has " +
+       std::to_string(Barriers.size()) + " barriers)");
+  return false;
+}
+
 LaneMask BarrierUnit::join(unsigned BarrierId, LaneMask Lanes) {
-  assert(BarrierId < Barriers.size() && "barrier id out of range");
+  if (!checkId(BarrierId, "join"))
+    return 0;
   Barrier &B = Barriers[BarrierId];
   B.Participants = Lanes;
   return tryRelease(B);
@@ -39,17 +60,22 @@ LaneMask BarrierUnit::tryRelease(Barrier &B) {
 }
 
 LaneMask BarrierUnit::cancel(unsigned BarrierId, LaneMask Lanes) {
-  assert(BarrierId < Barriers.size() && "barrier id out of range");
+  if (!checkId(BarrierId, "cancel"))
+    return 0;
   Barrier &B = Barriers[BarrierId];
   B.Participants &= ~Lanes;
   return tryRelease(B);
 }
 
 LaneMask BarrierUnit::arriveWait(unsigned BarrierId, LaneMask Lanes) {
-  assert(BarrierId < Barriers.size() && "barrier id out of range");
+  if (!checkId(BarrierId, "wait"))
+    return 0;
   Barrier &B = Barriers[BarrierId];
-  assert((B.Waiters == 0 || !B.Soft) &&
-         "mixing classic and soft waits on one barrier");
+  if (B.Waiters != 0 && B.Soft) {
+    fail("wait: classic wait on barrier b" + std::to_string(BarrierId) +
+         " which already has soft waiters");
+    return 0;
+  }
   B.Waiters |= Lanes;
   B.Soft = false;
   return tryRelease(B);
@@ -57,10 +83,14 @@ LaneMask BarrierUnit::arriveWait(unsigned BarrierId, LaneMask Lanes) {
 
 LaneMask BarrierUnit::arriveSoftWait(unsigned BarrierId, LaneMask Lanes,
                                      uint64_t Threshold) {
-  assert(BarrierId < Barriers.size() && "barrier id out of range");
+  if (!checkId(BarrierId, "softwait"))
+    return 0;
   Barrier &B = Barriers[BarrierId];
-  assert((B.Waiters == 0 || B.Soft) &&
-         "mixing classic and soft waits on one barrier");
+  if (B.Waiters != 0 && !B.Soft) {
+    fail("softwait: soft wait on barrier b" + std::to_string(BarrierId) +
+         " which already has classic waiters");
+    return 0;
+  }
   B.Waiters |= Lanes;
   B.Soft = true;
   B.MinThreshold = std::min(B.MinThreshold, Threshold);
@@ -96,13 +126,11 @@ LaneMask BarrierUnit::yield() {
 }
 
 LaneMask BarrierUnit::participants(unsigned BarrierId) const {
-  assert(BarrierId < Barriers.size() && "barrier id out of range");
-  return Barriers[BarrierId].Participants;
+  return BarrierId < Barriers.size() ? Barriers[BarrierId].Participants : 0;
 }
 
 LaneMask BarrierUnit::waiters(unsigned BarrierId) const {
-  assert(BarrierId < Barriers.size() && "barrier id out of range");
-  return Barriers[BarrierId].Waiters;
+  return BarrierId < Barriers.size() ? Barriers[BarrierId].Waiters : 0;
 }
 
 unsigned BarrierUnit::arrivedCount(unsigned BarrierId) const {
@@ -114,4 +142,30 @@ bool BarrierUnit::anyWaiters() const {
     if (B.Waiters != 0)
       return true;
   return false;
+}
+
+namespace {
+
+std::string hexMask(LaneMask M) {
+  char Buf[19];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                static_cast<unsigned long long>(M));
+  return Buf;
+}
+
+} // namespace
+
+std::string BarrierUnit::describeState() const {
+  std::string S;
+  for (size_t Id = 0; Id < Barriers.size(); ++Id) {
+    const Barrier &B = Barriers[Id];
+    if (B.Participants == 0 && B.Waiters == 0)
+      continue;
+    if (!S.empty())
+      S += "; ";
+    S += "b" + std::to_string(Id) + (B.Soft ? " (soft)" : "") +
+         ": participants=" + hexMask(B.Participants) +
+         " waiters=" + hexMask(B.Waiters);
+  }
+  return S.empty() ? "no barrier has live state" : S;
 }

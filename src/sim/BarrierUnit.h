@@ -23,6 +23,7 @@
 #include "ir/Opcode.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace simtsr {
@@ -30,6 +31,11 @@ namespace simtsr {
 /// Lane masks cover warps of up to 64 threads.
 using LaneMask = uint64_t;
 
+/// Misuse of the barrier unit (out-of-range ids, classic/soft wait mixing)
+/// is reported through hasError()/takeError() rather than asserted, so the
+/// simulator can surface it as a recoverable Trap even in release builds.
+/// A mutating operation that fails leaves the barrier state unchanged and
+/// returns 0 (no lanes released).
 class BarrierUnit {
 public:
   BarrierUnit();
@@ -62,6 +68,8 @@ public:
   /// the most waiters. \returns the released lanes (0 if nothing waits).
   LaneMask yield();
 
+  /// Accessors tolerate out-of-range ids and return 0 (the pre-run verifier
+  /// rejects such IR; these are queried from reporting paths too).
   LaneMask participants(unsigned Barrier) const;
   LaneMask waiters(unsigned Barrier) const;
   /// Number of threads currently waiting on \p Barrier (ArrivedCount).
@@ -69,6 +77,15 @@ public:
 
   /// True if any thread is blocked on any barrier.
   bool anyWaiters() const;
+
+  /// True when a preceding operation was rejected as misuse.
+  bool hasError() const { return !LastError.empty(); }
+  /// \returns the diagnostic for the first rejected operation and clears it.
+  std::string takeError();
+
+  /// Human-readable dump of every barrier with live state; used to build
+  /// deadlock diagnostics.
+  std::string describeState() const;
 
 private:
   struct Barrier {
@@ -82,7 +99,13 @@ private:
   /// \returns the released lanes (0 when the condition does not hold).
   LaneMask tryRelease(Barrier &B);
 
+  /// Records the first misuse diagnostic; later ones are dropped.
+  void fail(std::string Message);
+  /// \returns true when \p BarrierId is valid; records an error otherwise.
+  bool checkId(unsigned BarrierId, const char *Op);
+
   std::vector<Barrier> Barriers;
+  std::string LastError;
 };
 
 } // namespace simtsr

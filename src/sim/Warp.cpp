@@ -3,30 +3,74 @@
 #include "sim/Warp.h"
 
 #include "ir/Printer.h"
+#include "ir/Verifier.h"
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <limits>
 #include <map>
 #include <set>
 
 using namespace simtsr;
 
+const char *simtsr::getRunStatusName(RunResult::Status S) {
+  switch (S) {
+  case RunResult::Status::Finished:
+    return "finished";
+  case RunResult::Status::Deadlock:
+    return "deadlock";
+  case RunResult::Status::Trap:
+    return "trap";
+  case RunResult::Status::IssueLimit:
+    return "issue-limit";
+  case RunResult::Status::Timeout:
+    return "timeout";
+  case RunResult::Status::Malformed:
+    return "malformed";
+  }
+  return "unknown";
+}
+
 WarpSimulator::WarpSimulator(const Module &M, const Function *Kernel,
                              LaunchConfig Config)
     : M(M), Kernel(Kernel), Config(std::move(Config)) {
-  assert(Kernel && Kernel->parent() == &M && "kernel not in module");
-  assert(this->Config.WarpSize >= 1 && this->Config.WarpSize <= 64 &&
-         "warp size must be in [1, 64]");
-  assert(this->Config.KernelArgs.size() == Kernel->numParams() &&
-         "kernel argument count mismatch");
+  LaunchConfig &Cfg = this->Config;
+  if (Cfg.WarpSize < 1 || Cfg.WarpSize > 64) {
+    PrelaunchErrors.push_back("warp size " + std::to_string(Cfg.WarpSize) +
+                              " outside [1, 64]");
+    Cfg.WarpSize = std::clamp(Cfg.WarpSize, 1u, 64u);
+  }
   GlobalMemory.assign(M.globalMemoryWords(), 0);
-  Stats.WarpSize = this->Config.WarpSize;
+  Stats.WarpSize = Cfg.WarpSize;
 
-  Threads.resize(this->Config.WarpSize);
-  for (unsigned Lane = 0; Lane < this->Config.WarpSize; ++Lane) {
+  if (!Kernel) {
+    PrelaunchErrors.push_back("no kernel function selected");
+    return;
+  }
+  if (Kernel->parent() != &M) {
+    PrelaunchErrors.push_back("kernel '@" + Kernel->name() +
+                              "' does not belong to the launched module");
+    return;
+  }
+  if (Kernel->empty()) {
+    PrelaunchErrors.push_back("kernel '@" + Kernel->name() +
+                              "' has no blocks");
+    return;
+  }
+  if (Cfg.KernelArgs.size() != Kernel->numParams()) {
+    PrelaunchErrors.push_back(
+        "kernel '@" + Kernel->name() + "' takes " +
+        std::to_string(Kernel->numParams()) + " parameter(s) but " +
+        std::to_string(Cfg.KernelArgs.size()) + " argument(s) were provided");
+    return;
+  }
+
+  Threads.resize(Cfg.WarpSize);
+  for (unsigned Lane = 0; Lane < Cfg.WarpSize; ++Lane) {
     Thread &T = Threads[Lane];
-    uint64_t SeedState = this->Config.Seed;
+    uint64_t SeedState = Cfg.Seed;
     // Derive an independent stream per lane.
     uint64_t LaneSeed = splitMix64(SeedState) ^ (0x9e37ull * (Lane + 1));
     T.Rand.seed(LaneSeed);
@@ -36,15 +80,38 @@ WarpSimulator::WarpSimulator(const Module &M, const Function *Kernel,
     F.Index = 0;
     F.RetDst = NoRegister;
     F.Regs.assign(Kernel->numRegs(), 0);
-    for (size_t A = 0; A < this->Config.KernelArgs.size(); ++A)
-      F.Regs[A] = this->Config.KernelArgs[A];
+    for (size_t A = 0; A < Cfg.KernelArgs.size(); ++A)
+      F.Regs[A] = Cfg.KernelArgs[A];
     T.Stack.push_back(std::move(F));
   }
 }
 
-void WarpSimulator::setMemory(uint64_t Addr, int64_t Value) {
-  assert(Addr < GlobalMemory.size() && "setMemory out of bounds");
+bool WarpSimulator::setMemory(uint64_t Addr, int64_t Value) {
+  if (Addr >= GlobalMemory.size()) {
+    PrelaunchErrors.push_back(
+        "setMemory address " + std::to_string(Addr) +
+        " out of bounds (global memory has " +
+        std::to_string(GlobalMemory.size()) + " words)");
+    return false;
+  }
   GlobalMemory[Addr] = Value;
+  return true;
+}
+
+bool WarpSimulator::validateLaunch(std::vector<std::string> &Errors) const {
+  // Structural IR validation: rejecting out-of-range registers, barrier
+  // ids, unterminated blocks and bad operand kinds here keeps the
+  // per-instruction interpreter checks cheap and makes release builds as
+  // safe as asserting ones.
+  std::vector<std::string> Diags = verifyModule(M);
+  constexpr size_t MaxReported = 3;
+  for (size_t I = 0; I < Diags.size() && I < MaxReported; ++I)
+    Errors.push_back("invalid IR: " + Diags[I]);
+  if (Diags.size() > MaxReported)
+    Errors.push_back("invalid IR: (+" +
+                     std::to_string(Diags.size() - MaxReported) +
+                     " more diagnostics)");
+  return Errors.empty();
 }
 
 uint64_t WarpSimulator::memoryChecksum() const {
@@ -61,18 +128,29 @@ WarpSimulator::Pc WarpSimulator::pcOf(const Thread &T) const {
   return {F.F, F.Block, F.Index};
 }
 
-int64_t WarpSimulator::eval(const Thread &T, const Operand &O) const {
+int64_t WarpSimulator::eval(const Thread &T, const Operand &O) {
   if (O.isImm())
     return O.getImm();
-  assert(O.isReg() && "evaluating a non-value operand");
+  if (!O.isReg()) {
+    trap("malformed operand: expected a register or immediate");
+    return 0;
+  }
   const Frame &F = T.Stack.back();
-  assert(O.getReg() < F.Regs.size() && "register out of range");
+  if (O.getReg() >= F.Regs.size()) {
+    trap("register r" + std::to_string(O.getReg()) +
+         " out of range in @" + F.F->name());
+    return 0;
+  }
   return F.Regs[O.getReg()];
 }
 
 void WarpSimulator::writeReg(Thread &T, unsigned Reg, int64_t V) {
   Frame &F = T.Stack.back();
-  assert(Reg < F.Regs.size() && "register out of range");
+  if (Reg >= F.Regs.size()) {
+    trap("register r" + std::to_string(Reg) + " out of range in @" +
+         F.F->name());
+    return;
+  }
   F.Regs[Reg] = V;
 }
 
@@ -114,6 +192,31 @@ void WarpSimulator::checkWarpSyncRelease() {
     releaseLanes(Arrived);
 }
 
+std::string WarpSimulator::describeBlockedThreads() const {
+  unsigned Waiting = 0, Exited = 0;
+  LaneMask SyncWaiters = 0;
+  for (unsigned Lane = 0; Lane < Config.WarpSize; ++Lane) {
+    const Thread &T = Threads[Lane];
+    if (T.Status == ThreadStatus::Exited)
+      ++Exited;
+    else if (T.Status == ThreadStatus::Waiting) {
+      ++Waiting;
+      if (T.WaitingOn == WaitingOnWarpSync)
+        SyncWaiters |= 1ull << Lane;
+    }
+  }
+  std::string S = std::to_string(Waiting) + " thread(s) blocked, " +
+                  std::to_string(Exited) + " exited; " +
+                  Barriers.describeState();
+  if (SyncWaiters) {
+    char Buf[19];
+    std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                  static_cast<unsigned long long>(SyncWaiters));
+    S += std::string("; warpsync waiters=") + Buf;
+  }
+  return S;
+}
+
 void WarpSimulator::exitThread(unsigned Lane) {
   Threads[Lane].Status = ThreadStatus::Exited;
   Threads[Lane].Stack.clear();
@@ -133,16 +236,26 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
 
   const Opcode Op = I.opcode();
 
+  // A rejected barrier operation (out-of-range id, classic/soft mixing)
+  // becomes a trap instead of undefined behaviour.
+  auto barrierUnitOk = [&]() -> bool {
+    if (!Barriers.hasError())
+      return true;
+    trap("barrier misuse: " + Barriers.takeError() + " in " +
+         printInstruction(I));
+    return false;
+  };
+
   // Barrier operations act on the whole group at once.
   if (Op == Opcode::JoinBarrier || Op == Opcode::RejoinBarrier) {
     forEachLane([&](unsigned, Thread &T) { advance(T); });
     releaseLanes(Barriers.join(I.barrierId(), Lanes));
-    return true;
+    return barrierUnitOk();
   }
   if (Op == Opcode::CancelBarrier) {
     forEachLane([&](unsigned, Thread &T) { advance(T); });
     releaseLanes(Barriers.cancel(I.barrierId(), Lanes));
-    return true;
+    return barrierUnitOk();
   }
   if (Op == Opcode::WaitBarrier || Op == Opcode::SoftWait ||
       Op == Opcode::WarpSync) {
@@ -158,7 +271,9 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
     });
     if (Op == Opcode::WaitBarrier) {
       releaseLanes(Barriers.arriveWait(I.barrierId(), Lanes));
-    } else if (Op == Opcode::SoftWait) {
+      return barrierUnitOk();
+    }
+    if (Op == Opcode::SoftWait) {
       // The threshold must be warp-uniform; the first lane's value decides.
       unsigned FirstLane = static_cast<unsigned>(std::countr_zero(Lanes));
       int64_t Threshold = eval(Threads[FirstLane], I.operand(1));
@@ -168,9 +283,9 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
       }
       releaseLanes(Barriers.arriveSoftWait(I.barrierId(), Lanes,
                                            static_cast<uint64_t>(Threshold)));
-    } else {
-      checkWarpSyncRelease();
+      return barrierUnitOk();
     }
+    checkWarpSyncRelease();
     return true;
   }
 
@@ -216,8 +331,26 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
   }
 
   case Opcode::Call: {
+    if (!I.operand(0).isFunc()) {
+      trap("malformed call: first operand is not a function");
+      return false;
+    }
     const Function *Callee = I.operand(0).getFunc();
+    if (Callee->empty()) {
+      trap("call to function '@" + Callee->name() + "' with no blocks");
+      return false;
+    }
+    bool Failed = false;
     forEachLane([&](unsigned, Thread &T) {
+      if (Failed)
+        return;
+      if (T.Stack.size() >= Config.MaxCallDepth) {
+        trap("call depth limit of " + std::to_string(Config.MaxCallDepth) +
+             " exceeded calling '@" + Callee->name() +
+             "' (unbounded recursion?)");
+        Failed = true;
+        return;
+      }
       Frame New;
       New.F = Callee;
       New.Block = Callee->entry()->number();
@@ -229,7 +362,7 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
       advance(T); // Resume after the call upon return.
       T.Stack.push_back(std::move(New));
     });
-    return true;
+    return !Failed;
   }
 
   case Opcode::Load: {
@@ -283,13 +416,21 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
       }
       int64_t &Cell = GlobalMemory[static_cast<uint64_t>(Addr)];
       writeReg(T, I.dst(), Cell);
-      Cell += eval(T, I.operand(1));
+      // Wrapping accumulation, matching the Add opcode's semantics.
+      Cell = static_cast<int64_t>(static_cast<uint64_t>(Cell) +
+                                  static_cast<uint64_t>(
+                                      eval(T, I.operand(1))));
       advance(T);
     });
     return !Failed;
   }
 
   case Opcode::ArrivedCount: {
+    if (I.barrierId() >= NumBarrierRegisters) {
+      trap("barrier misuse: arrived_count: barrier id " +
+           std::to_string(I.barrierId()) + " out of range");
+      return false;
+    }
     unsigned Count = Barriers.arrivedCount(I.barrierId());
     forEachLane([&](unsigned, Thread &T) {
       writeReg(T, I.dst(), static_cast<int64_t>(Count));
@@ -299,7 +440,10 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
   }
 
   default: {
-    // Pure per-thread value computation.
+    // Pure per-thread value computation. Add/Sub/Mul/Neg use two's-
+    // complement wraparound (computed in uint64_t) so that untrusted
+    // arithmetic can never be undefined behaviour.
+    auto wrap = [](uint64_t V) { return static_cast<int64_t>(V); };
     bool Failed = false;
     forEachLane([&](unsigned Lane, Thread &T) {
       if (Failed)
@@ -307,13 +451,16 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
       int64_t V = 0;
       switch (Op) {
       case Opcode::Add:
-        V = eval(T, I.operand(0)) + eval(T, I.operand(1));
+        V = wrap(static_cast<uint64_t>(eval(T, I.operand(0))) +
+                 static_cast<uint64_t>(eval(T, I.operand(1))));
         break;
       case Opcode::Sub:
-        V = eval(T, I.operand(0)) - eval(T, I.operand(1));
+        V = wrap(static_cast<uint64_t>(eval(T, I.operand(0))) -
+                 static_cast<uint64_t>(eval(T, I.operand(1))));
         break;
       case Opcode::Mul:
-        V = eval(T, I.operand(0)) * eval(T, I.operand(1));
+        V = wrap(static_cast<uint64_t>(eval(T, I.operand(0))) *
+                 static_cast<uint64_t>(eval(T, I.operand(1))));
         break;
       case Opcode::Div: {
         int64_t D = eval(T, I.operand(1));
@@ -322,7 +469,10 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
           Failed = true;
           return;
         }
-        V = eval(T, I.operand(0)) / D;
+        int64_t A = eval(T, I.operand(0));
+        // INT64_MIN / -1 overflows; define it to wrap like hardware.
+        V = (A == std::numeric_limits<int64_t>::min() && D == -1) ? A
+                                                                  : A / D;
         break;
       }
       case Opcode::Rem: {
@@ -332,7 +482,9 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
           Failed = true;
           return;
         }
-        V = eval(T, I.operand(0)) % D;
+        int64_t A = eval(T, I.operand(0));
+        V = (A == std::numeric_limits<int64_t>::min() && D == -1) ? 0
+                                                                  : A % D;
         break;
       }
       case Opcode::And:
@@ -364,7 +516,7 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
         V = ~eval(T, I.operand(0));
         break;
       case Opcode::Neg:
-        V = -eval(T, I.operand(0));
+        V = wrap(0 - static_cast<uint64_t>(eval(T, I.operand(0))));
         break;
       case Opcode::Mov:
         V = eval(T, I.operand(0));
@@ -432,12 +584,54 @@ RunResult WarpSimulator::run() {
   Result = RunResult();
   Result.Stats.WarpSize = Config.WarpSize;
 
+  // Pre-run validation: reject broken launches and malformed IR with a
+  // structured status instead of relying on interior assertions.
+  {
+    std::vector<std::string> Errors = PrelaunchErrors;
+    if (Errors.empty())
+      validateLaunch(Errors);
+    if (!Errors.empty()) {
+      Result.St = RunResult::Status::Malformed;
+      std::string Joined;
+      for (const std::string &E : Errors) {
+        if (!Joined.empty())
+          Joined += "; ";
+        Joined += E;
+      }
+      Result.TrapMessage = Joined;
+      Result.Stats = Stats;
+      return Result;
+    }
+  }
+
+  const bool UseWatchdog = Config.MaxWallMillis > 0;
+  const auto StartTime = std::chrono::steady_clock::now();
+
   while (true) {
     if (Trapped)
       break;
     if (Stats.IssueSlots >= Config.MaxIssueSlots) {
       Result.St = RunResult::Status::IssueLimit;
+      Result.TrapMessage =
+          "issue-slot limit of " + std::to_string(Config.MaxIssueSlots) +
+          " reached after " + std::to_string(Stats.Cycles) +
+          " cycles (livelock guard; raise LaunchConfig::MaxIssueSlots if "
+          "the kernel legitimately runs longer)";
       break;
+    }
+    if (UseWatchdog && (Stats.IssueSlots & 0xfffu) == 0) {
+      const auto Elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - StartTime)
+              .count();
+      if (static_cast<uint64_t>(Elapsed) >= Config.MaxWallMillis) {
+        Result.St = RunResult::Status::Timeout;
+        Result.TrapMessage =
+            "wall-clock watchdog expired after " + std::to_string(Elapsed) +
+            " ms (limit " + std::to_string(Config.MaxWallMillis) + " ms, " +
+            std::to_string(Stats.IssueSlots) + " issue slots)";
+        break;
+      }
     }
 
     // Gather ready threads grouped by PC. A flat vector kept in Pc order
@@ -475,12 +669,17 @@ RunResult WarpSimulator::run() {
       // Every live thread is blocked on a barrier.
       if (!Config.YieldOnDeadlock) {
         Result.St = RunResult::Status::Deadlock;
+        Result.TrapMessage = "all live threads are blocked: " +
+                             describeBlockedThreads();
         break;
       }
       ++Stats.BarrierYields;
       LaneMask Released = Barriers.yield();
       if (Released == 0) {
         Result.St = RunResult::Status::Deadlock;
+        Result.TrapMessage =
+            "forward-progress yield released nothing (threads blocked "
+            "outside the barrier unit): " + describeBlockedThreads();
         break;
       }
       releaseLanes(Released);
@@ -524,11 +723,23 @@ RunResult WarpSimulator::run() {
       break;
     }
     }
-    assert(ChosenPc && "scheduler found no group");
+    if (!ChosenPc) {
+      trap("scheduler found no issuable group despite ready threads");
+      break;
+    }
 
     const Function *F = ChosenPc->F;
+    if (ChosenPc->Block >= F->size()) {
+      trap("program counter names block " + std::to_string(ChosenPc->Block) +
+           " past the end of @" + F->name());
+      break;
+    }
     const BasicBlock *BB = F->block(ChosenPc->Block);
-    assert(ChosenPc->Index < BB->size() && "PC past end of block");
+    if (ChosenPc->Index >= BB->size()) {
+      trap("program counter past the end of block '" + BB->name() +
+           "' in @" + F->name());
+      break;
+    }
     const Instruction &I = BB->inst(ChosenPc->Index);
 
     if (Tracer)

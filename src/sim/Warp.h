@@ -47,6 +47,12 @@ struct LaunchConfig {
   /// placement bugs surface as errors.
   bool YieldOnDeadlock = false;
   uint64_t MaxIssueSlots = 200ull * 1000 * 1000;
+  /// Wall-clock watchdog complementing MaxIssueSlots (a run can be slow
+  /// without being issue-bound, e.g. pathological profile maps). 0 disables.
+  uint64_t MaxWallMillis = 0;
+  /// Trap when any thread's call stack exceeds this depth (the IR verifier
+  /// cannot rule out unbounded recursion).
+  unsigned MaxCallDepth = 512;
   LatencyModel Latency = LatencyModel::computeBound();
   /// Broadcast to every thread's parameter registers.
   std::vector<int64_t> KernelArgs;
@@ -55,22 +61,36 @@ struct LaunchConfig {
 };
 
 struct RunResult {
-  enum class Status { Finished, Deadlock, Trap, IssueLimit };
+  enum class Status {
+    Finished,  ///< All threads exited.
+    Deadlock,  ///< Live threads blocked, nothing releasable.
+    Trap,      ///< Runtime fault (bad memory access, barrier misuse, ...).
+    IssueLimit,///< MaxIssueSlots exhausted (livelock guard).
+    Timeout,   ///< MaxWallMillis exceeded (wall-clock watchdog).
+    Malformed, ///< Pre-run validation rejected the launch or the IR.
+  };
   Status St = Status::Finished;
+  /// Context for any non-Finished status: the trap message, a deadlock
+  /// description, limit details, or validation diagnostics.
   std::string TrapMessage;
   SimStats Stats;
 
   bool ok() const { return St == Status::Finished; }
 };
 
+/// \returns a stable lowercase name for \p S ("finished", "deadlock", ...).
+const char *getRunStatusName(RunResult::Status S);
+
 class WarpSimulator {
 public:
   /// \p Kernel must belong to \p M and take config.KernelArgs.size()
-  /// parameters.
+  /// parameters; violations are reported by run() as Status::Malformed
+  /// rather than asserted, so untrusted launches are safe in release builds.
   WarpSimulator(const Module &M, const Function *Kernel, LaunchConfig Config);
 
-  /// Pre-launch global-memory initialization.
-  void setMemory(uint64_t Addr, int64_t Value);
+  /// Pre-launch global-memory initialization. \returns false (and makes the
+  /// next run() report Malformed) when \p Addr is out of bounds.
+  bool setMemory(uint64_t Addr, int64_t Value);
   const std::vector<int64_t> &memory() const { return GlobalMemory; }
 
   /// FNV-1a hash over global memory — the semantic-transparency checksum.
@@ -123,7 +143,14 @@ private:
   };
 
   Pc pcOf(const Thread &T) const;
-  int64_t eval(const Thread &T, const Operand &O) const;
+  /// Pre-run validation of launch configuration and module well-formedness;
+  /// appends diagnostics to \p Errors. \returns true when the run may start.
+  bool validateLaunch(std::vector<std::string> &Errors) const;
+  /// Describes why the warp cannot make progress (barrier and warpsync
+  /// state) for Deadlock diagnostics.
+  std::string describeBlockedThreads() const;
+  /// Evaluating a malformed or out-of-range operand traps and yields 0.
+  int64_t eval(const Thread &T, const Operand &O);
   void writeReg(Thread &T, unsigned Reg, int64_t V);
   void releaseLanes(LaneMask Lanes);
   /// Releases warpsync waiters once every live thread has arrived.
@@ -145,6 +172,8 @@ private:
   SimStats Stats;
   RunResult Result;
   bool Trapped = false;
+  /// Construction/setMemory problems surfaced by run() as Malformed.
+  std::vector<std::string> PrelaunchErrors;
   unsigned RoundRobinNext = 0;
   TraceFn Tracer;
 };

@@ -2,7 +2,7 @@
 
 #include "transform/BarrierRealloc.h"
 
-#include "analysis/BarrierAnalysis.h"
+#include "analysis/Dominators.h"
 #include "ir/Module.h"
 
 #include <algorithm>
@@ -12,41 +12,111 @@ using namespace simtsr;
 
 namespace {
 
-/// Marks, for every instruction-boundary point of \p F, which barriers are
-/// joined; additionally marks the op site of every barrier instruction so
-/// that barriers are considered live where they are manipulated.
-std::vector<std::vector<bool>> barrierRanges(Function &F) {
-  JoinedBarrierAnalysis Joined(F);
-  size_t NumPoints = 0;
+/// One barrier op site: (block, instruction index, opcode).
+struct OpSite {
+  BasicBlock *Block;
+  size_t Index;
+  Opcode Op;
+};
+
+/// All op sites per barrier id.
+std::map<unsigned, std::vector<OpSite>> barrierOpSites(Function &F) {
+  std::map<unsigned, std::vector<OpSite>> Sites;
   for (BasicBlock *BB : F)
-    NumPoints += BB->size() + 1;
-  std::vector<std::vector<bool>> Ranges(
-      NumBarrierRegisters, std::vector<bool>(NumPoints, false));
-  size_t Point = 0;
-  for (BasicBlock *BB : F) {
-    uint32_t State = Joined.in(BB);
-    for (size_t I = 0; I <= BB->size(); ++I) {
-      if (I > 0) {
-        const Instruction &Inst = BB->inst(I - 1);
-        State = (State & ~barriereffect::killJoined(Inst)) |
-                barriereffect::genJoined(Inst);
-        if (isBarrierOp(Inst.opcode()))
-          Ranges[Inst.barrierId()][Point] = true; // The op site itself.
-      }
-      for (unsigned B = 0; B < NumBarrierRegisters; ++B)
-        if (State & (1u << B))
-          Ranges[B][Point] = true;
-      ++Point;
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction &Inst = BB->inst(I);
+      if (isBarrierOp(Inst.opcode()) &&
+          Inst.opcode() != Opcode::ArrivedCount)
+        Sites[Inst.barrierId()].push_back({BB, I, Inst.opcode()});
     }
-  }
-  return Ranges;
+  return Sites;
 }
 
-bool rangesOverlap(const std::vector<bool> &A, const std::vector<bool> &B) {
-  for (size_t I = 0; I < A.size(); ++I)
-    if (A[I] && B[I])
+/// True when op site \p A strictly precedes \p B in the dominance order.
+bool strictlyDominates(const DominatorTree &DT, const OpSite &A,
+                       const OpSite &B) {
+  if (A.Block == B.Block)
+    return A.Index < B.Index;
+  return DT.dominates(A.Block, B.Block);
+}
+
+/// Per-block forward reachability through at least one CFG edge.
+struct EdgeReachability {
+  std::vector<std::vector<bool>> Reach; // [from][to]
+
+  explicit EdgeReachability(Function &F) : Reach(F.size()) {
+    for (BasicBlock *BB : F) {
+      std::vector<bool> &R = Reach[BB->number()];
+      R.assign(F.size(), false);
+      std::vector<BasicBlock *> Worklist = BB->successors();
+      while (!Worklist.empty()) {
+        BasicBlock *Next = Worklist.back();
+        Worklist.pop_back();
+        if (R[Next->number()])
+          continue;
+        R[Next->number()] = true;
+        for (BasicBlock *S : Next->successors())
+          Worklist.push_back(S);
+      }
+    }
+  }
+
+  /// True when execution can pass op \p A and later reach op \p B.
+  bool opReaches(const OpSite &A, const OpSite &B) const {
+    if (A.Block == B.Block && B.Index > A.Index)
       return true;
-  return false;
+    return Reach[A.Block->number()][B.Block->number()];
+  }
+};
+
+/// True when barrier \p X provably completes before barrier \p Y can begin
+/// for every lane of the warp. Under independent thread scheduling a lane
+/// can run arbitrarily far ahead of its warp-mates, so statically disjoint
+/// joined ranges are NOT enough for two barriers to share a register: one
+/// lane can sit inside X's range while another executes Y's join on the
+/// same physical register, clobbering the participant mask (a join
+/// overwrites it) and deadlocking the warp. The only separation the
+/// hardware offers is a classic wait: no lane passes it before the
+/// barrier releases and its membership clears. We therefore require every
+/// op of \p Y to be dominated by a classic wait of \p X, every op of \p X
+/// to dominate every op of \p Y (so X cannot come back to life later),
+/// and \p X to have no soft waits (soft releases do not clear
+/// membership). Dominance alone is not execution order in a cycle — a
+/// loop header's op dominates the loop body yet re-executes after it — so
+/// no op of \p X may be reachable from any op of \p Y.
+bool completesBefore(const DominatorTree &DT, const EdgeReachability &ER,
+                     const std::vector<OpSite> &X,
+                     const std::vector<OpSite> &Y) {
+  bool HasClassicWait = false;
+  for (const OpSite &Op : X) {
+    if (Op.Op == Opcode::SoftWait)
+      return false;
+    if (Op.Op == Opcode::WaitBarrier)
+      HasClassicWait = true;
+  }
+  if (!HasClassicWait)
+    return false;
+  for (const OpSite &OpX : X)
+    for (const OpSite &OpY : Y)
+      if (!strictlyDominates(DT, OpX, OpY) || ER.opReaches(OpY, OpX))
+        return false;
+  for (const OpSite &OpY : Y) {
+    bool Separated = false;
+    for (const OpSite &OpX : X)
+      if (OpX.Op == Opcode::WaitBarrier && strictlyDominates(DT, OpX, OpY)) {
+        Separated = true;
+        break;
+      }
+    if (!Separated)
+      return false;
+  }
+  return true;
+}
+
+/// True when \p X and \p Y may share one physical barrier register.
+bool canShare(const DominatorTree &DT, const EdgeReachability &ER,
+              const std::vector<OpSite> &X, const std::vector<OpSite> &Y) {
+  return completesBefore(DT, ER, X, Y) || completesBefore(DT, ER, Y, X);
 }
 
 std::set<unsigned> usedBarriers(const Function &F) {
@@ -67,7 +137,9 @@ std::map<unsigned, unsigned> colorFunction(Function &F, unsigned FirstColor,
   std::set<unsigned> Used = usedBarriers(F);
   if (Used.empty())
     return Renaming;
-  auto Ranges = barrierRanges(F);
+  auto Sites = barrierOpSites(F);
+  DominatorTree DT(F);
+  EdgeReachability ER(F);
 
   for (unsigned Old : Used) {
     if (Pinned.count(Old)) {
@@ -82,7 +154,7 @@ std::map<unsigned, unsigned> colorFunction(Function &F, unsigned FirstColor,
       bool Clash = false;
       for (const auto &[OtherOld, OtherNew] : Renaming)
         if (OtherNew == Color &&
-            rangesOverlap(Ranges[Old], Ranges[OtherOld]))
+            !canShare(DT, ER, Sites[Old], Sites[OtherOld]))
           Clash = true;
       if (!Clash) {
         Renaming[Old] = Color;

@@ -4,10 +4,20 @@
 /// The Volta ISA exposes 16 barrier registers per warp, and the paper's
 /// static deconfliction explicitly counts "barrier registers used" as a
 /// cost. Our pipeline hands out module-globally unique ids, which is
-/// correct but wasteful: within one function, two barriers whose joined
-/// ranges never overlap can share a register. This pass recolours each
-/// function's barriers greedily over the joined-range interference graph,
-/// shrinking register pressure.
+/// correct but wasteful: within one function, two barriers that are
+/// strictly ordered can share a register. This pass recolours each
+/// function's barriers greedily over that interference graph, shrinking
+/// register pressure.
+///
+/// Two barriers are considered orderable only when every op of one
+/// strictly dominates every op of the other AND a classic
+/// (membership-clearing) wait of the earlier barrier dominates all ops of
+/// the later one. Statically disjoint joined ranges are NOT sufficient:
+/// under independent thread scheduling a lane can run arbitrarily far
+/// ahead of its warp-mates, so one lane can sit inside the first
+/// barrier's range while another executes the second barrier's join on
+/// the same physical register, clobbering the participant mask and
+/// deadlocking the warp.
 ///
 /// Cross-function sharing is *not* performed: under independent thread
 /// scheduling, threads of one warp can occupy two functions at once, so

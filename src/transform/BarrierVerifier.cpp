@@ -4,6 +4,7 @@
 
 #include "analysis/BarrierAnalysis.h"
 #include "ir/Function.h"
+#include "transform/Deconfliction.h"
 
 using namespace simtsr;
 
@@ -36,11 +37,12 @@ simtsr::verifyDeconflicted(Function &F, const BarrierRegistry &Reg) {
   // Primary hazard check: no PDOM barrier may still be joined when a
   // thread blocks at a speculative/interprocedural wait.
   JoinedBarrierAnalysis Joined(F);
-  uint32_t PdomMask = 0, SpecMask = 0;
+  uint32_t PdomMask = 0, SpecMask = 0, AnyOriginMask = 0;
   for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
     auto Origin = Reg.origin(B);
     if (!Origin)
       continue;
+    AnyOriginMask |= 1u << B;
     if (*Origin == BarrierOrigin::PdomSync)
       PdomMask |= 1u << B;
     if (*Origin == BarrierOrigin::Speculative)
@@ -76,6 +78,31 @@ simtsr::verifyDeconflicted(Function &F, const BarrierRegistry &Reg) {
                           " still joined at speculative wait on b" +
                           std::to_string(Inst.barrierId()) +
                           " (overlapping predictions)");
+    }
+  }
+
+  // Interprocedural hazard: a call into a function that may block on an
+  // interprocedural entry barrier is a wait site from the caller's
+  // perspective — the thread suspends inside the callee until threads
+  // outside it arrive. Any compiler-managed membership still held at such
+  // a call (other than the entry barriers the callee itself gathers on)
+  // can cross-deadlock against that wait.
+  for (BasicBlock *BB : F) {
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction &Inst = BB->inst(I);
+      if (Inst.opcode() != Opcode::Call)
+        continue;
+      Function *Callee = Inst.operand(0).getFunc();
+      const uint32_t Blocking = entryBarriersBlockingCall(Callee, Reg);
+      if (!Blocking)
+        continue;
+      const uint32_t Held = Joined.before(BB, I) & AnyOriginMask & ~Blocking;
+      for (unsigned B = 0; B < NumBarrierRegisters; ++B)
+        if (Held & (1u << B))
+          Diags.push_back("@" + F.name() + ":" + BB->name() +
+                          ": barrier b" + std::to_string(B) +
+                          " still joined at call to @" + Callee->name() +
+                          ", which blocks on an entry barrier");
     }
   }
 

@@ -24,7 +24,7 @@ bool isSpeculativeOrigin(BarrierOrigin O) {
 struct HazardSite {
   BasicBlock *Block;
   size_t Index;
-  uint32_t HeldPdoms;
+  uint32_t Held;
 };
 
 void deleteBarrierOps(Function &F, unsigned Barrier) {
@@ -41,7 +41,63 @@ void deleteBarrierOps(Function &F, unsigned Barrier) {
   }
 }
 
+/// Cancels every barrier in \p Held directly before (\p BB, \p Index),
+/// skipping barriers whose cancel already sits in the run of cancels
+/// immediately above. \returns the number of cancels inserted.
+unsigned cancelHeldBefore(BasicBlock *BB, size_t Index, uint32_t Held) {
+  unsigned Inserted = 0;
+  for (unsigned B = NumBarrierRegisters; B-- > 0;) {
+    if (!(Held & (1u << B)))
+      continue;
+    bool Already = false;
+    for (size_t K = Index; K-- > 0;) {
+      const Instruction &Prev = BB->inst(K);
+      if (Prev.opcode() != Opcode::CancelBarrier)
+        break;
+      if (Prev.barrierId() == B) {
+        Already = true;
+        break;
+      }
+    }
+    if (Already)
+      continue;
+    BB->insert(Index, Instruction(Opcode::CancelBarrier, NoRegister,
+                                  {Operand::barrier(B)}));
+    ++Inserted;
+  }
+  return Inserted;
+}
+
 } // namespace
+
+uint32_t simtsr::entryBarriersBlockingCall(Function *Callee,
+                                           const BarrierRegistry &Registry) {
+  uint32_t Mask = 0;
+  std::set<const Function *> Visited;
+  std::vector<Function *> Worklist{Callee};
+  while (!Worklist.empty()) {
+    Function *F = Worklist.back();
+    Worklist.pop_back();
+    if (!F || !Visited.insert(F).second)
+      continue;
+    for (BasicBlock *BB : *F) {
+      for (size_t I = 0; I < BB->size(); ++I) {
+        const Instruction &Inst = BB->inst(I);
+        if (Inst.opcode() == Opcode::Call) {
+          Worklist.push_back(Inst.operand(0).getFunc());
+          continue;
+        }
+        if (Inst.opcode() != Opcode::WaitBarrier &&
+            Inst.opcode() != Opcode::SoftWait)
+          continue;
+        auto Origin = Registry.origin(Inst.barrierId());
+        if (Origin && *Origin == BarrierOrigin::Interproc)
+          Mask |= 1u << Inst.barrierId();
+      }
+    }
+  }
+  return Mask;
+}
 
 DeconflictReport simtsr::deconflictBarriers(Function &F,
                                             BarrierRegistry &Registry,
@@ -97,40 +153,75 @@ DeconflictReport simtsr::deconflictBarriers(Function &F,
       ++Report.BarriersDeleted;
     }
     F.recomputePreds();
-    return Report;
+  } else {
+    // Dynamic (Figure 5(c)): cancel each held PDOM barrier right before
+    // the speculative wait. Process blocks back-to-front so indices stay
+    // valid.
+    std::stable_sort(Sites.begin(), Sites.end(),
+                     [](const HazardSite &A, const HazardSite &B) {
+                       if (A.Block != B.Block)
+                         return A.Block->number() < B.Block->number();
+                       return A.Index > B.Index;
+                     });
+    for (const HazardSite &S : Sites)
+      Report.CancelsInserted += cancelHeldBefore(S.Block, S.Index, S.Held);
+    F.recomputePreds();
   }
 
-  // Dynamic (Figure 5(c)): cancel each held PDOM barrier right before the
-  // speculative wait. Process blocks back-to-front so indices stay valid.
-  std::stable_sort(Sites.begin(), Sites.end(),
-                   [](const HazardSite &A, const HazardSite &B) {
-                     if (A.Block != B.Block)
-                       return A.Block->number() < B.Block->number();
-                     return A.Index > B.Index;
-                   });
-  for (const HazardSite &S : Sites) {
-    for (unsigned B = NumBarrierRegisters; B-- > 0;) {
-      if (!(S.HeldPdoms & (1u << B)))
-        continue;
-      // Idempotence: skip if the cancel already sits in the run of cancels
-      // directly above the wait.
-      bool Already = false;
-      for (size_t K = S.Index; K-- > 0;) {
-        const Instruction &Prev = S.Block->inst(K);
-        if (Prev.opcode() != Opcode::CancelBarrier)
-          break;
-        if (Prev.barrierId() == B) {
-          Already = true;
-          break;
-        }
-      }
-      if (Already)
-        continue;
-      S.Block->insert(S.Index, Instruction(Opcode::CancelBarrier, NoRegister,
-                                           {Operand::barrier(B)}));
-      ++Report.CancelsInserted;
-    }
+  // Interprocedural hazard — the same Figure 5(a) shape across a call: a
+  // thread entering a reconverge_entry callee suspends at the callee-side
+  // entry wait until threads outside the callee arrive, so any membership
+  // it still holds at the call site can cross-deadlock against that wait
+  // (PDOM waiters need the caller; the entry wait needs the PDOM waiters).
+  // Intraprocedural analyses cannot see the callee's wait, so the call
+  // itself is the hazard site. Resolution is always dynamic: deleting a
+  // barrier over a call site would forfeit its reconvergence on every
+  // path, not just the conflicting ones.
+  uint32_t ConflictMask = 0;
+  for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+    auto Origin = Registry.origin(B);
+    if (Origin && (*Origin == BarrierOrigin::PdomSync ||
+                   *Origin == BarrierOrigin::Speculative ||
+                   *Origin == BarrierOrigin::RegionExit ||
+                   *Origin == BarrierOrigin::Interproc))
+      ConflictMask |= 1u << B;
   }
-  F.recomputePreds();
+  if (ConflictMask) {
+    JoinedBarrierAnalysis JoinedNow(F);
+    std::vector<HazardSite> CallSites;
+    for (BasicBlock *BB : F) {
+      for (size_t I = 0; I < BB->size(); ++I) {
+        const Instruction &Inst = BB->inst(I);
+        if (Inst.opcode() != Opcode::Call)
+          continue;
+        const uint32_t Blocking =
+            entryBarriersBlockingCall(Inst.operand(0).getFunc(), Registry);
+        if (!Blocking)
+          continue;
+        // The callee's own entry barriers stay joined — arriving at their
+        // wait as a participant is the intended interprocedural gather.
+        const uint32_t Held =
+            JoinedNow.before(BB, I) & ConflictMask & ~Blocking;
+        if (Held)
+          CallSites.push_back({BB, I, Held});
+      }
+    }
+    std::stable_sort(CallSites.begin(), CallSites.end(),
+                     [](const HazardSite &A, const HazardSite &B) {
+                       if (A.Block != B.Block)
+                         return A.Block->number() < B.Block->number();
+                       return A.Index > B.Index;
+                     });
+    for (const HazardSite &S : CallSites) {
+      const unsigned Inserted =
+          cancelHeldBefore(S.Block, S.Index, S.Held);
+      Report.CancelsInserted += Inserted;
+      Report.CallSiteCancels += Inserted;
+      if (Inserted)
+        ++Report.ConflictsFound;
+    }
+    if (!CallSites.empty())
+      F.recomputePreds();
+  }
   return Report;
 }

@@ -31,10 +31,20 @@ enum class DeconflictStrategy { Static, Dynamic };
 
 struct DeconflictReport {
   unsigned ConflictsFound = 0;
-  unsigned BarriersDeleted = 0;  ///< Static strategy.
-  unsigned CancelsInserted = 0;  ///< Dynamic strategy.
+  unsigned BarriersDeleted = 0;   ///< Static strategy.
+  unsigned CancelsInserted = 0;   ///< Dynamic strategy (incl. call sites).
+  unsigned CallSiteCancels = 0;   ///< Subset inserted before blocking calls.
   std::vector<std::string> Diagnostics;
 };
+
+/// Mask of interprocedural entry barriers a thread may block on while
+/// executing \p Callee or any of its transitive callees. A call to such a
+/// function behaves like a wait on those barriers from the caller's
+/// perspective: the thread can suspend inside the callee until threads
+/// outside it arrive, so any conflicting membership it still holds at the
+/// call can cross-deadlock exactly like Figure 5(a).
+uint32_t entryBarriersBlockingCall(Function *Callee,
+                                   const BarrierRegistry &Registry);
 
 /// Resolves conflicts between speculative barriers and others in \p F.
 /// Conflicts between two non-speculative barriers are reported but left

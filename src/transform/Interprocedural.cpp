@@ -72,11 +72,18 @@ void annotateCaller(Function &G, Function *Callee, unsigned Barrier,
   if (CallBlocks.empty())
     return;
 
-  // Join at the nearest common dominator of all call sites.
+  // Join at the nearest common dominator of all reachable call sites
+  // (unreachable ones never execute, and the dominator tree has no
+  // position for them).
   DominatorTree DT(G);
-  BasicBlock *Dom = CallBlocks.front();
-  for (BasicBlock *CB : CallBlocks)
-    Dom = DT.nearestCommonDominator(Dom, CB);
+  BasicBlock *Dom = nullptr;
+  for (BasicBlock *CB : CallBlocks) {
+    if (!DT.isReachable(CB))
+      continue;
+    Dom = Dom ? DT.nearestCommonDominator(Dom, CB) : CB;
+    if (!Dom)
+      break;
+  }
   if (!Dom) {
     Report.Diagnostics.push_back("@" + G.name() +
                                  ": call sites of @" + Callee->name() +
@@ -188,8 +195,10 @@ simtsr::applyInterproceduralReconvergence(Module &M,
     auto Barrier = Registry.allocateLow(BarrierOrigin::Interproc,
                                         "entry:" + Callee->name());
     if (!Barrier) {
-      Report.Diagnostics.push_back("@" + Callee->name() +
-                                   ": out of barrier registers; skipped");
+      ++Report.Downgrades;
+      Report.Diagnostics.push_back(
+          "@" + Callee->name() + ": out of barrier registers; entry "
+          "reconvergence downgraded to intraprocedural sync");
       continue;
     }
     // Callee side: the entry wait.

@@ -31,6 +31,9 @@ struct InterprocReport {
   unsigned CallersAnnotated = 0;   ///< Caller functions with joins inserted.
   unsigned RejoinsInserted = 0;
   unsigned CancelsInserted = 0;
+  /// Callees left without entry reconvergence because the barrier-register
+  /// file was exhausted (intraprocedural sync still applies).
+  unsigned Downgrades = 0;
   std::vector<std::string> Diagnostics;
 };
 

@@ -43,9 +43,10 @@ PdomSyncReport simtsr::insertPdomSync(Function &F,
                                     F.name() + ":" + S.Branch->name());
     if (!Id) {
       ++Report.Skipped;
+      ++Report.OutOfRegisters;
       Report.Diagnostics.push_back(
           "@" + F.name() + ":" + S.Branch->name() +
-          ": out of barrier registers; skipped");
+          ": out of barrier registers; branch left unsynchronized");
       continue;
     }
     S.Branch->insertBeforeTerminator(Instruction(

@@ -26,6 +26,9 @@ struct PdomSyncReport {
   /// Branches skipped because they have no common post-dominator or the
   /// register file ran out.
   unsigned Skipped = 0;
+  /// Subset of Skipped caused by barrier-register exhaustion: the branch
+  /// compiles without reconvergence sync (correct, just less convergent).
+  unsigned OutOfRegisters = 0;
   std::vector<std::string> Diagnostics;
 };
 

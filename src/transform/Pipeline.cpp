@@ -41,6 +41,8 @@ void mergeReports(SRReport &Into, SRReport From) {
   Into.Applied.insert(Into.Applied.end(), From.Applied.begin(),
                       From.Applied.end());
   Into.RegionsSkipped += From.RegionsSkipped;
+  Into.PdomFallbacks += From.PdomFallbacks;
+  Into.ExitDowngrades += From.ExitDowngrades;
   Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
                           From.Diagnostics.end());
 }
@@ -49,6 +51,7 @@ void mergeReports(PdomSyncReport &Into, PdomSyncReport From) {
   Into.DivergentBranches += From.DivergentBranches;
   Into.BarriersInserted += From.BarriersInserted;
   Into.Skipped += From.Skipped;
+  Into.OutOfRegisters += From.OutOfRegisters;
   Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
                           From.Diagnostics.end());
 }
@@ -57,6 +60,7 @@ void mergeReports(DeconflictReport &Into, DeconflictReport From) {
   Into.ConflictsFound += From.ConflictsFound;
   Into.BarriersDeleted += From.BarriersDeleted;
   Into.CancelsInserted += From.CancelsInserted;
+  Into.CallSiteCancels += From.CallSiteCancels;
   Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
                           From.Diagnostics.end());
 }

@@ -70,6 +70,14 @@ struct PipelineReport {
   std::vector<std::string> VerifierDiagnostics;
 
   bool clean() const { return VerifierDiagnostics.empty(); }
+
+  /// Number of sites where a pass ran out of barrier registers and
+  /// degraded gracefully (PDOM-only fallback, dropped region-exit barrier,
+  /// skipped entry reconvergence) instead of failing the compile.
+  unsigned barrierDowngrades() const {
+    return Pdom.OutOfRegisters + SR.PdomFallbacks + SR.ExitDowngrades +
+           Interproc.Downgrades;
+  }
 };
 
 /// Runs the configured passes over every function of \p M.

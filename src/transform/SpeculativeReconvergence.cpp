@@ -64,8 +64,10 @@ std::optional<AppliedRegion> applyOne(Function &F, const PredictionRegion &R,
   auto Gather = Registry.allocateLow(BarrierOrigin::Speculative,
                                      F.name() + ":" + R.Label->name());
   if (!Gather) {
-    Report.Diagnostics.push_back("@" + F.name() +
-                                 ": out of barrier registers; skipped");
+    ++Report.PdomFallbacks;
+    Report.Diagnostics.push_back(
+        "@" + F.name() + ": out of barrier registers for region '" +
+        R.Label->name() + "'; falling back to PDOM-only synchronization");
     return std::nullopt;
   }
 
@@ -183,10 +185,36 @@ std::optional<AppliedRegion> applyOne(Function &F, const PredictionRegion &R,
                                             {Operand::barrier(*Exit)}));
         Applied.ExitBarrier = *Exit;
       } else {
+        ++Report.ExitDowngrades;
         Report.Diagnostics.push_back(
-            "@" + F.name() +
-            ": out of barrier registers for region-exit barrier");
+            "@" + F.name() + ": out of barrier registers for region-exit "
+            "barrier; region compiled without it");
       }
+    }
+  }
+
+  // 6. Exit hygiene: a thread can reach a function exit still joined — a
+  //    soft wait never clears membership, and the region-exit wait sits
+  //    only at the common post-dominator of the exits. Thread exit clears
+  //    membership at run time, but the static discipline (no barrier
+  //    joined at ret) is kept explicit: cancel on every ret the barrier
+  //    may still reach.
+  {
+    F.recomputePreds();
+    JoinedBarrierAnalysis AtExit(F);
+    uint32_t Bits = 1u << *Gather;
+    if (Applied.ExitBarrier)
+      Bits |= 1u << *Applied.ExitBarrier;
+    for (BasicBlock *BB : F) {
+      if (!BB->hasTerminator() || BB->terminator().opcode() != Opcode::Ret)
+        continue;
+      const uint32_t Held = AtExit.before(BB, BB->size() - 1) & Bits;
+      for (unsigned Id = 0; Id < NumBarrierRegisters; ++Id)
+        if (Held & (1u << Id)) {
+          BB->insertBeforeTerminator(Instruction(
+              Opcode::CancelBarrier, NoRegister, {Operand::barrier(Id)}));
+          ++Applied.CancelsInserted;
+        }
     }
   }
 

@@ -45,6 +45,13 @@ struct AppliedRegion {
 struct SRReport {
   std::vector<AppliedRegion> Applied;
   unsigned RegionsSkipped = 0;
+  /// Regions downgraded to the baseline PDOM-only synchronization because
+  /// the 16-register file was exhausted (the predict is dropped; the PDOM
+  /// barriers inserted earlier keep the region correct).
+  unsigned PdomFallbacks = 0;
+  /// Applied regions whose orthogonal region-exit barrier was dropped for
+  /// the same reason.
+  unsigned ExitDowngrades = 0;
   std::vector<std::string> Diagnostics;
 };
 

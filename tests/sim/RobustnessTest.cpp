@@ -1,0 +1,201 @@
+//===- RobustnessTest.cpp - Hardened failure reporting --------------------===//
+///
+/// \file
+/// Untrusted or fuzz-generated launches must surface every failure as a
+/// structured RunResult — Malformed for pre-run validation, Trap for
+/// runtime faults — never as an assert or undefined behaviour. These tests
+/// pin the contract the torture harness depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "sim/BarrierUnit.h"
+#include "sim/Warp.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Text) {
+  ParseResult P = parseModule(Text);
+  EXPECT_TRUE(P.Errors.empty()) << P.Errors.front();
+  return std::move(P.M);
+}
+
+LaunchConfig unitConfig(std::vector<int64_t> Args = {}) {
+  LaunchConfig C;
+  C.Latency = LatencyModel::unit();
+  C.KernelArgs = std::move(Args);
+  return C;
+}
+
+RunResult runKernel(const char *Text, LaunchConfig C) {
+  auto M = parse(Text);
+  WarpSimulator Sim(*M, M->functionByName("kernel"), C);
+  return Sim.run();
+}
+
+} // namespace
+
+TEST(RobustnessTest, WrongKernelArgArityIsMalformed) {
+  const char *Sir = R"(
+memory 64
+
+func @kernel(2) {
+entry:
+  ret
+}
+)";
+  // Kernel takes two parameters; the launch provides one.
+  RunResult R = runKernel(Sir, unitConfig({7}));
+  EXPECT_EQ(R.St, RunResult::Status::Malformed);
+  EXPECT_FALSE(R.TrapMessage.empty());
+}
+
+TEST(RobustnessTest, SetMemoryOutOfBoundsIsMalformed) {
+  const char *Sir = R"(
+memory 64
+
+func @kernel(0) {
+entry:
+  ret
+}
+)";
+  auto M = parse(Sir);
+  WarpSimulator Sim(*M, M->functionByName("kernel"), unitConfig());
+  EXPECT_TRUE(Sim.setMemory(63, 1));
+  EXPECT_FALSE(Sim.setMemory(64, 1));
+  RunResult R = Sim.run();
+  EXPECT_EQ(R.St, RunResult::Status::Malformed);
+  EXPECT_NE(R.TrapMessage.find("out of bounds"), std::string::npos)
+      << R.TrapMessage;
+}
+
+TEST(RobustnessTest, MixedSoftAndClassicWaitersTrap) {
+  // Lane 0 blocks at a classic wait; the first soft arrival on the same
+  // barrier is barrier-unit misuse and must trap, not assert.
+  const char *Sir = R"(
+memory 64
+
+func @kernel(0) {
+entry:
+  %0 = laneid
+  joinbar b0
+  %1 = cmplt %0, 1
+  br %1, classic, soft
+classic:
+  waitbar b0
+  jmp exit
+soft:
+  softwait b0, 32
+  jmp exit
+exit:
+  ret
+}
+)";
+  RunResult R = runKernel(Sir, unitConfig());
+  EXPECT_EQ(R.St, RunResult::Status::Trap);
+  EXPECT_NE(R.TrapMessage.find("b0"), std::string::npos) << R.TrapMessage;
+}
+
+TEST(RobustnessTest, UnboundedRecursionTrapsAtDepthLimit) {
+  const char *Sir = R"(
+memory 64
+
+func @kernel(0) {
+entry:
+  %0 = call @kernel
+  ret
+}
+)";
+  RunResult R = runKernel(Sir, unitConfig());
+  EXPECT_EQ(R.St, RunResult::Status::Trap);
+  EXPECT_NE(R.TrapMessage.find("call depth limit"), std::string::npos)
+      << R.TrapMessage;
+}
+
+TEST(RobustnessTest, DivisionByZeroTraps) {
+  const char *Sir = R"(
+memory 64
+
+func @kernel(0) {
+entry:
+  %0 = mov 1
+  %1 = mov 0
+  %2 = div %0, %1
+  ret
+}
+)";
+  RunResult R = runKernel(Sir, unitConfig());
+  EXPECT_EQ(R.St, RunResult::Status::Trap);
+  EXPECT_NE(R.TrapMessage.find("division by zero"), std::string::npos)
+      << R.TrapMessage;
+}
+
+TEST(RobustnessTest, RemainderByZeroTraps) {
+  const char *Sir = R"(
+memory 64
+
+func @kernel(0) {
+entry:
+  %0 = mov 7
+  %1 = mov 0
+  %2 = rem %0, %1
+  ret
+}
+)";
+  RunResult R = runKernel(Sir, unitConfig());
+  EXPECT_EQ(R.St, RunResult::Status::Trap);
+}
+
+TEST(RobustnessTest, SignedOverflowDivisionWrapsInsteadOfFaulting) {
+  // INT64_MIN / -1 overflows; the simulator defines it to wrap rather
+  // than raise SIGFPE or trip UBSan.
+  const char *Sir = R"(
+memory 64
+
+func @kernel(0) {
+entry:
+  %0 = mov 1
+  %1 = shl %0, 63
+  %2 = mov 0
+  %3 = sub %2, 1
+  %4 = div %1, %3
+  %5 = rem %1, %3
+  store 0, %4
+  ret
+}
+)";
+  RunResult R = runKernel(Sir, unitConfig());
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+}
+
+TEST(RobustnessTest, BarrierUnitReportsOutOfRangeIdOnce) {
+  BarrierUnit BU;
+  EXPECT_FALSE(BU.hasError());
+  EXPECT_EQ(BU.join(99, 0x1), 0u);
+  ASSERT_TRUE(BU.hasError());
+  std::string First = BU.takeError();
+  EXPECT_NE(First.find("out of range"), std::string::npos) << First;
+  // takeError clears the diagnostic; a second call sees a clean unit.
+  EXPECT_FALSE(BU.hasError());
+  EXPECT_TRUE(BU.takeError().empty());
+  // A rejected operation leaves every mask untouched.
+  EXPECT_EQ(BU.participants(99), 0u);
+  EXPECT_FALSE(BU.anyWaiters());
+}
+
+TEST(RobustnessTest, BarrierUnitRejectsWaitModeMixing) {
+  BarrierUnit BU;
+  BU.join(0, 0xF);
+  EXPECT_EQ(BU.arriveWait(0, 0x1), 0u); // Blocks: participants not all in.
+  EXPECT_FALSE(BU.hasError());
+  EXPECT_EQ(BU.arriveSoftWait(0, 0x2, 2), 0u);
+  ASSERT_TRUE(BU.hasError());
+  std::string Msg = BU.takeError();
+  EXPECT_NE(Msg.find("soft wait"), std::string::npos) << Msg;
+  // The rejected soft arrival must not have been recorded as a waiter.
+  EXPECT_EQ(BU.waiters(0), 0x1u);
+}

@@ -1,0 +1,253 @@
+//===- simtsr-torture.cpp - Differential torture harness driver ---------------===//
+///
+/// \file
+/// Command-line driver for the fuzz subsystem: generates seeded random
+/// divergent kernels, runs each through the differential oracle (every
+/// pipeline configuration under every scheduler policy), shrinks any
+/// failure to a minimal repro, and writes the repro as a replayable `.sir`
+/// file with the failure context in its header comments.
+///
+/// Exit codes: 0 on a clean sweep (or, with --expect-caught, when at least
+/// one failure was caught); 1 on usage errors; 2 when unexpected failures
+/// were found (or --expect-caught found none).
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/KernelGen.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Shrinker.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace simtsr;
+
+namespace {
+
+struct ToolOptions {
+  uint64_t Seeds = 100;
+  uint64_t StartSeed = 0;
+  std::string OutDir = ".";
+  std::string ReplayFile;
+  bool ExpectCaught = false;
+  bool NoShrink = false;
+  bool Verbose = false;
+  OracleOptions Oracle;
+  ShrinkOptions Shrink;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: simtsr-torture [options]\n"
+      "  --seeds N          number of seeds to torture (default 100)\n"
+      "  --start-seed N     first seed (default 0)\n"
+      "  --warp-size N      warp size for every run (default 32)\n"
+      "  --max-issue N      per-run issue-slot limit\n"
+      "  --watchdog-ms N    per-run wall-clock watchdog (0 disables)\n"
+      "  --inject MODE      miscompile the 'sr' config: swap-br | "
+      "drop-cancels\n"
+      "  --expect-caught    succeed iff at least one failure is caught\n"
+      "  --no-shrink        skip repro minimization\n"
+      "  --out DIR          directory for repro .sir files (default .)\n"
+      "  --replay FILE      run the oracle on one .sir file and exit\n"
+      "  --verbose          log every seed, not just failures\n");
+}
+
+bool parseUInt(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+/// \returns false on a malformed command line.
+bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto NeedValue = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    uint64_t V = 0;
+    if (Arg == "--seeds") {
+      const char *S = NeedValue();
+      if (!S || !parseUInt(S, Opts.Seeds))
+        return false;
+    } else if (Arg == "--start-seed") {
+      const char *S = NeedValue();
+      if (!S || !parseUInt(S, Opts.StartSeed))
+        return false;
+    } else if (Arg == "--warp-size") {
+      const char *S = NeedValue();
+      if (!S || !parseUInt(S, V) || V < 1 || V > 32)
+        return false;
+      Opts.Oracle.WarpSize = static_cast<unsigned>(V);
+    } else if (Arg == "--max-issue") {
+      const char *S = NeedValue();
+      if (!S || !parseUInt(S, Opts.Oracle.MaxIssueSlots))
+        return false;
+    } else if (Arg == "--watchdog-ms") {
+      const char *S = NeedValue();
+      if (!S || !parseUInt(S, Opts.Oracle.MaxWallMillis))
+        return false;
+    } else if (Arg == "--inject") {
+      const char *S = NeedValue();
+      if (!S)
+        return false;
+      if (std::strcmp(S, "swap-br") == 0)
+        Opts.Oracle.Inject = FaultInjection::SwapBranchTargets;
+      else if (std::strcmp(S, "drop-cancels") == 0)
+        Opts.Oracle.Inject = FaultInjection::DropCancels;
+      else
+        return false;
+    } else if (Arg == "--expect-caught") {
+      Opts.ExpectCaught = true;
+    } else if (Arg == "--no-shrink") {
+      Opts.NoShrink = true;
+    } else if (Arg == "--out") {
+      const char *S = NeedValue();
+      if (!S)
+        return false;
+      Opts.OutDir = S;
+    } else if (Arg == "--replay") {
+      const char *S = NeedValue();
+      if (!S)
+        return false;
+      Opts.ReplayFile = S;
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else {
+      std::fprintf(stderr, "simtsr-torture: unknown option '%s'\n",
+                   Arg.c_str());
+      return false;
+    }
+  }
+  Opts.Shrink.Oracle = Opts.Oracle;
+  return true;
+}
+
+int replay(const ToolOptions &Opts) {
+  std::ifstream In(Opts.ReplayFile);
+  if (!In) {
+    std::fprintf(stderr, "simtsr-torture: cannot open '%s'\n",
+                 Opts.ReplayFile.c_str());
+    return 1;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  OracleResult R = runDifferentialOracle(Buffer.str(), Opts.Oracle);
+  if (R.ok()) {
+    std::printf("replay %s: clean over %zu runs\n", Opts.ReplayFile.c_str(),
+                R.Runs.size());
+    return 0;
+  }
+  std::printf("replay %s: %s\n  %s\n", Opts.ReplayFile.c_str(),
+              getFailureKindName(R.Kind), R.Detail.c_str());
+  return 2;
+}
+
+std::string reproPath(const ToolOptions &Opts, uint64_t Seed,
+                      FailureKind Kind) {
+  return Opts.OutDir + "/repro-seed" + std::to_string(Seed) + "-" +
+         getFailureKindName(Kind) + ".sir";
+}
+
+bool writeRepro(const std::string &Path, uint64_t Seed,
+                const OracleResult &Failure, const ToolOptions &Opts,
+                size_t OriginalSize, const std::string &Text,
+                const ShrinkResult *Shrunk) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Opts.OutDir, Ec);
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "simtsr-torture: cannot write '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  Out << "; simtsr-torture repro\n";
+  Out << ";   seed:      " << Seed << "\n";
+  Out << ";   failure:   " << getFailureKindName(Failure.Kind) << "\n";
+  Out << ";   detail:    " << Failure.Detail << "\n";
+  Out << ";   warp-size: " << Opts.Oracle.WarpSize << "\n";
+  Out << ";   sim-seed:  " << Opts.Oracle.SimSeed << "\n";
+  if (Shrunk)
+    Out << ";   shrunk:    " << OriginalSize << " -> " << Text.size()
+        << " bytes (" << Shrunk->StepsAccepted << " steps, "
+        << Shrunk->AttemptsUsed << " attempts)\n";
+  Out << ";   replay:    simtsr-torture --replay " << Path << "\n";
+  Out << Text;
+  return Out.good();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage();
+    return 1;
+  }
+  if (!Opts.ReplayFile.empty())
+    return replay(Opts);
+
+  uint64_t Failures = 0;
+  uint64_t Clean = 0;
+  for (uint64_t Seed = Opts.StartSeed; Seed < Opts.StartSeed + Opts.Seeds;
+       ++Seed) {
+    GenOptions Gen;
+    Gen.Seed = Seed;
+    Gen.MaxWarpSize = Opts.Oracle.WarpSize;
+    std::string Text = generateKernelText(Gen);
+    OracleResult R = runDifferentialOracle(Text, Opts.Oracle);
+    if (R.ok()) {
+      ++Clean;
+      if (Opts.Verbose)
+        std::printf("seed %llu: clean (%zu runs)\n",
+                    static_cast<unsigned long long>(Seed), R.Runs.size());
+      continue;
+    }
+    ++Failures;
+    std::printf("seed %llu: %s\n  %s\n",
+                static_cast<unsigned long long>(Seed),
+                getFailureKindName(R.Kind), R.Detail.c_str());
+
+    std::string Repro = Text;
+    ShrinkResult Shrunk;
+    bool DidShrink = false;
+    if (!Opts.NoShrink) {
+      Shrunk = shrinkFailingModule(Text, R.Kind, Opts.Shrink);
+      if (Shrunk.StepsAccepted > 0) {
+        Repro = Shrunk.Text;
+        DidShrink = true;
+        std::printf("  shrunk %zu -> %zu bytes in %u steps\n", Text.size(),
+                    Repro.size(), Shrunk.StepsAccepted);
+      }
+    }
+    std::string Path = reproPath(Opts, Seed, R.Kind);
+    if (writeRepro(Path, Seed, R, Opts, Text.size(), Repro,
+                   DidShrink ? &Shrunk : nullptr))
+      std::printf("  repro written to %s\n", Path.c_str());
+  }
+
+  std::printf("torture: %llu seeds, %llu clean, %llu failures\n",
+              static_cast<unsigned long long>(Opts.Seeds),
+              static_cast<unsigned long long>(Clean),
+              static_cast<unsigned long long>(Failures));
+  if (Opts.ExpectCaught) {
+    if (Failures > 0) {
+      std::printf("torture: injected fault caught as expected\n");
+      return 0;
+    }
+    std::printf("torture: expected the injected fault to be caught, but "
+                "every seed came back clean\n");
+    return 2;
+  }
+  return Failures == 0 ? 0 : 2;
+}
