@@ -12,15 +12,31 @@
 #define SIMTSR_BENCH_BENCHUTIL_H
 
 #include "kernels/Runner.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace simtsr {
 namespace bench {
 
 /// The seed every figure harness uses, so outputs are reproducible.
 constexpr uint64_t FigureSeed = 2020; // CGO'20.
+
+/// Runs \p Body(i) for every i in [0, N) on the global thread pool, then
+/// calls \p Emit(i, result) in index order. Harnesses keep their exact
+/// sequential table output (rows print in order) while the measurements
+/// behind the rows overlap. \p Body must be thread-safe and its result
+/// default-constructible.
+template <typename BodyFn, typename EmitFn>
+void mapParallel(size_t N, BodyFn &&Body, EmitFn &&Emit) {
+  using ResultT = decltype(Body(static_cast<size_t>(0)));
+  std::vector<ResultT> Results(N);
+  parallelFor(N, [&](size_t I) { Results[I] = Body(I); });
+  for (size_t I = 0; I < N; ++I)
+    Emit(I, Results[I]);
+}
 
 inline void printHeader(const std::string &Title) {
   std::printf("==== %s ====\n", Title.c_str());

@@ -27,20 +27,35 @@ int main() {
       {SchedulerPolicy::MinPC, "min-pc"},
       {SchedulerPolicy::RoundRobin, "round-robin"},
   };
-  for (Workload (*Factory)(double) : {makeRSBench, makePathTracer}) {
-    Workload W = Factory(1.0);
-    for (const Policy &Pol : Policies) {
-      WorkloadOutcome Base = runWorkload(W, PipelineOptions::baseline(),
-                                         FigureSeed, Pol.P);
-      WorkloadOutcome Opt =
-          runWorkload(W, annotatedOptionsFor(W), FigureSeed, Pol.P);
-      std::printf("%-12s %-15s %9.1f%% %9.1f%% %8.2fx %s%s\n",
-                  W.Name.c_str(), Pol.Name, 100.0 * Base.SimtEfficiency,
-                  100.0 * Opt.SimtEfficiency, speedup(Base, Opt),
-                  Base.ok() ? "" : statusName(Base.Status),
-                  Opt.ok() ? "" : statusName(Opt.Status));
-    }
-  }
+  std::vector<Workload> Suite;
+  for (Workload (*Factory)(double) : {makeRSBench, makePathTracer})
+    Suite.push_back(Factory(1.0));
+  constexpr size_t NumPolicies = sizeof(Policies) / sizeof(Policies[0]);
+  struct Row {
+    WorkloadOutcome Base, Opt;
+  };
+  // One cell of the (workload x policy) table per index, row-major so the
+  // printed order matches the sequential nested loops.
+  mapParallel(
+      Suite.size() * NumPolicies,
+      [&](size_t I) {
+        const Workload &W = Suite[I / NumPolicies];
+        const Policy &Pol = Policies[I % NumPolicies];
+        Row R;
+        R.Base =
+            runWorkload(W, PipelineOptions::baseline(), FigureSeed, Pol.P);
+        R.Opt = runWorkload(W, annotatedOptionsFor(W), FigureSeed, Pol.P);
+        return R;
+      },
+      [&](size_t I, const Row &R) {
+        const Workload &W = Suite[I / NumPolicies];
+        const Policy &Pol = Policies[I % NumPolicies];
+        std::printf("%-12s %-15s %9.1f%% %9.1f%% %8.2fx %s%s\n",
+                    W.Name.c_str(), Pol.Name, 100.0 * R.Base.SimtEfficiency,
+                    100.0 * R.Opt.SimtEfficiency, speedup(R.Base, R.Opt),
+                    R.Base.ok() ? "" : statusName(R.Base.Status),
+                    R.Opt.ok() ? "" : statusName(R.Opt.Status));
+      });
   printRule();
   return 0;
 }

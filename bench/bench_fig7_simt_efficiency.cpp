@@ -14,17 +14,33 @@
 using namespace simtsr;
 using namespace simtsr::bench;
 
-static void printRow(const Workload &W) {
-  WorkloadOutcome Base =
-      runWorkload(W, PipelineOptions::baseline(), FigureSeed);
-  WorkloadOutcome Opt = runWorkload(W, annotatedOptionsFor(W), FigureSeed);
+namespace {
+struct Row {
+  WorkloadOutcome Base, Opt;
+};
+} // namespace
+
+static Row measureRow(const Workload &W) {
+  Row R;
+  R.Base = runWorkload(W, PipelineOptions::baseline(), FigureSeed);
+  R.Opt = runWorkload(W, annotatedOptionsFor(W), FigureSeed);
+  return R;
+}
+
+static void printRow(const Workload &W, const Row &R) {
   std::string Config =
       W.RecommendedSoftThreshold >= 0
           ? "soft-" + std::to_string(W.RecommendedSoftThreshold)
           : "full barrier";
   std::printf("%-17s %10.1f%% %10.1f%% %9.2fx   %s\n", W.Name.c_str(),
-              100.0 * Base.SimtEfficiency, 100.0 * Opt.SimtEfficiency,
-              Opt.SimtEfficiency / Base.SimtEfficiency, Config.c_str());
+              100.0 * R.Base.SimtEfficiency, 100.0 * R.Opt.SimtEfficiency,
+              R.Opt.SimtEfficiency / R.Base.SimtEfficiency, Config.c_str());
+}
+
+static void printSection(const std::vector<Workload> &Suite) {
+  mapParallel(
+      Suite.size(), [&](size_t I) { return measureRow(Suite[I]); },
+      [&](size_t I, const Row &R) { printRow(Suite[I], R); });
 }
 
 int main() {
@@ -33,13 +49,14 @@ int main() {
   std::printf("%-17s %11s %11s %10s   %s\n", "benchmark", "default",
               "spec-reconv", "eff-gain", "annotation");
   printRule();
-  for (const Workload &W : makeAnnotatedWorkloads())
-    printRow(W);
+  printSection(makeAnnotatedWorkloads());
   printRule();
   std::printf("Validation microbenchmarks (common function call + "
               "auto-detected apps):\n");
+  std::vector<Workload> Validation;
   for (Workload (*Factory)(double) :
        {makeMicroCommonCall, makeOptixTrace, makeMeiyaMD5})
-    printRow(Factory(1.0));
+    Validation.push_back(Factory(1.0));
+  printSection(Validation);
   return 0;
 }

@@ -18,19 +18,28 @@ int main() {
               "eff-opt", "eff-improve", "speedup");
   printRule();
   double WorstSpeedup = 10.0, BestSpeedup = 0.0;
-  for (const Workload &W : makeAllWorkloads()) {
-    WorkloadOutcome Base =
-        runWorkload(W, PipelineOptions::baseline(), FigureSeed);
-    WorkloadOutcome Opt =
-        runWorkload(W, annotatedOptionsFor(W), FigureSeed);
-    double EffGain = Opt.SimtEfficiency / Base.SimtEfficiency;
-    double Speed = speedup(Base, Opt);
-    WorstSpeedup = std::min(WorstSpeedup, Speed);
-    BestSpeedup = std::max(BestSpeedup, Speed);
-    std::printf("%-17s %9.1f%% %9.1f%% %11.2fx %9.2fx\n", W.Name.c_str(),
-                100.0 * Base.SimtEfficiency, 100.0 * Opt.SimtEfficiency,
-                EffGain, Speed);
-  }
+  const std::vector<Workload> Suite = makeAllWorkloads();
+  struct Row {
+    WorkloadOutcome Base, Opt;
+  };
+  mapParallel(
+      Suite.size(),
+      [&](size_t I) {
+        const Workload &W = Suite[I];
+        Row R;
+        R.Base = runWorkload(W, PipelineOptions::baseline(), FigureSeed);
+        R.Opt = runWorkload(W, annotatedOptionsFor(W), FigureSeed);
+        return R;
+      },
+      [&](size_t I, const Row &R) {
+        double EffGain = R.Opt.SimtEfficiency / R.Base.SimtEfficiency;
+        double Speed = speedup(R.Base, R.Opt);
+        WorstSpeedup = std::min(WorstSpeedup, Speed);
+        BestSpeedup = std::max(BestSpeedup, Speed);
+        std::printf("%-17s %9.1f%% %9.1f%% %11.2fx %9.2fx\n",
+                    Suite[I].Name.c_str(), 100.0 * R.Base.SimtEfficiency,
+                    100.0 * R.Opt.SimtEfficiency, EffGain, Speed);
+      });
   printRule();
   std::printf("Speedups range %.2fx .. %.2fx (paper: ~10%% to 3x across "
               "its suite).\n",

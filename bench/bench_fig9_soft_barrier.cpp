@@ -23,17 +23,23 @@ static void sweep(const Workload &W) {
   printRule();
   int BestThreshold = -1;
   double BestSpeedup = 0.0;
-  for (int T : {0, 4, 8, 12, 16, 20, 24, 28, 32}) {
-    WorkloadOutcome O =
-        runWorkload(W, PipelineOptions::softBarrier(T), FigureSeed);
-    double S = speedup(Base, O);
-    if (S > BestSpeedup) {
-      BestSpeedup = S;
-      BestThreshold = T;
-    }
-    std::printf("%9d %9.1f%% %8.2fx %s\n", T, 100.0 * O.SimtEfficiency, S,
-                O.ok() ? "" : statusName(O.Status));
-  }
+  const std::vector<int> Thresholds = {0, 4, 8, 12, 16, 20, 24, 28, 32};
+  mapParallel(
+      Thresholds.size(),
+      [&](size_t I) {
+        return runWorkload(W, PipelineOptions::softBarrier(Thresholds[I]),
+                           FigureSeed);
+      },
+      [&](size_t I, const WorkloadOutcome &O) {
+        const int T = Thresholds[I];
+        double S = speedup(Base, O);
+        if (S > BestSpeedup) {
+          BestSpeedup = S;
+          BestThreshold = T;
+        }
+        std::printf("%9d %9.1f%% %8.2fx %s\n", T, 100.0 * O.SimtEfficiency,
+                    S, O.ok() ? "" : statusName(O.Status));
+      });
   printRule();
   std::printf("peak speedup %.2fx at threshold %d\n", BestSpeedup,
               BestThreshold);

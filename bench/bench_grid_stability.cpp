@@ -19,26 +19,41 @@ int main() {
   std::printf("%-17s %16s %16s %9s %7s\n", "benchmark", "eff-base",
               "eff-annotated", "speedup", "sem");
   printRule();
-  for (const Workload &W : makeAllWorkloads()) {
-    GridResult Base =
-        runWorkloadGrid(W, PipelineOptions::baseline(), Warps, FigureSeed);
-    GridResult Opt =
-        runWorkloadGrid(W, annotatedOptionsFor(W), Warps, FigureSeed);
-    if (!Base.Ok || !Opt.Ok) {
-      std::printf("%-17s FAILED (%s)\n", W.Name.c_str(),
-                  (!Base.Ok ? Base.FailMessage : Opt.FailMessage).c_str());
-      continue;
-    }
-    std::printf("%-17s %7.1f%% +/-%4.1f %7.1f%% +/-%4.1f %8.2fx %7s\n",
-                W.Name.c_str(), 100.0 * Base.SimtEfficiency,
-                100.0 * Base.PerWarpEfficiency.stddev(),
-                100.0 * Opt.SimtEfficiency,
-                100.0 * Opt.PerWarpEfficiency.stddev(),
-                static_cast<double>(Base.TotalCycles) /
-                    static_cast<double>(Opt.TotalCycles),
-                Base.CombinedChecksum == Opt.CombinedChecksum ? "ok"
-                                                              : "DIFF");
-  }
+  const std::vector<Workload> Suite = makeAllWorkloads();
+  struct Row {
+    GridResult Base, Opt;
+  };
+  // The warps inside each runWorkloadGrid call already fan out on the
+  // pool; running the two configurations per row in parallel too keeps
+  // the pool busy across workload boundaries.
+  mapParallel(
+      Suite.size(),
+      [&](size_t I) {
+        const Workload &W = Suite[I];
+        Row R;
+        R.Base =
+            runWorkloadGrid(W, PipelineOptions::baseline(), Warps, FigureSeed);
+        R.Opt = runWorkloadGrid(W, annotatedOptionsFor(W), Warps, FigureSeed);
+        return R;
+      },
+      [&](size_t I, const Row &R) {
+        const Workload &W = Suite[I];
+        const GridResult &Base = R.Base, &Opt = R.Opt;
+        if (!Base.Ok || !Opt.Ok) {
+          std::printf("%-17s FAILED (%s)\n", W.Name.c_str(),
+                      (!Base.Ok ? Base.FailMessage : Opt.FailMessage).c_str());
+          return;
+        }
+        std::printf("%-17s %7.1f%% +/-%4.1f %7.1f%% +/-%4.1f %8.2fx %7s\n",
+                    W.Name.c_str(), 100.0 * Base.SimtEfficiency,
+                    100.0 * Base.PerWarpEfficiency.stddev(),
+                    100.0 * Opt.SimtEfficiency,
+                    100.0 * Opt.PerWarpEfficiency.stddev(),
+                    static_cast<double>(Base.TotalCycles) /
+                        static_cast<double>(Opt.TotalCycles),
+                    Base.CombinedChecksum == Opt.CombinedChecksum ? "ok"
+                                                                  : "DIFF");
+      });
   printRule();
   std::printf("'sem' compares combined memory checksums across all warps: "
               "the\nsynchronization changes scheduling only.\n");

@@ -17,18 +17,23 @@ int main() {
   std::printf("%-17s %-16s %9s %9s  %s\n", "benchmark", "pattern",
               "simt-eff", "cycles", "description");
   printRule();
-  for (const Workload &W : makeAllWorkloads()) {
-    WorkloadOutcome Base =
-        runWorkload(W, PipelineOptions::baseline(), FigureSeed);
-    std::printf("%-17s %-16s %8.1f%% %9llu  %s\n", W.Name.c_str(),
-                getDivergencePatternName(W.Pattern),
-                100.0 * Base.SimtEfficiency,
-                static_cast<unsigned long long>(Base.Cycles),
-                W.Description.c_str());
-    if (!Base.ok())
-      std::printf("    !! %s %s\n", statusName(Base.Status),
-                  Base.TrapMessage.c_str());
-  }
+  const std::vector<Workload> Suite = makeAllWorkloads();
+  mapParallel(
+      Suite.size(),
+      [&](size_t I) {
+        return runWorkload(Suite[I], PipelineOptions::baseline(), FigureSeed);
+      },
+      [&](size_t I, const WorkloadOutcome &Base) {
+        const Workload &W = Suite[I];
+        std::printf("%-17s %-16s %8.1f%% %9llu  %s\n", W.Name.c_str(),
+                    getDivergencePatternName(W.Pattern),
+                    100.0 * Base.SimtEfficiency,
+                    static_cast<unsigned long long>(Base.Cycles),
+                    W.Description.c_str());
+        if (!Base.ok())
+          std::printf("    !! %s %s\n", statusName(Base.Status),
+                      Base.TrapMessage.c_str());
+      });
   printRule();
   std::printf("All workloads run under the PDOM-baseline pipeline; low\n"
               "efficiencies mark the reconvergence opportunity the paper\n"

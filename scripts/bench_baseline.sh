@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Records the machine-readable simulator performance baseline
+# (BENCH_baseline.json, schema simtsr-bench-v1) at the repository root.
+#
+# The deterministic fields (cycles, issue_slots, simt_efficiency, checksum)
+# must be identical on every machine and in every mode; the wall-clock
+# fields (wall_ms, warps_per_sec, issue_slots_per_sec) describe the host
+# that ran this script. See docs/PERFORMANCE.md.
+#
+# Environment overrides:
+#   WARPS  warps per grid          (default 8)
+#   SCALE  workload scale factor   (default 1.0)
+#   OUT    output file             (default BENCH_baseline.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WARPS="${WARPS:-8}"
+SCALE="${SCALE:-1.0}"
+OUT="${OUT:-BENCH_baseline.json}"
+
+if [ ! -x build/tools/simtsr-bench ]; then
+  cmake -B build -S .
+  cmake --build build --target simtsr-bench -j
+fi
+
+./build/tools/simtsr-bench --json --warps "$WARPS" --scale "$SCALE" --out "$OUT"
+echo "Wrote $OUT (warps=$WARPS scale=$SCALE)"

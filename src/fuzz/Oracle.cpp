@@ -4,7 +4,10 @@
 
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "support/ThreadPool.h"
 #include "transform/Pipeline.h"
+
+#include <atomic>
 
 using namespace simtsr;
 
@@ -137,6 +140,147 @@ FailureKind kindForStatus(RunResult::Status St) {
   return FailureKind::Trap;
 }
 
+constexpr SchedulerPolicy OraclePolicies[] = {SchedulerPolicy::MaxConvergence,
+                                              SchedulerPolicy::MinPC,
+                                              SchedulerPolicy::RoundRobin};
+
+/// One policy run plus the trap message the verdict may need.
+struct PolicyRecord {
+  OracleRun Run;
+  std::string TrapMessage;
+};
+
+/// Everything one pipeline configuration contributes: either a pre-sim
+/// stage failure, or the three policy runs. Computed independently per
+/// config so the configs can run concurrently; the verdict is derived
+/// afterwards by replaying the outcomes in sequential config order.
+struct ConfigOutcome {
+  FailureKind StageKind = FailureKind::None;
+  std::string StageDetail;
+  std::vector<PolicyRecord> Runs;
+};
+
+/// Runs one configuration end to end: fresh parse, pipeline, post-pass
+/// verification, optional fault injection, then the three policies.
+/// \p RefChecksum is the cross-config reference ("noop" under the first
+/// policy) when already known; null for the reference config itself,
+/// which compares its later policies against its own first run.
+ConfigOutcome runOracleConfig(const std::string &SirText,
+                              const ConfigSpec &Spec,
+                              const OracleOptions &Opts,
+                              const uint64_t *RefChecksum) {
+  ConfigOutcome Out;
+  ParseResult Parsed = parseModule(SirText);
+  if (!Parsed.ok()) {
+    Out.StageKind = FailureKind::ParseError;
+    Out.StageDetail = joinFirst(Parsed.Errors, 3);
+    return Out;
+  }
+  Module &M = *Parsed.M;
+
+  PipelineReport Report = runSyncPipeline(M, Spec.Opts);
+  if (!Report.clean()) {
+    Out.StageKind = FailureKind::Discipline;
+    Out.StageDetail =
+        "config " + Spec.Name + ": " + joinFirst(Report.VerifierDiagnostics, 3);
+    return Out;
+  }
+  auto PostDiags = verifyModule(M);
+  if (!PostDiags.empty()) {
+    Out.StageKind = FailureKind::PostPassInvalid;
+    Out.StageDetail = "config " + Spec.Name + ": " + joinFirst(PostDiags, 3);
+    return Out;
+  }
+
+  // A broken late pass: miscompile one config after all checks passed.
+  if (Opts.Inject != FaultInjection::None && Spec.Name == "sr")
+    injectFault(M, Opts.Inject);
+
+  // Verify once for the three policy runs (injection may have changed the
+  // module, so this happens after it); each simulator reuses the result.
+  const LaunchVerification Verification = verifyLaunchModule(M);
+  bool HaveRef = RefChecksum != nullptr;
+  uint64_t Ref = RefChecksum ? *RefChecksum : 0;
+  for (SchedulerPolicy Policy : OraclePolicies) {
+    LaunchConfig Config;
+    Config.WarpSize = Opts.WarpSize;
+    Config.Seed = Opts.SimSeed;
+    Config.Policy = Policy;
+    Config.MaxIssueSlots = Opts.MaxIssueSlots;
+    Config.MaxWallMillis = Opts.MaxWallMillis;
+    Config.Verified = &Verification;
+
+    WarpSimulator Sim(M, M.functionByName("kernel"), Config);
+    RunResult Run = Sim.run();
+
+    PolicyRecord Record;
+    Record.Run.Config = Spec.Name;
+    Record.Run.Policy = Policy;
+    Record.Run.St = Run.St;
+    Record.Run.Checksum = Sim.memoryChecksum();
+    Record.TrapMessage = Run.TrapMessage;
+    const uint64_t Checksum = Record.Run.Checksum;
+    Out.Runs.push_back(std::move(Record));
+    // The in-order replay never reads past a config's first failure or
+    // checksum divergence (the sequential loop would have stopped there),
+    // so later policies of a doomed config — often slow issue-limit or
+    // watchdog runs — are skipped, not just discarded.
+    if (!Run.ok())
+      break;
+    if (!HaveRef) {
+      HaveRef = true;
+      Ref = Checksum;
+    } else if (Checksum != Ref) {
+      break;
+    }
+  }
+  return Out;
+}
+
+/// Scans completed config outcomes in sequential order and produces the
+/// verdict the one-at-a-time loop would have produced: Runs accumulate
+/// until the first failure, which sets Kind/Detail and stops the scan.
+OracleResult replayInOrder(const std::vector<ConfigSpec> &Specs,
+                           const std::vector<ConfigOutcome> &Outcomes) {
+  OracleResult Result;
+  bool HaveReference = false;
+  uint64_t ReferenceChecksum = 0;
+  std::string ReferenceLabel;
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const ConfigOutcome &Out = Outcomes[I];
+    if (Out.StageKind != FailureKind::None) {
+      Result.Kind = Out.StageKind;
+      Result.Detail = Out.StageDetail;
+      return Result;
+    }
+    for (const PolicyRecord &Record : Out.Runs) {
+      const std::string Label =
+          Specs[I].Name + "/" + getPolicyName(Record.Run.Policy);
+      Result.Runs.push_back(Record.Run);
+      if (Record.Run.St != RunResult::Status::Finished) {
+        Result.Kind = kindForStatus(Record.Run.St);
+        Result.Detail =
+            "config " + Label + ": " + getRunStatusName(Record.Run.St) +
+            (Record.TrapMessage.empty() ? "" : ": " + Record.TrapMessage);
+        return Result;
+      }
+      if (!HaveReference) {
+        HaveReference = true;
+        ReferenceChecksum = Record.Run.Checksum;
+        ReferenceLabel = Label;
+      } else if (Record.Run.Checksum != ReferenceChecksum) {
+        Result.Kind = FailureKind::ChecksumMismatch;
+        Result.Detail = "config " + Label + ": checksum " +
+                        std::to_string(Record.Run.Checksum) + " != " +
+                        std::to_string(ReferenceChecksum) + " from " +
+                        ReferenceLabel;
+        return Result;
+      }
+    }
+  }
+  return Result;
+}
+
 } // namespace
 
 const std::vector<std::string> &simtsr::oracleConfigNames() {
@@ -175,9 +319,54 @@ OracleResult simtsr::runDifferentialOracle(const std::string &SirText,
     }
   }
 
-  const SchedulerPolicy Policies[] = {SchedulerPolicy::MaxConvergence,
-                                      SchedulerPolicy::MinPC,
-                                      SchedulerPolicy::RoundRobin};
+  if (Opts.Parallel) {
+    // The first config runs alone: if it fails, the sequential loop would
+    // never have started the others, and its checksum is the reference the
+    // concurrent configs compare against so each can stop at its own first
+    // divergence instead of completing slow doomed runs. The sequential
+    // verdict is then reconstructed by an in-order replay of the recorded
+    // outcomes (each config has its own parse, so pipelines never share a
+    // module).
+    const std::vector<ConfigSpec> Specs = makeConfigs(Opts);
+    std::vector<ConfigOutcome> Outcomes(Specs.size());
+    const auto IsClean = [](const ConfigOutcome &Out, uint64_t Ref) {
+      return Out.StageKind == FailureKind::None &&
+             Out.Runs.size() ==
+                 sizeof(OraclePolicies) / sizeof(OraclePolicies[0]) &&
+             Out.Runs.back().Run.St == RunResult::Status::Finished &&
+             Out.Runs.back().Run.Checksum == Ref;
+    };
+    Outcomes[0] = runOracleConfig(SirText, Specs[0], Opts, nullptr);
+    const ConfigOutcome &First = Outcomes[0];
+    if (First.Runs.empty() ||
+        !IsClean(First, First.Runs.front().Run.Checksum)) {
+      // The replay stops inside the first config; the others never run.
+      const std::vector<ConfigSpec> Head(Specs.begin(), Specs.begin() + 1);
+      Outcomes.resize(1);
+      return replayInOrder(Head, Outcomes);
+    }
+    const uint64_t Reference = First.Runs.front().Run.Checksum;
+    // Lowest config index known to have failed. The replay stops at that
+    // config, so configs after it that have not started yet can be skipped
+    // outright — their outcomes are never read. (Which later configs get
+    // skipped may vary with thread timing; the verdict cannot.)
+    std::atomic<size_t> FirstBad{Specs.size()};
+    parallelFor(Specs.size() - 1, [&](size_t I) {
+      const size_t C = I + 1;
+      if (FirstBad.load(std::memory_order_acquire) < C)
+        return;
+      ConfigOutcome Out = runOracleConfig(SirText, Specs[C], Opts, &Reference);
+      if (!IsClean(Out, Reference)) {
+        size_t Cur = FirstBad.load(std::memory_order_relaxed);
+        while (C < Cur && !FirstBad.compare_exchange_weak(
+                              Cur, C, std::memory_order_acq_rel))
+          ;
+      }
+      Outcomes[C] = std::move(Out);
+    });
+    return replayInOrder(Specs, Outcomes);
+  }
+
   bool HaveReference = false;
   uint64_t ReferenceChecksum = 0;
   std::string ReferenceLabel;
@@ -211,7 +400,7 @@ OracleResult simtsr::runDifferentialOracle(const std::string &SirText,
     if (Opts.Inject != FaultInjection::None && Spec.Name == "sr")
       injectFault(M, Opts.Inject);
 
-    for (SchedulerPolicy Policy : Policies) {
+    for (SchedulerPolicy Policy : OraclePolicies) {
       LaunchConfig Config;
       Config.WarpSize = Opts.WarpSize;
       Config.Seed = Opts.SimSeed;

@@ -70,6 +70,12 @@ struct OracleOptions {
   /// Threshold for the soft-barrier config.
   int SoftThreshold = 8;
   FaultInjection Inject = FaultInjection::None;
+  /// Run the six pipeline configurations concurrently on the global thread
+  /// pool. The verdict (Kind, Detail, Runs) is bit-identical to the
+  /// sequential cross product: every config runs to completion, then the
+  /// results are scanned in the sequential order and truncated at the
+  /// first failure exactly as the one-at-a-time loop would have stopped.
+  bool Parallel = true;
 };
 
 /// One completed simulation within the cross product.

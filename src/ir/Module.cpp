@@ -2,6 +2,8 @@
 
 #include "ir/Module.h"
 
+#include <unordered_map>
+
 using namespace simtsr;
 
 Function *Module::createFunction(std::string Name, unsigned NumParams) {
@@ -15,4 +17,55 @@ Function *Module::functionByName(const std::string &Name) const {
     if (F->name() == Name)
       return F.get();
   return nullptr;
+}
+
+std::unique_ptr<Module> Module::clone() const {
+  auto New = std::make_unique<Module>();
+  New->GlobalMemoryWords = GlobalMemoryWords;
+
+  // Pass 1: create every function and (empty) block first so that forward
+  // references — calls to later functions, branches to later blocks — can
+  // be remapped in a single second pass.
+  std::unordered_map<const Function *, Function *> FuncMap;
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+  for (const auto &F : Functions) {
+    Function *NF = New->createFunction(F->name(), F->numParams());
+    NF->setReconvergeAtEntry(F->reconvergeAtEntry());
+    if (F->numRegs() > 0)
+      NF->reserveRegsThrough(F->numRegs() - 1);
+    FuncMap[F.get()] = NF;
+    for (const BasicBlock *BB : *F)
+      BlockMap[BB] = NF->createBlock(BB->name());
+  }
+
+  // Pass 2: copy instructions, remapping block/function operands onto
+  // their counterparts; register, immediate and barrier operands copy as-is.
+  for (const auto &F : Functions) {
+    for (const BasicBlock *BB : *F) {
+      BasicBlock *NB = BlockMap.at(BB);
+      for (const Instruction &I : BB->instructions()) {
+        std::vector<Operand> Ops;
+        Ops.reserve(I.numOperands());
+        for (const Operand &O : I.operands()) {
+          switch (O.kind()) {
+          case Operand::Kind::Block:
+            Ops.push_back(Operand::block(BlockMap.at(O.getBlock())));
+            break;
+          case Operand::Kind::Func:
+            Ops.push_back(Operand::func(FuncMap.at(O.getFunc())));
+            break;
+          default:
+            Ops.push_back(O);
+            break;
+          }
+        }
+        NB->append(Instruction(I.opcode(), I.hasDst() ? I.dst() : NoRegister,
+                               std::move(Ops)));
+      }
+    }
+  }
+
+  for (const auto &F : Functions)
+    FuncMap.at(F.get())->recomputePreds();
+  return New;
 }

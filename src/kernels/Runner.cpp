@@ -2,10 +2,6 @@
 
 #include "kernels/Runner.h"
 
-#include "ir/Parser.h"
-#include "ir/Printer.h"
-#include "ir/Verifier.h"
-
 #include <cassert>
 
 using namespace simtsr;
@@ -21,9 +17,7 @@ Workload simtsr::cloneWorkload(const Workload &W) {
   Copy.InitMemory = W.InitMemory;
   Copy.Scale = W.Scale;
   Copy.RecommendedSoftThreshold = W.RecommendedSoftThreshold;
-  ParseResult R = parseModule(printModule(*W.M));
-  assert(R.ok() && "workload module failed to round-trip");
-  Copy.M = std::move(R.M);
+  Copy.M = W.M->clone();
   return Copy;
 }
 
@@ -33,7 +27,10 @@ WorkloadOutcome simtsr::runWorkload(const Workload &W,
   Workload Fresh = cloneWorkload(W);
   WorkloadOutcome Outcome;
   Outcome.Pipeline = runSyncPipeline(*Fresh.M, Opts);
-  assert(isWellFormed(*Fresh.M) && "pipeline produced malformed IR");
+  // One verification for the run; the simulator reuses it and reports any
+  // pipeline-produced malformation as a Malformed run in release builds.
+  const LaunchVerification Verification = verifyLaunchModule(*Fresh.M);
+  assert(Verification.Errors.empty() && "pipeline produced malformed IR");
 
   Function *Kernel = Fresh.M->functionByName(Fresh.KernelName);
   assert(Kernel && "workload kernel not found");
@@ -42,6 +39,7 @@ WorkloadOutcome simtsr::runWorkload(const Workload &W,
   Config.Policy = Policy;
   Config.Latency = Fresh.Latency;
   Config.KernelArgs = Fresh.Args;
+  Config.Verified = &Verification;
   WarpSimulator Sim(*Fresh.M, Kernel, Config);
   if (Fresh.InitMemory)
     Fresh.InitMemory(Sim);
@@ -60,13 +58,15 @@ GridResult simtsr::runWorkloadGrid(const Workload &W,
                                    unsigned Warps, uint64_t Seed) {
   Workload Fresh = cloneWorkload(W);
   runSyncPipeline(*Fresh.M, Opts);
-  assert(isWellFormed(*Fresh.M) && "pipeline produced malformed IR");
+  const LaunchVerification Verification = verifyLaunchModule(*Fresh.M);
+  assert(Verification.Errors.empty() && "pipeline produced malformed IR");
   Function *Kernel = Fresh.M->functionByName(Fresh.KernelName);
   assert(Kernel && "workload kernel not found");
   LaunchConfig Config;
   Config.Seed = Seed;
   Config.Latency = Fresh.Latency;
   Config.KernelArgs = Fresh.Args;
+  Config.Verified = &Verification;
   return runGrid(*Fresh.M, Kernel, Config, Warps, Fresh.InitMemory);
 }
 

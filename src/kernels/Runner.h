@@ -19,8 +19,8 @@
 
 namespace simtsr {
 
-/// Deep-copies \p W by round-tripping the module through the textual
-/// format (also exercising the printer/parser on every run).
+/// Deep-copies \p W via Module::clone() (the passes mutate modules in
+/// place, so every run works on a fresh copy).
 Workload cloneWorkload(const Workload &W);
 
 struct WorkloadOutcome {

@@ -2,21 +2,41 @@
 
 #include "sim/Grid.h"
 
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cassert>
+#include <mutex>
+
 using namespace simtsr;
 
-GridResult simtsr::runGrid(
-    const Module &M, const Function *Kernel, LaunchConfig Config,
-    unsigned Warps,
-    const std::function<void(WarpSimulator &)> &InitMemory) {
+namespace {
+
+/// Everything a warp contributes to the grid aggregate, captured into a
+/// per-warp slot so the reduction can run in warp-index order regardless
+/// of completion order.
+struct WarpOutcome {
+  RunResult R;
+  uint64_t Checksum = 0;
+  bool Ran = false;
+};
+
+LaunchConfig configForWarp(const LaunchConfig &Base, unsigned W) {
+  LaunchConfig C = Base;
+  C.Seed = Base.Seed * 1000003ull + W;
+  return C;
+}
+
+/// Folds completed warps into \p Result in warp-index order, stopping at
+/// the first failing warp — byte-for-byte the sequential loop's behavior.
+GridResult reduceInOrder(const std::vector<WarpOutcome> &Outcomes,
+                         const LaunchConfig &Config) {
   GridResult Result;
   uint64_t ActiveLatency = 0;
-  for (unsigned W = 0; W < Warps; ++W) {
-    LaunchConfig WarpConfig = Config;
-    WarpConfig.Seed = Config.Seed * 1000003ull + W;
-    WarpSimulator Sim(M, Kernel, WarpConfig);
-    if (InitMemory)
-      InitMemory(Sim);
-    RunResult R = Sim.run();
+  for (unsigned W = 0; W < Outcomes.size(); ++W) {
+    const WarpOutcome &O = Outcomes[W];
+    assert(O.Ran && "warp before the first failure was skipped");
+    const RunResult &R = O.R;
     ++Result.WarpsRun;
     if (!R.ok()) {
       Result.Ok = false;
@@ -30,12 +50,78 @@ GridResult simtsr::runGrid(
     ActiveLatency += R.Stats.ActiveLatency;
     Result.PerWarpEfficiency.add(R.Stats.simtEfficiency());
     // Order-independent checksum combination.
-    Result.CombinedChecksum ^=
-        Sim.memoryChecksum() * 0x9e3779b97f4a7c15ull + W;
+    Result.CombinedChecksum ^= O.Checksum * 0x9e3779b97f4a7c15ull + W;
   }
   if (Result.TotalCycles > 0)
     Result.SimtEfficiency =
         static_cast<double>(ActiveLatency) /
         (static_cast<double>(Result.TotalCycles) * Config.WarpSize);
   return Result;
+}
+
+} // namespace
+
+GridResult simtsr::runGrid(
+    const Module &M, const Function *Kernel, LaunchConfig Config,
+    unsigned Warps,
+    const std::function<void(WarpSimulator &)> &InitMemory, GridMode Mode) {
+  // Verify the module once for the whole grid; every warp reuses the
+  // result (historically each warp re-verified the entire module).
+  LaunchVerification LocalVerification;
+  if (!(Config.Verified && Config.Verified->M == &M)) {
+    LocalVerification = verifyLaunchModule(M);
+    Config.Verified = &LocalVerification;
+  }
+
+  if (Mode == GridMode::Sequential || Warps <= 1) {
+    std::vector<WarpOutcome> Outcomes;
+    Outcomes.reserve(Warps);
+    for (unsigned W = 0; W < Warps; ++W) {
+      WarpSimulator Sim(M, Kernel, configForWarp(Config, W));
+      if (InitMemory)
+        InitMemory(Sim);
+      WarpOutcome O;
+      O.R = Sim.run();
+      O.Checksum = Sim.memoryChecksum();
+      O.Ran = true;
+      Outcomes.push_back(std::move(O));
+      if (!Outcomes.back().R.ok())
+        break;
+    }
+    return reduceInOrder(Outcomes, Config);
+  }
+
+  std::vector<WarpOutcome> Outcomes(Warps);
+  // Index of the lowest failing warp seen so far: warps above it cannot
+  // contribute to the result (the reduction stops there), so they may be
+  // skipped — every warp below it still runs.
+  std::atomic<unsigned> FirstFailure{Warps};
+  std::mutex InitMutex;
+  parallelFor(Warps, [&](size_t Idx) {
+    const unsigned W = static_cast<unsigned>(Idx);
+    if (W > FirstFailure.load(std::memory_order_acquire))
+      return;
+    WarpSimulator Sim(M, Kernel, configForWarp(Config, W));
+    if (InitMemory) {
+      // Serialized so callers may mutate captured state without locking.
+      std::lock_guard<std::mutex> Lock(InitMutex);
+      InitMemory(Sim);
+    }
+    WarpOutcome &O = Outcomes[W];
+    O.R = Sim.run();
+    O.Checksum = Sim.memoryChecksum();
+    O.Ran = true;
+    if (!O.R.ok()) {
+      unsigned Expected = FirstFailure.load(std::memory_order_relaxed);
+      while (W < Expected && !FirstFailure.compare_exchange_weak(
+                                 Expected, W, std::memory_order_release))
+        ;
+    }
+  });
+  // Drop the slots past the first failure before the ordered reduction so
+  // the assert in reduceInOrder only sees warps that must have run.
+  const unsigned Fail = FirstFailure.load();
+  if (Fail < Warps)
+    Outcomes.resize(Fail + 1);
+  return reduceInOrder(Outcomes, Config);
 }

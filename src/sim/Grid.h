@@ -21,6 +21,16 @@
 
 namespace simtsr {
 
+/// How runGrid executes its warps. Both modes produce bit-identical
+/// GridResults: the parallel engine runs warps concurrently on the global
+/// ThreadPool, then reduces per-warp statistics in warp-index order,
+/// replicating the sequential loop's aggregation (including its stop at
+/// the first failing warp) exactly.
+enum class GridMode {
+  Parallel,   ///< Warps on the global thread pool (default).
+  Sequential, ///< One warp at a time, in index order.
+};
+
 struct GridResult {
   /// All warps finished cleanly.
   bool Ok = true;
@@ -39,11 +49,16 @@ struct GridResult {
 
 /// Runs \p Warps instances of \p Kernel; warp w uses seed
 /// `config.Seed * 1000003 + w`. \p InitMemory (may be null) is applied to
-/// every warp's fresh memory image.
+/// every warp's fresh memory image; under GridMode::Parallel its calls are
+/// serialized (one warp at a time) but arrive in unspecified warp order,
+/// so it may mutate captured state without locking as long as the result
+/// does not depend on warp order. The module is verified once per grid,
+/// not once per warp.
 GridResult
 runGrid(const Module &M, const Function *Kernel, LaunchConfig Config,
         unsigned Warps,
-        const std::function<void(WarpSimulator &)> &InitMemory = nullptr);
+        const std::function<void(WarpSimulator &)> &InitMemory = nullptr,
+        GridMode Mode = GridMode::Parallel);
 
 } // namespace simtsr
 

@@ -10,10 +10,26 @@
 #include <chrono>
 #include <cstdio>
 #include <limits>
-#include <map>
-#include <set>
 
 using namespace simtsr;
+
+LaunchVerification simtsr::verifyLaunchModule(const Module &M) {
+  // Structural IR validation: rejecting out-of-range registers, barrier
+  // ids, unterminated blocks and bad operand kinds up front keeps the
+  // per-instruction interpreter checks cheap and makes release builds as
+  // safe as asserting ones.
+  LaunchVerification V;
+  V.M = &M;
+  std::vector<std::string> Diags = verifyModule(M);
+  constexpr size_t MaxReported = 3;
+  for (size_t I = 0; I < Diags.size() && I < MaxReported; ++I)
+    V.Errors.push_back("invalid IR: " + Diags[I]);
+  if (Diags.size() > MaxReported)
+    V.Errors.push_back("invalid IR: (+" +
+                       std::to_string(Diags.size() - MaxReported) +
+                       " more diagnostics)");
+  return V;
+}
 
 const char *simtsr::getRunStatusName(RunResult::Status S) {
   switch (S) {
@@ -45,6 +61,27 @@ WarpSimulator::WarpSimulator(const Module &M, const Function *Kernel,
   GlobalMemory.assign(M.globalMemoryWords(), 0);
   Stats.WarpSize = Cfg.WarpSize;
 
+  // Deterministic function ordinals: rank in name order, so scheduler
+  // tie-breaks match the historical F->name() comparisons exactly.
+  FuncsByOrder.reserve(M.size());
+  for (const auto &F : M)
+    FuncsByOrder.push_back(F.get());
+  std::stable_sort(
+      FuncsByOrder.begin(), FuncsByOrder.end(),
+      [](const Function *A, const Function *B) { return A->name() < B->name(); });
+  for (unsigned I = 0; I < FuncsByOrder.size(); ++I)
+    FuncOrder[FuncsByOrder[I]] = I;
+  if (Cfg.ProfileBlocks) {
+    ProfileBase.resize(FuncsByOrder.size());
+    unsigned Total = 0;
+    for (unsigned I = 0; I < FuncsByOrder.size(); ++I) {
+      ProfileBase[I] = Total;
+      Total += static_cast<unsigned>(FuncsByOrder[I]->size());
+    }
+    BlockProf.resize(Total);
+    BranchProf.resize(Total);
+  }
+
   if (!Kernel) {
     PrelaunchErrors.push_back("no kernel function selected");
     return;
@@ -68,6 +105,10 @@ WarpSimulator::WarpSimulator(const Module &M, const Function *Kernel,
   }
 
   Threads.resize(Cfg.WarpSize);
+  ReadyGroups.reserve(Cfg.WarpSize);
+  LiveThreads = Cfg.WarpSize;
+  DirtyLanes = Cfg.WarpSize >= 64 ? ~0ull : ((1ull << Cfg.WarpSize) - 1);
+  const unsigned KernelOrd = funcOrder(Kernel);
   for (unsigned Lane = 0; Lane < Cfg.WarpSize; ++Lane) {
     Thread &T = Threads[Lane];
     uint64_t SeedState = Cfg.Seed;
@@ -76,6 +117,7 @@ WarpSimulator::WarpSimulator(const Module &M, const Function *Kernel,
     T.Rand.seed(LaneSeed);
     Frame F;
     F.F = Kernel;
+    F.FOrd = KernelOrd;
     F.Block = Kernel->entry()->number();
     F.Index = 0;
     F.RetDst = NoRegister;
@@ -84,6 +126,11 @@ WarpSimulator::WarpSimulator(const Module &M, const Function *Kernel,
       F.Regs[A] = Cfg.KernelArgs[A];
     T.Stack.push_back(std::move(F));
   }
+}
+
+unsigned WarpSimulator::funcOrder(const Function *F) const {
+  auto It = FuncOrder.find(F);
+  return It == FuncOrder.end() ? 0 : It->second;
 }
 
 bool WarpSimulator::setMemory(uint64_t Addr, int64_t Value) {
@@ -99,18 +146,15 @@ bool WarpSimulator::setMemory(uint64_t Addr, int64_t Value) {
 }
 
 bool WarpSimulator::validateLaunch(std::vector<std::string> &Errors) const {
-  // Structural IR validation: rejecting out-of-range registers, barrier
-  // ids, unterminated blocks and bad operand kinds here keeps the
-  // per-instruction interpreter checks cheap and makes release builds as
-  // safe as asserting ones.
-  std::vector<std::string> Diags = verifyModule(M);
-  constexpr size_t MaxReported = 3;
-  for (size_t I = 0; I < Diags.size() && I < MaxReported; ++I)
-    Errors.push_back("invalid IR: " + Diags[I]);
-  if (Diags.size() > MaxReported)
-    Errors.push_back("invalid IR: (+" +
-                     std::to_string(Diags.size() - MaxReported) +
-                     " more diagnostics)");
+  // Reuse a shared verification when the launch provides one (runGrid and
+  // the oracle verify once per module); otherwise verify here.
+  if (Config.Verified && Config.Verified->M == &M) {
+    Errors.insert(Errors.end(), Config.Verified->Errors.begin(),
+                  Config.Verified->Errors.end());
+    return Errors.empty();
+  }
+  LaunchVerification V = verifyLaunchModule(M);
+  Errors.insert(Errors.end(), V.Errors.begin(), V.Errors.end());
   return Errors.empty();
 }
 
@@ -125,7 +169,7 @@ uint64_t WarpSimulator::memoryChecksum() const {
 
 WarpSimulator::Pc WarpSimulator::pcOf(const Thread &T) const {
   const Frame &F = T.Stack.back();
-  return {F.F, F.Block, F.Index};
+  return {F.F, F.FOrd, F.Block, F.Index};
 }
 
 int64_t WarpSimulator::eval(const Thread &T, const Operand &O) {
@@ -174,6 +218,7 @@ void WarpSimulator::releaseLanes(LaneMask Lanes) {
     if (T.Status == ThreadStatus::Waiting) {
       T.Status = ThreadStatus::Ready;
       T.WaitingOn = WaitingOnNothing;
+      DirtyLanes |= 1ull << Lane;
     }
   }
 }
@@ -220,6 +265,8 @@ std::string WarpSimulator::describeBlockedThreads() const {
 void WarpSimulator::exitThread(unsigned Lane) {
   Threads[Lane].Status = ThreadStatus::Exited;
   Threads[Lane].Stack.clear();
+  DirtyLanes |= 1ull << Lane;
+  --LiveThreads;
   releaseLanes(Barriers.threadExit(1ull << Lane));
   checkWarpSyncRelease();
 }
@@ -340,6 +387,7 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
       trap("call to function '@" + Callee->name() + "' with no blocks");
       return false;
     }
+    const unsigned CalleeOrd = funcOrder(Callee);
     bool Failed = false;
     forEachLane([&](unsigned, Thread &T) {
       if (Failed)
@@ -353,6 +401,7 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
       }
       Frame New;
       New.F = Callee;
+      New.FOrd = CalleeOrd;
       New.Block = Callee->entry()->number();
       New.Index = 0;
       New.RetDst = I.hasDst() ? I.dst() : NoRegister;
@@ -580,6 +629,56 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
   }
 }
 
+void WarpSimulator::updateReadyGroups() {
+  if (!DirtyLanes)
+    return;
+  // Drop the dirty lanes wherever they currently sit.
+  size_t Out = 0;
+  for (Group &G : ReadyGroups) {
+    G.Lanes &= ~DirtyLanes;
+    if (G.Lanes) {
+      if (Out != static_cast<size_t>(&G - ReadyGroups.data()))
+        ReadyGroups[Out] = G;
+      ++Out;
+    }
+  }
+  ReadyGroups.resize(Out);
+  // Re-insert the ones still ready at their (possibly new) PC; the vector
+  // stays sorted, so scheduler tie-breaks are identical to a full rebuild.
+  LaneMask Remaining = DirtyLanes;
+  while (Remaining) {
+    unsigned Lane = static_cast<unsigned>(std::countr_zero(Remaining));
+    Remaining &= Remaining - 1;
+    const Thread &T = Threads[Lane];
+    if (T.Status != ThreadStatus::Ready)
+      continue;
+    Pc Where = pcOf(T);
+    auto It = std::lower_bound(
+        ReadyGroups.begin(), ReadyGroups.end(), Where,
+        [](const Group &G, const Pc &P) { return G.Where < P; });
+    if (It != ReadyGroups.end() && It->Where == Where)
+      It->Lanes |= 1ull << Lane;
+    else
+      ReadyGroups.insert(It, {Where, 1ull << Lane});
+  }
+  DirtyLanes = 0;
+}
+
+void WarpSimulator::finalizeProfile() {
+  if (!Config.ProfileBlocks)
+    return;
+  for (size_t R = 0; R < FuncsByOrder.size(); ++R) {
+    const Function *F = FuncsByOrder[R];
+    for (size_t B = 0; B < F->size(); ++B) {
+      const unsigned Slot = ProfileBase[R] + static_cast<unsigned>(B);
+      if (BlockProf[Slot].Issues)
+        Stats.Blocks[{F->name(), F->block(B)->name()}] = BlockProf[Slot];
+      if (BranchProf[Slot].Executions)
+        Stats.Branches[{F->name(), F->block(B)->name()}] = BranchProf[Slot];
+    }
+  }
+}
+
 RunResult WarpSimulator::run() {
   Result = RunResult();
   Result.Stats.WarpSize = Config.WarpSize;
@@ -634,38 +733,15 @@ RunResult WarpSimulator::run() {
       }
     }
 
-    // Gather ready threads grouped by PC. A flat vector kept in Pc order
-    // behaves exactly like the std::map it replaces (selection ties break
-    // on the smallest Pc) at a fraction of the cost.
-    std::vector<std::pair<Pc, LaneMask>> Groups;
-    Groups.reserve(Config.WarpSize);
-    bool AnyLive = false;
-    for (unsigned Lane = 0; Lane < Config.WarpSize; ++Lane) {
-      const Thread &T = Threads[Lane];
-      if (T.Status == ThreadStatus::Exited)
-        continue;
-      AnyLive = true;
-      if (T.Status != ThreadStatus::Ready)
-        continue;
-      Pc Where = pcOf(T);
-      bool Found = false;
-      for (auto &[GroupPc, Lanes] : Groups) {
-        if (GroupPc == Where) {
-          Lanes |= 1ull << Lane;
-          Found = true;
-          break;
-        }
-      }
-      if (!Found)
-        Groups.push_back({Where, 1ull << Lane});
-    }
-    std::sort(Groups.begin(), Groups.end(),
-              [](const auto &A, const auto &B) { return A.first < B.first; });
-    if (!AnyLive) {
+    // Fold the lanes whose PC or status changed since the last issue into
+    // the persistent sorted group structure. Ties and ordering behave
+    // exactly like the full rebuild + sort this replaces.
+    updateReadyGroups();
+    if (LiveThreads == 0) {
       Result.St = RunResult::Status::Finished;
       break;
     }
-    if (Groups.empty()) {
+    if (ReadyGroups.empty()) {
       // Every live thread is blocked on a barrier.
       if (!Config.YieldOnDeadlock) {
         Result.St = RunResult::Status::Deadlock;
@@ -691,28 +767,28 @@ RunResult WarpSimulator::run() {
     LaneMask ChosenLanes = 0;
     switch (Config.Policy) {
     case SchedulerPolicy::MaxConvergence: {
-      for (const auto &[Pc, Lanes] : Groups) {
+      for (const Group &G : ReadyGroups) {
         if (!ChosenPc ||
-            std::popcount(Lanes) > std::popcount(ChosenLanes)) {
-          ChosenPc = &Pc;
-          ChosenLanes = Lanes;
+            std::popcount(G.Lanes) > std::popcount(ChosenLanes)) {
+          ChosenPc = &G.Where;
+          ChosenLanes = G.Lanes;
         }
       }
       break;
     }
     case SchedulerPolicy::MinPC: {
-      ChosenPc = &Groups.front().first;
-      ChosenLanes = Groups.front().second;
+      ChosenPc = &ReadyGroups.front().Where;
+      ChosenLanes = ReadyGroups.front().Lanes;
       break;
     }
     case SchedulerPolicy::RoundRobin: {
       // Pick the group containing the next preferred lane.
       for (unsigned Offset = 0; Offset < Config.WarpSize; ++Offset) {
         unsigned Lane = (RoundRobinNext + Offset) % Config.WarpSize;
-        for (const auto &[Pc, Lanes] : Groups) {
-          if (Lanes & (1ull << Lane)) {
-            ChosenPc = &Pc;
-            ChosenLanes = Lanes;
+        for (const Group &G : ReadyGroups) {
+          if (G.Lanes & (1ull << Lane)) {
+            ChosenPc = &G.Where;
+            ChosenLanes = G.Lanes;
             break;
           }
         }
@@ -727,23 +803,28 @@ RunResult WarpSimulator::run() {
       trap("scheduler found no issuable group despite ready threads");
       break;
     }
+    // Every issued lane advances, jumps, waits or exits below — fold them
+    // into the next group update. Copy the chosen PC: the insertions that
+    // update triggers would invalidate a pointer into ReadyGroups.
+    const Pc Chosen = *ChosenPc;
+    DirtyLanes |= ChosenLanes;
 
-    const Function *F = ChosenPc->F;
-    if (ChosenPc->Block >= F->size()) {
-      trap("program counter names block " + std::to_string(ChosenPc->Block) +
+    const Function *F = Chosen.F;
+    if (Chosen.Block >= F->size()) {
+      trap("program counter names block " + std::to_string(Chosen.Block) +
            " past the end of @" + F->name());
       break;
     }
-    const BasicBlock *BB = F->block(ChosenPc->Block);
-    if (ChosenPc->Index >= BB->size()) {
+    const BasicBlock *BB = F->block(Chosen.Block);
+    if (Chosen.Index >= BB->size()) {
       trap("program counter past the end of block '" + BB->name() +
            "' in @" + F->name());
       break;
     }
-    const Instruction &I = BB->inst(ChosenPc->Index);
+    const Instruction &I = BB->inst(Chosen.Index);
 
     if (Tracer)
-      Tracer(*F, *BB, ChosenPc->Index, ChosenLanes);
+      Tracer(*F, *BB, Chosen.Index, ChosenLanes);
 
     const uint32_t Latency = Config.Latency.cost(I.opcode());
     const unsigned Active = static_cast<unsigned>(std::popcount(ChosenLanes));
@@ -753,29 +834,45 @@ RunResult WarpSimulator::run() {
     Stats.ActiveLatency += static_cast<uint64_t>(Active) * Latency;
 
     // Coalescing accounting: distinct 32-word segments per memory issue.
+    // A warp holds at most 64 lanes, so a fixed buffer with a linear
+    // membership scan replaces the per-issue std::set (and its
+    // allocations); coalesced access patterns keep the scan length tiny.
     if (I.opcode() == Opcode::Load || I.opcode() == Opcode::Store ||
         I.opcode() == Opcode::AtomicAdd) {
       constexpr unsigned WordsPerSegment = 32;
-      std::set<int64_t> Segments;
+      int64_t Segments[64];
+      unsigned NumSegments = 0;
       LaneMask Remaining = ChosenLanes;
       while (Remaining) {
         unsigned Lane = static_cast<unsigned>(std::countr_zero(Remaining));
         Remaining &= Remaining - 1;
-        Segments.insert(eval(Threads[Lane], I.operand(0)) /
-                        WordsPerSegment);
+        const int64_t Seg =
+            eval(Threads[Lane], I.operand(0)) / WordsPerSegment;
+        bool Seen = false;
+        for (unsigned S = 0; S < NumSegments; ++S) {
+          if (Segments[S] == Seg) {
+            Seen = true;
+            break;
+          }
+        }
+        if (!Seen)
+          Segments[NumSegments++] = Seg;
       }
       ++Stats.MemIssues;
-      Stats.MemTransactions += Segments.size();
+      Stats.MemTransactions += NumSegments;
       Stats.MemMinTransactions +=
           (Active + WordsPerSegment - 1) / WordsPerSegment;
     }
     if (Config.ProfileBlocks) {
-      BlockProfile &P = Stats.Blocks[{F->name(), BB->name()}];
+      // Dense counters indexed by (function ordinal, block number); the
+      // string-keyed maps are materialized once by finalizeProfile().
+      const unsigned Slot = ProfileBase[Chosen.FOrd] + Chosen.Block;
+      BlockProfile &P = BlockProf[Slot];
       ++P.Issues;
       P.ActiveThreads += Active;
       P.Cycles += Latency;
       if (I.opcode() == Opcode::Br) {
-        BranchProfile &BP = Stats.Branches[{F->name(), BB->name()}];
+        BranchProfile &BP = BranchProf[Slot];
         ++BP.Executions;
         bool Taken = false, NotTaken = false;
         LaneMask Remaining = ChosenLanes;
@@ -794,6 +891,7 @@ RunResult WarpSimulator::run() {
       break;
   }
 
+  finalizeProfile();
   Result.Stats = Stats;
   return Result;
 }

@@ -27,10 +27,25 @@
 #include "support/Rng.h"
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 namespace simtsr {
+
+/// Result of verifying a module once for a whole launch. runGrid and the
+/// differential oracle verify once per (module, grid/sweep) and hand the
+/// result to every WarpSimulator via LaunchConfig::Verified instead of
+/// paying a full verifyModule() per warp.
+struct LaunchVerification {
+  const Module *M = nullptr;
+  /// Pre-formatted "invalid IR: ..." diagnostics; empty means verified OK.
+  std::vector<std::string> Errors;
+};
+
+/// Verifies \p M and formats the diagnostics exactly as WarpSimulator's
+/// pre-run validation reports them (first three plus a "+N more" line).
+LaunchVerification verifyLaunchModule(const Module &M);
 
 enum class SchedulerPolicy {
   MaxConvergence, ///< Largest same-PC group first (Volta-like). Default.
@@ -58,6 +73,11 @@ struct LaunchConfig {
   std::vector<int64_t> KernelArgs;
   /// Collect the per-block profile (small map overhead per issue).
   bool ProfileBlocks = false;
+  /// Optional shared verification for the launched module. When set and it
+  /// matches the module, the simulator reuses it instead of re-running
+  /// verifyModule() — the per-warp win that makes multi-warp grids cheap.
+  /// The pointee must outlive the run.
+  const LaunchVerification *Verified = nullptr;
 };
 
 struct RunResult {
@@ -107,6 +127,7 @@ public:
 private:
   struct Frame {
     const Function *F;
+    unsigned FOrd;    ///< funcOrder(F), cached at frame creation.
     unsigned Block;   ///< Block number within F.
     size_t Index;     ///< Next instruction to execute.
     unsigned RetDst;  ///< Caller register receiving the return value.
@@ -128,21 +149,43 @@ private:
 
   struct Pc {
     const Function *F;
+    unsigned FOrd; ///< Function's rank in name order; see funcOrder().
     unsigned Block;
     size_t Index;
     bool operator==(const Pc &O) const {
       return F == O.F && Block == O.Block && Index == O.Index;
     }
+    /// Name-rank comparison: identical ordering to comparing F->name()
+    /// (ranks are assigned in sorted-name order) without the per-issue
+    /// string compares.
     bool operator<(const Pc &O) const {
-      if (F != O.F)
-        return F->name() < O.F->name();
+      if (FOrd != O.FOrd)
+        return FOrd < O.FOrd;
       if (Block != O.Block)
         return Block < O.Block;
       return Index < O.Index;
     }
   };
 
+  /// One schedulable group: the ready threads sharing a PC. ReadyGroups is
+  /// kept sorted by Pc and updated incrementally (only lanes whose PC or
+  /// status changed are touched) instead of being rebuilt and re-sorted
+  /// every issue slot.
+  struct Group {
+    Pc Where;
+    LaneMask Lanes;
+  };
+
   Pc pcOf(const Thread &T) const;
+  /// Deterministic function ordinal (rank in name order), cached per frame
+  /// so scheduler comparisons never touch strings.
+  unsigned funcOrder(const Function *F) const;
+  /// Folds DirtyLanes into ReadyGroups: removes dirty lanes everywhere,
+  /// then re-inserts the ones still Ready at their current PC.
+  void updateReadyGroups();
+  /// Converts the dense per-block profile counters into the string-keyed
+  /// SimStats maps once, at the end of a run.
+  void finalizeProfile();
   /// Pre-run validation of launch configuration and module well-formedness;
   /// appends diagnostics to \p Errors. \returns true when the run may start.
   bool validateLaunch(std::vector<std::string> &Errors) const;
@@ -172,6 +215,20 @@ private:
   SimStats Stats;
   RunResult Result;
   bool Trapped = false;
+  /// Module functions in name order; index = ordinal used by Pc::FOrd.
+  std::vector<const Function *> FuncsByOrder;
+  std::map<const Function *, unsigned> FuncOrder;
+  /// Ready threads grouped by PC, sorted by Pc (incrementally maintained).
+  std::vector<Group> ReadyGroups;
+  /// Lanes whose PC or status changed since the last updateReadyGroups().
+  LaneMask DirtyLanes = 0;
+  unsigned LiveThreads = 0;
+  /// Dense per-(function ordinal, block number) profiling storage, folded
+  /// into Stats.Blocks/Stats.Branches by finalizeProfile(). Indexing:
+  /// ProfileBase[FOrd] + block number.
+  std::vector<unsigned> ProfileBase;
+  std::vector<BlockProfile> BlockProf;
+  std::vector<BranchProfile> BranchProf;
   /// Construction/setMemory problems surfaced by run() as Malformed.
   std::vector<std::string> PrelaunchErrors;
   unsigned RoundRobinNext = 0;

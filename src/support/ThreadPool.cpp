@@ -1,0 +1,147 @@
+//===- ThreadPool.cpp - Simple deterministic-friendly thread pool ---------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+#include <exception>
+
+using namespace simtsr;
+
+namespace {
+/// True on pool worker threads; nested parallelFor calls run inline there
+/// so a parallel body can call another parallel section without deadlock.
+thread_local bool InPoolWorker = false;
+} // namespace
+
+struct ThreadPool::Job {
+  const std::function<void(size_t)> *Body = nullptr;
+  std::atomic<size_t> Next{0}; ///< Next index to claim.
+  size_t End = 0;              ///< One past the last index.
+  std::atomic<size_t> Remaining{0}; ///< Indices not yet completed.
+  std::mutex DoneMutex;
+  std::condition_variable Done;
+  std::exception_ptr Error; ///< First body exception; guarded by DoneMutex.
+};
+
+ThreadPool::ThreadPool(unsigned Concurrency) {
+  const unsigned NumWorkers = Concurrency > 1 ? Concurrency - 1 : 0;
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Stopping = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runIndex(Job &J, size_t I) {
+  try {
+    (*J.Body)(I);
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(J.DoneMutex);
+    if (!J.Error)
+      J.Error = std::current_exception();
+  }
+  if (J.Remaining.fetch_sub(1) == 1) {
+    // Completed the last index: wake the owner. Taking the mutex orders
+    // the notification after the owner entered its wait.
+    std::lock_guard<std::mutex> Lock(J.DoneMutex);
+    J.Done.notify_all();
+  }
+}
+
+void ThreadPool::workerLoop() {
+  InPoolWorker = true;
+  while (true) {
+    std::shared_ptr<Job> J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCV.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Stopping)
+        return;
+      J = Queue.front();
+      if (J->Next.load() >= J->End) {
+        // Exhausted job still queued: retire it and look again.
+        Queue.pop_front();
+        continue;
+      }
+    }
+    while (true) {
+      size_t I = J->Next.fetch_add(1);
+      if (I >= J->End)
+        break;
+      runIndex(*J, I);
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (N == 1 || Workers.empty() || InPoolWorker) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  auto J = std::make_shared<Job>();
+  J->Body = &Body;
+  J->End = N;
+  J->Remaining.store(N);
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Queue.push_back(J);
+  }
+  QueueCV.notify_all();
+
+  // The caller pulls indices alongside the workers.
+  while (true) {
+    size_t I = J->Next.fetch_add(1);
+    if (I >= N)
+      break;
+    runIndex(*J, I);
+  }
+  {
+    std::unique_lock<std::mutex> Lock(J->DoneMutex);
+    J->Done.wait(Lock, [&] { return J->Remaining.load() == 0; });
+  }
+  {
+    // Retire the job eagerly so the queue never holds a stale entry.
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    for (auto It = Queue.begin(); It != Queue.end(); ++It) {
+      if (*It == J) {
+        Queue.erase(It);
+        break;
+      }
+    }
+  }
+  if (J->Error)
+    std::rethrow_exception(J->Error);
+}
+
+unsigned ThreadPool::defaultConcurrency() {
+  if (const char *Env = std::getenv("SIMTSR_THREADS")) {
+    char *EndPtr = nullptr;
+    unsigned long V = std::strtoul(Env, &EndPtr, 10);
+    if (EndPtr != Env && *EndPtr == '\0' && V >= 1 && V <= 1024)
+      return static_cast<unsigned>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool(defaultConcurrency());
+  return Pool;
+}
+
+void simtsr::parallelFor(size_t N, const std::function<void(size_t)> &Body) {
+  ThreadPool::global().parallelFor(N, Body);
+}

@@ -1,0 +1,84 @@
+//===- ThreadPool.h - Simple deterministic-friendly thread pool -*- C++ -*-===//
+///
+/// \file
+/// A fixed-size pool of persistent worker threads plus a blocking
+/// parallelFor. No work stealing: a parallelFor publishes one job (an
+/// atomic index counter over [0, N)); workers and the calling thread pull
+/// indices until the range is exhausted. Results must be written to
+/// disjoint, pre-sized slots by the body; any order-sensitive reduction is
+/// the caller's responsibility (see runGrid for the canonical pattern:
+/// compute in parallel, reduce in index order, stay bit-identical to the
+/// sequential loop).
+///
+/// Nested parallelFor calls from inside a worker run inline on that worker,
+/// so parallel sections may freely call into other parallel sections
+/// without deadlock. With one hardware thread (or SIMTSR_THREADS=1) every
+/// parallelFor degrades to the plain sequential loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SUPPORT_THREADPOOL_H
+#define SIMTSR_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simtsr {
+
+class ThreadPool {
+public:
+  /// Creates a pool whose parallelFor runs on \p Concurrency threads in
+  /// total: the caller plus Concurrency - 1 persistent workers.
+  /// Concurrency <= 1 creates no workers (parallelFor runs inline).
+  explicit ThreadPool(unsigned Concurrency);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total threads a parallelFor may use, including the calling thread.
+  unsigned concurrency() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs Body(I) for every I in [0, N) and blocks until all calls
+  /// returned. The calling thread participates. Bodies run concurrently
+  /// and must not touch shared mutable state without synchronization.
+  /// The first exception thrown by a body is rethrown to the caller after
+  /// the whole range completed.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+  /// The process-wide pool. Sized from the SIMTSR_THREADS environment
+  /// variable when set (total concurrency; 1 disables parallelism), else
+  /// from std::thread::hardware_concurrency().
+  static ThreadPool &global();
+
+  /// Concurrency global() is (or would be) created with.
+  static unsigned defaultConcurrency();
+
+private:
+  struct Job;
+
+  void workerLoop();
+  static void runIndex(Job &J, size_t I);
+
+  std::vector<std::thread> Workers;
+  std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  std::deque<std::shared_ptr<Job>> Queue;
+  bool Stopping = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallelFor.
+void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+} // namespace simtsr
+
+#endif // SIMTSR_SUPPORT_THREADPOOL_H

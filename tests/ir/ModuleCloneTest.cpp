@@ -1,0 +1,165 @@
+//===- ModuleCloneTest.cpp - Module::clone equivalence tests ----------------===//
+//
+// Module::clone() replaced the print->parse round-trip as the cloning
+// mechanism, so these tests pin its contract: the printed IR of a clone is
+// byte-identical to the printed IR of the original, the clone references
+// only its own functions/blocks, and mutations do not leak either way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "TestIR.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+/// A module exercising every operand kind: registers, immediates, block
+/// references (branches + predict), function references (calls, including
+/// a forward reference to a later function) and barrier ids.
+std::unique_ptr<Module> buildRichModule() {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(4096);
+
+  Function *F = M->createFunction("kernel", 0);
+  Function *Helper = M->createFunction("zhelper", 1);
+  Helper->setReconvergeAtEntry(true);
+  {
+    IRBuilder B(Helper);
+    B.startBlock("entry");
+    unsigned R = B.mul(Operand::reg(0), Operand::imm(3));
+    B.ret(Operand::reg(R));
+  }
+
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Hot = F->createBlock("hot");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  B.predict(Hot);
+  B.joinBarrier(0);
+  B.jmp(Loop);
+
+  B.setInsertBlock(Loop);
+  unsigned R = B.randRange(Operand::imm(0), Operand::imm(100));
+  unsigned C = B.cmpLT(Operand::reg(R), Operand::imm(50));
+  B.br(Operand::reg(C), Hot, Exit);
+
+  B.setInsertBlock(Hot);
+  B.waitBarrier(0);
+  B.rejoinBarrier(0);
+  unsigned V = B.call(Helper, {Operand::reg(T)});
+  B.softWait(2, Operand::imm(8));
+  B.atomicAdd(Operand::imm(0), Operand::reg(V));
+  B.jmp(Loop);
+
+  B.setInsertBlock(Exit);
+  B.cancelBarrier(0);
+  B.warpSync();
+  B.ret();
+
+  F->recomputePreds();
+  return M;
+}
+
+} // namespace
+
+TEST(ModuleCloneTest, PrintedIRIsIdentical) {
+  std::unique_ptr<Module> M = buildRichModule();
+  std::unique_ptr<Module> Clone = M->clone();
+  EXPECT_EQ(printModule(*M), printModule(*Clone));
+}
+
+TEST(ModuleCloneTest, PreservesModuleAndFunctionMetadata) {
+  std::unique_ptr<Module> M = buildRichModule();
+  std::unique_ptr<Module> Clone = M->clone();
+  EXPECT_EQ(Clone->globalMemoryWords(), M->globalMemoryWords());
+  ASSERT_EQ(Clone->size(), M->size());
+  for (size_t I = 0; I < M->size(); ++I) {
+    const Function *Orig = M->function(I);
+    const Function *Copy = Clone->function(I);
+    EXPECT_EQ(Copy->name(), Orig->name());
+    EXPECT_EQ(Copy->numParams(), Orig->numParams());
+    EXPECT_EQ(Copy->numRegs(), Orig->numRegs());
+    EXPECT_EQ(Copy->reconvergeAtEntry(), Orig->reconvergeAtEntry());
+    EXPECT_EQ(Copy->parent(), Clone.get());
+  }
+}
+
+TEST(ModuleCloneTest, OperandsPointIntoTheClone) {
+  std::unique_ptr<Module> M = buildRichModule();
+  std::unique_ptr<Module> Clone = M->clone();
+  for (size_t FI = 0; FI < Clone->size(); ++FI) {
+    const Function *F = Clone->function(FI);
+    for (const BasicBlock *BB : *F) {
+      EXPECT_EQ(BB->parent(), F);
+      for (const Instruction &I : BB->instructions()) {
+        for (const Operand &O : I.operands()) {
+          if (O.isBlock()) {
+            EXPECT_EQ(O.getBlock()->parent(), F);
+          }
+          if (O.isFunc()) {
+            EXPECT_EQ(O.getFunc()->parent(), Clone.get());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ModuleCloneTest, CloneIsWellFormedAndHasPreds) {
+  std::unique_ptr<Module> M = buildRichModule();
+  std::unique_ptr<Module> Clone = M->clone();
+  EXPECT_TRUE(isWellFormed(*Clone));
+  // Predecessor lists were recomputed on the clone's own blocks.
+  const Function *F = Clone->functionByName("kernel");
+  ASSERT_NE(F, nullptr);
+  const BasicBlock *Loop = F->blockByName("loop");
+  ASSERT_NE(Loop, nullptr);
+  ASSERT_EQ(Loop->predecessors().size(), 2u);
+  for (const BasicBlock *Pred : Loop->predecessors())
+    EXPECT_EQ(Pred->parent(), F);
+}
+
+TEST(ModuleCloneTest, MutationsDoNotLeakBetweenCopies) {
+  std::unique_ptr<Module> M = buildRichModule();
+  std::unique_ptr<Module> Clone = M->clone();
+  const std::string Before = printModule(*M);
+
+  Function *F = Clone->functionByName("kernel");
+  ASSERT_NE(F, nullptr);
+  IRBuilder B(F);
+  BasicBlock *Extra = F->createBlock("extra");
+  B.setInsertBlock(Extra);
+  B.ret();
+  F->recomputePreds();
+
+  EXPECT_EQ(printModule(*M), Before);
+  EXPECT_NE(printModule(*Clone), Before);
+}
+
+TEST(ModuleCloneTest, RandomCfgsRoundTrip) {
+  for (uint64_t Seed = 1; Seed <= 24; ++Seed) {
+    std::unique_ptr<Module> M = testir::randomCfg(Seed, 3 + Seed % 13);
+    std::unique_ptr<Module> Clone = M->clone();
+    EXPECT_EQ(printModule(*M), printModule(*Clone)) << "seed " << Seed;
+  }
+}
+
+TEST(ModuleCloneTest, EmptyModule) {
+  Module M;
+  M.setGlobalMemoryWords(17);
+  std::unique_ptr<Module> Clone = M.clone();
+  EXPECT_EQ(Clone->size(), 0u);
+  EXPECT_EQ(Clone->globalMemoryWords(), 17u);
+  EXPECT_EQ(printModule(M), printModule(*Clone));
+}

@@ -1,0 +1,104 @@
+//===- ThreadPoolTest.cpp - Tests for the support thread pool -------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace simtsr;
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  parallelFor(N, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonRanges) {
+  unsigned Calls = 0;
+  parallelFor(0, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0u);
+  parallelFor(1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(ThreadPoolTest, ResultsReducibleInIndexOrder) {
+  // The canonical usage: parallel compute into disjoint slots, then a
+  // sequential in-order reduction that is bit-identical to a plain loop.
+  constexpr size_t N = 257;
+  std::vector<uint64_t> Slots(N, 0);
+  parallelFor(N, [&](size_t I) { Slots[I] = I * I + 1; });
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < N; ++I)
+    Sum = Sum * 31 + Slots[I];
+  uint64_t Expected = 0;
+  for (size_t I = 0; I < N; ++I)
+    Expected = Expected * 31 + (I * I + 1);
+  EXPECT_EQ(Sum, Expected);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  constexpr size_t Outer = 8, Inner = 16;
+  std::vector<std::atomic<int>> Hits(Outer * Inner);
+  parallelFor(Outer, [&](size_t O) {
+    parallelFor(Inner,
+                [&](size_t I) { Hits[O * Inner + I].fetch_add(1); });
+  });
+  for (size_t I = 0; I < Outer * Inner; ++I)
+    EXPECT_EQ(Hits[I].load(), 1);
+}
+
+TEST(ThreadPoolTest, SequentialPoolRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.concurrency(), 1u);
+  std::vector<size_t> Order;
+  Pool.parallelFor(5, [&](size_t I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, DedicatedPoolCoversRange) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.concurrency(), 4u);
+  std::atomic<uint64_t> Sum{0};
+  Pool.parallelFor(100, [&](size_t I) { Sum.fetch_add(I + 1); });
+  EXPECT_EQ(Sum.load(), 5050u);
+}
+
+TEST(ThreadPoolTest, BackToBackJobsReuseWorkers) {
+  ThreadPool Pool(3);
+  for (int Round = 0; Round < 20; ++Round) {
+    std::atomic<unsigned> Count{0};
+    Pool.parallelFor(7, [&](size_t) { Count.fetch_add(1); });
+    ASSERT_EQ(Count.load(), 7u) << "round " << Round;
+  }
+}
+
+TEST(ThreadPoolTest, BodyExceptionPropagatesAfterCompletion) {
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Ran{0};
+  EXPECT_THROW(Pool.parallelFor(10,
+                                [&](size_t I) {
+                                  Ran.fetch_add(1);
+                                  if (I == 3)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // Every index still executed; the error is reported, not a truncation.
+  EXPECT_EQ(Ran.load(), 10u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsableAndSingleton) {
+  ThreadPool &A = ThreadPool::global();
+  ThreadPool &B = ThreadPool::global();
+  EXPECT_EQ(&A, &B);
+  EXPECT_GE(A.concurrency(), 1u);
+  EXPECT_EQ(ThreadPool::defaultConcurrency(), A.concurrency());
+}

@@ -1,0 +1,300 @@
+//===- simtsr-bench.cpp - Simulator throughput benchmark driver ---------------===//
+///
+/// \file
+/// Machine-readable performance baseline for the simulation engine: runs
+/// every Table 2 workload as a multi-warp grid under the PDOM baseline
+/// pipeline and reports wall-clock throughput (warps/sec and issue
+/// slots/sec) per workload, as a plain-text table or as JSON (schema
+/// "simtsr-bench-v1", see docs/PERFORMANCE.md). scripts/bench_baseline.sh
+/// wraps this tool to produce the checked-in BENCH_baseline.json.
+///
+/// The measured numbers (wall_ms, *_per_sec) are machine-dependent; the
+/// simulation results (cycles, issue_slots, simt_efficiency, checksum) are
+/// deterministic and must not change across hosts, thread counts, or
+/// parallel/sequential mode — a reviewer can diff those fields against the
+/// checked-in baseline on any machine.
+///
+/// Exit codes: 0 when every workload finishes, 1 on usage errors, 2 when
+/// any workload fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Runner.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace simtsr;
+
+namespace {
+
+constexpr uint64_t BenchSeed = 2020; // Matches the figure harnesses.
+
+struct ToolOptions {
+  unsigned Warps = 8;
+  double Scale = 1.0;
+  bool Json = false;
+  GridMode Mode = GridMode::Parallel;
+  std::string OutFile; // empty = stdout
+};
+
+struct WorkloadRow {
+  std::string Name;
+  double WallMs = 0.0;
+  double WarpsPerSec = 0.0;
+  double IssueSlotsPerSec = 0.0;
+  uint64_t TotalCycles = 0;
+  uint64_t TotalIssueSlots = 0;
+  double SimtEfficiency = 0.0;
+  uint64_t Checksum = 0;
+  bool Ok = false;
+  std::string FailMessage;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: simtsr-bench [options]\n"
+      "  --json             emit JSON (schema simtsr-bench-v1) instead of a "
+      "table\n"
+      "  --warps N          warps per grid (default 8)\n"
+      "  --scale S          workload scale factor in (0, 1] (default 1.0)\n"
+      "  --sequential       run grids one warp at a time (perf comparison "
+      "baseline)\n"
+      "  --out FILE         write the report to FILE instead of stdout\n");
+}
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto NeedValue = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--json") {
+      Opts.Json = true;
+    } else if (Arg == "--warps") {
+      const char *S = NeedValue();
+      char *End = nullptr;
+      unsigned long V = S ? std::strtoul(S, &End, 10) : 0;
+      if (!S || End == S || *End != '\0' || V < 1 || V > 4096)
+        return false;
+      Opts.Warps = static_cast<unsigned>(V);
+    } else if (Arg == "--scale") {
+      const char *S = NeedValue();
+      char *End = nullptr;
+      double V = S ? std::strtod(S, &End) : 0.0;
+      if (!S || End == S || *End != '\0' || V <= 0.0 || V > 1.0)
+        return false;
+      Opts.Scale = V;
+    } else if (Arg == "--sequential") {
+      Opts.Mode = GridMode::Sequential;
+    } else if (Arg == "--out") {
+      const char *S = NeedValue();
+      if (!S)
+        return false;
+      Opts.OutFile = S;
+    } else {
+      std::fprintf(stderr, "simtsr-bench: unknown argument '%s'\n",
+                   Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+WorkloadRow measure(const Workload &W, const ToolOptions &Opts) {
+  WorkloadRow Row;
+  Row.Name = W.Name;
+
+  // The pipeline and clone run outside the timed region: the baseline
+  // tracks simulation-engine throughput, not compiler time.
+  Workload Fresh = cloneWorkload(W);
+  runSyncPipeline(*Fresh.M, PipelineOptions::baseline());
+  const LaunchVerification Verification = verifyLaunchModule(*Fresh.M);
+  Function *Kernel = Fresh.M->functionByName(Fresh.KernelName);
+  if (!Verification.Errors.empty() || !Kernel) {
+    Row.FailMessage = "workload did not survive the baseline pipeline";
+    return Row;
+  }
+  LaunchConfig Config;
+  Config.Seed = BenchSeed;
+  Config.Latency = Fresh.Latency;
+  Config.KernelArgs = Fresh.Args;
+  Config.Verified = &Verification;
+
+  const auto Start = std::chrono::steady_clock::now();
+  GridResult R = runGrid(*Fresh.M, Kernel, Config, Opts.Warps,
+                         Fresh.InitMemory, Opts.Mode);
+  const auto End = std::chrono::steady_clock::now();
+  const double WallSec =
+      std::chrono::duration<double>(End - Start).count();
+
+  Row.WallMs = WallSec * 1000.0;
+  Row.Ok = R.Ok;
+  Row.FailMessage = R.FailMessage;
+  Row.TotalCycles = R.TotalCycles;
+  Row.TotalIssueSlots = R.TotalIssueSlots;
+  Row.SimtEfficiency = R.SimtEfficiency;
+  Row.Checksum = R.CombinedChecksum;
+  if (WallSec > 0.0) {
+    Row.WarpsPerSec = static_cast<double>(R.WarpsRun) / WallSec;
+    Row.IssueSlotsPerSec =
+        static_cast<double>(R.TotalIssueSlots) / WallSec;
+  }
+  return Row;
+}
+
+std::string formatDouble(double V, const char *Fmt) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), Fmt, V);
+  return Buf;
+}
+
+std::string formatHex(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+void emitJson(std::FILE *Out, const ToolOptions &Opts,
+              const std::vector<WorkloadRow> &Rows) {
+  double TotalMs = 0.0;
+  uint64_t TotalSlots = 0;
+  unsigned TotalWarps = 0;
+  for (const WorkloadRow &R : Rows) {
+    TotalMs += R.WallMs;
+    TotalSlots += R.TotalIssueSlots;
+    TotalWarps += R.Ok ? Opts.Warps : 0;
+  }
+  const double TotalSec = TotalMs / 1000.0;
+
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"schema\": \"simtsr-bench-v1\",\n");
+  std::fprintf(Out, "  \"pipeline\": \"pdom-baseline\",\n");
+  std::fprintf(Out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(BenchSeed));
+  std::fprintf(Out, "  \"warps\": %u,\n", Opts.Warps);
+  std::fprintf(Out, "  \"scale\": %s,\n",
+               formatDouble(Opts.Scale, "%g").c_str());
+  std::fprintf(Out, "  \"mode\": \"%s\",\n",
+               Opts.Mode == GridMode::Parallel ? "parallel" : "sequential");
+  std::fprintf(Out, "  \"threads\": %u,\n", ThreadPool::global().concurrency());
+  std::fprintf(Out, "  \"workloads\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const WorkloadRow &R = Rows[I];
+    std::fprintf(Out, "    {\n");
+    std::fprintf(Out, "      \"name\": \"%s\",\n",
+                 jsonEscape(R.Name).c_str());
+    std::fprintf(Out, "      \"status\": \"%s\",\n", R.Ok ? "ok" : "failed");
+    if (!R.Ok)
+      std::fprintf(Out, "      \"fail_message\": \"%s\",\n",
+                   jsonEscape(R.FailMessage).c_str());
+    std::fprintf(Out, "      \"wall_ms\": %s,\n",
+                 formatDouble(R.WallMs, "%.3f").c_str());
+    std::fprintf(Out, "      \"warps_per_sec\": %s,\n",
+                 formatDouble(R.WarpsPerSec, "%.1f").c_str());
+    std::fprintf(Out, "      \"issue_slots_per_sec\": %s,\n",
+                 formatDouble(R.IssueSlotsPerSec, "%.1f").c_str());
+    std::fprintf(Out, "      \"cycles\": %llu,\n",
+                 static_cast<unsigned long long>(R.TotalCycles));
+    std::fprintf(Out, "      \"issue_slots\": %llu,\n",
+                 static_cast<unsigned long long>(R.TotalIssueSlots));
+    std::fprintf(Out, "      \"simt_efficiency\": %s,\n",
+                 formatDouble(R.SimtEfficiency, "%.6f").c_str());
+    std::fprintf(Out, "      \"checksum\": \"%s\"\n",
+                 formatHex(R.Checksum).c_str());
+    std::fprintf(Out, "    }%s\n", I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"totals\": {\n");
+  std::fprintf(Out, "    \"wall_ms\": %s,\n",
+               formatDouble(TotalMs, "%.3f").c_str());
+  std::fprintf(Out, "    \"warps_per_sec\": %s,\n",
+               formatDouble(TotalSec > 0.0 ? TotalWarps / TotalSec : 0.0,
+                            "%.1f")
+                   .c_str());
+  std::fprintf(Out, "    \"issue_slots_per_sec\": %s\n",
+               formatDouble(TotalSec > 0.0
+                                ? static_cast<double>(TotalSlots) / TotalSec
+                                : 0.0,
+                            "%.1f")
+                   .c_str());
+  std::fprintf(Out, "  }\n");
+  std::fprintf(Out, "}\n");
+}
+
+void emitTable(std::FILE *Out, const ToolOptions &Opts,
+               const std::vector<WorkloadRow> &Rows) {
+  std::fprintf(Out,
+               "==== simtsr-bench: %u warps, scale %g, %s, %u threads ====\n",
+               Opts.Warps, Opts.Scale,
+               Opts.Mode == GridMode::Parallel ? "parallel" : "sequential",
+               ThreadPool::global().concurrency());
+  std::fprintf(Out, "%-17s %9s %12s %16s %9s  %s\n", "benchmark", "wall-ms",
+               "warps/sec", "islots/sec", "simt-eff", "status");
+  for (const WorkloadRow &R : Rows)
+    std::fprintf(Out, "%-17s %9.3f %12.1f %16.1f %8.1f%%  %s%s%s\n",
+                 R.Name.c_str(), R.WallMs, R.WarpsPerSec, R.IssueSlotsPerSec,
+                 100.0 * R.SimtEfficiency, R.Ok ? "ok" : "FAILED",
+                 R.FailMessage.empty() ? "" : ": ",
+                 R.FailMessage.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage();
+    return 1;
+  }
+
+  const std::vector<Workload> Suite = makeAllWorkloads(Opts.Scale);
+  std::vector<WorkloadRow> Rows;
+  Rows.reserve(Suite.size());
+  // Workloads are measured one at a time — parallelism lives inside each
+  // grid — so per-workload wall clocks do not contend with each other.
+  for (const Workload &W : Suite)
+    Rows.push_back(measure(W, Opts));
+
+  std::FILE *Out = stdout;
+  if (!Opts.OutFile.empty()) {
+    Out = std::fopen(Opts.OutFile.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "simtsr-bench: cannot open '%s' for writing\n",
+                   Opts.OutFile.c_str());
+      return 1;
+    }
+  }
+  if (Opts.Json)
+    emitJson(Out, Opts, Rows);
+  else
+    emitTable(Out, Opts, Rows);
+  if (Out != stdout)
+    std::fclose(Out);
+
+  for (const WorkloadRow &R : Rows)
+    if (!R.Ok)
+      return 2;
+  return 0;
+}
