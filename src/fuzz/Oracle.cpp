@@ -90,24 +90,12 @@ struct ConfigSpec {
 };
 
 std::vector<ConfigSpec> makeConfigs(const OracleOptions &Opts) {
-  PipelineOptions Noop;
-  Noop.PdomSync = false;
-  Noop.StripPredicts = true;
-
-  PipelineOptions Sr;
-  Sr.ApplySR = true;
-
-  PipelineOptions SrIpRealloc = PipelineOptions::speculative();
-  SrIpRealloc.ReallocBarriers = true;
-
-  return {
-      {"noop", Noop},
-      {"pdom", PipelineOptions::baseline()},
-      {"sr", Sr},
-      {"sr+ip", PipelineOptions::speculative()},
-      {"soft", PipelineOptions::softBarrier(Opts.SoftThreshold)},
-      {"sr+ip+realloc", SrIpRealloc},
-  };
+  // The oracle's config axis IS the standard catalog — the trace tool and
+  // the golden digest tests run the same six pipelines by name.
+  std::vector<ConfigSpec> Specs;
+  for (const std::string &Name : standardPipelineNames())
+    Specs.push_back({Name, *standardPipelineByName(Name, Opts.SoftThreshold)});
+  return Specs;
 }
 
 std::string joinFirst(const std::vector<std::string> &Diags, size_t Max) {
@@ -209,6 +197,7 @@ ConfigOutcome runOracleConfig(const std::string &SirText,
     Config.MaxIssueSlots = Opts.MaxIssueSlots;
     Config.MaxWallMillis = Opts.MaxWallMillis;
     Config.Verified = &Verification;
+    Config.CollectTraceDigest = Opts.CollectTraceDigests;
 
     WarpSimulator Sim(M, M.functionByName("kernel"), Config);
     RunResult Run = Sim.run();
@@ -218,6 +207,7 @@ ConfigOutcome runOracleConfig(const std::string &SirText,
     Record.Run.Policy = Policy;
     Record.Run.St = Run.St;
     Record.Run.Checksum = Sim.memoryChecksum();
+    Record.Run.TraceDigest = Run.TraceDigest;
     Record.TrapMessage = Run.TrapMessage;
     const uint64_t Checksum = Record.Run.Checksum;
     Out.Runs.push_back(std::move(Record));
@@ -281,20 +271,101 @@ OracleResult replayInOrder(const std::vector<ConfigSpec> &Specs,
   return Result;
 }
 
+/// Event cap for divergence explanation re-runs; large enough for any
+/// KernelGen kernel, small enough to bound a pathological repro.
+constexpr size_t MaxDivergenceEvents = 1u << 20;
+
+/// Re-runs one (config, policy) pair with an event recorder attached,
+/// replicating the oracle's per-config compile (including fault
+/// injection). \returns the compiled module — the recorded events point
+/// into it, so it must stay alive while they are consumed — or null when
+/// any pre-sim stage fails (impossible for pairs that already completed
+/// inside the oracle).
+std::unique_ptr<Module> recordTrace(const std::string &SirText,
+                                    const ConfigSpec &Spec,
+                                    const OracleOptions &Opts,
+                                    SchedulerPolicy Policy,
+                                    observe::TraceRecorder &Rec) {
+  ParseResult Parsed = parseModule(SirText);
+  if (!Parsed.ok())
+    return nullptr;
+  Module &M = *Parsed.M;
+  if (!runSyncPipeline(M, Spec.Opts).clean())
+    return nullptr;
+  if (Opts.Inject != FaultInjection::None && Spec.Name == "sr")
+    injectFault(M, Opts.Inject);
+  LaunchConfig Config;
+  Config.WarpSize = Opts.WarpSize;
+  Config.Seed = Opts.SimSeed;
+  Config.Policy = Policy;
+  Config.MaxIssueSlots = Opts.MaxIssueSlots;
+  Config.MaxWallMillis = Opts.MaxWallMillis;
+  Config.Trace = &Rec;
+  WarpSimulator Sim(M, M.functionByName("kernel"), Config);
+  Sim.run();
+  return std::move(Parsed.M);
+}
+
+/// Appends the first divergent scheduling event to a checksum-mismatch
+/// verdict by re-running the failing and reference pairs with recorders.
+/// Runs after the parallel/sequential verdict is fixed and is itself
+/// deterministic, so it cannot break their bit-identity.
+void explainDivergence(const std::string &SirText, const OracleOptions &Opts,
+                       OracleResult &Result) {
+  if (!Opts.ExplainDivergence || Result.Kind != FailureKind::ChecksumMismatch)
+    return;
+  if (Result.Runs.size() < 2)
+    return;
+  const OracleRun &Bad = Result.Runs.back();   // The run that mismatched.
+  const OracleRun &Ref = Result.Runs.front();  // Established the reference.
+  const std::vector<ConfigSpec> Specs = makeConfigs(Opts);
+  auto SpecFor = [&](const std::string &Name) -> const ConfigSpec * {
+    for (const ConfigSpec &S : Specs)
+      if (S.Name == Name)
+        return &S;
+    return nullptr;
+  };
+  const ConfigSpec *BadSpec = SpecFor(Bad.Config);
+  const ConfigSpec *RefSpec = SpecFor(Ref.Config);
+  if (!BadSpec || !RefSpec)
+    return;
+  observe::TraceRecorder BadRec(MaxDivergenceEvents);
+  observe::TraceRecorder RefRec(MaxDivergenceEvents);
+  // The modules must outlive the diff: recorded events reference their
+  // function and block names.
+  std::unique_ptr<Module> BadM =
+      recordTrace(SirText, *BadSpec, Opts, Bad.Policy, BadRec);
+  std::unique_ptr<Module> RefM =
+      recordTrace(SirText, *RefSpec, Opts, Ref.Policy, RefRec);
+  if (!BadM || !RefM)
+    return;
+  const observe::TraceDivergence D =
+      observe::diffTraces(BadRec.events(), RefRec.events());
+  if (D.Diverged) {
+    Result.Detail += "; trace diverges at event #" + std::to_string(D.Index) +
+                     ": " + D.A + " vs reference " + D.B;
+  } else if (BadRec.truncated() || RefRec.truncated()) {
+    Result.Detail += "; traces identical within the first " +
+                     std::to_string(MaxDivergenceEvents) + " events";
+  } else {
+    // Same schedule, different checksum: the configs computed different
+    // values along identical control flow.
+    Result.Detail += "; schedules are identical — the divergence is in "
+                     "computed values, not control flow";
+  }
+}
+
 } // namespace
 
 const std::vector<std::string> &simtsr::oracleConfigNames() {
-  static const std::vector<std::string> Names = [] {
-    std::vector<std::string> N;
-    for (const ConfigSpec &C : makeConfigs(OracleOptions{}))
-      N.push_back(C.Name);
-    return N;
-  }();
-  return Names;
+  // One catalog for the whole repo; see standardPipelineNames().
+  return standardPipelineNames();
 }
 
-OracleResult simtsr::runDifferentialOracle(const std::string &SirText,
-                                           const OracleOptions &Opts) {
+namespace {
+
+OracleResult runOracleVerdict(const std::string &SirText,
+                              const OracleOptions &Opts) {
   OracleResult Result;
 
   // Reject inputs that are broken before any pass touches them, so every
@@ -407,6 +478,7 @@ OracleResult simtsr::runDifferentialOracle(const std::string &SirText,
       Config.Policy = Policy;
       Config.MaxIssueSlots = Opts.MaxIssueSlots;
       Config.MaxWallMillis = Opts.MaxWallMillis;
+      Config.CollectTraceDigest = Opts.CollectTraceDigests;
 
       WarpSimulator Sim(M, M.functionByName("kernel"), Config);
       RunResult Run = Sim.run();
@@ -418,6 +490,7 @@ OracleResult simtsr::runDifferentialOracle(const std::string &SirText,
       Record.Policy = Policy;
       Record.St = Run.St;
       Record.Checksum = Sim.memoryChecksum();
+      Record.TraceDigest = Run.TraceDigest;
       Result.Runs.push_back(Record);
 
       if (!Run.ok()) {
@@ -442,5 +515,14 @@ OracleResult simtsr::runDifferentialOracle(const std::string &SirText,
       }
     }
   }
+  return Result;
+}
+
+} // namespace
+
+OracleResult simtsr::runDifferentialOracle(const std::string &SirText,
+                                           const OracleOptions &Opts) {
+  OracleResult Result = runOracleVerdict(SirText, Opts);
+  explainDivergence(SirText, Opts, Result);
   return Result;
 }

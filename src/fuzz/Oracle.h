@@ -70,6 +70,14 @@ struct OracleOptions {
   /// Threshold for the soft-barrier config.
   int SoftThreshold = 8;
   FaultInjection Inject = FaultInjection::None;
+  /// Collect a trace digest for every run (OracleRun::TraceDigest) so
+  /// failure reports and shrunk repros are self-describing. Costs one
+  /// branch plus a small hash per issue slot.
+  bool CollectTraceDigests = true;
+  /// On a checksum mismatch, re-run the failing and reference
+  /// (config, policy) pairs with event recorders and append the first
+  /// divergent scheduling event to Detail.
+  bool ExplainDivergence = true;
   /// Run the six pipeline configurations concurrently on the global thread
   /// pool. The verdict (Kind, Detail, Runs) is bit-identical to the
   /// sequential cross product: every config runs to completion, then the
@@ -84,6 +92,9 @@ struct OracleRun {
   SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
   RunResult::Status St = RunResult::Status::Finished;
   uint64_t Checksum = 0;
+  /// Stable schedule digest (docs/OBSERVABILITY.md); 0 when
+  /// OracleOptions::CollectTraceDigests is off.
+  uint64_t TraceDigest = 0;
 };
 
 struct OracleResult {

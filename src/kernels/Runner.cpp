@@ -2,6 +2,8 @@
 
 #include "kernels/Runner.h"
 
+#include "observe/Remark.h"
+
 #include <cassert>
 
 using namespace simtsr;
@@ -68,6 +70,84 @@ GridResult simtsr::runWorkloadGrid(const Workload &W,
   Config.KernelArgs = Fresh.Args;
   Config.Verified = &Verification;
   return runGrid(*Fresh.M, Kernel, Config, Warps, Fresh.InitMemory);
+}
+
+uint64_t simtsr::workloadTraceDigest(const Workload &W,
+                                     const PipelineOptions &Opts,
+                                     SchedulerPolicy Policy, unsigned Warps,
+                                     uint64_t Seed) {
+  Workload Fresh = cloneWorkload(W);
+  runSyncPipeline(*Fresh.M, Opts);
+  const LaunchVerification Verification = verifyLaunchModule(*Fresh.M);
+  assert(Verification.Errors.empty() && "pipeline produced malformed IR");
+  Function *Kernel = Fresh.M->functionByName(Fresh.KernelName);
+  assert(Kernel && "workload kernel not found");
+  LaunchConfig Config;
+  Config.Seed = Seed;
+  Config.Policy = Policy;
+  Config.Latency = Fresh.Latency;
+  Config.KernelArgs = Fresh.Args;
+  Config.Verified = &Verification;
+  Config.CollectTraceDigest = true;
+  return runGrid(*Fresh.M, Kernel, Config, Warps, Fresh.InitMemory)
+      .TraceDigest;
+}
+
+TracedWorkloadResult
+simtsr::runWorkloadTraced(const Workload &W, const PipelineOptions &Opts,
+                          SchedulerPolicy Policy, unsigned Warps,
+                          uint64_t Seed, observe::RemarkStream *Remarks,
+                          size_t MaxEventsPerWarp) {
+  TracedWorkloadResult Result;
+  Result.Compiled = cloneWorkload(W);
+  PipelineOptions PipeOpts = Opts;
+  PipeOpts.Remarks = Remarks;
+  Result.Pipeline = runSyncPipeline(*Result.Compiled.M, PipeOpts);
+  const LaunchVerification Verification =
+      verifyLaunchModule(*Result.Compiled.M);
+  assert(Verification.Errors.empty() && "pipeline produced malformed IR");
+  Function *Kernel =
+      Result.Compiled.M->functionByName(Result.Compiled.KernelName);
+  assert(Kernel && "workload kernel not found");
+
+  LaunchConfig Base;
+  Base.Seed = Seed;
+  Base.Policy = Policy;
+  Base.Latency = Result.Compiled.Latency;
+  Base.KernelArgs = Result.Compiled.Args;
+  Base.Verified = &Verification;
+  Base.CollectTraceDigest = true;
+
+  // Warp by warp with a recorder attached, on the exact per-warp configs
+  // the grid derives; the folded digest therefore matches the grid's.
+  for (unsigned Wi = 0; Wi < Warps; ++Wi) {
+    observe::TraceRecorder Recorder(MaxEventsPerWarp);
+    LaunchConfig Config = gridWarpConfig(Base, Wi);
+    Config.Trace = &Recorder;
+    WarpSimulator Sim(*Result.Compiled.M, Kernel, Config);
+    if (Result.Compiled.InitMemory)
+      Result.Compiled.InitMemory(Sim);
+    RunResult R = Sim.run();
+
+    WarpTrace Trace;
+    Trace.WarpIndex = Wi;
+    Trace.Status = R.St;
+    Trace.TrapMessage = R.TrapMessage;
+    Trace.Digest = Recorder.digest();
+    Trace.Truncated = Recorder.truncated();
+    Trace.Events = Recorder.events();
+    Result.Warps.push_back(std::move(Trace));
+
+    Result.TraceDigest =
+        observe::combineTraceDigests(Result.TraceDigest, R.TraceDigest);
+    Result.Cycles += R.Stats.Cycles;
+    Result.IssueSlots += R.Stats.IssueSlots;
+    if (!R.ok()) {
+      Result.Ok = false;
+      break; // The grid reduction stops at the first failing warp too.
+    }
+  }
+  return Result;
 }
 
 int simtsr::autotuneSoftThreshold(const Workload &Pilot, uint64_t Seed,

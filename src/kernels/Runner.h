@@ -13,6 +13,7 @@
 #define SIMTSR_KERNELS_RUNNER_H
 
 #include "kernels/Workload.h"
+#include "observe/Trace.h"
 #include "sim/Grid.h"
 #include "sim/Warp.h"
 #include "transform/Pipeline.h"
@@ -45,6 +46,47 @@ WorkloadOutcome runWorkload(const Workload &W, const PipelineOptions &Opts,
 /// \p Opts. \p W itself is left untouched.
 GridResult runWorkloadGrid(const Workload &W, const PipelineOptions &Opts,
                            unsigned Warps, uint64_t Seed = 1);
+
+/// \returns the launch trace digest of \p W under \p Opts — the same value
+/// GridResult::TraceDigest reports, computed through the real grid path
+/// (parallel when SIMTSR_THREADS allows). This is what the golden digest
+/// tests check in.
+uint64_t workloadTraceDigest(const Workload &W, const PipelineOptions &Opts,
+                             SchedulerPolicy Policy, unsigned Warps,
+                             uint64_t Seed);
+
+/// One warp's recorded schedule from a traced run.
+struct WarpTrace {
+  unsigned WarpIndex = 0;
+  RunResult::Status Status = RunResult::Status::Finished;
+  std::string TrapMessage;
+  uint64_t Digest = 0;   ///< This warp's own trace digest.
+  bool Truncated = false;
+  std::vector<observe::TraceEvent> Events;
+};
+
+/// A full traced run: per-warp event streams plus the folded launch
+/// digest. Events point into \p Compiled's module, which the result owns —
+/// keep the result alive while consuming the events.
+struct TracedWorkloadResult {
+  bool Ok = true;
+  uint64_t TraceDigest = 0; ///< Folded as GridResult::TraceDigest folds.
+  uint64_t Cycles = 0;      ///< Summed over warps.
+  uint64_t IssueSlots = 0;  ///< Summed over warps.
+  PipelineReport Pipeline;
+  std::vector<WarpTrace> Warps;
+  Workload Compiled; ///< The post-pipeline workload the events reference.
+};
+
+/// Runs \p W warp by warp with an event recorder attached to each warp,
+/// using the exact per-warp configs the grid uses (gridWarpConfig), so the
+/// folded digest equals workloadTraceDigest() for the same parameters.
+/// Remarks from the pass pipeline land in \p Remarks when non-null.
+TracedWorkloadResult
+runWorkloadTraced(const Workload &W, const PipelineOptions &Opts,
+                  SchedulerPolicy Policy, unsigned Warps, uint64_t Seed,
+                  observe::RemarkStream *Remarks = nullptr,
+                  size_t MaxEventsPerWarp = 1u << 20);
 
 /// Offline soft-barrier threshold tuning — the paper leaves "automatically
 /// discovering the ideal threshold parameter" to future work (Section

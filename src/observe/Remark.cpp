@@ -1,0 +1,146 @@
+//===- Remark.cpp - Structured pass remarks ----------------------------------===//
+
+#include "observe/Remark.h"
+
+#include "support/Json.h"
+
+using namespace simtsr;
+using namespace simtsr::observe;
+
+namespace {
+thread_local RemarkStream *CurrentStream = nullptr;
+} // namespace
+
+const char *simtsr::observe::getRemarkKindName(RemarkKind K) {
+  switch (K) {
+  case RemarkKind::Applied:
+    return "applied";
+  case RemarkKind::Skipped:
+    return "skipped";
+  case RemarkKind::Downgrade:
+    return "downgrade";
+  case RemarkKind::Conflict:
+    return "conflict";
+  case RemarkKind::Analysis:
+    return "analysis";
+  }
+  return "unknown";
+}
+
+std::string Remark::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("pass");
+  W.string(Pass);
+  W.key("kind");
+  W.string(getRemarkKindName(Kind));
+  W.key("function");
+  W.string(Function);
+  W.key("block");
+  W.string(Block);
+  W.key("message");
+  W.string(Message);
+  W.key("args");
+  W.beginObject();
+  for (const auto &[K, V] : Args) {
+    W.key(K);
+    W.string(V);
+  }
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+void RemarkStream::add(Remark R) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Remarks.push_back(std::move(R));
+}
+
+size_t RemarkStream::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Remarks.size();
+}
+
+std::vector<Remark> RemarkStream::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Remarks;
+}
+
+void RemarkStream::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Remarks.clear();
+}
+
+unsigned RemarkStream::count(const std::string &Pass, RemarkKind K) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  unsigned N = 0;
+  for (const Remark &R : Remarks)
+    if (R.Pass == Pass && R.Kind == K)
+      ++N;
+  return N;
+}
+
+std::vector<Remark>
+RemarkStream::matching(const std::string &Pass,
+                       const std::string &MessageSubstr) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<Remark> Out;
+  for (const Remark &R : Remarks)
+    if (R.Pass == Pass &&
+        (MessageSubstr.empty() ||
+         R.Message.find(MessageSubstr) != std::string::npos))
+      Out.push_back(R);
+  return Out;
+}
+
+bool RemarkStream::first(const std::string &Pass,
+                         const std::string &MessageSubstr, Remark &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const Remark &R : Remarks)
+    if ((Pass.empty() || R.Pass == Pass) &&
+        (MessageSubstr.empty() ||
+         R.Message.find(MessageSubstr) != std::string::npos)) {
+      Out = R;
+      return true;
+    }
+  return false;
+}
+
+std::string RemarkStream::toJsonl() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Out;
+  for (const Remark &R : Remarks) {
+    Out += R.toJson();
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool simtsr::observe::remarksEnabled() { return CurrentStream != nullptr; }
+
+void simtsr::observe::emitRemark(Remark R) {
+  if (CurrentStream)
+    CurrentStream->add(std::move(R));
+}
+
+void simtsr::observe::emitRemark(
+    const char *Pass, RemarkKind Kind, const std::string &Function,
+    const std::string &Block, std::string Message,
+    std::vector<std::pair<std::string, std::string>> Args) {
+  if (!CurrentStream)
+    return;
+  Remark R;
+  R.Pass = Pass;
+  R.Kind = Kind;
+  R.Function = Function;
+  R.Block = Block;
+  R.Message = std::move(Message);
+  R.Args = std::move(Args);
+  CurrentStream->add(std::move(R));
+}
+
+RemarkScope::RemarkScope(RemarkStream *S) : Prev(CurrentStream) {
+  CurrentStream = S;
+}
+
+RemarkScope::~RemarkScope() { CurrentStream = Prev; }

@@ -1,0 +1,113 @@
+//===- Remark.h - Structured pass remarks ----------------------*- C++ -*-===//
+///
+/// \file
+/// LLVM-style optimization remarks for the synchronization pass stack.
+/// Every transform pass reports what it did — and what it declined to do —
+/// as structured records (pass, kind, function, block, message, key/value
+/// args) instead of burying the decision in report counters. Remarks are
+/// queryable in-process (the remark-based pass tests assert the paper's
+/// figure shapes through them) and serializable to JSONL for tooling; the
+/// schema is documented in docs/OBSERVABILITY.md.
+///
+/// Emission is routed through a thread-local scope so passes need no extra
+/// plumbing: a caller that wants remarks installs a RemarkScope around the
+/// pipeline invocation, everyone else pays a single thread-local load per
+/// (guarded) emission site. The differential oracle runs one pipeline per
+/// pool thread, which the thread-local routing isolates for free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_OBSERVE_REMARK_H
+#define SIMTSR_OBSERVE_REMARK_H
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace simtsr::observe {
+
+enum class RemarkKind {
+  Applied,   ///< The pass transformed the code as designed.
+  Skipped,   ///< A candidate was examined and legitimately left alone.
+  Downgrade, ///< Graceful degradation (out of registers, dropped barrier).
+  Conflict,  ///< A hazard was detected (deconfliction's Figure 5 pairs).
+  Analysis,  ///< Informational: scores, thresholds, candidate rankings.
+};
+
+/// \returns a stable lowercase name for \p K ("applied", "skipped", ...).
+const char *getRemarkKindName(RemarkKind K);
+
+struct Remark {
+  std::string Pass;     ///< "pdom-sync", "sr", "interproc", "deconflict",
+                        ///< "realloc", "auto-detect".
+  RemarkKind Kind = RemarkKind::Analysis;
+  std::string Function; ///< Function name, no '@' sigil; may be empty for
+                        ///< module-level remarks.
+  std::string Block;    ///< Anchor block name; empty when function-level.
+  std::string Message;  ///< Human-readable reason.
+  /// Ordered key/value details (barrier ids, thresholds, scores, ...).
+  std::vector<std::pair<std::string, std::string>> Args;
+
+  /// One JSON object per remark — the JSONL line format.
+  std::string toJson() const;
+};
+
+/// Thread-safe collector for one pipeline invocation's remarks.
+class RemarkStream {
+public:
+  void add(Remark R);
+  size_t size() const;
+  std::vector<Remark> snapshot() const;
+  void clear();
+
+  /// Number of remarks from \p Pass with kind \p K.
+  unsigned count(const std::string &Pass, RemarkKind K) const;
+  /// All remarks from \p Pass whose message contains \p MessageSubstr
+  /// (empty substring matches everything).
+  std::vector<Remark> matching(const std::string &Pass,
+                               const std::string &MessageSubstr) const;
+  /// First matching remark, if any; Pass empty matches all passes.
+  bool first(const std::string &Pass, const std::string &MessageSubstr,
+             Remark &Out) const;
+
+  /// One JSON object per line (JSONL), in emission order.
+  std::string toJsonl() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<Remark> Remarks;
+};
+
+/// \returns true when the calling thread has a RemarkScope installed —
+/// emission sites use this to skip building messages nobody will read.
+bool remarksEnabled();
+
+/// Appends \p R to the calling thread's installed stream; no-op without a
+/// scope. Prefer guarding construction with remarksEnabled().
+void emitRemark(Remark R);
+
+/// Convenience emitter; arguments are only consumed when a scope is
+/// installed on this thread.
+void emitRemark(const char *Pass, RemarkKind Kind, const std::string &Function,
+                const std::string &Block, std::string Message,
+                std::vector<std::pair<std::string, std::string>> Args = {});
+
+/// RAII installation of \p S as the calling thread's remark sink. Nests:
+/// the previous sink is restored on destruction. Passing nullptr silences
+/// remarks for the scope's extent.
+class RemarkScope {
+public:
+  explicit RemarkScope(RemarkStream *S);
+  ~RemarkScope();
+  RemarkScope(const RemarkScope &) = delete;
+  RemarkScope &operator=(const RemarkScope &) = delete;
+
+private:
+  RemarkStream *Prev;
+};
+
+} // namespace simtsr::observe
+
+#endif // SIMTSR_OBSERVE_REMARK_H

@@ -1,0 +1,232 @@
+//===- Trace.cpp - Simulator event tracing and digests -----------------------===//
+
+#include "observe/Trace.h"
+
+#include "ir/Module.h"
+#include "support/Json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace simtsr;
+using namespace simtsr::observe;
+
+const char *simtsr::observe::getTraceEventKindName(TraceEventKind K) {
+  switch (K) {
+  case TraceEventKind::Issue:
+    return "issue";
+  case TraceEventKind::BarrierJoin:
+    return "barrier_join";
+  case TraceEventKind::BarrierRejoin:
+    return "barrier_rejoin";
+  case TraceEventKind::BarrierCancel:
+    return "barrier_cancel";
+  case TraceEventKind::BarrierWait:
+    return "barrier_wait";
+  case TraceEventKind::BarrierSoftWait:
+    return "barrier_softwait";
+  case TraceEventKind::WarpSyncArrive:
+    return "warpsync";
+  case TraceEventKind::BarrierYield:
+    return "yield";
+  case TraceEventKind::LanesExited:
+    return "lanes_exited";
+  }
+  return "unknown";
+}
+
+std::string simtsr::observe::describeTraceEvent(const TraceEvent &E) {
+  char Buf[256];
+  if (E.Kind == TraceEventKind::Issue) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "issue @%s/%s[%u] lanes=0x%016" PRIx64 " latency=%u slot=%" PRIu64,
+                  E.F ? E.F->name().c_str() : "?",
+                  E.BB ? E.BB->name().c_str() : "?", E.Index, E.Lanes,
+                  E.Latency, E.Slot);
+  } else {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s b%u lanes=0x%016" PRIx64 " released=0x%016" PRIx64
+                  " slot=%" PRIu64,
+                  getTraceEventKindName(E.Kind), E.BarrierId, E.Lanes,
+                  E.Released, E.Slot);
+  }
+  return Buf;
+}
+
+void TraceDigester::mix(uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    Hash ^= (V >> (I * 8)) & 0xff;
+    Hash *= FnvPrime;
+  }
+}
+
+uint64_t TraceDigester::locationHash(const Function *F, const BasicBlock *BB) {
+  auto It = BlockHashes.find(BB);
+  if (It != BlockHashes.end())
+    return It->second;
+  uint64_t H = FnvBasis;
+  auto MixStr = [&H](const std::string &S) {
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= FnvPrime;
+    }
+    H ^= '/';
+    H *= FnvPrime;
+  };
+  if (F)
+    MixStr(F->name());
+  if (BB)
+    MixStr(BB->name());
+  BlockHashes.emplace(BB, H);
+  return H;
+}
+
+void TraceDigester::onEvent(const TraceEvent &E) {
+  mix(static_cast<uint64_t>(E.Kind));
+  if (E.Kind == TraceEventKind::Issue) {
+    mix(locationHash(E.F, E.BB));
+    mix(E.Index);
+    mix(E.Lanes);
+    mix(E.Latency);
+  } else {
+    mix(E.BarrierId);
+    mix(E.Lanes);
+    mix(E.Released);
+  }
+}
+
+void TraceDigester::reset() {
+  Hash = FnvBasis;
+  BlockHashes.clear();
+}
+
+uint64_t simtsr::observe::combineTraceDigests(uint64_t Acc,
+                                              uint64_t WarpDigest) {
+  // Non-commutative mix: warp order matters (the grid reduction folds in
+  // warp-index order), unlike the order-independent memory checksum.
+  Acc ^= WarpDigest + 0x9e3779b97f4a7c15ull + (Acc << 6) + (Acc >> 2);
+  return Acc;
+}
+
+TraceRecorder::TraceRecorder(size_t MaxEvents) : MaxEvents(MaxEvents) {}
+
+void TraceRecorder::onEvent(const TraceEvent &E) {
+  Digester.onEvent(E);
+  if (Events.size() < MaxEvents)
+    Events.push_back(E);
+  else
+    Truncated = true;
+}
+
+namespace {
+
+bool sameLocation(const TraceEvent &A, const TraceEvent &B) {
+  const bool AF = A.F != nullptr, BF = B.F != nullptr;
+  const bool AB = A.BB != nullptr, BB_ = B.BB != nullptr;
+  if (AF != BF || AB != BB_)
+    return false;
+  // Compare by name, not pointer: diffed traces usually come from two
+  // separately compiled modules.
+  if (AF && A.F->name() != B.F->name())
+    return false;
+  if (AB && A.BB->name() != B.BB->name())
+    return false;
+  return true;
+}
+
+bool sameEvent(const TraceEvent &A, const TraceEvent &B) {
+  if (A.Kind != B.Kind)
+    return false;
+  if (A.Kind == TraceEventKind::Issue)
+    return sameLocation(A, B) && A.Index == B.Index && A.Lanes == B.Lanes &&
+           A.Latency == B.Latency;
+  return A.BarrierId == B.BarrierId && A.Lanes == B.Lanes &&
+         A.Released == B.Released;
+}
+
+} // namespace
+
+TraceDivergence simtsr::observe::diffTraces(const std::vector<TraceEvent> &A,
+                                            const std::vector<TraceEvent> &B) {
+  TraceDivergence D;
+  const size_t N = std::min(A.size(), B.size());
+  for (size_t I = 0; I < N; ++I) {
+    if (!sameEvent(A[I], B[I])) {
+      D.Diverged = true;
+      D.Index = I;
+      D.A = describeTraceEvent(A[I]);
+      D.B = describeTraceEvent(B[I]);
+      return D;
+    }
+  }
+  if (A.size() != B.size()) {
+    D.Diverged = true;
+    D.Index = N;
+    D.A = N < A.size() ? describeTraceEvent(A[N]) : "<end of trace>";
+    D.B = N < B.size() ? describeTraceEvent(B[N]) : "<end of trace>";
+  }
+  return D;
+}
+
+std::string simtsr::observe::renderChromeTrace(
+    const std::vector<std::pair<unsigned, const std::vector<TraceEvent> *>>
+        &Warps) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  for (const auto &[Pid, Events] : Warps) {
+    for (const TraceEvent &E : *Events) {
+      W.beginObject();
+      W.key("pid");
+      W.numberUnsigned(Pid);
+      W.key("tid");
+      W.numberUnsigned(0);
+      W.key("ts");
+      W.numberUnsigned(E.Cycle);
+      if (E.Kind == TraceEventKind::Issue) {
+        std::string Name = (E.F ? E.F->name() : std::string("?")) + "/" +
+                           (E.BB ? E.BB->name() : std::string("?"));
+        W.key("ph");
+        W.string("X");
+        W.key("dur");
+        W.numberUnsigned(E.Latency ? E.Latency : 1);
+        W.key("name");
+        W.string(Name);
+        W.key("args");
+        W.beginObject();
+        W.key("inst");
+        W.numberUnsigned(E.Index);
+        W.key("lanes");
+        W.string(jsonHex64(E.Lanes));
+        W.key("slot");
+        W.numberUnsigned(E.Slot);
+        W.endObject();
+      } else {
+        W.key("ph");
+        W.string("i");
+        W.key("s");
+        W.string("t"); // thread-scoped instant
+        W.key("name");
+        W.string(getTraceEventKindName(E.Kind));
+        W.key("args");
+        W.beginObject();
+        W.key("barrier");
+        W.numberUnsigned(E.BarrierId);
+        W.key("lanes");
+        W.string(jsonHex64(E.Lanes));
+        W.key("released");
+        W.string(jsonHex64(E.Released));
+        W.key("slot");
+        W.numberUnsigned(E.Slot);
+        W.endObject();
+      }
+      W.endObject();
+    }
+  }
+  W.endArray();
+  W.key("displayTimeUnit");
+  W.string("ns");
+  W.endObject();
+  return W.take();
+}

@@ -1,0 +1,146 @@
+//===- Trace.h - Simulator event tracing and digests -----------*- C++ -*-===//
+///
+/// \file
+/// Event-level observability for the warp simulator: every scheduler pick
+/// (issue group) and every barrier transition (join/rejoin/cancel/wait/
+/// soft-release/yield) can be streamed into a TraceSink. Two sinks ship:
+///
+///  - TraceDigester folds the stream into a stable 64-bit FNV-1a digest.
+///    The digest hashes names and lane masks, never pointers or clocks, so
+///    it is identical across platforms, thread-pool sizes and repeated
+///    runs — a far sharper regression oracle than the memory checksum
+///    (which only sees the final state, not how the schedule got there).
+///
+///  - TraceRecorder keeps the events themselves (bounded) for export as
+///    Chrome trace-event JSON (loadable in chrome://tracing / Perfetto)
+///    and for first-divergence diffing between two runs.
+///
+/// The schema and digest definition are documented in
+/// docs/OBSERVABILITY.md; golden digests live in tests/observe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_OBSERVE_TRACE_H
+#define SIMTSR_OBSERVE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace simtsr {
+class Function;
+class BasicBlock;
+} // namespace simtsr
+
+namespace simtsr::observe {
+
+enum class TraceEventKind : uint8_t {
+  Issue,          ///< Scheduler issued one instruction for a lane group.
+  BarrierJoin,    ///< JoinBarrier executed (adds participants).
+  BarrierRejoin,  ///< RejoinBarrier executed (re-adds along a side path).
+  BarrierCancel,  ///< CancelBarrier executed (drops participants).
+  BarrierWait,    ///< WaitBarrier arrival (lanes block or release).
+  BarrierSoftWait,///< SoftWait arrival (threshold semantics).
+  WarpSyncArrive, ///< WarpSync arrival.
+  BarrierYield,   ///< Forward-progress yield released blocked lanes.
+  LanesExited,    ///< Thread exit implicitly released barrier waiters.
+};
+
+/// \returns a stable name for \p K ("issue", "barrier_join", ...).
+const char *getTraceEventKindName(TraceEventKind K);
+
+struct TraceEvent {
+  TraceEventKind Kind = TraceEventKind::Issue;
+  /// Issue events: where the group issued from. The pointees must outlive
+  /// any sink holding events (digesting hashes the names immediately).
+  const Function *F = nullptr;
+  const BasicBlock *BB = nullptr;
+  uint32_t Index = 0;     ///< Instruction index within BB (Issue).
+  uint8_t BarrierId = 0;  ///< Barrier register (barrier events).
+  uint64_t Lanes = 0;     ///< Lanes the event acted on.
+  uint64_t Released = 0;  ///< Lanes unblocked by this event.
+  uint32_t Latency = 0;   ///< Issue cost in cycles (Issue events).
+  uint64_t Slot = 0;      ///< Issue slot count when the event fired.
+  uint64_t Cycle = 0;     ///< Simulated cycle when the event fired.
+};
+
+/// Renders \p E for diagnostics, e.g.
+/// "issue @kernel/bb2[1] lanes=0x00000000ffffffff".
+std::string describeTraceEvent(const TraceEvent &E);
+
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void onEvent(const TraceEvent &E) = 0;
+};
+
+/// Streaming FNV-1a-64 over the canonical encoding of each event (kind,
+/// function/block names, instruction index, lane masks, latency — never
+/// Slot/Cycle, which are implied by event order, and never pointers).
+class TraceDigester : public TraceSink {
+public:
+  void onEvent(const TraceEvent &E) override;
+  uint64_t digest() const { return Hash; }
+  void reset();
+
+private:
+  void mix(uint64_t V);
+  uint64_t locationHash(const Function *F, const BasicBlock *BB);
+
+  static constexpr uint64_t FnvBasis = 0xcbf29ce484222325ull;
+  static constexpr uint64_t FnvPrime = 0x100000001b3ull;
+  uint64_t Hash = FnvBasis;
+  /// Name-hash per block, keyed by identity — names are stable across
+  /// runs, pointers are not, so the digest hashes "func/block" strings
+  /// (memoized here because issues are by far the hottest event).
+  std::unordered_map<const BasicBlock *, uint64_t> BlockHashes;
+};
+
+/// Ordered fold of per-warp digests into a launch digest. Warp order is
+/// significant: reduceInOrder folds warp 0 first, making the grid digest
+/// identical across GridMode::Parallel and Sequential.
+uint64_t combineTraceDigests(uint64_t Acc, uint64_t WarpDigest);
+
+/// Keeps events for export/diffing, up to \p MaxEvents (the digest keeps
+/// counting past the cap, so digest() stays exact even when truncated()).
+class TraceRecorder : public TraceSink {
+public:
+  explicit TraceRecorder(size_t MaxEvents = 1u << 20);
+  void onEvent(const TraceEvent &E) override;
+  const std::vector<TraceEvent> &events() const { return Events; }
+  bool truncated() const { return Truncated; }
+  uint64_t digest() const { return Digester.digest(); }
+
+private:
+  size_t MaxEvents;
+  bool Truncated = false;
+  std::vector<TraceEvent> Events;
+  TraceDigester Digester;
+};
+
+/// Outcome of comparing two event streams position by position.
+struct TraceDivergence {
+  bool Diverged = false;
+  size_t Index = 0;  ///< First differing position (valid when Diverged).
+  std::string A, B;  ///< Rendered events at Index; "<end of trace>" when a
+                     ///< stream ran out first.
+};
+
+/// First position where \p A and \p B disagree on the digested fields
+/// (kind, location names, index, barrier id, lanes, released, latency).
+TraceDivergence diffTraces(const std::vector<TraceEvent> &A,
+                           const std::vector<TraceEvent> &B);
+
+/// Renders warps' event streams as one Chrome trace-event JSON document
+/// ({"traceEvents": [...]}): issue groups become duration ("ph":"X")
+/// events on pid=warp, tid=0 with the lane mask and location as args;
+/// barrier transitions become instant ("ph":"i") events.
+std::string renderChromeTrace(
+    const std::vector<std::pair<unsigned, const std::vector<TraceEvent> *>>
+        &Warps);
+
+} // namespace simtsr::observe
+
+#endif // SIMTSR_OBSERVE_TRACE_H

@@ -21,12 +21,6 @@ struct WarpOutcome {
   bool Ran = false;
 };
 
-LaunchConfig configForWarp(const LaunchConfig &Base, unsigned W) {
-  LaunchConfig C = Base;
-  C.Seed = Base.Seed * 1000003ull + W;
-  return C;
-}
-
 /// Folds completed warps into \p Result in warp-index order, stopping at
 /// the first failing warp — byte-for-byte the sequential loop's behavior.
 GridResult reduceInOrder(const std::vector<WarpOutcome> &Outcomes,
@@ -51,6 +45,10 @@ GridResult reduceInOrder(const std::vector<WarpOutcome> &Outcomes,
     Result.PerWarpEfficiency.add(R.Stats.simtEfficiency());
     // Order-independent checksum combination.
     Result.CombinedChecksum ^= O.Checksum * 0x9e3779b97f4a7c15ull + W;
+    // Order-dependent digest fold — deterministic because this reduction
+    // always walks warps in index order, in both grid modes.
+    Result.TraceDigest =
+        observe::combineTraceDigests(Result.TraceDigest, R.TraceDigest);
   }
   if (Result.TotalCycles > 0)
     Result.SimtEfficiency =
@@ -60,6 +58,15 @@ GridResult reduceInOrder(const std::vector<WarpOutcome> &Outcomes,
 }
 
 } // namespace
+
+LaunchConfig simtsr::gridWarpConfig(const LaunchConfig &Base, unsigned W) {
+  LaunchConfig C = Base;
+  C.Seed = Base.Seed * 1000003ull + W;
+  // One external sink cannot absorb concurrently-running warps; per-warp
+  // digests (CollectTraceDigest) remain available in either mode.
+  C.Trace = nullptr;
+  return C;
+}
 
 GridResult simtsr::runGrid(
     const Module &M, const Function *Kernel, LaunchConfig Config,
@@ -77,7 +84,7 @@ GridResult simtsr::runGrid(
     std::vector<WarpOutcome> Outcomes;
     Outcomes.reserve(Warps);
     for (unsigned W = 0; W < Warps; ++W) {
-      WarpSimulator Sim(M, Kernel, configForWarp(Config, W));
+      WarpSimulator Sim(M, Kernel, gridWarpConfig(Config, W));
       if (InitMemory)
         InitMemory(Sim);
       WarpOutcome O;
@@ -101,7 +108,7 @@ GridResult simtsr::runGrid(
     const unsigned W = static_cast<unsigned>(Idx);
     if (W > FirstFailure.load(std::memory_order_acquire))
       return;
-    WarpSimulator Sim(M, Kernel, configForWarp(Config, W));
+    WarpSimulator Sim(M, Kernel, gridWarpConfig(Config, W));
     if (InitMemory) {
       // Serialized so callers may mutate captured state without locking.
       std::lock_guard<std::mutex> Lock(InitMutex);

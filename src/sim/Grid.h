@@ -45,7 +45,17 @@ struct GridResult {
   double SimtEfficiency = 0.0;   ///< Cycle-weighted across warps.
   RunningStat PerWarpEfficiency; ///< Distribution across warps.
   uint64_t CombinedChecksum = 0; ///< Order-independent mix of warp sums.
+  /// Per-warp trace digests folded in warp-index order; 0 unless
+  /// LaunchConfig::CollectTraceDigest was set. Identical across
+  /// GridMode::Parallel and Sequential (docs/OBSERVABILITY.md).
+  uint64_t TraceDigest = 0;
 };
+
+/// The per-warp launch configuration runGrid uses for warp \p W: seed
+/// `Base.Seed * 1000003 + W`, external trace sink cleared (parallel warps
+/// cannot share one sink; per-warp digests still work). Exposed so tools
+/// can replay a single grid warp in isolation with a recorder attached.
+LaunchConfig gridWarpConfig(const LaunchConfig &Base, unsigned W);
 
 /// Runs \p Warps instances of \p Kernel; warp w uses seed
 /// `config.Seed * 1000003 + w`. \p InitMemory (may be null) is applied to

@@ -53,6 +53,7 @@ WarpSimulator::WarpSimulator(const Module &M, const Function *Kernel,
                              LaunchConfig Config)
     : M(M), Kernel(Kernel), Config(std::move(Config)) {
   LaunchConfig &Cfg = this->Config;
+  Tracing = Cfg.Trace != nullptr || Cfg.CollectTraceDigest;
   if (Cfg.WarpSize < 1 || Cfg.WarpSize > 64) {
     PrelaunchErrors.push_back("warp size " + std::to_string(Cfg.WarpSize) +
                               " outside [1, 64]");
@@ -223,7 +224,7 @@ void WarpSimulator::releaseLanes(LaneMask Lanes) {
   }
 }
 
-void WarpSimulator::checkWarpSyncRelease() {
+LaneMask WarpSimulator::checkWarpSyncRelease() {
   LaneMask Live = 0, Arrived = 0;
   for (unsigned Lane = 0; Lane < Config.WarpSize; ++Lane) {
     const Thread &T = Threads[Lane];
@@ -233,8 +234,33 @@ void WarpSimulator::checkWarpSyncRelease() {
     if (T.WaitingOn == WaitingOnWarpSync)
       Arrived |= 1ull << Lane;
   }
-  if (Live != 0 && Live == Arrived)
+  if (Live != 0 && Live == Arrived) {
     releaseLanes(Arrived);
+    return Arrived;
+  }
+  return 0;
+}
+
+void WarpSimulator::traceEvent(observe::TraceEvent E) {
+  E.Slot = Stats.IssueSlots;
+  E.Cycle = Stats.Cycles;
+  if (Config.Trace)
+    Config.Trace->onEvent(E);
+  if (Config.CollectTraceDigest)
+    Digest.onEvent(E);
+}
+
+void WarpSimulator::traceBarrier(observe::TraceEventKind Kind,
+                                 unsigned BarrierId, LaneMask Lanes,
+                                 LaneMask Released) {
+  if (!Tracing)
+    return;
+  observe::TraceEvent E;
+  E.Kind = Kind;
+  E.BarrierId = static_cast<uint8_t>(BarrierId);
+  E.Lanes = Lanes;
+  E.Released = Released;
+  traceEvent(E);
 }
 
 std::string WarpSimulator::describeBlockedThreads() const {
@@ -267,8 +293,11 @@ void WarpSimulator::exitThread(unsigned Lane) {
   Threads[Lane].Stack.clear();
   DirtyLanes |= 1ull << Lane;
   --LiveThreads;
-  releaseLanes(Barriers.threadExit(1ull << Lane));
-  checkWarpSyncRelease();
+  LaneMask Released = Barriers.threadExit(1ull << Lane);
+  releaseLanes(Released);
+  Released |= checkWarpSyncRelease();
+  traceBarrier(observe::TraceEventKind::LanesExited, 0, 1ull << Lane,
+               Released);
 }
 
 bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
@@ -296,12 +325,20 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
   // Barrier operations act on the whole group at once.
   if (Op == Opcode::JoinBarrier || Op == Opcode::RejoinBarrier) {
     forEachLane([&](unsigned, Thread &T) { advance(T); });
-    releaseLanes(Barriers.join(I.barrierId(), Lanes));
+    const LaneMask Released = Barriers.join(I.barrierId(), Lanes);
+    releaseLanes(Released);
+    traceBarrier(Op == Opcode::JoinBarrier
+                     ? observe::TraceEventKind::BarrierJoin
+                     : observe::TraceEventKind::BarrierRejoin,
+                 I.barrierId(), Lanes, Released);
     return barrierUnitOk();
   }
   if (Op == Opcode::CancelBarrier) {
     forEachLane([&](unsigned, Thread &T) { advance(T); });
-    releaseLanes(Barriers.cancel(I.barrierId(), Lanes));
+    const LaneMask Released = Barriers.cancel(I.barrierId(), Lanes);
+    releaseLanes(Released);
+    traceBarrier(observe::TraceEventKind::BarrierCancel, I.barrierId(), Lanes,
+                 Released);
     return barrierUnitOk();
   }
   if (Op == Opcode::WaitBarrier || Op == Opcode::SoftWait ||
@@ -317,7 +354,10 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
       T.WaitingOn = Reason;
     });
     if (Op == Opcode::WaitBarrier) {
-      releaseLanes(Barriers.arriveWait(I.barrierId(), Lanes));
+      const LaneMask Released = Barriers.arriveWait(I.barrierId(), Lanes);
+      releaseLanes(Released);
+      traceBarrier(observe::TraceEventKind::BarrierWait, I.barrierId(), Lanes,
+                   Released);
       return barrierUnitOk();
     }
     if (Op == Opcode::SoftWait) {
@@ -328,11 +368,15 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
         trap("softwait threshold is negative");
         return false;
       }
-      releaseLanes(Barriers.arriveSoftWait(I.barrierId(), Lanes,
-                                           static_cast<uint64_t>(Threshold)));
+      const LaneMask Released = Barriers.arriveSoftWait(
+          I.barrierId(), Lanes, static_cast<uint64_t>(Threshold));
+      releaseLanes(Released);
+      traceBarrier(observe::TraceEventKind::BarrierSoftWait, I.barrierId(),
+                   Lanes, Released);
       return barrierUnitOk();
     }
-    checkWarpSyncRelease();
+    const LaneMask Released = checkWarpSyncRelease();
+    traceBarrier(observe::TraceEventKind::WarpSyncArrive, 0, Lanes, Released);
     return true;
   }
 
@@ -759,6 +803,7 @@ RunResult WarpSimulator::run() {
         break;
       }
       releaseLanes(Released);
+      traceBarrier(observe::TraceEventKind::BarrierYield, 0, 0, Released);
       continue;
     }
 
@@ -827,6 +872,16 @@ RunResult WarpSimulator::run() {
       Tracer(*F, *BB, Chosen.Index, ChosenLanes);
 
     const uint32_t Latency = Config.Latency.cost(I.opcode());
+    if (Tracing) {
+      observe::TraceEvent E;
+      E.Kind = observe::TraceEventKind::Issue;
+      E.F = F;
+      E.BB = BB;
+      E.Index = static_cast<uint32_t>(Chosen.Index);
+      E.Lanes = ChosenLanes;
+      E.Latency = Latency;
+      traceEvent(E); // Stamped with the pre-issue slot/cycle counters.
+    }
     const unsigned Active = static_cast<unsigned>(std::popcount(ChosenLanes));
     ++Stats.IssueSlots;
     Stats.Cycles += Latency;
@@ -893,5 +948,7 @@ RunResult WarpSimulator::run() {
 
   finalizeProfile();
   Result.Stats = Stats;
+  if (Config.CollectTraceDigest)
+    Result.TraceDigest = Digest.digest();
   return Result;
 }

@@ -21,6 +21,7 @@
 #define SIMTSR_SIM_WARP_H
 
 #include "ir/Module.h"
+#include "observe/Trace.h"
 #include "sim/BarrierUnit.h"
 #include "sim/LatencyModel.h"
 #include "sim/SimStats.h"
@@ -78,6 +79,15 @@ struct LaunchConfig {
   /// verifyModule() — the per-warp win that makes multi-warp grids cheap.
   /// The pointee must outlive the run.
   const LaunchVerification *Verified = nullptr;
+  /// Stream every scheduler pick and barrier transition into this sink
+  /// (docs/OBSERVABILITY.md). The pointee must outlive the run and is used
+  /// from the running warp's thread — runGrid clears it for its warps
+  /// because parallel warps would interleave on one sink.
+  observe::TraceSink *Trace = nullptr;
+  /// Fold the event stream into RunResult::TraceDigest (works under
+  /// parallel grids, unlike an external sink). Tracing costs one branch
+  /// per issue when both this and Trace are off.
+  bool CollectTraceDigest = false;
 };
 
 struct RunResult {
@@ -94,6 +104,9 @@ struct RunResult {
   /// description, limit details, or validation diagnostics.
   std::string TrapMessage;
   SimStats Stats;
+  /// Stable 64-bit digest of the run's event stream; 0 unless
+  /// LaunchConfig::CollectTraceDigest was set.
+  uint64_t TraceDigest = 0;
 
   bool ok() const { return St == Status::Finished; }
 };
@@ -197,7 +210,14 @@ private:
   void writeReg(Thread &T, unsigned Reg, int64_t V);
   void releaseLanes(LaneMask Lanes);
   /// Releases warpsync waiters once every live thread has arrived.
-  void checkWarpSyncRelease();
+  /// \returns the released lanes (for tracing).
+  LaneMask checkWarpSyncRelease();
+  /// Stamps slot/cycle onto \p E and forwards it to the configured sink
+  /// and/or digester. Call only when Tracing.
+  void traceEvent(observe::TraceEvent E);
+  /// Barrier-event convenience used by execute(); no-op unless Tracing.
+  void traceBarrier(observe::TraceEventKind Kind, unsigned BarrierId,
+                    LaneMask Lanes, LaneMask Released);
   /// Executes one instruction for all lanes in \p Lanes (same PC).
   /// \returns false when a trap occurred (Result holds the message).
   bool execute(const Instruction &I, LaneMask Lanes);
@@ -233,6 +253,11 @@ private:
   std::vector<std::string> PrelaunchErrors;
   unsigned RoundRobinNext = 0;
   TraceFn Tracer;
+  /// True when any event consumer is attached (Config.Trace or
+  /// Config.CollectTraceDigest) — the single per-issue branch that makes
+  /// tracing zero-cost when disabled.
+  bool Tracing = false;
+  observe::TraceDigester Digest;
 };
 
 } // namespace simtsr

@@ -1,0 +1,133 @@
+//===- Json.cpp - Minimal JSON writing helpers -------------------------------===//
+
+#include "support/Json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+using namespace simtsr;
+
+std::string simtsr::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string simtsr::jsonHex64(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%016" PRIx64, V);
+  return Buf;
+}
+
+void JsonWriter::beforeValue() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (NeedComma.back())
+    Out += ',';
+  NeedComma.back() = 1;
+}
+
+void JsonWriter::beginObject() {
+  beforeValue();
+  Out += '{';
+  NeedComma.push_back('\0');
+}
+
+void JsonWriter::endObject() {
+  NeedComma.pop_back();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  beforeValue();
+  Out += '[';
+  NeedComma.push_back('\0');
+}
+
+void JsonWriter::endArray() {
+  NeedComma.pop_back();
+  Out += ']';
+}
+
+void JsonWriter::key(const std::string &K) {
+  if (NeedComma.back())
+    Out += ',';
+  NeedComma.back() = 1;
+  Out += '"';
+  Out += jsonEscape(K);
+  Out += "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::string(const std::string &V) {
+  beforeValue();
+  Out += '"';
+  Out += jsonEscape(V);
+  Out += '"';
+}
+
+void JsonWriter::number(int64_t V) {
+  beforeValue();
+  Out += std::to_string(V);
+}
+
+void JsonWriter::numberUnsigned(uint64_t V) {
+  beforeValue();
+  Out += std::to_string(V);
+}
+
+void JsonWriter::number(double V) {
+  beforeValue();
+  if (!std::isfinite(V)) {
+    Out += "null"; // JSON has no Inf/NaN.
+    return;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+void JsonWriter::boolean(bool V) {
+  beforeValue();
+  Out += V ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  beforeValue();
+  Out += "null";
+}
+
+void JsonWriter::raw(const std::string &Raw) {
+  beforeValue();
+  Out += Raw;
+}

@@ -1,0 +1,69 @@
+//===- Json.h - Minimal JSON writing helpers -------------------*- C++ -*-===//
+///
+/// \file
+/// A tiny append-only JSON writer shared by the observability exports
+/// (remark JSONL, Chrome trace-event files) and the bench/tool emitters.
+/// It produces RFC 8259 output but does not parse; the repo never consumes
+/// JSON, only hands it to external tooling (chrome://tracing, CI checks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SUPPORT_JSON_H
+#define SIMTSR_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+
+namespace simtsr {
+
+/// Escapes \p S for embedding inside a JSON string literal (quotes not
+/// included): ", \, control characters.
+std::string jsonEscape(const std::string &S);
+
+/// Formats \p V as a JSON string of the form "0x%016x" — 64-bit digests
+/// and checksums are exchanged as hex strings because JSON numbers lose
+/// precision past 2^53.
+std::string jsonHex64(uint64_t V);
+
+/// Streaming writer for one JSON value tree. Usage:
+/// \code
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("name"); W.string("x");
+///   W.key("items"); W.beginArray(); W.number(1); W.number(2); W.endArray();
+///   W.endObject();
+///   std::string Out = W.take();
+/// \endcode
+/// The writer inserts commas automatically; nesting correctness is the
+/// caller's responsibility (it is an emitter, not a validator).
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+  void key(const std::string &K);
+  void string(const std::string &V);
+  void number(int64_t V);
+  void numberUnsigned(uint64_t V);
+  void number(double V);
+  void boolean(bool V);
+  void null();
+  /// Emits \p Raw verbatim as the next value (pre-rendered JSON).
+  void raw(const std::string &Raw);
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void beforeValue();
+  std::string Out;
+  /// Whether the current aggregate already holds a value (comma needed).
+  /// One bit per nesting level; level 0 is the root.
+  std::string NeedComma = std::string(1, '\0');
+  bool PendingKey = false;
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_SUPPORT_JSON_H

@@ -6,11 +6,14 @@
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "ir/Module.h"
+#include "observe/Remark.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
 using namespace simtsr;
+using observe::RemarkKind;
 
 namespace {
 
@@ -275,6 +278,24 @@ AutoDetectReport simtsr::detectReconvergence(Module &M,
                    [](const AutoCandidate &A, const AutoCandidate &B) {
                      return A.Score > B.Score;
                    });
+  if (observe::remarksEnabled())
+    for (const AutoCandidate &C : Report.Candidates) {
+      char Score[32];
+      std::snprintf(Score, sizeof(Score), "%.2f", C.Score);
+      observe::emitRemark(
+          "auto-detect", RemarkKind::Analysis,
+          C.F ? C.F->name() : std::string(),
+          C.Label ? C.Label->name() : std::string(),
+          std::string(C.PatternKind == AutoCandidate::Kind::LoopMerge
+                          ? "loop-merge"
+                          : "iteration-delay") +
+              " candidate: " + C.Reason,
+          {{"score", Score},
+           {"profitable", C.Profitable ? "yes" : "no"},
+           {"pattern", C.PatternKind == AutoCandidate::Kind::LoopMerge
+                           ? "loop-merge"
+                           : "iteration-delay"}});
+    }
   if (!Opts.Apply)
     return Report;
   std::set<const BasicBlock *> Claimed;
@@ -295,6 +316,13 @@ AutoDetectReport simtsr::detectReconvergence(Module &M,
     C.RegionStart->insertBeforeTerminator(Instruction(
         Opcode::Predict, NoRegister, {Operand::block(C.Label)}));
     ++Report.Inserted;
+    if (observe::remarksEnabled())
+      observe::emitRemark("auto-detect", RemarkKind::Applied,
+                          C.F ? C.F->name() : std::string(),
+                          C.RegionStart->name(),
+                          "inserted prediction toward '" + C.Label->name() +
+                              "'",
+                          {{"label", C.Label->name()}});
   }
   return Report;
 }

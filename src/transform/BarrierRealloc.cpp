@@ -4,11 +4,13 @@
 
 #include "analysis/Dominators.h"
 #include "ir/Module.h"
+#include "observe/Remark.h"
 
 #include <algorithm>
 #include <set>
 
 using namespace simtsr;
+using observe::RemarkKind;
 
 namespace {
 
@@ -207,6 +209,10 @@ ReallocReport simtsr::reallocateBarriers(Module &M) {
       // Colouring failed; the function keeps its original ids.
       for (unsigned Id : usedBarriers(F))
         AllAfter.insert(Id);
+      if (observe::remarksEnabled())
+        observe::emitRemark("realloc", RemarkKind::Skipped, F.name(), "",
+                            "recolouring would exceed the register file; "
+                            "original allocation kept");
       continue;
     }
     unsigned MaxColor = 0;
@@ -221,8 +227,27 @@ ReallocReport simtsr::reallocateBarriers(Module &M) {
     }
     if (Any)
       NextColor = MaxColor + 1;
-    if (!Renaming.empty())
+    if (!Renaming.empty()) {
+      if (observe::remarksEnabled()) {
+        unsigned Merged = 0;
+        std::set<unsigned> Colors;
+        for (const auto &[Old, New] : Renaming) {
+          (void)Old;
+          if (!Colors.insert(New).second)
+            ++Merged;
+        }
+        observe::emitRemark(
+            "realloc", RemarkKind::Applied, F.name(), "",
+            "recoloured " + std::to_string(Renaming.size()) +
+                " barrier(s) into " + std::to_string(Colors.size()) +
+                " register(s)",
+            {{"before", std::to_string(Renaming.size())},
+             {"after", std::to_string(Colors.size())},
+             {"merged", std::to_string(Merged)},
+             {"pinned", std::to_string(Pinned.size())}});
+      }
       Report.Renaming[F.name()] = std::move(Renaming);
+    }
   }
   Report.BarriersAfter = static_cast<unsigned>(AllAfter.size());
   return Report;

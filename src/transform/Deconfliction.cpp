@@ -4,11 +4,13 @@
 
 #include "analysis/BarrierAnalysis.h"
 #include "ir/Function.h"
+#include "observe/Remark.h"
 
 #include <algorithm>
 #include <set>
 
 using namespace simtsr;
+using observe::RemarkKind;
 
 namespace {
 
@@ -139,6 +141,15 @@ DeconflictReport simtsr::deconflictBarriers(Function &F,
     }
   }
   Report.ConflictsFound = static_cast<unsigned>(Pairs.size());
+  if (observe::remarksEnabled())
+    for (const auto &[Spec, Pdom] : Pairs)
+      observe::emitRemark(
+          "deconflict", RemarkKind::Conflict, F.name(), "",
+          "speculative barrier b" + std::to_string(Spec) +
+              " can block while PDOM barrier b" + std::to_string(Pdom) +
+              " is still joined (Figure 5(a) hazard)",
+          {{"speculative", "b" + std::to_string(Spec)},
+           {"pdom", "b" + std::to_string(Pdom)}});
 
   if (Strategy == DeconflictStrategy::Static) {
     // Delete each conflicting PDOM barrier outright (Figure 5(b)).
@@ -151,6 +162,12 @@ DeconflictReport simtsr::deconflictBarriers(Function &F,
       deleteBarrierOps(F, B);
       Registry.release(B);
       ++Report.BarriersDeleted;
+      if (observe::remarksEnabled())
+        observe::emitRemark("deconflict", RemarkKind::Applied, F.name(), "",
+                            "deleted conflicting PDOM barrier b" +
+                                std::to_string(B) + " (static strategy)",
+                            {{"barrier", "b" + std::to_string(B)},
+                             {"strategy", "static"}});
     }
     F.recomputePreds();
   } else {
@@ -163,8 +180,18 @@ DeconflictReport simtsr::deconflictBarriers(Function &F,
                          return A.Block->number() < B.Block->number();
                        return A.Index > B.Index;
                      });
-    for (const HazardSite &S : Sites)
-      Report.CancelsInserted += cancelHeldBefore(S.Block, S.Index, S.Held);
+    for (const HazardSite &S : Sites) {
+      const unsigned Inserted = cancelHeldBefore(S.Block, S.Index, S.Held);
+      Report.CancelsInserted += Inserted;
+      if (Inserted && observe::remarksEnabled())
+        observe::emitRemark("deconflict", RemarkKind::Applied, F.name(),
+                            S.Block->name(),
+                            "cancelled " + std::to_string(Inserted) +
+                                " held PDOM barrier(s) before the "
+                                "speculative wait (dynamic strategy)",
+                            {{"cancels", std::to_string(Inserted)},
+                             {"strategy", "dynamic"}});
+    }
     F.recomputePreds();
   }
 
@@ -219,6 +246,14 @@ DeconflictReport simtsr::deconflictBarriers(Function &F,
       Report.CallSiteCancels += Inserted;
       if (Inserted)
         ++Report.ConflictsFound;
+      if (Inserted && observe::remarksEnabled())
+        observe::emitRemark("deconflict", RemarkKind::Applied, F.name(),
+                            S.Block->name(),
+                            "cancelled " + std::to_string(Inserted) +
+                                " held barrier(s) before a call into a "
+                                "gathering callee",
+                            {{"cancels", std::to_string(Inserted)},
+                             {"site", "call"}});
     }
     if (!CallSites.empty())
       F.recomputePreds();

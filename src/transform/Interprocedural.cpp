@@ -6,10 +6,12 @@
 #include "analysis/Dominators.h"
 #include "ir/CFGUtils.h"
 #include "ir/Module.h"
+#include "observe/Remark.h"
 
 #include <algorithm>
 
 using namespace simtsr;
+using observe::RemarkKind;
 
 namespace {
 
@@ -167,6 +169,16 @@ void annotateCaller(Function &G, Function *Callee, unsigned Barrier,
   }
   G.recomputePreds();
   ++Report.CallersAnnotated;
+  if (observe::remarksEnabled())
+    observe::emitRemark("interproc", RemarkKind::Applied, G.name(),
+                        Dom->name(),
+                        "joined entry barrier for callee '@" +
+                            Callee->name() +
+                            "' at the call sites' common dominator",
+                        {{"callee", Callee->name()},
+                         {"barrier", "b" + std::to_string(Barrier)},
+                         {"call-sites",
+                          std::to_string(CallBlocks.size())}});
 }
 
 } // namespace
@@ -185,6 +197,11 @@ simtsr::applyInterproceduralReconvergence(Module &M,
       Report.Diagnostics.push_back(
           "@" + Callee->name() +
           ": recursive call graph; interprocedural reconvergence skipped");
+      if (observe::remarksEnabled())
+        observe::emitRemark("interproc", RemarkKind::Skipped, Callee->name(),
+                            "",
+                            "recursive call graph; entry reconvergence "
+                            "skipped");
       continue;
     }
     if (CG.callers(Callee).empty()) {
@@ -199,12 +216,24 @@ simtsr::applyInterproceduralReconvergence(Module &M,
       Report.Diagnostics.push_back(
           "@" + Callee->name() + ": out of barrier registers; entry "
           "reconvergence downgraded to intraprocedural sync");
+      if (observe::remarksEnabled())
+        observe::emitRemark("interproc", RemarkKind::Downgrade,
+                            Callee->name(), "",
+                            "out of barrier registers; entry reconvergence "
+                            "downgraded to intraprocedural sync");
       continue;
     }
     // Callee side: the entry wait.
     Callee->entry()->insert(0, Instruction(Opcode::WaitBarrier, NoRegister,
                                            {Operand::barrier(*Barrier)}));
     ++Report.FunctionsConverged;
+    if (observe::remarksEnabled())
+      observe::emitRemark("interproc", RemarkKind::Applied, Callee->name(),
+                          Callee->entry()->name(),
+                          "entry wait placed; callers gather before calling",
+                          {{"barrier", "b" + std::to_string(*Barrier)},
+                           {"callers", std::to_string(
+                                           CG.callers(Callee).size())}});
     // Caller side: joins/rejoins/cancels per caller.
     for (Function *Caller : CG.callers(Callee))
       annotateCaller(*Caller, Callee, *Barrier, Report);

@@ -3,8 +3,10 @@
 #include "transform/PdomSync.h"
 
 #include "analysis/Dominators.h"
+#include "observe/Remark.h"
 
 using namespace simtsr;
+using observe::RemarkKind;
 
 PdomSyncReport simtsr::insertPdomSync(Function &F,
                                       const DivergenceAnalysis &DA,
@@ -33,6 +35,10 @@ PdomSyncReport simtsr::insertPdomSync(Function &F,
       Report.Diagnostics.push_back(
           "@" + F.name() + ":" + BB->name() +
           ": divergent branch has no common post-dominator; skipped");
+      if (observe::remarksEnabled())
+        observe::emitRemark("pdom-sync", RemarkKind::Skipped, F.name(),
+                            BB->name(),
+                            "divergent branch has no common post-dominator");
       continue;
     }
     Sites.push_back({BB, Pdom});
@@ -47,6 +53,10 @@ PdomSyncReport simtsr::insertPdomSync(Function &F,
       Report.Diagnostics.push_back(
           "@" + F.name() + ":" + S.Branch->name() +
           ": out of barrier registers; branch left unsynchronized");
+      if (observe::remarksEnabled())
+        observe::emitRemark(
+            "pdom-sync", RemarkKind::Downgrade, F.name(), S.Branch->name(),
+            "out of barrier registers; branch left unsynchronized");
       continue;
     }
     S.Branch->insertBeforeTerminator(Instruction(
@@ -54,6 +64,13 @@ PdomSyncReport simtsr::insertPdomSync(Function &F,
     S.Pdom->insert(0, Instruction(Opcode::WaitBarrier, NoRegister,
                                   {Operand::barrier(*Id)}));
     ++Report.BarriersInserted;
+    if (observe::remarksEnabled())
+      observe::emitRemark("pdom-sync", RemarkKind::Applied, F.name(),
+                          S.Branch->name(),
+                          "join before divergent branch; wait at "
+                          "post-dominator '" + S.Pdom->name() + "'",
+                          {{"barrier", "b" + std::to_string(*Id)},
+                           {"pdom", S.Pdom->name()}});
   }
   return Report;
 }

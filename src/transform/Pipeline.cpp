@@ -4,6 +4,7 @@
 
 #include "analysis/Divergence.h"
 #include "ir/Module.h"
+#include "observe/Remark.h"
 #include "transform/BarrierVerifier.h"
 
 using namespace simtsr;
@@ -70,6 +71,10 @@ void mergeReports(DeconflictReport &Into, DeconflictReport From) {
 PipelineReport simtsr::runSyncPipeline(Module &M,
                                        const PipelineOptions &Opts) {
   PipelineReport Report;
+  // Route every pass's emitRemark() calls into the caller's stream for the
+  // pipeline's extent (thread-local, so concurrent oracle pipelines on
+  // other pool threads are unaffected).
+  observe::RemarkScope Scope(Opts.Remarks);
 
   if (!Opts.ApplySR && Opts.StripPredicts)
     stripPredictDirectives(M);
@@ -116,4 +121,38 @@ PipelineReport simtsr::runSyncPipeline(Module &M,
   if (Opts.ReallocBarriers)
     Report.Realloc = reallocateBarriers(M);
   return Report;
+}
+
+const std::vector<std::string> &simtsr::standardPipelineNames() {
+  static const std::vector<std::string> Names = {
+      "noop", "pdom", "sr", "sr+ip", "soft", "sr+ip+realloc"};
+  return Names;
+}
+
+std::optional<PipelineOptions>
+simtsr::standardPipelineByName(const std::string &Name, int SoftThreshold) {
+  if (Name == "noop") {
+    // No synchronization at all: strip the annotations, insert nothing.
+    PipelineOptions O;
+    O.PdomSync = false;
+    O.StripPredicts = true;
+    return O;
+  }
+  if (Name == "pdom")
+    return PipelineOptions::baseline();
+  if (Name == "sr") {
+    PipelineOptions O;
+    O.ApplySR = true;
+    return O;
+  }
+  if (Name == "sr+ip")
+    return PipelineOptions::speculative();
+  if (Name == "soft")
+    return PipelineOptions::softBarrier(SoftThreshold);
+  if (Name == "sr+ip+realloc") {
+    PipelineOptions O = PipelineOptions::speculative();
+    O.ReallocBarriers = true;
+    return O;
+  }
+  return std::nullopt;
 }

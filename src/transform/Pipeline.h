@@ -18,9 +18,17 @@
 #include "transform/PdomSync.h"
 #include "transform/SpeculativeReconvergence.h"
 
+#include <optional>
+#include <string>
+#include <vector>
+
 namespace simtsr {
 
 class Module;
+
+namespace observe {
+class RemarkStream;
+} // namespace observe
 
 struct PipelineOptions {
   /// Insert baseline PDOM barriers at divergent branches.
@@ -38,6 +46,10 @@ struct PipelineOptions {
   /// 16-register file; invalidates the registry's id->origin map, so it
   /// runs after deconfliction and verification).
   bool ReallocBarriers = false;
+  /// Collect structured pass remarks into this stream for the pipeline's
+  /// duration (installed as the thread's remark scope; see
+  /// observe/Remark.h). Null leaves remark emission disabled.
+  observe::RemarkStream *Remarks = nullptr;
 
   static PipelineOptions baseline() {
     PipelineOptions O;
@@ -82,6 +94,17 @@ struct PipelineReport {
 
 /// Runs the configured passes over every function of \p M.
 PipelineReport runSyncPipeline(Module &M, const PipelineOptions &Opts);
+
+/// Names of the standard pipeline configurations, in canonical order:
+/// "noop", "pdom", "sr", "sr+ip", "soft", "sr+ip+realloc". The
+/// differential oracle, the trace tool and the golden digest tests all
+/// run this catalog so their config axes stay in sync.
+const std::vector<std::string> &standardPipelineNames();
+
+/// Options for standard configuration \p Name (std::nullopt for unknown
+/// names). \p SoftThreshold parameterizes the "soft" configuration only.
+std::optional<PipelineOptions>
+standardPipelineByName(const std::string &Name, int SoftThreshold = 8);
 
 /// Removes every predict directive from \p M.
 unsigned stripPredictDirectives(Module &M);

@@ -5,11 +5,13 @@
 #include "analysis/BarrierAnalysis.h"
 #include "analysis/Dominators.h"
 #include "ir/CFGUtils.h"
+#include "observe/Remark.h"
 
 #include <algorithm>
 #include <map>
 
 using namespace simtsr;
+using observe::RemarkKind;
 
 namespace {
 
@@ -30,12 +32,23 @@ std::optional<AppliedRegion> applyOne(Function &F, const PredictionRegion &R,
     Report.Diagnostics.push_back(
         "@" + F.name() + ": predict in '" + R.Start->name() +
         "' does not dominate label '" + R.Label->name() + "'; skipped");
+    if (observe::remarksEnabled())
+      observe::emitRemark("sr", RemarkKind::Skipped, F.name(),
+                          R.Start->name(),
+                          "predict does not dominate label '" +
+                              R.Label->name() + "'",
+                          {{"label", R.Label->name()}});
     return std::nullopt;
   }
   if (R.Start == R.Label) {
     Report.Diagnostics.push_back("@" + F.name() + ": predict label '" +
                                  R.Label->name() +
                                  "' is the region start; skipped");
+    if (observe::remarksEnabled())
+      observe::emitRemark("sr", RemarkKind::Skipped, F.name(),
+                          R.Start->name(),
+                          "predict label is the region start",
+                          {{"label", R.Label->name()}});
     return std::nullopt;
   }
 
@@ -56,6 +69,13 @@ std::optional<AppliedRegion> applyOne(Function &F, const PredictionRegion &R,
             "@" + F.name() + ": prediction region for '" +
             R.Label->name() +
             "' overlaps an already applied prediction; skipped");
+        if (observe::remarksEnabled())
+          observe::emitRemark("sr", RemarkKind::Skipped, F.name(),
+                              R.Start->name(),
+                              "region overlaps an already applied "
+                              "prediction",
+                              {{"label", R.Label->name()},
+                               {"held-barrier", "b" + std::to_string(Id)}});
         return std::nullopt;
       }
     }
@@ -68,6 +88,12 @@ std::optional<AppliedRegion> applyOne(Function &F, const PredictionRegion &R,
     Report.Diagnostics.push_back(
         "@" + F.name() + ": out of barrier registers for region '" +
         R.Label->name() + "'; falling back to PDOM-only synchronization");
+    if (observe::remarksEnabled())
+      observe::emitRemark("sr", RemarkKind::Downgrade, F.name(),
+                          R.Start->name(),
+                          "out of barrier registers; falling back to "
+                          "PDOM-only synchronization",
+                          {{"label", R.Label->name()}});
     return std::nullopt;
   }
 
@@ -90,6 +116,12 @@ std::optional<AppliedRegion> applyOne(Function &F, const PredictionRegion &R,
     R.Label->insert(0, Instruction(Opcode::SoftWait, NoRegister,
                                    {Operand::barrier(*Gather),
                                     Operand::imm(Opts.SoftThreshold)}));
+    if (observe::remarksEnabled())
+      observe::emitRemark(
+          "sr", RemarkKind::Analysis, F.name(), R.Label->name(),
+          "soft wait with threshold " + std::to_string(Opts.SoftThreshold),
+          {{"barrier", "b" + std::to_string(*Gather)},
+           {"threshold", std::to_string(Opts.SoftThreshold)}});
   } else {
     R.Label->insert(0, Instruction(Opcode::WaitBarrier, NoRegister,
                                    {Operand::barrier(*Gather)}));
@@ -184,11 +216,23 @@ std::optional<AppliedRegion> applyOne(Function &F, const PredictionRegion &R,
         PostExit->insert(Index, Instruction(Opcode::WaitBarrier, NoRegister,
                                             {Operand::barrier(*Exit)}));
         Applied.ExitBarrier = *Exit;
+        if (observe::remarksEnabled())
+          observe::emitRemark("sr", RemarkKind::Applied, F.name(),
+                              R.Start->name(),
+                              "region-exit barrier joined at region start; "
+                              "wait at '" + PostExit->name() + "'",
+                              {{"barrier", "b" + std::to_string(*Exit)},
+                               {"post-exit", PostExit->name()}});
       } else {
         ++Report.ExitDowngrades;
         Report.Diagnostics.push_back(
             "@" + F.name() + ": out of barrier registers for region-exit "
             "barrier; region compiled without it");
+        if (observe::remarksEnabled())
+          observe::emitRemark("sr", RemarkKind::Downgrade, F.name(),
+                              R.Start->name(),
+                              "out of barrier registers for region-exit "
+                              "barrier; region compiled without it");
       }
     }
   }
@@ -218,6 +262,19 @@ std::optional<AppliedRegion> applyOne(Function &F, const PredictionRegion &R,
     }
   }
 
+  if (observe::remarksEnabled())
+    observe::emitRemark(
+        "sr", RemarkKind::Applied, F.name(), R.Start->name(),
+        "placed gather at '" + R.Start->name() + "'; reconvergence wait at '" +
+            R.Label->name() + "'",
+        {{"barrier", "b" + std::to_string(*Gather)},
+         {"label", R.Label->name()},
+         {"mode", Soft ? "soft" : "classic"},
+         {"rejoin", Applied.RejoinInserted ? "yes" : "no"},
+         {"cancels", std::to_string(Applied.CancelsInserted)},
+         {"exit-barrier",
+          Applied.ExitBarrier ? "b" + std::to_string(*Applied.ExitBarrier)
+                              : "none"}});
   return Applied;
 }
 

@@ -1,0 +1,133 @@
+//===- RemarkTest.cpp - Remark stream unit tests ------------------------------===//
+//
+// The remark layer's contract: thread-local scoped routing (no stream, no
+// cost; nested scopes restore), queryability, and a JSONL serialization
+// that round-trips through a strict JSON parser (the CI schema check).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Remark.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace simtsr;
+using namespace simtsr::observe;
+
+namespace {
+
+Remark makeRemark(const std::string &Pass, RemarkKind Kind,
+                  const std::string &Message) {
+  Remark R;
+  R.Pass = Pass;
+  R.Kind = Kind;
+  R.Function = "kernel";
+  R.Block = "entry";
+  R.Message = Message;
+  return R;
+}
+
+} // namespace
+
+TEST(RemarkTest, NoScopeMeansDisabledAndDropped) {
+  EXPECT_FALSE(remarksEnabled());
+  // Emission without a scope must be a harmless no-op.
+  emitRemark(makeRemark("sr", RemarkKind::Applied, "dropped"));
+}
+
+TEST(RemarkTest, ScopeRoutesAndRestores) {
+  RemarkStream Outer;
+  RemarkStream Inner;
+  {
+    RemarkScope OuterScope(&Outer);
+    EXPECT_TRUE(remarksEnabled());
+    emitRemark(makeRemark("sr", RemarkKind::Applied, "to outer"));
+    {
+      RemarkScope InnerScope(&Inner);
+      emitRemark(makeRemark("sr", RemarkKind::Applied, "to inner"));
+    }
+    emitRemark(makeRemark("sr", RemarkKind::Skipped, "to outer again"));
+    {
+      // A null scope silences emission without uninstalling the check.
+      RemarkScope Silent(nullptr);
+      EXPECT_FALSE(remarksEnabled());
+      emitRemark(makeRemark("sr", RemarkKind::Applied, "silenced"));
+    }
+  }
+  EXPECT_FALSE(remarksEnabled());
+  EXPECT_EQ(Outer.size(), 2u);
+  EXPECT_EQ(Inner.size(), 1u);
+  Remark R;
+  ASSERT_TRUE(Inner.first("sr", "inner", R));
+  EXPECT_EQ(R.Message, "to inner");
+}
+
+TEST(RemarkTest, ScopeIsThreadLocal) {
+  RemarkStream Main;
+  RemarkScope Scope(&Main);
+  std::thread Worker([] {
+    // The worker thread has no scope of its own.
+    EXPECT_FALSE(remarksEnabled());
+    emitRemark(makeRemark("sr", RemarkKind::Applied, "from worker"));
+  });
+  Worker.join();
+  EXPECT_EQ(Main.size(), 0u);
+}
+
+TEST(RemarkTest, QueriesFilterByPassKindAndMessage) {
+  RemarkStream S;
+  RemarkScope Scope(&S);
+  emitRemark(makeRemark("sr", RemarkKind::Applied, "placed gather at 'bb3'"));
+  emitRemark(makeRemark("sr", RemarkKind::Skipped, "label is region start"));
+  emitRemark(makeRemark("pdom-sync", RemarkKind::Applied, "join before"));
+  EXPECT_EQ(S.count("sr", RemarkKind::Applied), 1u);
+  EXPECT_EQ(S.count("sr", RemarkKind::Skipped), 1u);
+  EXPECT_EQ(S.count("pdom-sync", RemarkKind::Applied), 1u);
+  EXPECT_EQ(S.count("pdom-sync", RemarkKind::Skipped), 0u);
+  EXPECT_EQ(S.matching("sr", "gather").size(), 1u);
+  EXPECT_EQ(S.matching("sr", "").size(), 2u);
+  Remark R;
+  EXPECT_TRUE(S.first("", "join", R));
+  EXPECT_EQ(R.Pass, "pdom-sync");
+  EXPECT_FALSE(S.first("sr", "no such message", R));
+}
+
+TEST(RemarkTest, JsonSerializationEscapesAndStructures) {
+  Remark R;
+  R.Pass = "sr";
+  R.Kind = RemarkKind::Downgrade;
+  R.Function = "f\"quoted\"";
+  R.Block = "bb1";
+  R.Message = "line\nbreak";
+  R.Args = {{"barrier", "b3"}, {"threshold", "8"}};
+  const std::string Json = R.toJson();
+  EXPECT_NE(Json.find("\"pass\":\"sr\""), std::string::npos);
+  EXPECT_NE(Json.find("\"kind\":\"downgrade\""), std::string::npos);
+  EXPECT_NE(Json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(Json.find("\\n"), std::string::npos);
+  EXPECT_NE(Json.find("\"barrier\":\"b3\""), std::string::npos);
+  // Raw control characters must never survive into the JSON text.
+  EXPECT_EQ(Json.find('\n'), std::string::npos);
+}
+
+TEST(RemarkTest, JsonlEmitsOneObjectPerLine) {
+  RemarkStream S;
+  RemarkScope Scope(&S);
+  emitRemark("sr", RemarkKind::Applied, "kernel", "bb0", "first");
+  emitRemark("sr", RemarkKind::Applied, "kernel", "bb1", "second");
+  const std::string Jsonl = S.toJsonl();
+  size_t Lines = 0;
+  for (char C : Jsonl)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 2u);
+  EXPECT_EQ(Jsonl.find("{"), 0u);
+}
+
+TEST(RemarkTest, KindNamesAreStable) {
+  EXPECT_STREQ(getRemarkKindName(RemarkKind::Applied), "applied");
+  EXPECT_STREQ(getRemarkKindName(RemarkKind::Skipped), "skipped");
+  EXPECT_STREQ(getRemarkKindName(RemarkKind::Downgrade), "downgrade");
+  EXPECT_STREQ(getRemarkKindName(RemarkKind::Conflict), "conflict");
+  EXPECT_STREQ(getRemarkKindName(RemarkKind::Analysis), "analysis");
+}

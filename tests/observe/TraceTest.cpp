@@ -1,0 +1,202 @@
+//===- TraceTest.cpp - Trace sink / digest / diff unit tests ------------------===//
+//
+// Contracts of the tracer building blocks: the digest hashes names (not
+// pointers), order matters, the recorder caps storage but never the
+// digest, diffTraces finds the first divergent position by value, and the
+// Chrome export is well-formed JSON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Trace.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::observe;
+
+namespace {
+
+/// Two structurally identical modules: same names, different pointers.
+std::unique_ptr<Module> namedModule() {
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("kernel", 0);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  B.ret();
+  F->recomputePreds();
+  return M;
+}
+
+TraceEvent issueAt(const Module &M, uint32_t Index, uint64_t Lanes,
+                   uint32_t Latency) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::Issue;
+  E.F = M.function(0);
+  E.BB = M.function(0)->entry();
+  E.Index = Index;
+  E.Lanes = Lanes;
+  E.Latency = Latency;
+  return E;
+}
+
+TraceEvent barrierEvent(TraceEventKind Kind, uint8_t Id, uint64_t Lanes,
+                        uint64_t Released) {
+  TraceEvent E;
+  E.Kind = Kind;
+  E.BarrierId = Id;
+  E.Lanes = Lanes;
+  E.Released = Released;
+  return E;
+}
+
+} // namespace
+
+TEST(TraceTest, DigestHashesNamesNotPointers) {
+  auto M1 = namedModule();
+  auto M2 = namedModule();
+  TraceDigester D1, D2;
+  D1.onEvent(issueAt(*M1, 0, 0xff, 4));
+  D2.onEvent(issueAt(*M2, 0, 0xff, 4));
+  EXPECT_EQ(D1.digest(), D2.digest());
+}
+
+TEST(TraceTest, DigestSeesEveryDigestedField) {
+  auto M = namedModule();
+  const TraceEvent Base = issueAt(*M, 0, 0xff, 4);
+  TraceDigester Ref;
+  Ref.onEvent(Base);
+  auto DigestWith = [&](TraceEvent E) {
+    TraceDigester D;
+    D.onEvent(E);
+    return D.digest();
+  };
+  TraceEvent E = Base;
+  E.Index = 1;
+  EXPECT_NE(DigestWith(E), Ref.digest());
+  E = Base;
+  E.Lanes = 0xfe;
+  EXPECT_NE(DigestWith(E), Ref.digest());
+  E = Base;
+  E.Latency = 5;
+  EXPECT_NE(DigestWith(E), Ref.digest());
+  // Slot and Cycle are implied by event order and must NOT be digested —
+  // they differ between a fresh run and a replay that skips setup work.
+  E = Base;
+  E.Slot = 99;
+  E.Cycle = 1234;
+  EXPECT_EQ(DigestWith(E), Ref.digest());
+}
+
+TEST(TraceTest, DigestIsOrderSensitive) {
+  auto M = namedModule();
+  TraceDigester AB, BA;
+  const TraceEvent A = issueAt(*M, 0, 0xff, 1);
+  const TraceEvent B = issueAt(*M, 1, 0xff, 1);
+  AB.onEvent(A);
+  AB.onEvent(B);
+  BA.onEvent(B);
+  BA.onEvent(A);
+  EXPECT_NE(AB.digest(), BA.digest());
+}
+
+TEST(TraceTest, CombineIsOrderSensitiveAndSeedsFromZero) {
+  const uint64_t W0 = 0x1111, W1 = 0x2222;
+  uint64_t Fwd = combineTraceDigests(combineTraceDigests(0, W0), W1);
+  uint64_t Rev = combineTraceDigests(combineTraceDigests(0, W1), W0);
+  EXPECT_NE(Fwd, Rev);
+  EXPECT_NE(Fwd, 0u);
+}
+
+TEST(TraceTest, RecorderCapsEventsButNotDigest) {
+  auto M = namedModule();
+  TraceRecorder Small(4);
+  TraceDigester Full;
+  for (uint32_t I = 0; I < 10; ++I) {
+    const TraceEvent E = issueAt(*M, I, 0xff, 1);
+    Small.onEvent(E);
+    Full.onEvent(E);
+  }
+  EXPECT_EQ(Small.events().size(), 4u);
+  EXPECT_TRUE(Small.truncated());
+  EXPECT_EQ(Small.digest(), Full.digest());
+}
+
+TEST(TraceTest, DiffFindsFirstDivergentPosition) {
+  auto M1 = namedModule();
+  auto M2 = namedModule();
+  std::vector<TraceEvent> A = {issueAt(*M1, 0, 0xff, 1),
+                               issueAt(*M1, 1, 0xff, 1),
+                               issueAt(*M1, 2, 0xff, 1)};
+  std::vector<TraceEvent> B = {issueAt(*M2, 0, 0xff, 1),
+                               issueAt(*M2, 1, 0xfe, 1),
+                               issueAt(*M2, 2, 0xff, 1)};
+  const TraceDivergence D = diffTraces(A, B);
+  ASSERT_TRUE(D.Diverged);
+  EXPECT_EQ(D.Index, 1u);
+  EXPECT_NE(D.A.find("lanes=0x00000000000000ff"), std::string::npos);
+  EXPECT_NE(D.B.find("lanes=0x00000000000000fe"), std::string::npos);
+}
+
+TEST(TraceTest, DiffComparesAcrossModuleInstancesByName) {
+  auto M1 = namedModule();
+  auto M2 = namedModule();
+  std::vector<TraceEvent> A = {issueAt(*M1, 0, 0xff, 1)};
+  std::vector<TraceEvent> B = {issueAt(*M2, 0, 0xff, 1)};
+  EXPECT_FALSE(diffTraces(A, B).Diverged);
+}
+
+TEST(TraceTest, DiffReportsLengthMismatch) {
+  auto M = namedModule();
+  std::vector<TraceEvent> A = {issueAt(*M, 0, 0xff, 1),
+                               issueAt(*M, 1, 0xff, 1)};
+  std::vector<TraceEvent> B = {issueAt(*M, 0, 0xff, 1)};
+  const TraceDivergence D = diffTraces(A, B);
+  ASSERT_TRUE(D.Diverged);
+  EXPECT_EQ(D.Index, 1u);
+  EXPECT_EQ(D.B, "<end of trace>");
+}
+
+TEST(TraceTest, DiffSeesBarrierFields) {
+  std::vector<TraceEvent> A = {
+      barrierEvent(TraceEventKind::BarrierJoin, 1, 0xff, 0)};
+  std::vector<TraceEvent> B = {
+      barrierEvent(TraceEventKind::BarrierJoin, 2, 0xff, 0)};
+  EXPECT_TRUE(diffTraces(A, B).Diverged);
+  B[0] = barrierEvent(TraceEventKind::BarrierJoin, 1, 0xff, 0);
+  EXPECT_FALSE(diffTraces(A, B).Diverged);
+  B[0] = barrierEvent(TraceEventKind::BarrierCancel, 1, 0xff, 0);
+  EXPECT_TRUE(diffTraces(A, B).Diverged);
+}
+
+TEST(TraceTest, ChromeTraceShapesIssueAndBarrierEvents) {
+  auto M = namedModule();
+  TraceEvent Issue = issueAt(*M, 0, 0xff, 3);
+  Issue.Cycle = 10;
+  Issue.Slot = 2;
+  TraceEvent Join = barrierEvent(TraceEventKind::BarrierJoin, 5, 0xff, 0);
+  Join.Cycle = 13;
+  std::vector<TraceEvent> Events = {Issue, Join};
+  std::vector<std::pair<unsigned, const std::vector<TraceEvent> *>> Warps = {
+      {7, &Events}};
+  const std::string Json = renderChromeTrace(Warps);
+  EXPECT_EQ(Json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos); // Issue: duration
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos); // Barrier: instant
+  EXPECT_NE(Json.find("\"pid\":7"), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\":3"), std::string::npos);
+  EXPECT_NE(Json.find("kernel/entry"), std::string::npos);
+  EXPECT_NE(Json.find("barrier_join"), std::string::npos);
+}
+
+TEST(TraceTest, EventKindNamesAreStable) {
+  EXPECT_STREQ(getTraceEventKindName(TraceEventKind::Issue), "issue");
+  EXPECT_STREQ(getTraceEventKindName(TraceEventKind::BarrierJoin),
+               "barrier_join");
+  EXPECT_STREQ(getTraceEventKindName(TraceEventKind::BarrierSoftWait),
+               "barrier_softwait");
+  EXPECT_STREQ(getTraceEventKindName(TraceEventKind::LanesExited),
+               "lanes_exited");
+}

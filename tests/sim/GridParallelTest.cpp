@@ -101,6 +101,7 @@ void expectIdentical(const GridResult &A, const GridResult &B) {
   EXPECT_EQ(A.TotalIssueSlots, B.TotalIssueSlots);
   EXPECT_EQ(A.SimtEfficiency, B.SimtEfficiency);
   EXPECT_EQ(A.CombinedChecksum, B.CombinedChecksum);
+  EXPECT_EQ(A.TraceDigest, B.TraceDigest);
   EXPECT_EQ(A.PerWarpEfficiency.count(), B.PerWarpEfficiency.count());
   if (A.PerWarpEfficiency.count() > 0) {
     EXPECT_EQ(A.PerWarpEfficiency.mean(), B.PerWarpEfficiency.mean());
@@ -182,6 +183,64 @@ TEST(GridParallelTest, ParallelModeIsRunToRunDeterministic) {
     GridResult Again = runGrid(*M, F, C, 32, nullptr, GridMode::Parallel);
     expectIdentical(First, Again);
   }
+}
+
+TEST(GridParallelTest, TraceDigestIdenticalAcrossModes) {
+  // The launch digest folds per-warp schedule digests in warp-index order,
+  // so it must not depend on which pool thread ran which warp.
+  auto M = divergentKernel();
+  Function *F = M->functionByName("k");
+  for (SchedulerPolicy Policy :
+       {SchedulerPolicy::MaxConvergence, SchedulerPolicy::MinPC,
+        SchedulerPolicy::RoundRobin}) {
+    LaunchConfig C;
+    C.Latency = LatencyModel::unit();
+    C.Policy = Policy;
+    C.Seed = 99;
+    C.CollectTraceDigest = true;
+    GridResult Par = runGrid(*M, F, C, 16, nullptr, GridMode::Parallel);
+    GridResult Seq = runGrid(*M, F, C, 16, nullptr, GridMode::Sequential);
+    ASSERT_TRUE(Par.Ok);
+    EXPECT_NE(Par.TraceDigest, 0u);
+    expectIdentical(Par, Seq);
+  }
+}
+
+TEST(GridParallelTest, TraceDigestIsRunToRunDeterministic) {
+  auto M = divergentKernel();
+  Function *F = M->functionByName("k");
+  LaunchConfig C;
+  C.Latency = LatencyModel::unit();
+  C.Seed = 7;
+  C.CollectTraceDigest = true;
+  GridResult First = runGrid(*M, F, C, 24, nullptr, GridMode::Parallel);
+  ASSERT_TRUE(First.Ok);
+  ASSERT_NE(First.TraceDigest, 0u);
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    GridResult Again = runGrid(*M, F, C, 24, nullptr, GridMode::Parallel);
+    EXPECT_EQ(First.TraceDigest, Again.TraceDigest);
+  }
+}
+
+TEST(GridParallelTest, TraceDigestDistinguishesSchedulerPolicies) {
+  // Different policies schedule the divergent loop differently; the digest
+  // must see it even though checksums agree.
+  auto M = divergentKernel();
+  Function *F = M->functionByName("k");
+  LaunchConfig Base;
+  Base.Latency = LatencyModel::unit();
+  Base.Seed = 5;
+  Base.CollectTraceDigest = true;
+  LaunchConfig MaxConv = Base;
+  MaxConv.Policy = SchedulerPolicy::MaxConvergence;
+  LaunchConfig Rr = Base;
+  Rr.Policy = SchedulerPolicy::RoundRobin;
+  GridResult A = runGrid(*M, F, MaxConv, 4, nullptr, GridMode::Parallel);
+  GridResult B = runGrid(*M, F, Rr, 4, nullptr, GridMode::Parallel);
+  ASSERT_TRUE(A.Ok);
+  ASSERT_TRUE(B.Ok);
+  EXPECT_EQ(A.CombinedChecksum, B.CombinedChecksum);
+  EXPECT_NE(A.TraceDigest, B.TraceDigest);
 }
 
 TEST(GridParallelTest, InitMemoryRunsOncePerWarpInParallelMode) {

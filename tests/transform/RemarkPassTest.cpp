@@ -1,0 +1,245 @@
+//===- RemarkPassTest.cpp - Figure shapes asserted through remarks ------------===//
+//
+// The paper-figure tests, restated against the remark stream instead of
+// instruction-by-instruction structure: the passes declare what they did
+// (gather placement, deconfliction cancels, entry gathers, candidate
+// scores), and these tests pin the declarations. This survives benign
+// representation changes — an extra instruction, a renamed temporary —
+// that used to break the structural assertions, while still failing when
+// a pass stops making the paper's decisions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Remark.h"
+#include "ir/Parser.h"
+#include "transform/AutoDetect.h"
+#include "transform/Pipeline.h"
+
+#include "TestIR.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+using namespace simtsr::observe;
+using namespace simtsr::testir;
+
+namespace {
+
+/// \returns the value of \p Key in \p R's args, or "" when absent.
+std::string argOf(const Remark &R, const std::string &Key) {
+  for (const auto &[K, V] : R.Args)
+    if (K == Key)
+      return V;
+  return {};
+}
+
+// RemarkStream holds a mutex and cannot be returned by value.
+void runPipelineWithRemarks(Module &M, PipelineOptions Opts,
+                            RemarkStream &Remarks) {
+  Opts.Remarks = &Remarks;
+  runSyncPipeline(M, Opts);
+}
+
+} // namespace
+
+// Figure 4(d): the SR pass turns Listing 1's predict into a gather at the
+// region start with the reconvergence wait at the user's label, a rejoin
+// (the wait sits in a loop), and a region-exit barrier.
+TEST(RemarkPassTest, SrPlacesGatherAtRegionStartOnListing1) {
+  Listing1 L;
+  RemarkStream Remarks;
+  runPipelineWithRemarks(*L.M, PipelineOptions::speculative(), Remarks);
+
+  Remark Gather;
+  ASSERT_TRUE(Remarks.first("sr", "placed gather", Gather));
+  EXPECT_EQ(Gather.Kind, RemarkKind::Applied);
+  EXPECT_EQ(Gather.Function, "listing1");
+  EXPECT_EQ(Gather.Block, "bb0");
+  EXPECT_EQ(argOf(Gather, "label"), "bb3");
+  EXPECT_EQ(argOf(Gather, "mode"), "classic");
+  EXPECT_EQ(argOf(Gather, "rejoin"), "yes");
+  EXPECT_NE(argOf(Gather, "exit-barrier"), "none");
+
+  Remark ExitBarrier;
+  ASSERT_TRUE(Remarks.first("sr", "region-exit barrier", ExitBarrier));
+  EXPECT_EQ(ExitBarrier.Kind, RemarkKind::Applied);
+  EXPECT_EQ(argOf(ExitBarrier, "post-exit"), "bb5");
+}
+
+// The PDOM baseline must also report its placement: a join before Listing
+// 1's divergent branch with the wait at the branch's post-dominator.
+TEST(RemarkPassTest, PdomSyncReportsJoinAndWaitPlacement) {
+  Listing1 L;
+  RemarkStream Remarks;
+  runPipelineWithRemarks(*L.M, PipelineOptions::baseline(), Remarks);
+
+  Remark Placed;
+  ASSERT_TRUE(Remarks.first("pdom-sync", "join before divergent", Placed));
+  EXPECT_EQ(Placed.Kind, RemarkKind::Applied);
+  EXPECT_EQ(Placed.Function, "listing1");
+  EXPECT_EQ(Placed.Block, "bb2");
+  EXPECT_EQ(argOf(Placed, "pdom"), "bb4");
+}
+
+// Figure 6: the soft-barrier variant gathers with a thresholded wait and
+// drops the rejoin (soft membership persists across releases).
+TEST(RemarkPassTest, SoftBarrierThresholdSurfacesInRemarks) {
+  Listing1 L;
+  RemarkStream Remarks;
+  runPipelineWithRemarks(*L.M, PipelineOptions::softBarrier(8), Remarks);
+
+  Remark Soft;
+  ASSERT_TRUE(Remarks.first("sr", "soft wait with threshold", Soft));
+  EXPECT_EQ(Soft.Kind, RemarkKind::Analysis);
+  EXPECT_EQ(Soft.Block, "bb3");
+  EXPECT_EQ(argOf(Soft, "threshold"), "8");
+
+  Remark Gather;
+  ASSERT_TRUE(Remarks.first("sr", "placed gather", Gather));
+  EXPECT_EQ(argOf(Gather, "mode"), "soft");
+  EXPECT_EQ(argOf(Gather, "rejoin"), "no");
+}
+
+// Figure 5(a)/(c): on Listing 1 a thread can reach the speculative wait at
+// bb3 still joined to the PDOM barrier from bb2 — the deconfliction pass
+// must report the hazard pair and the dynamic cancels that resolve it.
+TEST(RemarkPassTest, DeconflictionReportsFigure5HazardAndCancels) {
+  Listing1 L;
+  RemarkStream Remarks;
+  runPipelineWithRemarks(*L.M, PipelineOptions::speculative(), Remarks);
+
+  EXPECT_GE(Remarks.count("deconflict", RemarkKind::Conflict), 1u);
+  Remark Hazard;
+  ASSERT_TRUE(Remarks.first("deconflict", "Figure 5(a) hazard", Hazard));
+  EXPECT_FALSE(argOf(Hazard, "speculative").empty());
+  EXPECT_FALSE(argOf(Hazard, "pdom").empty());
+
+  Remark Cancel;
+  ASSERT_TRUE(Remarks.first("deconflict", "dynamic strategy", Cancel));
+  EXPECT_EQ(Cancel.Kind, RemarkKind::Applied);
+  EXPECT_EQ(Cancel.Function, "listing1");
+}
+
+// Section 4.4: a reconverge_entry callee gets its entry wait, and every
+// caller joins at the call sites' common dominator — both sides remark.
+TEST(RemarkPassTest, InterproceduralEntryGatherRemarks) {
+  auto M = std::make_unique<Module>();
+  Function *Foo = M->createFunction("foo", 0);
+  Foo->setReconvergeAtEntry(true);
+  {
+    IRBuilder B(Foo);
+    B.startBlock("entry");
+    B.ret(Operand::imm(3));
+  }
+  Function *K = M->createFunction("k", 0);
+  IRBuilder B(K);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Then = K->createBlock("then");
+  BasicBlock *Else = K->createBlock("else");
+  BasicBlock *Exit = K->createBlock("exit");
+  B.setInsertBlock(Entry);
+  unsigned R = B.randRange(Operand::imm(0), Operand::imm(2));
+  B.br(Operand::reg(R), Then, Else);
+  B.setInsertBlock(Then);
+  B.call(Foo);
+  B.jmp(Exit);
+  B.setInsertBlock(Else);
+  B.call(Foo);
+  B.jmp(Exit);
+  B.setInsertBlock(Exit);
+  B.ret();
+  K->recomputePreds();
+
+  RemarkStream Remarks;
+  runPipelineWithRemarks(*M, PipelineOptions::speculative(), Remarks);
+
+  Remark EntryWait;
+  ASSERT_TRUE(Remarks.first("interproc", "entry wait placed", EntryWait));
+  EXPECT_EQ(EntryWait.Kind, RemarkKind::Applied);
+  EXPECT_EQ(EntryWait.Function, "foo");
+  EXPECT_EQ(argOf(EntryWait, "callers"), "1");
+
+  Remark CallerJoin;
+  ASSERT_TRUE(
+      Remarks.first("interproc", "joined entry barrier", CallerJoin));
+  EXPECT_EQ(CallerJoin.Function, "k");
+  EXPECT_EQ(CallerJoin.Block, "entry"); // Common dominator of both calls.
+  EXPECT_EQ(argOf(CallerJoin, "callee"), "foo");
+  EXPECT_EQ(argOf(CallerJoin, "call-sites"), "2");
+}
+
+// Barrier re-allocation reports the per-function recolouring summary.
+TEST(RemarkPassTest, ReallocReportsRecolouringSummary) {
+  Listing1 L;
+  auto Opts = standardPipelineByName("sr+ip+realloc");
+  ASSERT_TRUE(Opts.has_value());
+  RemarkStream Remarks;
+  runPipelineWithRemarks(*L.M, *Opts, Remarks);
+
+  Remark Recolour;
+  ASSERT_TRUE(Remarks.first("realloc", "recoloured", Recolour));
+  EXPECT_EQ(Recolour.Kind, RemarkKind::Applied);
+  EXPECT_EQ(Recolour.Function, "listing1");
+  EXPECT_FALSE(argOf(Recolour, "before").empty());
+  EXPECT_FALSE(argOf(Recolour, "after").empty());
+}
+
+// Section 4.5: automatic detection scores every candidate and explains
+// accept/reject; Listing 1's divergent branch inside the bb1..bb4 loop is
+// an iteration-delay candidate with label bb3.
+TEST(RemarkPassTest, AutoDetectScoresCandidatesViaRemarks) {
+  Listing1 L;
+  // Strip the user predict so detection starts from unannotated code.
+  EXPECT_EQ(stripPredictDirectives(*L.M), 1u);
+
+  RemarkStream Remarks;
+  {
+    RemarkScope Scope(&Remarks);
+    AutoDetectOptions Opts;
+    detectReconvergence(*L.M, Opts);
+  }
+
+  ASSERT_GE(Remarks.count("auto-detect", RemarkKind::Analysis), 1u);
+  Remark Candidate;
+  ASSERT_TRUE(Remarks.first("auto-detect", "iteration-delay", Candidate));
+  EXPECT_EQ(Candidate.Block, "bb3");
+  EXPECT_FALSE(argOf(Candidate, "score").empty());
+  const std::string Profitable = argOf(Candidate, "profitable");
+  EXPECT_TRUE(Profitable == "yes" || Profitable == "no");
+}
+
+// Graceful degradation must be visible too: more divergent diamonds than
+// the 16 barrier registers makes pdom-sync report downgrades instead of
+// failing silently (pairs with ExhaustionTest's structural checks).
+TEST(RemarkPassTest, RegisterExhaustionSurfacesAsDowngradeRemarks) {
+  std::string Text = "memory 64\n\nfunc @kernel(0) {\n"
+                     "entry:\n  %0 = tid\n  %1 = laneid\n  %2 = mov 0\n"
+                     "  jmp d0\n";
+  const unsigned Diamonds = 18; // > 16 barrier registers.
+  for (unsigned I = 0; I < Diamonds; ++I) {
+    std::string D = std::to_string(I);
+    Text += "d" + D + ":\n  %3 = and %1, " +
+               std::to_string(1u << (I % 5)) +
+               "\n  %4 = cmpeq %3, 0\n  br %4, t" + D + ", f" + D + "\n" +
+               "t" + D + ":\n  %2 = add %2, 1\n  jmp j" + D + "\n" +
+               "f" + D + ":\n  %2 = add %2, 2\n  jmp j" + D + "\n" +
+               "j" + D + ":\n  jmp " +
+               (I + 1 < Diamonds ? "d" + std::to_string(I + 1)
+                                 : std::string("exit")) +
+               "\n";
+  }
+  Text += "exit:\n  store %0, %2\n  ret\n}\n";
+
+  ParseResult P = parseModule(Text);
+  ASSERT_TRUE(P.Errors.empty()) << P.Errors.front();
+
+  RemarkStream Remarks;
+  PipelineOptions Opts = PipelineOptions::baseline();
+  Opts.Remarks = &Remarks;
+  runSyncPipeline(*P.M, Opts);
+  EXPECT_GE(Remarks.count("pdom-sync", RemarkKind::Downgrade), 1u);
+  Remark Downgrade;
+  ASSERT_TRUE(
+      Remarks.first("pdom-sync", "out of barrier registers", Downgrade));
+  EXPECT_EQ(Downgrade.Function, "kernel");
+}

@@ -5,6 +5,7 @@
 #include "TestIR.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "observe/Remark.h"
 
 #include <gtest/gtest.h>
 
@@ -144,11 +145,21 @@ TEST(SRPassTest, SkipsWhenStartDoesNotDominateLabel) {
   F->recomputePreds();
 
   BarrierRegistry Registry;
-  SRReport R = applySpeculativeReconvergence(*F, Registry);
+  observe::RemarkStream Remarks;
+  SRReport R;
+  {
+    observe::RemarkScope Scope(&Remarks);
+    R = applySpeculativeReconvergence(*F, Registry);
+  }
   EXPECT_TRUE(R.Applied.empty());
   EXPECT_EQ(R.RegionsSkipped, 1u);
-  ASSERT_FALSE(R.Diagnostics.empty());
-  EXPECT_NE(R.Diagnostics[0].find("does not dominate"), std::string::npos);
+  // The pass must say *why* it skipped, as a structured remark naming the
+  // region (not just a free-form diagnostic string).
+  EXPECT_EQ(Remarks.count("sr", observe::RemarkKind::Skipped), 1u);
+  observe::Remark Skip;
+  ASSERT_TRUE(Remarks.first("sr", "does not dominate", Skip));
+  EXPECT_EQ(Skip.Function, "f");
+  EXPECT_EQ(Skip.Block, "annot");
   // The directive must be consumed even on the failure path.
   for (BasicBlock *BB : *F)
     for (const Instruction &I : BB->instructions())
@@ -219,11 +230,23 @@ TEST(SRPassTest, ExitEdgeWithMixedPredecessorsIsSplit) {
   // hot's wait cleared it but... hot has no rejoin (acyclic), so only the
   // region->out edge cancels.
   EXPECT_GE(R.Applied[0].CancelsInserted, 1u);
-  // A split block must exist (out has the outside predecessor `entry`).
-  bool FoundSplit = false;
-  for (BasicBlock *BB : *F)
-    FoundSplit |= BB->name().find(".split") != std::string::npos;
-  EXPECT_TRUE(FoundSplit);
+  // `out` is also reached straight from `entry`, where the barrier was
+  // never joined — so the cancel must NOT sit at `out` itself. It has to
+  // live on a dedicated edge block: a new predecessor of `out` whose only
+  // job is cancelling the gather barrier and falling through.
+  const unsigned B0 = R.Applied[0].GatherBarrier;
+  EXPECT_NE(Out->inst(0).opcode(), Opcode::CancelBarrier);
+  bool CancelOnDedicatedEdge = false;
+  for (BasicBlock *BB : *F) {
+    if (BB == Out || BB->size() != 2)
+      continue;
+    const bool IsCancel = BB->inst(0).opcode() == Opcode::CancelBarrier &&
+                          BB->inst(0).barrierId() == B0;
+    const auto Succs = BB->successors();
+    CancelOnDedicatedEdge |=
+        IsCancel && Succs.size() == 1 && Succs[0] == Out;
+  }
+  EXPECT_TRUE(CancelOnDedicatedEdge);
   EXPECT_TRUE(isWellFormed(M));
 }
 

@@ -177,6 +177,20 @@ bool writeRepro(const std::string &Path, uint64_t Seed,
   Out << ";   detail:    " << Failure.Detail << "\n";
   Out << ";   warp-size: " << Opts.Oracle.WarpSize << "\n";
   Out << ";   sim-seed:  " << Opts.Oracle.SimSeed << "\n";
+  // Per-config schedule digests make the repro self-describing: a fix can
+  // be validated against exactly the schedules that disagreed, without
+  // rerunning the whole cross product by hand (docs/OBSERVABILITY.md).
+  for (const OracleRun &Run : Failure.Runs) {
+    char Line[160];
+    std::snprintf(Line, sizeof(Line),
+                  ";   run:       %s/%s status=%s checksum=0x%016llx "
+                  "digest=0x%016llx\n",
+                  Run.Config.c_str(), getPolicyName(Run.Policy),
+                  getRunStatusName(Run.St),
+                  static_cast<unsigned long long>(Run.Checksum),
+                  static_cast<unsigned long long>(Run.TraceDigest));
+    Out << Line;
+  }
   if (Shrunk)
     Out << ";   shrunk:    " << OriginalSize << " -> " << Text.size()
         << " bytes (" << Shrunk->StepsAccepted << " steps, "

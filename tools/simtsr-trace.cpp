@@ -1,0 +1,367 @@
+//===- simtsr-trace.cpp - Observability driver --------------------------------===//
+///
+/// \file
+/// Runs any Table 2 workload under any standard pipeline configuration
+/// with the observability layer enabled and reports what the toolchain
+/// and the simulator actually did:
+///
+///  - pass remarks (JSONL, --remarks-out) — every placement, downgrade
+///    and deconfliction decision the pass stack made;
+///  - the simulator event timeline as Chrome trace-event JSON
+///    (--trace-out, loadable in chrome://tracing or Perfetto);
+///  - the launch trace digest — a stable 64-bit fingerprint of the
+///    schedule (see docs/OBSERVABILITY.md).
+///
+/// --diff A,B runs the workload under two configurations and prints the
+/// first divergent scheduling event, answering "where exactly did the SR
+/// pipeline start scheduling differently from PDOM?". --golden prints
+/// digest lines for the whole suite in the golden-test file format.
+///
+/// Exit codes: 0 on success (including an expected --diff divergence),
+/// 1 on usage errors, 2 when a simulation fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Runner.h"
+#include "observe/Remark.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace simtsr;
+
+namespace {
+
+struct ToolOptions {
+  std::string Workload;
+  std::string Config = "pdom";
+  std::string DiffA, DiffB; // set when --diff was given
+  SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
+  unsigned Warps = 2;
+  double Scale = 0.25;
+  uint64_t Seed = 2020;
+  int SoftThreshold = 8;
+  std::string TraceOut;
+  std::string RemarksOut;
+  bool List = false;
+  bool Golden = false;
+};
+
+const char *policyName(SchedulerPolicy P) {
+  switch (P) {
+  case SchedulerPolicy::MaxConvergence:
+    return "max-convergence";
+  case SchedulerPolicy::MinPC:
+    return "min-pc";
+  case SchedulerPolicy::RoundRobin:
+    return "round-robin";
+  }
+  return "?";
+}
+
+bool parsePolicy(const std::string &S, SchedulerPolicy &Out) {
+  if (S == "max-convergence" || S == "maxconv") {
+    Out = SchedulerPolicy::MaxConvergence;
+    return true;
+  }
+  if (S == "min-pc" || S == "minpc") {
+    Out = SchedulerPolicy::MinPC;
+    return true;
+  }
+  if (S == "round-robin" || S == "rr") {
+    Out = SchedulerPolicy::RoundRobin;
+    return true;
+  }
+  return false;
+}
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: simtsr-trace [options]\n"
+      "  --list                 list workloads, configs and policies\n"
+      "  --workload NAME        Table 2 workload to run (required)\n"
+      "  --config NAME          pipeline config (default pdom)\n"
+      "  --diff A,B             run configs A and B; report the first\n"
+      "                         divergent scheduling event\n"
+      "  --policy P             max-convergence | min-pc | round-robin\n"
+      "  --warps N              warps per grid (default 2)\n"
+      "  --scale S              workload scale in (0, 1] (default 0.25)\n"
+      "  --seed N               launch seed (default 2020)\n"
+      "  --soft-threshold N     threshold for the 'soft' config (default 8)\n"
+      "  --trace-out FILE       write Chrome trace-event JSON\n"
+      "  --remarks-out FILE     write pass remarks as JSONL\n"
+      "  --golden               print golden digest lines for the whole\n"
+      "                         suite (all configs x policies)\n");
+}
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    auto NeedValue = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--list") {
+      Opts.List = true;
+    } else if (Arg == "--golden") {
+      Opts.Golden = true;
+    } else if (Arg == "--workload") {
+      const char *S = NeedValue();
+      if (!S)
+        return false;
+      Opts.Workload = S;
+    } else if (Arg == "--config") {
+      const char *S = NeedValue();
+      if (!S)
+        return false;
+      Opts.Config = S;
+    } else if (Arg == "--diff") {
+      const char *S = NeedValue();
+      if (!S)
+        return false;
+      const std::string Pair = S;
+      const size_t Comma = Pair.find(',');
+      if (Comma == std::string::npos || Comma == 0 ||
+          Comma + 1 == Pair.size())
+        return false;
+      Opts.DiffA = Pair.substr(0, Comma);
+      Opts.DiffB = Pair.substr(Comma + 1);
+    } else if (Arg == "--policy") {
+      const char *S = NeedValue();
+      if (!S || !parsePolicy(S, Opts.Policy))
+        return false;
+    } else if (Arg == "--warps") {
+      const char *S = NeedValue();
+      char *End = nullptr;
+      unsigned long V = S ? std::strtoul(S, &End, 10) : 0;
+      if (!S || End == S || *End != '\0' || V < 1 || V > 4096)
+        return false;
+      Opts.Warps = static_cast<unsigned>(V);
+    } else if (Arg == "--scale") {
+      const char *S = NeedValue();
+      char *End = nullptr;
+      double V = S ? std::strtod(S, &End) : 0.0;
+      if (!S || End == S || *End != '\0' || V <= 0.0 || V > 1.0)
+        return false;
+      Opts.Scale = V;
+    } else if (Arg == "--seed") {
+      const char *S = NeedValue();
+      char *End = nullptr;
+      unsigned long long V = S ? std::strtoull(S, &End, 10) : 0;
+      if (!S || End == S || *End != '\0')
+        return false;
+      Opts.Seed = V;
+    } else if (Arg == "--soft-threshold") {
+      const char *S = NeedValue();
+      char *End = nullptr;
+      long V = S ? std::strtol(S, &End, 10) : 0;
+      if (!S || End == S || *End != '\0' || V < 0 || V > 64)
+        return false;
+      Opts.SoftThreshold = static_cast<int>(V);
+    } else if (Arg == "--trace-out") {
+      const char *S = NeedValue();
+      if (!S)
+        return false;
+      Opts.TraceOut = S;
+    } else if (Arg == "--remarks-out") {
+      const char *S = NeedValue();
+      if (!S)
+        return false;
+      Opts.RemarksOut = S;
+    } else {
+      std::fprintf(stderr, "simtsr-trace: unknown argument '%s'\n",
+                   Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+const Workload *findWorkload(const std::vector<Workload> &Suite,
+                             const std::string &Name) {
+  for (const Workload &W : Suite)
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+bool writeFile(const std::string &Path, const std::string &Content) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "simtsr-trace: cannot open '%s' for writing\n",
+                 Path.c_str());
+    return false;
+  }
+  std::fwrite(Content.data(), 1, Content.size(), Out);
+  std::fclose(Out);
+  return true;
+}
+
+/// Runs one traced config, appending its remarks to \p Remarks.
+TracedWorkloadResult runConfig(const Workload &W, const ToolOptions &Opts,
+                               const std::string &ConfigName,
+                               observe::RemarkStream *Remarks) {
+  auto Pipeline =
+      standardPipelineByName(ConfigName, Opts.SoftThreshold);
+  if (!Pipeline) {
+    std::fprintf(stderr, "simtsr-trace: unknown config '%s'\n",
+                 ConfigName.c_str());
+    std::exit(1);
+  }
+  return runWorkloadTraced(W, *Pipeline, Opts.Policy, Opts.Warps, Opts.Seed,
+                           Remarks);
+}
+
+void printRunSummary(const ToolOptions &Opts, const std::string &ConfigName,
+                     const TracedWorkloadResult &R) {
+  size_t Events = 0;
+  bool Truncated = false;
+  for (const WarpTrace &T : R.Warps) {
+    Events += T.Events.size();
+    Truncated |= T.Truncated;
+  }
+  std::printf("%-14s config=%-13s policy=%-15s warps=%u seed=%llu\n",
+              Opts.Workload.c_str(), ConfigName.c_str(),
+              policyName(Opts.Policy), Opts.Warps,
+              static_cast<unsigned long long>(Opts.Seed));
+  std::printf("  status: %s\n", R.Ok ? "ok" : "FAILED");
+  if (!R.Ok && !R.Warps.empty())
+    std::printf("  failure: warp %u: %s\n", R.Warps.back().WarpIndex,
+                R.Warps.back().TrapMessage.c_str());
+  std::printf("  digest: %s\n", jsonHex64(R.TraceDigest).c_str());
+  std::printf("  cycles: %llu  issue-slots: %llu  events: %zu%s\n",
+              static_cast<unsigned long long>(R.Cycles),
+              static_cast<unsigned long long>(R.IssueSlots), Events,
+              Truncated ? " (truncated)" : "");
+}
+
+/// Chrome trace JSON for one traced result.
+std::string chromeTraceOf(const TracedWorkloadResult &R) {
+  std::vector<std::pair<unsigned, const std::vector<observe::TraceEvent> *>>
+      Warps;
+  for (const WarpTrace &T : R.Warps)
+    Warps.push_back({T.WarpIndex, &T.Events});
+  return observe::renderChromeTrace(Warps);
+}
+
+int runDiff(const Workload &W, const ToolOptions &Opts) {
+  observe::RemarkStream Remarks;
+  const TracedWorkloadResult A = runConfig(W, Opts, Opts.DiffA, &Remarks);
+  const TracedWorkloadResult B = runConfig(W, Opts, Opts.DiffB, &Remarks);
+  printRunSummary(Opts, Opts.DiffA, A);
+  printRunSummary(Opts, Opts.DiffB, B);
+  if (!Opts.TraceOut.empty() && !writeFile(Opts.TraceOut, chromeTraceOf(A)))
+    return 1;
+  if (!Opts.RemarksOut.empty() &&
+      !writeFile(Opts.RemarksOut, Remarks.toJsonl()))
+    return 1;
+  if (!A.Ok || !B.Ok)
+    return 2;
+
+  if (A.TraceDigest == B.TraceDigest) {
+    std::printf("digests match: the two configurations produce identical "
+                "schedules\n");
+    return 0;
+  }
+  std::printf("digests differ: %s vs %s\n", jsonHex64(A.TraceDigest).c_str(),
+              jsonHex64(B.TraceDigest).c_str());
+  const size_t NumWarps = std::max(A.Warps.size(), B.Warps.size());
+  for (size_t Wi = 0; Wi < NumWarps; ++Wi) {
+    if (Wi >= A.Warps.size() || Wi >= B.Warps.size()) {
+      std::printf("warp %zu ran under only one configuration\n", Wi);
+      return 0;
+    }
+    if (A.Warps[Wi].Digest == B.Warps[Wi].Digest)
+      continue;
+    const observe::TraceDivergence D =
+        observe::diffTraces(A.Warps[Wi].Events, B.Warps[Wi].Events);
+    if (!D.Diverged) {
+      // Digest differs past the recorder cap.
+      std::printf("warp %zu: traces identical within the first %zu events; "
+                  "divergence lies beyond the recorder cap\n",
+                  Wi, A.Warps[Wi].Events.size());
+      return 0;
+    }
+    std::printf("warp %zu: first divergent event at #%zu:\n", Wi, D.Index);
+    std::printf("  %s: %s\n", Opts.DiffA.c_str(), D.A.c_str());
+    std::printf("  %s: %s\n", Opts.DiffB.c_str(), D.B.c_str());
+    return 0;
+  }
+  std::printf("per-warp digests match; launch digests differ only in warp "
+              "count\n");
+  return 0;
+}
+
+int runGolden(const ToolOptions &Opts) {
+  const std::vector<Workload> Suite = makeAllWorkloads(Opts.Scale);
+  const SchedulerPolicy Policies[] = {SchedulerPolicy::MaxConvergence,
+                                      SchedulerPolicy::MinPC,
+                                      SchedulerPolicy::RoundRobin};
+  std::printf("# simtsr-trace --golden: warps=%u scale=%g seed=%llu\n",
+              Opts.Warps, Opts.Scale,
+              static_cast<unsigned long long>(Opts.Seed));
+  for (const Workload &W : Suite)
+    for (const std::string &Config : standardPipelineNames())
+      for (SchedulerPolicy Policy : Policies) {
+        auto Pipeline = standardPipelineByName(Config, Opts.SoftThreshold);
+        const uint64_t Digest = workloadTraceDigest(
+            W, *Pipeline, Policy, Opts.Warps, Opts.Seed);
+        std::printf("%s %s %s %s\n", W.Name.c_str(), Config.c_str(),
+                    policyName(Policy), jsonHex64(Digest).c_str());
+      }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage();
+    return 1;
+  }
+  if (Opts.List) {
+    const std::vector<Workload> Suite = makeAllWorkloads(0.25);
+    std::printf("workloads:");
+    for (const Workload &W : Suite)
+      std::printf(" %s", W.Name.c_str());
+    std::printf("\nconfigs:");
+    for (const std::string &C : standardPipelineNames())
+      std::printf(" %s", C.c_str());
+    std::printf("\npolicies: max-convergence min-pc round-robin\n");
+    return 0;
+  }
+  if (Opts.Golden)
+    return runGolden(Opts);
+  if (Opts.Workload.empty()) {
+    std::fprintf(stderr, "simtsr-trace: --workload is required\n");
+    printUsage();
+    return 1;
+  }
+
+  const std::vector<Workload> Suite = makeAllWorkloads(Opts.Scale);
+  const Workload *W = findWorkload(Suite, Opts.Workload);
+  if (!W) {
+    std::fprintf(stderr,
+                 "simtsr-trace: unknown workload '%s' (try --list)\n",
+                 Opts.Workload.c_str());
+    return 1;
+  }
+
+  if (!Opts.DiffA.empty())
+    return runDiff(*W, Opts);
+
+  observe::RemarkStream Remarks;
+  const TracedWorkloadResult R = runConfig(*W, Opts, Opts.Config, &Remarks);
+  printRunSummary(Opts, Opts.Config, R);
+  if (!Opts.TraceOut.empty() && !writeFile(Opts.TraceOut, chromeTraceOf(R)))
+    return 1;
+  if (!Opts.RemarksOut.empty() &&
+      !writeFile(Opts.RemarksOut, Remarks.toJsonl()))
+    return 1;
+  return R.Ok ? 0 : 2;
+}
