@@ -4,7 +4,9 @@
 
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "lint/ConvergenceLint.h"
 #include "support/ThreadPool.h"
+#include "transform/BarrierVerifier.h"
 #include "transform/Pipeline.h"
 
 #include <atomic>
@@ -35,6 +37,8 @@ const char *simtsr::getFailureKindName(FailureKind K) {
     return "timeout";
   case FailureKind::Malformed:
     return "malformed";
+  case FailureKind::LintMismatch:
+    return "lint-mismatch";
   }
   return "unknown";
 }
@@ -138,6 +142,20 @@ struct PolicyRecord {
   std::string TrapMessage;
 };
 
+/// The static analyzer's verdict on one config's post-pipeline module
+/// (OracleOptions::LintCheck).
+struct LintVerdict {
+  bool Ran = false;
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+  bool ProvenDeadlock = false;
+  /// First few gate-severity messages, for repro reports.
+  std::string Summary;
+
+  /// No errors and no warnings: the analyzer vouched for this module.
+  bool cleanBill() const { return Ran && !Errors && !Warnings; }
+};
+
 /// Everything one pipeline configuration contributes: either a pre-sim
 /// stage failure, or the three policy runs. Computed independently per
 /// config so the configs can run concurrently; the verdict is derived
@@ -145,6 +163,7 @@ struct PolicyRecord {
 struct ConfigOutcome {
   FailureKind StageKind = FailureKind::None;
   std::string StageDetail;
+  LintVerdict Lint;
   std::vector<PolicyRecord> Runs;
 };
 
@@ -183,6 +202,24 @@ ConfigOutcome runOracleConfig(const std::string &SirText,
   // A broken late pass: miscompile one config after all checks passed.
   if (Opts.Inject != FaultInjection::None && Spec.Name == "sr")
     injectFault(M, Opts.Inject);
+
+  // Static-vs-dynamic cross-check: lint the module the simulator will
+  // actually run (i.e. after fault injection, so an injected barrier bug
+  // is in scope for both sides). Origin-aware from the pipeline registry,
+  // except after realloc where the registry's origins are stale.
+  if (Opts.LintCheck) {
+    lint::LintOptions LO;
+    if (!Spec.Opts.ReallocBarriers)
+      LO = lintOptionsFromRegistry(Report.Registry);
+    LO.WarpSize = Opts.WarpSize;
+    LO.Remarks = false;
+    const lint::LintResult LR = lint::runConvergenceLint(M, LO);
+    Out.Lint.Ran = true;
+    Out.Lint.Errors = LR.count(lint::LintSeverity::Error);
+    Out.Lint.Warnings = LR.count(lint::LintSeverity::Warning);
+    Out.Lint.ProvenDeadlock = LR.ProvenDeadlock;
+    Out.Lint.Summary = joinFirst(LR.gateStrings(), 3);
+  }
 
   // Verify once for the three policy runs (injection may have changed the
   // module, so this happens after it); each simulator reuses the result.
@@ -227,17 +264,45 @@ ConfigOutcome runOracleConfig(const std::string &SirText,
   return Out;
 }
 
+/// One repro-report line for a linted config.
+std::string lintLine(const std::string &Config, const LintVerdict &V) {
+  std::string Line = "config " + Config + ": lint " +
+                     std::to_string(V.Errors) + " errors, " +
+                     std::to_string(V.Warnings) + " warnings";
+  if (V.ProvenDeadlock)
+    Line += ", proven-deadlock";
+  if (!V.Summary.empty())
+    Line += ": " + V.Summary;
+  return Line;
+}
+
+/// A dynamic failure the static analyzer is expected to have an opinion
+/// on: a deadlock, or a trap whose message names a barrier.
+bool isBarrierFailure(FailureKind K, const std::string &TrapMessage) {
+  if (K == FailureKind::Deadlock)
+    return true;
+  return K == FailureKind::Trap &&
+         TrapMessage.find("barrier") != std::string::npos;
+}
+
 /// Scans completed config outcomes in sequential order and produces the
 /// verdict the one-at-a-time loop would have produced: Runs accumulate
 /// until the first failure, which sets Kind/Detail and stops the scan.
+/// With LintCheck on, the scan also cross-checks each verdict against the
+/// static analyzer's (rule 1: a dynamic barrier failure on a module the
+/// lint called clean; rule 2: a lint-proven deadlock that every policy
+/// survives — only meaningful when warps can actually diverge).
 OracleResult replayInOrder(const std::vector<ConfigSpec> &Specs,
-                           const std::vector<ConfigOutcome> &Outcomes) {
+                           const std::vector<ConfigOutcome> &Outcomes,
+                           const OracleOptions &Opts) {
   OracleResult Result;
   bool HaveReference = false;
   uint64_t ReferenceChecksum = 0;
   std::string ReferenceLabel;
   for (size_t I = 0; I < Specs.size(); ++I) {
     const ConfigOutcome &Out = Outcomes[I];
+    if (Out.Lint.Ran)
+      Result.LintLines.push_back(lintLine(Specs[I].Name, Out.Lint));
     if (Out.StageKind != FailureKind::None) {
       Result.Kind = Out.StageKind;
       Result.Detail = Out.StageDetail;
@@ -248,10 +313,19 @@ OracleResult replayInOrder(const std::vector<ConfigSpec> &Specs,
           Specs[I].Name + "/" + getPolicyName(Record.Run.Policy);
       Result.Runs.push_back(Record.Run);
       if (Record.Run.St != RunResult::Status::Finished) {
-        Result.Kind = kindForStatus(Record.Run.St);
-        Result.Detail =
+        const FailureKind K = kindForStatus(Record.Run.St);
+        const std::string SimDetail =
             "config " + Label + ": " + getRunStatusName(Record.Run.St) +
             (Record.TrapMessage.empty() ? "" : ": " + Record.TrapMessage);
+        if (isBarrierFailure(K, Record.TrapMessage) && Out.Lint.cleanBill()) {
+          Result.Kind = FailureKind::LintMismatch;
+          Result.Detail = SimDetail +
+                          ", but the static analyzer gave this module a "
+                          "clean bill";
+          return Result;
+        }
+        Result.Kind = K;
+        Result.Detail = SimDetail;
         return Result;
       }
       if (!HaveReference) {
@@ -266,6 +340,20 @@ OracleResult replayInOrder(const std::vector<ConfigSpec> &Specs,
                         ReferenceLabel;
         return Result;
       }
+    }
+  }
+  if (Opts.WarpSize > 1) {
+    for (size_t I = 0; I < Specs.size(); ++I) {
+      if (!Outcomes[I].Lint.Ran || !Outcomes[I].Lint.ProvenDeadlock)
+        continue;
+      Result.Kind = FailureKind::LintMismatch;
+      Result.Detail = "config " + Specs[I].Name +
+                      ": lint proved a guaranteed deadlock, but every "
+                      "scheduler policy finished cleanly" +
+                      (Outcomes[I].Lint.Summary.empty()
+                           ? ""
+                           : " (" + Outcomes[I].Lint.Summary + ")");
+      return Result;
     }
   }
   return Result;
@@ -390,33 +478,33 @@ OracleResult runOracleVerdict(const std::string &SirText,
     }
   }
 
+  // Both modes build per-config outcomes with runOracleConfig and derive
+  // the verdict with the same in-order replay, so the parallel and
+  // sequential verdicts (including the lint cross-check) are one code
+  // path. The first config always runs alone: if it fails, the sequential
+  // loop would never have started the others, and its checksum is the
+  // reference later configs compare against so each can stop at its own
+  // first divergence instead of completing slow doomed runs.
+  const std::vector<ConfigSpec> Specs = makeConfigs(Opts);
+  std::vector<ConfigOutcome> Outcomes(Specs.size());
+  const auto IsClean = [](const ConfigOutcome &Out, uint64_t Ref) {
+    return Out.StageKind == FailureKind::None &&
+           Out.Runs.size() ==
+               sizeof(OraclePolicies) / sizeof(OraclePolicies[0]) &&
+           Out.Runs.back().Run.St == RunResult::Status::Finished &&
+           Out.Runs.back().Run.Checksum == Ref;
+  };
+  Outcomes[0] = runOracleConfig(SirText, Specs[0], Opts, nullptr);
+  const ConfigOutcome &First = Outcomes[0];
+  if (First.Runs.empty() || !IsClean(First, First.Runs.front().Run.Checksum)) {
+    // The replay stops inside the first config; the others never run.
+    const std::vector<ConfigSpec> Head(Specs.begin(), Specs.begin() + 1);
+    Outcomes.resize(1);
+    return replayInOrder(Head, Outcomes, Opts);
+  }
+  const uint64_t Reference = First.Runs.front().Run.Checksum;
+
   if (Opts.Parallel) {
-    // The first config runs alone: if it fails, the sequential loop would
-    // never have started the others, and its checksum is the reference the
-    // concurrent configs compare against so each can stop at its own first
-    // divergence instead of completing slow doomed runs. The sequential
-    // verdict is then reconstructed by an in-order replay of the recorded
-    // outcomes (each config has its own parse, so pipelines never share a
-    // module).
-    const std::vector<ConfigSpec> Specs = makeConfigs(Opts);
-    std::vector<ConfigOutcome> Outcomes(Specs.size());
-    const auto IsClean = [](const ConfigOutcome &Out, uint64_t Ref) {
-      return Out.StageKind == FailureKind::None &&
-             Out.Runs.size() ==
-                 sizeof(OraclePolicies) / sizeof(OraclePolicies[0]) &&
-             Out.Runs.back().Run.St == RunResult::Status::Finished &&
-             Out.Runs.back().Run.Checksum == Ref;
-    };
-    Outcomes[0] = runOracleConfig(SirText, Specs[0], Opts, nullptr);
-    const ConfigOutcome &First = Outcomes[0];
-    if (First.Runs.empty() ||
-        !IsClean(First, First.Runs.front().Run.Checksum)) {
-      // The replay stops inside the first config; the others never run.
-      const std::vector<ConfigSpec> Head(Specs.begin(), Specs.begin() + 1);
-      Outcomes.resize(1);
-      return replayInOrder(Head, Outcomes);
-    }
-    const uint64_t Reference = First.Runs.front().Run.Checksum;
     // Lowest config index known to have failed. The replay stops at that
     // config, so configs after it that have not started yet can be skipped
     // outright — their outcomes are never read. (Which later configs get
@@ -435,87 +523,21 @@ OracleResult runOracleVerdict(const std::string &SirText,
       }
       Outcomes[C] = std::move(Out);
     });
-    return replayInOrder(Specs, Outcomes);
+    return replayInOrder(Specs, Outcomes, Opts);
   }
 
-  bool HaveReference = false;
-  uint64_t ReferenceChecksum = 0;
-  std::string ReferenceLabel;
-
-  for (const ConfigSpec &Spec : makeConfigs(Opts)) {
-    // Fresh parse per config: pipelines mutate the module.
-    ParseResult Parsed = parseModule(SirText);
-    if (!Parsed.ok()) {
-      Result.Kind = FailureKind::ParseError;
-      Result.Detail = joinFirst(Parsed.Errors, 3);
-      return Result;
-    }
-    Module &M = *Parsed.M;
-
-    PipelineReport Report = runSyncPipeline(M, Spec.Opts);
-    if (!Report.clean()) {
-      Result.Kind = FailureKind::Discipline;
-      Result.Detail = "config " + Spec.Name + ": " +
-                      joinFirst(Report.VerifierDiagnostics, 3);
-      return Result;
-    }
-    auto PostDiags = verifyModule(M);
-    if (!PostDiags.empty()) {
-      Result.Kind = FailureKind::PostPassInvalid;
-      Result.Detail =
-          "config " + Spec.Name + ": " + joinFirst(PostDiags, 3);
-      return Result;
-    }
-
-    // A broken late pass: miscompile one config after all checks passed.
-    if (Opts.Inject != FaultInjection::None && Spec.Name == "sr")
-      injectFault(M, Opts.Inject);
-
-    for (SchedulerPolicy Policy : OraclePolicies) {
-      LaunchConfig Config;
-      Config.WarpSize = Opts.WarpSize;
-      Config.Seed = Opts.SimSeed;
-      Config.Policy = Policy;
-      Config.MaxIssueSlots = Opts.MaxIssueSlots;
-      Config.MaxWallMillis = Opts.MaxWallMillis;
-      Config.CollectTraceDigest = Opts.CollectTraceDigests;
-
-      WarpSimulator Sim(M, M.functionByName("kernel"), Config);
-      RunResult Run = Sim.run();
-      const std::string Label =
-          Spec.Name + "/" + getPolicyName(Policy);
-
-      OracleRun Record;
-      Record.Config = Spec.Name;
-      Record.Policy = Policy;
-      Record.St = Run.St;
-      Record.Checksum = Sim.memoryChecksum();
-      Record.TraceDigest = Run.TraceDigest;
-      Result.Runs.push_back(Record);
-
-      if (!Run.ok()) {
-        Result.Kind = kindForStatus(Run.St);
-        Result.Detail = "config " + Label + ": " +
-                        getRunStatusName(Run.St) +
-                        (Run.TrapMessage.empty() ? ""
-                                                 : ": " + Run.TrapMessage);
-        return Result;
-      }
-      if (!HaveReference) {
-        HaveReference = true;
-        ReferenceChecksum = Record.Checksum;
-        ReferenceLabel = Label;
-      } else if (Record.Checksum != ReferenceChecksum) {
-        Result.Kind = FailureKind::ChecksumMismatch;
-        Result.Detail = "config " + Label + ": checksum " +
-                        std::to_string(Record.Checksum) + " != " +
-                        std::to_string(ReferenceChecksum) + " from " +
-                        ReferenceLabel;
-        return Result;
-      }
+  // Sequential: one config at a time, stopping where the replay stops so
+  // doomed later configs never run (matching the parallel short-circuit).
+  for (size_t C = 1; C < Specs.size(); ++C) {
+    Outcomes[C] = runOracleConfig(SirText, Specs[C], Opts, &Reference);
+    if (!IsClean(Outcomes[C], Reference)) {
+      const std::vector<ConfigSpec> Head(Specs.begin(),
+                                         Specs.begin() + C + 1);
+      Outcomes.resize(C + 1);
+      return replayInOrder(Head, Outcomes, Opts);
     }
   }
-  return Result;
+  return replayInOrder(Specs, Outcomes, Opts);
 }
 
 } // namespace

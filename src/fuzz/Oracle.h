@@ -51,6 +51,9 @@ enum class FailureKind {
   IssueLimit,     ///< A config hit the issue-slot livelock guard.
   Timeout,        ///< A config hit the wall-clock watchdog.
   Malformed,      ///< The simulator rejected a launch pre-run.
+  LintMismatch,   ///< Static analyzer verdict disagrees with the simulator
+                  ///< (OracleOptions::LintCheck): a barrier failure the
+                  ///< lint called clean, or a proven deadlock that ran fine.
 };
 
 /// \returns a stable lowercase name ("checksum-mismatch", "deadlock", ...).
@@ -78,6 +81,12 @@ struct OracleOptions {
   /// (config, policy) pairs with event recorders and append the first
   /// divergent scheduling event to Detail.
   bool ExplainDivergence = true;
+  /// Cross-check the static convergence-safety analyzer (src/lint) against
+  /// the simulator on every config's post-pipeline module (after fault
+  /// injection, so injected barrier bugs are in scope): a dynamic barrier
+  /// deadlock/trap on a module the lint called clean — or a lint-proven
+  /// deadlock on a module every policy finishes — is a LintMismatch.
+  bool LintCheck = false;
   /// Run the six pipeline configurations concurrently on the global thread
   /// pool. The verdict (Kind, Detail, Runs) is bit-identical to the
   /// sequential cross product: every config runs to completion, then the
@@ -103,6 +112,10 @@ struct OracleResult {
   /// policy, and the simulator's or verifier's own diagnostic.
   std::string Detail;
   std::vector<OracleRun> Runs;
+  /// One line per linted config (OracleOptions::LintCheck): the static
+  /// analyzer's verdict on that config's post-pipeline module, for repro
+  /// reports.
+  std::vector<std::string> LintLines;
 
   bool ok() const { return Kind == FailureKind::None; }
 };

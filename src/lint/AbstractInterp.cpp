@@ -1,0 +1,347 @@
+//===- AbstractInterp.cpp - Barrier-state abstract interpretation -------------===//
+
+#include "lint/AbstractInterp.h"
+
+#include "ir/CFGUtils.h"
+
+#include <string>
+
+using namespace simtsr;
+using namespace simtsr::lint;
+
+//===----------------------------------------------------------------------===//
+// JoinSiteTable
+//===----------------------------------------------------------------------===//
+
+JoinSiteTable::JoinSiteTable(const Function &F) {
+  for (const BasicBlock *BB : F) {
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction &Inst = BB->inst(I);
+      if (Inst.opcode() != Opcode::JoinBarrier &&
+          Inst.opcode() != Opcode::RejoinBarrier)
+        continue;
+      if (Inst.barrierId() >= NumBarrierRegisters)
+        continue;
+      const bool Rejoin = Inst.opcode() == Opcode::RejoinBarrier;
+      uint64_t Bit = OverflowBit;
+      if (SiteList.size() < MaxLocalSites) {
+        Bit = 1ull << SiteList.size();
+        SiteList.push_back({BB, I, Inst.barrierId(), Rejoin});
+        if (!Rejoin)
+          JoinKind |= Bit;
+      } else if (!Rejoin) {
+        JoinKind |= OverflowBit;
+      }
+      Bits[{BB->number(), I}] = Bit;
+    }
+  }
+}
+
+uint64_t JoinSiteTable::bitFor(const BasicBlock *BB, size_t Index) const {
+  auto It = Bits.find({BB->number(), Index});
+  return It == Bits.end() ? OverflowBit : It->second;
+}
+
+std::string JoinSiteTable::describe(uint64_t Mask) const {
+  std::string Out;
+  for (size_t I = 0; I < SiteList.size(); ++I) {
+    if (!(Mask & (1ull << I)))
+      continue;
+    if (!Out.empty())
+      Out += ", ";
+    Out += SiteList[I].Block->name() + "#" + std::to_string(SiteList[I].Index);
+  }
+  if (Mask & OverflowBit) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += "<overflow>";
+  }
+  if (Mask & ExternalBit) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += "<external>";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// RelState / RelationalAnalysis
+//===----------------------------------------------------------------------===//
+
+void RelState::meet(const RelState &O) {
+  if (!O.Reachable)
+    return;
+  Reachable = true;
+  for (unsigned B = 0; B < NumBarrierRegisters; ++B)
+    Rel[B] |= O.Rel[B];
+  LocalJoin |= O.LocalJoin;
+  Intact |= O.Intact;
+}
+
+RelState RelState::entry() {
+  RelState S;
+  S.Rel.fill(identityRelation());
+  S.Intact = (1u << NumBarrierRegisters) - 1;
+  S.Reachable = true;
+  return S;
+}
+
+void RelationalAnalysis::step(RelState &S, const Instruction &I,
+                              const SummaryMap &Summaries) {
+  if (!S.Reachable)
+    return;
+  switch (I.opcode()) {
+  case Opcode::JoinBarrier:
+  case Opcode::RejoinBarrier: {
+    const unsigned B = I.barrierId();
+    if (B >= NumBarrierRegisters)
+      return;
+    S.Rel[B] = forceState(S.Rel[B], BState::Joined);
+    S.LocalJoin |= 1u << B;
+    // A join *overwrites* the participant set (Volta BSSY semantics), so
+    // it destroys any caller-side membership; a rejoin only re-adds the
+    // current group and leaves other participants alone.
+    if (I.opcode() == Opcode::JoinBarrier)
+      S.Intact &= ~(1u << B);
+    return;
+  }
+  case Opcode::WaitBarrier: {
+    const unsigned B = I.barrierId();
+    if (B >= NumBarrierRegisters)
+      return;
+    S.Rel[B] = forceState(S.Rel[B], BState::Waited);
+    S.LocalJoin &= ~(1u << B);
+    S.Intact &= ~(1u << B); // Release clears every participant.
+    return;
+  }
+  case Opcode::CancelBarrier: {
+    const unsigned B = I.barrierId();
+    if (B >= NumBarrierRegisters)
+      return;
+    S.Rel[B] = forceState(S.Rel[B], BState::Cancelled);
+    S.LocalJoin &= ~(1u << B);
+    // Cancel withdraws only the executing thread: caller-side
+    // participants remain, so Intact is preserved.
+    return;
+  }
+  case Opcode::SoftWait:
+    // Soft release keeps the released threads as participants
+    // (Section 4.6); membership is managed by the surrounding join/cancel.
+    return;
+  case Opcode::Call: {
+    auto It = Summaries.find(I.operand(0).getFunc());
+    if (It == Summaries.end() || !It->second.Valid)
+      return; // Conservative identity (recursive call graph).
+    const FunctionSummary &Sum = It->second;
+    for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+      S.Rel[B] = composeRelation(S.Rel[B], Sum.Transfer[B]);
+      const uint32_t Bit = 1u << B;
+      if ((S.LocalJoin & Bit) &&
+          !relationHas(Sum.Transfer[B], BState::Joined, BState::Joined))
+        S.LocalJoin &= ~Bit;
+    }
+    S.LocalJoin |= Sum.LeavesLocalJoin;
+    S.Intact &= Sum.IntactThrough;
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+RelationalAnalysis::RelationalAnalysis(Function &F,
+                                       const SummaryMap &Summaries) {
+  In.assign(F.size(), RelState{});
+  Out.assign(F.size(), RelState{});
+  const std::vector<BasicBlock *> Order = reversePostOrder(F);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : Order) {
+      const unsigned N = BB->number();
+      RelState NewIn;
+      if (BB == F.entry())
+        NewIn = RelState::entry();
+      for (BasicBlock *Pred : BB->predecessors())
+        NewIn.meet(Out[Pred->number()]);
+      RelState NewOut = NewIn;
+      for (size_t I = 0; I < BB->size(); ++I)
+        step(NewOut, BB->inst(I), Summaries);
+      if (!(NewIn == In[N]) || !(NewOut == Out[N])) {
+        In[N] = std::move(NewIn);
+        Out[N] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+}
+
+FunctionSummary
+RelationalAnalysis::summarize(const Function &F,
+                              const SummaryMap &Summaries) const {
+  FunctionSummary Sum;
+  Sum.Valid = true;
+  Sum.Transfer.fill(0);
+  bool SawRet = false;
+  for (const BasicBlock *BB : F) {
+    RelState S = In[BB->number()];
+    if (!S.Reachable)
+      continue;
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction &Inst = BB->inst(I);
+      // Blocking facts are read *before* the instruction's own transfer.
+      if ((Inst.opcode() == Opcode::WaitBarrier ||
+           Inst.opcode() == Opcode::SoftWait) &&
+          Inst.barrierId() < NumBarrierRegisters) {
+        if (S.Intact & (1u << Inst.barrierId()))
+          Sum.MayBlockEntry |= 1u << Inst.barrierId();
+      } else if (Inst.opcode() == Opcode::Call) {
+        auto It = Summaries.find(Inst.operand(0).getFunc());
+        if (It != Summaries.end() && It->second.Valid)
+          Sum.MayBlockEntry |= S.Intact & It->second.MayBlockEntry;
+      } else if (Inst.opcode() == Opcode::Ret) {
+        SawRet = true;
+        for (unsigned B = 0; B < NumBarrierRegisters; ++B)
+          Sum.Transfer[B] |= S.Rel[B];
+        Sum.LeavesLocalJoin |= S.LocalJoin;
+        Sum.IntactThrough |= S.Intact;
+      }
+      step(S, Inst, Summaries);
+    }
+  }
+  if (!SawRet) {
+    // No reachable return: callers never resume, so the identity is a
+    // harmless (and maximally quiet) description of the call's effect.
+    Sum.Transfer.fill(identityRelation());
+    Sum.IntactThrough = (1u << NumBarrierRegisters) - 1;
+  }
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===//
+// MaskState / MaskAnalysis
+//===----------------------------------------------------------------------===//
+
+void MaskState::meet(const MaskState &O) {
+  if (!O.Reachable)
+    return;
+  Reachable = true;
+  for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+    S[B] |= O.S[B];
+    Sites[B] |= O.Sites[B];
+  }
+  Clobbered |= O.Clobbered;
+}
+
+MaskState MaskAnalysis::entryState(const EntryStates &Entry) {
+  MaskState S;
+  S.Reachable = true;
+  for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+    S.S[B] = Entry[B] ? Entry[B] : stateBit(BState::Unjoined);
+    if (S.S[B] & stateBit(BState::Joined))
+      S.Sites[B] = JoinSiteTable::ExternalBit;
+  }
+  return S;
+}
+
+void MaskAnalysis::step(MaskState &S, const Instruction &I,
+                        const BasicBlock *BB, size_t Index,
+                        const SummaryMap &Summaries,
+                        const JoinSiteTable &Sites) {
+  if (!S.Reachable)
+    return;
+  switch (I.opcode()) {
+  case Opcode::JoinBarrier: {
+    const unsigned B = I.barrierId();
+    if (B >= NumBarrierRegisters)
+      return;
+    // The overwrite orphans any other overwriting site's live membership —
+    // the signature of two reallocation-merged live ranges interleaving.
+    // Rejoin-created membership is the arm-rejoin idiom and doesn't count.
+    const uint64_t Self = Sites.bitFor(BB, Index);
+    if (S.Sites[B] & Sites.joinKindMask() & ~Self)
+      S.Clobbered |= 1u << B;
+    S.S[B] = stateBit(BState::Joined);
+    S.Sites[B] = Self;
+    return;
+  }
+  case Opcode::RejoinBarrier: {
+    const unsigned B = I.barrierId();
+    if (B >= NumBarrierRegisters)
+      return;
+    // Rejoin adds the executing group without touching other participants,
+    // so pending sites accumulate rather than being replaced.
+    S.S[B] = stateBit(BState::Joined);
+    S.Sites[B] |= Sites.bitFor(BB, Index);
+    return;
+  }
+  case Opcode::WaitBarrier: {
+    const unsigned B = I.barrierId();
+    if (B >= NumBarrierRegisters)
+      return;
+    S.S[B] = stateBit(BState::Waited);
+    S.Sites[B] = 0;
+    S.Clobbered &= ~(1u << B);
+    return;
+  }
+  case Opcode::CancelBarrier: {
+    const unsigned B = I.barrierId();
+    if (B >= NumBarrierRegisters)
+      return;
+    S.S[B] = stateBit(BState::Cancelled);
+    S.Sites[B] = 0;
+    S.Clobbered &= ~(1u << B);
+    return;
+  }
+  case Opcode::SoftWait:
+    return; // Released threads remain participants.
+  case Opcode::Call: {
+    auto It = Summaries.find(I.operand(0).getFunc());
+    if (It == Summaries.end() || !It->second.Valid)
+      return;
+    const FunctionSummary &Sum = It->second;
+    for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+      S.S[B] = projectRelation(Sum.Transfer[B], S.S[B]);
+      const bool Preserved =
+          relationHas(Sum.Transfer[B], BState::Joined, BState::Joined);
+      uint64_t NewSites = Preserved ? S.Sites[B] : 0;
+      if (Sum.LeavesLocalJoin & (1u << B))
+        NewSites |= JoinSiteTable::ExternalBit;
+      S.Sites[B] = (S.S[B] & stateBit(BState::Joined)) ? NewSites : 0;
+      if (!S.Sites[B])
+        S.Clobbered &= ~(1u << B);
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+MaskAnalysis::MaskAnalysis(Function &F, const EntryStates &Entry,
+                           const SummaryMap &Summaries,
+                           const JoinSiteTable &Sites) {
+  In.assign(F.size(), MaskState{});
+  Out.assign(F.size(), MaskState{});
+  const std::vector<BasicBlock *> Order = reversePostOrder(F);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : Order) {
+      const unsigned N = BB->number();
+      MaskState NewIn;
+      if (BB == F.entry())
+        NewIn = entryState(Entry);
+      for (BasicBlock *Pred : BB->predecessors())
+        NewIn.meet(Out[Pred->number()]);
+      MaskState NewOut = NewIn;
+      for (size_t I = 0; I < BB->size(); ++I)
+        step(NewOut, BB->inst(I), BB, I, Summaries, Sites);
+      if (!(NewIn == In[N]) || !(NewOut == Out[N])) {
+        In[N] = std::move(NewIn);
+        Out[N] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,184 @@
+//===- AbstractInterp.h - Barrier-state abstract interpretation -*- C++ -*-===//
+///
+/// \file
+/// Two fixpoint engines over the BarrierLattice domain, shared by every
+/// detector in ConvergenceLint:
+///
+///  * RelationalAnalysis propagates per-barrier entry-to-here Relations
+///    forward over one function's CFG. Its result summarizes as a
+///    FunctionSummary (entry-to-exit relation plus blocking/leak facts),
+///    computed bottom-up over the call graph so Call instructions compose
+///    the callee's behaviour instead of being ignored — this is what
+///    replaces the old blanket "Interproc barriers are exempt" escape
+///    hatch with a real obligation check.
+///
+///  * MaskAnalysis propagates concrete state sets (StateMask) plus the set
+///    of join sites whose membership may still be pending, given the entry
+///    states observed at real call sites (top-down). Detectors replay its
+///    block inputs instruction by instruction.
+///
+/// Both engines use union as the meet, so every fact is a may-fact; "must"
+/// facts are singleton sets (e.g. mask == {Joined}).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_LINT_ABSTRACTINTERP_H
+#define SIMTSR_LINT_ABSTRACTINTERP_H
+
+#include "ir/Function.h"
+#include "lint/BarrierLattice.h"
+
+#include <array>
+#include <map>
+#include <vector>
+
+namespace simtsr::lint {
+
+/// Entry-to-exit behaviour of one function, per barrier register.
+struct FunctionSummary {
+  /// Union over all reachable `ret` points of the entry-to-here relation.
+  std::array<Relation, NumBarrierRegisters> Transfer;
+  /// Barriers with a reachable wait/softwait while membership inherited
+  /// from the caller may still be intact — calling this function can block
+  /// until threads outside it arrive (Section 4.4 entry gathering).
+  /// Transitive through nested calls.
+  uint32_t MayBlockEntry = 0;
+  /// Barriers a locally-created membership of which may still be pending
+  /// at some `ret` (the callee leaks its own join to the caller).
+  uint32_t LeavesLocalJoin = 0;
+  /// Barriers whose caller-side membership may pass through untouched (no
+  /// overwriting join and no releasing wait on some path).
+  uint32_t IntactThrough = 0;
+  /// False when the summary could not be computed (recursive call graph);
+  /// calls then conservatively behave as the identity.
+  bool Valid = false;
+
+  FunctionSummary() { Transfer.fill(identityRelation()); }
+};
+
+using SummaryMap = std::map<const Function *, FunctionSummary>;
+
+/// Numbering of the Join/Rejoin sites of one function. Each site gets a
+/// unique bit so MaskAnalysis can track *which* join a pending membership
+/// came from; bit 63 stands for membership created outside the function
+/// (inherited from the caller or leaked by a callee), bit 62 saturates
+/// when a function has more than 62 sites.
+class JoinSiteTable {
+public:
+  static constexpr uint64_t ExternalBit = 1ull << 63;
+  static constexpr uint64_t OverflowBit = 1ull << 62;
+  static constexpr unsigned MaxLocalSites = 62;
+
+  explicit JoinSiteTable(const Function &F);
+
+  /// Bit for the join/rejoin at (\p BB, \p Index); OverflowBit when the
+  /// function exceeded MaxLocalSites.
+  uint64_t bitFor(const BasicBlock *BB, size_t Index) const;
+
+  struct Site {
+    const BasicBlock *Block;
+    size_t Index;
+    unsigned Barrier;
+    bool Rejoin; ///< True for RejoinBarrier sites (membership add, not
+                 ///< overwrite — they can never orphan another group).
+  };
+  /// Sites in allocation order; Sites[i] owns bit (1 << i).
+  const std::vector<Site> &sites() const { return SiteList; }
+
+  /// Bits of the overwriting (JoinBarrier, non-rejoin) sites.
+  uint64_t joinKindMask() const { return JoinKind; }
+
+  /// Human-readable description of the sites in \p Mask (local bits only).
+  std::string describe(uint64_t Mask) const;
+
+private:
+  std::map<std::pair<unsigned, size_t>, uint64_t> Bits;
+  std::vector<Site> SiteList;
+  uint64_t JoinKind = 0;
+};
+
+/// Relational state at one program point.
+struct RelState {
+  std::array<Relation, NumBarrierRegisters> Rel{};
+  /// Barriers with a possibly-pending locally-created membership.
+  uint32_t LocalJoin = 0;
+  /// Barriers whose inherited (caller-side) membership may be intact.
+  uint32_t Intact = 0;
+  bool Reachable = false;
+
+  void meet(const RelState &O);
+  bool operator==(const RelState &O) const = default;
+
+  /// Function-entry boundary value.
+  static RelState entry();
+};
+
+/// Forward fixpoint of RelState over one function. \p Summaries supplies
+/// callee behaviour at Call instructions (callees missing from the map or
+/// marked invalid act as the identity).
+class RelationalAnalysis {
+public:
+  RelationalAnalysis(Function &F, const SummaryMap &Summaries);
+
+  const RelState &in(const BasicBlock *BB) const { return In[BB->number()]; }
+  const RelState &out(const BasicBlock *BB) const { return Out[BB->number()]; }
+
+  /// Applies one instruction's transfer to \p S in place.
+  static void step(RelState &S, const Instruction &I,
+                   const SummaryMap &Summaries);
+
+  /// Derives this function's summary (always Valid). Must be handed the
+  /// same summary map the analysis ran with, for the transitive
+  /// MayBlockEntry facts.
+  FunctionSummary summarize(const Function &F,
+                            const SummaryMap &Summaries) const;
+
+private:
+  std::vector<RelState> In, Out;
+};
+
+/// Concrete state sets at one program point.
+struct MaskState {
+  std::array<StateMask, NumBarrierRegisters> S{};
+  /// Join sites whose membership may still be pending (JoinSiteTable bits);
+  /// nonzero only when S has the Joined bit.
+  std::array<uint64_t, NumBarrierRegisters> Sites{};
+  /// Barriers whose pending membership may have been overwritten by a
+  /// JoinBarrier while another join site's membership was still live — the
+  /// signature of two live ranges folded onto one register (bit per
+  /// barrier). Cleared by wait/cancel.
+  uint32_t Clobbered = 0;
+  bool Reachable = false;
+
+  void meet(const MaskState &O);
+  bool operator==(const MaskState &O) const = default;
+};
+
+/// Possible entry states per barrier, accumulated from real call sites.
+using EntryStates = std::array<StateMask, NumBarrierRegisters>;
+
+/// Forward fixpoint of MaskState over one function, given its entry states.
+class MaskAnalysis {
+public:
+  MaskAnalysis(Function &F, const EntryStates &Entry,
+               const SummaryMap &Summaries, const JoinSiteTable &Sites);
+
+  const MaskState &in(const BasicBlock *BB) const { return In[BB->number()]; }
+  const MaskState &out(const BasicBlock *BB) const {
+    return Out[BB->number()];
+  }
+
+  static void step(MaskState &S, const Instruction &I, const BasicBlock *BB,
+                   size_t Index, const SummaryMap &Summaries,
+                   const JoinSiteTable &Sites);
+
+  /// Function-entry boundary value for \p Entry.
+  static MaskState entryState(const EntryStates &Entry);
+
+private:
+  std::vector<MaskState> In, Out;
+};
+
+} // namespace simtsr::lint
+
+#endif // SIMTSR_LINT_ABSTRACTINTERP_H

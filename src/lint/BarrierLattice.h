@@ -1,0 +1,126 @@
+//===- BarrierLattice.h - Abstract barrier-state lattice -------*- C++ -*-===//
+///
+/// \file
+/// The abstract domain of the convergence-safety analyzer (docs/LINT.md).
+///
+/// Each of the 16 architectural barrier registers is modelled per thread as
+/// a four-state machine:
+///
+///     Unjoined --join--> Joined --wait--> Waited
+///         ^                 |
+///         |              cancel
+///         +---(realloc)--- Cancelled
+///
+/// Two abstractions are layered on top:
+///
+///  * A StateMask is a set of possible current states (4 bits) — the
+///    classic may-analysis view, used for diagnostics.
+///  * A Relation is a set of (state-at-entry, state-here) pairs (16 bits).
+///    Relations compose, which is what makes function summaries work: the
+///    callee's entry-to-exit relation is composed onto the caller's state
+///    at each call site, and the caller later projects its real entry set
+///    through the result. A Relation is strictly richer than the
+///    union-meet BitDataflow bitmask: it can distinguish "joined on every
+///    path" (row maps only to Joined) from "joined on some paths" (row
+///    maps to Joined and something else).
+///
+/// The lattice meet at CFG join points is set union (may-analysis); bottom
+/// is the empty set, which only unreachable code has.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_LINT_BARRIERLATTICE_H
+#define SIMTSR_LINT_BARRIERLATTICE_H
+
+#include <cstdint>
+
+namespace simtsr::lint {
+
+/// Per-thread abstract state of one barrier register.
+enum class BState : uint8_t {
+  Unjoined = 0,  ///< Never joined, or membership released by a realloc.
+  Joined = 1,    ///< Membership pending: a join/rejoin with no wait yet.
+  Waited = 2,    ///< Cleared by a WaitBarrier (membership released).
+  Cancelled = 3, ///< Withdrawn by a CancelBarrier.
+};
+constexpr unsigned NumBStates = 4;
+
+/// Set of possible BStates; bit (1 << state).
+using StateMask = uint8_t;
+
+/// Set of (entry-state, current-state) pairs; bit (4*entry + current).
+using Relation = uint16_t;
+
+constexpr StateMask stateBit(BState S) {
+  return static_cast<StateMask>(1u << static_cast<unsigned>(S));
+}
+
+constexpr StateMask AllStates = 0xF;
+
+/// The identity relation: every entry state maps to itself.
+constexpr Relation identityRelation() {
+  Relation R = 0;
+  for (unsigned S = 0; S < NumBStates; ++S)
+    R |= static_cast<Relation>(1u << (NumBStates * S + S));
+  return R;
+}
+
+/// \returns the set of entry states that have at least one pair in \p R.
+constexpr StateMask relationDomain(Relation R) {
+  StateMask M = 0;
+  for (unsigned S = 0; S < NumBStates; ++S)
+    if ((R >> (NumBStates * S)) & AllStates)
+      M |= static_cast<StateMask>(1u << S);
+  return M;
+}
+
+/// Forces every pair's current state to \p To (a barrier op executed).
+constexpr Relation forceState(Relation R, BState To) {
+  Relation Out = 0;
+  for (unsigned S = 0; S < NumBStates; ++S)
+    if ((R >> (NumBStates * S)) & AllStates)
+      Out |= static_cast<Relation>(stateBit(To)) << (NumBStates * S);
+  return Out;
+}
+
+/// Relation composition: (s, u) iff some t has (s, t) in A and (t, u) in B.
+/// B's "entry" axis is A's "current" axis — exactly a call boundary.
+constexpr Relation composeRelation(Relation A, Relation B) {
+  Relation Out = 0;
+  for (unsigned S = 0; S < NumBStates; ++S) {
+    const unsigned Mid = (A >> (NumBStates * S)) & AllStates;
+    unsigned Row = 0;
+    for (unsigned T = 0; T < NumBStates; ++T)
+      if (Mid & (1u << T))
+        Row |= (B >> (NumBStates * T)) & AllStates;
+    Out |= static_cast<Relation>(Row) << (NumBStates * S);
+  }
+  return Out;
+}
+
+/// Projects \p R through the entry set \p Entry: the states possible here
+/// given that the function was entered in one of \p Entry's states.
+constexpr StateMask projectRelation(Relation R, StateMask Entry) {
+  unsigned Out = 0;
+  for (unsigned S = 0; S < NumBStates; ++S)
+    if (Entry & (1u << S))
+      Out |= (R >> (NumBStates * S)) & AllStates;
+  return static_cast<StateMask>(Out);
+}
+
+/// \returns true when (From, To) is a member of \p R.
+constexpr bool relationHas(Relation R, BState From, BState To) {
+  return (R >> (NumBStates * static_cast<unsigned>(From) +
+                static_cast<unsigned>(To))) &
+         1u;
+}
+
+/// Single relation pair (From, To).
+constexpr Relation relationPair(BState From, BState To) {
+  return static_cast<Relation>(1u << (NumBStates * static_cast<unsigned>(From) +
+                                      static_cast<unsigned>(To)));
+}
+
+} // namespace simtsr::lint
+
+#endif // SIMTSR_LINT_BARRIERLATTICE_H

@@ -1,0 +1,687 @@
+//===- ConvergenceLint.cpp - Static convergence-safety analyzer ---------------===//
+
+#include "lint/ConvergenceLint.h"
+
+#include "analysis/BarrierAnalysis.h"
+#include "analysis/CallGraph.h"
+#include "analysis/Divergence.h"
+#include "analysis/Dominators.h"
+#include "ir/CFGUtils.h"
+#include "ir/Module.h"
+#include "lint/AbstractInterp.h"
+#include "observe/Remark.h"
+
+#include <optional>
+
+using namespace simtsr;
+using namespace simtsr::lint;
+
+const char *lint::getLintKindName(LintKind K) {
+  switch (K) {
+  case LintKind::UnjoinedWait:
+    return "unjoined-wait";
+  case LintKind::JoinLeak:
+    return "join-leak";
+  case LintKind::DeadJoin:
+    return "dead-join";
+  case LintKind::DoubleJoin:
+    return "double-join";
+  case LintKind::ReallocOverlap:
+    return "realloc-overlap";
+  case LintKind::BlockedWhileJoined:
+    return "blocked-while-joined";
+  case LintKind::CallHazard:
+    return "call-hazard";
+  case LintKind::InterprocLeak:
+    return "interproc-leak";
+  case LintKind::DeadlockCycle:
+    return "deadlock-cycle";
+  case LintKind::SoftThreshold:
+    return "soft-threshold";
+  case LintKind::Recursion:
+    return "recursion";
+  }
+  return "unknown";
+}
+
+const char *lint::getLintSeverityName(LintSeverity S) {
+  switch (S) {
+  case LintSeverity::Note:
+    return "note";
+  case LintSeverity::Warning:
+    return "warning";
+  case LintSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string LintDiagnostic::format() const {
+  std::string Out = std::string(getLintSeverityName(Severity)) + ": " +
+                    Message + " (" + getLintKindName(Kind) + ")";
+  if (!Witness.empty())
+    Out += "; " + Witness;
+  return Out;
+}
+
+unsigned LintResult::count(LintSeverity S) const {
+  unsigned N = 0;
+  for (const LintDiagnostic &D : Diagnostics)
+    if (D.Severity == S)
+      ++N;
+  return N;
+}
+
+unsigned LintResult::countKind(LintKind K) const {
+  unsigned N = 0;
+  for (const LintDiagnostic &D : Diagnostics)
+    if (D.Kind == K)
+      ++N;
+  return N;
+}
+
+bool LintResult::clean() const {
+  return count(LintSeverity::Error) == 0 && count(LintSeverity::Warning) == 0;
+}
+
+std::vector<std::string> LintResult::gateStrings() const {
+  std::vector<std::string> Out;
+  for (const LintDiagnostic &D : Diagnostics)
+    if (D.Severity != LintSeverity::Note)
+      Out.push_back(D.Message);
+  return Out;
+}
+
+namespace {
+
+constexpr StateMask UBit = stateBit(BState::Unjoined);
+constexpr StateMask JBit = stateBit(BState::Joined);
+
+std::string barrierName(unsigned B) {
+  std::string Out = "b";
+  Out += std::to_string(B);
+  return Out;
+}
+
+/// Whole-module lint state: summaries, entry propagation, reachability
+/// memos and the accumulated diagnostics.
+class Linter {
+public:
+  Linter(Module &M, const LintOptions &Opts) : M(M), Opts(Opts) {}
+
+  LintResult run();
+
+private:
+  struct WaitHold {
+    Function *F;
+    const BasicBlock *BB;
+    size_t Index;
+    unsigned WaitB; ///< Barrier blocked on.
+    unsigned HeldC; ///< Barrier must-joined while blocking.
+  };
+
+  LintDiagnostic &diag(LintKind K, LintSeverity Sev, const Function &F,
+                       const BasicBlock *BB, size_t Index, unsigned B,
+                       std::string Msg) {
+    LintDiagnostic D;
+    D.Kind = K;
+    D.Severity = Sev;
+    D.Function = F.name();
+    if (BB)
+      D.Block = BB->name();
+    D.Index = Index;
+    D.Barrier = B;
+    D.Message = std::move(Msg);
+    Result.Diagnostics.push_back(std::move(D));
+    return Result.Diagnostics.back();
+  }
+
+  static std::string loc(const Function &F, const BasicBlock *BB) {
+    return "@" + F.name() + ":" + BB->name();
+  }
+
+  const std::vector<bool> &reach(Function &F, const BasicBlock *BB) {
+    auto It = ReachMemo.find(BB);
+    if (It != ReachMemo.end())
+      return It->second;
+    return ReachMemo
+        .emplace(BB, blocksReachableFrom(F, const_cast<BasicBlock *>(BB)))
+        .first->second;
+  }
+
+  void analyzeFunction(Function &F);
+  void checkWait(Function &F, const BasicBlock *BB, size_t I,
+                 const Instruction &Inst, const MaskState &S,
+                 const MaskAnalysis &MA,
+                 const BarrierConflictAnalysis *Conflicts);
+  void checkJoin(Function &F, const BasicBlock *BB, size_t I,
+                 const Instruction &Inst, const MaskState &S,
+                 const JoinSiteTable &Sites);
+  void checkCall(Function &F, const BasicBlock *BB, size_t I,
+                 const Instruction &Inst, const MaskState &S);
+  void checkRet(Function &F, const BasicBlock *BB, size_t I,
+                const MaskState &S, const JoinSiteTable &Sites,
+                uint32_t DischargeMask);
+  void checkDeadJoins(Function &F, const JoinSiteTable &Sites,
+                      const MaskAnalysis &MA);
+
+  DominatorTree &domTree(Function &F) {
+    if (!DomTree || DomTreeFn != &F) {
+      DomTree.emplace(F);
+      DomTreeFn = &F;
+    }
+    return *DomTree;
+  }
+  void detectCycles();
+  void emitRemarks() const;
+
+  Module &M;
+  const LintOptions &Opts;
+  LintResult Result;
+
+  CallGraph *CG = nullptr;
+  SummaryMap Summaries;
+  std::map<const Function *, EntryStates> Entries;
+  uint32_t PdomMask = 0, SpecMask = 0, InterprocMask = 0, AnyOriginMask = 0;
+  std::vector<WaitHold> MustHeld;
+  std::map<const BasicBlock *, std::vector<bool>> ReachMemo;
+  std::optional<ModuleDivergenceInfo> Divergence;
+  std::optional<DominatorTree> DomTree;
+  const Function *DomTreeFn = nullptr;
+};
+
+void Linter::checkWait(Function &F, const BasicBlock *BB, size_t I,
+                       const Instruction &Inst, const MaskState &S,
+                       const MaskAnalysis &MA,
+                       const BarrierConflictAnalysis *Conflicts) {
+  const unsigned B = Inst.barrierId();
+  if (B >= NumBarrierRegisters)
+    return;
+  const bool Classic = Inst.opcode() == Opcode::WaitBarrier;
+  const StateMask Mb = S.S[B];
+
+  // Detector: unjoined wait. A classic wait reachable while the barrier is
+  // possibly unjoined on an incoming path. A note, not a warning: waiting
+  // on a barrier one never joined is dynamically benign (an empty or
+  // partial participant set releases the waiter immediately — that is how
+  // nested PDOM sync and arm-side gathers work), but in hand-written IR it
+  // usually marks a join the author forgot. Soft waits are exempt: their
+  // threshold clamps to the participant count by construction.
+  if (Classic && (Mb & UBit)) {
+    if (Mb & JBit) {
+      LintDiagnostic &D =
+          diag(LintKind::UnjoinedWait, LintSeverity::Note, F, BB, I, B,
+               loc(F, BB) + ": wait on barrier " + barrierName(B) +
+                   " is reachable while possibly unjoined (joined on some "
+                   "incoming paths only)");
+      std::string Via;
+      for (const BasicBlock *P : BB->predecessors())
+        if (MA.out(P).Reachable && (MA.out(P).S[B] & UBit)) {
+          if (!Via.empty())
+            Via += ", ";
+          Via += P->name();
+        }
+      if (!Via.empty())
+        D.Witness = "unjoined on the path through: " + Via;
+    } else if (!(Mb & JBit)) {
+      diag(LintKind::UnjoinedWait, LintSeverity::Note, F, BB, I, B,
+           loc(F, BB) + ": wait on barrier " + barrierName(B) +
+               " which is never joined on any incoming path");
+    }
+  }
+
+  // Detector: realloc overlap. This wait's matching membership may have
+  // been overwritten by another join site — two logically distinct live
+  // ranges interleaving on one physical register, which is exactly what an
+  // unsound BarrierRealloc merge produces. The group parked here can be
+  // released prematurely (convergence silently lost).
+  if (Classic && (S.Clobbered & (1u << B)))
+    diag(LintKind::ReallocOverlap, LintSeverity::Warning, F, BB, I, B,
+         loc(F, BB) + ": membership gathered by this wait on " +
+             barrierName(B) +
+             " may have been overwritten by another join site (overlapping "
+             "live ranges on one register)");
+
+  // Detector: blocked-while-joined (the deconfliction hazard). With
+  // origins this mirrors the old verifyDeconflicted byte for byte; without
+  // them the Section 4.3 non-inclusive conflict test stands in as the
+  // filter, which keeps the legitimate inclusive nesting of a region-exit
+  // barrier around a speculative gather quiet.
+  if (Opts.OriginAware) {
+    const LintOrigin O = Opts.Origins[B];
+    if (O == LintOrigin::Speculative || O == LintOrigin::Interproc) {
+      for (unsigned C = 0; C < NumBarrierRegisters; ++C) {
+        if (C == B || !(S.S[C] & JBit))
+          continue;
+        // Only memberships created in this function count as "held" here:
+        // an inherited or callee-leaked membership (external site only) is
+        // the callee-side half of the entry-gather idiom, discharged by
+        // whoever created it.
+        if (!(S.Sites[C] & ~JoinSiteTable::ExternalBit))
+          continue;
+        if (PdomMask & (1u << C))
+          diag(LintKind::BlockedWhileJoined, LintSeverity::Warning, F, BB, I,
+               C,
+               loc(F, BB) + ": PDOM barrier " + barrierName(C) +
+                   " still joined at speculative wait on " + barrierName(B));
+        else if (SpecMask & (1u << C))
+          diag(LintKind::BlockedWhileJoined, LintSeverity::Warning, F, BB, I,
+               C,
+               loc(F, BB) + ": speculative barrier " + barrierName(C) +
+                   " still joined at speculative wait on " + barrierName(B) +
+                   " (overlapping predictions)");
+      }
+    }
+  } else if (Conflicts) {
+    // Origin-blind mode (raw IR, or post-realloc where the registry is
+    // stale): a note only. Without origins we cannot tell a hazardous
+    // held-PDOM membership from the legitimate enclosing region-exit
+    // barrier that covers every inner wait.
+    for (unsigned C = 0; C < NumBarrierRegisters; ++C)
+      if (C != B && (S.S[C] & JBit) && Conflicts->conflict(B, C))
+        diag(LintKind::BlockedWhileJoined, LintSeverity::Note, F, BB, I, C,
+             loc(F, BB) + ": barrier " + barrierName(C) +
+                 " still joined at wait on " + barrierName(B));
+  }
+
+  // Guaranteed-deadlock candidates: a classic wait that blocks while some
+  // other membership is held on *every* incoming path.
+  if (Classic)
+    for (unsigned C = 0; C < NumBarrierRegisters; ++C)
+      if (C != B && S.S[C] == JBit)
+        MustHeld.push_back({&F, BB, I, B, C});
+
+  // Detector: soft-threshold sanity.
+  if (!Classic && Inst.numOperands() >= 2 && Inst.operand(1).isImm()) {
+    const int64_t T = Inst.operand(1).getImm();
+    if (T < 1)
+      // A note, not a warning: threshold 0 is the degenerate-but-legal end
+      // of the Figure 9 sweep (the gather never blocks).
+      diag(LintKind::SoftThreshold, LintSeverity::Note, F, BB, I, B,
+           loc(F, BB) + ": soft wait on " + barrierName(B) + " has threshold " +
+               std::to_string(T) + ", which releases the barrier immediately");
+    else if (static_cast<uint64_t>(T) > Opts.WarpSize)
+      diag(LintKind::SoftThreshold, LintSeverity::Warning, F, BB, I, B,
+           loc(F, BB) + ": soft wait on " + barrierName(B) + " has threshold " +
+               std::to_string(T) + " exceeding the warp width " +
+               std::to_string(Opts.WarpSize) +
+               " (always clamps to the participant count)");
+  }
+}
+
+void Linter::checkJoin(Function &F, const BasicBlock *BB, size_t I,
+                       const Instruction &Inst, const MaskState &S,
+                       const JoinSiteTable &Sites) {
+  const unsigned B = Inst.barrierId();
+  if (B >= NumBarrierRegisters)
+    return;
+  // Detector: double join. Only an overwriting JoinBarrier can orphan a
+  // pending membership, and only when the earlier join certainly executed
+  // first in the same thread — i.e. a pending *join*-kind site that
+  // dominates this one with no discharge in between. Arm rejoins, merged
+  // alternatives and a loop re-executing its own join are all the normal
+  // gather idiom and stay quiet.
+  if (Inst.opcode() != Opcode::JoinBarrier || !(S.S[B] & JBit))
+    return;
+  const uint64_t Self = Sites.bitFor(BB, I);
+  const uint64_t Pending = S.Sites[B] & Sites.joinKindMask() & ~Self &
+                           ~JoinSiteTable::ExternalBit &
+                           ~JoinSiteTable::OverflowBit;
+  if (!Pending)
+    return;
+  uint64_t Dominating = 0;
+  for (size_t SiteIdx = 0; SiteIdx < Sites.sites().size(); ++SiteIdx) {
+    if (!(Pending & (1ull << SiteIdx)))
+      continue;
+    const JoinSiteTable::Site &Y = Sites.sites()[SiteIdx];
+    const bool Dominates = Y.Block == BB
+                               ? Y.Index < I
+                               : domTree(F).strictlyDominates(Y.Block, BB);
+    if (Dominates)
+      Dominating |= 1ull << SiteIdx;
+  }
+  if (!Dominating)
+    return;
+  const bool Must = S.S[B] == JBit;
+  LintDiagnostic &D = diag(
+      LintKind::DoubleJoin, Must ? LintSeverity::Error : LintSeverity::Warning,
+      F, BB, I, B,
+      loc(F, BB) + ": barrier " + barrierName(B) +
+          " joined again while the earlier join's membership is still "
+          "pending");
+  D.Witness = "orphans the join at: " + Sites.describe(Dominating);
+}
+
+void Linter::checkCall(Function &F, const BasicBlock *BB, size_t I,
+                       const Instruction &Inst, const MaskState &S) {
+  Function *Callee = Inst.operand(0).getFunc();
+
+  // Top-down entry-state propagation: the callee is analyzed (later, in
+  // reverse bottom-up order) against the union of what its call sites
+  // actually pass in.
+  EntryStates &CE = Entries[Callee];
+  for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+    if (S.S[B] & JBit)
+      CE[B] |= JBit;
+    if (S.S[B] & ~JBit)
+      CE[B] |= UBit; // Waited/cancelled membership is gone at the callee.
+  }
+
+  auto It = Summaries.find(Callee);
+  if (It == Summaries.end() || !It->second.Valid)
+    return;
+  const FunctionSummary &Sum = It->second;
+
+  // Detector: call hazard. The callee (transitively) gathers on an entry
+  // barrier, so this call is a wait site from the caller's perspective;
+  // any other membership still held here can cross-deadlock against it.
+  // With origins the trigger is the old verifier's: the callee blocks on
+  // an *interprocedural* entry barrier (the compiler-inserted gather),
+  // and only locally-created, origin-tracked memberships count as held.
+  // Without origins we cannot tell an entry gather from an ordinary
+  // callee-side wait, so the finding degrades to a note.
+  const bool BlocksEntry = Opts.OriginAware
+                               ? (Sum.MayBlockEntry & InterprocMask) != 0
+                               : Sum.MayBlockEntry != 0;
+  if (BlocksEntry) {
+    for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+      if (!(S.S[B] & JBit) || (Sum.MayBlockEntry & (1u << B)))
+        continue;
+      if (!(S.Sites[B] & ~JoinSiteTable::ExternalBit))
+        continue;
+      if (Opts.OriginAware && !(AnyOriginMask & (1u << B)))
+        continue;
+      diag(LintKind::CallHazard,
+           Opts.OriginAware ? LintSeverity::Warning : LintSeverity::Note, F,
+           BB, I, B,
+           loc(F, BB) + ": barrier " + barrierName(B) +
+               " still joined at call to @" + Callee->name() +
+               ", which blocks on an entry barrier");
+    }
+  }
+
+  // Detector: interprocedural obligation. Membership handed into a callee
+  // that gathers on it must be discharged (waited or cancelled) on every
+  // callee path — the summary-based replacement for the old blanket
+  // "Interproc barriers are exempt" escape hatch.
+  for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+    if (!(S.S[B] & JBit) || !(Sum.MayBlockEntry & (1u << B)))
+      continue;
+    if (projectRelation(Sum.Transfer[B], JBit) & JBit)
+      diag(LintKind::InterprocLeak, LintSeverity::Warning, F, BB, I, B,
+           loc(F, BB) + ": call to @" + Callee->name() +
+               " may return with barrier " + barrierName(B) +
+               " still joined (entry obligation not discharged on every "
+               "path)");
+  }
+}
+
+void Linter::checkRet(Function &F, const BasicBlock *BB, size_t I,
+                      const MaskState &S, const JoinSiteTable &Sites,
+                      uint32_t DischargeMask) {
+  // Detector: join leak. Only locally-created memberships are charged to
+  // this function; an inherited membership that passes through untouched
+  // is the caller's to discharge and is reported there.
+  for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+    if (!(S.S[B] & JBit))
+      continue;
+    if (!(S.Sites[B] & ~JoinSiteTable::ExternalBit))
+      continue;
+    const bool Must = S.S[B] == JBit;
+    // A may-leak next to a reachable discharge site is the Figure 4(a)
+    // skip-arm idiom: only one arm waits, and the threads that bypass it
+    // are released from the participant set by thread exit. Dynamically
+    // benign, so it degrades to a note. A barrier with no discharge site
+    // anywhere keeps its severity — nothing ever gathers it.
+    LintSeverity Sev = Must ? LintSeverity::Error : LintSeverity::Warning;
+    std::string Msg = loc(F, BB) + ": barrier " + barrierName(B) +
+                      " may still be joined at function exit";
+    if (!Must && (DischargeMask & (1u << B))) {
+      Sev = LintSeverity::Note;
+      Msg += " (skip-arm of a reachable wait; released by thread exit)";
+    }
+    LintDiagnostic &D = diag(LintKind::JoinLeak, Sev, F, BB, I, B, Msg);
+    D.Witness = "joined at: " + Sites.describe(S.Sites[B]);
+  }
+}
+
+void Linter::checkDeadJoins(Function &F, const JoinSiteTable &Sites,
+                            const MaskAnalysis &MA) {
+  // Detector: dead join. A join whose matching wait is unreachable — and
+  // with no cancel reachable either, the membership provably never gets
+  // discharged before the exit.
+  if (Sites.sites().empty())
+    return;
+  BarrierLivenessAnalysis Live(F);
+  for (const JoinSiteTable::Site &Site : Sites.sites()) {
+    if (!MA.in(Site.Block).Reachable)
+      continue;
+    if (Live.liveAfter(Site.Block, Site.Index) & (1u << Site.Barrier))
+      continue;
+    const std::vector<bool> &R = reach(F, Site.Block);
+    bool Discharged = false;
+    for (const BasicBlock *BB : F) {
+      if (BB->number() >= R.size() || !R[BB->number()])
+        continue;
+      for (size_t I = 0; I < BB->size() && !Discharged; ++I) {
+        const Instruction &Inst = BB->inst(I);
+        if (Inst.opcode() == Opcode::CancelBarrier &&
+            Inst.barrierId() == Site.Barrier) {
+          Discharged = true;
+        } else if (Inst.opcode() == Opcode::Call) {
+          // The entry-gather idiom: a callee that blocks on this barrier
+          // discharges the membership for the caller.
+          auto It = Summaries.find(Inst.operand(0).getFunc());
+          if (It != Summaries.end() && It->second.Valid &&
+              (It->second.MayBlockEntry & (1u << Site.Barrier)))
+            Discharged = true;
+        }
+      }
+      if (Discharged)
+        break;
+    }
+    if (Discharged)
+      continue;
+    diag(LintKind::DeadJoin, LintSeverity::Warning, F, Site.Block, Site.Index,
+         Site.Barrier,
+         loc(F, Site.Block) + ": join of barrier " +
+             barrierName(Site.Barrier) + " has no reachable wait or cancel");
+  }
+}
+
+void Linter::analyzeFunction(Function &F) {
+  const JoinSiteTable Sites(F);
+  EntryStates Entry{};
+  if (auto It = Entries.find(&F); It != Entries.end())
+    Entry = It->second;
+  if (CG->callers(&F).empty())
+    for (unsigned B = 0; B < NumBarrierRegisters; ++B)
+      Entry[B] |= UBit; // Root: launched with no memberships.
+  const MaskAnalysis MA(F, Entry, Summaries, Sites);
+
+  std::optional<BarrierConflictAnalysis> Conflicts;
+  if (!Opts.OriginAware)
+    Conflicts.emplace(F);
+
+  // Barriers with any reachable discharge site (wait, soft wait, or
+  // cancel) in this function — used to tell the skip-arm idiom from a
+  // genuinely undischargeable leak.
+  uint32_t DischargeMask = 0;
+  for (const BasicBlock *BB : F) {
+    if (!MA.in(BB).Reachable)
+      continue;
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction &Inst = BB->inst(I);
+      switch (Inst.opcode()) {
+      case Opcode::WaitBarrier:
+      case Opcode::SoftWait:
+      case Opcode::CancelBarrier:
+        DischargeMask |= 1u << Inst.barrierId();
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  for (BasicBlock *BB : F) {
+    MaskState S = MA.in(BB);
+    if (!S.Reachable)
+      continue;
+    for (size_t I = 0; I < BB->size(); ++I) {
+      const Instruction &Inst = BB->inst(I);
+      switch (Inst.opcode()) {
+      case Opcode::WaitBarrier:
+      case Opcode::SoftWait:
+        checkWait(F, BB, I, Inst, S, MA, Conflicts ? &*Conflicts : nullptr);
+        break;
+      case Opcode::JoinBarrier:
+      case Opcode::RejoinBarrier:
+        checkJoin(F, BB, I, Inst, S, Sites);
+        break;
+      case Opcode::Call:
+        checkCall(F, BB, I, Inst, S);
+        break;
+      case Opcode::Ret:
+        checkRet(F, BB, I, S, Sites, DischargeMask);
+        break;
+      default:
+        break;
+      }
+      MaskAnalysis::step(S, Inst, BB, I, Summaries, Sites);
+    }
+  }
+
+  checkDeadJoins(F, Sites, MA);
+}
+
+void Linter::detectCycles() {
+  for (size_t I = 0; I < MustHeld.size(); ++I) {
+    for (size_t J = I + 1; J < MustHeld.size(); ++J) {
+      const WaitHold &A = MustHeld[I];
+      const WaitHold &B = MustHeld[J];
+      if (A.F != B.F || A.BB == B.BB || A.WaitB != B.HeldC ||
+          A.HeldC != B.WaitB)
+        continue;
+      Function &F = *A.F;
+      // The two waits must be mutually unreachable: if one can flow into
+      // the other, the first release un-blocks the chain.
+      if (reach(F, A.BB)[B.BB->number()] || reach(F, B.BB)[A.BB->number()])
+        continue;
+      // And they must sit on opposite arms of a divergent branch, so that
+      // two non-empty thread groups really can be parked on them at once.
+      if (!Divergence)
+        Divergence.emplace(M);
+      const DivergenceAnalysis &DA = Divergence->forFunction(&F);
+      const BasicBlock *Branch = nullptr;
+      for (BasicBlock *X : F) {
+        if (!DA.isDivergentBranch(X))
+          continue;
+        const std::vector<BasicBlock *> Succs = X->successors();
+        for (BasicBlock *S1 : Succs) {
+          for (BasicBlock *S2 : Succs) {
+            if (S1 == S2)
+              continue;
+            if (reach(F, S1)[A.BB->number()] && reach(F, S2)[B.BB->number()]) {
+              Branch = X;
+              break;
+            }
+          }
+          if (Branch)
+            break;
+        }
+        if (Branch)
+          break;
+      }
+      if (!Branch)
+        continue;
+      LintDiagnostic &D = diag(
+          LintKind::DeadlockCycle, LintSeverity::Error, F, A.BB, A.Index,
+          A.WaitB,
+          loc(F, A.BB) + ": guaranteed cross-barrier deadlock: wait on " +
+              barrierName(A.WaitB) + " holds joined " + barrierName(A.HeldC) +
+              " while the wait on " + barrierName(B.WaitB) + " at " +
+              loc(F, B.BB) + " holds joined " + barrierName(B.HeldC));
+      D.Witness = "thread groups part ways at " + loc(F, Branch);
+      Result.ProvenDeadlock = true;
+    }
+  }
+}
+
+void Linter::emitRemarks() const {
+  if (!Opts.Remarks || !observe::remarksEnabled())
+    return;
+  for (const LintDiagnostic &D : Result.Diagnostics)
+    observe::emitRemark(
+        "lint",
+        D.Severity == LintSeverity::Note ? observe::RemarkKind::Analysis
+                                         : observe::RemarkKind::Conflict,
+        D.Function, D.Block, D.Message,
+        {{"kind", getLintKindName(D.Kind)},
+         {"severity", getLintSeverityName(D.Severity)},
+         {"barrier",
+          D.Barrier == ~0u ? std::string("-") : std::to_string(D.Barrier)}});
+}
+
+LintResult Linter::run() {
+  for (size_t I = 0; I < M.size(); ++I)
+    M.function(I)->recomputePreds();
+
+  CallGraph G(M);
+  CG = &G;
+
+  if (Opts.OriginAware) {
+    for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+      const uint32_t Bit = 1u << B;
+      switch (Opts.Origins[B]) {
+      case LintOrigin::Unknown:
+        break;
+      case LintOrigin::Pdom:
+        PdomMask |= Bit;
+        AnyOriginMask |= Bit;
+        break;
+      case LintOrigin::Speculative:
+        SpecMask |= Bit;
+        AnyOriginMask |= Bit;
+        break;
+      case LintOrigin::RegionExit:
+        AnyOriginMask |= Bit;
+        break;
+      case LintOrigin::Interproc:
+        InterprocMask |= Bit;
+        AnyOriginMask |= Bit;
+        break;
+      }
+    }
+  }
+
+  const std::vector<Function *> Bottom = G.bottomUpOrder();
+  if (!G.isRecursive()) {
+    for (Function *F : Bottom) {
+      RelationalAnalysis RA(*F, Summaries);
+      Summaries[F] = RA.summarize(*F, Summaries);
+    }
+  } else {
+    LintDiagnostic D;
+    D.Kind = LintKind::Recursion;
+    D.Severity = LintSeverity::Note;
+    D.Message = "recursive call graph: interprocedural barrier obligations "
+                "not checked";
+    Result.Diagnostics.push_back(std::move(D));
+  }
+
+  // Callers before callees, so every call site's entry contribution lands
+  // before the callee is analyzed.
+  for (auto It = Bottom.rbegin(); It != Bottom.rend(); ++It)
+    analyzeFunction(**It);
+
+  detectCycles();
+  emitRemarks();
+  return std::move(Result);
+}
+
+} // namespace
+
+LintResult lint::runConvergenceLint(Module &M, const LintOptions &Opts) {
+  return Linter(M, Opts).run();
+}

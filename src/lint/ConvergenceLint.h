@@ -1,0 +1,132 @@
+//===- ConvergenceLint.h - Static convergence-safety analyzer --*- C++ -*-===//
+///
+/// \file
+/// The static convergence-safety analyzer (docs/LINT.md): a path-sensitive
+/// abstract interpretation of per-barrier-register state over the whole
+/// module, with summary-based interprocedural propagation, feeding a set
+/// of concrete detectors:
+///
+///   unjoined-wait        wait reachable while possibly unjoined
+///   join-leak            membership may still be pending at function exit
+///   dead-join            join with no reachable wait or cancel
+///   double-join          join overwrites a dominating join's membership
+///   realloc-overlap      wait whose membership was overwritten en route
+///   blocked-while-joined membership held while blocking at a wait
+///   call-hazard          membership held at a call that gathers on entry
+///   interproc-leak       callee may not discharge its entry obligation
+///   deadlock-cycle       proven mutual wait cycle (guaranteed deadlock)
+///   soft-threshold       soft-wait threshold out of range
+///
+/// Diagnostics carry severity, location, barrier id and witness evidence,
+/// and are mirrored into the PR-3 remark stream when one is installed.
+/// The analyzer is the single source of truth for barrier discipline: the
+/// pipeline gate and the legacy BarrierVerifier entry points both run it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_LINT_CONVERGENCELINT_H
+#define SIMTSR_LINT_CONVERGENCELINT_H
+
+#include "ir/Opcode.h"
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+class Module;
+}
+
+namespace simtsr::lint {
+
+enum class LintSeverity : uint8_t {
+  Note,    ///< Informational; never gates a pipeline.
+  Warning, ///< May-fact: wrong on some path or under some schedule.
+  Error,   ///< Must-fact: wrong on every path that reaches the location.
+};
+
+enum class LintKind : uint8_t {
+  UnjoinedWait,
+  JoinLeak,
+  DeadJoin,
+  DoubleJoin,
+  ReallocOverlap,
+  BlockedWhileJoined,
+  CallHazard,
+  InterprocLeak,
+  DeadlockCycle,
+  SoftThreshold,
+  Recursion,
+};
+
+/// \returns a stable kebab-case name ("join-leak", "deadlock-cycle", ...).
+const char *getLintKindName(LintKind K);
+/// \returns "note", "warning" or "error".
+const char *getLintSeverityName(LintSeverity S);
+
+/// Why a barrier register exists. Mirrors the transform layer's
+/// BarrierOrigin without depending on it (the transform library links
+/// against the lint, not the other way round); Unknown covers user-written
+/// barriers and post-realloc registers.
+enum class LintOrigin : uint8_t {
+  Unknown = 0,
+  Pdom,
+  Speculative,
+  RegionExit,
+  Interproc,
+};
+
+struct LintDiagnostic {
+  LintKind Kind = LintKind::JoinLeak;
+  LintSeverity Severity = LintSeverity::Warning;
+  std::string Function; ///< No '@' sigil; empty for module-level findings.
+  std::string Block;    ///< Anchor block name; empty when function-level.
+  size_t Index = 0;     ///< Instruction index within Block.
+  unsigned Barrier = ~0u; ///< Barrier register id, or ~0u when none.
+  /// Complete human-readable line, "@func:block: ..." — byte-compatible
+  /// with the old BarrierVerifier texts for the migrated checks.
+  std::string Message;
+  /// Optional evidence: the path, partner site or callee that makes the
+  /// finding concrete.
+  std::string Witness;
+
+  /// "severity: message (kind)[; witness]" — the CLI / golden line format.
+  std::string format() const;
+};
+
+struct LintOptions {
+  /// Warp width for the soft-threshold sanity check.
+  unsigned WarpSize = 32;
+  /// Mirror findings into the installed remark stream. Mid-pipeline
+  /// expensive checks turn this off: transient warnings there are expected
+  /// and would pollute the stream.
+  bool Remarks = true;
+  /// When true, Origins drives the origin-filtered detectors exactly like
+  /// the old verifyDeconflicted; when false, conflict analysis stands in.
+  bool OriginAware = false;
+  std::array<LintOrigin, NumBarrierRegisters> Origins{};
+};
+
+struct LintResult {
+  std::vector<LintDiagnostic> Diagnostics;
+  /// True when a deadlock-cycle finding proved a guaranteed deadlock
+  /// (modulo the guarding branch actually diverging at run time).
+  bool ProvenDeadlock = false;
+
+  unsigned count(LintSeverity S) const;
+  unsigned countKind(LintKind K) const;
+  /// No errors and no warnings (notes allowed).
+  bool clean() const;
+  /// Messages of every Warning/Error finding — the pipeline gate format
+  /// (drop-in for the old verifier's diagnostics vector).
+  std::vector<std::string> gateStrings() const;
+};
+
+/// Runs the full analyzer over \p M. Recomputes predecessor lists; emits
+/// each finding as a "lint" remark when a remark scope is installed.
+LintResult runConvergenceLint(Module &M, const LintOptions &Opts = {});
+
+} // namespace simtsr::lint
+
+#endif // SIMTSR_LINT_CONVERGENCELINT_H

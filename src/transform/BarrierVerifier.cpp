@@ -2,115 +2,65 @@
 
 #include "transform/BarrierVerifier.h"
 
-#include "analysis/BarrierAnalysis.h"
 #include "ir/Function.h"
-#include "transform/Deconfliction.h"
+#include "ir/Module.h"
+
+#include <initializer_list>
 
 using namespace simtsr;
 
-std::vector<std::string>
-simtsr::verifyBarrierDiscipline(Function &F, const BarrierRegistry &Reg) {
-  std::vector<std::string> Diags;
-  JoinedBarrierAnalysis Joined(F);
-  for (BasicBlock *BB : F) {
-    if (!BB->hasTerminator() || BB->terminator().opcode() != Opcode::Ret)
+lint::LintOptions simtsr::lintOptionsFromRegistry(const BarrierRegistry &Reg) {
+  lint::LintOptions Opts;
+  Opts.OriginAware = true;
+  for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
+    auto Origin = Reg.origin(B);
+    if (!Origin)
       continue;
-    uint32_t AtRet = Joined.before(BB, BB->size() - 1);
-    for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
-      if (!(AtRet & (1u << B)))
-        continue;
-      auto Origin = Reg.origin(B);
-      if (Origin && *Origin == BarrierOrigin::Interproc)
-        continue; // Cleared by the callee-side wait or thread exit.
-      Diags.push_back("@" + F.name() + ":" + BB->name() + ": barrier b" +
-                      std::to_string(B) +
-                      " may still be joined at function exit");
+    switch (*Origin) {
+    case BarrierOrigin::PdomSync:
+      Opts.Origins[B] = lint::LintOrigin::Pdom;
+      break;
+    case BarrierOrigin::Speculative:
+      Opts.Origins[B] = lint::LintOrigin::Speculative;
+      break;
+    case BarrierOrigin::RegionExit:
+      Opts.Origins[B] = lint::LintOrigin::RegionExit;
+      break;
+    case BarrierOrigin::Interproc:
+      Opts.Origins[B] = lint::LintOrigin::Interproc;
+      break;
     }
+  }
+  return Opts;
+}
+
+static std::vector<std::string>
+runFiltered(Function &F, const BarrierRegistry &Reg,
+            std::initializer_list<lint::LintKind> Kinds) {
+  const lint::LintResult R =
+      lint::runConvergenceLint(*F.parent(), lintOptionsFromRegistry(Reg));
+  std::vector<std::string> Diags;
+  for (const lint::LintDiagnostic &D : R.Diagnostics) {
+    if (D.Severity == lint::LintSeverity::Note || D.Function != F.name())
+      continue;
+    for (lint::LintKind K : Kinds)
+      if (D.Kind == K) {
+        Diags.push_back(D.Message);
+        break;
+      }
   }
   return Diags;
 }
 
 std::vector<std::string>
+simtsr::verifyBarrierDiscipline(Function &F, const BarrierRegistry &Reg) {
+  return runFiltered(F, Reg, {lint::LintKind::JoinLeak});
+}
+
+std::vector<std::string>
 simtsr::verifyDeconflicted(Function &F, const BarrierRegistry &Reg) {
-  std::vector<std::string> Diags;
-
-  // Primary hazard check: no PDOM barrier may still be joined when a
-  // thread blocks at a speculative/interprocedural wait.
-  JoinedBarrierAnalysis Joined(F);
-  uint32_t PdomMask = 0, SpecMask = 0, AnyOriginMask = 0;
-  for (unsigned B = 0; B < NumBarrierRegisters; ++B) {
-    auto Origin = Reg.origin(B);
-    if (!Origin)
-      continue;
-    AnyOriginMask |= 1u << B;
-    if (*Origin == BarrierOrigin::PdomSync)
-      PdomMask |= 1u << B;
-    if (*Origin == BarrierOrigin::Speculative)
-      SpecMask |= 1u << B;
-  }
-  for (BasicBlock *BB : F) {
-    for (size_t I = 0; I < BB->size(); ++I) {
-      const Instruction &Inst = BB->inst(I);
-      const bool IsWait = Inst.opcode() == Opcode::WaitBarrier ||
-                          Inst.opcode() == Opcode::SoftWait;
-      if (!IsWait)
-        continue;
-      auto Origin = Reg.origin(Inst.barrierId());
-      if (!Origin || (*Origin != BarrierOrigin::Speculative &&
-                      *Origin != BarrierOrigin::Interproc))
-        continue;
-      uint32_t Held =
-          Joined.before(BB, I) & PdomMask & ~(1u << Inst.barrierId());
-      for (unsigned B = 0; B < NumBarrierRegisters; ++B)
-        if (Held & (1u << B))
-          Diags.push_back("@" + F.name() + ":" + BB->name() +
-                          ": PDOM barrier b" + std::to_string(B) +
-                          " still joined at speculative wait on b" +
-                          std::to_string(Inst.barrierId()));
-      // Cross-speculative overlap: two gathers can deadlock each other
-      // (overlapping predictions are future work per Section 6).
-      uint32_t HeldSpec =
-          Joined.before(BB, I) & SpecMask & ~(1u << Inst.barrierId());
-      for (unsigned B = 0; B < NumBarrierRegisters; ++B)
-        if (HeldSpec & (1u << B))
-          Diags.push_back("@" + F.name() + ":" + BB->name() +
-                          ": speculative barrier b" + std::to_string(B) +
-                          " still joined at speculative wait on b" +
-                          std::to_string(Inst.barrierId()) +
-                          " (overlapping predictions)");
-    }
-  }
-
-  // Interprocedural hazard: a call into a function that may block on an
-  // interprocedural entry barrier is a wait site from the caller's
-  // perspective — the thread suspends inside the callee until threads
-  // outside it arrive. Any compiler-managed membership still held at such
-  // a call (other than the entry barriers the callee itself gathers on)
-  // can cross-deadlock against that wait.
-  for (BasicBlock *BB : F) {
-    for (size_t I = 0; I < BB->size(); ++I) {
-      const Instruction &Inst = BB->inst(I);
-      if (Inst.opcode() != Opcode::Call)
-        continue;
-      Function *Callee = Inst.operand(0).getFunc();
-      const uint32_t Blocking = entryBarriersBlockingCall(Callee, Reg);
-      if (!Blocking)
-        continue;
-      const uint32_t Held = Joined.before(BB, I) & AnyOriginMask & ~Blocking;
-      for (unsigned B = 0; B < NumBarrierRegisters; ++B)
-        if (Held & (1u << B))
-          Diags.push_back("@" + F.name() + ":" + BB->name() +
-                          ": barrier b" + std::to_string(B) +
-                          " still joined at call to @" + Callee->name() +
-                          ", which blocks on an entry barrier");
-    }
-  }
-
-  // Note: Section 4.3's non-inclusive live-range overlap (exposed by
-  // BarrierConflictAnalysis) is intentionally NOT re-checked here — after
-  // dynamic deconfliction a PDOM barrier legitimately keeps a small range
-  // of its own beyond the speculative one (its wait at the post-dominator
-  // runs after the speculative barrier was cancelled), which is harmless:
-  // the actual hazard is blocking while still joined, checked above.
-  return Diags;
+  return runFiltered(F, Reg,
+                     {lint::LintKind::BlockedWhileJoined,
+                      lint::LintKind::CallHazard,
+                      lint::LintKind::InterprocLeak});
 }

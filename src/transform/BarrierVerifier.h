@@ -1,17 +1,19 @@
 //===- BarrierVerifier.h - Synchronization discipline checks ---*- C++ -*-===//
 ///
 /// \file
-/// Static checks that the inserted synchronization is well behaved:
-/// no barrier may still be joined at a function exit (modulo
-/// interprocedural barriers, whose waits live in callees), and after
-/// deconfliction no speculative/PDOM conflicts may remain. Used as a test
-/// oracle for every pass pipeline.
+/// Legacy entry points for the synchronization discipline checks. Both are
+/// thin wrappers over the convergence-safety analyzer (lint/ConvergenceLint.h)
+/// filtered down to the historical checks: no barrier still joined at a
+/// function exit, and no membership held while blocking at a speculative
+/// wait or gathering call. New code should run the analyzer directly —
+/// it reports strictly more (see docs/LINT.md).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SIMTSR_TRANSFORM_BARRIERVERIFIER_H
 #define SIMTSR_TRANSFORM_BARRIERVERIFIER_H
 
+#include "lint/ConvergenceLint.h"
 #include "transform/BarrierRegistry.h"
 
 #include <string>
@@ -21,13 +23,19 @@ namespace simtsr {
 
 class Function;
 
-/// \returns diagnostics; empty means the discipline holds. Barriers with
-/// Interproc origin are exempt from the exit-cleanliness check.
+/// Translates a pass-pipeline barrier registry into origin-aware lint
+/// options, so the analyzer applies the same origin filters the old
+/// verifier did. Invalid after BarrierRealloc renames registers.
+lint::LintOptions lintOptionsFromRegistry(const BarrierRegistry &Reg);
+
+/// \returns the analyzer's join-leak diagnostics for \p F; empty means the
+/// discipline holds. Interprocedural obligations are checked through callee
+/// summaries rather than exempted wholesale.
 std::vector<std::string> verifyBarrierDiscipline(Function &F,
                                                  const BarrierRegistry &Reg);
 
-/// \returns diagnostics for conflicts that survive between a speculative
-/// barrier and a PDOM barrier (should be empty after deconfliction).
+/// \returns the analyzer's blocked-while-joined / call-hazard diagnostics
+/// for \p F (should be empty after deconfliction).
 std::vector<std::string> verifyDeconflicted(Function &F,
                                             const BarrierRegistry &Reg);
 

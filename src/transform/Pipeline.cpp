@@ -4,10 +4,44 @@
 
 #include "analysis/Divergence.h"
 #include "ir/Module.h"
+#include "lint/ConvergenceLint.h"
 #include "observe/Remark.h"
 #include "transform/BarrierVerifier.h"
 
+#ifdef SIMTSR_EXPENSIVE_CHECKS
+#include "ir/Verifier.h"
+#endif
+
 using namespace simtsr;
+
+namespace {
+
+#ifdef SIMTSR_EXPENSIVE_CHECKS
+/// With SIMTSR_EXPENSIVE_CHECKS on, every pass boundary re-verifies the
+/// module and runs the analyzer, keeping only must-facts (errors): the
+/// mid-pipeline IR legitimately carries warnings (e.g. conflicts that
+/// deconfliction has not resolved yet).
+void expensiveStageCheck(Module &M, const char *Stage,
+                         const lint::LintOptions &LintOpts,
+                         std::vector<std::string> &Diags) {
+  for (const std::string &D : verifyModule(M))
+    Diags.push_back(std::string("expensive-check after ") + Stage + ": " + D);
+  lint::LintOptions Quiet = LintOpts;
+  Quiet.Remarks = false;
+  const lint::LintResult R = lint::runConvergenceLint(M, Quiet);
+  for (const lint::LintDiagnostic &D : R.Diagnostics)
+    if (D.Severity == lint::LintSeverity::Error)
+      Diags.push_back(std::string("expensive-check after ") + Stage + ": " +
+                      D.Message);
+}
+#define SIMTSR_STAGE_CHECK(M, Stage, Report)                                   \
+  expensiveStageCheck(M, Stage, lintOptionsFromRegistry((Report).Registry),    \
+                      (Report).VerifierDiagnostics)
+#else
+#define SIMTSR_STAGE_CHECK(M, Stage, Report) (void)0
+#endif
+
+} // namespace
 
 unsigned simtsr::stripPredictDirectives(Module &M) {
   unsigned Removed = 0;
@@ -87,18 +121,22 @@ PipelineReport simtsr::runSyncPipeline(Module &M,
                    insertPdomSync(F, Divergence.forFunction(&F),
                                   Report.Registry));
     }
+    SIMTSR_STAGE_CHECK(M, "pdom-sync", Report);
   }
 
-  if (Opts.ApplySR)
+  if (Opts.ApplySR) {
     for (size_t I = 0; I < M.size(); ++I)
       mergeReports(Report.SR,
                    applySpeculativeReconvergence(*M.function(I),
                                                  Report.Registry, Opts.SR));
+    SIMTSR_STAGE_CHECK(M, "speculative-reconvergence", Report);
+  }
 
   if (Opts.Interprocedural) {
     InterprocReport IR =
         applyInterproceduralReconvergence(M, Report.Registry);
     Report.Interproc = std::move(IR);
+    SIMTSR_STAGE_CHECK(M, "interprocedural", Report);
   }
 
   for (size_t I = 0; I < M.size(); ++I)
@@ -106,20 +144,29 @@ PipelineReport simtsr::runSyncPipeline(Module &M,
                  deconflictBarriers(*M.function(I), Report.Registry,
                                     Opts.Deconflict));
 
-  for (size_t I = 0; I < M.size(); ++I) {
-    Function &F = *M.function(I);
-    auto D1 = verifyBarrierDiscipline(F, Report.Registry);
-    auto D2 = verifyDeconflicted(F, Report.Registry);
+  // The pipeline gate: one run of the convergence-safety analyzer over the
+  // whole module, origin-aware through the registry. Every warning and
+  // error lands in VerifierDiagnostics, where the old per-function
+  // verifiers used to report.
+  {
+    const lint::LintResult Lint =
+        lint::runConvergenceLint(M, lintOptionsFromRegistry(Report.Registry));
+    std::vector<std::string> Gate = Lint.gateStrings();
     Report.VerifierDiagnostics.insert(Report.VerifierDiagnostics.end(),
-                                      D1.begin(), D1.end());
-    Report.VerifierDiagnostics.insert(Report.VerifierDiagnostics.end(),
-                                      D2.begin(), D2.end());
+                                      Gate.begin(), Gate.end());
   }
 
   // Final lowering: recolour barrier registers after all checks ran (the
   // registry's id->origin map is stale from here on).
-  if (Opts.ReallocBarriers)
+  if (Opts.ReallocBarriers) {
     Report.Realloc = reallocateBarriers(M);
+#ifdef SIMTSR_EXPENSIVE_CHECKS
+    // Origin-blind on purpose: the registry no longer matches the
+    // recoloured registers.
+    expensiveStageCheck(M, "barrier-realloc", lint::LintOptions{},
+                        Report.VerifierDiagnostics);
+#endif
+  }
   return Report;
 }
 

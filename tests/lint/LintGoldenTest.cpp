@@ -1,0 +1,86 @@
+//===- LintGoldenTest.cpp - Golden diagnostic output ----------------------===//
+///
+/// \file
+/// The exact diagnostic stream over the seeded-defect corpus is golden:
+/// any change to detector wording, ordering, severity, or witness text
+/// shows up as a diff against tests/lint/LintGolden.txt. Regenerate with
+/// SIMTSR_UPDATE_GOLDEN=1 (same convention as the trace digest goldens).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "lint/ConvergenceLint.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace simtsr;
+
+namespace {
+
+/// Fixed corpus order; file names double as section headers.
+const char *CorpusFiles[] = {
+    "blocked_while_joined.sir",
+    "call_hazard.sir",
+    "deadlock_cycle.sir",
+    "double_join.sir",
+    "interproc_leak.sir",
+    "join_leak.sir",
+    "realloc_overlap.sir",
+    "recursion.sir",
+    "soft_threshold.sir",
+    "unjoined_wait.sir",
+};
+
+std::string renderCorpus() {
+  std::string Out;
+  for (const char *Name : CorpusFiles) {
+    const std::string Path =
+        std::string(SIMTSR_LINT_CORPUS_DIR) + "/" + Name;
+    std::ifstream In(Path);
+    EXPECT_TRUE(In.good()) << Path;
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    ParseResult P = parseModule(Text.str());
+    EXPECT_TRUE(P.ok()) << Name;
+    Out += std::string("== ") + Name + "\n";
+    // Origin-blind, deterministic default options: the corpus files that
+    // need origins assert their origin-aware findings in the detector
+    // test; the golden pins the byte-exact default stream.
+    const lint::LintResult R = lint::runConvergenceLint(*P.M);
+    for (const lint::LintDiagnostic &D : R.Diagnostics)
+      Out += "  " + D.format() + "\n";
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(LintGoldenTest, CorpusDiagnosticsMatchGolden) {
+  const std::string Actual = renderCorpus();
+  const char *GoldenPath = SIMTSR_LINT_GOLDEN_FILE;
+  if (std::getenv("SIMTSR_UPDATE_GOLDEN")) {
+    std::ofstream Out(GoldenPath);
+    ASSERT_TRUE(Out.good()) << "cannot write " << GoldenPath;
+    Out << "# Golden convergence-lint diagnostics over tests/lint/corpus.\n"
+        << "# Regenerate: SIMTSR_UPDATE_GOLDEN=1 ./lint_tests "
+        << "--gtest_filter=LintGoldenTest.*\n"
+        << Actual;
+    GTEST_SKIP() << "golden regenerated";
+  }
+  std::ifstream In(GoldenPath);
+  ASSERT_TRUE(In.good()) << "missing " << GoldenPath
+                         << " (generate with SIMTSR_UPDATE_GOLDEN=1)";
+  std::string Expected, Line;
+  while (std::getline(In, Line))
+    if (!Line.empty() && Line[0] == '#')
+      continue;
+    else
+      Expected += Line + "\n";
+  EXPECT_EQ(Actual, Expected)
+      << "diagnostic stream drifted; regenerate with SIMTSR_UPDATE_GOLDEN=1 "
+         "if the change is intended";
+}

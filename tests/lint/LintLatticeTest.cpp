@@ -1,0 +1,119 @@
+//===- LintLatticeTest.cpp - Barrier-state lattice algebra ----------------===//
+///
+/// \file
+/// The relational domain underneath the convergence lint is pure constexpr
+/// bit algebra; these tests pin down its laws — identity, composition,
+/// forcing, projection — independent of any CFG.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/BarrierLattice.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr::lint;
+
+namespace {
+
+constexpr Relation Id = identityRelation();
+
+// The laws hold at compile time; the EXPECTs below just surface them in
+// test output.
+static_assert(relationDomain(Id) == AllStates);
+static_assert(composeRelation(Id, Id) == Id);
+static_assert(projectRelation(Id, stateBit(BState::Joined)) ==
+              stateBit(BState::Joined));
+static_assert(forceState(Id, BState::Waited) ==
+              (relationPair(BState::Unjoined, BState::Waited) |
+               relationPair(BState::Joined, BState::Waited) |
+               relationPair(BState::Waited, BState::Waited) |
+               relationPair(BState::Cancelled, BState::Waited)));
+
+TEST(LintLatticeTest, IdentityIsNeutralForComposition) {
+  // Exhaustive: every relation R satisfies Id;R == R;Id == R.
+  for (unsigned Bits = 0; Bits <= 0xFFFF; ++Bits) {
+    const Relation R = static_cast<Relation>(Bits);
+    EXPECT_EQ(composeRelation(Id, R), R);
+    // Composing with Id on the right keeps exactly the pairs whose
+    // current state exists, i.e. all of them.
+    EXPECT_EQ(composeRelation(R, Id), R);
+  }
+}
+
+TEST(LintLatticeTest, CompositionIsAssociative) {
+  // Spot-check associativity on a structured sample (all single-pair
+  // relations, plus identity and a join/wait transfer).
+  std::vector<Relation> Sample{Id, forceState(Id, BState::Joined),
+                               forceState(Id, BState::Waited)};
+  for (unsigned F = 0; F < NumBStates; ++F)
+    for (unsigned T = 0; T < NumBStates; ++T)
+      Sample.push_back(
+          relationPair(static_cast<BState>(F), static_cast<BState>(T)));
+  for (Relation A : Sample)
+    for (Relation B : Sample)
+      for (Relation C : Sample)
+        EXPECT_EQ(composeRelation(composeRelation(A, B), C),
+                  composeRelation(A, composeRelation(B, C)));
+}
+
+TEST(LintLatticeTest, ForceStateModelsBarrierOps) {
+  // join-then-wait from any entry state ends Waited regardless of entry.
+  const Relation JoinThenWait =
+      forceState(forceState(Id, BState::Joined), BState::Waited);
+  for (unsigned S = 0; S < NumBStates; ++S)
+    EXPECT_EQ(projectRelation(JoinThenWait, static_cast<StateMask>(1u << S)),
+              stateBit(BState::Waited));
+  // Forcing never changes the domain: whoever could enter still can.
+  EXPECT_EQ(relationDomain(JoinThenWait), AllStates);
+}
+
+TEST(LintLatticeTest, ProjectionDistributesOverUnion) {
+  const Relation R = relationPair(BState::Unjoined, BState::Joined) |
+                     relationPair(BState::Joined, BState::Waited);
+  const StateMask U = stateBit(BState::Unjoined);
+  const StateMask J = stateBit(BState::Joined);
+  EXPECT_EQ(projectRelation(R, static_cast<StateMask>(U | J)),
+            static_cast<StateMask>(projectRelation(R, U) |
+                                   projectRelation(R, J)));
+  // Projecting through a state with no pairs yields the empty set.
+  EXPECT_EQ(projectRelation(R, stateBit(BState::Cancelled)), 0);
+}
+
+TEST(LintLatticeTest, RelationHasMatchesPairConstruction) {
+  for (unsigned F = 0; F < NumBStates; ++F)
+    for (unsigned T = 0; T < NumBStates; ++T) {
+      const Relation P =
+          relationPair(static_cast<BState>(F), static_cast<BState>(T));
+      for (unsigned F2 = 0; F2 < NumBStates; ++F2)
+        for (unsigned T2 = 0; T2 < NumBStates; ++T2)
+          EXPECT_EQ(relationHas(P, static_cast<BState>(F2),
+                                static_cast<BState>(T2)),
+                    F == F2 && T == T2);
+    }
+}
+
+/// The call-summary distinction the BitDataflow mask cannot make:
+/// "joined on every path" vs "joined on some path" survive composition
+/// differently.
+TEST(LintLatticeTest, MustVsMaySurvivesComposition) {
+  // Callee A: always waits an inherited join (J -> W), identity otherwise.
+  Relation Always = Id;
+  Always &= static_cast<Relation>(
+      ~(static_cast<Relation>(AllStates)
+        << (NumBStates * static_cast<unsigned>(BState::Joined))));
+  Always |= relationPair(BState::Joined, BState::Waited);
+  // Callee B: waits on one path, leaves it pending on another.
+  const Relation Sometimes =
+      Always | relationPair(BState::Joined, BState::Joined);
+
+  const StateMask FromJoin = stateBit(BState::Joined);
+  EXPECT_EQ(projectRelation(Always, FromJoin), stateBit(BState::Waited));
+  EXPECT_EQ(projectRelation(Sometimes, FromJoin),
+            static_cast<StateMask>(stateBit(BState::Waited) |
+                                   stateBit(BState::Joined)));
+  // Chaining through a second leak-free callee keeps the distinction.
+  EXPECT_EQ(projectRelation(composeRelation(Sometimes, Always), FromJoin),
+            stateBit(BState::Waited));
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+//===- LintOracleTest.cpp - Static-vs-dynamic cross-check -----------------===//
+///
+/// \file
+/// The torture oracle's lint cross-check (OracleOptions::LintCheck) must
+/// flag disagreement in both directions: a dynamic barrier failure on a
+/// module the analyzer called clean (rule 1), and an analyzer-proven
+/// deadlock that every scheduler policy survives (rule 2). And on clean
+/// kernels the two sides must agree silently.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+OracleOptions lintOpts() {
+  OracleOptions Opts;
+  Opts.LintCheck = true;
+  Opts.MaxWallMillis = 30'000;
+  return Opts;
+}
+
+/// Uniform straight-line kernel: clean under every config and policy, and
+/// under the analyzer.
+const char *CleanKernel = R"(memory 64
+func @kernel(0) {
+entry:
+  %0 = tid
+  joinbar b0
+  waitbar b0
+  store %0, %0
+  ret
+}
+)";
+
+/// Rule 1: the analyzer has no classic/soft mixing detector, so this
+/// module gets a clean bill — but at run time the warp splits and both
+/// sides block on the same joined barrier (the soft threshold of 32
+/// exceeds either side's arrival count), so whichever side arrives second
+/// mixes wait flavours and the barrier unit traps. The cancel keeps the
+/// soft arm's exit discipline clean; it is never reached before the trap.
+const char *MixedWaitKernel = R"(memory 64
+func @kernel(0) {
+entry:
+  joinbar b0
+  %0 = tid
+  %1 = cmplt %0, 16
+  br %1, classic, soft
+classic:
+  waitbar b0
+  ret
+soft:
+  softwait b0, 32
+  cancelbar b0
+  ret
+}
+)";
+
+/// Rule 2 seed: gate-clean as written (each arm cancels the barrier the
+/// other arm waits on), but dropping the cancels leaves the textbook
+/// cross-barrier cycle — which never deadlocks dynamically, because the
+/// branch is uniform at run time (tid < 64 always holds for a warp).
+const char *CancelGuardedKernel = R"(memory 64
+func @kernel(0) {
+entry:
+  joinbar b1
+  joinbar b2
+  %0 = tid
+  %1 = cmplt %0, 64
+  br %1, armB, armA
+armA:
+  cancelbar b2
+  waitbar b1
+  ret
+armB:
+  cancelbar b1
+  waitbar b2
+  ret
+}
+)";
+
+} // namespace
+
+TEST(LintOracleTest, CleanKernelAgrees) {
+  const OracleResult R = runDifferentialOracle(CleanKernel, lintOpts());
+  EXPECT_TRUE(R.ok()) << getFailureKindName(R.Kind) << ": " << R.Detail;
+  // Every config was linted and reported into the repro lines.
+  EXPECT_EQ(R.LintLines.size(), oracleConfigNames().size());
+  for (const std::string &Line : R.LintLines)
+    EXPECT_NE(Line.find("0 errors, 0 warnings"), std::string::npos) << Line;
+}
+
+TEST(LintOracleTest, DynamicBarrierTrapOnCleanBillIsMismatch) {
+  // Sanity: without the cross-check this is an ordinary trap verdict.
+  OracleOptions Plain = lintOpts();
+  Plain.LintCheck = false;
+  const OracleResult Base = runDifferentialOracle(MixedWaitKernel, Plain);
+  ASSERT_EQ(Base.Kind, FailureKind::Trap) << Base.Detail;
+  ASSERT_NE(Base.Detail.find("barrier"), std::string::npos) << Base.Detail;
+
+  const OracleResult R = runDifferentialOracle(MixedWaitKernel, lintOpts());
+  EXPECT_EQ(R.Kind, FailureKind::LintMismatch)
+      << getFailureKindName(R.Kind) << ": " << R.Detail;
+  EXPECT_NE(R.Detail.find("clean bill"), std::string::npos) << R.Detail;
+}
+
+TEST(LintOracleTest, ProvenDeadlockThatRunsCleanIsMismatch) {
+  // As written, both sides agree the kernel is fine.
+  {
+    const OracleResult R =
+        runDifferentialOracle(CancelGuardedKernel, lintOpts());
+    EXPECT_TRUE(R.ok()) << getFailureKindName(R.Kind) << ": " << R.Detail;
+  }
+  // A broken late pass deletes the cancels after the gate ran. The
+  // analyzer now proves a cross-barrier cycle on the 'sr' module, but the
+  // dynamically-uniform branch means every policy still finishes.
+  OracleOptions Opts = lintOpts();
+  Opts.Inject = FaultInjection::DropCancels;
+  const OracleResult R = runDifferentialOracle(CancelGuardedKernel, Opts);
+  EXPECT_EQ(R.Kind, FailureKind::LintMismatch)
+      << getFailureKindName(R.Kind) << ": " << R.Detail;
+  EXPECT_NE(R.Detail.find("lint proved"), std::string::npos) << R.Detail;
+}

@@ -52,6 +52,8 @@ void printUsage() {
       "  --watchdog-ms N    per-run wall-clock watchdog (0 disables)\n"
       "  --inject MODE      miscompile the 'sr' config: swap-br | "
       "drop-cancels\n"
+      "  --lint-oracle      cross-check the static convergence lint "
+      "against every run\n"
       "  --expect-caught    succeed iff at least one failure is caught\n"
       "  --no-shrink        skip repro minimization\n"
       "  --out DIR          directory for repro .sir files (default .)\n"
@@ -107,6 +109,8 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
         Opts.Oracle.Inject = FaultInjection::DropCancels;
       else
         return false;
+    } else if (Arg == "--lint-oracle") {
+      Opts.Oracle.LintCheck = true;
     } else if (Arg == "--expect-caught") {
       Opts.ExpectCaught = true;
     } else if (Arg == "--no-shrink") {
@@ -191,6 +195,10 @@ bool writeRepro(const std::string &Path, uint64_t Seed,
                   static_cast<unsigned long long>(Run.TraceDigest));
     Out << Line;
   }
+  // The static analyzer's verdict per config (--lint-oracle): which side
+  // of a lint-mismatch to believe starts from these lines.
+  for (const std::string &Line : Failure.LintLines)
+    Out << ";   lint:      " << Line << "\n";
   if (Shrunk)
     Out << ";   shrunk:    " << OriginalSize << " -> " << Text.size()
         << " bytes (" << Shrunk->StepsAccepted << " steps, "
