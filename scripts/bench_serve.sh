@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Records the serve-cache benchmark (BENCH_serve.json, schema
+# simtsr-bench-serve-v1) at the repository root: cold vs. warm
+# compile/simulate latency through the daemon's content-addressed caches,
+# over the full workload suite on the heaviest pipeline config.
+#
+# The digest fields (post_digest, trace_digest) must be identical on every
+# machine — they prove cached answers are bit-identical to cold ones. The
+# *_ms and *_speedup fields describe the host that ran this script. See
+# docs/SERVE.md.
+#
+# Environment overrides:
+#   WARPS  warps per grid          (default 8)
+#   SCALE  workload scale factor   (default 1.0)
+#   OUT    output file             (default BENCH_serve.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WARPS="${WARPS:-8}"
+SCALE="${SCALE:-1.0}"
+OUT="${OUT:-BENCH_serve.json}"
+
+if [ ! -x build/tools/simtsr-bench ]; then
+  cmake -B build -S .
+  cmake --build build --target simtsr-bench -j
+fi
+
+./build/tools/simtsr-bench --serve --json --warps "$WARPS" --scale "$SCALE" \
+  --out "$OUT"
+echo "Wrote $OUT (warps=$WARPS scale=$SCALE)"

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Boots the simtsr-serve daemon on a scripted stdin session — compile,
+# cached compile, simulate, stats, shutdown — and asserts the stats line
+# reports a nonzero compile-cache hit count. This is the CI serve smoke
+# (mirrors the serve_session_smoke ctest, but exercises the installed
+# binary end to end the way a client would).
+#
+# Environment overrides:
+#   SERVE    daemon binary   (default build/tools/simtsr-serve)
+#   EXAMPLE  kernel source   (default examples/listing1.sir)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE="${SERVE:-build/tools/simtsr-serve}"
+EXAMPLE="${EXAMPLE:-examples/listing1.sir}"
+
+if [ ! -x "$SERVE" ]; then
+  echo "error: $SERVE not built (cmake --build build --target simtsr-serve)" >&2
+  exit 1
+fi
+
+# JSON-escape the kernel source into one string literal.
+SOURCE=$(python3 - "$EXAMPLE" <<'EOF'
+import json, sys
+print(json.dumps(open(sys.argv[1]).read()))
+EOF
+)
+
+OUT=$({
+  echo "{\"id\":1,\"op\":\"compile\",\"source\":$SOURCE,\"pipeline\":\"sr\"}"
+  echo "{\"id\":2,\"op\":\"compile\",\"source\":$SOURCE,\"pipeline\":\"sr\"}"
+  echo "{\"id\":3,\"op\":\"simulate\",\"source\":$SOURCE,\"pipeline\":\"sr\",\"warps\":2}"
+  echo '{"id":4,"op":"stats"}'
+  echo '{"id":5,"op":"shutdown"}'
+} | "$SERVE")
+
+echo "$OUT"
+
+fail() { echo "serve smoke FAILED: $1" >&2; exit 1; }
+
+grep -q '"id":2,"ok":true,"op":"compile","cached":true' <<<"$OUT" ||
+  fail "warm compile was not served from cache"
+grep -q '"compile_cached":true' <<<"$OUT" ||
+  fail "simulate did not reuse the cached compile"
+grep -q '"status":"finished"' <<<"$OUT" ||
+  fail "simulate did not finish"
+grep -Eq '"compile_cache":\{"hits":[1-9]' <<<"$OUT" ||
+  fail "stats reported zero compile-cache hits"
+grep -q '"op":"shutdown","served":5' <<<"$OUT" ||
+  fail "shutdown did not report 5 served requests"
+
+echo "serve smoke passed"

@@ -1,0 +1,168 @@
+//===- ArgParser.cpp - Shared CLI argument parser -----------------------------===//
+
+#include "driver/ArgParser.h"
+
+#include "driver/Driver.h"
+
+#include <cstdlib>
+
+using namespace simtsr::driver;
+
+ArgParser::ArgParser(std::string Tool, std::string Positional)
+    : Tool(std::move(Tool)), Positional(std::move(Positional)) {}
+
+void ArgParser::flag(const std::string &Name, const std::string &Help,
+                     bool *Out) {
+  Option O;
+  O.Name = Name;
+  O.Help = Help;
+  O.Kind = OptKind::Flag;
+  O.FlagOut = Out;
+  Options.push_back(std::move(O));
+}
+
+void ArgParser::custom(const std::string &Name, const std::string &Metavar,
+                       const std::string &Help,
+                       std::function<bool(const std::string &)> Parse) {
+  Option O;
+  O.Name = Name;
+  O.Metavar = Metavar;
+  O.Help = Help;
+  O.Kind = OptKind::Value;
+  O.Parse = std::move(Parse);
+  Options.push_back(std::move(O));
+}
+
+void ArgParser::str(const std::string &Name, const std::string &Metavar,
+                    const std::string &Help, std::string *Out) {
+  custom(Name, Metavar, Help, [Out](const std::string &V) {
+    *Out = V;
+    return true;
+  });
+}
+
+void ArgParser::uns(const std::string &Name, const std::string &Metavar,
+                    const std::string &Help, uint64_t *Out, uint64_t Min,
+                    uint64_t Max) {
+  custom(Name, Metavar, Help, [Out, Min, Max](const std::string &V) {
+    char *End = nullptr;
+    const unsigned long long Parsed = std::strtoull(V.c_str(), &End, 10);
+    if (V.empty() || End == V.c_str() || *End != '\0' || Parsed < Min ||
+        Parsed > Max)
+      return false;
+    *Out = Parsed;
+    return true;
+  });
+}
+
+void ArgParser::num(const std::string &Name, const std::string &Metavar,
+                    const std::string &Help, int64_t *Out, int64_t Min,
+                    int64_t Max) {
+  custom(Name, Metavar, Help, [Out, Min, Max](const std::string &V) {
+    char *End = nullptr;
+    const long long Parsed = std::strtoll(V.c_str(), &End, 10);
+    if (V.empty() || End == V.c_str() || *End != '\0' || Parsed < Min ||
+        Parsed > Max)
+      return false;
+    *Out = Parsed;
+    return true;
+  });
+}
+
+void ArgParser::dbl(const std::string &Name, const std::string &Metavar,
+                    const std::string &Help, double *Out, double Min,
+                    double Max) {
+  custom(Name, Metavar, Help, [Out, Min, Max](const std::string &V) {
+    char *End = nullptr;
+    const double Parsed = std::strtod(V.c_str(), &End);
+    if (V.empty() || End == V.c_str() || *End != '\0' || Parsed <= Min ||
+        Parsed > Max)
+      return false;
+    *Out = Parsed;
+    return true;
+  });
+}
+
+void ArgParser::alias(const std::string &Name, const std::string &Canonical) {
+  Aliases.emplace_back(Name, Canonical);
+}
+
+void ArgParser::positional(std::vector<std::string> *Out) {
+  PositionalOut = Out;
+}
+
+ArgParser::Option *ArgParser::find(const std::string &Name) {
+  std::string Resolved = Name;
+  for (const auto &[Alias, Canonical] : Aliases)
+    if (Alias == Name) {
+      Resolved = Canonical;
+      break;
+    }
+  for (Option &O : Options)
+    if (O.Name == Resolved)
+      return &O;
+  return nullptr;
+}
+
+ArgParser::Result ArgParser::parse(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--version") {
+      std::printf("%s (simtsr) %s\n", Tool.c_str(), versionString());
+      return Result::Exit;
+    }
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(stdout);
+      return Result::Exit;
+    }
+    if (!Arg.empty() && Arg[0] == '-') {
+      Option *O = find(Arg);
+      if (!O) {
+        std::fprintf(stderr, "%s: unknown option '%s'\n", Tool.c_str(),
+                     Arg.c_str());
+        printUsage(stderr);
+        return Result::Error;
+      }
+      if (O->Kind == OptKind::Flag) {
+        *O->FlagOut = true;
+        continue;
+      }
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: option '%s' requires a value\n",
+                     Tool.c_str(), Arg.c_str());
+        printUsage(stderr);
+        return Result::Error;
+      }
+      const std::string Value = Argv[++I];
+      if (!O->Parse(Value)) {
+        std::fprintf(stderr, "%s: invalid value '%s' for option '%s'\n",
+                     Tool.c_str(), Value.c_str(), Arg.c_str());
+        printUsage(stderr);
+        return Result::Error;
+      }
+      continue;
+    }
+    if (!PositionalOut) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", Tool.c_str(),
+                   Arg.c_str());
+      printUsage(stderr);
+      return Result::Error;
+    }
+    PositionalOut->push_back(Arg);
+  }
+  return Result::Ok;
+}
+
+void ArgParser::printUsage(std::FILE *To) const {
+  std::fprintf(To, "usage: %s [options]%s%s\n", Tool.c_str(),
+               Positional.empty() ? "" : " ", Positional.c_str());
+  for (const Option &O : Options) {
+    std::string Left = "  " + O.Name;
+    if (O.Kind == OptKind::Value)
+      Left += " " + O.Metavar;
+    std::fprintf(To, "%-26s %s\n", Left.c_str(), O.Help.c_str());
+  }
+  std::fprintf(To, "%-26s %s\n", "  --version",
+               "print the tool and library version");
+  std::fprintf(To, "%-26s %s\n", "  --help", "show this help");
+}

@@ -1,0 +1,96 @@
+//===- ArgParser.h - Shared CLI argument parser ----------------*- C++ -*-===//
+///
+/// \file
+/// The one argument parser behind every simtsr tool. Before this existed,
+/// each of the four CLIs hand-rolled its own strtoul loop and the flag
+/// spellings drifted (--config vs --pipeline, --out meaning three different
+/// things). Tools now declare options against this parser; the canonical
+/// cross-tool flags (--pipeline, --policy, --workloads, --json, --version)
+/// are registered through the driver::addXxxFlag helpers in Driver.h so
+/// their spelling, validation and help text are identical everywhere.
+///
+/// Every tool gets --version (prints "<tool> (simtsr) <version>") and
+/// --help for free. Unknown options and malformed values print a one-line
+/// error plus the usage text to stderr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_DRIVER_ARGPARSER_H
+#define SIMTSR_DRIVER_ARGPARSER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace simtsr::driver {
+
+class ArgParser {
+public:
+  enum class Result {
+    Ok,      ///< All arguments consumed; outputs written.
+    Error,   ///< Malformed command line; message + usage printed to stderr.
+    Exit,    ///< --version or --help handled; caller should exit 0.
+  };
+
+  /// \p Tool is the program name for messages ("simtsr-bench"); \p
+  /// Positional describes trailing arguments in the usage line (e.g.
+  /// "[file.sir ...]"), empty when the tool takes none.
+  ArgParser(std::string Tool, std::string Positional = "");
+
+  /// Boolean switch: presence sets \p Out to true.
+  void flag(const std::string &Name, const std::string &Help, bool *Out);
+  /// String-valued option.
+  void str(const std::string &Name, const std::string &Metavar,
+           const std::string &Help, std::string *Out);
+  /// Unsigned option validated against [Min, Max].
+  void uns(const std::string &Name, const std::string &Metavar,
+           const std::string &Help, uint64_t *Out, uint64_t Min = 0,
+           uint64_t Max = UINT64_MAX);
+  /// Signed option validated against [Min, Max].
+  void num(const std::string &Name, const std::string &Metavar,
+           const std::string &Help, int64_t *Out, int64_t Min, int64_t Max);
+  /// Double option validated against (Min, Max].
+  void dbl(const std::string &Name, const std::string &Metavar,
+           const std::string &Help, double *Out, double Min, double Max);
+  /// Option with a custom value parser; \p Parse returns false to reject.
+  void custom(const std::string &Name, const std::string &Metavar,
+              const std::string &Help,
+              std::function<bool(const std::string &)> Parse);
+  /// Registers \p Name as an alternate spelling of \p Canonical (which
+  /// must already be registered). Aliases are accepted but not listed in
+  /// the usage text.
+  void alias(const std::string &Name, const std::string &Canonical);
+  /// Accept non-option arguments into \p Out; without this, positional
+  /// arguments are errors.
+  void positional(std::vector<std::string> *Out);
+
+  Result parse(int Argc, char **Argv);
+  void printUsage(std::FILE *To) const;
+
+  const std::string &toolName() const { return Tool; }
+
+private:
+  enum class OptKind { Flag, Value };
+  struct Option {
+    std::string Name;
+    std::string Metavar;
+    std::string Help;
+    OptKind Kind;
+    bool *FlagOut = nullptr;
+    std::function<bool(const std::string &)> Parse;
+  };
+
+  Option *find(const std::string &Name);
+
+  std::string Tool;
+  std::string Positional;
+  std::vector<Option> Options;
+  std::vector<std::pair<std::string, std::string>> Aliases;
+  std::vector<std::string> *PositionalOut = nullptr;
+};
+
+} // namespace simtsr::driver
+
+#endif // SIMTSR_DRIVER_ARGPARSER_H

@@ -1,0 +1,199 @@
+//===- Driver.cpp - Shared tool driver facade ---------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "fuzz/KernelGen.h"
+#include "ir/Parser.h"
+#include "observe/Remark.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace simtsr;
+using namespace simtsr::driver;
+
+const char *simtsr::driver::versionString() { return "0.5.0"; }
+
+const char *simtsr::driver::policyName(SchedulerPolicy P) {
+  switch (P) {
+  case SchedulerPolicy::MaxConvergence:
+    return "max-convergence";
+  case SchedulerPolicy::MinPC:
+    return "min-pc";
+  case SchedulerPolicy::RoundRobin:
+    return "round-robin";
+  }
+  return "unknown";
+}
+
+bool simtsr::driver::parsePolicyName(const std::string &Name,
+                                     SchedulerPolicy &Out) {
+  if (Name == "max-convergence" || Name == "maxconv") {
+    Out = SchedulerPolicy::MaxConvergence;
+    return true;
+  }
+  if (Name == "min-pc" || Name == "minpc") {
+    Out = SchedulerPolicy::MinPC;
+    return true;
+  }
+  if (Name == "round-robin" || Name == "rr") {
+    Out = SchedulerPolicy::RoundRobin;
+    return true;
+  }
+  return false;
+}
+
+void simtsr::driver::addPipelineFlags(ArgParser &P, ToolConfig &C) {
+  P.custom("--pipeline", "NAME",
+           "pipeline config: none, all, or one of noop, pdom, sr, sr+ip, "
+           "soft, sr+ip+realloc",
+           [&C](const std::string &V) {
+             if (V != "none" && V != "all" && !standardPipelineByName(V))
+               return false;
+             C.Pipeline = V;
+             return true;
+           });
+  P.num("--soft-threshold", "N",
+        "threshold for the 'soft' config (default 8)", &C.SoftThreshold, 0,
+        64);
+}
+
+void simtsr::driver::addPolicyFlag(ArgParser &P, ToolConfig &C) {
+  P.custom("--policy", "P", "max-convergence | min-pc | round-robin",
+           [&C](const std::string &V) {
+             return parsePolicyName(V, C.Policy);
+           });
+}
+
+void simtsr::driver::addWorkloadFlags(ArgParser &P, ToolConfig &C) {
+  P.flag("--workloads", "include the Table 2 workload suite",
+         &C.Workloads);
+  P.dbl("--scale", "S", "workload scale factor in (0, 1]", &C.Scale, 0.0,
+        1.0);
+}
+
+void simtsr::driver::addCorpusFlags(ArgParser &P, ToolConfig &C) {
+  P.uns("--corpus", "N", "include N generated fuzz kernels", &C.Corpus, 0,
+        1u << 20);
+  P.uns("--start-seed", "N", "first corpus seed (default 0)", &C.StartSeed);
+}
+
+void simtsr::driver::addJsonFlag(ArgParser &P, ToolConfig &C) {
+  P.flag("--json", "emit machine-readable JSON instead of text", &C.Json);
+}
+
+void simtsr::driver::addLaunchFlags(ArgParser &P, ToolConfig &C) {
+  P.uns("--warps", "N", "warps per grid", &C.Warps, 1, 4096);
+  P.uns("--seed", "N", "launch seed", &C.Seed);
+}
+
+void simtsr::driver::addFileArgs(ArgParser &P, ToolConfig &C) {
+  P.positional(&C.Files);
+}
+
+std::unique_ptr<Module>
+InputUnit::rebuild(std::vector<std::string> *Errors) const {
+  if (From == Origin::Workload)
+    return W->M->clone();
+  ParseResult P = parseModule(Text);
+  if (!P.ok()) {
+    if (Errors)
+      for (const std::string &E : P.Errors)
+        Errors->push_back(Name + ": " + E);
+    return nullptr;
+  }
+  return std::move(P.M);
+}
+
+InputSet simtsr::driver::loadInputs(const ToolConfig &C) {
+  InputSet Set;
+  for (const std::string &Path : C.Files) {
+    InputUnit U;
+    U.Name = baseName(Path);
+    U.From = InputUnit::Origin::File;
+    std::string Error;
+    if (!readFileToString(Path, U.Text, Error)) {
+      Set.Errors.push_back(Error);
+      continue;
+    }
+    Set.Units.push_back(std::move(U));
+  }
+  if (C.Workloads) {
+    Set.Suite = makeAllWorkloads(C.Scale);
+    for (const Workload &W : Set.Suite) {
+      InputUnit U;
+      U.Name = W.Name;
+      U.From = InputUnit::Origin::Workload;
+      U.W = &W;
+      Set.Units.push_back(std::move(U));
+    }
+  }
+  for (uint64_t S = 0; S < C.Corpus; ++S) {
+    GenOptions G;
+    G.Seed = C.StartSeed + S;
+    InputUnit U;
+    U.Name = "seed" + std::to_string(G.Seed);
+    U.From = InputUnit::Origin::Corpus;
+    U.Text = generateKernelText(G);
+    Set.Units.push_back(std::move(U));
+  }
+  return Set;
+}
+
+std::optional<std::vector<std::string>>
+simtsr::driver::expandPipelineSpec(const std::string &Spec) {
+  if (Spec == "all")
+    return standardPipelineNames();
+  if (Spec == "none" || standardPipelineByName(Spec))
+    return std::vector<std::string>{Spec};
+  return std::nullopt;
+}
+
+std::optional<PipelineReport>
+simtsr::driver::runConfiguredPipeline(Module &M, const std::string &Name,
+                                      int SoftThreshold,
+                                      observe::RemarkStream *Remarks) {
+  if (Name == "none")
+    return PipelineReport{};
+  std::optional<PipelineOptions> Opts =
+      standardPipelineByName(Name, SoftThreshold);
+  if (!Opts)
+    return std::nullopt;
+  Opts->Remarks = Remarks;
+  return runSyncPipeline(M, *Opts);
+}
+
+bool simtsr::driver::readFileToString(const std::string &Path,
+                                      std::string &Out, std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot read '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+bool simtsr::driver::writeStringToFile(const std::string &Path,
+                                       const std::string &Content,
+                                       std::string &Error) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << Content;
+  Out.flush();
+  if (!Out.good()) {
+    Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+std::string simtsr::driver::baseName(const std::string &Path) {
+  const size_t Slash = Path.find_last_of('/');
+  return Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+}

@@ -1,0 +1,143 @@
+//===- Driver.h - Shared tool driver facade --------------------*- C++ -*-===//
+///
+/// \file
+/// The public facade every simtsr front end (the four CLIs, the serve
+/// daemon, external embedders) builds on. It owns the glue that each tool
+/// previously re-implemented:
+///
+///  - ToolConfig: the cross-tool knobs (pipeline config, scheduler policy,
+///    warps/scale/seed, input selection) with one canonical flag spelling
+///    each, registered through the addXxxFlags helpers;
+///  - input loading: `.sir` files, the Table 2 workload suite and
+///    generated fuzz corpora are presented as one uniform InputUnit list,
+///    each unit able to rebuild a fresh module per pipeline config
+///    (pipelines mutate modules in place);
+///  - pipeline running: name -> PipelineOptions resolution ("none", "all"
+///    and the standard catalog) plus remark plumbing;
+///  - small file IO helpers shared by every tool.
+///
+/// See docs/SERVE.md for how the daemon maps protocol requests onto this
+/// facade and README.md for the canonical flag table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_DRIVER_DRIVER_H
+#define SIMTSR_DRIVER_DRIVER_H
+
+#include "driver/ArgParser.h"
+#include "kernels/Workload.h"
+#include "sim/Warp.h"
+#include "transform/Pipeline.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simtsr::observe {
+class RemarkStream;
+} // namespace simtsr::observe
+
+namespace simtsr::driver {
+
+/// The library version every tool's --version reports.
+const char *versionString();
+
+/// Canonical scheduler-policy spellings: "max-convergence", "min-pc",
+/// "round-robin" (the short forms "maxconv", "minpc", "rr" are accepted).
+const char *policyName(SchedulerPolicy P);
+bool parsePolicyName(const std::string &Name, SchedulerPolicy &Out);
+
+/// Cross-tool configuration carried by the shared flags.
+struct ToolConfig {
+  /// --pipeline: "none", "all" or a standard config name.
+  std::string Pipeline = "none";
+  /// --policy.
+  SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
+  /// --workloads: include the Table 2 suite in the input set.
+  bool Workloads = false;
+  /// --json: machine-readable output.
+  bool Json = false;
+  uint64_t Warps = 2;      ///< --warps
+  double Scale = 1.0;      ///< --scale
+  uint64_t Seed = 2020;    ///< --seed
+  int64_t SoftThreshold = 8; ///< --soft-threshold
+  uint64_t Corpus = 0;     ///< --corpus: generated fuzz kernels to load.
+  uint64_t StartSeed = 0;  ///< --start-seed: first corpus seed.
+  /// Positional `.sir` files.
+  std::vector<std::string> Files;
+};
+
+/// Registers --pipeline and --soft-threshold.
+void addPipelineFlags(ArgParser &P, ToolConfig &C);
+/// Registers --policy.
+void addPolicyFlag(ArgParser &P, ToolConfig &C);
+/// Registers --workloads and --scale.
+void addWorkloadFlags(ArgParser &P, ToolConfig &C);
+/// Registers --corpus and --start-seed.
+void addCorpusFlags(ArgParser &P, ToolConfig &C);
+/// Registers --json.
+void addJsonFlag(ArgParser &P, ToolConfig &C);
+/// Registers --warps and --seed.
+void addLaunchFlags(ArgParser &P, ToolConfig &C);
+/// Registers positional `.sir` file arguments.
+void addFileArgs(ArgParser &P, ToolConfig &C);
+
+/// One loadable compilation unit from files/workloads/corpus.
+struct InputUnit {
+  enum class Origin { File, Workload, Corpus };
+
+  std::string Name; ///< File basename, workload name, or "seed<N>".
+  Origin From = Origin::File;
+  /// `.sir` source text (File and Corpus units; empty for workloads,
+  /// which rebuild by cloning the suite's module).
+  std::string Text;
+  /// Workload units: the suite entry (owned by the enclosing InputSet).
+  const Workload *W = nullptr;
+
+  /// Builds a fresh module for one pipeline run (pipelines mutate modules
+  /// in place, so every config needs its own copy). Returns null and
+  /// appends diagnostics to \p Errors on parse failure.
+  std::unique_ptr<Module> rebuild(std::vector<std::string> *Errors) const;
+};
+
+struct InputSet {
+  /// Keeps workload modules alive for the units that reference them.
+  std::vector<Workload> Suite;
+  std::vector<InputUnit> Units;
+  /// File-IO problems discovered while loading (missing files, ...).
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Loads every input the config selects, in deterministic order: files
+/// first (command-line order), then the workload suite, then the corpus.
+InputSet loadInputs(const ToolConfig &C);
+
+/// Expands \p Spec ("none", "all", or one config name) into the list of
+/// configs a tool should run; std::nullopt for unknown names.
+std::optional<std::vector<std::string>>
+expandPipelineSpec(const std::string &Spec);
+
+/// Runs standard pipeline config \p Name over \p M ("none" runs nothing
+/// and reports an empty PipelineReport). Remarks land in \p Remarks when
+/// non-null. std::nullopt for unknown config names.
+std::optional<PipelineReport>
+runConfiguredPipeline(Module &M, const std::string &Name,
+                      int SoftThreshold = 8,
+                      observe::RemarkStream *Remarks = nullptr);
+
+/// Reads \p Path into \p Out; on failure returns false and sets \p Error.
+bool readFileToString(const std::string &Path, std::string &Out,
+                      std::string &Error);
+/// Writes \p Content to \p Path; on failure returns false and sets
+/// \p Error.
+bool writeStringToFile(const std::string &Path, const std::string &Content,
+                       std::string &Error);
+/// \returns the path's final component ("a/b/c.sir" -> "c.sir").
+std::string baseName(const std::string &Path);
+
+} // namespace simtsr::driver
+
+#endif // SIMTSR_DRIVER_DRIVER_H

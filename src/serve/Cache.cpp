@@ -1,0 +1,68 @@
+//===- Cache.cpp - Content-addressed compile and simulate caches --------------===//
+
+#include "serve/Cache.h"
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+uint64_t simtsr::serve::fnv1a(const std::string &Bytes, uint64_t Seed) {
+  uint64_t Hash = Seed;
+  for (const char C : Bytes) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+uint64_t simtsr::serve::fnv1aMix(uint64_t Acc, uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    Acc ^= (V >> (I * 8)) & 0xff;
+    Acc *= 0x100000001b3ull;
+  }
+  return Acc;
+}
+
+std::string simtsr::serve::pipelineCacheAxes(const PipelineOptions &O) {
+  // Every axis that can change the compiled module, spelled explicitly so
+  // a new PipelineOptions field that matters is a conscious addition here
+  // (and a cache-key change, which is exactly what it should be).
+  std::string S = "pdom=";
+  S += O.PdomSync ? '1' : '0';
+  S += ";sr=";
+  S += O.ApplySR ? '1' : '0';
+  S += ";soft=" + std::to_string(O.SR.SoftThreshold);
+  S += ";exitbar=";
+  S += O.SR.RegionExitBarrier ? '1' : '0';
+  S += ";strip=";
+  S += O.StripPredicts ? '1' : '0';
+  S += ";interproc=";
+  S += O.Interprocedural ? '1' : '0';
+  S += ";deconflict=";
+  S += O.Deconflict == DeconflictStrategy::Static ? "static" : "dynamic";
+  S += ";realloc=";
+  S += O.ReallocBarriers ? '1' : '0';
+  return S;
+}
+
+uint64_t simtsr::serve::compileKey(const std::string &Source,
+                                   const PipelineOptions &O) {
+  // Chain source and axes through one digest; the separator keeps
+  // (source + axes) concatenation unambiguous.
+  uint64_t Hash = fnv1a(Source);
+  Hash = fnv1a("\x1f", Hash);
+  return fnv1a(pipelineCacheAxes(O), Hash);
+}
+
+uint64_t simtsr::serve::compileKeyNamed(const std::string &Source,
+                                        const std::string &PipelineName,
+                                        int SoftThreshold) {
+  std::string Axes = "none";
+  if (PipelineName != "none") {
+    const std::optional<PipelineOptions> O =
+        standardPipelineByName(PipelineName, SoftThreshold);
+    Axes = O ? pipelineCacheAxes(*O) : "unknown:" + PipelineName;
+  }
+  uint64_t Hash = fnv1a(Source);
+  Hash = fnv1a("\x1f", Hash);
+  return fnv1a(Axes, Hash);
+}

@@ -1,0 +1,173 @@
+//===- Cache.h - Content-addressed compile and simulate caches -*- C++ -*-===//
+///
+/// \file
+/// The serve daemon's memory: repeated work is answered from here instead
+/// of re-running the pass stack or the simulator.
+///
+/// Everything is keyed by content, never by session state:
+///
+///  - a *compile key* is the FNV-1a-64 digest of (source text, canonical
+///    pipeline-axis string) — the same kernel compiled under the same
+///    PipelineOptions axes hits the cache no matter who sends it or when;
+///  - a *post digest* fingerprints the post-pipeline module text — two
+///    different (source, pipeline) pairs that compile to the same code
+///    share downstream simulation results;
+///  - a *simulate key* mixes the post digest with every launch axis that
+///    can change the schedule (kernel name, warps, warp size, seed,
+///    scheduler policy, kernel arguments).
+///
+/// Cached results are bit-identical to cold runs by construction: the
+/// entry stores the deterministic outputs (module text, remarks, SimStats,
+/// trace digest), and the observe-layer digests let callers prove it
+/// (tests/serve/ServeCacheTest.cpp does, across every pipeline config).
+///
+/// Both caches are bounded LRU maps, safe for concurrent access; entries
+/// are immutable once inserted and handed out as shared_ptr-to-const so a
+/// hit never races an eviction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SERVE_CACHE_H
+#define SIMTSR_SERVE_CACHE_H
+
+#include "ir/Module.h"
+#include "sim/Warp.h"
+#include "transform/Pipeline.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace simtsr::serve {
+
+/// FNV-1a-64 over \p Bytes starting from \p Seed (chainable).
+uint64_t fnv1a(const std::string &Bytes,
+               uint64_t Seed = 0xcbf29ce484222325ull);
+/// Folds one 64-bit value into an FNV-1a accumulator byte by byte.
+uint64_t fnv1aMix(uint64_t Acc, uint64_t V);
+
+/// Canonical serialization of every PipelineOptions axis that affects the
+/// compiled module. Two options structs with equal axis strings compile
+/// any source identically.
+std::string pipelineCacheAxes(const PipelineOptions &O);
+
+/// Content address of compiling \p Source under \p O.
+uint64_t compileKey(const std::string &Source, const PipelineOptions &O);
+
+/// compileKey by standard config name; "none" (no passes) keys on the
+/// literal axis string "none". \p SoftThreshold only matters for configs
+/// with a soft-threshold axis, exactly as in the pipeline catalog.
+uint64_t compileKeyNamed(const std::string &Source,
+                         const std::string &PipelineName, int SoftThreshold);
+
+/// One compiled module, or the diagnostics explaining why it did not
+/// compile (failures are cached too: same source, same answer).
+struct CompileEntry {
+  uint64_t Key = 0;
+  std::string PipelineName;
+  bool Ok = false;
+  /// Parse/launch-verifier diagnostics when !Ok.
+  std::vector<std::string> Errors;
+  /// Post-pipeline module; immutable (simulation runs take const refs).
+  std::shared_ptr<const Module> M;
+  std::string PostText;    ///< printModule(*M) — the content layer.
+  uint64_t PostDigest = 0; ///< fnv1a(PostText).
+  std::string KernelName;  ///< First function; the default launch target.
+  std::string RemarksJsonl;
+  unsigned RemarkCount = 0;
+  unsigned Downgrades = 0;
+  std::vector<std::string> VerifierDiagnostics;
+  /// verifyLaunchModule(*M), computed once and reused by every simulate
+  /// launch of this entry (Launch.M points at *M above).
+  LaunchVerification Launch;
+};
+
+/// One simulation outcome. Every field is deterministic given the
+/// simulate key, which is what makes caching sound.
+struct SimEntry {
+  uint64_t Key = 0;
+  bool Ok = false;
+  std::string Status; ///< "finished", "deadlock", "trap", ...
+  std::string FailMessage;
+  unsigned WarpsRun = 0;
+  uint64_t Cycles = 0;
+  uint64_t IssueSlots = 0;
+  double SimtEfficiency = 0.0;
+  uint64_t Checksum = 0;
+  uint64_t TraceDigest = 0;
+};
+
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Entries = 0;
+  uint64_t Evictions = 0;
+};
+
+/// Bounded LRU map from 64-bit content keys to immutable entries.
+template <typename EntryT> class ContentCache {
+public:
+  explicit ContentCache(size_t Capacity) : Capacity(Capacity) {}
+
+  /// \returns the cached entry (promoting it to most-recently-used) or
+  /// null. Counts a hit or a miss.
+  std::shared_ptr<const EntryT> lookup(uint64_t Key) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Map.find(Key);
+    if (It == Map.end()) {
+      ++Stat.Misses;
+      return nullptr;
+    }
+    ++Stat.Hits;
+    Recency.splice(Recency.begin(), Recency, It->second.Where);
+    return It->second.Entry;
+  }
+
+  /// Inserts \p E under its key; a concurrent duplicate insert keeps the
+  /// first entry (both are bit-identical by construction). Evicts the
+  /// least-recently-used entry beyond capacity.
+  void insert(std::shared_ptr<const EntryT> E) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    const uint64_t Key = E->Key;
+    if (Map.count(Key))
+      return;
+    Recency.push_front(Key);
+    Map.emplace(Key, Slot{std::move(E), Recency.begin()});
+    if (Map.size() > Capacity) {
+      const uint64_t Victim = Recency.back();
+      Recency.pop_back();
+      Map.erase(Victim);
+      ++Stat.Evictions;
+    }
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    CacheStats S = Stat;
+    S.Entries = Map.size();
+    return S;
+  }
+
+private:
+  struct Slot {
+    std::shared_ptr<const EntryT> Entry;
+    std::list<uint64_t>::iterator Where;
+  };
+
+  mutable std::mutex Mutex;
+  const size_t Capacity;
+  std::unordered_map<uint64_t, Slot> Map;
+  std::list<uint64_t> Recency; ///< Front = most recently used.
+  CacheStats Stat;
+};
+
+using CompileCache = ContentCache<CompileEntry>;
+using SimCache = ContentCache<SimEntry>;
+
+} // namespace simtsr::serve
+
+#endif // SIMTSR_SERVE_CACHE_H

@@ -1,0 +1,434 @@
+//===- Protocol.cpp - serve request/response protocol -------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "driver/Driver.h"
+#include "support/Json.h"
+#include "transform/Pipeline.h"
+
+#include <cstdlib>
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+const char *simtsr::serve::protocolVersion() { return "simtsr-serve-v1"; }
+
+const char *simtsr::serve::getRequestOpName(RequestOp Op) {
+  switch (Op) {
+  case RequestOp::Compile:
+    return "compile";
+  case RequestOp::Simulate:
+    return "simulate";
+  case RequestOp::Lint:
+    return "lint";
+  case RequestOp::Stats:
+    return "stats";
+  case RequestOp::Shutdown:
+    return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool parseOpName(const std::string &Name, RequestOp &Out) {
+  if (Name == "compile")
+    Out = RequestOp::Compile;
+  else if (Name == "simulate")
+    Out = RequestOp::Simulate;
+  else if (Name == "lint")
+    Out = RequestOp::Lint;
+  else if (Name == "stats")
+    Out = RequestOp::Stats;
+  else if (Name == "shutdown")
+    Out = RequestOp::Shutdown;
+  else
+    return false;
+  return true;
+}
+
+/// "0x"-prefixed 16-digit hex (the jsonHex64 format) -> uint64.
+bool parseHexKey(const std::string &S, uint64_t &Out) {
+  if (S.size() < 3 || S[0] != '0' || (S[1] != 'x' && S[1] != 'X'))
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str() + 2, &End, 16);
+  return End && *End == '\0' && End != S.c_str() + 2;
+}
+
+struct FieldError {
+  std::string Code, Detail;
+  explicit operator bool() const { return !Code.empty(); }
+};
+
+FieldError bad(const std::string &Detail) {
+  return {"bad_request", Detail};
+}
+
+/// Applies one request field; returns a FieldError on any problem.
+FieldError applyField(Request &R, const std::string &Key,
+                      const JsonValue &V) {
+  if (Key == "id")
+    return {}; // Consumed before dispatch.
+  if (Key == "op")
+    return {}; // Likewise.
+  if (Key == "source") {
+    if (!V.isString())
+      return bad("\"source\" must be a string");
+    R.Source = V.asString();
+    R.HasSource = true;
+    return {};
+  }
+  if (Key == "module") {
+    if (!V.isString() || !parseHexKey(V.asString(), R.ModuleKey))
+      return bad("\"module\" must be a \"0x...\" compile key");
+    R.HasModuleKey = true;
+    return {};
+  }
+  if (Key == "pipeline") {
+    const std::string Name = V.asString();
+    if (!V.isString() ||
+        (Name != "none" && !standardPipelineByName(Name)))
+      return bad("unknown pipeline '" + Name + "'");
+    R.Pipeline = Name;
+    return {};
+  }
+  if (Key == "soft_threshold") {
+    if (!V.isIntegral() || V.asInt() < 0 || V.asInt() > 64)
+      return bad("\"soft_threshold\" must be an integer in [0, 64]");
+    R.SoftThreshold = static_cast<int>(V.asInt());
+    return {};
+  }
+  if (Key == "policy") {
+    if (!V.isString() || !driver::parsePolicyName(V.asString(), R.Policy))
+      return bad("unknown policy '" + V.asString() + "'");
+    return {};
+  }
+  if (Key == "warps") {
+    if (!V.isIntegral() || V.asInt() < 1 || V.asInt() > 4096)
+      return bad("\"warps\" must be an integer in [1, 4096]");
+    R.Warps = static_cast<uint64_t>(V.asInt());
+    return {};
+  }
+  if (Key == "warp_size") {
+    if (!V.isIntegral() || V.asInt() < 1 || V.asInt() > 64)
+      return bad("\"warp_size\" must be an integer in [1, 64]");
+    R.WarpSize = static_cast<unsigned>(V.asInt());
+    return {};
+  }
+  if (Key == "seed") {
+    if (!V.isIntegral() || V.asInt() < 0)
+      return bad("\"seed\" must be a non-negative integer");
+    R.Seed = static_cast<uint64_t>(V.asInt());
+    return {};
+  }
+  if (Key == "args") {
+    if (!V.isArray())
+      return bad("\"args\" must be an array of integers");
+    R.Args.clear();
+    for (const JsonValue &Item : V.items()) {
+      if (!Item.isIntegral())
+        return bad("\"args\" must be an array of integers");
+      R.Args.push_back(Item.asInt());
+    }
+    return {};
+  }
+  if (Key == "kernel") {
+    if (!V.isString())
+      return bad("\"kernel\" must be a string");
+    R.Kernel = V.asString();
+    return {};
+  }
+  if (Key == "want_module") {
+    if (!V.isBool())
+      return bad("\"want_module\" must be a boolean");
+    R.WantModule = V.asBool();
+    return {};
+  }
+  if (Key == "want_remarks") {
+    if (!V.isBool())
+      return bad("\"want_remarks\" must be a boolean");
+    R.WantRemarks = V.asBool();
+    return {};
+  }
+  if (Key == "notes") {
+    if (!V.isBool())
+      return bad("\"notes\" must be a boolean");
+    R.Notes = V.asBool();
+    return {};
+  }
+  return bad("unknown field \"" + Key + "\"");
+}
+
+} // namespace
+
+RequestParse simtsr::serve::parseRequest(const std::string &Line) {
+  RequestParse P;
+  const JsonParseResult J = parseJson(Line);
+  if (!J.ok()) {
+    P.Error = "parse_error";
+    P.Detail = J.Error;
+    return P;
+  }
+  if (!J.Value.isObject()) {
+    P.Error = "bad_request";
+    P.Detail = "request must be a JSON object";
+    return P;
+  }
+
+  // The id first, so even a broken request gets a correlated response.
+  if (const JsonValue *Id = J.Value.field("id")) {
+    if (!Id->isIntegral() || Id->asInt() < 0) {
+      P.Error = "bad_request";
+      P.Detail = "\"id\" must be a non-negative integer";
+      return P;
+    }
+    P.R.Id = Id->asInt();
+    P.R.HasId = true;
+  }
+  const JsonValue *Op = J.Value.field("op");
+  if (!Op || !Op->isString() || !parseOpName(Op->asString(), P.R.Op)) {
+    P.Error = "bad_request";
+    P.Detail = Op ? "unknown op '" + Op->asString() + "'"
+                  : "missing \"op\" field";
+    return P;
+  }
+  if (!P.R.HasId) {
+    P.Error = "bad_request";
+    P.Detail = "missing \"id\" field";
+    return P;
+  }
+
+  P.R.Pipeline = P.R.Op == RequestOp::Lint ? "none" : "pdom";
+  for (const auto &[Key, Value] : J.Value.fields()) {
+    if (const FieldError E = applyField(P.R, Key, Value)) {
+      P.Error = E.Code;
+      P.Detail = E.Detail;
+      return P;
+    }
+  }
+
+  // Op-specific shape checks.
+  switch (P.R.Op) {
+  case RequestOp::Compile:
+  case RequestOp::Lint:
+    if (!P.R.HasSource) {
+      P.Error = "bad_request";
+      P.Detail = "\"source\" is required for op \"" +
+                 std::string(getRequestOpName(P.R.Op)) + "\"";
+    }
+    break;
+  case RequestOp::Simulate:
+    if (P.R.HasSource == P.R.HasModuleKey) {
+      P.Error = "bad_request";
+      P.Detail = "simulate needs exactly one of \"source\" and \"module\"";
+    }
+    break;
+  case RequestOp::Stats:
+  case RequestOp::Shutdown:
+    break;
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Response rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Opens the common response prefix: {"id":N,"ok":...,"op":"..."}.
+void beginResponse(JsonWriter &W, const Request &R, bool Ok) {
+  W.beginObject();
+  if (R.HasId) {
+    W.key("id");
+    W.number(R.Id);
+  }
+  W.key("ok");
+  W.boolean(Ok);
+  W.key("op");
+  W.string(getRequestOpName(R.Op));
+}
+
+std::string fixed6(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string simtsr::serve::renderErrorResponse(const Request &R,
+                                               const std::string &Code,
+                                               const std::string &Detail) {
+  JsonWriter W;
+  beginResponse(W, R, false);
+  W.key("error");
+  W.string(Code);
+  W.key("detail");
+  W.string(Detail);
+  W.endObject();
+  return W.take();
+}
+
+std::string simtsr::serve::renderCompileResponse(const Request &R,
+                                                 const CompileEntry &E,
+                                                 bool Cached) {
+  JsonWriter W;
+  beginResponse(W, R, E.Ok);
+  W.key("cached");
+  W.boolean(Cached);
+  if (!E.Ok) {
+    W.key("error");
+    W.string("compile_error");
+    W.key("detail");
+    std::string Joined;
+    for (const std::string &Err : E.Errors) {
+      if (!Joined.empty())
+        Joined += "; ";
+      Joined += Err;
+    }
+    W.string(Joined);
+    W.endObject();
+    return W.take();
+  }
+  W.key("module");
+  W.string(jsonHex64(E.Key));
+  W.key("post_digest");
+  W.string(jsonHex64(E.PostDigest));
+  W.key("kernel");
+  W.string(E.KernelName);
+  W.key("pipeline");
+  W.string(E.PipelineName);
+  W.key("verifier_clean");
+  W.boolean(E.VerifierDiagnostics.empty());
+  W.key("downgrades");
+  W.numberUnsigned(E.Downgrades);
+  W.key("remarks");
+  W.numberUnsigned(E.RemarkCount);
+  if (R.WantModule) {
+    W.key("source");
+    W.string(E.PostText);
+  }
+  if (R.WantRemarks) {
+    W.key("remarks_jsonl");
+    W.string(E.RemarksJsonl);
+  }
+  W.endObject();
+  return W.take();
+}
+
+std::string simtsr::serve::renderSimulateResponse(const Request &R,
+                                                  const CompileEntry &CE,
+                                                  const SimEntry &E,
+                                                  bool CompileCached,
+                                                  bool SimCached) {
+  JsonWriter W;
+  beginResponse(W, R, E.Ok);
+  W.key("cached");
+  W.boolean(SimCached);
+  W.key("compile_cached");
+  W.boolean(CompileCached);
+  W.key("module");
+  W.string(jsonHex64(CE.Key));
+  W.key("post_digest");
+  W.string(jsonHex64(CE.PostDigest));
+  W.key("status");
+  W.string(E.Status);
+  if (!E.Ok) {
+    W.key("detail");
+    W.string(E.FailMessage);
+  }
+  W.key("warps");
+  W.numberUnsigned(E.WarpsRun);
+  W.key("cycles");
+  W.numberUnsigned(E.Cycles);
+  W.key("issue_slots");
+  W.numberUnsigned(E.IssueSlots);
+  W.key("simt_efficiency");
+  W.raw(fixed6(E.SimtEfficiency));
+  W.key("checksum");
+  W.string(jsonHex64(E.Checksum));
+  W.key("trace_digest");
+  W.string(jsonHex64(E.TraceDigest));
+  W.endObject();
+  return W.take();
+}
+
+std::string simtsr::serve::renderLintResponse(const Request &R,
+                                              const CompileEntry &CE,
+                                              bool CompileCached,
+                                              const LintSummary &L) {
+  JsonWriter W;
+  beginResponse(W, R, true);
+  W.key("compile_cached");
+  W.boolean(CompileCached);
+  W.key("module");
+  W.string(jsonHex64(CE.Key));
+  W.key("errors");
+  W.numberUnsigned(L.Errors);
+  W.key("warnings");
+  W.numberUnsigned(L.Warnings);
+  W.key("notes");
+  W.numberUnsigned(L.Notes);
+  W.key("findings");
+  W.beginArray();
+  for (const std::string &F : L.Findings)
+    W.string(F);
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+std::string simtsr::serve::renderStatsResponse(const Request &R,
+                                               const StatsSnapshot &S) {
+  JsonWriter W;
+  beginResponse(W, R, true);
+  W.key("schema");
+  W.string(protocolVersion());
+  W.key("requests");
+  W.numberUnsigned(S.Requests);
+  W.key("rejected");
+  W.numberUnsigned(S.Rejected);
+  W.key("queue_depth");
+  W.numberUnsigned(S.QueueDepth);
+  W.key("queue_limit");
+  W.numberUnsigned(S.QueueLimit);
+  for (const auto &[Name, C] :
+       {std::pair<const char *, const CacheStats &>{"compile_cache",
+                                                    S.Compile},
+        std::pair<const char *, const CacheStats &>{"sim_cache", S.Sim}}) {
+    W.key(Name);
+    W.beginObject();
+    W.key("hits");
+    W.numberUnsigned(C.Hits);
+    W.key("misses");
+    W.numberUnsigned(C.Misses);
+    W.key("entries");
+    W.numberUnsigned(C.Entries);
+    W.key("evictions");
+    W.numberUnsigned(C.Evictions);
+    W.endObject();
+  }
+  W.key("latency_us");
+  W.beginObject();
+  W.key("p50");
+  W.numberUnsigned(S.P50Micros);
+  W.key("p90");
+  W.numberUnsigned(S.P90Micros);
+  W.key("p99");
+  W.numberUnsigned(S.P99Micros);
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+std::string simtsr::serve::renderShutdownResponse(const Request &R,
+                                                  uint64_t Served) {
+  JsonWriter W;
+  beginResponse(W, R, true);
+  W.key("served");
+  W.numberUnsigned(Served);
+  W.endObject();
+  return W.take();
+}

@@ -1,0 +1,119 @@
+//===- Protocol.h - serve request/response protocol ------------*- C++ -*-===//
+///
+/// \file
+/// The JSON-lines protocol the serve daemon speaks (docs/SERVE.md): one
+/// request object per input line, one response object per output line,
+/// correlated by the client-chosen "id" — responses may arrive out of
+/// order, because requests are dispatched asynchronously.
+///
+/// Requests: {"id": N, "op": "compile" | "simulate" | "lint" | "stats" |
+/// "shutdown", ...op-specific fields}. Unknown fields and malformed values
+/// are errors, not warnings — a typo'd field name silently changing the
+/// launch would poison cached results.
+///
+/// Responses always carry "id" (when one could be parsed), "ok" and "op";
+/// failures add "error" (a stable machine-readable code) and "detail".
+/// Rendering is deterministic — fixed field order, fixed number formats —
+/// so the protocol can be golden-tested byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SERVE_PROTOCOL_H
+#define SIMTSR_SERVE_PROTOCOL_H
+
+#include "serve/Cache.h"
+#include "sim/Warp.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simtsr::serve {
+
+/// Schema tag reported by stats responses and BENCH_serve.json.
+const char *protocolVersion(); // "simtsr-serve-v1"
+
+enum class RequestOp { Compile, Simulate, Lint, Stats, Shutdown };
+
+const char *getRequestOpName(RequestOp Op);
+
+struct Request {
+  bool HasId = false;
+  int64_t Id = 0;
+  RequestOp Op = RequestOp::Stats;
+
+  /// Inline `.sir` source (compile/lint, and simulate without "module").
+  std::string Source;
+  bool HasSource = false;
+  /// Compile-key reference "0x..." of a previously compiled module
+  /// (simulate only; mutually exclusive with "source").
+  uint64_t ModuleKey = 0;
+  bool HasModuleKey = false;
+
+  std::string Pipeline; ///< Defaults to "pdom" (lint: "none").
+  int SoftThreshold = 8;
+  SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
+  uint64_t Warps = 1;
+  unsigned WarpSize = 32;
+  uint64_t Seed = 1;
+  std::vector<int64_t> Args;
+  std::string Kernel; ///< Launch target; empty = the module's first function.
+
+  bool WantModule = false;  ///< compile: include post-pipeline source.
+  bool WantRemarks = false; ///< compile: include pass remarks.
+  bool Notes = false;       ///< lint: include informational notes.
+};
+
+struct RequestParse {
+  Request R;
+  /// Empty when the line parsed; else a stable error code.
+  std::string Error;
+  std::string Detail;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses one request line. On failure, Error holds one of the codes
+/// "parse_error", "bad_request" and Detail explains; R.HasId/R.Id are
+/// still populated when an id could be extracted so the error response
+/// can be correlated.
+RequestParse parseRequest(const std::string &Line);
+
+/// Point-in-time server counters rendered by stats responses.
+struct StatsSnapshot {
+  CacheStats Compile;
+  CacheStats Sim;
+  uint64_t Requests = 0;   ///< Requests accepted (including failures).
+  uint64_t Rejected = 0;   ///< Requests shed by backpressure.
+  uint64_t QueueDepth = 0; ///< In-flight async requests right now.
+  uint64_t QueueLimit = 0;
+  /// Per-request latency percentiles over the recent window, in
+  /// microseconds; zero when no requests completed yet.
+  uint64_t P50Micros = 0;
+  uint64_t P90Micros = 0;
+  uint64_t P99Micros = 0;
+};
+
+/// Response renderers. All return a single line without the trailing
+/// newline, with deterministic field order.
+std::string renderErrorResponse(const Request &R, const std::string &Code,
+                                const std::string &Detail);
+std::string renderCompileResponse(const Request &R, const CompileEntry &E,
+                                  bool Cached);
+std::string renderSimulateResponse(const Request &R, const CompileEntry &CE,
+                                   const SimEntry &E, bool CompileCached,
+                                   bool SimCached);
+struct LintSummary {
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+  unsigned Notes = 0;
+  std::vector<std::string> Findings; ///< Formatted diagnostic lines.
+};
+std::string renderLintResponse(const Request &R, const CompileEntry &CE,
+                               bool CompileCached, const LintSummary &L);
+std::string renderStatsResponse(const Request &R, const StatsSnapshot &S);
+std::string renderShutdownResponse(const Request &R, uint64_t Served);
+
+} // namespace simtsr::serve
+
+#endif // SIMTSR_SERVE_PROTOCOL_H

@@ -1,0 +1,425 @@
+//===- Server.cpp - Batched compile-and-simulate daemon -----------------------===//
+
+#include "serve/Server.h"
+
+#include "driver/Driver.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "lint/ConvergenceLint.h"
+#include "observe/Remark.h"
+#include "sim/Grid.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <ostream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+Server::Server(ServerOptions Opts)
+    : Opts(Opts), Compiles(Opts.CompileCacheCapacity),
+      Sims(Opts.SimCacheCapacity) {
+  // 256-sample window: big enough for stable p99 under the bench load,
+  // small enough that the percentiles track the recent regime.
+  LatencyWindow.assign(256, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Compile
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const CompileEntry>
+Server::compileCached(const std::string &Source,
+                      const std::string &PipelineName, int SoftThreshold,
+                      bool &Cached) {
+  const uint64_t Key = compileKeyNamed(Source, PipelineName, SoftThreshold);
+  if (std::shared_ptr<const CompileEntry> Hit = Compiles.lookup(Key)) {
+    Cached = true;
+    return Hit;
+  }
+  Cached = false;
+
+  auto E = std::make_shared<CompileEntry>();
+  E->Key = Key;
+  E->PipelineName = PipelineName;
+
+  ParseResult P = parseModule(Source);
+  if (!P.ok()) {
+    E->Errors = std::move(P.Errors);
+    Compiles.insert(E);
+    return E;
+  }
+
+  observe::RemarkStream Remarks;
+  const std::optional<PipelineReport> Report = driver::runConfiguredPipeline(
+      *P.M, PipelineName, SoftThreshold, &Remarks);
+  if (!Report) {
+    E->Errors.push_back("unknown pipeline config '" + PipelineName + "'");
+    Compiles.insert(E);
+    return E;
+  }
+
+  E->Launch = verifyLaunchModule(*P.M);
+  if (!E->Launch.Errors.empty()) {
+    E->Errors = E->Launch.Errors;
+    E->Launch = LaunchVerification{};
+    Compiles.insert(E);
+    return E;
+  }
+
+  E->Ok = true;
+  E->M = std::shared_ptr<const Module>(std::move(P.M));
+  E->Launch.M = E->M.get();
+  E->PostText = printModule(*E->M);
+  E->PostDigest = fnv1a(E->PostText);
+  if (E->M->size() > 0)
+    E->KernelName = E->M->function(0)->name();
+  E->RemarksJsonl = Remarks.toJsonl();
+  E->RemarkCount = static_cast<unsigned>(Remarks.size());
+  E->Downgrades = Report->barrierDowngrades();
+  E->VerifierDiagnostics = Report->VerifierDiagnostics;
+
+  // First-insert-wins on a concurrent duplicate; both entries are
+  // bit-identical by construction, so serving ours is still correct.
+  Compiles.insert(E);
+  return E;
+}
+
+std::string Server::processCompile(const Request &R) {
+  bool Cached = false;
+  const std::shared_ptr<const CompileEntry> E =
+      compileCached(R.Source, R.Pipeline, R.SoftThreshold, Cached);
+  return renderCompileResponse(R, *E, Cached);
+}
+
+//===----------------------------------------------------------------------===//
+// Simulate
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Every launch axis that can change the schedule, folded onto the
+/// post-pipeline content digest.
+uint64_t simulateKey(const CompileEntry &CE, const std::string &Kernel,
+                     const Request &R) {
+  uint64_t Key = fnv1aMix(0xcbf29ce484222325ull, CE.PostDigest);
+  Key = fnv1a(Kernel, Key);
+  Key = fnv1aMix(Key, R.Warps);
+  Key = fnv1aMix(Key, R.WarpSize);
+  Key = fnv1aMix(Key, R.Seed);
+  Key = fnv1aMix(Key, static_cast<uint64_t>(R.Policy));
+  Key = fnv1aMix(Key, R.Args.size());
+  for (const int64_t A : R.Args)
+    Key = fnv1aMix(Key, static_cast<uint64_t>(A));
+  return Key;
+}
+
+} // namespace
+
+std::string Server::processSimulate(const Request &R) {
+  bool CompileCached = false;
+  std::shared_ptr<const CompileEntry> CE;
+  if (R.HasModuleKey) {
+    CE = Compiles.lookup(R.ModuleKey);
+    if (!CE)
+      return renderErrorResponse(
+          R, "unknown_module",
+          "no cached module under key " + jsonHex64(R.ModuleKey) +
+              " (compile first, or resend \"source\")");
+    CompileCached = true;
+  } else {
+    CE = compileCached(R.Source, R.Pipeline, R.SoftThreshold, CompileCached);
+  }
+  if (!CE->Ok) {
+    std::string Joined;
+    for (const std::string &Err : CE->Errors) {
+      if (!Joined.empty())
+        Joined += "; ";
+      Joined += Err;
+    }
+    return renderErrorResponse(R, "compile_error", Joined);
+  }
+
+  const std::string Kernel = R.Kernel.empty() ? CE->KernelName : R.Kernel;
+  const Function *F = CE->M->functionByName(Kernel);
+  if (!F)
+    return renderErrorResponse(R, "unknown_kernel",
+                               "no function '@" + Kernel +
+                                   "' in the compiled module");
+
+  const uint64_t Key = simulateKey(*CE, Kernel, R);
+  if (std::shared_ptr<const SimEntry> Hit = Sims.lookup(Key))
+    return renderSimulateResponse(R, *CE, *Hit, CompileCached, true);
+
+  LaunchConfig Config;
+  Config.WarpSize = R.WarpSize;
+  Config.Seed = R.Seed;
+  Config.Policy = R.Policy;
+  Config.KernelArgs = R.Args;
+  Config.CollectTraceDigest = true;
+  Config.Verified = &CE->Launch;
+  if (Opts.MaxIssueSlots)
+    Config.MaxIssueSlots = Opts.MaxIssueSlots;
+  if (Opts.MaxWallMillis)
+    Config.MaxWallMillis = Opts.MaxWallMillis;
+
+  const GridResult G = runGrid(*CE->M, F, Config,
+                               static_cast<unsigned>(R.Warps));
+
+  auto E = std::make_shared<SimEntry>();
+  E->Key = Key;
+  E->Ok = G.Ok;
+  E->Status = G.Ok ? "finished" : getRunStatusName(G.FailStatus);
+  E->FailMessage = G.FailMessage;
+  E->WarpsRun = G.WarpsRun;
+  E->Cycles = G.TotalCycles;
+  E->IssueSlots = G.TotalIssueSlots;
+  E->SimtEfficiency = G.SimtEfficiency;
+  E->Checksum = G.CombinedChecksum;
+  E->TraceDigest = G.TraceDigest;
+  Sims.insert(E);
+  return renderSimulateResponse(R, *CE, *E, CompileCached, false);
+}
+
+//===----------------------------------------------------------------------===//
+// Lint
+//===----------------------------------------------------------------------===//
+
+std::string Server::processLint(const Request &R) {
+  bool CompileCached = false;
+  const std::shared_ptr<const CompileEntry> CE =
+      compileCached(R.Source, R.Pipeline, R.SoftThreshold, CompileCached);
+  if (!CE->Ok) {
+    std::string Joined;
+    for (const std::string &Err : CE->Errors) {
+      if (!Joined.empty())
+        Joined += "; ";
+      Joined += Err;
+    }
+    return renderErrorResponse(R, "compile_error", Joined);
+  }
+
+  // The analyzer wants a mutable module (it recomputes predecessors), and
+  // the cached one is shared and immutable — lint a private clone. The
+  // daemon's lint is origin-blind, like linting the printed module text.
+  const std::unique_ptr<Module> M = CE->M->clone();
+  lint::LintOptions LO;
+  LO.WarpSize = R.WarpSize;
+  LO.Remarks = false;
+  const lint::LintResult LR = runConvergenceLint(*M, LO);
+
+  LintSummary S;
+  S.Errors = LR.count(lint::LintSeverity::Error);
+  S.Warnings = LR.count(lint::LintSeverity::Warning);
+  S.Notes = LR.count(lint::LintSeverity::Note);
+  for (const lint::LintDiagnostic &D : LR.Diagnostics) {
+    if (D.Severity == lint::LintSeverity::Note && !R.Notes)
+      continue;
+    S.Findings.push_back(D.format());
+  }
+  return renderLintResponse(R, *CE, CompileCached, S);
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch, stats, serve loop
+//===----------------------------------------------------------------------===//
+
+std::string Server::process(const Request &R) {
+  const auto Start = std::chrono::steady_clock::now();
+  std::string Response;
+  switch (R.Op) {
+  case RequestOp::Compile:
+    Response = processCompile(R);
+    break;
+  case RequestOp::Simulate:
+    Response = processSimulate(R);
+    break;
+  case RequestOp::Lint:
+    Response = processLint(R);
+    break;
+  case RequestOp::Stats:
+    return renderStatsResponse(R, statsSnapshot());
+  case RequestOp::Shutdown:
+    return renderShutdownResponse(R, Requests.load());
+  }
+  const auto End = std::chrono::steady_clock::now();
+  recordLatency(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count()));
+  return Response;
+}
+
+std::string Server::handle(const std::string &Line) {
+  ++Requests;
+  const RequestParse P = parseRequest(Line);
+  if (!P.ok())
+    return renderErrorResponse(P.R, P.Error, P.Detail);
+  return process(P.R);
+}
+
+void Server::recordLatency(uint64_t Micros) {
+  std::lock_guard<std::mutex> Lock(LatencyMutex);
+  LatencyWindow[LatencyNext] = Micros;
+  LatencyNext = (LatencyNext + 1) % LatencyWindow.size();
+  ++LatencyCount;
+}
+
+StatsSnapshot Server::statsSnapshot() const {
+  StatsSnapshot S;
+  S.Compile = Compiles.stats();
+  S.Sim = Sims.stats();
+  S.Requests = Requests.load();
+  S.Rejected = Rejected.load();
+  S.QueueDepth = InFlight.load();
+  S.QueueLimit = Opts.QueueDepth;
+  std::vector<uint64_t> Window;
+  {
+    std::lock_guard<std::mutex> Lock(LatencyMutex);
+    const size_t N = std::min<uint64_t>(LatencyCount, LatencyWindow.size());
+    Window.assign(LatencyWindow.begin(), LatencyWindow.begin() + N);
+  }
+  if (!Window.empty()) {
+    std::sort(Window.begin(), Window.end());
+    const auto Pct = [&Window](unsigned P) {
+      return Window[(Window.size() - 1) * P / 100];
+    };
+    S.P50Micros = Pct(50);
+    S.P90Micros = Pct(90);
+    S.P99Micros = Pct(99);
+  }
+  return S;
+}
+
+uint64_t Server::serve(std::istream &In, std::ostream &Out) {
+  std::mutex OutMutex;
+  const auto Emit = [&Out, &OutMutex](const std::string &Response) {
+    std::lock_guard<std::mutex> Lock(OutMutex);
+    Out << Response << '\n';
+    Out.flush();
+  };
+  const auto Drain = [this] {
+    std::unique_lock<std::mutex> Lock(DrainMutex);
+    Drained.wait(Lock, [this] { return InFlight.load() == 0; });
+  };
+
+  uint64_t Accepted = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    ++Requests;
+    ++Accepted;
+    RequestParse P = parseRequest(Line);
+    if (!P.ok()) {
+      Emit(renderErrorResponse(P.R, P.Error, P.Detail));
+      continue;
+    }
+    // Control plane stays on the reader thread: a stats probe must be able
+    // to observe a saturated queue, and shutdown must run after a drain.
+    if (P.R.Op == RequestOp::Stats) {
+      Emit(process(P.R));
+      continue;
+    }
+    if (P.R.Op == RequestOp::Shutdown) {
+      Drain();
+      ShutdownRequested.store(true);
+      Emit(renderShutdownResponse(P.R, Requests.load()));
+      break;
+    }
+    // Data plane: bounded in-flight window, shed beyond it. The response
+    // is an immediate error, not a silent drop — the client can back off.
+    if (InFlight.load() >= Opts.QueueDepth) {
+      ++Rejected;
+      Emit(renderErrorResponse(P.R, "queue_full",
+                               "in-flight limit " +
+                                   std::to_string(Opts.QueueDepth) +
+                                   " reached; retry later"));
+      continue;
+    }
+    ++InFlight;
+    ThreadPool::global().async([this, R = std::move(P.R), Emit] {
+      Emit(process(R));
+      {
+        std::lock_guard<std::mutex> Lock(DrainMutex);
+        --InFlight;
+      }
+      Drained.notify_all();
+    });
+  }
+  Drain();
+  return Accepted;
+}
+
+int Server::serveUnixSocket(const std::string &Path) {
+  const int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listener < 0)
+    return -1;
+
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Listener);
+    return -1;
+  }
+  std::copy(Path.begin(), Path.end(), Addr.sun_path);
+  ::unlink(Path.c_str()); // Stale socket from a previous run.
+  if (::bind(Listener, reinterpret_cast<const sockaddr *>(&Addr),
+             sizeof(Addr)) != 0 ||
+      ::listen(Listener, 4) != 0) {
+    ::close(Listener);
+    return -1;
+  }
+
+  while (!ShutdownRequested.load()) {
+    const int Client = ::accept(Listener, nullptr, nullptr);
+    if (Client < 0)
+      break;
+    // One connection at a time: read lines off the fd, answer on it.
+    // FdBuf adapts the socket to the iostream-based serve() loop.
+    struct FdBuf final : std::streambuf {
+      explicit FdBuf(int FD) : FD(FD) { setg(Buf, Buf, Buf); }
+      int_type underflow() override {
+        const ssize_t N = ::read(FD, Buf, sizeof(Buf));
+        if (N <= 0)
+          return traits_type::eof();
+        setg(Buf, Buf, Buf + N);
+        return traits_type::to_int_type(Buf[0]);
+      }
+      int_type overflow(int_type C) override {
+        if (C != traits_type::eof()) {
+          const char Byte = traits_type::to_char_type(C);
+          if (::write(FD, &Byte, 1) != 1)
+            return traits_type::eof();
+        }
+        return C;
+      }
+      std::streamsize xsputn(const char *S, std::streamsize N) override {
+        std::streamsize Done = 0;
+        while (Done < N) {
+          const ssize_t W = ::write(FD, S + Done, N - Done);
+          if (W <= 0)
+            break;
+          Done += W;
+        }
+        return Done;
+      }
+      int FD;
+      char Buf[4096];
+    };
+    FdBuf InBuf(Client), OutBuf(Client);
+    std::istream In(&InBuf);
+    std::ostream Out(&OutBuf);
+    serve(In, Out);
+    ::close(Client);
+  }
+  ::close(Listener);
+  ::unlink(Path.c_str());
+  return ShutdownRequested.load() ? 0 : -1;
+}

@@ -1,0 +1,107 @@
+//===- Server.h - Batched compile-and-simulate daemon ----------*- C++ -*-===//
+///
+/// \file
+/// The long-lived service behind tools/simtsr-serve: accepts JSON-lines
+/// requests (compile, simulate, lint, stats, shutdown) over any istream —
+/// stdin in the CLI, a Unix socket connection, a stringstream in tests —
+/// dispatches them asynchronously onto the global ThreadPool, and writes
+/// request-tagged responses as they complete (out of order by design).
+///
+/// Load shedding: at most Options.QueueDepth requests are in flight; a
+/// request arriving beyond that is answered immediately with a
+/// "queue_full" error instead of being buffered without bound. stats and
+/// shutdown are control-plane requests handled inline on the reader
+/// thread, so they stay responsive under load and a stats probe can
+/// observe a saturated queue.
+///
+/// The compile and simulate caches are content-addressed (serve/Cache.h);
+/// handle() is the synchronous single-request entry the unit tests, the
+/// golden protocol tests and `simtsr-bench --serve` use — it shares the
+/// caches and counters with the async path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SERVE_SERVER_H
+#define SIMTSR_SERVE_SERVER_H
+
+#include "serve/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simtsr::serve {
+
+struct ServerOptions {
+  /// Maximum in-flight async requests before new work is shed with a
+  /// "queue_full" error. 0 sheds everything (used to test the path).
+  uint64_t QueueDepth = 64;
+  uint64_t CompileCacheCapacity = 256;
+  uint64_t SimCacheCapacity = 1024;
+  /// Per-request issue-slot budget, bounding runaway simulations. Matches
+  /// LaunchConfig's default when 0.
+  uint64_t MaxIssueSlots = 0;
+  /// Per-request wall-clock watchdog in ms (0 disables).
+  uint64_t MaxWallMillis = 0;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts = {});
+
+  /// Handles one request line synchronously and returns the response line
+  /// (no trailing newline). Deterministic given the cache state.
+  std::string handle(const std::string &Line);
+
+  /// Blocking session loop: reads JSON-lines from \p In until EOF or a
+  /// shutdown request, writes responses to \p Out (each flushed with its
+  /// newline; interleaving-safe). All accepted requests are drained
+  /// before returning. \returns the number of requests accepted.
+  uint64_t serve(std::istream &In, std::ostream &Out);
+
+  /// Listens on a Unix stream socket at \p Path, serving one connection
+  /// at a time with serve(); removes any stale socket file first. Returns
+  /// only on a shutdown request (0) or a socket error (-1).
+  int serveUnixSocket(const std::string &Path);
+
+  StatsSnapshot statsSnapshot() const;
+
+private:
+  std::string process(const Request &R);
+  std::string processCompile(const Request &R);
+  std::string processSimulate(const Request &R);
+  std::string processLint(const Request &R);
+
+  /// Compile via the content-addressed cache. \p Cached reports whether
+  /// the entry was served from cache.
+  std::shared_ptr<const CompileEntry>
+  compileCached(const std::string &Source, const std::string &PipelineName,
+                int SoftThreshold, bool &Cached);
+
+  void recordLatency(uint64_t Micros);
+
+  const ServerOptions Opts;
+  CompileCache Compiles;
+  SimCache Sims;
+
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> Rejected{0};
+  std::atomic<uint64_t> InFlight{0};
+  std::atomic<bool> ShutdownRequested{false};
+
+  mutable std::mutex LatencyMutex;
+  std::vector<uint64_t> LatencyWindow; ///< Ring buffer, newest overwrite.
+  size_t LatencyNext = 0;
+  uint64_t LatencyCount = 0;
+
+  std::mutex DrainMutex;
+  std::condition_variable Drained;
+};
+
+} // namespace simtsr::serve
+
+#endif // SIMTSR_SERVE_SERVER_H

@@ -1,10 +1,13 @@
-//===- Json.cpp - Minimal JSON writing helpers -------------------------------===//
+//===- Json.cpp - Minimal JSON writing and parsing helpers -------------------===//
 
 #include "support/Json.h"
 
+#include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace simtsr;
 
@@ -130,4 +133,408 @@ void JsonWriter::null() {
 void JsonWriter::raw(const std::string &Raw) {
   beforeValue();
   Out += Raw;
+}
+
+//===----------------------------------------------------------------------===//
+// JsonValue
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::field(const std::string &Key) const {
+  if (!isObject())
+    return nullptr;
+  // Last occurrence wins for duplicate keys, matching common parsers.
+  for (auto It = Fields.rbegin(); It != Fields.rend(); ++It)
+    if (It->first == Key)
+      return &It->second;
+  return nullptr;
+}
+
+JsonValue JsonValue::makeBool(bool V) {
+  JsonValue J;
+  J.K = Kind::Boolean;
+  J.Bool = V;
+  return J;
+}
+
+JsonValue JsonValue::makeNumber(double V) {
+  JsonValue J;
+  J.K = Kind::Number;
+  J.Num = V;
+  // Preserve integral identity when the double is exactly an int64.
+  if (std::isfinite(V) && V >= -9223372036854775808.0 &&
+      V < 9223372036854775808.0 && V == std::floor(V)) {
+    J.Int = static_cast<int64_t>(V);
+    J.IsIntegral = true;
+  }
+  return J;
+}
+
+JsonValue JsonValue::makeInt(int64_t V) {
+  JsonValue J;
+  J.K = Kind::Number;
+  J.Num = static_cast<double>(V);
+  J.Int = V;
+  J.IsIntegral = true;
+  return J;
+}
+
+JsonValue JsonValue::makeString(std::string V) {
+  JsonValue J;
+  J.K = Kind::String;
+  J.Str = std::move(V);
+  return J;
+}
+
+JsonValue JsonValue::makeArray(std::vector<JsonValue> V) {
+  JsonValue J;
+  J.K = Kind::Array;
+  J.Items = std::move(V);
+  return J;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> V) {
+  JsonValue J;
+  J.K = Kind::Object;
+  J.Fields = std::move(V);
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class JsonParser {
+public:
+  JsonParser(const std::string &Text, unsigned MaxDepth)
+      : Text(Text), MaxDepth(MaxDepth) {}
+
+  JsonParseResult run() {
+    JsonParseResult R;
+    skipWs();
+    if (!parseValue(R.Value, 0)) {
+      R.Error = Error;
+      return R;
+    }
+    skipWs();
+    if (Pos != Text.size())
+      R.Error = fail("trailing characters after JSON value");
+    return R;
+  }
+
+private:
+  const std::string &Text;
+  const unsigned MaxDepth;
+  size_t Pos = 0;
+  std::string Error;
+
+  std::string fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "offset " + std::to_string(Pos) + ": " + Msg;
+    return Error;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    const size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0) {
+      fail(std::string("expected '") + Word + "'");
+      return false;
+    }
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (Text[Pos]) {
+    case 'n':
+      return literal("null"); // Out stays Null.
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = JsonValue::makeBool(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = JsonValue::makeBool(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::makeString(std::move(S));
+      return true;
+    }
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '['
+    std::vector<JsonValue> Items;
+    skipWs();
+    if (consume(']')) {
+      Out = JsonValue::makeArray(std::move(Items));
+      return true;
+    }
+    while (true) {
+      JsonValue Item;
+      skipWs();
+      if (!parseValue(Item, Depth + 1))
+        return false;
+      Items.push_back(std::move(Item));
+      skipWs();
+      if (consume(']'))
+        break;
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        return false;
+      }
+    }
+    Out = JsonValue::makeArray(std::move(Items));
+    return true;
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '{'
+    std::vector<std::pair<std::string, JsonValue>> Fields;
+    skipWs();
+    if (consume('}')) {
+      Out = JsonValue::makeObject(std::move(Fields));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"') {
+        fail("expected string key in object");
+        return false;
+      }
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return false;
+      }
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Fields.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (consume('}'))
+        break;
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        return false;
+      }
+    }
+    Out = JsonValue::makeObject(std::move(Fields));
+    return true;
+  }
+
+  static void appendUtf8(std::string &S, unsigned Code) {
+    if (Code < 0x80) {
+      S += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      S += static_cast<char>(0xc0 | (Code >> 6));
+      S += static_cast<char>(0x80 | (Code & 0x3f));
+    } else {
+      S += static_cast<char>(0xe0 | (Code >> 12));
+      S += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      S += static_cast<char>(0x80 | (Code & 0x3f));
+    }
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Pos + 4 > Text.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      const char C = Text[Pos + I];
+      unsigned D;
+      if (C >= '0' && C <= '9')
+        D = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        D = 10 + C - 'a';
+      else if (C >= 'A' && C <= 'F')
+        D = 10 + C - 'A';
+      else {
+        fail("invalid \\u escape digit");
+        return false;
+      }
+      Out = Out * 16 + D;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    while (true) {
+      if (Pos >= Text.size()) {
+        fail("unterminated string");
+        return false;
+      }
+      const unsigned char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20) {
+        fail("unescaped control character in string");
+        return false;
+      }
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos; // backslash
+      if (Pos >= Text.size()) {
+        fail("unterminated escape");
+        return false;
+      }
+      const char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code;
+        if (!parseHex4(Code))
+          return false;
+        // Surrogate pairs are accepted but mapped to U+FFFD — the serve
+        // protocol only exchanges ASCII field values.
+        if (Code >= 0xd800 && Code <= 0xdfff) {
+          if (Code < 0xdc00 && Pos + 1 < Text.size() && Text[Pos] == '\\' &&
+              Text[Pos + 1] == 'u') {
+            Pos += 2;
+            unsigned Low;
+            if (!parseHex4(Low))
+              return false;
+          }
+          Code = 0xfffd;
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        fail("invalid escape character");
+        return false;
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    const size_t Start = Pos;
+    if (consume('-')) {
+      // fall through to digits
+    }
+    if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      Pos = Start;
+      fail("invalid value");
+      return false;
+    }
+    bool Integral = true;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Integral = false;
+      ++Pos;
+      if (Pos >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+        fail("digit expected after decimal point");
+        return false;
+      }
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() ||
+          !std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+        fail("digit expected in exponent");
+        return false;
+      }
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    const std::string Lexeme = Text.substr(Start, Pos - Start);
+    if (Integral) {
+      errno = 0;
+      char *End = nullptr;
+      const long long V = std::strtoll(Lexeme.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        Out = JsonValue::makeInt(V);
+        return true;
+      }
+      // Out-of-range integer literal: keep it as a double.
+    }
+    Out = JsonValue::makeNumber(std::strtod(Lexeme.c_str(), nullptr));
+    return true;
+  }
+};
+
+} // namespace
+
+JsonParseResult simtsr::parseJson(const std::string &Text,
+                                  unsigned MaxDepth) {
+  return JsonParser(Text, MaxDepth).run();
 }

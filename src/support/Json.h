@@ -1,10 +1,12 @@
-//===- Json.h - Minimal JSON writing helpers -------------------*- C++ -*-===//
+//===- Json.h - Minimal JSON writing and parsing helpers -------*- C++ -*-===//
 ///
 /// \file
 /// A tiny append-only JSON writer shared by the observability exports
-/// (remark JSONL, Chrome trace-event files) and the bench/tool emitters.
-/// It produces RFC 8259 output but does not parse; the repo never consumes
-/// JSON, only hands it to external tooling (chrome://tracing, CI checks).
+/// (remark JSONL, Chrome trace-event files) and the bench/tool emitters,
+/// plus a small recursive-descent parser for the serve daemon's JSON-lines
+/// request protocol (docs/SERVE.md). The parser accepts strict RFC 8259
+/// input, reports errors with byte offsets instead of throwing, and caps
+/// nesting depth so hostile requests cannot blow the stack.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -12,7 +14,10 @@
 #define SIMTSR_SUPPORT_JSON_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace simtsr {
 
@@ -63,6 +68,79 @@ private:
   std::string NeedComma = std::string(1, '\0');
   bool PendingKey = false;
 };
+
+/// One parsed JSON value. Objects keep their fields in source order;
+/// duplicate keys keep the last occurrence (field() returns it).
+class JsonValue {
+public:
+  enum class Kind { Null, Boolean, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Boolean; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Typed accessors return \p Default on kind mismatch — the protocol
+  /// layer validates kinds explicitly where it matters.
+  bool asBool(bool Default = false) const {
+    return isBool() ? Bool : Default;
+  }
+  double asDouble(double Default = 0.0) const {
+    return isNumber() ? Num : Default;
+  }
+  /// \returns the number as an integer when it was written as one (no
+  /// fraction/exponent, in int64 range); \p Default otherwise.
+  int64_t asInt(int64_t Default = 0) const {
+    return isNumber() && IsIntegral ? Int : Default;
+  }
+  bool isIntegral() const { return isNumber() && IsIntegral; }
+  const std::string &asString() const { return Str; }
+
+  const std::vector<JsonValue> &items() const { return Items; }
+  const std::vector<std::pair<std::string, JsonValue>> &fields() const {
+    return Fields;
+  }
+  /// \returns the value of object field \p Key, or nullptr when this is
+  /// not an object or has no such field.
+  const JsonValue *field(const std::string &Key) const;
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool V);
+  static JsonValue makeNumber(double V);
+  static JsonValue makeInt(int64_t V);
+  static JsonValue makeString(std::string V);
+  static JsonValue makeArray(std::vector<JsonValue> V);
+  static JsonValue
+  makeObject(std::vector<std::pair<std::string, JsonValue>> V);
+
+private:
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Num = 0.0;
+  int64_t Int = 0;
+  bool IsIntegral = false;
+  std::string Str;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Fields;
+};
+
+struct JsonParseResult {
+  JsonValue Value;
+  /// Empty on success; else "offset N: message".
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses exactly one JSON value from \p Text (leading/trailing whitespace
+/// allowed, trailing garbage is an error). Nesting beyond \p MaxDepth
+/// levels is rejected.
+JsonParseResult parseJson(const std::string &Text, unsigned MaxDepth = 64);
 
 } // namespace simtsr
 

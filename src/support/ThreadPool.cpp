@@ -15,6 +15,9 @@ thread_local bool InPoolWorker = false;
 
 struct ThreadPool::Job {
   const std::function<void(size_t)> *Body = nullptr;
+  /// async() jobs own their body (the caller does not block, so nothing
+  /// else keeps it alive); Body then points here.
+  std::function<void(size_t)> OwnedBody;
   std::atomic<size_t> Next{0}; ///< Next index to claim.
   size_t End = 0;              ///< One past the last index.
   std::atomic<size_t> Remaining{0}; ///< Indices not yet completed.
@@ -124,6 +127,23 @@ void ThreadPool::parallelFor(size_t N,
   }
   if (J->Error)
     std::rethrow_exception(J->Error);
+}
+
+void ThreadPool::async(std::function<void()> Fn) {
+  if (Workers.empty()) {
+    Fn(); // No workers: degrade to synchronous execution.
+    return;
+  }
+  auto J = std::make_shared<Job>();
+  J->OwnedBody = [F = std::move(Fn)](size_t) { F(); };
+  J->Body = &J->OwnedBody;
+  J->End = 1;
+  J->Remaining.store(1);
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Queue.push_back(std::move(J));
+  }
+  QueueCV.notify_one();
 }
 
 unsigned ThreadPool::defaultConcurrency() {

@@ -55,6 +55,15 @@ public:
   /// the whole range completed.
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
 
+  /// Schedules \p Fn to run once on a pool worker and returns immediately;
+  /// nobody waits for it, so completion signalling (and keeping any
+  /// referenced state alive) is the caller's responsibility. With no
+  /// workers the call degrades to running \p Fn inline before returning.
+  /// \p Fn must not throw — there is no caller to rethrow to, so escaping
+  /// exceptions are dropped. Jobs still queued when the pool is destroyed
+  /// are discarded without running.
+  void async(std::function<void()> Fn);
+
   /// The process-wide pool. Sized from the SIMTSR_THREADS environment
   /// variable when set (total concurrency; 1 disables parallelism), else
   /// from std::thread::hardware_concurrency().

@@ -1,0 +1,202 @@
+//===- DriverTest.cpp - shared tool driver facade tests -----------------------===//
+///
+/// \file
+/// The driver facade is the one place flag spellings, input loading and
+/// pipeline-config resolution live; every CLI and the serve daemon sit on
+/// it. These tests pin the ArgParser mechanics (flags, values, bounds,
+/// aliases, --version/--help), the canonical policy spellings, and the
+/// InputUnit/loadInputs behavior the tools rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "ir/Printer.h"
+#include "observe/Remark.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace simtsr;
+using namespace simtsr::driver;
+
+namespace {
+
+ArgParser::Result parse(ArgParser &P,
+                        std::initializer_list<const char *> Args) {
+  std::vector<char *> Argv;
+  Argv.push_back(const_cast<char *>("tool"));
+  for (const char *A : Args)
+    Argv.push_back(const_cast<char *>(A));
+  return P.parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+TEST(ArgParserTest, ParsesSharedFlags) {
+  ToolConfig C;
+  ArgParser P("tool", "[file.sir ...]");
+  addPipelineFlags(P, C);
+  addPolicyFlag(P, C);
+  addWorkloadFlags(P, C);
+  addJsonFlag(P, C);
+  addLaunchFlags(P, C);
+  addFileArgs(P, C);
+  ASSERT_EQ(parse(P, {"--pipeline", "sr+ip", "--policy", "min-pc",
+                      "--workloads", "--json", "--warps", "16", "--seed",
+                      "7", "--scale", "0.5", "a.sir", "b.sir"}),
+            ArgParser::Result::Ok);
+  EXPECT_EQ(C.Pipeline, "sr+ip");
+  EXPECT_EQ(C.Policy, SchedulerPolicy::MinPC);
+  EXPECT_TRUE(C.Workloads);
+  EXPECT_TRUE(C.Json);
+  EXPECT_EQ(C.Warps, 16u);
+  EXPECT_EQ(C.Seed, 7u);
+  EXPECT_DOUBLE_EQ(C.Scale, 0.5);
+  EXPECT_EQ(C.Files, (std::vector<std::string>{"a.sir", "b.sir"}));
+}
+
+TEST(ArgParserTest, RejectsUnknownFlagAndBadValues) {
+  ToolConfig C;
+  ArgParser P("tool");
+  addPipelineFlags(P, C);
+  addLaunchFlags(P, C);
+  EXPECT_EQ(parse(P, {"--frobnicate"}), ArgParser::Result::Error);
+  EXPECT_EQ(parse(P, {"--pipeline", "bogus"}), ArgParser::Result::Error);
+  EXPECT_EQ(parse(P, {"--warps", "0"}), ArgParser::Result::Error);
+  EXPECT_EQ(parse(P, {"--warps", "9999"}), ArgParser::Result::Error);
+  EXPECT_EQ(parse(P, {"--warps"}), ArgParser::Result::Error);
+  // No positional() registered: stray arguments are errors.
+  EXPECT_EQ(parse(P, {"stray.sir"}), ArgParser::Result::Error);
+}
+
+TEST(ArgParserTest, VersionAndHelpExit) {
+  ToolConfig C;
+  ArgParser P("tool");
+  addJsonFlag(P, C);
+  EXPECT_EQ(parse(P, {"--version"}), ArgParser::Result::Exit);
+  EXPECT_EQ(parse(P, {"--help"}), ArgParser::Result::Exit);
+}
+
+TEST(ArgParserTest, AliasesResolveToCanonicalFlag) {
+  std::string Dir;
+  ArgParser P("tool");
+  P.str("--repro-dir", "DIR", "where repros go", &Dir);
+  P.alias("--out", "--repro-dir");
+  ASSERT_EQ(parse(P, {"--out", "/tmp/x"}), ArgParser::Result::Ok);
+  EXPECT_EQ(Dir, "/tmp/x");
+}
+
+TEST(DriverTest, PolicyNamesRoundTrip) {
+  for (SchedulerPolicy P :
+       {SchedulerPolicy::MaxConvergence, SchedulerPolicy::MinPC,
+        SchedulerPolicy::RoundRobin}) {
+    SchedulerPolicy Out;
+    ASSERT_TRUE(parsePolicyName(policyName(P), Out)) << policyName(P);
+    EXPECT_EQ(Out, P);
+  }
+  SchedulerPolicy Out;
+  EXPECT_TRUE(parsePolicyName("maxconv", Out));
+  EXPECT_EQ(Out, SchedulerPolicy::MaxConvergence);
+  EXPECT_TRUE(parsePolicyName("rr", Out));
+  EXPECT_EQ(Out, SchedulerPolicy::RoundRobin);
+  EXPECT_FALSE(parsePolicyName("fastest", Out));
+}
+
+TEST(DriverTest, ExpandPipelineSpec) {
+  const auto All = expandPipelineSpec("all");
+  ASSERT_TRUE(All.has_value());
+  EXPECT_EQ(*All, standardPipelineNames());
+  const auto One = expandPipelineSpec("sr");
+  ASSERT_TRUE(One.has_value());
+  EXPECT_EQ(*One, std::vector<std::string>{"sr"});
+  const auto None = expandPipelineSpec("none");
+  ASSERT_TRUE(None.has_value());
+  EXPECT_EQ(*None, std::vector<std::string>{"none"});
+  EXPECT_FALSE(expandPipelineSpec("bogus").has_value());
+}
+
+TEST(DriverTest, LoadInputsCorpusOrderAndRebuild) {
+  ToolConfig C;
+  C.Corpus = 3;
+  C.StartSeed = 10;
+  const InputSet Set = loadInputs(C);
+  ASSERT_TRUE(Set.ok());
+  ASSERT_EQ(Set.Units.size(), 3u);
+  EXPECT_EQ(Set.Units[0].Name, "seed10");
+  EXPECT_EQ(Set.Units[2].Name, "seed12");
+  for (const InputUnit &U : Set.Units) {
+    std::vector<std::string> Errors;
+    const std::unique_ptr<Module> M = U.rebuild(&Errors);
+    ASSERT_NE(M, nullptr) << U.Name;
+    EXPECT_TRUE(Errors.empty());
+    // Rebuilding twice gives equal modules (fresh copies, same content).
+    EXPECT_EQ(printModule(*M), printModule(*U.rebuild(nullptr)));
+  }
+}
+
+TEST(DriverTest, LoadInputsReportsMissingFiles) {
+  ToolConfig C;
+  C.Files = {"/nonexistent/never.sir"};
+  const InputSet Set = loadInputs(C);
+  EXPECT_FALSE(Set.ok());
+  ASSERT_EQ(Set.Errors.size(), 1u);
+  EXPECT_NE(Set.Errors[0].find("never.sir"), std::string::npos);
+}
+
+TEST(DriverTest, LoadInputsWorkloadUnitsCloneFresh) {
+  ToolConfig C;
+  C.Workloads = true;
+  C.Scale = 0.25;
+  const InputSet Set = loadInputs(C);
+  ASSERT_TRUE(Set.ok());
+  ASSERT_FALSE(Set.Units.empty());
+  const InputUnit &U = Set.Units.front();
+  EXPECT_EQ(U.From, InputUnit::Origin::Workload);
+  const std::unique_ptr<Module> A = U.rebuild(nullptr);
+  const std::unique_ptr<Module> B = U.rebuild(nullptr);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_NE(A.get(), B.get());
+  EXPECT_EQ(printModule(*A), printModule(*B));
+}
+
+TEST(DriverTest, RunConfiguredPipeline) {
+  ToolConfig C;
+  C.Corpus = 1;
+  const InputSet Set = loadInputs(C);
+  ASSERT_TRUE(Set.ok());
+  std::unique_ptr<Module> M = Set.Units[0].rebuild(nullptr);
+  ASSERT_NE(M, nullptr);
+
+  // "none" runs nothing and reports an empty (clean) report.
+  const std::string Before = printModule(*M);
+  const auto NoneReport = runConfiguredPipeline(*M, "none");
+  ASSERT_TRUE(NoneReport.has_value());
+  EXPECT_TRUE(NoneReport->clean());
+  EXPECT_EQ(printModule(*M), Before);
+
+  EXPECT_FALSE(runConfiguredPipeline(*M, "bogus").has_value());
+
+  // A real config runs and can emit remarks into the supplied stream.
+  observe::RemarkStream Remarks;
+  std::unique_ptr<Module> M2 = Set.Units[0].rebuild(nullptr);
+  const auto SrReport = runConfiguredPipeline(*M2, "sr", 8, &Remarks);
+  ASSERT_TRUE(SrReport.has_value());
+  EXPECT_NE(printModule(*M2), Before); // The pass stack did something.
+}
+
+TEST(DriverTest, BaseNameStripsDirectories) {
+  EXPECT_EQ(baseName("a/b/c.sir"), "c.sir");
+  EXPECT_EQ(baseName("c.sir"), "c.sir");
+  EXPECT_EQ(baseName("/abs/path/x"), "x");
+}
+
+TEST(DriverTest, FileRoundTrip) {
+  const std::string Path = ::testing::TempDir() + "/driver_file_rt.txt";
+  std::string Error;
+  ASSERT_TRUE(writeStringToFile(Path, "hello\nserve\n", Error)) << Error;
+  std::string Back;
+  ASSERT_TRUE(readFileToString(Path, Back, Error)) << Error;
+  EXPECT_EQ(Back, "hello\nserve\n");
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+//===- ServeCacheTest.cpp - content-addressed cache correctness ---------------===//
+///
+/// \file
+/// The serve caches' contract is bit-identity: a warm answer must equal
+/// the cold answer it replaced, for every pipeline configuration and
+/// scheduler policy — proven here through the observe-layer digests. Also
+/// pins the LRU mechanics (hit/miss/eviction/promotion) and the
+/// content-key construction (source and pipeline axes both feed the key;
+/// the simulate key folds in every launch axis).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "ir/Parser.h"
+#include "serve/Server.h"
+#include "sim/Grid.h"
+#include "support/Json.h"
+#include "transform/Pipeline.h"
+
+#include "gtest/gtest.h"
+
+#include <memory>
+#include <set>
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+namespace {
+
+const char *TinyKernel = R"(memory 64
+
+func @k(0) {
+entry:
+  %0 = tid
+  %1 = randrange 0, 10
+  %2 = cmplt %1, 5
+  br %2, a, b
+a:
+  %3 = add %0, %1
+  jmp b
+b:
+  store %0, %1
+  ret
+}
+)";
+
+std::string field(const std::string &Response, const std::string &Key) {
+  const JsonParseResult J = parseJson(Response);
+  if (!J.ok() || !J.Value.isObject())
+    return "<unparseable>";
+  const JsonValue *V = J.Value.field(Key);
+  if (!V)
+    return "<missing>";
+  if (V->isString())
+    return V->asString();
+  if (V->isBool())
+    return V->asBool() ? "true" : "false";
+  if (V->isIntegral())
+    return std::to_string(V->asInt());
+  return "<other>";
+}
+
+TEST(ContentCacheTest, LruEvictsLeastRecentlyUsed) {
+  ContentCache<SimEntry> C(2);
+  for (uint64_t K : {1, 2}) {
+    auto E = std::make_shared<SimEntry>();
+    E->Key = K;
+    C.insert(E);
+  }
+  EXPECT_NE(C.lookup(1), nullptr); // Promotes 1; 2 is now LRU.
+  auto E3 = std::make_shared<SimEntry>();
+  E3->Key = 3;
+  C.insert(E3);
+  EXPECT_EQ(C.lookup(2), nullptr);
+  EXPECT_NE(C.lookup(1), nullptr);
+  EXPECT_NE(C.lookup(3), nullptr);
+  const CacheStats S = C.stats();
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.Misses, 1u);
+}
+
+TEST(ContentCacheTest, FirstInsertWins) {
+  ContentCache<SimEntry> C(4);
+  auto A = std::make_shared<SimEntry>();
+  A->Key = 7;
+  A->Cycles = 100;
+  auto B = std::make_shared<SimEntry>();
+  B->Key = 7;
+  B->Cycles = 999;
+  C.insert(A);
+  C.insert(B);
+  EXPECT_EQ(C.lookup(7)->Cycles, 100u);
+}
+
+TEST(ServeCacheTest, CompileKeySeparatesSourceAndPipeline) {
+  const uint64_t A = compileKeyNamed("src", "pdom", 8);
+  EXPECT_EQ(A, compileKeyNamed("src", "pdom", 8));
+  EXPECT_NE(A, compileKeyNamed("src2", "pdom", 8));
+  EXPECT_NE(A, compileKeyNamed("src", "sr", 8));
+  EXPECT_NE(A, compileKeyNamed("src", "none", 8));
+  // The soft threshold is an axis only for configs that use it.
+  EXPECT_NE(compileKeyNamed("src", "soft", 4),
+            compileKeyNamed("src", "soft", 8));
+  EXPECT_EQ(compileKeyNamed("src", "pdom", 4),
+            compileKeyNamed("src", "pdom", 8));
+}
+
+TEST(ServeCacheTest, AxisStringCoversEveryStandardConfig) {
+  // Every standard config must map to a distinct axis string — if two
+  // collided, their compiles would poison each other's cache entries.
+  std::vector<std::string> Seen;
+  for (const std::string &Name : standardPipelineNames()) {
+    const auto O = standardPipelineByName(Name);
+    ASSERT_TRUE(O.has_value());
+    const std::string Axes = pipelineCacheAxes(*O);
+    for (const std::string &Prior : Seen)
+      EXPECT_NE(Axes, Prior) << Name;
+    Seen.push_back(Axes);
+  }
+}
+
+/// The tentpole acceptance property: cold and warm answers are
+/// bit-identical across every standard pipeline config, proven by the
+/// observe-layer digests in the responses.
+TEST(ServeCacheTest, ColdAndWarmAnswersBitIdenticalAcrossConfigs) {
+  Server S;
+  std::vector<std::string> Configs = standardPipelineNames();
+  Configs.push_back("none");
+  int64_t Id = 1;
+  // The sim cache is keyed on the post-pipeline digest, not the config
+  // name: two configs that produce the same post-module share one entry
+  // (e.g. "none" and "noop"). Track seen digests to predict hits.
+  std::set<std::string> SeenDigests;
+  for (const std::string &Config : Configs) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("id");
+    W.number(Id++);
+    W.key("op");
+    W.string("simulate");
+    W.key("source");
+    W.string(TinyKernel);
+    W.key("pipeline");
+    W.string(Config);
+    W.key("warps");
+    W.numberUnsigned(2);
+    W.endObject();
+    const std::string Req = W.take();
+
+    const std::string Cold = S.handle(Req);
+    const std::string Warm = S.handle(Req);
+    const std::string Digest = field(Cold, "post_digest");
+    const bool ExpectHit = SeenDigests.count(Digest) > 0;
+    SeenDigests.insert(Digest);
+    EXPECT_EQ(field(Cold, "cached"), ExpectHit ? "true" : "false")
+        << Config << ": " << Cold;
+    EXPECT_EQ(field(Warm, "cached"), "true") << Config << ": " << Warm;
+    for (const char *Key : {"post_digest", "trace_digest", "checksum",
+                            "cycles", "issue_slots", "status"})
+      EXPECT_EQ(field(Cold, Key), field(Warm, Key)) << Config << "/" << Key;
+  }
+}
+
+/// Different scheduler policies must land in different simulate-cache
+/// entries (the policy is a launch axis), while re-sending one policy
+/// hits its own entry.
+TEST(ServeCacheTest, PolicyIsALaunchAxis) {
+  Server S;
+  std::vector<std::string> Digests;
+  int64_t Id = 1;
+  for (const char *Policy :
+       {"max-convergence", "min-pc", "round-robin"}) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("id");
+    W.number(Id++);
+    W.key("op");
+    W.string("simulate");
+    W.key("source");
+    W.string(TinyKernel);
+    W.key("pipeline");
+    W.string("sr");
+    W.key("policy");
+    W.string(Policy);
+    W.key("warps");
+    W.numberUnsigned(2);
+    W.endObject();
+    const std::string Req = W.take();
+    const std::string Cold = S.handle(Req);
+    EXPECT_EQ(field(Cold, "cached"), "false") << Policy;
+    const std::string Warm = S.handle(Req);
+    EXPECT_EQ(field(Warm, "cached"), "true") << Policy;
+    EXPECT_EQ(field(Cold, "trace_digest"), field(Warm, "trace_digest"));
+    Digests.push_back(field(Cold, "trace_digest"));
+  }
+  // All three policies answered (their digests need not all differ, but
+  // each got a cold run — the cache never served one policy another's
+  // schedule).
+  const StatsSnapshot Stats = S.statsSnapshot();
+  EXPECT_EQ(Stats.Sim.Misses, 3u);
+  EXPECT_EQ(Stats.Sim.Hits, 3u);
+}
+
+/// Cross-oracle: the daemon's cached digest equals a direct in-process
+/// pipeline + runGrid of the same source — the cache layer adds nothing
+/// and loses nothing.
+TEST(ServeCacheTest, ServeDigestMatchesDirectSimulation) {
+  Server S;
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(int64_t{1});
+  W.key("op");
+  W.string("simulate");
+  W.key("source");
+  W.string(TinyKernel);
+  W.key("pipeline");
+  W.string("sr");
+  W.key("warps");
+  W.numberUnsigned(2);
+  W.endObject();
+  const std::string Resp = S.handle(W.take());
+
+  ParseResult P = parseModule(TinyKernel);
+  ASSERT_TRUE(P.ok());
+  ASSERT_TRUE(
+      driver::runConfiguredPipeline(*P.M, "sr").has_value());
+  LaunchConfig Config;
+  Config.CollectTraceDigest = true;
+  const GridResult G =
+      runGrid(*P.M, P.M->functionByName("k"), Config, 2);
+  ASSERT_TRUE(G.Ok);
+  EXPECT_EQ(field(Resp, "trace_digest"), jsonHex64(G.TraceDigest));
+  EXPECT_EQ(field(Resp, "checksum"), jsonHex64(G.CombinedChecksum));
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- ServeErrorTest.cpp - serve error paths and backpressure ----------------===//
+///
+/// \file
+/// The daemon's failure behavior is part of the protocol: malformed lines
+/// get correlated error responses, compile failures are cached like
+/// successes (same source, same answer), and a saturated queue sheds load
+/// with "queue_full" instead of buffering without bound. QueueDepth=0
+/// makes the overflow path deterministic to test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+namespace {
+
+const char *TinyKernel = R"(memory 64
+
+func @k(0) {
+entry:
+  %0 = tid
+  store %0, %0
+  ret
+}
+)";
+
+std::string field(const std::string &Response, const std::string &Key) {
+  const JsonParseResult J = parseJson(Response);
+  if (!J.ok() || !J.Value.isObject())
+    return "<unparseable>";
+  const JsonValue *V = J.Value.field(Key);
+  if (!V)
+    return "<missing>";
+  if (V->isString())
+    return V->asString();
+  if (V->isBool())
+    return V->asBool() ? "true" : "false";
+  if (V->isIntegral())
+    return std::to_string(V->asInt());
+  return "<other>";
+}
+
+TEST(ServeErrorTest, MalformedLineAnswersParseError) {
+  Server S;
+  const std::string Resp = S.handle("{nope");
+  EXPECT_EQ(field(Resp, "ok"), "false");
+  EXPECT_EQ(field(Resp, "error"), "parse_error");
+}
+
+TEST(ServeErrorTest, BadRequestKeepsCorrelationId) {
+  Server S;
+  const std::string Resp = S.handle(R"({"id":55,"op":"levitate"})");
+  EXPECT_EQ(field(Resp, "id"), "55");
+  EXPECT_EQ(field(Resp, "error"), "bad_request");
+}
+
+TEST(ServeErrorTest, UnknownModuleKey) {
+  Server S;
+  const std::string Resp = S.handle(
+      R"({"id":1,"op":"simulate","module":"0x0123456789abcdef"})");
+  EXPECT_EQ(field(Resp, "ok"), "false");
+  EXPECT_EQ(field(Resp, "error"), "unknown_module");
+}
+
+TEST(ServeErrorTest, UnknownKernelName) {
+  Server S;
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(int64_t{1});
+  W.key("op");
+  W.string("simulate");
+  W.key("source");
+  W.string(TinyKernel);
+  W.key("kernel");
+  W.string("nope");
+  W.endObject();
+  const std::string Resp = S.handle(W.take());
+  EXPECT_EQ(field(Resp, "error"), "unknown_kernel");
+}
+
+TEST(ServeErrorTest, CompileFailuresAreCachedToo) {
+  Server S;
+  const std::string Req =
+      R"({"id":1,"op":"compile","source":"func garbage {{{"})";
+  const std::string First = S.handle(Req);
+  EXPECT_EQ(field(First, "error"), "compile_error");
+  const std::string Second = S.handle(Req);
+  EXPECT_EQ(field(Second, "error"), "compile_error");
+  // Same source, same answer — served from the cache the second time.
+  const StatsSnapshot Stats = S.statsSnapshot();
+  EXPECT_EQ(Stats.Compile.Misses, 1u);
+  EXPECT_EQ(Stats.Compile.Hits, 1u);
+  // The diagnostics themselves must be identical.
+  EXPECT_EQ(field(First, "detail"), field(Second, "detail"));
+}
+
+TEST(ServeErrorTest, QueueOverflowShedsWithQueueFull) {
+  ServerOptions Opts;
+  Opts.QueueDepth = 0; // Shed every data-plane request, deterministically.
+  Server S(Opts);
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(int64_t{1});
+  W.key("op");
+  W.string("compile");
+  W.key("source");
+  W.string(TinyKernel);
+  W.endObject();
+
+  std::istringstream In(W.take() + "\n" + R"({"id":2,"op":"stats"})" + "\n");
+  std::ostringstream Out;
+  const uint64_t Accepted = S.serve(In, Out);
+  EXPECT_EQ(Accepted, 2u);
+
+  // First response line: the shed compile. Second: the inline stats,
+  // which must observe the rejection (control plane bypasses the queue).
+  std::istringstream Lines(Out.str());
+  std::string Shed, Stats;
+  ASSERT_TRUE(std::getline(Lines, Shed));
+  ASSERT_TRUE(std::getline(Lines, Stats));
+  EXPECT_EQ(field(Shed, "error"), "queue_full");
+  EXPECT_EQ(field(Shed, "id"), "1");
+  EXPECT_EQ(field(Stats, "rejected"), "1");
+}
+
+TEST(ServeErrorTest, ShutdownDrainsAndReportsServed) {
+  Server S;
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(int64_t{1});
+  W.key("op");
+  W.string("compile");
+  W.key("source");
+  W.string(TinyKernel);
+  W.endObject();
+
+  std::istringstream In(W.take() + "\n" +
+                        R"({"id":2,"op":"shutdown"})" + "\n" +
+                        R"({"id":3,"op":"stats"})" + "\n");
+  std::ostringstream Out;
+  const uint64_t Accepted = S.serve(In, Out);
+  // The line after shutdown is never read.
+  EXPECT_EQ(Accepted, 2u);
+
+  // Both responses present; the shutdown one reports the served count.
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  bool SawCompile = false, SawShutdown = false;
+  while (std::getline(Lines, Line)) {
+    if (field(Line, "op") == "compile")
+      SawCompile = true;
+    if (field(Line, "op") == "shutdown") {
+      SawShutdown = true;
+      EXPECT_EQ(field(Line, "served"), "2");
+    }
+  }
+  EXPECT_TRUE(SawCompile);
+  EXPECT_TRUE(SawShutdown);
+}
+
+TEST(ServeErrorTest, BlankLinesAreIgnored) {
+  Server S;
+  std::istringstream In("\n   \n" + std::string(R"({"id":1,"op":"stats"})") +
+                        "\n\n");
+  std::ostringstream Out;
+  EXPECT_EQ(S.serve(In, Out), 1u);
+}
+
+} // namespace

@@ -1,0 +1,231 @@
+//===- ServeProtocolTest.cpp - serve protocol golden tests --------------------===//
+///
+/// \file
+/// The serve protocol is a public interface: requests must parse exactly
+/// as documented (docs/SERVE.md) and responses must render byte-for-byte
+/// deterministically, because clients and the CI smoke scripts match on
+/// them. These tests pin both directions — parseRequest field handling
+/// and the renderers' golden output — plus a full scripted Server.handle
+/// session.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+namespace {
+
+/// A minimal valid kernel used across the serve tests.
+const char *TinyKernel = R"(memory 64
+
+func @k(0) {
+entry:
+  %0 = tid
+  %1 = randrange 0, 10
+  %2 = cmplt %1, 5
+  br %2, a, b
+a:
+  %3 = add %0, %1
+  jmp b
+b:
+  store %0, %1
+  ret
+}
+)";
+
+TEST(ServeProtocolTest, ParsesCompileRequest) {
+  const RequestParse P = parseRequest(
+      R"({"id":7,"op":"compile","source":"x","pipeline":"sr","want_module":true})");
+  ASSERT_TRUE(P.ok()) << P.Error << ": " << P.Detail;
+  EXPECT_EQ(P.R.Id, 7);
+  EXPECT_EQ(P.R.Op, RequestOp::Compile);
+  EXPECT_EQ(P.R.Source, "x");
+  EXPECT_EQ(P.R.Pipeline, "sr");
+  EXPECT_TRUE(P.R.WantModule);
+  EXPECT_FALSE(P.R.WantRemarks);
+}
+
+TEST(ServeProtocolTest, DefaultsPipelinePdomExceptLint) {
+  const RequestParse C =
+      parseRequest(R"({"id":1,"op":"compile","source":"x"})");
+  ASSERT_TRUE(C.ok());
+  EXPECT_EQ(C.R.Pipeline, "pdom");
+  const RequestParse L = parseRequest(R"({"id":1,"op":"lint","source":"x"})");
+  ASSERT_TRUE(L.ok());
+  EXPECT_EQ(L.R.Pipeline, "none");
+}
+
+TEST(ServeProtocolTest, ParsesSimulateLaunchAxes) {
+  const RequestParse P = parseRequest(
+      R"({"id":3,"op":"simulate","source":"x","warps":4,"warp_size":16,)"
+      R"("seed":99,"policy":"min-pc","args":[1,-2,3],"kernel":"main"})");
+  ASSERT_TRUE(P.ok()) << P.Error << ": " << P.Detail;
+  EXPECT_EQ(P.R.Warps, 4u);
+  EXPECT_EQ(P.R.WarpSize, 16u);
+  EXPECT_EQ(P.R.Seed, 99u);
+  EXPECT_EQ(P.R.Policy, SchedulerPolicy::MinPC);
+  EXPECT_EQ(P.R.Args, (std::vector<int64_t>{1, -2, 3}));
+  EXPECT_EQ(P.R.Kernel, "main");
+}
+
+TEST(ServeProtocolTest, ParsesModuleKeyReference) {
+  const uint64_t Key = 0xdeadbeefcafe1234ull;
+  const RequestParse P = parseRequest(
+      R"({"id":1,"op":"simulate","module":")" + jsonHex64(Key) + R"("})");
+  ASSERT_TRUE(P.ok()) << P.Error << ": " << P.Detail;
+  EXPECT_TRUE(P.R.HasModuleKey);
+  EXPECT_EQ(P.R.ModuleKey, Key);
+}
+
+TEST(ServeProtocolTest, RejectsMissingId) {
+  const RequestParse P = parseRequest(R"({"op":"stats"})");
+  EXPECT_EQ(P.Error, "bad_request");
+  EXPECT_EQ(P.Detail, "missing \"id\" field");
+}
+
+TEST(ServeProtocolTest, RejectsUnknownOp) {
+  const RequestParse P = parseRequest(R"({"id":1,"op":"transmogrify"})");
+  EXPECT_EQ(P.Error, "bad_request");
+  EXPECT_EQ(P.Detail, "unknown op 'transmogrify'");
+  EXPECT_TRUE(P.R.HasId); // Still correlated.
+}
+
+TEST(ServeProtocolTest, RejectsUnknownField) {
+  // Strict by design: a typo'd launch axis must not silently change what
+  // gets simulated (and cached).
+  const RequestParse P = parseRequest(
+      R"({"id":1,"op":"compile","source":"x","warp_sise":16})");
+  EXPECT_EQ(P.Error, "bad_request");
+  EXPECT_EQ(P.Detail, "unknown field \"warp_sise\"");
+}
+
+TEST(ServeProtocolTest, RejectsUnknownPipeline) {
+  const RequestParse P = parseRequest(
+      R"({"id":1,"op":"compile","source":"x","pipeline":"srr"})");
+  EXPECT_EQ(P.Error, "bad_request");
+  EXPECT_EQ(P.Detail, "unknown pipeline 'srr'");
+}
+
+TEST(ServeProtocolTest, SimulateNeedsExactlyOneModuleSource) {
+  const RequestParse Neither =
+      parseRequest(R"({"id":1,"op":"simulate"})");
+  EXPECT_EQ(Neither.Error, "bad_request");
+  const RequestParse Both = parseRequest(
+      R"({"id":1,"op":"simulate","source":"x","module":"0x0000000000000001"})");
+  EXPECT_EQ(Both.Error, "bad_request");
+  EXPECT_EQ(Both.Detail,
+            "simulate needs exactly one of \"source\" and \"module\"");
+}
+
+TEST(ServeProtocolTest, MalformedJsonReportsOffset) {
+  const RequestParse P = parseRequest(R"({"id":1,)");
+  EXPECT_EQ(P.Error, "parse_error");
+  EXPECT_NE(P.Detail.find("offset"), std::string::npos) << P.Detail;
+}
+
+TEST(ServeProtocolTest, ErrorResponseGolden) {
+  Request R;
+  R.HasId = true;
+  R.Id = 42;
+  R.Op = RequestOp::Compile;
+  EXPECT_EQ(renderErrorResponse(R, "queue_full", "retry later"),
+            R"({"id":42,"ok":false,"op":"compile","error":"queue_full",)"
+            R"("detail":"retry later"})");
+}
+
+TEST(ServeProtocolTest, ShutdownResponseGolden) {
+  Request R;
+  R.HasId = true;
+  R.Id = 9;
+  R.Op = RequestOp::Shutdown;
+  EXPECT_EQ(renderShutdownResponse(R, 17),
+            R"({"id":9,"ok":true,"op":"shutdown","served":17})");
+}
+
+TEST(ServeProtocolTest, StatsResponseGolden) {
+  Request R;
+  R.HasId = true;
+  R.Id = 1;
+  R.Op = RequestOp::Stats;
+  StatsSnapshot S;
+  S.Compile = {3, 5, 2, 1};
+  S.Sim = {0, 4, 4, 0};
+  S.Requests = 12;
+  S.Rejected = 2;
+  S.QueueDepth = 1;
+  S.QueueLimit = 64;
+  S.P50Micros = 10;
+  S.P90Micros = 20;
+  S.P99Micros = 30;
+  EXPECT_EQ(
+      renderStatsResponse(R, S),
+      R"({"id":1,"ok":true,"op":"stats","schema":"simtsr-serve-v1",)"
+      R"("requests":12,"rejected":2,"queue_depth":1,"queue_limit":64,)"
+      R"("compile_cache":{"hits":3,"misses":5,"entries":2,"evictions":1},)"
+      R"("sim_cache":{"hits":0,"misses":4,"entries":4,"evictions":0},)"
+      R"("latency_us":{"p50":10,"p90":20,"p99":30}})");
+}
+
+/// End-to-end: a scripted session against a real Server. The compile
+/// response's deterministic fields are pinned (digests come from the
+/// response itself so the golden stays host-independent).
+TEST(ServeProtocolTest, ScriptedSessionRoundTrip) {
+  Server S;
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(int64_t{1});
+  W.key("op");
+  W.string("compile");
+  W.key("source");
+  W.string(TinyKernel);
+  W.key("pipeline");
+  W.string("sr");
+  W.endObject();
+  const std::string CompileReq = W.take();
+
+  const std::string Cold = S.handle(CompileReq);
+  const std::string Warm = S.handle(CompileReq);
+
+  const JsonParseResult ColdJ = parseJson(Cold);
+  const JsonParseResult WarmJ = parseJson(Warm);
+  ASSERT_TRUE(ColdJ.ok()) << Cold;
+  ASSERT_TRUE(WarmJ.ok()) << Warm;
+  EXPECT_TRUE(ColdJ.Value.field("ok")->asBool());
+  EXPECT_FALSE(ColdJ.Value.field("cached")->asBool());
+  EXPECT_TRUE(WarmJ.Value.field("cached")->asBool());
+  EXPECT_EQ(ColdJ.Value.field("kernel")->asString(), "k");
+  // Identical apart from the cache marker.
+  EXPECT_EQ(ColdJ.Value.field("module")->asString(),
+            WarmJ.Value.field("module")->asString());
+  EXPECT_EQ(ColdJ.Value.field("post_digest")->asString(),
+            WarmJ.Value.field("post_digest")->asString());
+
+  // Simulate by module key instead of source.
+  const std::string SimReq =
+      R"({"id":2,"op":"simulate","module":")" +
+      ColdJ.Value.field("module")->asString() + R"(","warps":2})";
+  const std::string Sim = S.handle(SimReq);
+  const JsonParseResult SimJ = parseJson(Sim);
+  ASSERT_TRUE(SimJ.ok()) << Sim;
+  EXPECT_TRUE(SimJ.Value.field("ok")->asBool()) << Sim;
+  EXPECT_TRUE(SimJ.Value.field("compile_cached")->asBool());
+  EXPECT_EQ(SimJ.Value.field("status")->asString(), "finished");
+  EXPECT_EQ(SimJ.Value.field("warps")->asInt(), 2);
+
+  const std::string Stats = S.handle(R"({"id":3,"op":"stats"})");
+  const JsonParseResult StatsJ = parseJson(Stats);
+  ASSERT_TRUE(StatsJ.ok()) << Stats;
+  const JsonValue *CC = StatsJ.Value.field("compile_cache");
+  ASSERT_NE(CC, nullptr);
+  EXPECT_GE(CC->field("hits")->asInt(), 2); // Warm compile + sim-by-key.
+  EXPECT_EQ(StatsJ.Value.field("requests")->asInt(), 4);
+}
+
+} // namespace

@@ -1,0 +1,64 @@
+# Scripted daemon session: compile -> cached compile -> simulate -> stats
+# -> shutdown over stdin, asserting the second compile and the simulate's
+# compile both hit the content-addressed cache.
+#
+# Invoked as:
+#   cmake -DSERVE_BIN=<simtsr-serve> -DEXAMPLE=<listing1.sir> -P ServeSessionSmoke.cmake
+
+if(NOT SERVE_BIN OR NOT EXAMPLE)
+  message(FATAL_ERROR "ServeSessionSmoke.cmake needs -DSERVE_BIN and -DEXAMPLE")
+endif()
+
+file(READ "${EXAMPLE}" SOURCE)
+
+# JSON-escape the kernel source (backslash first, then quotes, then
+# newlines; the example files contain no other control characters).
+string(REPLACE "\\" "\\\\" SOURCE "${SOURCE}")
+string(REPLACE "\"" "\\\"" SOURCE "${SOURCE}")
+string(REPLACE "\n" "\\n" SOURCE "${SOURCE}")
+
+set(SESSION "")
+string(APPEND SESSION "{\"id\":1,\"op\":\"compile\",\"source\":\"${SOURCE}\",\"pipeline\":\"sr\"}\n")
+string(APPEND SESSION "{\"id\":2,\"op\":\"compile\",\"source\":\"${SOURCE}\",\"pipeline\":\"sr\"}\n")
+string(APPEND SESSION "{\"id\":3,\"op\":\"simulate\",\"source\":\"${SOURCE}\",\"pipeline\":\"sr\",\"warps\":2}\n")
+string(APPEND SESSION "{\"id\":4,\"op\":\"stats\"}\n")
+string(APPEND SESSION "{\"id\":5,\"op\":\"shutdown\"}\n")
+
+set(INPUT "${CMAKE_CURRENT_BINARY_DIR}/serve_session_input.jsonl")
+file(WRITE "${INPUT}" "${SESSION}")
+
+execute_process(
+  COMMAND "${SERVE_BIN}"
+  INPUT_FILE "${INPUT}"
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE RC)
+
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "simtsr-serve exited ${RC}\nstdout:\n${OUT}\nstderr:\n${ERR}")
+endif()
+
+# The second compile must be a cache hit.
+if(NOT OUT MATCHES "\"id\":2,\"ok\":true,\"op\":\"compile\",\"cached\":true")
+  message(FATAL_ERROR "warm compile was not served from cache:\n${OUT}")
+endif()
+
+# The simulate must reuse the cached compile and finish.
+if(NOT OUT MATCHES "\"compile_cached\":true")
+  message(FATAL_ERROR "simulate did not reuse the cached compile:\n${OUT}")
+endif()
+if(NOT OUT MATCHES "\"status\":\"finished\"")
+  message(FATAL_ERROR "simulate did not finish:\n${OUT}")
+endif()
+
+# Stats must report a nonzero compile-cache hit count.
+if(NOT OUT MATCHES "\"compile_cache\":{\"hits\":[1-9]")
+  message(FATAL_ERROR "stats reported zero compile-cache hits:\n${OUT}")
+endif()
+
+# Shutdown acknowledges the whole session.
+if(NOT OUT MATCHES "\"op\":\"shutdown\",\"served\":5")
+  message(FATAL_ERROR "shutdown did not report 5 served requests:\n${OUT}")
+endif()
+
+message(STATUS "serve session smoke passed")

@@ -8,40 +8,40 @@
 /// "simtsr-bench-v1", see docs/PERFORMANCE.md). scripts/bench_baseline.sh
 /// wraps this tool to produce the checked-in BENCH_baseline.json.
 ///
-/// The measured numbers (wall_ms, *_per_sec) are machine-dependent; the
-/// simulation results (cycles, issue_slots, simt_efficiency, checksum) are
-/// deterministic and must not change across hosts, thread counts, or
-/// parallel/sequential mode — a reviewer can diff those fields against the
-/// checked-in baseline on any machine.
+/// --serve benchmarks the daemon's content-addressed cache instead: every
+/// workload is compiled and simulated through an in-process serve::Server
+/// twice — cold (cache miss, full pass stack + simulation) and warm
+/// (cache hit) — and the report (schema "simtsr-bench-serve-v1",
+/// scripts/bench_serve.sh -> BENCH_serve.json) records the speedup and
+/// proves cold and warm answers bit-identical by digest.
 ///
-/// Exit codes: 0 when every workload finishes, 1 on usage errors, 2 when
-/// any workload fails.
+/// The measured numbers (wall_ms, *_per_sec, speedups) are
+/// machine-dependent; the simulation results (cycles, issue_slots,
+/// simt_efficiency, checksum, digests) are deterministic and must not
+/// change across hosts, thread counts, or parallel/sequential mode — a
+/// reviewer can diff those fields against the checked-in baseline on any
+/// machine.
+///
+/// Exit codes: 0 when every workload finishes (--serve: and every warm
+/// answer matches its cold answer), 1 on usage errors, 2 on failure.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/Driver.h"
+#include "ir/Printer.h"
 #include "kernels/Runner.h"
+#include "serve/Server.h"
+#include "support/Json.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 using namespace simtsr;
 
 namespace {
-
-constexpr uint64_t BenchSeed = 2020; // Matches the figure harnesses.
-
-struct ToolOptions {
-  unsigned Warps = 8;
-  double Scale = 1.0;
-  bool Json = false;
-  GridMode Mode = GridMode::Parallel;
-  std::string OutFile; // empty = stdout
-};
 
 struct WorkloadRow {
   std::string Name;
@@ -56,58 +56,8 @@ struct WorkloadRow {
   std::string FailMessage;
 };
 
-void printUsage() {
-  std::fprintf(
-      stderr,
-      "usage: simtsr-bench [options]\n"
-      "  --json             emit JSON (schema simtsr-bench-v1) instead of a "
-      "table\n"
-      "  --warps N          warps per grid (default 8)\n"
-      "  --scale S          workload scale factor in (0, 1] (default 1.0)\n"
-      "  --sequential       run grids one warp at a time (perf comparison "
-      "baseline)\n"
-      "  --out FILE         write the report to FILE instead of stdout\n");
-}
-
-bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
-  for (int I = 1; I < Argc; ++I) {
-    const std::string Arg = Argv[I];
-    auto NeedValue = [&]() -> const char * {
-      return I + 1 < Argc ? Argv[++I] : nullptr;
-    };
-    if (Arg == "--json") {
-      Opts.Json = true;
-    } else if (Arg == "--warps") {
-      const char *S = NeedValue();
-      char *End = nullptr;
-      unsigned long V = S ? std::strtoul(S, &End, 10) : 0;
-      if (!S || End == S || *End != '\0' || V < 1 || V > 4096)
-        return false;
-      Opts.Warps = static_cast<unsigned>(V);
-    } else if (Arg == "--scale") {
-      const char *S = NeedValue();
-      char *End = nullptr;
-      double V = S ? std::strtod(S, &End) : 0.0;
-      if (!S || End == S || *End != '\0' || V <= 0.0 || V > 1.0)
-        return false;
-      Opts.Scale = V;
-    } else if (Arg == "--sequential") {
-      Opts.Mode = GridMode::Sequential;
-    } else if (Arg == "--out") {
-      const char *S = NeedValue();
-      if (!S)
-        return false;
-      Opts.OutFile = S;
-    } else {
-      std::fprintf(stderr, "simtsr-bench: unknown argument '%s'\n",
-                   Arg.c_str());
-      return false;
-    }
-  }
-  return true;
-}
-
-WorkloadRow measure(const Workload &W, const ToolOptions &Opts) {
+WorkloadRow measure(const Workload &W, const driver::ToolConfig &C,
+                    GridMode Mode) {
   WorkloadRow Row;
   Row.Name = W.Name;
 
@@ -122,14 +72,15 @@ WorkloadRow measure(const Workload &W, const ToolOptions &Opts) {
     return Row;
   }
   LaunchConfig Config;
-  Config.Seed = BenchSeed;
+  Config.Seed = C.Seed;
   Config.Latency = Fresh.Latency;
   Config.KernelArgs = Fresh.Args;
   Config.Verified = &Verification;
 
   const auto Start = std::chrono::steady_clock::now();
-  GridResult R = runGrid(*Fresh.M, Kernel, Config, Opts.Warps,
-                         Fresh.InitMemory, Opts.Mode);
+  GridResult R = runGrid(*Fresh.M, Kernel, Config,
+                         static_cast<unsigned>(C.Warps), Fresh.InitMemory,
+                         Mode);
   const auto End = std::chrono::steady_clock::now();
   const double WallSec =
       std::chrono::duration<double>(End - Start).count();
@@ -176,15 +127,15 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
-void emitJson(std::FILE *Out, const ToolOptions &Opts,
+void emitJson(std::FILE *Out, const driver::ToolConfig &C, GridMode Mode,
               const std::vector<WorkloadRow> &Rows) {
   double TotalMs = 0.0;
   uint64_t TotalSlots = 0;
-  unsigned TotalWarps = 0;
+  uint64_t TotalWarps = 0;
   for (const WorkloadRow &R : Rows) {
     TotalMs += R.WallMs;
     TotalSlots += R.TotalIssueSlots;
-    TotalWarps += R.Ok ? Opts.Warps : 0;
+    TotalWarps += R.Ok ? C.Warps : 0;
   }
   const double TotalSec = TotalMs / 1000.0;
 
@@ -192,12 +143,12 @@ void emitJson(std::FILE *Out, const ToolOptions &Opts,
   std::fprintf(Out, "  \"schema\": \"simtsr-bench-v1\",\n");
   std::fprintf(Out, "  \"pipeline\": \"pdom-baseline\",\n");
   std::fprintf(Out, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(BenchSeed));
-  std::fprintf(Out, "  \"warps\": %u,\n", Opts.Warps);
+               static_cast<unsigned long long>(C.Seed));
+  std::fprintf(Out, "  \"warps\": %u,\n", static_cast<unsigned>(C.Warps));
   std::fprintf(Out, "  \"scale\": %s,\n",
-               formatDouble(Opts.Scale, "%g").c_str());
+               formatDouble(C.Scale, "%g").c_str());
   std::fprintf(Out, "  \"mode\": \"%s\",\n",
-               Opts.Mode == GridMode::Parallel ? "parallel" : "sequential");
+               Mode == GridMode::Parallel ? "parallel" : "sequential");
   std::fprintf(Out, "  \"threads\": %u,\n", ThreadPool::global().concurrency());
   std::fprintf(Out, "  \"workloads\": [\n");
   for (size_t I = 0; I < Rows.size(); ++I) {
@@ -243,12 +194,12 @@ void emitJson(std::FILE *Out, const ToolOptions &Opts,
   std::fprintf(Out, "}\n");
 }
 
-void emitTable(std::FILE *Out, const ToolOptions &Opts,
+void emitTable(std::FILE *Out, const driver::ToolConfig &C, GridMode Mode,
                const std::vector<WorkloadRow> &Rows) {
   std::fprintf(Out,
                "==== simtsr-bench: %u warps, scale %g, %s, %u threads ====\n",
-               Opts.Warps, Opts.Scale,
-               Opts.Mode == GridMode::Parallel ? "parallel" : "sequential",
+               static_cast<unsigned>(C.Warps), C.Scale,
+               Mode == GridMode::Parallel ? "parallel" : "sequential",
                ThreadPool::global().concurrency());
   std::fprintf(Out, "%-17s %9s %12s %16s %9s  %s\n", "benchmark", "wall-ms",
                "warps/sec", "islots/sec", "simt-eff", "status");
@@ -260,41 +211,336 @@ void emitTable(std::FILE *Out, const ToolOptions &Opts,
                  R.FailMessage.c_str());
 }
 
-} // namespace
+//===----------------------------------------------------------------------===//
+// --serve: cold-vs-warm cache throughput through an in-process daemon
+//===----------------------------------------------------------------------===//
 
-int main(int Argc, char **Argv) {
-  ToolOptions Opts;
-  if (!parseArgs(Argc, Argv, Opts)) {
-    printUsage();
-    return 1;
+struct ServeRow {
+  std::string Name;
+  double CompileColdMs = 0.0;
+  double CompileWarmMs = 0.0; ///< Averaged over ServeWarmIters iterations.
+  double SimColdMs = 0.0;
+  double SimWarmMs = 0.0;
+  std::string PostDigest;   ///< From the cold compile response.
+  std::string TraceDigest;  ///< From the cold simulate response.
+  std::string SimStatus;
+  bool Ok = false;          ///< Responses well-formed, warm == cold.
+  std::string FailMessage;
+};
+
+/// Warm requests are microsecond-scale hash lookups; averaging over a few
+/// iterations keeps the speedup ratio out of clock-resolution noise.
+constexpr int ServeWarmIters = 10;
+
+/// The daemon is exercised under the heaviest standard config so the cold
+/// side includes the full speculative-reconvergence pass stack.
+constexpr const char *ServePipeline = "sr+ip+realloc";
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Extracts string field \p Key from response \p Line ("" when absent).
+std::string responseField(const std::string &Line, const std::string &Key) {
+  const JsonParseResult J = parseJson(Line);
+  if (!J.ok() || !J.Value.isObject())
+    return "";
+  const JsonValue *V = J.Value.field(Key);
+  return V && V->isString() ? V->asString() : "";
+}
+
+bool responseOk(const std::string &Line) {
+  const JsonParseResult J = parseJson(Line);
+  if (!J.ok() || !J.Value.isObject())
+    return false;
+  const JsonValue *Err = J.Value.field("error");
+  return !Err; // Simulation failures still answer deterministically.
+}
+
+std::string compileRequest(int64_t Id, const std::string &Source) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(Id);
+  W.key("op");
+  W.string("compile");
+  W.key("pipeline");
+  W.string(ServePipeline);
+  W.key("source");
+  W.string(Source);
+  W.endObject();
+  return W.take();
+}
+
+std::string simulateRequest(int64_t Id, const std::string &Source,
+                            const Workload &W,
+                            const driver::ToolConfig &C) {
+  JsonWriter Wr;
+  Wr.beginObject();
+  Wr.key("id");
+  Wr.number(Id);
+  Wr.key("op");
+  Wr.string("simulate");
+  Wr.key("pipeline");
+  Wr.string(ServePipeline);
+  Wr.key("source");
+  Wr.string(Source);
+  Wr.key("kernel");
+  Wr.string(W.KernelName);
+  Wr.key("warps");
+  Wr.numberUnsigned(C.Warps);
+  Wr.key("seed");
+  Wr.numberUnsigned(C.Seed);
+  Wr.key("args");
+  Wr.beginArray();
+  for (const int64_t A : W.Args)
+    Wr.number(A);
+  Wr.endArray();
+  Wr.endObject();
+  return Wr.take();
+}
+
+ServeRow measureServe(serve::Server &Server, const Workload &W,
+                      const driver::ToolConfig &C, int64_t &NextId) {
+  ServeRow Row;
+  Row.Name = W.Name;
+  const std::string Source = printModule(*W.M);
+  const std::string Compile = compileRequest(NextId++, Source);
+  const std::string Simulate = simulateRequest(NextId++, Source, W, C);
+
+  auto Start = std::chrono::steady_clock::now();
+  const std::string ColdCompile = Server.handle(Compile);
+  Row.CompileColdMs = msSince(Start);
+
+  Start = std::chrono::steady_clock::now();
+  const std::string ColdSim = Server.handle(Simulate);
+  Row.SimColdMs = msSince(Start);
+
+  if (!responseOk(ColdCompile) || !responseOk(ColdSim)) {
+    Row.FailMessage = "cold request failed: " +
+                      (responseOk(ColdCompile) ? ColdSim : ColdCompile);
+    return Row;
   }
+  Row.PostDigest = responseField(ColdCompile, "post_digest");
+  Row.TraceDigest = responseField(ColdSim, "trace_digest");
+  Row.SimStatus = responseField(ColdSim, "status");
 
-  const std::vector<Workload> Suite = makeAllWorkloads(Opts.Scale);
-  std::vector<WorkloadRow> Rows;
+  std::string WarmCompile, WarmSim;
+  Start = std::chrono::steady_clock::now();
+  for (int I = 0; I < ServeWarmIters; ++I)
+    WarmCompile = Server.handle(Compile);
+  Row.CompileWarmMs = msSince(Start) / ServeWarmIters;
+
+  Start = std::chrono::steady_clock::now();
+  for (int I = 0; I < ServeWarmIters; ++I)
+    WarmSim = Server.handle(Simulate);
+  Row.SimWarmMs = msSince(Start) / ServeWarmIters;
+
+  // The cache-correctness claim, checked answer against answer: a warm
+  // response must be byte-identical to its cold twin except for the
+  // "cached" markers.
+  if (responseField(WarmCompile, "post_digest") != Row.PostDigest ||
+      responseField(WarmSim, "trace_digest") != Row.TraceDigest ||
+      responseField(WarmSim, "checksum") != responseField(ColdSim,
+                                                          "checksum")) {
+    Row.FailMessage = "warm response diverged from cold response";
+    return Row;
+  }
+  Row.Ok = true;
+  return Row;
+}
+
+void emitServeJson(std::FILE *Out, const driver::ToolConfig &C,
+                   const std::vector<ServeRow> &Rows,
+                   const serve::StatsSnapshot &S) {
+  double ColdC = 0, WarmC = 0, ColdS = 0, WarmS = 0;
+  for (const ServeRow &R : Rows) {
+    ColdC += R.CompileColdMs;
+    WarmC += R.CompileWarmMs;
+    ColdS += R.SimColdMs;
+    WarmS += R.SimWarmMs;
+  }
+  const auto Speedup = [](double Cold, double Warm) {
+    return Warm > 0.0 ? Cold / Warm : 0.0;
+  };
+
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"schema\": \"simtsr-bench-serve-v1\",\n");
+  std::fprintf(Out, "  \"pipeline\": \"%s\",\n", ServePipeline);
+  std::fprintf(Out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(C.Seed));
+  std::fprintf(Out, "  \"warps\": %u,\n", static_cast<unsigned>(C.Warps));
+  std::fprintf(Out, "  \"scale\": %s,\n",
+               formatDouble(C.Scale, "%g").c_str());
+  std::fprintf(Out, "  \"warm_iters\": %d,\n", ServeWarmIters);
+  std::fprintf(Out, "  \"workloads\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const ServeRow &R = Rows[I];
+    std::fprintf(Out, "    {\n");
+    std::fprintf(Out, "      \"name\": \"%s\",\n",
+                 jsonEscape(R.Name).c_str());
+    std::fprintf(Out, "      \"status\": \"%s\",\n", R.Ok ? "ok" : "failed");
+    if (!R.Ok)
+      std::fprintf(Out, "      \"fail_message\": \"%s\",\n",
+                   jsonEscape(R.FailMessage).c_str());
+    std::fprintf(Out, "      \"compile_cold_ms\": %s,\n",
+                 formatDouble(R.CompileColdMs, "%.3f").c_str());
+    std::fprintf(Out, "      \"compile_warm_ms\": %s,\n",
+                 formatDouble(R.CompileWarmMs, "%.3f").c_str());
+    std::fprintf(Out, "      \"compile_speedup\": %s,\n",
+                 formatDouble(Speedup(R.CompileColdMs, R.CompileWarmMs),
+                              "%.1f")
+                     .c_str());
+    std::fprintf(Out, "      \"simulate_cold_ms\": %s,\n",
+                 formatDouble(R.SimColdMs, "%.3f").c_str());
+    std::fprintf(Out, "      \"simulate_warm_ms\": %s,\n",
+                 formatDouble(R.SimWarmMs, "%.3f").c_str());
+    std::fprintf(Out, "      \"simulate_speedup\": %s,\n",
+                 formatDouble(Speedup(R.SimColdMs, R.SimWarmMs), "%.1f")
+                     .c_str());
+    std::fprintf(Out, "      \"sim_status\": \"%s\",\n",
+                 jsonEscape(R.SimStatus).c_str());
+    std::fprintf(Out, "      \"post_digest\": \"%s\",\n",
+                 R.PostDigest.c_str());
+    std::fprintf(Out, "      \"trace_digest\": \"%s\"\n",
+                 R.TraceDigest.c_str());
+    std::fprintf(Out, "    }%s\n", I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"totals\": {\n");
+  std::fprintf(Out, "    \"compile_cold_ms\": %s,\n",
+               formatDouble(ColdC, "%.3f").c_str());
+  std::fprintf(Out, "    \"compile_warm_ms\": %s,\n",
+               formatDouble(WarmC, "%.3f").c_str());
+  std::fprintf(Out, "    \"compile_speedup\": %s,\n",
+               formatDouble(Speedup(ColdC, WarmC), "%.1f").c_str());
+  std::fprintf(Out, "    \"simulate_cold_ms\": %s,\n",
+               formatDouble(ColdS, "%.3f").c_str());
+  std::fprintf(Out, "    \"simulate_warm_ms\": %s,\n",
+               formatDouble(WarmS, "%.3f").c_str());
+  std::fprintf(Out, "    \"simulate_speedup\": %s\n",
+               formatDouble(Speedup(ColdS, WarmS), "%.1f").c_str());
+  std::fprintf(Out, "  },\n");
+  std::fprintf(Out, "  \"cache\": {\n");
+  std::fprintf(Out, "    \"compile_hits\": %llu,\n",
+               static_cast<unsigned long long>(S.Compile.Hits));
+  std::fprintf(Out, "    \"compile_misses\": %llu,\n",
+               static_cast<unsigned long long>(S.Compile.Misses));
+  std::fprintf(Out, "    \"sim_hits\": %llu,\n",
+               static_cast<unsigned long long>(S.Sim.Hits));
+  std::fprintf(Out, "    \"sim_misses\": %llu\n",
+               static_cast<unsigned long long>(S.Sim.Misses));
+  std::fprintf(Out, "  }\n");
+  std::fprintf(Out, "}\n");
+}
+
+void emitServeTable(std::FILE *Out, const driver::ToolConfig &C,
+                    const std::vector<ServeRow> &Rows) {
+  std::fprintf(Out,
+               "==== simtsr-bench --serve: pipeline %s, %u warps, scale %g "
+               "====\n",
+               ServePipeline, static_cast<unsigned>(C.Warps), C.Scale);
+  std::fprintf(Out, "%-17s %12s %12s %9s %12s %12s %9s  %s\n", "benchmark",
+               "c-cold-ms", "c-warm-ms", "c-spdup", "s-cold-ms", "s-warm-ms",
+               "s-spdup", "status");
+  for (const ServeRow &R : Rows) {
+    const double CS =
+        R.CompileWarmMs > 0.0 ? R.CompileColdMs / R.CompileWarmMs : 0.0;
+    const double SS = R.SimWarmMs > 0.0 ? R.SimColdMs / R.SimWarmMs : 0.0;
+    std::fprintf(Out, "%-17s %12.3f %12.3f %8.1fx %12.3f %12.3f %8.1fx  %s%s%s\n",
+                 R.Name.c_str(), R.CompileColdMs, R.CompileWarmMs, CS,
+                 R.SimColdMs, R.SimWarmMs, SS, R.Ok ? "ok" : "FAILED",
+                 R.FailMessage.empty() ? "" : ": ",
+                 R.FailMessage.c_str());
+  }
+}
+
+int runServeBench(const driver::ToolConfig &C, std::FILE *Out) {
+  serve::Server Server;
+  const std::vector<Workload> Suite = makeAllWorkloads(C.Scale);
+  std::vector<ServeRow> Rows;
   Rows.reserve(Suite.size());
-  // Workloads are measured one at a time — parallelism lives inside each
-  // grid — so per-workload wall clocks do not contend with each other.
+  int64_t NextId = 1;
   for (const Workload &W : Suite)
-    Rows.push_back(measure(W, Opts));
+    Rows.push_back(measureServe(Server, W, C, NextId));
 
-  std::FILE *Out = stdout;
-  if (!Opts.OutFile.empty()) {
-    Out = std::fopen(Opts.OutFile.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "simtsr-bench: cannot open '%s' for writing\n",
-                   Opts.OutFile.c_str());
-      return 1;
-    }
-  }
-  if (Opts.Json)
-    emitJson(Out, Opts, Rows);
+  if (C.Json)
+    emitServeJson(Out, C, Rows, Server.statsSnapshot());
   else
-    emitTable(Out, Opts, Rows);
-  if (Out != stdout)
-    std::fclose(Out);
-
-  for (const WorkloadRow &R : Rows)
+    emitServeTable(Out, C, Rows);
+  for (const ServeRow &R : Rows)
     if (!R.Ok)
       return 2;
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  driver::ToolConfig C;
+  C.Warps = 8; // The perf baseline is a wider grid than the tool default.
+  bool Sequential = false;
+  bool Serve = false;
+  std::string OutFile;
+
+  driver::ArgParser P("simtsr-bench");
+  driver::addJsonFlag(P, C);
+  driver::addLaunchFlags(P, C);
+  P.dbl("--scale", "S", "workload scale factor in (0, 1]", &C.Scale, 0.0,
+        1.0);
+  P.flag("--sequential",
+         "run grids one warp at a time (perf comparison baseline)",
+         &Sequential);
+  P.flag("--serve",
+         "benchmark the serve daemon's cache: cold vs warm compile and "
+         "simulate",
+         &Serve);
+  P.str("--out", "FILE", "write the report to FILE instead of stdout",
+        &OutFile);
+
+  switch (P.parse(Argc, Argv)) {
+  case driver::ArgParser::Result::Ok:
+    break;
+  case driver::ArgParser::Result::Exit:
+    return 0;
+  case driver::ArgParser::Result::Error:
+    return 1;
+  }
+
+  std::FILE *Out = stdout;
+  if (!OutFile.empty()) {
+    Out = std::fopen(OutFile.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "simtsr-bench: cannot open '%s' for writing\n",
+                   OutFile.c_str());
+      return 1;
+    }
+  }
+
+  int Exit = 0;
+  if (Serve) {
+    Exit = runServeBench(C, Out);
+  } else {
+    const GridMode Mode =
+        Sequential ? GridMode::Sequential : GridMode::Parallel;
+    const std::vector<Workload> Suite = makeAllWorkloads(C.Scale);
+    std::vector<WorkloadRow> Rows;
+    Rows.reserve(Suite.size());
+    // Workloads are measured one at a time — parallelism lives inside each
+    // grid — so per-workload wall clocks do not contend with each other.
+    for (const Workload &W : Suite)
+      Rows.push_back(measure(W, C, Mode));
+    if (C.Json)
+      emitJson(Out, C, Mode, Rows);
+    else
+      emitTable(Out, C, Mode, Rows);
+    for (const WorkloadRow &R : Rows)
+      if (!R.Ok)
+        Exit = 2;
+  }
+  if (Out != stdout)
+    std::fclose(Out);
+  return Exit;
 }

@@ -8,29 +8,26 @@
 /// pipeline's barrier registry (origin-blind after reallocation, whose
 /// recolouring invalidates the registry).
 ///
-/// Output is deterministic: one `== unit [config]` header per linted
-/// module followed by one line per finding, then a final summary line —
-/// the format the CI golden file checks in.
+/// Input selection, pipeline resolution and flag spellings come from the
+/// shared driver facade (driver/Driver.h); this file only owns the lint
+/// loop and the report formats. Text output is deterministic: one
+/// `== unit [config]` header per linted module followed by one line per
+/// finding, then a final summary line — the format the CI golden file
+/// checks in. --json renders the same findings machine-readably (schema
+/// "simtsr-lint-v1").
 ///
 /// Exit codes: 0 on a clean sweep, 1 on usage/IO/parse errors, 2 when any
 /// warning or error was reported.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "fuzz/KernelGen.h"
-#include "ir/Module.h"
-#include "ir/Parser.h"
+#include "driver/Driver.h"
 #include "kernels/Runner.h"
 #include "lint/ConvergenceLint.h"
+#include "support/Json.h"
 #include "transform/BarrierVerifier.h"
-#include "transform/Pipeline.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <functional>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,101 +35,25 @@ using namespace simtsr;
 
 namespace {
 
-struct ToolOptions {
-  std::vector<std::string> Files;
-  std::string Pipeline = "none"; ///< none | a standard config name | all
-  bool Workloads = false;
-  uint64_t Corpus = 0; ///< Number of generated kernels to lint.
-  uint64_t StartSeed = 0;
-  unsigned WarpSize = 32;
-  int SoftThreshold = 8;
-  bool Notes = false;
-  bool List = false;
-};
-
-void printUsage() {
-  std::fprintf(
-      stderr,
-      "usage: simtsr-lint [options] [file.sir ...]\n"
-      "  --pipeline NAME    run a standard pipeline before linting:\n"
-      "                     none (default), all, or one of noop, pdom, sr,\n"
-      "                     sr+ip, soft, sr+ip+realloc\n"
-      "  --workloads        lint the Table 2 workload suite\n"
-      "  --corpus N         lint N generated fuzz kernels\n"
-      "  --start-seed N     first corpus seed (default 0)\n"
-      "  --warp-size N      warp width for threshold checks (default 32)\n"
-      "  --soft-threshold N threshold for the 'soft' config (default 8)\n"
-      "  --notes            print informational notes too\n"
-      "  --list             list pipeline configs and workloads\n");
-}
-
-bool parseUInt(const char *Text, uint64_t &Out) {
-  char *End = nullptr;
-  unsigned long long V = std::strtoull(Text, &End, 10);
-  if (End == Text || *End != '\0')
-    return false;
-  Out = V;
-  return true;
-}
-
-bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
-  for (int I = 1; I < Argc; ++I) {
-    const std::string Arg = Argv[I];
-    auto NeedValue = [&]() -> const char * {
-      return I + 1 < Argc ? Argv[++I] : nullptr;
-    };
-    uint64_t V = 0;
-    if (Arg == "--pipeline") {
-      const char *S = NeedValue();
-      if (!S)
-        return false;
-      Opts.Pipeline = S;
-    } else if (Arg == "--workloads") {
-      Opts.Workloads = true;
-    } else if (Arg == "--corpus") {
-      const char *S = NeedValue();
-      if (!S || !parseUInt(S, Opts.Corpus))
-        return false;
-    } else if (Arg == "--start-seed") {
-      const char *S = NeedValue();
-      if (!S || !parseUInt(S, Opts.StartSeed))
-        return false;
-    } else if (Arg == "--warp-size") {
-      const char *S = NeedValue();
-      if (!S || !parseUInt(S, V) || V < 1 || V > 64)
-        return false;
-      Opts.WarpSize = static_cast<unsigned>(V);
-    } else if (Arg == "--soft-threshold") {
-      const char *S = NeedValue();
-      if (!S || !parseUInt(S, V) || V < 1)
-        return false;
-      Opts.SoftThreshold = static_cast<int>(V);
-    } else if (Arg == "--notes") {
-      Opts.Notes = true;
-    } else if (Arg == "--list") {
-      Opts.List = true;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "simtsr-lint: unknown option '%s'\n", Arg.c_str());
-      return false;
-    } else {
-      Opts.Files.push_back(Arg);
-    }
-  }
-  return true;
-}
-
 struct Tally {
   unsigned Units = 0, Errors = 0, Warnings = 0, Notes = 0;
 };
 
-/// Lints \p M after optionally running config \p Config, printing the
-/// findings under the `== Unit [Config]` header.
-void lintOne(Module &M, const std::string &Unit, const std::string &Config,
-             const ToolOptions &Opts, Tally &T) {
+struct UnitReport {
+  std::string Unit;
+  std::string Config;
+  unsigned Errors = 0, Warnings = 0, Notes = 0;
+  std::vector<std::string> Findings;
+};
+
+/// Lints \p M after optionally running config \p Config.
+UnitReport lintOne(Module &M, const std::string &Unit,
+                   const std::string &Config, unsigned WarpSize,
+                   int SoftThreshold, bool Notes, Tally &T) {
   lint::LintOptions LO;
-  LO.WarpSize = Opts.WarpSize;
+  LO.WarpSize = WarpSize;
   if (Config != "none") {
-    const auto PO = standardPipelineByName(Config, Opts.SoftThreshold);
+    const auto PO = standardPipelineByName(Config, SoftThreshold);
     const PipelineReport Report = runSyncPipeline(M, *PO);
     // The registry maps ids to origins only until reallocation recolours
     // the registers; afterwards the analyzer runs origin-blind.
@@ -145,55 +66,95 @@ void lintOne(Module &M, const std::string &Unit, const std::string &Config,
   }
   const lint::LintResult R = lint::runConvergenceLint(M, LO);
 
-  std::printf("== %s [%s]\n", Unit.c_str(), Config.c_str());
+  UnitReport U;
+  U.Unit = Unit;
+  U.Config = Config;
+  U.Errors = R.count(lint::LintSeverity::Error);
+  U.Warnings = R.count(lint::LintSeverity::Warning);
+  U.Notes = R.count(lint::LintSeverity::Note);
   for (const lint::LintDiagnostic &D : R.Diagnostics) {
-    if (D.Severity == lint::LintSeverity::Note && !Opts.Notes)
+    if (D.Severity == lint::LintSeverity::Note && !Notes)
       continue;
-    std::printf("  %s\n", D.format().c_str());
+    U.Findings.push_back(D.format());
   }
   ++T.Units;
-  T.Errors += R.count(lint::LintSeverity::Error);
-  T.Warnings += R.count(lint::LintSeverity::Warning);
-  T.Notes += R.count(lint::LintSeverity::Note);
+  T.Errors += U.Errors;
+  T.Warnings += U.Warnings;
+  T.Notes += U.Notes;
+  return U;
 }
 
-/// Runs \p Rebuild to get a fresh module per requested config (pipelines
-/// mutate modules in place) and lints each.
-bool forEachConfig(const std::string &Unit, const ToolOptions &Opts,
-                   const std::function<std::unique_ptr<Module>()> &Rebuild,
-                   Tally &T) {
-  std::vector<std::string> Configs;
-  if (Opts.Pipeline == "all")
-    Configs = standardPipelineNames();
-  else
-    Configs.push_back(Opts.Pipeline);
-  for (const std::string &C : Configs) {
-    if (C != "none" && !standardPipelineByName(C, Opts.SoftThreshold)) {
-      std::fprintf(stderr, "simtsr-lint: unknown pipeline '%s'\n", C.c_str());
-      return false;
-    }
-    std::unique_ptr<Module> M = Rebuild();
-    if (!M)
-      return false;
-    lintOne(*M, Unit, C, Opts, T);
+void emitJson(const std::vector<UnitReport> &Reports, const Tally &T) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.string("simtsr-lint-v1");
+  W.key("units");
+  W.beginArray();
+  for (const UnitReport &U : Reports) {
+    W.beginObject();
+    W.key("unit");
+    W.string(U.Unit);
+    W.key("pipeline");
+    W.string(U.Config);
+    W.key("errors");
+    W.numberUnsigned(U.Errors);
+    W.key("warnings");
+    W.numberUnsigned(U.Warnings);
+    W.key("notes");
+    W.numberUnsigned(U.Notes);
+    W.key("findings");
+    W.beginArray();
+    for (const std::string &F : U.Findings)
+      W.string(F);
+    W.endArray();
+    W.endObject();
   }
-  return true;
-}
-
-std::string baseName(const std::string &Path) {
-  const size_t Slash = Path.find_last_of('/');
-  return Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  W.endArray();
+  W.key("totals");
+  W.beginObject();
+  W.key("units");
+  W.numberUnsigned(T.Units);
+  W.key("errors");
+  W.numberUnsigned(T.Errors);
+  W.key("warnings");
+  W.numberUnsigned(T.Warnings);
+  W.key("notes");
+  W.numberUnsigned(T.Notes);
+  W.endObject();
+  W.endObject();
+  std::printf("%s\n", W.take().c_str());
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  ToolOptions Opts;
-  if (!parseArgs(Argc, Argv, Opts)) {
-    printUsage();
+  driver::ToolConfig C;
+  uint64_t WarpSize = 32;
+  bool Notes = false;
+  bool List = false;
+
+  driver::ArgParser P("simtsr-lint", "[file.sir ...]");
+  driver::addPipelineFlags(P, C);
+  driver::addWorkloadFlags(P, C);
+  driver::addCorpusFlags(P, C);
+  driver::addJsonFlag(P, C);
+  driver::addFileArgs(P, C);
+  P.uns("--warp-size", "N", "warp width for threshold checks (default 32)",
+        &WarpSize, 1, 64);
+  P.flag("--notes", "print informational notes too", &Notes);
+  P.flag("--list", "list pipeline configs and workloads", &List);
+
+  switch (P.parse(Argc, Argv)) {
+  case driver::ArgParser::Result::Ok:
+    break;
+  case driver::ArgParser::Result::Exit:
+    return 0;
+  case driver::ArgParser::Result::Error:
     return 1;
   }
-  if (Opts.List) {
+
+  if (List) {
     std::printf("pipeline configs: none all");
     for (const std::string &N : standardPipelineNames())
       std::printf(" %s", N.c_str());
@@ -203,56 +164,47 @@ int main(int Argc, char **Argv) {
     std::printf("\n");
     return 0;
   }
-  if (Opts.Files.empty() && !Opts.Workloads && Opts.Corpus == 0) {
-    printUsage();
+  if (C.Files.empty() && !C.Workloads && C.Corpus == 0) {
+    P.printUsage(stderr);
     return 1;
   }
 
+  const auto Configs = driver::expandPipelineSpec(C.Pipeline);
+  const driver::InputSet Inputs = driver::loadInputs(C);
+  for (const std::string &E : Inputs.Errors)
+    std::fprintf(stderr, "simtsr-lint: %s\n", E.c_str());
+  if (!Inputs.ok())
+    return 1;
+
   Tally T;
-  for (const std::string &Path : Opts.Files) {
-    std::ifstream In(Path);
-    if (!In) {
-      std::fprintf(stderr, "simtsr-lint: cannot read '%s'\n", Path.c_str());
-      return 1;
-    }
-    std::stringstream Buffer;
-    Buffer << In.rdbuf();
-    const std::string Text = Buffer.str();
-    const std::string Unit = baseName(Path);
-    if (!forEachConfig(
-            Unit, Opts,
-            [&]() -> std::unique_ptr<Module> {
-              ParseResult P = parseModule(Text);
-              if (!P.ok()) {
-                for (const std::string &E : P.Errors)
-                  std::fprintf(stderr, "simtsr-lint: %s: %s\n", Unit.c_str(),
-                               E.c_str());
-                return nullptr;
-              }
-              return std::move(P.M);
-            },
-            T))
-      return 1;
-  }
-
-  if (Opts.Workloads) {
-    for (const Workload &W : makeAllWorkloads()) {
-      if (!forEachConfig(
-              W.Name, Opts, [&]() { return W.M->clone(); }, T))
+  std::vector<UnitReport> Reports;
+  for (const driver::InputUnit &U : Inputs.Units) {
+    for (const std::string &Config : *Configs) {
+      // Pipelines mutate modules in place; every config gets a fresh one.
+      std::vector<std::string> Errors;
+      const std::unique_ptr<Module> M = U.rebuild(&Errors);
+      if (!M) {
+        for (const std::string &E : Errors)
+          std::fprintf(stderr, "simtsr-lint: %s\n", E.c_str());
         return 1;
+      }
+      const UnitReport R =
+          lintOne(*M, U.Name, Config, static_cast<unsigned>(WarpSize),
+                  static_cast<int>(C.SoftThreshold), Notes, T);
+      if (C.Json) {
+        Reports.push_back(R);
+        continue;
+      }
+      std::printf("== %s [%s]\n", R.Unit.c_str(), R.Config.c_str());
+      for (const std::string &F : R.Findings)
+        std::printf("  %s\n", F.c_str());
     }
   }
 
-  for (uint64_t S = 0; S < Opts.Corpus; ++S) {
-    GenOptions G;
-    G.Seed = Opts.StartSeed + S;
-    const std::string Unit = "seed" + std::to_string(G.Seed);
-    if (!forEachConfig(
-            Unit, Opts, [&]() { return generateKernelModule(G); }, T))
-      return 1;
-  }
-
-  std::printf("%u units: %u errors, %u warnings, %u notes\n", T.Units,
-              T.Errors, T.Warnings, T.Notes);
+  if (C.Json)
+    emitJson(Reports, T);
+  else
+    std::printf("%u units: %u errors, %u warnings, %u notes\n", T.Units,
+                T.Errors, T.Warnings, T.Notes);
   return (T.Errors || T.Warnings) ? 2 : 0;
 }

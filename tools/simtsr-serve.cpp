@@ -1,0 +1,71 @@
+//===- simtsr-serve.cpp - Batched compile-and-simulate daemon CLI -------------===//
+///
+/// \file
+/// Long-lived front end for the serve subsystem (docs/SERVE.md): reads
+/// JSON-lines requests — compile, simulate, lint, stats, shutdown — from
+/// stdin (default) or a Unix stream socket (--socket), answers each with
+/// one JSON response line, and keeps content-addressed compile/simulate
+/// caches across requests so repeated work is answered without re-running
+/// the pass stack or the simulator.
+///
+/// A quick session:
+///
+///   $ { echo '{"id":1,"op":"compile","source":"...","pipeline":"sr"}';
+///       echo '{"id":2,"op":"stats"}'; } | simtsr-serve
+///
+/// Exit codes: 0 on EOF or a shutdown request, 1 on usage errors, 2 on a
+/// socket failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "serve/Server.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+using namespace simtsr;
+
+int main(int Argc, char **Argv) {
+  serve::ServerOptions Opts;
+  std::string Socket;
+
+  driver::ArgParser P("simtsr-serve");
+  P.str("--socket", "PATH",
+        "listen on a Unix stream socket instead of stdin/stdout", &Socket);
+  P.uns("--queue-depth", "N",
+        "max in-flight requests before load shedding (default 64)",
+        &Opts.QueueDepth, 0, 1u << 16);
+  P.uns("--compile-cache", "N", "compile cache capacity (default 256)",
+        &Opts.CompileCacheCapacity, 1, 1u << 20);
+  P.uns("--sim-cache", "N", "simulate cache capacity (default 1024)",
+        &Opts.SimCacheCapacity, 1, 1u << 20);
+  P.uns("--max-issue", "N",
+        "per-request issue-slot budget (default: simulator default)",
+        &Opts.MaxIssueSlots);
+  P.uns("--watchdog-ms", "N",
+        "per-request wall-clock watchdog in ms (0 disables)",
+        &Opts.MaxWallMillis);
+
+  switch (P.parse(Argc, Argv)) {
+  case driver::ArgParser::Result::Ok:
+    break;
+  case driver::ArgParser::Result::Exit:
+    return 0;
+  case driver::ArgParser::Result::Error:
+    return 1;
+  }
+
+  serve::Server Server(Opts);
+  if (!Socket.empty()) {
+    if (Server.serveUnixSocket(Socket) != 0) {
+      std::fprintf(stderr, "simtsr-serve: socket '%s' failed\n",
+                   Socket.c_str());
+      return 2;
+    }
+    return 0;
+  }
+  Server.serve(std::cin, std::cout);
+  return 0;
+}

@@ -7,32 +7,36 @@
 /// failure to a minimal repro, and writes the repro as a replayable `.sir`
 /// file with the failure context in its header comments.
 ///
+/// Repro files land in --repro-dir (default: the working directory;
+/// --out is the pre-unification alias). tests/repros/ keeps the checked-in
+/// corpus of historical repros replayed by the regression suite.
+///
 /// Exit codes: 0 on a clean sweep (or, with --expect-caught, when at least
 /// one failure was caught); 1 on usage errors; 2 when unexpected failures
 /// were found (or --expect-caught found none).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/Driver.h"
 #include "fuzz/KernelGen.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/Shrinker.h"
+#include "support/Json.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <string>
+#include <vector>
 
 using namespace simtsr;
 
 namespace {
 
-struct ToolOptions {
+struct TortureOptions {
   uint64_t Seeds = 100;
-  uint64_t StartSeed = 0;
-  std::string OutDir = ".";
+  std::string ReproDir = ".";
   std::string ReplayFile;
   bool ExpectCaught = false;
   bool NoShrink = false;
@@ -41,112 +45,13 @@ struct ToolOptions {
   ShrinkOptions Shrink;
 };
 
-void printUsage() {
-  std::fprintf(
-      stderr,
-      "usage: simtsr-torture [options]\n"
-      "  --seeds N          number of seeds to torture (default 100)\n"
-      "  --start-seed N     first seed (default 0)\n"
-      "  --warp-size N      warp size for every run (default 32)\n"
-      "  --max-issue N      per-run issue-slot limit\n"
-      "  --watchdog-ms N    per-run wall-clock watchdog (0 disables)\n"
-      "  --inject MODE      miscompile the 'sr' config: swap-br | "
-      "drop-cancels\n"
-      "  --lint-oracle      cross-check the static convergence lint "
-      "against every run\n"
-      "  --expect-caught    succeed iff at least one failure is caught\n"
-      "  --no-shrink        skip repro minimization\n"
-      "  --out DIR          directory for repro .sir files (default .)\n"
-      "  --replay FILE      run the oracle on one .sir file and exit\n"
-      "  --verbose          log every seed, not just failures\n");
-}
-
-bool parseUInt(const char *Text, uint64_t &Out) {
-  char *End = nullptr;
-  unsigned long long V = std::strtoull(Text, &End, 10);
-  if (End == Text || *End != '\0')
-    return false;
-  Out = V;
-  return true;
-}
-
-/// \returns false on a malformed command line.
-bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
-  for (int I = 1; I < Argc; ++I) {
-    const std::string Arg = Argv[I];
-    auto NeedValue = [&]() -> const char * {
-      return I + 1 < Argc ? Argv[++I] : nullptr;
-    };
-    uint64_t V = 0;
-    if (Arg == "--seeds") {
-      const char *S = NeedValue();
-      if (!S || !parseUInt(S, Opts.Seeds))
-        return false;
-    } else if (Arg == "--start-seed") {
-      const char *S = NeedValue();
-      if (!S || !parseUInt(S, Opts.StartSeed))
-        return false;
-    } else if (Arg == "--warp-size") {
-      const char *S = NeedValue();
-      if (!S || !parseUInt(S, V) || V < 1 || V > 32)
-        return false;
-      Opts.Oracle.WarpSize = static_cast<unsigned>(V);
-    } else if (Arg == "--max-issue") {
-      const char *S = NeedValue();
-      if (!S || !parseUInt(S, Opts.Oracle.MaxIssueSlots))
-        return false;
-    } else if (Arg == "--watchdog-ms") {
-      const char *S = NeedValue();
-      if (!S || !parseUInt(S, Opts.Oracle.MaxWallMillis))
-        return false;
-    } else if (Arg == "--inject") {
-      const char *S = NeedValue();
-      if (!S)
-        return false;
-      if (std::strcmp(S, "swap-br") == 0)
-        Opts.Oracle.Inject = FaultInjection::SwapBranchTargets;
-      else if (std::strcmp(S, "drop-cancels") == 0)
-        Opts.Oracle.Inject = FaultInjection::DropCancels;
-      else
-        return false;
-    } else if (Arg == "--lint-oracle") {
-      Opts.Oracle.LintCheck = true;
-    } else if (Arg == "--expect-caught") {
-      Opts.ExpectCaught = true;
-    } else if (Arg == "--no-shrink") {
-      Opts.NoShrink = true;
-    } else if (Arg == "--out") {
-      const char *S = NeedValue();
-      if (!S)
-        return false;
-      Opts.OutDir = S;
-    } else if (Arg == "--replay") {
-      const char *S = NeedValue();
-      if (!S)
-        return false;
-      Opts.ReplayFile = S;
-    } else if (Arg == "--verbose") {
-      Opts.Verbose = true;
-    } else {
-      std::fprintf(stderr, "simtsr-torture: unknown option '%s'\n",
-                   Arg.c_str());
-      return false;
-    }
-  }
-  Opts.Shrink.Oracle = Opts.Oracle;
-  return true;
-}
-
-int replay(const ToolOptions &Opts) {
-  std::ifstream In(Opts.ReplayFile);
-  if (!In) {
-    std::fprintf(stderr, "simtsr-torture: cannot open '%s'\n",
-                 Opts.ReplayFile.c_str());
+int replay(const TortureOptions &Opts) {
+  std::string Text, Error;
+  if (!driver::readFileToString(Opts.ReplayFile, Text, Error)) {
+    std::fprintf(stderr, "simtsr-torture: %s\n", Error.c_str());
     return 1;
   }
-  std::ostringstream Buffer;
-  Buffer << In.rdbuf();
-  OracleResult R = runDifferentialOracle(Buffer.str(), Opts.Oracle);
+  OracleResult R = runDifferentialOracle(Text, Opts.Oracle);
   if (R.ok()) {
     std::printf("replay %s: clean over %zu runs\n", Opts.ReplayFile.c_str(),
                 R.Runs.size());
@@ -157,18 +62,18 @@ int replay(const ToolOptions &Opts) {
   return 2;
 }
 
-std::string reproPath(const ToolOptions &Opts, uint64_t Seed,
+std::string reproPath(const TortureOptions &Opts, uint64_t Seed,
                       FailureKind Kind) {
-  return Opts.OutDir + "/repro-seed" + std::to_string(Seed) + "-" +
+  return Opts.ReproDir + "/repro-seed" + std::to_string(Seed) + "-" +
          getFailureKindName(Kind) + ".sir";
 }
 
 bool writeRepro(const std::string &Path, uint64_t Seed,
-                const OracleResult &Failure, const ToolOptions &Opts,
+                const OracleResult &Failure, const TortureOptions &Opts,
                 size_t OriginalSize, const std::string &Text,
                 const ShrinkResult *Shrunk) {
   std::error_code Ec;
-  std::filesystem::create_directories(Opts.OutDir, Ec);
+  std::filesystem::create_directories(Opts.ReproDir, Ec);
   std::ofstream Out(Path);
   if (!Out) {
     std::fprintf(stderr, "simtsr-torture: cannot write '%s'\n",
@@ -208,20 +113,107 @@ bool writeRepro(const std::string &Path, uint64_t Seed,
   return Out.good();
 }
 
+struct FailureRecord {
+  uint64_t Seed = 0;
+  std::string Kind;
+  std::string Detail;
+  std::string ReproPath;
+};
+
+void emitJson(const TortureOptions &Opts, uint64_t Clean, uint64_t Failures,
+              const std::vector<FailureRecord> &Records) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.string("simtsr-torture-v1");
+  W.key("seeds");
+  W.numberUnsigned(Opts.Seeds);
+  W.key("clean");
+  W.numberUnsigned(Clean);
+  W.key("failures");
+  W.numberUnsigned(Failures);
+  W.key("repro_dir");
+  W.string(Opts.ReproDir);
+  W.key("records");
+  W.beginArray();
+  for (const FailureRecord &R : Records) {
+    W.beginObject();
+    W.key("seed");
+    W.numberUnsigned(R.Seed);
+    W.key("kind");
+    W.string(R.Kind);
+    W.key("detail");
+    W.string(R.Detail);
+    W.key("repro");
+    W.string(R.ReproPath);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  std::printf("%s\n", W.take().c_str());
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  ToolOptions Opts;
-  if (!parseArgs(Argc, Argv, Opts)) {
-    printUsage();
+  driver::ToolConfig C;
+  TortureOptions Opts;
+  uint64_t WarpSize = 32;
+
+  driver::ArgParser P("simtsr-torture");
+  P.uns("--seeds", "N", "number of seeds to torture (default 100)",
+        &Opts.Seeds);
+  P.uns("--start-seed", "N", "first seed (default 0)", &C.StartSeed);
+  P.uns("--warp-size", "N", "warp size for every run (default 32)",
+        &WarpSize, 1, 32);
+  P.uns("--max-issue", "N", "per-run issue-slot limit",
+        &Opts.Oracle.MaxIssueSlots);
+  P.uns("--watchdog-ms", "N", "per-run wall-clock watchdog (0 disables)",
+        &Opts.Oracle.MaxWallMillis);
+  P.custom("--inject", "MODE",
+           "miscompile the 'sr' config: swap-br | drop-cancels",
+           [&Opts](const std::string &V) {
+             if (V == "swap-br")
+               Opts.Oracle.Inject = FaultInjection::SwapBranchTargets;
+             else if (V == "drop-cancels")
+               Opts.Oracle.Inject = FaultInjection::DropCancels;
+             else
+               return false;
+             return true;
+           });
+  P.flag("--lint-oracle",
+         "cross-check the static convergence lint against every run",
+         &Opts.Oracle.LintCheck);
+  P.flag("--expect-caught", "succeed iff at least one failure is caught",
+         &Opts.ExpectCaught);
+  P.flag("--no-shrink", "skip repro minimization", &Opts.NoShrink);
+  P.str("--repro-dir", "DIR",
+        "directory for repro .sir files (default: working directory)",
+        &Opts.ReproDir);
+  P.alias("--out", "--repro-dir");
+  P.str("--replay", "FILE", "run the oracle on one .sir file and exit",
+        &Opts.ReplayFile);
+  P.flag("--verbose", "log every seed, not just failures", &Opts.Verbose);
+  driver::addJsonFlag(P, C);
+
+  switch (P.parse(Argc, Argv)) {
+  case driver::ArgParser::Result::Ok:
+    break;
+  case driver::ArgParser::Result::Exit:
+    return 0;
+  case driver::ArgParser::Result::Error:
     return 1;
   }
+  Opts.Oracle.WarpSize = static_cast<unsigned>(WarpSize);
+  Opts.Shrink.Oracle = Opts.Oracle;
+
   if (!Opts.ReplayFile.empty())
     return replay(Opts);
 
   uint64_t Failures = 0;
   uint64_t Clean = 0;
-  for (uint64_t Seed = Opts.StartSeed; Seed < Opts.StartSeed + Opts.Seeds;
+  std::vector<FailureRecord> Records;
+  for (uint64_t Seed = C.StartSeed; Seed < C.StartSeed + Opts.Seeds;
        ++Seed) {
     GenOptions Gen;
     Gen.Seed = Seed;
@@ -230,15 +222,16 @@ int main(int Argc, char **Argv) {
     OracleResult R = runDifferentialOracle(Text, Opts.Oracle);
     if (R.ok()) {
       ++Clean;
-      if (Opts.Verbose)
+      if (Opts.Verbose && !C.Json)
         std::printf("seed %llu: clean (%zu runs)\n",
                     static_cast<unsigned long long>(Seed), R.Runs.size());
       continue;
     }
     ++Failures;
-    std::printf("seed %llu: %s\n  %s\n",
-                static_cast<unsigned long long>(Seed),
-                getFailureKindName(R.Kind), R.Detail.c_str());
+    if (!C.Json)
+      std::printf("seed %llu: %s\n  %s\n",
+                  static_cast<unsigned long long>(Seed),
+                  getFailureKindName(R.Kind), R.Detail.c_str());
 
     std::string Repro = Text;
     ShrinkResult Shrunk;
@@ -248,27 +241,39 @@ int main(int Argc, char **Argv) {
       if (Shrunk.StepsAccepted > 0) {
         Repro = Shrunk.Text;
         DidShrink = true;
-        std::printf("  shrunk %zu -> %zu bytes in %u steps\n", Text.size(),
-                    Repro.size(), Shrunk.StepsAccepted);
+        if (!C.Json)
+          std::printf("  shrunk %zu -> %zu bytes in %u steps\n", Text.size(),
+                      Repro.size(), Shrunk.StepsAccepted);
       }
     }
     std::string Path = reproPath(Opts, Seed, R.Kind);
     if (writeRepro(Path, Seed, R, Opts, Text.size(), Repro,
-                   DidShrink ? &Shrunk : nullptr))
-      std::printf("  repro written to %s\n", Path.c_str());
+                   DidShrink ? &Shrunk : nullptr)) {
+      if (!C.Json)
+        std::printf("  repro written to %s\n", Path.c_str());
+    } else {
+      Path.clear();
+    }
+    Records.push_back(
+        {Seed, getFailureKindName(R.Kind), R.Detail, Path});
   }
 
-  std::printf("torture: %llu seeds, %llu clean, %llu failures\n",
-              static_cast<unsigned long long>(Opts.Seeds),
-              static_cast<unsigned long long>(Clean),
-              static_cast<unsigned long long>(Failures));
+  if (C.Json)
+    emitJson(Opts, Clean, Failures, Records);
+  else
+    std::printf("torture: %llu seeds, %llu clean, %llu failures\n",
+                static_cast<unsigned long long>(Opts.Seeds),
+                static_cast<unsigned long long>(Clean),
+                static_cast<unsigned long long>(Failures));
   if (Opts.ExpectCaught) {
     if (Failures > 0) {
-      std::printf("torture: injected fault caught as expected\n");
+      if (!C.Json)
+        std::printf("torture: injected fault caught as expected\n");
       return 0;
     }
-    std::printf("torture: expected the injected fault to be caught, but "
-                "every seed came back clean\n");
+    if (!C.Json)
+      std::printf("torture: expected the injected fault to be caught, but "
+                  "every seed came back clean\n");
     return 2;
   }
   return Failures == 0 ? 0 : 2;

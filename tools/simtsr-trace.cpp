@@ -16,19 +16,25 @@
 /// first divergent scheduling event, answering "where exactly did the SR
 /// pipeline start scheduling differently from PDOM?". --golden prints
 /// digest lines for the whole suite in the golden-test file format.
+/// --json renders the per-run summaries machine-readably (schema
+/// "simtsr-trace-v1").
+///
+/// Flags are the canonical driver spellings; --config remains an accepted
+/// alias of --pipeline from before the flag unification.
 ///
 /// Exit codes: 0 on success (including an expected --diff divergence),
 /// 1 on usage errors, 2 when a simulation fails.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/Driver.h"
 #include "kernels/Runner.h"
 #include "observe/Remark.h"
 #include "support/Json.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -36,150 +42,14 @@ using namespace simtsr;
 
 namespace {
 
-struct ToolOptions {
+struct TraceOptions {
   std::string Workload;
-  std::string Config = "pdom";
   std::string DiffA, DiffB; // set when --diff was given
-  SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
-  unsigned Warps = 2;
-  double Scale = 0.25;
-  uint64_t Seed = 2020;
-  int SoftThreshold = 8;
   std::string TraceOut;
   std::string RemarksOut;
   bool List = false;
   bool Golden = false;
 };
-
-const char *policyName(SchedulerPolicy P) {
-  switch (P) {
-  case SchedulerPolicy::MaxConvergence:
-    return "max-convergence";
-  case SchedulerPolicy::MinPC:
-    return "min-pc";
-  case SchedulerPolicy::RoundRobin:
-    return "round-robin";
-  }
-  return "?";
-}
-
-bool parsePolicy(const std::string &S, SchedulerPolicy &Out) {
-  if (S == "max-convergence" || S == "maxconv") {
-    Out = SchedulerPolicy::MaxConvergence;
-    return true;
-  }
-  if (S == "min-pc" || S == "minpc") {
-    Out = SchedulerPolicy::MinPC;
-    return true;
-  }
-  if (S == "round-robin" || S == "rr") {
-    Out = SchedulerPolicy::RoundRobin;
-    return true;
-  }
-  return false;
-}
-
-void printUsage() {
-  std::fprintf(
-      stderr,
-      "usage: simtsr-trace [options]\n"
-      "  --list                 list workloads, configs and policies\n"
-      "  --workload NAME        Table 2 workload to run (required)\n"
-      "  --config NAME          pipeline config (default pdom)\n"
-      "  --diff A,B             run configs A and B; report the first\n"
-      "                         divergent scheduling event\n"
-      "  --policy P             max-convergence | min-pc | round-robin\n"
-      "  --warps N              warps per grid (default 2)\n"
-      "  --scale S              workload scale in (0, 1] (default 0.25)\n"
-      "  --seed N               launch seed (default 2020)\n"
-      "  --soft-threshold N     threshold for the 'soft' config (default 8)\n"
-      "  --trace-out FILE       write Chrome trace-event JSON\n"
-      "  --remarks-out FILE     write pass remarks as JSONL\n"
-      "  --golden               print golden digest lines for the whole\n"
-      "                         suite (all configs x policies)\n");
-}
-
-bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
-  for (int I = 1; I < Argc; ++I) {
-    const std::string Arg = Argv[I];
-    auto NeedValue = [&]() -> const char * {
-      return I + 1 < Argc ? Argv[++I] : nullptr;
-    };
-    if (Arg == "--list") {
-      Opts.List = true;
-    } else if (Arg == "--golden") {
-      Opts.Golden = true;
-    } else if (Arg == "--workload") {
-      const char *S = NeedValue();
-      if (!S)
-        return false;
-      Opts.Workload = S;
-    } else if (Arg == "--config") {
-      const char *S = NeedValue();
-      if (!S)
-        return false;
-      Opts.Config = S;
-    } else if (Arg == "--diff") {
-      const char *S = NeedValue();
-      if (!S)
-        return false;
-      const std::string Pair = S;
-      const size_t Comma = Pair.find(',');
-      if (Comma == std::string::npos || Comma == 0 ||
-          Comma + 1 == Pair.size())
-        return false;
-      Opts.DiffA = Pair.substr(0, Comma);
-      Opts.DiffB = Pair.substr(Comma + 1);
-    } else if (Arg == "--policy") {
-      const char *S = NeedValue();
-      if (!S || !parsePolicy(S, Opts.Policy))
-        return false;
-    } else if (Arg == "--warps") {
-      const char *S = NeedValue();
-      char *End = nullptr;
-      unsigned long V = S ? std::strtoul(S, &End, 10) : 0;
-      if (!S || End == S || *End != '\0' || V < 1 || V > 4096)
-        return false;
-      Opts.Warps = static_cast<unsigned>(V);
-    } else if (Arg == "--scale") {
-      const char *S = NeedValue();
-      char *End = nullptr;
-      double V = S ? std::strtod(S, &End) : 0.0;
-      if (!S || End == S || *End != '\0' || V <= 0.0 || V > 1.0)
-        return false;
-      Opts.Scale = V;
-    } else if (Arg == "--seed") {
-      const char *S = NeedValue();
-      char *End = nullptr;
-      unsigned long long V = S ? std::strtoull(S, &End, 10) : 0;
-      if (!S || End == S || *End != '\0')
-        return false;
-      Opts.Seed = V;
-    } else if (Arg == "--soft-threshold") {
-      const char *S = NeedValue();
-      char *End = nullptr;
-      long V = S ? std::strtol(S, &End, 10) : 0;
-      if (!S || End == S || *End != '\0' || V < 0 || V > 64)
-        return false;
-      Opts.SoftThreshold = static_cast<int>(V);
-    } else if (Arg == "--trace-out") {
-      const char *S = NeedValue();
-      if (!S)
-        return false;
-      Opts.TraceOut = S;
-    } else if (Arg == "--remarks-out") {
-      const char *S = NeedValue();
-      if (!S)
-        return false;
-      Opts.RemarksOut = S;
-    } else {
-      std::fprintf(stderr, "simtsr-trace: unknown argument '%s'\n",
-                   Arg.c_str());
-      return false;
-    }
-  }
-  return true;
-}
 
 const Workload *findWorkload(const std::vector<Workload> &Suite,
                              const std::string &Name) {
@@ -190,33 +60,30 @@ const Workload *findWorkload(const std::vector<Workload> &Suite,
 }
 
 bool writeFile(const std::string &Path, const std::string &Content) {
-  std::FILE *Out = std::fopen(Path.c_str(), "w");
-  if (!Out) {
-    std::fprintf(stderr, "simtsr-trace: cannot open '%s' for writing\n",
-                 Path.c_str());
-    return false;
-  }
-  std::fwrite(Content.data(), 1, Content.size(), Out);
-  std::fclose(Out);
-  return true;
+  std::string Error;
+  if (driver::writeStringToFile(Path, Content, Error))
+    return true;
+  std::fprintf(stderr, "simtsr-trace: %s\n", Error.c_str());
+  return false;
 }
 
 /// Runs one traced config, appending its remarks to \p Remarks.
-TracedWorkloadResult runConfig(const Workload &W, const ToolOptions &Opts,
+TracedWorkloadResult runConfig(const Workload &W, const driver::ToolConfig &C,
                                const std::string &ConfigName,
                                observe::RemarkStream *Remarks) {
-  auto Pipeline =
-      standardPipelineByName(ConfigName, Opts.SoftThreshold);
+  auto Pipeline = standardPipelineByName(ConfigName,
+                                         static_cast<int>(C.SoftThreshold));
   if (!Pipeline) {
     std::fprintf(stderr, "simtsr-trace: unknown config '%s'\n",
                  ConfigName.c_str());
     std::exit(1);
   }
-  return runWorkloadTraced(W, *Pipeline, Opts.Policy, Opts.Warps, Opts.Seed,
-                           Remarks);
+  return runWorkloadTraced(W, *Pipeline, C.Policy,
+                           static_cast<unsigned>(C.Warps), C.Seed, Remarks);
 }
 
-void printRunSummary(const ToolOptions &Opts, const std::string &ConfigName,
+void printRunSummary(const driver::ToolConfig &C, const TraceOptions &Opts,
+                     const std::string &ConfigName,
                      const TracedWorkloadResult &R) {
   size_t Events = 0;
   bool Truncated = false;
@@ -226,8 +93,8 @@ void printRunSummary(const ToolOptions &Opts, const std::string &ConfigName,
   }
   std::printf("%-14s config=%-13s policy=%-15s warps=%u seed=%llu\n",
               Opts.Workload.c_str(), ConfigName.c_str(),
-              policyName(Opts.Policy), Opts.Warps,
-              static_cast<unsigned long long>(Opts.Seed));
+              driver::policyName(C.Policy), static_cast<unsigned>(C.Warps),
+              static_cast<unsigned long long>(C.Seed));
   std::printf("  status: %s\n", R.Ok ? "ok" : "FAILED");
   if (!R.Ok && !R.Warps.empty())
     std::printf("  failure: warp %u: %s\n", R.Warps.back().WarpIndex,
@@ -239,6 +106,48 @@ void printRunSummary(const ToolOptions &Opts, const std::string &ConfigName,
               Truncated ? " (truncated)" : "");
 }
 
+/// One run as a JSON object (inside the --json report).
+void jsonRun(JsonWriter &W, const driver::ToolConfig &C,
+             const std::string &ConfigName, const TracedWorkloadResult &R) {
+  W.beginObject();
+  W.key("pipeline");
+  W.string(ConfigName);
+  W.key("policy");
+  W.string(driver::policyName(C.Policy));
+  W.key("status");
+  W.string(R.Ok ? "ok" : "failed");
+  W.key("digest");
+  W.string(jsonHex64(R.TraceDigest));
+  W.key("cycles");
+  W.numberUnsigned(R.Cycles);
+  W.key("issue_slots");
+  W.numberUnsigned(R.IssueSlots);
+  W.endObject();
+}
+
+void emitJsonReport(const driver::ToolConfig &C, const TraceOptions &Opts,
+                    const std::vector<std::pair<std::string,
+                                                const TracedWorkloadResult *>>
+                        &Runs) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.string("simtsr-trace-v1");
+  W.key("workload");
+  W.string(Opts.Workload);
+  W.key("warps");
+  W.numberUnsigned(C.Warps);
+  W.key("seed");
+  W.numberUnsigned(C.Seed);
+  W.key("runs");
+  W.beginArray();
+  for (const auto &[Name, R] : Runs)
+    jsonRun(W, C, Name, *R);
+  W.endArray();
+  W.endObject();
+  std::printf("%s\n", W.take().c_str());
+}
+
 /// Chrome trace JSON for one traced result.
 std::string chromeTraceOf(const TracedWorkloadResult &R) {
   std::vector<std::pair<unsigned, const std::vector<observe::TraceEvent> *>>
@@ -248,12 +157,17 @@ std::string chromeTraceOf(const TracedWorkloadResult &R) {
   return observe::renderChromeTrace(Warps);
 }
 
-int runDiff(const Workload &W, const ToolOptions &Opts) {
+int runDiff(const Workload &W, const driver::ToolConfig &C,
+            const TraceOptions &Opts) {
   observe::RemarkStream Remarks;
-  const TracedWorkloadResult A = runConfig(W, Opts, Opts.DiffA, &Remarks);
-  const TracedWorkloadResult B = runConfig(W, Opts, Opts.DiffB, &Remarks);
-  printRunSummary(Opts, Opts.DiffA, A);
-  printRunSummary(Opts, Opts.DiffB, B);
+  const TracedWorkloadResult A = runConfig(W, C, Opts.DiffA, &Remarks);
+  const TracedWorkloadResult B = runConfig(W, C, Opts.DiffB, &Remarks);
+  if (C.Json)
+    emitJsonReport(C, Opts, {{Opts.DiffA, &A}, {Opts.DiffB, &B}});
+  else {
+    printRunSummary(C, Opts, Opts.DiffA, A);
+    printRunSummary(C, Opts, Opts.DiffB, B);
+  }
   if (!Opts.TraceOut.empty() && !writeFile(Opts.TraceOut, chromeTraceOf(A)))
     return 1;
   if (!Opts.RemarksOut.empty() &&
@@ -296,22 +210,23 @@ int runDiff(const Workload &W, const ToolOptions &Opts) {
   return 0;
 }
 
-int runGolden(const ToolOptions &Opts) {
-  const std::vector<Workload> Suite = makeAllWorkloads(Opts.Scale);
+int runGolden(const driver::ToolConfig &C) {
+  const std::vector<Workload> Suite = makeAllWorkloads(C.Scale);
   const SchedulerPolicy Policies[] = {SchedulerPolicy::MaxConvergence,
                                       SchedulerPolicy::MinPC,
                                       SchedulerPolicy::RoundRobin};
   std::printf("# simtsr-trace --golden: warps=%u scale=%g seed=%llu\n",
-              Opts.Warps, Opts.Scale,
-              static_cast<unsigned long long>(Opts.Seed));
+              static_cast<unsigned>(C.Warps), C.Scale,
+              static_cast<unsigned long long>(C.Seed));
   for (const Workload &W : Suite)
     for (const std::string &Config : standardPipelineNames())
       for (SchedulerPolicy Policy : Policies) {
-        auto Pipeline = standardPipelineByName(Config, Opts.SoftThreshold);
+        auto Pipeline =
+            standardPipelineByName(Config, static_cast<int>(C.SoftThreshold));
         const uint64_t Digest = workloadTraceDigest(
-            W, *Pipeline, Policy, Opts.Warps, Opts.Seed);
+            W, *Pipeline, Policy, static_cast<unsigned>(C.Warps), C.Seed);
         std::printf("%s %s %s %s\n", W.Name.c_str(), Config.c_str(),
-                    policyName(Policy), jsonHex64(Digest).c_str());
+                    driver::policyName(Policy), jsonHex64(Digest).c_str());
       }
   return 0;
 }
@@ -319,31 +234,70 @@ int runGolden(const ToolOptions &Opts) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  ToolOptions Opts;
-  if (!parseArgs(Argc, Argv, Opts)) {
-    printUsage();
+  driver::ToolConfig C;
+  C.Pipeline = "pdom"; // This tool always runs a real pipeline.
+  C.Scale = 0.25;      // Traced runs default to the small suite.
+  TraceOptions Opts;
+
+  driver::ArgParser P("simtsr-trace");
+  P.flag("--list", "list workloads, configs and policies", &Opts.List);
+  P.str("--workload", "NAME", "Table 2 workload to run (required)",
+        &Opts.Workload);
+  driver::addPipelineFlags(P, C);
+  P.alias("--config", "--pipeline");
+  P.custom("--diff", "A,B",
+           "run configs A and B; report the first divergent scheduling event",
+           [&Opts](const std::string &V) {
+             const size_t Comma = V.find(',');
+             if (Comma == std::string::npos || Comma == 0 ||
+                 Comma + 1 == V.size())
+               return false;
+             Opts.DiffA = V.substr(0, Comma);
+             Opts.DiffB = V.substr(Comma + 1);
+             return true;
+           });
+  driver::addPolicyFlag(P, C);
+  driver::addLaunchFlags(P, C);
+  driver::addWorkloadFlags(P, C);
+  driver::addJsonFlag(P, C);
+  P.str("--trace-out", "FILE", "write Chrome trace-event JSON",
+        &Opts.TraceOut);
+  P.str("--remarks-out", "FILE", "write pass remarks as JSONL",
+        &Opts.RemarksOut);
+  P.flag("--golden",
+         "print golden digest lines for the whole suite (all configs x "
+         "policies)",
+         &Opts.Golden);
+
+  switch (P.parse(Argc, Argv)) {
+  case driver::ArgParser::Result::Ok:
+    break;
+  case driver::ArgParser::Result::Exit:
+    return 0;
+  case driver::ArgParser::Result::Error:
     return 1;
   }
+
   if (Opts.List) {
     const std::vector<Workload> Suite = makeAllWorkloads(0.25);
     std::printf("workloads:");
     for (const Workload &W : Suite)
       std::printf(" %s", W.Name.c_str());
     std::printf("\nconfigs:");
-    for (const std::string &C : standardPipelineNames())
-      std::printf(" %s", C.c_str());
+    for (const std::string &Config : standardPipelineNames())
+      std::printf(" %s", Config.c_str());
     std::printf("\npolicies: max-convergence min-pc round-robin\n");
     return 0;
   }
   if (Opts.Golden)
-    return runGolden(Opts);
+    return runGolden(C);
   if (Opts.Workload.empty()) {
     std::fprintf(stderr, "simtsr-trace: --workload is required\n");
-    printUsage();
+    P.printUsage(stderr);
     return 1;
   }
 
-  const std::vector<Workload> Suite = makeAllWorkloads(Opts.Scale);
+  const std::vector<Workload> Suite = makeAllWorkloads(C.Scale);
   const Workload *W = findWorkload(Suite, Opts.Workload);
   if (!W) {
     std::fprintf(stderr,
@@ -353,11 +307,14 @@ int main(int Argc, char **Argv) {
   }
 
   if (!Opts.DiffA.empty())
-    return runDiff(*W, Opts);
+    return runDiff(*W, C, Opts);
 
   observe::RemarkStream Remarks;
-  const TracedWorkloadResult R = runConfig(*W, Opts, Opts.Config, &Remarks);
-  printRunSummary(Opts, Opts.Config, R);
+  const TracedWorkloadResult R = runConfig(*W, C, C.Pipeline, &Remarks);
+  if (C.Json)
+    emitJsonReport(C, Opts, {{C.Pipeline, &R}});
+  else
+    printRunSummary(C, Opts, C.Pipeline, R);
   if (!Opts.TraceOut.empty() && !writeFile(Opts.TraceOut, chromeTraceOf(R)))
     return 1;
   if (!Opts.RemarksOut.empty() &&
