@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Pipelined JSON-lines client for the simtsr-serve socket front end.
+
+Reads one request per line on stdin, pipelines them all onto the daemon's
+Unix socket, and prints the final response for each request to stdout in
+request-id order. Responses may arrive out of order; correlation is by id.
+
+A "queue_full" shed response is not final: the request is resent after a
+backoff that honours the server's retry_after_ms hint, doubling per
+attempt with deterministic seeded jitter, capped at --backoff-cap-ms.
+The retry count is reported on stderr so smokes can assert that load
+shedding actually happened and was recovered from.
+
+Exit codes: 0 all requests answered, 1 usage/connect errors, 2 a request
+exhausted its retries or the connection died.
+"""
+
+import argparse
+import json
+import random
+import socket
+import sys
+import time
+
+
+def connect(path, attempts=100):
+    for _ in range(attempts):
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            s.connect(path)
+            return s
+        except OSError:
+            s.close()
+            time.sleep(0.05)
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--socket", required=True, help="daemon Unix socket path")
+    ap.add_argument("--retries", type=int, default=8,
+                    help="max resends per shed request (default 8)")
+    ap.add_argument("--backoff-cap-ms", type=int, default=2000,
+                    help="upper bound on one backoff sleep (default 2000)")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="jitter seed (default 0: deterministic runs)")
+    ap.add_argument("--timeout", type=float, default=30.0,
+                    help="socket receive timeout in seconds (default 30)")
+    args = ap.parse_args()
+
+    requests = {}
+    order = []
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        req = json.loads(line)
+        rid = req["id"]
+        requests[rid] = line
+        order.append(rid)
+    if not order:
+        return 0
+
+    sock = connect(args.socket)
+    if sock is None:
+        print(f"serve_client: cannot connect to {args.socket}", file=sys.stderr)
+        return 1
+    sock.settimeout(args.timeout)
+    rng = random.Random(args.seed)
+    rfile = sock.makefile("r", encoding="utf-8")
+
+    def send_line(line):
+        sock.sendall((line + "\n").encode("utf-8"))
+
+    for rid in order:
+        send_line(requests[rid])
+
+    final = {}
+    attempts = {rid: 0 for rid in order}
+    retried = 0
+    outstanding = set(order)
+    while outstanding:
+        try:
+            line = rfile.readline()
+        except socket.timeout:
+            print("serve_client: receive timeout", file=sys.stderr)
+            return 2
+        if not line:
+            print("serve_client: connection closed with "
+                  f"{len(outstanding)} request(s) unanswered", file=sys.stderr)
+            return 2
+        resp = json.loads(line)
+        rid = resp.get("id")
+        if rid not in outstanding:
+            continue
+        if resp.get("error") == "queue_full":
+            attempts[rid] += 1
+            if attempts[rid] > args.retries:
+                print(f"serve_client: id {rid} shed {attempts[rid]} times, "
+                      "giving up", file=sys.stderr)
+                return 2
+            hint = int(resp.get("retry_after_ms", 10))
+            delay = min(args.backoff_cap_ms, hint * (1 << (attempts[rid] - 1)))
+            delay += rng.randint(0, max(1, delay // 4))
+            retried += 1
+            time.sleep(delay / 1000.0)
+            send_line(requests[rid])
+            continue
+        final[rid] = line.rstrip("\n")
+        outstanding.discard(rid)
+
+    for rid in order:
+        print(final[rid])
+    print(f"serve_client: sent={len(order)} retried={retried}",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Crash-restart oracle for the serve disk tier: warm a socket daemon with
+# compile + simulate work, kill it with SIGKILL (no cleanup of any kind),
+# start a fresh daemon over the same --disk-cache directory, and assert
+# that (a) the replayed session is answered from the disk tier and (b)
+# every digest-bearing field is byte-identical to the pre-crash answers.
+#
+# Environment overrides:
+#   SERVE    daemon binary   (default build/tools/simtsr-serve)
+#   EXAMPLE  kernel source   (default examples/listing1.sir)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE="${SERVE:-build/tools/simtsr-serve}"
+EXAMPLE="${EXAMPLE:-examples/listing1.sir}"
+WORK=$(mktemp -d /tmp/simtsr-crash-XXXXXX)
+SOCK="$WORK/serve.sock"
+DISK="$WORK/disk"
+DAEMON_PID=""
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "serve crash smoke FAILED: $1" >&2; exit 1; }
+
+[ -x "$SERVE" ] ||
+  fail "$SERVE not built (cmake --build build --target simtsr-serve)"
+
+SOURCE=$(python3 - "$EXAMPLE" <<'EOF'
+import json, sys
+print(json.dumps(open(sys.argv[1]).read()))
+EOF
+)
+
+session() {
+  echo "{\"id\":1,\"op\":\"compile\",\"source\":$SOURCE,\"pipeline\":\"sr\"}"
+  echo "{\"id\":2,\"op\":\"simulate\",\"source\":$SOURCE,\"pipeline\":\"sr\",\"warps\":2}"
+}
+
+start_daemon() {
+  "$SERVE" --socket "$SOCK" --disk-cache "$DISK" &
+  DAEMON_PID=$!
+}
+
+# Phase 1: cold daemon, populate memory + disk tiers.
+start_daemon
+COLD=$(session | python3 scripts/serve_client.py --socket "$SOCK")
+grep -q '"status":"finished"' <<<"$COLD" || fail "cold simulate did not finish"
+
+# Crash: SIGKILL leaves no chance for orderly shutdown; only entries the
+# disk tier made durable (temp + fsync + rename) may survive.
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+[ -S "$SOCK" ] && rm -f "$SOCK" # SIGKILL cannot unlink the socket file.
+
+# Phase 2: fresh daemon, same disk directory. The replay must be served
+# from disk (cached:true on a cold process) and match byte for byte.
+start_daemon
+WARM=$(session | python3 scripts/serve_client.py --socket "$SOCK")
+STATS=$(echo '{"id":9,"op":"stats"}' |
+        python3 scripts/serve_client.py --socket "$SOCK")
+echo '{"id":10,"op":"shutdown"}' |
+  python3 scripts/serve_client.py --socket "$SOCK" > /dev/null
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+grep -q '"op":"compile","cached":true' <<<"$WARM" ||
+  fail "post-crash compile was not served from the disk tier"
+grep -Eq '"disk_cache":\{"hits":[1-9]' <<<"$STATS" ||
+  fail "stats reported zero disk-tier hits after restart"
+grep -q '"degraded":false' <<<"$STATS" ||
+  fail "daemon restarted degraded from an intact disk tier"
+
+# Digest oracle: every answer field that carries simulation or compile
+# output must be identical across the crash.
+digests() {
+  python3 - <<'EOF' "$1"
+import json, sys
+for line in sys.argv[1].splitlines():
+    r = json.loads(line)
+    row = {k: r[k] for k in
+           ("id", "module", "post_digest", "checksum", "trace_digest",
+            "cycles", "issue_slots", "simt_efficiency") if k in r}
+    print(json.dumps(row, sort_keys=True))
+EOF
+}
+diff <(digests "$COLD") <(digests "$WARM") ||
+  fail "digests differ across the crash-restart boundary"
+
+echo "serve crash smoke passed"

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Runs a whole simtsr-serve socket session under one injected fault class
+# and asserts the contract every class shares: the daemon never crashes,
+# never hangs, and never serves a corrupt response — each request ends in
+# a clean answer or a degraded-mode fallback. Class-specific assertions
+# (degraded flag, quarantine counters, digest identity) are keyed off the
+# spec.
+#
+# Usage: serve_fault_smoke.sh "SIMTSR_FAULTS spec"
+#   e.g. serve_fault_smoke.sh "seed=7,eintr:1,short_read:0.5"
+#
+# Environment overrides:
+#   SERVE    daemon binary   (default build/tools/simtsr-serve)
+#   EXAMPLE  kernel source   (default examples/listing1.sir)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SPEC="${1:?usage: serve_fault_smoke.sh SIMTSR_FAULTS-spec}"
+SERVE="${SERVE:-build/tools/simtsr-serve}"
+EXAMPLE="${EXAMPLE:-examples/listing1.sir}"
+WORK=$(mktemp -d /tmp/simtsr-fault-XXXXXX)
+SOCK="$WORK/serve.sock"
+DISK="$WORK/disk"
+DAEMON_PID=""
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "serve fault smoke [$SPEC] FAILED: $1" >&2; exit 1; }
+
+[ -x "$SERVE" ] ||
+  fail "$SERVE not built (cmake --build build --target simtsr-serve)"
+
+SOURCE=$(python3 - "$EXAMPLE" <<'EOF'
+import json, sys
+print(json.dumps(open(sys.argv[1]).read()))
+EOF
+)
+
+work() {
+  echo "{\"id\":1,\"op\":\"compile\",\"source\":$SOURCE,\"pipeline\":\"sr\"}"
+  echo "{\"id\":2,\"op\":\"simulate\",\"source\":$SOURCE,\"pipeline\":\"sr\",\"warps\":2}"
+}
+
+start_daemon() { # start_daemon <faults-spec>
+  SIMTSR_FAULTS="$1" "$SERVE" --socket "$SOCK" --disk-cache "$DISK" &
+  DAEMON_PID=$!
+}
+
+run_client() { # run_client <input-producer> ; tolerates client failure
+  set +e
+  "$@" | timeout 60 python3 scripts/serve_client.py --socket "$SOCK" \
+    2>/dev/null
+  local RC=$?
+  set -e
+  return $RC
+}
+
+# Reference digests from a fault-free run (separate disk dir so the
+# faulted daemon still starts cold).
+REF_DISK="$WORK/ref-disk"
+SIMTSR_FAULTS="" "$SERVE" --socket "$SOCK" --disk-cache "$REF_DISK" &
+DAEMON_PID=$!
+REF=$(run_client work) || fail "fault-free reference session failed"
+echo '{"id":9,"op":"shutdown"}' |
+  python3 scripts/serve_client.py --socket "$SOCK" > /dev/null
+wait "$DAEMON_PID" || fail "fault-free daemon exited nonzero"
+DAEMON_PID=""
+REF_DIGESTS=$(grep -o '"\(post_digest\|checksum\|trace_digest\)":"[^"]*"' \
+              <<<"$REF" | sort)
+
+# The faulted session. Under `drop` the client's connection may be reset
+# mid-request — that is the injected failure, not a smoke failure — so
+# each session gets a few attempts; what is never tolerated is a daemon
+# crash.
+start_daemon "$SPEC"
+ANSWERS=""
+for ATTEMPT in 1 2 3 4 5; do
+  if ANSWERS=$(run_client work); then
+    break
+  fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died under faults"
+  ANSWERS=""
+done
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died under faults"
+
+case "$SPEC" in
+*drop*)
+  # Connection drops need not leave a complete session; the surviving
+  # daemon and its graceful exit below are the assertion.
+  ;;
+*enospc* | *fsync_fail*)
+  [ -n "$ANSWERS" ] || fail "no complete session under $SPEC"
+  grep -c '"ok":true' <<<"$ANSWERS" | grep -q '^2$' ||
+    fail "disk faults leaked into request results"
+  STATS=$(echo '{"id":8,"op":"stats"}' | run_client cat) ||
+    fail "stats under disk faults failed"
+  grep -q '"degraded":true' <<<"$STATS" ||
+    fail "disk write failures did not degrade to memory-only mode"
+  ;;
+*)
+  [ -n "$ANSWERS" ] || fail "no complete session under $SPEC"
+  grep -c '"ok":true' <<<"$ANSWERS" | grep -q '^2$' ||
+    fail "benign fault class produced request failures"
+  GOT=$(grep -o '"\(post_digest\|checksum\|trace_digest\)":"[^"]*"' \
+        <<<"$ANSWERS" | sort)
+  [ "$GOT" = "$REF_DIGESTS" ] ||
+    fail "digests under $SPEC differ from the fault-free run"
+  ;;
+esac
+
+# Graceful exit under the same faults: SIGTERM must drain and exit 0.
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "SIGTERM under faults did not exit cleanly"
+DAEMON_PID=""
+
+case "$SPEC" in
+*corrupt*)
+  # Whatever the corrupt class managed to poison on disk must be detected
+  # on reload: a clean daemon over the same directory must quarantine the
+  # bad entries and still answer correctly.
+  start_daemon ""
+  CLEAN=$(run_client work) || fail "post-corruption session failed"
+  STATS=$(echo '{"id":8,"op":"stats"}' | run_client cat) ||
+    fail "post-corruption stats failed"
+  echo '{"id":9,"op":"shutdown"}' |
+    python3 scripts/serve_client.py --socket "$SOCK" > /dev/null
+  wait "$DAEMON_PID" || fail "post-corruption daemon exited nonzero"
+  DAEMON_PID=""
+  grep -Eq '"quarantined":[1-9]' <<<"$STATS" ||
+    fail "corrupted disk entries were not quarantined"
+  GOT=$(grep -o '"\(post_digest\|checksum\|trace_digest\)":"[^"]*"' \
+        <<<"$CLEAN" | sort)
+  [ "$GOT" = "$REF_DIGESTS" ] ||
+    fail "corrupted cache leaked into served results"
+  ;;
+esac
+
+echo "serve fault smoke [$SPEC] passed"

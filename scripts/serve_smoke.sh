@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
-# Boots the simtsr-serve daemon on a scripted stdin session — compile,
-# cached compile, simulate, stats, shutdown — and asserts the stats line
-# reports a nonzero compile-cache hit count. This is the CI serve smoke
-# (mirrors the serve_session_smoke ctest, but exercises the installed
-# binary end to end the way a client would).
+# End-to-end smoke for the simtsr-serve daemon, in three phases:
+#
+#   1. stdin session  — compile, cached compile, simulate, stats,
+#      shutdown over a pipe; asserts the caches hit.
+#   2. disk tier      — socket daemon with --disk-cache; asserts disk
+#      writes on the cold run, then restarts the daemon and asserts the
+#      same work is answered from disk with identical digests.
+#   3. shed + retry   — socket daemon with --queue-depth 1 under an
+#      injected stall; a pipelined client must see "queue_full" with a
+#      retry_after_ms hint at least once and recover via backoff.
+#
+# Every daemon and socket this script creates is torn down by a trap, so
+# an assertion failure cannot leak a running daemon or a stale socket
+# into the next CI step (that leak is exactly what the crash smoke
+# exercises on purpose — here it would be a bug).
 #
 # Environment overrides:
 #   SERVE    daemon binary   (default build/tools/simtsr-serve)
@@ -13,11 +23,21 @@ cd "$(dirname "$0")/.."
 
 SERVE="${SERVE:-build/tools/simtsr-serve}"
 EXAMPLE="${EXAMPLE:-examples/listing1.sir}"
+WORK=$(mktemp -d /tmp/simtsr-smoke-XXXXXX)
+SOCK="$WORK/serve.sock"
+DAEMON_PID=""
 
-if [ ! -x "$SERVE" ]; then
-  echo "error: $SERVE not built (cmake --build build --target simtsr-serve)" >&2
-  exit 1
-fi
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "serve smoke FAILED: $1" >&2; exit 1; }
+
+[ -x "$SERVE" ] ||
+  fail "$SERVE not built (cmake --build build --target simtsr-serve)"
 
 # JSON-escape the kernel source into one string literal.
 SOURCE=$(python3 - "$EXAMPLE" <<'EOF'
@@ -26,6 +46,7 @@ print(json.dumps(open(sys.argv[1]).read()))
 EOF
 )
 
+#--- Phase 1: scripted stdin session --------------------------------------
 OUT=$({
   echo "{\"id\":1,\"op\":\"compile\",\"source\":$SOURCE,\"pipeline\":\"sr\"}"
   echo "{\"id\":2,\"op\":\"compile\",\"source\":$SOURCE,\"pipeline\":\"sr\"}"
@@ -33,10 +54,6 @@ OUT=$({
   echo '{"id":4,"op":"stats"}'
   echo '{"id":5,"op":"shutdown"}'
 } | "$SERVE")
-
-echo "$OUT"
-
-fail() { echo "serve smoke FAILED: $1" >&2; exit 1; }
 
 grep -q '"id":2,"ok":true,"op":"compile","cached":true' <<<"$OUT" ||
   fail "warm compile was not served from cache"
@@ -48,5 +65,75 @@ grep -Eq '"compile_cache":\{"hits":[1-9]' <<<"$OUT" ||
   fail "stats reported zero compile-cache hits"
 grep -q '"op":"shutdown","served":5' <<<"$OUT" ||
   fail "shutdown did not report 5 served requests"
+echo "serve smoke: stdin session ok"
+
+#--- Phase 2: disk tier across a daemon restart ---------------------------
+# Stats runs as its own client call after the work completed: pipelined
+# with the compiles it would be answered inline before they finish and
+# show zero disk writes.
+DISK="$WORK/disk"
+work() {
+  echo "{\"id\":1,\"op\":\"compile\",\"source\":$SOURCE,\"pipeline\":\"sr\"}"
+  echo "{\"id\":2,\"op\":\"simulate\",\"source\":$SOURCE,\"pipeline\":\"sr\",\"warps\":2}"
+}
+session() {
+  local ANSWERS STATS
+  ANSWERS=$(work | python3 scripts/serve_client.py --socket "$SOCK")
+  STATS=$(echo '{"id":3,"op":"stats"}' |
+          python3 scripts/serve_client.py --socket "$SOCK")
+  echo '{"id":4,"op":"shutdown"}' |
+    python3 scripts/serve_client.py --socket "$SOCK" > /dev/null
+  printf '%s\n%s\n' "$ANSWERS" "$STATS"
+}
+
+"$SERVE" --socket "$SOCK" --disk-cache "$DISK" &
+DAEMON_PID=$!
+COLD=$(session)
+wait "$DAEMON_PID" || fail "cold disk-tier daemon exited nonzero"
+DAEMON_PID=""
+
+grep -Eq '"disk_cache":\{"hits":0,"misses":[0-9]+,"writes":[1-9]' <<<"$COLD" ||
+  fail "cold run wrote nothing to the disk tier"
+grep -q '"degraded":false' <<<"$COLD" ||
+  fail "cold run ran degraded on a healthy disk"
+
+"$SERVE" --socket "$SOCK" --disk-cache "$DISK" &
+DAEMON_PID=$!
+WARMD=$(session)
+wait "$DAEMON_PID" || fail "warm disk-tier daemon exited nonzero"
+DAEMON_PID=""
+
+grep -q '"op":"compile","cached":true' <<<"$WARMD" ||
+  fail "restarted daemon recompiled instead of reading the disk tier"
+grep -Eq '"disk_cache":\{"hits":[1-9]' <<<"$WARMD" ||
+  fail "restarted daemon reported zero disk-tier hits"
+COLD_DIGESTS=$(grep -o '"\(post_digest\|checksum\|trace_digest\)":"[^"]*"' <<<"$COLD" | sort)
+WARM_DIGESTS=$(grep -o '"\(post_digest\|checksum\|trace_digest\)":"[^"]*"' <<<"$WARMD" | sort)
+[ "$COLD_DIGESTS" = "$WARM_DIGESTS" ] ||
+  fail "digests changed across the daemon restart"
+echo "serve smoke: disk tier ok"
+
+#--- Phase 3: load shedding is survivable with backoff --------------------
+# One in-flight slot plus a 200ms stall per request guarantees the
+# pipelined burst below is shed at least once; the client's backoff must
+# still land every request.
+SIMTSR_FAULTS="stall:200" "$SERVE" --socket "$SOCK" --queue-depth 1 &
+DAEMON_PID=$!
+FLOOD_ERR="$WORK/flood.err"
+FLOOD=$(for I in 1 2 3 4; do
+          echo "{\"id\":$I,\"op\":\"compile\",\"source\":$SOURCE,\"pipeline\":\"sr\"}"
+        done | python3 scripts/serve_client.py --socket "$SOCK" \
+                 2>"$FLOOD_ERR") ||
+  { cat "$FLOOD_ERR" >&2; fail "flood client gave up"; }
+echo '{"id":9,"op":"shutdown"}' |
+  python3 scripts/serve_client.py --socket "$SOCK" > /dev/null
+wait "$DAEMON_PID" || fail "flood daemon exited nonzero"
+DAEMON_PID=""
+
+[ "$(grep -c '"ok":true' <<<"$FLOOD")" -eq 4 ] ||
+  fail "not every flooded request was eventually answered"
+grep -Eq 'retried=[1-9]' "$FLOOD_ERR" ||
+  fail "queue-depth 1 under stall never shed (retry path untested)"
+echo "serve smoke: shed/retry ok"
 
 echo "serve smoke passed"

@@ -5,6 +5,7 @@
 #include "fuzz/KernelGen.h"
 #include "ir/Parser.h"
 #include "observe/Remark.h"
+#include "support/DurableFile.h"
 
 #include <fstream>
 #include <sstream>
@@ -179,18 +180,9 @@ bool simtsr::driver::readFileToString(const std::string &Path,
 bool simtsr::driver::writeStringToFile(const std::string &Path,
                                        const std::string &Content,
                                        std::string &Error) {
-  std::ofstream Out(Path, std::ios::binary);
-  if (!Out) {
-    Error = "cannot open '" + Path + "' for writing";
-    return false;
-  }
-  Out << Content;
-  Out.flush();
-  if (!Out.good()) {
-    Error = "write to '" + Path + "' failed";
-    return false;
-  }
-  return true;
+  // Atomic temp-file + fsync + rename: tool output files are either the
+  // old complete version or the new one, even across a crash.
+  return durableWriteFile(Path, Content, Error);
 }
 
 std::string simtsr::driver::baseName(const std::string &Path) {

@@ -1,0 +1,307 @@
+//===- DiskTier.cpp - Crash-safe disk tier under the serve caches -------------===//
+
+#include "serve/DiskTier.h"
+
+#include "support/DurableFile.h"
+#include "support/FaultInject.h"
+#include "support/Json.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+//===----------------------------------------------------------------------===//
+// Payload codecs: length-prefixed fields, deterministic byte-for-byte
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr const char *DiskMagic = "simtsr-disk-v1";
+
+void putU64(std::string &S, uint64_t V) {
+  S += std::to_string(V);
+  S += '\n';
+}
+
+void putStr(std::string &S, const std::string &V) {
+  S += std::to_string(V.size());
+  S += ':';
+  S += V;
+  S += '\n';
+}
+
+struct Cursor {
+  const std::string &S;
+  size_t Pos = 0;
+  bool Fail = false;
+};
+
+uint64_t getU64(Cursor &C) {
+  if (C.Fail)
+    return 0;
+  const size_t NL = C.S.find('\n', C.Pos);
+  if (NL == std::string::npos) {
+    C.Fail = true;
+    return 0;
+  }
+  const std::string Field = C.S.substr(C.Pos, NL - C.Pos);
+  C.Pos = NL + 1;
+  if (Field.empty() ||
+      Field.find_first_not_of("0123456789") != std::string::npos) {
+    C.Fail = true;
+    return 0;
+  }
+  errno = 0;
+  const uint64_t V = std::strtoull(Field.c_str(), nullptr, 10);
+  if (errno != 0)
+    C.Fail = true;
+  return V;
+}
+
+std::string getStr(Cursor &C) {
+  if (C.Fail)
+    return "";
+  const size_t Colon = C.S.find(':', C.Pos);
+  if (Colon == std::string::npos || Colon == C.Pos ||
+      C.S.find_first_not_of("0123456789", C.Pos) != Colon) {
+    C.Fail = true;
+    return "";
+  }
+  const uint64_t Len = std::strtoull(C.S.c_str() + C.Pos, nullptr, 10);
+  C.Pos = Colon + 1;
+  if (Len > C.S.size() - C.Pos) {
+    C.Fail = true;
+    return "";
+  }
+  std::string V = C.S.substr(C.Pos, Len);
+  C.Pos += Len;
+  if (C.Pos >= C.S.size() || C.S[C.Pos] != '\n') {
+    C.Fail = true;
+    return "";
+  }
+  ++C.Pos;
+  return V;
+}
+
+} // namespace
+
+std::string simtsr::serve::encodeCompileEntry(const CompileEntry &E) {
+  std::string P;
+  putU64(P, E.Key);
+  putU64(P, E.Ok ? 1 : 0);
+  putStr(P, E.PipelineName);
+  putStr(P, E.KernelName);
+  putU64(P, E.PostDigest);
+  putU64(P, E.RemarkCount);
+  putU64(P, E.Downgrades);
+  putU64(P, E.Errors.size());
+  for (const std::string &Err : E.Errors)
+    putStr(P, Err);
+  putU64(P, E.VerifierDiagnostics.size());
+  for (const std::string &D : E.VerifierDiagnostics)
+    putStr(P, D);
+  putStr(P, E.RemarksJsonl);
+  putStr(P, E.PostText);
+  return P;
+}
+
+bool simtsr::serve::decodeCompileEntry(const std::string &Payload,
+                                       CompileEntry &Out) {
+  Cursor C{Payload};
+  Out.Key = getU64(C);
+  Out.Ok = getU64(C) != 0;
+  Out.PipelineName = getStr(C);
+  Out.KernelName = getStr(C);
+  Out.PostDigest = getU64(C);
+  Out.RemarkCount = static_cast<unsigned>(getU64(C));
+  Out.Downgrades = static_cast<unsigned>(getU64(C));
+  const uint64_t NumErrors = getU64(C);
+  if (C.Fail || NumErrors > 4096)
+    return false;
+  Out.Errors.clear();
+  for (uint64_t I = 0; I < NumErrors; ++I)
+    Out.Errors.push_back(getStr(C));
+  const uint64_t NumDiags = getU64(C);
+  if (C.Fail || NumDiags > 4096)
+    return false;
+  Out.VerifierDiagnostics.clear();
+  for (uint64_t I = 0; I < NumDiags; ++I)
+    Out.VerifierDiagnostics.push_back(getStr(C));
+  Out.RemarksJsonl = getStr(C);
+  Out.PostText = getStr(C);
+  return !C.Fail && C.Pos == Payload.size();
+}
+
+std::string simtsr::serve::encodeSimEntry(const SimEntry &E) {
+  std::string P;
+  putU64(P, E.Key);
+  putU64(P, E.Ok ? 1 : 0);
+  putStr(P, E.Status);
+  putStr(P, E.FailMessage);
+  putU64(P, E.WarpsRun);
+  putU64(P, E.Cycles);
+  putU64(P, E.IssueSlots);
+  // Bit pattern, not decimal: the disk round-trip must be exact for the
+  // bit-identity oracle to hold.
+  uint64_t EffBits = 0;
+  static_assert(sizeof(EffBits) == sizeof(E.SimtEfficiency));
+  std::memcpy(&EffBits, &E.SimtEfficiency, sizeof(EffBits));
+  putU64(P, EffBits);
+  putU64(P, E.Checksum);
+  putU64(P, E.TraceDigest);
+  return P;
+}
+
+bool simtsr::serve::decodeSimEntry(const std::string &Payload,
+                                   SimEntry &Out) {
+  Cursor C{Payload};
+  Out.Key = getU64(C);
+  Out.Ok = getU64(C) != 0;
+  Out.Status = getStr(C);
+  Out.FailMessage = getStr(C);
+  Out.WarpsRun = static_cast<unsigned>(getU64(C));
+  Out.Cycles = getU64(C);
+  Out.IssueSlots = getU64(C);
+  const uint64_t EffBits = getU64(C);
+  std::memcpy(&Out.SimtEfficiency, &EffBits, sizeof(EffBits));
+  Out.Checksum = getU64(C);
+  Out.TraceDigest = getU64(C);
+  return !C.Fail && C.Pos == Payload.size();
+}
+
+//===----------------------------------------------------------------------===//
+// DiskTier
+//===----------------------------------------------------------------------===//
+
+DiskTier::DiskTier(std::string Dir) : Dir(std::move(Dir)) {
+  if (this->Dir.empty())
+    return;
+  std::string Error;
+  if (!createDirectories(this->Dir, Error)) {
+    // Unusable directory: start degraded rather than failing every store.
+    Degraded.store(true, std::memory_order_relaxed);
+    WriteErrors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string DiskTier::entryPath(char Kind, uint64_t Key) const {
+  return Dir + "/" + Kind + "-" + jsonHex64(Key).substr(2) + ".sde";
+}
+
+void DiskTier::quarantinePath(const std::string &Path) {
+  Quarantined.fetch_add(1, std::memory_order_relaxed);
+  const std::string QDir = Dir + "/quarantine";
+  std::string Error;
+  const size_t Slash = Path.find_last_of('/');
+  const std::string Base =
+      Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  if (createDirectories(QDir, Error) &&
+      ::rename(Path.c_str(), (QDir + "/" + Base).c_str()) == 0)
+    return;
+  // Could not move it aside; at minimum make sure it is never read again.
+  ::unlink(Path.c_str());
+}
+
+void DiskTier::quarantineEntry(char Kind, uint64_t Key) {
+  if (Dir.empty())
+    return;
+  quarantinePath(entryPath(Kind, Key));
+}
+
+std::optional<std::string> DiskTier::load(char Kind, uint64_t Key) {
+  if (!enabled())
+    return std::nullopt;
+  const std::string Path = entryPath(Kind, Key);
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad()) {
+    // A read error (not absence, not corruption): stop trusting the disk.
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    Degraded.store(true, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const std::string File = Buf.str();
+
+  // Header: "simtsr-disk-v1 <kind> <key> <size> <checksum>\n".
+  const auto Corrupt = [this, &Path]() -> std::optional<std::string> {
+    quarantinePath(Path);
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+  const size_t HeaderEnd = File.find('\n');
+  if (HeaderEnd == std::string::npos)
+    return Corrupt();
+  std::istringstream Header(File.substr(0, HeaderEnd));
+  std::string Magic, KindField, KeyField, SizeField, SumField;
+  Header >> Magic >> KindField >> KeyField >> SizeField >> SumField;
+  if (!Header || Magic != DiskMagic || KindField.size() != 1 ||
+      KindField[0] != Kind)
+    return Corrupt();
+  char *End = nullptr;
+  const uint64_t StoredKey = std::strtoull(KeyField.c_str(), &End, 16);
+  if (!End || *End != '\0' || StoredKey != Key)
+    return Corrupt();
+  const uint64_t Size = std::strtoull(SizeField.c_str(), &End, 10);
+  const uint64_t Sum = std::strtoull(SumField.c_str(), &End, 16);
+  const std::string Payload = File.substr(HeaderEnd + 1);
+  if (Payload.size() != Size || fnv1a(Payload) != Sum)
+    return Corrupt();
+
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return Payload;
+}
+
+void DiskTier::store(char Kind, uint64_t Key, const std::string &Payload) {
+  if (!enabled())
+    return;
+
+  std::string File = DiskMagic;
+  File += ' ';
+  File += Kind;
+  File += ' ';
+  File += jsonHex64(Key).substr(2);
+  File += ' ';
+  File += std::to_string(Payload.size());
+  File += ' ';
+  File += jsonHex64(fnv1a(Payload)).substr(2);
+  File += '\n';
+  File += Payload;
+
+  // The `corrupt` fault class flips one byte of the full image, so both
+  // header and payload corruption paths get exercised; the checksum (or
+  // header validation) must catch it on the next load.
+  FaultInjector::active().corruptBytes(File);
+
+  std::string Error;
+  if (durableWriteFile(entryPath(Kind, Key), File, Error)) {
+    Writes.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  WriteErrors.fetch_add(1, std::memory_order_relaxed);
+  Degraded.store(true, std::memory_order_relaxed);
+}
+
+DiskTierStats DiskTier::stats() const {
+  DiskTierStats S;
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  S.Writes = Writes.load(std::memory_order_relaxed);
+  S.WriteErrors = WriteErrors.load(std::memory_order_relaxed);
+  S.Quarantined = Quarantined.load(std::memory_order_relaxed);
+  S.Degraded = Degraded.load(std::memory_order_relaxed);
+  return S;
+}

@@ -1,0 +1,116 @@
+//===- DiskTier.h - Crash-safe disk tier under the serve caches -*- C++ -*-===//
+///
+/// \file
+/// The persistence layer that makes warm starts survive restarts: every
+/// compile and simulate entry the daemon computes is also written to a
+/// directory of content-addressed files, and a fresh process fills its
+/// in-memory LRU caches from that directory on demand. Keys are the same
+/// FNV content axes as the memory tier, so an entry written by any daemon
+/// instance is valid for every other — there is no session state on disk.
+///
+/// Crash safety has two halves:
+///
+///  - writes go through durableWriteFile (temp file + fsync + atomic
+///    rename), so a kill -9 at any instant leaves either the old complete
+///    entry, the new complete entry, or an orphaned temp file — never a
+///    torn entry under the real name;
+///  - every entry carries an FNV-1a checksum over its payload; a read
+///    that fails the header or checksum check (torn some other way, bit
+///    rot, hostile edit) is **quarantined** — moved aside into
+///    `quarantine/` for post-mortem — counted, and treated as a miss, so
+///    a corrupt entry is never served.
+///
+/// I/O errors (as opposed to corruption) flip the tier into **degraded**
+/// mode: the daemon keeps serving from memory, stops touching the disk,
+/// and reports `"degraded":true` plus error counters in `stats`. The
+/// fault-injection harness (support/FaultInject.h) drives both paths
+/// deterministically under test: `enospc`/`fsync_fail` exercise
+/// degradation, `corrupt` exercises quarantine.
+///
+/// File format (version simtsr-disk-v1), one entry per file
+/// `{c,s}-<16-hex key>.sde`:
+///
+///   simtsr-disk-v1 <kind> <key> <payload-bytes> <fnv1a(payload)>\n
+///   <payload>
+///
+/// The payload is the length-prefixed field encoding of a CompileEntry
+/// (minus the in-memory Module, which is re-parsed from the stored
+/// post-pipeline text) or a SimEntry (all fields; the efficiency double
+/// is stored as its bit pattern so round-trips are exact).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SERVE_DISKTIER_H
+#define SIMTSR_SERVE_DISKTIER_H
+
+#include "serve/Cache.h"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace simtsr::serve {
+
+struct DiskTierStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Writes = 0;
+  uint64_t WriteErrors = 0;
+  uint64_t Quarantined = 0;
+  bool Degraded = false;
+};
+
+class DiskTier {
+public:
+  /// \p Dir empty disables the tier entirely (all operations no-op).
+  explicit DiskTier(std::string Dir);
+
+  /// Whether load/store would touch the disk right now (configured and
+  /// not degraded).
+  bool enabled() const {
+    return !Dir.empty() && !Degraded.load(std::memory_order_relaxed);
+  }
+  bool degraded() const { return Degraded.load(std::memory_order_relaxed); }
+
+  /// Loads the payload stored under (\p Kind, \p Key). Returns nullopt on
+  /// a miss; a corrupt entry is quarantined and reported as a miss; an
+  /// I/O error degrades the tier and reports a miss.
+  std::optional<std::string> load(char Kind, uint64_t Key);
+
+  /// Persists \p Payload under (\p Kind, \p Key) via an atomic durable
+  /// write. A failure counts a write error and degrades the tier.
+  void store(char Kind, uint64_t Key, const std::string &Payload);
+
+  /// Moves the entry under (\p Kind, \p Key) into quarantine/ — for
+  /// callers that discover an entry is bad only after decoding it (e.g. a
+  /// stored module that no longer parses).
+  void quarantineEntry(char Kind, uint64_t Key);
+
+  DiskTierStats stats() const;
+
+private:
+  std::string entryPath(char Kind, uint64_t Key) const;
+  void quarantinePath(const std::string &Path);
+
+  std::string Dir;
+  std::atomic<bool> Degraded{false};
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Writes{0};
+  std::atomic<uint64_t> WriteErrors{0};
+  std::atomic<uint64_t> Quarantined{0};
+};
+
+/// Payload codecs. Encoding is deterministic; decode returns false on any
+/// structural problem (the caller treats that as corruption). The decoded
+/// CompileEntry carries no Module — the caller re-parses PostText and
+/// re-verifies the launch to rehydrate it.
+std::string encodeCompileEntry(const CompileEntry &E);
+bool decodeCompileEntry(const std::string &Payload, CompileEntry &Out);
+std::string encodeSimEntry(const SimEntry &E);
+bool decodeSimEntry(const std::string &Payload, SimEntry &Out);
+
+} // namespace simtsr::serve
+
+#endif // SIMTSR_SERVE_DISKTIER_H

@@ -271,6 +271,22 @@ std::string simtsr::serve::renderErrorResponse(const Request &R,
   return W.take();
 }
 
+std::string simtsr::serve::renderShedResponse(const Request &R,
+                                              uint64_t QueueLimit,
+                                              uint64_t RetryAfterMs) {
+  JsonWriter W;
+  beginResponse(W, R, false);
+  W.key("error");
+  W.string("queue_full");
+  W.key("detail");
+  W.string("in-flight limit " + std::to_string(QueueLimit) +
+           " reached; retry with backoff");
+  W.key("retry_after_ms");
+  W.numberUnsigned(RetryAfterMs);
+  W.endObject();
+  return W.take();
+}
+
 std::string simtsr::serve::renderCompileResponse(const Request &R,
                                                  const CompileEntry &E,
                                                  bool Cached) {
@@ -394,6 +410,10 @@ std::string simtsr::serve::renderStatsResponse(const Request &R,
   W.numberUnsigned(S.QueueDepth);
   W.key("queue_limit");
   W.numberUnsigned(S.QueueLimit);
+  W.key("timeouts");
+  W.numberUnsigned(S.Timeouts);
+  W.key("degraded");
+  W.boolean(S.Disk.Degraded);
   for (const auto &[Name, C] :
        {std::pair<const char *, const CacheStats &>{"compile_cache",
                                                     S.Compile},
@@ -410,6 +430,19 @@ std::string simtsr::serve::renderStatsResponse(const Request &R,
     W.numberUnsigned(C.Evictions);
     W.endObject();
   }
+  W.key("disk_cache");
+  W.beginObject();
+  W.key("hits");
+  W.numberUnsigned(S.Disk.Hits);
+  W.key("misses");
+  W.numberUnsigned(S.Disk.Misses);
+  W.key("writes");
+  W.numberUnsigned(S.Disk.Writes);
+  W.key("write_errors");
+  W.numberUnsigned(S.Disk.WriteErrors);
+  W.key("quarantined");
+  W.numberUnsigned(S.Disk.Quarantined);
+  W.endObject();
   W.key("latency_us");
   W.beginObject();
   W.key("p50");

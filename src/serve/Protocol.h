@@ -22,6 +22,7 @@
 #define SIMTSR_SERVE_PROTOCOL_H
 
 #include "serve/Cache.h"
+#include "serve/DiskTier.h"
 #include "sim/Warp.h"
 
 #include <cstdint>
@@ -83,8 +84,10 @@ RequestParse parseRequest(const std::string &Line);
 struct StatsSnapshot {
   CacheStats Compile;
   CacheStats Sim;
+  DiskTierStats Disk;      ///< Disk tier counters + degraded flag.
   uint64_t Requests = 0;   ///< Requests accepted (including failures).
   uint64_t Rejected = 0;   ///< Requests shed by backpressure.
+  uint64_t Timeouts = 0;   ///< Requests answered with "timeout".
   uint64_t QueueDepth = 0; ///< In-flight async requests right now.
   uint64_t QueueLimit = 0;
   /// Per-request latency percentiles over the recent window, in
@@ -98,6 +101,10 @@ struct StatsSnapshot {
 /// newline, with deterministic field order.
 std::string renderErrorResponse(const Request &R, const std::string &Code,
                                 const std::string &Detail);
+/// The "queue_full" shed response: like an error response, but carries a
+/// "retry_after_ms" hint so clients can back off instead of hammering.
+std::string renderShedResponse(const Request &R, uint64_t QueueLimit,
+                               uint64_t RetryAfterMs);
 std::string renderCompileResponse(const Request &R, const CompileEntry &E,
                                   bool Cached);
 std::string renderSimulateResponse(const Request &R, const CompileEntry &CE,

@@ -8,14 +8,25 @@
 #include "lint/ConvergenceLint.h"
 #include "observe/Remark.h"
 #include "sim/Grid.h"
+#include "support/FaultInject.h"
+#include "support/FdBuf.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <deque>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <thread>
+#include <vector>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -25,7 +36,7 @@ using namespace simtsr::serve;
 
 Server::Server(ServerOptions Opts)
     : Opts(Opts), Compiles(Opts.CompileCacheCapacity),
-      Sims(Opts.SimCacheCapacity) {
+      Sims(Opts.SimCacheCapacity), Disk(Opts.DiskCacheDir) {
   // 256-sample window: big enough for stable p99 under the bench load,
   // small enough that the percentiles track the recent regime.
   LatencyWindow.assign(256, 0);
@@ -36,6 +47,29 @@ Server::Server(ServerOptions Opts)
 //===----------------------------------------------------------------------===//
 
 std::shared_ptr<const CompileEntry>
+Server::rehydrateCompile(uint64_t Key, const std::string &Payload) {
+  auto E = std::make_shared<CompileEntry>();
+  if (!decodeCompileEntry(Payload, *E) || E->Key != Key)
+    return nullptr;
+  if (!E->Ok)
+    return E; // A cached failure carries no module; the diagnostics stand.
+
+  // Re-parse the stored post-pipeline text instead of serializing the
+  // Module. The stored PostText/PostDigest are kept verbatim — simulate
+  // keys derive from those bytes, so entries written by any daemon
+  // instance stay interchangeable.
+  ParseResult P = parseModule(E->PostText);
+  if (!P.ok())
+    return nullptr;
+  E->Launch = verifyLaunchModule(*P.M);
+  if (!E->Launch.Errors.empty())
+    return nullptr;
+  E->M = std::shared_ptr<const Module>(std::move(P.M));
+  E->Launch.M = E->M.get();
+  return E;
+}
+
+std::shared_ptr<const CompileEntry>
 Server::compileCached(const std::string &Source,
                       const std::string &PipelineName, int SoftThreshold,
                       bool &Cached) {
@@ -44,16 +78,36 @@ Server::compileCached(const std::string &Source,
     Cached = true;
     return Hit;
   }
+
+  // Disk-tier read-through: an entry persisted by this or any previous
+  // daemon instance warms the memory cache. A payload that decodes but no
+  // longer rehydrates (stored text fails to parse or verify) is treated
+  // exactly like corruption: quarantined and recomputed.
+  if (std::optional<std::string> Payload = Disk.load('c', Key)) {
+    if (std::shared_ptr<const CompileEntry> E =
+            rehydrateCompile(Key, *Payload)) {
+      Compiles.insert(E);
+      Cached = true;
+      return E;
+    }
+    Disk.quarantineEntry('c', Key);
+  }
   Cached = false;
 
   auto E = std::make_shared<CompileEntry>();
   E->Key = Key;
   E->PipelineName = PipelineName;
+  // Failures are persisted too — same source, same diagnostics, even
+  // across a restart.
+  const auto Persist = [this, &E] {
+    Disk.store('c', E->Key, encodeCompileEntry(*E));
+  };
 
   ParseResult P = parseModule(Source);
   if (!P.ok()) {
     E->Errors = std::move(P.Errors);
     Compiles.insert(E);
+    Persist();
     return E;
   }
 
@@ -63,6 +117,7 @@ Server::compileCached(const std::string &Source,
   if (!Report) {
     E->Errors.push_back("unknown pipeline config '" + PipelineName + "'");
     Compiles.insert(E);
+    Persist();
     return E;
   }
 
@@ -71,6 +126,7 @@ Server::compileCached(const std::string &Source,
     E->Errors = E->Launch.Errors;
     E->Launch = LaunchVerification{};
     Compiles.insert(E);
+    Persist();
     return E;
   }
 
@@ -89,6 +145,7 @@ Server::compileCached(const std::string &Source,
   // First-insert-wins on a concurrent duplicate; both entries are
   // bit-identical by construction, so serving ours is still correct.
   Compiles.insert(E);
+  Persist();
   return E;
 }
 
@@ -158,6 +215,18 @@ std::string Server::processSimulate(const Request &R) {
   if (std::shared_ptr<const SimEntry> Hit = Sims.lookup(Key))
     return renderSimulateResponse(R, *CE, *Hit, CompileCached, true);
 
+  // Disk-tier read-through: every SimEntry field round-trips exactly
+  // (the efficiency double is stored as its bit pattern), so a disk hit
+  // is bit-identical to the run that produced it.
+  if (std::optional<std::string> Payload = Disk.load('s', Key)) {
+    auto E = std::make_shared<SimEntry>();
+    if (decodeSimEntry(*Payload, *E) && E->Key == Key) {
+      Sims.insert(E);
+      return renderSimulateResponse(R, *CE, *E, CompileCached, true);
+    }
+    Disk.quarantineEntry('s', Key);
+  }
+
   LaunchConfig Config;
   Config.WarpSize = R.WarpSize;
   Config.Seed = R.Seed;
@@ -185,6 +254,7 @@ std::string Server::processSimulate(const Request &R) {
   E->Checksum = G.CombinedChecksum;
   E->TraceDigest = G.TraceDigest;
   Sims.insert(E);
+  Disk.store('s', Key, encodeSimEntry(*E));
   return renderSimulateResponse(R, *CE, *E, CompileCached, false);
 }
 
@@ -236,14 +306,22 @@ std::string Server::process(const Request &R) {
   std::string Response;
   switch (R.Op) {
   case RequestOp::Compile:
-    Response = processCompile(R);
-    break;
   case RequestOp::Simulate:
-    Response = processSimulate(R);
+  case RequestOp::Lint: {
+    // The `stall` fault class slows the data plane down deterministically;
+    // the deadline, shedding and shutdown-drain tests lean on it.
+    FaultInjector &FI = FaultInjector::active();
+    if (FI.any() && FI.fire(FaultInjector::Fault::Stall))
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(FI.stallMillis()));
+    if (R.Op == RequestOp::Compile)
+      Response = processCompile(R);
+    else if (R.Op == RequestOp::Simulate)
+      Response = processSimulate(R);
+    else
+      Response = processLint(R);
     break;
-  case RequestOp::Lint:
-    Response = processLint(R);
-    break;
+  }
   case RequestOp::Stats:
     return renderStatsResponse(R, statsSnapshot());
   case RequestOp::Shutdown:
@@ -271,12 +349,35 @@ void Server::recordLatency(uint64_t Micros) {
   ++LatencyCount;
 }
 
+uint64_t Server::retryAfterMillisHint() const {
+  uint64_t P50Micros = 0;
+  {
+    std::lock_guard<std::mutex> Lock(LatencyMutex);
+    const size_t N =
+        static_cast<size_t>(std::min<uint64_t>(LatencyCount,
+                                               LatencyWindow.size()));
+    if (N > 0) {
+      std::vector<uint64_t> W(LatencyWindow.begin(),
+                              LatencyWindow.begin() + N);
+      std::nth_element(W.begin(), W.begin() + (N - 1) / 2, W.end());
+      P50Micros = W[(N - 1) / 2];
+    }
+  }
+  // One median request per queue slot ahead of the retrier; floor 10 ms so
+  // clients never spin, cap 2 s so a latency spike cannot park them.
+  const uint64_t Hint =
+      (P50Micros / 1000 + 1) * (InFlight.load() + 1);
+  return std::min<uint64_t>(std::max<uint64_t>(Hint, 10), 2000);
+}
+
 StatsSnapshot Server::statsSnapshot() const {
   StatsSnapshot S;
   S.Compile = Compiles.stats();
   S.Sim = Sims.stats();
+  S.Disk = Disk.stats();
   S.Requests = Requests.load();
   S.Rejected = Rejected.load();
+  S.Timeouts = Timeouts.load();
   S.QueueDepth = InFlight.load();
   S.QueueLimit = Opts.QueueDepth;
   std::vector<uint64_t> Window;
@@ -334,13 +435,10 @@ uint64_t Server::serve(std::istream &In, std::ostream &Out) {
       break;
     }
     // Data plane: bounded in-flight window, shed beyond it. The response
-    // is an immediate error, not a silent drop — the client can back off.
+    // is an immediate error carrying a backoff hint, not a silent drop.
     if (InFlight.load() >= Opts.QueueDepth) {
       ++Rejected;
-      Emit(renderErrorResponse(P.R, "queue_full",
-                               "in-flight limit " +
-                                   std::to_string(Opts.QueueDepth) +
-                                   " reached; retry later"));
+      Emit(renderShedResponse(P.R, Opts.QueueDepth, retryAfterMillisHint()));
       continue;
     }
     ++InFlight;
@@ -349,16 +447,288 @@ uint64_t Server::serve(std::istream &In, std::ostream &Out) {
       {
         std::lock_guard<std::mutex> Lock(DrainMutex);
         --InFlight;
+        // Notify under the lock: the waiter may tear the Server down the
+        // moment it observes zero.
+        Drained.notify_all();
       }
-      Drained.notify_all();
     });
   }
   Drain();
   return Accepted;
 }
 
-int Server::serveUnixSocket(const std::string &Path) {
-  const int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+//===----------------------------------------------------------------------===//
+// Socket serving: one poll loop, many connections
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Self-pipe write end the signal handlers poke; -1 outside
+/// serveUnixSocket. Async-signal-safe: the handler only does an atomic
+/// load and a write(2).
+std::atomic<int> SignalWakeFd{-1};
+std::atomic<bool> SignalStop{false};
+
+void onStopSignal(int) {
+  SignalStop.store(true, std::memory_order_relaxed);
+  const int FD = SignalWakeFd.load(std::memory_order_relaxed);
+  if (FD >= 0) {
+    const char Byte = 's';
+    [[maybe_unused]] const ssize_t W = ::write(FD, &Byte, 1);
+  }
+}
+
+} // namespace
+
+/// All the state of one poll-based socket session. Lives on
+/// serveUnixSocket's stack; workers only ever touch the shared PendingReq
+/// blocks and the wake pipe, never the loop state itself.
+struct Server::SocketLoop {
+  using Clock = std::chrono::steady_clock;
+
+  /// One dispatched data-plane request. Shared between the loop and the
+  /// pool worker computing it: the worker fills Response and flips Done;
+  /// the loop flips Cancelled when the deadline passes or the connection
+  /// dies, after which the result is dropped on the floor.
+  struct PendingReq {
+    std::atomic<bool> Done{false};
+    std::atomic<bool> Cancelled{false};
+    std::string Response; ///< Valid once Done is true.
+    Request R;
+    Clock::time_point Deadline{};
+    bool HasDeadline = false;
+  };
+
+  struct Conn {
+    explicit Conn(int FD) : Buf(FD) {}
+    FdBuf Buf;
+    bool ReadEof = false; ///< Peer closed its write side.
+    bool Dead = false;    ///< Abandon: close once, no more I/O.
+    std::vector<std::shared_ptr<PendingReq>> Pending;
+  };
+
+  explicit SocketLoop(Server &S) : S(S) {}
+
+  Server &S;
+  /// Dedicated request workers. The global ThreadPool degrades async() to
+  /// an inline call when it has no workers (single-core hosts,
+  /// SIMTSR_THREADS=1), which would block the poll loop for the duration
+  /// of a compile and make deadlines and multiplexing meaningless — so
+  /// the socket front end brings its own threads.
+  std::deque<std::shared_ptr<PendingReq>> JobQueue; ///< Guarded by JobMutex.
+  std::mutex JobMutex;
+  std::condition_variable JobCV;
+  bool JobsStopping = false;
+  std::vector<std::thread> JobWorkers;
+  int Listener = -1;
+  int WakeRead = -1;
+  int WakeWrite = -1;
+  std::vector<std::unique_ptr<Conn>> Conns;
+  bool Draining = false;
+  /// The connection that asked for shutdown (index into Conns), if the
+  /// drain was requested over the wire rather than by signal.
+  Conn *ShutdownConn = nullptr;
+  Request ShutdownReq;
+  bool ShutdownEmitted = false;
+  bool FlushDeadlineSet = false;
+  Clock::time_point FlushDeadline{};
+
+  void wake() const {
+    const char Byte = 'w';
+    [[maybe_unused]] const ssize_t W = ::write(WakeWrite, &Byte, 1);
+  }
+
+  void killConn(Conn &C) {
+    if (C.Dead)
+      return;
+    C.Dead = true;
+    // Whatever was still computing for this peer has no destination now.
+    for (const std::shared_ptr<PendingReq> &P : C.Pending)
+      P->Cancelled.store(true, std::memory_order_relaxed);
+    C.Pending.clear();
+  }
+
+  void startWorkers();
+  void workerLoop();
+  void stopWorkers();
+  void handleLine(Conn &C, const std::string &Line);
+  void collectResults(Conn &C);
+  void sweepDeadlines(Conn &C, Clock::time_point Now);
+  int pollTimeoutMillis(Clock::time_point Now) const;
+  bool drained() const;
+  int run(const std::string &Path);
+};
+
+void Server::SocketLoop::startWorkers() {
+  // Enough that one stalled request cannot starve every other client, but
+  // never more than the in-flight window can keep busy.
+  const unsigned N = std::max<unsigned>(
+      2, std::min<unsigned>(static_cast<unsigned>(S.Opts.QueueDepth), 8));
+  for (unsigned I = 0; I < N; ++I)
+    JobWorkers.emplace_back([this] { workerLoop(); });
+}
+
+void Server::SocketLoop::workerLoop() {
+  while (true) {
+    std::shared_ptr<PendingReq> Req;
+    {
+      std::unique_lock<std::mutex> Lock(JobMutex);
+      JobCV.wait(Lock, [this] { return JobsStopping || !JobQueue.empty(); });
+      if (JobQueue.empty())
+        return; // Stopping with nothing queued.
+      Req = std::move(JobQueue.front());
+      JobQueue.pop_front();
+    }
+    Req->Response = S.process(Req->R);
+    Req->Done.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> Lock(S.DrainMutex);
+      --S.InFlight;
+      // Notify under the lock: once the waiter observes zero it may
+      // destroy the Server, so the condition variable must not be touched
+      // after the mutex is released.
+      S.Drained.notify_all();
+    }
+    // Wake strictly last, once every bit of state the loop examines —
+    // Done, Response, InFlight — is final. Waking earlier lets the loop
+    // run its drained() check against a stale InFlight and then sleep in
+    // poll with no further wakeups coming. The write cannot land on a
+    // recycled descriptor: teardown joins the workers before closing the
+    // pipe.
+    wake();
+  }
+}
+
+void Server::SocketLoop::stopWorkers() {
+  {
+    std::lock_guard<std::mutex> Lock(JobMutex);
+    JobsStopping = true;
+  }
+  JobCV.notify_all();
+  // Workers finish whatever is still queued before exiting, so after the
+  // joins every dispatched request — cancelled or not — has completed and
+  // InFlight is zero.
+  for (std::thread &T : JobWorkers)
+    T.join();
+  JobWorkers.clear();
+}
+
+void Server::SocketLoop::handleLine(Conn &C, const std::string &Line) {
+  if (Line.find_first_not_of(" \t\r") == std::string::npos)
+    return;
+  ++S.Requests;
+  RequestParse P = parseRequest(Line);
+  if (!P.ok()) {
+    C.Buf.queueLine(renderErrorResponse(P.R, P.Error, P.Detail));
+    return;
+  }
+  if (P.R.Op == RequestOp::Stats) {
+    C.Buf.queueLine(S.process(P.R));
+    return;
+  }
+  if (P.R.Op == RequestOp::Shutdown) {
+    // Stop accepting, let in-flight work finish, answer when drained.
+    Draining = true;
+    ShutdownConn = &C;
+    ShutdownReq = P.R;
+    return;
+  }
+  if (Draining) {
+    C.Buf.queueLine(renderErrorResponse(
+        P.R, "shutting_down", "daemon is draining; no new work accepted"));
+    return;
+  }
+  if (S.InFlight.load() >= S.Opts.QueueDepth) {
+    ++S.Rejected;
+    C.Buf.queueLine(renderShedResponse(P.R, S.Opts.QueueDepth,
+                                       S.retryAfterMillisHint()));
+    return;
+  }
+
+  auto Req = std::make_shared<PendingReq>();
+  Req->R = std::move(P.R);
+  if (S.Opts.DeadlineMillis > 0) {
+    Req->HasDeadline = true;
+    Req->Deadline = Clock::now() +
+                    std::chrono::milliseconds(S.Opts.DeadlineMillis);
+  }
+  C.Pending.push_back(Req);
+  ++S.InFlight;
+  {
+    std::lock_guard<std::mutex> Lock(JobMutex);
+    JobQueue.push_back(std::move(Req));
+  }
+  JobCV.notify_one();
+}
+
+void Server::SocketLoop::collectResults(Conn &C) {
+  auto It = C.Pending.begin();
+  while (It != C.Pending.end()) {
+    PendingReq &P = **It;
+    if (!P.Done.load(std::memory_order_acquire)) {
+      ++It;
+      continue;
+    }
+    if (!P.Cancelled.load(std::memory_order_relaxed))
+      C.Buf.queueLine(P.Response);
+    It = C.Pending.erase(It);
+  }
+}
+
+void Server::SocketLoop::sweepDeadlines(Conn &C, Clock::time_point Now) {
+  auto It = C.Pending.begin();
+  while (It != C.Pending.end()) {
+    PendingReq &P = **It;
+    if (!P.HasDeadline || Now < P.Deadline ||
+        P.Done.load(std::memory_order_acquire)) {
+      ++It;
+      continue;
+    }
+    // Answer now; the worker's eventual result is dropped. Its worker
+    // slot frees when it actually finishes.
+    P.Cancelled.store(true, std::memory_order_relaxed);
+    ++S.Timeouts;
+    C.Buf.queueLine(renderErrorResponse(
+        P.R, "timeout",
+        "deadline of " + std::to_string(S.Opts.DeadlineMillis) +
+            "ms exceeded"));
+    It = C.Pending.erase(It);
+  }
+}
+
+int Server::SocketLoop::pollTimeoutMillis(Clock::time_point Now) const {
+  bool Have = false;
+  Clock::time_point Earliest{};
+  for (const std::unique_ptr<Conn> &C : Conns)
+    for (const std::shared_ptr<PendingReq> &P : C->Pending)
+      if (P->HasDeadline && (!Have || P->Deadline < Earliest)) {
+        Have = true;
+        Earliest = P->Deadline;
+      }
+  if (FlushDeadlineSet && (!Have || FlushDeadline < Earliest)) {
+    Have = true;
+    Earliest = FlushDeadline;
+  }
+  if (!Have)
+    return -1;
+  const auto Millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Earliest - Now)
+          .count();
+  return Millis <= 0 ? 0 : static_cast<int>(std::min<long long>(
+                               Millis + 1, 60'000));
+}
+
+bool Server::SocketLoop::drained() const {
+  if (S.InFlight.load() != 0)
+    return false;
+  for (const std::unique_ptr<Conn> &C : Conns)
+    if (!C->Pending.empty())
+      return false;
+  return true;
+}
+
+int Server::SocketLoop::run(const std::string &Path) {
+  Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Listener < 0)
     return -1;
 
@@ -372,54 +742,185 @@ int Server::serveUnixSocket(const std::string &Path) {
   ::unlink(Path.c_str()); // Stale socket from a previous run.
   if (::bind(Listener, reinterpret_cast<const sockaddr *>(&Addr),
              sizeof(Addr)) != 0 ||
-      ::listen(Listener, 4) != 0) {
+      ::listen(Listener, 16) != 0 || !FdBuf::setNonBlocking(Listener)) {
     ::close(Listener);
     return -1;
   }
 
-  while (!ShutdownRequested.load()) {
-    const int Client = ::accept(Listener, nullptr, nullptr);
-    if (Client < 0)
-      break;
-    // One connection at a time: read lines off the fd, answer on it.
-    // FdBuf adapts the socket to the iostream-based serve() loop.
-    struct FdBuf final : std::streambuf {
-      explicit FdBuf(int FD) : FD(FD) { setg(Buf, Buf, Buf); }
-      int_type underflow() override {
-        const ssize_t N = ::read(FD, Buf, sizeof(Buf));
-        if (N <= 0)
-          return traits_type::eof();
-        setg(Buf, Buf, Buf + N);
-        return traits_type::to_int_type(Buf[0]);
-      }
-      int_type overflow(int_type C) override {
-        if (C != traits_type::eof()) {
-          const char Byte = traits_type::to_char_type(C);
-          if (::write(FD, &Byte, 1) != 1)
-            return traits_type::eof();
-        }
-        return C;
-      }
-      std::streamsize xsputn(const char *S, std::streamsize N) override {
-        std::streamsize Done = 0;
-        while (Done < N) {
-          const ssize_t W = ::write(FD, S + Done, N - Done);
-          if (W <= 0)
-            break;
-          Done += W;
-        }
-        return Done;
-      }
-      int FD;
-      char Buf[4096];
-    };
-    FdBuf InBuf(Client), OutBuf(Client);
-    std::istream In(&InBuf);
-    std::ostream Out(&OutBuf);
-    serve(In, Out);
-    ::close(Client);
+  int Pipe[2];
+  if (::pipe(Pipe) != 0) {
+    ::close(Listener);
+    return -1;
   }
+  WakeRead = Pipe[0];
+  WakeWrite = Pipe[1];
+  FdBuf::setNonBlocking(WakeRead);
+  FdBuf::setNonBlocking(WakeWrite);
+  startWorkers();
+
+  // Graceful shutdown on SIGTERM/SIGINT: flag + self-pipe, handled on the
+  // next poll iteration. Previous dispositions are restored on exit so
+  // embedding tests can install their own handlers around us.
+  SignalStop.store(false, std::memory_order_relaxed);
+  SignalWakeFd.store(WakeWrite, std::memory_order_relaxed);
+  struct sigaction StopAction {};
+  StopAction.sa_handler = onStopSignal;
+  sigemptyset(&StopAction.sa_mask);
+  struct sigaction OldTerm {}, OldInt {};
+  ::sigaction(SIGTERM, &StopAction, &OldTerm);
+  ::sigaction(SIGINT, &StopAction, &OldInt);
+
+  std::vector<pollfd> Fds;
+  std::vector<Conn *> FdConns; ///< Parallel to Fds; null for control fds.
+  while (true) {
+    const Clock::time_point Now = Clock::now();
+
+    Fds.clear();
+    FdConns.clear();
+    Fds.push_back({WakeRead, POLLIN, 0});
+    FdConns.push_back(nullptr);
+    if (!Draining) {
+      Fds.push_back({Listener, POLLIN, 0});
+      FdConns.push_back(nullptr);
+    }
+    for (const std::unique_ptr<Conn> &C : Conns) {
+      if (C->Dead)
+        continue;
+      short Events = 0;
+      if (!C->ReadEof)
+        Events |= POLLIN;
+      if (C->Buf.hasPendingOut())
+        Events |= POLLOUT;
+      if (Events == 0)
+        continue;
+      Fds.push_back({C->Buf.fd(), Events, 0});
+      FdConns.push_back(C.get());
+    }
+
+    const int Ready = ::poll(Fds.data(), Fds.size(), pollTimeoutMillis(Now));
+    if (Ready < 0 && errno != EINTR) {
+      // poll itself failing is unrecoverable; shut down as cleanly as we
+      // still can.
+      Draining = true;
+    }
+    if (SignalStop.load(std::memory_order_relaxed))
+      Draining = true;
+
+    // Drain the wake pipe: its only job was to interrupt poll.
+    char Scratch[256];
+    while (::read(WakeRead, Scratch, sizeof(Scratch)) > 0) {
+    }
+
+    // Accept every connection that is queued up.
+    if (!Draining)
+      while (true) {
+        const int Client = ::accept(Listener, nullptr, nullptr);
+        if (Client < 0)
+          break;
+        FdBuf::setNonBlocking(Client);
+        Conns.push_back(std::make_unique<Conn>(Client));
+      }
+
+    // Read whatever arrived; each complete line is one request.
+    for (size_t I = 0; I < Fds.size(); ++I) {
+      Conn *C = FdConns[I];
+      if (!C || C->Dead || !(Fds[I].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      bool More = true;
+      while (More && !C->Dead) {
+        switch (C->Buf.fill()) {
+        case IoResult::Ok:
+          break;
+        case IoResult::WouldBlock:
+          More = false;
+          break;
+        case IoResult::Eof:
+          C->ReadEof = true;
+          More = false;
+          break;
+        case IoResult::Closed:
+          killConn(*C);
+          More = false;
+          break;
+        }
+        std::string Line;
+        while (!C->Dead && C->Buf.nextLine(Line))
+          handleLine(*C, Line);
+      }
+    }
+
+    const Clock::time_point AfterIo = Clock::now();
+    for (const std::unique_ptr<Conn> &C : Conns) {
+      if (C->Dead)
+        continue;
+      sweepDeadlines(*C, AfterIo);
+      collectResults(*C);
+    }
+
+    // Drain finished: answer the shutdown request (once), then it only
+    // remains to flush output buffers.
+    if (Draining && drained() && !ShutdownEmitted) {
+      ShutdownEmitted = true;
+      S.ShutdownRequested.store(true);
+      if (ShutdownConn && !ShutdownConn->Dead)
+        ShutdownConn->Buf.queueLine(
+            renderShutdownResponse(ShutdownReq, S.Requests.load()));
+      // A peer that never reads could otherwise pin us here forever.
+      FlushDeadlineSet = true;
+      FlushDeadline = Clock::now() + std::chrono::seconds(5);
+    }
+
+    // Push buffered responses out.
+    for (const std::unique_ptr<Conn> &C : Conns) {
+      if (C->Dead || !C->Buf.hasPendingOut())
+        continue;
+      if (C->Buf.flushSome() == IoResult::Closed)
+        killConn(*C);
+    }
+
+    // Reap connections that are finished: dead ones, and ones whose peer
+    // hung up with nothing left to compute or flush.
+    for (std::unique_ptr<Conn> &C : Conns) {
+      if (!C->Dead && C->ReadEof && C->Pending.empty() &&
+          !C->Buf.hasPendingOut())
+        C->Dead = true;
+      if (C->Dead) {
+        if (C.get() == ShutdownConn)
+          ShutdownConn = nullptr;
+        ::close(C->Buf.fd());
+        C.reset();
+      }
+    }
+    Conns.erase(std::remove(Conns.begin(), Conns.end(), nullptr),
+                Conns.end());
+
+    if (ShutdownEmitted) {
+      bool AnyOut = false;
+      for (const std::unique_ptr<Conn> &C : Conns)
+        AnyOut |= C->Buf.hasPendingOut();
+      if (!AnyOut || Clock::now() >= FlushDeadline)
+        break;
+    }
+  }
+
+  // Teardown. Visible work is already drained (drained() gated the exit),
+  // but cancelled stragglers may still be computing — join the workers
+  // before closing the wake pipe they poke.
+  stopWorkers();
+  SignalWakeFd.store(-1, std::memory_order_relaxed);
+  ::sigaction(SIGTERM, &OldTerm, nullptr);
+  ::sigaction(SIGINT, &OldInt, nullptr);
+  for (const std::unique_ptr<Conn> &C : Conns)
+    ::close(C->Buf.fd());
+  Conns.clear();
+  ::close(WakeRead);
+  ::close(WakeWrite);
   ::close(Listener);
   ::unlink(Path.c_str());
-  return ShutdownRequested.load() ? 0 : -1;
+  return 0;
+}
+
+int Server::serveUnixSocket(const std::string &Path) {
+  SocketLoop Loop(*this);
+  return Loop.run(Path);
 }

@@ -47,6 +47,14 @@ struct ServerOptions {
   uint64_t MaxIssueSlots = 0;
   /// Per-request wall-clock watchdog in ms (0 disables).
   uint64_t MaxWallMillis = 0;
+  /// Directory for the crash-safe disk tier under both caches (empty
+  /// disables persistence). See serve/DiskTier.h.
+  std::string DiskCacheDir;
+  /// Socket sessions only: a data-plane request still unanswered this
+  /// many ms after dispatch is answered with a "timeout" error and its
+  /// eventual result dropped (0 disables). Pair with MaxWallMillis so the
+  /// abandoned simulation also stops burning a pool worker.
+  uint64_t DeadlineMillis = 0;
 };
 
 class Server {
@@ -63,33 +71,52 @@ public:
   /// before returning. \returns the number of requests accepted.
   uint64_t serve(std::istream &In, std::ostream &Out);
 
-  /// Listens on a Unix stream socket at \p Path, serving one connection
-  /// at a time with serve(); removes any stale socket file first. Returns
-  /// only on a shutdown request (0) or a socket error (-1).
+  /// Listens on a Unix stream socket at \p Path and serves concurrent
+  /// connections through one poll-based readiness loop: nonblocking
+  /// accept, per-connection line framing (support/FdBuf.h), data-plane
+  /// dispatch onto the shared ThreadPool, per-request deadlines
+  /// (Options.DeadlineMillis), and graceful shutdown — a shutdown request
+  /// or SIGTERM/SIGINT stops accepting, answers late data-plane requests
+  /// with "shutting_down", drains in-flight work and flushes every
+  /// response before returning. Removes any stale socket file first.
+  /// Returns 0 on a clean shutdown, -1 on a socket setup error.
   int serveUnixSocket(const std::string &Path);
 
   StatsSnapshot statsSnapshot() const;
 
 private:
+  struct SocketLoop;
+
   std::string process(const Request &R);
   std::string processCompile(const Request &R);
   std::string processSimulate(const Request &R);
   std::string processLint(const Request &R);
 
   /// Compile via the content-addressed cache. \p Cached reports whether
-  /// the entry was served from cache.
+  /// the entry was served from cache (memory or disk).
   std::shared_ptr<const CompileEntry>
   compileCached(const std::string &Source, const std::string &PipelineName,
                 int SoftThreshold, bool &Cached);
 
+  /// Rehydrates a disk-tier compile payload into a full entry (re-parses
+  /// the stored post-pipeline text, re-verifies the launch). Null when
+  /// the payload does not decode — the caller quarantines it.
+  std::shared_ptr<const CompileEntry>
+  rehydrateCompile(uint64_t Key, const std::string &Payload);
+
   void recordLatency(uint64_t Micros);
+  /// Backoff hint attached to queue_full responses: scaled from the
+  /// recent latency window and current queue occupancy.
+  uint64_t retryAfterMillisHint() const;
 
   const ServerOptions Opts;
   CompileCache Compiles;
   SimCache Sims;
+  DiskTier Disk;
 
   std::atomic<uint64_t> Requests{0};
   std::atomic<uint64_t> Rejected{0};
+  std::atomic<uint64_t> Timeouts{0};
   std::atomic<uint64_t> InFlight{0};
   std::atomic<bool> ShutdownRequested{false};
 

@@ -1,0 +1,126 @@
+//===- DurableFile.cpp - Crash-safe atomic file writes ------------------------===//
+
+#include "support/DurableFile.h"
+
+#include "support/FaultInject.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace simtsr;
+
+namespace {
+
+std::string errnoString() { return std::strerror(errno); }
+
+/// EINTR-safe close; EBADF after a retried close would double-close, so
+/// POSIX says call once and ignore EINTR.
+void closeFd(int FD) { ::close(FD); }
+
+bool writeAll(int FD, const std::string &Bytes, std::string &Error) {
+  size_t Done = 0;
+  while (Done < Bytes.size()) {
+    const ssize_t W = ::write(FD, Bytes.data() + Done, Bytes.size() - Done);
+    if (W > 0) {
+      Done += static_cast<size_t>(W);
+      continue;
+    }
+    if (W < 0 && errno == EINTR)
+      continue;
+    Error = errnoString();
+    return false;
+  }
+  return true;
+}
+
+/// fsync the directory holding \p Path so the rename itself is durable.
+/// Best effort: some filesystems reject directory fsync; that does not
+/// undo the atomicity of the rename.
+void syncParentDir(const std::string &Path) {
+  const size_t Slash = Path.find_last_of('/');
+  const std::string Dir = Slash == std::string::npos
+                              ? std::string(".")
+                              : Path.substr(0, Slash == 0 ? 1 : Slash);
+  const int FD = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (FD < 0)
+    return;
+  ::fsync(FD);
+  closeFd(FD);
+}
+
+} // namespace
+
+bool simtsr::durableWriteFile(const std::string &Path,
+                              const std::string &Bytes, std::string &Error) {
+  static std::atomic<uint64_t> Seq{0};
+  const std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(Seq.fetch_add(1));
+
+  FaultInjector &FI = FaultInjector::active();
+
+  const int FD =
+      ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (FD < 0) {
+    Error = "open '" + Tmp + "': " + errnoString();
+    return false;
+  }
+
+  if (FI.fire(FaultInjector::Fault::Enospc)) {
+    closeFd(FD);
+    ::unlink(Tmp.c_str());
+    Error = "write '" + Tmp + "': " + std::strerror(ENOSPC) +
+            " (injected)";
+    return false;
+  }
+  std::string WriteError;
+  if (!writeAll(FD, Bytes, WriteError)) {
+    closeFd(FD);
+    ::unlink(Tmp.c_str());
+    Error = "write '" + Tmp + "': " + WriteError;
+    return false;
+  }
+
+  const bool FsyncFailed = FI.fire(FaultInjector::Fault::FsyncFail)
+                               ? (errno = EIO, true)
+                               : ::fsync(FD) != 0;
+  if (FsyncFailed) {
+    closeFd(FD);
+    ::unlink(Tmp.c_str());
+    Error = "fsync '" + Tmp + "': " + errnoString() +
+            (FI.armed(FaultInjector::Fault::FsyncFail) ? " (injected)" : "");
+    return false;
+  }
+  closeFd(FD);
+
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Error = "rename '" + Tmp + "' -> '" + Path + "': " + errnoString();
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  syncParentDir(Path);
+  return true;
+}
+
+bool simtsr::createDirectories(const std::string &Dir, std::string &Error) {
+  if (Dir.empty())
+    return true;
+  std::string Partial;
+  size_t Pos = 0;
+  while (Pos <= Dir.size()) {
+    const size_t Slash = Dir.find('/', Pos);
+    const size_t End = Slash == std::string::npos ? Dir.size() : Slash;
+    Partial = Dir.substr(0, End);
+    Pos = End + 1;
+    if (Partial.empty() || Partial == ".")
+      continue;
+    if (::mkdir(Partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      Error = "mkdir '" + Partial + "': " + errnoString();
+      return false;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,35 @@
+//===- DurableFile.h - Crash-safe atomic file writes -----------*- C++ -*-===//
+///
+/// \file
+/// One primitive, used everywhere bytes must survive a crash: write to a
+/// private temp file in the destination directory, fsync it, and rename
+/// it over the target. A reader therefore sees either the old complete
+/// file or the new complete file — never a torn one — and a crash at any
+/// point leaves at worst an orphaned temp file.
+///
+/// The write path is EINTR-safe, handles short writes, and consults the
+/// fault-injection harness (support/FaultInject.h) so tests can force
+/// ENOSPC and fsync failures deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SUPPORT_DURABLEFILE_H
+#define SIMTSR_SUPPORT_DURABLEFILE_H
+
+#include <string>
+
+namespace simtsr {
+
+/// Atomically replaces \p Path with \p Bytes (temp file + fsync +
+/// rename). On failure returns false with \p Error set and no temp file
+/// left behind; \p Path is untouched.
+bool durableWriteFile(const std::string &Path, const std::string &Bytes,
+                      std::string &Error);
+
+/// Creates \p Dir and any missing parents (mkdir -p). Returns false with
+/// \p Error set when a component cannot be created.
+bool createDirectories(const std::string &Dir, std::string &Error);
+
+} // namespace simtsr
+
+#endif // SIMTSR_SUPPORT_DURABLEFILE_H

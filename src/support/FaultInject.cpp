@@ -1,0 +1,177 @@
+//===- FaultInject.cpp - Deterministic seeded fault injection -----------------===//
+
+#include "support/FaultInject.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace simtsr;
+
+namespace {
+
+std::atomic<FaultInjector *> Override{nullptr};
+
+bool classByName(const std::string &Name, FaultInjector::Fault &Out) {
+  for (unsigned I = 0; I < FaultInjector::NumFaults; ++I) {
+    const auto F = static_cast<FaultInjector::Fault>(I);
+    if (Name == FaultInjector::name(F)) {
+      Out = F;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+bool parseRate(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtod(S.c_str(), &End);
+  return End && *End == '\0' && Out >= 0.0 && Out <= 1.0;
+}
+
+} // namespace
+
+const char *FaultInjector::name(Fault F) {
+  switch (F) {
+  case Fault::ShortRead:
+    return "short_read";
+  case Fault::ShortWrite:
+    return "short_write";
+  case Fault::Eintr:
+    return "eintr";
+  case Fault::Enospc:
+    return "enospc";
+  case Fault::FsyncFail:
+    return "fsync_fail";
+  case Fault::Corrupt:
+    return "corrupt";
+  case Fault::Drop:
+    return "drop";
+  case Fault::Stall:
+    return "stall";
+  }
+  return "unknown";
+}
+
+bool FaultInjector::parse(const std::string &Spec, FaultInjector &Out,
+                          std::string &Error) {
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    const size_t Comma = Spec.find(',', Pos);
+    std::string Clause = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() + 1 : Comma + 1;
+    // Trim surrounding whitespace.
+    const size_t B = Clause.find_first_not_of(" \t");
+    const size_t E = Clause.find_last_not_of(" \t");
+    Clause = B == std::string::npos ? "" : Clause.substr(B, E - B + 1);
+    if (Clause.empty())
+      continue;
+
+    if (Clause.rfind("seed=", 0) == 0) {
+      if (!parseU64(Clause.substr(5), Out.Seed)) {
+        Error = "bad seed in clause '" + Clause + "'";
+        return false;
+      }
+      continue;
+    }
+
+    const size_t Colon = Clause.find(':');
+    const std::string Name =
+        Colon == std::string::npos ? Clause : Clause.substr(0, Colon);
+    Fault F;
+    if (!classByName(Name, F)) {
+      Error = "unknown fault class '" + Name + "'";
+      return false;
+    }
+    Class &C = Out.Classes[index(F)];
+    C.Armed = true;
+    C.Rate = 1.0;
+    C.Param = F == Fault::Stall ? 100 : 0;
+    if (Colon != std::string::npos) {
+      const std::string Param = Clause.substr(Colon + 1);
+      if (F == Fault::Stall) {
+        if (!parseU64(Param, C.Param) || C.Param > 60000) {
+          Error = "stall wants milliseconds in [0, 60000], got '" + Param +
+                  "'";
+          return false;
+        }
+      } else if (!parseRate(Param, C.Rate)) {
+        Error = "fault rate must be in [0, 1], got '" + Param + "'";
+        return false;
+      }
+    }
+    Out.Armed.store(true, std::memory_order_relaxed);
+  }
+  Out.R.seed(Out.Seed);
+  return true;
+}
+
+FaultInjector &FaultInjector::active() {
+  static FaultInjector *EnvInjector = [] {
+    static FaultInjector I;
+    if (const char *Spec = std::getenv("SIMTSR_FAULTS")) {
+      std::string Error;
+      FaultInjector Parsed;
+      if (FaultInjector::parse(Spec, Parsed, Error)) {
+        // Copy field by field; the atomics forbid a default copy.
+        for (unsigned K = 0; K < NumFaults; ++K) {
+          I.Classes[K].Armed = Parsed.Classes[K].Armed;
+          I.Classes[K].Rate = Parsed.Classes[K].Rate;
+          I.Classes[K].Param = Parsed.Classes[K].Param;
+        }
+        I.Seed = Parsed.Seed;
+        I.R.seed(Parsed.Seed);
+        I.Armed.store(Parsed.any(), std::memory_order_relaxed);
+      } else {
+        std::fprintf(stderr, "SIMTSR_FAULTS: %s (injection disabled)\n",
+                     Error.c_str());
+      }
+    }
+    return &I;
+  }();
+  if (FaultInjector *Over = Override.load(std::memory_order_acquire))
+    return *Over;
+  return *EnvInjector;
+}
+
+FaultInjector *FaultInjector::install(FaultInjector *I) {
+  return Override.exchange(I, std::memory_order_acq_rel);
+}
+
+bool FaultInjector::fire(Fault F) {
+  if (!any())
+    return false;
+  Class &C = Classes[index(F)];
+  if (!C.Armed)
+    return false;
+  bool Hit;
+  {
+    std::lock_guard<std::mutex> Lock(RngMutex);
+    Hit = C.Rate >= 1.0 || R.nextBool(C.Rate);
+  }
+  if (Hit)
+    C.Fired.fetch_add(1, std::memory_order_relaxed);
+  return Hit;
+}
+
+bool FaultInjector::corruptBytes(std::string &Bytes) {
+  if (Bytes.empty() || !fire(Fault::Corrupt))
+    return false;
+  size_t Pos;
+  {
+    std::lock_guard<std::mutex> Lock(RngMutex);
+    Pos = static_cast<size_t>(R.nextBelow(Bytes.size()));
+  }
+  Bytes[Pos] = static_cast<char>(Bytes[Pos] ^ 0x5a);
+  return true;
+}

@@ -1,0 +1,131 @@
+//===- FaultInject.h - Deterministic seeded fault injection ----*- C++ -*-===//
+///
+/// \file
+/// The fault-injection harness behind the serve robustness tests: a
+/// deterministic, seeded source of synthetic I/O failures that the
+/// low-level plumbing (FdBuf, durableWriteFile, the serve disk tier)
+/// consults before touching the real syscall. Production builds pay one
+/// relaxed atomic load per I/O call when no spec is armed.
+///
+/// Configuration comes from the `SIMTSR_FAULTS` environment variable (or a
+/// test-installed override), a comma-separated clause list:
+///
+///   SIMTSR_FAULTS="seed=42,eintr:0.25,short_read:0.5,enospc:1"
+///
+///   clause  := "seed=" N | class [":" param]
+///   class   := short_read | short_write | eintr | enospc | fsync_fail
+///            | corrupt | drop | stall
+///   param   := firing probability in [0, 1] (default 1); for `stall` the
+///              param is a sleep in milliseconds instead (default 100).
+///
+/// Classes and where they bite:
+///
+///   short_read   FdBuf::fill reads at most one byte per syscall
+///   short_write  FdBuf::flushSome writes at most one byte per syscall
+///   eintr        one synthetic EINTR before each read/write loop
+///   enospc       durableWriteFile fails as if the disk were full
+///   fsync_fail   durableWriteFile's fsync fails after a clean write
+///   corrupt      serve disk-tier entries are corrupted before writing
+///   drop         FdBuf reports the connection reset mid-request
+///   stall        data-plane request processing sleeps `param` ms
+///
+/// Firing decisions consume one seeded xoshiro draw each, in call order,
+/// so a failing run replays exactly under the same spec and workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SUPPORT_FAULTINJECT_H
+#define SIMTSR_SUPPORT_FAULTINJECT_H
+
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace simtsr {
+
+class FaultInjector {
+public:
+  enum class Fault {
+    ShortRead,
+    ShortWrite,
+    Eintr,
+    Enospc,
+    FsyncFail,
+    Corrupt,
+    Drop,
+    Stall,
+  };
+  static constexpr unsigned NumFaults = 8;
+
+  /// A fully-disarmed injector: every fire() is false, for free.
+  FaultInjector() = default;
+
+  /// Parses \p Spec (the SIMTSR_FAULTS grammar above) into \p Out. On a
+  /// malformed spec returns false with \p Error set; \p Out is left
+  /// disarmed.
+  static bool parse(const std::string &Spec, FaultInjector &Out,
+                    std::string &Error);
+
+  /// The process-wide injector: configured from SIMTSR_FAULTS on first
+  /// use (a malformed spec warns on stderr and disarms), unless a test
+  /// installed an override.
+  static FaultInjector &active();
+
+  /// Installs \p I as the active injector (nullptr restores the
+  /// environment-configured one). \returns the previous override so tests
+  /// can nest. Not for production use.
+  static FaultInjector *install(FaultInjector *I);
+
+  /// Whether \p F appears in the spec at all (rate may still be < 1).
+  bool armed(Fault F) const { return Classes[index(F)].Armed; }
+
+  /// True when any class is armed — the fast path for callers that want
+  /// to skip injection bookkeeping entirely.
+  bool any() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Rolls the seeded RNG against class \p F's rate; counts and returns
+  /// true when the fault should fire now.
+  bool fire(Fault F);
+
+  /// Sleep parameter of the `stall` class, in milliseconds.
+  uint64_t stallMillis() const {
+    return Classes[index(Fault::Stall)].Param;
+  }
+
+  /// When `corrupt` fires, XORs one deterministically-chosen byte of
+  /// \p Bytes and returns true; otherwise leaves it untouched.
+  bool corruptBytes(std::string &Bytes);
+
+  /// How many times \p F has fired (for stats and test assertions).
+  uint64_t firedCount(Fault F) const {
+    return Classes[index(F)].Fired.load(std::memory_order_relaxed);
+  }
+
+  /// Stable lowercase spec name of \p F ("short_read", ...).
+  static const char *name(Fault F);
+
+private:
+  struct Class {
+    bool Armed = false;
+    double Rate = 1.0;
+    uint64_t Param = 0;
+    std::atomic<uint64_t> Fired{0};
+  };
+
+  static constexpr unsigned index(Fault F) {
+    return static_cast<unsigned>(F);
+  }
+
+  Class Classes[NumFaults];
+  std::atomic<bool> Armed{false};
+  uint64_t Seed = 0x5eedfa17u;
+  std::mutex RngMutex;
+  Rng R{0x5eedfa17u};
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_SUPPORT_FAULTINJECT_H

@@ -1,0 +1,109 @@
+//===- FdBuf.cpp - Line-framed buffered fd I/O --------------------------------===//
+
+#include "support/FdBuf.h"
+
+#include "support/FaultInject.h"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace simtsr;
+
+bool FdBuf::setNonBlocking(int FD, bool NonBlocking) {
+  const int Flags = ::fcntl(FD, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  const int Want = NonBlocking ? (Flags | O_NONBLOCK) : (Flags & ~O_NONBLOCK);
+  return ::fcntl(FD, F_SETFL, Want) == 0;
+}
+
+IoResult FdBuf::fill() {
+  FaultInjector &FI = FaultInjector::active();
+  if (FI.fire(FaultInjector::Fault::Drop))
+    return IoResult::Closed;
+  if (In.size() > MaxLineBytes)
+    return IoResult::Closed;
+
+  char Buf[4096];
+  size_t Max = sizeof(Buf);
+  if (FI.fire(FaultInjector::Fault::ShortRead))
+    Max = 1;
+  // At most one synthetic EINTR per fill: the point is to exercise the
+  // retry, not to starve the loop at rate 1.
+  bool InjectEintr = FI.fire(FaultInjector::Fault::Eintr);
+  for (;;) {
+    if (InjectEintr) {
+      InjectEintr = false;
+      continue;
+    }
+    const ssize_t N = ::read(FD, Buf, Max);
+    if (N > 0) {
+      In.append(Buf, static_cast<size_t>(N));
+      return IoResult::Ok;
+    }
+    if (N == 0)
+      return IoResult::Eof;
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return IoResult::WouldBlock;
+    return IoResult::Closed;
+  }
+}
+
+bool FdBuf::nextLine(std::string &Line) {
+  const size_t NL = In.find('\n');
+  if (NL == std::string::npos)
+    return false;
+  Line.assign(In, 0, NL);
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+  In.erase(0, NL + 1);
+  return true;
+}
+
+void FdBuf::queueLine(const std::string &Line) {
+  Out += Line;
+  Out += '\n';
+}
+
+IoResult FdBuf::flushSome() {
+  FaultInjector &FI = FaultInjector::active();
+  if (OutPos >= Out.size()) {
+    Out.clear();
+    OutPos = 0;
+    return IoResult::Ok;
+  }
+  if (FI.fire(FaultInjector::Fault::Drop))
+    return IoResult::Closed;
+
+  bool InjectEintr = FI.fire(FaultInjector::Fault::Eintr);
+  while (OutPos < Out.size()) {
+    if (InjectEintr) {
+      InjectEintr = false;
+      continue; // Synthetic EINTR: the loop must simply retry.
+    }
+    size_t Len = Out.size() - OutPos;
+    if (Len > 1 && FI.fire(FaultInjector::Fault::ShortWrite))
+      Len = 1; // Force the resume-at-offset path.
+    // MSG_NOSIGNAL keeps a vanished peer from raising SIGPIPE; pipes and
+    // regular fds in tests fall back to plain write.
+    ssize_t W = ::send(FD, Out.data() + OutPos, Len, MSG_NOSIGNAL);
+    if (W < 0 && errno == ENOTSOCK)
+      W = ::write(FD, Out.data() + OutPos, Len);
+    if (W > 0) {
+      OutPos += static_cast<size_t>(W);
+      continue;
+    }
+    if (W < 0 && errno == EINTR)
+      continue;
+    if (W < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return IoResult::WouldBlock;
+    return IoResult::Closed;
+  }
+  Out.clear();
+  OutPos = 0;
+  return IoResult::Ok;
+}

@@ -1,0 +1,451 @@
+//===- ServeDiskTest.cpp - crash-safe disk tier under the serve caches --------===//
+///
+/// \file
+/// The disk tier's contract, proven end to end: a restarted daemon serves
+/// bit-identical answers out of the directory a previous daemon left
+/// behind; a corrupt or truncated entry is quarantined and recomputed,
+/// never served; injected disk failures (ENOSPC, fsync) degrade the
+/// daemon to memory-only instead of failing requests; and the payload
+/// codecs round-trip every field exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/DiskTier.h"
+#include "serve/Server.h"
+#include "support/FaultInject.h"
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+namespace {
+
+const char *TinyKernel = R"(memory 64
+
+func @k(0) {
+entry:
+  %0 = tid
+  %1 = randrange 0, 10
+  %2 = cmplt %1, 5
+  br %2, a, b
+a:
+  %3 = add %0, %1
+  jmp b
+b:
+  store %0, %1
+  ret
+}
+)";
+
+/// Extracts the raw JSON token after "Key": — byte-exact, so comparing
+/// two responses' fields proves bit-identity, doubles included.
+std::string rawField(const std::string &Response, const std::string &Key) {
+  const std::string Needle = "\"" + Key + "\":";
+  const size_t At = Response.find(Needle);
+  if (At == std::string::npos)
+    return "<missing>";
+  size_t End = At + Needle.size();
+  int Depth = 0;
+  bool InString = false;
+  for (; End < Response.size(); ++End) {
+    const char C = Response[End];
+    if (InString) {
+      if (C == '\\')
+        ++End;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{' || C == '[')
+      ++Depth;
+    else if (C == '}' || C == ']') {
+      if (Depth == 0)
+        break;
+      --Depth;
+    } else if (C == ',' && Depth == 0)
+      break;
+  }
+  return Response.substr(At + Needle.size(), End - At - Needle.size());
+}
+
+struct TempDir {
+  TempDir() {
+    char Buf[] = "/tmp/simtsr-disk-XXXXXX";
+    Path = ::mkdtemp(Buf);
+    EXPECT_FALSE(Path.empty());
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string Path;
+};
+
+struct ScopedFaults {
+  explicit ScopedFaults(const std::string &Spec) {
+    std::string Error;
+    EXPECT_TRUE(FaultInjector::parse(Spec, FI, Error)) << Error;
+    Prev = FaultInjector::install(&FI);
+  }
+  ~ScopedFaults() { FaultInjector::install(Prev); }
+  FaultInjector FI;
+  FaultInjector *Prev = nullptr;
+};
+
+/// Hermetic base: a disarmed injector is installed for every test, so a
+/// SIMTSR_FAULTS environment (the CI serve-faults job exports one) cannot
+/// leak into tests that assert clean-disk behavior. Fault tests install
+/// their own armed injector on top.
+struct ServeDiskTest : ::testing::Test {
+  ScopedFaults Hermetic{""};
+};
+
+std::string simulateReq(int64_t Id) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(Id);
+  W.key("op");
+  W.string("simulate");
+  W.key("source");
+  W.string(TinyKernel);
+  W.key("pipeline");
+  W.string("sr");
+  W.key("warps");
+  W.numberUnsigned(2);
+  W.endObject();
+  return W.take();
+}
+
+ServerOptions diskOpts(const std::string &Dir) {
+  ServerOptions Opts;
+  Opts.DiskCacheDir = Dir;
+  return Opts;
+}
+
+/// The headline oracle: cold == warm == disk-hit == post-restart, bit for
+/// bit, across a full process "restart" (a second Server over the same
+/// directory, memory caches cold).
+TEST_F(ServeDiskTest, RestartServesBitIdenticalFromDisk) {
+  TempDir Dir;
+  std::string Cold, Warm;
+  {
+    Server A(diskOpts(Dir.Path));
+    Cold = A.handle(simulateReq(1));
+    Warm = A.handle(simulateReq(2));
+    const DiskTierStats DS = A.statsSnapshot().Disk;
+    EXPECT_EQ(DS.Writes, 2u); // One compile entry, one sim entry.
+    EXPECT_FALSE(DS.Degraded);
+  }
+
+  Server B(diskOpts(Dir.Path)); // "Restart": same disk, cold memory.
+  const std::string FromDisk = B.handle(simulateReq(3));
+  EXPECT_EQ(rawField(FromDisk, "cached"), "true");
+  EXPECT_EQ(rawField(FromDisk, "compile_cached"), "true");
+  for (const char *Key :
+       {"post_digest", "trace_digest", "checksum", "cycles", "issue_slots",
+        "simt_efficiency", "status", "module"}) {
+    EXPECT_EQ(rawField(Cold, Key), rawField(FromDisk, Key)) << Key;
+    EXPECT_EQ(rawField(Warm, Key), rawField(FromDisk, Key)) << Key;
+  }
+  const DiskTierStats DS = B.statsSnapshot().Disk;
+  EXPECT_EQ(DS.Hits, 2u); // Compile entry + sim entry.
+  EXPECT_EQ(DS.Quarantined, 0u);
+
+  // Nothing changed on disk, so B re-persisted nothing... except that the
+  // tier is write-through only on misses — no writes on a pure hit.
+  EXPECT_EQ(DS.Writes, 0u);
+}
+
+TEST_F(ServeDiskTest, CompileFailuresPersistToo) {
+  TempDir Dir;
+  const std::string Req =
+      R"({"id":1,"op":"compile","source":"func garbage {{{"})";
+  std::string First;
+  {
+    Server A(diskOpts(Dir.Path));
+    First = A.handle(Req);
+    EXPECT_EQ(rawField(First, "error"), "\"compile_error\"");
+  }
+  Server B(diskOpts(Dir.Path));
+  const std::string Second = B.handle(Req);
+  EXPECT_EQ(rawField(Second, "error"), "\"compile_error\"");
+  EXPECT_EQ(rawField(Second, "cached"), "true");
+  EXPECT_EQ(rawField(First, "detail"), rawField(Second, "detail"));
+  EXPECT_EQ(B.statsSnapshot().Disk.Hits, 1u);
+}
+
+TEST_F(ServeDiskTest, CorruptEntryIsQuarantinedAndRecomputed) {
+  TempDir Dir;
+  std::string Clean;
+  {
+    Server A(diskOpts(Dir.Path));
+    Clean = A.handle(simulateReq(1));
+  }
+
+  // Flip one byte in every stored entry — a checksum must catch each.
+  unsigned Flipped = 0;
+  for (const auto &DE : std::filesystem::directory_iterator(Dir.Path)) {
+    if (!DE.is_regular_file())
+      continue;
+    std::string Bytes;
+    {
+      std::ifstream In(DE.path(), std::ios::binary);
+      ASSERT_TRUE(In.good());
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      Bytes = Buf.str();
+    }
+    ASSERT_FALSE(Bytes.empty());
+    Bytes[Bytes.size() / 2] =
+        static_cast<char>(Bytes[Bytes.size() / 2] ^ 0x40);
+    std::ofstream Out(DE.path(), std::ios::binary | std::ios::trunc);
+    Out << Bytes;
+    ++Flipped;
+  }
+  ASSERT_EQ(Flipped, 2u);
+
+  Server B(diskOpts(Dir.Path));
+  const std::string Recomputed = B.handle(simulateReq(2));
+  // Same bits as the clean run — the corrupt entries were never served.
+  for (const char *Key :
+       {"trace_digest", "checksum", "cycles", "simt_efficiency"})
+    EXPECT_EQ(rawField(Clean, Key), rawField(Recomputed, Key)) << Key;
+  const DiskTierStats DS = B.statsSnapshot().Disk;
+  EXPECT_EQ(DS.Quarantined, 2u);
+  EXPECT_EQ(DS.Hits, 0u);
+  EXPECT_FALSE(DS.Degraded); // Corruption is not an I/O error.
+  // The bad bytes were preserved for post-mortem, not destroyed.
+  EXPECT_TRUE(std::filesystem::exists(Dir.Path + "/quarantine"));
+  unsigned InQuarantine = 0;
+  for (const auto &DE :
+       std::filesystem::directory_iterator(Dir.Path + "/quarantine"))
+    InQuarantine += DE.is_regular_file();
+  EXPECT_EQ(InQuarantine, 2u);
+}
+
+TEST_F(ServeDiskTest, TruncatedEntryIsAMiss) {
+  TempDir Dir;
+  {
+    Server A(diskOpts(Dir.Path));
+    A.handle(simulateReq(1));
+  }
+  // Simulate a torn write that bypassed the atomic rename (e.g. a hostile
+  // edit): chop every entry in half.
+  for (const auto &DE : std::filesystem::directory_iterator(Dir.Path)) {
+    if (!DE.is_regular_file())
+      continue;
+    std::error_code Ec;
+    std::filesystem::resize_file(DE.path(),
+                                 DE.file_size() / 2, Ec);
+    ASSERT_FALSE(Ec);
+  }
+  Server B(diskOpts(Dir.Path));
+  const std::string Resp = B.handle(simulateReq(2));
+  EXPECT_EQ(rawField(Resp, "ok"), "true");
+  EXPECT_EQ(B.statsSnapshot().Disk.Quarantined, 2u);
+}
+
+TEST_F(ServeDiskTest, EnospcDegradesToMemoryOnly) {
+  TempDir Dir;
+  ScopedFaults Faults("enospc:1");
+  Server S(diskOpts(Dir.Path));
+  const std::string Resp = S.handle(simulateReq(1));
+  EXPECT_EQ(rawField(Resp, "ok"), "true"); // The request still succeeds.
+  const DiskTierStats DS = S.statsSnapshot().Disk;
+  EXPECT_TRUE(DS.Degraded);
+  EXPECT_GE(DS.WriteErrors, 1u);
+  EXPECT_EQ(DS.Writes, 0u);
+  // Memory tier still works: warm repeat is a cache hit.
+  const std::string Warm = S.handle(simulateReq(2));
+  EXPECT_EQ(rawField(Warm, "cached"), "true");
+  // Degraded mode stops touching the disk entirely.
+  const uint64_t ErrorsBefore = S.statsSnapshot().Disk.WriteErrors;
+  S.handle(simulateReq(3));
+  EXPECT_EQ(S.statsSnapshot().Disk.WriteErrors, ErrorsBefore);
+  // No temp files were left behind by the failed writes.
+  unsigned Files = 0;
+  for (const auto &DE : std::filesystem::directory_iterator(Dir.Path))
+    Files += DE.is_regular_file();
+  EXPECT_EQ(Files, 0u);
+}
+
+TEST_F(ServeDiskTest, FsyncFailureDegradesWithoutTornEntries) {
+  TempDir Dir;
+  {
+    ScopedFaults Faults("fsync_fail:1");
+    Server S(diskOpts(Dir.Path));
+    EXPECT_EQ(rawField(S.handle(simulateReq(1)), "ok"), "true");
+    EXPECT_TRUE(S.statsSnapshot().Disk.Degraded);
+  }
+  // Whatever the failed durable writes left behind, a restart must not
+  // serve torn bytes: every surviving entry still checksums or is
+  // quarantined, and the answer matches a fresh compute.
+  Server Fresh(ServerOptions{});
+  Server B(diskOpts(Dir.Path));
+  EXPECT_EQ(rawField(B.handle(simulateReq(2)), "trace_digest"),
+            rawField(Fresh.handle(simulateReq(2)), "trace_digest"));
+}
+
+TEST_F(ServeDiskTest, CorruptedAtWriteIsNeverServedAfterRestart) {
+  TempDir Dir;
+  std::string Clean;
+  {
+    Server Fresh(ServerOptions{});
+    Clean = Fresh.handle(simulateReq(1));
+  }
+  {
+    // Every entry this daemon persists gets one byte flipped on the way
+    // to the disk.
+    ScopedFaults Faults("seed=3,corrupt:1");
+    Server A(diskOpts(Dir.Path));
+    A.handle(simulateReq(1));
+  }
+  Server B(diskOpts(Dir.Path));
+  const std::string Resp = B.handle(simulateReq(2));
+  for (const char *Key : {"trace_digest", "checksum", "cycles"})
+    EXPECT_EQ(rawField(Clean, Key), rawField(Resp, Key)) << Key;
+  EXPECT_GE(B.statsSnapshot().Disk.Quarantined, 1u);
+}
+
+TEST_F(ServeDiskTest, UnusableDirectoryStartsDegraded) {
+  Server S(diskOpts("/proc/definitely/not/creatable"));
+  const std::string Resp = S.handle(simulateReq(1));
+  EXPECT_EQ(rawField(Resp, "ok"), "true");
+  EXPECT_TRUE(S.statsSnapshot().Disk.Degraded);
+}
+
+TEST_F(ServeDiskTest, RehydrationFailureQuarantines) {
+  TempDir Dir;
+  // A structurally valid entry whose stored module no longer parses —
+  // e.g. written by a future version with new syntax.
+  const uint64_t Key = compileKeyNamed(TinyKernel, "sr", 8);
+  CompileEntry Fake;
+  Fake.Key = Key;
+  Fake.Ok = true;
+  Fake.PipelineName = "sr";
+  Fake.PostText = "this is not a module";
+  {
+    DiskTier D(Dir.Path);
+    D.store('c', Key, encodeCompileEntry(Fake));
+    EXPECT_EQ(D.stats().Writes, 1u);
+  }
+  Server S(diskOpts(Dir.Path));
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(int64_t{1});
+  W.key("op");
+  W.string("compile");
+  W.key("source");
+  W.string(TinyKernel);
+  W.key("pipeline");
+  W.string("sr");
+  W.endObject();
+  const std::string Resp = S.handle(W.take());
+  EXPECT_EQ(rawField(Resp, "ok"), "true");       // Recomputed from source.
+  EXPECT_EQ(rawField(Resp, "cached"), "false");  // Not served from disk.
+  EXPECT_EQ(S.statsSnapshot().Disk.Quarantined, 1u);
+}
+
+TEST_F(ServeDiskTest, KeyMismatchIsCorruption) {
+  TempDir Dir;
+  DiskTier D(Dir.Path);
+  D.store('s', 42, "some payload");
+  // The file under key 42 is internally consistent; asking for it under
+  // key 42 succeeds, and the header binds it to that key.
+  EXPECT_TRUE(D.load('s', 42).has_value());
+  EXPECT_FALSE(D.load('s', 43).has_value()); // Plain miss, no file.
+  // Rename the entry so its header key disagrees with its filename key.
+  std::string From, To;
+  for (const auto &DE : std::filesystem::directory_iterator(Dir.Path))
+    if (DE.is_regular_file())
+      From = DE.path();
+  ASSERT_FALSE(From.empty());
+  To = From;
+  To.replace(To.find("002a"), 4, "002b"); // 42 -> 43 in the hex name.
+  std::filesystem::rename(From, To);
+  EXPECT_FALSE(D.load('s', 43).has_value());
+  EXPECT_EQ(D.stats().Quarantined, 1u);
+}
+
+TEST_F(ServeDiskTest, CompileEntryCodecRoundTrips) {
+  CompileEntry E;
+  E.Key = 0xdeadbeefcafef00dull;
+  E.Ok = true;
+  E.PipelineName = "sr";
+  E.KernelName = "k";
+  E.PostText = "line one\nline two\nwith \"quotes\" and \x01 bytes";
+  E.PostDigest = 0x1234;
+  E.RemarksJsonl = "{\"pass\":\"sr\"}\n";
+  E.RemarkCount = 1;
+  E.Downgrades = 2;
+  E.Errors = {"err: one", "err: two\nwith newline"};
+  E.VerifierDiagnostics = {"diag"};
+  CompileEntry Out;
+  ASSERT_TRUE(decodeCompileEntry(encodeCompileEntry(E), Out));
+  EXPECT_EQ(Out.Key, E.Key);
+  EXPECT_EQ(Out.Ok, E.Ok);
+  EXPECT_EQ(Out.PipelineName, E.PipelineName);
+  EXPECT_EQ(Out.KernelName, E.KernelName);
+  EXPECT_EQ(Out.PostText, E.PostText);
+  EXPECT_EQ(Out.PostDigest, E.PostDigest);
+  EXPECT_EQ(Out.RemarksJsonl, E.RemarksJsonl);
+  EXPECT_EQ(Out.RemarkCount, E.RemarkCount);
+  EXPECT_EQ(Out.Downgrades, E.Downgrades);
+  EXPECT_EQ(Out.Errors, E.Errors);
+  EXPECT_EQ(Out.VerifierDiagnostics, E.VerifierDiagnostics);
+
+  // Truncation and trailing garbage are both structural corruption.
+  const std::string Good = encodeCompileEntry(E);
+  EXPECT_FALSE(decodeCompileEntry(Good.substr(0, Good.size() / 2), Out));
+  EXPECT_FALSE(decodeCompileEntry(Good + "x", Out));
+  EXPECT_FALSE(decodeCompileEntry("", Out));
+}
+
+TEST_F(ServeDiskTest, SimEntryCodecRoundTripsExactDouble) {
+  SimEntry E;
+  E.Key = 0xabcdef;
+  E.Ok = true;
+  E.Status = "finished";
+  E.FailMessage = "";
+  E.WarpsRun = 7;
+  E.Cycles = 123456789;
+  E.IssueSlots = 987654321;
+  E.SimtEfficiency = 0.1 + 0.2; // Deliberately not exactly 0.3.
+  E.Checksum = 0x1111;
+  E.TraceDigest = 0x2222;
+  SimEntry Out;
+  ASSERT_TRUE(decodeSimEntry(encodeSimEntry(E), Out));
+  EXPECT_EQ(Out.Key, E.Key);
+  EXPECT_EQ(Out.Status, E.Status);
+  EXPECT_EQ(Out.WarpsRun, E.WarpsRun);
+  EXPECT_EQ(Out.Cycles, E.Cycles);
+  EXPECT_EQ(Out.IssueSlots, E.IssueSlots);
+  // Bit-exact, not approximately equal.
+  uint64_t InBits = 0, OutBits = 0;
+  std::memcpy(&InBits, &E.SimtEfficiency, sizeof(InBits));
+  std::memcpy(&OutBits, &Out.SimtEfficiency, sizeof(OutBits));
+  EXPECT_EQ(InBits, OutBits);
+  EXPECT_EQ(Out.Checksum, E.Checksum);
+  EXPECT_EQ(Out.TraceDigest, E.TraceDigest);
+
+  EXPECT_FALSE(decodeSimEntry("", Out));
+  const std::string Good = encodeSimEntry(E);
+  EXPECT_FALSE(decodeSimEntry(Good.substr(0, Good.size() - 2), Out));
+}
+
+} // namespace

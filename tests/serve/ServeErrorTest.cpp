@@ -131,6 +131,11 @@ TEST(ServeErrorTest, QueueOverflowShedsWithQueueFull) {
   EXPECT_EQ(field(Shed, "error"), "queue_full");
   EXPECT_EQ(field(Shed, "id"), "1");
   EXPECT_EQ(field(Stats, "rejected"), "1");
+  // The shed response tells the client how long to back off.
+  const std::string Retry = field(Shed, "retry_after_ms");
+  ASSERT_NE(Retry, "<missing>");
+  EXPECT_GE(std::stoull(Retry), 10u);
+  EXPECT_LE(std::stoull(Retry), 2000u);
 }
 
 TEST(ServeErrorTest, ShutdownDrainsAndReportsServed) {

@@ -156,8 +156,15 @@ TEST(ServeProtocolTest, StatsResponseGolden) {
   StatsSnapshot S;
   S.Compile = {3, 5, 2, 1};
   S.Sim = {0, 4, 4, 0};
+  S.Disk.Hits = 1;
+  S.Disk.Misses = 6;
+  S.Disk.Writes = 7;
+  S.Disk.WriteErrors = 1;
+  S.Disk.Quarantined = 1;
+  S.Disk.Degraded = true;
   S.Requests = 12;
   S.Rejected = 2;
+  S.Timeouts = 1;
   S.QueueDepth = 1;
   S.QueueLimit = 64;
   S.P50Micros = 10;
@@ -167,8 +174,11 @@ TEST(ServeProtocolTest, StatsResponseGolden) {
       renderStatsResponse(R, S),
       R"({"id":1,"ok":true,"op":"stats","schema":"simtsr-serve-v1",)"
       R"("requests":12,"rejected":2,"queue_depth":1,"queue_limit":64,)"
+      R"("timeouts":1,"degraded":true,)"
       R"("compile_cache":{"hits":3,"misses":5,"entries":2,"evictions":1},)"
       R"("sim_cache":{"hits":0,"misses":4,"entries":4,"evictions":0},)"
+      R"("disk_cache":{"hits":1,"misses":6,"writes":7,"write_errors":1,)"
+      R"("quarantined":1},)"
       R"("latency_us":{"p50":10,"p90":20,"p99":30}})");
 }
 

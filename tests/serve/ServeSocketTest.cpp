@@ -1,0 +1,342 @@
+//===- ServeSocketTest.cpp - poll-loop socket serving ------------------------===//
+///
+/// \file
+/// The concurrent socket front end, tested over real AF_UNIX sockets: two
+/// clients multiplexed through one poll loop (the old accept loop served
+/// them strictly one at a time), graceful drain on SIGTERM and on a
+/// shutdown request, late requests answered with "shutting_down", and
+/// per-request deadlines answered with "timeout" instead of a hang. The
+/// `stall` fault class makes in-flight work observable deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "support/FaultInject.h"
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+namespace {
+
+const char *TinyKernel = R"(memory 64
+
+func @k(0) {
+entry:
+  %0 = tid
+  store %0, %0
+  ret
+}
+)";
+
+std::string field(const std::string &Response, const std::string &Key) {
+  const JsonParseResult J = parseJson(Response);
+  if (!J.ok() || !J.Value.isObject())
+    return "<unparseable>";
+  const JsonValue *V = J.Value.field(Key);
+  if (!V)
+    return "<missing>";
+  if (V->isString())
+    return V->asString();
+  if (V->isBool())
+    return V->asBool() ? "true" : "false";
+  if (V->isIntegral())
+    return std::to_string(V->asInt());
+  return "<other>";
+}
+
+std::string compileReq(int64_t Id) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(Id);
+  W.key("op");
+  W.string("compile");
+  W.key("source");
+  W.string(TinyKernel);
+  W.endObject();
+  return W.take();
+}
+
+struct ScopedFaults {
+  explicit ScopedFaults(const std::string &Spec) {
+    std::string Error;
+    EXPECT_TRUE(FaultInjector::parse(Spec, FI, Error)) << Error;
+    Prev = FaultInjector::install(&FI);
+  }
+  ~ScopedFaults() { FaultInjector::install(Prev); }
+  FaultInjector FI;
+  FaultInjector *Prev = nullptr;
+};
+
+/// Hermetic base: a disarmed injector is installed for every test, so a
+/// SIMTSR_FAULTS environment (the CI serve-faults job exports one) cannot
+/// leak into tests that assert clean-I/O behavior. Fault tests install
+/// their own armed injector on top.
+struct ServeSocketTest : ::testing::Test {
+  ScopedFaults Hermetic{""};
+};
+
+struct TempDir {
+  TempDir() {
+    char Buf[] = "/tmp/simtsr-sock-XXXXXX";
+    Path = ::mkdtemp(Buf);
+    EXPECT_FALSE(Path.empty());
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string Path;
+};
+
+/// Blocking test client with a receive timeout so a server bug fails the
+/// test instead of hanging ctest.
+struct Client {
+  ~Client() {
+    if (FD >= 0)
+      ::close(FD);
+  }
+
+  bool connectTo(const std::string &Path, int Attempts = 500) {
+    FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (FD < 0)
+      return false;
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    std::copy(Path.begin(), Path.end(), Addr.sun_path);
+    for (int I = 0; I < Attempts; ++I) {
+      if (::connect(FD, reinterpret_cast<const sockaddr *>(&Addr),
+                    sizeof(Addr)) == 0) {
+        timeval TV{10, 0};
+        ::setsockopt(FD, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  void send(const std::string &Bytes) {
+    size_t Done = 0;
+    while (Done < Bytes.size()) {
+      const ssize_t W = ::send(FD, Bytes.data() + Done, Bytes.size() - Done,
+                               MSG_NOSIGNAL);
+      if (W <= 0)
+        break;
+      Done += static_cast<size_t>(W);
+    }
+  }
+
+  void sendLine(const std::string &Line) { send(Line + "\n"); }
+
+  /// Reads one newline-terminated line; empty on timeout or EOF.
+  std::string readLine() {
+    std::string Line;
+    char C;
+    while (true) {
+      const ssize_t N = ::recv(FD, &C, 1, 0);
+      if (N <= 0)
+        return "";
+      if (C == '\n')
+        return Line;
+      Line += C;
+    }
+  }
+
+  bool atEof() {
+    char C;
+    return ::recv(FD, &C, 1, 0) == 0;
+  }
+
+  int FD = -1;
+};
+
+struct ServerThread {
+  explicit ServerThread(ServerOptions Opts = {})
+      : S(Opts), T([this] { Result = S.serveUnixSocket(Path()); }) {}
+  ~ServerThread() {
+    if (T.joinable()) {
+      // Belt and braces: a test that bailed early still shuts the server
+      // down cleanly (if it already exited, the connect simply fails).
+      Client C;
+      if (C.connectTo(Path(), 1))
+        C.sendLine(R"({"id":0,"op":"shutdown"})");
+      T.join();
+    }
+  }
+  std::string Path() const { return Dir.Path + "/serve.sock"; }
+  void join() { T.join(); }
+
+  TempDir Dir;
+  Server S;
+  int Result = -1;
+  std::thread T;
+};
+
+TEST_F(ServeSocketTest, TwoClientsAreMultiplexed) {
+  ServerThread Srv;
+  Client A, B;
+  ASSERT_TRUE(A.connectTo(Srv.Path()));
+  ASSERT_TRUE(B.connectTo(Srv.Path()));
+
+  // A sends half a request and stalls. The old one-connection-at-a-time
+  // loop would now ignore B until A disconnected; the poll loop must
+  // answer B immediately.
+  const std::string AReq = compileReq(1);
+  A.send(AReq.substr(0, AReq.size() / 2));
+  B.sendLine(compileReq(2));
+  const std::string BResp = B.readLine();
+  EXPECT_EQ(field(BResp, "id"), "2");
+  EXPECT_EQ(field(BResp, "ok"), "true");
+
+  // A completes its line and still gets its answer.
+  A.send(AReq.substr(AReq.size() / 2) + "\n");
+  const std::string AResp = A.readLine();
+  EXPECT_EQ(field(AResp, "id"), "1");
+  EXPECT_EQ(field(AResp, "ok"), "true");
+
+  // Interleaved responses went to the right sockets, not just any socket.
+  A.sendLine(R"({"id":11,"op":"stats"})");
+  B.sendLine(R"({"id":12,"op":"stats"})");
+  EXPECT_EQ(field(A.readLine(), "id"), "11");
+  EXPECT_EQ(field(B.readLine(), "id"), "12");
+
+  A.sendLine(R"({"id":99,"op":"shutdown"})");
+  EXPECT_EQ(field(A.readLine(), "op"), "shutdown");
+  Srv.join();
+  EXPECT_EQ(Srv.Result, 0);
+}
+
+TEST_F(ServeSocketTest, ShutdownRequestDrainsAndAnswers) {
+  ScopedFaults Faults("stall:300"); // Every data-plane request takes 300ms.
+  ServerThread Srv;
+  Client C;
+  ASSERT_TRUE(C.connectTo(Srv.Path()));
+
+  // One write carrying: a slow compile, the shutdown, and a straggler.
+  // The straggler is answered with "shutting_down" immediately; the
+  // compile still completes (drain, not abandon); shutdown answers last.
+  C.send(compileReq(1) + "\n" + R"({"id":2,"op":"shutdown"})" + "\n" +
+         compileReq(3) + "\n");
+  std::string ById[4];
+  for (int I = 0; I < 3; ++I) {
+    const std::string Line = C.readLine();
+    ASSERT_FALSE(Line.empty());
+    const int Id = std::stoi(field(Line, "id"));
+    ASSERT_GE(Id, 1);
+    ASSERT_LE(Id, 3);
+    ById[Id] = Line;
+  }
+  EXPECT_EQ(field(ById[1], "ok"), "true"); // Drained, not dropped.
+  EXPECT_EQ(field(ById[1], "op"), "compile");
+  EXPECT_EQ(field(ById[2], "op"), "shutdown");
+  EXPECT_EQ(field(ById[3], "error"), "shutting_down");
+  EXPECT_TRUE(C.atEof()); // Server closed the connection after the drain.
+  Srv.join();
+  EXPECT_EQ(Srv.Result, 0);
+}
+
+TEST_F(ServeSocketTest, SigtermDrainsInFlightWork) {
+  ScopedFaults Faults("stall:300");
+  ServerThread Srv;
+  Client C;
+  ASSERT_TRUE(C.connectTo(Srv.Path()));
+
+  C.sendLine(compileReq(1));
+  // The inline stats response proves the loop is live (and the signal
+  // handlers installed) with the compile still in flight.
+  C.sendLine(R"({"id":2,"op":"stats"})");
+  const std::string Stats = C.readLine();
+  EXPECT_EQ(field(Stats, "id"), "2");
+
+  ::raise(SIGTERM);
+  const std::string Resp = C.readLine();
+  EXPECT_EQ(field(Resp, "id"), "1"); // In-flight work was drained.
+  EXPECT_EQ(field(Resp, "ok"), "true");
+  EXPECT_TRUE(C.atEof());
+  Srv.join();
+  EXPECT_EQ(Srv.Result, 0);
+}
+
+TEST_F(ServeSocketTest, DeadlineAnswersTimeoutNotAHang) {
+  ScopedFaults Faults("stall:2000");
+  ServerOptions Opts;
+  Opts.DeadlineMillis = 100;
+  ServerThread Srv(Opts);
+  Client C;
+  ASSERT_TRUE(C.connectTo(Srv.Path()));
+
+  C.sendLine(compileReq(1));
+  const std::string Resp = C.readLine();
+  EXPECT_EQ(field(Resp, "id"), "1");
+  EXPECT_EQ(field(Resp, "ok"), "false");
+  EXPECT_EQ(field(Resp, "error"), "timeout");
+
+  C.sendLine(R"({"id":2,"op":"stats"})");
+  EXPECT_EQ(field(C.readLine(), "timeouts"), "1");
+
+  // Shutdown still drains the abandoned worker before exiting.
+  C.sendLine(R"({"id":3,"op":"shutdown"})");
+  EXPECT_EQ(field(C.readLine(), "op"), "shutdown");
+  Srv.join();
+  EXPECT_EQ(Srv.Result, 0);
+}
+
+TEST_F(ServeSocketTest, PeerDisconnectMidRequestIsSurvived) {
+  ScopedFaults Faults("stall:200");
+  ServerThread Srv;
+  {
+    Client C;
+    ASSERT_TRUE(C.connectTo(Srv.Path()));
+    C.sendLine(compileReq(1));
+    // Vanish with the response still being computed.
+  }
+  // The server must shrug that off and keep serving others.
+  Client D;
+  ASSERT_TRUE(D.connectTo(Srv.Path()));
+  D.sendLine(R"({"id":2,"op":"stats"})");
+  EXPECT_EQ(field(D.readLine(), "id"), "2");
+  D.sendLine(R"({"id":3,"op":"shutdown"})");
+  EXPECT_EQ(field(D.readLine(), "op"), "shutdown");
+  Srv.join();
+  EXPECT_EQ(Srv.Result, 0);
+}
+
+TEST_F(ServeSocketTest, StaleSocketFileIsReplaced) {
+  TempDir Dir;
+  const std::string Path = Dir.Path + "/serve.sock";
+  // A previous daemon that died without cleanup leaves the file behind.
+  const int Old = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::copy(Path.begin(), Path.end(), Addr.sun_path);
+  ASSERT_EQ(::bind(Old, reinterpret_cast<const sockaddr *>(&Addr),
+                   sizeof(Addr)),
+            0);
+  ::close(Old);
+  ASSERT_TRUE(std::filesystem::exists(Path));
+
+  Server S;
+  std::thread T([&] { S.serveUnixSocket(Path); });
+  Client C;
+  ASSERT_TRUE(C.connectTo(Path));
+  C.sendLine(R"({"id":1,"op":"shutdown"})");
+  EXPECT_EQ(field(C.readLine(), "op"), "shutdown");
+  T.join();
+  // Clean exit removes the socket file again.
+  EXPECT_FALSE(std::filesystem::exists(Path));
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- FaultInjectTest.cpp - fault-injection spec grammar and RNG -------------===//
+///
+/// \file
+/// The harness itself has to be trustworthy before the robustness tests
+/// can lean on it: the SIMTSR_FAULTS grammar must reject nonsense, the
+/// seeded firing sequence must replay exactly, and corruptBytes must
+/// touch exactly one byte. A disarmed injector must be inert.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <vector>
+
+using namespace simtsr;
+using Fault = FaultInjector::Fault;
+
+namespace {
+
+TEST(FaultInjectTest, DefaultIsDisarmed) {
+  FaultInjector FI;
+  EXPECT_FALSE(FI.any());
+  for (unsigned I = 0; I < FaultInjector::NumFaults; ++I) {
+    EXPECT_FALSE(FI.armed(static_cast<Fault>(I)));
+    EXPECT_FALSE(FI.fire(static_cast<Fault>(I)));
+  }
+}
+
+TEST(FaultInjectTest, ParsesEveryClass) {
+  FaultInjector FI;
+  std::string Error;
+  ASSERT_TRUE(FaultInjector::parse(
+      "seed=7,short_read,short_write:0.5,eintr:0.25,enospc:1,"
+      "fsync_fail:0,corrupt,drop:0.75,stall:250",
+      FI, Error))
+      << Error;
+  EXPECT_TRUE(FI.any());
+  for (unsigned I = 0; I < FaultInjector::NumFaults; ++I)
+    EXPECT_TRUE(FI.armed(static_cast<Fault>(I)))
+        << FaultInjector::name(static_cast<Fault>(I));
+  EXPECT_EQ(FI.stallMillis(), 250u);
+}
+
+TEST(FaultInjectTest, RateOneAlwaysFiresRateZeroNever) {
+  FaultInjector FI;
+  std::string Error;
+  ASSERT_TRUE(FaultInjector::parse("enospc:1,eintr:0", FI, Error)) << Error;
+  for (int I = 0; I < 64; ++I) {
+    EXPECT_TRUE(FI.fire(Fault::Enospc));
+    EXPECT_FALSE(FI.fire(Fault::Eintr));
+  }
+  EXPECT_EQ(FI.firedCount(Fault::Enospc), 64u);
+  EXPECT_EQ(FI.firedCount(Fault::Eintr), 0u);
+}
+
+TEST(FaultInjectTest, SeededFiringSequenceReplays) {
+  const auto Draw = [](const std::string &Spec) {
+    FaultInjector FI;
+    std::string Error;
+    EXPECT_TRUE(FaultInjector::parse(Spec, FI, Error)) << Error;
+    std::vector<bool> Seq;
+    for (int I = 0; I < 256; ++I)
+      Seq.push_back(FI.fire(Fault::Drop));
+    return Seq;
+  };
+  const std::vector<bool> A = Draw("seed=42,drop:0.5");
+  const std::vector<bool> B = Draw("seed=42,drop:0.5");
+  const std::vector<bool> C = Draw("seed=43,drop:0.5");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C); // 2^-256 odds of a flaky failure; effectively never.
+  // A 0.5 rate should actually fire sometimes and skip sometimes.
+  size_t Fired = 0;
+  for (const bool F : A)
+    Fired += F;
+  EXPECT_GT(Fired, 64u);
+  EXPECT_LT(Fired, 192u);
+}
+
+TEST(FaultInjectTest, CorruptFlipsExactlyOneByte) {
+  FaultInjector FI;
+  std::string Error;
+  ASSERT_TRUE(FaultInjector::parse("seed=9,corrupt:1", FI, Error)) << Error;
+  const std::string Original(1024, 'x');
+  std::string Mutated = Original;
+  ASSERT_TRUE(FI.corruptBytes(Mutated));
+  ASSERT_EQ(Mutated.size(), Original.size());
+  size_t Diffs = 0;
+  for (size_t I = 0; I < Original.size(); ++I)
+    Diffs += Original[I] != Mutated[I];
+  EXPECT_EQ(Diffs, 1u);
+
+  // Disarmed: the buffer is untouched.
+  FaultInjector Off;
+  std::string Same = Original;
+  EXPECT_FALSE(Off.corruptBytes(Same));
+  EXPECT_EQ(Same, Original);
+}
+
+TEST(FaultInjectTest, MalformedSpecsAreRejected) {
+  for (const char *Bad :
+       {"bogus_class", "eintr:nan", "eintr:1.5", "eintr:-0.5", "seed=",
+        "seed=notanumber", "stall:999999999", ":", "eintr:"}) {
+    FaultInjector FI;
+    std::string Error;
+    EXPECT_FALSE(FaultInjector::parse(Bad, FI, Error)) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+    EXPECT_FALSE(FI.any()) << Bad;
+  }
+}
+
+TEST(FaultInjectTest, EmptySpecParsesDisarmed) {
+  FaultInjector FI;
+  std::string Error;
+  ASSERT_TRUE(FaultInjector::parse("", FI, Error)) << Error;
+  EXPECT_FALSE(FI.any());
+}
+
+TEST(FaultInjectTest, InstallOverridesActiveAndNests) {
+  FaultInjector Outer;
+  std::string Error;
+  ASSERT_TRUE(FaultInjector::parse("drop:1", Outer, Error)) << Error;
+
+  FaultInjector *Prev = FaultInjector::install(&Outer);
+  EXPECT_TRUE(FaultInjector::active().armed(Fault::Drop));
+
+  FaultInjector Inner; // Disarmed.
+  FaultInjector *Mid = FaultInjector::install(&Inner);
+  EXPECT_EQ(Mid, &Outer);
+  EXPECT_FALSE(FaultInjector::active().any());
+
+  FaultInjector::install(Mid);
+  EXPECT_TRUE(FaultInjector::active().armed(Fault::Drop));
+  FaultInjector::install(Prev);
+}
+
+TEST(FaultInjectTest, NamesRoundTripTheGrammar) {
+  for (unsigned I = 0; I < FaultInjector::NumFaults; ++I) {
+    const Fault F = static_cast<Fault>(I);
+    FaultInjector FI;
+    std::string Error;
+    ASSERT_TRUE(FaultInjector::parse(FaultInjector::name(F), FI, Error))
+        << FaultInjector::name(F);
+    EXPECT_TRUE(FI.armed(F));
+  }
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- FdBufTest.cpp - line-framed fd I/O under fault injection ---------------===//
+///
+/// \file
+/// FdBuf is the byte layer under every serve connection, so it is tested
+/// the way it fails in production: over socketpairs and pipes, blocking
+/// and nonblocking, with synthetic EINTR, one-byte reads/writes and
+/// connection drops injected by the fault harness. The invariant under
+/// every benign fault class is byte-for-byte identical framing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FdBuf.h"
+
+#include "support/FaultInject.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace simtsr;
+
+namespace {
+
+/// RAII socketpair; index 0 and 1 are the two ends.
+struct SocketPair {
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, FDs), 0);
+  }
+  ~SocketPair() {
+    ::close(FDs[0]);
+    ::close(FDs[1]);
+  }
+  int FDs[2];
+};
+
+/// Installs a parsed injector for the test's scope.
+struct ScopedFaults {
+  explicit ScopedFaults(const std::string &Spec) {
+    std::string Error;
+    EXPECT_TRUE(FaultInjector::parse(Spec, FI, Error)) << Error;
+    Prev = FaultInjector::install(&FI);
+  }
+  ~ScopedFaults() { FaultInjector::install(Prev); }
+  FaultInjector FI;
+  FaultInjector *Prev = nullptr;
+};
+
+/// Hermetic base: a disarmed injector is installed for every test, so a
+/// SIMTSR_FAULTS environment (the CI serve-faults job exports one) cannot
+/// leak into tests that assert clean-I/O behavior. Fault tests install
+/// their own armed injector on top.
+struct FdBufTest : ::testing::Test {
+  ScopedFaults Hermetic{""};
+};
+
+/// Pumps Writer.flushSome() and Reader.fill()/nextLine() until \p Want
+/// lines arrived or nothing moves anymore.
+std::vector<std::string> pump(FdBuf &Writer, FdBuf &Reader, size_t Want) {
+  std::vector<std::string> Lines;
+  std::string Line;
+  for (int Spin = 0; Lines.size() < Want && Spin < 100000; ++Spin) {
+    if (Writer.hasPendingOut())
+      Writer.flushSome();
+    const IoResult R = Reader.fill();
+    while (Reader.nextLine(Line))
+      Lines.push_back(Line);
+    if (R == IoResult::Eof || R == IoResult::Closed)
+      break;
+  }
+  return Lines;
+}
+
+TEST_F(FdBufTest, LinesRoundTripOverSocketpair) {
+  SocketPair SP;
+  FdBuf Writer(SP.FDs[0]), Reader(SP.FDs[1]);
+  ASSERT_TRUE(FdBuf::setNonBlocking(SP.FDs[0]));
+  ASSERT_TRUE(FdBuf::setNonBlocking(SP.FDs[1]));
+
+  Writer.queueLine("alpha");
+  Writer.queueLine("");
+  Writer.queueLine("gamma with spaces");
+  const std::vector<std::string> Lines = pump(Writer, Reader, 3);
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_EQ(Lines[0], "alpha");
+  EXPECT_EQ(Lines[1], "");
+  EXPECT_EQ(Lines[2], "gamma with spaces");
+  EXPECT_FALSE(Writer.hasPendingOut());
+}
+
+TEST_F(FdBufTest, CrLfIsStripped) {
+  int Pipe[2];
+  ASSERT_EQ(::pipe(Pipe), 0);
+  FdBuf Reader(Pipe[0]);
+  ASSERT_EQ(::write(Pipe[1], "with\r\nbare\n", 11), 11);
+  ::close(Pipe[1]);
+  EXPECT_EQ(Reader.fill(), IoResult::Ok);
+  std::string Line;
+  ASSERT_TRUE(Reader.nextLine(Line));
+  EXPECT_EQ(Line, "with");
+  ASSERT_TRUE(Reader.nextLine(Line));
+  EXPECT_EQ(Line, "bare");
+  EXPECT_FALSE(Reader.nextLine(Line));
+  ::close(Pipe[0]);
+}
+
+TEST_F(FdBufTest, PartialLineWaitsForNewline) {
+  SocketPair SP;
+  FdBuf Reader(SP.FDs[1]);
+  ASSERT_EQ(::send(SP.FDs[0], "no newline yet", 14, 0), 14);
+  EXPECT_EQ(Reader.fill(), IoResult::Ok);
+  std::string Line;
+  EXPECT_FALSE(Reader.nextLine(Line));
+  EXPECT_EQ(Reader.bufferedInBytes(), 14u);
+  ASSERT_EQ(::send(SP.FDs[0], "!\n", 2, 0), 2);
+  EXPECT_EQ(Reader.fill(), IoResult::Ok);
+  ASSERT_TRUE(Reader.nextLine(Line));
+  EXPECT_EQ(Line, "no newline yet!");
+}
+
+TEST_F(FdBufTest, EofAfterPeerCloses) {
+  SocketPair SP;
+  FdBuf Reader(SP.FDs[1]);
+  ASSERT_EQ(::send(SP.FDs[0], "last\n", 5, 0), 5);
+  ::close(SP.FDs[0]);
+  SP.FDs[0] = -1; // The destructor's close(-1) is a harmless no-op.
+  EXPECT_EQ(Reader.fill(), IoResult::Ok);
+  EXPECT_EQ(Reader.fill(), IoResult::Eof);
+  std::string Line;
+  ASSERT_TRUE(Reader.nextLine(Line)); // Buffered lines survive the EOF.
+  EXPECT_EQ(Line, "last");
+}
+
+TEST_F(FdBufTest, NonblockingEmptyReadIsWouldBlock) {
+  SocketPair SP;
+  ASSERT_TRUE(FdBuf::setNonBlocking(SP.FDs[1]));
+  FdBuf Reader(SP.FDs[1]);
+  EXPECT_EQ(Reader.fill(), IoResult::WouldBlock);
+}
+
+TEST_F(FdBufTest, ShortWriteResumesAtOffset) {
+  SocketPair SP;
+  ASSERT_TRUE(FdBuf::setNonBlocking(SP.FDs[0]));
+  ASSERT_TRUE(FdBuf::setNonBlocking(SP.FDs[1]));
+  FdBuf Writer(SP.FDs[0]), Reader(SP.FDs[1]);
+
+  // Bigger than the socket buffer, so flushSome must stop at WouldBlock
+  // and resume mid-line later without losing its place.
+  const std::string Big(1u << 20, 'q');
+  Writer.queueLine(Big);
+  const std::vector<std::string> Lines = pump(Writer, Reader, 1);
+  ASSERT_EQ(Lines.size(), 1u);
+  EXPECT_EQ(Lines[0], Big);
+}
+
+TEST_F(FdBufTest, SurvivesEintrAndShortIo) {
+  ScopedFaults Faults("seed=5,eintr:1,short_read:0.5,short_write:0.5");
+  SocketPair SP;
+  ASSERT_TRUE(FdBuf::setNonBlocking(SP.FDs[0]));
+  ASSERT_TRUE(FdBuf::setNonBlocking(SP.FDs[1]));
+  FdBuf Writer(SP.FDs[0]), Reader(SP.FDs[1]);
+
+  std::vector<std::string> Sent;
+  for (int I = 0; I < 32; ++I) {
+    Sent.push_back("line-" + std::to_string(I) + "-" +
+                   std::string(static_cast<size_t>(I * 17 % 97), 'z'));
+    Writer.queueLine(Sent.back());
+  }
+  const std::vector<std::string> Lines = pump(Writer, Reader, Sent.size());
+  EXPECT_EQ(Lines, Sent);
+  // The faults actually bit: at least one synthetic EINTR was consumed.
+  EXPECT_GT(Faults.FI.firedCount(FaultInjector::Fault::Eintr), 0u);
+}
+
+TEST_F(FdBufTest, InjectedDropClosesBothDirections) {
+  ScopedFaults Faults("drop:1");
+  SocketPair SP;
+  FdBuf Writer(SP.FDs[0]), Reader(SP.FDs[1]);
+  Writer.queueLine("never arrives");
+  EXPECT_EQ(Writer.flushSome(), IoResult::Closed);
+  EXPECT_EQ(Reader.fill(), IoResult::Closed);
+}
+
+} // namespace

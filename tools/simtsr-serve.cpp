@@ -47,6 +47,12 @@ int main(int Argc, char **Argv) {
   P.uns("--watchdog-ms", "N",
         "per-request wall-clock watchdog in ms (0 disables)",
         &Opts.MaxWallMillis);
+  P.str("--disk-cache", "DIR",
+        "crash-safe disk tier under both caches (default: memory only)",
+        &Opts.DiskCacheDir);
+  P.uns("--deadline-ms", "N",
+        "socket sessions: answer \"timeout\" after N ms (0 disables)",
+        &Opts.DeadlineMillis);
 
   switch (P.parse(Argc, Argv)) {
   case driver::ArgParser::Result::Ok:
