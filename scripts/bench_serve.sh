@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Records the serve-cache benchmark (BENCH_serve.json, schema
-# simtsr-bench-serve-v1) at the repository root: cold vs. warm
-# compile/simulate latency through the daemon's content-addressed caches,
-# over the full workload suite on the heaviest pipeline config.
+# simtsr-bench-serve-v2) at the repository root: cold vs. warm vs. disk
+# vs. remote compile/simulate latency, over the full workload suite on
+# the heaviest pipeline config. The remote tier runs a 3-shard fleet of
+# in-process daemons behind the consistent-hash router and answers every
+# workload from a warmed shard's cache over the socket transport.
 #
-# The digest fields (post_digest, trace_digest) must be identical on every
-# machine — they prove cached answers are bit-identical to cold ones. The
-# *_ms and *_speedup fields describe the host that ran this script. See
-# docs/SERVE.md.
+# The digest fields (post_digest, trace_digest, checksum) must be
+# identical on every machine — they prove cached, disk and remote answers
+# are bit-identical to cold ones. The *_ms and *_speedup fields describe
+# the host that ran this script. See docs/SERVE.md.
 #
 # Environment overrides:
 #   WARPS  warps per grid          (default 8)

@@ -1,9 +1,22 @@
 #!/usr/bin/env python3
 """Pipelined JSON-lines client for the simtsr-serve socket front end.
 
-Reads one request per line on stdin, pipelines them all onto the daemon's
-Unix socket, and prints the final response for each request to stdout in
+Reads one request per line on stdin, pipelines them onto the daemon's
+socket, and prints the final response for each request to stdout in
 request-id order. Responses may arrive out of order; correlation is by id.
+
+Sharded mode: with --shards A,B,... the client mirrors the C++ router's
+consistent-hash ring (support/HashRing.cpp) and sends each request
+directly to the shard that owns its content key — the same placement
+simtsr-serve --route computes, so a client-routed fleet and a
+router-fronted fleet populate identical caches. The mirror is pinned by
+HashRingTest.VnodePointGoldenValues: ring points are
+mix64(fnv1a("addr#index")) with 64 virtual nodes per shard, and lookup
+walks clockwise from mix64(key). A shard that cannot be reached (at
+connect time or mid-stream) fails its requests over to the ring
+successor, like the router's failover path. Requests with no content key
+(stats, cluster, shutdown) go to every shard in --shards order and the
+first shard's response is printed.
 
 A "queue_full" shed response is not final: the request is resent after a
 backoff that honours the server's retry_after_ms hint, doubling per
@@ -12,32 +25,258 @@ The retry count is reported on stderr so smokes can assert that load
 shedding actually happened and was recovered from.
 
 Exit codes: 0 all requests answered, 1 usage/connect errors, 2 a request
-exhausted its retries or the connection died.
+exhausted its retries, its connection died, or every owning shard for
+some key was unreachable.
 """
 
 import argparse
+import bisect
 import json
 import random
 import socket
 import sys
 import time
 
+FNV_BASIS = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = 0xFFFFFFFFFFFFFFFF
 
-def connect(path, attempts=100):
+
+def fnv1a(data, seed=FNV_BASIS):
+    """FNV-1a-64 over bytes; mirrors fnv1a in src/support/Hash.h."""
+    h = seed
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def mix64(z):
+    """SplitMix64 finalizer; mirrors mix64 in src/support/Hash.h."""
+    z ^= z >> 30
+    z = (z * 0xBF58476D1CE4E5B9) & MASK64
+    z ^= z >> 27
+    z = (z * 0x94D049BB133111EB) & MASK64
+    z ^= z >> 31
+    return z
+
+
+def pipeline_axes(name, soft_threshold):
+    """Mirror of pipelineCacheAxes over standardPipelineByName.
+
+    Source of truth: src/serve/Cache.cpp and src/transform/Pipeline.cpp.
+    Axis defaults: PdomSync=1, ApplySR=0, SR.SoftThreshold=-1,
+    RegionExitBarrier=1, StripPredicts=0, Interprocedural=0,
+    Deconflict=dynamic, ReallocBarriers=0.
+    """
+    if name == "none":
+        return "none"
+    ax = {"pdom": 1, "sr": 0, "soft": -1, "exitbar": 1, "strip": 0,
+          "interproc": 0, "deconflict": "dynamic", "realloc": 0}
+    if name == "noop":
+        ax["pdom"] = 0
+        ax["strip"] = 1
+    elif name == "pdom":
+        ax["strip"] = 1
+    elif name == "sr":
+        ax["sr"] = 1
+    elif name == "sr+ip":
+        ax["sr"] = 1
+        ax["interproc"] = 1
+    elif name == "soft":
+        ax["sr"] = 1
+        ax["interproc"] = 1
+        ax["soft"] = soft_threshold
+    elif name == "sr+ip+realloc":
+        ax["sr"] = 1
+        ax["interproc"] = 1
+        ax["realloc"] = 1
+    else:
+        return "unknown:" + name
+    return ("pdom={pdom};sr={sr};soft={soft};exitbar={exitbar};"
+            "strip={strip};interproc={interproc};deconflict={deconflict};"
+            "realloc={realloc}".format(**ax))
+
+
+def route_key(req):
+    """Mirror of serve::routeKey: the content key the request hits in the
+    owning shard's cache. Returns None for key-less (control) requests."""
+    if "module" in req:
+        return int(req["module"], 16)
+    if "source" not in req:
+        return None
+    axes = pipeline_axes(req.get("pipeline", "pdom"),
+                         req.get("soft_threshold", 8))
+    h = fnv1a(req["source"].encode("utf-8"))
+    h = fnv1a(b"\x1f", h)
+    return fnv1a(axes.encode("utf-8"), h)
+
+
+class Ring:
+    """Consistent-hash ring, bit-identical to support/HashRing.cpp."""
+
+    VNODES = 64
+
+    def __init__(self, nodes):
+        points = []
+        for name in nodes:
+            for i in range(self.VNODES):
+                point = mix64(fnv1a(f"{name}#{i}".encode("utf-8")))
+                # Tie-break matches the C++ sort: (hash, name, index).
+                points.append((point, name, i))
+        points.sort()
+        self.hashes = [p[0] for p in points]
+        self.owners = [p[1] for p in points]
+
+    def owner_chain(self, key):
+        """Yields distinct owners clockwise from the key's ring position:
+        primary first, then each failover in the order the C++ router's
+        lookupSuccessor would find them."""
+        start = bisect.bisect_left(self.hashes, mix64(key))
+        seen = set()
+        for step in range(len(self.owners)):
+            owner = self.owners[(start + step) % len(self.owners)]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+
+
+def connect(addr, attempts=100, delay=0.05):
+    """Connects to a Unix path (contains '/') or host:port address."""
     for _ in range(attempts):
-        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if "/" in addr:
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target = addr
+        else:
+            host, _, port = addr.rpartition(":")
+            s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target = (host or "127.0.0.1", int(port))
         try:
-            s.connect(path)
+            s.connect(target)
             return s
         except OSError:
             s.close()
-            time.sleep(0.05)
+            time.sleep(delay)
     return None
+
+
+class SessionDied(Exception):
+    """The connection failed with these request ids still unanswered."""
+
+    def __init__(self, unanswered):
+        super().__init__(f"{len(unanswered)} request(s) unanswered")
+        self.unanswered = unanswered
+
+
+def pump(addr, requests, order, args, rng, stats, attempts=100):
+    """Pipelines `order` (ids into `requests`) onto one shard; returns
+    {id: response line}. Shed responses are retried with backoff. Raises
+    SessionDied on connect failure / timeout / EOF so the caller can fail
+    the survivors over to the next shard on the ring."""
+    sock = connect(addr, attempts)
+    if sock is None:
+        raise SessionDied(list(order))
+    sock.settimeout(args.timeout)
+    rfile = sock.makefile("r", encoding="utf-8")
+    final = {}
+    tries = {rid: 0 for rid in order}
+    outstanding = set(order)
+    try:
+        for rid in order:
+            sock.sendall((requests[rid] + "\n").encode("utf-8"))
+        while outstanding:
+            try:
+                line = rfile.readline()
+            except socket.timeout:
+                raise SessionDied(sorted(outstanding))
+            if not line:
+                raise SessionDied(sorted(outstanding))
+            resp = json.loads(line)
+            rid = resp.get("id")
+            if rid not in outstanding:
+                continue
+            if resp.get("error") == "queue_full":
+                tries[rid] += 1
+                if tries[rid] > args.retries:
+                    print(f"serve_client: id {rid} shed {tries[rid]} times, "
+                          "giving up", file=sys.stderr)
+                    raise SessionDied(sorted(outstanding))
+                hint = int(resp.get("retry_after_ms", 10))
+                delay = min(args.backoff_cap_ms, hint * (1 << (tries[rid] - 1)))
+                delay += rng.randint(0, max(1, delay // 4))
+                stats["retried"] += 1
+                time.sleep(delay / 1000.0)
+                sock.sendall((requests[rid] + "\n").encode("utf-8"))
+                continue
+            final[rid] = line.rstrip("\n")
+            outstanding.discard(rid)
+    except OSError:
+        raise SessionDied(sorted(outstanding))
+    finally:
+        rfile.close()
+        sock.close()
+    return final
+
+
+def run_sharded(shards, requests, order, args, rng, stats):
+    """Routes each request to its ring owner; fails over clockwise."""
+    ring = Ring(shards)
+    final = {}
+    dead = set()
+    keyless = [rid for rid in order
+               if route_key(json.loads(requests[rid])) is None]
+    work = [rid for rid in order if rid not in set(keyless)]
+    # Worklist: route every pending id to its first live owner, pump each
+    # shard's batch, and re-queue whatever a dying shard left unanswered.
+    # Terminates because each failed pump adds one shard to `dead`.
+    while work:
+        plan = {}
+        for rid in work:
+            key = route_key(json.loads(requests[rid]))
+            owner = next((o for o in ring.owner_chain(key) if o not in dead),
+                         None)
+            if owner is None:
+                print(f"serve_client: id {rid}: every shard unreachable",
+                      file=sys.stderr)
+                return None
+            plan.setdefault(owner, []).append(rid)
+        work = []
+        for addr, pending in plan.items():
+            try:
+                final.update(pump(addr, requests, pending, args, rng, stats,
+                                  attempts=args.connect_attempts))
+            except SessionDied as err:
+                dead.add(addr)
+                stats["failovers"] += len(err.unanswered)
+                work.extend(err.unanswered)
+
+    # Control-plane requests fan out to every live shard; the first
+    # shard's answer is the one printed.
+    for rid in keyless:
+        answered = False
+        for addr in shards:
+            if addr in dead:
+                continue
+            try:
+                got = pump(addr, requests, [rid], args, rng, stats,
+                           attempts=args.connect_attempts)
+            except SessionDied:
+                dead.add(addr)
+                continue
+            if not answered:
+                final.update(got)
+                answered = True
+        if not answered:
+            print(f"serve_client: id {rid}: no shard answered",
+                  file=sys.stderr)
+            return None
+    return final
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--socket", required=True, help="daemon Unix socket path")
+    ap.add_argument("--socket", help="daemon Unix socket path or host:port")
+    ap.add_argument("--shards", help="comma-separated shard addresses; "
+                    "route each request by content key on the ring")
     ap.add_argument("--retries", type=int, default=8,
                     help="max resends per shed request (default 8)")
     ap.add_argument("--backoff-cap-ms", type=int, default=2000,
@@ -46,7 +285,14 @@ def main():
                     help="jitter seed (default 0: deterministic runs)")
     ap.add_argument("--timeout", type=float, default=30.0,
                     help="socket receive timeout in seconds (default 30)")
+    ap.add_argument("--connect-attempts", type=int, default=100,
+                    help="connect retries per shard before it is "
+                    "declared dead (default 100)")
     args = ap.parse_args()
+    if bool(args.socket) == bool(args.shards):
+        print("serve_client: exactly one of --socket and --shards required",
+              file=sys.stderr)
+        return 1
 
     requests = {}
     order = []
@@ -61,58 +307,28 @@ def main():
     if not order:
         return 0
 
-    sock = connect(args.socket)
-    if sock is None:
-        print(f"serve_client: cannot connect to {args.socket}", file=sys.stderr)
-        return 1
-    sock.settimeout(args.timeout)
     rng = random.Random(args.seed)
-    rfile = sock.makefile("r", encoding="utf-8")
-
-    def send_line(line):
-        sock.sendall((line + "\n").encode("utf-8"))
-
-    for rid in order:
-        send_line(requests[rid])
-
-    final = {}
-    attempts = {rid: 0 for rid in order}
-    retried = 0
-    outstanding = set(order)
-    while outstanding:
+    stats = {"retried": 0, "failovers": 0}
+    if args.shards:
+        shards = [a for a in args.shards.split(",") if a]
+        final = run_sharded(shards, requests, order, args, rng, stats)
+        if final is None:
+            return 2
+    else:
         try:
-            line = rfile.readline()
-        except socket.timeout:
-            print("serve_client: receive timeout", file=sys.stderr)
+            final = pump(args.socket, requests, order, args, rng, stats)
+        except SessionDied as err:
+            print("serve_client: connection to "
+                  f"{args.socket} died with {len(err.unanswered)} "
+                  "request(s) unanswered", file=sys.stderr)
             return 2
-        if not line:
-            print("serve_client: connection closed with "
-                  f"{len(outstanding)} request(s) unanswered", file=sys.stderr)
-            return 2
-        resp = json.loads(line)
-        rid = resp.get("id")
-        if rid not in outstanding:
-            continue
-        if resp.get("error") == "queue_full":
-            attempts[rid] += 1
-            if attempts[rid] > args.retries:
-                print(f"serve_client: id {rid} shed {attempts[rid]} times, "
-                      "giving up", file=sys.stderr)
-                return 2
-            hint = int(resp.get("retry_after_ms", 10))
-            delay = min(args.backoff_cap_ms, hint * (1 << (attempts[rid] - 1)))
-            delay += rng.randint(0, max(1, delay // 4))
-            retried += 1
-            time.sleep(delay / 1000.0)
-            send_line(requests[rid])
-            continue
-        final[rid] = line.rstrip("\n")
-        outstanding.discard(rid)
 
     for rid in order:
         print(final[rid])
-    print(f"serve_client: sent={len(order)} retried={retried}",
-          file=sys.stderr)
+    summary = f"serve_client: sent={len(order)} retried={stats['retried']}"
+    if args.shards:
+        summary += f" failovers={stats['failovers']}"
+    print(summary, file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Sharded-fleet smoke for the consistent-hash router (docs/SERVE.md):
+# start three shard daemons plus a router daemon fronting them, route a
+# session both through the router and through the Python client's own
+# ring (--shards), SIGKILL one shard while a stream of requests is in
+# flight, and assert that (a) no request is ever lost — the router falls
+# back to local execution, the client fails over to the ring successor —
+# and (b) every digest-bearing field stays byte-identical to a plain
+# unsharded daemon's answers through all of it.
+#
+# Environment overrides:
+#   SERVE    daemon binary   (default build/tools/simtsr-serve)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE="${SERVE:-build/tools/simtsr-serve}"
+WORK=$(mktemp -d /tmp/simtsr-shard-XXXXXX)
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "serve shard smoke FAILED: $1" >&2; exit 1; }
+
+[ -x "$SERVE" ] ||
+  fail "$SERVE not built (cmake --build build --target simtsr-serve)"
+
+SRC1=$(python3 -c 'import json,sys; print(json.dumps(open(sys.argv[1]).read()))' \
+       examples/listing1.sir)
+SRC2=$(python3 -c 'import json,sys; print(json.dumps(open(sys.argv[1]).read()))' \
+       examples/loopmerge.sir)
+
+# Four distinct content keys so the session spreads across the ring.
+session() {
+  echo "{\"id\":1,\"op\":\"compile\",\"source\":$SRC1,\"pipeline\":\"sr\"}"
+  echo "{\"id\":2,\"op\":\"simulate\",\"source\":$SRC1,\"pipeline\":\"sr\",\"warps\":2}"
+  echo "{\"id\":3,\"op\":\"simulate\",\"source\":$SRC1,\"pipeline\":\"pdom\",\"warps\":2}"
+  echo "{\"id\":4,\"op\":\"simulate\",\"source\":$SRC2,\"pipeline\":\"sr\",\"warps\":2}"
+}
+
+# A longer stream for the mid-flight kill: same keys, many ids.
+stream() {
+  for i in $(seq 1 20); do
+    p=$([ $((i % 2)) -eq 0 ] && echo sr || echo pdom)
+    s=$([ $((i % 3)) -eq 0 ] && echo "$SRC2" || echo "$SRC1")
+    echo "{\"id\":$i,\"op\":\"simulate\",\"source\":$s,\"pipeline\":\"$p\",\"warps\":2}"
+  done
+}
+
+digests() {
+  python3 - "$1" <<'EOF'
+import json, sys
+for line in sys.argv[1].splitlines():
+    r = json.loads(line)
+    row = {k: r[k] for k in
+           ("id", "module", "post_digest", "checksum", "trace_digest",
+            "cycles", "issue_slots") if k in r}
+    print(json.dumps(row, sort_keys=True))
+EOF
+}
+
+SHARDS=()
+for i in 0 1 2; do
+  "$SERVE" --socket "$WORK/shard$i.sock" --disk-cache "$WORK/disk$i" &
+  PIDS+=($!)
+  SHARDS+=("$WORK/shard$i.sock")
+done
+SHARD_LIST="${SHARDS[0]},${SHARDS[1]},${SHARDS[2]}"
+"$SERVE" --socket "$WORK/router.sock" --route "$SHARD_LIST" &
+PIDS+=($!)
+"$SERVE" --socket "$WORK/plain.sock" &
+PIDS+=($!)
+
+# Ground truth from the unsharded daemon.
+TRUTH=$(session | python3 scripts/serve_client.py --socket "$WORK/plain.sock")
+
+# Phase 1: the router forwards each request to its ring owner; answers
+# must match the unsharded daemon bit for bit.
+ROUTED=$(session | python3 scripts/serve_client.py --socket "$WORK/router.sock")
+diff <(digests "$TRUTH") <(digests "$ROUTED") ||
+  fail "router-forwarded digests differ from the unsharded daemon"
+
+# The work really landed on the shards: the cluster verb must report
+# every shard reachable and a nonzero forward count.
+CLUSTER=$(echo '{"id":90,"op":"cluster"}' |
+          python3 scripts/serve_client.py --socket "$WORK/router.sock")
+python3 - "$CLUSTER" <<'EOF' || fail "cluster verb disagrees with the fleet"
+import json, sys
+c = json.loads(sys.argv[1])
+assert c["schema"] == "simtsr-serve-v2", c["schema"]
+assert c["routing"] is True
+assert c["fleet"]["shards"] == 3
+assert c["fleet"]["reachable"] == 3, c["fleet"]
+assert c["fleet"]["forwarded"] >= 4, c["fleet"]
+EOF
+
+# Phase 2: the Python client's own ring (no router in the path) computes
+# the same placement, so every answer is already cached on its shard.
+CLIENT=$(session | python3 scripts/serve_client.py --shards "$SHARD_LIST")
+diff <(digests "$TRUTH") <(digests "$CLIENT") ||
+  fail "client-ring digests differ from the unsharded daemon"
+grep -q '"cached":true' <<<"$CLIENT" ||
+  fail "client ring disagreed with router placement: no cache hits"
+
+# Phase 3: SIGKILL shard 1 while a 20-request stream is in flight through
+# the router. Every request must still be answered (the router falls back
+# to local execution for keys the dead shard owned), digest-identical to
+# the unsharded daemon.
+STREAM_TRUTH=$(stream | python3 scripts/serve_client.py --socket "$WORK/plain.sock")
+stream | python3 scripts/serve_client.py --socket "$WORK/router.sock" \
+  > "$WORK/stream.out" &
+CLIENT_PID=$!
+sleep 0.2
+kill -9 "${PIDS[1]}"
+wait "$CLIENT_PID" || fail "router session lost requests after shard death"
+[ "$(wc -l < "$WORK/stream.out")" -eq 20 ] ||
+  fail "expected 20 streamed responses, got $(wc -l < "$WORK/stream.out")"
+diff <(digests "$STREAM_TRUTH") <(digests "$(cat "$WORK/stream.out")") ||
+  fail "digests diverged after mid-stream shard death"
+
+CLUSTER=$(echo '{"id":91,"op":"cluster"}' |
+          python3 scripts/serve_client.py --socket "$WORK/router.sock")
+python3 - "$CLUSTER" <<'EOF' || fail "cluster verb missed the dead shard"
+import json, sys
+c = json.loads(sys.argv[1])
+assert c["fleet"]["shards"] == 3
+assert c["fleet"]["reachable"] == 2, c["fleet"]
+EOF
+
+# Phase 4: the client ring sees the same death and fails over to the ring
+# successor on its own — still no lost requests, still identical digests.
+CLIENT2=$(session | python3 scripts/serve_client.py --shards "$SHARD_LIST" \
+          --connect-attempts 3) ||
+  fail "client ring lost requests after shard death"
+diff <(digests "$TRUTH") <(digests "$CLIENT2") ||
+  fail "client-ring failover digests differ from the unsharded daemon"
+
+for sock in "$WORK/shard0.sock" "$WORK/shard2.sock" "$WORK/router.sock" \
+            "$WORK/plain.sock"; do
+  echo '{"id":99,"op":"shutdown"}' |
+    python3 scripts/serve_client.py --socket "$sock" > /dev/null
+done
+
+echo "serve shard smoke passed"

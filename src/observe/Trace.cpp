@@ -53,30 +53,17 @@ std::string simtsr::observe::describeTraceEvent(const TraceEvent &E) {
   return Buf;
 }
 
-void TraceDigester::mix(uint64_t V) {
-  for (int I = 0; I < 8; ++I) {
-    Hash ^= (V >> (I * 8)) & 0xff;
-    Hash *= FnvPrime;
-  }
-}
-
 uint64_t TraceDigester::locationHash(const Function *F, const BasicBlock *BB) {
   auto It = BlockHashes.find(BB);
   if (It != BlockHashes.end())
     return It->second;
+  // "name/" per component, hashed with the shared FNV-1a so the digest
+  // definition matches docs/OBSERVABILITY.md and the checked-in goldens.
   uint64_t H = FnvBasis;
-  auto MixStr = [&H](const std::string &S) {
-    for (char C : S) {
-      H ^= static_cast<unsigned char>(C);
-      H *= FnvPrime;
-    }
-    H ^= '/';
-    H *= FnvPrime;
-  };
   if (F)
-    MixStr(F->name());
+    H = fnv1a("/", fnv1a(F->name(), H));
   if (BB)
-    MixStr(BB->name());
+    H = fnv1a("/", fnv1a(BB->name(), H));
   BlockHashes.emplace(BB, H);
   return H;
 }

@@ -23,6 +23,8 @@
 #ifndef SIMTSR_OBSERVE_TRACE_H
 #define SIMTSR_OBSERVE_TRACE_H
 
+#include "support/Hash.h"
+
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -86,11 +88,9 @@ public:
   void reset();
 
 private:
-  void mix(uint64_t V);
+  void mix(uint64_t V) { Hash = fnv1aMix(Hash, V); }
   uint64_t locationHash(const Function *F, const BasicBlock *BB);
 
-  static constexpr uint64_t FnvBasis = 0xcbf29ce484222325ull;
-  static constexpr uint64_t FnvPrime = 0x100000001b3ull;
   uint64_t Hash = FnvBasis;
   /// Name-hash per block, keyed by identity — names are stable across
   /// runs, pointers are not, so the digest hashes "func/block" strings

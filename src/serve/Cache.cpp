@@ -5,23 +5,6 @@
 using namespace simtsr;
 using namespace simtsr::serve;
 
-uint64_t simtsr::serve::fnv1a(const std::string &Bytes, uint64_t Seed) {
-  uint64_t Hash = Seed;
-  for (const char C : Bytes) {
-    Hash ^= static_cast<unsigned char>(C);
-    Hash *= 0x100000001b3ull;
-  }
-  return Hash;
-}
-
-uint64_t simtsr::serve::fnv1aMix(uint64_t Acc, uint64_t V) {
-  for (int I = 0; I < 8; ++I) {
-    Acc ^= (V >> (I * 8)) & 0xff;
-    Acc *= 0x100000001b3ull;
-  }
-  return Acc;
-}
-
 std::string simtsr::serve::pipelineCacheAxes(const PipelineOptions &O) {
   // Every axis that can change the compiled module, spelled explicitly so
   // a new PipelineOptions field that matters is a conscious addition here

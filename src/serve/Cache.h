@@ -32,6 +32,7 @@
 
 #include "ir/Module.h"
 #include "sim/Warp.h"
+#include "support/Hash.h"
 #include "transform/Pipeline.h"
 
 #include <cstdint>
@@ -44,11 +45,10 @@
 
 namespace simtsr::serve {
 
-/// FNV-1a-64 over \p Bytes starting from \p Seed (chainable).
-uint64_t fnv1a(const std::string &Bytes,
-               uint64_t Seed = 0xcbf29ce484222325ull);
-/// Folds one 64-bit value into an FNV-1a accumulator byte by byte.
-uint64_t fnv1aMix(uint64_t Acc, uint64_t V);
+// Keying is plain FNV-1a (support/Hash.h); re-exported here because every
+// serve call site historically spelled these serve::fnv1a.
+using ::simtsr::fnv1a;
+using ::simtsr::fnv1aMix;
 
 /// Canonical serialization of every PipelineOptions axis that affects the
 /// compiled module. Two options structs with equal axis strings compile

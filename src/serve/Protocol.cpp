@@ -11,7 +11,7 @@
 using namespace simtsr;
 using namespace simtsr::serve;
 
-const char *simtsr::serve::protocolVersion() { return "simtsr-serve-v1"; }
+const char *simtsr::serve::protocolVersion() { return "simtsr-serve-v2"; }
 
 const char *simtsr::serve::getRequestOpName(RequestOp Op) {
   switch (Op) {
@@ -23,6 +23,8 @@ const char *simtsr::serve::getRequestOpName(RequestOp Op) {
     return "lint";
   case RequestOp::Stats:
     return "stats";
+  case RequestOp::Cluster:
+    return "cluster";
   case RequestOp::Shutdown:
     return "shutdown";
   }
@@ -40,6 +42,8 @@ bool parseOpName(const std::string &Name, RequestOp &Out) {
     Out = RequestOp::Lint;
   else if (Name == "stats")
     Out = RequestOp::Stats;
+  else if (Name == "cluster")
+    Out = RequestOp::Cluster;
   else if (Name == "shutdown")
     Out = RequestOp::Shutdown;
   else
@@ -225,6 +229,7 @@ RequestParse simtsr::serve::parseRequest(const std::string &Line) {
     }
     break;
   case RequestOp::Stats:
+  case RequestOp::Cluster:
   case RequestOp::Shutdown:
     break;
   }
@@ -254,6 +259,61 @@ std::string fixed6(double V) {
   char Buf[64];
   std::snprintf(Buf, sizeof(Buf), "%.6f", V);
   return Buf;
+}
+
+/// The stats counter fields, shared by the stats response body and the
+/// "local" object inside a cluster response.
+void writeStatsFields(JsonWriter &W, const StatsSnapshot &S) {
+  W.key("requests");
+  W.numberUnsigned(S.Requests);
+  W.key("rejected");
+  W.numberUnsigned(S.Rejected);
+  W.key("queue_depth");
+  W.numberUnsigned(S.QueueDepth);
+  W.key("queue_limit");
+  W.numberUnsigned(S.QueueLimit);
+  W.key("timeouts");
+  W.numberUnsigned(S.Timeouts);
+  W.key("degraded");
+  W.boolean(S.Disk.Degraded);
+  for (const auto &[Name, C] :
+       {std::pair<const char *, const CacheStats &>{"compile_cache",
+                                                    S.Compile},
+        std::pair<const char *, const CacheStats &>{"sim_cache", S.Sim}}) {
+    W.key(Name);
+    W.beginObject();
+    W.key("hits");
+    W.numberUnsigned(C.Hits);
+    W.key("misses");
+    W.numberUnsigned(C.Misses);
+    W.key("entries");
+    W.numberUnsigned(C.Entries);
+    W.key("evictions");
+    W.numberUnsigned(C.Evictions);
+    W.endObject();
+  }
+  W.key("disk_cache");
+  W.beginObject();
+  W.key("hits");
+  W.numberUnsigned(S.Disk.Hits);
+  W.key("misses");
+  W.numberUnsigned(S.Disk.Misses);
+  W.key("writes");
+  W.numberUnsigned(S.Disk.Writes);
+  W.key("write_errors");
+  W.numberUnsigned(S.Disk.WriteErrors);
+  W.key("quarantined");
+  W.numberUnsigned(S.Disk.Quarantined);
+  W.endObject();
+  W.key("latency_us");
+  W.beginObject();
+  W.key("p50");
+  W.numberUnsigned(S.P50Micros);
+  W.key("p90");
+  W.numberUnsigned(S.P90Micros);
+  W.key("p99");
+  W.numberUnsigned(S.P99Micros);
+  W.endObject();
 }
 
 } // namespace
@@ -402,55 +462,100 @@ std::string simtsr::serve::renderStatsResponse(const Request &R,
   beginResponse(W, R, true);
   W.key("schema");
   W.string(protocolVersion());
+  writeStatsFields(W, S);
+  W.endObject();
+  return W.take();
+}
+
+std::string simtsr::serve::renderClusterResponse(const Request &R,
+                                                 const ClusterSnapshot &C) {
+  JsonWriter W;
+  beginResponse(W, R, true);
+  W.key("schema");
+  W.string(protocolVersion());
+  W.key("routing");
+  W.boolean(C.Routing);
+  W.key("vnodes");
+  W.numberUnsigned(C.Vnodes);
+  W.key("local_fallbacks");
+  W.numberUnsigned(C.LocalFallbacks);
+  W.key("verify_failures");
+  W.numberUnsigned(C.VerifyFailures);
+
+  // Fleet aggregates first, so dashboards can read one object without
+  // walking the per-shard rows.
+  uint64_t Forwarded = 0, Errors = 0, Shed = 0, Requests = 0;
+  uint64_t Hits = 0, Misses = 0;
+  unsigned Reachable = 0;
+  for (const ShardClusterStat &S : C.Shards) {
+    Forwarded += S.Forwarded;
+    Errors += S.Errors;
+    Shed += S.Shed;
+    if (S.Reachable) {
+      ++Reachable;
+      Requests += S.Requests;
+      Hits += S.CompileHits + S.SimHits;
+      Misses += S.CompileMisses + S.SimMisses;
+    }
+  }
+  W.key("fleet");
+  W.beginObject();
+  W.key("shards");
+  W.numberUnsigned(C.Shards.size());
+  W.key("reachable");
+  W.numberUnsigned(Reachable);
+  W.key("forwarded");
+  W.numberUnsigned(Forwarded);
+  W.key("errors");
+  W.numberUnsigned(Errors);
+  W.key("shed");
+  W.numberUnsigned(Shed);
   W.key("requests");
-  W.numberUnsigned(S.Requests);
-  W.key("rejected");
-  W.numberUnsigned(S.Rejected);
-  W.key("queue_depth");
-  W.numberUnsigned(S.QueueDepth);
-  W.key("queue_limit");
-  W.numberUnsigned(S.QueueLimit);
-  W.key("timeouts");
-  W.numberUnsigned(S.Timeouts);
-  W.key("degraded");
-  W.boolean(S.Disk.Degraded);
-  for (const auto &[Name, C] :
-       {std::pair<const char *, const CacheStats &>{"compile_cache",
-                                                    S.Compile},
-        std::pair<const char *, const CacheStats &>{"sim_cache", S.Sim}}) {
-    W.key(Name);
+  W.numberUnsigned(Requests);
+  W.key("cache_hits");
+  W.numberUnsigned(Hits);
+  W.key("cache_misses");
+  W.numberUnsigned(Misses);
+  W.endObject();
+
+  W.key("shards");
+  W.beginArray();
+  for (const ShardClusterStat &S : C.Shards) {
     W.beginObject();
-    W.key("hits");
-    W.numberUnsigned(C.Hits);
-    W.key("misses");
-    W.numberUnsigned(C.Misses);
-    W.key("entries");
-    W.numberUnsigned(C.Entries);
-    W.key("evictions");
-    W.numberUnsigned(C.Evictions);
+    W.key("address");
+    W.string(S.Address);
+    W.key("reachable");
+    W.boolean(S.Reachable);
+    W.key("forwarded");
+    W.numberUnsigned(S.Forwarded);
+    W.key("errors");
+    W.numberUnsigned(S.Errors);
+    W.key("shed");
+    W.numberUnsigned(S.Shed);
+    W.key("forward_p50_us");
+    W.numberUnsigned(S.ForwardP50Micros);
+    if (S.Reachable) {
+      W.key("requests");
+      W.numberUnsigned(S.Requests);
+      W.key("compile_hits");
+      W.numberUnsigned(S.CompileHits);
+      W.key("compile_misses");
+      W.numberUnsigned(S.CompileMisses);
+      W.key("sim_hits");
+      W.numberUnsigned(S.SimHits);
+      W.key("sim_misses");
+      W.numberUnsigned(S.SimMisses);
+      W.key("p50_us");
+      W.numberUnsigned(S.P50Micros);
+    }
     W.endObject();
   }
-  W.key("disk_cache");
+  W.endArray();
+
+  // The local server's own counters, same shape as a stats response body.
+  W.key("local");
   W.beginObject();
-  W.key("hits");
-  W.numberUnsigned(S.Disk.Hits);
-  W.key("misses");
-  W.numberUnsigned(S.Disk.Misses);
-  W.key("writes");
-  W.numberUnsigned(S.Disk.Writes);
-  W.key("write_errors");
-  W.numberUnsigned(S.Disk.WriteErrors);
-  W.key("quarantined");
-  W.numberUnsigned(S.Disk.Quarantined);
-  W.endObject();
-  W.key("latency_us");
-  W.beginObject();
-  W.key("p50");
-  W.numberUnsigned(S.P50Micros);
-  W.key("p90");
-  W.numberUnsigned(S.P90Micros);
-  W.key("p99");
-  W.numberUnsigned(S.P99Micros);
+  writeStatsFields(W, C.Local);
   W.endObject();
   W.endObject();
   return W.take();

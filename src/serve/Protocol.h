@@ -7,9 +7,9 @@
 /// order, because requests are dispatched asynchronously.
 ///
 /// Requests: {"id": N, "op": "compile" | "simulate" | "lint" | "stats" |
-/// "shutdown", ...op-specific fields}. Unknown fields and malformed values
-/// are errors, not warnings — a typo'd field name silently changing the
-/// launch would poison cached results.
+/// "cluster" | "shutdown", ...op-specific fields}. Unknown fields and
+/// malformed values are errors, not warnings — a typo'd field name
+/// silently changing the launch would poison cached results.
 ///
 /// Responses always carry "id" (when one could be parsed), "ok" and "op";
 /// failures add "error" (a stable machine-readable code) and "detail".
@@ -32,9 +32,9 @@
 namespace simtsr::serve {
 
 /// Schema tag reported by stats responses and BENCH_serve.json.
-const char *protocolVersion(); // "simtsr-serve-v1"
+const char *protocolVersion(); // "simtsr-serve-v2"
 
-enum class RequestOp { Compile, Simulate, Lint, Stats, Shutdown };
+enum class RequestOp { Compile, Simulate, Lint, Stats, Cluster, Shutdown };
 
 const char *getRequestOpName(RequestOp Op);
 
@@ -119,6 +119,40 @@ struct LintSummary {
 std::string renderLintResponse(const Request &R, const CompileEntry &CE,
                                bool CompileCached, const LintSummary &L);
 std::string renderStatsResponse(const Request &R, const StatsSnapshot &S);
+
+/// One shard's view as probed by the router for a "cluster" response.
+/// Router-side counters are always present; the shard-side counters are
+/// valid only when Reachable (a live stats round trip succeeded).
+struct ShardClusterStat {
+  std::string Address;
+  bool Reachable = false;
+  // Router-side counters for this shard.
+  uint64_t Forwarded = 0;      ///< Requests answered remotely.
+  uint64_t Errors = 0;         ///< Transport failures (connect/io/timeout).
+  uint64_t Shed = 0;           ///< Remote queue_full / shutting_down.
+  uint64_t ForwardP50Micros = 0; ///< Round-trip latency over recent window.
+  // Shard-side counters, parsed from the shard's own stats response.
+  uint64_t Requests = 0;
+  uint64_t CompileHits = 0;
+  uint64_t CompileMisses = 0;
+  uint64_t SimHits = 0;
+  uint64_t SimMisses = 0;
+  uint64_t P50Micros = 0;
+};
+
+/// Fleet-wide view rendered by the "cluster" verb: the local server's own
+/// stats plus one row per configured shard. Shards is empty when the
+/// server runs unrouted (single-instance mode).
+struct ClusterSnapshot {
+  StatsSnapshot Local;
+  bool Routing = false;
+  unsigned Vnodes = 0;
+  uint64_t LocalFallbacks = 0;  ///< Forwards that fell back to local exec.
+  uint64_t VerifyFailures = 0;  ///< Remote/local digest mismatches seen.
+  std::vector<ShardClusterStat> Shards;
+};
+
+std::string renderClusterResponse(const Request &R, const ClusterSnapshot &C);
 std::string renderShutdownResponse(const Request &R, uint64_t Served);
 
 } // namespace simtsr::serve

@@ -1,0 +1,412 @@
+//===- Router.cpp - consistent-hash request routing to shards -----------------===//
+
+#include "serve/Router.h"
+
+#include "serve/Cache.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+//===----------------------------------------------------------------------===//
+// Addresses
+//===----------------------------------------------------------------------===//
+
+bool simtsr::serve::isTcpAddress(const std::string &Addr) {
+  if (Addr.find('/') != std::string::npos)
+    return false;
+  const size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 >= Addr.size())
+    return false;
+  for (size_t I = Colon + 1; I < Addr.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(Addr[I])))
+      return false;
+  return true;
+}
+
+namespace {
+
+bool parseTcpAddress(const std::string &Addr, std::string &Host,
+                     uint16_t &Port) {
+  const size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos)
+    return false;
+  Host = Addr.substr(0, Colon);
+  char *End = nullptr;
+  const unsigned long P = std::strtoul(Addr.c_str() + Colon + 1, &End, 10);
+  if (!End || *End != '\0' || P == 0 || P > 65535)
+    return false;
+  Port = static_cast<uint16_t>(P);
+  return true;
+}
+
+/// Polls \p Fd for \p Events for up to \p TimeoutMs (EINTR-safe).
+/// Returns true when the fd became ready.
+bool waitFor(int Fd, short Events, int TimeoutMs) {
+  pollfd P{Fd, Events, 0};
+  while (true) {
+    const int N = ::poll(&P, 1, TimeoutMs);
+    if (N > 0)
+      return (P.revents & (Events | POLLHUP | POLLERR)) != 0;
+    if (N == 0)
+      return false; // Deadline.
+    if (errno != EINTR)
+      return false;
+  }
+}
+
+} // namespace
+
+int simtsr::serve::connectToAddress(const std::string &Addr,
+                                    uint64_t TimeoutMillis) {
+  if (!isTcpAddress(Addr)) {
+    sockaddr_un SA{};
+    SA.sun_family = AF_UNIX;
+    if (Addr.size() >= sizeof(SA.sun_path))
+      return -1;
+    std::memcpy(SA.sun_path, Addr.c_str(), Addr.size() + 1);
+    const int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    // Unix connects complete (or fail) immediately; no timeout dance.
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) != 0 ||
+        !FdBuf::setNonBlocking(Fd)) {
+      ::close(Fd);
+      return -1;
+    }
+    return Fd;
+  }
+
+  std::string Host;
+  uint16_t Port = 0;
+  if (!parseTcpAddress(Addr, Host, Port))
+    return -1;
+  if (Host.empty() || Host == "localhost")
+    Host = "127.0.0.1";
+  sockaddr_in SA{};
+  SA.sin_family = AF_INET;
+  SA.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &SA.sin_addr) != 1)
+    return -1;
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (!FdBuf::setNonBlocking(Fd)) {
+    ::close(Fd);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(Fd);
+      return -1;
+    }
+    const int Ms = TimeoutMillis > INT_MAX
+                       ? INT_MAX
+                       : static_cast<int>(TimeoutMillis);
+    int Err = 0;
+    socklen_t Len = sizeof(Err);
+    if (!waitFor(Fd, POLLOUT, Ms) ||
+        ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &Err, &Len) != 0 || Err != 0) {
+      ::close(Fd);
+      return -1;
+    }
+  }
+  return Fd;
+}
+
+int simtsr::serve::listenOnAddress(const std::string &Addr, bool &IsUnix) {
+  IsUnix = !isTcpAddress(Addr);
+  if (IsUnix) {
+    sockaddr_un SA{};
+    SA.sun_family = AF_UNIX;
+    if (Addr.size() >= sizeof(SA.sun_path))
+      return -1;
+    std::memcpy(SA.sun_path, Addr.c_str(), Addr.size() + 1);
+    ::unlink(Addr.c_str()); // A stale socket file from a dead daemon.
+    const int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) != 0 ||
+        ::listen(Fd, 64) != 0) {
+      ::close(Fd);
+      return -1;
+    }
+    return Fd;
+  }
+
+  std::string Host;
+  uint16_t Port = 0;
+  if (!parseTcpAddress(Addr, Host, Port))
+    return -1;
+  sockaddr_in SA{};
+  SA.sin_family = AF_INET;
+  SA.sin_port = htons(Port);
+  if (Host.empty() || Host == "0.0.0.0")
+    SA.sin_addr.s_addr = htonl(INADDR_ANY);
+  else if (Host == "localhost")
+    SA.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  else if (::inet_pton(AF_INET, Host.c_str(), &SA.sin_addr) != 1)
+    return -1;
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  const int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) != 0 ||
+      ::listen(Fd, 64) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+//===----------------------------------------------------------------------===//
+// Routing key
+//===----------------------------------------------------------------------===//
+
+uint64_t simtsr::serve::routeKey(const Request &R) {
+  // A "module" reference *is* the compile key the owning shard handed out,
+  // and a source request keys on the compile key its compile will get —
+  // so simulate-by-module always routes to the shard holding the module.
+  if (R.HasModuleKey)
+    return R.ModuleKey;
+  return compileKeyNamed(R.Source, R.Pipeline, R.SoftThreshold);
+}
+
+//===----------------------------------------------------------------------===//
+// Router
+//===----------------------------------------------------------------------===//
+
+Router::Router(const RouterOptions &Opts) : Opts(Opts), Ring(Opts.Vnodes) {
+  for (const std::string &Addr : Opts.Shards)
+    Ring.addNode(Addr);
+  for (const std::string &Addr : Ring.nodes()) {
+    auto S = std::make_unique<Shard>();
+    S->Address = Addr;
+    Shards.push_back(std::move(S));
+  }
+}
+
+Router::~Router() {
+  for (auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    closeShardLocked(*S);
+  }
+}
+
+Router::Shard &Router::shardFor(const std::string &Address) {
+  for (auto &S : Shards)
+    if (S->Address == Address)
+      return *S;
+  return *Shards.front(); // Unreachable: addresses come from the ring.
+}
+
+void Router::closeShardLocked(Shard &S) {
+  if (S.Fd >= 0)
+    ::close(S.Fd);
+  S.Fd = -1;
+  S.Buf.reset();
+}
+
+bool Router::roundTrip(Shard &S, const std::string &Line, int64_t WantId,
+                       std::string &Response) {
+  std::lock_guard<std::mutex> Lock(S.M);
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(Opts.ForwardTimeoutMillis);
+  auto RemainingMs = [&]() -> int {
+    const auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          Deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (Left <= 0)
+      return 0;
+    return Left > INT_MAX ? INT_MAX : static_cast<int>(Left);
+  };
+  auto Fail = [&]() {
+    // A half-done round trip leaves the connection unpaired (a late reply
+    // would correlate with the wrong request) — abandon it.
+    closeShardLocked(S);
+    return false;
+  };
+
+  if (S.Fd < 0) {
+    S.Fd = connectToAddress(S.Address, Opts.ForwardTimeoutMillis);
+    if (S.Fd < 0)
+      return false;
+    S.Buf = std::make_unique<FdBuf>(S.Fd);
+  }
+
+  FdBuf &B = *S.Buf;
+  B.queueLine(Line);
+  while (B.hasPendingOut()) {
+    const IoResult R = B.flushSome();
+    if (R == IoResult::Closed || R == IoResult::Eof)
+      return Fail();
+    if (R == IoResult::WouldBlock && !waitFor(S.Fd, POLLOUT, RemainingMs()))
+      return Fail();
+  }
+
+  std::string Got;
+  while (!B.nextLine(Got)) {
+    if (!waitFor(S.Fd, POLLIN, RemainingMs()))
+      return Fail();
+    const IoResult R = B.fill();
+    if (R == IoResult::Closed)
+      return Fail();
+    if (R == IoResult::Eof) {
+      // Buffered lines stay valid past EOF; drain before giving up.
+      if (B.nextLine(Got))
+        break;
+      return Fail();
+    }
+  }
+
+  // Correlate: one request in flight per connection, so the reply must
+  // carry our id; anything else means the stream is out of sync.
+  const JsonParseResult J = parseJson(Got);
+  if (!J.ok() || !J.Value.isObject())
+    return Fail();
+  const JsonValue *Id = J.Value.field("id");
+  if (!Id || !Id->isIntegral() || Id->asInt() != WantId)
+    return Fail();
+  Response = std::move(Got);
+  return true;
+}
+
+namespace {
+
+void recordLatency(std::mutex &M, std::vector<uint64_t> &Window, size_t &Next,
+                   uint64_t Micros) {
+  constexpr size_t WindowCap = 128;
+  std::lock_guard<std::mutex> Lock(M);
+  if (Window.size() < WindowCap) {
+    Window.push_back(Micros);
+  } else {
+    Window[Next] = Micros;
+    Next = (Next + 1) % WindowCap;
+  }
+}
+
+uint64_t latencyP50(std::mutex &M, const std::vector<uint64_t> &Window) {
+  std::vector<uint64_t> Copy;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Copy = Window;
+  }
+  if (Copy.empty())
+    return 0;
+  std::sort(Copy.begin(), Copy.end());
+  return Copy[Copy.size() / 2];
+}
+
+/// True when a parsed response is a shed the client should not see from
+/// the router — it retries locally instead.
+bool isShedResponse(const JsonValue &V) {
+  const JsonValue *E = V.field("error");
+  if (!E || !E->isString())
+    return false;
+  const std::string &Code = E->asString();
+  return Code == "queue_full" || Code == "shutting_down";
+}
+
+uint64_t u64Field(const JsonValue *Obj, const char *Name) {
+  if (!Obj || !Obj->isObject())
+    return 0;
+  const JsonValue *F = Obj->field(Name);
+  if (!F || !F->isIntegral() || F->asInt() < 0)
+    return 0;
+  return static_cast<uint64_t>(F->asInt());
+}
+
+} // namespace
+
+ForwardResult Router::forward(const std::string &Line, const Request &R) {
+  ForwardResult FR;
+  if (Ring.empty())
+    return FR;
+  const uint64_t Key = routeKey(R);
+  const std::string &Primary = Ring.lookup(Key);
+  const std::string &Backup = Ring.lookupSuccessor(Key, Primary);
+  const std::string *Order[2] = {&Primary, &Backup};
+  const size_t Tries = Backup == Primary ? 1 : 2;
+
+  for (size_t I = 0; I < Tries; ++I) {
+    Shard &S = shardFor(*Order[I]);
+    const auto Start = std::chrono::steady_clock::now();
+    std::string Resp;
+    if (!roundTrip(S, Line, R.Id, Resp)) {
+      S.Errors.fetch_add(1, std::memory_order_relaxed);
+      continue; // Shard down: the ring successor is the failover target.
+    }
+    const JsonParseResult J = parseJson(Resp);
+    if (!J.ok() || !J.Value.isObject()) {
+      S.Errors.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> Lock(S.M);
+      closeShardLocked(S);
+      continue;
+    }
+    if (isShedResponse(J.Value)) {
+      // A loaded shard sheds; the local fallback absorbs the work rather
+      // than cascading the retry storm to the next shard.
+      S.Shed.fetch_add(1, std::memory_order_relaxed);
+      FR.Shed = true;
+      return FR;
+    }
+    const uint64_t Micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count();
+    recordLatency(S.LatM, S.LatWindow, S.LatNext, Micros);
+    S.Forwarded.fetch_add(1, std::memory_order_relaxed);
+    FR.Answered = true;
+    FR.Response = std::move(Resp);
+    FR.ShardAddress = S.Address;
+    return FR;
+  }
+  return FR;
+}
+
+std::vector<ShardClusterStat> Router::clusterProbe() {
+  std::vector<ShardClusterStat> Rows;
+  Rows.reserve(Shards.size());
+  for (auto &SP : Shards) {
+    Shard &S = *SP;
+    ShardClusterStat Row;
+    Row.Address = S.Address;
+    Row.Forwarded = S.Forwarded.load(std::memory_order_relaxed);
+    Row.Errors = S.Errors.load(std::memory_order_relaxed);
+    Row.Shed = S.Shed.load(std::memory_order_relaxed);
+    Row.ForwardP50Micros = latencyP50(S.LatM, S.LatWindow);
+
+    std::string Resp;
+    if (roundTrip(S, "{\"id\":0,\"op\":\"stats\"}", 0, Resp)) {
+      const JsonParseResult J = parseJson(Resp);
+      if (J.ok() && J.Value.isObject()) {
+        Row.Reachable = true;
+        Row.Requests = u64Field(&J.Value, "requests");
+        Row.CompileHits = u64Field(J.Value.field("compile_cache"), "hits");
+        Row.CompileMisses =
+            u64Field(J.Value.field("compile_cache"), "misses");
+        Row.SimHits = u64Field(J.Value.field("sim_cache"), "hits");
+        Row.SimMisses = u64Field(J.Value.field("sim_cache"), "misses");
+        Row.P50Micros = u64Field(J.Value.field("latency_us"), "p50");
+      }
+    }
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}

@@ -1,0 +1,140 @@
+//===- Router.h - consistent-hash request routing to shards ----*- C++ -*-===//
+///
+/// \file
+/// Sharded serving: `simtsr-serve --route a.sock,b.sock,c.sock` turns a
+/// daemon into a router that owns no authoritative cache of its own.
+/// Every compile/simulate/lint request is hashed onto a consistent-hash
+/// ring (support/HashRing.h) by its *content* key — the same FNV-1a
+/// compile key the caches use — and forwarded verbatim over the JSON-lines
+/// protocol to the owning shard. Identical sources therefore always land
+/// on the same shard, which is what turns N processes into one big cache
+/// instead of N small cold ones.
+///
+/// The routing key is chosen so both request forms agree:
+///   - source requests key on compileKeyNamed(source, pipeline, soft) —
+///     exactly the module key the shard's compile will return;
+///   - "module" requests key on that returned key directly.
+/// A simulate-by-module therefore routes to the shard that compiled the
+/// module, and never sees unknown_module because of routing.
+///
+/// Failure policy (docs/SERVE.md "Sharded serving"): a transport failure
+/// on the primary shard retries once on the ring successor; a shed
+/// (queue_full / shutting_down) or a second transport failure falls back
+/// to executing the request locally. Fallback is always correct — every
+/// tier computes the same bits, as the response digests prove — so a dead
+/// shard costs latency, never availability or answers.
+///
+/// Shard addresses are Unix socket paths (anything containing '/') or
+/// "host:port" TCP endpoints; the same forms work for --socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SERVE_ROUTER_H
+#define SIMTSR_SERVE_ROUTER_H
+
+#include "serve/Protocol.h"
+#include "support/FdBuf.h"
+#include "support/HashRing.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simtsr::serve {
+
+/// True when \p Addr names a "host:port" TCP endpoint rather than a Unix
+/// socket path. The discriminator: no '/', and a trailing ":<digits>".
+bool isTcpAddress(const std::string &Addr);
+
+/// Connects to a shard address (Unix path or host:port). Returns a
+/// nonblocking connected fd, or -1. TCP connects honor \p TimeoutMillis.
+int connectToAddress(const std::string &Addr, uint64_t TimeoutMillis);
+
+/// Binds and listens on \p Addr (Unix path or host:port; a stale Unix
+/// socket file is unlinked first). Returns the listener fd or -1;
+/// \p IsUnix reports which form was used so the caller knows whether to
+/// unlink on teardown.
+int listenOnAddress(const std::string &Addr, bool &IsUnix);
+
+/// The content key a request routes on. Requests that carry no content
+/// (stats/cluster/shutdown) are answered locally and never reach this.
+uint64_t routeKey(const Request &R);
+
+struct RouterOptions {
+  std::vector<std::string> Shards;
+  unsigned Vnodes = HashRing::DefaultVnodes;
+  /// Per-request forward deadline, connect included. On expiry the
+  /// connection is closed (the reply would be unpaired) and the request
+  /// falls back per the failure policy.
+  uint64_t ForwardTimeoutMillis = 5000;
+};
+
+/// What happened to one forward attempt chain.
+struct ForwardResult {
+  bool Answered = false;  ///< Response holds the remote response line.
+  bool Shed = false;      ///< Remote shed (queue_full/shutting_down).
+  std::string Response;
+  std::string ShardAddress; ///< The shard that answered (when Answered).
+};
+
+/// Thread-safe forwarding client over a fixed shard set. One connection
+/// per shard, serialized by a per-shard mutex: the protocol allows
+/// out-of-order responses, but one-outstanding-per-connection keeps
+/// request/response pairing trivial and failure containment exact.
+class Router {
+public:
+  explicit Router(const RouterOptions &Opts);
+  ~Router();
+
+  Router(const Router &) = delete;
+  Router &operator=(const Router &) = delete;
+
+  /// Forwards \p Line (the client's verbatim request line) to the shard
+  /// owning \p R's route key, retrying once on the ring successor after a
+  /// transport failure. Not Answered => the caller must execute locally.
+  ForwardResult forward(const std::string &Line, const Request &R);
+
+  /// Probes every shard with a stats request and returns one row per
+  /// shard (insertion order), merging router-side counters with the
+  /// shard's own. Unreachable shards get Reachable=false rows.
+  std::vector<ShardClusterStat> clusterProbe();
+
+  unsigned vnodesPerNode() const { return Ring.vnodesPerNode(); }
+  const std::vector<std::string> &shardAddresses() const {
+    return Ring.nodes();
+  }
+
+private:
+  struct Shard {
+    std::string Address;
+    std::mutex M; ///< Serializes the connection (one request in flight).
+    int Fd = -1;
+    std::unique_ptr<FdBuf> Buf;
+    std::atomic<uint64_t> Forwarded{0};
+    std::atomic<uint64_t> Errors{0};
+    std::atomic<uint64_t> Shed{0};
+    // Recent forward round-trip times, for the cluster verb's p50.
+    std::mutex LatM;
+    std::vector<uint64_t> LatWindow;
+    size_t LatNext = 0;
+  };
+
+  Shard &shardFor(const std::string &Address);
+  /// One request/response round trip on \p S's connection. On any
+  /// transport problem (connect failure, short I/O, EOF, deadline, id
+  /// mismatch) the connection is closed and false returned.
+  bool roundTrip(Shard &S, const std::string &Line, int64_t WantId,
+                 std::string &Response);
+  static void closeShardLocked(Shard &S);
+
+  RouterOptions Opts;
+  HashRing Ring;
+  std::vector<std::unique_ptr<Shard>> Shards; ///< Parallel to Ring.nodes().
+};
+
+} // namespace simtsr::serve
+
+#endif // SIMTSR_SERVE_ROUTER_H

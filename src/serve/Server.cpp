@@ -2,6 +2,8 @@
 
 #include "serve/Server.h"
 
+#include "serve/Router.h"
+
 #include "driver/Driver.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -16,6 +18,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <condition_variable>
 #include <csignal>
 #include <deque>
@@ -40,7 +43,16 @@ Server::Server(ServerOptions Opts)
   // 256-sample window: big enough for stable p99 under the bench load,
   // small enough that the percentiles track the recent regime.
   LatencyWindow.assign(256, 0);
+  if (!this->Opts.RouteShards.empty()) {
+    RouterOptions RO;
+    RO.Shards = this->Opts.RouteShards;
+    RO.Vnodes = this->Opts.RouteVnodes;
+    RO.ForwardTimeoutMillis = this->Opts.RouteTimeoutMillis;
+    Route = std::make_unique<Router>(RO);
+  }
 }
+
+Server::~Server() = default;
 
 //===----------------------------------------------------------------------===//
 // Compile
@@ -324,6 +336,8 @@ std::string Server::process(const Request &R) {
   }
   case RequestOp::Stats:
     return renderStatsResponse(R, statsSnapshot());
+  case RequestOp::Cluster:
+    return renderClusterResponse(R, clusterSnapshot());
   case RequestOp::Shutdown:
     return renderShutdownResponse(R, Requests.load());
   }
@@ -339,7 +353,83 @@ std::string Server::handle(const std::string &Line) {
   const RequestParse P = parseRequest(Line);
   if (!P.ok())
     return renderErrorResponse(P.R, P.Error, P.Detail);
-  return process(P.R);
+  return processLine(Line, P.R);
+}
+
+std::string Server::processLine(const std::string &Line, const Request &R) {
+  const bool DataPlane = R.Op == RequestOp::Compile ||
+                         R.Op == RequestOp::Simulate ||
+                         R.Op == RequestOp::Lint;
+  if (Route && DataPlane) {
+    const ForwardResult FR = Route->forward(Line, R);
+    if (FR.Answered)
+      return Opts.RouteVerify ? verifyForwarded(R, FR.Response)
+                              : FR.Response;
+    // Shard down or shedding: absorb the work locally. Correctness is
+    // unaffected — every tier computes the same bits — only the cache
+    // locality of this one request is lost.
+    LocalFallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  return process(R);
+}
+
+std::string Server::verifyForwarded(const Request &R,
+                                    const std::string &Remote) {
+  const std::string Local = process(R);
+  const JsonParseResult RJ = parseJson(Remote);
+  const JsonParseResult LJ = parseJson(Local);
+  bool Mismatch = !RJ.ok() || !LJ.ok();
+  if (!Mismatch) {
+    // The deterministic content fields must agree bit for bit; cache
+    // provenance fields ("cached") legitimately differ between tiers.
+    for (const char *Name :
+         {"ok", "module", "post_digest", "checksum", "trace_digest",
+          "status", "cycles", "issue_slots"}) {
+      const JsonValue *RF = RJ.Value.field(Name);
+      const JsonValue *LF = LJ.Value.field(Name);
+      if (!RF || !LF)
+        continue; // Field not part of this op's response.
+      std::string RS, LS;
+      if (RF->isString() && LF->isString()) {
+        RS = RF->asString();
+        LS = LF->asString();
+      } else if (RF->isBool() && LF->isBool()) {
+        RS = RF->asBool() ? "t" : "f";
+        LS = LF->asBool() ? "t" : "f";
+      } else if (RF->isIntegral() && LF->isIntegral()) {
+        RS = std::to_string(RF->asInt());
+        LS = std::to_string(LF->asInt());
+      } else {
+        Mismatch = true;
+        break;
+      }
+      if (RS != LS) {
+        Mismatch = true;
+        break;
+      }
+    }
+  }
+  if (!Mismatch)
+    return Remote;
+  VerifyFailures.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "simtsr-serve: route verify mismatch on id %lld; serving "
+               "local result\n",
+               static_cast<long long>(R.Id));
+  return Local; // The locally computed answer is the ground truth.
+}
+
+ClusterSnapshot Server::clusterSnapshot() {
+  ClusterSnapshot C;
+  C.Local = statsSnapshot();
+  C.LocalFallbacks = LocalFallbacks.load(std::memory_order_relaxed);
+  C.VerifyFailures = VerifyFailures.load(std::memory_order_relaxed);
+  if (Route) {
+    C.Routing = true;
+    C.Vnodes = Route->vnodesPerNode();
+    C.Shards = Route->clusterProbe();
+  }
+  return C;
 }
 
 void Server::recordLatency(uint64_t Micros) {
@@ -442,8 +532,8 @@ uint64_t Server::serve(std::istream &In, std::ostream &Out) {
       continue;
     }
     ++InFlight;
-    ThreadPool::global().async([this, R = std::move(P.R), Emit] {
-      Emit(process(R));
+    ThreadPool::global().async([this, Line, R = std::move(P.R), Emit] {
+      Emit(processLine(Line, R));
       {
         std::lock_guard<std::mutex> Lock(DrainMutex);
         --InFlight;
@@ -495,6 +585,7 @@ struct Server::SocketLoop {
     std::atomic<bool> Cancelled{false};
     std::string Response; ///< Valid once Done is true.
     Request R;
+    std::string Line; ///< Verbatim request line, for route forwarding.
     Clock::time_point Deadline{};
     bool HasDeadline = false;
   };
@@ -579,7 +670,7 @@ void Server::SocketLoop::workerLoop() {
       Req = std::move(JobQueue.front());
       JobQueue.pop_front();
     }
-    Req->Response = S.process(Req->R);
+    Req->Response = S.processLine(Req->Line, Req->R);
     Req->Done.store(true, std::memory_order_release);
     {
       std::lock_guard<std::mutex> Lock(S.DrainMutex);
@@ -647,6 +738,7 @@ void Server::SocketLoop::handleLine(Conn &C, const std::string &Line) {
 
   auto Req = std::make_shared<PendingReq>();
   Req->R = std::move(P.R);
+  Req->Line = Line;
   if (S.Opts.DeadlineMillis > 0) {
     Req->HasDeadline = true;
     Req->Deadline = Clock::now() +
@@ -728,21 +820,14 @@ bool Server::SocketLoop::drained() const {
 }
 
 int Server::SocketLoop::run(const std::string &Path) {
-  Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  // Unix path or host:port TCP — the same forms --route accepts, so a
+  // shard fleet can span machines. Stale Unix socket files are unlinked
+  // by listenOnAddress.
+  bool IsUnix = true;
+  Listener = listenOnAddress(Path, IsUnix);
   if (Listener < 0)
     return -1;
-
-  sockaddr_un Addr{};
-  Addr.sun_family = AF_UNIX;
-  if (Path.size() >= sizeof(Addr.sun_path)) {
-    ::close(Listener);
-    return -1;
-  }
-  std::copy(Path.begin(), Path.end(), Addr.sun_path);
-  ::unlink(Path.c_str()); // Stale socket from a previous run.
-  if (::bind(Listener, reinterpret_cast<const sockaddr *>(&Addr),
-             sizeof(Addr)) != 0 ||
-      ::listen(Listener, 16) != 0 || !FdBuf::setNonBlocking(Listener)) {
+  if (!FdBuf::setNonBlocking(Listener)) {
     ::close(Listener);
     return -1;
   }
@@ -916,7 +1001,8 @@ int Server::SocketLoop::run(const std::string &Path) {
   ::close(WakeRead);
   ::close(WakeWrite);
   ::close(Listener);
-  ::unlink(Path.c_str());
+  if (IsUnix)
+    ::unlink(Path.c_str());
   return 0;
 }
 

@@ -30,11 +30,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 namespace simtsr::serve {
+
+class Router;
 
 struct ServerOptions {
   /// Maximum in-flight async requests before new work is shed with a
@@ -55,14 +58,29 @@ struct ServerOptions {
   /// eventual result dropped (0 disables). Pair with MaxWallMillis so the
   /// abandoned simulation also stops burning a pool worker.
   uint64_t DeadlineMillis = 0;
+  /// Shard addresses (Unix paths or host:port) to route data-plane
+  /// requests to by content key (serve/Router.h). Empty = single-instance
+  /// mode: everything executes locally.
+  std::vector<std::string> RouteShards;
+  /// Virtual nodes per shard on the routing ring.
+  unsigned RouteVnodes = 64;
+  /// Per-forward deadline before falling back to local execution.
+  uint64_t RouteTimeoutMillis = 5000;
+  /// Paranoia mode: re-execute every forwarded request locally and check
+  /// the remote digests (module/post_digest/checksum/trace_digest) match.
+  /// Costs the full local compute, so it is a test/bench switch.
+  bool RouteVerify = false;
 };
 
 class Server {
 public:
   explicit Server(ServerOptions Opts = {});
+  ~Server();
 
   /// Handles one request line synchronously and returns the response line
-  /// (no trailing newline). Deterministic given the cache state.
+  /// (no trailing newline). Deterministic given the cache state. With
+  /// RouteShards set, data-plane requests are forwarded to their owning
+  /// shard first (falling back to local execution on failure).
   std::string handle(const std::string &Line);
 
   /// Blocking session loop: reads JSON-lines from \p In until EOF or a
@@ -83,10 +101,17 @@ public:
   int serveUnixSocket(const std::string &Path);
 
   StatsSnapshot statsSnapshot() const;
+  /// The fleet view behind the "cluster" verb: local stats plus one
+  /// probed row per routed shard (empty when unrouted).
+  ClusterSnapshot clusterSnapshot();
 
 private:
   struct SocketLoop;
 
+  /// Routing-aware dispatch: forwards data-plane requests to the owning
+  /// shard when routing is on (\p Line travels verbatim), executes
+  /// locally otherwise or on fallback.
+  std::string processLine(const std::string &Line, const Request &R);
   std::string process(const Request &R);
   std::string processCompile(const Request &R);
   std::string processSimulate(const Request &R);
@@ -104,6 +129,11 @@ private:
   std::shared_ptr<const CompileEntry>
   rehydrateCompile(uint64_t Key, const std::string &Payload);
 
+  /// RouteVerify: recomputes \p R locally and cross-checks the remote
+  /// response's digest fields. Returns the remote response when they
+  /// agree, the local one (plus a counter bump) when they do not.
+  std::string verifyForwarded(const Request &R, const std::string &Remote);
+
   void recordLatency(uint64_t Micros);
   /// Backoff hint attached to queue_full responses: scaled from the
   /// recent latency window and current queue occupancy.
@@ -113,10 +143,13 @@ private:
   CompileCache Compiles;
   SimCache Sims;
   DiskTier Disk;
+  std::unique_ptr<Router> Route; ///< Null in single-instance mode.
 
   std::atomic<uint64_t> Requests{0};
   std::atomic<uint64_t> Rejected{0};
   std::atomic<uint64_t> Timeouts{0};
+  std::atomic<uint64_t> LocalFallbacks{0};
+  std::atomic<uint64_t> VerifyFailures{0};
   std::atomic<uint64_t> InFlight{0};
   std::atomic<bool> ShutdownRequested{false};
 

@@ -4,6 +4,7 @@
 
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "support/Hash.h"
 
 #include <algorithm>
 #include <bit>
@@ -160,11 +161,9 @@ bool WarpSimulator::validateLaunch(std::vector<std::string> &Errors) const {
 }
 
 uint64_t WarpSimulator::memoryChecksum() const {
-  uint64_t Hash = 0xcbf29ce484222325ull;
-  for (int64_t Word : GlobalMemory) {
-    Hash ^= static_cast<uint64_t>(Word);
-    Hash *= 0x100000001b3ull;
-  }
+  uint64_t Hash = FnvBasis;
+  for (int64_t Word : GlobalMemory)
+    Hash = fnv1aMixWord(Hash, static_cast<uint64_t>(Word));
   return Hash;
 }
 

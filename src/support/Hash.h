@@ -1,0 +1,82 @@
+//===- Hash.h - Shared FNV-1a content hashing ------------------*- C++ -*-===//
+///
+/// \file
+/// The one FNV-1a-64 implementation every content digest in the tree is
+/// built on: serve cache keys (serve/Cache.h), the disk-tier payload
+/// checksums (serve/DiskTier.h), the observe-layer trace digests
+/// (observe/Trace.h), the simulator memory checksum (sim/Warp.cpp), and
+/// the consistent-hash ring that shards those keys across daemon
+/// instances (support/HashRing.h).
+///
+/// Everything here is deterministic across platforms, compilers and
+/// processes — these hashes are exchanged between daemon instances and
+/// checked into golden files, so they are part of the public contract.
+/// Three mixing granularities exist because each has existing golden
+/// digests behind it; do not "simplify" one into another:
+///
+///  - fnv1a:        byte-wise over a string (cache keys, checksums);
+///  - fnv1aMix:     byte-wise over one 64-bit value (trace digests);
+///  - fnv1aMixWord: word-wise over one 64-bit value (memory checksum —
+///                  one XOR/multiply per word, not per byte).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SUPPORT_HASH_H
+#define SIMTSR_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace simtsr {
+
+inline constexpr uint64_t FnvBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t FnvPrime = 0x100000001b3ull;
+
+/// FNV-1a-64 over \p Bytes starting from \p Seed (chainable).
+inline uint64_t fnv1a(const std::string &Bytes, uint64_t Seed = FnvBasis) {
+  uint64_t Hash = Seed;
+  for (const char C : Bytes) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= FnvPrime;
+  }
+  return Hash;
+}
+
+/// Folds one 64-bit value into an FNV-1a accumulator byte by byte
+/// (little-endian byte order, independent of the host's).
+inline uint64_t fnv1aMix(uint64_t Acc, uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    Acc ^= (V >> (I * 8)) & 0xff;
+    Acc *= FnvPrime;
+  }
+  return Acc;
+}
+
+/// Folds one 64-bit value in a single XOR/multiply step — the coarse
+/// variant behind the simulator's order-independent memory checksum.
+inline uint64_t fnv1aMixWord(uint64_t Acc, uint64_t V) {
+  Acc ^= V;
+  Acc *= FnvPrime;
+  return Acc;
+}
+
+/// SplitMix64 finalizer: spreads entropy into all 64 bits. FNV-1a of a
+/// short string leaves the high bits nearly constant (each multiply only
+/// pushes the input bytes upward a few bits), which is fine for equality
+/// keys but fatal for ordering-based structures like the consistent-hash
+/// ring — un-mixed vnode points cluster on one arc and a single shard
+/// inherits most of the keyspace. Every value compared by position on the
+/// ring goes through this first (support/HashRing.cpp and the Python
+/// mirror in scripts/serve_client.py).
+inline constexpr uint64_t mix64(uint64_t Z) {
+  Z ^= Z >> 30;
+  Z *= 0xbf58476d1ce4e5b9ull;
+  Z ^= Z >> 27;
+  Z *= 0x94d049bb133111ebull;
+  Z ^= Z >> 31;
+  return Z;
+}
+
+} // namespace simtsr
+
+#endif // SIMTSR_SUPPORT_HASH_H

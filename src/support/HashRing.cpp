@@ -1,0 +1,92 @@
+//===- HashRing.cpp - Consistent-hash ring over content keys ------------------===//
+
+#include "support/HashRing.h"
+
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace simtsr;
+
+uint64_t HashRing::vnodePoint(const std::string &Name, unsigned Index) {
+  // "name#i" with the decimal index, finalized with mix64: trivially
+  // reproducible from any language (serve_client.py computes identical
+  // points). The finalizer is load-bearing — see mix64 in support/Hash.h.
+  return mix64(fnv1a(Name + "#" + std::to_string(Index)));
+}
+
+bool HashRing::addNode(const std::string &Name) {
+  if (std::find(Nodes.begin(), Nodes.end(), Name) != Nodes.end())
+    return false;
+  Nodes.push_back(Name);
+  rebuild();
+  return true;
+}
+
+bool HashRing::removeNode(const std::string &Name) {
+  auto It = std::find(Nodes.begin(), Nodes.end(), Name);
+  if (It == Nodes.end())
+    return false;
+  Nodes.erase(It);
+  rebuild();
+  return true;
+}
+
+void HashRing::rebuild() {
+  // Full rebuild on membership change: membership changes are rare (a
+  // shard joining or dying), lookups are hot — keep the lookup structure
+  // a flat sorted vector.
+  Ring.clear();
+  Ring.reserve(Nodes.size() * Vnodes);
+  for (uint32_t N = 0; N < Nodes.size(); ++N)
+    for (uint32_t V = 0; V < Vnodes; ++V)
+      Ring.push_back({vnodePoint(Nodes[N], V), N, V});
+  std::sort(Ring.begin(), Ring.end(), [this](const Point &A, const Point &B) {
+    if (A.Hash != B.Hash)
+      return A.Hash < B.Hash;
+    // Hash ties (vanishingly rare, but membership must stay a pure
+    // function of the node set): order by name, then replica index.
+    if (Nodes[A.Node] != Nodes[B.Node])
+      return Nodes[A.Node] < Nodes[B.Node];
+    return A.Vnode < B.Vnode;
+  });
+}
+
+const HashRing::Point &HashRing::firstAt(uint64_t Key) const {
+  assert(!Ring.empty() && "lookup on an empty ring");
+  auto It = std::lower_bound(
+      Ring.begin(), Ring.end(), Key,
+      [](const Point &P, uint64_t K) { return P.Hash < K; });
+  if (It == Ring.end())
+    It = Ring.begin(); // Wrap past the highest point.
+  return *It;
+}
+
+const std::string &HashRing::lookup(uint64_t Key) const {
+  // Keys get the same finalizer as the vnode points: both sides of the
+  // ordering comparison must be uniformly spread over the ring.
+  return Nodes[firstAt(mix64(Key)).Node];
+}
+
+const std::string &HashRing::lookupSuccessor(uint64_t Key,
+                                             const std::string &Skip) const {
+  assert(!Ring.empty() && "lookup on an empty ring");
+  const uint64_t Mixed = mix64(Key);
+  auto It = std::lower_bound(
+      Ring.begin(), Ring.end(), Mixed,
+      [](const Point &P, uint64_t K) { return P.Hash < K; });
+  if (It == Ring.end())
+    It = Ring.begin();
+  // Walk clockwise to the first vnode of a different node. Bounded by the
+  // ring size: with a single member every point belongs to Skip.
+  for (size_t Step = 0; Step < Ring.size(); ++Step) {
+    const std::string &Owner = Nodes[It->Node];
+    if (Owner != Skip)
+      return Owner;
+    ++It;
+    if (It == Ring.end())
+      It = Ring.begin();
+  }
+  return Nodes[firstAt(Mixed).Node];
+}

@@ -1,0 +1,96 @@
+//===- HashRing.h - Consistent-hash ring over content keys -----*- C++ -*-===//
+///
+/// \file
+/// The key→shard mapping behind sharded serving (serve/Router.h): a
+/// consistent-hash ring with virtual nodes, keyed on the same FNV-1a
+/// content digests the serve caches use (support/Hash.h). Two properties
+/// make it the right router for a fleet of cache shards:
+///
+///  - **Determinism.** Node positions are FNV-1a of "name#vnode" and
+///    lookups walk a sorted ring, so every router instance — the C++
+///    Router, scripts/serve_client.py, a test on another platform — maps
+///    any key to the same shard given the same membership. No process
+///    state, clocks or pointers participate.
+///
+///  - **Minimal remap.** Adding or removing one node moves only the keys
+///    that land on (or leave) that node's arcs — about 1/N of the space —
+///    and never moves a key between two surviving nodes. For a cache
+///    fleet that is the difference between warming one shard and
+///    stampeding all of them.
+///
+/// Virtual nodes (default 64 per node) bound the arc-length variance so
+/// the shards load-balance within a small factor of uniform; the
+/// distribution bound is asserted in tests/support/HashRingTest.cpp.
+///
+/// Ties (two vnodes hashing to the same point) are broken by node name,
+/// then vnode index, keeping the ring a deterministic function of its
+/// membership on every platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_SUPPORT_HASHRING_H
+#define SIMTSR_SUPPORT_HASHRING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class HashRing {
+public:
+  /// Default virtual nodes per node. scripts/serve_client.py mirrors this
+  /// value; change both together or routing diverges between clients.
+  static constexpr unsigned DefaultVnodes = 64;
+
+  explicit HashRing(unsigned VnodesPerNode = DefaultVnodes)
+      : Vnodes(VnodesPerNode ? VnodesPerNode : 1) {}
+
+  /// Adds \p Name to the ring (no-op when already present). Returns true
+  /// when the membership changed.
+  bool addNode(const std::string &Name);
+
+  /// Removes \p Name from the ring. Returns true when it was a member.
+  bool removeNode(const std::string &Name);
+
+  bool empty() const { return Nodes.empty(); }
+  size_t size() const { return Nodes.size(); }
+  unsigned vnodesPerNode() const { return Vnodes; }
+
+  /// Member names in insertion order (the router reports per-shard stats
+  /// in this order).
+  const std::vector<std::string> &nodes() const { return Nodes; }
+
+  /// The node owning \p Key: the first vnode at or clockwise of the key's
+  /// point on the ring. Must not be called on an empty ring.
+  const std::string &lookup(uint64_t Key) const;
+
+  /// The next distinct node clockwise of \p Key after \p Skip failed —
+  /// the deterministic failover target. Returns \p Skip itself only when
+  /// it is the sole member.
+  const std::string &lookupSuccessor(uint64_t Key,
+                                     const std::string &Skip) const;
+
+  /// The ring position of one virtual node: fnv1a("name#i"). Exposed so
+  /// tests and other-language clients can pin the exact placement.
+  static uint64_t vnodePoint(const std::string &Name, unsigned Index);
+
+private:
+  struct Point {
+    uint64_t Hash;
+    uint32_t Node;   ///< Index into Nodes.
+    uint32_t Vnode;  ///< Which virtual replica, for deterministic ties.
+  };
+
+  /// First ring point at or after \p Key (wrapping).
+  const Point &firstAt(uint64_t Key) const;
+  void rebuild();
+
+  unsigned Vnodes;
+  std::vector<std::string> Nodes;
+  std::vector<Point> Ring; ///< Sorted by (Hash, node name, Vnode).
+};
+
+} // namespace simtsr
+
+#endif // SIMTSR_SUPPORT_HASHRING_H

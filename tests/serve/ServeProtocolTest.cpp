@@ -172,7 +172,7 @@ TEST(ServeProtocolTest, StatsResponseGolden) {
   S.P99Micros = 30;
   EXPECT_EQ(
       renderStatsResponse(R, S),
-      R"({"id":1,"ok":true,"op":"stats","schema":"simtsr-serve-v1",)"
+      R"({"id":1,"ok":true,"op":"stats","schema":"simtsr-serve-v2",)"
       R"("requests":12,"rejected":2,"queue_depth":1,"queue_limit":64,)"
       R"("timeouts":1,"degraded":true,)"
       R"("compile_cache":{"hits":3,"misses":5,"entries":2,"evictions":1},)"

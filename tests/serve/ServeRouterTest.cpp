@@ -1,0 +1,393 @@
+//===- ServeRouterTest.cpp - consistent-hash shard routing --------------------===//
+///
+/// \file
+/// The sharded-serving contract (serve/Router.h): requests route by
+/// content key to the owning shard and come back bit-identical to local
+/// execution; module references route to the shard that compiled them; a
+/// dead, dying or fault-dropped shard degrades to local execution, never
+/// to a wrong or missing answer; and the "cluster" verb reports the
+/// fleet. Shards are real serve::Server instances on AF_UNIX sockets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Router.h"
+#include "serve/Server.h"
+#include "support/FaultInject.h"
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace simtsr;
+using namespace simtsr::serve;
+
+namespace {
+
+const char *TinyKernel = R"(memory 64
+
+func @k(0) {
+entry:
+  %0 = tid
+  store %0, %0
+  ret
+}
+)";
+
+// A second kernel so two requests can hash to (potentially) different
+// shards and fallback tests can use a cold key.
+const char *TinyKernel2 = R"(memory 64
+
+func @k2(0) {
+entry:
+  %0 = tid
+  %1 = add %0, 7
+  store %1, %0
+  ret
+}
+)";
+
+std::string field(const std::string &Response, const std::string &Key) {
+  const JsonParseResult J = parseJson(Response);
+  if (!J.ok() || !J.Value.isObject())
+    return "<unparseable>";
+  const JsonValue *V = J.Value.field(Key);
+  if (!V)
+    return "<missing>";
+  if (V->isString())
+    return V->asString();
+  if (V->isBool())
+    return V->asBool() ? "true" : "false";
+  if (V->isIntegral())
+    return std::to_string(V->asInt());
+  return "<other>";
+}
+
+std::string compileReq(int64_t Id, const char *Source = TinyKernel) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(Id);
+  W.key("op");
+  W.string("compile");
+  W.key("source");
+  W.string(Source);
+  W.endObject();
+  return W.take();
+}
+
+std::string simulateReq(int64_t Id, const char *Source = TinyKernel) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(Id);
+  W.key("op");
+  W.string("simulate");
+  W.key("source");
+  W.string(Source);
+  W.key("warps");
+  W.numberUnsigned(2);
+  W.endObject();
+  return W.take();
+}
+
+std::string simulateByModuleReq(int64_t Id, const std::string &ModuleKey) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(Id);
+  W.key("op");
+  W.string("simulate");
+  W.key("module");
+  W.string(ModuleKey);
+  W.key("warps");
+  W.numberUnsigned(2);
+  W.endObject();
+  return W.take();
+}
+
+struct ScopedFaults {
+  explicit ScopedFaults(const std::string &Spec) {
+    std::string Error;
+    EXPECT_TRUE(FaultInjector::parse(Spec, FI, Error)) << Error;
+    Prev = FaultInjector::install(&FI);
+  }
+  ~ScopedFaults() { FaultInjector::install(Prev); }
+  FaultInjector FI;
+  FaultInjector *Prev = nullptr;
+};
+
+/// Hermetic base: a disarmed injector for every test so a SIMTSR_FAULTS
+/// environment cannot leak in; fault tests install their own on top.
+struct ServeRouterTest : ::testing::Test {
+  ScopedFaults Hermetic{""};
+};
+
+struct TempDir {
+  TempDir() {
+    char Buf[] = "/tmp/simtsr-route-XXXXXX";
+    Path = ::mkdtemp(Buf);
+    EXPECT_FALSE(Path.empty());
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string Path;
+};
+
+/// One shard: a Server on an AF_UNIX socket in its own thread.
+struct Shard {
+  explicit Shard(const std::string &Sock, ServerOptions Opts = {})
+      : Sock(Sock), S(Opts), T([this] { Result = S.serveUnixSocket(this->Sock); }) {
+    // Wait until the listener accepts (the thread races us to bind).
+    for (int I = 0; I < 500; ++I) {
+      const int Fd = connectToAddress(this->Sock, 100);
+      if (Fd >= 0) {
+        ::close(Fd);
+        Up = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_TRUE(Up);
+  }
+
+  ~Shard() { stop(); }
+
+  /// Sends a shutdown request (idempotent) and joins the serve thread.
+  void stop() {
+    if (!T.joinable())
+      return;
+    const int Fd = connectToAddress(Sock, 200);
+    if (Fd >= 0) {
+      const std::string Line = "{\"id\":0,\"op\":\"shutdown\"}\n";
+      [[maybe_unused]] const ssize_t W =
+          ::send(Fd, Line.data(), Line.size(), MSG_NOSIGNAL);
+      // Wait for the response/EOF so the drain completes before close.
+      char Buf[256];
+      while (::recv(Fd, Buf, sizeof(Buf), 0) > 0) {
+      }
+      ::close(Fd);
+    }
+    T.join();
+  }
+
+  std::string Sock;
+  Server S;
+  int Result = -1;
+  bool Up = false;
+  std::thread T;
+};
+
+ServerOptions routedOptions(const std::vector<std::string> &Shards,
+                            bool Verify = false) {
+  ServerOptions O;
+  O.RouteShards = Shards;
+  O.RouteTimeoutMillis = 2000;
+  O.RouteVerify = Verify;
+  return O;
+}
+
+TEST_F(ServeRouterTest, RouteKeyMatchesCompileKeyForBothRequestForms) {
+  const RequestParse Src = parseRequest(compileReq(1));
+  ASSERT_TRUE(Src.ok());
+  const uint64_t SrcKey = routeKey(Src.R);
+  EXPECT_EQ(SrcKey, compileKeyNamed(TinyKernel, "pdom", 8));
+
+  // A simulate naming the module the compile returned routes identically.
+  Server Local;
+  const std::string Module = field(Local.handle(compileReq(2)), "module");
+  const RequestParse ByMod = parseRequest(simulateByModuleReq(3, Module));
+  ASSERT_TRUE(ByMod.ok());
+  EXPECT_EQ(routeKey(ByMod.R), SrcKey);
+}
+
+TEST_F(ServeRouterTest, ForwardedAnswersAreBitIdenticalToLocal) {
+  TempDir Dir;
+  Shard S0(Dir.Path + "/s0.sock");
+  Shard S1(Dir.Path + "/s1.sock");
+  Server Router(routedOptions({S0.Sock, S1.Sock}));
+  Server Local;
+
+  const std::string RC = Router.handle(compileReq(1));
+  const std::string LC = Local.handle(compileReq(1));
+  EXPECT_EQ(field(RC, "ok"), "true");
+  EXPECT_EQ(field(RC, "module"), field(LC, "module"));
+  EXPECT_EQ(field(RC, "post_digest"), field(LC, "post_digest"));
+
+  const std::string RS = Router.handle(simulateReq(2));
+  const std::string LS = Local.handle(simulateReq(2));
+  EXPECT_EQ(field(RS, "ok"), "true");
+  EXPECT_EQ(field(RS, "checksum"), field(LS, "checksum"));
+  EXPECT_EQ(field(RS, "trace_digest"), field(LS, "trace_digest"));
+
+  // The work actually happened remotely, not via silent fallback: the
+  // router's own caches never saw these keys.
+  const ClusterSnapshot C = Router.clusterSnapshot();
+  EXPECT_EQ(C.LocalFallbacks, 0u);
+  uint64_t Forwarded = 0, ShardRequests = 0;
+  for (const ShardClusterStat &Row : C.Shards) {
+    EXPECT_TRUE(Row.Reachable) << Row.Address;
+    Forwarded += Row.Forwarded;
+    ShardRequests += Row.Requests;
+  }
+  EXPECT_EQ(Forwarded, 2u);
+  EXPECT_GE(ShardRequests, 2u);
+}
+
+TEST_F(ServeRouterTest, ModuleReferenceRoutesToTheCompilingShard) {
+  TempDir Dir;
+  Shard S0(Dir.Path + "/s0.sock");
+  Shard S1(Dir.Path + "/s1.sock");
+  Shard S2(Dir.Path + "/s2.sock");
+  Server Router(routedOptions({S0.Sock, S1.Sock, S2.Sock}));
+
+  for (const char *Src : {TinyKernel, TinyKernel2}) {
+    const std::string RC = Router.handle(compileReq(1, Src));
+    ASSERT_EQ(field(RC, "ok"), "true");
+    // The follow-up by module key must land on the shard holding the
+    // compiled entry — "unknown_module" here would mean routing skew.
+    const std::string RS =
+        Router.handle(simulateByModuleReq(2, field(RC, "module")));
+    EXPECT_EQ(field(RS, "ok"), "true") << RS;
+    EXPECT_NE(field(RS, "error"), "unknown_module");
+  }
+  EXPECT_EQ(Router.clusterSnapshot().LocalFallbacks, 0u);
+}
+
+TEST_F(ServeRouterTest, DeadShardFallsBackToLocalExecution) {
+  TempDir Dir;
+  // Nothing listens on either address.
+  Server Router(
+      routedOptions({Dir.Path + "/dead0.sock", Dir.Path + "/dead1.sock"}));
+  Server Local;
+
+  const std::string R = Router.handle(simulateReq(1));
+  EXPECT_EQ(field(R, "ok"), "true");
+  EXPECT_EQ(field(R, "checksum"), field(Local.handle(simulateReq(1)),
+                                        "checksum"));
+
+  const ClusterSnapshot C = Router.clusterSnapshot();
+  EXPECT_EQ(C.LocalFallbacks, 1u);
+  for (const ShardClusterStat &Row : C.Shards)
+    EXPECT_FALSE(Row.Reachable);
+}
+
+TEST_F(ServeRouterTest, ShardDeathMidSessionFallsBackAndStaysCorrect) {
+  TempDir Dir;
+  auto S0 = std::make_unique<Shard>(Dir.Path + "/s0.sock");
+  const std::string Sock = S0->Sock;
+  Server Router(routedOptions({Sock}));
+  Server Local;
+
+  EXPECT_EQ(field(Router.handle(compileReq(1)), "ok"), "true");
+  // The shard dies between requests; its socket file disappears with it.
+  S0.reset();
+
+  const std::string R = Router.handle(simulateReq(2, TinyKernel2));
+  EXPECT_EQ(field(R, "ok"), "true");
+  EXPECT_EQ(field(R, "checksum"),
+            field(Local.handle(simulateReq(2, TinyKernel2)), "checksum"));
+  EXPECT_GE(Router.clusterSnapshot().LocalFallbacks, 1u);
+}
+
+TEST_F(ServeRouterTest, InjectedConnectionDropsFallBackToLocal) {
+  TempDir Dir;
+  Shard S0(Dir.Path + "/s0.sock");
+  Server Router(routedOptions({S0.Sock}));
+
+  // Every FdBuf I/O now reports the connection reset — the transport is
+  // gone even though the shard process is alive. Requests must degrade to
+  // local execution, not error out.
+  ScopedFaults Faults("drop:1");
+  const std::string R = Router.handle(simulateReq(1));
+  EXPECT_EQ(field(R, "ok"), "true");
+  EXPECT_EQ(field(R, "status"), "finished");
+
+  // Disarm before teardown so the shutdown handshake works again.
+  ScopedFaults Clean("");
+  const ClusterSnapshot C = Router.clusterSnapshot();
+  EXPECT_GE(C.LocalFallbacks, 1u);
+  ASSERT_EQ(C.Shards.size(), 1u);
+  EXPECT_GE(C.Shards[0].Errors, 1u);
+}
+
+TEST_F(ServeRouterTest, RouteVerifyPassesAgainstAnHonestShard) {
+  TempDir Dir;
+  Shard S0(Dir.Path + "/s0.sock");
+  Server Router(routedOptions({S0.Sock}, /*Verify=*/true));
+
+  EXPECT_EQ(field(Router.handle(compileReq(1)), "ok"), "true");
+  EXPECT_EQ(field(Router.handle(simulateReq(2)), "ok"), "true");
+  EXPECT_EQ(Router.clusterSnapshot().VerifyFailures, 0u);
+}
+
+TEST_F(ServeRouterTest, ClusterVerbRendersFleetAndLocalStats) {
+  TempDir Dir;
+  Shard S0(Dir.Path + "/s0.sock");
+  Server Router(routedOptions({S0.Sock, Dir.Path + "/dead.sock"}));
+
+  EXPECT_EQ(field(Router.handle(simulateReq(1)), "ok"), "true");
+  const std::string C = Router.handle("{\"id\":7,\"op\":\"cluster\"}");
+  const JsonParseResult J = parseJson(C);
+  ASSERT_TRUE(J.ok()) << C;
+  EXPECT_EQ(field(C, "op"), "cluster");
+  EXPECT_EQ(field(C, "ok"), "true");
+  EXPECT_EQ(field(C, "schema"), "simtsr-serve-v2");
+  EXPECT_EQ(field(C, "routing"), "true");
+
+  const JsonValue *Fleet = J.Value.field("fleet");
+  ASSERT_TRUE(Fleet && Fleet->isObject());
+  EXPECT_EQ(Fleet->field("shards")->asInt(), 2);
+  EXPECT_EQ(Fleet->field("reachable")->asInt(), 1);
+
+  const JsonValue *Shards = J.Value.field("shards");
+  ASSERT_TRUE(Shards && Shards->isArray());
+  ASSERT_EQ(Shards->items().size(), 2u);
+
+  const JsonValue *LocalStats = J.Value.field("local");
+  ASSERT_TRUE(LocalStats && LocalStats->isObject());
+  EXPECT_TRUE(LocalStats->field("requests"));
+
+  // An unrouted server still answers the verb, with an empty fleet.
+  Server Plain;
+  const std::string P = Plain.handle("{\"id\":8,\"op\":\"cluster\"}");
+  EXPECT_EQ(field(P, "ok"), "true");
+  EXPECT_EQ(field(P, "routing"), "false");
+}
+
+TEST_F(ServeRouterTest, TcpAddressClassification) {
+  EXPECT_TRUE(isTcpAddress("127.0.0.1:9000"));
+  EXPECT_TRUE(isTcpAddress("localhost:80"));
+  EXPECT_TRUE(isTcpAddress(":9000"));
+  EXPECT_FALSE(isTcpAddress("/tmp/serve.sock"));
+  EXPECT_FALSE(isTcpAddress("/tmp/odd:name.sock"));
+  EXPECT_FALSE(isTcpAddress("plainname"));
+  EXPECT_FALSE(isTcpAddress("host:"));
+  EXPECT_FALSE(isTcpAddress("host:port"));
+}
+
+TEST_F(ServeRouterTest, ServesOverTcpLoopback) {
+  // The same poll loop behind --socket must work on a TCP listener; pick
+  // an ephemeral-range port from the PID to dodge collisions.
+  const uint16_t Port =
+      static_cast<uint16_t>(20000 + (::getpid() % 20000));
+  const std::string Addr = "127.0.0.1:" + std::to_string(Port);
+  Shard S0(Addr);
+  if (!S0.Up)
+    GTEST_SKIP() << "port " << Port << " unavailable";
+  Server Router(routedOptions({Addr}));
+  const std::string R = Router.handle(simulateReq(1));
+  EXPECT_EQ(field(R, "ok"), "true");
+  EXPECT_EQ(Router.clusterSnapshot().LocalFallbacks, 0u);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- HashRingTest.cpp - consistent-hash ring properties ---------------------===//
+//
+// The ring carries the sharded-serving routing contract (serve/Router.h,
+// scripts/serve_client.py): deterministic placement across platforms and
+// languages, bounded load imbalance, and minimal remap on membership
+// change. Each of those is pinned here — the cross-language half by
+// golden vnode points any implementation must reproduce.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+#include "support/HashRing.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace simtsr;
+
+namespace {
+
+std::vector<uint64_t> sampleKeys(size_t N) {
+  // Deterministic pseudo-keys drawn the way real route keys are made:
+  // FNV-1a of distinct content strings.
+  std::vector<uint64_t> Keys;
+  Keys.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Keys.push_back(fnv1a("workload-" + std::to_string(I)));
+  return Keys;
+}
+
+TEST(HashRingTest, LookupIsDeterministicAndMemberValued) {
+  HashRing Ring;
+  Ring.addNode("a.sock");
+  Ring.addNode("b.sock");
+  Ring.addNode("c.sock");
+  for (const uint64_t Key : sampleKeys(256)) {
+    const std::string &Owner = Ring.lookup(Key);
+    EXPECT_TRUE(Owner == "a.sock" || Owner == "b.sock" || Owner == "c.sock");
+    EXPECT_EQ(Owner, Ring.lookup(Key)) << "same key, same owner";
+  }
+}
+
+TEST(HashRingTest, MembershipIsInsertionOrderIndependent) {
+  HashRing A, B;
+  A.addNode("x");
+  A.addNode("y");
+  A.addNode("z");
+  B.addNode("z");
+  B.addNode("x");
+  B.addNode("y");
+  for (const uint64_t Key : sampleKeys(512))
+    EXPECT_EQ(A.lookup(Key), B.lookup(Key));
+}
+
+TEST(HashRingTest, DistributionIsBoundedlyUniform) {
+  // With 64 vnodes/node the arc-length variance is small; assert every
+  // node owns within 2x of its fair share over a large key sample. The
+  // bound is deliberately loose — it guards against a broken hash or a
+  // broken wrap, not statistical perfection.
+  HashRing Ring;
+  const std::vector<std::string> Nodes = {"s0", "s1", "s2", "s3"};
+  for (const std::string &N : Nodes)
+    Ring.addNode(N);
+  std::map<std::string, size_t> Count;
+  const size_t Samples = 8192;
+  for (const uint64_t Key : sampleKeys(Samples))
+    ++Count[Ring.lookup(Key)];
+  const double Fair = static_cast<double>(Samples) / Nodes.size();
+  for (const std::string &N : Nodes) {
+    EXPECT_GT(Count[N], Fair / 2) << N << " owns too little";
+    EXPECT_LT(Count[N], Fair * 2) << N << " owns too much";
+  }
+}
+
+TEST(HashRingTest, RemoveOnlyRemapsTheRemovedNodesKeys) {
+  HashRing Ring;
+  Ring.addNode("a");
+  Ring.addNode("b");
+  Ring.addNode("c");
+  const std::vector<uint64_t> Keys = sampleKeys(4096);
+  std::map<uint64_t, std::string> Before;
+  for (const uint64_t K : Keys)
+    Before[K] = Ring.lookup(K);
+
+  ASSERT_TRUE(Ring.removeNode("b"));
+  size_t Moved = 0;
+  for (const uint64_t K : Keys) {
+    const std::string &Now = Ring.lookup(K);
+    if (Before[K] == "b") {
+      // Orphaned keys must land on a surviving node...
+      EXPECT_NE(Now, "b");
+      ++Moved;
+    } else {
+      // ...and every key that was NOT on the removed node must not move
+      // at all. This is the property a plain modulo hash lacks.
+      EXPECT_EQ(Now, Before[K]);
+    }
+  }
+  EXPECT_GT(Moved, 0u) << "b owned nothing; the sample is meaningless";
+}
+
+TEST(HashRingTest, AddOnlyStealsKeysForTheNewNode) {
+  HashRing Ring;
+  Ring.addNode("a");
+  Ring.addNode("b");
+  const std::vector<uint64_t> Keys = sampleKeys(4096);
+  std::map<uint64_t, std::string> Before;
+  for (const uint64_t K : Keys)
+    Before[K] = Ring.lookup(K);
+
+  ASSERT_TRUE(Ring.addNode("c"));
+  for (const uint64_t K : Keys) {
+    const std::string &Now = Ring.lookup(K);
+    // A key either stays where it was or moves to the new node; it never
+    // moves between the two old nodes.
+    EXPECT_TRUE(Now == Before[K] || Now == "c")
+        << "key moved a->b or b->a on an unrelated membership change";
+  }
+}
+
+TEST(HashRingTest, SuccessorSkipsTheFailedNode) {
+  HashRing Ring;
+  Ring.addNode("a");
+  Ring.addNode("b");
+  Ring.addNode("c");
+  for (const uint64_t Key : sampleKeys(256)) {
+    const std::string &Primary = Ring.lookup(Key);
+    const std::string &Failover = Ring.lookupSuccessor(Key, Primary);
+    EXPECT_NE(Failover, Primary);
+    // Failover must agree with the ring the survivors would form — the
+    // successor is exactly where the key lands once the primary is gone.
+    HashRing Survivors;
+    for (const std::string &N : Ring.nodes())
+      if (N != Primary)
+        Survivors.addNode(N);
+    EXPECT_EQ(Failover, Survivors.lookup(Key));
+  }
+}
+
+TEST(HashRingTest, SingleNodeSuccessorIsItself) {
+  HashRing Ring;
+  Ring.addNode("only");
+  EXPECT_EQ(Ring.lookupSuccessor(42, "only"), "only");
+}
+
+TEST(HashRingTest, VnodePointGoldenValues) {
+  // Cross-platform / cross-language anchors: mix64(fnv1a("name#index")).
+  // scripts/serve_client.py mirrors these exact placements; if this test
+  // needs updating, the Python ring is broken too.
+  EXPECT_EQ(HashRing::vnodePoint("a", 0), mix64(fnv1a("a#0")));
+  EXPECT_EQ(HashRing::vnodePoint("shard", 63), mix64(fnv1a("shard#63")));
+  // Pin absolute values so a changed FNV constant or mix64 multiplier
+  // cannot hide behind self-consistency.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(HashRing::vnodePoint("a", 0), 0xb9b5fec617b7e565ull);
+  EXPECT_EQ(HashRing::vnodePoint("shard", 63), 0xab295eca8ca1809eull);
+}
+
+TEST(HashRingTest, DuplicateAddAndMissingRemoveAreNoops) {
+  HashRing Ring;
+  EXPECT_TRUE(Ring.addNode("a"));
+  EXPECT_FALSE(Ring.addNode("a"));
+  EXPECT_EQ(Ring.size(), 1u);
+  EXPECT_FALSE(Ring.removeNode("b"));
+  EXPECT_TRUE(Ring.removeNode("a"));
+  EXPECT_TRUE(Ring.empty());
+}
+
+} // namespace

@@ -8,12 +8,16 @@
 /// "simtsr-bench-v1", see docs/PERFORMANCE.md). scripts/bench_baseline.sh
 /// wraps this tool to produce the checked-in BENCH_baseline.json.
 ///
-/// --serve benchmarks the daemon's content-addressed cache instead: every
-/// workload is compiled and simulated through an in-process serve::Server
-/// twice — cold (cache miss, full pass stack + simulation) and warm
-/// (cache hit) — and the report (schema "simtsr-bench-serve-v1",
-/// scripts/bench_serve.sh -> BENCH_serve.json) records the speedup and
-/// proves cold and warm answers bit-identical by digest.
+/// --serve benchmarks the daemon's content-addressed cache tiers instead:
+/// every workload is compiled and simulated through serve::Server
+/// instances at four temperatures — cold (cache miss, full pass stack +
+/// simulation), warm (memory cache hit), disk (fresh daemon rehydrating a
+/// shared disk tier), and remote (a consistent-hash router forwarding to
+/// a 3-shard in-process fleet over Unix sockets) — and the report (schema
+/// "simtsr-bench-serve-v2", scripts/bench_serve.sh -> BENCH_serve.json)
+/// records the speedups and proves every tier's answers bit-identical by
+/// digest: remote hits must beat cold recompute, and post_digest /
+/// trace_digest / checksum must match across all tiers.
 ///
 /// The measured numbers (wall_ms, *_per_sec, speedups) are
 /// machine-dependent; the simulation results (cycles, issue_slots,
@@ -30,14 +34,23 @@
 #include "driver/Driver.h"
 #include "ir/Printer.h"
 #include "kernels/Runner.h"
+#include "serve/Router.h"
 #include "serve/Server.h"
+#include "support/FdBuf.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <poll.h>
+#include <unistd.h>
 
 using namespace simtsr;
 
@@ -221,10 +234,15 @@ struct ServeRow {
   double CompileWarmMs = 0.0; ///< Averaged over ServeWarmIters iterations.
   double SimColdMs = 0.0;
   double SimWarmMs = 0.0;
+  double CompileDiskMs = 0.0;   ///< Fresh daemon, shared disk tier.
+  double SimDiskMs = 0.0;
+  double CompileRemoteMs = 0.0; ///< Routed hit on a warmed shard fleet.
+  double SimRemoteMs = 0.0;
   std::string PostDigest;   ///< From the cold compile response.
   std::string TraceDigest;  ///< From the cold simulate response.
+  std::string Checksum;     ///< From the cold simulate response.
   std::string SimStatus;
-  bool Ok = false;          ///< Responses well-formed, warm == cold.
+  bool Ok = false;          ///< Responses well-formed, every tier == cold.
   std::string FailMessage;
 };
 
@@ -325,6 +343,7 @@ ServeRow measureServe(serve::Server &Server, const Workload &W,
   }
   Row.PostDigest = responseField(ColdCompile, "post_digest");
   Row.TraceDigest = responseField(ColdSim, "trace_digest");
+  Row.Checksum = responseField(ColdSim, "checksum");
   Row.SimStatus = responseField(ColdSim, "status");
 
   std::string WarmCompile, WarmSim;
@@ -352,29 +371,118 @@ ServeRow measureServe(serve::Server &Server, const Workload &W,
   return Row;
 }
 
+/// Replays one workload's compile+simulate pair against \p Server, timing
+/// both, and cross-checks the response digests against the cold-run row.
+/// On divergence the row is failed with \p Tier in the message.
+bool replayTier(serve::Server &Server, const Workload &W,
+                const driver::ToolConfig &C, int64_t &NextId, ServeRow &Row,
+                double &CompileMs, double &SimMs, const char *Tier) {
+  const std::string Source = printModule(*W.M);
+  const std::string Compile = compileRequest(NextId++, Source);
+  const std::string Simulate = simulateRequest(NextId++, Source, W, C);
+
+  auto Start = std::chrono::steady_clock::now();
+  const std::string RC = Server.handle(Compile);
+  CompileMs = msSince(Start);
+  Start = std::chrono::steady_clock::now();
+  const std::string RS = Server.handle(Simulate);
+  SimMs = msSince(Start);
+
+  if (!responseOk(RC) || !responseOk(RS) ||
+      responseField(RC, "post_digest") != Row.PostDigest ||
+      responseField(RS, "trace_digest") != Row.TraceDigest ||
+      responseField(RS, "checksum") != Row.Checksum) {
+    Row.Ok = false;
+    Row.FailMessage = std::string(Tier) + " tier diverged from cold run";
+    return false;
+  }
+  return true;
+}
+
+/// One blocking request/response round trip against a shard socket (used
+/// to shut the in-process fleet down). Returns "" on any failure.
+std::string shardRequest(const std::string &Addr, const std::string &Line) {
+  const int Fd = serve::connectToAddress(Addr, 2000);
+  if (Fd < 0)
+    return "";
+  FdBuf B(Fd);
+  B.queueLine(Line);
+  while (B.hasPendingOut()) {
+    const IoResult R = B.flushSome();
+    if (R == IoResult::Closed || R == IoResult::Eof) {
+      ::close(Fd);
+      return "";
+    }
+    if (R == IoResult::WouldBlock) {
+      pollfd P{Fd, POLLOUT, 0};
+      ::poll(&P, 1, 2000);
+    }
+  }
+  std::string Got;
+  while (!B.nextLine(Got)) {
+    pollfd P{Fd, POLLIN, 0};
+    if (::poll(&P, 1, 10'000) <= 0)
+      break;
+    const IoResult R = B.fill();
+    if (R == IoResult::Closed)
+      break;
+    if (R == IoResult::Eof) {
+      B.nextLine(Got);
+      break;
+    }
+  }
+  ::close(Fd);
+  return Got;
+}
+
+/// Polls until a shard's listener accepts connections (it starts on a
+/// separate thread). ~5 s budget; false on timeout.
+bool waitForShard(const std::string &Addr) {
+  for (int I = 0; I < 500; ++I) {
+    const int Fd = serve::connectToAddress(Addr, 100);
+    if (Fd >= 0) {
+      ::close(Fd);
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+constexpr unsigned ServeShardCount = 3;
+
 void emitServeJson(std::FILE *Out, const driver::ToolConfig &C,
                    const std::vector<ServeRow> &Rows,
                    const serve::StatsSnapshot &S) {
   double ColdC = 0, WarmC = 0, ColdS = 0, WarmS = 0;
+  double DiskC = 0, DiskS = 0, RemC = 0, RemS = 0;
   for (const ServeRow &R : Rows) {
     ColdC += R.CompileColdMs;
     WarmC += R.CompileWarmMs;
     ColdS += R.SimColdMs;
     WarmS += R.SimWarmMs;
+    DiskC += R.CompileDiskMs;
+    DiskS += R.SimDiskMs;
+    RemC += R.CompileRemoteMs;
+    RemS += R.SimRemoteMs;
   }
   const auto Speedup = [](double Cold, double Warm) {
     return Warm > 0.0 ? Cold / Warm : 0.0;
   };
 
   std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"schema\": \"simtsr-bench-serve-v1\",\n");
+  std::fprintf(Out, "  \"schema\": \"simtsr-bench-serve-v2\",\n");
   std::fprintf(Out, "  \"pipeline\": \"%s\",\n", ServePipeline);
   std::fprintf(Out, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(C.Seed));
   std::fprintf(Out, "  \"warps\": %u,\n", static_cast<unsigned>(C.Warps));
   std::fprintf(Out, "  \"scale\": %s,\n",
                formatDouble(C.Scale, "%g").c_str());
+  std::fprintf(Out, "  \"threads\": %u,\n",
+               ThreadPool::global().concurrency());
   std::fprintf(Out, "  \"warm_iters\": %d,\n", ServeWarmIters);
+  std::fprintf(Out, "  \"disk_tier\": true,\n");
+  std::fprintf(Out, "  \"shards\": %u,\n", ServeShardCount);
   std::fprintf(Out, "  \"workloads\": [\n");
   for (size_t I = 0; I < Rows.size(); ++I) {
     const ServeRow &R = Rows[I];
@@ -400,12 +508,32 @@ void emitServeJson(std::FILE *Out, const driver::ToolConfig &C,
     std::fprintf(Out, "      \"simulate_speedup\": %s,\n",
                  formatDouble(Speedup(R.SimColdMs, R.SimWarmMs), "%.1f")
                      .c_str());
+    std::fprintf(Out, "      \"compile_disk_ms\": %s,\n",
+                 formatDouble(R.CompileDiskMs, "%.3f").c_str());
+    std::fprintf(Out, "      \"simulate_disk_ms\": %s,\n",
+                 formatDouble(R.SimDiskMs, "%.3f").c_str());
+    std::fprintf(Out, "      \"compile_remote_ms\": %s,\n",
+                 formatDouble(R.CompileRemoteMs, "%.3f").c_str());
+    std::fprintf(Out, "      \"simulate_remote_ms\": %s,\n",
+                 formatDouble(R.SimRemoteMs, "%.3f").c_str());
+    // The headline tier comparison: one full workload (compile +
+    // simulate) recomputed cold vs answered by a warmed remote shard.
+    std::fprintf(Out, "      \"cold_ms\": %s,\n",
+                 formatDouble(R.CompileColdMs + R.SimColdMs, "%.3f")
+                     .c_str());
+    std::fprintf(Out, "      \"disk_hit_ms\": %s,\n",
+                 formatDouble(R.CompileDiskMs + R.SimDiskMs, "%.3f")
+                     .c_str());
+    std::fprintf(Out, "      \"remote_hit_ms\": %s,\n",
+                 formatDouble(R.CompileRemoteMs + R.SimRemoteMs, "%.3f")
+                     .c_str());
     std::fprintf(Out, "      \"sim_status\": \"%s\",\n",
                  jsonEscape(R.SimStatus).c_str());
     std::fprintf(Out, "      \"post_digest\": \"%s\",\n",
                  R.PostDigest.c_str());
-    std::fprintf(Out, "      \"trace_digest\": \"%s\"\n",
+    std::fprintf(Out, "      \"trace_digest\": \"%s\",\n",
                  R.TraceDigest.c_str());
+    std::fprintf(Out, "      \"checksum\": \"%s\"\n", R.Checksum.c_str());
     std::fprintf(Out, "    }%s\n", I + 1 < Rows.size() ? "," : "");
   }
   std::fprintf(Out, "  ],\n");
@@ -420,8 +548,17 @@ void emitServeJson(std::FILE *Out, const driver::ToolConfig &C,
                formatDouble(ColdS, "%.3f").c_str());
   std::fprintf(Out, "    \"simulate_warm_ms\": %s,\n",
                formatDouble(WarmS, "%.3f").c_str());
-  std::fprintf(Out, "    \"simulate_speedup\": %s\n",
+  std::fprintf(Out, "    \"simulate_speedup\": %s,\n",
                formatDouble(Speedup(ColdS, WarmS), "%.1f").c_str());
+  std::fprintf(Out, "    \"disk_hit_ms\": %s,\n",
+               formatDouble(DiskC + DiskS, "%.3f").c_str());
+  std::fprintf(Out, "    \"remote_hit_ms\": %s,\n",
+               formatDouble(RemC + RemS, "%.3f").c_str());
+  std::fprintf(Out, "    \"cold_ms\": %s,\n",
+               formatDouble(ColdC + ColdS, "%.3f").c_str());
+  std::fprintf(Out, "    \"remote_vs_cold_speedup\": %s\n",
+               formatDouble(Speedup(ColdC + ColdS, RemC + RemS), "%.1f")
+                   .c_str());
   std::fprintf(Out, "  },\n");
   std::fprintf(Out, "  \"cache\": {\n");
   std::fprintf(Out, "    \"compile_hits\": %llu,\n",
@@ -442,32 +579,113 @@ void emitServeTable(std::FILE *Out, const driver::ToolConfig &C,
                "==== simtsr-bench --serve: pipeline %s, %u warps, scale %g "
                "====\n",
                ServePipeline, static_cast<unsigned>(C.Warps), C.Scale);
-  std::fprintf(Out, "%-17s %12s %12s %9s %12s %12s %9s  %s\n", "benchmark",
-               "c-cold-ms", "c-warm-ms", "c-spdup", "s-cold-ms", "s-warm-ms",
-               "s-spdup", "status");
+  std::fprintf(Out, "%-17s %10s %10s %10s %10s %9s  %s\n", "benchmark",
+               "cold-ms", "warm-ms", "disk-ms", "remote-ms", "r-spdup",
+               "status");
   for (const ServeRow &R : Rows) {
-    const double CS =
-        R.CompileWarmMs > 0.0 ? R.CompileColdMs / R.CompileWarmMs : 0.0;
-    const double SS = R.SimWarmMs > 0.0 ? R.SimColdMs / R.SimWarmMs : 0.0;
-    std::fprintf(Out, "%-17s %12.3f %12.3f %8.1fx %12.3f %12.3f %8.1fx  %s%s%s\n",
-                 R.Name.c_str(), R.CompileColdMs, R.CompileWarmMs, CS,
-                 R.SimColdMs, R.SimWarmMs, SS, R.Ok ? "ok" : "FAILED",
+    const double Cold = R.CompileColdMs + R.SimColdMs;
+    const double Warm = R.CompileWarmMs + R.SimWarmMs;
+    const double Disk = R.CompileDiskMs + R.SimDiskMs;
+    const double Rem = R.CompileRemoteMs + R.SimRemoteMs;
+    std::fprintf(Out, "%-17s %10.3f %10.3f %10.3f %10.3f %8.1fx  %s%s%s\n",
+                 R.Name.c_str(), Cold, Warm, Disk, Rem,
+                 Rem > 0.0 ? Cold / Rem : 0.0, R.Ok ? "ok" : "FAILED",
                  R.FailMessage.empty() ? "" : ": ",
                  R.FailMessage.c_str());
   }
 }
 
 int runServeBench(const driver::ToolConfig &C, std::FILE *Out) {
-  serve::Server Server;
   const std::vector<Workload> Suite = makeAllWorkloads(C.Scale);
   std::vector<ServeRow> Rows;
   Rows.reserve(Suite.size());
   int64_t NextId = 1;
-  for (const Workload &W : Suite)
-    Rows.push_back(measureServe(Server, W, C, NextId));
+
+  char TmpTemplate[] = "/tmp/simtsr-bench-serve-XXXXXX";
+  const char *Tmp = ::mkdtemp(TmpTemplate);
+  if (!Tmp) {
+    std::fprintf(stderr, "simtsr-bench: cannot create a temp directory\n");
+    return 2;
+  }
+  const std::string TmpDir = Tmp;
+
+  // Tiers 1+2, cold and warm: one daemon with a disk tier under it.
+  serve::StatsSnapshot LocalStats;
+  {
+    serve::ServerOptions SO;
+    SO.DiskCacheDir = TmpDir + "/local";
+    serve::Server Server(SO);
+    for (const Workload &W : Suite)
+      Rows.push_back(measureServe(Server, W, C, NextId));
+    LocalStats = Server.statsSnapshot();
+  }
+
+  // Tier 3, disk: a fresh daemon over the same directory answers from the
+  // persisted entries alone (memory caches start empty).
+  {
+    serve::ServerOptions SO;
+    SO.DiskCacheDir = TmpDir + "/local";
+    serve::Server Server(SO);
+    for (size_t I = 0; I < Suite.size(); ++I)
+      if (Rows[I].Ok)
+        replayTier(Server, Suite[I], C, NextId, Rows[I],
+                   Rows[I].CompileDiskMs, Rows[I].SimDiskMs, "disk");
+  }
+
+  // Tier 4, remote: a 3-shard fleet on Unix sockets behind a
+  // consistent-hash router. The first routed pass warms each owning
+  // shard; the timed pass measures a remote cache hit end to end
+  // (ring lookup + forward + shard hit + response transport).
+  {
+    std::vector<std::string> ShardSocks;
+    std::vector<std::unique_ptr<serve::Server>> ShardServers;
+    std::vector<std::thread> ShardThreads;
+    bool FleetUp = true;
+    for (unsigned I = 0; I < ServeShardCount; ++I) {
+      serve::ServerOptions SO;
+      SO.DiskCacheDir = TmpDir + "/shard" + std::to_string(I);
+      ShardServers.push_back(std::make_unique<serve::Server>(SO));
+      ShardSocks.push_back(TmpDir + "/shard" + std::to_string(I) + ".sock");
+      ShardThreads.emplace_back(
+          [S = ShardServers.back().get(), Sock = ShardSocks.back()] {
+            S->serveUnixSocket(Sock);
+          });
+    }
+    for (const std::string &Sock : ShardSocks)
+      FleetUp = FleetUp && waitForShard(Sock);
+
+    if (FleetUp) {
+      serve::ServerOptions RO;
+      RO.RouteShards = ShardSocks;
+      serve::Server Router(RO);
+      double Scratch1 = 0, Scratch2 = 0;
+      for (size_t I = 0; I < Suite.size(); ++I)
+        if (Rows[I].Ok)
+          replayTier(Router, Suite[I], C, NextId, Rows[I], Scratch1,
+                     Scratch2, "remote-warmup");
+      for (size_t I = 0; I < Suite.size(); ++I)
+        if (Rows[I].Ok)
+          replayTier(Router, Suite[I], C, NextId, Rows[I],
+                     Rows[I].CompileRemoteMs, Rows[I].SimRemoteMs,
+                     "remote");
+    } else {
+      for (ServeRow &R : Rows) {
+        R.Ok = false;
+        R.FailMessage = "shard fleet did not come up";
+      }
+    }
+
+    for (const std::string &Sock : ShardSocks)
+      shardRequest(Sock, "{\"id\":999999,\"op\":\"shutdown\"}");
+    for (std::thread &T : ShardThreads)
+      T.join();
+  }
+
+  std::error_code EC;
+  std::filesystem::remove_all(TmpDir, EC);
 
   if (C.Json)
-    emitServeJson(Out, C, Rows, Server.statsSnapshot());
+    emitServeJson(Out, C, Rows, LocalStats);
   else
     emitServeTable(Out, C, Rows);
   for (const ServeRow &R : Rows)

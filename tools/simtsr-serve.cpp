@@ -2,11 +2,17 @@
 ///
 /// \file
 /// Long-lived front end for the serve subsystem (docs/SERVE.md): reads
-/// JSON-lines requests — compile, simulate, lint, stats, shutdown — from
-/// stdin (default) or a Unix stream socket (--socket), answers each with
-/// one JSON response line, and keeps content-addressed compile/simulate
-/// caches across requests so repeated work is answered without re-running
-/// the pass stack or the simulator.
+/// JSON-lines requests — compile, simulate, lint, stats, cluster,
+/// shutdown — from stdin (default) or a stream socket (--socket, Unix
+/// path or host:port), answers each with one JSON response line, and
+/// keeps content-addressed compile/simulate caches across requests so
+/// repeated work is answered without re-running the pass stack or the
+/// simulator.
+///
+/// With --route A,B,... the daemon becomes a shard router: each request
+/// is hashed by content key onto a consistent-hash ring over the shard
+/// addresses and forwarded verbatim; a dead or shedding shard falls back
+/// to local execution, so the router alone is a fully working server.
 ///
 /// A quick session:
 ///
@@ -30,10 +36,26 @@ using namespace simtsr;
 int main(int Argc, char **Argv) {
   serve::ServerOptions Opts;
   std::string Socket;
+  std::string RouteList;
+  uint64_t RouteVnodes = 64;
 
   driver::ArgParser P("simtsr-serve");
-  P.str("--socket", "PATH",
-        "listen on a Unix stream socket instead of stdin/stdout", &Socket);
+  P.str("--socket", "ADDR",
+        "listen on a Unix socket path or host:port instead of stdin/stdout",
+        &Socket);
+  P.str("--route", "A,B,...",
+        "router mode: forward requests to these shard addresses by "
+        "content key (Unix paths or host:port)",
+        &RouteList);
+  P.uns("--route-vnodes", "N",
+        "virtual nodes per shard on the routing ring (default 64)",
+        &RouteVnodes, 1, 1u << 12);
+  P.uns("--route-timeout-ms", "N",
+        "per-forward deadline before local fallback (default 5000)",
+        &Opts.RouteTimeoutMillis, 1, 600'000);
+  P.flag("--route-verify",
+         "re-execute forwarded requests locally and cross-check digests",
+         &Opts.RouteVerify);
   P.uns("--queue-depth", "N",
         "max in-flight requests before load shedding (default 64)",
         &Opts.QueueDepth, 0, 1u << 16);
@@ -61,6 +83,15 @@ int main(int Argc, char **Argv) {
     return 0;
   case driver::ArgParser::Result::Error:
     return 1;
+  }
+
+  Opts.RouteVnodes = static_cast<unsigned>(RouteVnodes);
+  for (size_t Pos = 0; Pos < RouteList.size();) {
+    const size_t Comma = RouteList.find(',', Pos);
+    const size_t End = Comma == std::string::npos ? RouteList.size() : Comma;
+    if (End > Pos)
+      Opts.RouteShards.push_back(RouteList.substr(Pos, End - Pos));
+    Pos = End + 1;
   }
 
   serve::Server Server(Opts);
