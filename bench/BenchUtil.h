@@ -67,6 +67,8 @@ inline const char *statusName(RunResult::Status S) {
     return "TIMEOUT";
   case RunResult::Status::Malformed:
     return "MALFORMED";
+  case RunResult::Status::ProgressLivelock:
+    return "LIVELOCK";
   }
   return "?";
 }

@@ -45,7 +45,8 @@ void usage(const char *Argv0) {
                "[--seed N] [--policy maxconv|minpc|rr] [--memory-bound]\n"
                "            [--auto] [--profile-guided] [--realloc] "
                "[--simplify] [--timeline] [--warp-size N]\n"
-               "            [--inline FUNC] [--unroll HEADER:N]\n",
+               "            [--inline FUNC] [--unroll HEADER:N] "
+               "[--progress fair|hsa|obe[:N]|bounded[:K]]\n",
                Argv0);
 }
 
@@ -73,6 +74,7 @@ int main(int Argc, char **Argv) {
   unsigned WarpSize = 32;
   uint64_t Seed = 1;
   SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
+  ProgressSpec Progress;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -124,6 +126,12 @@ int main(int Argc, char **Argv) {
         Policy = SchedulerPolicy::RoundRobin;
       else {
         std::fprintf(stderr, "error: unknown policy '%s'\n", P.c_str());
+        return 1;
+      }
+    } else if (Arg == "--progress") {
+      const char *V = needValue("--progress");
+      if (!parseProgressSpec(V, Progress)) {
+        std::fprintf(stderr, "error: bad progress spec '%s'\n", V);
         return 1;
       }
     } else if (Arg.rfind("--", 0) == 0) {
@@ -308,6 +316,7 @@ int main(int Argc, char **Argv) {
   LaunchConfig Config;
   Config.Seed = Seed;
   Config.Policy = Policy;
+  Config.Progress = Progress;
   Config.WarpSize = WarpSize;
   Config.Latency =
       MemoryBound ? LatencyModel::memoryBound() : LatencyModel::computeBound();

@@ -66,6 +66,15 @@ void simtsr::driver::addPolicyFlag(ArgParser &P, ToolConfig &C) {
            });
 }
 
+void simtsr::driver::addProgressFlag(ArgParser &P, ToolConfig &C) {
+  P.custom("--progress", "M",
+           "forward-progress model: fair | hsa | obe[:slots] | bounded[:K] "
+           "(default fair; see docs/PROGRESS.md)",
+           [&C](const std::string &V) {
+             return parseProgressSpec(V, C.Progress);
+           });
+}
+
 void simtsr::driver::addWorkloadFlags(ArgParser &P, ToolConfig &C) {
   P.flag("--workloads", "include the Table 2 workload suite",
          &C.Workloads);

@@ -54,6 +54,8 @@ struct ToolConfig {
   std::string Pipeline = "none";
   /// --policy.
   SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
+  /// --progress: forward-progress model (fair, hsa, obe[:N], bounded[:K]).
+  ProgressSpec Progress;
   /// --workloads: include the Table 2 suite in the input set.
   bool Workloads = false;
   /// --json: machine-readable output.
@@ -72,6 +74,8 @@ struct ToolConfig {
 void addPipelineFlags(ArgParser &P, ToolConfig &C);
 /// Registers --policy.
 void addPolicyFlag(ArgParser &P, ToolConfig &C);
+/// Registers --progress (docs/PROGRESS.md has the model semantics).
+void addProgressFlag(ArgParser &P, ToolConfig &C);
 /// Registers --workloads and --scale.
 void addWorkloadFlags(ArgParser &P, ToolConfig &C);
 /// Registers --corpus and --start-seed.

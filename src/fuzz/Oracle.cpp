@@ -39,6 +39,8 @@ const char *simtsr::getFailureKindName(FailureKind K) {
     return "malformed";
   case FailureKind::LintMismatch:
     return "lint-mismatch";
+  case FailureKind::ProgressLivelock:
+    return "progress-livelock";
   }
   return "unknown";
 }
@@ -128,8 +130,41 @@ FailureKind kindForStatus(RunResult::Status St) {
     return FailureKind::Timeout;
   case RunResult::Status::Malformed:
     return FailureKind::Malformed;
+  case RunResult::Status::ProgressLivelock:
+    return FailureKind::ProgressLivelock;
   }
   return FailureKind::Trap;
+}
+
+/// Weak-model failure statuses that mean "the kernel needs more fairness
+/// than the model guarantees", not "the compile is wrong": the weakest
+/// conforming scheduler starved it — either outright (ProgressLivelock,
+/// Deadlock) or into the issue-slot/wall-clock guards. Traps and checksum
+/// mismatches are never classifiable: KernelGen kernels are trap- and
+/// race-free, so those stay schedule-independent under any scheduler.
+bool isClassifiableUnderWeakModel(RunResult::Status St) {
+  return St == RunResult::Status::ProgressLivelock ||
+         St == RunResult::Status::Deadlock ||
+         St == RunResult::Status::IssueLimit ||
+         St == RunResult::Status::Timeout;
+}
+
+/// Model axis normalized per the OracleOptions contract: never empty, fair
+/// always first (it establishes the baseline and the reference checksum).
+std::vector<ProgressSpec> progressModels(const OracleOptions &Opts) {
+  std::vector<ProgressSpec> Models = Opts.ProgressModels;
+  if (Models.empty() || !Models.front().isFair())
+    Models.insert(Models.begin(), ProgressSpec{});
+  return Models;
+}
+
+/// "config/policy" for fair runs (byte-identical to the legacy labels) and
+/// "config/policy/model" once the progress axis is in play.
+std::string runLabel(const std::string &Config, const OracleRun &Run) {
+  std::string Label = Config + "/" + getPolicyName(Run.Policy);
+  if (!Run.Progress.isFair())
+    Label += "/" + formatProgressSpec(Run.Progress);
+  return Label;
 }
 
 constexpr SchedulerPolicy OraclePolicies[] = {SchedulerPolicy::MaxConvergence,
@@ -165,6 +200,10 @@ struct ConfigOutcome {
   std::string StageDetail;
   LintVerdict Lint;
   std::vector<PolicyRecord> Runs;
+  /// True when the run loop stopped early on a genuine failure — anything
+  /// the in-order replay turns into a verdict. Classified weak-model
+  /// livelocks do not stop the sweep and do not set this.
+  bool Stopped = false;
 };
 
 /// Runs one configuration end to end: fresh parse, pipeline, post-pass
@@ -224,41 +263,55 @@ ConfigOutcome runOracleConfig(const std::string &SirText,
   // Verify once for the three policy runs (injection may have changed the
   // module, so this happens after it); each simulator reuses the result.
   const LaunchVerification Verification = verifyLaunchModule(M);
+  const std::vector<ProgressSpec> Models = progressModels(Opts);
   bool HaveRef = RefChecksum != nullptr;
   uint64_t Ref = RefChecksum ? *RefChecksum : 0;
   for (SchedulerPolicy Policy : OraclePolicies) {
-    LaunchConfig Config;
-    Config.WarpSize = Opts.WarpSize;
-    Config.Seed = Opts.SimSeed;
-    Config.Policy = Policy;
-    Config.MaxIssueSlots = Opts.MaxIssueSlots;
-    Config.MaxWallMillis = Opts.MaxWallMillis;
-    Config.Verified = &Verification;
-    Config.CollectTraceDigest = Opts.CollectTraceDigests;
+    for (const ProgressSpec &PS : Models) {
+      LaunchConfig Config;
+      Config.WarpSize = Opts.WarpSize;
+      Config.Seed = Opts.SimSeed;
+      Config.Policy = Policy;
+      Config.Progress = PS;
+      Config.MaxIssueSlots = Opts.MaxIssueSlots;
+      Config.MaxWallMillis = Opts.MaxWallMillis;
+      Config.Verified = &Verification;
+      Config.CollectTraceDigest = Opts.CollectTraceDigests;
 
-    WarpSimulator Sim(M, M.functionByName("kernel"), Config);
-    RunResult Run = Sim.run();
+      WarpSimulator Sim(M, M.functionByName("kernel"), Config);
+      RunResult Run = Sim.run();
 
-    PolicyRecord Record;
-    Record.Run.Config = Spec.Name;
-    Record.Run.Policy = Policy;
-    Record.Run.St = Run.St;
-    Record.Run.Checksum = Sim.memoryChecksum();
-    Record.Run.TraceDigest = Run.TraceDigest;
-    Record.TrapMessage = Run.TrapMessage;
-    const uint64_t Checksum = Record.Run.Checksum;
-    Out.Runs.push_back(std::move(Record));
-    // The in-order replay never reads past a config's first failure or
-    // checksum divergence (the sequential loop would have stopped there),
-    // so later policies of a doomed config — often slow issue-limit or
-    // watchdog runs — are skipped, not just discarded.
-    if (!Run.ok())
-      break;
-    if (!HaveRef) {
-      HaveRef = true;
-      Ref = Checksum;
-    } else if (Checksum != Ref) {
-      break;
+      PolicyRecord Record;
+      Record.Run.Config = Spec.Name;
+      Record.Run.Policy = Policy;
+      Record.Run.Progress = PS;
+      Record.Run.St = Run.St;
+      Record.Run.Checksum = Sim.memoryChecksum();
+      Record.Run.TraceDigest = Run.TraceDigest;
+      Record.TrapMessage = Run.TrapMessage;
+      const uint64_t Checksum = Record.Run.Checksum;
+      Out.Runs.push_back(std::move(Record));
+      // The in-order replay never reads past a config's first genuine
+      // failure or checksum divergence (the sequential loop would have
+      // stopped there), so later runs of a doomed config — often slow
+      // issue-limit or watchdog runs — are skipped, not just discarded.
+      // A classified weak-model livelock is not genuine: the sweep keeps
+      // going, exactly as the replay keeps reading past its record.
+      if (!Run.ok()) {
+        if (!PS.isFair() && isClassifiableUnderWeakModel(Run.St) &&
+            Opts.OnProgressLivelock ==
+                OracleOptions::ProgressVerdict::Classify)
+          continue;
+        Out.Stopped = true;
+        return Out;
+      }
+      if (!HaveRef) {
+        HaveRef = true;
+        Ref = Checksum;
+      } else if (Checksum != Ref) {
+        Out.Stopped = true;
+        return Out;
+      }
     }
   }
   return Out;
@@ -309,15 +362,32 @@ OracleResult replayInOrder(const std::vector<ConfigSpec> &Specs,
       return Result;
     }
     for (const PolicyRecord &Record : Out.Runs) {
-      const std::string Label =
-          Specs[I].Name + "/" + getPolicyName(Record.Run.Policy);
+      const std::string Label = runLabel(Specs[I].Name, Record.Run);
       Result.Runs.push_back(Record.Run);
       if (Record.Run.St != RunResult::Status::Finished) {
-        const FailureKind K = kindForStatus(Record.Run.St);
         const std::string SimDetail =
             "config " + Label + ": " + getRunStatusName(Record.Run.St) +
             (Record.TrapMessage.empty() ? "" : ": " + Record.TrapMessage);
-        if (isBarrierFailure(K, Record.TrapMessage) && Out.Lint.cleanBill()) {
+        if (!Record.Run.Progress.isFair() &&
+            isClassifiableUnderWeakModel(Record.Run.St)) {
+          if (Opts.OnProgressLivelock ==
+              OracleOptions::ProgressVerdict::Classify) {
+            // The kernel needs more fairness than the model guarantees —
+            // record it and keep sweeping; the compile is still correct.
+            Result.ProgressLivelocks.push_back(SimDetail);
+            continue;
+          }
+          // Fail verdict: the weak-model-only failure IS the finding
+          // (what the shrinker minimizes into a progress repro).
+          Result.Kind = FailureKind::ProgressLivelock;
+          Result.Detail = SimDetail;
+          return Result;
+        }
+        const FailureKind K = kindForStatus(Record.Run.St);
+        // The lint models fair scheduling, so only a fair-run barrier
+        // failure can contradict its clean bill.
+        if (Record.Run.Progress.isFair() &&
+            isBarrierFailure(K, Record.TrapMessage) && Out.Lint.cleanBill()) {
           Result.Kind = FailureKind::LintMismatch;
           Result.Detail = SimDetail +
                           ", but the static analyzer gave this module a "
@@ -373,6 +443,7 @@ std::unique_ptr<Module> recordTrace(const std::string &SirText,
                                     const ConfigSpec &Spec,
                                     const OracleOptions &Opts,
                                     SchedulerPolicy Policy,
+                                    const ProgressSpec &Progress,
                                     observe::TraceRecorder &Rec) {
   ParseResult Parsed = parseModule(SirText);
   if (!Parsed.ok())
@@ -386,6 +457,7 @@ std::unique_ptr<Module> recordTrace(const std::string &SirText,
   Config.WarpSize = Opts.WarpSize;
   Config.Seed = Opts.SimSeed;
   Config.Policy = Policy;
+  Config.Progress = Progress;
   Config.MaxIssueSlots = Opts.MaxIssueSlots;
   Config.MaxWallMillis = Opts.MaxWallMillis;
   Config.Trace = &Rec;
@@ -422,9 +494,9 @@ void explainDivergence(const std::string &SirText, const OracleOptions &Opts,
   // The modules must outlive the diff: recorded events reference their
   // function and block names.
   std::unique_ptr<Module> BadM =
-      recordTrace(SirText, *BadSpec, Opts, Bad.Policy, BadRec);
+      recordTrace(SirText, *BadSpec, Opts, Bad.Policy, Bad.Progress, BadRec);
   std::unique_ptr<Module> RefM =
-      recordTrace(SirText, *RefSpec, Opts, Ref.Policy, RefRec);
+      recordTrace(SirText, *RefSpec, Opts, Ref.Policy, Ref.Progress, RefRec);
   if (!BadM || !RefM)
     return;
   const observe::TraceDivergence D =
@@ -487,16 +559,15 @@ OracleResult runOracleVerdict(const std::string &SirText,
   // first divergence instead of completing slow doomed runs.
   const std::vector<ConfigSpec> Specs = makeConfigs(Opts);
   std::vector<ConfigOutcome> Outcomes(Specs.size());
-  const auto IsClean = [](const ConfigOutcome &Out, uint64_t Ref) {
-    return Out.StageKind == FailureKind::None &&
-           Out.Runs.size() ==
-               sizeof(OraclePolicies) / sizeof(OraclePolicies[0]) &&
-           Out.Runs.back().Run.St == RunResult::Status::Finished &&
-           Out.Runs.back().Run.Checksum == Ref;
+  // "Clean" = the run loop swept every (policy, model) pair without a
+  // genuine failure. Classified weak-model livelocks leave a config clean;
+  // the replay surfaces them as ProgressLivelocks lines, not a verdict.
+  const auto IsClean = [](const ConfigOutcome &Out) {
+    return Out.StageKind == FailureKind::None && !Out.Stopped;
   };
   Outcomes[0] = runOracleConfig(SirText, Specs[0], Opts, nullptr);
   const ConfigOutcome &First = Outcomes[0];
-  if (First.Runs.empty() || !IsClean(First, First.Runs.front().Run.Checksum)) {
+  if (First.Runs.empty() || !IsClean(First)) {
     // The replay stops inside the first config; the others never run.
     const std::vector<ConfigSpec> Head(Specs.begin(), Specs.begin() + 1);
     Outcomes.resize(1);
@@ -515,7 +586,7 @@ OracleResult runOracleVerdict(const std::string &SirText,
       if (FirstBad.load(std::memory_order_acquire) < C)
         return;
       ConfigOutcome Out = runOracleConfig(SirText, Specs[C], Opts, &Reference);
-      if (!IsClean(Out, Reference)) {
+      if (!IsClean(Out)) {
         size_t Cur = FirstBad.load(std::memory_order_relaxed);
         while (C < Cur && !FirstBad.compare_exchange_weak(
                               Cur, C, std::memory_order_acq_rel))
@@ -530,7 +601,7 @@ OracleResult runOracleVerdict(const std::string &SirText,
   // doomed later configs never run (matching the parallel short-circuit).
   for (size_t C = 1; C < Specs.size(); ++C) {
     Outcomes[C] = runOracleConfig(SirText, Specs[C], Opts, &Reference);
-    if (!IsClean(Outcomes[C], Reference)) {
+    if (!IsClean(Outcomes[C])) {
       const std::vector<ConfigSpec> Head(Specs.begin(),
                                          Specs.begin() + C + 1);
       Outcomes.resize(C + 1);

@@ -54,6 +54,10 @@ enum class FailureKind {
   LintMismatch,   ///< Static analyzer verdict disagrees with the simulator
                   ///< (OracleOptions::LintCheck): a barrier failure the
                   ///< lint called clean, or a proven deadlock that ran fine.
+  ProgressLivelock, ///< A run failed under a weak progress model while its
+                    ///< fair counterpart finished (only a verdict when
+                    ///< OracleOptions::OnProgressLivelock is Fail; the
+                    ///< Classify default records it without failing).
 };
 
 /// \returns a stable lowercase name ("checksum-mismatch", "deadlock", ...).
@@ -93,12 +97,31 @@ struct OracleOptions {
   /// results are scanned in the sequential order and truncated at the
   /// first failure exactly as the one-at-a-time loop would have stopped.
   bool Parallel = true;
+  /// Progress models every (config, policy) pair runs under, in order.
+  /// The first entry must be fair: it establishes the baseline the weak
+  /// models are classified against, and the reference checksum. The
+  /// default single-element list reproduces the legacy cross product
+  /// bit for bit. An empty list is treated as {fair}.
+  std::vector<ProgressSpec> ProgressModels = {ProgressSpec{}};
+  /// What a failure that only happens under a weak model means.
+  enum class ProgressVerdict {
+    /// Record it in OracleResult::ProgressLivelocks and keep sweeping —
+    /// the kernel needs more fairness than the model guarantees, which is
+    /// a property of the kernel, not a miscompile.
+    Classify,
+    /// Promote it to a FailureKind::ProgressLivelock verdict (what the
+    /// shrinker targets when minimizing a weak-model-only repro).
+    Fail,
+  };
+  ProgressVerdict OnProgressLivelock = ProgressVerdict::Classify;
 };
 
 /// One completed simulation within the cross product.
 struct OracleRun {
   std::string Config;
   SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
+  /// Progress model this run executed under (fair in the legacy sweep).
+  ProgressSpec Progress;
   RunResult::Status St = RunResult::Status::Finished;
   uint64_t Checksum = 0;
   /// Stable schedule digest (docs/OBSERVABILITY.md); 0 when
@@ -116,6 +139,11 @@ struct OracleResult {
   /// analyzer's verdict on that config's post-pipeline module, for repro
   /// reports.
   std::vector<std::string> LintLines;
+  /// Weak-model divergences classified (not failed) under the Classify
+  /// verdict: "config/policy/model: status — diagnostic" per entry. The
+  /// kernel demands more fairness than the model guarantees; the compile
+  /// is still correct.
+  std::vector<std::string> ProgressLivelocks;
 
   bool ok() const { return Kind == FailureKind::None; }
 };

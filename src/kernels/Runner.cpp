@@ -93,11 +93,38 @@ uint64_t simtsr::workloadTraceDigest(const Workload &W,
       .TraceDigest;
 }
 
+ProgressProbe simtsr::workloadProgressProbe(const Workload &W,
+                                            const PipelineOptions &Opts,
+                                            SchedulerPolicy Policy,
+                                            unsigned Warps, uint64_t Seed,
+                                            const ProgressSpec &Progress) {
+  Workload Fresh = cloneWorkload(W);
+  runSyncPipeline(*Fresh.M, Opts);
+  const LaunchVerification Verification = verifyLaunchModule(*Fresh.M);
+  assert(Verification.Errors.empty() && "pipeline produced malformed IR");
+  Function *Kernel = Fresh.M->functionByName(Fresh.KernelName);
+  assert(Kernel && "workload kernel not found");
+  LaunchConfig Config;
+  Config.Seed = Seed;
+  Config.Policy = Policy;
+  Config.Progress = Progress;
+  Config.Latency = Fresh.Latency;
+  Config.KernelArgs = Fresh.Args;
+  Config.Verified = &Verification;
+  Config.CollectTraceDigest = true;
+  const GridResult G = runGrid(*Fresh.M, Kernel, Config, Warps,
+                               Fresh.InitMemory);
+  ProgressProbe Probe;
+  Probe.Status = G.Ok ? RunResult::Status::Finished : G.FailStatus;
+  Probe.TraceDigest = G.TraceDigest;
+  return Probe;
+}
+
 TracedWorkloadResult
 simtsr::runWorkloadTraced(const Workload &W, const PipelineOptions &Opts,
                           SchedulerPolicy Policy, unsigned Warps,
                           uint64_t Seed, observe::RemarkStream *Remarks,
-                          size_t MaxEventsPerWarp) {
+                          size_t MaxEventsPerWarp, ProgressSpec Progress) {
   TracedWorkloadResult Result;
   Result.Compiled = cloneWorkload(W);
   PipelineOptions PipeOpts = Opts;
@@ -113,6 +140,7 @@ simtsr::runWorkloadTraced(const Workload &W, const PipelineOptions &Opts,
   LaunchConfig Base;
   Base.Seed = Seed;
   Base.Policy = Policy;
+  Base.Progress = Progress;
   Base.Latency = Result.Compiled.Latency;
   Base.KernelArgs = Result.Compiled.Args;
   Base.Verified = &Verification;

@@ -55,6 +55,22 @@ uint64_t workloadTraceDigest(const Workload &W, const PipelineOptions &Opts,
                              SchedulerPolicy Policy, unsigned Warps,
                              uint64_t Seed);
 
+/// One probe of \p W under a forward-progress model: the terminal status
+/// plus the launch trace digest, computed through the same grid path as
+/// workloadTraceDigest. Under a weak model the digest covers the warps
+/// (and partial warp) executed up to the livelock — still deterministic,
+/// so the progress golden tests pin it. Fair probes reproduce
+/// workloadTraceDigest bit for bit.
+struct ProgressProbe {
+  RunResult::Status Status = RunResult::Status::Finished;
+  uint64_t TraceDigest = 0;
+};
+ProgressProbe workloadProgressProbe(const Workload &W,
+                                    const PipelineOptions &Opts,
+                                    SchedulerPolicy Policy, unsigned Warps,
+                                    uint64_t Seed,
+                                    const ProgressSpec &Progress);
+
 /// One warp's recorded schedule from a traced run.
 struct WarpTrace {
   unsigned WarpIndex = 0;
@@ -86,7 +102,8 @@ TracedWorkloadResult
 runWorkloadTraced(const Workload &W, const PipelineOptions &Opts,
                   SchedulerPolicy Policy, unsigned Warps, uint64_t Seed,
                   observe::RemarkStream *Remarks = nullptr,
-                  size_t MaxEventsPerWarp = 1u << 20);
+                  size_t MaxEventsPerWarp = 1u << 20,
+                  ProgressSpec Progress = ProgressSpec{});
 
 /// Offline soft-barrier threshold tuning — the paper leaves "automatically
 /// discovering the ideal threshold parameter" to future work (Section

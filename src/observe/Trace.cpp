@@ -31,6 +31,8 @@ const char *simtsr::observe::getTraceEventKindName(TraceEventKind K) {
     return "yield";
   case TraceEventKind::LanesExited:
     return "lanes_exited";
+  case TraceEventKind::ProgressForced:
+    return "progress_forced";
   }
   return "unknown";
 }

@@ -48,6 +48,9 @@ enum class TraceEventKind : uint8_t {
   WarpSyncArrive, ///< WarpSync arrival.
   BarrierYield,   ///< Forward-progress yield released blocked lanes.
   LanesExited,    ///< Thread exit implicitly released barrier waiters.
+  ProgressForced, ///< Bounded progress model forced a starved lane's
+                  ///< group (appended last: earlier kinds keep their
+                  ///< encoded values, so fair digests are unchanged).
 };
 
 /// \returns a stable name for \p K ("issue", "barrier_join", ...).

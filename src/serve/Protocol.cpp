@@ -108,6 +108,11 @@ FieldError applyField(Request &R, const std::string &Key,
       return bad("unknown policy '" + V.asString() + "'");
     return {};
   }
+  if (Key == "progress") {
+    if (!V.isString() || !parseProgressSpec(V.asString(), R.Progress))
+      return bad("unknown progress model '" + V.asString() + "'");
+    return {};
+  }
   if (Key == "warps") {
     if (!V.isIntegral() || V.asInt() < 1 || V.asInt() > 4096)
       return bad("\"warps\" must be an integer in [1, 4096]");

@@ -54,6 +54,9 @@ struct Request {
   std::string Pipeline; ///< Defaults to "pdom" (lint: "none").
   int SoftThreshold = 8;
   SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence;
+  /// "progress" field (simulate): forward-progress model. Fair requests
+  /// key and render exactly as before the field existed.
+  ProgressSpec Progress;
   uint64_t Warps = 1;
   unsigned WarpSize = 32;
   uint64_t Seed = 1;

@@ -184,6 +184,11 @@ uint64_t simulateKey(const CompileEntry &CE, const std::string &Kernel,
   Key = fnv1aMix(Key, R.WarpSize);
   Key = fnv1aMix(Key, R.Seed);
   Key = fnv1aMix(Key, static_cast<uint64_t>(R.Policy));
+  // Mixed only when non-fair, so every pre-progress cache entry (memory
+  // and disk tier) keeps its key.
+  if (R.Progress.Model != ProgressModel::Fair) {
+    Key = fnv1a(formatProgressSpec(R.Progress), Key);
+  }
   Key = fnv1aMix(Key, R.Args.size());
   for (const int64_t A : R.Args)
     Key = fnv1aMix(Key, static_cast<uint64_t>(A));
@@ -243,6 +248,7 @@ std::string Server::processSimulate(const Request &R) {
   Config.WarpSize = R.WarpSize;
   Config.Seed = R.Seed;
   Config.Policy = R.Policy;
+  Config.Progress = R.Progress;
   Config.KernelArgs = R.Args;
   Config.CollectTraceDigest = true;
   Config.Verified = &CE->Launch;

@@ -36,6 +36,11 @@ GridResult reduceInOrder(const std::vector<WarpOutcome> &Outcomes,
       Result.Ok = false;
       Result.FailStatus = R.St;
       Result.FailMessage = R.TrapMessage;
+      // Fold the failing warp's partial schedule too: a run stopped by a
+      // progress livelock still has a deterministic digest, which the
+      // progress probe goldens pin (clean-run digests are unaffected).
+      Result.TraceDigest =
+          observe::combineTraceDigests(Result.TraceDigest, R.TraceDigest);
       return Result;
     }
     Result.TotalCycles += R.Stats.Cycles;

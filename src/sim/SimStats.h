@@ -42,7 +42,13 @@ struct SimStats {
   uint64_t ActiveLatency = 0;  ///< Sum of (group size * latency).
   uint64_t ActiveThreads = 0;  ///< Sum of group sizes (unweighted).
   uint64_t BarrierWaits = 0;   ///< Wait/SoftWait executions.
-  uint64_t BarrierYields = 0;  ///< Forward-progress yields (deadlock mode).
+  uint64_t BarrierYields = 0;  ///< Forward-progress yields that released
+                               ///< lanes (YieldOnDeadlock mode).
+  /// Progress-model accounting (docs/PROGRESS.md): picks where the model
+  /// excluded at least one ready group (hsa/obe), and picks the bounded
+  /// model forced to serve a lane that hit its fairness bound.
+  uint64_t ProgressRestrictedPicks = 0;
+  uint64_t ProgressForcedPicks = 0;
   /// Memory-coalescing accounting (Section 4.5 weighs "memory access
   /// patterns"): each memory issue is broken into 32-word segments; a
   /// fully coalesced full-warp access needs one transaction.

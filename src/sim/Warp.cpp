@@ -46,8 +46,71 @@ const char *simtsr::getRunStatusName(RunResult::Status S) {
     return "timeout";
   case RunResult::Status::Malformed:
     return "malformed";
+  case RunResult::Status::ProgressLivelock:
+    return "progress-livelock";
   }
   return "unknown";
+}
+
+const char *simtsr::getProgressModelName(ProgressModel M) {
+  switch (M) {
+  case ProgressModel::Fair:
+    return "fair";
+  case ProgressModel::HSA:
+    return "hsa";
+  case ProgressModel::OBE:
+    return "obe";
+  case ProgressModel::Bounded:
+    return "bounded";
+  }
+  return "unknown";
+}
+
+std::string simtsr::formatProgressSpec(const ProgressSpec &S) {
+  switch (S.Model) {
+  case ProgressModel::Fair:
+  case ProgressModel::HSA:
+    return getProgressModelName(S.Model);
+  case ProgressModel::OBE:
+    return S.Param == 0 ? "obe" : "obe:" + std::to_string(S.Param);
+  case ProgressModel::Bounded:
+    return "bounded:" + std::to_string(S.Param == 0 ? 4u : S.Param);
+  }
+  return "unknown";
+}
+
+bool simtsr::parseProgressSpec(const std::string &Name, ProgressSpec &Out) {
+  std::string Base = Name;
+  unsigned Param = 0;
+  const size_t Colon = Name.find(':');
+  if (Colon != std::string::npos) {
+    Base = Name.substr(0, Colon);
+    const std::string Tail = Name.substr(Colon + 1);
+    if (Tail.empty() || Tail.size() > 9 ||
+        Tail.find_first_not_of("0123456789") != std::string::npos)
+      return false;
+    Param = static_cast<unsigned>(std::stoul(Tail));
+    if (Param == 0)
+      return false;
+  }
+  ProgressSpec S;
+  if (Base == "fair")
+    S.Model = ProgressModel::Fair;
+  else if (Base == "hsa")
+    S.Model = ProgressModel::HSA;
+  else if (Base == "obe")
+    S.Model = ProgressModel::OBE;
+  else if (Base == "bounded")
+    S.Model = ProgressModel::Bounded;
+  else
+    return false;
+  // Only the parameterized models take a parameter.
+  if (Param != 0 &&
+      (S.Model == ProgressModel::Fair || S.Model == ProgressModel::HSA))
+    return false;
+  S.Param = Param;
+  Out = S;
+  return true;
 }
 
 WarpSimulator::WarpSimulator(const Module &M, const Function *Kernel,
@@ -292,6 +355,20 @@ void WarpSimulator::exitThread(unsigned Lane) {
   Threads[Lane].Stack.clear();
   DirtyLanes |= 1ull << Lane;
   --LiveThreads;
+  // OBE residency: a finished resident frees its slot and the lowest-id
+  // lane that never became resident is admitted (deterministic FIFO-by-id
+  // admission — the weakest order an occupancy-bound scheduler may use).
+  if (Config.Progress.Model == ProgressModel::OBE &&
+      (Resident & (1ull << Lane))) {
+    Resident &= ~(1ull << Lane);
+    for (unsigned L = 0; L < Config.WarpSize; ++L) {
+      if ((Resident & (1ull << L)) ||
+          Threads[L].Status == ThreadStatus::Exited)
+        continue;
+      Resident |= 1ull << L;
+      break;
+    }
+  }
   LaneMask Released = Barriers.threadExit(1ull << Lane);
   releaseLanes(Released);
   Released |= checkWarpSyncRelease();
@@ -672,6 +749,56 @@ bool WarpSimulator::execute(const Instruction &I, LaneMask Lanes) {
   }
 }
 
+void WarpSimulator::pickReadyGroup(LaneMask Eligible, const Pc *&ChosenPc,
+                                   LaneMask &ChosenLanes) {
+  ChosenPc = nullptr;
+  ChosenLanes = 0;
+  switch (Config.Policy) {
+  case SchedulerPolicy::MaxConvergence: {
+    for (const Group &G : ReadyGroups) {
+      const LaneMask Lanes = G.Lanes & Eligible;
+      if (!Lanes)
+        continue;
+      if (!ChosenPc || std::popcount(Lanes) > std::popcount(ChosenLanes)) {
+        ChosenPc = &G.Where;
+        ChosenLanes = Lanes;
+      }
+    }
+    break;
+  }
+  case SchedulerPolicy::MinPC: {
+    for (const Group &G : ReadyGroups) {
+      const LaneMask Lanes = G.Lanes & Eligible;
+      if (!Lanes)
+        continue;
+      ChosenPc = &G.Where;
+      ChosenLanes = Lanes;
+      break;
+    }
+    break;
+  }
+  case SchedulerPolicy::RoundRobin: {
+    // Pick the group containing the next preferred (eligible) lane.
+    for (unsigned Offset = 0; Offset < Config.WarpSize; ++Offset) {
+      unsigned Lane = (RoundRobinNext + Offset) % Config.WarpSize;
+      if (!(Eligible & (1ull << Lane)))
+        continue;
+      for (const Group &G : ReadyGroups) {
+        if (G.Lanes & (1ull << Lane)) {
+          ChosenPc = &G.Where;
+          ChosenLanes = G.Lanes & Eligible;
+          break;
+        }
+      }
+      if (ChosenPc)
+        break;
+    }
+    RoundRobinNext = (RoundRobinNext + 1) % Config.WarpSize;
+    break;
+  }
+  }
+}
+
 void WarpSimulator::updateReadyGroups() {
   if (!DirtyLanes)
     return;
@@ -746,6 +873,21 @@ RunResult WarpSimulator::run() {
     }
   }
 
+  // Progress-model launch state (docs/PROGRESS.md). Everything here is
+  // deterministic, so weak-model runs digest-golden exactly like fair ones.
+  const ProgressModel PModel = Config.Progress.Model;
+  if (PModel == ProgressModel::OBE) {
+    const unsigned Slots =
+        Config.Progress.Param == 0
+            ? std::max(1u, Config.WarpSize / 2)
+            : std::min(Config.Progress.Param, Config.WarpSize);
+    Resident = Slots >= 64 ? ~0ull : ((1ull << Slots) - 1);
+  }
+  const uint32_t FairnessBound =
+      Config.Progress.Param == 0 ? 4u : Config.Progress.Param;
+  if (PModel == ProgressModel::Bounded)
+    LaneWaits.assign(Config.WarpSize, 0);
+
   const bool UseWatchdog = Config.MaxWallMillis > 0;
   const auto StartTime = std::chrono::steady_clock::now();
 
@@ -792,7 +934,6 @@ RunResult WarpSimulator::run() {
                              describeBlockedThreads();
         break;
       }
-      ++Stats.BarrierYields;
       LaneMask Released = Barriers.yield();
       if (Released == 0) {
         Result.St = RunResult::Status::Deadlock;
@@ -801,48 +942,122 @@ RunResult WarpSimulator::run() {
             "outside the barrier unit): " + describeBlockedThreads();
         break;
       }
+      // Count only yields that actually released lanes, so the counter
+      // means "successful forward-progress interventions".
+      ++Stats.BarrierYields;
       releaseLanes(Released);
       traceBarrier(observe::TraceEventKind::BarrierYield, 0, 0, Released);
       continue;
     }
 
-    // Scheduling policy.
+    // Scheduling: the progress model decides which ready groups are
+    // eligible, then the policy picks among them (docs/PROGRESS.md).
     const Pc *ChosenPc = nullptr;
     LaneMask ChosenLanes = 0;
-    switch (Config.Policy) {
-    case SchedulerPolicy::MaxConvergence: {
+    bool ProgressStalled = false;
+    switch (PModel) {
+    case ProgressModel::Fair:
+      pickReadyGroup(~0ull, ChosenPc, ChosenLanes);
+      break;
+    case ProgressModel::HSA: {
+      // Only the oldest non-exited lane's group is guaranteed service; the
+      // weakest conforming scheduler serves nothing else. If that lane is
+      // blocked while other groups are ready, no conforming pick can ever
+      // unblock it — the warp livelocks under this model.
+      unsigned Oldest = 0;
+      while (Threads[Oldest].Status == ThreadStatus::Exited)
+        ++Oldest;
+      if (Threads[Oldest].Status != ThreadStatus::Ready) {
+        Result.St = RunResult::Status::ProgressLivelock;
+        Result.TrapMessage =
+            "progress model hsa: oldest live lane " +
+            std::to_string(Oldest) +
+            " is blocked while other groups are ready; the weakest "
+            "conforming scheduler never serves them: " +
+            describeBlockedThreads();
+        ProgressStalled = true;
+        break;
+      }
       for (const Group &G : ReadyGroups) {
-        if (!ChosenPc ||
-            std::popcount(G.Lanes) > std::popcount(ChosenLanes)) {
+        if (G.Lanes & (1ull << Oldest)) {
           ChosenPc = &G.Where;
           ChosenLanes = G.Lanes;
+          break;
         }
       }
+      if (ReadyGroups.size() > 1)
+        ++Stats.ProgressRestrictedPicks;
       break;
     }
-    case SchedulerPolicy::MinPC: {
-      ChosenPc = &ReadyGroups.front().Where;
-      ChosenLanes = ReadyGroups.front().Lanes;
+    case ProgressModel::OBE: {
+      LaneMask ReadyLanes = 0;
+      for (const Group &G : ReadyGroups)
+        ReadyLanes |= G.Lanes;
+      if (!(ReadyLanes & Resident)) {
+        // Every resident lane is blocked or exited while non-resident
+        // lanes are ready: an occupancy-bound scheduler never starts them.
+        Result.St = RunResult::Status::ProgressLivelock;
+        Result.TrapMessage =
+            "progress model " + formatProgressSpec(Config.Progress) +
+            ": every resident lane is blocked while only non-resident "
+            "lanes are ready; an occupancy-bound scheduler never starts "
+            "them: " + describeBlockedThreads();
+        ProgressStalled = true;
+        break;
+      }
+      if (ReadyLanes & ~Resident)
+        ++Stats.ProgressRestrictedPicks;
+      pickReadyGroup(Resident, ChosenPc, ChosenLanes);
       break;
     }
-    case SchedulerPolicy::RoundRobin: {
-      // Pick the group containing the next preferred lane.
-      for (unsigned Offset = 0; Offset < Config.WarpSize; ++Offset) {
-        unsigned Lane = (RoundRobinNext + Offset) % Config.WarpSize;
+    case ProgressModel::Bounded: {
+      pickReadyGroup(~0ull, ChosenPc, ChosenLanes);
+      // Fairness bound: any ready lane must issue within K picks. When the
+      // most-starved ready lane (ties: lowest id) hits the bound without
+      // being picked, its group is forced instead.
+      LaneMask ReadyLanes = 0;
+      for (const Group &G : ReadyGroups)
+        ReadyLanes |= G.Lanes;
+      unsigned Starved = Config.WarpSize;
+      uint32_t MaxWait = 0;
+      LaneMask Remaining = ReadyLanes;
+      while (Remaining) {
+        const unsigned Lane =
+            static_cast<unsigned>(std::countr_zero(Remaining));
+        Remaining &= Remaining - 1;
+        if (LaneWaits[Lane] > MaxWait) {
+          MaxWait = LaneWaits[Lane];
+          Starved = Lane;
+        }
+      }
+      if (Starved < Config.WarpSize && MaxWait >= FairnessBound &&
+          !(ChosenLanes & (1ull << Starved))) {
         for (const Group &G : ReadyGroups) {
-          if (G.Lanes & (1ull << Lane)) {
+          if (G.Lanes & (1ull << Starved)) {
             ChosenPc = &G.Where;
             ChosenLanes = G.Lanes;
             break;
           }
         }
-        if (ChosenPc)
-          break;
+        ++Stats.ProgressForcedPicks;
+        traceBarrier(observe::TraceEventKind::ProgressForced, 0, ChosenLanes,
+                     1ull << Starved);
       }
-      RoundRobinNext = (RoundRobinNext + 1) % Config.WarpSize;
+      Remaining = ReadyLanes;
+      while (Remaining) {
+        const unsigned Lane =
+            static_cast<unsigned>(std::countr_zero(Remaining));
+        Remaining &= Remaining - 1;
+        if (ChosenLanes & (1ull << Lane))
+          LaneWaits[Lane] = 0;
+        else
+          ++LaneWaits[Lane];
+      }
       break;
     }
     }
+    if (ProgressStalled)
+      break;
     if (!ChosenPc) {
       trap("scheduler found no issuable group despite ready threads");
       break;

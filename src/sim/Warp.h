@@ -54,6 +54,46 @@ enum class SchedulerPolicy {
   RoundRobin,     ///< Rotate the preferred lane each issue.
 };
 
+/// Forward-progress guarantee the scheduler honours (docs/PROGRESS.md).
+/// Every model is instantiated as its *weakest conforming scheduler*: the
+/// simulator serves exactly what the guarantee forces it to serve and
+/// adversarially starves everything else, so a kernel that finishes under
+/// a model is proven to need no more than that model's guarantee.
+enum class ProgressModel {
+  Fair,    ///< Every ready group is eventually served (legacy behaviour).
+  HSA,     ///< Only the oldest non-exited lane's group is guaranteed.
+  OBE,     ///< Occupancy-bound: only a bounded resident lane set runs.
+  Bounded, ///< Any ready lane is served within K picks (K = Param).
+};
+
+/// A progress model plus its parameter. Param meaning:
+///  - OBE: resident slots (0 = max(1, warpSize / 2), resolved at launch);
+///  - Bounded: the fairness bound K (0 = 4);
+///  - Fair/HSA: unused, must stay 0 so specs compare by value.
+struct ProgressSpec {
+  ProgressModel Model = ProgressModel::Fair;
+  unsigned Param = 0;
+
+  bool operator==(const ProgressSpec &O) const {
+    return Model == O.Model && Param == O.Param;
+  }
+  bool operator!=(const ProgressSpec &O) const { return !(*this == O); }
+  bool isFair() const { return Model == ProgressModel::Fair; }
+};
+
+/// \returns a stable lowercase name ("fair", "hsa", "obe", "bounded").
+const char *getProgressModelName(ProgressModel M);
+
+/// Canonical spelling of \p S: "fair", "hsa", "obe", "obe:<slots>",
+/// "bounded:<K>" (an unset bounded Param renders as the default
+/// "bounded:4"). parseProgressSpec accepts everything this produces.
+std::string formatProgressSpec(const ProgressSpec &S);
+
+/// Parses "fair" | "hsa" | "obe"[":<slots>"] | "bounded"[":<K>"] into
+/// \p Out. \returns false (leaving \p Out untouched) on unknown names,
+/// malformed parameters, or a parameter on fair/hsa.
+bool parseProgressSpec(const std::string &Name, ProgressSpec &Out);
+
 struct LaunchConfig {
   unsigned WarpSize = 32;
   uint64_t Seed = 1;
@@ -62,6 +102,11 @@ struct LaunchConfig {
   /// hardware forward-progress guarantee). Off in tests so barrier-
   /// placement bugs surface as errors.
   bool YieldOnDeadlock = false;
+  /// Forward-progress model the scheduler honours. The default fair model
+  /// is bit-identical to the pre-progress-axis simulator on every kernel;
+  /// weaker models restrict which ready groups may issue and report
+  /// Status::ProgressLivelock when the guarantee cannot unblock the warp.
+  ProgressSpec Progress;
   uint64_t MaxIssueSlots = 200ull * 1000 * 1000;
   /// Wall-clock watchdog complementing MaxIssueSlots (a run can be slow
   /// without being issue-bound, e.g. pathological profile maps). 0 disables.
@@ -98,6 +143,8 @@ struct RunResult {
     IssueLimit,///< MaxIssueSlots exhausted (livelock guard).
     Timeout,   ///< MaxWallMillis exceeded (wall-clock watchdog).
     Malformed, ///< Pre-run validation rejected the launch or the IR.
+    ProgressLivelock, ///< The progress model's guarantee cannot unblock
+                      ///< the warp while fairer scheduling could.
   };
   Status St = Status::Finished;
   /// Context for any non-Finished status: the trap message, a deadlock
@@ -138,6 +185,10 @@ public:
   RunResult run();
 
 private:
+  /// Test-only seam (tests/sim/ForwardProgressTest.cpp): lets a test force
+  /// thread states the instruction set cannot reach, to cover the
+  /// defensive "yield released nothing" trap in the run loop.
+  friend struct WarpSimulatorTestPeer;
   struct Frame {
     const Function *F;
     unsigned FOrd;    ///< funcOrder(F), cached at frame creation.
@@ -190,6 +241,12 @@ private:
   };
 
   Pc pcOf(const Thread &T) const;
+  /// Runs the scheduling policy over the ready groups whose lanes
+  /// intersect \p Eligible (the progress model's lane filter; ~0 under
+  /// fair). \returns the chosen group's eligible lanes in \p ChosenLanes,
+  /// or a null \p ChosenPc when no group has an eligible lane.
+  void pickReadyGroup(LaneMask Eligible, const Pc *&ChosenPc,
+                      LaneMask &ChosenLanes);
   /// Deterministic function ordinal (rank in name order), cached per frame
   /// so scheduler comparisons never touch strings.
   unsigned funcOrder(const Function *F) const;
@@ -252,6 +309,12 @@ private:
   /// Construction/setMemory problems surfaced by run() as Malformed.
   std::vector<std::string> PrelaunchErrors;
   unsigned RoundRobinNext = 0;
+  /// OBE model: the currently resident lanes (only they may issue). A
+  /// resident's exit promotes the lowest-id non-exited non-resident lane.
+  LaneMask Resident = 0;
+  /// Bounded model: picks each ready lane has sat out since it last
+  /// issued; a lane reaching the bound K forces its group to issue.
+  std::vector<uint32_t> LaneWaits;
   TraceFn Tracer;
   /// True when any event consumer is attached (Config.Trace or
   /// Config.CollectTraceDigest) — the single per-issue branch that makes

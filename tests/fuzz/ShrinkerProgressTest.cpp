@@ -1,0 +1,99 @@
+//===- ShrinkerProgressTest.cpp - Progress-livelock shrinking -------------===//
+///
+/// \file
+/// The progress axis adds a failure kind the shrinker must preserve:
+/// FailureKind::ProgressLivelock, a run that stops under a weak
+/// forward-progress model while its fair counterpart finishes. The
+/// invariant a shrunk repro must keep is two-sided — it still livelocks
+/// under the weak model AND still passes under fair — because a mutation
+/// that turns the kernel into a genuine deadlock would "reproduce" under
+/// the weak model for the wrong reason.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+#include "fuzz/Shrinker.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+/// A barrier whose release needs lanes the weakest HSA scheduler never
+/// runs: lane 0 blocks at the barrier first, and HSA serves only the
+/// oldest live lane's group, so the arrivals that would release it are
+/// unreachable. Fair scheduling finishes. The padding arithmetic gives
+/// the shrinker something to remove.
+const char *HsaOnlyLivelock = R"(memory 64
+func @kernel(0) {
+entry:
+  %0 = laneid
+  joinbar b0
+  %1 = cmplt %0, 1
+  %2 = add %0, 7
+  %3 = mul %2, 3
+  store %0, %3
+  br %1, fast, slow
+fast:
+  waitbar b0
+  jmp exit
+slow:
+  %4 = add %0, 1
+  %5 = mul %4, 5
+  store %4, %5
+  waitbar b0
+  jmp exit
+exit:
+  ret
+}
+)";
+
+OracleOptions hsaSweep(OracleOptions::ProgressVerdict Verdict) {
+  OracleOptions Opts;
+  ProgressSpec Hsa;
+  EXPECT_TRUE(parseProgressSpec("hsa", Hsa));
+  Opts.ProgressModels = {ProgressSpec{}, Hsa};
+  Opts.OnProgressLivelock = Verdict;
+  return Opts;
+}
+
+} // namespace
+
+TEST(ShrinkerProgressTest, ClassifyModeRecordsWithoutFailing) {
+  OracleResult R = runDifferentialOracle(
+      HsaOnlyLivelock, hsaSweep(OracleOptions::ProgressVerdict::Classify));
+  EXPECT_TRUE(R.ok()) << getFailureKindName(R.Kind) << ": " << R.Detail;
+  EXPECT_FALSE(R.ProgressLivelocks.empty());
+}
+
+TEST(ShrinkerProgressTest, FailModePromotesToProgressLivelock) {
+  OracleResult R = runDifferentialOracle(
+      HsaOnlyLivelock, hsaSweep(OracleOptions::ProgressVerdict::Fail));
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Kind, FailureKind::ProgressLivelock) << R.Detail;
+  EXPECT_NE(R.Detail.find("hsa"), std::string::npos) << R.Detail;
+}
+
+TEST(ShrinkerProgressTest, ShrunkReproKeepsBothSidesOfTheVerdict) {
+  ShrinkOptions Opts;
+  Opts.Oracle = hsaSweep(OracleOptions::ProgressVerdict::Fail);
+
+  ShrinkResult S = shrinkFailingModule(HsaOnlyLivelock,
+                                       FailureKind::ProgressLivelock, Opts);
+  EXPECT_EQ(S.Kind, FailureKind::ProgressLivelock);
+  EXPECT_GT(S.StepsAccepted, 0u);
+  EXPECT_LT(S.Text.size(), std::string(HsaOnlyLivelock).size());
+
+  // Still a progress livelock under the weak sweep...
+  OracleResult Weak = runDifferentialOracle(S.Text, Opts.Oracle);
+  ASSERT_FALSE(Weak.ok());
+  EXPECT_EQ(Weak.Kind, FailureKind::ProgressLivelock) << Weak.Detail;
+
+  // ...and still clean under the fair-only legacy sweep: the shrinker did
+  // not trade the livelock for a genuine scheduling-independent failure.
+  OracleOptions FairOnly;
+  OracleResult Fair = runDifferentialOracle(S.Text, FairOnly);
+  EXPECT_TRUE(Fair.ok()) << getFailureKindName(Fair.Kind) << ": "
+                         << Fair.Detail;
+}

@@ -1,0 +1,123 @@
+//===- LintProgressTest.cpp - Corpus verdicts per progress model ----------===//
+///
+/// \file
+/// Runs every seeded-defect corpus kernel through the simulator under each
+/// forward-progress model and pins the full verdict matrix. The corpus was
+/// seeded for the *static* analyzer; this matrix records what each defect
+/// does *dynamically* under fair scheduling and under the weaker hardware
+/// models (docs/PROGRESS.md) — including the kernels whose verdict flips:
+///
+///  - deadlock_cycle: a genuine cross-barrier deadlock under fair becomes
+///    a progress-livelock under hsa (the blocked oldest lane masks the
+///    cycle) and vanishes entirely under obe (serialized lanes never hold
+///    both barriers at once).
+///  - interproc_leak: clean under fair but livelocks under hsa — the
+///    model, not the kernel, decides the verdict. This is why the torture
+///    oracle classifies weak-model stops instead of failing on them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "sim/Warp.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace simtsr;
+
+namespace {
+
+struct CorpusVerdicts {
+  const char *File;
+  const char *Fair;
+  const char *Hsa;
+  const char *Obe1;
+  const char *Obe2;
+  const char *Bounded4;
+};
+
+// Full matrix over the corpus, fixed file order (matches LintGoldenTest).
+// "finished" rows are pinned too: a defect that starts livelocking under a
+// weak model is a behaviour change worth a deliberate update here.
+const CorpusVerdicts Matrix[] = {
+    // file                   fair        hsa                  obe:1       obe:2       bounded:4
+    {"blocked_while_joined.sir", "finished", "finished", "finished",
+     "finished", "finished"},
+    {"call_hazard.sir", "finished", "finished", "finished", "finished",
+     "finished"},
+    {"deadlock_cycle.sir", "deadlock", "progress-livelock", "finished",
+     "finished", "deadlock"},
+    {"double_join.sir", "finished", "finished", "finished", "finished",
+     "finished"},
+    {"interproc_leak.sir", "finished", "progress-livelock", "finished",
+     "finished", "finished"},
+    {"join_leak.sir", "finished", "finished", "finished", "finished",
+     "finished"},
+    {"realloc_overlap.sir", "finished", "finished", "finished", "finished",
+     "finished"},
+    {"recursion.sir", "finished", "finished", "finished", "finished",
+     "finished"},
+    {"soft_threshold.sir", "finished", "finished", "finished", "finished",
+     "finished"},
+    {"unjoined_wait.sir", "finished", "finished", "finished", "finished",
+     "finished"},
+};
+
+std::unique_ptr<Module> parseCorpusFile(const char *Name) {
+  const std::string Path = std::string(SIMTSR_LINT_CORPUS_DIR) + "/" + Name;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  ParseResult P = parseModule(Text.str());
+  EXPECT_TRUE(P.ok()) << Name;
+  return std::move(P.M);
+}
+
+std::string verdictUnder(const Module &M, const char *Spec) {
+  LaunchConfig C;
+  EXPECT_TRUE(parseProgressSpec(Spec, C.Progress)) << Spec;
+  WarpSimulator Sim(M, M.functionByName("kernel"), C);
+  return getRunStatusName(Sim.run().St);
+}
+
+} // namespace
+
+TEST(LintProgressTest, CorpusVerdictMatrixIsPinned) {
+  for (const CorpusVerdicts &Row : Matrix) {
+    auto M = parseCorpusFile(Row.File);
+    ASSERT_TRUE(M) << Row.File;
+    EXPECT_EQ(verdictUnder(*M, "fair"), Row.Fair) << Row.File;
+    EXPECT_EQ(verdictUnder(*M, "hsa"), Row.Hsa) << Row.File;
+    EXPECT_EQ(verdictUnder(*M, "obe:1"), Row.Obe1) << Row.File;
+    EXPECT_EQ(verdictUnder(*M, "obe:2"), Row.Obe2) << Row.File;
+    EXPECT_EQ(verdictUnder(*M, "bounded:4"), Row.Bounded4) << Row.File;
+  }
+}
+
+TEST(LintProgressTest, AtLeastOneVerdictFlipsUnderAWeakerModel) {
+  // The acceptance bar for the progress axis: a corpus kernel whose
+  // verdict depends on the model, not the kernel. Guard it explicitly so
+  // a corpus rewrite cannot silently drop the property the progress
+  // classification exists for.
+  bool Flipped = false;
+  for (const CorpusVerdicts &Row : Matrix)
+    if (std::string(Row.Fair) != Row.Hsa || std::string(Row.Fair) != Row.Obe1)
+      Flipped = true;
+  EXPECT_TRUE(Flipped);
+}
+
+TEST(LintProgressTest, WeakModelsNeverInventTraps) {
+  // A weak progress model may stop a run early (progress-livelock) but
+  // must never change what the executed instructions do: no corpus kernel
+  // traps under any model, because restricting the schedule cannot create
+  // a fault that fair scheduling cannot reach.
+  for (const CorpusVerdicts &Row : Matrix) {
+    auto M = parseCorpusFile(Row.File);
+    ASSERT_TRUE(M) << Row.File;
+    for (const char *Spec : {"fair", "hsa", "obe:1", "obe:2", "bounded:4"})
+      EXPECT_NE(verdictUnder(*M, Spec), "trap") << Row.File << " " << Spec;
+  }
+}

@@ -53,6 +53,54 @@ loop:
 }
 )";
 
+/// All lanes join b0; lane 0 takes the short path and waits first, the
+/// rest detour through one extra instruction. Fair scheduling finishes
+/// (the late lanes arrive and release the barrier); the weakest HSA-
+/// conforming scheduler serves only the oldest lane's group, which is
+/// blocked — a deterministic progress livelock.
+const char *HsaLivelockSir = R"(
+memory 64
+
+func @kernel(0) {
+entry:
+  %0 = laneid
+  joinbar b0
+  %1 = cmplt %0, 1
+  br %1, fast, slow
+fast:
+  waitbar b0
+  jmp exit
+slow:
+  %2 = add %0, 1
+  waitbar b0
+  jmp exit
+exit:
+  ret
+}
+)";
+
+/// Lane 0 exits immediately; the other lanes spin a short counted loop.
+/// MaxConvergence keeps picking the big loop group, so lane 0 starves
+/// until the bounded model's fairness bound forces its group.
+const char *StarvedLaneSir = R"(
+memory 64
+
+func @kernel(0) {
+entry:
+  %0 = laneid
+  %1 = cmplt %0, 1
+  br %1, lone, loop
+lone:
+  ret
+loop:
+  %2 = add %2, 1
+  %3 = cmplt %2, 16
+  br %3, loop, done
+done:
+  ret
+}
+)";
+
 std::unique_ptr<Module> parse(const char *Text) {
   ParseResult P = parseModule(Text);
   EXPECT_TRUE(P.Errors.empty()) << P.Errors.front();
@@ -66,6 +114,26 @@ LaunchConfig unitConfig() {
 }
 
 } // namespace
+
+namespace simtsr {
+
+/// Befriended by WarpSimulator: forces thread states the instruction set
+/// cannot reach, to cover the defensive "yield released nothing" trap.
+/// Real kernels cannot get there — any Waiting thread is either a
+/// barrier-unit waiter (yield releases it) or a warpsync waiter (released
+/// when the last live lane arrives, which the arrival itself triggers).
+struct WarpSimulatorTestPeer {
+  static void blockAllThreadsOutsideBarrierUnit(WarpSimulator &Sim) {
+    for (unsigned Lane = 0; Lane < Sim.Config.WarpSize; ++Lane) {
+      WarpSimulator::Thread &T = Sim.Threads[Lane];
+      T.Status = WarpSimulator::ThreadStatus::Waiting;
+      T.WaitingOn = WarpSimulator::WaitingOnWarpSync;
+      Sim.DirtyLanes |= 1ull << Lane;
+    }
+  }
+};
+
+} // namespace simtsr
 
 TEST(ForwardProgressTest, CrossDeadlockIsReportedWithBarrierState) {
   for (SchedulerPolicy Policy :
@@ -93,7 +161,31 @@ TEST(ForwardProgressTest, YieldOnDeadlockReleasesTheWarp) {
   WarpSimulator Sim(*M, M->functionByName("kernel"), C);
   RunResult R = Sim.run();
   EXPECT_TRUE(R.ok()) << R.TrapMessage;
-  EXPECT_GE(R.Stats.BarrierYields, 1u);
+  // Pinned, not >=: exactly one yield releases b1 (31 waiters, the
+  // largest waiter set). Those lanes run to exit, which removes them from
+  // b0's participant set and releases lane 0 through the normal barrier
+  // path — a second yield would mean the exit path stopped shrinking
+  // participant sets.
+  EXPECT_EQ(R.Stats.BarrierYields, 1u);
+}
+
+TEST(ForwardProgressTest, YieldTrapWhenThreadsBlockOutsideBarrierUnit) {
+  // No kernel can reach this state (see WarpSimulatorTestPeer); force it
+  // to pin the defensive trap path and its message.
+  auto M = parse(CrossDeadlockSir);
+  LaunchConfig C = unitConfig();
+  C.YieldOnDeadlock = true;
+  WarpSimulator Sim(*M, M->functionByName("kernel"), C);
+  WarpSimulatorTestPeer::blockAllThreadsOutsideBarrierUnit(Sim);
+  RunResult R = Sim.run();
+  EXPECT_EQ(R.St, RunResult::Status::Deadlock);
+  EXPECT_NE(
+      R.TrapMessage.find("forward-progress yield released nothing (threads "
+                         "blocked outside the barrier unit)"),
+      std::string::npos)
+      << R.TrapMessage;
+  // The failed yield must not count as a forward-progress intervention.
+  EXPECT_EQ(R.Stats.BarrierYields, 0u);
 }
 
 TEST(ForwardProgressTest, IssueLimitCutsOffLivelock) {
@@ -124,4 +216,94 @@ TEST(ForwardProgressTest, StatusNamesAreStable) {
                "issue-limit");
   EXPECT_STREQ(getRunStatusName(RunResult::Status::Timeout), "timeout");
   EXPECT_STREQ(getRunStatusName(RunResult::Status::Malformed), "malformed");
+  EXPECT_STREQ(getRunStatusName(RunResult::Status::ProgressLivelock),
+               "progress-livelock");
+}
+
+namespace {
+
+RunResult runUnder(const char *Sir, const char *Progress,
+                   SchedulerPolicy Policy = SchedulerPolicy::MaxConvergence) {
+  auto M = parse(Sir);
+  LaunchConfig C = unitConfig();
+  C.Policy = Policy;
+  EXPECT_TRUE(parseProgressSpec(Progress, C.Progress)) << Progress;
+  WarpSimulator Sim(*M, M->functionByName("kernel"), C);
+  return Sim.run();
+}
+
+} // namespace
+
+TEST(ProgressModelTest, SpecParseAndFormatRoundTrip) {
+  for (const char *Canonical :
+       {"fair", "hsa", "obe", "obe:3", "bounded:4", "bounded:7"}) {
+    ProgressSpec S;
+    ASSERT_TRUE(parseProgressSpec(Canonical, S)) << Canonical;
+    EXPECT_EQ(formatProgressSpec(S), Canonical);
+  }
+  // A bare "bounded" resolves to the default bound, spelled explicitly.
+  ProgressSpec S;
+  ASSERT_TRUE(parseProgressSpec("bounded", S));
+  EXPECT_EQ(formatProgressSpec(S), "bounded:4");
+  for (const char *BadSpec : {"", "unfair", "fair:2", "hsa:1", "obe:0",
+                              "obe:", "bounded:x", "bounded:0"}) {
+    ProgressSpec Unchanged;
+    EXPECT_FALSE(parseProgressSpec(BadSpec, Unchanged)) << BadSpec;
+  }
+}
+
+TEST(ProgressModelTest, FairMatchesDefaultConfig) {
+  // The explicit fair spec is the default-constructed config: same type,
+  // same behaviour, so every existing caller is unaffected by the axis.
+  EXPECT_TRUE(ProgressSpec{}.isFair());
+  RunResult Fair = runUnder(HsaLivelockSir, "fair");
+  EXPECT_TRUE(Fair.ok()) << Fair.TrapMessage;
+}
+
+TEST(ProgressModelTest, HsaStarvesTheBlockedOldestLane) {
+  for (SchedulerPolicy Policy :
+       {SchedulerPolicy::MaxConvergence, SchedulerPolicy::MinPC,
+        SchedulerPolicy::RoundRobin}) {
+    RunResult R = runUnder(HsaLivelockSir, "hsa", Policy);
+    EXPECT_EQ(R.St, RunResult::Status::ProgressLivelock);
+    EXPECT_NE(R.TrapMessage.find("progress model hsa"), std::string::npos)
+        << R.TrapMessage;
+    EXPECT_NE(R.TrapMessage.find("oldest live lane 0"), std::string::npos)
+        << R.TrapMessage;
+  }
+}
+
+TEST(ProgressModelTest, HsaFinishesWhenOldestLaneStaysServable) {
+  RunResult R = runUnder(StarvedLaneSir, "hsa");
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  // The model excluded other ready groups while serving the oldest lane.
+  EXPECT_GE(R.Stats.ProgressRestrictedPicks, 1u);
+}
+
+TEST(ProgressModelTest, ObeVerdictDependsOnResidentSlots) {
+  // The same cross-barrier kernel produces three different verdicts along
+  // the occupancy axis — exactly why the model is part of the cache key.
+  // obe:1 serializes lanes, so each joins and releases its barriers alone.
+  RunResult Solo = runUnder(CrossDeadlockSir, "obe:1");
+  EXPECT_TRUE(Solo.ok()) << Solo.TrapMessage;
+  // obe:2 makes lanes 0 and 1 join both barriers and then block on
+  // different ones; the non-resident lanes that could help never start.
+  RunResult Pair = runUnder(CrossDeadlockSir, "obe:2");
+  EXPECT_EQ(Pair.St, RunResult::Status::ProgressLivelock);
+  EXPECT_NE(Pair.TrapMessage.find("progress model obe:2"), std::string::npos)
+      << Pair.TrapMessage;
+  // Fair scheduling sees the genuine cross-barrier deadlock.
+  RunResult Fair = runUnder(CrossDeadlockSir, "fair");
+  EXPECT_EQ(Fair.St, RunResult::Status::Deadlock);
+}
+
+TEST(ProgressModelTest, BoundedForcesTheStarvedLane) {
+  RunResult R = runUnder(StarvedLaneSir, "bounded:4");
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  // MaxConvergence alone would keep picking the 31-lane loop group; the
+  // bound must have forced lane 0's group at least once.
+  EXPECT_GE(R.Stats.ProgressForcedPicks, 1u);
+  RunResult Fair = runUnder(StarvedLaneSir, "fair");
+  EXPECT_TRUE(Fair.ok()) << Fair.TrapMessage;
+  EXPECT_EQ(Fair.Stats.ProgressForcedPicks, 0u);
 }

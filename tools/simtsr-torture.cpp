@@ -41,9 +41,41 @@ struct TortureOptions {
   bool ExpectCaught = false;
   bool NoShrink = false;
   bool Verbose = false;
+  /// --progress-sweep: fair/hsa/obe/bounded:4 per seed, weak-model
+  /// livelocks classified instead of failed.
+  bool ProgressSweep = false;
   OracleOptions Oracle;
   ShrinkOptions Shrink;
 };
+
+/// The model axis a --progress-sweep run exercises: every guarantee the
+/// simulator implements, weakest conforming scheduler each.
+std::vector<ProgressSpec> sweepModels() {
+  std::vector<ProgressSpec> Models = {ProgressSpec{}};
+  for (const char *Name : {"hsa", "obe", "bounded:4"}) {
+    ProgressSpec S;
+    parseProgressSpec(Name, S);
+    Models.push_back(S);
+  }
+  return Models;
+}
+
+/// True when the oracle runs more than the legacy fair-only axis — the
+/// cue to extend repro headers, the summary line and the JSON payload
+/// (all byte-identical to the legacy output otherwise).
+bool progressAxisActive(const TortureOptions &Opts) {
+  return Opts.Oracle.ProgressModels.size() > 1;
+}
+
+std::string progressAxisString(const TortureOptions &Opts) {
+  std::string S;
+  for (const ProgressSpec &PS : Opts.Oracle.ProgressModels) {
+    if (!S.empty())
+      S += ",";
+    S += formatProgressSpec(PS);
+  }
+  return S;
+}
 
 int replay(const TortureOptions &Opts) {
   std::string Text, Error;
@@ -55,6 +87,8 @@ int replay(const TortureOptions &Opts) {
   if (R.ok()) {
     std::printf("replay %s: clean over %zu runs\n", Opts.ReplayFile.c_str(),
                 R.Runs.size());
+    for (const std::string &L : R.ProgressLivelocks)
+      std::printf("  classified progress-livelock: %s\n", L.c_str());
     return 0;
   }
   std::printf("replay %s: %s\n  %s\n", Opts.ReplayFile.c_str(),
@@ -86,6 +120,8 @@ bool writeRepro(const std::string &Path, uint64_t Seed,
   Out << ";   detail:    " << Failure.Detail << "\n";
   Out << ";   warp-size: " << Opts.Oracle.WarpSize << "\n";
   Out << ";   sim-seed:  " << Opts.Oracle.SimSeed << "\n";
+  if (progressAxisActive(Opts))
+    Out << ";   progress:  " << progressAxisString(Opts) << "\n";
   // Per-config schedule digests make the repro self-describing: a fix can
   // be validated against exactly the schedules that disagreed, without
   // rerunning the whole cross product by hand (docs/OBSERVABILITY.md).
@@ -93,13 +129,19 @@ bool writeRepro(const std::string &Path, uint64_t Seed,
     char Line[160];
     std::snprintf(Line, sizeof(Line),
                   ";   run:       %s/%s status=%s checksum=0x%016llx "
-                  "digest=0x%016llx\n",
+                  "digest=0x%016llx",
                   Run.Config.c_str(), getPolicyName(Run.Policy),
                   getRunStatusName(Run.St),
                   static_cast<unsigned long long>(Run.Checksum),
                   static_cast<unsigned long long>(Run.TraceDigest));
     Out << Line;
+    // Fair run lines stay byte-identical to the legacy format.
+    if (!Run.Progress.isFair())
+      Out << " progress=" << formatProgressSpec(Run.Progress);
+    Out << "\n";
   }
+  for (const std::string &Line : Failure.ProgressLivelocks)
+    Out << ";   classified: " << Line << "\n";
   // The static analyzer's verdict per config (--lint-oracle): which side
   // of a lint-mismatch to believe starts from these lines.
   for (const std::string &Line : Failure.LintLines)
@@ -108,7 +150,13 @@ bool writeRepro(const std::string &Path, uint64_t Seed,
     Out << ";   shrunk:    " << OriginalSize << " -> " << Text.size()
         << " bytes (" << Shrunk->StepsAccepted << " steps, "
         << Shrunk->AttemptsUsed << " attempts)\n";
-  Out << ";   replay:    simtsr-torture --replay " << Path << "\n";
+  Out << ";   replay:    simtsr-torture --replay " << Path;
+  if (Opts.ProgressSweep)
+    Out << " --progress-sweep";
+  else if (progressAxisActive(Opts))
+    Out << " --progress "
+        << formatProgressSpec(Opts.Oracle.ProgressModels.back());
+  Out << "\n";
   Out << Text;
   return Out.good();
 }
@@ -121,6 +169,7 @@ struct FailureRecord {
 };
 
 void emitJson(const TortureOptions &Opts, uint64_t Clean, uint64_t Failures,
+              uint64_t ClassifiedLivelocks,
               const std::vector<FailureRecord> &Records) {
   JsonWriter W;
   W.beginObject();
@@ -132,6 +181,14 @@ void emitJson(const TortureOptions &Opts, uint64_t Clean, uint64_t Failures,
   W.numberUnsigned(Clean);
   W.key("failures");
   W.numberUnsigned(Failures);
+  // Progress fields appear only when the model axis is active, so the
+  // legacy fair-only payload stays byte-identical.
+  if (progressAxisActive(Opts)) {
+    W.key("progress_models");
+    W.string(progressAxisString(Opts));
+    W.key("progress_livelocks");
+    W.numberUnsigned(ClassifiedLivelocks);
+  }
   W.key("repro_dir");
   W.string(Opts.ReproDir);
   W.key("records");
@@ -184,6 +241,11 @@ int main(int Argc, char **Argv) {
   P.flag("--lint-oracle",
          "cross-check the static convergence lint against every run",
          &Opts.Oracle.LintCheck);
+  driver::addProgressFlag(P, C);
+  P.flag("--progress-sweep",
+         "run every seed under fair, hsa, obe and bounded:4, classifying "
+         "weak-model-only livelocks instead of failing on them",
+         &Opts.ProgressSweep);
   P.flag("--expect-caught", "succeed iff at least one failure is caught",
          &Opts.ExpectCaught);
   P.flag("--no-shrink", "skip repro minimization", &Opts.NoShrink);
@@ -205,6 +267,24 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   Opts.Oracle.WarpSize = static_cast<unsigned>(WarpSize);
+  if (Opts.ProgressSweep && !C.Progress.isFair()) {
+    std::fprintf(stderr, "simtsr-torture: --progress and --progress-sweep "
+                         "are mutually exclusive\n");
+    return 1;
+  }
+  if (Opts.ProgressSweep) {
+    // Sweep mode: a weak-model-only livelock is a property of the kernel,
+    // not a miscompile — classify it and keep going. Genuine divergences
+    // (weak-model traps, checksum mismatches) still fail the sweep.
+    Opts.Oracle.ProgressModels = sweepModels();
+    Opts.Oracle.OnProgressLivelock = OracleOptions::ProgressVerdict::Classify;
+  } else if (!C.Progress.isFair()) {
+    // Targeted mode: fair establishes the baseline, the requested model
+    // runs against it, and a weak-model-only failure IS the verdict (what
+    // the shrinker minimizes into a progress repro).
+    Opts.Oracle.ProgressModels = {ProgressSpec{}, C.Progress};
+    Opts.Oracle.OnProgressLivelock = OracleOptions::ProgressVerdict::Fail;
+  }
   Opts.Shrink.Oracle = Opts.Oracle;
 
   if (!Opts.ReplayFile.empty())
@@ -212,6 +292,7 @@ int main(int Argc, char **Argv) {
 
   uint64_t Failures = 0;
   uint64_t Clean = 0;
+  uint64_t ClassifiedLivelocks = 0;
   std::vector<FailureRecord> Records;
   for (uint64_t Seed = C.StartSeed; Seed < C.StartSeed + Opts.Seeds;
        ++Seed) {
@@ -220,11 +301,15 @@ int main(int Argc, char **Argv) {
     Gen.MaxWarpSize = Opts.Oracle.WarpSize;
     std::string Text = generateKernelText(Gen);
     OracleResult R = runDifferentialOracle(Text, Opts.Oracle);
+    ClassifiedLivelocks += R.ProgressLivelocks.size();
     if (R.ok()) {
       ++Clean;
-      if (Opts.Verbose && !C.Json)
+      if (Opts.Verbose && !C.Json) {
         std::printf("seed %llu: clean (%zu runs)\n",
                     static_cast<unsigned long long>(Seed), R.Runs.size());
+        for (const std::string &L : R.ProgressLivelocks)
+          std::printf("  classified: %s\n", L.c_str());
+      }
       continue;
     }
     ++Failures;
@@ -259,7 +344,15 @@ int main(int Argc, char **Argv) {
   }
 
   if (C.Json)
-    emitJson(Opts, Clean, Failures, Records);
+    emitJson(Opts, Clean, Failures, ClassifiedLivelocks, Records);
+  else if (progressAxisActive(Opts))
+    std::printf("torture: %llu seeds over {%s}, %llu clean, %llu failures, "
+                "%llu classified progress-livelock runs\n",
+                static_cast<unsigned long long>(Opts.Seeds),
+                progressAxisString(Opts).c_str(),
+                static_cast<unsigned long long>(Clean),
+                static_cast<unsigned long long>(Failures),
+                static_cast<unsigned long long>(ClassifiedLivelocks));
   else
     std::printf("torture: %llu seeds, %llu clean, %llu failures\n",
                 static_cast<unsigned long long>(Opts.Seeds),

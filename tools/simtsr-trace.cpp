@@ -79,7 +79,8 @@ TracedWorkloadResult runConfig(const Workload &W, const driver::ToolConfig &C,
     std::exit(1);
   }
   return runWorkloadTraced(W, *Pipeline, C.Policy,
-                           static_cast<unsigned>(C.Warps), C.Seed, Remarks);
+                           static_cast<unsigned>(C.Warps), C.Seed, Remarks,
+                           1u << 20, C.Progress);
 }
 
 void printRunSummary(const driver::ToolConfig &C, const TraceOptions &Opts,
@@ -91,10 +92,14 @@ void printRunSummary(const driver::ToolConfig &C, const TraceOptions &Opts,
     Events += T.Events.size();
     Truncated |= T.Truncated;
   }
-  std::printf("%-14s config=%-13s policy=%-15s warps=%u seed=%llu\n",
+  std::printf("%-14s config=%-13s policy=%-15s warps=%u seed=%llu",
               Opts.Workload.c_str(), ConfigName.c_str(),
               driver::policyName(C.Policy), static_cast<unsigned>(C.Warps),
               static_cast<unsigned long long>(C.Seed));
+  // Fair output stays byte-identical to the pre-progress format.
+  if (!C.Progress.isFair())
+    std::printf(" progress=%s", formatProgressSpec(C.Progress).c_str());
+  std::printf("\n");
   std::printf("  status: %s\n", R.Ok ? "ok" : "FAILED");
   if (!R.Ok && !R.Warps.empty())
     std::printf("  failure: warp %u: %s\n", R.Warps.back().WarpIndex,
@@ -114,6 +119,10 @@ void jsonRun(JsonWriter &W, const driver::ToolConfig &C,
   W.string(ConfigName);
   W.key("policy");
   W.string(driver::policyName(C.Policy));
+  if (!C.Progress.isFair()) {
+    W.key("progress");
+    W.string(formatProgressSpec(C.Progress));
+  }
   W.key("status");
   W.string(R.Ok ? "ok" : "failed");
   W.key("digest");
@@ -257,6 +266,7 @@ int main(int Argc, char **Argv) {
              return true;
            });
   driver::addPolicyFlag(P, C);
+  driver::addProgressFlag(P, C);
   driver::addLaunchFlags(P, C);
   driver::addWorkloadFlags(P, C);
   driver::addJsonFlag(P, C);
