@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# CI gate for the barrier-repair engine (simtsr-lint --fix), in four
+# phases:
+#
+#   1. corpus repair — --fix over tests/lint/corpus with --fix-out;
+#      every `; repair: repairable` file must come back repaired AND
+#      oracle-certified (fair + hsa + obe + bounded:4 inside
+#      certifyRepair), every `; repair: clean` file untouched, and the
+#      one `; repair: unrepairable` file must be the only uncertified
+#      unit — so the expected tool exit is exactly 3.
+#   2. round-trip    — every emitted module re-parses and re-lints
+#      clean, and a second --fix over the emitted directory is
+#      byte-stable (fix is a fixpoint, not a treadmill).
+#   3. clean suite   — --fix --workloads reports zero repairs: the
+#      Table 2 suite is untouched by the repair engine.
+#   4. per-model oracle — a fixed-seed torture sweep with the lint
+#      oracle pinned to each weak progress model; any static/dynamic
+#      disagreement fails the gate.
+#
+# Environment overrides:
+#   LINT     lint binary     (default build/tools/simtsr-lint)
+#   TORTURE  torture binary  (default build/tools/simtsr-torture)
+#   SEEDS    per-model sweep size (default 50)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LINT="${LINT:-build/tools/simtsr-lint}"
+TORTURE="${TORTURE:-build/tools/simtsr-torture}"
+SEEDS="${SEEDS:-50}"
+WORK=$(mktemp -d /tmp/simtsr-lint-fix-XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "lint_fix_gate: FAIL: $*" >&2; exit 1; }
+
+# --- Phase 1: corpus repair + certification -----------------------------
+corpus=(tests/lint/corpus/*.sir)
+set +e
+"$LINT" --fix --fix-out "$WORK/fixed" "${corpus[@]}" | tee "$WORK/fix.txt"
+status=${PIPESTATUS[0]}
+set -e
+[ "$status" -eq 3 ] ||
+  fail "corpus --fix exited $status, expected 3 (one deliberate uncertified)"
+
+# The labels in the corpus files are the ground truth the tool output
+# must agree with, unit by unit.
+for f in "${corpus[@]}"; do
+  name=$(basename "$f")
+  label=$(sed -n 's/^; repair: //p' "$f")
+  block=$(awk -v u="== $name [fix]" \
+    '$0==u{on=1;next} /^== /{on=0} on' "$WORK/fix.txt")
+  case "$label" in
+    clean)
+      grep -q "status: clean" <<<"$block" || fail "$name: expected clean" ;;
+    repairable)
+      grep -q "status: repaired" <<<"$block" || fail "$name: not repaired"
+      grep -q "certification: certified" <<<"$block" ||
+        fail "$name: repair not certified" ;;
+    unrepairable)
+      grep -q "certification: FAILED" <<<"$block" ||
+        fail "$name: expected certification failure" ;;
+    *) fail "$name: missing '; repair:' label" ;;
+  esac
+done
+uncertified=$(grep -c "certification: FAILED" "$WORK/fix.txt")
+[ "$uncertified" -eq 1 ] ||
+  fail "expected exactly 1 uncertified repair, saw $uncertified"
+
+# --- Phase 2: emitted modules re-lint clean and fix is byte-stable ------
+for f in "$WORK"/fixed/*.sir; do
+  "$LINT" "$f" >/dev/null || fail "$(basename "$f"): repaired module not clean"
+done
+"$LINT" --fix --fix-out "$WORK/fixed2" "$WORK"/fixed/*.sir >/dev/null ||
+  fail "second fix iteration reported repairs on already-fixed modules"
+diff -r "$WORK/fixed" "$WORK/fixed2" >/dev/null ||
+  fail "fix is not byte-stable across two iterations"
+
+# --- Phase 3: the clean suite is untouched ------------------------------
+"$LINT" --fix --workloads | tee "$WORK/workloads.txt"
+grep -q " 0 repaired, 0 unrepairable, 0 uncertified" "$WORK/workloads.txt" ||
+  fail "clean-suite workloads were touched by --fix"
+
+# --- Phase 4: static-vs-dynamic oracle per progress model ---------------
+for model in hsa obe bounded:4; do
+  "$TORTURE" --seeds "$SEEDS" --lint-oracle --progress "$model" \
+    --repro-dir "$WORK/repros-${model//:/_}" ||
+    fail "lint oracle sweep disagreed under progress model $model"
+done
+
+echo "lint_fix_gate: OK (corpus certified, fixpoint byte-stable," \
+     "clean suite untouched, $SEEDS seeds x 3 weak models)"

@@ -384,10 +384,14 @@ OracleResult replayInOrder(const std::vector<ConfigSpec> &Specs,
           return Result;
         }
         const FailureKind K = kindForStatus(Record.Run.St);
-        // The lint models fair scheduling, so only a fair-run barrier
-        // failure can contradict its clean bill.
-        if (Record.Run.Progress.isFair() &&
-            isBarrierFailure(K, Record.TrapMessage) && Out.Lint.cleanBill()) {
+        // The lint models fair scheduling, so a classifiable weak-model
+        // starvation never contradicts its clean bill — but a barrier
+        // *trap* is schedule-independent (the classifiable statuses were
+        // handled above), so under any model it impeaches a clean bill.
+        const bool LintScope = Record.Run.Progress.isFair() ||
+                               !isClassifiableUnderWeakModel(Record.Run.St);
+        if (LintScope && isBarrierFailure(K, Record.TrapMessage) &&
+            Out.Lint.cleanBill()) {
           Result.Kind = FailureKind::LintMismatch;
           Result.Detail = SimDetail +
                           ", but the static analyzer gave this module a "
@@ -618,4 +622,34 @@ OracleResult simtsr::runDifferentialOracle(const std::string &SirText,
   OracleResult Result = runOracleVerdict(SirText, Opts);
   explainDivergence(SirText, Opts, Result);
   return Result;
+}
+
+std::vector<ProgressSpec> simtsr::certificationProgressModels() {
+  std::vector<ProgressSpec> Models = {ProgressSpec{}};
+  for (const char *Name : {"hsa", "obe", "bounded:4"}) {
+    ProgressSpec S;
+    parseProgressSpec(Name, S);
+    Models.push_back(S);
+  }
+  return Models;
+}
+
+RepairCertification simtsr::certifyRepair(const std::string &RepairedText,
+                                          const OracleOptions &Base) {
+  OracleOptions Opts = Base;
+  Opts.ProgressModels = certificationProgressModels();
+  Opts.OnProgressLivelock = OracleOptions::ProgressVerdict::Classify;
+  Opts.LintCheck = true;
+  // Certification never injects faults: the oracle must judge the repair
+  // itself, not a deliberately re-broken copy of it.
+  Opts.Inject = FaultInjection::None;
+
+  const OracleResult R = runDifferentialOracle(RepairedText, Opts);
+  RepairCertification Cert;
+  Cert.Certified = R.ok();
+  if (!R.ok())
+    Cert.Detail = std::string(getFailureKindName(R.Kind)) + ": " + R.Detail;
+  Cert.ProgressLivelocks = R.ProgressLivelocks;
+  Cert.Runs = R.Runs.size();
+  return Cert;
 }

@@ -161,6 +161,34 @@ OracleResult runDifferentialOracle(const std::string &SirText,
 /// (exposed for tests; the oracle calls it internally on the "sr" config).
 unsigned injectFault(Module &M, FaultInjection F);
 
+/// The progress-model axis a repair certification sweeps: fair first (the
+/// baseline), then every weak guarantee the simulator implements (hsa,
+/// obe, bounded:4) — the same axis as `simtsr-torture --progress-sweep`.
+std::vector<ProgressSpec> certificationProgressModels();
+
+/// Outcome of certifying one repaired module (docs/LINT.md, "Repair"): the
+/// full differential cross product, every pipeline configuration under
+/// every policy and every certification progress model, with the lint gate
+/// armed. A certified repair finished every run with the reference
+/// checksum; weak-model-only livelocks are classified, not failed, exactly
+/// as the progress sweep treats them.
+struct RepairCertification {
+  bool Certified = false;
+  /// Failure kind and detail of the first divergence when not certified.
+  std::string Detail;
+  /// Classified weak-model livelocks (fairness demands, not miscompiles).
+  std::vector<std::string> ProgressLivelocks;
+  /// Simulations completed across the cross product.
+  size_t Runs = 0;
+};
+
+/// Runs the certification sweep over \p RepairedText. \p Base supplies the
+/// launch parameters (warp size, sim seed, limits); the model axis, the
+/// livelock verdict and the lint cross-check are forced to the
+/// certification contract regardless of what \p Base says.
+RepairCertification certifyRepair(const std::string &RepairedText,
+                                  const OracleOptions &Base);
+
 } // namespace simtsr
 
 #endif // SIMTSR_FUZZ_ORACLE_H

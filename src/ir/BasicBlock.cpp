@@ -21,6 +21,11 @@ void BasicBlock::insertBeforeTerminator(Instruction I) {
   insert(Insts.size() - 1, std::move(I));
 }
 
+void BasicBlock::erase(size_t Index) {
+  assert(Index < Insts.size() && "erase position out of range");
+  Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Index));
+}
+
 bool BasicBlock::hasTerminator() const {
   return !Insts.empty() && Insts.back().isTerminator();
 }

@@ -56,6 +56,10 @@ public:
   /// be terminated.
   void insertBeforeTerminator(Instruction I);
 
+  /// Removes the instruction at position \p Index. Callers removing a
+  /// terminator must re-terminate the block before the next CFG query.
+  void erase(size_t Index);
+
   /// \returns true if the last instruction is a terminator.
   bool hasTerminator() const;
 

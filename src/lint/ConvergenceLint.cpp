@@ -240,7 +240,8 @@ void Linter::checkWait(Function &F, const BasicBlock *BB, size_t I,
          loc(F, BB) + ": membership gathered by this wait on " +
              barrierName(B) +
              " may have been overwritten by another join site (overlapping "
-             "live ranges on one register)");
+             "live ranges on one register)")
+        .SiteBits = S.Sites[B];
 
   // Detector: blocked-while-joined (the deconfliction hazard). With
   // origins this mirrors the old verifyDeconflicted byte for byte; without
@@ -263,13 +264,15 @@ void Linter::checkWait(Function &F, const BasicBlock *BB, size_t I,
           diag(LintKind::BlockedWhileJoined, LintSeverity::Warning, F, BB, I,
                C,
                loc(F, BB) + ": PDOM barrier " + barrierName(C) +
-                   " still joined at speculative wait on " + barrierName(B));
+                   " still joined at speculative wait on " + barrierName(B))
+              .SiteBits = S.Sites[C];
         else if (SpecMask & (1u << C))
           diag(LintKind::BlockedWhileJoined, LintSeverity::Warning, F, BB, I,
                C,
                loc(F, BB) + ": speculative barrier " + barrierName(C) +
                    " still joined at speculative wait on " + barrierName(B) +
-                   " (overlapping predictions)");
+                   " (overlapping predictions)")
+              .SiteBits = S.Sites[C];
       }
     }
   } else if (Conflicts) {
@@ -350,6 +353,7 @@ void Linter::checkJoin(Function &F, const BasicBlock *BB, size_t I,
           " joined again while the earlier join's membership is still "
           "pending");
   D.Witness = "orphans the join at: " + Sites.describe(Dominating);
+  D.SiteBits = Dominating;
 }
 
 void Linter::checkCall(Function &F, const BasicBlock *BB, size_t I,
@@ -391,12 +395,15 @@ void Linter::checkCall(Function &F, const BasicBlock *BB, size_t I,
         continue;
       if (Opts.OriginAware && !(AnyOriginMask & (1u << B)))
         continue;
-      diag(LintKind::CallHazard,
-           Opts.OriginAware ? LintSeverity::Warning : LintSeverity::Note, F,
-           BB, I, B,
-           loc(F, BB) + ": barrier " + barrierName(B) +
-               " still joined at call to @" + Callee->name() +
-               ", which blocks on an entry barrier");
+      LintDiagnostic &D =
+          diag(LintKind::CallHazard,
+               Opts.OriginAware ? LintSeverity::Warning : LintSeverity::Note,
+               F, BB, I, B,
+               loc(F, BB) + ": barrier " + barrierName(B) +
+                   " still joined at call to @" + Callee->name() +
+                   ", which blocks on an entry barrier");
+      D.Callee = Callee->name();
+      D.SiteBits = S.Sites[B];
     }
   }
 
@@ -412,7 +419,8 @@ void Linter::checkCall(Function &F, const BasicBlock *BB, size_t I,
            loc(F, BB) + ": call to @" + Callee->name() +
                " may return with barrier " + barrierName(B) +
                " still joined (entry obligation not discharged on every "
-               "path)");
+               "path)")
+          .Callee = Callee->name();
   }
 }
 
@@ -442,6 +450,7 @@ void Linter::checkRet(Function &F, const BasicBlock *BB, size_t I,
     }
     LintDiagnostic &D = diag(LintKind::JoinLeak, Sev, F, BB, I, B, Msg);
     D.Witness = "joined at: " + Sites.describe(S.Sites[B]);
+    D.SiteBits = S.Sites[B];
   }
 }
 
@@ -603,6 +612,9 @@ void Linter::detectCycles() {
               " while the wait on " + barrierName(B.WaitB) + " at " +
               loc(F, B.BB) + " holds joined " + barrierName(B.HeldC));
       D.Witness = "thread groups part ways at " + loc(F, Branch);
+      D.Barrier2 = A.HeldC;
+      D.Block2 = B.BB->name();
+      D.Index2 = B.Index;
       Result.ProvenDeadlock = true;
     }
   }

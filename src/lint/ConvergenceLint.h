@@ -91,6 +91,15 @@ struct LintDiagnostic {
   /// finding concrete.
   std::string Witness;
 
+  /// Machine-readable witness fields consumed by the repair synthesizer
+  /// (lint/Repair.h). format() never prints them, so the golden diagnostic
+  /// stream is independent of how much evidence a detector records.
+  unsigned Barrier2 = ~0u; ///< Partner barrier (deadlock-cycle: held id).
+  std::string Block2;      ///< Partner site's block (deadlock-cycle).
+  size_t Index2 = 0;       ///< Partner site's instruction index.
+  uint64_t SiteBits = 0;   ///< JoinSiteTable bits backing the finding.
+  std::string Callee;      ///< Callee (call-hazard / interproc-leak).
+
   /// "severity: message (kind)[; witness]" — the CLI / golden line format.
   std::string format() const;
 };

@@ -1,0 +1,512 @@
+//===- Repair.cpp - Proof-driven barrier-repair synthesizer ---------------===//
+
+#include "lint/Repair.h"
+
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "lint/AbstractInterp.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace simtsr;
+using namespace simtsr::lint;
+
+const char *lint::getRepairActionName(RepairAction A) {
+  switch (A) {
+  case RepairAction::InsertCancel:
+    return "insert-cancel";
+  case RepairAction::InsertWait:
+    return "insert-wait";
+  case RepairAction::InsertJoin:
+    return "insert-join";
+  case RepairAction::DeleteInst:
+    return "delete";
+  case RepairAction::RetargetBarrier:
+    return "retarget";
+  case RepairAction::SetSoftThreshold:
+    return "set-threshold";
+  }
+  return "unknown";
+}
+
+const char *lint::getRepairStatusName(RepairStatus S) {
+  switch (S) {
+  case RepairStatus::Clean:
+    return "clean";
+  case RepairStatus::Repaired:
+    return "repaired";
+  case RepairStatus::Unrepairable:
+    return "unrepairable";
+  }
+  return "unknown";
+}
+
+std::string RepairEdit::format() const {
+  std::string Out = getRepairActionName(Action);
+  Out += " @" + Function + ":" + Block + "[" + std::to_string(Index) + "]";
+  switch (Action) {
+  case RepairAction::InsertCancel:
+  case RepairAction::InsertWait:
+  case RepairAction::InsertJoin:
+    Out += " b" + std::to_string(Barrier);
+    break;
+  case RepairAction::RetargetBarrier:
+    Out += " -> b" + std::to_string(Value);
+    break;
+  case RepairAction::SetSoftThreshold:
+    Out += " -> " + std::to_string(Value);
+    break;
+  case RepairAction::DeleteInst:
+    break;
+  }
+  if (!Note.empty())
+    Out += " -- " + Note;
+  return Out;
+}
+
+bool lint::applyRepairEdit(Module &M, const RepairEdit &E, std::string *Error) {
+  auto Fail = [&](std::string Msg) {
+    if (Error)
+      *Error = std::move(Msg);
+    return false;
+  };
+  Function *F = M.functionByName(E.Function);
+  if (!F)
+    return Fail("no function named @" + E.Function);
+  BasicBlock *BB = F->blockByName(E.Block);
+  if (!BB)
+    return Fail("no block named " + E.Block + " in @" + E.Function);
+
+  switch (E.Action) {
+  case RepairAction::InsertCancel:
+  case RepairAction::InsertWait:
+  case RepairAction::InsertJoin: {
+    if (E.Index > BB->size())
+      return Fail("insert position out of range");
+    if (E.Barrier >= NumBarrierRegisters)
+      return Fail("barrier id out of range");
+    // Never insert past the terminator: the block would become malformed.
+    if (BB->hasTerminator() && E.Index >= BB->size())
+      return Fail("insert position past the terminator");
+    const Opcode Op = E.Action == RepairAction::InsertCancel
+                          ? Opcode::CancelBarrier
+                          : E.Action == RepairAction::InsertWait
+                                ? Opcode::WaitBarrier
+                                : Opcode::JoinBarrier;
+    BB->insert(E.Index, Instruction(Op, NoRegister, {Operand::barrier(E.Barrier)}));
+    return true;
+  }
+  case RepairAction::DeleteInst: {
+    if (E.Index >= BB->size())
+      return Fail("delete position out of range");
+    if (BB->inst(E.Index).isTerminator())
+      return Fail("refusing to delete a terminator");
+    BB->erase(E.Index);
+    return true;
+  }
+  case RepairAction::RetargetBarrier: {
+    if (E.Index >= BB->size())
+      return Fail("retarget position out of range");
+    Instruction &I = BB->inst(E.Index);
+    if (!isBarrierOp(I.opcode()))
+      return Fail("retarget target is not a barrier instruction");
+    if (E.Value < 0 || static_cast<uint64_t>(E.Value) >= NumBarrierRegisters)
+      return Fail("retarget barrier id out of range");
+    I.operand(0).setBarrier(static_cast<unsigned>(E.Value));
+    return true;
+  }
+  case RepairAction::SetSoftThreshold: {
+    if (E.Index >= BB->size())
+      return Fail("threshold position out of range");
+    Instruction &I = BB->inst(E.Index);
+    if (I.opcode() != Opcode::SoftWait)
+      return Fail("threshold target is not a soft wait");
+    if (I.numOperands() < 2 || !I.operand(1).isImm())
+      return Fail("soft wait has no immediate threshold");
+    I.operand(1) = Operand::imm(E.Value);
+    return true;
+  }
+  }
+  return Fail("unknown repair action");
+}
+
+namespace {
+
+/// One candidate repair: edits in application order (later edits use
+/// post-shift indices).
+using Candidate = std::vector<RepairEdit>;
+
+RepairEdit makeEdit(RepairAction A, const std::string &Fn,
+                    const std::string &Blk, size_t Idx, unsigned B, int64_t V,
+                    std::string Note) {
+  RepairEdit E;
+  E.Action = A;
+  E.Function = Fn;
+  E.Block = Blk;
+  E.Index = Idx;
+  E.Barrier = B;
+  E.Value = V;
+  E.Note = std::move(Note);
+  return E;
+}
+
+std::string barrierName(unsigned B) { return "b" + std::to_string(B); }
+
+/// Candidate generators, one per gating lint kind. Each proposal is the
+/// *minimal* edit discharging the finding's witness; alternatives are
+/// ordered most-surgical first so the fixpoint loop's tie-break (fewest
+/// edits, then generation order) prefers them. Proposals are speculative:
+/// the caller scores each one by re-linting a trial clone, so a generator
+/// may emit candidates that turn out not to help.
+void generateCandidates(const Module &M, const LintDiagnostic &D,
+                        unsigned WarpSize, std::vector<Candidate> &Out) {
+  const Function *F = M.functionByName(D.Function);
+
+  switch (D.Kind) {
+  case LintKind::JoinLeak:
+    // Witness: membership from SiteBits still pending at this ret.
+    // Discharge it right before the exit — cancel withdraws the leaking
+    // lanes (releasing any partner group), wait gathers them.
+    if (D.Block.empty() || D.Barrier >= NumBarrierRegisters)
+      return;
+    Out.push_back({makeEdit(RepairAction::InsertCancel, D.Function, D.Block,
+                            D.Index, D.Barrier, 0,
+                            "join-leak: discharge the leaked membership of " +
+                                barrierName(D.Barrier) + " before the ret")});
+    Out.push_back({makeEdit(RepairAction::InsertWait, D.Function, D.Block,
+                            D.Index, D.Barrier, 0,
+                            "join-leak: gather the leaked membership of " +
+                                barrierName(D.Barrier) + " before the ret")});
+    return;
+
+  case LintKind::DeadJoin:
+    // Witness: this join has no reachable wait or cancel. Either the join
+    // is noise (delete it) or the discharge is missing (cancel after it).
+    if (D.Block.empty() || D.Barrier >= NumBarrierRegisters)
+      return;
+    Out.push_back({makeEdit(RepairAction::DeleteInst, D.Function, D.Block,
+                            D.Index, ~0u, 0,
+                            "dead-join: remove the join of " +
+                                barrierName(D.Barrier) +
+                                " with no reachable discharge")});
+    Out.push_back({makeEdit(RepairAction::InsertCancel, D.Function, D.Block,
+                            D.Index + 1, D.Barrier, 0,
+                            "dead-join: discharge " + barrierName(D.Barrier) +
+                                " right after the join")});
+    return;
+
+  case LintKind::DoubleJoin: {
+    // Witness: SiteBits names the dominating join sites whose membership
+    // this join orphans. Delete one of them, or discharge the earlier
+    // membership right before re-joining.
+    if (!F || D.Block.empty() || D.Barrier >= NumBarrierRegisters)
+      return;
+    const JoinSiteTable Sites(*F);
+    const uint64_t Local = D.SiteBits & ~JoinSiteTable::ExternalBit &
+                           ~JoinSiteTable::OverflowBit;
+    for (size_t I = 0; I < Sites.sites().size(); ++I) {
+      if (!(Local & (1ull << I)))
+        continue;
+      const JoinSiteTable::Site &S = Sites.sites()[I];
+      Out.push_back({makeEdit(RepairAction::DeleteInst, D.Function,
+                              S.Block->name(), S.Index, ~0u, 0,
+                              "double-join: remove the earlier join of " +
+                                  barrierName(D.Barrier) +
+                                  " this join orphans")});
+    }
+    Out.push_back(
+        {makeEdit(RepairAction::InsertCancel, D.Function, D.Block, D.Index,
+                  D.Barrier, 0,
+                  "double-join: discharge the earlier membership of " +
+                      barrierName(D.Barrier) + " before re-joining")});
+    return;
+  }
+
+  case LintKind::ReallocOverlap: {
+    // Witness: SiteBits holds the join sites whose memberships interleave
+    // on this register. Remove an overwriting (join-kind) site, or close
+    // the earlier live range with a cancel right before it.
+    if (!F || D.Block.empty() || D.Barrier >= NumBarrierRegisters)
+      return;
+    const JoinSiteTable Sites(*F);
+    const uint64_t Local = D.SiteBits & Sites.joinKindMask() &
+                           ~JoinSiteTable::ExternalBit &
+                           ~JoinSiteTable::OverflowBit;
+    for (size_t I = 0; I < Sites.sites().size(); ++I) {
+      if (!(Local & (1ull << I)))
+        continue;
+      const JoinSiteTable::Site &S = Sites.sites()[I];
+      Out.push_back({makeEdit(RepairAction::DeleteInst, D.Function,
+                              S.Block->name(), S.Index, ~0u, 0,
+                              "realloc-overlap: remove the join of " +
+                                  barrierName(D.Barrier) +
+                                  " overwriting a live membership")});
+    }
+    for (size_t I = 0; I < Sites.sites().size(); ++I) {
+      if (!(Local & (1ull << I)))
+        continue;
+      const JoinSiteTable::Site &S = Sites.sites()[I];
+      Out.push_back(
+          {makeEdit(RepairAction::InsertCancel, D.Function, S.Block->name(),
+                    S.Index, D.Barrier, 0,
+                    "realloc-overlap: close the earlier live range of " +
+                        barrierName(D.Barrier) + " before this join")});
+    }
+    return;
+  }
+
+  case LintKind::BlockedWhileJoined: {
+    // Witness: membership of D.Barrier (SiteBits) held while blocking at
+    // the wait at (Block, Index). Move the join past the wait, or
+    // discharge the held membership before blocking.
+    if (!F || D.Block.empty() || D.Barrier >= NumBarrierRegisters)
+      return;
+    const JoinSiteTable Sites(*F);
+    const uint64_t Local = D.SiteBits & ~JoinSiteTable::ExternalBit &
+                           ~JoinSiteTable::OverflowBit;
+    for (size_t I = 0; I < Sites.sites().size(); ++I) {
+      if (!(Local & (1ull << I)))
+        continue;
+      const JoinSiteTable::Site &S = Sites.sites()[I];
+      const bool SameBlock = S.Block->name() == D.Block;
+      if (SameBlock && S.Index >= D.Index)
+        continue; // The join does not precede the wait here.
+      // Post-shift index: deleting an earlier instruction in the wait's
+      // own block moves the wait down by one.
+      const size_t After = SameBlock ? D.Index : D.Index + 1;
+      Out.push_back(
+          {makeEdit(RepairAction::DeleteInst, D.Function, S.Block->name(),
+                    S.Index, ~0u, 0,
+                    "blocked-while-joined: unpark the join of " +
+                        barrierName(D.Barrier) + " held across the wait"),
+           makeEdit(RepairAction::InsertJoin, D.Function, D.Block, After,
+                    D.Barrier, 0,
+                    "blocked-while-joined: re-establish the join of " +
+                        barrierName(D.Barrier) + " after the wait")});
+    }
+    Out.push_back(
+        {makeEdit(RepairAction::InsertCancel, D.Function, D.Block, D.Index,
+                  D.Barrier, 0,
+                  "blocked-while-joined: discharge the held membership of " +
+                      barrierName(D.Barrier) + " before the wait")});
+    return;
+  }
+
+  case LintKind::CallHazard:
+    // Witness: membership of D.Barrier held at a call that gathers on
+    // entry. Discharge it before handing control to the callee.
+    if (D.Block.empty() || D.Barrier >= NumBarrierRegisters)
+      return;
+    Out.push_back(
+        {makeEdit(RepairAction::InsertCancel, D.Function, D.Block, D.Index,
+                  D.Barrier, 0,
+                  "call-hazard: discharge the held membership of " +
+                      barrierName(D.Barrier) + " before the gathering call")});
+    Out.push_back(
+        {makeEdit(RepairAction::InsertWait, D.Function, D.Block, D.Index,
+                  D.Barrier, 0,
+                  "call-hazard: gather the held membership of " +
+                      barrierName(D.Barrier) + " before the gathering call")});
+    return;
+
+  case LintKind::InterprocLeak: {
+    // Witness: the callee (D.Callee) may return with the entry obligation
+    // on D.Barrier undischarged. A caller-side edit cannot fix the
+    // callee's summary, so repair the callee: discharge before every ret.
+    if (D.Barrier >= NumBarrierRegisters)
+      return;
+    const Function *Callee = M.functionByName(D.Callee);
+    if (!Callee)
+      return;
+    // Preferred repair: revoke the obligation at the callee's entry. A
+    // partially-covering gather is a schedule hazard however late the
+    // discharge lands — a reconvergence pass may park the uncovered arm on
+    // its own barrier ahead of any exit-block cancel (PdomSync inserts its
+    // wait at the post-dominator's index 0), deadlocking against the
+    // covered arm. An entry cancel empties the participant set before any
+    // wait can block, so it is safe under every pipeline and schedule.
+    // Exit-block placements follow as fallbacks.
+    Candidate TopCancels, RetCancels, Waits;
+    Out.push_back({makeEdit(
+        RepairAction::InsertCancel, Callee->name(),
+        Callee->entry()->name(), 0, D.Barrier, 0,
+        "interproc-leak: revoke the partially-discharged entry obligation "
+        "on " +
+            barrierName(D.Barrier) + " at @" + Callee->name() + " entry")});
+    for (const BasicBlock *BB : *Callee) {
+      if (!BB->hasTerminator() || BB->terminator().opcode() != Opcode::Ret)
+        continue;
+      const std::string Why =
+          "interproc-leak: discharge the entry obligation on " +
+          barrierName(D.Barrier) + " at @" + Callee->name() + " exit";
+      TopCancels.push_back(makeEdit(RepairAction::InsertCancel,
+                                    Callee->name(), BB->name(), 0, D.Barrier,
+                                    0, Why));
+      RetCancels.push_back(makeEdit(RepairAction::InsertCancel,
+                                    Callee->name(), BB->name(), BB->size() - 1,
+                                    D.Barrier, 0, Why));
+      Waits.push_back(
+          makeEdit(RepairAction::InsertWait, Callee->name(), BB->name(),
+                   BB->size() - 1, D.Barrier, 0,
+                   "interproc-leak: gather the entry obligation on " +
+                       barrierName(D.Barrier) + " at @" + Callee->name() +
+                       " exit"));
+    }
+    if (!TopCancels.empty()) {
+      Out.push_back(std::move(TopCancels));
+      Out.push_back(std::move(RetCancels));
+      Out.push_back(std::move(Waits));
+    }
+    return;
+  }
+
+  case LintKind::DeadlockCycle:
+    // Witness: the wait here holds Barrier2 while the partner wait at
+    // (Block2, Index2) holds D.Barrier. Breaking either hold breaks the
+    // cycle; breaking both restores symmetry. The two waits are in
+    // different blocks (the detector guarantees it), so the pair needs no
+    // index shifting.
+    if (D.Block.empty() || D.Block2.empty() ||
+        D.Barrier >= NumBarrierRegisters || D.Barrier2 >= NumBarrierRegisters)
+      return;
+    Out.push_back(
+        {makeEdit(RepairAction::InsertCancel, D.Function, D.Block, D.Index,
+                  D.Barrier2, 0,
+                  "deadlock-cycle: release held " + barrierName(D.Barrier2) +
+                      " before blocking on " + barrierName(D.Barrier)),
+         makeEdit(RepairAction::InsertCancel, D.Function, D.Block2, D.Index2,
+                  D.Barrier, 0,
+                  "deadlock-cycle: release held " + barrierName(D.Barrier) +
+                      " before blocking on " + barrierName(D.Barrier2))});
+    Out.push_back(
+        {makeEdit(RepairAction::InsertCancel, D.Function, D.Block, D.Index,
+                  D.Barrier2, 0,
+                  "deadlock-cycle: release held " + barrierName(D.Barrier2) +
+                      " before blocking on " + barrierName(D.Barrier))});
+    Out.push_back(
+        {makeEdit(RepairAction::InsertCancel, D.Function, D.Block2, D.Index2,
+                  D.Barrier, 0,
+                  "deadlock-cycle: release held " + barrierName(D.Barrier) +
+                      " before blocking on " + barrierName(D.Barrier2))});
+    return;
+
+  case LintKind::SoftThreshold:
+    // Gating only when the threshold exceeds the warp width; clamp it.
+    if (D.Block.empty() || D.Barrier >= NumBarrierRegisters)
+      return;
+    Out.push_back({makeEdit(
+        RepairAction::SetSoftThreshold, D.Function, D.Block, D.Index, ~0u,
+        static_cast<int64_t>(WarpSize),
+        "soft-threshold: clamp to the warp width " + std::to_string(WarpSize))});
+    return;
+
+  case LintKind::UnjoinedWait:
+  case LintKind::Recursion:
+    // Notes only; never gating, nothing to repair.
+    return;
+  }
+}
+
+/// Lexicographic severity score; strict decrease guarantees the fixpoint
+/// loop terminates (at most score(original) acceptances).
+unsigned scoreOf(const LintResult &R) {
+  return R.count(LintSeverity::Error) * 1000u + R.count(LintSeverity::Warning);
+}
+
+} // namespace
+
+RepairOutcome lint::synthesizeRepair(const Module &M,
+                                     const RepairOptions &Opts) {
+  RepairOutcome Out;
+  LintOptions LO = Opts.Lint;
+  LO.Remarks = false;
+
+  std::unique_ptr<Module> Cur = M.clone();
+  LintResult CurLint = runConvergenceLint(*Cur, LO);
+  unsigned CurScore = scoreOf(CurLint);
+
+  if (CurLint.clean()) {
+    Out.Status = RepairStatus::Clean;
+    Out.RepairedText = printModule(*Cur);
+    Out.FinalLint = std::move(CurLint);
+    return Out;
+  }
+
+  bool BudgetExhausted = false;
+  for (unsigned Iter = 0;
+       Iter < Opts.MaxIterations && !CurLint.clean() && !BudgetExhausted;
+       ++Iter) {
+    ++Out.Iterations;
+    bool Accepted = false;
+    // Walk gating findings in diagnostic order; the first one with a
+    // strictly-improving candidate wins the iteration.
+    for (const LintDiagnostic &D : CurLint.Diagnostics) {
+      if (D.Severity == LintSeverity::Note)
+        continue;
+      std::vector<Candidate> Cands;
+      generateCandidates(*Cur, D, LO.WarpSize, Cands);
+
+      std::unique_ptr<Module> Best;
+      LintResult BestLint;
+      unsigned BestScore = 0;
+      size_t BestSize = 0;
+      const Candidate *BestCand = nullptr;
+      for (const Candidate &C : Cands) {
+        if (Out.CandidatesTried >= Opts.CandidateBudget) {
+          BudgetExhausted = true;
+          break;
+        }
+        std::unique_ptr<Module> Trial = Cur->clone();
+        bool AppliedAll = true;
+        for (const RepairEdit &E : C)
+          if (!applyRepairEdit(*Trial, E)) {
+            AppliedAll = false;
+            break;
+          }
+        if (!AppliedAll)
+          continue;
+        ++Out.CandidatesTried;
+        LintResult TrialLint = runConvergenceLint(*Trial, LO);
+        const unsigned S = scoreOf(TrialLint);
+        if (S >= CurScore)
+          continue; // Only strict improvements are eligible.
+        if (!BestCand || S < BestScore ||
+            (S == BestScore && C.size() < BestSize)) {
+          BestCand = &C;
+          Best = std::move(Trial);
+          BestLint = std::move(TrialLint);
+          BestScore = S;
+          BestSize = C.size();
+        }
+      }
+      if (BestCand) {
+        Out.Edits.insert(Out.Edits.end(), BestCand->begin(), BestCand->end());
+        Cur = std::move(Best);
+        CurLint = std::move(BestLint);
+        CurScore = BestScore;
+        Accepted = true;
+        break;
+      }
+      if (BudgetExhausted)
+        break;
+    }
+    if (!Accepted)
+      break;
+  }
+
+  Out.RepairedText = printModule(*Cur);
+  if (CurLint.clean()) {
+    Out.Status = RepairStatus::Repaired;
+  } else {
+    Out.Status = RepairStatus::Unrepairable;
+    for (const LintDiagnostic &D : CurLint.Diagnostics)
+      if (D.Severity != LintSeverity::Note) {
+        Out.BlockingWitness = D.format();
+        break;
+      }
+  }
+  Out.FinalLint = std::move(CurLint);
+  return Out;
+}

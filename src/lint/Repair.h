@@ -1,0 +1,126 @@
+//===- Repair.h - Proof-driven barrier-repair synthesizer ------*- C++ -*-===//
+///
+/// \file
+/// The repair half of the convergence-safety analyzer (docs/LINT.md,
+/// "Repair"): consumes each lint finding's lattice witness — the
+/// entry-to-current relation, the join-site provenance bits and the
+/// dominance facts the detectors already computed — and proposes minimal
+/// IR edits that discharge the finding. Edits are first-class and
+/// serializable (RepairEdit), so a repair is a reviewable patch, not a
+/// mutated module.
+///
+/// The synthesizer runs lint -> edit -> re-lint to a fixpoint under a
+/// candidate budget: each iteration picks the first gating finding that
+/// has a candidate generator, scores every candidate by re-linting a
+/// trial clone, and keeps the strictly-best improvement. A module whose
+/// gating findings cannot be improved within the budget is *proven
+/// unrepairable* and carries the blocking witness.
+///
+/// Static cleanliness is necessary, not sufficient: callers that can run
+/// code certify the winner with the differential oracle
+/// (fuzz/Oracle.h certifyRepair) before trusting it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_LINT_REPAIR_H
+#define SIMTSR_LINT_REPAIR_H
+
+#include "lint/ConvergenceLint.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+class Module;
+}
+
+namespace simtsr::lint {
+
+/// The edit taxonomy. Every action is expressible in the `.sir` text the
+/// printer round-trips, so an edit list fully determines the repaired
+/// module. A "move" is a DeleteInst + Insert pair.
+enum class RepairAction : uint8_t {
+  InsertCancel,     ///< Insert `cancelbar b<Barrier>` at (Block, Index).
+  InsertWait,       ///< Insert `waitbar b<Barrier>` at (Block, Index).
+  InsertJoin,       ///< Insert `joinbar b<Barrier>` at (Block, Index).
+  DeleteInst,       ///< Delete the instruction at (Block, Index).
+  RetargetBarrier,  ///< Rename the barrier operand at (Block, Index) to
+                    ///< register Value (splits a realloc overlap).
+  SetSoftThreshold, ///< Set the soft-wait threshold at (Block, Index) to
+                    ///< Value.
+};
+
+/// \returns a stable kebab-case name ("insert-cancel", "delete", ...).
+const char *getRepairActionName(RepairAction A);
+
+/// One primitive edit, addressed positionally against the module it was
+/// generated for. Within a candidate, edits apply in list order and later
+/// edits use post-shift indices.
+struct RepairEdit {
+  RepairAction Action = RepairAction::InsertCancel;
+  std::string Function;
+  std::string Block;
+  size_t Index = 0;
+  /// Barrier operand for the insert actions; ~0u when unused.
+  unsigned Barrier = ~0u;
+  /// RetargetBarrier: the new register. SetSoftThreshold: the new
+  /// threshold.
+  int64_t Value = 0;
+  /// Rationale: the lint kind this edit discharges, plus the evidence.
+  std::string Note;
+
+  /// "action @func:block[index] bN [-> V] -- note"; the serialized form
+  /// printed by the CLI, the serve response and the repair golden.
+  std::string format() const;
+};
+
+struct RepairOptions {
+  /// Options for every internal lint run. Remarks are always suppressed:
+  /// trial candidates would otherwise flood the remark stream.
+  LintOptions Lint;
+  /// Fixpoint bound: each iteration discharges at least one finding, so
+  /// this also bounds the edit count.
+  unsigned MaxIterations = 8;
+  /// Total trial re-lints across the whole synthesis.
+  unsigned CandidateBudget = 64;
+};
+
+enum class RepairStatus : uint8_t {
+  Clean,        ///< No gating findings; the module was left untouched.
+  Repaired,     ///< Fixpoint reached with zero gating findings.
+  Unrepairable, ///< No candidate improved the blocking finding.
+};
+
+const char *getRepairStatusName(RepairStatus S);
+
+struct RepairOutcome {
+  RepairStatus Status = RepairStatus::Clean;
+  /// Applied edits in application order (empty for Clean).
+  std::vector<RepairEdit> Edits;
+  /// printModule() of the final module. For Clean this is the printed
+  /// original — byte-identical to printing the input, so untouched inputs
+  /// are provably untouched. For Unrepairable it is the best partial
+  /// repair reached before the blocking finding.
+  std::string RepairedText;
+  /// The final lint verdict over RepairedText's module.
+  LintResult FinalLint;
+  /// Unrepairable only: the formatted finding no candidate improved.
+  std::string BlockingWitness;
+  unsigned Iterations = 0;
+  unsigned CandidatesTried = 0;
+};
+
+/// Synthesizes a repair for \p M (which is never mutated; all work happens
+/// on clones). Deterministic: same module and options, same outcome.
+RepairOutcome synthesizeRepair(const Module &M, const RepairOptions &Opts = {});
+
+/// Applies one edit to \p M in place. \returns false (and sets \p Error
+/// when non-null) if the edit does not address \p M — unknown function or
+/// block, out-of-range index, or an action/instruction mismatch.
+bool applyRepairEdit(Module &M, const RepairEdit &E,
+                     std::string *Error = nullptr);
+
+} // namespace simtsr::lint
+
+#endif // SIMTSR_LINT_REPAIR_H

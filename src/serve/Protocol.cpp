@@ -166,6 +166,12 @@ FieldError applyField(Request &R, const std::string &Key,
     R.Notes = V.asBool();
     return {};
   }
+  if (Key == "fix") {
+    if (!V.isBool())
+      return bad("\"fix\" must be a boolean");
+    R.Fix = V.asBool();
+    return {};
+  }
   return bad("unknown field \"" + Key + "\"");
 }
 
@@ -457,6 +463,25 @@ std::string simtsr::serve::renderLintResponse(const Request &R,
   for (const std::string &F : L.Findings)
     W.string(F);
   W.endArray();
+  // The fix block only exists when the request asked for it, so lint
+  // responses without "fix": true stay byte-identical to v2 clients.
+  if (L.FixRequested) {
+    W.key("fix_status");
+    W.string(L.FixStatus);
+    W.key("fix_edits");
+    W.beginArray();
+    for (const std::string &E : L.FixEdits)
+      W.string(E);
+    W.endArray();
+    W.key("fix_certified");
+    W.string("static");
+    if (!L.BlockingWitness.empty()) {
+      W.key("fix_blocking_witness");
+      W.string(L.BlockingWitness);
+    }
+    W.key("repaired_source");
+    W.string(L.RepairedSource);
+  }
   W.endObject();
   return W.take();
 }

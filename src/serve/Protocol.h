@@ -66,6 +66,7 @@ struct Request {
   bool WantModule = false;  ///< compile: include post-pipeline source.
   bool WantRemarks = false; ///< compile: include pass remarks.
   bool Notes = false;       ///< lint: include informational notes.
+  bool Fix = false;         ///< lint: run the repair synthesizer too.
 };
 
 struct RequestParse {
@@ -118,6 +119,14 @@ struct LintSummary {
   unsigned Warnings = 0;
   unsigned Notes = 0;
   std::vector<std::string> Findings; ///< Formatted diagnostic lines.
+  /// "fix": true results. The daemon runs the static lint->edit->re-lint
+  /// fixpoint only — dynamic oracle certification is a batch-tool concern
+  /// (simtsr-lint --fix); responses say so via fix_certified: "static".
+  bool FixRequested = false;
+  std::string FixStatus;             ///< "clean" / "repaired" / "unrepairable".
+  std::vector<std::string> FixEdits; ///< Serialized RepairEdit lines.
+  std::string RepairedSource;        ///< Printed repaired module.
+  std::string BlockingWitness;       ///< Unrepairable only.
 };
 std::string renderLintResponse(const Request &R, const CompileEntry &CE,
                                bool CompileCached, const LintSummary &L);

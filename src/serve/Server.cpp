@@ -8,6 +8,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "lint/ConvergenceLint.h"
+#include "lint/Repair.h"
 #include "observe/Remark.h"
 #include "sim/Grid.h"
 #include "support/FaultInject.h"
@@ -311,6 +312,19 @@ std::string Server::processLint(const Request &R) {
     if (D.Severity == lint::LintSeverity::Note && !R.Notes)
       continue;
     S.Findings.push_back(D.format());
+  }
+  if (R.Fix) {
+    // Static repair only: the daemon never simulates on the lint path, so
+    // the oracle-certification half of --fix stays in the batch tool.
+    lint::RepairOptions RO;
+    RO.Lint = LO;
+    const lint::RepairOutcome FO = lint::synthesizeRepair(*M, RO);
+    S.FixRequested = true;
+    S.FixStatus = lint::getRepairStatusName(FO.Status);
+    for (const lint::RepairEdit &E : FO.Edits)
+      S.FixEdits.push_back(E.format());
+    S.RepairedSource = FO.RepairedText;
+    S.BlockingWitness = FO.BlockingWitness;
   }
   return renderLintResponse(R, *CE, CompileCached, S);
 }

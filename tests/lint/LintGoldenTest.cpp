@@ -33,6 +33,7 @@ const char *CorpusFiles[] = {
     "recursion.sir",
     "soft_threshold.sir",
     "unjoined_wait.sir",
+    "unrepairable_race.sir",
 };
 
 std::string renderCorpus() {

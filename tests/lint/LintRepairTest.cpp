@@ -1,0 +1,219 @@
+//===- LintRepairTest.cpp - Repair synthesizer over the corpus ------------===//
+///
+/// \file
+/// Every corpus file carries a `; repair:` label (clean / repairable /
+/// unrepairable) and the synthesizer must agree with it: clean files come
+/// back byte-identical, repairable files reach a lint-clean fixpoint that
+/// the differential oracle certifies, and the unrepairable file survives
+/// static repair only to fail certification. The exact status + edit
+/// stream is golden (tests/lint/RepairGolden.txt); regenerate with
+/// SIMTSR_UPDATE_GOLDEN=1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "kernels/Workload.h"
+#include "lint/ConvergenceLint.h"
+#include "lint/Repair.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace simtsr;
+
+namespace {
+
+/// Fixed corpus order, matching LintGoldenTest.
+const char *CorpusFiles[] = {
+    "blocked_while_joined.sir",
+    "call_hazard.sir",
+    "deadlock_cycle.sir",
+    "double_join.sir",
+    "interproc_leak.sir",
+    "join_leak.sir",
+    "realloc_overlap.sir",
+    "recursion.sir",
+    "soft_threshold.sir",
+    "unjoined_wait.sir",
+    "unrepairable_race.sir",
+};
+
+std::string readCorpusFile(const char *Name) {
+  const std::string Path = std::string(SIMTSR_LINT_CORPUS_DIR) + "/" + Name;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  return Text.str();
+}
+
+/// Extracts the `; repair: <label>` annotation ("" when missing).
+std::string repairLabel(const std::string &Text) {
+  const std::string Tag = "; repair: ";
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.rfind(Tag, 0) == 0)
+      return Line.substr(Tag.size());
+  return "";
+}
+
+} // namespace
+
+TEST(LintRepairTest, EveryCorpusFileIsLabeled) {
+  for (const char *Name : CorpusFiles) {
+    const std::string Label = repairLabel(readCorpusFile(Name));
+    EXPECT_TRUE(Label == "clean" || Label == "repairable" ||
+                Label == "unrepairable")
+        << Name << ": bad or missing '; repair:' label '" << Label << "'";
+  }
+}
+
+TEST(LintRepairTest, LabelsMatchSynthesis) {
+  for (const char *Name : CorpusFiles) {
+    const std::string Text = readCorpusFile(Name);
+    const std::string Label = repairLabel(Text);
+    ParseResult P = parseModule(Text);
+    ASSERT_TRUE(P.ok()) << Name;
+    const lint::RepairOutcome R = lint::synthesizeRepair(*P.M);
+    if (Label == "clean") {
+      EXPECT_EQ(R.Status, lint::RepairStatus::Clean) << Name;
+      EXPECT_TRUE(R.Edits.empty()) << Name;
+      // Untouched means untouched: the printed result is the printed
+      // input, so --fix-out is digest-stable on clean modules.
+      EXPECT_EQ(R.RepairedText, printModule(*P.M)) << Name;
+    } else {
+      // Both repairable and unrepairable files must reach a lint-clean
+      // fixpoint statically; the unrepairable one is rejected dynamically
+      // (RepairableCorpusCertifies).
+      EXPECT_EQ(R.Status, lint::RepairStatus::Repaired) << Name;
+      EXPECT_FALSE(R.Edits.empty()) << Name;
+      EXPECT_TRUE(R.FinalLint.clean()) << Name;
+    }
+  }
+}
+
+/// Round trip: every repaired module re-parses, re-lints clean, and a
+/// second fix iteration is a byte-stable no-op.
+TEST(LintRepairTest, RepairedModulesRoundTrip) {
+  for (const char *Name : CorpusFiles) {
+    const std::string Text = readCorpusFile(Name);
+    ParseResult P = parseModule(Text);
+    ASSERT_TRUE(P.ok()) << Name;
+    const lint::RepairOutcome R = lint::synthesizeRepair(*P.M);
+    ParseResult Again = parseModule(R.RepairedText);
+    ASSERT_TRUE(Again.ok()) << Name << ": repaired text does not re-parse";
+    EXPECT_TRUE(lint::runConvergenceLint(*Again.M).clean()) << Name;
+    const lint::RepairOutcome Second = lint::synthesizeRepair(*Again.M);
+    EXPECT_EQ(Second.Status, lint::RepairStatus::Clean) << Name;
+    EXPECT_TRUE(Second.Edits.empty()) << Name;
+    EXPECT_EQ(Second.RepairedText, R.RepairedText)
+        << Name << ": second fix iteration is not byte-stable";
+  }
+}
+
+/// Edits replay: applying the serialized edit list to a fresh parse of the
+/// original reproduces the repaired text exactly — the edit list IS the
+/// patch.
+TEST(LintRepairTest, EditListReplays) {
+  for (const char *Name : CorpusFiles) {
+    const std::string Text = readCorpusFile(Name);
+    ParseResult P = parseModule(Text);
+    ASSERT_TRUE(P.ok()) << Name;
+    const lint::RepairOutcome R = lint::synthesizeRepair(*P.M);
+    ParseResult Fresh = parseModule(Text);
+    ASSERT_TRUE(Fresh.ok()) << Name;
+    for (const lint::RepairEdit &E : R.Edits) {
+      std::string Err;
+      ASSERT_TRUE(lint::applyRepairEdit(*Fresh.M, E, &Err))
+          << Name << ": " << E.format() << ": " << Err;
+    }
+    EXPECT_EQ(printModule(*Fresh.M), R.RepairedText) << Name;
+  }
+}
+
+/// The status + edit stream over the corpus is golden, like the
+/// diagnostic stream (LintGoldenTest).
+TEST(LintRepairTest, CorpusRepairsMatchGolden) {
+  std::string Actual;
+  for (const char *Name : CorpusFiles) {
+    const std::string Text = readCorpusFile(Name);
+    ParseResult P = parseModule(Text);
+    ASSERT_TRUE(P.ok()) << Name;
+    const lint::RepairOutcome R = lint::synthesizeRepair(*P.M);
+    Actual += std::string("== ") + Name + "\n";
+    Actual += std::string("  status: ") + lint::getRepairStatusName(R.Status) +
+              "\n";
+    for (const lint::RepairEdit &E : R.Edits)
+      Actual += "  edit: " + E.format() + "\n";
+    if (!R.BlockingWitness.empty())
+      Actual += "  blocking witness: " + R.BlockingWitness + "\n";
+  }
+  const char *GoldenPath = SIMTSR_LINT_REPAIR_GOLDEN_FILE;
+  if (std::getenv("SIMTSR_UPDATE_GOLDEN")) {
+    std::ofstream Out(GoldenPath);
+    ASSERT_TRUE(Out.good()) << "cannot write " << GoldenPath;
+    Out << "# Golden repair synthesis over tests/lint/corpus.\n"
+        << "# Regenerate: SIMTSR_UPDATE_GOLDEN=1 ./lint_tests "
+        << "--gtest_filter=LintRepairTest.CorpusRepairsMatchGolden\n"
+        << Actual;
+    GTEST_SKIP() << "golden regenerated";
+  }
+  std::ifstream In(GoldenPath);
+  ASSERT_TRUE(In.good()) << "missing " << GoldenPath
+                         << " (generate with SIMTSR_UPDATE_GOLDEN=1)";
+  std::string Expected, Line;
+  while (std::getline(In, Line))
+    if (!Line.empty() && Line[0] == '#')
+      continue;
+    else
+      Expected += Line + "\n";
+  EXPECT_EQ(Actual, Expected)
+      << "repair stream drifted; regenerate with SIMTSR_UPDATE_GOLDEN=1 "
+         "if the change is intended";
+}
+
+/// Dynamic certification: every repairable corpus repair passes the
+/// differential oracle under the fair model plus every weak progress
+/// model, and the unrepairable file's statically-clean repair is rejected
+/// with a checksum mismatch — the proof that static cleanliness alone is
+/// not the acceptance bar.
+TEST(LintRepairTest, RepairableCorpusCertifies) {
+  for (const char *Name : CorpusFiles) {
+    const std::string Text = readCorpusFile(Name);
+    const std::string Label = repairLabel(Text);
+    if (Label == "clean")
+      continue;
+    ParseResult P = parseModule(Text);
+    ASSERT_TRUE(P.ok()) << Name;
+    const lint::RepairOutcome R = lint::synthesizeRepair(*P.M);
+    ASSERT_EQ(R.Status, lint::RepairStatus::Repaired) << Name;
+    const RepairCertification C = certifyRepair(R.RepairedText, {});
+    if (Label == "repairable") {
+      EXPECT_TRUE(C.Certified) << Name << ": " << C.Detail;
+      EXPECT_GT(C.Runs, 0u) << Name;
+    } else {
+      EXPECT_FALSE(C.Certified)
+          << Name << ": schedule-observing repair must not certify";
+      EXPECT_NE(C.Detail.find("checksum-mismatch"), std::string::npos)
+          << Name << ": " << C.Detail;
+    }
+  }
+}
+
+/// The clean suite is untouched by --fix: every Table 2 workload comes
+/// back Clean with zero edits and a printed module byte-identical to
+/// printing the input (digest-identical by construction).
+TEST(LintRepairTest, CleanSuiteUntouched) {
+  for (const Workload &W : makeAllWorkloads(0.25)) {
+    const lint::RepairOutcome R = lint::synthesizeRepair(*W.M);
+    EXPECT_EQ(R.Status, lint::RepairStatus::Clean) << W.Name;
+    EXPECT_TRUE(R.Edits.empty()) << W.Name;
+    EXPECT_EQ(R.RepairedText, printModule(*W.M)) << W.Name;
+  }
+}

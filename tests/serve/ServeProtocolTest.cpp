@@ -238,4 +238,80 @@ TEST(ServeProtocolTest, ScriptedSessionRoundTrip) {
   EXPECT_EQ(StatsJ.Value.field("requests")->asInt(), 4);
 }
 
+/// A kernel whose only defect is a leaked membership — the simplest
+/// repairable input for the fix path.
+const char *LeakyKernel = R"(memory 64
+
+func @k(0) {
+entry:
+  joinbar b1
+  %0 = tid
+  ret
+}
+)";
+
+TEST(ServeProtocolTest, LintFixRepairsAndStaysByteCompatible) {
+  Server S;
+  JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.number(int64_t{1});
+  W.key("op");
+  W.string("lint");
+  W.key("source");
+  W.string(LeakyKernel);
+  W.endObject();
+  const std::string Plain = S.handle(W.take());
+  const JsonParseResult PlainJ = parseJson(Plain);
+  ASSERT_TRUE(PlainJ.ok()) << Plain;
+  EXPECT_TRUE(PlainJ.Value.field("ok")->asBool());
+  EXPECT_EQ(PlainJ.Value.field("errors")->asInt(), 1);
+  // Without "fix": true the response carries no fix fields at all —
+  // byte-compatible with pre-fix clients.
+  EXPECT_EQ(PlainJ.Value.field("fix_status"), nullptr);
+  EXPECT_EQ(PlainJ.Value.field("repaired_source"), nullptr);
+
+  JsonWriter WF;
+  WF.beginObject();
+  WF.key("id");
+  WF.number(int64_t{2});
+  WF.key("op");
+  WF.string("lint");
+  WF.key("source");
+  WF.string(LeakyKernel);
+  WF.key("fix");
+  WF.boolean(true);
+  WF.endObject();
+  const std::string Fixed = S.handle(WF.take());
+  const JsonParseResult FixedJ = parseJson(Fixed);
+  ASSERT_TRUE(FixedJ.ok()) << Fixed;
+  EXPECT_TRUE(FixedJ.Value.field("ok")->asBool());
+  EXPECT_EQ(FixedJ.Value.field("fix_status")->asString(), "repaired");
+  EXPECT_EQ(FixedJ.Value.field("fix_certified")->asString(), "static");
+  ASSERT_NE(FixedJ.Value.field("fix_edits"), nullptr);
+  const std::string Repaired =
+      FixedJ.Value.field("repaired_source")->asString();
+  EXPECT_FALSE(Repaired.empty());
+
+  // The repaired source must re-lint clean through the same verb.
+  JsonWriter WR;
+  WR.beginObject();
+  WR.key("id");
+  WR.number(int64_t{3});
+  WR.key("op");
+  WR.string("lint");
+  WR.key("source");
+  WR.string(Repaired);
+  WR.key("fix");
+  WR.boolean(true);
+  WR.endObject();
+  const std::string Again = S.handle(WR.take());
+  const JsonParseResult AgainJ = parseJson(Again);
+  ASSERT_TRUE(AgainJ.ok()) << Again;
+  EXPECT_EQ(AgainJ.Value.field("errors")->asInt(), 0);
+  EXPECT_EQ(AgainJ.Value.field("fix_status")->asString(), "clean");
+  // Fix is idempotent: a clean module's repaired source is itself.
+  EXPECT_EQ(AgainJ.Value.field("repaired_source")->asString(), Repaired);
+}
+
 } // namespace

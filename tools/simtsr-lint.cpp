@@ -16,18 +16,31 @@
 /// checks in. --json renders the same findings machine-readably (schema
 /// "simtsr-lint-v1").
 ///
-/// Exit codes: 0 on a clean sweep, 1 on usage/IO/parse errors, 2 when any
-/// warning or error was reported.
+/// --fix switches the tool from reporting to repairing (docs/LINT.md,
+/// "Repair"): each unit's gating findings are driven to a fixpoint by the
+/// repair synthesizer, the winning edit list is printed, and the repaired
+/// module is certified by differential oracle replay before being trusted
+/// (--fix-dry-run skips certification; --fix-out DIR writes the repaired
+/// `.sir` files). Repair addresses the source module, so --fix requires
+/// the default --pipeline none.
+///
+/// Exit codes: 0 on a clean sweep (with --fix: everything clean or
+/// repaired-and-certified), 1 on usage/IO/parse errors, 2 when any warning
+/// or error was reported, 3 with --fix when a unit is proven unrepairable
+/// or its repair fails certification (the blocking witness is printed).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
+#include "fuzz/Oracle.h"
 #include "kernels/Runner.h"
 #include "lint/ConvergenceLint.h"
+#include "lint/Repair.h"
 #include "support/Json.h"
 #include "transform/BarrierVerifier.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -126,6 +139,196 @@ void emitJson(const std::vector<UnitReport> &Reports, const Tally &T) {
   std::printf("%s\n", W.take().c_str());
 }
 
+/// One unit's repair outcome plus its certification verdict, for both the
+/// text and the JSON report.
+struct FixReport {
+  std::string Unit;
+  lint::RepairOutcome Outcome;
+  /// "certified", "failed" or "skipped".
+  std::string Certification = "skipped";
+  std::string CertDetail; ///< Why skipped / how it failed; stats when OK.
+  size_t CertRuns = 0;
+  size_t CertLivelocks = 0;
+};
+
+struct FixTally {
+  unsigned Units = 0, Clean = 0, Repaired = 0, Unrepairable = 0,
+           Uncertified = 0;
+};
+
+void emitFixJson(const std::vector<FixReport> &Reports, const FixTally &T) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.string("simtsr-lint-fix-v1");
+  W.key("units");
+  W.beginArray();
+  for (const FixReport &R : Reports) {
+    W.beginObject();
+    W.key("unit");
+    W.string(R.Unit);
+    W.key("status");
+    W.string(lint::getRepairStatusName(R.Outcome.Status));
+    W.key("iterations");
+    W.numberUnsigned(R.Outcome.Iterations);
+    W.key("candidates");
+    W.numberUnsigned(R.Outcome.CandidatesTried);
+    W.key("edits");
+    W.beginArray();
+    for (const lint::RepairEdit &E : R.Outcome.Edits)
+      W.string(E.format());
+    W.endArray();
+    W.key("certification");
+    W.string(R.Certification);
+    if (!R.CertDetail.empty()) {
+      W.key("certification_detail");
+      W.string(R.CertDetail);
+    }
+    if (!R.Outcome.BlockingWitness.empty()) {
+      W.key("blocking_witness");
+      W.string(R.Outcome.BlockingWitness);
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.key("totals");
+  W.beginObject();
+  W.key("units");
+  W.numberUnsigned(T.Units);
+  W.key("clean");
+  W.numberUnsigned(T.Clean);
+  W.key("repaired");
+  W.numberUnsigned(T.Repaired);
+  W.key("unrepairable");
+  W.numberUnsigned(T.Unrepairable);
+  W.key("uncertified");
+  W.numberUnsigned(T.Uncertified);
+  W.endObject();
+  W.endObject();
+  std::printf("%s\n", W.take().c_str());
+}
+
+/// The repair loop behind --fix. \returns the process exit code.
+int runFix(const driver::ToolConfig &C, const driver::InputSet &Inputs,
+           unsigned WarpSize, bool DryRun, const std::string &FixOut) {
+  if (!FixOut.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(FixOut, Ec);
+    if (Ec) {
+      std::fprintf(stderr, "simtsr-lint: cannot create '%s': %s\n",
+                   FixOut.c_str(), Ec.message().c_str());
+      return 1;
+    }
+  }
+
+  FixTally T;
+  std::vector<FixReport> Reports;
+  for (const driver::InputUnit &U : Inputs.Units) {
+    std::vector<std::string> Errors;
+    const std::unique_ptr<Module> M = U.rebuild(&Errors);
+    if (!M) {
+      for (const std::string &E : Errors)
+        std::fprintf(stderr, "simtsr-lint: %s\n", E.c_str());
+      return 1;
+    }
+
+    FixReport R;
+    R.Unit = U.Name;
+    lint::RepairOptions RO;
+    RO.Lint.WarpSize = WarpSize;
+    R.Outcome = lint::synthesizeRepair(*M, RO);
+
+    ++T.Units;
+    switch (R.Outcome.Status) {
+    case lint::RepairStatus::Clean:
+      ++T.Clean;
+      break;
+    case lint::RepairStatus::Unrepairable:
+      ++T.Unrepairable;
+      break;
+    case lint::RepairStatus::Repaired: {
+      ++T.Repaired;
+      if (DryRun) {
+        R.CertDetail = "--fix-dry-run";
+      } else if (!M->functionByName("kernel")) {
+        // The oracle launches @kernel; without one the repair is proven
+        // static-only (re-lints clean) but cannot be replayed.
+        R.CertDetail = "static-only: no @kernel";
+      } else {
+        OracleOptions Base;
+        Base.WarpSize = WarpSize;
+        Base.SoftThreshold = static_cast<int>(C.SoftThreshold);
+        const RepairCertification Cert =
+            certifyRepair(R.Outcome.RepairedText, Base);
+        R.CertRuns = Cert.Runs;
+        R.CertLivelocks = Cert.ProgressLivelocks.size();
+        if (Cert.Certified) {
+          R.Certification = "certified";
+        } else {
+          R.Certification = "failed";
+          R.CertDetail = Cert.Detail;
+          ++T.Uncertified;
+        }
+      }
+      break;
+    }
+    }
+
+    // Write repaired (and, for convenient round-tripping, clean) modules;
+    // unrepairable partial repairs are never emitted.
+    if (!FixOut.empty() && R.Outcome.Status != lint::RepairStatus::Unrepairable) {
+      std::string Name = U.Name;
+      if (Name.size() < 4 || Name.compare(Name.size() - 4, 4, ".sir") != 0)
+        Name += ".sir";
+      std::string Error;
+      if (!driver::writeStringToFile(FixOut + "/" + Name,
+                                     R.Outcome.RepairedText, Error)) {
+        std::fprintf(stderr, "simtsr-lint: %s\n", Error.c_str());
+        return 1;
+      }
+    }
+
+    if (C.Json) {
+      Reports.push_back(std::move(R));
+      continue;
+    }
+    std::printf("== %s [fix]\n", R.Unit.c_str());
+    if (R.Outcome.Status == lint::RepairStatus::Clean) {
+      std::printf("  status: clean\n");
+      continue;
+    }
+    std::printf("  status: %s (%zu edits, %u iterations, %u candidates)\n",
+                lint::getRepairStatusName(R.Outcome.Status),
+                R.Outcome.Edits.size(), R.Outcome.Iterations,
+                R.Outcome.CandidatesTried);
+    for (const lint::RepairEdit &E : R.Outcome.Edits)
+      std::printf("  edit: %s\n", E.format().c_str());
+    if (R.Outcome.Status == lint::RepairStatus::Unrepairable) {
+      std::printf("  blocking witness: %s\n",
+                  R.Outcome.BlockingWitness.c_str());
+      continue;
+    }
+    if (R.Certification == "certified") {
+      std::printf("  certification: certified (%zu runs", R.CertRuns);
+      if (R.CertLivelocks)
+        std::printf(", %zu classified progress-livelocks", R.CertLivelocks);
+      std::printf(")\n");
+    } else if (R.Certification == "failed") {
+      std::printf("  certification: FAILED: %s\n", R.CertDetail.c_str());
+    } else {
+      std::printf("  certification: skipped (%s)\n", R.CertDetail.c_str());
+    }
+  }
+
+  if (C.Json)
+    emitFixJson(Reports, T);
+  else
+    std::printf("%u units: %u clean, %u repaired, %u unrepairable, "
+                "%u uncertified\n",
+                T.Units, T.Clean, T.Repaired, T.Unrepairable, T.Uncertified);
+  return (T.Unrepairable || T.Uncertified) ? 3 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -133,6 +336,9 @@ int main(int Argc, char **Argv) {
   uint64_t WarpSize = 32;
   bool Notes = false;
   bool List = false;
+  bool Fix = false;
+  bool FixDryRun = false;
+  std::string FixOut;
 
   driver::ArgParser P("simtsr-lint", "[file.sir ...]");
   driver::addPipelineFlags(P, C);
@@ -144,6 +350,16 @@ int main(int Argc, char **Argv) {
         &WarpSize, 1, 64);
   P.flag("--notes", "print informational notes too", &Notes);
   P.flag("--list", "list pipeline configs and workloads", &List);
+  P.flag("--fix",
+         "repair gating findings to a fixpoint and certify the result by "
+         "differential oracle replay (exit 3 when proven unrepairable)",
+         &Fix);
+  P.str("--fix-out", "DIR",
+        "write each repaired module to DIR/<unit>.sir (implies --fix)",
+        &FixOut);
+  P.flag("--fix-dry-run",
+         "propose repairs without oracle certification (implies --fix)",
+         &FixDryRun);
 
   switch (P.parse(Argc, Argv)) {
   case driver::ArgParser::Result::Ok:
@@ -169,12 +385,23 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  Fix = Fix || FixDryRun || !FixOut.empty();
+  if (Fix && C.Pipeline != "none") {
+    std::fprintf(stderr, "simtsr-lint: --fix repairs the source module and "
+                         "requires --pipeline none\n");
+    return 1;
+  }
+
   const auto Configs = driver::expandPipelineSpec(C.Pipeline);
   const driver::InputSet Inputs = driver::loadInputs(C);
   for (const std::string &E : Inputs.Errors)
     std::fprintf(stderr, "simtsr-lint: %s\n", E.c_str());
   if (!Inputs.ok())
     return 1;
+
+  if (Fix)
+    return runFix(C, Inputs, static_cast<unsigned>(WarpSize), FixDryRun,
+                  FixOut);
 
   Tally T;
   std::vector<UnitReport> Reports;

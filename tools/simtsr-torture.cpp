@@ -239,7 +239,8 @@ int main(int Argc, char **Argv) {
              return true;
            });
   P.flag("--lint-oracle",
-         "cross-check the static convergence lint against every run",
+         "cross-check the static convergence lint against every run "
+         "(implies --progress-sweep unless --progress picks one model)",
          &Opts.Oracle.LintCheck);
   driver::addProgressFlag(P, C);
   P.flag("--progress-sweep",
@@ -272,6 +273,12 @@ int main(int Argc, char **Argv) {
                          "are mutually exclusive\n");
     return 1;
   }
+  // The lint models fair scheduling but its clean bill must survive every
+  // guarantee: a barrier trap under hsa/obe/bounded impeaches it just as a
+  // fair one does. So --lint-oracle sweeps the whole model axis unless an
+  // explicit --progress narrows the run to one targeted model.
+  if (Opts.Oracle.LintCheck && C.Progress.isFair())
+    Opts.ProgressSweep = true;
   if (Opts.ProgressSweep) {
     // Sweep mode: a weak-model-only livelock is a property of the kernel,
     // not a miscompile — classify it and keep going. Genuine divergences
@@ -281,9 +288,13 @@ int main(int Argc, char **Argv) {
   } else if (!C.Progress.isFair()) {
     // Targeted mode: fair establishes the baseline, the requested model
     // runs against it, and a weak-model-only failure IS the verdict (what
-    // the shrinker minimizes into a progress repro).
+    // the shrinker minimizes into a progress repro). Under --lint-oracle
+    // the verdict under test is static-vs-dynamic agreement instead, so
+    // livelocks classify exactly as they do in the sweep.
     Opts.Oracle.ProgressModels = {ProgressSpec{}, C.Progress};
-    Opts.Oracle.OnProgressLivelock = OracleOptions::ProgressVerdict::Fail;
+    Opts.Oracle.OnProgressLivelock =
+        Opts.Oracle.LintCheck ? OracleOptions::ProgressVerdict::Classify
+                              : OracleOptions::ProgressVerdict::Fail;
   }
   Opts.Shrink.Oracle = Opts.Oracle;
 
