@@ -60,41 +60,44 @@ def mix64(z):
     return z
 
 
-def pipeline_axes(name, soft_threshold):
-    """Mirror of pipelineCacheAxes over standardPipelineByName.
+# Ordered stage lists per catalog config; mirrors makePipelineCatalog()
+# in src/transform/PassStage.cpp (which PassStageTest pins against
+# standardPipelineNames()). The bool marks UsesSoftThreshold.
+PIPELINE_CATALOG = {
+    "noop": (["strip-predicts", "deconflict", "verify"], False),
+    "pdom": (["strip-predicts", "pdom-sync", "deconflict", "verify"], False),
+    "sr": (["pdom-sync", "sr", "deconflict", "verify"], False),
+    "sr+ip": (["pdom-sync", "sr", "interproc", "deconflict", "verify"],
+              False),
+    "soft": (["pdom-sync", "sr", "interproc", "deconflict", "verify"], True),
+    "sr+ip+realloc": (["pdom-sync", "sr", "interproc", "deconflict",
+                       "verify", "realloc"], False),
+    "meld": (["strip-predicts", "meld", "pdom-sync", "deconflict", "verify"],
+             False),
+    "meld+sr": (["meld", "pdom-sync", "sr", "deconflict", "verify"], False),
+    "meld+sr+ip": (["meld", "pdom-sync", "sr", "interproc", "deconflict",
+                    "verify"], False),
+}
 
-    Source of truth: src/serve/Cache.cpp and src/transform/Pipeline.cpp.
-    Axis defaults: PdomSync=1, ApplySR=0, SR.SoftThreshold=-1,
-    RegionExitBarrier=1, StripPredicts=0, Interprocedural=0,
-    Deconflict=dynamic, ReallocBarriers=0.
+
+def pipeline_axes(name, soft_threshold):
+    """Mirror of pipelineCacheAxes over standardPipelineSpec.
+
+    Source of truth: src/serve/Cache.cpp and src/transform/PassStage.cpp.
+    The axes string is the ordered stage list plus every parameter a
+    stage reads, at their PipelineParams defaults: SR.SoftThreshold=-1
+    (the soft config substitutes the request's threshold),
+    RegionExitBarrier=1, Deconflict=dynamic, Meld.MinPairs=1,
+    Meld.MaxIterations=64.
     """
     if name == "none":
         return "none"
-    ax = {"pdom": 1, "sr": 0, "soft": -1, "exitbar": 1, "strip": 0,
-          "interproc": 0, "deconflict": "dynamic", "realloc": 0}
-    if name == "noop":
-        ax["pdom"] = 0
-        ax["strip"] = 1
-    elif name == "pdom":
-        ax["strip"] = 1
-    elif name == "sr":
-        ax["sr"] = 1
-    elif name == "sr+ip":
-        ax["sr"] = 1
-        ax["interproc"] = 1
-    elif name == "soft":
-        ax["sr"] = 1
-        ax["interproc"] = 1
-        ax["soft"] = soft_threshold
-    elif name == "sr+ip+realloc":
-        ax["sr"] = 1
-        ax["interproc"] = 1
-        ax["realloc"] = 1
-    else:
+    if name not in PIPELINE_CATALOG:
         return "unknown:" + name
-    return ("pdom={pdom};sr={sr};soft={soft};exitbar={exitbar};"
-            "strip={strip};interproc={interproc};deconflict={deconflict};"
-            "realloc={realloc}".format(**ax))
+    stages, uses_soft = PIPELINE_CATALOG[name]
+    soft = soft_threshold if uses_soft else -1
+    return ("stages=" + ",".join(stages) +
+            f";soft={soft};exitbar=1;deconflict=dynamic;meld=1/64")
 
 
 def route_key(req):

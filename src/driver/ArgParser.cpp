@@ -83,6 +83,16 @@ void ArgParser::dbl(const std::string &Name, const std::string &Metavar,
   });
 }
 
+void ArgParser::exitAction(const std::string &Name, const std::string &Help,
+                           std::function<void()> Action) {
+  Option O;
+  O.Name = Name;
+  O.Help = Help;
+  O.Kind = OptKind::Exit;
+  O.Action = std::move(Action);
+  Options.push_back(std::move(O));
+}
+
 void ArgParser::alias(const std::string &Name, const std::string &Canonical) {
   Aliases.emplace_back(Name, Canonical);
 }
@@ -122,6 +132,10 @@ ArgParser::Result ArgParser::parse(int Argc, char **Argv) {
                      Arg.c_str());
         printUsage(stderr);
         return Result::Error;
+      }
+      if (O->Kind == OptKind::Exit) {
+        O->Action();
+        return Result::Exit;
       }
       if (O->Kind == OptKind::Flag) {
         *O->FlagOut = true;

@@ -3,11 +3,13 @@
 /// \file
 /// The one argument parser behind every simtsr tool. Before this existed,
 /// each of the four CLIs hand-rolled its own strtoul loop and the flag
-/// spellings drifted (--config vs --pipeline, --out meaning three different
-/// things). Tools now declare options against this parser; the canonical
-/// cross-tool flags (--pipeline, --policy, --workloads, --json, --version)
-/// are registered through the driver::addXxxFlag helpers in Driver.h so
-/// their spelling, validation and help text are identical everywhere.
+/// spellings drifted (--out meaning three different things). Tools now
+/// declare options against this parser; the canonical cross-tool flags
+/// (--pipeline, --policy, --workloads, --json, --version) are registered
+/// through the driver::addXxxFlag helpers in Driver.h so their spelling,
+/// validation and help text are identical everywhere. --pipeline is the
+/// canonical spelling everywhere; --config is its alias, accepted by every
+/// tool but unlisted in --help (registered centrally in addPipelineFlags).
 ///
 /// Every tool gets --version (prints "<tool> (simtsr) <version>") and
 /// --help for free. Unknown options and malformed values print a one-line
@@ -58,6 +60,10 @@ public:
   void custom(const std::string &Name, const std::string &Metavar,
               const std::string &Help,
               std::function<bool(const std::string &)> Parse);
+  /// Informational switch in the --version/--help family: when present,
+  /// \p Action runs (printing to stdout) and parse() returns Result::Exit.
+  void exitAction(const std::string &Name, const std::string &Help,
+                  std::function<void()> Action);
   /// Registers \p Name as an alternate spelling of \p Canonical (which
   /// must already be registered). Aliases are accepted but not listed in
   /// the usage text.
@@ -72,7 +78,7 @@ public:
   const std::string &toolName() const { return Tool; }
 
 private:
-  enum class OptKind { Flag, Value };
+  enum class OptKind { Flag, Value, Exit };
   struct Option {
     std::string Name;
     std::string Metavar;
@@ -80,6 +86,7 @@ private:
     OptKind Kind;
     bool *FlagOut = nullptr;
     std::function<bool(const std::string &)> Parse;
+    std::function<void()> Action;
   };
 
   Option *find(const std::string &Name);

@@ -6,6 +6,7 @@
 #include "ir/Parser.h"
 #include "observe/Remark.h"
 #include "support/DurableFile.h"
+#include "transform/PassStage.h"
 
 #include <fstream>
 #include <sstream>
@@ -13,7 +14,7 @@
 using namespace simtsr;
 using namespace simtsr::driver;
 
-const char *simtsr::driver::versionString() { return "0.5.0"; }
+const char *simtsr::driver::versionString() { return "0.6.0"; }
 
 const char *simtsr::driver::policyName(SchedulerPolicy P) {
   switch (P) {
@@ -46,17 +47,41 @@ bool simtsr::driver::parsePolicyName(const std::string &Name,
 
 void simtsr::driver::addPipelineFlags(ArgParser &P, ToolConfig &C) {
   P.custom("--pipeline", "NAME",
-           "pipeline config: none, all, or one of noop, pdom, sr, sr+ip, "
-           "soft, sr+ip+realloc",
+           "pipeline config: none, all, or a catalog name "
+           "(see --list-pipelines)",
            [&C](const std::string &V) {
-             if (V != "none" && V != "all" && !standardPipelineByName(V))
+             if (V != "none" && V != "all" && !findPipelineDef(V))
                return false;
              C.Pipeline = V;
              return true;
            });
+  // One alias, registered once: every tool that takes --pipeline also
+  // accepts the historical --config spelling, unlisted in --help.
+  P.alias("--config", "--pipeline");
   P.num("--soft-threshold", "N",
         "threshold for the 'soft' config (default 8)", &C.SoftThreshold, 0,
         64);
+  P.exitAction("--list-pipelines",
+               "print the pipeline catalog and stage vocabulary",
+               [] { printPipelineCatalog(stdout); });
+}
+
+void simtsr::driver::printPipelineCatalog(std::FILE *To) {
+  std::fprintf(To, "pipeline configurations:\n");
+  for (const PipelineDef &D : pipelineCatalog()) {
+    std::string Stages;
+    for (const std::string &S : D.Stages) {
+      if (!Stages.empty())
+        Stages += ",";
+      Stages += S;
+    }
+    std::fprintf(To, "  %-15s [%s]\n", D.Name.c_str(), Stages.c_str());
+    std::fprintf(To, "  %-15s %s%s\n", "", D.Summary.c_str(),
+                 D.UsesSoftThreshold ? " (uses --soft-threshold)" : "");
+  }
+  std::fprintf(To, "stages:\n");
+  for (const PassStageDef &S : passStageRegistry())
+    std::fprintf(To, "  %-15s %s\n", S.Name.c_str(), S.Summary.c_str());
 }
 
 void simtsr::driver::addPolicyFlag(ArgParser &P, ToolConfig &C) {
@@ -154,7 +179,7 @@ std::optional<std::vector<std::string>>
 simtsr::driver::expandPipelineSpec(const std::string &Spec) {
   if (Spec == "all")
     return standardPipelineNames();
-  if (Spec == "none" || standardPipelineByName(Spec))
+  if (Spec == "none" || findPipelineDef(Spec))
     return std::vector<std::string>{Spec};
   return std::nullopt;
 }
@@ -165,12 +190,11 @@ simtsr::driver::runConfiguredPipeline(Module &M, const std::string &Name,
                                       observe::RemarkStream *Remarks) {
   if (Name == "none")
     return PipelineReport{};
-  std::optional<PipelineOptions> Opts =
-      standardPipelineByName(Name, SoftThreshold);
-  if (!Opts)
+  std::optional<PipelineSpec> Spec = standardPipelineSpec(Name, SoftThreshold);
+  if (!Spec)
     return std::nullopt;
-  Opts->Remarks = Remarks;
-  return runSyncPipeline(M, *Opts);
+  Spec->Params.Remarks = Remarks;
+  return runSyncPipeline(M, *Spec);
 }
 
 bool simtsr::driver::readFileToString(const std::string &Path,

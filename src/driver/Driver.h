@@ -12,8 +12,9 @@
 ///    generated fuzz corpora are presented as one uniform InputUnit list,
 ///    each unit able to rebuild a fresh module per pipeline config
 ///    (pipelines mutate modules in place);
-///  - pipeline running: name -> PipelineOptions resolution ("none", "all"
-///    and the standard catalog) plus remark plumbing;
+///  - pipeline running: name -> PipelineSpec resolution ("none", "all"
+///    and the stage-list catalog in transform/PassStage.h) plus remark
+///    plumbing;
 ///  - small file IO helpers shared by every tool.
 ///
 /// See docs/SERVE.md for how the daemon maps protocol requests onto this
@@ -70,8 +71,13 @@ struct ToolConfig {
   std::vector<std::string> Files;
 };
 
-/// Registers --pipeline and --soft-threshold.
+/// Registers --pipeline (canonical spelling; --config stays accepted as an
+/// unlisted alias), --soft-threshold and --list-pipelines.
 void addPipelineFlags(ArgParser &P, ToolConfig &C);
+/// Prints the pipeline configuration catalog (name, stage list, summary)
+/// plus the stage vocabulary — the one printer behind every tool's
+/// --list-pipelines.
+void printPipelineCatalog(std::FILE *To);
 /// Registers --policy.
 void addPolicyFlag(ArgParser &P, ToolConfig &C);
 /// Registers --progress (docs/PROGRESS.md has the model semantics).

@@ -7,6 +7,7 @@
 #include "lint/ConvergenceLint.h"
 #include "support/ThreadPool.h"
 #include "transform/BarrierVerifier.h"
+#include "transform/PassStage.h"
 #include "transform/Pipeline.h"
 
 #include <atomic>
@@ -92,15 +93,22 @@ namespace {
 
 struct ConfigSpec {
   std::string Name;
-  PipelineOptions Opts;
+  PipelineSpec Pipe;
+
+  bool hasStage(const char *Stage) const {
+    for (const std::string &S : Pipe.Stages)
+      if (S == Stage)
+        return true;
+    return false;
+  }
 };
 
 std::vector<ConfigSpec> makeConfigs(const OracleOptions &Opts) {
   // The oracle's config axis IS the standard catalog — the trace tool and
-  // the golden digest tests run the same six pipelines by name.
+  // the golden digest tests run the same catalog of pipelines by name.
   std::vector<ConfigSpec> Specs;
   for (const std::string &Name : standardPipelineNames())
-    Specs.push_back({Name, *standardPipelineByName(Name, Opts.SoftThreshold)});
+    Specs.push_back({Name, *standardPipelineSpec(Name, Opts.SoftThreshold)});
   return Specs;
 }
 
@@ -224,7 +232,7 @@ ConfigOutcome runOracleConfig(const std::string &SirText,
   }
   Module &M = *Parsed.M;
 
-  PipelineReport Report = runSyncPipeline(M, Spec.Opts);
+  PipelineReport Report = runSyncPipeline(M, Spec.Pipe);
   if (!Report.clean()) {
     Out.StageKind = FailureKind::Discipline;
     Out.StageDetail =
@@ -248,7 +256,7 @@ ConfigOutcome runOracleConfig(const std::string &SirText,
   // except after realloc where the registry's origins are stale.
   if (Opts.LintCheck) {
     lint::LintOptions LO;
-    if (!Spec.Opts.ReallocBarriers)
+    if (!Spec.hasStage("realloc"))
       LO = lintOptionsFromRegistry(Report.Registry);
     LO.WarpSize = Opts.WarpSize;
     LO.Remarks = false;
@@ -453,7 +461,7 @@ std::unique_ptr<Module> recordTrace(const std::string &SirText,
   if (!Parsed.ok())
     return nullptr;
   Module &M = *Parsed.M;
-  if (!runSyncPipeline(M, Spec.Opts).clean())
+  if (!runSyncPipeline(M, Spec.Pipe).clean())
     return nullptr;
   if (Opts.Inject != FaultInjection::None && Spec.Name == "sr")
     injectFault(M, Opts.Inject);

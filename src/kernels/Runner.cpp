@@ -24,11 +24,11 @@ Workload simtsr::cloneWorkload(const Workload &W) {
 }
 
 WorkloadOutcome simtsr::runWorkload(const Workload &W,
-                                    const PipelineOptions &Opts,
+                                    const PipelineSpec &Spec,
                                     uint64_t Seed, SchedulerPolicy Policy) {
   Workload Fresh = cloneWorkload(W);
   WorkloadOutcome Outcome;
-  Outcome.Pipeline = runSyncPipeline(*Fresh.M, Opts);
+  Outcome.Pipeline = runSyncPipeline(*Fresh.M, Spec);
   // One verification for the run; the simulator reuses it and reports any
   // pipeline-produced malformation as a Malformed run in release builds.
   const LaunchVerification Verification = verifyLaunchModule(*Fresh.M);
@@ -56,10 +56,10 @@ WorkloadOutcome simtsr::runWorkload(const Workload &W,
 }
 
 GridResult simtsr::runWorkloadGrid(const Workload &W,
-                                   const PipelineOptions &Opts,
+                                   const PipelineSpec &Spec,
                                    unsigned Warps, uint64_t Seed) {
   Workload Fresh = cloneWorkload(W);
-  runSyncPipeline(*Fresh.M, Opts);
+  runSyncPipeline(*Fresh.M, Spec);
   const LaunchVerification Verification = verifyLaunchModule(*Fresh.M);
   assert(Verification.Errors.empty() && "pipeline produced malformed IR");
   Function *Kernel = Fresh.M->functionByName(Fresh.KernelName);
@@ -73,11 +73,11 @@ GridResult simtsr::runWorkloadGrid(const Workload &W,
 }
 
 uint64_t simtsr::workloadTraceDigest(const Workload &W,
-                                     const PipelineOptions &Opts,
+                                     const PipelineSpec &Spec,
                                      SchedulerPolicy Policy, unsigned Warps,
                                      uint64_t Seed) {
   Workload Fresh = cloneWorkload(W);
-  runSyncPipeline(*Fresh.M, Opts);
+  runSyncPipeline(*Fresh.M, Spec);
   const LaunchVerification Verification = verifyLaunchModule(*Fresh.M);
   assert(Verification.Errors.empty() && "pipeline produced malformed IR");
   Function *Kernel = Fresh.M->functionByName(Fresh.KernelName);
@@ -94,12 +94,12 @@ uint64_t simtsr::workloadTraceDigest(const Workload &W,
 }
 
 ProgressProbe simtsr::workloadProgressProbe(const Workload &W,
-                                            const PipelineOptions &Opts,
+                                            const PipelineSpec &Spec,
                                             SchedulerPolicy Policy,
                                             unsigned Warps, uint64_t Seed,
                                             const ProgressSpec &Progress) {
   Workload Fresh = cloneWorkload(W);
-  runSyncPipeline(*Fresh.M, Opts);
+  runSyncPipeline(*Fresh.M, Spec);
   const LaunchVerification Verification = verifyLaunchModule(*Fresh.M);
   assert(Verification.Errors.empty() && "pipeline produced malformed IR");
   Function *Kernel = Fresh.M->functionByName(Fresh.KernelName);
@@ -121,15 +121,15 @@ ProgressProbe simtsr::workloadProgressProbe(const Workload &W,
 }
 
 TracedWorkloadResult
-simtsr::runWorkloadTraced(const Workload &W, const PipelineOptions &Opts,
+simtsr::runWorkloadTraced(const Workload &W, const PipelineSpec &Spec,
                           SchedulerPolicy Policy, unsigned Warps,
                           uint64_t Seed, observe::RemarkStream *Remarks,
                           size_t MaxEventsPerWarp, ProgressSpec Progress) {
   TracedWorkloadResult Result;
   Result.Compiled = cloneWorkload(W);
-  PipelineOptions PipeOpts = Opts;
-  PipeOpts.Remarks = Remarks;
-  Result.Pipeline = runSyncPipeline(*Result.Compiled.M, PipeOpts);
+  PipelineSpec Piped = Spec;
+  Piped.Params.Remarks = Remarks;
+  Result.Pipeline = runSyncPipeline(*Result.Compiled.M, Piped);
   const LaunchVerification Verification =
       verifyLaunchModule(*Result.Compiled.M);
   assert(Verification.Errors.empty() && "pipeline produced malformed IR");

@@ -16,6 +16,7 @@
 #include "observe/Trace.h"
 #include "sim/Grid.h"
 #include "sim/Warp.h"
+#include "transform/PassStage.h"
 #include "transform/Pipeline.h"
 
 namespace simtsr {
@@ -36,22 +37,23 @@ struct WorkloadOutcome {
   bool ok() const { return Status == RunResult::Status::Finished; }
 };
 
-/// Runs \p W under \p Opts. \p W itself is left untouched.
-WorkloadOutcome runWorkload(const Workload &W, const PipelineOptions &Opts,
+/// Runs \p W under \p Spec (a PipelineOptions argument converts
+/// implicitly). \p W itself is left untouched.
+WorkloadOutcome runWorkload(const Workload &W, const PipelineSpec &Spec,
                             uint64_t Seed = 1,
                             SchedulerPolicy Policy =
                                 SchedulerPolicy::MaxConvergence);
 
 /// Runs \p W as a multi-warp grid (fresh memory image per warp) under
 /// \p Opts. \p W itself is left untouched.
-GridResult runWorkloadGrid(const Workload &W, const PipelineOptions &Opts,
+GridResult runWorkloadGrid(const Workload &W, const PipelineSpec &Spec,
                            unsigned Warps, uint64_t Seed = 1);
 
 /// \returns the launch trace digest of \p W under \p Opts — the same value
 /// GridResult::TraceDigest reports, computed through the real grid path
 /// (parallel when SIMTSR_THREADS allows). This is what the golden digest
 /// tests check in.
-uint64_t workloadTraceDigest(const Workload &W, const PipelineOptions &Opts,
+uint64_t workloadTraceDigest(const Workload &W, const PipelineSpec &Spec,
                              SchedulerPolicy Policy, unsigned Warps,
                              uint64_t Seed);
 
@@ -66,7 +68,7 @@ struct ProgressProbe {
   uint64_t TraceDigest = 0;
 };
 ProgressProbe workloadProgressProbe(const Workload &W,
-                                    const PipelineOptions &Opts,
+                                    const PipelineSpec &Spec,
                                     SchedulerPolicy Policy, unsigned Warps,
                                     uint64_t Seed,
                                     const ProgressSpec &Progress);
@@ -99,7 +101,7 @@ struct TracedWorkloadResult {
 /// folded digest equals workloadTraceDigest() for the same parameters.
 /// Remarks from the pass pipeline land in \p Remarks when non-null.
 TracedWorkloadResult
-runWorkloadTraced(const Workload &W, const PipelineOptions &Opts,
+runWorkloadTraced(const Workload &W, const PipelineSpec &Spec,
                   SchedulerPolicy Policy, unsigned Warps, uint64_t Seed,
                   observe::RemarkStream *Remarks = nullptr,
                   size_t MaxEventsPerWarp = 1u << 20,

@@ -5,35 +5,35 @@
 using namespace simtsr;
 using namespace simtsr::serve;
 
-std::string simtsr::serve::pipelineCacheAxes(const PipelineOptions &O) {
-  // Every axis that can change the compiled module, spelled explicitly so
-  // a new PipelineOptions field that matters is a conscious addition here
-  // (and a cache-key change, which is exactly what it should be).
-  std::string S = "pdom=";
-  S += O.PdomSync ? '1' : '0';
-  S += ";sr=";
-  S += O.ApplySR ? '1' : '0';
-  S += ";soft=" + std::to_string(O.SR.SoftThreshold);
-  S += ";exitbar=";
-  S += O.SR.RegionExitBarrier ? '1' : '0';
-  S += ";strip=";
-  S += O.StripPredicts ? '1' : '0';
-  S += ";interproc=";
-  S += O.Interprocedural ? '1' : '0';
-  S += ";deconflict=";
-  S += O.Deconflict == DeconflictStrategy::Static ? "static" : "dynamic";
-  S += ";realloc=";
-  S += O.ReallocBarriers ? '1' : '0';
-  return S;
+std::string simtsr::serve::pipelineCacheAxes(const PipelineSpec &S) {
+  // The pipeline's identity is its composition: the ordered stage list,
+  // then every parameter a stage reads, spelled explicitly so a new
+  // PipelineParams field that matters is a conscious addition here (and a
+  // cache-key change, which is exactly what it should be).
+  std::string Axes = "stages=";
+  for (size_t I = 0; I < S.Stages.size(); ++I) {
+    if (I)
+      Axes += ',';
+    Axes += S.Stages[I];
+  }
+  Axes += ";soft=" + std::to_string(S.Params.SR.SoftThreshold);
+  Axes += ";exitbar=";
+  Axes += S.Params.SR.RegionExitBarrier ? '1' : '0';
+  Axes += ";deconflict=";
+  Axes += S.Params.Deconflict == DeconflictStrategy::Static ? "static"
+                                                            : "dynamic";
+  Axes += ";meld=" + std::to_string(S.Params.Meld.MinPairs) + "/" +
+          std::to_string(S.Params.Meld.MaxIterations);
+  return Axes;
 }
 
 uint64_t simtsr::serve::compileKey(const std::string &Source,
-                                   const PipelineOptions &O) {
+                                   const PipelineSpec &S) {
   // Chain source and axes through one digest; the separator keeps
   // (source + axes) concatenation unambiguous.
   uint64_t Hash = fnv1a(Source);
   Hash = fnv1a("\x1f", Hash);
-  return fnv1a(pipelineCacheAxes(O), Hash);
+  return fnv1a(pipelineCacheAxes(S), Hash);
 }
 
 uint64_t simtsr::serve::compileKeyNamed(const std::string &Source,
@@ -41,9 +41,9 @@ uint64_t simtsr::serve::compileKeyNamed(const std::string &Source,
                                         int SoftThreshold) {
   std::string Axes = "none";
   if (PipelineName != "none") {
-    const std::optional<PipelineOptions> O =
-        standardPipelineByName(PipelineName, SoftThreshold);
-    Axes = O ? pipelineCacheAxes(*O) : "unknown:" + PipelineName;
+    const std::optional<PipelineSpec> S =
+        standardPipelineSpec(PipelineName, SoftThreshold);
+    Axes = S ? pipelineCacheAxes(*S) : "unknown:" + PipelineName;
   }
   uint64_t Hash = fnv1a(Source);
   Hash = fnv1a("\x1f", Hash);

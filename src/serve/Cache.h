@@ -7,8 +7,10 @@
 /// Everything is keyed by content, never by session state:
 ///
 ///  - a *compile key* is the FNV-1a-64 digest of (source text, canonical
-///    pipeline-axis string) — the same kernel compiled under the same
-///    PipelineOptions axes hits the cache no matter who sends it or when;
+///    pipeline-axis string) — the axis string is the pipeline's ordered
+///    stage list plus stage parameters, so the same kernel compiled under
+///    the same stage composition hits the cache no matter who sends it,
+///    when, or through which named alias;
 ///  - a *post digest* fingerprints the post-pipeline module text — two
 ///    different (source, pipeline) pairs that compile to the same code
 ///    share downstream simulation results;
@@ -33,6 +35,7 @@
 #include "ir/Module.h"
 #include "sim/Warp.h"
 #include "support/Hash.h"
+#include "transform/PassStage.h"
 #include "transform/Pipeline.h"
 
 #include <cstdint>
@@ -50,13 +53,15 @@ namespace simtsr::serve {
 using ::simtsr::fnv1a;
 using ::simtsr::fnv1aMix;
 
-/// Canonical serialization of every PipelineOptions axis that affects the
-/// compiled module. Two options structs with equal axis strings compile
-/// any source identically.
-std::string pipelineCacheAxes(const PipelineOptions &O);
+/// Canonical serialization of a pipeline's identity: the ordered stage
+/// list plus every parameter the stages read. Two specs with equal axis
+/// strings compile any source identically. A PipelineOptions argument
+/// converts implicitly through its legacy stage list.
+/// scripts/serve_client.py mirrors this format bit for bit.
+std::string pipelineCacheAxes(const PipelineSpec &S);
 
-/// Content address of compiling \p Source under \p O.
-uint64_t compileKey(const std::string &Source, const PipelineOptions &O);
+/// Content address of compiling \p Source under \p S.
+uint64_t compileKey(const std::string &Source, const PipelineSpec &S);
 
 /// compileKey by standard config name; "none" (no passes) keys on the
 /// literal axis string "none". \p SoftThreshold only matters for configs

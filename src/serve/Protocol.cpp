@@ -4,6 +4,7 @@
 
 #include "driver/Driver.h"
 #include "support/Json.h"
+#include "transform/PassStage.h"
 #include "transform/Pipeline.h"
 
 #include <cstdlib>
@@ -91,9 +92,14 @@ FieldError applyField(Request &R, const std::string &Key,
   }
   if (Key == "pipeline") {
     const std::string Name = V.asString();
-    if (!V.isString() ||
-        (Name != "none" && !standardPipelineByName(Name)))
-      return bad("unknown pipeline '" + Name + "'");
+    if (!V.isString() || (Name != "none" && !findPipelineDef(Name))) {
+      // Structured rejection: a distinct error code plus the full catalog,
+      // so clients can discover the vocabulary instead of guessing.
+      std::string Detail = "unknown pipeline '" + Name + "'; known: none";
+      for (const PipelineDef &D : pipelineCatalog())
+        Detail += ", " + D.Name;
+      return {"unknown_pipeline", Detail};
+    }
     R.Pipeline = Name;
     return {};
   }

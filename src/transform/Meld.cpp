@@ -1,0 +1,559 @@
+//===- Meld.cpp - DARM-style control-flow melding -----------------------------===//
+
+#include "transform/Meld.h"
+
+#include "analysis/Divergence.h"
+#include "ir/Module.h"
+#include "observe/Remark.h"
+
+#include <map>
+
+using namespace simtsr;
+
+//===----------------------------------------------------------------------===//
+// Fingerprints and pairability
+//===----------------------------------------------------------------------===//
+
+uint64_t simtsr::meldFingerprint(const Instruction &I) {
+  // Shape only: opcode, dst-ness, operand kinds. 5 operand kinds fit in 3
+  // bits; no real instruction has more than ~18 operands, so the shape
+  // packs losslessly into 64 bits for everything the pairable set allows
+  // (fixed arity <= 3).
+  uint64_t FP = static_cast<uint64_t>(I.opcode());
+  FP = (FP << 1) | (I.hasDst() ? 1 : 0);
+  FP = (FP << 5) | (I.numOperands() & 31);
+  for (const Operand &O : I.operands())
+    FP = (FP << 3) | static_cast<uint64_t>(O.kind());
+  // Calls additionally fingerprint the callee by name (FNV-1a folded in),
+  // so alignment never pairs calls to different functions: a melded pair
+  // must collapse to ONE call instruction, and the callee operand cannot
+  // be fed through a select.
+  if (I.opcode() == Opcode::Call && I.numOperands() >= 1 &&
+      I.operand(0).isFunc()) {
+    uint64_t H = 1469598103934665603ull;
+    for (const char C : I.operand(0).getFunc()->name()) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ull;
+    }
+    FP ^= H | 1; // Never a no-op fold.
+  }
+  return FP;
+}
+
+bool simtsr::isMeldableInstruction(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Not:
+  case Opcode::Neg:
+  case Opcode::Mov:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+  case Opcode::Select:
+  case Opcode::Tid:
+  case Opcode::LaneId:
+  case Opcode::WarpSize:
+  case Opcode::Nop:
+    return true;
+  // Per-thread effects that are exact under melding: each executing
+  // thread performs its own side's access/draw exactly once, in its own
+  // program order (alignment is monotonic), with its own operand values
+  // (fed by selects). Div/Rem trap on the same per-thread inputs either
+  // way.
+  case Opcode::Rand:
+  case Opcode::RandRange:
+  case Opcode::Load:
+  case Opcode::Store:
+    return true;
+  // AtomicAdd merges the two arms' lane orderings into one instruction
+  // execution — the returned old values could interleave differently
+  // than in the divergent original, so it stays in a guarded stub.
+  // Barrier ops and annotations likewise; calls have their own predicate
+  // (isMeldableCall) because safety depends on the callee body.
+  default:
+    return false;
+  }
+}
+
+bool simtsr::isMeldableCall(const Instruction &I) {
+  if (I.opcode() != Opcode::Call || I.numOperands() < 1 ||
+      !I.operand(0).isFunc())
+    return false;
+  const Function *Callee = I.operand(0).getFunc();
+  if (!Callee || Callee->size() == 0)
+    return false;
+  // The simulator pushes one frame per thread with per-thread argument
+  // values, so the call itself is exact under a merged mask. The callee
+  // body must then be free of warp-shared state: only meldable
+  // instructions and plain control flow. Nested calls stay out — one
+  // level is enough for the Figure 2(c) pattern, and it keeps the check
+  // non-recursive.
+  for (const BasicBlock *BB : *Callee)
+    for (size_t K = 0; K < BB->size(); ++K) {
+      const Instruction &CI = BB->inst(K);
+      switch (CI.opcode()) {
+      case Opcode::Br:
+      case Opcode::Jmp:
+      case Opcode::Ret:
+        continue;
+      default:
+        if (!isMeldableInstruction(CI))
+          return false;
+      }
+    }
+  return true;
+}
+
+std::vector<MeldAlignStep>
+simtsr::alignFingerprints(const std::vector<uint64_t> &Then,
+                          const std::vector<uint64_t> &Else,
+                          const std::vector<bool> &ThenPairable,
+                          const std::vector<bool> &ElsePairable) {
+  const size_t N = Then.size(), M = Else.size();
+  // Needleman-Wunsch, maximizing MatchScore per pair minus GapPenalty per
+  // gapped instruction. Only equal fingerprints of pairable instructions
+  // may match, so this degenerates to a gap-weighted LCS — exactly the
+  // DARM alignment over shape fingerprints.
+  constexpr int64_t MatchScore = 3, GapPenalty = 1;
+  std::vector<int64_t> Score((N + 1) * (M + 1), 0);
+  const auto At = [&](size_t I, size_t J) -> int64_t & {
+    return Score[I * (M + 1) + J];
+  };
+  for (size_t I = 0; I <= N; ++I)
+    At(I, 0) = -static_cast<int64_t>(I) * GapPenalty;
+  for (size_t J = 0; J <= M; ++J)
+    At(0, J) = -static_cast<int64_t>(J) * GapPenalty;
+  for (size_t I = 1; I <= N; ++I) {
+    for (size_t J = 1; J <= M; ++J) {
+      int64_t Best = At(I - 1, J) - GapPenalty;
+      Best = std::max(Best, At(I, J - 1) - GapPenalty);
+      if (Then[I - 1] == Else[J - 1] && ThenPairable[I - 1] &&
+          ElsePairable[J - 1])
+        Best = std::max(Best, At(I - 1, J - 1) + MatchScore);
+      At(I, J) = Best;
+    }
+  }
+
+  // Traceback, preferring pairs, then then-gaps (deterministic).
+  std::vector<MeldAlignStep> Rev;
+  size_t I = N, J = M;
+  while (I > 0 || J > 0) {
+    if (I > 0 && J > 0 && Then[I - 1] == Else[J - 1] && ThenPairable[I - 1] &&
+        ElsePairable[J - 1] && At(I, J) == At(I - 1, J - 1) + MatchScore) {
+      Rev.push_back({I - 1, J - 1});
+      --I;
+      --J;
+    } else if (I > 0 && At(I, J) == At(I - 1, J) - GapPenalty) {
+      Rev.push_back({I - 1, MeldGap});
+      --I;
+    } else {
+      Rev.push_back({MeldGap, J - 1});
+      --J;
+    }
+  }
+  return {Rev.rbegin(), Rev.rend()};
+}
+
+//===----------------------------------------------------------------------===//
+// The meld transformation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fresh block name derived from \p Base; kernels name blocks freely, so
+/// collisions are checked against the function.
+std::string freshBlockName(Function &F, const std::string &Base) {
+  if (!F.blockByName(Base))
+    return Base;
+  for (unsigned Salt = 2;; ++Salt) {
+    std::string Name = Base + "_" + std::to_string(Salt);
+    if (!F.blockByName(Name))
+      return Name;
+  }
+}
+
+/// Rewrites \p Ops through \p Renamed (arm-local defs became fresh temps).
+std::vector<Operand> renameOperands(const Instruction &I,
+                                    const std::map<unsigned, unsigned> &Renamed) {
+  std::vector<Operand> Ops;
+  Ops.reserve(I.numOperands());
+  for (const Operand &O : I.operands()) {
+    if (O.isReg()) {
+      auto It = Renamed.find(O.getReg());
+      Ops.push_back(It == Renamed.end() ? O : Operand::reg(It->second));
+    } else {
+      Ops.push_back(O);
+    }
+  }
+  return Ops;
+}
+
+/// Why a divergent diamond was rejected; empty string = meldable.
+struct MeldCandidate {
+  BasicBlock *Then = nullptr;
+  BasicBlock *Else = nullptr;
+  BasicBlock *Join = nullptr;
+  std::string Reject;
+};
+
+/// True when \p Arm is a single-entry straight arm from \p Entry into some
+/// join (its jmp target).
+BasicBlock *armJoin(const BasicBlock *Arm, const BasicBlock *Entry) {
+  if (Arm->predecessors().size() != 1 || Arm->predecessors()[0] != Entry)
+    return nullptr;
+  if (!Arm->hasTerminator() || Arm->terminator().opcode() != Opcode::Jmp)
+    return nullptr;
+  return Arm->terminator().operand(0).getBlock();
+}
+
+/// Instructions that may not appear anywhere in a melded arm, even in a
+/// stub: barrier state is warp-shared and timing-sensitive, so changing
+/// the CFG around it needs the barrier passes' cost models, not this one.
+bool armInstructionAllowed(const Instruction &I) {
+  if (isBarrierOp(I.opcode()))
+    return false;
+  switch (I.opcode()) {
+  case Opcode::WarpSync:
+  case Opcode::Predict:
+    return false;
+  default:
+    return true;
+  }
+}
+
+MeldCandidate classifyCandidate(Function &F, BasicBlock *Entry) {
+  MeldCandidate C;
+  const Instruction &Term = Entry->terminator();
+  C.Then = Term.operand(1).getBlock();
+  C.Else = Term.operand(2).getBlock();
+  if (C.Then == C.Else || C.Then == Entry || C.Else == Entry) {
+    C.Reject = "not a diamond";
+    return C;
+  }
+  BasicBlock *ThenJoin = armJoin(C.Then, Entry);
+  BasicBlock *ElseJoin = armJoin(C.Else, Entry);
+  if (!ThenJoin || !ElseJoin || ThenJoin != ElseJoin) {
+    C.Reject = "arms are not single-entry regions into one join";
+    return C;
+  }
+  if (ThenJoin == C.Then || ThenJoin == C.Else) {
+    C.Reject = "join re-enters an arm";
+    return C;
+  }
+  C.Join = ThenJoin;
+  for (const BasicBlock *Arm : {C.Then, C.Else})
+    for (size_t I = 0; I + 1 < Arm->size(); ++I)
+      if (!armInstructionAllowed(Arm->inst(I))) {
+        C.Reject = std::string("arm contains ") +
+                   getOpcodeName(Arm->inst(I).opcode());
+        return C;
+      }
+  // Any reference to an arm besides the entry terminator (a predict label,
+  // an unrelated branch) pins the block in place.
+  for (const BasicBlock *BB : F)
+    for (size_t I = 0; I < BB->size(); ++I) {
+      if (BB == Entry && I + 1 == BB->size())
+        continue;
+      for (const Operand &O : BB->inst(I).operands())
+        if (O.isBlock() && (O.getBlock() == C.Then || O.getBlock() == C.Else)) {
+          C.Reject = "arm is referenced outside the branch";
+          return C;
+        }
+    }
+  return C;
+}
+
+/// Emits the melded replacement for one accepted diamond. Returns the
+/// stats delta.
+void meldDiamond(Function &F, BasicBlock *Entry, const MeldCandidate &C,
+                 const std::vector<MeldAlignStep> &Steps,
+                 MeldReport &Report) {
+  BasicBlock *Then = C.Then, *Else = C.Else, *Join = C.Join;
+  const Operand Cond = Entry->terminator().operand(0);
+
+  // The predicate must stay live through the whole melded chain, but an
+  // arm may redefine the condition register; copy it to a fresh temp when
+  // either arm writes it (the final register merges run last).
+  Operand Pred = Cond;
+  if (Cond.isReg()) {
+    bool Redefined = false;
+    for (const BasicBlock *Arm : {Then, Else})
+      for (size_t I = 0; I + 1 < Arm->size(); ++I)
+        if (Arm->inst(I).hasDst() && Arm->inst(I).dst() == Cond.getReg())
+          Redefined = true;
+    if (Redefined) {
+      const unsigned P = F.createReg();
+      Entry->insertBeforeTerminator(Instruction(Opcode::Mov, P, {Cond}));
+      Pred = Operand::reg(P);
+    }
+  }
+
+  const std::string Base = Entry->name();
+  unsigned NameCounter = 0;
+  const auto NewBlockAfter = [&](BasicBlock *After, const char *Tag) {
+    return F.createBlockAfter(
+        After, freshBlockName(F, Base + "." + Tag +
+                                       std::to_string(NameCounter)));
+  };
+
+  BasicBlock *Cur = NewBlockAfter(Entry, "meld");
+  BasicBlock *First = Cur;
+  std::map<unsigned, unsigned> ThenMap, ElseMap;
+
+  // Per-side defs write fresh temps so nothing architectural changes until
+  // the final merges; per-side reads go through the side's rename map.
+  const auto EmitSide = [&](BasicBlock *To, const Instruction &I,
+                            std::map<unsigned, unsigned> &SideMap) {
+    std::vector<Operand> Ops = renameOperands(I, SideMap);
+    unsigned Dst = NoRegister;
+    if (I.hasDst()) {
+      Dst = F.createReg();
+      SideMap[I.dst()] = Dst;
+    }
+    To->append(Instruction(I.opcode(), Dst, std::move(Ops)));
+  };
+
+  size_t S = 0;
+  while (S < Steps.size()) {
+    if (Steps[S].isPair()) {
+      // A run of melded pairs extends the current merged block.
+      const Instruction &TI = Then->inst(Steps[S].ThenIndex);
+      const Instruction &EI = Else->inst(Steps[S].ElseIndex);
+      const std::vector<Operand> TOps = renameOperands(TI, ThenMap);
+      const std::vector<Operand> EOps = renameOperands(EI, ElseMap);
+      std::vector<Operand> Ops;
+      Ops.reserve(TOps.size());
+      for (size_t I = 0; I < TOps.size(); ++I) {
+        if (TOps[I] == EOps[I]) {
+          Ops.push_back(TOps[I]);
+          continue;
+        }
+        // Differing feeds: each thread selects its own side's value.
+        const unsigned Sel = F.createReg();
+        Cur->append(Instruction(Opcode::Select, Sel,
+                                {Pred, TOps[I], EOps[I]}));
+        ++Report.SelectsInserted;
+        Ops.push_back(Operand::reg(Sel));
+      }
+      unsigned Dst = NoRegister;
+      if (TI.hasDst()) {
+        Dst = F.createReg();
+        ThenMap[TI.dst()] = Dst;
+        ElseMap[EI.dst()] = Dst;
+      }
+      Cur->append(Instruction(TI.opcode(), Dst, std::move(Ops)));
+      ++Report.PairsMelded;
+      ++S;
+      continue;
+    }
+    // A run of gaps becomes one divergent stub diamond (or triangle when
+    // only one side has residue).
+    std::vector<size_t> TGap, EGap;
+    while (S < Steps.size() && !Steps[S].isPair()) {
+      if (Steps[S].ThenIndex != MeldGap)
+        TGap.push_back(Steps[S].ThenIndex);
+      else
+        EGap.push_back(Steps[S].ElseIndex);
+      ++S;
+    }
+    BasicBlock *Next = NewBlockAfter(Cur, "meld");
+    BasicBlock *TStub = nullptr, *EStub = nullptr;
+    if (!TGap.empty()) {
+      TStub = NewBlockAfter(Cur, "mstub.t");
+      for (size_t Idx : TGap)
+        EmitSide(TStub, Then->inst(Idx), ThenMap);
+      TStub->append(Instruction(Opcode::Jmp, NoRegister,
+                                {Operand::block(Next)}));
+      ++Report.StubsEmitted;
+    }
+    if (!EGap.empty()) {
+      EStub = NewBlockAfter(TStub ? TStub : Cur, "mstub.e");
+      for (size_t Idx : EGap)
+        EmitSide(EStub, Else->inst(Idx), ElseMap);
+      EStub->append(Instruction(Opcode::Jmp, NoRegister,
+                                {Operand::block(Next)}));
+      ++Report.StubsEmitted;
+    }
+    Cur->append(Instruction(Opcode::Br, NoRegister,
+                            {Pred, Operand::block(TStub ? TStub : Next),
+                             Operand::block(EStub ? EStub : Next)}));
+    ++NameCounter;
+    Cur = Next;
+  }
+
+  // Final merges: commit each architecturally-written register from its
+  // side temps. Each merge reads only the predicate, side temps and its
+  // own register, so emission order is free.
+  std::map<unsigned, std::pair<unsigned, unsigned>> Merged;
+  for (const auto &[Reg, Temp] : ThenMap)
+    Merged[Reg] = {Temp, Reg};
+  for (const auto &[Reg, Temp] : ElseMap) {
+    auto It = Merged.find(Reg);
+    if (It == Merged.end())
+      Merged[Reg] = {Reg, Temp};
+    else
+      It->second.second = Temp;
+  }
+  for (const auto &[Reg, Vals] : Merged) {
+    if (Vals.first == Vals.second) {
+      Cur->append(Instruction(Opcode::Mov, Reg, {Operand::reg(Vals.first)}));
+      continue;
+    }
+    Cur->append(Instruction(Opcode::Select, Reg,
+                            {Pred, Operand::reg(Vals.first),
+                             Operand::reg(Vals.second)}));
+    ++Report.SelectsInserted;
+  }
+  Cur->append(Instruction(Opcode::Jmp, NoRegister, {Operand::block(Join)}));
+
+  // Retarget the entry into the chain and drop the old arms (now
+  // reference-free: classifyCandidate proved the branch held the only
+  // references).
+  Entry->instructions().back() =
+      Instruction(Opcode::Jmp, NoRegister, {Operand::block(First)});
+  F.removeBlock(Then);
+  F.removeBlock(Else);
+  F.recomputePreds();
+
+  ++Report.BranchesMelded;
+}
+
+/// One scan over \p F: melds the first eligible divergent diamond found.
+/// \returns true when the CFG changed (divergence info is then stale).
+bool meldOnce(Function &F, const DivergenceAnalysis &DA,
+              const MeldOptions &Opts, MeldReport &Report) {
+  // Skip remarks are buffered and only flushed when the whole scan found
+  // nothing to meld — i.e. exactly once, in the fixpoint's final round.
+  // Mutating rounds rescan the same branches, and re-remarking them every
+  // round would drown the stream in duplicates.
+  std::vector<observe::Remark> Pending;
+  for (BasicBlock *Entry : F) {
+    if (!Entry->hasTerminator() ||
+        Entry->terminator().opcode() != Opcode::Br)
+      continue;
+    if (!DA.isDivergentBranch(Entry))
+      continue;
+    ++Report.BranchesExamined;
+
+    const auto Skip = [&](const std::string &Why,
+                          std::vector<std::pair<std::string, std::string>>
+                              Args = {}) {
+      ++Report.Skipped;
+      if (observe::remarksEnabled()) {
+        observe::Remark R;
+        R.Pass = "meld";
+        R.Kind = observe::RemarkKind::Skipped;
+        R.Function = F.name();
+        R.Block = Entry->name();
+        R.Message = Why;
+        R.Args = std::move(Args);
+        Pending.push_back(std::move(R));
+      }
+    };
+
+    MeldCandidate C = classifyCandidate(F, Entry);
+    if (!C.Reject.empty()) {
+      Skip(C.Reject);
+      continue;
+    }
+
+    // Fingerprint both arms (terminators excluded) and align.
+    std::vector<uint64_t> TFp, EFp;
+    std::vector<bool> TPair, EPair;
+    for (size_t I = 0; I + 1 < C.Then->size(); ++I) {
+      const Instruction &TI = C.Then->inst(I);
+      TFp.push_back(meldFingerprint(TI));
+      TPair.push_back(isMeldableInstruction(TI) || isMeldableCall(TI));
+    }
+    for (size_t I = 0; I + 1 < C.Else->size(); ++I) {
+      const Instruction &EI = C.Else->inst(I);
+      EFp.push_back(meldFingerprint(EI));
+      EPair.push_back(isMeldableInstruction(EI) || isMeldableCall(EI));
+    }
+    const std::vector<MeldAlignStep> Steps =
+        alignFingerprints(TFp, EFp, TPair, EPair);
+    unsigned Pairs = 0;
+    for (const MeldAlignStep &St : Steps)
+      if (St.isPair())
+        ++Pairs;
+    if (Pairs < Opts.MinPairs) {
+      Skip("pairs below min-pairs",
+           {{"pairs", std::to_string(Pairs)},
+            {"min-pairs", std::to_string(Opts.MinPairs)},
+            {"then-len", std::to_string(TFp.size())},
+            {"else-len", std::to_string(EFp.size())}});
+      continue;
+    }
+
+    const unsigned StubsBefore = Report.StubsEmitted;
+    const unsigned SelectsBefore = Report.SelectsInserted;
+    meldDiamond(F, Entry, C, Steps, Report);
+    if (observe::remarksEnabled())
+      observe::emitRemark(
+          "meld", observe::RemarkKind::Applied, F.name(), Entry->name(),
+          "melded divergent branch",
+          {{"pairs", std::to_string(Pairs)},
+           {"then-residue", std::to_string(TFp.size() - Pairs)},
+           {"else-residue", std::to_string(EFp.size() - Pairs)},
+           {"stubs", std::to_string(Report.StubsEmitted - StubsBefore)},
+           {"selects",
+            std::to_string(Report.SelectsInserted - SelectsBefore)}});
+    return true;
+  }
+  for (observe::Remark &R : Pending)
+    observe::emitRemark(std::move(R));
+  return false;
+}
+
+} // namespace
+
+MeldReport simtsr::applyControlFlowMeld(Function &F,
+                                        const DivergenceAnalysis &DA,
+                                        const MeldOptions &Opts) {
+  MeldReport Report;
+  // Single-shot entry point: one analysis, one application round. The
+  // module driver below owns the fixpoint (divergence must be recomputed
+  // after every CFG change).
+  meldOnce(F, DA, Opts, Report);
+  return Report;
+}
+
+MeldReport simtsr::applyControlFlowMeld(Module &M, const MeldOptions &Opts) {
+  MeldReport Report;
+  for (size_t FI = 0; FI < M.size(); ++FI) {
+    Function &F = *M.function(FI);
+    for (unsigned Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+      // Divergence facts go stale on every CFG change; recompute per
+      // round. Candidate counters would double-count rescanned branches,
+      // so only the mutating round's numbers accumulate.
+      ModuleDivergenceInfo MDI(M);
+      MeldReport Round;
+      if (!meldOnce(F, MDI.forFunction(&F), Opts, Round)) {
+        // Final round: the examined/skip counts of the fixpoint scan are
+        // the ones worth reporting (every remaining branch got a remark).
+        Report.BranchesExamined += Round.BranchesExamined;
+        Report.Skipped += Round.Skipped;
+        break;
+      }
+      Report.BranchesMelded += Round.BranchesMelded;
+      Report.PairsMelded += Round.PairsMelded;
+      Report.StubsEmitted += Round.StubsEmitted;
+      Report.SelectsInserted += Round.SelectsInserted;
+    }
+  }
+  return Report;
+}

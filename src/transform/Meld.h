@@ -1,0 +1,129 @@
+//===- Meld.h - DARM-style control-flow melding ----------------*- C++ -*-===//
+///
+/// \file
+/// The repo's second divergence optimizer: instead of reconverging early
+/// (speculative reconvergence), *meld* the two arms of a divergent branch
+/// into predicated straight-line code, DARM-style (arXiv 2107.05681).
+///
+/// For every divergent diamond — `br c, T, E` where T and E are
+/// single-entry, single-exit arms funnelling into one join — the pass
+/// aligns the arms' instruction sequences with gap-penalty sequence
+/// alignment over opcode/operand-shape fingerprints. Aligned instruction
+/// pairs are melded into merged blocks that every thread executes once,
+/// with per-operand `select c, thenOp, elseOp` feeds so each thread still
+/// computes exactly its own side's values. Unalignable residue stays
+/// behind as shortened divergent stubs guarded by the original condition,
+/// so arbitrary (non-speculatable) instructions are legal there.
+///
+/// The transformation is semantics-preserving per thread: every thread
+/// executes the same instruction trace it would have executed before, in
+/// the same order, only co-scheduled with the other arm's threads. That is
+/// what lets the differential oracle demand bit-identical checksums
+/// against the unsynchronized baseline.
+///
+/// Every meld/reject decision is reported as a structured remark under
+/// pass name "meld" (observe/Remark.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_MELD_H
+#define SIMTSR_TRANSFORM_MELD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+class DivergenceAnalysis;
+class Function;
+class Instruction;
+class Module;
+
+struct MeldOptions {
+  /// Minimum aligned pairs for a diamond to be worth restructuring; below
+  /// this the branch is left alone (remark "pairs below min-pairs").
+  unsigned MinPairs = 1;
+  /// Safety cap on meld applications per function. Melding a diamond can
+  /// expose new (stub) diamonds; each application strictly shrinks the
+  /// total divergent residue, so this cap is a backstop, not a tuning
+  /// knob.
+  unsigned MaxIterations = 64;
+};
+
+struct MeldReport {
+  /// Divergent diamonds examined as meld candidates.
+  unsigned BranchesExamined = 0;
+  /// Diamonds actually melded (arms replaced by merged blocks + stubs).
+  unsigned BranchesMelded = 0;
+  /// Instruction pairs fused into merged blocks.
+  unsigned PairsMelded = 0;
+  /// Residue stub blocks emitted (shortened divergent regions).
+  unsigned StubsEmitted = 0;
+  /// Operand-feed and register-merge selects inserted.
+  unsigned SelectsInserted = 0;
+  /// Candidates rejected (each explained by a "meld" Skipped remark).
+  unsigned Skipped = 0;
+};
+
+/// One step of an arm-to-arm alignment: indices into the then/else
+/// instruction sequences, or MeldGap on the side that sits out this step.
+constexpr size_t MeldGap = static_cast<size_t>(-1);
+struct MeldAlignStep {
+  size_t ThenIndex = MeldGap;
+  size_t ElseIndex = MeldGap;
+
+  bool isPair() const { return ThenIndex != MeldGap && ElseIndex != MeldGap; }
+};
+
+/// Opcode/operand-shape fingerprint: two instructions may meld into one
+/// predicated instruction iff their fingerprints are equal (same opcode,
+/// same dst-ness, same operand kinds). Register numbers and immediate
+/// values are deliberately not part of the shape — differing values are
+/// fed through operand selects.
+uint64_t meldFingerprint(const Instruction &I);
+
+/// True when \p I may be melded into a merged (both-arms) block: pure ALU
+/// and data movement, per-thread memory ops, and the per-thread random
+/// stream. Atomics, barrier ops, annotations and terminators must stay in
+/// guarded stubs where only their own threads execute them. Calls are
+/// handled separately (isMeldableCall below).
+bool isMeldableInstruction(const Instruction &I);
+
+/// True when call \p I may be melded: the callee body is itself meld-safe
+/// (only meldable instructions and plain control flow — no barriers,
+/// warp syncs, atomics, annotations or nested calls). Calls push a
+/// per-thread frame with per-thread argument values, so a melded call is
+/// exact per thread; the callee restriction keeps warp-shared state out.
+/// The two arms' calls only pair when they name the same callee — the
+/// fingerprint of a call mixes in the callee's name, so alignment never
+/// pairs calls to different functions. This is the paper's Figure 2(c)
+/// common-call pattern, melded instead of reconverged.
+bool isMeldableCall(const Instruction &I);
+
+/// Gap-penalty global alignment (Needleman-Wunsch) over fingerprint
+/// sequences: maximizes matches, pays a constant penalty per gap, and
+/// never pairs unequal fingerprints. \p ThenPairable / \p ElsePairable
+/// mask instructions that must not be paired even when shapes match.
+/// Steps come back in sequence order; indices on each side are strictly
+/// increasing (alignment preserves per-thread program order).
+std::vector<MeldAlignStep>
+alignFingerprints(const std::vector<uint64_t> &Then,
+                  const std::vector<uint64_t> &Else,
+                  const std::vector<bool> &ThenPairable,
+                  const std::vector<bool> &ElsePairable);
+
+/// Melds divergent diamonds of \p F to a fixpoint. \p DA must be current
+/// for \p F; the caller re-runs divergence analysis between applications
+/// (the module entry point below does).
+MeldReport applyControlFlowMeld(Function &F, const DivergenceAnalysis &DA,
+                                const MeldOptions &Opts = {});
+
+/// Module driver: call-graph-refined divergence info, per-function melding
+/// to a fixpoint.
+MeldReport applyControlFlowMeld(Module &M, const MeldOptions &Opts = {});
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_MELD_H

@@ -1,0 +1,301 @@
+//===- PassStage.cpp - Composable pass-pipeline stages ------------------===//
+
+#include "transform/PassStage.h"
+
+#include "analysis/Divergence.h"
+#include "ir/Module.h"
+#include "lint/ConvergenceLint.h"
+#include "observe/Remark.h"
+#include "transform/BarrierVerifier.h"
+
+#ifdef SIMTSR_EXPENSIVE_CHECKS
+#include "ir/Verifier.h"
+#endif
+
+using namespace simtsr;
+
+namespace {
+
+#ifdef SIMTSR_EXPENSIVE_CHECKS
+/// With SIMTSR_EXPENSIVE_CHECKS on, every CheckAfter stage boundary
+/// re-verifies the module and runs the analyzer, keeping only must-facts
+/// (errors): the mid-pipeline IR legitimately carries warnings (e.g.
+/// conflicts that deconfliction has not resolved yet).
+void expensiveStageCheck(Module &M, const std::string &Stage,
+                         const lint::LintOptions &LintOpts,
+                         std::vector<std::string> &Diags) {
+  for (const std::string &D : verifyModule(M))
+    Diags.push_back("expensive-check after " + Stage + ": " + D);
+  lint::LintOptions Quiet = LintOpts;
+  Quiet.Remarks = false;
+  const lint::LintResult R = lint::runConvergenceLint(M, Quiet);
+  for (const lint::LintDiagnostic &D : R.Diagnostics)
+    if (D.Severity == lint::LintSeverity::Error)
+      Diags.push_back("expensive-check after " + Stage + ": " + D.Message);
+}
+#endif
+
+void mergeReports(MeldReport &Into, MeldReport From) {
+  Into.BranchesExamined += From.BranchesExamined;
+  Into.BranchesMelded += From.BranchesMelded;
+  Into.PairsMelded += From.PairsMelded;
+  Into.StubsEmitted += From.StubsEmitted;
+  Into.SelectsInserted += From.SelectsInserted;
+  Into.Skipped += From.Skipped;
+}
+
+void mergeReports(SRReport &Into, SRReport From) {
+  Into.Applied.insert(Into.Applied.end(), From.Applied.begin(),
+                      From.Applied.end());
+  Into.RegionsSkipped += From.RegionsSkipped;
+  Into.PdomFallbacks += From.PdomFallbacks;
+  Into.ExitDowngrades += From.ExitDowngrades;
+  Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
+                          From.Diagnostics.end());
+}
+
+void mergeReports(PdomSyncReport &Into, PdomSyncReport From) {
+  Into.DivergentBranches += From.DivergentBranches;
+  Into.BarriersInserted += From.BarriersInserted;
+  Into.Skipped += From.Skipped;
+  Into.OutOfRegisters += From.OutOfRegisters;
+  Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
+                          From.Diagnostics.end());
+}
+
+void mergeReports(DeconflictReport &Into, DeconflictReport From) {
+  Into.ConflictsFound += From.ConflictsFound;
+  Into.BarriersDeleted += From.BarriersDeleted;
+  Into.CancelsInserted += From.CancelsInserted;
+  Into.CallSiteCancels += From.CallSiteCancels;
+  Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
+                          From.Diagnostics.end());
+}
+
+std::vector<PassStageDef> makeStageRegistry() {
+  std::vector<PassStageDef> Stages;
+
+  {
+    PassStageDef S;
+    S.Name = "strip-predicts";
+    S.Summary = "remove predict directives without applying them";
+    S.Run = [](Module &M, PipelineReport &, const PipelineParams &) {
+      stripPredictDirectives(M);
+    };
+    Stages.push_back(std::move(S));
+  }
+  {
+    PassStageDef S;
+    S.Name = "meld";
+    S.Summary = "DARM-style melding of divergent branch arms into "
+                "predicated merged blocks";
+    S.CheckAfter = true;
+    S.Run = [](Module &M, PipelineReport &R, const PipelineParams &P) {
+      mergeReports(R.Meld, applyControlFlowMeld(M, P.Meld));
+    };
+    Stages.push_back(std::move(S));
+  }
+  {
+    PassStageDef S;
+    S.Name = "pdom-sync";
+    S.Summary = "baseline PDOM reconvergence barriers at divergent branches";
+    S.CheckAfter = true;
+    S.Run = [](Module &M, PipelineReport &R, const PipelineParams &) {
+      ModuleDivergenceInfo Divergence(M);
+      for (size_t I = 0; I < M.size(); ++I) {
+        Function &F = *M.function(I);
+        mergeReports(R.Pdom, insertPdomSync(F, Divergence.forFunction(&F),
+                                            R.Registry));
+      }
+    };
+    Stages.push_back(std::move(S));
+  }
+  {
+    PassStageDef S;
+    S.Name = "sr";
+    S.Summary = "speculative reconvergence from predict directives";
+    S.CheckAfter = true;
+    S.Run = [](Module &M, PipelineReport &R, const PipelineParams &P) {
+      for (size_t I = 0; I < M.size(); ++I)
+        mergeReports(R.SR, applySpeculativeReconvergence(*M.function(I),
+                                                         R.Registry, P.SR));
+    };
+    Stages.push_back(std::move(S));
+  }
+  {
+    PassStageDef S;
+    S.Name = "interproc";
+    S.Summary = "interprocedural reconvergence for reconverge_entry callees";
+    S.CheckAfter = true;
+    S.Run = [](Module &M, PipelineReport &R, const PipelineParams &) {
+      R.Interproc = applyInterproceduralReconvergence(M, R.Registry);
+    };
+    Stages.push_back(std::move(S));
+  }
+  {
+    PassStageDef S;
+    S.Name = "deconflict";
+    S.Summary = "resolve or cancel conflicting barrier waits";
+    S.Run = [](Module &M, PipelineReport &R, const PipelineParams &P) {
+      for (size_t I = 0; I < M.size(); ++I)
+        mergeReports(R.Deconflict, deconflictBarriers(*M.function(I),
+                                                      R.Registry,
+                                                      P.Deconflict));
+    };
+    Stages.push_back(std::move(S));
+  }
+  {
+    PassStageDef S;
+    S.Name = "verify";
+    S.Summary = "convergence-safety gate (origin-aware lint over the module)";
+    S.Run = [](Module &M, PipelineReport &R, const PipelineParams &) {
+      const lint::LintResult Lint =
+          lint::runConvergenceLint(M, lintOptionsFromRegistry(R.Registry));
+      std::vector<std::string> Gate = Lint.gateStrings();
+      R.VerifierDiagnostics.insert(R.VerifierDiagnostics.end(), Gate.begin(),
+                                   Gate.end());
+    };
+    Stages.push_back(std::move(S));
+  }
+  {
+    PassStageDef S;
+    S.Name = "realloc";
+    S.Summary = "recolour barrier registers (final lowering; invalidates "
+                "the registry's origin map)";
+    S.CheckAfter = true;
+    S.OriginBlind = true;
+    S.Run = [](Module &M, PipelineReport &R, const PipelineParams &) {
+      R.Realloc = reallocateBarriers(M);
+    };
+    Stages.push_back(std::move(S));
+  }
+  return Stages;
+}
+
+std::vector<PipelineDef> makePipelineCatalog() {
+  // Legacy configurations first, byte-compatible with the historical
+  // bool-bag semantics; meld configurations are appended so golden digest
+  // row order over standardPipelineNames() stays stable.
+  return {
+      {"noop", "strip annotations, insert nothing",
+       {"strip-predicts", "deconflict", "verify"}, false},
+      {"pdom", "baseline PDOM synchronization (predicts stripped)",
+       {"strip-predicts", "pdom-sync", "deconflict", "verify"}, false},
+      {"sr", "speculative reconvergence over the PDOM baseline",
+       {"pdom-sync", "sr", "deconflict", "verify"}, false},
+      {"sr+ip", "speculative + interprocedural reconvergence",
+       {"pdom-sync", "sr", "interproc", "deconflict", "verify"}, false},
+      {"soft", "sr+ip with soft (bounded-wait) barriers",
+       {"pdom-sync", "sr", "interproc", "deconflict", "verify"}, true},
+      {"sr+ip+realloc", "sr+ip plus final barrier-register reallocation",
+       {"pdom-sync", "sr", "interproc", "deconflict", "verify", "realloc"},
+       false},
+      {"meld", "control-flow melding, then PDOM sync on the residue",
+       {"strip-predicts", "meld", "pdom-sync", "deconflict", "verify"},
+       false},
+      {"meld+sr", "melding stacked under speculative reconvergence",
+       {"meld", "pdom-sync", "sr", "deconflict", "verify"}, false},
+      {"meld+sr+ip", "melding stacked under sr+ip",
+       {"meld", "pdom-sync", "sr", "interproc", "deconflict", "verify"},
+       false},
+  };
+}
+
+} // namespace
+
+const std::vector<PassStageDef> &simtsr::passStageRegistry() {
+  static const std::vector<PassStageDef> Registry = makeStageRegistry();
+  return Registry;
+}
+
+const PassStageDef *simtsr::findPassStage(const std::string &Name) {
+  for (const PassStageDef &S : passStageRegistry())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+const std::vector<PipelineDef> &simtsr::pipelineCatalog() {
+  static const std::vector<PipelineDef> Catalog = makePipelineCatalog();
+  return Catalog;
+}
+
+const PipelineDef *simtsr::findPipelineDef(const std::string &Name) {
+  for (const PipelineDef &D : pipelineCatalog())
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+std::optional<PipelineSpec>
+simtsr::standardPipelineSpec(const std::string &Name, int SoftThreshold) {
+  const PipelineDef *D = findPipelineDef(Name);
+  if (!D)
+    return std::nullopt;
+  PipelineSpec S;
+  S.Stages = D->Stages;
+  if (D->UsesSoftThreshold)
+    S.Params.SR.SoftThreshold = SoftThreshold;
+  return S;
+}
+
+std::vector<std::string>
+simtsr::stageListForOptions(const PipelineOptions &O) {
+  std::vector<std::string> Stages;
+  if (!O.ApplySR && O.StripPredicts)
+    Stages.push_back("strip-predicts");
+  if (O.PdomSync)
+    Stages.push_back("pdom-sync");
+  if (O.ApplySR)
+    Stages.push_back("sr");
+  if (O.Interprocedural)
+    Stages.push_back("interproc");
+  Stages.push_back("deconflict");
+  Stages.push_back("verify");
+  if (O.ReallocBarriers)
+    Stages.push_back("realloc");
+  return Stages;
+}
+
+PipelineSpec::PipelineSpec(const PipelineOptions &O)
+    : Stages(stageListForOptions(O)) {
+  Params.SR = O.SR;
+  Params.Deconflict = O.Deconflict;
+  Params.Remarks = O.Remarks;
+}
+
+PipelineReport simtsr::runSyncPipeline(Module &M, const PipelineSpec &Spec) {
+  PipelineReport Report;
+  // Route every pass's emitRemark() calls into the caller's stream for the
+  // pipeline's extent (thread-local, so concurrent oracle pipelines on
+  // other pool threads are unaffected).
+  observe::RemarkScope Scope(Spec.Params.Remarks);
+
+  for (const std::string &Name : Spec.Stages) {
+    const PassStageDef *Def = findPassStage(Name);
+    if (!Def) {
+      Report.VerifierDiagnostics.push_back("unknown pipeline stage '" + Name +
+                                           "'");
+      continue;
+    }
+    const size_t RemarksBefore =
+        Spec.Params.Remarks ? Spec.Params.Remarks->size() : 0;
+    Def->Run(M, Report, Spec.Params);
+    if (Def->CheckAfter) {
+#ifdef SIMTSR_EXPENSIVE_CHECKS
+      // Origin-blind stages (realloc) invalidated the registry's id->origin
+      // map, so their check runs without it.
+      expensiveStageCheck(M, Def->Name,
+                          Def->OriginBlind
+                              ? lint::LintOptions{}
+                              : lintOptionsFromRegistry(Report.Registry),
+                          Report.VerifierDiagnostics);
+#endif
+    }
+    const size_t RemarksAfter =
+        Spec.Params.Remarks ? Spec.Params.Remarks->size() : 0;
+    Report.Stages.push_back(
+        {Def->Name, static_cast<unsigned>(RemarksAfter - RemarksBefore)});
+  }
+  return Report;
+}

@@ -1,0 +1,157 @@
+//===- PassStage.h - Composable pass-pipeline stages -----------*- C++ -*-===//
+///
+/// \file
+/// The pipeline layer's composition API. A pipeline is no longer a bag of
+/// booleans: it is a *named sequence of stages*, each stage a registered
+/// PassStageDef that knows how to run itself over a module, whether the
+/// expensive per-stage verifier applies after it, and how to describe
+/// itself to `--list-pipelines`.
+///
+/// Three layers:
+///
+///  - `passStageRegistry()` — the canonical stage vocabulary
+///    (strip-predicts, meld, pdom-sync, sr, interproc, deconflict, verify,
+///    realloc). Adding an optimizer means registering one stage here.
+///  - `PipelineSpec` — an ordered stage list plus the parameter block
+///    (`PipelineParams`) the stages read. Build one by hand, through
+///    `PipelineBuilder`, from a catalog name via `standardPipelineSpec()`,
+///    or implicitly from a legacy `PipelineOptions` (every historical
+///    options combination maps to a stage list bit-compatibly).
+///  - `pipelineCatalog()` — the named configurations every tool, the
+///    differential oracle, the golden digest tests and the serve cache
+///    agree on. `standardPipelineNames()` is a view of this data.
+///
+/// Serve cache keys derive from the stage list (see
+/// serve::pipelineCacheAxes), so a pipeline's identity is its composition,
+/// not an options-struct encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTSR_TRANSFORM_PASSSTAGE_H
+#define SIMTSR_TRANSFORM_PASSSTAGE_H
+
+#include "transform/Pipeline.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simtsr {
+
+/// Everything a stage may read beyond the module: per-pass options and the
+/// remark sink. One block shared by all stages of a spec.
+struct PipelineParams {
+  SROptions SR;
+  MeldOptions Meld;
+  DeconflictStrategy Deconflict = DeconflictStrategy::Dynamic;
+  /// Structured pass remarks land here for the pipeline's extent
+  /// (installed as the thread's remark scope). Null disables emission.
+  observe::RemarkStream *Remarks = nullptr;
+};
+
+/// An ordered stage list plus its parameters — the unit every pipeline
+/// consumer passes around.
+struct PipelineSpec {
+  std::vector<std::string> Stages;
+  PipelineParams Params;
+
+  PipelineSpec() = default;
+  /// Compatibility bridge: every legacy options combination maps onto the
+  /// stage list runSyncPipeline(PipelineOptions) historically executed.
+  /*implicit*/ PipelineSpec(const PipelineOptions &O);
+};
+
+/// The legacy options -> stage list mapping (strip-predicts only without
+/// SR, the always-on deconflict + verify tail, realloc last).
+std::vector<std::string> stageListForOptions(const PipelineOptions &O);
+
+/// Fluent construction for hand-rolled pipelines (tests, experiments).
+class PipelineBuilder {
+public:
+  PipelineBuilder &stage(std::string Name) {
+    S.Stages.push_back(std::move(Name));
+    return *this;
+  }
+  PipelineBuilder &stages(std::initializer_list<const char *> Names) {
+    for (const char *N : Names)
+      S.Stages.push_back(N);
+    return *this;
+  }
+  PipelineBuilder &softThreshold(int T) {
+    S.Params.SR.SoftThreshold = T;
+    return *this;
+  }
+  PipelineBuilder &regionExitBarrier(bool On) {
+    S.Params.SR.RegionExitBarrier = On;
+    return *this;
+  }
+  PipelineBuilder &meld(MeldOptions M) {
+    S.Params.Meld = M;
+    return *this;
+  }
+  PipelineBuilder &deconflict(DeconflictStrategy D) {
+    S.Params.Deconflict = D;
+    return *this;
+  }
+  PipelineBuilder &remarks(observe::RemarkStream *R) {
+    S.Params.Remarks = R;
+    return *this;
+  }
+  PipelineSpec build() const { return S; }
+
+private:
+  PipelineSpec S;
+};
+
+/// One registered stage: the unit of pipeline composition.
+struct PassStageDef {
+  std::string Name;    ///< Canonical stage name ("pdom-sync", "meld", ...).
+  std::string Summary; ///< One line for --list-pipelines and docs.
+  /// Re-verify the module (IR verifier + lint must-facts) after this stage
+  /// under SIMTSR_EXPENSIVE_CHECKS.
+  bool CheckAfter = false;
+  /// The stage invalidates the registry's id->origin map (realloc), so the
+  /// per-stage check must run origin-blind.
+  bool OriginBlind = false;
+  std::function<void(Module &, PipelineReport &, const PipelineParams &)> Run;
+};
+
+/// The stage vocabulary, in canonical documentation order.
+const std::vector<PassStageDef> &passStageRegistry();
+
+/// \returns the registered stage named \p Name, or nullptr.
+const PassStageDef *findPassStage(const std::string &Name);
+
+/// One named pipeline configuration: the data behind
+/// standardPipelineNames().
+struct PipelineDef {
+  std::string Name;
+  std::string Summary;
+  std::vector<std::string> Stages;
+  /// The configuration consumes the --soft-threshold parameter (the "soft"
+  /// config); all others run classic full-warp waits.
+  bool UsesSoftThreshold = false;
+};
+
+/// The standard configuration catalog, in canonical order. Legacy names
+/// (noop, pdom, sr, sr+ip, soft, sr+ip+realloc) keep their historical
+/// stage semantics byte-for-byte; the meld configs extend the list.
+const std::vector<PipelineDef> &pipelineCatalog();
+
+/// \returns the catalog entry named \p Name, or nullptr.
+const PipelineDef *findPipelineDef(const std::string &Name);
+
+/// Resolves a catalog name to a runnable spec (std::nullopt for unknown
+/// names). \p SoftThreshold parameterizes configs with UsesSoftThreshold.
+std::optional<PipelineSpec>
+standardPipelineSpec(const std::string &Name, int SoftThreshold = 8);
+
+/// Runs \p Spec's stages over \p M in order. Unknown stage names land in
+/// VerifierDiagnostics (the report is not clean()). This is the pipeline
+/// core; the PipelineOptions overload adapts onto it.
+PipelineReport runSyncPipeline(Module &M, const PipelineSpec &Spec);
+
+} // namespace simtsr
+
+#endif // SIMTSR_TRANSFORM_PASSSTAGE_H

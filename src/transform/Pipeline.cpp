@@ -2,46 +2,10 @@
 
 #include "transform/Pipeline.h"
 
-#include "analysis/Divergence.h"
 #include "ir/Module.h"
-#include "lint/ConvergenceLint.h"
-#include "observe/Remark.h"
-#include "transform/BarrierVerifier.h"
-
-#ifdef SIMTSR_EXPENSIVE_CHECKS
-#include "ir/Verifier.h"
-#endif
+#include "transform/PassStage.h"
 
 using namespace simtsr;
-
-namespace {
-
-#ifdef SIMTSR_EXPENSIVE_CHECKS
-/// With SIMTSR_EXPENSIVE_CHECKS on, every pass boundary re-verifies the
-/// module and runs the analyzer, keeping only must-facts (errors): the
-/// mid-pipeline IR legitimately carries warnings (e.g. conflicts that
-/// deconfliction has not resolved yet).
-void expensiveStageCheck(Module &M, const char *Stage,
-                         const lint::LintOptions &LintOpts,
-                         std::vector<std::string> &Diags) {
-  for (const std::string &D : verifyModule(M))
-    Diags.push_back(std::string("expensive-check after ") + Stage + ": " + D);
-  lint::LintOptions Quiet = LintOpts;
-  Quiet.Remarks = false;
-  const lint::LintResult R = lint::runConvergenceLint(M, Quiet);
-  for (const lint::LintDiagnostic &D : R.Diagnostics)
-    if (D.Severity == lint::LintSeverity::Error)
-      Diags.push_back(std::string("expensive-check after ") + Stage + ": " +
-                      D.Message);
-}
-#define SIMTSR_STAGE_CHECK(M, Stage, Report)                                   \
-  expensiveStageCheck(M, Stage, lintOptionsFromRegistry((Report).Registry),    \
-                      (Report).VerifierDiagnostics)
-#else
-#define SIMTSR_STAGE_CHECK(M, Stage, Report) (void)0
-#endif
-
-} // namespace
 
 unsigned simtsr::stripPredictDirectives(Module &M) {
   unsigned Removed = 0;
@@ -70,136 +34,19 @@ unsigned simtsr::stripReconvergeEntryFlags(Module &M) {
   return Cleared;
 }
 
-namespace {
-
-void mergeReports(SRReport &Into, SRReport From) {
-  Into.Applied.insert(Into.Applied.end(), From.Applied.begin(),
-                      From.Applied.end());
-  Into.RegionsSkipped += From.RegionsSkipped;
-  Into.PdomFallbacks += From.PdomFallbacks;
-  Into.ExitDowngrades += From.ExitDowngrades;
-  Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
-                          From.Diagnostics.end());
-}
-
-void mergeReports(PdomSyncReport &Into, PdomSyncReport From) {
-  Into.DivergentBranches += From.DivergentBranches;
-  Into.BarriersInserted += From.BarriersInserted;
-  Into.Skipped += From.Skipped;
-  Into.OutOfRegisters += From.OutOfRegisters;
-  Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
-                          From.Diagnostics.end());
-}
-
-void mergeReports(DeconflictReport &Into, DeconflictReport From) {
-  Into.ConflictsFound += From.ConflictsFound;
-  Into.BarriersDeleted += From.BarriersDeleted;
-  Into.CancelsInserted += From.CancelsInserted;
-  Into.CallSiteCancels += From.CallSiteCancels;
-  Into.Diagnostics.insert(Into.Diagnostics.end(), From.Diagnostics.begin(),
-                          From.Diagnostics.end());
-}
-
-} // namespace
-
 PipelineReport simtsr::runSyncPipeline(Module &M,
                                        const PipelineOptions &Opts) {
-  PipelineReport Report;
-  // Route every pass's emitRemark() calls into the caller's stream for the
-  // pipeline's extent (thread-local, so concurrent oracle pipelines on
-  // other pool threads are unaffected).
-  observe::RemarkScope Scope(Opts.Remarks);
-
-  if (!Opts.ApplySR && Opts.StripPredicts)
-    stripPredictDirectives(M);
-
-  if (Opts.PdomSync) {
-    ModuleDivergenceInfo Divergence(M);
-    for (size_t I = 0; I < M.size(); ++I) {
-      Function &F = *M.function(I);
-      mergeReports(Report.Pdom,
-                   insertPdomSync(F, Divergence.forFunction(&F),
-                                  Report.Registry));
-    }
-    SIMTSR_STAGE_CHECK(M, "pdom-sync", Report);
-  }
-
-  if (Opts.ApplySR) {
-    for (size_t I = 0; I < M.size(); ++I)
-      mergeReports(Report.SR,
-                   applySpeculativeReconvergence(*M.function(I),
-                                                 Report.Registry, Opts.SR));
-    SIMTSR_STAGE_CHECK(M, "speculative-reconvergence", Report);
-  }
-
-  if (Opts.Interprocedural) {
-    InterprocReport IR =
-        applyInterproceduralReconvergence(M, Report.Registry);
-    Report.Interproc = std::move(IR);
-    SIMTSR_STAGE_CHECK(M, "interprocedural", Report);
-  }
-
-  for (size_t I = 0; I < M.size(); ++I)
-    mergeReports(Report.Deconflict,
-                 deconflictBarriers(*M.function(I), Report.Registry,
-                                    Opts.Deconflict));
-
-  // The pipeline gate: one run of the convergence-safety analyzer over the
-  // whole module, origin-aware through the registry. Every warning and
-  // error lands in VerifierDiagnostics, where the old per-function
-  // verifiers used to report.
-  {
-    const lint::LintResult Lint =
-        lint::runConvergenceLint(M, lintOptionsFromRegistry(Report.Registry));
-    std::vector<std::string> Gate = Lint.gateStrings();
-    Report.VerifierDiagnostics.insert(Report.VerifierDiagnostics.end(),
-                                      Gate.begin(), Gate.end());
-  }
-
-  // Final lowering: recolour barrier registers after all checks ran (the
-  // registry's id->origin map is stale from here on).
-  if (Opts.ReallocBarriers) {
-    Report.Realloc = reallocateBarriers(M);
-#ifdef SIMTSR_EXPENSIVE_CHECKS
-    // Origin-blind on purpose: the registry no longer matches the
-    // recoloured registers.
-    expensiveStageCheck(M, "barrier-realloc", lint::LintOptions{},
-                        Report.VerifierDiagnostics);
-#endif
-  }
-  return Report;
+  // The options bag is a legacy surface: convert to its stage list and run
+  // through the composable core (PassStage.cpp).
+  return runSyncPipeline(M, PipelineSpec(Opts));
 }
 
 const std::vector<std::string> &simtsr::standardPipelineNames() {
-  static const std::vector<std::string> Names = {
-      "noop", "pdom", "sr", "sr+ip", "soft", "sr+ip+realloc"};
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> N;
+    for (const PipelineDef &D : pipelineCatalog())
+      N.push_back(D.Name);
+    return N;
+  }();
   return Names;
-}
-
-std::optional<PipelineOptions>
-simtsr::standardPipelineByName(const std::string &Name, int SoftThreshold) {
-  if (Name == "noop") {
-    // No synchronization at all: strip the annotations, insert nothing.
-    PipelineOptions O;
-    O.PdomSync = false;
-    O.StripPredicts = true;
-    return O;
-  }
-  if (Name == "pdom")
-    return PipelineOptions::baseline();
-  if (Name == "sr") {
-    PipelineOptions O;
-    O.ApplySR = true;
-    return O;
-  }
-  if (Name == "sr+ip")
-    return PipelineOptions::speculative();
-  if (Name == "soft")
-    return PipelineOptions::softBarrier(SoftThreshold);
-  if (Name == "sr+ip+realloc") {
-    PipelineOptions O = PipelineOptions::speculative();
-    O.ReallocBarriers = true;
-    return O;
-  }
-  return std::nullopt;
 }

@@ -15,6 +15,7 @@
 #include "transform/BarrierRealloc.h"
 #include "transform/Deconfliction.h"
 #include "transform/Interprocedural.h"
+#include "transform/Meld.h"
 #include "transform/PdomSync.h"
 #include "transform/SpeculativeReconvergence.h"
 
@@ -71,13 +72,26 @@ struct PipelineOptions {
   }
 };
 
+/// Per-stage accounting recorded while a spec runs: which stages executed,
+/// in order, and how many remarks each contributed to the pipeline's
+/// stream. Scoping is by count sampling, not by extra emission, so the
+/// remark byte stream itself is unchanged by the redesign.
+struct StageTrace {
+  std::string Stage;
+  unsigned Remarks = 0;
+};
+
 struct PipelineReport {
   BarrierRegistry Registry;
+  MeldReport Meld;
   PdomSyncReport Pdom;
   SRReport SR;
   InterprocReport Interproc;
   DeconflictReport Deconflict;
   ReallocReport Realloc;
+  /// Stages executed, in order (empty for reports produced outside the
+  /// stage runner).
+  std::vector<StageTrace> Stages;
   /// Barrier-discipline and residual-conflict diagnostics (test oracle).
   std::vector<std::string> VerifierDiagnostics;
 
@@ -92,19 +106,17 @@ struct PipelineReport {
   }
 };
 
-/// Runs the configured passes over every function of \p M.
+/// Runs the configured passes over every function of \p M. Compatibility
+/// adapter: maps \p Opts onto its stage list (see PassStage.h) and runs
+/// that. New code should build a PipelineSpec instead.
 PipelineReport runSyncPipeline(Module &M, const PipelineOptions &Opts);
 
 /// Names of the standard pipeline configurations, in canonical order:
-/// "noop", "pdom", "sr", "sr+ip", "soft", "sr+ip+realloc". The
-/// differential oracle, the trace tool and the golden digest tests all
-/// run this catalog so their config axes stay in sync.
+/// "noop", "pdom", "sr", "sr+ip", "soft", "sr+ip+realloc", then the meld
+/// configs "meld", "meld+sr", "meld+sr+ip". A view over pipelineCatalog()
+/// (PassStage.h): the differential oracle, the trace tool and the golden
+/// digest tests all run this catalog so their config axes stay in sync.
 const std::vector<std::string> &standardPipelineNames();
-
-/// Options for standard configuration \p Name (std::nullopt for unknown
-/// names). \p SoftThreshold parameterizes the "soft" configuration only.
-std::optional<PipelineOptions>
-standardPipelineByName(const std::string &Name, int SoftThreshold = 8);
 
 /// Removes every predict directive from \p M.
 unsigned stripPredictDirectives(Module &M);

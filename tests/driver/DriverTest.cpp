@@ -76,6 +76,46 @@ TEST(ArgParserTest, VersionAndHelpExit) {
   EXPECT_EQ(parse(P, {"--help"}), ArgParser::Result::Exit);
 }
 
+TEST(ArgParserTest, PipelineAndConfigParseIdentically) {
+  // --pipeline is the canonical spelling; --config is its historical
+  // alias. Both must land in the same ToolConfig field with the same
+  // validation, so scripts written against either keep working.
+  for (const char *Spelling : {"--pipeline", "--config"}) {
+    ToolConfig C;
+    ArgParser P("tool");
+    addPipelineFlags(P, C);
+    ASSERT_EQ(parse(P, {Spelling, "meld+sr"}), ArgParser::Result::Ok)
+        << Spelling;
+    EXPECT_EQ(C.Pipeline, "meld+sr") << Spelling;
+    // The alias shares the canonical flag's validator too.
+    EXPECT_EQ(parse(P, {Spelling, "bogus"}), ArgParser::Result::Error)
+        << Spelling;
+  }
+}
+
+TEST(ArgParserTest, ListPipelinesIsAnExitAction) {
+  ToolConfig C;
+  ArgParser P("tool");
+  addPipelineFlags(P, C);
+  EXPECT_EQ(parse(P, {"--list-pipelines"}), ArgParser::Result::Exit);
+}
+
+TEST(ArgParserTest, PipelineFlagAcceptsEveryCatalogName) {
+  for (const std::string &Name : standardPipelineNames()) {
+    ToolConfig C;
+    ArgParser P("tool");
+    addPipelineFlags(P, C);
+    std::vector<char *> Argv;
+    Argv.push_back(const_cast<char *>("tool"));
+    Argv.push_back(const_cast<char *>("--pipeline"));
+    Argv.push_back(const_cast<char *>(Name.c_str()));
+    ASSERT_EQ(P.parse(static_cast<int>(Argv.size()), Argv.data()),
+              ArgParser::Result::Ok)
+        << Name;
+    EXPECT_EQ(C.Pipeline, Name);
+  }
+}
+
 TEST(ArgParserTest, AliasesResolveToCanonicalFlag) {
   std::string Dir;
   ArgParser P("tool");

@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace simtsr;
 
 namespace {
@@ -66,8 +68,35 @@ TEST(FuzzTest, OracleIsCleanOnGeneratedKernels) {
     OracleResult R = runDifferentialOracle(Text, Opts);
     EXPECT_TRUE(R.ok()) << "seed " << Seed << ": "
                         << getFailureKindName(R.Kind) << ": " << R.Detail;
-    // The full cross product ran: 6 pipeline configs x 3 policies.
+    // The full cross product ran: every catalog config x 3 policies.
     EXPECT_EQ(R.Runs.size(), oracleConfigNames().size() * 3);
+  }
+}
+
+TEST(FuzzTest, OracleSweepsMeldConfigsAgainstTheReference) {
+  // The melding configs ride the oracle's config axis like every other
+  // catalog entry: a clean verdict means each one's checksum matched the
+  // reference config under all three policies, i.e. melding preserved
+  // the per-thread semantics on these torture kernels.
+  const std::vector<std::string> &Names = oracleConfigNames();
+  for (const char *Meld : {"meld", "meld+sr", "meld+sr+ip"})
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Meld), Names.end())
+        << Meld;
+
+  OracleOptions Opts;
+  for (uint64_t Seed : {1, 11, 29}) {
+    std::string Text = generateKernelText(genOptions(Seed));
+    OracleResult R = runDifferentialOracle(Text, Opts);
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << ": "
+                        << getFailureKindName(R.Kind) << ": " << R.Detail;
+    // Every meld config actually produced its three policy runs.
+    for (const char *Meld : {"meld", "meld+sr", "meld+sr+ip"}) {
+      unsigned Runs = 0;
+      for (const OracleRun &Run : R.Runs)
+        if (Run.Config == Meld)
+          ++Runs;
+      EXPECT_EQ(Runs, 3u) << "seed " << Seed << " config " << Meld;
+    }
   }
 }
 

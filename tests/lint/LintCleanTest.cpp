@@ -13,8 +13,10 @@
 #include "kernels/Workload.h"
 #include "lint/ConvergenceLint.h"
 #include "transform/BarrierVerifier.h"
+#include "transform/PassStage.h"
 #include "transform/Pipeline.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 using namespace simtsr;
@@ -42,7 +44,7 @@ TEST(LintCleanTest, Listing1ShapesAreClean) {
 TEST(LintCleanTest, WorkloadSuiteIsCleanUnderEveryPipeline) {
   const std::vector<Workload> Suite = makeAllWorkloads(0.25);
   for (const std::string &Config : standardPipelineNames()) {
-    const std::optional<PipelineOptions> PO = standardPipelineByName(Config);
+    const std::optional<PipelineSpec> PO = standardPipelineSpec(Config);
     ASSERT_TRUE(PO.has_value()) << Config;
     for (const Workload &W : Suite) {
       auto M = W.M->clone();
@@ -57,8 +59,11 @@ TEST(LintCleanTest, WorkloadSuiteIsCleanUnderEveryPipeline) {
       // And a direct origin-aware run agrees. After realloc the registry
       // origins are stale, so that config is linted origin-blind — the
       // same choice the CLI and the torture oracle make.
+      const bool Reallocs =
+          std::find(PO->Stages.begin(), PO->Stages.end(), "realloc") !=
+          PO->Stages.end();
       lint::LintOptions LO;
-      if (!PO->ReallocBarriers)
+      if (!Reallocs)
         LO = lintOptionsFromRegistry(Report.Registry);
       const lint::LintResult R = lint::runConvergenceLint(*M, LO);
       EXPECT_TRUE(R.clean())

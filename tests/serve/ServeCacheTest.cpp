@@ -112,13 +112,26 @@ TEST(ServeCacheTest, AxisStringCoversEveryStandardConfig) {
   // collided, their compiles would poison each other's cache entries.
   std::vector<std::string> Seen;
   for (const std::string &Name : standardPipelineNames()) {
-    const auto O = standardPipelineByName(Name);
+    const auto O = standardPipelineSpec(Name);
     ASSERT_TRUE(O.has_value());
     const std::string Axes = pipelineCacheAxes(*O);
     for (const std::string &Prior : Seen)
       EXPECT_NE(Axes, Prior) << Name;
     Seen.push_back(Axes);
   }
+}
+
+TEST(ServeCacheTest, AxisStringFormatIsThePythonMirrorContract) {
+  // scripts/serve_client.py re-derives these strings to compute route
+  // keys client-side; any change here must land there too (and is a
+  // deliberate cache-key break). Pin one meld config and the
+  // soft-threshold substitution exactly.
+  EXPECT_EQ(pipelineCacheAxes(*standardPipelineSpec("meld+sr")),
+            "stages=meld,pdom-sync,sr,deconflict,verify;"
+            "soft=-1;exitbar=1;deconflict=dynamic;meld=1/64");
+  EXPECT_EQ(pipelineCacheAxes(*standardPipelineSpec("soft", 6)),
+            "stages=pdom-sync,sr,interproc,deconflict,verify;"
+            "soft=6;exitbar=1;deconflict=dynamic;meld=1/64");
 }
 
 /// The tentpole acceptance property: cold and warm answers are

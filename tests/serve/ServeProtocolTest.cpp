@@ -13,6 +13,7 @@
 #include "serve/Protocol.h"
 #include "serve/Server.h"
 #include "support/Json.h"
+#include "transform/Pipeline.h"
 
 #include "gtest/gtest.h"
 
@@ -108,8 +109,13 @@ TEST(ServeProtocolTest, RejectsUnknownField) {
 TEST(ServeProtocolTest, RejectsUnknownPipeline) {
   const RequestParse P = parseRequest(
       R"({"id":1,"op":"compile","source":"x","pipeline":"srr"})");
-  EXPECT_EQ(P.Error, "bad_request");
-  EXPECT_EQ(P.Detail, "unknown pipeline 'srr'");
+  // Structured rejection: its own error code, and the detail enumerates
+  // the entire catalog so clients can self-correct.
+  EXPECT_EQ(P.Error, "unknown_pipeline");
+  EXPECT_NE(P.Detail.find("unknown pipeline 'srr'"), std::string::npos);
+  EXPECT_NE(P.Detail.find("none"), std::string::npos);
+  for (const std::string &Name : standardPipelineNames())
+    EXPECT_NE(P.Detail.find(Name), std::string::npos) << Name;
 }
 
 TEST(ServeProtocolTest, SimulateNeedsExactlyOneModuleSource) {

@@ -1,0 +1,327 @@
+//===- MeldTest.cpp - Control-flow melding correctness --------------------===//
+//
+// The meld pass's contract in three layers: the alignment laws (monotone,
+// exact-shape-only pairing), the predication semantics (melded modules
+// verify and compute bit-identical checksums), and the residue rules
+// (unmeldable instructions survive in guarded stubs, unsafe arms are
+// rejected with remarks).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Meld.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "observe/Remark.h"
+#include "sim/Warp.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+namespace {
+
+uint64_t runChecksum(Module &M, const char *Kernel, uint64_t Seed = 5) {
+  Function *F = M.functionByName(Kernel);
+  LaunchConfig C;
+  C.Seed = Seed;
+  C.Latency = LatencyModel::unit();
+  WarpSimulator Sim(M, F, C);
+  RunResult R = Sim.run();
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return Sim.memoryChecksum();
+}
+
+/// Melds \p M and checks it still verifies and still computes the same
+/// memory image as the unmelded original, over a few seeds.
+MeldReport meldAndCheck(Module &M, const char *Kernel,
+                        MeldOptions Opts = {}) {
+  std::vector<uint64_t> Before;
+  for (uint64_t Seed : {1u, 5u, 99u}) {
+    auto Copy = M.clone();
+    Before.push_back(runChecksum(*Copy, Kernel, Seed));
+  }
+  const MeldReport Report = applyControlFlowMeld(M, Opts);
+  EXPECT_TRUE(verifyModule(M).empty())
+      << verifyModule(M).front();
+  size_t I = 0;
+  for (uint64_t Seed : {1u, 5u, 99u})
+    EXPECT_EQ(runChecksum(M, Kernel, Seed), Before[I++]) << "seed " << Seed;
+  return Report;
+}
+
+/// if (rand) {a = t*3; store; a = f(a)} else {a = t^c; a = f(a); store} —
+/// a divergent diamond with pairable common work plus per-arm residue.
+/// \p CalleeOp controls what the shared callee contains (Nop = pure ALU).
+std::unique_ptr<Module> diamondWithCalls(Opcode CalleeOp = Opcode::Nop,
+                                         bool SameCallee = true) {
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(256);
+
+  const auto MakeHelper = [&](const char *Name) {
+    Function *H = M->createFunction(Name, 1);
+    IRBuilder B(H);
+    B.startBlock("entry");
+    unsigned X = B.add(Operand::reg(0), Operand::imm(17));
+    if (CalleeOp == Opcode::WarpSync)
+      B.warpSync();
+    else if (CalleeOp == Opcode::JoinBarrier)
+      B.joinBarrier(0);
+    unsigned Y = B.mul(Operand::reg(X), Operand::imm(3));
+    B.ret(Operand::reg(Y));
+    return H;
+  };
+  Function *H1 = MakeHelper("helper");
+  Function *H2 = SameCallee ? H1 : MakeHelper("helper2");
+
+  Function *F = M->createFunction("k", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned A = B.mov(Operand::imm(7));
+  unsigned C = B.randRange(Operand::imm(0), Operand::imm(2));
+  B.br(Operand::reg(C), Then, Else);
+
+  B.setInsertBlock(Then);
+  unsigned T1 = B.mul(Operand::reg(T), Operand::imm(3));
+  unsigned R1 = B.call(H1, {Operand::reg(T1)});
+  Then->append(Instruction(Opcode::Mov, A, {Operand::reg(R1)}));
+  B.jmp(Join);
+
+  B.setInsertBlock(Else);
+  unsigned T2 = B.xorOp(Operand::reg(T), Operand::imm(0x5a));
+  unsigned T3 = B.sub(Operand::reg(T2), Operand::imm(9));
+  unsigned R2 = B.call(H2, {Operand::reg(T3)});
+  Else->append(Instruction(Opcode::Mov, A, {Operand::reg(R2)}));
+  B.jmp(Join);
+
+  B.setInsertBlock(Join);
+  unsigned Slot = B.add(Operand::reg(T), Operand::imm(64));
+  B.store(Operand::reg(Slot), Operand::reg(A));
+  B.ret();
+  F->recomputePreds();
+  return M;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Alignment laws
+//===----------------------------------------------------------------------===//
+
+TEST(MeldAlignTest, PairsOnlyEqualPairableFingerprints) {
+  Rng R(42);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    const size_t N = R.nextBelow(13), M = R.nextBelow(13);
+    std::vector<uint64_t> A(N), B(M);
+    std::vector<bool> AP(N), BP(M);
+    for (size_t I = 0; I < N; ++I) {
+      A[I] = R.nextBelow(4); // Small alphabet forces collisions.
+      AP[I] = R.nextBool(0.5);
+    }
+    for (size_t J = 0; J < M; ++J) {
+      B[J] = R.nextBelow(4);
+      BP[J] = R.nextBool(0.5);
+    }
+    const std::vector<MeldAlignStep> Steps =
+        alignFingerprints(A, B, AP, BP);
+
+    // Every index appears exactly once, strictly increasing on each side
+    // (per-thread program order is preserved), and a pair implies equal
+    // fingerprints with both sides pairable.
+    size_t NextA = 0, NextB = 0;
+    for (const MeldAlignStep &S : Steps) {
+      if (S.ThenIndex != MeldGap) {
+        EXPECT_EQ(S.ThenIndex, NextA++);
+      }
+      if (S.ElseIndex != MeldGap) {
+        EXPECT_EQ(S.ElseIndex, NextB++);
+      }
+      if (S.isPair()) {
+        EXPECT_EQ(A[S.ThenIndex], B[S.ElseIndex]);
+        EXPECT_TRUE(AP[S.ThenIndex] && BP[S.ElseIndex]);
+      }
+    }
+    EXPECT_EQ(NextA, N);
+    EXPECT_EQ(NextB, M);
+  }
+}
+
+TEST(MeldAlignTest, IdenticalSequencesFullyPair) {
+  const std::vector<uint64_t> Seq{3, 1, 4, 1, 5};
+  const std::vector<bool> Pairable(Seq.size(), true);
+  const std::vector<MeldAlignStep> Steps =
+      alignFingerprints(Seq, Seq, Pairable, Pairable);
+  ASSERT_EQ(Steps.size(), Seq.size());
+  for (const MeldAlignStep &S : Steps)
+    EXPECT_TRUE(S.isPair());
+}
+
+TEST(MeldFingerprintTest, CallsToDifferentCalleesNeverPair) {
+  auto Same = diamondWithCalls(Opcode::Nop, /*SameCallee=*/true);
+  auto Diff = diamondWithCalls(Opcode::Nop, /*SameCallee=*/false);
+  const auto CallIn = [](Module &M, const char *Block) -> const Instruction & {
+    const BasicBlock *BB = M.functionByName("k")->blockByName(Block);
+    for (size_t I = 0; I < BB->size(); ++I)
+      if (BB->inst(I).opcode() == Opcode::Call)
+        return BB->inst(I);
+    ADD_FAILURE() << "no call in " << Block;
+    return BB->inst(0);
+  };
+  EXPECT_EQ(meldFingerprint(CallIn(*Same, "then")),
+            meldFingerprint(CallIn(*Same, "else")));
+  EXPECT_NE(meldFingerprint(CallIn(*Diff, "then")),
+            meldFingerprint(CallIn(*Diff, "else")));
+}
+
+//===----------------------------------------------------------------------===//
+// Predication semantics
+//===----------------------------------------------------------------------===//
+
+TEST(MeldTest, MeldsDiamondPreservingChecksums) {
+  auto M = diamondWithCalls();
+  const MeldReport R = meldAndCheck(*M, "k");
+  EXPECT_EQ(R.BranchesMelded, 1u);
+  EXPECT_GE(R.PairsMelded, 2u);   // The call and the result move.
+  EXPECT_GE(R.StubsEmitted, 1u);  // The unalignable pre-processing.
+  EXPECT_GE(R.SelectsInserted, 1u);
+  // The melded function no longer branches into the old arms.
+  EXPECT_EQ(M->functionByName("k")->blockByName("then"), nullptr);
+  EXPECT_EQ(M->functionByName("k")->blockByName("else"), nullptr);
+}
+
+TEST(MeldTest, MinPairsGatesRestructuring) {
+  auto M = diamondWithCalls();
+  MeldOptions Opts;
+  Opts.MinPairs = 100; // Unreachable bar: nothing may be restructured.
+  const MeldReport R = applyControlFlowMeld(*M, Opts);
+  EXPECT_EQ(R.BranchesMelded, 0u);
+  EXPECT_GE(R.Skipped, 1u);
+  EXPECT_NE(M->functionByName("k")->blockByName("then"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Residue and rejection rules
+//===----------------------------------------------------------------------===//
+
+TEST(MeldTest, AtomicsStayInGuardedStubs) {
+  // Arms share ALU work but each performs its own atomic: the atomic must
+  // survive in a stub (never a merged block), and semantics must hold.
+  auto M = std::make_unique<Module>();
+  M->setGlobalMemoryWords(256);
+  Function *F = M->createFunction("k", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertBlock(Entry);
+  unsigned T = B.tid();
+  unsigned C = B.randRange(Operand::imm(0), Operand::imm(2));
+  B.br(Operand::reg(C), Then, Else);
+  B.setInsertBlock(Then);
+  unsigned X1 = B.mul(Operand::reg(T), Operand::imm(3));
+  B.atomicAdd(Operand::imm(0), Operand::reg(X1));
+  B.jmp(Join);
+  B.setInsertBlock(Else);
+  unsigned X2 = B.mul(Operand::reg(T), Operand::imm(5));
+  B.atomicAdd(Operand::imm(1), Operand::reg(X2));
+  B.jmp(Join);
+  B.setInsertBlock(Join);
+  B.ret();
+  F->recomputePreds();
+
+  const MeldReport R = meldAndCheck(*M, "k");
+  ASSERT_EQ(R.BranchesMelded, 1u);
+  EXPECT_GE(R.StubsEmitted, 2u); // One guarded stub per arm's atomic.
+  unsigned AtomicsLeft = 0;
+  for (const BasicBlock *BB : *M->functionByName("k"))
+    for (size_t I = 0; I < BB->size(); ++I)
+      if (BB->inst(I).opcode() == Opcode::AtomicAdd)
+        ++AtomicsLeft;
+  EXPECT_EQ(AtomicsLeft, 2u);
+}
+
+TEST(MeldTest, BarrierArmsAreRejectedWithRemark) {
+  auto M = diamondWithCalls();
+  // Plant a barrier op in one arm: the whole diamond must be rejected
+  // (barrier placement is the barrier passes' job, not meld's).
+  Function *F = M->functionByName("k");
+  BasicBlock *Then = F->blockByName("then");
+  Then->insertBeforeTerminator(
+      Instruction(Opcode::JoinBarrier, NoRegister, {Operand::imm(0)}));
+
+  observe::RemarkStream Remarks;
+  observe::RemarkScope Scope(&Remarks);
+  const MeldReport R = applyControlFlowMeld(*M);
+  EXPECT_EQ(R.BranchesMelded, 0u);
+  EXPECT_GE(R.Skipped, 1u);
+  observe::Remark Skip;
+  EXPECT_TRUE(Remarks.first("meld", "arm contains", Skip));
+  EXPECT_EQ(Skip.Kind, observe::RemarkKind::Skipped);
+}
+
+TEST(MeldTest, CalleeWithWarpSharedStateBlocksCallMelding) {
+  auto Pure = diamondWithCalls();
+  const Instruction &PureCall =
+      Pure->functionByName("k")->blockByName("then")->inst(1);
+  ASSERT_EQ(PureCall.opcode(), Opcode::Call);
+  EXPECT_TRUE(isMeldableCall(PureCall));
+
+  // A WarpSync (or barrier) inside the callee makes the call unmeldable:
+  // warp-shared state must not change its executing mask.
+  for (Opcode Bad : {Opcode::WarpSync, Opcode::JoinBarrier}) {
+    auto M = diamondWithCalls(Bad);
+    const Instruction &Call =
+        M->functionByName("k")->blockByName("then")->inst(1);
+    ASSERT_EQ(Call.opcode(), Opcode::Call);
+    EXPECT_FALSE(isMeldableCall(Call));
+  }
+}
+
+TEST(MeldTest, SameCalleeCallsMeldIntoOneCall) {
+  auto M = diamondWithCalls();
+  const MeldReport R = meldAndCheck(*M, "k");
+  EXPECT_EQ(R.BranchesMelded, 1u);
+  unsigned Calls = 0;
+  for (const BasicBlock *BB : *M->functionByName("k"))
+    for (size_t I = 0; I < BB->size(); ++I)
+      if (BB->inst(I).opcode() == Opcode::Call)
+        ++Calls;
+  // Figure 2(c), melded: both arms' calls collapsed into one call site.
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(MeldTest, DifferentCalleesStayInStubs) {
+  auto M = diamondWithCalls(Opcode::Nop, /*SameCallee=*/false);
+  const MeldReport R = meldAndCheck(*M, "k");
+  EXPECT_EQ(R.BranchesMelded, 1u);
+  unsigned Calls = 0;
+  for (const BasicBlock *BB : *M->functionByName("k"))
+    for (size_t I = 0; I < BB->size(); ++I)
+      if (BB->inst(I).opcode() == Opcode::Call)
+        ++Calls;
+  EXPECT_EQ(Calls, 2u); // One guarded stub call per arm.
+}
+
+TEST(MeldTest, AppliedRemarkCarriesAlignmentStats) {
+  auto M = diamondWithCalls();
+  observe::RemarkStream Remarks;
+  observe::RemarkScope Scope(&Remarks);
+  applyControlFlowMeld(*M);
+  observe::Remark Applied;
+  ASSERT_TRUE(Remarks.first("meld", "melded divergent branch", Applied));
+  EXPECT_EQ(Applied.Kind, observe::RemarkKind::Applied);
+  EXPECT_EQ(Applied.Function, "k");
+  bool SawPairs = false;
+  for (const auto &[K, V] : Applied.Args)
+    if (K == "pairs")
+      SawPairs = !V.empty();
+  EXPECT_TRUE(SawPairs);
+}

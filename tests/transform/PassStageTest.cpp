@@ -1,0 +1,172 @@
+//===- PassStageTest.cpp - Stage registry and pipeline catalog ------------===//
+//
+// The pipeline-composition API's contract: the catalog is the single
+// source of truth for standardPipelineNames(), every catalog stage is
+// registered, the legacy PipelineOptions bridge maps every historical
+// configuration onto the exact stage list the catalog names, and the
+// stage runner records a per-stage trace and rejects unknown stages.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/PassStage.h"
+
+#include "TestIR.h"
+#include "kernels/Runner.h"
+#include "kernels/Workload.h"
+#include "transform/Pipeline.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace simtsr;
+
+TEST(PassStageTest, CatalogBacksStandardPipelineNames) {
+  const std::vector<std::string> Names = standardPipelineNames();
+  const std::vector<PipelineDef> &Catalog = pipelineCatalog();
+  ASSERT_EQ(Names.size(), Catalog.size());
+  for (size_t I = 0; I < Names.size(); ++I)
+    EXPECT_EQ(Names[I], Catalog[I].Name);
+}
+
+TEST(PassStageTest, EveryCatalogStageIsRegistered) {
+  for (const PipelineDef &Def : pipelineCatalog()) {
+    EXPECT_FALSE(Def.Stages.empty()) << Def.Name;
+    EXPECT_FALSE(Def.Summary.empty()) << Def.Name;
+    for (const std::string &Stage : Def.Stages) {
+      const PassStageDef *S = findPassStage(Stage);
+      ASSERT_NE(S, nullptr) << Def.Name << " names unknown stage " << Stage;
+      EXPECT_EQ(S->Name, Stage);
+      EXPECT_TRUE(S->Run != nullptr) << Stage;
+    }
+  }
+  EXPECT_EQ(findPassStage("no-such-stage"), nullptr);
+}
+
+TEST(PassStageTest, LegacyOptionsMapOntoCatalogStageLists) {
+  // The byte-compatibility contract: constructing a PipelineSpec from each
+  // historical options preset must yield exactly the stage list the
+  // catalog publishes under the preset's name. This is what keeps the
+  // pre-redesign golden digests valid.
+  PipelineOptions Noop;
+  Noop.PdomSync = false;
+  Noop.StripPredicts = true;
+  PipelineOptions Sr;
+  Sr.ApplySR = true;
+  PipelineOptions Realloc = PipelineOptions::speculative();
+  Realloc.ReallocBarriers = true;
+  const std::vector<std::pair<std::string, PipelineOptions>> Legacy = {
+      {"noop", Noop},
+      {"pdom", PipelineOptions::baseline()},
+      {"sr", Sr},
+      {"sr+ip", PipelineOptions::speculative()},
+      {"soft", PipelineOptions::softBarrier(8)},
+      {"sr+ip+realloc", Realloc},
+  };
+  for (const auto &[Name, Opts] : Legacy) {
+    const PipelineDef *Def = findPipelineDef(Name);
+    ASSERT_NE(Def, nullptr) << Name;
+    const PipelineSpec Spec(Opts);
+    EXPECT_EQ(Spec.Stages, Def->Stages) << Name;
+    EXPECT_EQ(stageListForOptions(Opts), Def->Stages) << Name;
+  }
+}
+
+TEST(PassStageTest, MeldConfigsComposeMeldWithTheLegacyStages) {
+  const auto StagesOf = [](const char *Name) {
+    const PipelineDef *Def = findPipelineDef(Name);
+    EXPECT_NE(Def, nullptr) << Name;
+    return Def ? Def->Stages : std::vector<std::string>{};
+  };
+  EXPECT_EQ(StagesOf("meld"),
+            (std::vector<std::string>{"strip-predicts", "meld", "pdom-sync",
+                                      "deconflict", "verify"}));
+  EXPECT_EQ(StagesOf("meld+sr"),
+            (std::vector<std::string>{"meld", "pdom-sync", "sr", "deconflict",
+                                      "verify"}));
+  EXPECT_EQ(StagesOf("meld+sr+ip"),
+            (std::vector<std::string>{"meld", "pdom-sync", "sr", "interproc",
+                                      "deconflict", "verify"}));
+}
+
+TEST(PassStageTest, StandardPipelineSpecParameterizesSoftThreshold) {
+  const std::optional<PipelineSpec> Soft = standardPipelineSpec("soft", 6);
+  ASSERT_TRUE(Soft.has_value());
+  EXPECT_EQ(Soft->Params.SR.SoftThreshold, 6);
+  // Only the soft config consumes the threshold; every other catalog
+  // entry keeps classic full-warp waits regardless of the argument.
+  for (const std::string &Name : standardPipelineNames()) {
+    if (Name == "soft")
+      continue;
+    const std::optional<PipelineSpec> S = standardPipelineSpec(Name, 6);
+    ASSERT_TRUE(S.has_value()) << Name;
+    EXPECT_EQ(S->Params.SR.SoftThreshold, -1) << Name;
+  }
+  EXPECT_FALSE(standardPipelineSpec("srr").has_value());
+  EXPECT_FALSE(standardPipelineSpec("").has_value());
+}
+
+TEST(PassStageTest, RunnerRecordsStageTraceInOrder) {
+  testir::Listing1 L;
+  const std::optional<PipelineSpec> Spec = standardPipelineSpec("meld+sr");
+  ASSERT_TRUE(Spec.has_value());
+  const PipelineReport Report = runSyncPipeline(*L.M, *Spec);
+  EXPECT_TRUE(Report.clean());
+  ASSERT_EQ(Report.Stages.size(), Spec->Stages.size());
+  for (size_t I = 0; I < Spec->Stages.size(); ++I)
+    EXPECT_EQ(Report.Stages[I].Stage, Spec->Stages[I]);
+}
+
+TEST(PassStageTest, UnknownStageDirtiesTheReport) {
+  testir::Listing1 L;
+  const PipelineSpec Spec =
+      PipelineBuilder().stages({"pdom-sync", "not-a-stage", "verify"}).build();
+  const PipelineReport Report = runSyncPipeline(*L.M, Spec);
+  EXPECT_FALSE(Report.clean());
+  bool Mentioned = false;
+  for (const std::string &D : Report.VerifierDiagnostics)
+    Mentioned = Mentioned || D.find("not-a-stage") != std::string::npos;
+  EXPECT_TRUE(Mentioned);
+}
+
+TEST(PassStageTest, BuilderComposesStagesAndParams) {
+  testir::Listing1 L;
+  MeldOptions MO;
+  MO.MinPairs = 2;
+  const PipelineSpec Spec = PipelineBuilder()
+                                .stage("strip-predicts")
+                                .stage("meld")
+                                .stages({"pdom-sync", "deconflict", "verify"})
+                                .softThreshold(4)
+                                .regionExitBarrier(false)
+                                .meld(MO)
+                                .deconflict(DeconflictStrategy::Static)
+                                .build();
+  EXPECT_EQ(Spec.Stages,
+            (std::vector<std::string>{"strip-predicts", "meld", "pdom-sync",
+                                      "deconflict", "verify"}));
+  EXPECT_EQ(Spec.Params.SR.SoftThreshold, 4);
+  EXPECT_FALSE(Spec.Params.SR.RegionExitBarrier);
+  EXPECT_EQ(Spec.Params.Meld.MinPairs, 2u);
+  const PipelineReport Report = runSyncPipeline(*L.M, Spec);
+  EXPECT_TRUE(Report.clean());
+}
+
+TEST(PassStageTest, MeldConfigsMatchNoneOnWorkloadChecksums) {
+  // The oracle's invariant, pinned as a unit test per the issue: meld is
+  // an optimization, never a semantic change — every meld config computes
+  // the same per-workload checksum as the untransformed module.
+  for (const Workload &W : makeAllWorkloads(0.25)) {
+    // "none": no optimizer stages at all, just the mandatory tail.
+    const WorkloadOutcome None = runWorkload(
+        W, PipelineBuilder().stages({"deconflict", "verify"}).build());
+    ASSERT_TRUE(None.ok()) << W.Name;
+    for (const char *Config : {"meld", "meld+sr", "meld+sr+ip"}) {
+      const std::optional<PipelineSpec> Spec = standardPipelineSpec(Config);
+      ASSERT_TRUE(Spec.has_value());
+      const WorkloadOutcome Out = runWorkload(W, *Spec);
+      ASSERT_TRUE(Out.ok()) << W.Name << " [" << Config << "]";
+      EXPECT_EQ(Out.Checksum, None.Checksum)
+          << W.Name << " [" << Config << "]";
+    }
+  }
+}

@@ -13,6 +13,7 @@
 #include "observe/Remark.h"
 #include "ir/Parser.h"
 #include "transform/AutoDetect.h"
+#include "transform/PassStage.h"
 #include "transform/Pipeline.h"
 
 #include "TestIR.h"
@@ -34,10 +35,10 @@ std::string argOf(const Remark &R, const std::string &Key) {
 }
 
 // RemarkStream holds a mutex and cannot be returned by value.
-void runPipelineWithRemarks(Module &M, PipelineOptions Opts,
+void runPipelineWithRemarks(Module &M, PipelineSpec Spec,
                             RemarkStream &Remarks) {
-  Opts.Remarks = &Remarks;
-  runSyncPipeline(M, Opts);
+  Spec.Params.Remarks = &Remarks;
+  runSyncPipeline(M, Spec);
 }
 
 } // namespace
@@ -171,7 +172,7 @@ TEST(RemarkPassTest, InterproceduralEntryGatherRemarks) {
 // Barrier re-allocation reports the per-function recolouring summary.
 TEST(RemarkPassTest, ReallocReportsRecolouringSummary) {
   Listing1 L;
-  auto Opts = standardPipelineByName("sr+ip+realloc");
+  auto Opts = standardPipelineSpec("sr+ip+realloc");
   ASSERT_TRUE(Opts.has_value());
   RemarkStream Remarks;
   runPipelineWithRemarks(*L.M, *Opts, Remarks);

@@ -8,6 +8,12 @@
 /// "simtsr-bench-v1", see docs/PERFORMANCE.md). scripts/bench_baseline.sh
 /// wraps this tool to produce the checked-in BENCH_baseline.json.
 ///
+/// The default report also carries a deterministic divergence section:
+/// every workload is re-run under the pdom / sr / meld / meld+sr configs
+/// and the divergent-cycle counts (cycles x (1 - simt_efficiency)) are
+/// compared head-to-head and stacked, with a checksum cross-check that
+/// all four configs computed identical results.
+///
 /// --serve benchmarks the daemon's content-addressed cache tiers instead:
 /// every workload is compiled and simulated through serve::Server
 /// instances at four temperatures — cold (cache miss, full pass stack +
@@ -113,6 +119,70 @@ WorkloadRow measure(const Workload &W, const driver::ToolConfig &C,
   return Row;
 }
 
+//===----------------------------------------------------------------------===//
+// Divergence reduction: meld vs sr, head-to-head and stacked
+//===----------------------------------------------------------------------===//
+
+/// The configs the divergence section compares. pdom is the divergence
+/// ceiling, sr is the paper's pass, meld is DARM-style control-flow
+/// melding alone, meld+sr stacks both.
+constexpr const char *DivergenceConfigs[] = {"pdom", "sr", "meld", "meld+sr"};
+constexpr size_t NumDivergenceConfigs =
+    sizeof(DivergenceConfigs) / sizeof(DivergenceConfigs[0]);
+
+struct DivergenceRow {
+  std::string Name;
+  bool Ok = false;
+  bool ChecksumsMatch = false; ///< All four configs bit-identical.
+  uint64_t Cycles[NumDivergenceConfigs] = {};
+  double SimtEfficiency[NumDivergenceConfigs] = {};
+  double DivergentCycles[NumDivergenceConfigs] = {};
+};
+
+/// Cycles spent below full SIMD occupancy: TotalCycles scaled by the
+/// inefficiency fraction. Deterministic — same caveat-free diffability as
+/// cycles/checksum above.
+double divergentCycles(const GridResult &R) {
+  return static_cast<double>(R.TotalCycles) * (1.0 - R.SimtEfficiency);
+}
+
+/// Percentage reduction going from \p From to \p To (positive = better).
+double reductionPct(double From, double To) {
+  return From > 0.0 ? 100.0 * (From - To) / From : 0.0;
+}
+
+DivergenceRow measureDivergence(const Workload &W,
+                                const driver::ToolConfig &C) {
+  DivergenceRow Row;
+  Row.Name = W.Name;
+  Row.Ok = true;
+  Row.ChecksumsMatch = true;
+  uint64_t FirstChecksum = 0;
+  for (size_t I = 0; I < NumDivergenceConfigs; ++I) {
+    const std::optional<PipelineSpec> Spec =
+        standardPipelineSpec(DivergenceConfigs[I]);
+    if (!Spec) {
+      Row.Ok = false;
+      return Row;
+    }
+    const GridResult R = runWorkloadGrid(W, *Spec,
+                                         static_cast<unsigned>(C.Warps),
+                                         C.Seed);
+    if (!R.Ok) {
+      Row.Ok = false;
+      return Row;
+    }
+    Row.Cycles[I] = R.TotalCycles;
+    Row.SimtEfficiency[I] = R.SimtEfficiency;
+    Row.DivergentCycles[I] = divergentCycles(R);
+    if (I == 0)
+      FirstChecksum = R.CombinedChecksum;
+    else if (R.CombinedChecksum != FirstChecksum)
+      Row.ChecksumsMatch = false;
+  }
+  return Row;
+}
+
 std::string formatDouble(double V, const char *Fmt) {
   char Buf[64];
   std::snprintf(Buf, sizeof(Buf), Fmt, V);
@@ -141,7 +211,8 @@ std::string jsonEscape(const std::string &S) {
 }
 
 void emitJson(std::FILE *Out, const driver::ToolConfig &C, GridMode Mode,
-              const std::vector<WorkloadRow> &Rows) {
+              const std::vector<WorkloadRow> &Rows,
+              const std::vector<DivergenceRow> &Div) {
   double TotalMs = 0.0;
   uint64_t TotalSlots = 0;
   uint64_t TotalWarps = 0;
@@ -190,6 +261,49 @@ void emitJson(std::FILE *Out, const driver::ToolConfig &C, GridMode Mode,
     std::fprintf(Out, "    }%s\n", I + 1 < Rows.size() ? "," : "");
   }
   std::fprintf(Out, "  ],\n");
+  // Deterministic divergence comparison across the melding/reconvergence
+  // configs; every field here must diff clean against the checked-in
+  // baseline on any machine.
+  std::fprintf(Out, "  \"divergence\": [\n");
+  for (size_t I = 0; I < Div.size(); ++I) {
+    const DivergenceRow &R = Div[I];
+    std::fprintf(Out, "    {\n");
+    std::fprintf(Out, "      \"name\": \"%s\",\n",
+                 jsonEscape(R.Name).c_str());
+    std::fprintf(Out, "      \"status\": \"%s\",\n", R.Ok ? "ok" : "failed");
+    std::fprintf(Out, "      \"checksums_match\": %s,\n",
+                 R.ChecksumsMatch ? "true" : "false");
+    for (size_t J = 0; J < NumDivergenceConfigs; ++J) {
+      std::string Key = DivergenceConfigs[J];
+      for (char &Ch : Key)
+        if (Ch == '+')
+          Ch = '_';
+      std::fprintf(Out, "      \"%s_cycles\": %llu,\n", Key.c_str(),
+                   static_cast<unsigned long long>(R.Cycles[J]));
+      std::fprintf(Out, "      \"%s_divergent_cycles\": %s,\n", Key.c_str(),
+                   formatDouble(R.DivergentCycles[J], "%.1f").c_str());
+    }
+    // Head-to-head (meld alone vs the pdom ceiling and vs sr) and stacked
+    // (meld+sr vs sr): positive percentages mean melding removed
+    // divergence the comparison config left behind.
+    std::fprintf(Out, "      \"meld_vs_pdom_reduction_pct\": %s,\n",
+                 formatDouble(reductionPct(R.DivergentCycles[0],
+                                           R.DivergentCycles[2]),
+                              "%.2f")
+                     .c_str());
+    std::fprintf(Out, "      \"meld_vs_sr_reduction_pct\": %s,\n",
+                 formatDouble(reductionPct(R.DivergentCycles[1],
+                                           R.DivergentCycles[2]),
+                              "%.2f")
+                     .c_str());
+    std::fprintf(Out, "      \"meld_sr_vs_sr_reduction_pct\": %s\n",
+                 formatDouble(reductionPct(R.DivergentCycles[1],
+                                           R.DivergentCycles[3]),
+                              "%.2f")
+                     .c_str());
+    std::fprintf(Out, "    }%s\n", I + 1 < Div.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
   std::fprintf(Out, "  \"totals\": {\n");
   std::fprintf(Out, "    \"wall_ms\": %s,\n",
                formatDouble(TotalMs, "%.3f").c_str());
@@ -208,7 +322,8 @@ void emitJson(std::FILE *Out, const driver::ToolConfig &C, GridMode Mode,
 }
 
 void emitTable(std::FILE *Out, const driver::ToolConfig &C, GridMode Mode,
-               const std::vector<WorkloadRow> &Rows) {
+               const std::vector<WorkloadRow> &Rows,
+               const std::vector<DivergenceRow> &Div) {
   std::fprintf(Out,
                "==== simtsr-bench: %u warps, scale %g, %s, %u threads ====\n",
                static_cast<unsigned>(C.Warps), C.Scale,
@@ -222,6 +337,24 @@ void emitTable(std::FILE *Out, const driver::ToolConfig &C, GridMode Mode,
                  100.0 * R.SimtEfficiency, R.Ok ? "ok" : "FAILED",
                  R.FailMessage.empty() ? "" : ": ",
                  R.FailMessage.c_str());
+  std::fprintf(Out,
+               "\n---- divergent cycles (lower is better): pdom vs sr vs "
+               "meld vs meld+sr ----\n");
+  std::fprintf(Out, "%-17s %10s %10s %10s %10s %9s %9s  %s\n", "benchmark",
+               "pdom", "sr", "meld", "meld+sr", "m-vs-sr", "m+sr-vs-sr",
+               "checksums");
+  for (const DivergenceRow &R : Div) {
+    if (!R.Ok) {
+      std::fprintf(Out, "%-17s FAILED\n", R.Name.c_str());
+      continue;
+    }
+    std::fprintf(Out, "%-17s %10.1f %10.1f %10.1f %10.1f %8.2f%% %8.2f%%  %s\n",
+                 R.Name.c_str(), R.DivergentCycles[0], R.DivergentCycles[1],
+                 R.DivergentCycles[2], R.DivergentCycles[3],
+                 reductionPct(R.DivergentCycles[1], R.DivergentCycles[2]),
+                 reductionPct(R.DivergentCycles[1], R.DivergentCycles[3]),
+                 R.ChecksumsMatch ? "match" : "MISMATCH");
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -717,6 +850,9 @@ int main(int Argc, char **Argv) {
          &Serve);
   P.str("--out", "FILE", "write the report to FILE instead of stdout",
         &OutFile);
+  P.exitAction("--list-pipelines",
+               "print the pipeline catalog and stage vocabulary",
+               [] { driver::printPipelineCatalog(stdout); });
 
   switch (P.parse(Argc, Argv)) {
   case driver::ArgParser::Result::Ok:
@@ -750,12 +886,21 @@ int main(int Argc, char **Argv) {
     // grid — so per-workload wall clocks do not contend with each other.
     for (const Workload &W : Suite)
       Rows.push_back(measure(W, C, Mode));
+    // The divergence comparison is deterministic, so it runs untimed after
+    // the throughput measurements.
+    std::vector<DivergenceRow> Div;
+    Div.reserve(Suite.size());
+    for (const Workload &W : Suite)
+      Div.push_back(measureDivergence(W, C));
     if (C.Json)
-      emitJson(Out, C, Mode, Rows);
+      emitJson(Out, C, Mode, Rows, Div);
     else
-      emitTable(Out, C, Mode, Rows);
+      emitTable(Out, C, Mode, Rows, Div);
     for (const WorkloadRow &R : Rows)
       if (!R.Ok)
+        Exit = 2;
+    for (const DivergenceRow &R : Div)
+      if (!R.Ok || !R.ChecksumsMatch)
         Exit = 2;
   }
   if (Out != stdout)

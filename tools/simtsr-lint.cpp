@@ -39,6 +39,7 @@
 #include "support/Json.h"
 #include "transform/BarrierVerifier.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -66,11 +67,14 @@ UnitReport lintOne(Module &M, const std::string &Unit,
   lint::LintOptions LO;
   LO.WarpSize = WarpSize;
   if (Config != "none") {
-    const auto PO = standardPipelineByName(Config, SoftThreshold);
+    const auto PO = standardPipelineSpec(Config, SoftThreshold);
     const PipelineReport Report = runSyncPipeline(M, *PO);
     // The registry maps ids to origins only until reallocation recolours
     // the registers; afterwards the analyzer runs origin-blind.
-    if (!PO->ReallocBarriers) {
+    const bool Reallocs =
+        std::find(PO->Stages.begin(), PO->Stages.end(), "realloc") !=
+        PO->Stages.end();
+    if (!Reallocs) {
       const lint::LintOptions FromReg =
           lintOptionsFromRegistry(Report.Registry);
       LO.OriginAware = FromReg.OriginAware;

@@ -40,6 +40,9 @@ int main(int Argc, char **Argv) {
   uint64_t RouteVnodes = 64;
 
   driver::ArgParser P("simtsr-serve");
+  P.exitAction("--list-pipelines",
+               "print the pipeline catalog requests may name",
+               [] { driver::printPipelineCatalog(stdout); });
   P.str("--socket", "ADDR",
         "listen on a Unix socket path or host:port instead of stdin/stdout",
         &Socket);

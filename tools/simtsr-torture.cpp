@@ -257,6 +257,9 @@ int main(int Argc, char **Argv) {
   P.str("--replay", "FILE", "run the oracle on one .sir file and exit",
         &Opts.ReplayFile);
   P.flag("--verbose", "log every seed, not just failures", &Opts.Verbose);
+  P.exitAction("--list-pipelines",
+               "print the pipeline catalog the oracle fans out over",
+               [] { driver::printPipelineCatalog(stdout); });
   driver::addJsonFlag(P, C);
 
   switch (P.parse(Argc, Argv)) {

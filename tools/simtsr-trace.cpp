@@ -20,7 +20,7 @@
 /// "simtsr-trace-v1").
 ///
 /// Flags are the canonical driver spellings; --config remains an accepted
-/// alias of --pipeline from before the flag unification.
+/// alias of --pipeline (registered centrally by driver::addPipelineFlags).
 ///
 /// Exit codes: 0 on success (including an expected --diff divergence),
 /// 1 on usage errors, 2 when a simulation fails.
@@ -71,7 +71,7 @@ bool writeFile(const std::string &Path, const std::string &Content) {
 TracedWorkloadResult runConfig(const Workload &W, const driver::ToolConfig &C,
                                const std::string &ConfigName,
                                observe::RemarkStream *Remarks) {
-  auto Pipeline = standardPipelineByName(ConfigName,
+  auto Pipeline = standardPipelineSpec(ConfigName,
                                          static_cast<int>(C.SoftThreshold));
   if (!Pipeline) {
     std::fprintf(stderr, "simtsr-trace: unknown config '%s'\n",
@@ -231,7 +231,7 @@ int runGolden(const driver::ToolConfig &C) {
     for (const std::string &Config : standardPipelineNames())
       for (SchedulerPolicy Policy : Policies) {
         auto Pipeline =
-            standardPipelineByName(Config, static_cast<int>(C.SoftThreshold));
+            standardPipelineSpec(Config, static_cast<int>(C.SoftThreshold));
         const uint64_t Digest = workloadTraceDigest(
             W, *Pipeline, Policy, static_cast<unsigned>(C.Warps), C.Seed);
         std::printf("%s %s %s %s\n", W.Name.c_str(), Config.c_str(),
@@ -252,8 +252,7 @@ int main(int Argc, char **Argv) {
   P.flag("--list", "list workloads, configs and policies", &Opts.List);
   P.str("--workload", "NAME", "Table 2 workload to run (required)",
         &Opts.Workload);
-  driver::addPipelineFlags(P, C);
-  P.alias("--config", "--pipeline");
+  driver::addPipelineFlags(P, C); // Registers the --config alias too.
   P.custom("--diff", "A,B",
            "run configs A and B; report the first divergent scheduling event",
            [&Opts](const std::string &V) {
